@@ -1,0 +1,107 @@
+// Shared helpers for the paper-reproduction benchmark binaries. Each binary
+// regenerates one table/figure of the paper's evaluation (Sec. 7.3).
+//
+// Measurement strategy: the comparisons the paper reports are *relative*
+// (overhead of capture vs no capture, lazy vs eager). On a small shared
+// machine, absolute times drift with co-tenant load, so the harness
+// measures *paired trials*: the two variants run back-to-back within each
+// trial and the reported overhead is the median of the per-pair overheads —
+// robust against drift that spans trials. google-benchmark is used by the
+// micro-primitives benchmark where its auto-iteration is the right tool.
+
+#ifndef PEBBLE_BENCH_BENCH_UTIL_H_
+#define PEBBLE_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "engine/executor.h"
+
+namespace pebble::bench {
+
+inline double Median(std::vector<double> values) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  size_t n = values.size();
+  return n % 2 == 1 ? values[n / 2]
+                    : (values[n / 2 - 1] + values[n / 2]) / 2.0;
+}
+
+/// Result of a paired comparison between a base variant and a variant with
+/// extra work.
+struct Paired {
+  double base_ms = 0;       // median across trials
+  double with_ms = 0;       // median across trials
+  double overhead_pct = 0;  // median of per-pair overheads
+  double ratio = 0;         // median of per-pair with/base ratios
+};
+
+/// Runs `base` and `with` back-to-back `trials` times (plus one untimed
+/// warm-up pair) and aggregates medians.
+template <typename F1, typename F2>
+Paired MeasurePaired(F1&& base, F2&& with, int trials = 7) {
+  base();
+  with();
+  std::vector<double> base_times;
+  std::vector<double> with_times;
+  std::vector<double> overheads;
+  std::vector<double> ratios;
+  for (int t = 0; t < trials; ++t) {
+    Stopwatch sb;
+    base();
+    double b = sb.ElapsedMillis();
+    Stopwatch sw;
+    with();
+    double w = sw.ElapsedMillis();
+    base_times.push_back(b);
+    with_times.push_back(w);
+    if (b > 0) {
+      overheads.push_back((w - b) / b * 100.0);
+      ratios.push_back(w / b);
+    }
+  }
+  Paired out;
+  out.base_ms = Median(base_times);
+  out.with_ms = Median(with_times);
+  out.overhead_pct = Median(overheads);
+  out.ratio = Median(ratios);
+  return out;
+}
+
+/// Runs a pipeline once, aborting the process on error (benchmark setup
+/// bugs should be loud).
+inline void RunOrDie(const Executor& executor, const Pipeline& pipeline) {
+  Result<ExecutionResult> run = executor.Run(pipeline);
+  if (!run.ok()) {
+    std::fprintf(stderr, "benchmark pipeline failed: %s\n",
+                 run.status().ToString().c_str());
+    std::abort();
+  }
+}
+
+/// Benchmark-wide execution options: partitioned, single worker thread
+/// (the harness machine is a single-CPU VM; partition-parallel code paths
+/// are still exercised, deterministically).
+inline ExecOptions BenchOptions(CaptureMode mode) {
+  ExecOptions options;
+  options.capture = mode;
+  options.num_partitions = 4;
+  options.num_threads = 1;
+  return options;
+}
+
+/// Prints a horizontal rule + centered title for the summary tables.
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n%s\n", std::string(78, '=').c_str());
+  std::printf("%s\n", title.c_str());
+  std::printf("%s\n", std::string(78, '=').c_str());
+}
+
+}  // namespace pebble::bench
+
+#endif  // PEBBLE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,188 @@
+// Reproduces Fig. 10 and the use-case analysis of Sec. 7.3.5: merges the
+// structural provenance of the DBLP workload D1-D5 and prints
+//   (i) the heatmap of 25 inproceedings items — tuple counter (leftmost
+//       column) plus per-attribute usage, with influencing-only cells
+//       marked '~' (the paper's light-blue "accessed but not exposed"),
+//  (ii) workload-wide attribute statistics and co-usage pairs (vertical
+//       partitioning / data-layout hints),
+// (iii) the auditing comparison: values a lineage solution must report
+//       leaked vs values Pebble reports, plus the influencing-only values
+//       (reconstruction-attack risk) that Lipstick-style solutions miss.
+
+#include <cstdio>
+#include <map>
+
+#include "baselines/titian.h"
+#include "core/query.h"
+#include "usecases/audit.h"
+#include "usecases/usage.h"
+#include "workload/scenarios.h"
+
+namespace pebble {
+namespace {
+
+/// Canonical item identity across scenarios and scans: 1-based index of the
+/// record in the generated dataset. Different scans assign different
+/// provenance ids to the same record; this maps them back.
+std::map<int64_t, int64_t> CanonicalIdMap(const Dataset& source) {
+  std::map<int64_t, int64_t> out;
+  int64_t index = 1;
+  for (const Row& row : source.CollectRows()) {
+    out[row.id] = index++;
+  }
+  return out;
+}
+
+int Main() {
+  DblpGenOptions gen_options;
+  gen_options.num_records = 1200;
+  DblpGenerator gen(gen_options);
+  auto data = gen.Generate();
+
+  UsageAnalyzer analyzer;
+  uint64_t lineage_reported = 0;
+  uint64_t pebble_leaked = 0;
+  uint64_t influencing = 0;
+  size_t width = gen.Schema()->fields().size();
+
+  for (int id = 1; id <= 5; ++id) {
+    Result<Scenario> sc_result = MakeDblpScenario(id, gen, data);
+    if (!sc_result.ok()) {
+      std::fprintf(stderr, "%s\n", sc_result.status().ToString().c_str());
+      return 1;
+    }
+    Scenario sc = std::move(sc_result).value();
+    // For the data-usage analysis the "workload" is the scenarios' full
+    // results (the paper merges the provenance of D1-D5), so the narrow
+    // per-scenario questions are replaced by broad patterns matching every
+    // result item (anchored at an aggregate output where one exists, so
+    // aggregation backtracing retains the contributing members).
+    switch (id) {
+      case 1:
+        sc.query = TreePattern({PatternNode::Attr("i_key")});
+        break;
+      case 2:
+        sc.query = TreePattern({PatternNode::Attr("key")});
+        break;
+      case 3:
+        sc.query = TreePattern({PatternNode::Attr("works")});
+        break;
+      case 4:
+      case 5:
+        sc.query = TreePattern({PatternNode::Attr("inprocs")});
+        break;
+      default:
+        break;
+    }
+    Executor executor(ExecOptions{CaptureMode::kStructural, 4, 4});
+    Result<ExecutionResult> run_result = executor.Run(sc.pipeline);
+    if (!run_result.ok()) {
+      std::fprintf(stderr, "%s\n", run_result.status().ToString().c_str());
+      return 1;
+    }
+    ExecutionResult run = std::move(run_result).value();
+    Result<ProvenanceQueryResult> prov_result =
+        QueryStructuralProvenance(run, sc.query);
+    if (!prov_result.ok()) {
+      std::fprintf(stderr, "%s\n", prov_result.status().ToString().c_str());
+      return 1;
+    }
+    ProvenanceQueryResult prov = std::move(prov_result).value();
+
+    // Canonicalize ids so usage merges across scenarios (Fig. 10 merges the
+    // provenance of the individual scenarios).
+    std::vector<SourceProvenance> canonical = prov.sources;
+    for (SourceProvenance& sp : canonical) {
+      std::map<int64_t, int64_t> ids =
+          CanonicalIdMap(run.source_datasets.at(sp.scan_oid));
+      for (BacktraceEntry& entry : sp.items) {
+        entry.id = ids.at(entry.id);
+      }
+      sp.scan_oid = 1;
+    }
+    analyzer.AddQueryResult(canonical);
+
+    // Auditing tallies: structural vs lineage per scenario.
+    std::vector<int64_t> matched_ids;
+    for (const BacktraceEntry& e : prov.matched) {
+      matched_ids.push_back(e.id);
+    }
+    LineageTracer tracer(run.provenance.get());
+    Result<std::vector<SourceLineage>> lineage = tracer.Trace(matched_ids);
+    if (!lineage.ok()) {
+      std::fprintf(stderr, "%s\n", lineage.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t s = 0; s < prov.sources.size(); ++s) {
+      const SourceLineage* sl = nullptr;
+      for (const SourceLineage& cand : *lineage) {
+        if (cand.scan_oid == prov.sources[s].scan_oid) sl = &cand;
+      }
+      SourceLineage empty;
+      AuditReport report =
+          BuildAuditReport(prov.sources[s], sl != nullptr ? *sl : empty,
+                           width);
+      lineage_reported += report.lineage_reported_values;
+      pebble_leaked += report.pebble_leaked_values;
+      influencing += report.influencing_values;
+    }
+  }
+
+  // Heatmap over 25 inproceedings items (Fig. 10 samples 25 items of the
+  // inproceedings dataset); deterministic sample: every 7th inproceedings.
+  std::vector<int64_t> sample_ids;
+  int64_t index = 1;
+  int stride = 0;
+  for (const ValuePtr& rec : *data) {
+    if (rec->FindField("type")->string_value() == "inproceedings" &&
+        stride++ % 7 == 0 && sample_ids.size() < 25) {
+      sample_ids.push_back(index);
+    }
+    ++index;
+  }
+  UsageAnalyzer::Heatmap heatmap =
+      analyzer.BuildHeatmap(1, sample_ids, gen.Schema());
+
+  std::printf(
+      "==============================================================\n"
+      "Fig. 10 — usage heatmap for 25 inproceedings items after running\n"
+      "D1-D5 (leftmost column: tuple counter; cells: attribute usage;\n"
+      "'~' marks influencing-only usage, '.' marks cold)\n"
+      "==============================================================\n");
+  std::printf("%s", heatmap.ToString().c_str());
+
+  std::printf("\nworkload-wide attribute usage (vertical partitioning):\n");
+  for (const UsageAnalyzer::AttrStats& s :
+       analyzer.AttributeStats(1, gen.Schema())) {
+    std::printf("  %-10s contributing=%-6d influencing=%-6d %s\n",
+                s.attribute.c_str(), s.contributing, s.influencing,
+                s.contributing + s.influencing == 0 ? "(cold)" : "");
+  }
+
+  std::printf("\nattribute co-usage pairs (layout co-location hints):\n");
+  auto pairs = analyzer.CoUsagePairs(1);
+  for (size_t i = 0; i < pairs.size() && i < 5; ++i) {
+    std::printf("  (%s, %s): %d\n", pairs[i].first.first.c_str(),
+                pairs[i].first.second.c_str(), pairs[i].second);
+  }
+
+  std::printf(
+      "\nauditing (Sec. 7.3.5), summed over D1-D5:\n"
+      "  values a tuple-level lineage solution must report leaked: %llu\n"
+      "  values Pebble reports actually leaked:                    %llu\n"
+      "  influencing-only values (reconstruction risk, missed by\n"
+      "  Lipstick-style tracing):                                  %llu\n",
+      static_cast<unsigned long long>(lineage_reported),
+      static_cast<unsigned long long>(pebble_leaked),
+      static_cast<unsigned long long>(influencing));
+  std::printf(
+      "\nexpected shape: most sampled tuples warm but only a fraction of\n"
+      "attributes used; 'year' influencing-only; lineage reports far more\n"
+      "values leaked than actually exposed.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pebble
+
+int main() { return pebble::Main(); }

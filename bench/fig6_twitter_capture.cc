@@ -1,0 +1,62 @@
+// Reproduces Fig. 6: capture runtime overhead on the Twitter dataset,
+// scenarios T1-T5 over five dataset scales.
+//
+// The paper runs 100-500 GB on a 3-node cluster; this harness runs
+// proportionally scaled synthetic tweet datasets on one machine. The shape
+// to reproduce: runtime grows linearly with scale and the relative overhead
+// of structural capture stays roughly constant per scenario.
+
+#include "bench/bench_util.h"
+#include "workload/scenarios.h"
+
+namespace pebble {
+namespace {
+
+constexpr size_t kScaleTweets[] = {2000, 4000, 6000, 8000, 10000};
+constexpr const char* kScaleLabels[] = {"S1", "S2", "S3", "S4", "S5"};
+constexpr int kNumScales = 5;
+
+int Main() {
+  bench::PrintHeader(
+      "Fig. 6 — capture runtime overhead, Twitter T1-T5 (paper: 100-500 GB "
+      "on Spark;\nhere: synthetic tweets at 5 proportional scales)");
+  std::printf("%-6s %-10s %12s %12s %10s\n", "scale", "scenario",
+              "spark (ms)", "pebble (ms)", "overhead");
+
+  Executor plain(bench::BenchOptions(CaptureMode::kOff));
+  Executor capture(bench::BenchOptions(CaptureMode::kStructural));
+
+  for (int scale = 0; scale < kNumScales; ++scale) {
+    TwitterGenOptions gen_options;
+    gen_options.num_tweets = kScaleTweets[scale];
+    TwitterGenerator gen(gen_options);
+    auto data = gen.Generate();
+    for (int scenario = 1; scenario <= 5; ++scenario) {
+      Result<Scenario> off = MakeTwitterScenario(scenario, gen, data);
+      Result<Scenario> on = MakeTwitterScenario(scenario, gen, data);
+      if (!off.ok() || !on.ok()) {
+        std::fprintf(stderr, "scenario setup failed\n");
+        return 1;
+      }
+      bench::Paired result = bench::MeasurePaired(
+          [&] { bench::RunOrDie(plain, off->pipeline); },
+          [&] { bench::RunOrDie(capture, on->pipeline); });
+      std::printf("%-6s %-10s %12.2f %12.2f %9.1f%%\n", kScaleLabels[scale],
+                  ("T" + std::to_string(scenario)).c_str(), result.base_ms,
+                  result.with_ms, result.overhead_pct);
+      std::fflush(stdout);
+    }
+  }
+  std::printf(
+      "\nexpected shape: linear runtime growth per scenario; per-scenario\n"
+      "overhead roughly constant across scales. Absolute overhead levels\n"
+      "are engine-specific (paper/Spark: T3 ~70-75%% down to T5 ~20%%; this\n"
+      "interpreted engine has higher per-row baseline cost, so relative\n"
+      "overheads are lower).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pebble
+
+int main() { return pebble::Main(); }

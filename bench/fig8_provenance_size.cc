@@ -1,0 +1,149 @@
+// Reproduces Fig. 8: size of the collected structural provenance, split
+// into the lineage component (top-level id associations — what Titian
+// stores) and the structural extra (schema-level paths plus flatten
+// positions) for every scenario of both datasets.
+//
+// Shape to reproduce: DBLP provenance is orders of magnitude larger than
+// Twitter provenance at equal byte volume (items are ~100x smaller, so
+// there are far more top-level ids to track); the structural extra is tiny
+// compared to lineage except where flatten positions pile up (D3).
+
+#include <cstdio>
+
+#include "baselines/lipstick.h"
+#include "common/string_util.h"
+#include "engine/executor.h"
+#include "workload/scenarios.h"
+
+namespace pebble {
+namespace {
+
+struct SizeRow {
+  std::string scenario;
+  uint64_t input_bytes = 0;
+  uint64_t lineage_bytes = 0;
+  uint64_t structural_extra = 0;
+  uint64_t id_rows = 0;
+};
+
+Result<SizeRow> Measure(Scenario sc, uint64_t input_bytes) {
+  Executor executor(
+      ExecOptions{CaptureMode::kStructural, /*num_partitions=*/4,
+                  /*num_threads=*/4});
+  PEBBLE_ASSIGN_OR_RETURN(ExecutionResult run, executor.Run(sc.pipeline));
+  SizeRow row;
+  row.scenario = sc.name;
+  row.input_bytes = input_bytes;
+  row.lineage_bytes = run.provenance->TotalLineageBytes();
+  row.structural_extra = run.provenance->TotalStructuralExtraBytes();
+  row.id_rows = run.provenance->TotalIdRows();
+  return row;
+}
+
+void PrintRows(const char* title, const std::vector<SizeRow>& rows) {
+  std::printf("\n%s\n", title);
+  std::printf("%-10s %12s %14s %18s %10s %9s\n", "scenario", "input",
+              "lineage", "structural extra", "id rows", "extra %");
+  for (const SizeRow& row : rows) {
+    double pct = row.lineage_bytes == 0
+                     ? 0
+                     : 100.0 * static_cast<double>(row.structural_extra) /
+                           static_cast<double>(row.lineage_bytes);
+    std::printf("%-10s %12s %14s %18s %10llu %8.1f%%\n", row.scenario.c_str(),
+                HumanBytes(row.input_bytes).c_str(),
+                HumanBytes(row.lineage_bytes).c_str(),
+                HumanBytes(row.structural_extra).c_str(),
+                static_cast<unsigned long long>(row.id_rows), pct);
+  }
+}
+
+int Main() {
+  std::printf(
+      "==============================================================\n"
+      "Fig. 8 — size of collected structural provenance (lineage component\n"
+      "vs structural extra). Paper: Twitter provenance in MB, DBLP in GB at\n"
+      "equal input volume; here both are proportionally scaled down.\n"
+      "==============================================================\n");
+
+  // Twitter (Fig. 8a).
+  {
+    TwitterGenOptions options;
+    options.num_tweets = 4000;
+    TwitterGenerator gen(options);
+    auto data = gen.Generate();
+    uint64_t input_bytes = 0;
+    for (const ValuePtr& v : *data) {
+      input_bytes += v->ApproxBytes();
+    }
+    std::vector<SizeRow> rows;
+    for (int id = 1; id <= 5; ++id) {
+      Result<Scenario> sc = MakeTwitterScenario(id, gen, data);
+      if (!sc.ok()) {
+        std::fprintf(stderr, "%s\n", sc.status().ToString().c_str());
+        return 1;
+      }
+      Result<SizeRow> row = Measure(std::move(sc).value(), input_bytes);
+      if (!row.ok()) {
+        std::fprintf(stderr, "%s\n", row.status().ToString().c_str());
+        return 1;
+      }
+      rows.push_back(std::move(row).value());
+    }
+    PrintRows("(a) Twitter scenarios, 4000 wide tweets", rows);
+  }
+
+  // DBLP (Fig. 8b) over a comparable input byte volume: DBLP records are
+  // ~100x smaller, so the same bytes mean many more top-level items and
+  // much more lineage (the paper's MB-vs-GB contrast).
+  uint64_t dblp_lineage_total = 0;
+  uint64_t twitter_lineage_total = 0;
+  {
+    DblpGenOptions options;
+    options.num_records = 40000;  // roughly the Twitter run's byte volume
+    DblpGenerator gen(options);
+    auto data = gen.Generate();
+    uint64_t input_bytes = 0;
+    for (const ValuePtr& v : *data) {
+      input_bytes += v->ApproxBytes();
+    }
+    std::vector<SizeRow> rows;
+    for (int id = 1; id <= 5; ++id) {
+      Result<Scenario> sc = MakeDblpScenario(id, gen, data);
+      if (!sc.ok()) {
+        std::fprintf(stderr, "%s\n", sc.status().ToString().c_str());
+        return 1;
+      }
+      Result<SizeRow> row = Measure(std::move(sc).value(), input_bytes);
+      if (!row.ok()) {
+        std::fprintf(stderr, "%s\n", row.status().ToString().c_str());
+        return 1;
+      }
+      dblp_lineage_total += row->lineage_bytes;
+      rows.push_back(std::move(row).value());
+    }
+    PrintRows("(b) DBLP scenarios, 40000 narrow records", rows);
+  }
+
+  // Cross-check of the headline contrast.
+  {
+    TwitterGenOptions t;
+    t.num_tweets = 4000;
+    TwitterGenerator tg(t);
+    auto tdata = tg.Generate();
+    Result<Scenario> sc = MakeTwitterScenario(3, tg, tdata);
+    Result<SizeRow> row = Measure(std::move(sc).value(), 0);
+    twitter_lineage_total = row.ok() ? row->lineage_bytes : 0;
+  }
+  std::printf(
+      "\nexpected shape: per input byte, DBLP provenance dwarfs Twitter\n"
+      "provenance (paper: GB vs MB). Here: DBLP total lineage %s vs\n"
+      "Twitter T3 lineage %s.\n",
+      HumanBytes(dblp_lineage_total).c_str(),
+      HumanBytes(twitter_lineage_total).c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace pebble
+
+int main() { return pebble::Main(); }

@@ -1,0 +1,142 @@
+// google-benchmark microbenchmarks for the core primitives that dominate
+// capture and backtracing cost: path parsing/evaluation, value
+// hashing/equality, JSON parsing, expression evaluation, tree-pattern
+// matching, and backtracing-tree manipulation. These are stable,
+// auto-iterated measurements (unlike the paired pipeline-level harnesses).
+
+#include <benchmark/benchmark.h>
+
+#include "core/backtrace_tree.h"
+#include "core/tree_pattern.h"
+#include "engine/expr.h"
+#include "nested/json.h"
+#include "workload/running_example.h"
+#include "workload/twitter_gen.h"
+
+namespace pebble {
+namespace {
+
+ValuePtr SampleTweet() {
+  TwitterGenOptions options;
+  options.num_tweets = 1;
+  return (*TwitterGenerator(options).Generate())[0];
+}
+
+void BM_PathParse(benchmark::State& state) {
+  for (auto _ : state) {
+    Result<Path> p = Path::Parse("user_mentions[2].id_str");
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_PathParse);
+
+void BM_PathEvaluate(benchmark::State& state) {
+  ValuePtr tweet = SampleTweet();
+  Path path = std::move(Path::Parse("user.id_str")).ValueOrDie();
+  for (auto _ : state) {
+    Result<ValuePtr> v = path.Evaluate(*tweet);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_PathEvaluate);
+
+void BM_ValueHashWideTweet(benchmark::State& state) {
+  ValuePtr tweet = SampleTweet();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tweet->Hash());
+  }
+}
+BENCHMARK(BM_ValueHashWideTweet);
+
+void BM_ValueEqualsWideTweet(benchmark::State& state) {
+  ValuePtr a = SampleTweet();
+  ValuePtr b = SampleTweet();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a->Equals(*b));
+  }
+}
+BENCHMARK(BM_ValueEqualsWideTweet);
+
+void BM_JsonParseTweet(benchmark::State& state) {
+  std::string json = SampleTweet()->ToString();
+  for (auto _ : state) {
+    Result<ValuePtr> v = ParseJson(json);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(json.size()));
+}
+BENCHMARK(BM_JsonParseTweet);
+
+void BM_JsonSerializeTweet(benchmark::State& state) {
+  ValuePtr tweet = SampleTweet();
+  for (auto _ : state) {
+    std::string s = tweet->ToString();
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_JsonSerializeTweet);
+
+void BM_ExprEvaluate(benchmark::State& state) {
+  ValuePtr tweet = SampleTweet();
+  ExprPtr pred = Expr::And(
+      Expr::Eq(Expr::Col("retweet_count"), Expr::LitInt(0)),
+      Expr::Contains(Expr::Col("text"), Expr::LitString("good")));
+  for (auto _ : state) {
+    Result<bool> v = pred->EvaluateBool(*tweet);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_ExprEvaluate);
+
+void BM_TreePatternMatch(benchmark::State& state) {
+  // The Fig. 4 pattern matched against the Tab. 2 lp result item.
+  Result<RunningExample> ex = MakeRunningExample();
+  if (!ex.ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  ValuePtr item = Value::Struct({
+      {"user", Value::Struct({{"id_str", Value::String("lp")},
+                              {"name", Value::String("Lisa Paul")}})},
+      {"tweets",
+       Value::Bag({
+           Value::Struct({{"text", Value::String("Hello @ls @jm @ls")}}),
+           Value::Struct({{"text", Value::String("Hello World")}}),
+           Value::Struct({{"text", Value::String("Hello World")}}),
+           Value::Struct({{"text", Value::String("Hello @lp")}}),
+       })},
+  });
+  for (auto _ : state) {
+    Result<TreePattern::ItemMatch> m = ex->query.MatchItem(*item);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_TreePatternMatch);
+
+void BM_BacktraceTreeManipulate(benchmark::State& state) {
+  Path in = std::move(Path::Parse("text")).ValueOrDie();
+  Path out = std::move(Path::Parse("wrapped.text")).ValueOrDie();
+  for (auto _ : state) {
+    BacktraceTree tree;
+    tree.Ensure(out, /*contributing=*/true);
+    tree.ManipulatePath(in, out, 8);
+    benchmark::DoNotOptimize(tree);
+  }
+}
+BENCHMARK(BM_BacktraceTreeManipulate);
+
+void BM_BacktraceTreeAccess(benchmark::State& state) {
+  Path path = std::move(Path::Parse("user.name")).ValueOrDie();
+  for (auto _ : state) {
+    BacktraceTree tree;
+    tree.AccessPath(path, 9);
+    benchmark::DoNotOptimize(tree);
+  }
+}
+BENCHMARK(BM_BacktraceTreeAccess);
+
+}  // namespace
+}  // namespace pebble
+
+BENCHMARK_MAIN();

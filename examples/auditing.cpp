@@ -1,0 +1,120 @@
+// Auditing example (paper Secs. 1, 7.3.5): a company insider leaked the
+// result of a DBLP query. GDPR requires identifying not only *whose*
+// records are affected but *which* of their attribute values were actually
+// exposed — plus which values influenced the result without being exposed
+// (reconstruction-attack candidates).
+//
+// The example runs scenario D1 (2015 inproceedings joined with their
+// proceedings), treats its full result as leaked, and contrasts three
+// answers:
+//   - tuple-level lineage (Titian/PROVision): whole records flagged,
+//   - structural provenance (Pebble): exactly the exposed values,
+//   - the influencing-only values neither exposed nor safe.
+
+#include <cstdio>
+
+#include "baselines/titian.h"
+#include "core/query.h"
+#include "usecases/audit.h"
+#include "workload/scenarios.h"
+
+using namespace pebble;  // NOLINT: example brevity
+
+int main() {
+  DblpGenOptions gen_options;
+  gen_options.num_records = 2000;
+  DblpGenerator gen(gen_options);
+  auto data = gen.Generate();
+
+  Result<Scenario> sc_result = MakeDblpScenario(1, gen, data);
+  if (!sc_result.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 sc_result.status().ToString().c_str());
+    return 1;
+  }
+  Scenario sc = std::move(sc_result).value();
+  std::printf("leaked query (D1): %s\n%s\n", sc.description.c_str(),
+              sc.pipeline.ToString().c_str());
+
+  // The pipeline ran with structural provenance capture in production.
+  Executor executor(ExecOptions{CaptureMode::kStructural, 4, 2});
+  Result<ExecutionResult> run_result = executor.Run(sc.pipeline);
+  if (!run_result.ok()) {
+    std::fprintf(stderr, "execution failed: %s\n",
+                 run_result.status().ToString().c_str());
+    return 1;
+  }
+  ExecutionResult run = std::move(run_result).value();
+
+  // The whole result was leaked: audit every result item.
+  TreePattern everything({PatternNode::Attr("i_key")});
+  Result<ProvenanceQueryResult> prov_result =
+      QueryStructuralProvenance(run, everything);
+  if (!prov_result.ok()) {
+    std::fprintf(stderr, "provenance query failed: %s\n",
+                 prov_result.status().ToString().c_str());
+    return 1;
+  }
+  ProvenanceQueryResult prov = std::move(prov_result).value();
+  std::printf("leaked result items: %zu\n\n", prov.matched.size());
+
+  std::vector<int64_t> leaked_ids;
+  for (const BacktraceEntry& e : prov.matched) {
+    leaked_ids.push_back(e.id);
+  }
+  LineageTracer lineage_tracer(run.provenance.get());
+  Result<std::vector<SourceLineage>> lineage_result =
+      lineage_tracer.Trace(leaked_ids);
+  if (!lineage_result.ok()) {
+    std::fprintf(stderr, "lineage failed: %s\n",
+                 lineage_result.status().ToString().c_str());
+    return 1;
+  }
+
+  size_t width = gen.Schema()->fields().size();
+  for (const SourceProvenance& source : prov.sources) {
+    const SourceLineage* lineage = nullptr;
+    for (const SourceLineage& sl : *lineage_result) {
+      if (sl.scan_oid == source.scan_oid) lineage = &sl;
+    }
+    SourceLineage empty;
+    AuditReport report =
+        BuildAuditReport(source, lineage != nullptr ? *lineage : empty,
+                         width);
+    std::printf(
+        "source [%d]: %zu affected records\n"
+        "  a tuple-level lineage audit must notify about %llu attribute "
+        "values\n"
+        "  Pebble's structural audit pins down %llu actually exposed "
+        "values\n"
+        "  plus %llu influencing-only values (reconstruction risk)\n",
+        source.scan_oid, report.items.size(),
+        static_cast<unsigned long long>(report.lineage_reported_values),
+        static_cast<unsigned long long>(report.pebble_leaked_values),
+        static_cast<unsigned long long>(report.influencing_values));
+    // Show a concrete affected record.
+    if (!report.items.empty()) {
+      const AuditItem& item = report.items[0];
+      std::printf("  example record %lld:\n    exposed:    ",
+                  static_cast<long long>(item.id));
+      for (const std::string& attr : item.leaked_attributes) {
+        std::printf("%s ", attr.c_str());
+      }
+      std::printf("\n    influencing: ");
+      for (const std::string& attr : item.influenced_attributes) {
+        std::printf("%s ", attr.c_str());
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Interpretation: if, say, `pages` held card numbers, the lineage-only\n"
+      "audit would force re-issuing cards for every flagged customer even\n"
+      "though `pages` never left the system; Pebble shows it was neither\n"
+      "exposed nor accessed. Conversely `year` (accessed by the filter) is\n"
+      "invisible to value-tracing systems like Lipstick but matters for\n"
+      "reconstruction-attack risk.\n");
+  return 0;
+}

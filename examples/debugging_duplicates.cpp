@@ -1,0 +1,117 @@
+// Debugging example (the paper's motivating use-case, Sec. 2) at workload
+// scale: a data engineer notices duplicate texts inside the nested tweet
+// lists produced by the T3 pipeline and wants to know where they come from
+// — without wading through the millions of tweets tuple-level lineage
+// would return.
+
+#include <cstdio>
+
+#include "baselines/titian.h"
+#include "core/query.h"
+#include "workload/scenarios.h"
+
+using namespace pebble;  // NOLINT: example brevity
+
+int main() {
+  TwitterGenOptions gen_options;
+  gen_options.num_tweets = 2000;
+  TwitterGenerator gen(gen_options);
+  auto data = gen.Generate();
+
+  Result<Scenario> sc_result = MakeTwitterScenario(3, gen, data);
+  if (!sc_result.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 sc_result.status().ToString().c_str());
+    return 1;
+  }
+  Scenario sc = std::move(sc_result).value();
+
+  Executor executor(ExecOptions{CaptureMode::kStructural, 4, 2});
+  Result<ExecutionResult> run_result = executor.Run(sc.pipeline);
+  if (!run_result.ok()) {
+    std::fprintf(stderr, "execution failed: %s\n",
+                 run_result.status().ToString().c_str());
+    return 1;
+  }
+  ExecutionResult run = std::move(run_result).value();
+  std::printf("pipeline produced %zu users with nested tweet lists\n",
+              run.output.NumRows());
+
+  // The suspicious observation: some users' nested lists contain the exact
+  // text "Hello World" more than once.
+  TreePattern duplicates({PatternNode::Attr("tweets").With(
+      PatternNode::Attr("text")
+          .Equals(Value::String("Hello World"))
+          .Count(2, std::numeric_limits<int>::max()))});
+  Result<ProvenanceQueryResult> prov_result =
+      QueryStructuralProvenance(run, duplicates);
+  if (!prov_result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 prov_result.status().ToString().c_str());
+    return 1;
+  }
+  ProvenanceQueryResult prov = std::move(prov_result).value();
+  std::printf("users with duplicate 'Hello World' texts: %zu\n\n",
+              prov.matched.size());
+  if (prov.matched.empty()) {
+    std::printf("no duplicates in this dataset — nothing to debug\n");
+    return 0;
+  }
+
+  // Structural provenance: exactly the input tweets whose text landed at
+  // the duplicated positions, with attribute-level annotations.
+  size_t structural_items = 0;
+  for (const SourceProvenance& source : prov.sources) {
+    structural_items += source.items.size();
+  }
+
+  // Tuple-level lineage (what Titian would give): every input tweet that
+  // contributed anything to those users' result items.
+  std::vector<int64_t> matched_ids;
+  for (const BacktraceEntry& e : prov.matched) {
+    matched_ids.push_back(e.id);
+  }
+  LineageTracer lineage_tracer(run.provenance.get());
+  Result<std::vector<SourceLineage>> lineage_result =
+      lineage_tracer.Trace(matched_ids);
+  if (!lineage_result.ok()) {
+    std::fprintf(stderr, "lineage failed: %s\n",
+                 lineage_result.status().ToString().c_str());
+    return 1;
+  }
+  size_t lineage_items = 0;
+  for (const SourceLineage& sl : *lineage_result) {
+    lineage_items += sl.ids.size();
+  }
+
+  std::printf(
+      "tuple-level lineage returns %zu candidate input tweets to sift "
+      "through;\nstructural provenance pinpoints %zu tweets that actually "
+      "produced the\nduplicated texts:\n\n",
+      lineage_items, structural_items);
+
+  int shown = 0;
+  for (const SourceProvenance& source : prov.sources) {
+    auto it = run.source_datasets.find(source.scan_oid);
+    for (const BacktraceEntry& entry : source.items) {
+      if (shown >= 4) break;
+      ValuePtr tweet = it != run.source_datasets.end()
+                           ? FindItemById(it->second, entry.id)
+                           : nullptr;
+      std::printf("input tweet %lld%s\n",
+                  static_cast<long long>(entry.id),
+                  tweet != nullptr
+                      ? (": " + tweet->FindField("text")->ToString()).c_str()
+                      : "");
+      std::printf("%s\n", entry.tree.ToString().c_str());
+      ++shown;
+    }
+  }
+  std::printf(
+      "Reading the trees: [contributing] nodes reproduce the duplicates;\n"
+      "[influencing] nodes (e.g. retweet_count accessed by the filter, the\n"
+      "user name accessed by the grouping) explain *why* these tweets\n"
+      "reached the result. The duplicate is genuine input duplication, not\n"
+      "a pipeline bug: distinct input tweets carry the same text.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Quickstart: the paper's running example end to end.
+//
+// Builds the Tab. 1 tweets and the Fig. 1 pipeline, executes it with
+// structural provenance capture, prints the Tab. 2 result, runs the Fig. 4
+// tree-pattern provenance question, and prints the backtraced provenance
+// trees of Fig. 2.
+
+#include <cstdio>
+
+#include "baselines/polynomial.h"
+#include "baselines/titian.h"
+#include "core/query.h"
+#include "workload/running_example.h"
+
+using namespace pebble;  // NOLINT: example brevity
+
+int main() {
+  Result<RunningExample> ex_result = MakeRunningExample();
+  if (!ex_result.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 ex_result.status().ToString().c_str());
+    return 1;
+  }
+  RunningExample ex = std::move(ex_result).value();
+
+  std::printf("== Pipeline (Fig. 1) ==\n%s\n", ex.pipeline.ToString().c_str());
+
+  // Execute with structural provenance capture.
+  Executor executor(ExecOptions{CaptureMode::kStructural,
+                                /*num_partitions=*/2, /*num_threads=*/2});
+  Result<ExecutionResult> run_result = executor.Run(ex.pipeline);
+  if (!run_result.ok()) {
+    std::fprintf(stderr, "execution failed: %s\n",
+                 run_result.status().ToString().c_str());
+    return 1;
+  }
+  ExecutionResult run = std::move(run_result).value();
+
+  std::printf("== Result (Tab. 2) ==\n");
+  for (const Row& row : run.output.CollectRows()) {
+    std::printf("  [%lld] %s\n", static_cast<long long>(row.id),
+                row.value->ToString().c_str());
+  }
+
+  std::printf("\n== Provenance question (Fig. 4) ==\n  %s\n",
+              ex.query.ToString().c_str());
+
+  Result<ProvenanceQueryResult> query_result =
+      QueryStructuralProvenance(run, ex.query, /*num_threads=*/2);
+  if (!query_result.ok()) {
+    std::fprintf(stderr, "provenance query failed: %s\n",
+                 query_result.status().ToString().c_str());
+    return 1;
+  }
+  const ProvenanceQueryResult& prov = *query_result;
+
+  std::printf("\n== Matched output items (tree on the right of Fig. 2) ==\n");
+  for (const BacktraceEntry& entry : prov.matched) {
+    std::printf("item %lld:\n%s", static_cast<long long>(entry.id),
+                entry.tree.ToString().c_str());
+  }
+
+  std::printf("\n== Backtraced provenance (trees on the left of Fig. 2) ==\n");
+  for (const SourceProvenance& source : prov.sources) {
+    std::printf("%s", SourceProvenanceToString(source).c_str());
+    // Show the actual contributing input tweets.
+    auto it = run.source_datasets.find(source.scan_oid);
+    if (it != run.source_datasets.end()) {
+      for (const BacktraceEntry& entry : source.items) {
+        ValuePtr item = FindItemById(it->second, entry.id);
+        if (item != nullptr) {
+          std::printf("    input item %lld = %s\n",
+                      static_cast<long long>(entry.id),
+                      item->ToString().c_str());
+        }
+      }
+    }
+  }
+
+  // Contrast with Titian-style lineage: whole input items only.
+  std::vector<int64_t> matched_ids;
+  for (const BacktraceEntry& entry : prov.matched) {
+    matched_ids.push_back(entry.id);
+  }
+  LineageTracer lineage(run.provenance.get());
+  Result<std::vector<SourceLineage>> lineage_result =
+      lineage.Trace(matched_ids);
+  if (!lineage_result.ok()) {
+    std::fprintf(stderr, "lineage trace failed: %s\n",
+                 lineage_result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n== Titian-style lineage (whole items, for comparison) ==\n");
+  for (const SourceLineage& source : *lineage_result) {
+    std::printf("  source [%d] %s: ids {", source.scan_oid,
+                source.source_name.c_str());
+    for (size_t i = 0; i < source.ids.size(); ++i) {
+      std::printf("%s%lld", i > 0 ? ", " : "",
+                  static_cast<long long>(source.ids[i]));
+    }
+    std::printf("}\n");
+  }
+  // And with PROVision-style how-provenance: verbose, yet unable to
+  // pinpoint the two duplicated texts (the paper's Sec. 2 polynomial).
+  if (!matched_ids.empty()) {
+    Result<std::string> poly =
+        ProvenancePolynomial(*run.provenance, matched_ids[0]);
+    if (poly.ok()) {
+      std::printf("\n== PROVision-style how-provenance polynomial ==\n  %s\n",
+                  poly->c_str());
+    }
+  }
+
+  std::printf(
+      "\nNote how lineage marks every tweet of user lp as provenance while\n"
+      "structural provenance pinpoints the two 'Hello World' tweets and\n"
+      "distinguishes contributing from influencing attributes; the\n"
+      "how-provenance polynomial enumerates every group member without\n"
+      "locating the duplicates.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "baselines/lazy.h"
+
+#include "common/stopwatch.h"
+
+namespace pebble {
+
+Result<LazyQueryResult> LazyQueryStructuralProvenance(
+    const Pipeline& pipeline, const ExecOptions& base_options,
+    const TreePattern& pattern) {
+  ExecOptions options = base_options;
+  options.capture = CaptureMode::kStructural;
+  Executor executor(options);
+
+  // Determine the input datasets (scans). A lazy tracer answers the
+  // provenance question per input dataset: each input requires its own
+  // capture-enabled re-execution and trace (the paper's two reasons why
+  // lazy querying loses: per-input reruns and per-input deep traces).
+  std::vector<int> scan_oids;
+  for (const auto& op : pipeline.operators()) {
+    if (op->type() == OpType::kScan) scan_oids.push_back(op->oid());
+  }
+  if (scan_oids.empty()) {
+    return Status::InvalidArgument("pipeline has no input datasets");
+  }
+
+  LazyQueryResult result;
+  for (int scan_oid : scan_oids) {
+    Stopwatch rerun_watch;
+    PEBBLE_ASSIGN_OR_RETURN(ExecutionResult run, executor.Run(pipeline));
+    result.rerun_ms += rerun_watch.ElapsedMillis();
+
+    Stopwatch trace_watch;
+    PEBBLE_ASSIGN_OR_RETURN(
+        BacktraceStructure matched,
+        pattern.Match(run.output, options.num_threads));
+    Backtracer tracer(run.provenance.get());
+    PEBBLE_ASSIGN_OR_RETURN(std::vector<SourceProvenance> sources,
+                            tracer.Backtrace(matched));
+    result.trace_ms += trace_watch.ElapsedMillis();
+
+    for (SourceProvenance& sp : sources) {
+      if (sp.scan_oid == scan_oid) {
+        result.sources.push_back(std::move(sp));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace pebble

@@ -1,0 +1,37 @@
+// PROVision-style fully lazy provenance querying (Zheng et al., ICDE 2019,
+// as extended in the paper's Sec. 7.3.3): nothing is captured during the
+// original execution; at query time the pipeline is re-executed with
+// capture, and the result items are traced back *for each input dataset
+// independently* — the cost structure the paper's "lazy" bars measure.
+
+#ifndef PEBBLE_BASELINES_LAZY_H_
+#define PEBBLE_BASELINES_LAZY_H_
+
+#include "core/query.h"
+#include "engine/pipeline.h"
+
+namespace pebble {
+
+/// Outcome of a lazy provenance query.
+struct LazyQueryResult {
+  /// Per-source provenance, identical in content to the eager path.
+  std::vector<SourceProvenance> sources;
+  /// Total time spent re-executing the pipeline with capture (one rerun per
+  /// input dataset, as a lazy per-input tracer incurs).
+  double rerun_ms = 0;
+  /// Total time spent matching and backtracing.
+  double trace_ms = 0;
+
+  double total_ms() const { return rerun_ms + trace_ms; }
+};
+
+/// Answers `pattern` over `pipeline`'s result without any previously
+/// captured provenance: re-runs with structural capture and traces each
+/// input dataset independently.
+Result<LazyQueryResult> LazyQueryStructuralProvenance(
+    const Pipeline& pipeline, const ExecOptions& base_options,
+    const TreePattern& pattern);
+
+}  // namespace pebble
+
+#endif  // PEBBLE_BASELINES_LAZY_H_

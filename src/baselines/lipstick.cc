@@ -1,0 +1,36 @@
+#include "baselines/lipstick.h"
+
+namespace pebble {
+
+uint64_t CountAnnotatableValues(const Value& value) {
+  uint64_t count = 1;  // the value itself
+  switch (value.kind()) {
+    case ValueKind::kStruct:
+      for (const Field& f : value.fields()) {
+        count += CountAnnotatableValues(*f.value);
+      }
+      break;
+    case ValueKind::kBag:
+    case ValueKind::kSet:
+      for (const ValuePtr& e : value.elements()) {
+        count += CountAnnotatableValues(*e);
+      }
+      break;
+    default:
+      break;
+  }
+  return count;
+}
+
+AnnotationStats ComputeAnnotationStats(const Dataset& dataset) {
+  AnnotationStats stats;
+  for (const Partition& part : dataset.partitions()) {
+    for (const Row& row : part) {
+      stats.top_level_annotations += 1;
+      stats.per_value_annotations += CountAnnotatableValues(*row.value);
+    }
+  }
+  return stats;
+}
+
+}  // namespace pebble

@@ -1,0 +1,43 @@
+// Lipstick-style annotation accounting (Amsterdamer et al., PVLDB 2011).
+// Lipstick annotates *every* value — nested items and attribute values —
+// rather than only top-level items (35 vs 5 annotations in the paper's
+// Tab. 1). This module quantifies that density, and pairs with the
+// engine's CaptureMode::kFullModel to measure the runtime cost of
+// materializing per-item provenance eagerly.
+
+#ifndef PEBBLE_BASELINES_LIPSTICK_H_
+#define PEBBLE_BASELINES_LIPSTICK_H_
+
+#include <cstdint>
+
+#include "engine/dataset.h"
+
+namespace pebble {
+
+/// Annotation counts for one dataset.
+struct AnnotationStats {
+  /// Annotations a per-value scheme (Lipstick) needs: one per constant,
+  /// data item, and collection, at every nesting level.
+  uint64_t per_value_annotations = 0;
+  /// Annotations Pebble needs: one per top-level item.
+  uint64_t top_level_annotations = 0;
+  /// Approximate bytes for per-value annotation ids (8 bytes each).
+  uint64_t per_value_bytes() const { return per_value_annotations * 8; }
+  uint64_t top_level_bytes() const { return top_level_annotations * 8; }
+  double density_ratio() const {
+    return top_level_annotations == 0
+               ? 0
+               : static_cast<double>(per_value_annotations) /
+                     static_cast<double>(top_level_annotations);
+  }
+};
+
+/// Counts annotations required for `dataset` under both schemes.
+AnnotationStats ComputeAnnotationStats(const Dataset& dataset);
+
+/// Counts annotatable values inside one value (itself included).
+uint64_t CountAnnotatableValues(const Value& value);
+
+}  // namespace pebble
+
+#endif  // PEBBLE_BASELINES_LIPSTICK_H_

@@ -1,0 +1,116 @@
+#include "baselines/polynomial.h"
+
+namespace pebble {
+
+namespace {
+
+class PolynomialBuilder {
+ public:
+  PolynomialBuilder(const ProvenanceStore& store, size_t max_terms)
+      : store_(store), max_terms_(max_terms) {}
+
+  Result<std::string> Render(int oid, int64_t out_id) {
+    const OperatorInfo* info = store_.FindInfo(oid);
+    if (info == nullptr) {
+      return Status::Internal("no operator info for oid " +
+                              std::to_string(oid));
+    }
+    if (info->type == OpType::kScan) {
+      return "p" + std::to_string(out_id);
+    }
+    const OperatorProvenance* prov = store_.Find(oid);
+    if (prov == nullptr) {
+      return Status::Internal("no captured provenance for operator " +
+                              std::to_string(oid));
+    }
+    switch (info->type) {
+      case OpType::kFilter:
+      case OpType::kSelect:
+      case OpType::kMap: {
+        // Transparent: the polynomial of the single input item.
+        for (const UnaryIdRow& row : prov->unary_ids) {
+          if (row.out == out_id) {
+            return Render(prov->inputs[0].producer_oid, row.in);
+          }
+        }
+        break;
+      }
+      case OpType::kJoin: {
+        for (const BinaryIdRow& row : prov->binary_ids) {
+          if (row.out == out_id) {
+            PEBBLE_ASSIGN_OR_RETURN(
+                std::string left,
+                Render(prov->inputs[0].producer_oid, row.in1));
+            PEBBLE_ASSIGN_OR_RETURN(
+                std::string right,
+                Render(prov->inputs[1].producer_oid, row.in2));
+            return "(" + left + "·" + right + ")";
+          }
+        }
+        break;
+      }
+      case OpType::kUnion: {
+        for (const BinaryIdRow& row : prov->binary_ids) {
+          if (row.out == out_id) {
+            int side = row.in1 != kNoId ? 0 : 1;
+            return Render(prov->inputs[static_cast<size_t>(side)]
+                              .producer_oid,
+                          side == 0 ? row.in1 : row.in2);
+          }
+        }
+        break;
+      }
+      case OpType::kFlatten: {
+        for (const FlattenIdRow& row : prov->flatten_ids) {
+          if (row.out == out_id) {
+            PEBBLE_ASSIGN_OR_RETURN(
+                std::string inner,
+                Render(prov->inputs[0].producer_oid, row.in));
+            return "P_flatten(" + inner + "·[" +
+                   std::to_string(row.pos) + "])";
+          }
+        }
+        break;
+      }
+      case OpType::kGroupAggregate: {
+        for (const AggIdRow& row : prov->agg_ids) {
+          if (row.out != out_id) continue;
+          std::string sum;
+          size_t rendered = 0;
+          for (int64_t in : row.ins) {
+            if (rendered >= max_terms_) {
+              sum += "+...";
+              break;
+            }
+            PEBBLE_ASSIGN_OR_RETURN(
+                std::string member,
+                Render(prov->inputs[0].producer_oid, in));
+            if (!sum.empty()) sum += "+";
+            sum += member;
+            ++rendered;
+          }
+          return "P_cl(" + sum + ")";
+        }
+        break;
+      }
+      case OpType::kScan:
+        break;  // handled above
+    }
+    return Status::Internal("result item " + std::to_string(out_id) +
+                            " not found in id table of operator " +
+                            std::to_string(oid));
+  }
+
+ private:
+  const ProvenanceStore& store_;
+  size_t max_terms_;
+};
+
+}  // namespace
+
+Result<std::string> ProvenancePolynomial(const ProvenanceStore& store,
+                                         int64_t out_id, size_t max_terms) {
+  return PolynomialBuilder(store, max_terms).Render(store.sink_oid(), out_id);
+}
+
+}  // namespace pebble

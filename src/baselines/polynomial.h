@@ -1,0 +1,35 @@
+// How-provenance polynomials in the style of PROVision extended with a
+// list-collection UDF (paper Sec. 2). The paper renders the polynomial for
+// result item 102 to show that tuple-based how-provenance is verbose yet
+// imprecise for nested data. This module reconstructs such polynomials from
+// the captured id tables:
+//
+//   union        -> sum (+)
+//   join         -> product (·)
+//   flatten      -> P_flatten(p · [pos])
+//   aggregation  -> P_cl(member_1 + member_2 + ...)
+//   filter/select/map -> transparent
+//
+// Source items render as p<id>.
+
+#ifndef PEBBLE_BASELINES_POLYNOMIAL_H_
+#define PEBBLE_BASELINES_POLYNOMIAL_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/provenance_store.h"
+
+namespace pebble {
+
+/// Renders the how-provenance polynomial of the result item `out_id` of the
+/// sink operator. `max_terms` caps the rendering (aggregations over big
+/// groups explode combinatorially — which is the point the paper makes);
+/// when the cap is hit the remainder is elided as "+ ...".
+Result<std::string> ProvenancePolynomial(const ProvenanceStore& store,
+                                         int64_t out_id,
+                                         size_t max_terms = 64);
+
+}  // namespace pebble
+
+#endif  // PEBBLE_BASELINES_POLYNOMIAL_H_

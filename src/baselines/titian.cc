@@ -1,0 +1,103 @@
+#include "baselines/titian.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+namespace pebble {
+
+namespace {
+
+/// Recursive backward id walk: ids refer to the output of operator `oid`.
+Status TraceFrom(const ProvenanceStore& store, int oid,
+                 const std::unordered_set<int64_t>& ids,
+                 std::map<int, std::set<int64_t>>* at_sources) {
+  if (ids.empty()) return Status::OK();
+  const OperatorInfo* info = store.FindInfo(oid);
+  if (info == nullptr) {
+    return Status::Internal("no operator info for oid " + std::to_string(oid));
+  }
+  if (info->type == OpType::kScan) {
+    (*at_sources)[oid].insert(ids.begin(), ids.end());
+    return Status::OK();
+  }
+  const OperatorProvenance* prov = store.Find(oid);
+  if (prov == nullptr) {
+    return Status::Internal("no captured provenance for operator " +
+                            std::to_string(oid));
+  }
+  switch (info->type) {
+    case OpType::kFilter:
+    case OpType::kSelect:
+    case OpType::kMap: {
+      std::unordered_set<int64_t> in_ids;
+      for (const UnaryIdRow& row : prov->unary_ids) {
+        if (ids.count(row.out) > 0) in_ids.insert(row.in);
+      }
+      return TraceFrom(store, prov->inputs[0].producer_oid, in_ids,
+                       at_sources);
+    }
+    case OpType::kFlatten: {
+      std::unordered_set<int64_t> in_ids;
+      for (const FlattenIdRow& row : prov->flatten_ids) {
+        if (ids.count(row.out) > 0) in_ids.insert(row.in);
+      }
+      return TraceFrom(store, prov->inputs[0].producer_oid, in_ids,
+                       at_sources);
+    }
+    case OpType::kJoin:
+    case OpType::kUnion: {
+      std::unordered_set<int64_t> in1;
+      std::unordered_set<int64_t> in2;
+      for (const BinaryIdRow& row : prov->binary_ids) {
+        if (ids.count(row.out) > 0) {
+          if (row.in1 != kNoId) in1.insert(row.in1);
+          if (row.in2 != kNoId) in2.insert(row.in2);
+        }
+      }
+      PEBBLE_RETURN_NOT_OK(
+          TraceFrom(store, prov->inputs[0].producer_oid, in1, at_sources));
+      return TraceFrom(store, prov->inputs[1].producer_oid, in2, at_sources);
+    }
+    case OpType::kGroupAggregate: {
+      std::unordered_set<int64_t> in_ids;
+      for (const AggIdRow& row : prov->agg_ids) {
+        if (ids.count(row.out) > 0) {
+          in_ids.insert(row.ins.begin(), row.ins.end());
+        }
+      }
+      return TraceFrom(store, prov->inputs[0].producer_oid, in_ids,
+                       at_sources);
+    }
+    case OpType::kScan:
+      break;  // handled above
+  }
+  return Status::Internal("unhandled operator type in lineage tracing");
+}
+
+}  // namespace
+
+Result<std::vector<SourceLineage>> LineageTracer::Trace(
+    const std::vector<int64_t>& output_ids) const {
+  if (store_ == nullptr) {
+    return Status::InvalidArgument("no provenance store (capture was off?)");
+  }
+  std::map<int, std::set<int64_t>> at_sources;
+  std::unordered_set<int64_t> ids(output_ids.begin(), output_ids.end());
+  PEBBLE_RETURN_NOT_OK(
+      TraceFrom(*store_, store_->sink_oid(), ids, &at_sources));
+  std::vector<SourceLineage> out;
+  for (auto& [oid, id_set] : at_sources) {
+    SourceLineage sl;
+    sl.scan_oid = oid;
+    if (const OperatorInfo* info = store_->FindInfo(oid)) {
+      sl.source_name = info->label;
+    }
+    sl.ids.assign(id_set.begin(), id_set.end());
+    out.push_back(std::move(sl));
+  }
+  return out;
+}
+
+}  // namespace pebble

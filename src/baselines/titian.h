@@ -1,0 +1,42 @@
+// Titian-style lineage tracing (Interlandi et al., PVLDB 2015): backward
+// tracing over top-level item id associations only. This is the baseline
+// the paper compares capture overhead and provenance precision against
+// (Secs. 2, 7.3.4): it returns whole input items — no attribute-level or
+// nested-item information.
+
+#ifndef PEBBLE_BASELINES_TITIAN_H_
+#define PEBBLE_BASELINES_TITIAN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/provenance_store.h"
+
+namespace pebble {
+
+/// Lineage arriving at one source dataset: the contributing top-level input
+/// item ids (why-provenance), nothing more.
+struct SourceLineage {
+  int scan_oid = -1;
+  std::string source_name;
+  std::vector<int64_t> ids;  // ascending, deduplicated
+};
+
+/// Walks only the id association tables (what Titian/RAMP/Newt capture).
+/// Works on stores captured in kLineage or any richer mode.
+class LineageTracer {
+ public:
+  explicit LineageTracer(const ProvenanceStore* store) : store_(store) {}
+
+  /// Traces the given output item ids back to every source dataset.
+  Result<std::vector<SourceLineage>> Trace(
+      const std::vector<int64_t>& output_ids) const;
+
+ private:
+  const ProvenanceStore* store_;
+};
+
+}  // namespace pebble
+
+#endif  // PEBBLE_BASELINES_TITIAN_H_

@@ -1,0 +1,72 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace pebble {
+
+uint64_t Rng::Next() {
+  // SplitMix64 (Steele et al.), public domain reference constants.
+  state_ += 0x9E3779B97f4A7C15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  // Debiased multiply-shift (Lemire). bound > 0 assumed.
+  while (true) {
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low >= bound || low >= static_cast<uint64_t>(-bound) % bound) {
+      return static_cast<uint64_t>(m >> 64);
+    }
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(
+                  NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return NextDouble() < p;
+}
+
+int64_t Rng::NextSkewed(int64_t lo, int64_t hi) {
+  int64_t v = lo;
+  while (v < hi && NextBool(0.45)) {
+    ++v;
+  }
+  return v;
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double s) {
+  if (n <= 1) return 0;
+  // Inverse-CDF on the continuous approximation of the Zipf distribution;
+  // adequate for workload skew, exactly reproducible.
+  double u = NextDouble();
+  if (s == 1.0) s = 1.0000001;
+  double t = std::pow(static_cast<double>(n), 1.0 - s);
+  double x = std::pow(u * (t - 1.0) + 1.0, 1.0 / (1.0 - s));
+  uint64_t idx = static_cast<uint64_t>(x) - 1;
+  return idx >= n ? n - 1 : idx;
+}
+
+std::string Rng::NextString(size_t length) {
+  std::string out;
+  out.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    out.push_back(static_cast<char>('a' + NextBounded(26)));
+  }
+  return out;
+}
+
+}  // namespace pebble

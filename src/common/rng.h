@@ -1,0 +1,60 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+// All generators in pebble are seeded explicitly so that datasets, pipelines
+// and benchmarks are exactly reproducible across runs and platforms.
+
+#ifndef PEBBLE_COMMON_RNG_H_
+#define PEBBLE_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pebble {
+
+/// SplitMix64-based deterministic RNG. Not cryptographic; stable across
+/// platforms (unlike std::mt19937 distributions, whose output is
+/// implementation-defined for e.g. std::uniform_int_distribution).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Geometric-ish skewed count in [lo, hi]: small values are much more
+  /// likely than large ones. Used for e.g. mentions-per-tweet.
+  int64_t NextSkewed(int64_t lo, int64_t hi);
+
+  /// Zipf-distributed index in [0, n) with exponent `s` (s > 0).
+  /// Approximated via inverse CDF over precomputed weights for small n,
+  /// rejection-free.
+  uint64_t NextZipf(uint64_t n, double s);
+
+  /// Lowercase ASCII string of the given length.
+  std::string NextString(size_t length);
+
+  /// Uniformly picks one element of `pool` (must be non-empty).
+  template <typename T>
+  const T& Pick(const std::vector<T>& pool) {
+    return pool[NextBounded(pool.size())];
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace pebble
+
+#endif  // PEBBLE_COMMON_RNG_H_

@@ -1,0 +1,57 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace pebble {
+
+namespace {
+const std::string kEmptyString;
+}  // namespace
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kTypeError:
+      return "TypeError";
+    case StatusCode::kKeyError:
+      return "KeyError";
+    case StatusCode::kIndexError:
+      return "IndexError";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+const std::string& Status::message() const {
+  return ok() ? kEmptyString : state_->msg;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+namespace internal {
+void DieOnBadResult(const std::string& message) {
+  std::fprintf(stderr, "Result::ValueOrDie on error: %s\n", message.c_str());
+  std::abort();
+}
+}  // namespace internal
+
+}  // namespace pebble

@@ -1,0 +1,154 @@
+// Status and Result<T>: exception-free error propagation, in the style of
+// Arrow / RocksDB. All fallible public APIs in pebble return one of these.
+
+#ifndef PEBBLE_COMMON_STATUS_H_
+#define PEBBLE_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace pebble {
+
+/// Error category of a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kTypeError,
+  kKeyError,
+  kIndexError,
+  kIOError,
+  kNotImplemented,
+  kInternal,
+};
+
+/// Returns a short human-readable name ("InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of an operation that can fail. Cheap to copy when OK (no
+/// allocation); failures carry a code and a message.
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status KeyError(std::string msg) {
+    return Status(StatusCode::kKeyError, std::move(msg));
+  }
+  static Status IndexError(std::string msg) {
+    return Status(StatusCode::kIndexError, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  const std::string& message() const;
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : state_(std::make_shared<State>(State{code, std::move(msg)})) {}
+
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<const State> state_;  // nullptr == OK
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type T or a failure Status. Use `ok()` / `status()`
+/// before dereferencing with `value()` / `operator*`.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): intended implicit wrapping.
+  Result(T value) : payload_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): intended implicit wrapping.
+  Result(Status status) : payload_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(payload_);
+  }
+
+  const T& value() const& { return std::get<T>(payload_); }
+  T& value() & { return std::get<T>(payload_); }
+  T&& value() && { return std::get<T>(std::move(payload_)); }
+
+  /// Returns the contained value or aborts with the error (for use in tests
+  /// and examples where failure is a bug).
+  T ValueOrDie() && {
+    if (!ok()) {
+      AbortWith(status());
+    }
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  [[noreturn]] static void AbortWith(const Status& status);
+
+  std::variant<Status, T> payload_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResult(const std::string& message);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortWith(const Status& status) {
+  internal::DieOnBadResult(status.ToString());
+}
+
+/// Propagates a failing Status from the current function.
+#define PEBBLE_RETURN_NOT_OK(expr)            \
+  do {                                        \
+    ::pebble::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+#define PEBBLE_CONCAT_IMPL(x, y) x##y
+#define PEBBLE_CONCAT(x, y) PEBBLE_CONCAT_IMPL(x, y)
+
+/// Assigns the value of a Result expression to `lhs`, propagating failure.
+#define PEBBLE_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  PEBBLE_ASSIGN_OR_RETURN_IMPL(PEBBLE_CONCAT(_result_, __LINE__), lhs, rexpr)
+
+#define PEBBLE_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                                 \
+  if (!result_name.ok()) return result_name.status();         \
+  lhs = std::move(result_name).value()
+
+}  // namespace pebble
+
+#endif  // PEBBLE_COMMON_STATUS_H_

@@ -1,0 +1,37 @@
+// Monotonic wall-clock stopwatch used by the benchmark harnesses.
+
+#ifndef PEBBLE_COMMON_STOPWATCH_H_
+#define PEBBLE_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace pebble {
+
+/// Starts running on construction; `ElapsedMillis` / `ElapsedMicros` read the
+/// monotonic clock without stopping it.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pebble
+
+#endif  // PEBBLE_COMMON_STOPWATCH_H_

@@ -1,0 +1,54 @@
+#include "common/string_util.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace pebble {
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool Contains(std::string_view haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  char buf[64];
+  if (bytes >= 1024ull * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB",
+                  static_cast<double>(bytes) / (1024.0 * 1024 * 1024));
+  } else if (bytes >= 1024ull * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB",
+                  static_cast<double>(bytes) / (1024.0 * 1024));
+  } else if (bytes >= 1024) {
+    std::snprintf(buf, sizeof(buf), "%.2f KB",
+                  static_cast<double>(bytes) / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 " B", bytes);
+  }
+  return buf;
+}
+
+}  // namespace pebble

@@ -1,0 +1,29 @@
+// Small string helpers shared across modules.
+
+#ifndef PEBBLE_COMMON_STRING_UTIL_H_
+#define PEBBLE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pebble {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a.b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` on the single character `sep`; keeps empty segments.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// True if `haystack` contains `needle`.
+bool Contains(std::string_view haystack, std::string_view needle);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Formats a byte count as a human-readable string ("1.5 MB").
+std::string HumanBytes(uint64_t bytes);
+
+}  // namespace pebble
+
+#endif  // PEBBLE_COMMON_STRING_UTIL_H_

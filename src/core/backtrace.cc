@@ -1,0 +1,429 @@
+#include "core/backtrace.h"
+
+#include <unordered_map>
+
+namespace pebble {
+
+namespace {
+
+void ExpandAccessPathRec(const TypePtr& type, const Path& path,
+                         std::vector<Path>* out) {
+  if (type->kind() == TypeKind::kStruct && !type->fields().empty()) {
+    for (const FieldType& f : type->fields()) {
+      ExpandAccessPathRec(f.type, path.Child(PathStep{f.name, kNoPos}), out);
+    }
+    return;
+  }
+  out->push_back(path);
+}
+
+void AddSchemaNodes(BtNode* node, const DataType& type) {
+  switch (type.kind()) {
+    case TypeKind::kStruct:
+      for (const FieldType& f : type.fields()) {
+        BtNode* child = node->EnsureChild(BtNodeKey{f.name, kNoPos},
+                                          /*contributing=*/true);
+        AddSchemaNodes(child, *f.type);
+      }
+      break;
+    case TypeKind::kBag:
+    case TypeKind::kSet:
+      // Collection elements contribute their attributes without positions.
+      AddSchemaNodes(node, *type.element());
+      break;
+    default:
+      break;
+  }
+}
+
+/// Expands every path of A against the input schema; undefined A (map)
+/// yields an empty list.
+std::vector<Path> ExpandedAccess(const InputProvenance& input) {
+  std::vector<Path> out;
+  if (input.accessed_undefined || input.input_schema == nullptr) return out;
+  for (const Path& p : input.accessed) {
+    std::vector<Path> expanded = ExpandAccessPath(input.input_schema, p);
+    out.insert(out.end(), expanded.begin(), expanded.end());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Path> ExpandAccessPath(const TypePtr& schema, const Path& path) {
+  std::vector<Path> out;
+  Result<TypePtr> type = ResolveType(schema, path);
+  if (!type.ok()) {
+    out.push_back(path);
+    return out;
+  }
+  ExpandAccessPathRec(type.value(), path, &out);
+  return out;
+}
+
+BacktraceTree BuildSchemaTree(const TypePtr& schema) {
+  BacktraceTree tree;
+  if (schema != nullptr) {
+    AddSchemaNodes(&tree.root(), *schema);
+  }
+  return tree;
+}
+
+
+BacktraceIndex::BacktraceIndex(const ProvenanceStore& store) {
+  for (int oid : store.AllOids()) {
+    const OperatorProvenance* prov = store.Find(oid);
+    if (prov == nullptr) continue;
+    if (!prov->unary_ids.empty()) {
+      auto& map = unary_[oid];
+      map.reserve(prov->unary_ids.size());
+      for (const UnaryIdRow& row : prov->unary_ids) {
+        map.emplace(row.out, row.in);
+      }
+    }
+    if (!prov->binary_ids.empty()) {
+      auto& map = binary_[oid];
+      map.reserve(prov->binary_ids.size());
+      for (const BinaryIdRow& row : prov->binary_ids) {
+        map.emplace(row.out, BinaryEntry{row.in1, row.in2});
+      }
+    }
+    if (!prov->flatten_ids.empty()) {
+      auto& map = flatten_[oid];
+      map.reserve(prov->flatten_ids.size());
+      for (const FlattenIdRow& row : prov->flatten_ids) {
+        map.emplace(row.out, FlattenEntry{row.in, row.pos});
+      }
+    }
+    if (!prov->agg_ids.empty()) {
+      auto& map = agg_[oid];
+      map.reserve(prov->agg_ids.size());
+      for (const AggIdRow& row : prov->agg_ids) {
+        map.emplace(row.out, &row);
+      }
+    }
+  }
+}
+
+const std::unordered_map<int64_t, int64_t>* BacktraceIndex::unary(
+    int oid) const {
+  auto it = unary_.find(oid);
+  return it == unary_.end() ? nullptr : &it->second;
+}
+
+const std::unordered_map<int64_t, BacktraceIndex::BinaryEntry>*
+BacktraceIndex::binary(int oid) const {
+  auto it = binary_.find(oid);
+  return it == binary_.end() ? nullptr : &it->second;
+}
+
+const std::unordered_map<int64_t, BacktraceIndex::FlattenEntry>*
+BacktraceIndex::flatten(int oid) const {
+  auto it = flatten_.find(oid);
+  return it == flatten_.end() ? nullptr : &it->second;
+}
+
+const std::unordered_map<int64_t, const AggIdRow*>* BacktraceIndex::agg(
+    int oid) const {
+  auto it = agg_.find(oid);
+  return it == agg_.end() ? nullptr : &it->second;
+}
+
+Result<std::vector<SourceProvenance>> Backtracer::Backtrace(
+    const BacktraceStructure& seed) const {
+  if (store_ == nullptr) {
+    return Status::InvalidArgument("no provenance store (capture was off?)");
+  }
+  std::map<int, BacktraceStructure> at_sources;
+  PEBBLE_RETURN_NOT_OK(BacktraceFrom(store_->sink_oid(), seed, &at_sources));
+  std::vector<SourceProvenance> out;
+  for (auto& [oid, structure] : at_sources) {
+    SourceProvenance sp;
+    sp.scan_oid = oid;
+    if (const OperatorInfo* info = store_->FindInfo(oid)) {
+      sp.source_name = info->label;
+    }
+    sp.items = std::move(structure);
+    out.push_back(std::move(sp));
+  }
+  return out;
+}
+
+Status Backtracer::BacktraceFrom(
+    int oid, BacktraceStructure structure,
+    std::map<int, BacktraceStructure>* at_sources) const {
+  if (structure.empty()) return Status::OK();
+  const OperatorInfo* info = store_->FindInfo(oid);
+  if (info == nullptr) {
+    return Status::Internal("no operator info for oid " + std::to_string(oid));
+  }
+  if (info->type == OpType::kScan) {
+    // P' undefined: the recursion ends; accumulate at the source (Alg. 1).
+    BacktraceStructure& dest = (*at_sources)[oid];
+    for (BacktraceEntry& e : structure) {
+      MergeEntry(&dest, std::move(e));
+    }
+    return Status::OK();
+  }
+  const OperatorProvenance* prov = store_->Find(oid);
+  if (prov == nullptr) {
+    return Status::Internal("no captured provenance for operator " +
+                            std::to_string(oid));
+  }
+  switch (info->type) {
+    case OpType::kFilter:
+    case OpType::kSelect:
+      return BacktraceGenericUnary(*prov, structure, at_sources);
+    case OpType::kMap:
+      return BacktraceMap(*prov, structure, at_sources);
+    case OpType::kFlatten:
+      return BacktraceFlatten(*prov, structure, at_sources);
+    case OpType::kJoin:
+    case OpType::kUnion:
+      return BacktraceBinary(*prov, structure, at_sources);
+    case OpType::kGroupAggregate:
+      return BacktraceAggregation(*prov, structure, at_sources);
+    case OpType::kScan:
+      break;  // handled above
+  }
+  return Status::Internal("unhandled operator type in backtracing");
+}
+
+// Alg. 3: join B with the id table, undo manipulations, record accesses.
+Status Backtracer::BacktraceGenericUnary(
+    const OperatorProvenance& prov, const BacktraceStructure& structure,
+    std::map<int, BacktraceStructure>* at_sources) const {
+  std::unordered_map<int64_t, int64_t> scratch;
+  const std::unordered_map<int64_t, int64_t>* lookup =
+      index_ != nullptr ? index_->unary(prov.oid) : nullptr;
+  if (lookup == nullptr) {
+    scratch.reserve(prov.unary_ids.size());
+    for (const UnaryIdRow& row : prov.unary_ids) {
+      scratch.emplace(row.out, row.in);
+    }
+    lookup = &scratch;
+  }
+  const std::unordered_map<int64_t, int64_t>& out_to_in = *lookup;
+  const std::vector<Path> accessed = ExpandedAccess(prov.inputs[0]);
+  BacktraceStructure next;
+  for (const BacktraceEntry& entry : structure) {
+    auto it = out_to_in.find(entry.id);
+    if (it == out_to_in.end()) {
+      return Status::Internal("item " + std::to_string(entry.id) +
+                              " not found in id table of operator " +
+                              std::to_string(prov.oid));
+    }
+    BacktraceEntry out{it->second, entry.tree};
+    out.tree.ApplyManipulations(prov.manipulations, prov.oid);
+    for (const Path& a : accessed) {
+      out.tree.AccessPath(a, prov.oid);
+    }
+    MergeEntry(&next, std::move(out));
+  }
+  return BacktraceFrom(prov.inputs[0].producer_oid, std::move(next),
+                       at_sources);
+}
+
+// Map: no path information was capturable (A = M = ⊥); every attribute of
+// the input schema is conservatively marked as manipulated.
+Status Backtracer::BacktraceMap(
+    const OperatorProvenance& prov, const BacktraceStructure& structure,
+    std::map<int, BacktraceStructure>* at_sources) const {
+  std::unordered_map<int64_t, int64_t> scratch;
+  const std::unordered_map<int64_t, int64_t>* lookup =
+      index_ != nullptr ? index_->unary(prov.oid) : nullptr;
+  if (lookup == nullptr) {
+    scratch.reserve(prov.unary_ids.size());
+    for (const UnaryIdRow& row : prov.unary_ids) {
+      scratch.emplace(row.out, row.in);
+    }
+    lookup = &scratch;
+  }
+  const std::unordered_map<int64_t, int64_t>& out_to_in = *lookup;
+  BacktraceStructure next;
+  for (const BacktraceEntry& entry : structure) {
+    auto it = out_to_in.find(entry.id);
+    if (it == out_to_in.end()) {
+      return Status::Internal("item " + std::to_string(entry.id) +
+                              " not found in id table of map operator " +
+                              std::to_string(prov.oid));
+    }
+    BacktraceEntry out{it->second,
+                       BuildSchemaTree(prov.inputs[0].input_schema)};
+    out.tree.MarkAllManipulated(prov.oid);
+    MergeEntry(&next, std::move(out));
+  }
+  return BacktraceFrom(prov.inputs[0].producer_oid, std::move(next),
+                       at_sources);
+}
+
+// Alg. 2: undo the flatten per item, substituting the concrete position for
+// the [pos] placeholder, then merge trees of the same input item.
+Status Backtracer::BacktraceFlatten(
+    const OperatorProvenance& prov, const BacktraceStructure& structure,
+    std::map<int, BacktraceStructure>* at_sources) const {
+  std::unordered_map<int64_t, BacktraceIndex::FlattenEntry> scratch;
+  const std::unordered_map<int64_t, BacktraceIndex::FlattenEntry>* lookup =
+      index_ != nullptr ? index_->flatten(prov.oid) : nullptr;
+  if (lookup == nullptr) {
+    scratch.reserve(prov.flatten_ids.size());
+    for (const FlattenIdRow& row : prov.flatten_ids) {
+      scratch.emplace(row.out, BacktraceIndex::FlattenEntry{row.in, row.pos});
+    }
+    lookup = &scratch;
+  }
+  const std::unordered_map<int64_t, BacktraceIndex::FlattenEntry>&
+      out_to_in = *lookup;
+  BacktraceStructure next;
+  for (const BacktraceEntry& entry : structure) {
+    auto it = out_to_in.find(entry.id);
+    if (it == out_to_in.end()) {
+      return Status::Internal("item " + std::to_string(entry.id) +
+                              " not found in id table of flatten operator " +
+                              std::to_string(prov.oid));
+    }
+    const int32_t pos = it->second.pos;
+    BacktraceEntry out{it->second.in, entry.tree};
+    // Substitute the concrete position into the schema-level mappings
+    // ("user_mentions[pos]" -> "user_mentions[2]") before transforming.
+    std::vector<PathMapping> mappings;
+    mappings.reserve(prov.manipulations.size());
+    for (const PathMapping& m : prov.manipulations) {
+      mappings.push_back(PathMapping{m.in.WithPlaceholderReplaced(pos), m.out,
+                                     m.from_grouping});
+    }
+    out.tree.ApplyManipulations(mappings, prov.oid);
+    if (prov.inputs[0].input_schema != nullptr) {
+      for (const Path& a : prov.inputs[0].accessed) {
+        Path concrete = a.WithPlaceholderReplaced(pos);
+        for (const Path& e :
+             ExpandAccessPath(prov.inputs[0].input_schema, concrete)) {
+          out.tree.AccessPath(e, prov.oid);
+        }
+      }
+    }
+    MergeEntry(&next, std::move(out));  // merge-by-id == Alg. 2 l.2
+  }
+  return BacktraceFrom(prov.inputs[0].producer_oid, std::move(next),
+                       at_sources);
+}
+
+// Join and union: trace each of the two inputs independently; join trees
+// are restricted to the traced side's schema, union entries to the rows
+// that originated from the traced side.
+Status Backtracer::BacktraceBinary(
+    const OperatorProvenance& prov, const BacktraceStructure& structure,
+    std::map<int, BacktraceStructure>* at_sources) const {
+  std::unordered_map<int64_t, BacktraceIndex::BinaryEntry> scratch;
+  const std::unordered_map<int64_t, BacktraceIndex::BinaryEntry>* lookup =
+      index_ != nullptr ? index_->binary(prov.oid) : nullptr;
+  if (lookup == nullptr) {
+    scratch.reserve(prov.binary_ids.size());
+    for (const BinaryIdRow& row : prov.binary_ids) {
+      scratch.emplace(row.out, BacktraceIndex::BinaryEntry{row.in1, row.in2});
+    }
+    lookup = &scratch;
+  }
+  const std::unordered_map<int64_t, BacktraceIndex::BinaryEntry>&
+      out_to_in = *lookup;
+  for (int side = 0; side < 2; ++side) {
+    const InputProvenance& input = prov.inputs[static_cast<size_t>(side)];
+    // Side-specific manipulations: identity mappings over this side's
+    // top-level attributes (join); none for union.
+    std::vector<PathMapping> side_mappings;
+    if (prov.type == OpType::kJoin && input.input_schema != nullptr) {
+      for (const PathMapping& m : prov.manipulations) {
+        if (!m.in.empty() &&
+            input.input_schema->FindField(m.in.step(0).attr) != nullptr) {
+          side_mappings.push_back(m);
+        }
+      }
+    }
+    const std::vector<Path> accessed = ExpandedAccess(input);
+    BacktraceStructure next;
+    for (const BacktraceEntry& entry : structure) {
+      auto it = out_to_in.find(entry.id);
+      if (it == out_to_in.end()) {
+        return Status::Internal("item " + std::to_string(entry.id) +
+                                " not found in id table of operator " +
+                                std::to_string(prov.oid));
+      }
+      int64_t in_id = side == 0 ? it->second.in1 : it->second.in2;
+      if (in_id == kNoId) continue;  // union row from the other input
+      BacktraceEntry out{in_id, entry.tree};
+      if (prov.type == OpType::kJoin) {
+        out.tree.ApplyManipulations(side_mappings, prov.oid);
+        if (input.input_schema != nullptr) {
+          out.tree.RestrictToSchema(*input.input_schema);
+        }
+      }
+      for (const Path& a : accessed) {
+        out.tree.AccessPath(a, prov.oid);
+      }
+      MergeEntry(&next, std::move(out));
+    }
+    PEBBLE_RETURN_NOT_OK(
+        BacktraceFrom(input.producer_oid, std::move(next), at_sources));
+  }
+  return Status::OK();
+}
+
+// Alg. 4: flatten the per-group id collections into (id, position) rows,
+// replay the nesting manipulations with concrete positions, and keep only
+// the input items that remain in the provenance (inProv).
+Status Backtracer::BacktraceAggregation(
+    const OperatorProvenance& prov, const BacktraceStructure& structure,
+    std::map<int, BacktraceStructure>* at_sources) const {
+  std::unordered_map<int64_t, const AggIdRow*> scratch;
+  const std::unordered_map<int64_t, const AggIdRow*>* lookup =
+      index_ != nullptr ? index_->agg(prov.oid) : nullptr;
+  if (lookup == nullptr) {
+    scratch.reserve(prov.agg_ids.size());
+    for (const AggIdRow& row : prov.agg_ids) {
+      scratch.emplace(row.out, &row);
+    }
+    lookup = &scratch;
+  }
+  const std::unordered_map<int64_t, const AggIdRow*>& out_to_row = *lookup;
+  const std::vector<Path> accessed = ExpandedAccess(prov.inputs[0]);
+  BacktraceStructure next;
+  for (const BacktraceEntry& entry : structure) {
+    auto it = out_to_row.find(entry.id);
+    if (it == out_to_row.end()) {
+      return Status::Internal("item " + std::to_string(entry.id) +
+                              " not found in id table of aggregation " +
+                              std::to_string(prov.oid));
+    }
+    const AggIdRow& row = *it->second;
+    for (size_t k = 0; k < row.ins.size(); ++k) {
+      const int32_t pos = static_cast<int32_t>(k + 1);  // pP (Alg. 4 l.1)
+      BacktraceEntry out{row.ins[k], entry.tree};
+      bool in_prov = false;
+      for (const PathMapping& m : prov.manipulations) {
+        const bool nesting = m.out.HasPositions();
+        Path out_path =
+            nesting ? m.out.WithPlaceholderReplaced(pos) : m.out;  // l.6-9
+        if (out.tree.Contains(out_path)) {
+          // Grouping-key mappings transform the tree but do not by
+          // themselves make the item part of the provenance (Ex. 6.6 drops
+          // group members whose nested positions are untraced).
+          if (!m.from_grouping) in_prov = true;  // l.10-11
+          out.tree.ManipulatePath(m.in, out_path, prov.oid);  // l.12
+        }
+        if (nesting) {
+          // Drop information about items at other positions (l.13).
+          out.tree.RemoveSubtree(Path::Attr(m.out.step(0).attr));
+        }
+      }
+      if (!in_prov) continue;  // l.17: sigma_{inProv=true}
+      for (const Path& a : accessed) {
+        out.tree.AccessPath(a, prov.oid);  // l.14-16
+      }
+      MergeEntry(&next, std::move(out));
+    }
+  }
+  return BacktraceFrom(prov.inputs[0].producer_oid, std::move(next),
+                       at_sources);
+}
+
+}  // namespace pebble

@@ -1,0 +1,113 @@
+// Backtracing algorithm (paper Sec. 6.3, Algorithms 1-4): traces a
+// backtracing structure obtained on the pipeline result recursively back
+// through the captured operator provenance to the source datasets.
+
+#ifndef PEBBLE_CORE_BACKTRACE_H_
+#define PEBBLE_CORE_BACKTRACE_H_
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "core/backtrace_tree.h"
+#include "core/provenance_store.h"
+
+namespace pebble {
+
+/// Prebuilt hash indexes over the id association tables of a store. The
+/// backtracing join (Alg. 3 l.1) needs an out-id -> in-id(s) lookup per
+/// operator; building these maps once and reusing them across provenance
+/// questions amortizes the dominant per-query setup cost (the paper's
+/// "optimize provenance querying" outlook). The index references the store
+/// and must not outlive it.
+class BacktraceIndex {
+ public:
+  struct BinaryEntry {
+    int64_t in1;
+    int64_t in2;
+  };
+  struct FlattenEntry {
+    int64_t in;
+    int32_t pos;
+  };
+
+  explicit BacktraceIndex(const ProvenanceStore& store);
+
+  const std::unordered_map<int64_t, int64_t>* unary(int oid) const;
+  const std::unordered_map<int64_t, BinaryEntry>* binary(int oid) const;
+  const std::unordered_map<int64_t, FlattenEntry>* flatten(int oid) const;
+  const std::unordered_map<int64_t, const AggIdRow*>* agg(int oid) const;
+
+ private:
+  std::map<int, std::unordered_map<int64_t, int64_t>> unary_;
+  std::map<int, std::unordered_map<int64_t, BinaryEntry>> binary_;
+  std::map<int, std::unordered_map<int64_t, FlattenEntry>> flatten_;
+  std::map<int, std::unordered_map<int64_t, const AggIdRow*>> agg_;
+};
+
+/// Structural provenance arriving at one source (scan) dataset: for each
+/// contributing top-level input item, the tree of contributing/influencing
+/// attributes with their access/manipulation operator sets.
+struct SourceProvenance {
+  int scan_oid = -1;
+  std::string source_name;
+  BacktraceStructure items;
+};
+
+/// Walks the operator provenance backwards from the sink. Requires the
+/// store to have been captured in kStructural or kFullModel mode for
+/// structural results; in kLineage mode trees degrade to whole-item roots.
+class Backtracer {
+ public:
+  /// `index` is optional; when provided (and built over the same store) the
+  /// id-table lookups reuse it instead of hashing the tables per query.
+  explicit Backtracer(const ProvenanceStore* store,
+                      const BacktraceIndex* index = nullptr)
+      : store_(store), index_(index) {}
+
+  /// Traces `seed` (ids/trees on the sink's output, e.g. from tree-pattern
+  /// matching) back to every source dataset. Alg. 1.
+  Result<std::vector<SourceProvenance>> Backtrace(
+      const BacktraceStructure& seed) const;
+
+ private:
+  Status BacktraceFrom(int oid, BacktraceStructure structure,
+                       std::map<int, BacktraceStructure>* at_sources) const;
+
+  Status BacktraceGenericUnary(const OperatorProvenance& prov,
+                               const BacktraceStructure& structure,
+                               std::map<int, BacktraceStructure>* at_sources)
+      const;
+  Status BacktraceMap(const OperatorProvenance& prov,
+                      const BacktraceStructure& structure,
+                      std::map<int, BacktraceStructure>* at_sources) const;
+  Status BacktraceFlatten(const OperatorProvenance& prov,
+                          const BacktraceStructure& structure,
+                          std::map<int, BacktraceStructure>* at_sources) const;
+  Status BacktraceBinary(const OperatorProvenance& prov,
+                         const BacktraceStructure& structure,
+                         std::map<int, BacktraceStructure>* at_sources) const;
+  Status BacktraceAggregation(const OperatorProvenance& prov,
+                              const BacktraceStructure& structure,
+                              std::map<int, BacktraceStructure>* at_sources)
+      const;
+
+  const ProvenanceStore* store_;
+  const BacktraceIndex* index_;
+};
+
+/// Expands an accessed path to the paths of its path set PS (Ex. 4.11):
+/// struct-typed paths expand to their fields recursively; collection- and
+/// constant-typed paths stay as they are. Used when recording access marks
+/// in backtracing trees so that untraced sibling attributes (e.g. `name`
+/// accessed by grouping on `user`) surface as influencing nodes.
+std::vector<Path> ExpandAccessPath(const TypePtr& schema, const Path& path);
+
+/// Builds the conservative "everything" tree over a schema: one node per
+/// attribute (collection elements contribute their fields without
+/// positions), all contributing. Used by map backtracing.
+BacktraceTree BuildSchemaTree(const TypePtr& schema);
+
+}  // namespace pebble
+
+#endif  // PEBBLE_CORE_BACKTRACE_H_

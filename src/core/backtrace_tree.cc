@@ -1,0 +1,311 @@
+#include "core/backtrace_tree.h"
+
+#include <algorithm>
+
+namespace pebble {
+
+std::string BtNodeKey::ToString() const {
+  if (is_position()) {
+    return pos == kPosPlaceholder ? "[pos]" : std::to_string(pos);
+  }
+  return attr;
+}
+
+BtNode* BtNode::FindChild(const BtNodeKey& k) {
+  for (BtNode& c : children) {
+    if (c.key == k) return &c;
+  }
+  return nullptr;
+}
+
+const BtNode* BtNode::FindChild(const BtNodeKey& k) const {
+  for (const BtNode& c : children) {
+    if (c.key == k) return &c;
+  }
+  return nullptr;
+}
+
+BtNode* BtNode::EnsureChild(const BtNodeKey& k, bool contributing) {
+  if (BtNode* existing = FindChild(k)) return existing;
+  BtNode node;
+  node.key = k;
+  node.contributing = contributing;
+  children.push_back(std::move(node));
+  return &children.back();
+}
+
+bool BtNode::RemoveChild(const BtNodeKey& k) {
+  for (auto it = children.begin(); it != children.end(); ++it) {
+    if (it->key == k) {
+      children.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void BtNode::MergeFrom(const BtNode& other) {
+  accessed_by.insert(other.accessed_by.begin(), other.accessed_by.end());
+  manipulated_by.insert(other.manipulated_by.begin(),
+                        other.manipulated_by.end());
+  contributing = contributing || other.contributing;
+  for (const BtNode& oc : other.children) {
+    if (BtNode* mine = FindChild(oc.key)) {
+      mine->MergeFrom(oc);
+    } else {
+      children.push_back(oc);
+    }
+  }
+}
+
+bool BtNode::operator==(const BtNode& other) const {
+  if (!(key == other.key) || accessed_by != other.accessed_by ||
+      manipulated_by != other.manipulated_by ||
+      contributing != other.contributing ||
+      children.size() != other.children.size()) {
+    return false;
+  }
+  // Order-insensitive child comparison.
+  for (const BtNode& c : children) {
+    const BtNode* oc = other.FindChild(c.key);
+    if (oc == nullptr || !(c == *oc)) return false;
+  }
+  return true;
+}
+
+std::vector<BtNodeKey> BacktraceTree::KeysOf(const Path& path) {
+  std::vector<BtNodeKey> keys;
+  for (const PathStep& step : path.steps()) {
+    if (!step.attr.empty()) {
+      keys.push_back(BtNodeKey{step.attr, kNoPos});
+    }
+    if (step.has_pos()) {
+      keys.push_back(BtNodeKey{"", step.pos});
+    }
+  }
+  return keys;
+}
+
+BtNode* BacktraceTree::Find(const Path& path) {
+  BtNode* cur = &root_;
+  for (const BtNodeKey& k : KeysOf(path)) {
+    cur = cur->FindChild(k);
+    if (cur == nullptr) return nullptr;
+  }
+  return cur;
+}
+
+const BtNode* BacktraceTree::Find(const Path& path) const {
+  const BtNode* cur = &root_;
+  for (const BtNodeKey& k : KeysOf(path)) {
+    cur = cur->FindChild(k);
+    if (cur == nullptr) return nullptr;
+  }
+  return cur;
+}
+
+BtNode* BacktraceTree::Ensure(const Path& path, bool contributing) {
+  BtNode* cur = &root_;
+  for (const BtNodeKey& k : KeysOf(path)) {
+    cur = cur->EnsureChild(k, contributing);
+  }
+  return cur;
+}
+
+bool BacktraceTree::AccessPath(const Path& path, int oid) {
+  // Missing nodes are created with c = false (influencing only); the access
+  // mark goes on the terminal node, which names the accessed attribute.
+  // Intermediate nodes stay unmarked so that later manipulations moving
+  // their children can prune them (no phantom attributes in input trees).
+  bool created = Find(path) == nullptr;
+  BtNode* terminal = Ensure(path, /*contributing=*/false);
+  terminal->accessed_by.insert(oid);
+  return created;
+}
+
+namespace {
+
+/// Detaches the subtree at keys[depth...] under `node`; prunes ancestors
+/// that end up childless, folding their access/manipulation marks into the
+/// detached subtree root so no operator history is lost. Returns true if
+/// `node` itself should be removed by its parent (pruning cascade). `out`
+/// receives the detached subtree.
+bool DetachRec(BtNode* node, const std::vector<BtNodeKey>& keys, size_t depth,
+               bool* found, BtNode* out) {
+  if (depth == keys.size()) return false;  // never called this way
+  BtNode* child = node->FindChild(keys[depth]);
+  if (child == nullptr) return false;
+  if (depth + 1 == keys.size()) {
+    *out = std::move(*child);
+    // Erase by position: the move above hollowed out the child's key, so a
+    // key-based lookup would no longer find it.
+    node->children.erase(node->children.begin() +
+                         (child - node->children.data()));
+    *found = true;
+  } else {
+    if (DetachRec(child, keys, depth + 1, found, out)) {
+      node->RemoveChild(keys[depth]);
+    }
+  }
+  if (!*found || !node->children.empty()) return false;
+  // This ancestor existed only to host the moved subtree; fold its marks
+  // into the subtree root and let the parent prune it.
+  out->accessed_by.insert(node->accessed_by.begin(), node->accessed_by.end());
+  out->manipulated_by.insert(node->manipulated_by.begin(),
+                             node->manipulated_by.end());
+  return true;
+}
+
+}  // namespace
+
+bool BacktraceTree::ManipulatePath(const Path& in, const Path& out, int oid) {
+  std::vector<BtNodeKey> keys = KeysOf(out);
+  if (keys.empty()) return false;
+  bool found = false;
+  BtNode detached;
+  DetachRec(&root_, keys, 0, &found, &detached);
+  if (!found) return false;
+  BtNode* target = Ensure(in, detached.contributing);
+  detached.key = target->key;
+  target->MergeFrom(detached);
+  target->manipulated_by.insert(oid);
+  return true;
+}
+
+void BacktraceTree::ApplyManipulations(const std::vector<PathMapping>& mappings,
+                                       int oid) {
+  // Detach all matched subtrees against the pre-transformation tree first,
+  // then graft, so mappings never observe each other's effects.
+  struct Detached {
+    const Path* in;
+    BtNode subtree;
+  };
+  std::vector<Detached> detached;
+  for (const PathMapping& m : mappings) {
+    std::vector<BtNodeKey> keys = KeysOf(m.out);
+    if (keys.empty()) continue;
+    bool found = false;
+    BtNode node;
+    DetachRec(&root_, keys, 0, &found, &node);
+    if (found) detached.push_back(Detached{&m.in, std::move(node)});
+  }
+  for (Detached& d : detached) {
+    BtNode* target = Ensure(*d.in, d.subtree.contributing);
+    d.subtree.key = target->key;
+    target->MergeFrom(d.subtree);
+    target->manipulated_by.insert(oid);
+  }
+}
+
+bool BacktraceTree::RemoveSubtree(const Path& path) {
+  std::vector<BtNodeKey> keys = KeysOf(path);
+  if (keys.empty()) return false;
+  BtNode* parent = &root_;
+  for (size_t i = 0; i + 1 < keys.size(); ++i) {
+    parent = parent->FindChild(keys[i]);
+    if (parent == nullptr) return false;
+  }
+  return parent->RemoveChild(keys.back());
+}
+
+void BacktraceTree::RestrictToSchema(const DataType& schema) {
+  auto& children = root_.children;
+  children.erase(std::remove_if(children.begin(), children.end(),
+                                [&](const BtNode& c) {
+                                  return c.key.is_position() ||
+                                         schema.FindField(c.key.attr) ==
+                                             nullptr;
+                                }),
+                 children.end());
+}
+
+namespace {
+
+void MarkAllRec(BtNode* node, int oid) {
+  node->manipulated_by.insert(oid);
+  for (BtNode& c : node->children) {
+    MarkAllRec(&c, oid);
+  }
+}
+
+void VisitRec(const BtNode& node, Path path,
+              const std::function<void(const Path&, const BtNode&)>& fn) {
+  for (const BtNode& c : node.children) {
+    Path child_path = path;
+    if (c.key.is_position()) {
+      // Fold the position into the last attribute step.
+      std::vector<PathStep> steps = path.steps();
+      if (!steps.empty() && !steps.back().has_pos()) {
+        steps.back().pos = c.key.pos;
+        child_path = Path(std::move(steps));
+      } else {
+        child_path = path.Child(PathStep{"", c.key.pos});
+      }
+    } else {
+      child_path = path.Child(PathStep{c.key.attr, kNoPos});
+    }
+    fn(child_path, c);
+    VisitRec(c, child_path, fn);
+  }
+}
+
+void RenderRec(const BtNode& node, int indent, std::string* out) {
+  for (const BtNode& c : node.children) {
+    out->append(static_cast<size_t>(indent) * 2, ' ');
+    out->append(c.key.ToString());
+    out->append(c.contributing ? " [contributing]" : " [influencing]");
+    if (!c.accessed_by.empty()) {
+      out->append(" A={");
+      bool first = true;
+      for (int oid : c.accessed_by) {
+        if (!first) out->append(",");
+        out->append(std::to_string(oid));
+        first = false;
+      }
+      out->append("}");
+    }
+    if (!c.manipulated_by.empty()) {
+      out->append(" M={");
+      bool first = true;
+      for (int oid : c.manipulated_by) {
+        if (!first) out->append(",");
+        out->append(std::to_string(oid));
+        first = false;
+      }
+      out->append("}");
+    }
+    out->append("\n");
+    RenderRec(c, indent + 1, out);
+  }
+}
+
+}  // namespace
+
+void BacktraceTree::MarkAllManipulated(int oid) {
+  for (BtNode& c : root_.children) {
+    MarkAllRec(&c, oid);
+  }
+}
+
+void BacktraceTree::Visit(
+    const std::function<void(const Path&, const BtNode&)>& fn) const {
+  VisitRec(root_, Path(), fn);
+}
+
+std::string BacktraceTree::ToString() const {
+  std::string out;
+  RenderRec(root_, 0, &out);
+  return out;
+}
+
+void MergeEntry(BacktraceStructure* structure, BacktraceEntry entry) {
+  for (BacktraceEntry& existing : *structure) {
+    if (existing.id == entry.id) {
+      existing.tree.MergeFrom(entry.tree);
+      return;
+    }
+  }
+  structure->push_back(std::move(entry));
+}
+
+}  // namespace pebble

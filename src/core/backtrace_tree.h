@@ -1,0 +1,150 @@
+// Backtracing structure and trees (paper Defs. 6.2, 6.3) plus the two tree
+// manipulation methods manipulatePath and accessPath of Sec. 6.2.
+//
+// A backtracing tree references attributes (and positions inside nested
+// collections) of one top-level data item. Every node records the operators
+// that accessed it (A), the operators that manipulated it (M), and whether
+// it contributes to the queried items (c) or merely influences them.
+
+#ifndef PEBBLE_CORE_BACKTRACE_TREE_H_
+#define PEBBLE_CORE_BACKTRACE_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/provenance_model.h"
+#include "nested/path.h"
+
+namespace pebble {
+
+/// Key of a backtracing tree node: either an attribute name or a 1-based
+/// position within the parent attribute's collection (Fig. 2 shows both
+/// kinds). The kPosPlaceholder position appears transiently during
+/// backtracing before concrete positions are substituted.
+struct BtNodeKey {
+  std::string attr;      // empty <=> positional node
+  int32_t pos = kNoPos;  // kNoPos <=> attribute node
+
+  bool is_position() const { return attr.empty(); }
+  bool operator==(const BtNodeKey& other) const {
+    return attr == other.attr && pos == other.pos;
+  }
+  bool operator<(const BtNodeKey& other) const {
+    if (attr != other.attr) return attr < other.attr;
+    return pos < other.pos;
+  }
+  std::string ToString() const;
+};
+
+/// One node of a backtracing tree (Def. 6.3).
+struct BtNode {
+  BtNodeKey key;
+  std::vector<BtNode> children;  // insertion order
+  std::set<int> accessed_by;     // operator ids in A
+  std::set<int> manipulated_by;  // operator ids in M
+  bool contributing = false;     // c
+
+  BtNode* FindChild(const BtNodeKey& key);
+  const BtNode* FindChild(const BtNodeKey& key) const;
+  /// Finds or creates; created nodes get the given contributing flag.
+  BtNode* EnsureChild(const BtNodeKey& key, bool contributing);
+  /// Removes the child subtree; returns true if it existed.
+  bool RemoveChild(const BtNodeKey& key);
+
+  /// Deep merge: unions A/M sets, ORs contributing flags, merges children
+  /// recursively by key.
+  void MergeFrom(const BtNode& other);
+
+  bool operator==(const BtNode& other) const;
+};
+
+/// The backtracing tree T = <root, N>. The (unnamed) root stands for the
+/// top-level data item itself.
+class BacktraceTree {
+ public:
+  BacktraceTree() { root_.contributing = true; }
+
+  BtNode& root() { return root_; }
+  const BtNode& root() const { return root_; }
+  bool empty() const { return root_.children.empty(); }
+
+  /// Expands an access path into the node-key sequence it denotes: each step
+  /// contributes an attribute key plus, if present, a positional key.
+  static std::vector<BtNodeKey> KeysOf(const Path& path);
+
+  /// Node at `path`, or nullptr.
+  BtNode* Find(const Path& path);
+  const BtNode* Find(const Path& path) const;
+  bool Contains(const Path& path) const { return Find(path) != nullptr; }
+
+  /// Finds or creates the node at `path`; missing nodes are created with the
+  /// given contributing flag. Returns the terminal node.
+  BtNode* Ensure(const Path& path, bool contributing);
+
+  /// accessPath (Sec. 6.2): if all nodes of `path` exist, adds `oid` to each
+  /// node's access set; otherwise creates the missing nodes with c = false
+  /// and marks the whole path accessed. Returns true if nodes were created.
+  bool AccessPath(const Path& path, int oid);
+
+  /// manipulatePath (Sec. 6.2): if a node exists at `out`, detaches its
+  /// subtree (pruning now-empty unmarked ancestors), grafts it at `in`
+  /// (merging with any existing subtree) and adds `oid` to the grafted
+  /// node's manipulation set. Returns true if the transformation applied.
+  bool ManipulatePath(const Path& in, const Path& out, int oid);
+
+  /// Applies a whole operator's manipulation set atomically: all subtrees
+  /// are detached against the pre-transformation tree first, then grafted.
+  /// This keeps overlapping mappings (e.g. attribute swaps) correct.
+  void ApplyManipulations(const std::vector<PathMapping>& mappings, int oid);
+
+  /// Removes the subtree at `path` (Alg. 4 removeNodes). Returns true if it
+  /// existed.
+  bool RemoveSubtree(const Path& path);
+
+  /// Keeps only root children whose attribute is a field of `schema`
+  /// (join backtracing restricts trees to the traced side's schema).
+  void RestrictToSchema(const DataType& schema);
+
+  /// Marks every node (including descendants) as manipulated by `oid`
+  /// (map backtracing: all nodes manipulated by default).
+  void MarkAllManipulated(int oid);
+
+  void MergeFrom(const BacktraceTree& other) { root_.MergeFrom(other.root_); }
+
+  /// Depth-first visit; the callback receives each node (excluding the
+  /// root) with its full path. Positional nodes fold into their parent
+  /// attribute step, matching Path syntax (e.g. "tweets[2].text").
+  void Visit(
+      const std::function<void(const Path&, const BtNode&)>& fn) const;
+
+  /// Indented multi-line rendering with A/M/c annotations (Fig. 2 style).
+  std::string ToString() const;
+
+  bool operator==(const BacktraceTree& other) const {
+    return root_ == other.root_;
+  }
+
+ private:
+  BtNode root_;
+};
+
+/// Backtracing structure entry: a top-level item id with its tree
+/// (Def. 6.2).
+struct BacktraceEntry {
+  int64_t id = kNoId;
+  BacktraceTree tree;
+};
+
+/// B = {{ <id, T> }}. Kept sorted/merged by id via MergeEntry.
+using BacktraceStructure = std::vector<BacktraceEntry>;
+
+/// Merges `entry` into `structure`: if an entry with the same id exists its
+/// tree is merged, otherwise the entry is appended.
+void MergeEntry(BacktraceStructure* structure, BacktraceEntry entry);
+
+}  // namespace pebble
+
+#endif  // PEBBLE_CORE_BACKTRACE_TREE_H_

@@ -1,0 +1,208 @@
+// Compact textual syntax for tree patterns, so provenance questions can be
+// written as strings (demo front-ends, tests, CLIs):
+//
+//   pattern  := conjunct (',' conjunct)*
+//   conjunct := axis? name predicate? count? children?
+//   axis     := '//'                     ancestor-descendant edge
+//   predicate:= ('='|'!='|'<'|'<='|'>'|'>=') literal
+//   literal  := 'text' | "text" | integer | decimal | true | false
+//   count    := '[' min ',' (max | '*') ']'
+//   children := '(' pattern ')'
+//
+// The Fig. 4 question reads:  //id_str='lp', tweets(text='Hello World'[2,2])
+
+#include "core/tree_pattern.h"
+
+#include <cctype>
+#include <limits>
+
+namespace pebble {
+
+namespace {
+
+class PatternParser {
+ public:
+  explicit PatternParser(const std::string& text) : text_(text) {}
+
+  Result<std::vector<PatternNode>> Parse() {
+    PEBBLE_ASSIGN_OR_RETURN(std::vector<PatternNode> nodes, ParseList());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Err("trailing characters");
+    }
+    return nodes;
+  }
+
+ private:
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument("pattern parse error at offset " +
+                                   std::to_string(pos_) + ": " + msg +
+                                   " in '" + text_ + "'");
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::vector<PatternNode>> ParseList() {
+    std::vector<PatternNode> nodes;
+    do {
+      PEBBLE_ASSIGN_OR_RETURN(PatternNode node, ParseNode());
+      nodes.push_back(std::move(node));
+    } while (Consume(','));
+    return nodes;
+  }
+
+  Result<PatternNode> ParseNode() {
+    SkipSpace();
+    bool descendant = false;
+    if (pos_ + 1 < text_.size() && text_[pos_] == '/' &&
+        text_[pos_ + 1] == '/') {
+      descendant = true;
+      pos_ += 2;
+    }
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Err("expected attribute name");
+    }
+    std::string name = text_.substr(start, pos_ - start);
+    PatternNode node = descendant ? PatternNode::Descendant(name)
+                                  : PatternNode::Attr(name);
+    SkipSpace();
+    // Comparison predicate: =, !=, <, <=, >, >= followed by a literal.
+    CompareOp op = CompareOp::kEq;
+    bool has_predicate = false;
+    if (pos_ < text_.size()) {
+      char c = text_[pos_];
+      char next = pos_ + 1 < text_.size() ? text_[pos_ + 1] : '\0';
+      if (c == '=') {
+        has_predicate = true;
+        pos_ += 1;
+      } else if (c == '!' && next == '=') {
+        op = CompareOp::kNe;
+        has_predicate = true;
+        pos_ += 2;
+      } else if (c == '<') {
+        op = next == '=' ? CompareOp::kLe : CompareOp::kLt;
+        has_predicate = true;
+        pos_ += next == '=' ? 2 : 1;
+      } else if (c == '>') {
+        op = next == '=' ? CompareOp::kGe : CompareOp::kGt;
+        has_predicate = true;
+        pos_ += next == '=' ? 2 : 1;
+      }
+    }
+    if (has_predicate) {
+      PEBBLE_ASSIGN_OR_RETURN(ValuePtr literal, ParseLiteral());
+      node.SetPredicate(op, std::move(literal));
+    }
+    if (Consume('[')) {
+      PEBBLE_ASSIGN_OR_RETURN(int64_t min, ParseInt());
+      if (!Consume(',')) return Err("expected ',' in count constraint");
+      int64_t max = std::numeric_limits<int>::max();
+      SkipSpace();
+      if (Consume('*')) {
+        // unbounded
+      } else {
+        PEBBLE_ASSIGN_OR_RETURN(max, ParseInt());
+      }
+      if (!Consume(']')) return Err("expected ']' in count constraint");
+      node.SetCount(static_cast<int>(min), static_cast<int>(max));
+    }
+    if (Consume('(')) {
+      PEBBLE_ASSIGN_OR_RETURN(std::vector<PatternNode> children,
+                              ParseList());
+      if (!Consume(')')) return Err("expected ')'");
+      for (PatternNode& child : children) {
+        node.AddChild(std::move(child));
+      }
+    }
+    return node;
+  }
+
+  Result<ValuePtr> ParseLiteral() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Err("expected literal");
+    char c = text_[pos_];
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      ++pos_;
+      std::string out;
+      while (pos_ < text_.size() && text_[pos_] != quote) {
+        if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+          ++pos_;
+        }
+        out.push_back(text_[pos_]);
+        ++pos_;
+      }
+      if (pos_ >= text_.size()) return Err("unterminated string literal");
+      ++pos_;
+      return Value::String(std::move(out));
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return Value::Bool(true);
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return Value::Bool(false);
+    }
+    // Number.
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.')) {
+      if (text_[pos_] == '.') is_double = true;
+      ++pos_;
+    }
+    if (pos_ == start) return Err("expected literal");
+    std::string num = text_.substr(start, pos_ - start);
+    if (is_double) {
+      return Value::Double(std::stod(num));
+    }
+    return Value::Int(std::stoll(num));
+  }
+
+  Result<int64_t> ParseInt() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+    if (pos_ == start) return Err("expected integer");
+    return std::stoll(text_.substr(start, pos_ - start));
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<TreePattern> TreePattern::Parse(const std::string& text) {
+  PEBBLE_ASSIGN_OR_RETURN(std::vector<PatternNode> roots,
+                          PatternParser(text).Parse());
+  return TreePattern(std::move(roots));
+}
+
+}  // namespace pebble

@@ -1,0 +1,286 @@
+#include "core/provenance_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace pebble {
+
+namespace {
+
+// Line-oriented format, one record per line, space-separated fields. Paths
+// and type renderings contain no spaces; labels go last on their line and
+// may contain spaces.
+//
+//   pebbleprov 1 <mode> <sink_oid>
+//   o <oid> <type> <n_inputs> <input_oid>... <label...>
+//   p <oid>                          start of captured record for oid
+//   i <producer_oid> <undef:0|1> <schema|-> <n> <path>...
+//   m <from_grouping:0|1> <undef:0|1> <in_path|-> <out_path|->
+//   u <in> <out>
+//   b <in1> <in2> <out>
+//   f <in> <pos> <out>
+//   a <out> <n> <in>...
+
+const char* ModeToToken(CaptureMode mode) { return CaptureModeToString(mode); }
+
+Result<CaptureMode> TokenToMode(const std::string& token) {
+  if (token == "off") return CaptureMode::kOff;
+  if (token == "lineage") return CaptureMode::kLineage;
+  if (token == "structural") return CaptureMode::kStructural;
+  if (token == "full-model") return CaptureMode::kFullModel;
+  return Status::InvalidArgument("unknown capture mode '" + token + "'");
+}
+
+const char* TypeToToken(OpType type) { return OpTypeToString(type); }
+
+Result<OpType> TokenToType(const std::string& token) {
+  for (OpType type :
+       {OpType::kScan, OpType::kFilter, OpType::kSelect, OpType::kMap,
+        OpType::kJoin, OpType::kUnion, OpType::kFlatten,
+        OpType::kGroupAggregate}) {
+    if (token == OpTypeToString(type)) return type;
+  }
+  return Status::InvalidArgument("unknown operator type '" + token + "'");
+}
+
+}  // namespace
+
+std::string SerializeProvenanceStore(const ProvenanceStore& store) {
+  std::string out = "pebbleprov 1 ";
+  out += ModeToToken(store.mode());
+  out += " " + std::to_string(store.sink_oid()) + "\n";
+
+  for (int oid : store.AllOids()) {
+    const OperatorInfo* info = store.FindInfo(oid);
+    out += "o " + std::to_string(info->oid) + " " + TypeToToken(info->type) +
+           " " + std::to_string(info->input_oids.size());
+    for (int in : info->input_oids) {
+      out += " " + std::to_string(in);
+    }
+    out += " " + info->label + "\n";
+  }
+
+  for (int oid : store.AllOids()) {
+    const OperatorProvenance* prov = store.Find(oid);
+    if (prov == nullptr) continue;
+    out += "p " + std::to_string(oid) + "\n";
+    for (const InputProvenance& input : prov->inputs) {
+      out += "i " + std::to_string(input.producer_oid) + " " +
+             (input.accessed_undefined ? "1" : "0") + " " +
+             (input.input_schema != nullptr ? input.input_schema->ToString()
+                                            : "-") +
+             " " + std::to_string(input.accessed.size());
+      for (const Path& p : input.accessed) {
+        out += " " + p.ToString();
+      }
+      out += "\n";
+    }
+    if (prov->manip_undefined) {
+      out += "m 0 1 - -\n";
+    }
+    for (const PathMapping& m : prov->manipulations) {
+      // Empty paths (e.g. count()'s input) are encoded as "-".
+      std::string in_text = m.in.empty() ? "-" : m.in.ToString();
+      std::string out_text = m.out.empty() ? "-" : m.out.ToString();
+      out += "m " + std::string(m.from_grouping ? "1" : "0") + " 0 " +
+             in_text + " " + out_text + "\n";
+    }
+    for (const UnaryIdRow& row : prov->unary_ids) {
+      out += "u " + std::to_string(row.in) + " " + std::to_string(row.out) +
+             "\n";
+    }
+    for (const BinaryIdRow& row : prov->binary_ids) {
+      out += "b " + std::to_string(row.in1) + " " + std::to_string(row.in2) +
+             " " + std::to_string(row.out) + "\n";
+    }
+    for (const FlattenIdRow& row : prov->flatten_ids) {
+      out += "f " + std::to_string(row.in) + " " + std::to_string(row.pos) +
+             " " + std::to_string(row.out) + "\n";
+    }
+    for (const AggIdRow& row : prov->agg_ids) {
+      out += "a " + std::to_string(row.out) + " " +
+             std::to_string(row.ins.size());
+      for (int64_t in : row.ins) {
+        out += " " + std::to_string(in);
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+Result<std::unique_ptr<ProvenanceStore>> DeserializeProvenanceStore(
+    const std::string& text) {
+  auto store = std::make_unique<ProvenanceStore>();
+  OperatorProvenance* current = nullptr;
+  bool header_seen = false;
+
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(start, end - start);
+    start = end + 1;
+    ++line_no;
+    if (line.empty()) continue;
+
+    std::istringstream in(line);
+    auto err = [&](const std::string& msg) {
+      return Status::InvalidArgument("provenance parse error on line " +
+                                     std::to_string(line_no) + ": " + msg);
+    };
+
+    std::string tag;
+    in >> tag;
+    if (!header_seen) {
+      if (tag != "pebbleprov") return err("missing header");
+      int version = 0;
+      std::string mode_token;
+      int sink = -1;
+      in >> version >> mode_token >> sink;
+      if (in.fail() || version != 1) return err("bad header");
+      PEBBLE_ASSIGN_OR_RETURN(CaptureMode mode, TokenToMode(mode_token));
+      store->set_mode(mode);
+      store->set_sink_oid(sink);
+      header_seen = true;
+      continue;
+    }
+
+    if (tag == "o") {
+      OperatorInfo info;
+      std::string type_token;
+      size_t n_inputs = 0;
+      in >> info.oid >> type_token >> n_inputs;
+      if (in.fail()) return err("bad operator record");
+      PEBBLE_ASSIGN_OR_RETURN(info.type, TokenToType(type_token));
+      for (size_t k = 0; k < n_inputs; ++k) {
+        int input_oid = -1;
+        in >> input_oid;
+        if (in.fail()) return err("bad operator inputs");
+        info.input_oids.push_back(input_oid);
+      }
+      std::getline(in, info.label);
+      if (!info.label.empty() && info.label[0] == ' ') {
+        info.label.erase(0, 1);
+      }
+      store->RegisterOperator(std::move(info));
+    } else if (tag == "p") {
+      int oid = -1;
+      in >> oid;
+      if (in.fail()) return err("bad provenance record");
+      current = store->Mutable(oid);
+    } else if (tag == "i") {
+      if (current == nullptr) return err("input before provenance record");
+      InputProvenance input;
+      int undef = 0;
+      std::string schema;
+      size_t n = 0;
+      in >> input.producer_oid >> undef >> schema >> n;
+      if (in.fail()) return err("bad input record");
+      input.accessed_undefined = undef != 0;
+      if (schema != "-") {
+        PEBBLE_ASSIGN_OR_RETURN(input.input_schema, ParseDataType(schema));
+      }
+      for (size_t k = 0; k < n; ++k) {
+        std::string path_text;
+        in >> path_text;
+        if (in.fail()) return err("bad access path");
+        PEBBLE_ASSIGN_OR_RETURN(Path p, Path::Parse(path_text));
+        input.accessed.push_back(std::move(p));
+      }
+      current->inputs.push_back(std::move(input));
+    } else if (tag == "m") {
+      if (current == nullptr) return err("mapping before provenance record");
+      int from_grouping = 0;
+      int undef = 0;
+      std::string in_text;
+      std::string out_text;
+      in >> from_grouping >> undef >> in_text >> out_text;
+      if (in.fail()) return err("bad mapping record");
+      if (undef != 0) {
+        current->manip_undefined = true;
+      } else {
+        Path in_path;
+        Path out_path;
+        if (in_text != "-") {
+          PEBBLE_ASSIGN_OR_RETURN(in_path, Path::Parse(in_text));
+        }
+        if (out_text != "-") {
+          PEBBLE_ASSIGN_OR_RETURN(out_path, Path::Parse(out_text));
+        }
+        current->manipulations.push_back(PathMapping{
+            std::move(in_path), std::move(out_path), from_grouping != 0});
+      }
+    } else if (tag == "u") {
+      if (current == nullptr) return err("ids before provenance record");
+      UnaryIdRow row;
+      in >> row.in >> row.out;
+      if (in.fail()) return err("bad unary id row");
+      current->unary_ids.push_back(row);
+    } else if (tag == "b") {
+      if (current == nullptr) return err("ids before provenance record");
+      BinaryIdRow row;
+      in >> row.in1 >> row.in2 >> row.out;
+      if (in.fail()) return err("bad binary id row");
+      current->binary_ids.push_back(row);
+    } else if (tag == "f") {
+      if (current == nullptr) return err("ids before provenance record");
+      FlattenIdRow row;
+      in >> row.in >> row.pos >> row.out;
+      if (in.fail()) return err("bad flatten id row");
+      current->flatten_ids.push_back(row);
+    } else if (tag == "a") {
+      if (current == nullptr) return err("ids before provenance record");
+      AggIdRow row;
+      size_t n = 0;
+      in >> row.out >> n;
+      if (in.fail()) return err("bad aggregation id row");
+      row.ins.reserve(n);
+      for (size_t k = 0; k < n; ++k) {
+        int64_t id = kNoId;
+        in >> id;
+        if (in.fail()) return err("bad aggregation id row");
+        row.ins.push_back(id);
+      }
+      current->agg_ids.push_back(std::move(row));
+    } else {
+      return err("unknown record tag '" + tag + "'");
+    }
+  }
+  if (!header_seen) {
+    return Status::InvalidArgument("empty provenance document");
+  }
+  return store;
+}
+
+Status SaveProvenanceStore(const ProvenanceStore& store,
+                           const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  std::string text = SerializeProvenanceStore(store);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) {
+    return Status::IOError("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ProvenanceStore>> LoadProvenanceStore(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return DeserializeProvenanceStore(buffer.str());
+}
+
+}  // namespace pebble

@@ -1,0 +1,37 @@
+// Persistence for captured provenance. Pipelines run at one time;
+// provenance questions are asked later (audits, usage studies). This module
+// serializes a ProvenanceStore into a compact line-oriented text format and
+// loads it back, so backtracing can run in a different process than the
+// capture.
+//
+// The format covers the lightweight capture (Def. 5.1): topology, id
+// association tables, schema-level access/manipulation paths, and input
+// schemas. The eager full per-item model (CaptureMode::kFullModel) is an
+// in-memory ablation aid and is not serialized.
+
+#ifndef PEBBLE_CORE_PROVENANCE_IO_H_
+#define PEBBLE_CORE_PROVENANCE_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "core/provenance_store.h"
+
+namespace pebble {
+
+/// Serializes the store (lightweight capture component).
+std::string SerializeProvenanceStore(const ProvenanceStore& store);
+
+/// Parses a serialized store.
+Result<std::unique_ptr<ProvenanceStore>> DeserializeProvenanceStore(
+    const std::string& text);
+
+/// File convenience wrappers.
+Status SaveProvenanceStore(const ProvenanceStore& store,
+                           const std::string& path);
+Result<std::unique_ptr<ProvenanceStore>> LoadProvenanceStore(
+    const std::string& path);
+
+}  // namespace pebble
+
+#endif  // PEBBLE_CORE_PROVENANCE_IO_H_

@@ -1,0 +1,85 @@
+#include "core/provenance_model.h"
+
+namespace pebble {
+
+const char* OpTypeToString(OpType type) {
+  switch (type) {
+    case OpType::kScan:
+      return "scan";
+    case OpType::kFilter:
+      return "filter";
+    case OpType::kSelect:
+      return "select";
+    case OpType::kMap:
+      return "map";
+    case OpType::kJoin:
+      return "join";
+    case OpType::kUnion:
+      return "union";
+    case OpType::kFlatten:
+      return "flatten";
+    case OpType::kGroupAggregate:
+      return "aggregate";
+  }
+  return "unknown";
+}
+
+uint64_t ApproxPathBytes(const Path& path) {
+  uint64_t bytes = sizeof(Path);
+  for (const PathStep& s : path.steps()) {
+    bytes += sizeof(PathStep) + s.attr.size();
+  }
+  return bytes;
+}
+
+uint64_t OperatorProvenance::LineageBytes() const {
+  uint64_t bytes = 0;
+  bytes += unary_ids.size() * sizeof(UnaryIdRow);
+  bytes += binary_ids.size() * sizeof(BinaryIdRow);
+  bytes += flatten_ids.size() * (sizeof(int64_t) * 2);  // in, out (no pos)
+  for (const AggIdRow& r : agg_ids) {
+    bytes += r.ins.size() * sizeof(int64_t) + sizeof(int64_t);
+  }
+  return bytes;
+}
+
+uint64_t OperatorProvenance::StructuralExtraBytes() const {
+  uint64_t bytes = 0;
+  // Positions stored by flatten on top of plain lineage.
+  bytes += flatten_ids.size() * sizeof(int32_t);
+  // Schema-level access paths, once per operator.
+  for (const InputProvenance& in : inputs) {
+    for (const Path& p : in.accessed) {
+      bytes += ApproxPathBytes(p);
+    }
+  }
+  // Schema-level manipulation mappings, once per operator.
+  for (const PathMapping& m : manipulations) {
+    bytes += ApproxPathBytes(m.in) + ApproxPathBytes(m.out);
+  }
+  return bytes;
+}
+
+uint64_t OperatorProvenance::FullModelBytes() const {
+  uint64_t bytes = 0;
+  for (const ItemProvenance& item : item_provenance) {
+    bytes += sizeof(ItemProvenance);
+    for (const ItemInputProvenance& in : item.inputs) {
+      bytes += sizeof(ItemInputProvenance);
+      for (const Path& p : in.accessed) {
+        bytes += ApproxPathBytes(p);
+      }
+    }
+    for (const PathMapping& m : item.manipulations) {
+      bytes += ApproxPathBytes(m.in) + ApproxPathBytes(m.out);
+    }
+  }
+  return bytes;
+}
+
+size_t OperatorProvenance::NumIdRows() const {
+  return unary_ids.size() + binary_ids.size() + flatten_ids.size() +
+         agg_ids.size();
+}
+
+}  // namespace pebble

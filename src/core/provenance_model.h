@@ -1,0 +1,160 @@
+// Structural provenance model (paper Sec. 4.3) and its lightweight capture
+// representation (Sec. 5.1, Def. 5.1, Tab. 6).
+//
+// Lightweight operator provenance P = <oid, type, I, M, P> records, per
+// operator:
+//   - I: per input, a reference to the preceding operator and the paths it
+//        *accesses* (A), once, at schema level;
+//   - M: the path *manipulations* (input path -> output path), once, at
+//        schema level, with concrete collection positions replaced by the
+//        "[pos]" placeholder;
+//   - P: an id association table whose shape depends on the operator type
+//        (Tab. 6), linking top-level input item ids to output item ids.
+//
+// The non-lightweight, per-item model of Sec. 4.3 (result data item
+// provenance rho = <r, I, M>) is also representable here (ItemProvenance);
+// it is used by the capture-mode ablation and the Lipstick-style baseline.
+
+#ifndef PEBBLE_CORE_PROVENANCE_MODEL_H_
+#define PEBBLE_CORE_PROVENANCE_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nested/path.h"
+
+namespace pebble {
+
+/// Operator types of the supported algebra (Sec. 5).
+enum class OpType {
+  kScan,
+  kFilter,
+  kSelect,
+  kMap,
+  kJoin,
+  kUnion,
+  kFlatten,
+  kGroupAggregate,  // grouping + aggregation/nesting (paper Tab. 5 last rows)
+};
+
+const char* OpTypeToString(OpType type);
+
+/// Absent id (e.g. the non-originating side of a union row).
+inline constexpr int64_t kNoId = -1;
+
+/// Id association rows (Tab. 6). One flavor per operator family.
+struct UnaryIdRow {
+  int64_t in;
+  int64_t out;
+};
+
+struct BinaryIdRow {
+  int64_t in1;  // kNoId when the row came from input 2 of a union
+  int64_t in2;  // kNoId when the row came from input 1 of a union
+  int64_t out;
+};
+
+struct FlattenIdRow {
+  int64_t in;
+  int32_t pos;  // 1-based position of the unnested element in the source
+  int64_t out;
+};
+
+struct AggIdRow {
+  // Input ids in collect order: the position (1-based index) of an input id
+  // equals the position of any nested item the aggregation produced from it.
+  std::vector<int64_t> ins;
+  int64_t out;
+};
+
+/// A structural manipulation: the operator copies/moves the data reachable
+/// under `in` (input schema) to `out` (output schema).
+struct PathMapping {
+  Path in;
+  Path out;
+  /// True for the <g_i, g_r> mappings of grouping keys in an aggregation.
+  /// Backtracing treats these as access-like (they never make an input item
+  /// part of the provenance on their own, cf. Ex. 6.6 where only the items
+  /// whose nested positions are traced stay inProv).
+  bool from_grouping = false;
+
+  bool operator==(const PathMapping& other) const {
+    return in == other.in && out == other.out &&
+           from_grouping == other.from_grouping;
+  }
+};
+
+/// Per-input access provenance at schema level (the <p, A> pairs of
+/// Def. 5.1).
+struct InputProvenance {
+  /// oid of the operator producing this input (the reference p).
+  int producer_oid = -1;
+  /// Accessed paths A at schema level. Empty with accessed_undefined=false
+  /// means "A = {}" (e.g. union); accessed_undefined=true means "A = ⊥"
+  /// (map over an opaque lambda).
+  std::vector<Path> accessed;
+  bool accessed_undefined = false;
+  /// Schema of this input. Backtracing uses it to (i) expand accessed
+  /// struct paths into their path sets PS (Ex. 4.11), (ii) restrict join
+  /// provenance trees to one side's schema, and (iii) reconstruct the
+  /// conservative all-manipulated tree for opaque map operators.
+  TypePtr input_schema;
+};
+
+/// Per-item provenance of the full (non-lightweight) model of Sec. 4.3:
+/// rho = <r, I, M> materialized for one result item.
+struct ItemInputProvenance {
+  int64_t in_id = kNoId;
+  int input_index = 0;               // which input dataset of the operator
+  std::vector<Path> accessed;        // item-level paths (concrete positions)
+  bool accessed_undefined = false;
+};
+
+struct ItemProvenance {
+  int64_t out_id = kNoId;
+  std::vector<ItemInputProvenance> inputs;
+  std::vector<PathMapping> manipulations;  // item-level (concrete positions)
+  bool manip_undefined = false;
+};
+
+/// Lightweight operator provenance P (Def. 5.1) plus, optionally, the
+/// materialized full model (ablation / Lipstick baseline).
+class OperatorProvenance {
+ public:
+  int oid = -1;
+  OpType type = OpType::kScan;
+  std::string label;
+
+  std::vector<InputProvenance> inputs;
+  std::vector<PathMapping> manipulations;
+  bool manip_undefined = false;
+
+  // Id association table; exactly one is populated, per Tab. 6.
+  std::vector<UnaryIdRow> unary_ids;
+  std::vector<BinaryIdRow> binary_ids;
+  std::vector<FlattenIdRow> flatten_ids;
+  std::vector<AggIdRow> agg_ids;
+
+  // Full per-item model (only with CaptureMode::kFullModel).
+  std::vector<ItemProvenance> item_provenance;
+
+  /// Space used by the id association table only (what a lineage-only
+  /// solution like Titian stores).
+  uint64_t LineageBytes() const;
+
+  /// Space used by the schema-level paths (A and M) on top of lineage.
+  uint64_t StructuralExtraBytes() const;
+
+  /// Space used by the materialized full model, if captured.
+  uint64_t FullModelBytes() const;
+
+  /// Number of id association rows.
+  size_t NumIdRows() const;
+};
+
+uint64_t ApproxPathBytes(const Path& path);
+
+}  // namespace pebble
+
+#endif  // PEBBLE_CORE_PROVENANCE_MODEL_H_

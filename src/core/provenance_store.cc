@@ -1,0 +1,93 @@
+#include "core/provenance_store.h"
+
+namespace pebble {
+
+const char* CaptureModeToString(CaptureMode mode) {
+  switch (mode) {
+    case CaptureMode::kOff:
+      return "off";
+    case CaptureMode::kLineage:
+      return "lineage";
+    case CaptureMode::kStructural:
+      return "structural";
+    case CaptureMode::kFullModel:
+      return "full-model";
+  }
+  return "unknown";
+}
+
+void ProvenanceStore::RegisterOperator(OperatorInfo info) {
+  infos_[info.oid] = std::move(info);
+}
+
+OperatorProvenance* ProvenanceStore::Mutable(int oid) {
+  OperatorProvenance& p = ops_[oid];
+  p.oid = oid;
+  auto it = infos_.find(oid);
+  if (it != infos_.end()) {
+    p.type = it->second.type;
+    p.label = it->second.label;
+  }
+  return &p;
+}
+
+const OperatorProvenance* ProvenanceStore::Find(int oid) const {
+  auto it = ops_.find(oid);
+  return it == ops_.end() ? nullptr : &it->second;
+}
+
+const OperatorInfo* ProvenanceStore::FindInfo(int oid) const {
+  auto it = infos_.find(oid);
+  return it == infos_.end() ? nullptr : &it->second;
+}
+
+std::vector<int> ProvenanceStore::SourceOids() const {
+  std::vector<int> out;
+  for (const auto& [oid, info] : infos_) {
+    if (info.type == OpType::kScan) out.push_back(oid);
+  }
+  return out;
+}
+
+std::vector<int> ProvenanceStore::AllOids() const {
+  std::vector<int> out;
+  out.reserve(infos_.size());
+  for (const auto& [oid, info] : infos_) {
+    out.push_back(oid);
+  }
+  return out;
+}
+
+uint64_t ProvenanceStore::TotalLineageBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& [oid, p] : ops_) {
+    bytes += p.LineageBytes();
+  }
+  return bytes;
+}
+
+uint64_t ProvenanceStore::TotalStructuralExtraBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& [oid, p] : ops_) {
+    bytes += p.StructuralExtraBytes();
+  }
+  return bytes;
+}
+
+uint64_t ProvenanceStore::TotalFullModelBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& [oid, p] : ops_) {
+    bytes += p.FullModelBytes();
+  }
+  return bytes;
+}
+
+uint64_t ProvenanceStore::TotalIdRows() const {
+  uint64_t rows = 0;
+  for (const auto& [oid, p] : ops_) {
+    rows += p.NumIdRows();
+  }
+  return rows;
+}
+
+}  // namespace pebble

@@ -1,0 +1,93 @@
+// Container for the structural provenance captured during one pipeline
+// execution: one OperatorProvenance per operator plus the pipeline topology
+// needed by backtracing (which operator feeds which, which are sources).
+
+#ifndef PEBBLE_CORE_PROVENANCE_STORE_H_
+#define PEBBLE_CORE_PROVENANCE_STORE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/provenance_model.h"
+
+namespace pebble {
+
+/// How much provenance the engine captures while executing a pipeline.
+enum class CaptureMode {
+  /// No provenance at all ("plain Spark" semantics).
+  kOff,
+  /// Top-level id association tables only (what Titian/RAMP/Newt capture).
+  kLineage,
+  /// Lightweight structural provenance (Pebble, Def. 5.1): id tables plus
+  /// schema-level access/manipulation paths.
+  kStructural,
+  /// Full per-item provenance of Sec. 4.3 materialized eagerly for every
+  /// result item (Lipstick-style annotation density; ablation baseline).
+  kFullModel,
+};
+
+const char* CaptureModeToString(CaptureMode mode);
+
+/// Static description of one operator in the executed pipeline.
+struct OperatorInfo {
+  int oid = -1;
+  OpType type = OpType::kScan;
+  std::vector<int> input_oids;
+  std::string label;
+};
+
+/// All provenance captured for one pipeline run.
+class ProvenanceStore {
+ public:
+  ProvenanceStore() = default;
+  ProvenanceStore(const ProvenanceStore&) = delete;
+  ProvenanceStore& operator=(const ProvenanceStore&) = delete;
+
+  /// Registers the static topology entry for an operator. Must be called
+  /// once per operator, in any order.
+  void RegisterOperator(OperatorInfo info);
+
+  /// Returns the mutable provenance record for `oid`, creating it if needed.
+  OperatorProvenance* Mutable(int oid);
+
+  /// Returns the provenance record, or nullptr if none was captured (e.g.
+  /// scans, or capture mode kOff).
+  const OperatorProvenance* Find(int oid) const;
+
+  const OperatorInfo* FindInfo(int oid) const;
+
+  /// The operator producing the final result.
+  int sink_oid() const { return sink_oid_; }
+  void set_sink_oid(int oid) { sink_oid_ = oid; }
+
+  /// Oids of all scan (source) operators, in registration order.
+  std::vector<int> SourceOids() const;
+
+  /// All registered operator oids, in ascending order.
+  std::vector<int> AllOids() const;
+
+  CaptureMode mode() const { return mode_; }
+  void set_mode(CaptureMode mode) { mode_ = mode; }
+
+  /// Aggregate size of the lineage component across all operators.
+  uint64_t TotalLineageBytes() const;
+  /// Aggregate size of the structural component on top of lineage.
+  uint64_t TotalStructuralExtraBytes() const;
+  /// Aggregate size of the materialized full model (kFullModel only).
+  uint64_t TotalFullModelBytes() const;
+  /// Total id association rows across all operators.
+  uint64_t TotalIdRows() const;
+
+ private:
+  std::map<int, OperatorInfo> infos_;
+  std::map<int, OperatorProvenance> ops_;
+  int sink_oid_ = -1;
+  CaptureMode mode_ = CaptureMode::kOff;
+};
+
+}  // namespace pebble
+
+#endif  // PEBBLE_CORE_PROVENANCE_STORE_H_

@@ -1,0 +1,53 @@
+#include "core/query.h"
+
+#include "common/stopwatch.h"
+
+namespace pebble {
+
+Result<ProvenanceQueryResult> QueryStructuralProvenance(
+    const ExecutionResult& run, const TreePattern& pattern, int num_threads) {
+  if (run.provenance == nullptr) {
+    return Status::InvalidArgument(
+        "pipeline was executed without provenance capture");
+  }
+  ProvenanceQueryResult result;
+  Stopwatch watch;
+  PEBBLE_ASSIGN_OR_RETURN(result.matched,
+                          pattern.Match(run.output, num_threads));
+  result.match_ms = watch.ElapsedMillis();
+
+  watch.Restart();
+  Backtracer tracer(run.provenance.get());
+  PEBBLE_ASSIGN_OR_RETURN(result.sources, tracer.Backtrace(result.matched));
+  result.backtrace_ms = watch.ElapsedMillis();
+  return result;
+}
+
+std::string SourceProvenanceToString(const SourceProvenance& source) {
+  std::string out = "source [" + std::to_string(source.scan_oid) + "] " +
+                    source.source_name + ":\n";
+  for (const BacktraceEntry& entry : source.items) {
+    out += "  item " + std::to_string(entry.id) + ":\n";
+    std::string tree = entry.tree.ToString();
+    // Indent the tree rendering.
+    size_t start = 0;
+    while (start < tree.size()) {
+      size_t end = tree.find('\n', start);
+      if (end == std::string::npos) end = tree.size();
+      out += "    " + tree.substr(start, end - start) + "\n";
+      start = end + 1;
+    }
+  }
+  return out;
+}
+
+ValuePtr FindItemById(const Dataset& dataset, int64_t id) {
+  for (const Partition& part : dataset.partitions()) {
+    for (const Row& row : part) {
+      if (row.id == id) return row.value;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace pebble

@@ -1,0 +1,45 @@
+// High-level provenance query API: match a tree pattern on a pipeline's
+// result, then backtrace the matched items to the sources. This is the
+// "holistic" eager query path of the paper (capture during execution,
+// backtrace at query time).
+
+#ifndef PEBBLE_CORE_QUERY_H_
+#define PEBBLE_CORE_QUERY_H_
+
+#include <vector>
+
+#include "core/backtrace.h"
+#include "core/tree_pattern.h"
+#include "engine/executor.h"
+
+namespace pebble {
+
+/// Result of one structural provenance query.
+struct ProvenanceQueryResult {
+  /// Matched items on the pipeline output with their query trees (the
+  /// right-hand tree of Fig. 2).
+  BacktraceStructure matched;
+  /// Backtraced provenance per source dataset (the left-hand trees of
+  /// Fig. 2).
+  std::vector<SourceProvenance> sources;
+  double match_ms = 0;
+  double backtrace_ms = 0;
+};
+
+/// Runs `pattern` against `run.output` and backtraces the matches using the
+/// provenance captured in `run`. Requires capture mode kStructural or
+/// kFullModel during execution.
+Result<ProvenanceQueryResult> QueryStructuralProvenance(
+    const ExecutionResult& run, const TreePattern& pattern,
+    int num_threads = 4);
+
+/// Renders a source provenance (ids plus trees) for human consumption.
+std::string SourceProvenanceToString(const SourceProvenance& source);
+
+/// Looks up the data item with provenance id `id` in an id-annotated
+/// dataset; nullptr if absent.
+ValuePtr FindItemById(const Dataset& dataset, int64_t id);
+
+}  // namespace pebble
+
+#endif  // PEBBLE_CORE_QUERY_H_

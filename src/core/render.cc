@@ -1,0 +1,74 @@
+#include "core/render.h"
+
+namespace pebble {
+
+namespace {
+
+std::string EscapeDot(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string OidSet(const std::set<int>& oids) {
+  std::string out;
+  bool first = true;
+  for (int oid : oids) {
+    if (!first) out += ",";
+    out += std::to_string(oid);
+    first = false;
+  }
+  return out;
+}
+
+void RenderNode(const BtNode& node, const std::string& id, std::string* out) {
+  int child_index = 0;
+  for (const BtNode& child : node.children) {
+    std::string child_id = id + "_" + std::to_string(child_index++);
+    std::string label = EscapeDot(child.key.ToString());
+    if (!child.accessed_by.empty()) {
+      label += "\\nA={" + OidSet(child.accessed_by) + "}";
+    }
+    if (!child.manipulated_by.empty()) {
+      label += "\\nM={" + OidSet(child.manipulated_by) + "}";
+    }
+    *out += "  " + child_id + " [label=\"" + label + "\", style=filled, " +
+            (child.contributing ? "fillcolor=\"#1b7837\", fontcolor=white"
+                                : "fillcolor=\"#a6dba0\"") +
+            "];\n";
+    *out += "  " + id + " -> " + child_id + ";\n";
+    RenderNode(child, child_id, out);
+  }
+}
+
+}  // namespace
+
+std::string PipelineToDot(const Pipeline& pipeline) {
+  std::string out = "digraph pipeline {\n  rankdir=LR;\n  node [shape=box];\n";
+  for (const auto& op : pipeline.operators()) {
+    out += "  op" + std::to_string(op->oid()) + " [label=\"" +
+           std::to_string(op->oid()) + ": " + EscapeDot(op->label()) +
+           "\"];\n";
+    for (int in : op->input_oids()) {
+      out += "  op" + std::to_string(in) + " -> op" +
+             std::to_string(op->oid()) + ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string BacktraceTreeToDot(const BacktraceTree& tree,
+                               const std::string& title) {
+  std::string out = "digraph backtrace {\n  label=\"" + EscapeDot(title) +
+                    "\";\n  node [shape=ellipse];\n";
+  out += "  root [label=\"" + EscapeDot(title) + "\", shape=box];\n";
+  RenderNode(tree.root(), "root", &out);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace pebble

@@ -1,0 +1,26 @@
+// Graphviz DOT rendering for pipelines and backtracing trees — the Fig. 1 /
+// Fig. 2 visuals. Feed the output to `dot -Tsvg`.
+
+#ifndef PEBBLE_CORE_RENDER_H_
+#define PEBBLE_CORE_RENDER_H_
+
+#include <string>
+
+#include "core/backtrace_tree.h"
+#include "engine/pipeline.h"
+
+namespace pebble {
+
+/// Renders the operator DAG (Fig. 1 style: one node per operator labeled
+/// with its id and description).
+std::string PipelineToDot(const Pipeline& pipeline);
+
+/// Renders one backtracing tree (Fig. 2 style): contributing nodes in dark
+/// green, influencing nodes in light green, with A=/M= operator badges.
+/// `title` labels the graph (e.g. "input item 12").
+std::string BacktraceTreeToDot(const BacktraceTree& tree,
+                               const std::string& title);
+
+}  // namespace pebble
+
+#endif  // PEBBLE_CORE_RENDER_H_

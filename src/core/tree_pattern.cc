@@ -1,0 +1,343 @@
+#include "core/tree_pattern.h"
+
+#include <mutex>
+#include <thread>
+
+namespace pebble {
+
+PatternNode PatternNode::Attr(std::string name) {
+  return PatternNode(std::move(name), /*descendant=*/false);
+}
+
+PatternNode PatternNode::Descendant(std::string name) {
+  return PatternNode(std::move(name), /*descendant=*/true);
+}
+
+PatternNode&& PatternNode::Equals(ValuePtr v) && {
+  SetPredicate(CompareOp::kEq, std::move(v));
+  return std::move(*this);
+}
+
+PatternNode&& PatternNode::Where(CompareOp op, ValuePtr v) && {
+  SetPredicate(op, std::move(v));
+  return std::move(*this);
+}
+
+bool PatternNode::SatisfiesPredicate(const Value& v) const {
+  if (predicate_value_ == nullptr) return true;
+  const Value& c = *predicate_value_;
+  int cmp;
+  if (v.is_numeric() && c.is_numeric()) {
+    double a = v.AsDouble();
+    double b = c.AsDouble();
+    cmp = a < b ? -1 : (a > b ? 1 : 0);
+  } else if (v.kind() == c.kind()) {
+    cmp = v.Compare(c);
+  } else {
+    return false;  // incomparable kinds never match
+  }
+  switch (predicate_op_) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+PatternNode&& PatternNode::Count(int min, int max) && {
+  min_count_ = min;
+  max_count_ = max;
+  return std::move(*this);
+}
+
+PatternNode&& PatternNode::With(PatternNode child) && {
+  children_.push_back(std::move(child));
+  return std::move(*this);
+}
+
+std::string PatternNode::ToString() const {
+  std::string out = descendant_ ? "//" + name_ : name_;
+  if (predicate_value_ != nullptr) {
+    const char* op = "=";
+    switch (predicate_op_) {
+      case CompareOp::kEq:
+        op = "=";
+        break;
+      case CompareOp::kNe:
+        op = "!=";
+        break;
+      case CompareOp::kLt:
+        op = "<";
+        break;
+      case CompareOp::kLe:
+        op = "<=";
+        break;
+      case CompareOp::kGt:
+        op = ">";
+        break;
+      case CompareOp::kGe:
+        op = ">=";
+        break;
+    }
+    out += op + predicate_value_->ToString();
+  }
+  if (min_count_ != 1 || max_count_ != std::numeric_limits<int>::max()) {
+    out += "[" + std::to_string(min_count_) + "," +
+           (max_count_ == std::numeric_limits<int>::max()
+                ? std::string("*")
+                : std::to_string(max_count_)) +
+           "]";
+  }
+  if (!children_.empty()) {
+    out += "(";
+    for (size_t i = 0; i < children_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += children_[i].ToString();
+    }
+    out += ")";
+  }
+  return out;
+}
+
+namespace {
+
+bool MatchValue(const PatternNode& node, const Value& value, const Path& path,
+                BacktraceTree* tree);
+
+/// Matches all pattern nodes against one struct context. All must match.
+bool MatchStructChildren(const std::vector<PatternNode>& patterns,
+                         const Value& context, const Path& base,
+                         BacktraceTree* tree);
+
+/// Collects every occurrence of attribute `name` at any depth below
+/// `context` (descending through structs and collection elements, recording
+/// 1-based positions in the paths).
+void FindDescendants(const std::string& name, const Value& context,
+                     const Path& base,
+                     std::vector<std::pair<ValuePtr, Path>>* out) {
+  if (context.is_struct()) {
+    for (const Field& f : context.fields()) {
+      Path p = base.Child(PathStep{f.name, kNoPos});
+      if (f.name == name) {
+        out->push_back({f.value, p});
+      }
+      FindDescendants(name, *f.value, p, out);
+    }
+  } else if (context.is_collection()) {
+    for (size_t i = 0; i < context.num_elements(); ++i) {
+      // Positions fold into the last attribute step of the base path.
+      std::vector<PathStep> steps = base.steps();
+      if (!steps.empty() && !steps.back().has_pos()) {
+        steps.back().pos = static_cast<int32_t>(i + 1);
+      } else {
+        steps.push_back(PathStep{"", static_cast<int32_t>(i + 1)});
+      }
+      FindDescendants(name, *context.elements()[i], Path(steps), out);
+    }
+  }
+}
+
+/// Matches one pattern node against a resolved value.
+bool MatchValue(const PatternNode& node, const Value& value, const Path& path,
+                BacktraceTree* tree) {
+  if (value.is_collection()) {
+    // Each child pattern is counted over the elements; the node's own
+    // equality predicate applies per element (collections of constants).
+    // The node matches if each child's (and its own) match count lies in
+    // that child's count range.
+    BacktraceTree local;
+    if (node.children().empty()) {
+      int count = 0;
+      std::vector<int32_t> matched;
+      for (size_t i = 0; i < value.num_elements(); ++i) {
+        const Value& elem = *value.elements()[i];
+        if (node.SatisfiesPredicate(elem)) {
+          ++count;
+          matched.push_back(static_cast<int32_t>(i + 1));
+        }
+      }
+      if (count < node.min_count() || count > node.max_count()) return false;
+      if (count == 0) return false;
+      for (int32_t pos : matched) {
+        std::vector<PathStep> steps = path.steps();
+        steps.back().pos = pos;
+        local.Ensure(Path(std::move(steps)), /*contributing=*/true);
+      }
+      tree->MergeFrom(local);
+      return true;
+    }
+    for (const PatternNode& child : node.children()) {
+      int count = 0;
+      std::vector<std::pair<int32_t, BacktraceTree>> matches;
+      for (size_t i = 0; i < value.num_elements(); ++i) {
+        const Value& elem = *value.elements()[i];
+        if (!node.SatisfiesPredicate(elem)) {
+          continue;
+        }
+        BacktraceTree elem_tree;
+        if (elem.is_struct() &&
+            MatchStructChildren({child}, elem, Path(), &elem_tree)) {
+          ++count;
+          matches.push_back({static_cast<int32_t>(i + 1),
+                             std::move(elem_tree)});
+        }
+      }
+      if (count < child.min_count() || count > child.max_count()) {
+        return false;
+      }
+      if (count == 0) return false;
+      for (auto& [pos, elem_tree] : matches) {
+        std::vector<PathStep> steps = path.steps();
+        steps.back().pos = pos;
+        Path elem_path(std::move(steps));
+        BtNode* anchor = local.Ensure(elem_path, /*contributing=*/true);
+        anchor->MergeFrom(elem_tree.root());
+        anchor->contributing = true;
+      }
+    }
+    tree->MergeFrom(local);
+    return true;
+  }
+
+  if (value.is_struct()) {
+    if (!node.SatisfiesPredicate(value)) {
+      return false;
+    }
+    BacktraceTree local;
+    if (!MatchStructChildren(node.children(), value, Path(), &local)) {
+      return false;
+    }
+    BtNode* anchor = tree->Ensure(path, /*contributing=*/true);
+    anchor->MergeFrom(local.root());
+    anchor->contributing = true;
+    return true;
+  }
+
+  // Constant value.
+  if (!node.children().empty()) return false;
+  if (!node.SatisfiesPredicate(value)) {
+    return false;
+  }
+  tree->Ensure(path, /*contributing=*/true);
+  return true;
+}
+
+bool MatchStructChildren(const std::vector<PatternNode>& patterns,
+                         const Value& context, const Path& base,
+                         BacktraceTree* tree) {
+  BacktraceTree local;
+  for (const PatternNode& node : patterns) {
+    if (node.is_descendant()) {
+      std::vector<std::pair<ValuePtr, Path>> occurrences;
+      FindDescendants(node.name(), context, base, &occurrences);
+      int count = 0;
+      BacktraceTree node_tree;
+      for (const auto& [v, p] : occurrences) {
+        BacktraceTree occ_tree;
+        if (MatchValue(node, *v, p, &occ_tree)) {
+          ++count;
+          node_tree.MergeFrom(occ_tree);
+        }
+      }
+      if (count == 0 || count < node.min_count() ||
+          count > node.max_count()) {
+        return false;
+      }
+      local.MergeFrom(node_tree);
+    } else {
+      ValuePtr v = context.FindField(node.name());
+      if (v == nullptr) return false;
+      Path p = base.Child(PathStep{node.name(), kNoPos});
+      if (!MatchValue(node, *v, p, &local)) return false;
+    }
+  }
+  tree->MergeFrom(local);
+  return true;
+}
+
+}  // namespace
+
+Result<TreePattern::ItemMatch> TreePattern::MatchItem(
+    const Value& item) const {
+  ItemMatch result;
+  if (!item.is_struct()) {
+    return Status::TypeError("tree patterns match data items (structs)");
+  }
+  BacktraceTree tree;
+  if (MatchStructChildren(roots_, item, Path(), &tree)) {
+    result.matched = true;
+    result.tree = std::move(tree);
+  }
+  return result;
+}
+
+Result<BacktraceStructure> TreePattern::Match(const Dataset& data,
+                                              int num_threads) const {
+  const size_t nparts = data.partitions().size();
+  std::vector<BacktraceStructure> per_part(nparts);
+  std::vector<Status> statuses(nparts);
+
+  auto match_partition = [&](size_t p) {
+    for (const Row& row : data.partitions()[p]) {
+      Result<ItemMatch> m = MatchItem(*row.value);
+      if (!m.ok()) {
+        statuses[p] = m.status();
+        return;
+      }
+      if (m->matched) {
+        per_part[p].push_back(BacktraceEntry{row.id, std::move(m->tree)});
+      }
+    }
+  };
+
+  if (num_threads <= 1 || nparts <= 1) {
+    for (size_t p = 0; p < nparts; ++p) {
+      match_partition(p);
+    }
+  } else {
+    size_t workers = std::min<size_t>(static_cast<size_t>(num_threads),
+                                      nparts);
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w]() {
+        for (size_t p = w; p < nparts; p += workers) {
+          match_partition(p);
+        }
+      });
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+
+  BacktraceStructure out;
+  for (size_t p = 0; p < nparts; ++p) {
+    PEBBLE_RETURN_NOT_OK(statuses[p]);
+    for (BacktraceEntry& e : per_part[p]) {
+      out.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
+std::string TreePattern::ToString() const {
+  std::string out = "root(";
+  for (size_t i = 0; i < roots_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += roots_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace pebble

@@ -1,0 +1,131 @@
+// Tree-pattern queries over nested datasets (paper Sec. 6.1, Fig. 4).
+//
+// A tree pattern addresses combinations of nested items that are related by
+// their structure: nodes name attributes, edges are parent-child or
+// ancestor-descendant, nodes may carry value-equality predicates and
+// occurrence-count constraints within their enclosing collection (the
+// "[2,2]" box of Fig. 4). Matching a pattern against a dataset yields the
+// backtracing structure that seeds the backtracing algorithm.
+
+#ifndef PEBBLE_CORE_TREE_PATTERN_H_
+#define PEBBLE_CORE_TREE_PATTERN_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/backtrace_tree.h"
+#include "engine/dataset.h"
+#include "engine/expr.h"
+
+namespace pebble {
+
+/// One pattern node. Build with the static factories and chain the setters:
+///   PatternNode::Attr("tweets").With(
+///       PatternNode::Attr("text").Equals(Value::String("Hello World"))
+///           .Count(2, 2))
+class PatternNode {
+ public:
+  /// Node connected to its parent by a parent-child edge.
+  static PatternNode Attr(std::string name);
+  /// Node connected to its parent by an ancestor-descendant edge: the
+  /// attribute may occur at any depth below the parent context.
+  static PatternNode Descendant(std::string name);
+
+  /// Requires the matched value (or collection element) to equal `v`.
+  PatternNode&& Equals(ValuePtr v) &&;
+  /// General comparison predicate against a constant (e.g. year > 2014).
+  /// Values of a different kind than `v` (numerics aside) never match.
+  PatternNode&& Where(CompareOp op, ValuePtr v) &&;
+  /// Constrains how many elements of the enclosing collection context (or
+  /// descendant occurrences) match this node: min <= count <= max.
+  PatternNode&& Count(int min, int max) &&;
+  /// Adds child pattern nodes.
+  PatternNode&& With(PatternNode child) &&;
+
+  // Lvalue mutators (used by the pattern parser; the rvalue chainers above
+  // return a reference to *this, so `node = std::move(node).With(..)` would
+  // self-move-assign).
+  void SetEquals(ValuePtr v) { SetPredicate(CompareOp::kEq, std::move(v)); }
+  void SetPredicate(CompareOp op, ValuePtr v) {
+    predicate_op_ = op;
+    predicate_value_ = std::move(v);
+  }
+  void SetCount(int min, int max) {
+    min_count_ = min;
+    max_count_ = max;
+  }
+  void AddChild(PatternNode child) { children_.push_back(std::move(child)); }
+
+  const std::string& name() const { return name_; }
+  bool is_descendant() const { return descendant_; }
+  /// The equality-predicate constant, or nullptr if the node has no
+  /// predicate or a non-equality one.
+  const ValuePtr& equals() const {
+    static const ValuePtr kNone;
+    return predicate_op_ == CompareOp::kEq ? predicate_value_ : kNone;
+  }
+  CompareOp predicate_op() const { return predicate_op_; }
+  const ValuePtr& predicate_value() const { return predicate_value_; }
+  /// True if `v` satisfies this node's predicate (vacuously true without
+  /// one).
+  bool SatisfiesPredicate(const Value& v) const;
+  int min_count() const { return min_count_; }
+  int max_count() const { return max_count_; }
+  const std::vector<PatternNode>& children() const { return children_; }
+
+  std::string ToString() const;
+
+ private:
+  PatternNode(std::string name, bool descendant)
+      : name_(std::move(name)), descendant_(descendant) {}
+
+  std::string name_;
+  bool descendant_;
+  CompareOp predicate_op_ = CompareOp::kEq;
+  ValuePtr predicate_value_;  // nullptr <=> no predicate
+  int min_count_ = 1;
+  int max_count_ = std::numeric_limits<int>::max();
+  std::vector<PatternNode> children_;
+};
+
+/// A tree pattern whose (implicit) root matches each top-level data item.
+class TreePattern {
+ public:
+  explicit TreePattern(std::vector<PatternNode> roots)
+      : roots_(std::move(roots)) {}
+
+  /// Parses the compact textual pattern syntax; the Fig. 4 question reads
+  ///   //id_str='lp', tweets(text='Hello World'[2,2])
+  /// Grammar: conjuncts separated by ','; '//' prefixes descendant edges;
+  /// '=' adds a value-equality predicate ('...', "...", integers, decimals,
+  /// true/false); '[min,max]' ('*' = unbounded) adds a count constraint;
+  /// '(...)' nests children.
+  static Result<TreePattern> Parse(const std::string& text);
+
+  const std::vector<PatternNode>& roots() const { return roots_; }
+
+  /// Matches one data item. On a match, returns the backtracing tree
+  /// containing the matched paths (all contributing); otherwise nullopt-like
+  /// `matched=false`.
+  struct ItemMatch {
+    bool matched = false;
+    BacktraceTree tree;
+  };
+  Result<ItemMatch> MatchItem(const Value& item) const;
+
+  /// Matches all items of a (partitioned) dataset, in parallel over
+  /// partitions when num_threads > 1. Returns the seed backtracing
+  /// structure: one entry per matched top-level item.
+  Result<BacktraceStructure> Match(const Dataset& data,
+                                   int num_threads = 1) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<PatternNode> roots_;
+};
+
+}  // namespace pebble
+
+#endif  // PEBBLE_CORE_TREE_PATTERN_H_

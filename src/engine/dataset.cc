@@ -1,0 +1,63 @@
+#include "engine/dataset.h"
+
+namespace pebble {
+
+Dataset Dataset::FromValues(TypePtr schema, const std::vector<ValuePtr>& values,
+                            int num_partitions) {
+  if (num_partitions < 1) num_partitions = 1;
+  std::vector<Partition> parts(static_cast<size_t>(num_partitions));
+  // Contiguous range split (like file splits), not round-robin, so that the
+  // original order is recoverable by concatenating partitions.
+  size_t n = values.size();
+  size_t base = n / static_cast<size_t>(num_partitions);
+  size_t rem = n % static_cast<size_t>(num_partitions);
+  size_t idx = 0;
+  for (size_t p = 0; p < parts.size(); ++p) {
+    size_t count = base + (p < rem ? 1 : 0);
+    parts[p].reserve(count);
+    for (size_t k = 0; k < count; ++k) {
+      parts[p].push_back(Row{-1, values[idx++]});
+    }
+  }
+  return Dataset(std::move(schema), std::move(parts));
+}
+
+size_t Dataset::NumRows() const {
+  size_t n = 0;
+  for (const Partition& p : partitions_) {
+    n += p.size();
+  }
+  return n;
+}
+
+std::vector<Row> Dataset::CollectRows() const {
+  std::vector<Row> out;
+  out.reserve(NumRows());
+  for (const Partition& p : partitions_) {
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+std::vector<ValuePtr> Dataset::CollectValues() const {
+  std::vector<ValuePtr> out;
+  out.reserve(NumRows());
+  for (const Partition& p : partitions_) {
+    for (const Row& r : p) {
+      out.push_back(r.value);
+    }
+  }
+  return out;
+}
+
+uint64_t Dataset::ApproxBytes() const {
+  uint64_t bytes = 0;
+  for (const Partition& p : partitions_) {
+    for (const Row& r : p) {
+      bytes += r.value->ApproxBytes();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace pebble

@@ -1,0 +1,67 @@
+// Partitioned datasets of id-annotated top-level data items. This is the
+// engine's stand-in for a Spark DataFrame: a nested dataset (Def. 4.1) split
+// into horizontal partitions to exercise distributed-execution code paths
+// (per-partition operators, hash shuffles, partition-parallel capture).
+
+#ifndef PEBBLE_ENGINE_DATASET_H_
+#define PEBBLE_ENGINE_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "nested/type.h"
+#include "nested/value.h"
+
+namespace pebble {
+
+/// One top-level data item with its provenance identifier. Ids are unique
+/// within one pipeline execution; id kNoId (-1) means "not annotated"
+/// (capture off).
+struct Row {
+  int64_t id = -1;
+  ValuePtr value;
+};
+
+/// One horizontal partition.
+using Partition = std::vector<Row>;
+
+/// A partitioned nested dataset. The schema is the struct type of the
+/// top-level items.
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(TypePtr schema, std::vector<Partition> partitions)
+      : schema_(std::move(schema)), partitions_(std::move(partitions)) {}
+
+  /// Builds a dataset from plain values, round-robin distributed over
+  /// `num_partitions` partitions, with ids left unassigned.
+  static Dataset FromValues(TypePtr schema, const std::vector<ValuePtr>& values,
+                            int num_partitions);
+
+  const TypePtr& schema() const { return schema_; }
+  void set_schema(TypePtr schema) { schema_ = std::move(schema); }
+
+  const std::vector<Partition>& partitions() const { return partitions_; }
+  std::vector<Partition>* mutable_partitions() { return &partitions_; }
+  int num_partitions() const { return static_cast<int>(partitions_.size()); }
+
+  size_t NumRows() const;
+
+  /// All rows flattened in partition order (copy; for tests/examples).
+  std::vector<Row> CollectRows() const;
+
+  /// All values flattened in partition order (copy).
+  std::vector<ValuePtr> CollectValues() const;
+
+  /// Total approximate payload bytes across all rows.
+  uint64_t ApproxBytes() const;
+
+ private:
+  TypePtr schema_;
+  std::vector<Partition> partitions_;
+};
+
+}  // namespace pebble
+
+#endif  // PEBBLE_ENGINE_DATASET_H_

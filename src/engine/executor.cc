@@ -1,0 +1,67 @@
+#include "engine/executor.h"
+
+#include "common/stopwatch.h"
+
+namespace pebble {
+
+Result<ExecutionResult> Executor::Run(const Pipeline& pipeline) const {
+  Stopwatch watch;
+  ExecutionResult result;
+  std::shared_ptr<ProvenanceStore> store;
+  if (options_.capture != CaptureMode::kOff) {
+    store = std::make_shared<ProvenanceStore>();
+    store->set_mode(options_.capture);
+    store->set_sink_oid(pipeline.sink_oid());
+    for (const auto& op : pipeline.operators()) {
+      store->RegisterOperator(OperatorInfo{op->oid(), op->type(),
+                                           op->input_oids(), op->label()});
+    }
+  }
+  ExecContext ctx(options_, store.get());
+
+  // Reference counts: an intermediate dataset can be released once its last
+  // consumer has executed (bounds peak memory on deep pipelines).
+  std::map<int, int> remaining_consumers;
+  for (const auto& op : pipeline.operators()) {
+    for (int in : op->input_oids()) {
+      remaining_consumers[in] += 1;
+    }
+  }
+
+  std::map<int, Dataset> materialized;
+  for (const auto& op : pipeline.operators()) {
+    std::vector<const Dataset*> inputs;
+    inputs.reserve(op->input_oids().size());
+    for (int in : op->input_oids()) {
+      auto it = materialized.find(in);
+      if (it == materialized.end()) {
+        return Status::Internal("input dataset " + std::to_string(in) +
+                                " of operator " + std::to_string(op->oid()) +
+                                " not materialized");
+      }
+      inputs.push_back(&it->second);
+    }
+    PEBBLE_ASSIGN_OR_RETURN(Dataset out, op->Execute(&ctx, inputs));
+    if (op->type() == OpType::kScan) {
+      result.source_datasets.emplace(op->oid(), out);
+    }
+    result.rows_per_operator[op->oid()] = out.NumRows();
+    for (int in : op->input_oids()) {
+      if (--remaining_consumers[in] == 0 && in != pipeline.sink_oid()) {
+        materialized.erase(in);
+      }
+    }
+    materialized.emplace(op->oid(), std::move(out));
+  }
+
+  auto sink_it = materialized.find(pipeline.sink_oid());
+  if (sink_it == materialized.end()) {
+    return Status::Internal("sink dataset not materialized");
+  }
+  result.output = std::move(sink_it->second);
+  result.provenance = std::move(store);
+  result.elapsed_ms = watch.ElapsedMillis();
+  return result;
+}
+
+}  // namespace pebble

@@ -1,0 +1,46 @@
+// Pipeline executor: runs the operator DAG bottom-up, materializing
+// intermediate datasets, and collects provenance per the configured capture
+// mode.
+
+#ifndef PEBBLE_ENGINE_EXECUTOR_H_
+#define PEBBLE_ENGINE_EXECUTOR_H_
+
+#include <map>
+#include <memory>
+
+#include "engine/pipeline.h"
+
+namespace pebble {
+
+/// Result of one pipeline execution.
+struct ExecutionResult {
+  /// The sink operator's dataset; rows carry output item ids when capture
+  /// was enabled.
+  Dataset output;
+  /// Captured provenance; nullptr when capture was off.
+  std::shared_ptr<ProvenanceStore> provenance;
+  /// Id-annotated source datasets by scan oid (ids referenced by the
+  /// backtraced provenance). Values are shared with the inputs; cheap.
+  std::map<int, Dataset> source_datasets;
+  /// Output row count per operator (Spark-UI-style execution statistics).
+  std::map<int, size_t> rows_per_operator;
+  /// Wall-clock execution time.
+  double elapsed_ms = 0;
+};
+
+/// Executes pipelines with the given options. Stateless; safe to reuse.
+class Executor {
+ public:
+  explicit Executor(ExecOptions options) : options_(options) {}
+
+  const ExecOptions& options() const { return options_; }
+
+  Result<ExecutionResult> Run(const Pipeline& pipeline) const;
+
+ private:
+  ExecOptions options_;
+};
+
+}  // namespace pebble
+
+#endif  // PEBBLE_ENGINE_EXECUTOR_H_

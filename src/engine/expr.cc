@@ -1,0 +1,303 @@
+#include "engine/expr.h"
+
+#include "common/string_util.h"
+
+namespace pebble {
+
+namespace {
+
+Result<ValuePtr> CompareValues(CompareOp op, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  int c;
+  if (a.is_numeric() && b.is_numeric()) {
+    double x = a.AsDouble();
+    double y = b.AsDouble();
+    c = x < y ? -1 : (x > y ? 1 : 0);
+  } else if (a.kind() == b.kind()) {
+    c = a.Compare(b);
+  } else {
+    return Status::TypeError("cannot compare " + a.ToString() + " with " +
+                             b.ToString());
+  }
+  bool r = false;
+  switch (op) {
+    case CompareOp::kEq:
+      r = c == 0;
+      break;
+    case CompareOp::kNe:
+      r = c != 0;
+      break;
+    case CompareOp::kLt:
+      r = c < 0;
+      break;
+    case CompareOp::kLe:
+      r = c <= 0;
+      break;
+    case CompareOp::kGt:
+      r = c > 0;
+      break;
+    case CompareOp::kGe:
+      r = c >= 0;
+      break;
+  }
+  return Value::Bool(r);
+}
+
+}  // namespace
+
+ExprPtr Expr::Lit(ValuePtr v) {
+  auto* e = new Expr(ExprKind::kLiteral);
+  e->literal_ = std::move(v);
+  return ExprPtr(e);
+}
+ExprPtr Expr::LitInt(int64_t v) { return Lit(Value::Int(v)); }
+ExprPtr Expr::LitString(std::string v) { return Lit(Value::String(std::move(v))); }
+ExprPtr Expr::LitBool(bool v) { return Lit(Value::Bool(v)); }
+
+ExprPtr Expr::Col(const std::string& path) {
+  return ColPath(std::move(Path::Parse(path)).ValueOrDie());
+}
+
+ExprPtr Expr::ColPath(Path path) {
+  auto* e = new Expr(ExprKind::kColumn);
+  e->column_ = std::move(path);
+  return ExprPtr(e);
+}
+
+ExprPtr Expr::Compare(CompareOp op, ExprPtr left, ExprPtr right) {
+  auto* e = new Expr(ExprKind::kCompare);
+  e->compare_op_ = op;
+  e->left_ = std::move(left);
+  e->right_ = std::move(right);
+  return ExprPtr(e);
+}
+ExprPtr Expr::Eq(ExprPtr l, ExprPtr r) { return Compare(CompareOp::kEq, std::move(l), std::move(r)); }
+ExprPtr Expr::Ne(ExprPtr l, ExprPtr r) { return Compare(CompareOp::kNe, std::move(l), std::move(r)); }
+ExprPtr Expr::Lt(ExprPtr l, ExprPtr r) { return Compare(CompareOp::kLt, std::move(l), std::move(r)); }
+ExprPtr Expr::Le(ExprPtr l, ExprPtr r) { return Compare(CompareOp::kLe, std::move(l), std::move(r)); }
+ExprPtr Expr::Gt(ExprPtr l, ExprPtr r) { return Compare(CompareOp::kGt, std::move(l), std::move(r)); }
+ExprPtr Expr::Ge(ExprPtr l, ExprPtr r) { return Compare(CompareOp::kGe, std::move(l), std::move(r)); }
+
+ExprPtr Expr::And(ExprPtr left, ExprPtr right) {
+  auto* e = new Expr(ExprKind::kLogical);
+  e->logical_op_ = LogicalOp::kAnd;
+  e->left_ = std::move(left);
+  e->right_ = std::move(right);
+  return ExprPtr(e);
+}
+
+ExprPtr Expr::Or(ExprPtr left, ExprPtr right) {
+  auto* e = new Expr(ExprKind::kLogical);
+  e->logical_op_ = LogicalOp::kOr;
+  e->left_ = std::move(left);
+  e->right_ = std::move(right);
+  return ExprPtr(e);
+}
+
+ExprPtr Expr::Not(ExprPtr inner) {
+  auto* e = new Expr(ExprKind::kNot);
+  e->left_ = std::move(inner);
+  return ExprPtr(e);
+}
+
+ExprPtr Expr::Arith(ArithOp op, ExprPtr left, ExprPtr right) {
+  auto* e = new Expr(ExprKind::kArith);
+  e->arith_op_ = op;
+  e->left_ = std::move(left);
+  e->right_ = std::move(right);
+  return ExprPtr(e);
+}
+
+ExprPtr Expr::Contains(ExprPtr str, ExprPtr needle) {
+  auto* e = new Expr(ExprKind::kContains);
+  e->left_ = std::move(str);
+  e->right_ = std::move(needle);
+  return ExprPtr(e);
+}
+
+ExprPtr Expr::SizeOf(ExprPtr col) {
+  auto* e = new Expr(ExprKind::kSizeOf);
+  e->left_ = std::move(col);
+  return ExprPtr(e);
+}
+
+ExprPtr Expr::IsNull(ExprPtr inner) {
+  auto* e = new Expr(ExprKind::kIsNull);
+  e->left_ = std::move(inner);
+  return ExprPtr(e);
+}
+
+Result<ValuePtr> Expr::Evaluate(const Value& item) const {
+  switch (kind_) {
+    case ExprKind::kLiteral:
+      return literal_;
+    case ExprKind::kColumn:
+      return column_.Evaluate(item);
+    case ExprKind::kCompare: {
+      PEBBLE_ASSIGN_OR_RETURN(ValuePtr a, left_->Evaluate(item));
+      PEBBLE_ASSIGN_OR_RETURN(ValuePtr b, right_->Evaluate(item));
+      return CompareValues(compare_op_, *a, *b);
+    }
+    case ExprKind::kLogical: {
+      PEBBLE_ASSIGN_OR_RETURN(bool a, left_->EvaluateBool(item));
+      if (logical_op_ == LogicalOp::kAnd && !a) return Value::Bool(false);
+      if (logical_op_ == LogicalOp::kOr && a) return Value::Bool(true);
+      PEBBLE_ASSIGN_OR_RETURN(bool b, right_->EvaluateBool(item));
+      return Value::Bool(b);
+    }
+    case ExprKind::kNot: {
+      PEBBLE_ASSIGN_OR_RETURN(bool a, left_->EvaluateBool(item));
+      return Value::Bool(!a);
+    }
+    case ExprKind::kArith: {
+      PEBBLE_ASSIGN_OR_RETURN(ValuePtr a, left_->Evaluate(item));
+      PEBBLE_ASSIGN_OR_RETURN(ValuePtr b, right_->Evaluate(item));
+      if (a->is_null() || b->is_null()) return Value::Null();
+      if (!a->is_numeric() || !b->is_numeric()) {
+        return Status::TypeError("arithmetic on non-numeric values");
+      }
+      if (a->kind() == ValueKind::kInt && b->kind() == ValueKind::kInt &&
+          arith_op_ != ArithOp::kDiv) {
+        int64_t x = a->int_value();
+        int64_t y = b->int_value();
+        switch (arith_op_) {
+          case ArithOp::kAdd:
+            return Value::Int(x + y);
+          case ArithOp::kSub:
+            return Value::Int(x - y);
+          case ArithOp::kMul:
+            return Value::Int(x * y);
+          default:
+            break;
+        }
+      }
+      double x = a->AsDouble();
+      double y = b->AsDouble();
+      switch (arith_op_) {
+        case ArithOp::kAdd:
+          return Value::Double(x + y);
+        case ArithOp::kSub:
+          return Value::Double(x - y);
+        case ArithOp::kMul:
+          return Value::Double(x * y);
+        case ArithOp::kDiv:
+          if (y == 0) return Value::Null();
+          return Value::Double(x / y);
+      }
+      return Status::Internal("unreachable arithmetic op");
+    }
+    case ExprKind::kContains: {
+      PEBBLE_ASSIGN_OR_RETURN(ValuePtr a, left_->Evaluate(item));
+      PEBBLE_ASSIGN_OR_RETURN(ValuePtr b, right_->Evaluate(item));
+      if (a->is_null() || b->is_null()) return Value::Null();
+      if (a->kind() != ValueKind::kString || b->kind() != ValueKind::kString) {
+        return Status::TypeError("contains() requires string operands");
+      }
+      return Value::Bool(
+          pebble::Contains(a->string_value(), b->string_value()));
+    }
+    case ExprKind::kSizeOf: {
+      PEBBLE_ASSIGN_OR_RETURN(ValuePtr a, left_->Evaluate(item));
+      if (a->is_null()) return Value::Null();
+      if (!a->is_collection()) {
+        return Status::TypeError("size() requires a collection");
+      }
+      return Value::Int(static_cast<int64_t>(a->num_elements()));
+    }
+    case ExprKind::kIsNull: {
+      PEBBLE_ASSIGN_OR_RETURN(ValuePtr a, left_->Evaluate(item));
+      return Value::Bool(a->is_null());
+    }
+  }
+  return Status::Internal("unreachable expression kind");
+}
+
+Result<bool> Expr::EvaluateBool(const Value& item) const {
+  PEBBLE_ASSIGN_OR_RETURN(ValuePtr v, Evaluate(item));
+  if (v->is_null()) return false;
+  if (v->kind() != ValueKind::kBool) {
+    return Status::TypeError("expression is not boolean: " + ToString());
+  }
+  return v->bool_value();
+}
+
+void Expr::CollectAccessedPaths(std::vector<Path>* paths) const {
+  switch (kind_) {
+    case ExprKind::kLiteral:
+      return;
+    case ExprKind::kColumn:
+      paths->push_back(column_);
+      return;
+    default:
+      if (left_ != nullptr) left_->CollectAccessedPaths(paths);
+      if (right_ != nullptr) right_->CollectAccessedPaths(paths);
+  }
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case ExprKind::kLiteral:
+      return literal_->ToString();
+    case ExprKind::kColumn:
+      return column_.ToString();
+    case ExprKind::kCompare: {
+      const char* op = "?";
+      switch (compare_op_) {
+        case CompareOp::kEq:
+          op = "==";
+          break;
+        case CompareOp::kNe:
+          op = "!=";
+          break;
+        case CompareOp::kLt:
+          op = "<";
+          break;
+        case CompareOp::kLe:
+          op = "<=";
+          break;
+        case CompareOp::kGt:
+          op = ">";
+          break;
+        case CompareOp::kGe:
+          op = ">=";
+          break;
+      }
+      return "(" + left_->ToString() + " " + op + " " + right_->ToString() +
+             ")";
+    }
+    case ExprKind::kLogical:
+      return "(" + left_->ToString() +
+             (logical_op_ == LogicalOp::kAnd ? " && " : " || ") +
+             right_->ToString() + ")";
+    case ExprKind::kNot:
+      return "!(" + left_->ToString() + ")";
+    case ExprKind::kArith: {
+      const char* op = "?";
+      switch (arith_op_) {
+        case ArithOp::kAdd:
+          op = "+";
+          break;
+        case ArithOp::kSub:
+          op = "-";
+          break;
+        case ArithOp::kMul:
+          op = "*";
+          break;
+        case ArithOp::kDiv:
+          op = "/";
+          break;
+      }
+      return "(" + left_->ToString() + " " + op + " " + right_->ToString() +
+             ")";
+    }
+    case ExprKind::kContains:
+      return "contains(" + left_->ToString() + ", " + right_->ToString() + ")";
+    case ExprKind::kSizeOf:
+      return "size(" + left_->ToString() + ")";
+    case ExprKind::kIsNull:
+      return "isnull(" + left_->ToString() + ")";
+  }
+  return "?";
+}
+
+}  // namespace pebble

@@ -1,0 +1,104 @@
+// Expression trees for filter predicates, join conditions and derived
+// columns. Expressions evaluate against one data item and can report which
+// attribute paths they access — that report is exactly the access set A of
+// the provenance capture rules (Tab. 5).
+
+#ifndef PEBBLE_ENGINE_EXPR_H_
+#define PEBBLE_ENGINE_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nested/path.h"
+#include "nested/value.h"
+
+namespace pebble {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+enum class ExprKind {
+  kLiteral,
+  kColumn,
+  kCompare,
+  kLogical,
+  kNot,
+  kArith,
+  kContains,  // string containment
+  kSizeOf,    // number of elements of a collection
+  kIsNull,
+};
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class LogicalOp { kAnd, kOr };
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+
+/// Immutable expression node. Build via the static factories.
+class Expr {
+ public:
+  static ExprPtr Lit(ValuePtr v);
+  static ExprPtr LitInt(int64_t v);
+  static ExprPtr LitString(std::string v);
+  static ExprPtr LitBool(bool v);
+
+  /// Column reference by path string, e.g. "user.id_str". Must parse; use
+  /// ColPath for pre-built paths.
+  static ExprPtr Col(const std::string& path);
+  static ExprPtr ColPath(Path path);
+
+  static ExprPtr Compare(CompareOp op, ExprPtr left, ExprPtr right);
+  static ExprPtr Eq(ExprPtr left, ExprPtr right);
+  static ExprPtr Ne(ExprPtr left, ExprPtr right);
+  static ExprPtr Lt(ExprPtr left, ExprPtr right);
+  static ExprPtr Le(ExprPtr left, ExprPtr right);
+  static ExprPtr Gt(ExprPtr left, ExprPtr right);
+  static ExprPtr Ge(ExprPtr left, ExprPtr right);
+
+  static ExprPtr And(ExprPtr left, ExprPtr right);
+  static ExprPtr Or(ExprPtr left, ExprPtr right);
+  static ExprPtr Not(ExprPtr inner);
+
+  static ExprPtr Arith(ArithOp op, ExprPtr left, ExprPtr right);
+
+  /// True iff the string value of `str` contains the string value of
+  /// `needle`.
+  static ExprPtr Contains(ExprPtr str, ExprPtr needle);
+
+  /// Number of elements of the collection at `col`.
+  static ExprPtr SizeOf(ExprPtr col);
+
+  static ExprPtr IsNull(ExprPtr inner);
+
+  ExprKind expr_kind() const { return kind_; }
+
+  /// Evaluates against one data item. Missing attributes are KeyError;
+  /// comparisons involving null evaluate to null.
+  Result<ValuePtr> Evaluate(const Value& item) const;
+
+  /// Evaluates to a boolean; null results count as false (SQL-ish filters).
+  Result<bool> EvaluateBool(const Value& item) const;
+
+  /// Appends every column path this expression reads to `paths`. This is the
+  /// access set A contributed by the expression.
+  void CollectAccessedPaths(std::vector<Path>* paths) const;
+
+  std::string ToString() const;
+
+ private:
+  explicit Expr(ExprKind kind) : kind_(kind) {}
+
+  ExprKind kind_;
+  ValuePtr literal_;
+  Path column_;
+  CompareOp compare_op_ = CompareOp::kEq;
+  LogicalOp logical_op_ = LogicalOp::kAnd;
+  ArithOp arith_op_ = ArithOp::kAdd;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+}  // namespace pebble
+
+#endif  // PEBBLE_ENGINE_EXPR_H_

@@ -1,0 +1,89 @@
+#include "engine/op_internal.h"
+
+namespace pebble::internal {
+
+namespace {
+
+void HashCombine(uint64_t* seed, uint64_t v) {
+  *seed ^= v + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+}  // namespace
+
+Dataset FinalizeUnary(ExecContext* ctx, TypePtr schema,
+                      std::vector<std::vector<UnaryPending>> pending,
+                      OperatorProvenance* prov,
+                      const ItemCaptureSpec* item_spec) {
+  std::vector<Partition> parts(pending.size());
+  const bool items = ctx->capture_items() && item_spec != nullptr;
+  for (size_t p = 0; p < pending.size(); ++p) {
+    std::vector<UnaryPending>& rows = pending[p];
+    Partition& out = parts[p];
+    out.reserve(rows.size());
+    int64_t first = rows.empty()
+                        ? 0
+                        : ctx->ReserveIds(static_cast<int64_t>(rows.size()));
+    for (size_t k = 0; k < rows.size(); ++k) {
+      int64_t out_id = first + static_cast<int64_t>(k);
+      out.push_back(Row{out_id, std::move(rows[k].value)});
+      if (prov != nullptr) {
+        prov->unary_ids.push_back(UnaryIdRow{rows[k].in_id, out_id});
+        if (items) {
+          ItemProvenance ip;
+          ip.out_id = out_id;
+          ItemInputProvenance in;
+          in.in_id = rows[k].in_id;
+          in.input_index = 0;
+          in.accessed = item_spec->accessed;
+          in.accessed_undefined = item_spec->accessed_undefined;
+          ip.inputs.push_back(std::move(in));
+          ip.manipulations = item_spec->manipulations;
+          ip.manip_undefined = item_spec->manip_undefined;
+          prov->item_provenance.push_back(std::move(ip));
+        }
+      }
+    }
+  }
+  return Dataset(std::move(schema), std::move(parts));
+}
+
+uint64_t HashKeyTuple(const std::vector<ValuePtr>& key) {
+  uint64_t h = 0;
+  for (const ValuePtr& v : key) {
+    HashCombine(&h, v ? v->Hash() : 0);
+  }
+  return h;
+}
+
+bool KeyTupleEquals(const std::vector<ValuePtr>& a,
+                    const std::vector<ValuePtr>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a[i]->Equals(*b[i])) return false;
+  }
+  return true;
+}
+
+void EmitSchemaCapture(ExecContext* ctx, const Operator& op,
+                       OperatorProvenance* prov,
+                       std::vector<InputProvenance> inputs,
+                       std::vector<PathMapping> manipulations,
+                       bool manip_undefined) {
+  if (!ctx->capture_paths()) {
+    // Lineage-only capture keeps input references (needed to walk the DAG)
+    // but drops the structural component.
+    for (InputProvenance& in : inputs) {
+      in.accessed.clear();
+      in.accessed_undefined = false;
+    }
+    manipulations.clear();
+    manip_undefined = false;
+  }
+  prov->type = op.type();
+  prov->label = op.label();
+  prov->inputs = std::move(inputs);
+  prov->manipulations = std::move(manipulations);
+  prov->manip_undefined = manip_undefined;
+}
+
+}  // namespace pebble::internal

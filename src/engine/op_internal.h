@@ -1,0 +1,56 @@
+// Internal helpers shared by the operator implementation files. Not part of
+// the public API.
+
+#ifndef PEBBLE_ENGINE_OP_INTERNAL_H_
+#define PEBBLE_ENGINE_OP_INTERNAL_H_
+
+#include <functional>
+#include <vector>
+
+#include "engine/operator.h"
+
+namespace pebble::internal {
+
+/// A produced row whose output id is not assigned yet, with the lineage
+/// information needed to emit the operator's id association rows.
+struct UnaryPending {
+  ValuePtr value;
+  int64_t in_id;
+};
+
+/// Constant-per-operator item-level capture content (full-model mode). For
+/// filter/select/map the item-level paths coincide with the schema-level
+/// ones, so one spec serves every item.
+struct ItemCaptureSpec {
+  std::vector<Path> accessed;
+  bool accessed_undefined = false;
+  std::vector<PathMapping> manipulations;
+  bool manip_undefined = false;
+};
+
+/// Assigns output ids in partition order, emits unary id rows (and, in
+/// full-model mode, per-item provenance per `item_spec`) into `prov`, and
+/// returns the final dataset. `prov` may be nullptr (capture off).
+Dataset FinalizeUnary(ExecContext* ctx, TypePtr schema,
+                      std::vector<std::vector<UnaryPending>> pending,
+                      OperatorProvenance* prov,
+                      const ItemCaptureSpec* item_spec);
+
+/// Deep hash of a key tuple (used by join/group shuffles).
+uint64_t HashKeyTuple(const std::vector<ValuePtr>& key);
+
+/// Deep equality of two key tuples.
+bool KeyTupleEquals(const std::vector<ValuePtr>& a,
+                    const std::vector<ValuePtr>& b);
+
+/// Fills the schema-level input/manipulation component of `prov`.
+/// `accessed_per_input` uses [pos] placeholders already.
+void EmitSchemaCapture(ExecContext* ctx, const Operator& op,
+                       OperatorProvenance* prov,
+                       std::vector<InputProvenance> inputs,
+                       std::vector<PathMapping> manipulations,
+                       bool manip_undefined);
+
+}  // namespace pebble::internal
+
+#endif  // PEBBLE_ENGINE_OP_INTERNAL_H_

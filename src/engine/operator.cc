@@ -1,0 +1,40 @@
+#include "engine/operator.h"
+
+#include <mutex>
+#include <thread>
+
+namespace pebble {
+
+Status ExecContext::ParallelFor(size_t n,
+                                const std::function<Status(size_t)>& fn) {
+  if (n == 0) return Status::OK();
+  int threads = options_.num_threads;
+  if (threads <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) {
+      PEBBLE_RETURN_NOT_OK(fn(i));
+    }
+    return Status::OK();
+  }
+  size_t workers = std::min<size_t>(static_cast<size_t>(threads), n);
+  std::mutex mu;
+  Status first_error;
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w]() {
+      for (size_t i = w; i < n; i += workers) {
+        Status st = fn(i);
+        if (!st.ok()) {
+          std::lock_guard<std::mutex> lock(mu);
+          if (first_error.ok()) first_error = st;
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  return first_error;
+}
+
+}  // namespace pebble

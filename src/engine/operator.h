@@ -1,0 +1,114 @@
+// Operator base class and execution context (paper Def. 4.5/4.6).
+//
+// Operators take k input datasets and produce one result dataset. When
+// provenance capture is enabled, executing an operator additionally emits
+// its lightweight operator provenance P (Def. 5.1) into the run's
+// ProvenanceStore: id association rows per Tab. 6 and, for structural modes,
+// schema-level access/manipulation paths per Tab. 5.
+
+#ifndef PEBBLE_ENGINE_OPERATOR_H_
+#define PEBBLE_ENGINE_OPERATOR_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/provenance_store.h"
+#include "engine/dataset.h"
+
+namespace pebble {
+
+/// Execution-wide knobs.
+struct ExecOptions {
+  CaptureMode capture = CaptureMode::kOff;
+  /// Partition count for scans and shuffles (simulated cluster width).
+  int num_partitions = 4;
+  /// Worker threads for partition-parallel sections. 1 = sequential.
+  int num_threads = 4;
+};
+
+/// Shared state of one pipeline execution: capture mode, provenance store,
+/// id allocation and the parallel-for helper.
+class ExecContext {
+ public:
+  ExecContext(ExecOptions options, ProvenanceStore* store)
+      : options_(options), store_(store) {}
+
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  const ExecOptions& options() const { return options_; }
+  CaptureMode capture() const { return options_.capture; }
+  bool capture_enabled() const { return capture() != CaptureMode::kOff; }
+  /// Structural modes record schema-level A/M paths.
+  bool capture_paths() const {
+    return capture() == CaptureMode::kStructural ||
+           capture() == CaptureMode::kFullModel;
+  }
+  /// Full-model mode additionally materializes per-item provenance.
+  bool capture_items() const { return capture() == CaptureMode::kFullModel; }
+
+  ProvenanceStore* store() const { return store_; }
+
+  /// Reserves `count` consecutive top-level item ids; returns the first.
+  int64_t ReserveIds(int64_t count) { return next_id_.fetch_add(count); }
+
+  /// Runs fn(i) for i in [0, n), distributing across the configured worker
+  /// threads. Returns the first non-OK status produced (remaining iterations
+  /// still run). fn must be safe to call concurrently for distinct i.
+  Status ParallelFor(size_t n, const std::function<Status(size_t)>& fn);
+
+ private:
+  ExecOptions options_;
+  ProvenanceStore* store_;
+  std::atomic<int64_t> next_id_{1};
+};
+
+/// Abstract operator node. Concrete operators live in engine/operators.h.
+class Operator {
+ public:
+  Operator(OpType type, std::string label)
+      : type_(type), label_(std::move(label)) {}
+  virtual ~Operator() = default;
+
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  int oid() const { return oid_; }
+  void set_oid(int oid) { oid_ = oid; }
+  OpType type() const { return type_; }
+  const std::string& label() const { return label_; }
+
+  const std::vector<int>& input_oids() const { return input_oids_; }
+  void set_input_oids(std::vector<int> oids) { input_oids_ = std::move(oids); }
+
+  /// The statically inferred output schema; set during Pipeline::Build.
+  const TypePtr& output_schema() const { return output_schema_; }
+  void set_output_schema(TypePtr schema) {
+    output_schema_ = std::move(schema);
+  }
+
+  /// Computes the output schema from the input schemas, validating operator
+  /// arguments against them.
+  virtual Result<TypePtr> InferSchema(
+      const std::vector<TypePtr>& inputs) const = 0;
+
+  /// Executes over the materialized inputs; emits capture into ctx->store()
+  /// when capture is enabled.
+  virtual Result<Dataset> Execute(
+      ExecContext* ctx, const std::vector<const Dataset*>& inputs) const = 0;
+
+ private:
+  int oid_ = -1;
+  OpType type_;
+  std::string label_;
+  std::vector<int> input_oids_;
+  TypePtr output_schema_;
+};
+
+}  // namespace pebble
+
+#endif  // PEBBLE_ENGINE_OPERATOR_H_

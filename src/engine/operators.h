@@ -1,0 +1,251 @@
+// Concrete operators of the supported algebra (paper Sec. 5, Tab. 5):
+// scan, filter, select (with nested restructuring), map (opaque UDF), join,
+// union, flatten, and groupBy+aggregation/nesting.
+
+#ifndef PEBBLE_ENGINE_OPERATORS_H_
+#define PEBBLE_ENGINE_OPERATORS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/expr.h"
+#include "engine/operator.h"
+
+namespace pebble {
+
+/// One output attribute of a select. A projection is either a leaf that
+/// copies the value at `source`, or an inner node that constructs a new
+/// nested data item from its children (e.g. "<id_str,name> -> user" in the
+/// running example, operator 8 of Fig. 1).
+struct Projection {
+  std::string name;
+  Path source;                       // leaf only
+  std::vector<Projection> children;  // non-empty => construct struct
+
+  bool is_leaf() const { return children.empty(); }
+
+  /// Leaf projection "path -> name". The path string must parse.
+  static Projection Leaf(std::string name, const std::string& path);
+  /// Leaf projection keeping the attribute's own name.
+  static Projection Keep(const std::string& attr);
+  /// Struct-constructing projection.
+  static Projection Nested(std::string name, std::vector<Projection> children);
+};
+
+/// Aggregation functions. kCount/kSum/kMin/kMax/kAvg return constants
+/// (the paper's A_c); kCollectList/kCollectSet return nested collections
+/// (the paper's A_B, i.e. nesting).
+enum class AggKind {
+  kCount,
+  kSum,
+  kMin,
+  kMax,
+  kAvg,
+  kCollectList,
+  kCollectSet,
+};
+
+struct AggSpec {
+  AggKind kind;
+  Path input;          // unused for kCount
+  std::string output;  // result attribute name
+
+  static AggSpec Count(std::string output);
+  static AggSpec Sum(const std::string& input, std::string output);
+  static AggSpec Min(const std::string& input, std::string output);
+  static AggSpec Max(const std::string& input, std::string output);
+  static AggSpec Avg(const std::string& input, std::string output);
+  static AggSpec CollectList(const std::string& input, std::string output);
+  static AggSpec CollectSet(const std::string& input, std::string output);
+
+  bool is_nesting() const {
+    return kind == AggKind::kCollectList || kind == AggKind::kCollectSet;
+  }
+};
+
+/// One grouping attribute: the key path in the input and its name in the
+/// output item.
+struct GroupKey {
+  Path path;
+  std::string name;
+
+  static GroupKey Of(const std::string& path);  // name = last attribute
+  static GroupKey As(const std::string& path, std::string name);
+};
+
+/// User-defined map function (opaque to provenance capture: A = M = ⊥).
+using MapFn = std::function<Result<ValuePtr>(const Value&)>;
+
+// ---------------------------------------------------------------------------
+// Operators
+// ---------------------------------------------------------------------------
+
+/// Reads an in-memory source dataset, splitting it into partitions and, when
+/// capture is on, annotating top-level items with fresh provenance ids.
+class ScanOp final : public Operator {
+ public:
+  ScanOp(std::string name, TypePtr schema,
+         std::shared_ptr<const std::vector<ValuePtr>> data);
+
+  Result<TypePtr> InferSchema(
+      const std::vector<TypePtr>& inputs) const override;
+  Result<Dataset> Execute(
+      ExecContext* ctx,
+      const std::vector<const Dataset*>& inputs) const override;
+
+  const std::string& source_name() const { return source_name_; }
+
+ private:
+  std::string source_name_;
+  TypePtr schema_;
+  std::shared_ptr<const std::vector<ValuePtr>> data_;
+};
+
+/// Keeps items satisfying the predicate. Capture: A = predicate columns,
+/// M = {} (no restructuring).
+class FilterOp final : public Operator {
+ public:
+  explicit FilterOp(ExprPtr predicate);
+
+  Result<TypePtr> InferSchema(
+      const std::vector<TypePtr>& inputs) const override;
+  Result<Dataset> Execute(
+      ExecContext* ctx,
+      const std::vector<const Dataset*>& inputs) const override;
+
+  const ExprPtr& predicate() const { return predicate_; }
+
+ private:
+  ExprPtr predicate_;
+};
+
+/// Projects / restructures each item according to the projection tree.
+/// Capture: A = leaf source paths, M = {(source, output-path)} per leaf.
+class SelectOp final : public Operator {
+ public:
+  explicit SelectOp(std::vector<Projection> projections);
+
+  Result<TypePtr> InferSchema(
+      const std::vector<TypePtr>& inputs) const override;
+  Result<Dataset> Execute(
+      ExecContext* ctx,
+      const std::vector<const Dataset*>& inputs) const override;
+
+ private:
+  std::vector<Projection> projections_;
+};
+
+/// Applies an opaque per-item function. Capture: A = M = ⊥ (Tab. 5 map
+/// rule); backtracing treats the whole input item as manipulated.
+class MapOp final : public Operator {
+ public:
+  /// `declared_schema` may be nullptr; the output schema is then inferred
+  /// from the first produced item at execution time.
+  MapOp(MapFn fn, TypePtr declared_schema, std::string label);
+
+  Result<TypePtr> InferSchema(
+      const std::vector<TypePtr>& inputs) const override;
+  Result<Dataset> Execute(
+      ExecContext* ctx,
+      const std::vector<const Dataset*>& inputs) const override;
+
+ private:
+  MapFn fn_;
+  TypePtr declared_schema_;
+};
+
+/// Join: associates items of two inputs; the result item is the
+/// concatenation <i, j> of the matched items' attributes (Tab. 5 join
+/// rule). Two modes:
+///  - hash equi-join on pairwise equal key tuples (what the paper's
+///    scenarios use), optionally with a residual theta predicate;
+///  - general theta-join: an arbitrary predicate phi(i, j) evaluated over
+///    the concatenated item (nested-loop execution).
+/// Capture: A = key paths plus the per-side paths phi accesses; M maps
+/// every top-level attribute of both sides to its (identical) output path.
+class JoinOp final : public Operator {
+ public:
+  /// Equi-join. `theta` (optional) is a residual predicate over the
+  /// concatenated item.
+  JoinOp(std::vector<Path> left_keys, std::vector<Path> right_keys,
+         ExprPtr theta = nullptr);
+
+  /// Pure theta-join: phi evaluated over the concatenated item.
+  static std::unique_ptr<JoinOp> Theta(ExprPtr phi);
+
+  Result<TypePtr> InferSchema(
+      const std::vector<TypePtr>& inputs) const override;
+  Result<Dataset> Execute(
+      ExecContext* ctx,
+      const std::vector<const Dataset*>& inputs) const override;
+
+ private:
+  std::vector<Path> left_keys_;
+  std::vector<Path> right_keys_;
+  ExprPtr theta_;  // may be nullptr
+};
+
+/// Bag union of two type-compatible inputs. Capture: A = {} (schema-level
+/// comparison only), M = {}.
+class UnionOp final : public Operator {
+ public:
+  UnionOp();
+
+  Result<TypePtr> InferSchema(
+      const std::vector<TypePtr>& inputs) const override;
+  Result<Dataset> Execute(
+      ExecContext* ctx,
+      const std::vector<const Dataset*>& inputs) const override;
+};
+
+/// Unnests the collection at `column`: for each element j at position x the
+/// result item is <i, new_attr: j>. Capture: A = {column[pos]},
+/// M = {(column[pos], new_attr)}, id rows carry the concrete position
+/// (Tab. 6). Items whose collection is empty produce no output (explode
+/// semantics).
+class FlattenOp final : public Operator {
+ public:
+  FlattenOp(Path column, std::string new_attr);
+
+  Result<TypePtr> InferSchema(
+      const std::vector<TypePtr>& inputs) const override;
+  Result<Dataset> Execute(
+      ExecContext* ctx,
+      const std::vector<const Dataset*>& inputs) const override;
+
+  const Path& column() const { return column_; }
+  const std::string& new_attr() const { return new_attr_; }
+
+ private:
+  Path column_;
+  std::string new_attr_;
+};
+
+/// GroupBy + aggregation/nesting (paper Tab. 5 grouping & aggregation
+/// rules). Groups by the key paths, then reduces each group to one item
+/// holding the key attributes and the aggregate outputs. Capture: A = key
+/// paths ∪ aggregate input paths; M maps keys and aggregate inputs to their
+/// output attributes — nesting aggregates (collect_list) map to
+/// "output[pos]" with the positional placeholder; the id table stores the
+/// ordered input-id collection per group, whose positions equal the nested
+/// items' positions (Tab. 6).
+class GroupAggregateOp final : public Operator {
+ public:
+  GroupAggregateOp(std::vector<GroupKey> keys, std::vector<AggSpec> aggs);
+
+  Result<TypePtr> InferSchema(
+      const std::vector<TypePtr>& inputs) const override;
+  Result<Dataset> Execute(
+      ExecContext* ctx,
+      const std::vector<const Dataset*>& inputs) const override;
+
+ private:
+  std::vector<GroupKey> keys_;
+  std::vector<AggSpec> aggs_;
+};
+
+}  // namespace pebble
+
+#endif  // PEBBLE_ENGINE_OPERATORS_H_

@@ -1,0 +1,346 @@
+// Join and Union operators (paper Tab. 5 join / union* rules).
+
+#include <unordered_map>
+#include <utility>
+
+#include "engine/op_internal.h"
+#include "engine/operators.h"
+
+namespace pebble {
+
+namespace {
+
+struct BinaryPending {
+  ValuePtr value;
+  int64_t in1;
+  int64_t in2;
+};
+
+std::string DescribeKeys(const std::vector<Path>& left,
+                         const std::vector<Path>& right) {
+  std::string out = "join on ";
+  // Key count mismatches are rejected later by InferSchema; describe only
+  // the pairs that exist.
+  size_t n = std::min(left.size(), right.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0) out += ", ";
+    out += left[i].ToString() + "==" + right[i].ToString();
+  }
+  return out;
+}
+
+Result<std::vector<ValuePtr>> EvalKeys(const std::vector<Path>& keys,
+                                       const Value& item) {
+  std::vector<ValuePtr> out;
+  out.reserve(keys.size());
+  for (const Path& k : keys) {
+    PEBBLE_ASSIGN_OR_RETURN(ValuePtr v, k.Evaluate(item));
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Join
+// ---------------------------------------------------------------------------
+
+JoinOp::JoinOp(std::vector<Path> left_keys, std::vector<Path> right_keys,
+               ExprPtr theta)
+    : Operator(OpType::kJoin,
+               left_keys.empty() && theta != nullptr
+                   ? "join on " + theta->ToString()
+                   : DescribeKeys(left_keys, right_keys) +
+                         (theta != nullptr ? " && " + theta->ToString() : "")),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)),
+      theta_(std::move(theta)) {}
+
+std::unique_ptr<JoinOp> JoinOp::Theta(ExprPtr phi) {
+  return std::make_unique<JoinOp>(std::vector<Path>{}, std::vector<Path>{},
+                                  std::move(phi));
+}
+
+Result<TypePtr> JoinOp::InferSchema(const std::vector<TypePtr>& inputs) const {
+  if (inputs.size() != 2) {
+    return Status::InvalidArgument("join takes exactly two inputs");
+  }
+  if (left_keys_.empty() && theta_ == nullptr) {
+    return Status::InvalidArgument(
+        "join requires key columns or a theta predicate");
+  }
+  if (left_keys_.size() != right_keys_.size()) {
+    return Status::InvalidArgument(
+        "join requires the same number of keys on both sides");
+  }
+  for (const Path& p : left_keys_) {
+    if (!p.ExistsInType(*inputs[0])) {
+      return Status::KeyError("left join key '" + p.ToString() +
+                              "' not in schema " + inputs[0]->ToString());
+    }
+  }
+  for (const Path& p : right_keys_) {
+    if (!p.ExistsInType(*inputs[1])) {
+      return Status::KeyError("right join key '" + p.ToString() +
+                              "' not in schema " + inputs[1]->ToString());
+    }
+  }
+  std::vector<FieldType> fields = inputs[0]->fields();
+  for (const FieldType& f : inputs[1]->fields()) {
+    if (inputs[0]->FindField(f.name) != nullptr) {
+      return Status::InvalidArgument(
+          "join inputs share attribute '" + f.name +
+          "'; rename via select before joining");
+    }
+    fields.push_back(f);
+  }
+  TypePtr combined = DataType::Struct(std::move(fields));
+  if (theta_ != nullptr) {
+    std::vector<Path> accessed;
+    theta_->CollectAccessedPaths(&accessed);
+    for (const Path& p : accessed) {
+      if (!p.ExistsInType(*combined)) {
+        return Status::KeyError("theta predicate path '" + p.ToString() +
+                                "' not in the combined join schema");
+      }
+    }
+  }
+  return combined;
+}
+
+Result<Dataset> JoinOp::Execute(
+    ExecContext* ctx, const std::vector<const Dataset*>& inputs) const {
+  const Dataset& left = *inputs[0];
+  const Dataset& right = *inputs[1];
+  const size_t buckets = left_keys_.empty()
+                             ? 1  // nested-loop theta-join: single bucket
+                             : static_cast<size_t>(
+                                   std::max(1, ctx->options().num_partitions));
+
+  // Shuffle phase: hash-partition both sides by key tuple, preserving the
+  // global row order within each bucket (deterministic output).
+  struct KeyedRow {
+    std::vector<ValuePtr> key;
+    Row row;
+  };
+  std::vector<std::vector<KeyedRow>> left_buckets(buckets);
+  std::vector<std::vector<KeyedRow>> right_buckets(buckets);
+  for (const Partition& part : left.partitions()) {
+    for (const Row& row : part) {
+      PEBBLE_ASSIGN_OR_RETURN(std::vector<ValuePtr> key,
+                              EvalKeys(left_keys_, *row.value));
+      size_t b = internal::HashKeyTuple(key) % buckets;
+      left_buckets[b].push_back(KeyedRow{std::move(key), row});
+    }
+  }
+  for (const Partition& part : right.partitions()) {
+    for (const Row& row : part) {
+      PEBBLE_ASSIGN_OR_RETURN(std::vector<ValuePtr> key,
+                              EvalKeys(right_keys_, *row.value));
+      size_t b = internal::HashKeyTuple(key) % buckets;
+      right_buckets[b].push_back(KeyedRow{std::move(key), row});
+    }
+  }
+
+  const bool capture = ctx->capture_enabled();
+  std::vector<std::vector<BinaryPending>> pending(buckets);
+  PEBBLE_RETURN_NOT_OK(ctx->ParallelFor(buckets, [&](size_t b) -> Status {
+    // Build a multimap over the right side of this bucket.
+    std::unordered_multimap<uint64_t, const KeyedRow*> index;
+    index.reserve(right_buckets[b].size());
+    for (const KeyedRow& kr : right_buckets[b]) {
+      index.emplace(internal::HashKeyTuple(kr.key), &kr);
+    }
+    for (const KeyedRow& lkr : left_buckets[b]) {
+      // Collect matches in right insertion order for determinism. With no
+      // keys (pure theta-join) every right row is a candidate.
+      std::vector<const KeyedRow*> matches;
+      if (left_keys_.empty()) {
+        matches.reserve(right_buckets[b].size());
+        for (const KeyedRow& rkr : right_buckets[b]) {
+          matches.push_back(&rkr);
+        }
+      } else {
+        uint64_t h = internal::HashKeyTuple(lkr.key);
+        auto range = index.equal_range(h);
+        for (auto it = range.first; it != range.second; ++it) {
+          if (internal::KeyTupleEquals(lkr.key, it->second->key)) {
+            matches.push_back(it->second);
+          }
+        }
+        std::sort(matches.begin(), matches.end(),
+                  [&](const KeyedRow* a, const KeyedRow* c) {
+                    return a - right_buckets[b].data() <
+                           c - right_buckets[b].data();
+                  });
+      }
+      for (const KeyedRow* rkr : matches) {
+        std::vector<Field> fields = lkr.row.value->fields();
+        const std::vector<Field>& rf = rkr->row.value->fields();
+        fields.insert(fields.end(), rf.begin(), rf.end());
+        ValuePtr combined = Value::Struct(std::move(fields));
+        if (theta_ != nullptr) {
+          PEBBLE_ASSIGN_OR_RETURN(bool pass, theta_->EvaluateBool(*combined));
+          if (!pass) continue;
+        }
+        pending[b].push_back(BinaryPending{std::move(combined),
+                                           capture ? lkr.row.id : -1,
+                                           capture ? rkr->row.id : -1});
+      }
+    }
+    return Status::OK();
+  }));
+
+  std::vector<Partition> parts(buckets);
+  OperatorProvenance* prov = nullptr;
+  if (capture) {
+    prov = ctx->store()->Mutable(oid());
+    std::vector<Path> left_accessed;
+    std::vector<Path> right_accessed;
+    for (const Path& p : left_keys_) {
+      left_accessed.push_back(p.WithPosPlaceholders());
+    }
+    for (const Path& p : right_keys_) {
+      right_accessed.push_back(p.WithPosPlaceholders());
+    }
+    if (theta_ != nullptr) {
+      // phi's paths reference the combined schema; attribute each to the
+      // side that owns its top-level attribute.
+      std::vector<Path> theta_paths;
+      theta_->CollectAccessedPaths(&theta_paths);
+      for (const Path& p : theta_paths) {
+        if (!p.empty() &&
+            left.schema()->FindField(p.step(0).attr) != nullptr) {
+          left_accessed.push_back(p.WithPosPlaceholders());
+        } else {
+          right_accessed.push_back(p.WithPosPlaceholders());
+        }
+      }
+    }
+    InputProvenance ip1;
+    ip1.producer_oid = input_oids()[0];
+    ip1.accessed = std::move(left_accessed);
+    ip1.input_schema = left.schema();
+    InputProvenance ip2;
+    ip2.producer_oid = input_oids()[1];
+    ip2.accessed = std::move(right_accessed);
+    ip2.input_schema = right.schema();
+    // M: every top-level attribute of either side keeps its path (Tab. 5
+    // join rule: {<p_i, p_r>} ∪ {<q_j, q_r>}).
+    std::vector<PathMapping> manipulations;
+    for (const FieldType& f : output_schema()->fields()) {
+      manipulations.push_back(
+          PathMapping{Path::Attr(f.name), Path::Attr(f.name)});
+    }
+    internal::EmitSchemaCapture(ctx, *this, prov, {ip1, ip2},
+                                std::move(manipulations), false);
+  }
+
+  const bool items = ctx->capture_items();
+  for (size_t b = 0; b < buckets; ++b) {
+    std::vector<BinaryPending>& rows = pending[b];
+    parts[b].reserve(rows.size());
+    int64_t first = rows.empty() || !capture
+                        ? 0
+                        : ctx->ReserveIds(static_cast<int64_t>(rows.size()));
+    for (size_t k = 0; k < rows.size(); ++k) {
+      int64_t out_id = capture ? first + static_cast<int64_t>(k) : -1;
+      parts[b].push_back(Row{out_id, std::move(rows[k].value)});
+      if (capture) {
+        prov->binary_ids.push_back(
+            BinaryIdRow{rows[k].in1, rows[k].in2, out_id});
+        if (items) {
+          ItemProvenance item;
+          item.out_id = out_id;
+          ItemInputProvenance l;
+          l.in_id = rows[k].in1;
+          l.input_index = 0;
+          for (const Path& p : left_keys_) l.accessed.push_back(p);
+          ItemInputProvenance r;
+          r.in_id = rows[k].in2;
+          r.input_index = 1;
+          for (const Path& p : right_keys_) r.accessed.push_back(p);
+          item.inputs.push_back(std::move(l));
+          item.inputs.push_back(std::move(r));
+          item.manipulations = prov->manipulations;
+          prov->item_provenance.push_back(std::move(item));
+        }
+      }
+    }
+  }
+  return Dataset(output_schema(), std::move(parts));
+}
+
+// ---------------------------------------------------------------------------
+// Union
+// ---------------------------------------------------------------------------
+
+UnionOp::UnionOp() : Operator(OpType::kUnion, "union") {}
+
+Result<TypePtr> UnionOp::InferSchema(
+    const std::vector<TypePtr>& inputs) const {
+  if (inputs.size() != 2) {
+    return Status::InvalidArgument("union takes exactly two inputs");
+  }
+  if (!inputs[0]->CompatibleWith(*inputs[1])) {
+    return Status::TypeError("union inputs have incompatible types: " +
+                             inputs[0]->ToString() + " vs " +
+                             inputs[1]->ToString());
+  }
+  return inputs[0];
+}
+
+Result<Dataset> UnionOp::Execute(
+    ExecContext* ctx, const std::vector<const Dataset*>& inputs) const {
+  const bool capture = ctx->capture_enabled();
+  OperatorProvenance* prov = nullptr;
+  if (capture) {
+    prov = ctx->store()->Mutable(oid());
+    InputProvenance ip1;
+    ip1.producer_oid = input_oids()[0];
+    ip1.input_schema = inputs[0]->schema();
+    InputProvenance ip2;
+    ip2.producer_oid = input_oids()[1];
+    ip2.input_schema = inputs[1]->schema();
+    // A = {} (schema comparison only) and M = {} per the union* rule.
+    internal::EmitSchemaCapture(ctx, *this, prov, {ip1, ip2}, {}, false);
+  }
+  const bool items = ctx->capture_items();
+
+  std::vector<Partition> parts;
+  parts.reserve(inputs[0]->partitions().size() +
+                inputs[1]->partitions().size());
+  for (int side = 0; side < 2; ++side) {
+    for (const Partition& part : inputs[side]->partitions()) {
+      Partition out;
+      out.reserve(part.size());
+      int64_t first =
+          part.empty() || !capture
+              ? 0
+              : ctx->ReserveIds(static_cast<int64_t>(part.size()));
+      for (size_t k = 0; k < part.size(); ++k) {
+        int64_t out_id = capture ? first + static_cast<int64_t>(k) : -1;
+        out.push_back(Row{out_id, part[k].value});
+        if (capture) {
+          prov->binary_ids.push_back(
+              BinaryIdRow{side == 0 ? part[k].id : kNoId,
+                          side == 1 ? part[k].id : kNoId, out_id});
+          if (items) {
+            ItemProvenance item;
+            item.out_id = out_id;
+            ItemInputProvenance in;
+            in.in_id = part[k].id;
+            in.input_index = side;
+            item.inputs.push_back(std::move(in));
+            prov->item_provenance.push_back(std::move(item));
+          }
+        }
+      }
+      parts.push_back(std::move(out));
+    }
+  }
+  return Dataset(output_schema(), std::move(parts));
+}
+
+}  // namespace pebble

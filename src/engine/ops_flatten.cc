@@ -1,0 +1,139 @@
+// Flatten operator (paper Tab. 5 flatten rule, Ex. 4.11 / Fig. 3).
+
+#include <utility>
+
+#include "engine/op_internal.h"
+#include "engine/operators.h"
+
+namespace pebble {
+
+namespace {
+
+struct FlattenPending {
+  ValuePtr value;
+  int64_t in_id;
+  int32_t pos;  // 1-based position of the unnested element
+};
+
+}  // namespace
+
+FlattenOp::FlattenOp(Path column, std::string new_attr)
+    : Operator(OpType::kFlatten,
+               "flatten " + column.ToString() + " -> " + new_attr),
+      column_(std::move(column)),
+      new_attr_(std::move(new_attr)) {}
+
+Result<TypePtr> FlattenOp::InferSchema(
+    const std::vector<TypePtr>& inputs) const {
+  if (inputs.size() != 1) {
+    return Status::InvalidArgument("flatten takes exactly one input");
+  }
+  if (column_.HasPositions()) {
+    return Status::InvalidArgument(
+        "flatten column must not contain positions: " + column_.ToString());
+  }
+  PEBBLE_ASSIGN_OR_RETURN(TypePtr col_type, ResolveType(inputs[0], column_));
+  if (!col_type->is_collection()) {
+    return Status::TypeError("flatten column '" + column_.ToString() +
+                             "' is not a collection: " + col_type->ToString());
+  }
+  if (inputs[0]->FindField(new_attr_) != nullptr) {
+    return Status::InvalidArgument("flatten output attribute '" + new_attr_ +
+                                   "' already exists in the input schema");
+  }
+  std::vector<FieldType> fields = inputs[0]->fields();
+  fields.push_back({new_attr_, col_type->element()});
+  return DataType::Struct(std::move(fields));
+}
+
+Result<Dataset> FlattenOp::Execute(
+    ExecContext* ctx, const std::vector<const Dataset*>& inputs) const {
+  const Dataset& in = *inputs[0];
+  const size_t nparts = in.partitions().size();
+
+  auto explode = [&](const Row& row,
+                     const std::function<void(ValuePtr, int32_t)>& emit)
+      -> Status {
+    PEBBLE_ASSIGN_OR_RETURN(ValuePtr col, column_.Evaluate(*row.value));
+    if (col->is_null()) return Status::OK();  // nothing to unnest
+    if (!col->is_collection()) {
+      return Status::TypeError("flatten column '" + column_.ToString() +
+                               "' is not a collection value");
+    }
+    for (size_t x = 0; x < col->num_elements(); ++x) {
+      std::vector<Field> fields = row.value->fields();
+      fields.push_back(Field{new_attr_, col->elements()[x]});
+      emit(Value::Struct(std::move(fields)), static_cast<int32_t>(x + 1));
+    }
+    return Status::OK();
+  };
+
+  if (!ctx->capture_enabled()) {
+    std::vector<Partition> parts(nparts);
+    PEBBLE_RETURN_NOT_OK(ctx->ParallelFor(nparts, [&](size_t p) -> Status {
+      for (const Row& row : in.partitions()[p]) {
+        PEBBLE_RETURN_NOT_OK(explode(row, [&](ValuePtr v, int32_t) {
+          parts[p].push_back(Row{-1, std::move(v)});
+        }));
+      }
+      return Status::OK();
+    }));
+    return Dataset(output_schema(), std::move(parts));
+  }
+
+  std::vector<std::vector<FlattenPending>> pending(nparts);
+  PEBBLE_RETURN_NOT_OK(ctx->ParallelFor(nparts, [&](size_t p) -> Status {
+    for (const Row& row : in.partitions()[p]) {
+      PEBBLE_RETURN_NOT_OK(explode(row, [&](ValuePtr v, int32_t pos) {
+        pending[p].push_back(FlattenPending{std::move(v), row.id, pos});
+      }));
+    }
+    return Status::OK();
+  }));
+
+  OperatorProvenance* prov = ctx->store()->Mutable(oid());
+  // Schema-level capture: A = {a_col[pos]}, M = {(a_col[pos], a_new)}.
+  Path col_pos = column_.Parent().Child(
+      PathStep{column_.back().attr, kPosPlaceholder});
+  InputProvenance ip;
+  ip.producer_oid = input_oids()[0];
+  ip.accessed = {col_pos};
+  ip.input_schema = in.schema();
+  internal::EmitSchemaCapture(
+      ctx, *this, prov, {ip},
+      {PathMapping{col_pos, Path::Attr(new_attr_)}}, false);
+
+  const bool items = ctx->capture_items();
+  std::vector<Partition> parts(nparts);
+  for (size_t p = 0; p < nparts; ++p) {
+    std::vector<FlattenPending>& rows = pending[p];
+    parts[p].reserve(rows.size());
+    int64_t first = rows.empty()
+                        ? 0
+                        : ctx->ReserveIds(static_cast<int64_t>(rows.size()));
+    for (size_t k = 0; k < rows.size(); ++k) {
+      int64_t out_id = first + static_cast<int64_t>(k);
+      parts[p].push_back(Row{out_id, std::move(rows[k].value)});
+      prov->flatten_ids.push_back(
+          FlattenIdRow{rows[k].in_id, rows[k].pos, out_id});
+      if (items) {
+        // Item-level provenance: the concrete position is materialized.
+        Path concrete = column_.Parent().Child(
+            PathStep{column_.back().attr, rows[k].pos});
+        ItemProvenance item;
+        item.out_id = out_id;
+        ItemInputProvenance in_prov;
+        in_prov.in_id = rows[k].in_id;
+        in_prov.input_index = 0;
+        in_prov.accessed = {concrete};
+        item.inputs.push_back(std::move(in_prov));
+        item.manipulations = {
+            PathMapping{std::move(concrete), Path::Attr(new_attr_)}};
+        prov->item_provenance.push_back(std::move(item));
+      }
+    }
+  }
+  return Dataset(output_schema(), std::move(parts));
+}
+
+}  // namespace pebble

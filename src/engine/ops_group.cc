@@ -1,0 +1,388 @@
+// GroupBy + aggregation/nesting operator (paper Tab. 5 grouping* and
+// aggregation rules; backtraced by Alg. 4).
+
+#include <unordered_map>
+#include <utility>
+
+#include "engine/op_internal.h"
+#include "engine/operators.h"
+
+namespace pebble {
+
+namespace {
+
+const char* AggKindToString(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCount:
+      return "count";
+    case AggKind::kSum:
+      return "sum";
+    case AggKind::kMin:
+      return "min";
+    case AggKind::kMax:
+      return "max";
+    case AggKind::kAvg:
+      return "avg";
+    case AggKind::kCollectList:
+      return "collect_list";
+    case AggKind::kCollectSet:
+      return "collect_set";
+  }
+  return "?";
+}
+
+/// Computes one aggregate over the per-row evaluated input values.
+Result<ValuePtr> ComputeAgg(const AggSpec& spec,
+                            const std::vector<ValuePtr>& values) {
+  switch (spec.kind) {
+    case AggKind::kCount:
+      return Value::Int(static_cast<int64_t>(values.size()));
+    case AggKind::kSum: {
+      bool any_double = false;
+      int64_t isum = 0;
+      double dsum = 0;
+      for (const ValuePtr& v : values) {
+        if (v->is_null()) continue;
+        if (!v->is_numeric()) {
+          return Status::TypeError("sum over non-numeric value");
+        }
+        if (v->kind() == ValueKind::kDouble) any_double = true;
+        isum += v->kind() == ValueKind::kInt ? v->int_value() : 0;
+        dsum += v->AsDouble();
+      }
+      return any_double ? Value::Double(dsum) : Value::Int(isum);
+    }
+    case AggKind::kMin:
+    case AggKind::kMax: {
+      ValuePtr best;
+      for (const ValuePtr& v : values) {
+        if (v->is_null()) continue;
+        if (best == nullptr) {
+          best = v;
+          continue;
+        }
+        int c = v->Compare(*best);
+        if ((spec.kind == AggKind::kMin && c < 0) ||
+            (spec.kind == AggKind::kMax && c > 0)) {
+          best = v;
+        }
+      }
+      return best != nullptr ? best : Value::Null();
+    }
+    case AggKind::kAvg: {
+      double sum = 0;
+      int64_t n = 0;
+      for (const ValuePtr& v : values) {
+        if (v->is_null()) continue;
+        if (!v->is_numeric()) {
+          return Status::TypeError("avg over non-numeric value");
+        }
+        sum += v->AsDouble();
+        ++n;
+      }
+      return n == 0 ? Value::Null() : Value::Double(sum / n);
+    }
+    case AggKind::kCollectList:
+      return Value::Bag(values);
+    case AggKind::kCollectSet:
+      return Value::Set(values);
+  }
+  return Status::Internal("unreachable aggregate kind");
+}
+
+Result<TypePtr> AggOutputType(const AggSpec& spec, const TypePtr& input) {
+  if (spec.kind == AggKind::kCount) return DataType::Int();
+  PEBBLE_ASSIGN_OR_RETURN(TypePtr in_type, ResolveType(input, spec.input));
+  switch (spec.kind) {
+    case AggKind::kSum:
+      return in_type->kind() == TypeKind::kDouble ? DataType::Double()
+                                                  : DataType::Int();
+    case AggKind::kAvg:
+      return DataType::Double();
+    case AggKind::kMin:
+    case AggKind::kMax:
+      return in_type;
+    case AggKind::kCollectList:
+      return DataType::Bag(in_type);
+    case AggKind::kCollectSet:
+      return DataType::Set(in_type);
+    default:
+      return Status::Internal("unreachable aggregate kind");
+  }
+}
+
+std::string DescribeGroupAgg(const std::vector<GroupKey>& keys,
+                             const std::vector<AggSpec>& aggs) {
+  std::string out = "groupBy(";
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += keys[i].path.ToString();
+  }
+  out += ")";
+  for (const AggSpec& a : aggs) {
+    out += ", ";
+    out += AggKindToString(a.kind);
+    out += "(";
+    out += a.input.ToString();
+    out += ") -> ";
+    out += a.output;
+  }
+  return out;
+}
+
+}  // namespace
+
+AggSpec AggSpec::Count(std::string output) {
+  return AggSpec{AggKind::kCount, Path(), std::move(output)};
+}
+AggSpec AggSpec::Sum(const std::string& input, std::string output) {
+  return AggSpec{AggKind::kSum, std::move(Path::Parse(input)).ValueOrDie(),
+                 std::move(output)};
+}
+AggSpec AggSpec::Min(const std::string& input, std::string output) {
+  return AggSpec{AggKind::kMin, std::move(Path::Parse(input)).ValueOrDie(),
+                 std::move(output)};
+}
+AggSpec AggSpec::Max(const std::string& input, std::string output) {
+  return AggSpec{AggKind::kMax, std::move(Path::Parse(input)).ValueOrDie(),
+                 std::move(output)};
+}
+AggSpec AggSpec::Avg(const std::string& input, std::string output) {
+  return AggSpec{AggKind::kAvg, std::move(Path::Parse(input)).ValueOrDie(),
+                 std::move(output)};
+}
+AggSpec AggSpec::CollectList(const std::string& input, std::string output) {
+  return AggSpec{AggKind::kCollectList,
+                 std::move(Path::Parse(input)).ValueOrDie(),
+                 std::move(output)};
+}
+AggSpec AggSpec::CollectSet(const std::string& input, std::string output) {
+  return AggSpec{AggKind::kCollectSet,
+                 std::move(Path::Parse(input)).ValueOrDie(),
+                 std::move(output)};
+}
+
+GroupKey GroupKey::Of(const std::string& path) {
+  Path p = std::move(Path::Parse(path)).ValueOrDie();
+  std::string name = p.back().attr;
+  return GroupKey{std::move(p), std::move(name)};
+}
+
+GroupKey GroupKey::As(const std::string& path, std::string name) {
+  return GroupKey{std::move(Path::Parse(path)).ValueOrDie(), std::move(name)};
+}
+
+GroupAggregateOp::GroupAggregateOp(std::vector<GroupKey> keys,
+                                   std::vector<AggSpec> aggs)
+    : Operator(OpType::kGroupAggregate, DescribeGroupAgg(keys, aggs)),
+      keys_(std::move(keys)),
+      aggs_(std::move(aggs)) {}
+
+Result<TypePtr> GroupAggregateOp::InferSchema(
+    const std::vector<TypePtr>& inputs) const {
+  if (inputs.size() != 1) {
+    return Status::InvalidArgument("groupAggregate takes exactly one input");
+  }
+  if (keys_.empty()) {
+    return Status::InvalidArgument("groupAggregate requires group keys");
+  }
+  std::vector<FieldType> fields;
+  auto add_field = [&](const std::string& name, TypePtr t) -> Status {
+    for (const FieldType& f : fields) {
+      if (f.name == name) {
+        return Status::InvalidArgument("duplicate output attribute '" + name +
+                                       "' in groupAggregate");
+      }
+    }
+    fields.push_back({name, std::move(t)});
+    return Status::OK();
+  };
+  for (const GroupKey& k : keys_) {
+    PEBBLE_ASSIGN_OR_RETURN(TypePtr t, ResolveType(inputs[0], k.path));
+    PEBBLE_RETURN_NOT_OK(add_field(k.name, std::move(t)));
+  }
+  for (const AggSpec& a : aggs_) {
+    PEBBLE_ASSIGN_OR_RETURN(TypePtr t, AggOutputType(a, inputs[0]));
+    PEBBLE_RETURN_NOT_OK(add_field(a.output, std::move(t)));
+  }
+  return DataType::Struct(std::move(fields));
+}
+
+Result<Dataset> GroupAggregateOp::Execute(
+    ExecContext* ctx, const std::vector<const Dataset*>& inputs) const {
+  const Dataset& in = *inputs[0];
+  const size_t buckets =
+      static_cast<size_t>(std::max(1, ctx->options().num_partitions));
+  const bool capture = ctx->capture_enabled();
+
+  // Shuffle: hash-partition rows by key tuple, preserving global order.
+  struct KeyedRow {
+    std::vector<ValuePtr> key;
+    Row row;
+  };
+  std::vector<std::vector<KeyedRow>> keyed(buckets);
+  for (const Partition& part : in.partitions()) {
+    for (const Row& row : part) {
+      std::vector<ValuePtr> key;
+      key.reserve(keys_.size());
+      for (const GroupKey& k : keys_) {
+        PEBBLE_ASSIGN_OR_RETURN(ValuePtr v, k.path.Evaluate(*row.value));
+        key.push_back(std::move(v));
+      }
+      size_t b = internal::HashKeyTuple(key) % buckets;
+      keyed[b].push_back(KeyedRow{std::move(key), row});
+    }
+  }
+
+  struct PendingGroup {
+    ValuePtr value;
+    std::vector<int64_t> ins;  // input ids in collect order
+  };
+  std::vector<std::vector<PendingGroup>> pending(buckets);
+  PEBBLE_RETURN_NOT_OK(ctx->ParallelFor(buckets, [&](size_t b) -> Status {
+    // Group rows of this bucket in encounter order.
+    struct Group {
+      std::vector<ValuePtr> key;
+      std::vector<Row> rows;
+    };
+    std::vector<Group> groups;
+    std::unordered_multimap<uint64_t, size_t> index;
+    for (KeyedRow& kr : keyed[b]) {
+      uint64_t h = internal::HashKeyTuple(kr.key);
+      size_t gidx = SIZE_MAX;
+      auto range = index.equal_range(h);
+      for (auto it = range.first; it != range.second; ++it) {
+        if (internal::KeyTupleEquals(groups[it->second].key, kr.key)) {
+          gidx = it->second;
+          break;
+        }
+      }
+      if (gidx == SIZE_MAX) {
+        gidx = groups.size();
+        groups.push_back(Group{std::move(kr.key), {}});
+        index.emplace(h, gidx);
+      }
+      groups[gidx].rows.push_back(kr.row);
+    }
+    // Reduce each group to one result item (Tab. 5 aggregation rule).
+    pending[b].reserve(groups.size());
+    for (Group& g : groups) {
+      std::vector<Field> fields;
+      fields.reserve(keys_.size() + aggs_.size());
+      for (size_t k = 0; k < keys_.size(); ++k) {
+        fields.push_back(Field{keys_[k].name, g.key[k]});
+      }
+      for (const AggSpec& a : aggs_) {
+        std::vector<ValuePtr> values;
+        if (a.kind != AggKind::kCount) {
+          values.reserve(g.rows.size());
+          for (const Row& row : g.rows) {
+            PEBBLE_ASSIGN_OR_RETURN(ValuePtr v, a.input.Evaluate(*row.value));
+            values.push_back(std::move(v));
+          }
+        } else {
+          values.resize(g.rows.size());
+        }
+        PEBBLE_ASSIGN_OR_RETURN(ValuePtr out, ComputeAgg(a, values));
+        fields.push_back(Field{a.output, std::move(out)});
+      }
+      PendingGroup pg;
+      pg.value = Value::Struct(std::move(fields));
+      if (capture) {
+        pg.ins.reserve(g.rows.size());
+        for (const Row& row : g.rows) {
+          pg.ins.push_back(row.id);
+        }
+      }
+      pending[b].push_back(std::move(pg));
+    }
+    return Status::OK();
+  }));
+
+  OperatorProvenance* prov = nullptr;
+  if (capture) {
+    prov = ctx->store()->Mutable(oid());
+    // A: group keys plus every aggregated attribute (Tab. 5 aggregation
+    // rule: union over G, A_c and A_B paths).
+    std::vector<Path> accessed;
+    std::vector<PathMapping> manipulations;
+    for (const GroupKey& k : keys_) {
+      Path p = k.path.WithPosPlaceholders();
+      accessed.push_back(p);
+      manipulations.push_back(
+          PathMapping{p, Path::Attr(k.name), /*from_grouping=*/true});
+    }
+    for (const AggSpec& a : aggs_) {
+      if (a.kind != AggKind::kCount) {
+        accessed.push_back(a.input.WithPosPlaceholders());
+      }
+      if (a.kind == AggKind::kCollectList) {
+        // Bag nesting: the output path carries the positional placeholder;
+        // position i of the nested bag came from the input id at position i
+        // of the group's id collection (Tab. 6).
+        manipulations.push_back(
+            PathMapping{a.input.WithPosPlaceholders(),
+                        Path({PathStep{a.output, kPosPlaceholder}})});
+      } else {
+        manipulations.push_back(PathMapping{a.input.WithPosPlaceholders(),
+                                            Path::Attr(a.output)});
+      }
+    }
+    InputProvenance ip;
+    ip.producer_oid = input_oids()[0];
+    ip.accessed = std::move(accessed);
+    ip.input_schema = in.schema();
+    internal::EmitSchemaCapture(ctx, *this, prov, {ip},
+                                std::move(manipulations), false);
+  }
+
+  const bool items = ctx->capture_items();
+  std::vector<Partition> parts(buckets);
+  for (size_t b = 0; b < buckets; ++b) {
+    std::vector<PendingGroup>& rows = pending[b];
+    parts[b].reserve(rows.size());
+    int64_t first = rows.empty() || !capture
+                        ? 0
+                        : ctx->ReserveIds(static_cast<int64_t>(rows.size()));
+    for (size_t k = 0; k < rows.size(); ++k) {
+      int64_t out_id = capture ? first + static_cast<int64_t>(k) : -1;
+      parts[b].push_back(Row{out_id, std::move(rows[k].value)});
+      if (capture) {
+        if (items) {
+          // Full model: one input entry per group member, with item-level
+          // manipulation targets using concrete positions.
+          ItemProvenance item;
+          item.out_id = out_id;
+          for (size_t pos = 0; pos < rows[k].ins.size(); ++pos) {
+            ItemInputProvenance in_prov;
+            in_prov.in_id = rows[k].ins[pos];
+            in_prov.input_index = 0;
+            for (const GroupKey& key : keys_) {
+              in_prov.accessed.push_back(key.path);
+            }
+            for (const AggSpec& a : aggs_) {
+              if (a.kind != AggKind::kCount) {
+                in_prov.accessed.push_back(a.input);
+              }
+            }
+            item.inputs.push_back(std::move(in_prov));
+          }
+          for (const AggSpec& a : aggs_) {
+            if (a.kind == AggKind::kCollectList) {
+              for (size_t pos = 1; pos <= rows[k].ins.size(); ++pos) {
+                item.manipulations.push_back(PathMapping{
+                    a.input,
+                    Path({PathStep{a.output, static_cast<int32_t>(pos)}})});
+              }
+            }
+          }
+          prov->item_provenance.push_back(std::move(item));
+        }
+        prov->agg_ids.push_back(AggIdRow{std::move(rows[k].ins), out_id});
+      }
+    }
+  }
+  return Dataset(output_schema(), std::move(parts));
+}
+
+}  // namespace pebble

@@ -1,0 +1,361 @@
+// Scan, Filter, Select and Map operators (paper Tab. 5 rules filter*,
+// select*, map*).
+
+#include <utility>
+
+#include "engine/op_internal.h"
+#include "engine/operators.h"
+
+namespace pebble {
+
+using internal::ItemCaptureSpec;
+using internal::UnaryPending;
+
+// ---------------------------------------------------------------------------
+// Scan
+// ---------------------------------------------------------------------------
+
+ScanOp::ScanOp(std::string name, TypePtr schema,
+               std::shared_ptr<const std::vector<ValuePtr>> data)
+    : Operator(OpType::kScan, "read " + name),
+      source_name_(std::move(name)),
+      schema_(std::move(schema)),
+      data_(std::move(data)) {}
+
+Result<TypePtr> ScanOp::InferSchema(const std::vector<TypePtr>& inputs) const {
+  if (!inputs.empty()) {
+    return Status::InvalidArgument("scan takes no inputs");
+  }
+  if (schema_ == nullptr || schema_->kind() != TypeKind::kStruct) {
+    return Status::InvalidArgument("scan schema must be a struct type");
+  }
+  return schema_;
+}
+
+Result<Dataset> ScanOp::Execute(ExecContext* ctx,
+                                const std::vector<const Dataset*>&) const {
+  Dataset ds =
+      Dataset::FromValues(schema_, *data_, ctx->options().num_partitions);
+  if (ctx->capture_enabled()) {
+    // Annotate the top-level input items with fresh provenance ids. This is
+    // the only annotation Pebble attaches to data (Sec. 5.1).
+    for (Partition& part : *ds.mutable_partitions()) {
+      if (part.empty()) continue;
+      int64_t first = ctx->ReserveIds(static_cast<int64_t>(part.size()));
+      for (size_t k = 0; k < part.size(); ++k) {
+        part[k].id = first + static_cast<int64_t>(k);
+      }
+    }
+  }
+  return ds;
+}
+
+// ---------------------------------------------------------------------------
+// Filter
+// ---------------------------------------------------------------------------
+
+FilterOp::FilterOp(ExprPtr predicate)
+    : Operator(OpType::kFilter, "filter " + predicate->ToString()),
+      predicate_(std::move(predicate)) {}
+
+Result<TypePtr> FilterOp::InferSchema(
+    const std::vector<TypePtr>& inputs) const {
+  if (inputs.size() != 1) {
+    return Status::InvalidArgument("filter takes exactly one input");
+  }
+  std::vector<Path> accessed;
+  predicate_->CollectAccessedPaths(&accessed);
+  for (const Path& p : accessed) {
+    if (!p.ExistsInType(*inputs[0])) {
+      return Status::KeyError("filter predicate path '" + p.ToString() +
+                              "' not in input schema " + inputs[0]->ToString());
+    }
+  }
+  return inputs[0];
+}
+
+Result<Dataset> FilterOp::Execute(
+    ExecContext* ctx, const std::vector<const Dataset*>& inputs) const {
+  const Dataset& in = *inputs[0];
+  const size_t nparts = in.partitions().size();
+
+  if (!ctx->capture_enabled()) {
+    std::vector<Partition> parts(nparts);
+    PEBBLE_RETURN_NOT_OK(ctx->ParallelFor(nparts, [&](size_t p) -> Status {
+      for (const Row& row : in.partitions()[p]) {
+        PEBBLE_ASSIGN_OR_RETURN(bool pass,
+                                predicate_->EvaluateBool(*row.value));
+        if (pass) parts[p].push_back(Row{-1, row.value});
+      }
+      return Status::OK();
+    }));
+    return Dataset(output_schema(), std::move(parts));
+  }
+
+  std::vector<std::vector<UnaryPending>> pending(nparts);
+  PEBBLE_RETURN_NOT_OK(ctx->ParallelFor(nparts, [&](size_t p) -> Status {
+    for (const Row& row : in.partitions()[p]) {
+      PEBBLE_ASSIGN_OR_RETURN(bool pass, predicate_->EvaluateBool(*row.value));
+      if (pass) pending[p].push_back(UnaryPending{row.value, row.id});
+    }
+    return Status::OK();
+  }));
+
+  OperatorProvenance* prov = ctx->store()->Mutable(oid());
+  std::vector<Path> accessed;
+  predicate_->CollectAccessedPaths(&accessed);
+  for (Path& p : accessed) {
+    p = p.WithPosPlaceholders();
+  }
+  InputProvenance ip;
+  ip.producer_oid = input_oids()[0];
+  ip.accessed = accessed;
+  ip.input_schema = in.schema();
+  internal::EmitSchemaCapture(ctx, *this, prov, {ip}, {}, false);
+
+  ItemCaptureSpec spec;
+  spec.accessed = std::move(accessed);
+  return internal::FinalizeUnary(ctx, output_schema(), std::move(pending),
+                                 prov, &spec);
+}
+
+// ---------------------------------------------------------------------------
+// Select
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Projection MakeLeaf(std::string name, Path path) {
+  Projection p;
+  p.name = std::move(name);
+  p.source = std::move(path);
+  return p;
+}
+
+Result<TypePtr> ProjectionType(const Projection& proj, const TypePtr& input) {
+  if (proj.is_leaf()) {
+    return ResolveType(input, proj.source);
+  }
+  std::vector<FieldType> fields;
+  fields.reserve(proj.children.size());
+  for (const Projection& child : proj.children) {
+    PEBBLE_ASSIGN_OR_RETURN(TypePtr t, ProjectionType(child, input));
+    fields.push_back({child.name, std::move(t)});
+  }
+  return DataType::Struct(std::move(fields));
+}
+
+Result<ValuePtr> ProjectionValue(const Projection& proj, const Value& item) {
+  if (proj.is_leaf()) {
+    return proj.source.Evaluate(item);
+  }
+  std::vector<Field> fields;
+  fields.reserve(proj.children.size());
+  for (const Projection& child : proj.children) {
+    PEBBLE_ASSIGN_OR_RETURN(ValuePtr v, ProjectionValue(child, item));
+    fields.push_back(Field{child.name, std::move(v)});
+  }
+  return Value::Struct(std::move(fields));
+}
+
+void CollectProjectionCapture(const Projection& proj, const Path& out_prefix,
+                              std::vector<Path>* accessed,
+                              std::vector<PathMapping>* manipulations) {
+  Path out = out_prefix.Child(PathStep{proj.name, kNoPos});
+  if (proj.is_leaf()) {
+    Path src = proj.source.WithPosPlaceholders();
+    accessed->push_back(src);
+    manipulations->push_back(PathMapping{std::move(src), std::move(out)});
+    return;
+  }
+  for (const Projection& child : proj.children) {
+    CollectProjectionCapture(child, out, accessed, manipulations);
+  }
+}
+
+std::string DescribeProjections(const std::vector<Projection>& projs) {
+  std::string out = "select ";
+  for (size_t i = 0; i < projs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += projs[i].name;
+  }
+  return out;
+}
+
+}  // namespace
+
+Projection Projection::Leaf(std::string name, const std::string& path) {
+  return MakeLeaf(std::move(name), std::move(Path::Parse(path)).ValueOrDie());
+}
+
+Projection Projection::Keep(const std::string& attr) {
+  Path p = std::move(Path::Parse(attr)).ValueOrDie();
+  std::string name = p.back().attr;
+  return MakeLeaf(std::move(name), std::move(p));
+}
+
+Projection Projection::Nested(std::string name,
+                              std::vector<Projection> children) {
+  Projection p;
+  p.name = std::move(name);
+  p.children = std::move(children);
+  return p;
+}
+
+SelectOp::SelectOp(std::vector<Projection> projections)
+    : Operator(OpType::kSelect, DescribeProjections(projections)),
+      projections_(std::move(projections)) {}
+
+Result<TypePtr> SelectOp::InferSchema(
+    const std::vector<TypePtr>& inputs) const {
+  if (inputs.size() != 1) {
+    return Status::InvalidArgument("select takes exactly one input");
+  }
+  std::vector<FieldType> fields;
+  fields.reserve(projections_.size());
+  for (const Projection& proj : projections_) {
+    for (const FieldType& existing : fields) {
+      if (existing.name == proj.name) {
+        return Status::InvalidArgument("duplicate output attribute '" +
+                                       proj.name + "' in select");
+      }
+    }
+    PEBBLE_ASSIGN_OR_RETURN(TypePtr t, ProjectionType(proj, inputs[0]));
+    fields.push_back({proj.name, std::move(t)});
+  }
+  return DataType::Struct(std::move(fields));
+}
+
+Result<Dataset> SelectOp::Execute(
+    ExecContext* ctx, const std::vector<const Dataset*>& inputs) const {
+  const Dataset& in = *inputs[0];
+  const size_t nparts = in.partitions().size();
+
+  auto project_row = [&](const Value& item) -> Result<ValuePtr> {
+    std::vector<Field> fields;
+    fields.reserve(projections_.size());
+    for (const Projection& proj : projections_) {
+      PEBBLE_ASSIGN_OR_RETURN(ValuePtr v, ProjectionValue(proj, item));
+      fields.push_back(Field{proj.name, std::move(v)});
+    }
+    return Value::Struct(std::move(fields));
+  };
+
+  if (!ctx->capture_enabled()) {
+    std::vector<Partition> parts(nparts);
+    PEBBLE_RETURN_NOT_OK(ctx->ParallelFor(nparts, [&](size_t p) -> Status {
+      parts[p].reserve(in.partitions()[p].size());
+      for (const Row& row : in.partitions()[p]) {
+        PEBBLE_ASSIGN_OR_RETURN(ValuePtr v, project_row(*row.value));
+        parts[p].push_back(Row{-1, std::move(v)});
+      }
+      return Status::OK();
+    }));
+    return Dataset(output_schema(), std::move(parts));
+  }
+
+  std::vector<std::vector<UnaryPending>> pending(nparts);
+  PEBBLE_RETURN_NOT_OK(ctx->ParallelFor(nparts, [&](size_t p) -> Status {
+    pending[p].reserve(in.partitions()[p].size());
+    for (const Row& row : in.partitions()[p]) {
+      PEBBLE_ASSIGN_OR_RETURN(ValuePtr v, project_row(*row.value));
+      pending[p].push_back(UnaryPending{std::move(v), row.id});
+    }
+    return Status::OK();
+  }));
+
+  OperatorProvenance* prov = ctx->store()->Mutable(oid());
+  std::vector<Path> accessed;
+  std::vector<PathMapping> manipulations;
+  for (const Projection& proj : projections_) {
+    CollectProjectionCapture(proj, Path(), &accessed, &manipulations);
+  }
+  InputProvenance ip;
+  ip.producer_oid = input_oids()[0];
+  ip.accessed = accessed;
+  ip.input_schema = in.schema();
+  internal::EmitSchemaCapture(ctx, *this, prov, {ip}, manipulations, false);
+
+  ItemCaptureSpec spec;
+  spec.accessed = std::move(accessed);
+  spec.manipulations = std::move(manipulations);
+  return internal::FinalizeUnary(ctx, output_schema(), std::move(pending),
+                                 prov, &spec);
+}
+
+// ---------------------------------------------------------------------------
+// Map
+// ---------------------------------------------------------------------------
+
+MapOp::MapOp(MapFn fn, TypePtr declared_schema, std::string label)
+    : Operator(OpType::kMap, std::move(label)),
+      fn_(std::move(fn)),
+      declared_schema_(std::move(declared_schema)) {}
+
+Result<TypePtr> MapOp::InferSchema(const std::vector<TypePtr>& inputs) const {
+  if (inputs.size() != 1) {
+    return Status::InvalidArgument("map takes exactly one input");
+  }
+  // An opaque lambda's output type cannot be inferred statically; without a
+  // declaration the runtime type of the first produced item is used.
+  return declared_schema_ != nullptr ? declared_schema_ : DataType::Null();
+}
+
+Result<Dataset> MapOp::Execute(
+    ExecContext* ctx, const std::vector<const Dataset*>& inputs) const {
+  const Dataset& in = *inputs[0];
+  const size_t nparts = in.partitions().size();
+
+  std::vector<std::vector<UnaryPending>> pending(nparts);
+  PEBBLE_RETURN_NOT_OK(ctx->ParallelFor(nparts, [&](size_t p) -> Status {
+    pending[p].reserve(in.partitions()[p].size());
+    for (const Row& row : in.partitions()[p]) {
+      PEBBLE_ASSIGN_OR_RETURN(ValuePtr v, fn_(*row.value));
+      if (v == nullptr || !v->is_struct()) {
+        return Status::TypeError(
+            "map function must return a data item (struct)");
+      }
+      pending[p].push_back(UnaryPending{std::move(v), row.id});
+    }
+    return Status::OK();
+  }));
+
+  // Runtime schema: declared, else inferred from the first produced item.
+  TypePtr schema = output_schema();
+  if (schema == nullptr || schema->kind() == TypeKind::kNull) {
+    schema = DataType::Struct({});
+    for (const auto& part : pending) {
+      if (!part.empty()) {
+        schema = part[0].value->InferType();
+        break;
+      }
+    }
+  }
+
+  if (!ctx->capture_enabled()) {
+    std::vector<Partition> parts(nparts);
+    for (size_t p = 0; p < nparts; ++p) {
+      parts[p].reserve(pending[p].size());
+      for (UnaryPending& row : pending[p]) {
+        parts[p].push_back(Row{-1, std::move(row.value)});
+      }
+    }
+    return Dataset(std::move(schema), std::move(parts));
+  }
+
+  OperatorProvenance* prov = ctx->store()->Mutable(oid());
+  InputProvenance ip;
+  ip.producer_oid = input_oids()[0];
+  ip.input_schema = in.schema();
+  ip.accessed_undefined = true;  // A = ⊥ (Tab. 5 map rule)
+  internal::EmitSchemaCapture(ctx, *this, prov, {ip}, {},
+                              /*manip_undefined=*/true);
+
+  ItemCaptureSpec spec;
+  spec.accessed_undefined = true;
+  spec.manip_undefined = true;
+  return internal::FinalizeUnary(ctx, std::move(schema), std::move(pending),
+                                 prov, &spec);
+}
+
+}  // namespace pebble

@@ -1,0 +1,149 @@
+#include "engine/pipeline.h"
+
+#include "nested/io.h"
+
+namespace pebble {
+
+const Operator* Pipeline::Find(int oid) const {
+  if (oid < 1 || static_cast<size_t>(oid) > ops_.size()) return nullptr;
+  return ops_[static_cast<size_t>(oid) - 1].get();
+}
+
+std::string Pipeline::ToString() const {
+  std::string out;
+  for (const auto& op : ops_) {
+    out += std::to_string(op->oid());
+    out += ": ";
+    out += op->label();
+    if (!op->input_oids().empty()) {
+      out += " <- [";
+      for (size_t i = 0; i < op->input_oids().size(); ++i) {
+        if (i > 0) out += ", ";
+        out += std::to_string(op->input_oids()[i]);
+      }
+      out += "]";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+int PipelineBuilder::Add(std::unique_ptr<Operator> op,
+                         std::vector<int> inputs) {
+  int oid = static_cast<int>(ops_.size()) + 1;
+  op->set_oid(oid);
+  op->set_input_oids(std::move(inputs));
+  ops_.push_back(std::move(op));
+  return oid;
+}
+
+int PipelineBuilder::Scan(std::string name, TypePtr schema,
+                          std::shared_ptr<const std::vector<ValuePtr>> data) {
+  return Add(std::make_unique<ScanOp>(std::move(name), std::move(schema),
+                                      std::move(data)),
+             {});
+}
+
+Result<int> PipelineBuilder::ScanJsonFile(const std::string& path,
+                                          TypePtr schema) {
+  PEBBLE_ASSIGN_OR_RETURN(std::vector<ValuePtr> values,
+                          ReadJsonLinesFile(path));
+  if (schema == nullptr) {
+    if (values.empty()) {
+      return Status::InvalidArgument(
+          "cannot infer a schema from the empty file '" + path + "'");
+    }
+    schema = values[0]->InferType();
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!values[i]->InferType()->CompatibleWith(*schema)) {
+      return Status::TypeError("record " + std::to_string(i + 1) + " of '" +
+                               path + "' does not match the schema " +
+                               schema->ToString());
+    }
+  }
+  auto data = std::make_shared<std::vector<ValuePtr>>(std::move(values));
+  return Scan(path, std::move(schema), std::move(data));
+}
+
+int PipelineBuilder::Filter(int input, ExprPtr predicate) {
+  return Add(std::make_unique<FilterOp>(std::move(predicate)), {input});
+}
+
+int PipelineBuilder::Select(int input, std::vector<Projection> projections) {
+  return Add(std::make_unique<SelectOp>(std::move(projections)), {input});
+}
+
+int PipelineBuilder::Map(int input, MapFn fn, TypePtr declared_schema,
+                         std::string label) {
+  return Add(std::make_unique<MapOp>(std::move(fn), std::move(declared_schema),
+                                     std::move(label)),
+             {input});
+}
+
+int PipelineBuilder::Join(int left, int right,
+                          const std::vector<std::string>& left_keys,
+                          const std::vector<std::string>& right_keys) {
+  std::vector<Path> lk;
+  std::vector<Path> rk;
+  for (const std::string& k : left_keys) {
+    lk.push_back(std::move(Path::Parse(k)).ValueOrDie());
+  }
+  for (const std::string& k : right_keys) {
+    rk.push_back(std::move(Path::Parse(k)).ValueOrDie());
+  }
+  return Add(std::make_unique<JoinOp>(std::move(lk), std::move(rk)),
+             {left, right});
+}
+
+int PipelineBuilder::ThetaJoin(int left, int right, ExprPtr phi) {
+  return Add(JoinOp::Theta(std::move(phi)), {left, right});
+}
+
+int PipelineBuilder::Union(int left, int right) {
+  return Add(std::make_unique<UnionOp>(), {left, right});
+}
+
+int PipelineBuilder::Flatten(int input, const std::string& column,
+                             const std::string& new_attr) {
+  return Add(std::make_unique<FlattenOp>(
+                 std::move(Path::Parse(column)).ValueOrDie(), new_attr),
+             {input});
+}
+
+int PipelineBuilder::GroupAggregate(int input, std::vector<GroupKey> keys,
+                                    std::vector<AggSpec> aggs) {
+  return Add(
+      std::make_unique<GroupAggregateOp>(std::move(keys), std::move(aggs)),
+      {input});
+}
+
+Result<Pipeline> PipelineBuilder::Build(int sink) {
+  if (sink < 1 || static_cast<size_t>(sink) > ops_.size()) {
+    return Status::InvalidArgument("invalid sink oid " + std::to_string(sink));
+  }
+  // Resolve schemas in topological (insertion) order; inputs always precede
+  // their consumers because handles are only available after Add.
+  std::vector<TypePtr> schemas(ops_.size() + 1);
+  for (const auto& op : ops_) {
+    std::vector<TypePtr> input_schemas;
+    input_schemas.reserve(op->input_oids().size());
+    for (int in : op->input_oids()) {
+      if (in < 1 || in >= op->oid()) {
+        return Status::InvalidArgument(
+            "operator " + std::to_string(op->oid()) +
+            " has invalid input oid " + std::to_string(in));
+      }
+      input_schemas.push_back(schemas[static_cast<size_t>(in)]);
+    }
+    PEBBLE_ASSIGN_OR_RETURN(TypePtr schema, op->InferSchema(input_schemas));
+    schemas[static_cast<size_t>(op->oid())] = schema;
+    op->set_output_schema(std::move(schema));
+  }
+  Pipeline pipeline;
+  pipeline.ops_ = std::move(ops_);
+  pipeline.sink_oid_ = sink;
+  return pipeline;
+}
+
+}  // namespace pebble

@@ -1,0 +1,85 @@
+// Pipeline DAG (paper Def. 4.6) and its fluent builder.
+
+#ifndef PEBBLE_ENGINE_PIPELINE_H_
+#define PEBBLE_ENGINE_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/operators.h"
+
+namespace pebble {
+
+/// A validated operator DAG with one sink. Built via PipelineBuilder; after
+/// Build every operator has its output schema resolved.
+class Pipeline {
+ public:
+  Pipeline() = default;
+  Pipeline(Pipeline&&) = default;
+  Pipeline& operator=(Pipeline&&) = default;
+
+  const std::vector<std::unique_ptr<Operator>>& operators() const {
+    return ops_;
+  }
+  int sink_oid() const { return sink_oid_; }
+
+  const Operator* Find(int oid) const;
+
+  /// Human-readable DAG listing, one operator per line.
+  std::string ToString() const;
+
+ private:
+  friend class PipelineBuilder;
+
+  std::vector<std::unique_ptr<Operator>> ops_;  // topological (oid) order
+  int sink_oid_ = -1;
+};
+
+/// Builds pipelines operator by operator. Each method returns the new
+/// operator's oid, which later calls use as an input handle. Build()
+/// validates the DAG and resolves all schemas.
+class PipelineBuilder {
+ public:
+  PipelineBuilder() = default;
+
+  /// In-memory source with an explicit schema.
+  int Scan(std::string name, TypePtr schema,
+           std::shared_ptr<const std::vector<ValuePtr>> data);
+
+  /// Source read from a newline-delimited JSON file. When `schema` is
+  /// nullptr it is inferred from the first record and every record is
+  /// validated against it.
+  Result<int> ScanJsonFile(const std::string& path, TypePtr schema = nullptr);
+
+  int Filter(int input, ExprPtr predicate);
+  int Select(int input, std::vector<Projection> projections);
+  int Map(int input, MapFn fn, TypePtr declared_schema = nullptr,
+          std::string label = "map(udf)");
+  /// Equi-join on pairwise equal key paths ("a.b" strings must parse).
+  int Join(int left, int right, const std::vector<std::string>& left_keys,
+           const std::vector<std::string>& right_keys);
+  /// General theta-join: `phi` is evaluated over the concatenated item
+  /// <left attributes..., right attributes...> (nested-loop execution; the
+  /// paper's general join condition phi(i, j)).
+  int ThetaJoin(int left, int right, ExprPtr phi);
+  int Union(int left, int right);
+  /// Unnests `column` (a path string) into attribute `new_attr`.
+  int Flatten(int input, const std::string& column,
+              const std::string& new_attr);
+  int GroupAggregate(int input, std::vector<GroupKey> keys,
+                     std::vector<AggSpec> aggs);
+
+  /// Finalizes the DAG with `sink` as the single result operator. Checks
+  /// that every oid is valid and infers all output schemas.
+  Result<Pipeline> Build(int sink);
+
+ private:
+  int Add(std::unique_ptr<Operator> op, std::vector<int> inputs);
+
+  std::vector<std::unique_ptr<Operator>> ops_;
+};
+
+}  // namespace pebble
+
+#endif  // PEBBLE_ENGINE_PIPELINE_H_

@@ -1,0 +1,37 @@
+#include "nested/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "nested/json.h"
+
+namespace pebble {
+
+Result<std::vector<ValuePtr>> ReadJsonLinesFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::IOError("read failure on '" + path + "'");
+  }
+  return ParseJsonLines(buffer.str());
+}
+
+Status WriteJsonLinesFile(const std::string& path,
+                          const std::vector<ValuePtr>& values) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  std::string text = ToJsonLines(values);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) {
+    return Status::IOError("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace pebble

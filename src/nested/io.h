@@ -1,0 +1,24 @@
+// File I/O for nested datasets: newline-delimited JSON, the format the
+// paper's pipelines read ("read tweets.json").
+
+#ifndef PEBBLE_NESTED_IO_H_
+#define PEBBLE_NESTED_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nested/value.h"
+
+namespace pebble {
+
+/// Reads a newline-delimited JSON file into data items.
+Result<std::vector<ValuePtr>> ReadJsonLinesFile(const std::string& path);
+
+/// Writes data items as newline-delimited JSON.
+Status WriteJsonLinesFile(const std::string& path,
+                          const std::vector<ValuePtr>& values);
+
+}  // namespace pebble
+
+#endif  // PEBBLE_NESTED_IO_H_

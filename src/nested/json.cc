@@ -1,0 +1,292 @@
+#include "nested/json.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace pebble {
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<ValuePtr> Parse() {
+    SkipWhitespace();
+    PEBBLE_ASSIGN_OR_RETURN(ValuePtr v, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Err("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + msg);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<ValuePtr> ParseValue() {
+    if (pos_ >= text_.size()) return Err("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        PEBBLE_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return Value::String(std::move(s));
+      }
+      case 't':
+        if (ConsumeLiteral("true")) return Value::Bool(true);
+        return Err("bad literal");
+      case 'f':
+        if (ConsumeLiteral("false")) return Value::Bool(false);
+        return Err("bad literal");
+      case 'n':
+        if (ConsumeLiteral("null")) return Value::Null();
+        return Err("bad literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<ValuePtr> ParseObject() {
+    ++pos_;  // '{'
+    std::vector<Field> fields;
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return Value::Struct(std::move(fields));
+    }
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Err("expected object key");
+      }
+      PEBBLE_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Err("expected ':'");
+      }
+      ++pos_;
+      SkipWhitespace();
+      PEBBLE_ASSIGN_OR_RETURN(ValuePtr v, ParseValue());
+      fields.push_back(Field{std::move(key), std::move(v)});
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Err("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return Value::Struct(std::move(fields));
+      }
+      return Err("expected ',' or '}'");
+    }
+  }
+
+  Result<ValuePtr> ParseArray() {
+    ++pos_;  // '['
+    std::vector<ValuePtr> elems;
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return Value::Bag(std::move(elems));
+    }
+    while (true) {
+      SkipWhitespace();
+      PEBBLE_ASSIGN_OR_RETURN(ValuePtr v, ParseValue());
+      elems.push_back(std::move(v));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Err("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return Value::Bag(std::move(elems));
+      }
+      return Err("expected ',' or ']'");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return Err("unterminated escape");
+        char e = text_[pos_];
+        switch (e) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'u': {
+            if (pos_ + 4 >= text_.size()) return Err("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              char h = text_[pos_ + i];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Err("bad hex digit in \\u escape");
+              }
+            }
+            pos_ += 4;
+            // Encode as UTF-8 (no surrogate-pair handling: BMP only, which
+            // suffices for the synthetic workloads).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Err("bad escape character");
+        }
+        ++pos_;
+      } else {
+        out.push_back(c);
+        ++pos_;
+      }
+    }
+    return Err("unterminated string");
+  }
+
+  Result<ValuePtr> ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Err("expected value");
+    std::string num(text_.substr(start, pos_ - start));
+    if (is_double) {
+      char* end = nullptr;
+      double d = std::strtod(num.c_str(), &end);
+      if (end != num.c_str() + num.size()) return Err("bad number: " + num);
+      return Value::Double(d);
+    }
+    errno = 0;
+    char* end = nullptr;
+    long long v = std::strtoll(num.c_str(), &end, 10);
+    if (end != num.c_str() + num.size() || errno == ERANGE) {
+      return Err("bad integer: " + num);
+    }
+    return Value::Int(static_cast<int64_t>(v));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ValuePtr> ParseJson(std::string_view text) {
+  return JsonParser(text).Parse();
+}
+
+Result<std::vector<ValuePtr>> ParseJsonLines(std::string_view text) {
+  std::vector<ValuePtr> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '\n') {
+      std::string_view line = text.substr(start, i - start);
+      start = i + 1;
+      // Skip blank lines.
+      bool blank = true;
+      for (char c : line) {
+        if (c != ' ' && c != '\t' && c != '\r') {
+          blank = false;
+          break;
+        }
+      }
+      if (blank) continue;
+      PEBBLE_ASSIGN_OR_RETURN(ValuePtr v, ParseJson(line));
+      out.push_back(std::move(v));
+    }
+  }
+  return out;
+}
+
+std::string ToJsonLines(const std::vector<ValuePtr>& values) {
+  std::string out;
+  for (const ValuePtr& v : values) {
+    out += v->ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace pebble

@@ -1,0 +1,28 @@
+// Minimal JSON reader for nested datasets. Objects become data items
+// (structs, preserving key order), arrays become bags, numbers become Int
+// when integral and Double otherwise.
+
+#ifndef PEBBLE_NESTED_JSON_H_
+#define PEBBLE_NESTED_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "nested/value.h"
+
+namespace pebble {
+
+/// Parses one JSON document.
+Result<ValuePtr> ParseJson(std::string_view text);
+
+/// Parses newline-delimited JSON (one document per non-empty line).
+Result<std::vector<ValuePtr>> ParseJsonLines(std::string_view text);
+
+/// Serializes values as newline-delimited JSON.
+std::string ToJsonLines(const std::vector<ValuePtr>& values);
+
+}  // namespace pebble
+
+#endif  // PEBBLE_NESTED_JSON_H_

@@ -1,0 +1,259 @@
+#include "nested/path.h"
+
+#include <functional>
+
+namespace pebble {
+
+namespace {
+
+void HashCombine(size_t* seed, size_t v) {
+  *seed ^= v + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+}  // namespace
+
+std::string PathStep::ToString() const {
+  if (!has_pos()) return attr;
+  if (is_placeholder()) return attr + "[pos]";
+  return attr + "[" + std::to_string(pos) + "]";
+}
+
+Path Path::Attr(std::string name) {
+  return Path({PathStep{std::move(name), kNoPos}});
+}
+
+Result<Path> Path::Parse(const std::string& text) {
+  std::vector<PathStep> steps;
+  size_t i = 0;
+  const size_t n = text.size();
+  if (n == 0) return Path();
+  while (i < n) {
+    // Attribute name: run of chars other than '.' and '['. A step may also
+    // be written ".[pos]" / ".[3]" (empty attr merges position into the
+    // previous step).
+    size_t start = i;
+    while (i < n && text[i] != '.' && text[i] != '[') ++i;
+    std::string attr = text.substr(start, i - start);
+    int32_t pos = kNoPos;
+    if (i < n && text[i] == '[') {
+      ++i;
+      size_t idx_start = i;
+      while (i < n && text[i] != ']') ++i;
+      if (i == n) {
+        return Status::InvalidArgument("unterminated '[' in path: " + text);
+      }
+      std::string idx = text.substr(idx_start, i - idx_start);
+      ++i;  // skip ']'
+      if (idx == "pos") {
+        pos = kPosPlaceholder;
+      } else {
+        if (idx.empty()) {
+          return Status::InvalidArgument("empty index in path: " + text);
+        }
+        int64_t v = 0;
+        for (char c : idx) {
+          if (c < '0' || c > '9') {
+            return Status::InvalidArgument("bad index '" + idx +
+                                           "' in path: " + text);
+          }
+          v = v * 10 + (c - '0');
+        }
+        if (v <= 0) {
+          return Status::InvalidArgument(
+              "positions are 1-based; got 0 in path: " + text);
+        }
+        pos = static_cast<int32_t>(v);
+      }
+    }
+    if (attr.empty() && pos != kNoPos && !steps.empty() &&
+        !steps.back().has_pos()) {
+      steps.back().pos = pos;  // "a.[2]" spelling
+    } else if (attr.empty()) {
+      return Status::InvalidArgument("empty step in path: " + text);
+    } else {
+      steps.push_back(PathStep{std::move(attr), pos});
+    }
+    if (i < n) {
+      if (text[i] != '.') {
+        return Status::InvalidArgument("expected '.' in path: " + text);
+      }
+      ++i;
+      if (i == n) {
+        return Status::InvalidArgument("trailing '.' in path: " + text);
+      }
+    }
+  }
+  return Path(std::move(steps));
+}
+
+Path Path::Child(PathStep step) const {
+  std::vector<PathStep> steps = steps_;
+  steps.push_back(std::move(step));
+  return Path(std::move(steps));
+}
+
+Path Path::Concat(const Path& suffix) const {
+  std::vector<PathStep> steps = steps_;
+  steps.insert(steps.end(), suffix.steps_.begin(), suffix.steps_.end());
+  return Path(std::move(steps));
+}
+
+Path Path::Parent() const {
+  if (steps_.empty()) return Path();
+  return Path(std::vector<PathStep>(steps_.begin(), steps_.end() - 1));
+}
+
+bool Path::HasPrefix(const Path& prefix) const {
+  if (prefix.size() > size()) return false;
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    if (!(steps_[i] == prefix.steps_[i])) return false;
+  }
+  return true;
+}
+
+Path Path::SuffixAfter(const Path& prefix) const {
+  return Path(
+      std::vector<PathStep>(steps_.begin() + prefix.size(), steps_.end()));
+}
+
+bool Path::HasPositions() const {
+  for (const PathStep& s : steps_) {
+    if (s.has_pos()) return true;
+  }
+  return false;
+}
+
+Path Path::WithPosPlaceholders() const {
+  std::vector<PathStep> steps = steps_;
+  for (PathStep& s : steps) {
+    if (s.has_pos()) s.pos = kPosPlaceholder;
+  }
+  return Path(std::move(steps));
+}
+
+Path Path::WithPlaceholderReplaced(int32_t pos) const {
+  std::vector<PathStep> steps = steps_;
+  for (PathStep& s : steps) {
+    if (s.is_placeholder()) {
+      s.pos = pos;
+      break;
+    }
+  }
+  return Path(std::move(steps));
+}
+
+Path Path::WithoutPositions() const {
+  std::vector<PathStep> steps = steps_;
+  for (PathStep& s : steps) {
+    s.pos = kNoPos;
+  }
+  return Path(std::move(steps));
+}
+
+Result<ValuePtr> Path::Evaluate(const Value& context) const {
+  ValuePtr current;
+  const Value* cur = &context;
+  for (const PathStep& step : steps_) {
+    if (!cur->is_struct()) {
+      return Status::TypeError("path step '" + step.ToString() +
+                               "' applied to non-struct value");
+    }
+    ValuePtr next = cur->FindField(step.attr);
+    if (next == nullptr) {
+      return Status::KeyError("no attribute '" + step.attr + "' in item");
+    }
+    if (step.has_pos()) {
+      if (step.is_placeholder()) {
+        return Status::InvalidArgument(
+            "cannot evaluate a path with a [pos] placeholder: " + ToString());
+      }
+      if (!next->is_collection()) {
+        return Status::TypeError("positional access on non-collection '" +
+                                 step.attr + "'");
+      }
+      size_t idx = static_cast<size_t>(step.pos);  // 1-based
+      if (idx == 0 || idx > next->num_elements()) {
+        return Status::IndexError("position " + std::to_string(step.pos) +
+                                  " out of range for '" + step.attr + "'");
+      }
+      next = next->elements()[idx - 1];
+    }
+    current = next;
+    cur = current.get();
+  }
+  if (current == nullptr) current = Value::Null();  // empty path: identity
+  return current;
+}
+
+bool Path::ExistsInType(const DataType& type) const {
+  const DataType* cur = &type;
+  for (const PathStep& step : steps_) {
+    if (cur->kind() != TypeKind::kStruct) return false;
+    const FieldType* f = cur->FindField(step.attr);
+    if (f == nullptr) return false;
+    cur = f->type.get();
+    if (step.has_pos()) {
+      if (!cur->is_collection()) return false;
+      cur = cur->element().get();
+    }
+  }
+  return true;
+}
+
+std::string Path::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    if (i > 0) out += ".";
+    out += steps_[i].ToString();
+  }
+  return out;
+}
+
+bool Path::operator<(const Path& other) const {
+  size_t n = std::min(size(), other.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (steps_[i].attr != other.steps_[i].attr) {
+      return steps_[i].attr < other.steps_[i].attr;
+    }
+    if (steps_[i].pos != other.steps_[i].pos) {
+      return steps_[i].pos < other.steps_[i].pos;
+    }
+  }
+  return size() < other.size();
+}
+
+size_t Path::Hash() const {
+  size_t h = 0;
+  for (const PathStep& s : steps_) {
+    HashCombine(&h, std::hash<std::string>{}(s.attr));
+    HashCombine(&h, std::hash<int32_t>{}(s.pos));
+  }
+  return h;
+}
+
+Result<TypePtr> ResolveType(const TypePtr& root, const Path& path) {
+  TypePtr cur = root;
+  for (const PathStep& step : path.steps()) {
+    if (cur->kind() != TypeKind::kStruct) {
+      return Status::TypeError("path step '" + step.ToString() +
+                               "' applied to non-struct type " +
+                               cur->ToString());
+    }
+    const FieldType* f = cur->FindField(step.attr);
+    if (f == nullptr) {
+      return Status::KeyError("no attribute '" + step.attr + "' in type " +
+                              cur->ToString());
+    }
+    cur = f->type;
+    if (step.has_pos()) {
+      if (!cur->is_collection()) {
+        return Status::TypeError("positional access on non-collection '" +
+                                 step.attr + "'");
+      }
+      cur = cur->element();
+    }
+  }
+  return cur;
+}
+
+}  // namespace pebble

@@ -1,0 +1,116 @@
+// Access paths over nested values (paper Def. 4.3) plus the schema-level
+// variant with positional placeholders used by lightweight capture
+// (Def. 5.1).
+//
+// Syntax:  p := step ('.' step)*    step := attr | attr '[' index ']'
+//                                   index := positive integer | 'pos'
+// Positions are 1-based, matching the paper (Ex. 4.4: tweets[2].text is the
+// *second* element). The special index 'pos' is the placeholder written
+// "[pos]" that lightweight capture records instead of a concrete position.
+
+#ifndef PEBBLE_NESTED_PATH_H_
+#define PEBBLE_NESTED_PATH_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nested/type.h"
+#include "nested/value.h"
+
+namespace pebble {
+
+/// No positional access on this step.
+inline constexpr int32_t kNoPos = -1;
+/// The "[pos]" placeholder of lightweight capture (Def. 5.1).
+inline constexpr int32_t kPosPlaceholder = 0;
+
+/// One step of an access path: an attribute, optionally followed by a
+/// 1-based position into that attribute's collection value.
+struct PathStep {
+  std::string attr;
+  int32_t pos = kNoPos;
+
+  bool has_pos() const { return pos != kNoPos; }
+  bool is_placeholder() const { return pos == kPosPlaceholder; }
+  bool operator==(const PathStep& other) const {
+    return attr == other.attr && pos == other.pos;
+  }
+  std::string ToString() const;
+};
+
+/// An access path w.r.t. a context data item.
+class Path {
+ public:
+  Path() = default;
+  explicit Path(std::vector<PathStep> steps) : steps_(std::move(steps)) {}
+
+  /// Single-attribute path.
+  static Path Attr(std::string name);
+
+  /// Parses "user_mentions[1].id_str" / "tweets.[pos].text" style strings.
+  /// Both "a.[pos].b" and "a[pos].b" spellings are accepted.
+  static Result<Path> Parse(const std::string& text);
+
+  const std::vector<PathStep>& steps() const { return steps_; }
+  size_t size() const { return steps_.size(); }
+  bool empty() const { return steps_.empty(); }
+  const PathStep& step(size_t i) const { return steps_[i]; }
+  const PathStep& back() const { return steps_.back(); }
+
+  /// Path with `step` appended.
+  Path Child(PathStep step) const;
+  /// Path with all of `suffix`'s steps appended.
+  Path Concat(const Path& suffix) const;
+  /// Path without the last step; empty stays empty.
+  Path Parent() const;
+  /// True if this path's steps start with all of `prefix`'s steps.
+  bool HasPrefix(const Path& prefix) const;
+  /// Steps after `prefix` (requires HasPrefix(prefix)).
+  Path SuffixAfter(const Path& prefix) const;
+
+  /// True if any step carries a position (concrete or placeholder).
+  bool HasPositions() const;
+
+  /// Schema-level rendering of this path: every concrete position is
+  /// replaced by the "[pos]" placeholder (Def. 5.1).
+  Path WithPosPlaceholders() const;
+
+  /// Replaces the first "[pos]" placeholder with the concrete 1-based
+  /// position `pos` (backtracing, Alg. 4 l.7).
+  Path WithPlaceholderReplaced(int32_t pos) const;
+
+  /// Drops all positions entirely (pure attribute path).
+  Path WithoutPositions() const;
+
+  /// Evaluates this path against a context data item (Def. 4.3). Returns
+  /// KeyError/IndexError/TypeError on invalid navigation.
+  Result<ValuePtr> Evaluate(const Value& context) const;
+
+  /// True if this path is valid in (navigable through) the given struct
+  /// type; positions require the stepped-into attribute to be a collection.
+  bool ExistsInType(const DataType& type) const;
+
+  std::string ToString() const;
+  bool operator==(const Path& other) const { return steps_ == other.steps_; }
+  bool operator<(const Path& other) const;
+  size_t Hash() const;
+
+ private:
+  std::vector<PathStep> steps_;
+};
+
+struct PathHash {
+  size_t operator()(const Path& p) const { return p.Hash(); }
+};
+
+/// Resolves the type reached by navigating `path` from `root` (a struct
+/// type). Positional steps (concrete or placeholder) step into the element
+/// type of a collection attribute.
+Result<TypePtr> ResolveType(const TypePtr& root, const Path& path);
+
+}  // namespace pebble
+
+#endif  // PEBBLE_NESTED_PATH_H_

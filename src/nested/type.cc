@@ -1,0 +1,230 @@
+#include "nested/type.h"
+
+#include <utility>
+
+namespace pebble {
+
+const char* TypeKindToString(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kNull:
+      return "Null";
+    case TypeKind::kBool:
+      return "Bool";
+    case TypeKind::kInt:
+      return "Int";
+    case TypeKind::kDouble:
+      return "Double";
+    case TypeKind::kString:
+      return "String";
+    case TypeKind::kStruct:
+      return "Struct";
+    case TypeKind::kBag:
+      return "Bag";
+    case TypeKind::kSet:
+      return "Set";
+  }
+  return "Unknown";
+}
+
+TypePtr DataType::Null() {
+  static const TypePtr t(new DataType(TypeKind::kNull));
+  return t;
+}
+TypePtr DataType::Bool() {
+  static const TypePtr t(new DataType(TypeKind::kBool));
+  return t;
+}
+TypePtr DataType::Int() {
+  static const TypePtr t(new DataType(TypeKind::kInt));
+  return t;
+}
+TypePtr DataType::Double() {
+  static const TypePtr t(new DataType(TypeKind::kDouble));
+  return t;
+}
+TypePtr DataType::String() {
+  static const TypePtr t(new DataType(TypeKind::kString));
+  return t;
+}
+
+TypePtr DataType::Struct(std::vector<FieldType> fields) {
+  auto* t = new DataType(TypeKind::kStruct);
+  t->fields_ = std::move(fields);
+  return TypePtr(t);
+}
+
+TypePtr DataType::Bag(TypePtr element) {
+  auto* t = new DataType(TypeKind::kBag);
+  t->element_ = std::move(element);
+  return TypePtr(t);
+}
+
+TypePtr DataType::Set(TypePtr element) {
+  auto* t = new DataType(TypeKind::kSet);
+  t->element_ = std::move(element);
+  return TypePtr(t);
+}
+
+const FieldType* DataType::FindField(const std::string& name) const {
+  for (const FieldType& f : fields_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+int DataType::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool DataType::Equals(const DataType& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case TypeKind::kStruct: {
+      if (fields_.size() != other.fields_.size()) return false;
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        if (fields_[i].name != other.fields_[i].name) return false;
+        if (!fields_[i].type->Equals(*other.fields_[i].type)) return false;
+      }
+      return true;
+    }
+    case TypeKind::kBag:
+    case TypeKind::kSet:
+      return element_->Equals(*other.element_);
+    default:
+      return true;
+  }
+}
+
+bool DataType::CompatibleWith(const DataType& other) const {
+  if (kind_ == TypeKind::kNull || other.kind_ == TypeKind::kNull) return true;
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case TypeKind::kStruct: {
+      if (fields_.size() != other.fields_.size()) return false;
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        if (fields_[i].name != other.fields_[i].name) return false;
+        if (!fields_[i].type->CompatibleWith(*other.fields_[i].type)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case TypeKind::kBag:
+    case TypeKind::kSet:
+      return element_->CompatibleWith(*other.element_);
+    default:
+      return true;
+  }
+}
+
+std::string DataType::ToString() const {
+  switch (kind_) {
+    case TypeKind::kStruct: {
+      std::string out = "<";
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        if (i > 0) out += ",";
+        out += fields_[i].name;
+        out += ":";
+        out += fields_[i].type->ToString();
+      }
+      out += ">";
+      return out;
+    }
+    case TypeKind::kBag:
+      return "{{" + element_->ToString() + "}}";
+    case TypeKind::kSet:
+      return "{" + element_->ToString() + "}";
+    default:
+      return TypeKindToString(kind_);
+  }
+}
+
+bool operator==(const DataType& a, const DataType& b) { return a.Equals(b); }
+
+namespace {
+
+class TypeParser {
+ public:
+  explicit TypeParser(const std::string& text) : text_(text) {}
+
+  Result<TypePtr> Parse() {
+    PEBBLE_ASSIGN_OR_RETURN(TypePtr t, ParseType());
+    if (pos_ != text_.size()) {
+      return Err("trailing characters");
+    }
+    return t;
+  }
+
+ private:
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument("type parse error at offset " +
+                                   std::to_string(pos_) + ": " + msg +
+                                   " in '" + text_ + "'");
+  }
+
+  bool ConsumeWord(const char* word) {
+    size_t len = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, len, word) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Result<TypePtr> ParseType() {
+    if (pos_ >= text_.size()) return Err("expected type");
+    if (ConsumeWord("Null")) return DataType::Null();
+    if (ConsumeWord("Bool")) return DataType::Bool();
+    if (ConsumeWord("Int")) return DataType::Int();
+    if (ConsumeWord("Double")) return DataType::Double();
+    if (ConsumeWord("String")) return DataType::String();
+    if (ConsumeWord("{{")) {
+      PEBBLE_ASSIGN_OR_RETURN(TypePtr element, ParseType());
+      if (!ConsumeWord("}}")) return Err("expected '}}'");
+      return DataType::Bag(std::move(element));
+    }
+    if (ConsumeWord("{")) {
+      PEBBLE_ASSIGN_OR_RETURN(TypePtr element, ParseType());
+      if (!ConsumeWord("}")) return Err("expected '}'");
+      return DataType::Set(std::move(element));
+    }
+    if (ConsumeWord("<")) {
+      std::vector<FieldType> fields;
+      if (ConsumeWord(">")) return DataType::Struct(std::move(fields));
+      while (true) {
+        size_t start = pos_;
+        while (pos_ < text_.size() && text_[pos_] != ':') {
+          char c = text_[pos_];
+          if (c == '<' || c == '>' || c == '{' || c == '}' || c == ',') {
+            return Err("bad character in attribute name");
+          }
+          ++pos_;
+        }
+        if (pos_ == start) return Err("expected attribute name");
+        if (pos_ >= text_.size()) return Err("expected ':'");
+        std::string name = text_.substr(start, pos_ - start);
+        ++pos_;  // ':'
+        PEBBLE_ASSIGN_OR_RETURN(TypePtr t, ParseType());
+        fields.push_back({std::move(name), std::move(t)});
+        if (ConsumeWord(",")) continue;
+        if (ConsumeWord(">")) return DataType::Struct(std::move(fields));
+        return Err("expected ',' or '>'");
+      }
+    }
+    return Err("expected type");
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<TypePtr> ParseDataType(const std::string& text) {
+  return TypeParser(text).Parse();
+}
+
+}  // namespace pebble

@@ -1,0 +1,108 @@
+// Recursive type system for nested datasets (paper Sec. 4.1, Tab. 4).
+//
+// A type is one of:
+//   - a primitive constant type (bool, int, double, string),
+//   - a data-item (struct) type: an ordered list of uniquely named fields,
+//   - a bag type {{ tau }} (ordered collection, duplicates allowed),
+//   - a set type  { tau }  (ordered collection, duplicates removed),
+//   - the null type, which acts as an "unknown" wildcard in compatibility
+//     checks (e.g. the element type of an empty collection).
+
+#ifndef PEBBLE_NESTED_TYPE_H_
+#define PEBBLE_NESTED_TYPE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pebble {
+
+class DataType;
+using TypePtr = std::shared_ptr<const DataType>;
+
+enum class TypeKind {
+  kNull,
+  kBool,
+  kInt,
+  kDouble,
+  kString,
+  kStruct,
+  kBag,
+  kSet,
+};
+
+/// Returns "Int", "Bag", ... for diagnostics.
+const char* TypeKindToString(TypeKind kind);
+
+/// A named field of a struct type.
+struct FieldType {
+  std::string name;
+  TypePtr type;
+};
+
+/// Immutable recursive data type. Construct through the static factories;
+/// instances are shared via TypePtr.
+class DataType {
+ public:
+  static TypePtr Null();
+  static TypePtr Bool();
+  static TypePtr Int();
+  static TypePtr Double();
+  static TypePtr String();
+  static TypePtr Struct(std::vector<FieldType> fields);
+  static TypePtr Bag(TypePtr element);
+  static TypePtr Set(TypePtr element);
+
+  TypeKind kind() const { return kind_; }
+  bool is_primitive() const {
+    return kind_ != TypeKind::kStruct && kind_ != TypeKind::kBag &&
+           kind_ != TypeKind::kSet;
+  }
+  bool is_collection() const {
+    return kind_ == TypeKind::kBag || kind_ == TypeKind::kSet;
+  }
+
+  /// Struct only: the ordered fields.
+  const std::vector<FieldType>& fields() const { return fields_; }
+
+  /// Struct only: field by name, or nullptr if absent.
+  const FieldType* FindField(const std::string& name) const;
+
+  /// Struct only: index of a field by name, or -1.
+  int FieldIndex(const std::string& name) const;
+
+  /// Bag/Set only: the element type.
+  const TypePtr& element() const { return element_; }
+
+  /// Deep structural equality.
+  bool Equals(const DataType& other) const;
+
+  /// Like Equals, but kNull on either side matches anything (used for
+  /// empty-collection element types).
+  bool CompatibleWith(const DataType& other) const;
+
+  /// Human-readable rendering, e.g. "{{<user:<id_str:String>>}}".
+  std::string ToString() const;
+
+ private:
+  explicit DataType(TypeKind kind) : kind_(kind) {}
+
+  TypeKind kind_;
+  std::vector<FieldType> fields_;  // kStruct
+  TypePtr element_;                // kBag / kSet
+};
+
+bool operator==(const DataType& a, const DataType& b);
+
+/// Parses the rendering produced by DataType::ToString back into a type:
+///   Int | Double | String | Bool | Null
+///   <a:Int,b:{{<x:String>}}>       struct
+///   {{T}}                          bag,   {T}  set
+/// Attribute names must not contain the meta characters <>{},: .
+Result<TypePtr> ParseDataType(const std::string& text);
+
+}  // namespace pebble
+
+#endif  // PEBBLE_NESTED_TYPE_H_

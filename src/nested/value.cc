@@ -1,0 +1,319 @@
+#include "nested/value.h"
+
+#include <cstdio>
+#include <functional>
+
+namespace pebble {
+
+namespace {
+
+void HashCombine(size_t* seed, size_t v) {
+  *seed ^= v + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+ValuePtr Value::Null() {
+  static const ValuePtr v(new Value(ValueKind::kNull));
+  return v;
+}
+
+ValuePtr Value::Bool(bool b) {
+  auto* v = new Value(ValueKind::kBool);
+  v->bool_ = b;
+  return ValuePtr(v);
+}
+
+ValuePtr Value::Int(int64_t i) {
+  auto* v = new Value(ValueKind::kInt);
+  v->int_ = i;
+  return ValuePtr(v);
+}
+
+ValuePtr Value::Double(double d) {
+  auto* v = new Value(ValueKind::kDouble);
+  v->double_ = d;
+  return ValuePtr(v);
+}
+
+ValuePtr Value::String(std::string s) {
+  auto* v = new Value(ValueKind::kString);
+  v->string_ = std::move(s);
+  return ValuePtr(v);
+}
+
+ValuePtr Value::Struct(std::vector<Field> fields) {
+  auto* v = new Value(ValueKind::kStruct);
+  v->fields_ = std::move(fields);
+  return ValuePtr(v);
+}
+
+ValuePtr Value::Bag(std::vector<ValuePtr> elements) {
+  auto* v = new Value(ValueKind::kBag);
+  v->elements_ = std::move(elements);
+  return ValuePtr(v);
+}
+
+ValuePtr Value::Set(std::vector<ValuePtr> elements) {
+  auto* v = new Value(ValueKind::kSet);
+  v->elements_.reserve(elements.size());
+  for (const ValuePtr& e : elements) {
+    bool dup = false;
+    for (const ValuePtr& existing : v->elements_) {
+      if (existing->Equals(*e)) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) v->elements_.push_back(e);
+  }
+  return ValuePtr(v);
+}
+
+ValuePtr Value::FindField(const std::string& name) const {
+  for (const Field& f : fields_) {
+    if (f.name == name) return f.value;
+  }
+  return nullptr;
+}
+
+bool Value::Equals(const Value& other) const {
+  if (this == &other) return true;
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case ValueKind::kNull:
+      return true;
+    case ValueKind::kBool:
+      return bool_ == other.bool_;
+    case ValueKind::kInt:
+      return int_ == other.int_;
+    case ValueKind::kDouble:
+      return double_ == other.double_;
+    case ValueKind::kString:
+      return string_ == other.string_;
+    case ValueKind::kStruct: {
+      if (fields_.size() != other.fields_.size()) return false;
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        if (fields_[i].name != other.fields_[i].name) return false;
+        if (!fields_[i].value->Equals(*other.fields_[i].value)) return false;
+      }
+      return true;
+    }
+    case ValueKind::kBag:
+    case ValueKind::kSet: {
+      if (elements_.size() != other.elements_.size()) return false;
+      for (size_t i = 0; i < elements_.size(); ++i) {
+        if (!elements_[i]->Equals(*other.elements_[i])) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t Value::Hash() const {
+  size_t h = static_cast<size_t>(kind_) * 0x9e3779b97f4a7c15ULL;
+  switch (kind_) {
+    case ValueKind::kNull:
+      break;
+    case ValueKind::kBool:
+      HashCombine(&h, bool_ ? 1 : 2);
+      break;
+    case ValueKind::kInt:
+      HashCombine(&h, std::hash<int64_t>{}(int_));
+      break;
+    case ValueKind::kDouble:
+      HashCombine(&h, std::hash<double>{}(double_));
+      break;
+    case ValueKind::kString:
+      HashCombine(&h, std::hash<std::string>{}(string_));
+      break;
+    case ValueKind::kStruct:
+      for (const Field& f : fields_) {
+        HashCombine(&h, std::hash<std::string>{}(f.name));
+        HashCombine(&h, f.value->Hash());
+      }
+      break;
+    case ValueKind::kBag:
+    case ValueKind::kSet:
+      for (const ValuePtr& e : elements_) {
+        HashCombine(&h, e->Hash());
+      }
+      break;
+  }
+  return h;
+}
+
+int Value::Compare(const Value& other) const {
+  if (kind_ != other.kind_) {
+    return static_cast<int>(kind_) < static_cast<int>(other.kind_) ? -1 : 1;
+  }
+  auto cmp3 = [](auto a, auto b) { return a < b ? -1 : (a > b ? 1 : 0); };
+  switch (kind_) {
+    case ValueKind::kNull:
+      return 0;
+    case ValueKind::kBool:
+      return cmp3(bool_, other.bool_);
+    case ValueKind::kInt:
+      return cmp3(int_, other.int_);
+    case ValueKind::kDouble:
+      return cmp3(double_, other.double_);
+    case ValueKind::kString:
+      return string_.compare(other.string_);
+    case ValueKind::kStruct: {
+      size_t n = std::min(fields_.size(), other.fields_.size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = fields_[i].name.compare(other.fields_[i].name);
+        if (c != 0) return c < 0 ? -1 : 1;
+        c = fields_[i].value->Compare(*other.fields_[i].value);
+        if (c != 0) return c;
+      }
+      return cmp3(fields_.size(), other.fields_.size());
+    }
+    case ValueKind::kBag:
+    case ValueKind::kSet: {
+      size_t n = std::min(elements_.size(), other.elements_.size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = elements_[i]->Compare(*other.elements_[i]);
+        if (c != 0) return c;
+      }
+      return cmp3(elements_.size(), other.elements_.size());
+    }
+  }
+  return 0;
+}
+
+TypePtr Value::InferType() const {
+  switch (kind_) {
+    case ValueKind::kNull:
+      return DataType::Null();
+    case ValueKind::kBool:
+      return DataType::Bool();
+    case ValueKind::kInt:
+      return DataType::Int();
+    case ValueKind::kDouble:
+      return DataType::Double();
+    case ValueKind::kString:
+      return DataType::String();
+    case ValueKind::kStruct: {
+      std::vector<FieldType> fts;
+      fts.reserve(fields_.size());
+      for (const Field& f : fields_) {
+        fts.push_back({f.name, f.value->InferType()});
+      }
+      return DataType::Struct(std::move(fts));
+    }
+    case ValueKind::kBag:
+      return DataType::Bag(elements_.empty() ? DataType::Null()
+                                             : elements_[0]->InferType());
+    case ValueKind::kSet:
+      return DataType::Set(elements_.empty() ? DataType::Null()
+                                             : elements_[0]->InferType());
+  }
+  return DataType::Null();
+}
+
+std::string Value::ToString() const {
+  std::string out;
+  switch (kind_) {
+    case ValueKind::kNull:
+      out = "null";
+      break;
+    case ValueKind::kBool:
+      out = bool_ ? "true" : "false";
+      break;
+    case ValueKind::kInt:
+      out = std::to_string(int_);
+      break;
+    case ValueKind::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", double_);
+      out = buf;
+      break;
+    }
+    case ValueKind::kString:
+      AppendJsonString(string_, &out);
+      break;
+    case ValueKind::kStruct: {
+      out = "{";
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        if (i > 0) out += ",";
+        AppendJsonString(fields_[i].name, &out);
+        out += ":";
+        out += fields_[i].value->ToString();
+      }
+      out += "}";
+      break;
+    }
+    case ValueKind::kBag:
+    case ValueKind::kSet: {
+      out = "[";
+      for (size_t i = 0; i < elements_.size(); ++i) {
+        if (i > 0) out += ",";
+        out += elements_[i]->ToString();
+      }
+      out += "]";
+      break;
+    }
+  }
+  return out;
+}
+
+uint64_t Value::ApproxBytes() const {
+  uint64_t bytes = sizeof(Value);
+  switch (kind_) {
+    case ValueKind::kString:
+      bytes += string_.size();
+      break;
+    case ValueKind::kStruct:
+      for (const Field& f : fields_) {
+        bytes += f.name.size() + sizeof(Field) + f.value->ApproxBytes();
+      }
+      break;
+    case ValueKind::kBag:
+    case ValueKind::kSet:
+      for (const ValuePtr& e : elements_) {
+        bytes += sizeof(ValuePtr) + e->ApproxBytes();
+      }
+      break;
+    default:
+      break;
+  }
+  return bytes;
+}
+
+bool operator==(const Value& a, const Value& b) { return a.Equals(b); }
+
+}  // namespace pebble

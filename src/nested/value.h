@@ -1,0 +1,137 @@
+// Immutable nested value model (paper Def. 4.1, Tab. 4).
+//
+// A value is a constant (bool, int, double, string), a data item (an ordered
+// list of uniquely named attribute:value pairs, i.e. a struct), a bag
+// (ordered, duplicates allowed) or a set (ordered, duplicates removed at
+// construction). Values are shared via std::shared_ptr<const Value>, so
+// operators copy substructure in O(1).
+
+#ifndef PEBBLE_NESTED_VALUE_H_
+#define PEBBLE_NESTED_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "nested/type.h"
+
+namespace pebble {
+
+class Value;
+using ValuePtr = std::shared_ptr<const Value>;
+
+enum class ValueKind {
+  kNull,
+  kBool,
+  kInt,
+  kDouble,
+  kString,
+  kStruct,
+  kBag,
+  kSet,
+};
+
+/// One attribute of a data item.
+struct Field {
+  std::string name;
+  ValuePtr value;
+};
+
+/// Immutable nested value. Build through the static factories.
+class Value {
+ public:
+  static ValuePtr Null();
+  static ValuePtr Bool(bool v);
+  static ValuePtr Int(int64_t v);
+  static ValuePtr Double(double v);
+  static ValuePtr String(std::string v);
+  static ValuePtr Struct(std::vector<Field> fields);
+  static ValuePtr Bag(std::vector<ValuePtr> elements);
+  /// Removes duplicates (by deep equality), keeping first occurrences.
+  static ValuePtr Set(std::vector<ValuePtr> elements);
+
+  ValueKind kind() const { return kind_; }
+  bool is_null() const { return kind_ == ValueKind::kNull; }
+  bool is_struct() const { return kind_ == ValueKind::kStruct; }
+  bool is_collection() const {
+    return kind_ == ValueKind::kBag || kind_ == ValueKind::kSet;
+  }
+  bool is_numeric() const {
+    return kind_ == ValueKind::kInt || kind_ == ValueKind::kDouble;
+  }
+
+  // Constant accessors; only valid for the matching kind.
+  bool bool_value() const { return bool_; }
+  int64_t int_value() const { return int_; }
+  double double_value() const { return double_; }
+  const std::string& string_value() const { return string_; }
+
+  /// Numeric value as double (int or double kinds).
+  double AsDouble() const {
+    return kind_ == ValueKind::kInt ? static_cast<double>(int_) : double_;
+  }
+
+  // Struct accessors.
+  const std::vector<Field>& fields() const { return fields_; }
+  size_t num_fields() const { return fields_.size(); }
+  /// Field value by name, or nullptr if absent.
+  ValuePtr FindField(const std::string& name) const;
+
+  // Collection accessors.
+  const std::vector<ValuePtr>& elements() const { return elements_; }
+  size_t num_elements() const { return elements_.size(); }
+
+  /// Deep structural equality (NaN != NaN, matching SQL-ish semantics is not
+  /// needed here; bitwise double equality is used).
+  bool Equals(const Value& other) const;
+
+  /// Deep hash consistent with Equals.
+  size_t Hash() const;
+
+  /// Total order over values of mixed kinds (kind rank first, then value);
+  /// used for canonical sorting in tests and set construction.
+  int Compare(const Value& other) const;
+
+  /// Infers the type of this value (Tab. 4); empty collections get a kNull
+  /// element type.
+  TypePtr InferType() const;
+
+  /// JSON-style rendering (stable field order).
+  std::string ToString() const;
+
+  /// Approximate in-memory footprint in bytes, counting shared children once
+  /// per reference. Used by the provenance-size benchmarks.
+  uint64_t ApproxBytes() const;
+
+ private:
+  explicit Value(ValueKind kind) : kind_(kind) {}
+
+  ValueKind kind_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<Field> fields_;
+  std::vector<ValuePtr> elements_;
+};
+
+bool operator==(const Value& a, const Value& b);
+
+/// Hash functor for ValuePtr keyed containers (deep hash/equality).
+struct ValuePtrHash {
+  size_t operator()(const ValuePtr& v) const { return v ? v->Hash() : 0; }
+};
+struct ValuePtrEq {
+  bool operator()(const ValuePtr& a, const ValuePtr& b) const {
+    if (a == b) return true;
+    if (!a || !b) return false;
+    return a->Equals(*b);
+  }
+};
+
+}  // namespace pebble
+
+#endif  // PEBBLE_NESTED_VALUE_H_

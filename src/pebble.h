@@ -1,0 +1,42 @@
+// Umbrella header: the public API of the Pebble structural-provenance
+// library (the paper's PebbleAPI layer, Fig. 5). Include this to get the
+// data model, the engine, provenance capture/querying, the baselines and
+// the use-case analyses.
+
+#ifndef PEBBLE_PEBBLE_H_
+#define PEBBLE_PEBBLE_H_
+
+// Data model (paper Sec. 4.1).
+#include "nested/io.h"
+#include "nested/json.h"
+#include "nested/path.h"
+#include "nested/type.h"
+#include "nested/value.h"
+
+// Execution engine (paper Sec. 4.2, capture rules Sec. 5).
+#include "engine/executor.h"
+#include "engine/expr.h"
+#include "engine/operators.h"
+#include "engine/pipeline.h"
+
+// Structural provenance (paper Secs. 4.3, 5, 6).
+#include "core/backtrace.h"
+#include "core/backtrace_tree.h"
+#include "core/provenance_io.h"
+#include "core/provenance_model.h"
+#include "core/provenance_store.h"
+#include "core/query.h"
+#include "core/render.h"
+#include "core/tree_pattern.h"
+
+// Baselines (paper Secs. 3, 7).
+#include "baselines/lazy.h"
+#include "baselines/lipstick.h"
+#include "baselines/polynomial.h"
+#include "baselines/titian.h"
+
+// Use-cases (paper Sec. 7.3.5).
+#include "usecases/audit.h"
+#include "usecases/usage.h"
+
+#endif  // PEBBLE_PEBBLE_H_

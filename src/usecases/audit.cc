@@ -1,0 +1,61 @@
+#include "usecases/audit.h"
+
+namespace pebble {
+
+AuditReport BuildAuditReport(const SourceProvenance& structural,
+                             const SourceLineage& lineage,
+                             size_t num_attributes) {
+  AuditReport report;
+  report.scan_oid = structural.scan_oid;
+  report.lineage_reported_values =
+      static_cast<uint64_t>(lineage.ids.size()) * num_attributes;
+
+  for (const BacktraceEntry& entry : structural.items) {
+    AuditItem item;
+    item.id = entry.id;
+    entry.tree.Visit([&](const Path& path, const BtNode& node) {
+      // Report leaf-most information: a node with children is summarized by
+      // its descendants.
+      if (!node.children.empty()) return;
+      if (node.contributing) {
+        item.leaked_attributes.push_back(path.ToString());
+      } else {
+        item.influenced_attributes.push_back(path.ToString());
+      }
+    });
+    report.pebble_leaked_values +=
+        static_cast<uint64_t>(item.leaked_attributes.size());
+    report.influencing_values +=
+        static_cast<uint64_t>(item.influenced_attributes.size());
+    report.items.push_back(std::move(item));
+  }
+  return report;
+}
+
+std::string AuditReport::ToString() const {
+  std::string out = "audit report for source " + std::to_string(scan_oid) +
+                    ": " + std::to_string(items.size()) +
+                    " affected items\n";
+  out += "  values a lineage solution must report leaked: " +
+         std::to_string(lineage_reported_values) + "\n";
+  out += "  values actually leaked (Pebble):              " +
+         std::to_string(pebble_leaked_values) + "\n";
+  out += "  influencing-only values (reconstruction risk): " +
+         std::to_string(influencing_values) + "\n";
+  for (const AuditItem& item : items) {
+    out += "  item " + std::to_string(item.id) + ": leaked {";
+    for (size_t i = 0; i < item.leaked_attributes.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += item.leaked_attributes[i];
+    }
+    out += "} influenced {";
+    for (size_t i = 0; i < item.influenced_attributes.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += item.influenced_attributes[i];
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace pebble

@@ -1,0 +1,55 @@
+// GDPR-style auditing (paper Secs. 1, 7.3.5): given the structural
+// provenance of a leaked query workload, reports which top-level items are
+// affected and, per item, which attributes were actually exposed
+// (contributing) versus merely accessed (influencing — reconstruction-attack
+// risk), and contrasts that with what a tuple-level lineage solution or a
+// Lipstick-style solution would report.
+
+#ifndef PEBBLE_USECASES_AUDIT_H_
+#define PEBBLE_USECASES_AUDIT_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/titian.h"
+#include "core/backtrace.h"
+
+namespace pebble {
+
+/// Audit finding for one top-level input item.
+struct AuditItem {
+  int64_t id = -1;
+  /// Attribute paths whose values are exposed in the leaked result.
+  std::vector<std::string> leaked_attributes;
+  /// Attribute paths accessed during processing but not exposed; relevant
+  /// for reconstruction-attack risk assessment.
+  std::vector<std::string> influenced_attributes;
+};
+
+/// Audit result over one source dataset.
+struct AuditReport {
+  int scan_oid = -1;
+  std::vector<AuditItem> items;
+
+  /// Number of attribute values a tuple-level lineage solution (Titian,
+  /// PROVision) would have to report as leaked: every attribute of every
+  /// lineage item (over-reporting).
+  uint64_t lineage_reported_values = 0;
+  /// Attribute values Pebble reports as actually leaked.
+  uint64_t pebble_leaked_values = 0;
+  /// Influencing-only values that a Lipstick-style tracer misses.
+  uint64_t influencing_values = 0;
+
+  std::string ToString() const;
+};
+
+/// Builds the audit report for one source from merged structural provenance
+/// and, for comparison, plain lineage. `num_attributes` is the width of
+/// the source schema (used for the lineage over-reporting count).
+AuditReport BuildAuditReport(const SourceProvenance& structural,
+                             const SourceLineage& lineage,
+                             size_t num_attributes);
+
+}  // namespace pebble
+
+#endif  // PEBBLE_USECASES_AUDIT_H_

@@ -1,0 +1,154 @@
+#include "usecases/usage.h"
+
+#include <algorithm>
+#include <set>
+
+namespace pebble {
+
+void UsageAnalyzer::AddQueryResult(
+    const std::vector<SourceProvenance>& sources) {
+  for (const SourceProvenance& source : sources) {
+    for (const BacktraceEntry& entry : source.items) {
+      ItemUsage& item = usage_[{source.scan_oid, entry.id}];
+      item.tuple_count += 1;
+      // Per top-level attribute: contributing if any node in its subtree
+      // contributes; influencing if it is only accessed.
+      std::set<std::string> contributing_attrs;
+      for (const BtNode& child : entry.tree.root().children) {
+        if (child.key.is_position()) continue;
+        // A subtree contributes if any node in it has c = true.
+        bool contributes = false;
+        std::vector<const BtNode*> stack = {&child};
+        while (!stack.empty()) {
+          const BtNode* n = stack.back();
+          stack.pop_back();
+          if (n->contributing) {
+            contributes = true;
+            break;
+          }
+          for (const BtNode& c : n->children) {
+            stack.push_back(&c);
+          }
+        }
+        AttrUsage& attr = item.attrs[child.key.attr];
+        if (contributes) {
+          attr.contributing += 1;
+          contributing_attrs.insert(child.key.attr);
+        } else {
+          attr.influencing += 1;
+        }
+      }
+      // Co-usage pairs of contributing attributes.
+      for (auto it1 = contributing_attrs.begin();
+           it1 != contributing_attrs.end(); ++it1) {
+        for (auto it2 = std::next(it1); it2 != contributing_attrs.end();
+             ++it2) {
+          co_usage_[{source.scan_oid, {*it1, *it2}}] += 1;
+        }
+      }
+    }
+  }
+}
+
+const UsageAnalyzer::ItemUsage* UsageAnalyzer::Find(int scan_oid,
+                                                    int64_t id) const {
+  auto it = usage_.find({scan_oid, id});
+  return it == usage_.end() ? nullptr : &it->second;
+}
+
+UsageAnalyzer::Heatmap UsageAnalyzer::BuildHeatmap(
+    int scan_oid, const std::vector<int64_t>& ids,
+    const TypePtr& schema) const {
+  Heatmap map;
+  for (const FieldType& f : schema->fields()) {
+    map.attributes.push_back(f.name);
+  }
+  for (int64_t id : ids) {
+    Heatmap::Row row;
+    row.id = id;
+    row.counts.assign(map.attributes.size(), 0);
+    row.influencing_only.assign(map.attributes.size(), false);
+    if (const ItemUsage* item = Find(scan_oid, id)) {
+      row.tuple_count = item->tuple_count;
+      for (size_t a = 0; a < map.attributes.size(); ++a) {
+        auto it = item->attrs.find(map.attributes[a]);
+        if (it != item->attrs.end()) {
+          row.counts[a] = it->second.total();
+          row.influencing_only[a] =
+              it->second.contributing == 0 && it->second.influencing > 0;
+        }
+      }
+    }
+    map.rows.push_back(std::move(row));
+  }
+  return map;
+}
+
+std::string UsageAnalyzer::Heatmap::ToString() const {
+  std::string out = "item      tuple";
+  for (const std::string& attr : attributes) {
+    out += " " + (attr.size() > 8 ? attr.substr(0, 8) : attr);
+  }
+  out += "\n";
+  for (const Row& row : rows) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%-9lld %5d",
+                  static_cast<long long>(row.id), row.tuple_count);
+    out += buf;
+    for (size_t a = 0; a < row.counts.size(); ++a) {
+      std::string cell;
+      if (row.counts[a] == 0) {
+        cell = ".";
+      } else if (row.influencing_only[a]) {
+        cell = "~" + std::to_string(row.counts[a]);
+      } else {
+        cell = std::to_string(row.counts[a]);
+      }
+      size_t width = std::max<size_t>(
+          attributes[a].size() > 8 ? 8 : attributes[a].size(), 1);
+      out += " ";
+      out += cell;
+      for (size_t pad = cell.size(); pad < width; ++pad) {
+        out += " ";
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::vector<UsageAnalyzer::AttrStats> UsageAnalyzer::AttributeStats(
+    int scan_oid, const TypePtr& schema) const {
+  std::vector<AttrStats> stats;
+  for (const FieldType& f : schema->fields()) {
+    stats.push_back(AttrStats{f.name, 0, 0});
+  }
+  for (const auto& [key, item] : usage_) {
+    if (key.first != scan_oid) continue;
+    for (AttrStats& s : stats) {
+      auto it = item.attrs.find(s.attribute);
+      if (it != item.attrs.end()) {
+        s.contributing += it->second.contributing;
+        s.influencing += it->second.influencing;
+      }
+    }
+  }
+  return stats;
+}
+
+std::vector<std::pair<std::pair<std::string, std::string>, int>>
+UsageAnalyzer::CoUsagePairs(int scan_oid) const {
+  std::vector<std::pair<std::pair<std::string, std::string>, int>> out;
+  for (const auto& [key, count] : co_usage_) {
+    if (key.first == scan_oid) {
+      out.push_back({key.second, count});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace pebble

@@ -1,0 +1,87 @@
+// Data-usage pattern analysis (paper Sec. 7.3.5, Fig. 10): merges the
+// structural provenance of a query workload and derives, per top-level
+// input item and per attribute, how often it contributed to or influenced
+// a result. Supports hot/cold partitioning decisions (horizontal and
+// vertical) and co-usage statistics.
+
+#ifndef PEBBLE_USECASES_USAGE_H_
+#define PEBBLE_USECASES_USAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/backtrace.h"
+
+namespace pebble {
+
+/// Accumulates provenance over a workload of queries.
+class UsageAnalyzer {
+ public:
+  /// Adds one query's backtraced provenance (all sources). Counts are per
+  /// (source, item, top-level attribute): contributing and influencing
+  /// separately; the per-item (tuple) counter increments once per query the
+  /// item appears in.
+  void AddQueryResult(const std::vector<SourceProvenance>& sources);
+
+  /// Counters of one top-level attribute of one item.
+  struct AttrUsage {
+    int contributing = 0;
+    int influencing = 0;
+    int total() const { return contributing + influencing; }
+  };
+
+  /// Per-item usage: the tuple counter plus per-attribute counters.
+  struct ItemUsage {
+    int tuple_count = 0;
+    std::map<std::string, AttrUsage> attrs;
+  };
+
+  /// Usage of item `id` in source `scan_oid`; zeroed if never seen.
+  const ItemUsage* Find(int scan_oid, int64_t id) const;
+
+  /// Heatmap over the given items (Fig. 10 layout: leftmost column = tuple
+  /// counter, remaining columns = top-level attributes of `schema`).
+  struct Heatmap {
+    std::vector<std::string> attributes;
+    struct Row {
+      int64_t id = 0;
+      int tuple_count = 0;
+      std::vector<int> counts;            // per attribute, total()
+      std::vector<bool> influencing_only;  // accessed but never contributing
+    };
+    std::vector<Row> rows;
+
+    /// ASCII rendering: '.' cold, digits hot, '~' influencing-only.
+    std::string ToString() const;
+  };
+  Heatmap BuildHeatmap(int scan_oid, const std::vector<int64_t>& ids,
+                       const TypePtr& schema) const;
+
+  /// Workload-wide per-attribute statistics (vertical partitioning input).
+  struct AttrStats {
+    std::string attribute;
+    int contributing = 0;
+    int influencing = 0;
+  };
+  std::vector<AttrStats> AttributeStats(int scan_oid,
+                                        const TypePtr& schema) const;
+
+  /// Pairs of top-level attributes that contribute together within the same
+  /// item and query (data-layout co-location hints), with their counts,
+  /// sorted descending.
+  std::vector<std::pair<std::pair<std::string, std::string>, int>>
+  CoUsagePairs(int scan_oid) const;
+
+ private:
+  // (scan_oid, id) -> usage.
+  std::map<std::pair<int, int64_t>, ItemUsage> usage_;
+  // (scan_oid, attr_pair) -> count.
+  std::map<std::pair<int, std::pair<std::string, std::string>>, int>
+      co_usage_;
+};
+
+}  // namespace pebble
+
+#endif  // PEBBLE_USECASES_USAGE_H_

@@ -1,0 +1,159 @@
+#include "workload/dblp_gen.h"
+
+#include "common/rng.h"
+
+namespace pebble {
+
+namespace {
+
+// The ten dblp record types (Ley, PVLDB 2009).
+const char* const kTypes[] = {
+    "article",       "inproceedings", "proceedings", "book",
+    "incollection",  "phdthesis",     "mastersthesis", "www",
+    "data",          "person",
+};
+
+const char* const kVenues[] = {"EDBT", "VLDB",  "SIGMOD", "ICDE", "CIDR",
+                               "KDD",  "WWW",   "SOCC",   "BTW",  "TKDE"};
+
+const char* const kTitleWords[] = {
+    "scalable", "provenance", "nested",   "data",     "queries", "tracing",
+    "systems",  "efficient",  "big",      "analysis", "storage", "indexing",
+    "graphs",   "streams",    "learning", "adaptive",
+};
+constexpr size_t kNumTitleWords =
+    sizeof(kTitleWords) / sizeof(kTitleWords[0]);
+
+}  // namespace
+
+std::string DblpGenerator::ProceedingsKey(int k) {
+  return "proc/" + std::to_string(k);
+}
+
+std::string DblpGenerator::AuthorName(int k) {
+  return "author" + std::to_string(k);
+}
+
+TypePtr DblpGenerator::Schema() const {
+  TypePtr author_type = DataType::Struct({
+      {"name", DataType::String()},
+      {"alias", DataType::String()},
+  });
+  return DataType::Struct({
+      {"key", DataType::String()},
+      {"type", DataType::String()},
+      {"title", DataType::String()},
+      {"year", DataType::Int()},
+      {"authors", DataType::Bag(author_type)},
+      {"crossref", DataType::String()},
+      {"journal", DataType::String()},
+      {"booktitle", DataType::String()},
+      {"pages", DataType::String()},
+      {"ee", DataType::String()},
+  });
+}
+
+std::shared_ptr<const std::vector<ValuePtr>> DblpGenerator::Generate() const {
+  Rng rng(options_.seed);
+  auto out = std::make_shared<std::vector<ValuePtr>>();
+  out->reserve(options_.num_records);
+
+  // Record type mix: mostly inproceedings and articles, one proceedings
+  // record per `inproc_per_proc` inproceedings, a thin tail of the other
+  // seven types.
+  int proc_counter = 0;
+  int inproc_counter = 0;
+  int article_counter = 0;
+  int other_counter = 0;
+
+  auto make_title = [&]() {
+    std::string title;
+    int words = static_cast<int>(rng.NextInt(3, 7));
+    for (int w = 0; w < words; ++w) {
+      if (w > 0) title += " ";
+      title += kTitleWords[rng.NextBounded(kNumTitleWords)];
+    }
+    return title;
+  };
+
+  auto make_authors = [&](int count) {
+    std::vector<ValuePtr> authors;
+    authors.reserve(static_cast<size_t>(count));
+    for (int a = 0; a < count; ++a) {
+      int k = static_cast<int>(
+          rng.NextZipf(static_cast<uint64_t>(options_.author_pool), 1.05));
+      authors.push_back(Value::Struct({
+          {"name", Value::String(AuthorName(k))},
+          {"alias", Value::String("a." + std::to_string(k))},
+      }));
+    }
+    return Value::Bag(std::move(authors));
+  };
+
+  for (size_t i = 0; i < options_.num_records; ++i) {
+    const char* type;
+    double roll = rng.NextDouble();
+    if (inproc_counter >= options_.inproc_per_proc * (proc_counter + 1)) {
+      type = "proceedings";
+    } else if (roll < 0.55) {
+      type = "inproceedings";
+    } else if (roll < 0.85) {
+      type = "article";
+    } else {
+      type = kTypes[3 + rng.NextBounded(7)];
+    }
+
+    std::string key;
+    int64_t year = 2010 + static_cast<int64_t>(i % 8);
+    std::string crossref;
+    std::string journal;
+    std::string booktitle;
+    ValuePtr authors;
+
+    if (std::string(type) == "proceedings") {
+      key = ProceedingsKey(proc_counter);
+      ++proc_counter;
+      booktitle = std::string(kVenues[proc_counter % 10]) + " " +
+                  std::to_string(year);
+      authors = Value::Bag({});
+    } else if (std::string(type) == "inproceedings") {
+      key = "inproc/" + std::to_string(inproc_counter);
+      ++inproc_counter;
+      // Crossref to an already- or soon-to-be-generated proceedings; the
+      // modulo keeps the per-proceedings fan-in near inproc_per_proc.
+      crossref = ProceedingsKey(inproc_counter / options_.inproc_per_proc);
+      booktitle = std::string(kVenues[inproc_counter % 10]);
+      authors =
+          make_authors(static_cast<int>(rng.NextInt(1, options_.max_authors)));
+    } else {
+      int n = std::string(type) == "article" ? article_counter++
+                                             : other_counter++;
+      key = std::string(type) + "/" + std::to_string(n);
+      if (std::string(type) == "article") {
+        journal = std::string(kVenues[rng.NextBounded(10)]) + " Journal";
+        authors = make_authors(
+            static_cast<int>(rng.NextInt(1, options_.max_authors)));
+      } else {
+        authors = make_authors(static_cast<int>(rng.NextInt(0, 2)));
+      }
+    }
+
+    out->push_back(Value::Struct({
+        {"key", Value::String(std::move(key))},
+        {"type", Value::String(type)},
+        {"title", Value::String(make_title())},
+        {"year", Value::Int(year)},
+        {"authors", std::move(authors)},
+        {"crossref", Value::String(std::move(crossref))},
+        {"journal", Value::String(std::move(journal))},
+        {"booktitle", Value::String(std::move(booktitle))},
+        {"pages",
+         Value::String(std::to_string(rng.NextInt(1, 400)) + "-" +
+                       std::to_string(rng.NextInt(401, 800)))},
+        {"ee", Value::String("https://doi.example/" + rng.NextString(10))},
+    }));
+  }
+  return out;
+}
+
+}  // namespace pebble

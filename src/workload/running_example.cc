@@ -1,0 +1,103 @@
+#include "workload/running_example.h"
+
+namespace pebble {
+
+TypePtr RunningExampleSchema() {
+  TypePtr user_type = DataType::Struct({
+      {"id_str", DataType::String()},
+      {"name", DataType::String()},
+  });
+  return DataType::Struct({
+      {"text", DataType::String()},
+      {"user", user_type},
+      {"user_mentions", DataType::Bag(user_type)},
+      {"retweet_cnt", DataType::Int()},
+  });
+}
+
+ValuePtr MakeTweet(
+    const std::string& text, const std::string& user_id,
+    const std::string& user_name,
+    const std::vector<std::pair<std::string, std::string>>& mentions,
+    int64_t retweet_cnt) {
+  std::vector<ValuePtr> mention_values;
+  mention_values.reserve(mentions.size());
+  for (const auto& [id, name] : mentions) {
+    mention_values.push_back(Value::Struct({
+        {"id_str", Value::String(id)},
+        {"name", Value::String(name)},
+    }));
+  }
+  return Value::Struct({
+      {"text", Value::String(text)},
+      {"user", Value::Struct({
+                   {"id_str", Value::String(user_id)},
+                   {"name", Value::String(user_name)},
+               })},
+      {"user_mentions", Value::Bag(std::move(mention_values))},
+      {"retweet_cnt", Value::Int(retweet_cnt)},
+  });
+}
+
+Result<RunningExample> MakeRunningExample() {
+  RunningExample ex;
+  ex.schema = RunningExampleSchema();
+
+  // Tab. 1, top to bottom (annotations 1, 12, 17, 22, 29).
+  auto tweets = std::make_shared<std::vector<ValuePtr>>();
+  tweets->push_back(MakeTweet("Hello @ls @jm @ls", "lp", "Lisa Paul",
+                              {{"ls", "Lauren Smith"},
+                               {"jm", "John Miller"},
+                               {"ls", "Lauren Smith"}},
+                              0));
+  tweets->push_back(MakeTweet("Hello World", "lp", "Lisa Paul", {}, 0));
+  tweets->push_back(MakeTweet("Hello World", "lp", "Lisa Paul", {}, 0));
+  tweets->push_back(
+      MakeTweet("This is me @jm", "jm", "John Miller",
+                {{"jm", "John Miller"}}, 0));
+  tweets->push_back(
+      MakeTweet("Hello @lp", "jm", "John Miller", {{"lp", "Lisa Paul"}}, 1));
+  ex.tweets = tweets;
+
+  // Fig. 1. Operator ids follow insertion order, matching the labels.
+  PipelineBuilder b;
+  int read1 = b.Scan("tweets.json", ex.schema, tweets);                // 1
+  int filter = b.Filter(                                               // 2
+      read1, Expr::Eq(Expr::Col("retweet_cnt"), Expr::LitInt(0)));
+  int select_upper = b.Select(filter, {                                // 3
+                                          Projection::Keep("text"),
+                                          Projection::Keep("user.id_str"),
+                                          Projection::Keep("user.name"),
+                                      });
+  int read2 = b.Scan("tweets.json", ex.schema, tweets);                // 4
+  int flatten = b.Flatten(read2, "user_mentions", "m_user");           // 5
+  int select_lower = b.Select(flatten, {                               // 6
+                                           Projection::Keep("text"),
+                                           Projection::Keep("m_user.id_str"),
+                                           Projection::Keep("m_user.name"),
+                                       });
+  int unioned = b.Union(select_upper, select_lower);                   // 7
+  int restructure = b.Select(                                          // 8
+      unioned, {
+                   Projection::Nested("tweet", {Projection::Keep("text")}),
+                   Projection::Nested("user", {Projection::Keep("id_str"),
+                                               Projection::Keep("name")}),
+               });
+  int aggregate = b.GroupAggregate(                                    // 9
+      restructure, {GroupKey::Of("user")},
+      {AggSpec::CollectList("tweet", "tweets")});
+  PEBBLE_ASSIGN_OR_RETURN(ex.pipeline, b.Build(aggregate));
+
+  // Fig. 4: //id_str = "lp", tweets/text = "Hello World" occurring exactly
+  // twice in the nested collection.
+  ex.query = TreePattern({
+      PatternNode::Descendant("id_str").Equals(Value::String("lp")),
+      PatternNode::Attr("tweets").With(
+          PatternNode::Attr("text")
+              .Equals(Value::String("Hello World"))
+              .Count(2, 2)),
+  });
+  return ex;
+}
+
+}  // namespace pebble

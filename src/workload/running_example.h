@@ -1,0 +1,40 @@
+// The paper's running example: the five tweets of Tab. 1, the processing
+// pipeline of Fig. 1 (operator ids 1-9 exactly as labeled there), and the
+// tree-pattern provenance question of Fig. 4.
+
+#ifndef PEBBLE_WORKLOAD_RUNNING_EXAMPLE_H_
+#define PEBBLE_WORKLOAD_RUNNING_EXAMPLE_H_
+
+#include <memory>
+
+#include "core/tree_pattern.h"
+#include "engine/pipeline.h"
+
+namespace pebble {
+
+struct RunningExample {
+  TypePtr schema;
+  std::shared_ptr<const std::vector<ValuePtr>> tweets;
+  Pipeline pipeline;
+  TreePattern query{{}};
+};
+
+/// Builds the complete running example. The pipeline's operator ids match
+/// the labels of Fig. 1: 1 read / 2 filter / 3 select / 4 read / 5 flatten /
+/// 6 select / 7 union / 8 select / 9 aggregate.
+Result<RunningExample> MakeRunningExample();
+
+/// The tweet schema of Tab. 1: text, user<id_str,name>,
+/// user_mentions {{<id_str,name>}}, retweet_cnt.
+TypePtr RunningExampleSchema();
+
+/// Builds one Tab. 1 tweet.
+ValuePtr MakeTweet(const std::string& text, const std::string& user_id,
+                   const std::string& user_name,
+                   const std::vector<std::pair<std::string, std::string>>&
+                       mentions,
+                   int64_t retweet_cnt);
+
+}  // namespace pebble
+
+#endif  // PEBBLE_WORKLOAD_RUNNING_EXAMPLE_H_

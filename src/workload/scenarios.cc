@@ -1,0 +1,411 @@
+#include "workload/scenarios.h"
+
+namespace pebble {
+
+namespace {
+
+ExprPtr TypeIs(const char* type) {
+  return Expr::Eq(Expr::Col("type"), Expr::LitString(type));
+}
+
+// T1: filters tweets containing the text "good", flattens and groups by the
+// mentioned users to collect a bag of complex tweet objects.
+Result<Scenario> TwitterT1(const TwitterGenerator& gen,
+                           std::shared_ptr<const std::vector<ValuePtr>> data) {
+  Scenario s;
+  s.name = "T1";
+  s.description =
+      "filter 'good' tweets, flatten mentions, group by mentioned user, "
+      "collect complex tweet objects";
+  PipelineBuilder b;
+  int scan = b.Scan("tweets.json", gen.Schema(), std::move(data));
+  int filtered = b.Filter(
+      scan, Expr::Contains(Expr::Col("text"), Expr::LitString("good")));
+  int flat = b.Flatten(filtered, "user_mentions", "m_user");
+  int sel = b.Select(
+      flat, {
+                Projection::Leaf("user", "m_user"),
+                Projection::Nested("tweet", {Projection::Keep("text"),
+                                             Projection::Keep(
+                                                 "retweet_count")}),
+            });
+  int agg = b.GroupAggregate(sel, {GroupKey::Of("user")},
+                             {AggSpec::CollectList("tweet", "tweets")});
+  PEBBLE_ASSIGN_OR_RETURN(s.pipeline, b.Build(agg));
+  s.query = TreePattern({
+      PatternNode::Descendant("id_str").Equals(
+          Value::String(TwitterGenerator::UserId(0))),
+      PatternNode::Attr("tweets").With(PatternNode::Attr("text")),
+  });
+  return s;
+}
+
+// T2: flattens the nested lists hashtags, media, user mentions.
+Result<Scenario> TwitterT2(const TwitterGenerator& gen,
+                           std::shared_ptr<const std::vector<ValuePtr>> data) {
+  Scenario s;
+  s.name = "T2";
+  s.description = "flatten hashtags, media and user mentions";
+  PipelineBuilder b;
+  int scan = b.Scan("tweets.json", gen.Schema(), std::move(data));
+  int f1 = b.Flatten(scan, "hashtags", "tag");
+  int f2 = b.Flatten(f1, "media", "medium");
+  int f3 = b.Flatten(f2, "user_mentions", "m_user");
+  int sel = b.Select(f3, {
+                             Projection::Keep("text"),
+                             Projection::Leaf("hashtag", "tag.tag"),
+                             Projection::Leaf("media_type", "medium.type"),
+                             Projection::Leaf("mentioned", "m_user.id_str"),
+                         });
+  PEBBLE_ASSIGN_OR_RETURN(s.pipeline, b.Build(sel));
+  s.query = TreePattern({
+      PatternNode::Attr("mentioned").Equals(
+          Value::String(TwitterGenerator::UserId(0))),
+  });
+  return s;
+}
+
+// T3: the running example (Fig. 1) on generated data.
+Result<Scenario> TwitterT3(const TwitterGenerator& gen,
+                           std::shared_ptr<const std::vector<ValuePtr>> data) {
+  Scenario s;
+  s.name = "T3";
+  s.description = "running example: authored + mentioned tweets per user";
+  PipelineBuilder b;
+  int read1 = b.Scan("tweets.json", gen.Schema(), data);
+  int filter = b.Filter(
+      read1, Expr::Eq(Expr::Col("retweet_count"), Expr::LitInt(0)));
+  int upper = b.Select(filter, {
+                                   Projection::Keep("text"),
+                                   Projection::Keep("user.id_str"),
+                                   Projection::Keep("user.name"),
+                               });
+  int read2 = b.Scan("tweets.json", gen.Schema(), data);
+  int flat = b.Flatten(read2, "user_mentions", "m_user");
+  int lower = b.Select(flat, {
+                                 Projection::Keep("text"),
+                                 Projection::Keep("m_user.id_str"),
+                                 Projection::Keep("m_user.name"),
+                             });
+  int unioned = b.Union(upper, lower);
+  int restructured = b.Select(
+      unioned, {
+                   Projection::Nested("tweet", {Projection::Keep("text")}),
+                   Projection::Nested("user", {Projection::Keep("id_str"),
+                                               Projection::Keep("name")}),
+               });
+  int agg = b.GroupAggregate(restructured, {GroupKey::Of("user")},
+                             {AggSpec::CollectList("tweet", "tweets")});
+  PEBBLE_ASSIGN_OR_RETURN(s.pipeline, b.Build(agg));
+  s.query = TreePattern({
+      PatternNode::Descendant("id_str").Equals(
+          Value::String(TwitterGenerator::UserId(0))),
+      PatternNode::Attr("tweets").With(
+          PatternNode::Attr("text").Equals(Value::String("Hello World"))),
+  });
+  return s;
+}
+
+// T4: associates all occurring hashtags with the authoring and mentioned
+// users.
+Result<Scenario> TwitterT4(const TwitterGenerator& gen,
+                           std::shared_ptr<const std::vector<ValuePtr>> data) {
+  Scenario s;
+  s.name = "T4";
+  s.description = "associate hashtags with authoring and mentioned users";
+  PipelineBuilder b;
+  int read1 = b.Scan("tweets.json", gen.Schema(), data);
+  int flat_a = b.Flatten(read1, "hashtags", "tag");
+  int authors = b.Select(flat_a, {
+                                     Projection::Leaf("hashtag", "tag.tag"),
+                                     Projection::Leaf("u", "user"),
+                                 });
+  int read2 = b.Scan("tweets.json", gen.Schema(), data);
+  int flat_b1 = b.Flatten(read2, "hashtags", "tag");
+  int flat_b2 = b.Flatten(flat_b1, "user_mentions", "m_user");
+  int mentioned = b.Select(flat_b2, {
+                                        Projection::Leaf("hashtag", "tag.tag"),
+                                        Projection::Leaf("u", "m_user"),
+                                    });
+  int unioned = b.Union(authors, mentioned);
+  int agg = b.GroupAggregate(unioned, {GroupKey::Of("hashtag")},
+                             {AggSpec::CollectList("u", "users")});
+  PEBBLE_ASSIGN_OR_RETURN(s.pipeline, b.Build(agg));
+  s.query = TreePattern({
+      PatternNode::Attr("hashtag").Equals(
+          Value::String(TwitterGenerator::HashtagText(0))),
+      PatternNode::Attr("users").With(
+          PatternNode::Attr("id_str").Equals(
+              Value::String(TwitterGenerator::UserId(0)))),
+  });
+  return s;
+}
+
+// T5: finds all users that tweet about BTS and are mentioned in a BTS
+// tweet.
+Result<Scenario> TwitterT5(const TwitterGenerator& gen,
+                           std::shared_ptr<const std::vector<ValuePtr>> data) {
+  Scenario s;
+  s.name = "T5";
+  s.description =
+      "users tweeting about BTS that are also mentioned in a BTS tweet";
+  PipelineBuilder b;
+  int read1 = b.Scan("tweets.json", gen.Schema(), data);
+  int bts_authors = b.Filter(
+      read1, Expr::Contains(Expr::Col("text"), Expr::LitString("BTS")));
+  int authors = b.Select(bts_authors,
+                         {
+                             Projection::Leaf("a_id", "user.id_str"),
+                             Projection::Leaf("a_name", "user.name"),
+                         });
+  int read2 = b.Scan("tweets.json", gen.Schema(), data);
+  int bts_mentions = b.Filter(
+      read2, Expr::Contains(Expr::Col("text"), Expr::LitString("BTS")));
+  int flat = b.Flatten(bts_mentions, "user_mentions", "m_user");
+  int mentions = b.Select(flat, {
+                                    Projection::Leaf("m_id", "m_user.id_str"),
+                                });
+  int joined = b.Join(authors, mentions, {"a_id"}, {"m_id"});
+  int users = b.Select(
+      joined, {Projection::Nested("user", {Projection::Leaf("id_str", "a_id"),
+                                           Projection::Leaf("name",
+                                                            "a_name")})});
+  int agg = b.GroupAggregate(users, {GroupKey::Of("user")},
+                             {AggSpec::Count("mentions")});
+  PEBBLE_ASSIGN_OR_RETURN(s.pipeline, b.Build(agg));
+  s.query = TreePattern({
+      PatternNode::Descendant("id_str").Equals(
+          Value::String(TwitterGenerator::UserId(0))),
+      PatternNode::Attr("mentions"),
+  });
+  return s;
+}
+
+// D1: associates inproceedings from 2015 with their according
+// proceeding(s).
+Result<Scenario> DblpD1(const DblpGenerator& gen,
+                        std::shared_ptr<const std::vector<ValuePtr>> data) {
+  Scenario s;
+  s.name = "D1";
+  s.description = "join 2015 inproceedings with their proceedings";
+  PipelineBuilder b;
+  int read1 = b.Scan("dblp.json", gen.Schema(), data);
+  int inprocs = b.Filter(
+      read1, Expr::And(TypeIs("inproceedings"),
+                       Expr::Eq(Expr::Col("year"), Expr::LitInt(2015))));
+  int left = b.Select(inprocs, {
+                                   Projection::Leaf("i_key", "key"),
+                                   Projection::Leaf("i_title", "title"),
+                                   Projection::Leaf("i_crossref", "crossref"),
+                                   Projection::Leaf("i_authors", "authors"),
+                               });
+  int read2 = b.Scan("dblp.json", gen.Schema(), data);
+  int procs = b.Filter(read2, TypeIs("proceedings"));
+  int right = b.Select(procs, {
+                                  Projection::Leaf("p_key", "key"),
+                                  Projection::Leaf("p_title", "title"),
+                                  Projection::Leaf("venue", "booktitle"),
+                              });
+  int joined = b.Join(left, right, {"i_crossref"}, {"p_key"});
+  PEBBLE_ASSIGN_OR_RETURN(s.pipeline, b.Build(joined));
+  s.query = TreePattern({
+      PatternNode::Descendant("name").Equals(
+          Value::String(DblpGenerator::AuthorName(0))),
+  });
+  return s;
+}
+
+// D2: unites and restructures conference proceedings and articles.
+Result<Scenario> DblpD2(const DblpGenerator& gen,
+                        std::shared_ptr<const std::vector<ValuePtr>> data) {
+  Scenario s;
+  s.name = "D2";
+  s.description = "unify and restructure proceedings and articles";
+  PipelineBuilder b;
+  int read1 = b.Scan("dblp.json", gen.Schema(), data);
+  int procs = b.Filter(read1, TypeIs("proceedings"));
+  int left = b.Select(procs, {
+                                 Projection::Keep("key"),
+                                 Projection::Keep("title"),
+                                 Projection::Leaf("venue", "booktitle"),
+                                 Projection::Keep("year"),
+                             });
+  int read2 = b.Scan("dblp.json", gen.Schema(), data);
+  int articles = b.Filter(read2, TypeIs("article"));
+  int right = b.Select(articles, {
+                                     Projection::Keep("key"),
+                                     Projection::Keep("title"),
+                                     Projection::Leaf("venue", "journal"),
+                                     Projection::Keep("year"),
+                                 });
+  int unioned = b.Union(left, right);
+  PEBBLE_ASSIGN_OR_RETURN(s.pipeline, b.Build(unioned));
+  s.query = TreePattern({
+      PatternNode::Attr("key").Equals(Value::String("article/0")),
+  });
+  return s;
+}
+
+// D3: computes nested lists of aliases, co-authors, and works per author.
+Result<Scenario> DblpD3(const DblpGenerator& gen,
+                        std::shared_ptr<const std::vector<ValuePtr>> data) {
+  Scenario s;
+  s.name = "D3";
+  s.description = "nested lists of aliases, co-authors and works per author";
+  PipelineBuilder b;
+  int read = b.Scan("dblp.json", gen.Schema(), std::move(data));
+  int flat = b.Flatten(read, "authors", "author");
+  int sel = b.Select(flat, {
+                               Projection::Leaf("author_name", "author.name"),
+                               Projection::Leaf("alias", "author.alias"),
+                               Projection::Leaf("work_title", "title"),
+                               Projection::Leaf("coauthors", "authors"),
+                           });
+  int agg = b.GroupAggregate(
+      sel, {GroupKey::Of("author_name")},
+      {
+          AggSpec::CollectSet("alias", "aliases"),
+          AggSpec::CollectList("work_title", "works"),
+          AggSpec::CollectList("coauthors", "coauthor_lists"),
+      });
+  PEBBLE_ASSIGN_OR_RETURN(s.pipeline, b.Build(agg));
+  s.query = TreePattern({
+      PatternNode::Attr("author_name")
+          .Equals(Value::String(DblpGenerator::AuthorName(0))),
+      PatternNode::Attr("aliases"),
+  });
+  return s;
+}
+
+// D4: computes the nested list of all associated inproceedings for each
+// proceeding.
+Result<Scenario> DblpD4(const DblpGenerator& gen,
+                        std::shared_ptr<const std::vector<ValuePtr>> data) {
+  Scenario s;
+  s.name = "D4";
+  s.description = "nested list of inproceedings per proceedings";
+  PipelineBuilder b;
+  int read1 = b.Scan("dblp.json", gen.Schema(), data);
+  int inprocs = b.Filter(read1, TypeIs("inproceedings"));
+  int left = b.Select(inprocs, {
+                                   Projection::Keep("crossref"),
+                                   Projection::Leaf("ititle", "title"),
+                               });
+  int read2 = b.Scan("dblp.json", gen.Schema(), data);
+  int procs = b.Filter(read2, TypeIs("proceedings"));
+  int right = b.Select(procs, {
+                                  Projection::Leaf("p_key", "key"),
+                                  Projection::Leaf("p_title", "title"),
+                              });
+  int joined = b.Join(left, right, {"crossref"}, {"p_key"});
+  int agg = b.GroupAggregate(
+      joined, {GroupKey::Of("p_key"), GroupKey::Of("p_title")},
+      {AggSpec::CollectList("ititle", "inprocs")});
+  PEBBLE_ASSIGN_OR_RETURN(s.pipeline, b.Build(agg));
+  s.query = TreePattern({
+      PatternNode::Attr("p_key").Equals(
+          Value::String(DblpGenerator::ProceedingsKey(1))),
+      PatternNode::Attr("inprocs"),
+  });
+  return s;
+}
+
+// D5: D4 extended with a UDF in map that returns the number of authors per
+// proceeding.
+Result<Scenario> DblpD5(const DblpGenerator& gen,
+                        std::shared_ptr<const std::vector<ValuePtr>> data) {
+  Scenario s;
+  s.name = "D5";
+  s.description = "D4 plus a map UDF counting authors per proceedings";
+  PipelineBuilder b;
+  int read1 = b.Scan("dblp.json", gen.Schema(), data);
+  int inprocs = b.Filter(read1, TypeIs("inproceedings"));
+  int left = b.Select(inprocs, {
+                                   Projection::Keep("crossref"),
+                                   Projection::Leaf("ititle", "title"),
+                                   Projection::Leaf("i_authors", "authors"),
+                               });
+  int read2 = b.Scan("dblp.json", gen.Schema(), data);
+  int procs = b.Filter(read2, TypeIs("proceedings"));
+  int right = b.Select(procs, {
+                                  Projection::Leaf("p_key", "key"),
+                                  Projection::Leaf("p_title", "title"),
+                              });
+  int joined = b.Join(left, right, {"crossref"}, {"p_key"});
+  TypePtr map_schema = DataType::Struct({
+      {"p_key", DataType::String()},
+      {"p_title", DataType::String()},
+      {"ititle", DataType::String()},
+      {"n_auth", DataType::Int()},
+  });
+  int mapped = b.Map(
+      joined,
+      [](const Value& item) -> Result<ValuePtr> {
+        ValuePtr authors = item.FindField("i_authors");
+        int64_t n = authors != nullptr && authors->is_collection()
+                        ? static_cast<int64_t>(authors->num_elements())
+                        : 0;
+        return Value::Struct({
+            {"p_key", item.FindField("p_key")},
+            {"p_title", item.FindField("p_title")},
+            {"ititle", item.FindField("ititle")},
+            {"n_auth", Value::Int(n)},
+        });
+      },
+      map_schema, "map(count authors)");
+  int agg = b.GroupAggregate(
+      mapped, {GroupKey::Of("p_key"), GroupKey::Of("p_title")},
+      {
+          AggSpec::CollectList("ititle", "inprocs"),
+          AggSpec::Sum("n_auth", "total_authors"),
+      });
+  PEBBLE_ASSIGN_OR_RETURN(s.pipeline, b.Build(agg));
+  s.query = TreePattern({
+      PatternNode::Attr("p_key").Equals(
+          Value::String(DblpGenerator::ProceedingsKey(1))),
+      PatternNode::Attr("inprocs"),
+  });
+  return s;
+}
+
+}  // namespace
+
+Result<Scenario> MakeTwitterScenario(
+    int id, const TwitterGenerator& gen,
+    std::shared_ptr<const std::vector<ValuePtr>> tweets) {
+  switch (id) {
+    case 1:
+      return TwitterT1(gen, std::move(tweets));
+    case 2:
+      return TwitterT2(gen, std::move(tweets));
+    case 3:
+      return TwitterT3(gen, std::move(tweets));
+    case 4:
+      return TwitterT4(gen, std::move(tweets));
+    case 5:
+      return TwitterT5(gen, std::move(tweets));
+    default:
+      return Status::InvalidArgument("Twitter scenario id must be 1..5");
+  }
+}
+
+Result<Scenario> MakeDblpScenario(
+    int id, const DblpGenerator& gen,
+    std::shared_ptr<const std::vector<ValuePtr>> records) {
+  switch (id) {
+    case 1:
+      return DblpD1(gen, std::move(records));
+    case 2:
+      return DblpD2(gen, std::move(records));
+    case 3:
+      return DblpD3(gen, std::move(records));
+    case 4:
+      return DblpD4(gen, std::move(records));
+    case 5:
+      return DblpD5(gen, std::move(records));
+    default:
+      return Status::InvalidArgument("DBLP scenario id must be 1..5");
+  }
+}
+
+}  // namespace pebble

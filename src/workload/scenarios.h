@@ -1,0 +1,40 @@
+// The ten evaluation scenarios of the paper (Tab. 7): five Twitter (T1-T5)
+// and five DBLP (D1-D5) pipelines, each paired with a structural provenance
+// question (tree pattern). Built from the informal descriptions in Tab. 7;
+// T3 is the running example applied to generated data.
+
+#ifndef PEBBLE_WORKLOAD_SCENARIOS_H_
+#define PEBBLE_WORKLOAD_SCENARIOS_H_
+
+#include <memory>
+#include <string>
+
+#include "core/tree_pattern.h"
+#include "engine/pipeline.h"
+#include "workload/dblp_gen.h"
+#include "workload/twitter_gen.h"
+
+namespace pebble {
+
+/// One benchmark scenario: a pipeline plus its provenance question.
+struct Scenario {
+  std::string name;         // "T1".."T5", "D1".."D5"
+  std::string description;  // Tab. 7 one-liner
+  Pipeline pipeline;
+  TreePattern query{{}};
+};
+
+/// Builds Twitter scenario `id` (1-5) over the given generated tweets.
+/// The data vector is shared into the pipeline's scans.
+Result<Scenario> MakeTwitterScenario(
+    int id, const TwitterGenerator& gen,
+    std::shared_ptr<const std::vector<ValuePtr>> tweets);
+
+/// Builds DBLP scenario `id` (1-5) over the given generated records.
+Result<Scenario> MakeDblpScenario(
+    int id, const DblpGenerator& gen,
+    std::shared_ptr<const std::vector<ValuePtr>> records);
+
+}  // namespace pebble
+
+#endif  // PEBBLE_WORKLOAD_SCENARIOS_H_

@@ -1,0 +1,196 @@
+#include "workload/twitter_gen.h"
+
+#include "common/rng.h"
+
+namespace pebble {
+
+namespace {
+
+const char* const kWords[] = {
+    "good",   "BTS",    "Hello",  "World",   "today", "concert", "music",
+    "love",   "photo",  "news",   "morning", "coffee", "game",   "team",
+    "winter", "summer", "travel", "code",    "data",  "paper",
+};
+constexpr size_t kNumWords = sizeof(kWords) / sizeof(kWords[0]);
+
+const char* const kFirstNames[] = {"Lisa", "John",  "Lauren", "Maria",
+                                   "Ken",  "Aiko",  "Pedro",  "Nina",
+                                   "Omar", "Tanja", "Ravi",   "Mei"};
+const char* const kLastNames[] = {"Paul",   "Miller", "Smith", "Garcia",
+                                  "Tanaka", "Kumar",  "Weber", "Rossi",
+                                  "Chen",   "Novak"};
+
+const char* const kHashtags[] = {"news", "music", "bts",  "tech", "sports",
+                                 "art",  "food",  "love", "fun",  "travel"};
+constexpr int kNumHashtags = sizeof(kHashtags) / sizeof(kHashtags[0]);
+
+const char* const kLangs[] = {"en", "de", "ja", "es", "fr"};
+
+ValuePtr MakeUser(int k) {
+  return Value::Struct({
+      {"id_str", Value::String(TwitterGenerator::UserId(k))},
+      {"name",
+       Value::String(std::string(kFirstNames[k % 12]) + " " +
+                     kLastNames[(k / 12) % 10] + std::to_string(k))},
+  });
+}
+
+TypePtr UserType() {
+  return DataType::Struct({
+      {"id_str", DataType::String()},
+      {"name", DataType::String()},
+  });
+}
+
+/// Nested payload emulating deep tweet structures (place.bounding_box...).
+ValuePtr MakePayload(Rng* rng, int depth) {
+  if (depth <= 0) {
+    return Value::Struct({
+        {"lat", Value::Double(rng->NextDouble() * 180 - 90)},
+        {"lon", Value::Double(rng->NextDouble() * 360 - 180)},
+    });
+  }
+  return Value::Struct({
+      {"kind", Value::String(depth % 2 == 0 ? "poly" : "box")},
+      {"inner", MakePayload(rng, depth - 1)},
+  });
+}
+
+TypePtr PayloadType(int depth) {
+  if (depth <= 0) {
+    return DataType::Struct({
+        {"lat", DataType::Double()},
+        {"lon", DataType::Double()},
+    });
+  }
+  return DataType::Struct({
+      {"kind", DataType::String()},
+      {"inner", PayloadType(depth - 1)},
+  });
+}
+
+}  // namespace
+
+std::string TwitterGenerator::UserId(int k) {
+  return "u" + std::to_string(k);
+}
+
+std::string TwitterGenerator::HashtagText(int k) {
+  return kHashtags[k % kNumHashtags];
+}
+
+TypePtr TwitterGenerator::Schema() const {
+  std::vector<FieldType> fields = {
+      {"text", DataType::String()},
+      {"user", UserType()},
+      {"user_mentions", DataType::Bag(UserType())},
+      {"hashtags",
+       DataType::Bag(DataType::Struct({{"tag", DataType::String()}}))},
+      {"media", DataType::Bag(DataType::Struct({
+                    {"media_url", DataType::String()},
+                    {"type", DataType::String()},
+                }))},
+      {"retweet_count", DataType::Int()},
+      {"lang", DataType::String()},
+      {"created_at", DataType::String()},
+      {"place", PayloadType(options_.nesting_depth)},
+  };
+  for (int i = 0; i < options_.padding_attrs; ++i) {
+    fields.push_back({"pad_" + std::to_string(i),
+                      i % 2 == 0 ? DataType::Int() : DataType::String()});
+  }
+  return DataType::Struct(std::move(fields));
+}
+
+std::shared_ptr<const std::vector<ValuePtr>> TwitterGenerator::Generate()
+    const {
+  Rng rng(options_.seed);
+  auto out = std::make_shared<std::vector<ValuePtr>>();
+  out->reserve(options_.num_tweets);
+
+  for (size_t i = 0; i < options_.num_tweets; ++i) {
+    // Author: Zipf-skewed over the user pool.
+    int author = static_cast<int>(
+        rng.NextZipf(static_cast<uint64_t>(options_.num_users), 1.1));
+
+    // Mentions.
+    int num_mentions =
+        static_cast<int>(rng.NextSkewed(0, options_.max_mentions));
+    std::vector<ValuePtr> mentions;
+    std::string mention_text;
+    for (int m = 0; m < num_mentions; ++m) {
+      int user = static_cast<int>(
+          rng.NextZipf(static_cast<uint64_t>(options_.num_users), 1.1));
+      mentions.push_back(MakeUser(user));
+      mention_text += " @" + UserId(user);
+    }
+
+    // Hashtags.
+    int num_tags = static_cast<int>(rng.NextSkewed(0, options_.max_hashtags));
+    std::vector<ValuePtr> hashtags;
+    std::string tag_text;
+    for (int t = 0; t < num_tags; ++t) {
+      int tag = static_cast<int>(
+          rng.NextZipf(static_cast<uint64_t>(kNumHashtags), 1.0));
+      hashtags.push_back(
+          Value::Struct({{"tag", Value::String(HashtagText(tag))}}));
+      tag_text += " #" + HashtagText(tag);
+    }
+
+    // Media.
+    int num_media = static_cast<int>(rng.NextSkewed(0, options_.max_media));
+    std::vector<ValuePtr> media;
+    for (int m = 0; m < num_media; ++m) {
+      media.push_back(Value::Struct({
+          {"media_url",
+           Value::String("https://pic.example/" + rng.NextString(8))},
+          {"type", Value::String(rng.NextBool(0.8) ? "photo" : "video")},
+      }));
+    }
+
+    // Text: a few pool words (every ~10th tweet says exactly "Hello World"
+    // so the running-example duplicate pattern occurs in generated data).
+    std::string text;
+    if (i % 10 == 7) {
+      text = "Hello World";
+    } else {
+      int num_words = static_cast<int>(rng.NextInt(2, 6));
+      for (int w = 0; w < num_words; ++w) {
+        if (w > 0) text += " ";
+        text += kWords[rng.NextBounded(kNumWords)];
+      }
+    }
+    text += mention_text + tag_text;
+
+    std::vector<Field> fields = {
+        {"text", Value::String(std::move(text))},
+        {"user", MakeUser(author)},
+        {"user_mentions", Value::Bag(std::move(mentions))},
+        {"hashtags", Value::Bag(std::move(hashtags))},
+        {"media", Value::Bag(std::move(media))},
+        {"retweet_count",
+         Value::Int(rng.NextBool(options_.retweet_zero_prob)
+                        ? 0
+                        : rng.NextInt(1, 10000))},
+        {"lang", Value::String(kLangs[rng.NextBounded(5)])},
+        {"created_at",
+         Value::String("2019-0" + std::to_string(1 + i % 9) + "-" +
+                       std::to_string(1 + i % 28))},
+        {"place", MakePayload(&rng, options_.nesting_depth)},
+    };
+    for (int p = 0; p < options_.padding_attrs; ++p) {
+      if (p % 2 == 0) {
+        fields.push_back(
+            {"pad_" + std::to_string(p),
+             Value::Int(static_cast<int64_t>(rng.Next() % 1000000))});
+      } else {
+        fields.push_back(
+            {"pad_" + std::to_string(p), Value::String(rng.NextString(12))});
+      }
+    }
+    out->push_back(Value::Struct(std::move(fields)));
+  }
+  return out;
+}
+
+}  // namespace pebble

@@ -1,0 +1,70 @@
+// Tests for the PROVision-style lazy querying baseline: result equivalence
+// with the eager path and the per-input-cost structure.
+
+#include "baselines/lazy.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "workload/running_example.h"
+
+namespace pebble {
+namespace {
+
+Path P(const std::string& s) { return std::move(Path::Parse(s)).ValueOrDie(); }
+
+TEST(LazyTest, MatchesEagerProvenance) {
+  ASSERT_OK_AND_ASSIGN(RunningExample ex, MakeRunningExample());
+  ExecOptions options{CaptureMode::kStructural, 2, 2};
+
+  // Eager: capture during execution, query afterwards.
+  Executor executor(options);
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, executor.Run(ex.pipeline));
+  ASSERT_OK_AND_ASSIGN(ProvenanceQueryResult eager,
+                       QueryStructuralProvenance(run, ex.query));
+
+  // Lazy: nothing captured beforehand.
+  ExecOptions no_capture = options;
+  no_capture.capture = CaptureMode::kOff;
+  ASSERT_OK_AND_ASSIGN(LazyQueryResult lazy,
+                       LazyQueryStructuralProvenance(ex.pipeline, no_capture,
+                                                     ex.query));
+
+  // Same sources with the same item count; tree contents equal.
+  ASSERT_EQ(lazy.sources.size(), eager.sources.size());
+  for (size_t s = 0; s < lazy.sources.size(); ++s) {
+    EXPECT_EQ(lazy.sources[s].scan_oid, eager.sources[s].scan_oid);
+    ASSERT_EQ(lazy.sources[s].items.size(), eager.sources[s].items.size());
+    for (size_t i = 0; i < lazy.sources[s].items.size(); ++i) {
+      EXPECT_TRUE(lazy.sources[s].items[i].tree ==
+                  eager.sources[s].items[i].tree);
+    }
+  }
+}
+
+TEST(LazyTest, ReportsPerPhaseTimes) {
+  ASSERT_OK_AND_ASSIGN(RunningExample ex, MakeRunningExample());
+  ASSERT_OK_AND_ASSIGN(
+      LazyQueryResult lazy,
+      LazyQueryStructuralProvenance(
+          ex.pipeline, ExecOptions{CaptureMode::kOff, 2, 1}, ex.query));
+  EXPECT_GT(lazy.rerun_ms, 0.0);
+  EXPECT_GE(lazy.trace_ms, 0.0);
+  EXPECT_GE(lazy.total_ms(), lazy.rerun_ms);
+}
+
+TEST(LazyTest, TraceContentContainsFigure2Nodes) {
+  ASSERT_OK_AND_ASSIGN(RunningExample ex, MakeRunningExample());
+  ASSERT_OK_AND_ASSIGN(
+      LazyQueryResult lazy,
+      LazyQueryStructuralProvenance(
+          ex.pipeline, ExecOptions{CaptureMode::kOff, 2, 1}, ex.query));
+  ASSERT_EQ(lazy.sources.size(), 1u);
+  ASSERT_EQ(lazy.sources[0].items.size(), 2u);
+  const BacktraceTree& tree = lazy.sources[0].items[0].tree;
+  EXPECT_TRUE(tree.Find(P("text"))->contributing);
+  EXPECT_FALSE(tree.Find(P("user.name"))->contributing);
+}
+
+}  // namespace
+}  // namespace pebble

@@ -1,0 +1,126 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pebble {
+namespace {
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BoolProbabilityExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(RngTest, BoolProbabilityRoughlyCalibrated) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.NextBool(0.3)) ++hits;
+  }
+  EXPECT_GT(hits, 2500);
+  EXPECT_LT(hits, 3500);
+}
+
+TEST(RngTest, SkewedWithinBoundsAndSkewed) {
+  Rng rng(19);
+  int64_t sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.NextSkewed(0, 4);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 4);
+    sum += v;
+  }
+  // Expectation of the geometric-ish distribution is well below midpoint 2.
+  EXPECT_LT(sum, 15000);
+}
+
+TEST(RngTest, ZipfSkewsTowardsLowIndices) {
+  Rng rng(23);
+  int low = 0;
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = rng.NextZipf(100, 1.1);
+    EXPECT_LT(v, 100u);
+    if (v < 10) ++low;
+  }
+  // Top-10 indices should receive far more than the uniform 10%.
+  EXPECT_GT(low, 4000);
+}
+
+TEST(RngTest, ZipfDegenerateN) {
+  Rng rng(29);
+  EXPECT_EQ(rng.NextZipf(1, 1.1), 0u);
+  EXPECT_EQ(rng.NextZipf(0, 1.1), 0u);
+}
+
+TEST(RngTest, StringHasRequestedLengthAndAlphabet) {
+  Rng rng(31);
+  std::string s = rng.NextString(64);
+  EXPECT_EQ(s.size(), 64u);
+  for (char c : s) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+}
+
+TEST(RngTest, PickCoversPool) {
+  Rng rng(37);
+  std::vector<int> pool = {10, 20, 30};
+  std::set<int> seen;
+  for (int i = 0; i < 100; ++i) {
+    seen.insert(rng.Pick(pool));
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+}  // namespace
+}  // namespace pebble

@@ -1,0 +1,113 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pebble {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad path");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad path");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad path");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kTypeError), "TypeError");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kKeyError), "KeyError");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIndexError), "IndexError");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIOError), "IOError");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotImplemented),
+               "NotImplemented");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+TEST(StatusTest, CopySharesState) {
+  Status st = Status::IOError("disk");
+  Status copy = st;
+  EXPECT_EQ(copy.message(), "disk");
+  EXPECT_EQ(copy, st);
+}
+
+TEST(StatusTest, StreamOutput) {
+  std::ostringstream os;
+  os << Status::Internal("boom");
+  EXPECT_EQ(os.str(), "Internal: boom");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r = Status::KeyError("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kKeyError);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  PEBBLE_ASSIGN_OR_RETURN(int h, Half(x));
+  PEBBLE_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  Result<int> ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+
+  Result<int> fail = Quarter(6);  // 6/2 = 3 is odd
+  ASSERT_FALSE(fail.ok());
+  EXPECT_EQ(fail.status().code(), StatusCode::kInvalidArgument);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::IndexError("negative");
+  return Status::OK();
+}
+
+Status CheckBoth(int a, int b) {
+  PEBBLE_RETURN_NOT_OK(FailIfNegative(a));
+  PEBBLE_RETURN_NOT_OK(FailIfNegative(b));
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(CheckBoth(1, 2).ok());
+  EXPECT_EQ(CheckBoth(1, -2).code(), StatusCode::kIndexError);
+  EXPECT_EQ(CheckBoth(-1, 2).code(), StatusCode::kIndexError);
+}
+
+}  // namespace
+}  // namespace pebble

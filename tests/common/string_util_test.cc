@@ -1,0 +1,55 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace pebble {
+namespace {
+
+TEST(StringUtilTest, JoinEmpty) { EXPECT_EQ(Join({}, ","), ""); }
+
+TEST(StringUtilTest, JoinSingle) { EXPECT_EQ(Join({"a"}, "."), "a"); }
+
+TEST(StringUtilTest, JoinMultiple) {
+  EXPECT_EQ(Join({"a", "b", "c"}, "."), "a.b.c");
+}
+
+TEST(StringUtilTest, SplitRoundTrip) {
+  std::vector<std::string> parts = Split("a.b.c", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(Join(parts, "."), "a.b.c");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptySegments) {
+  std::vector<std::string> parts = Split("a..b", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(StringUtilTest, SplitEmptyString) {
+  std::vector<std::string> parts = Split("", '.');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StringUtilTest, Contains) {
+  EXPECT_TRUE(Contains("Hello World", "lo Wo"));
+  EXPECT_TRUE(Contains("abc", ""));
+  EXPECT_FALSE(Contains("abc", "abcd"));
+  EXPECT_FALSE(Contains("", "a"));
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("prefix_rest", "prefix"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+}
+
+TEST(StringUtilTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.00 KB");
+  EXPECT_EQ(HumanBytes(3 * 1024 * 1024), "3.00 MB");
+  EXPECT_EQ(HumanBytes(5ull * 1024 * 1024 * 1024), "5.00 GB");
+}
+
+}  // namespace
+}  // namespace pebble

@@ -1,0 +1,95 @@
+// Tests for the backtracing index: lookup coverage and equivalence of
+// indexed vs unindexed backtracing.
+
+#include <gtest/gtest.h>
+
+#include "core/query.h"
+#include "test_util.h"
+#include "workload/running_example.h"
+#include "workload/scenarios.h"
+
+namespace pebble {
+namespace {
+
+TEST(BacktraceIndexTest, CoversAllIdTableKinds) {
+  ASSERT_OK_AND_ASSIGN(RunningExample ex, MakeRunningExample());
+  Executor executor(ExecOptions{CaptureMode::kStructural, 2, 1});
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, executor.Run(ex.pipeline));
+  BacktraceIndex index(*run.provenance);
+
+  // Fig. 1 operators: 2/3/6/8 unary, 5 flatten, 7 union (binary), 9 agg.
+  EXPECT_NE(index.unary(2), nullptr);
+  EXPECT_NE(index.unary(3), nullptr);
+  EXPECT_NE(index.flatten(5), nullptr);
+  EXPECT_NE(index.binary(7), nullptr);
+  EXPECT_NE(index.agg(9), nullptr);
+  // Scans have no id tables; wrong-kind lookups return nullptr.
+  EXPECT_EQ(index.unary(1), nullptr);
+  EXPECT_EQ(index.flatten(2), nullptr);
+  EXPECT_EQ(index.binary(9), nullptr);
+
+  // Every unary row is reachable through the index.
+  const OperatorProvenance* filter = run.provenance->Find(2);
+  for (const UnaryIdRow& row : filter->unary_ids) {
+    ASSERT_EQ(index.unary(2)->count(row.out), 1u);
+    EXPECT_EQ(index.unary(2)->at(row.out), row.in);
+  }
+}
+
+TEST(BacktraceIndexTest, IndexedBacktraceEqualsUnindexed) {
+  ASSERT_OK_AND_ASSIGN(RunningExample ex, MakeRunningExample());
+  Executor executor(ExecOptions{CaptureMode::kStructural, 2, 1});
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, executor.Run(ex.pipeline));
+  ASSERT_OK_AND_ASSIGN(BacktraceStructure seed,
+                       ex.query.Match(run.output, 1));
+
+  Backtracer plain(run.provenance.get());
+  ASSERT_OK_AND_ASSIGN(std::vector<SourceProvenance> expected,
+                       plain.Backtrace(seed));
+
+  BacktraceIndex index(*run.provenance);
+  Backtracer indexed(run.provenance.get(), &index);
+  ASSERT_OK_AND_ASSIGN(std::vector<SourceProvenance> actual,
+                       indexed.Backtrace(seed));
+
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t s = 0; s < expected.size(); ++s) {
+    EXPECT_EQ(actual[s].scan_oid, expected[s].scan_oid);
+    ASSERT_EQ(actual[s].items.size(), expected[s].items.size());
+    for (size_t i = 0; i < expected[s].items.size(); ++i) {
+      EXPECT_EQ(actual[s].items[i].id, expected[s].items[i].id);
+      EXPECT_TRUE(actual[s].items[i].tree == expected[s].items[i].tree);
+    }
+  }
+}
+
+TEST(BacktraceIndexTest, IndexedBacktraceAcrossAllScenarios) {
+  TwitterGenOptions options;
+  options.num_tweets = 300;
+  TwitterGenerator gen(options);
+  auto data = gen.Generate();
+  for (int id = 1; id <= 5; ++id) {
+    ASSERT_OK_AND_ASSIGN(Scenario sc, MakeTwitterScenario(id, gen, data));
+    Executor executor(ExecOptions{CaptureMode::kStructural, 3, 1});
+    ASSERT_OK_AND_ASSIGN(ExecutionResult run, executor.Run(sc.pipeline));
+    ASSERT_OK_AND_ASSIGN(BacktraceStructure seed,
+                         sc.query.Match(run.output, 1));
+    Backtracer plain(run.provenance.get());
+    BacktraceIndex index(*run.provenance);
+    Backtracer indexed(run.provenance.get(), &index);
+    ASSERT_OK_AND_ASSIGN(std::vector<SourceProvenance> a,
+                         plain.Backtrace(seed));
+    ASSERT_OK_AND_ASSIGN(std::vector<SourceProvenance> b,
+                         indexed.Backtrace(seed));
+    ASSERT_EQ(a.size(), b.size()) << sc.name;
+    for (size_t s = 0; s < a.size(); ++s) {
+      ASSERT_EQ(a[s].items.size(), b[s].items.size()) << sc.name;
+      for (size_t i = 0; i < a[s].items.size(); ++i) {
+        EXPECT_TRUE(a[s].items[i].tree == b[s].items[i].tree) << sc.name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pebble

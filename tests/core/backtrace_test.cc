@@ -1,0 +1,376 @@
+// Tests for the backtracing algorithm (paper Sec. 6.3, Algs. 1-4),
+// including scenarios modeled on Ex. 6.5 (flatten) and Ex. 6.6
+// (aggregation).
+
+#include "core/backtrace.h"
+
+#include <gtest/gtest.h>
+
+#include "core/query.h"
+#include "engine/engine_test_util.h"
+
+namespace pebble {
+namespace {
+
+using testing::MiniData;
+using testing::MiniItem;
+using testing::MiniSchema;
+using testing::RunWith;
+
+Path P(const std::string& s) { return std::move(Path::Parse(s)).ValueOrDie(); }
+
+/// Seeds a backtracing structure with one entry for output id `id` whose
+/// tree holds the given contributing paths.
+BacktraceStructure Seed(int64_t id, const std::vector<std::string>& paths) {
+  BacktraceEntry entry{id, {}};
+  for (const std::string& p : paths) {
+    entry.tree.Ensure(P(p), /*contributing=*/true);
+  }
+  return {std::move(entry)};
+}
+
+int64_t OutputIdWhere(const ExecutionResult& run,
+                      const std::function<bool(const Value&)>& pred) {
+  for (const Row& row : run.output.CollectRows()) {
+    if (pred(*row.value)) return row.id;
+  }
+  ADD_FAILURE() << "no output row matches";
+  return -1;
+}
+
+const BacktraceStructure* ItemsOf(const std::vector<SourceProvenance>& sources,
+                                  int scan_oid) {
+  for (const SourceProvenance& sp : sources) {
+    if (sp.scan_oid == scan_oid) return &sp.items;
+  }
+  return nullptr;
+}
+
+TEST(BacktraceTest, FilterTracesToInputAndMarksAccess) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int f = b.Filter(scan, Expr::Eq(Expr::Col("tag"), Expr::LitString("a")));
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(f));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       RunWith(p, CaptureMode::kStructural));
+  int64_t out_id = OutputIdWhere(run, [](const Value& v) {
+    return v.FindField("k")->int_value() == 1;
+  });
+  Backtracer tracer(run.provenance.get());
+  ASSERT_OK_AND_ASSIGN(std::vector<SourceProvenance> sources,
+                       tracer.Backtrace(Seed(out_id, {"k"})));
+  ASSERT_EQ(sources.size(), 1u);
+  ASSERT_EQ(sources[0].items.size(), 1u);
+  const BacktraceTree& tree = sources[0].items[0].tree;
+  // k contributing, tag created influencing by the filter's access.
+  EXPECT_TRUE(tree.Find(P("k"))->contributing);
+  const BtNode* tag = tree.Find(P("tag"));
+  ASSERT_NE(tag, nullptr);
+  EXPECT_FALSE(tag->contributing);
+  EXPECT_EQ(tag->accessed_by.count(f), 1u);
+}
+
+TEST(BacktraceTest, SelectUndoesRenaming) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int s = b.Select(scan, {Projection::Leaf("key", "k"),
+                          Projection::Nested("wrap",
+                                             {Projection::Keep("tag")})});
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(s));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       RunWith(p, CaptureMode::kStructural));
+  int64_t out_id = OutputIdWhere(run, [](const Value& v) {
+    return v.FindField("key")->int_value() == 2;
+  });
+  Backtracer tracer(run.provenance.get());
+  ASSERT_OK_AND_ASSIGN(std::vector<SourceProvenance> sources,
+                       tracer.Backtrace(Seed(out_id, {"key", "wrap.tag"})));
+  const BacktraceTree& tree = sources[0].items[0].tree;
+  // Output paths are transformed back to the input schema.
+  ASSERT_TRUE(tree.Contains(P("k")));
+  ASSERT_TRUE(tree.Contains(P("tag")));
+  EXPECT_FALSE(tree.Contains(P("key")));
+  EXPECT_FALSE(tree.Contains(P("wrap")));
+  EXPECT_EQ(tree.Find(P("k"))->manipulated_by.count(s), 1u);
+}
+
+TEST(BacktraceTest, MapMarksWholeSchemaManipulated) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int m = b.Map(scan, [](const Value& item) -> Result<ValuePtr> {
+    return Value::Struct({{"twice",
+                           Value::Int(item.FindField("k")->int_value() * 2)}});
+  });
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(m));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       RunWith(p, CaptureMode::kStructural));
+  int64_t out_id = OutputIdWhere(run, [](const Value& v) {
+    return v.FindField("twice")->int_value() == 4;
+  });
+  Backtracer tracer(run.provenance.get());
+  ASSERT_OK_AND_ASSIGN(std::vector<SourceProvenance> sources,
+                       tracer.Backtrace(Seed(out_id, {"twice"})));
+  const BacktraceTree& tree = sources[0].items[0].tree;
+  // Conservative: every input attribute manipulated by the map.
+  for (const char* attr : {"k", "tag", "xs"}) {
+    const BtNode* n = tree.Find(P(attr));
+    ASSERT_NE(n, nullptr) << attr;
+    EXPECT_EQ(n->manipulated_by.count(m), 1u);
+    EXPECT_TRUE(n->contributing);
+  }
+  EXPECT_FALSE(tree.Contains(P("twice")));
+}
+
+TEST(BacktraceTest, FlattenResolvesPositions) {
+  // Ex. 6.5 analog: two flattened outputs of the same input merge into one
+  // entry with concrete positions.
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int f = b.Flatten(scan, "xs", "x");
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(f));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       RunWith(p, CaptureMode::kStructural,
+                               /*num_partitions=*/1));
+  // Trace both outputs of item k=1 (xs values 10 and 11) at x.v.
+  int64_t out1 = OutputIdWhere(run, [](const Value& v) {
+    return v.FindField("x")->FindField("v")->int_value() == 10;
+  });
+  int64_t out2 = OutputIdWhere(run, [](const Value& v) {
+    return v.FindField("x")->FindField("v")->int_value() == 11;
+  });
+  BacktraceStructure seed = Seed(out1, {"x.v"});
+  BacktraceStructure seed2 = Seed(out2, {"x.v"});
+  MergeEntry(&seed, std::move(seed2[0]));
+  Backtracer tracer(run.provenance.get());
+  ASSERT_OK_AND_ASSIGN(std::vector<SourceProvenance> sources,
+                       tracer.Backtrace(seed));
+  // Both trace to input item 1, merged (Alg. 2 l.2).
+  ASSERT_EQ(sources.size(), 1u);
+  ASSERT_EQ(sources[0].items.size(), 1u);
+  const BacktraceTree& tree = sources[0].items[0].tree;
+  EXPECT_TRUE(tree.Contains(P("xs[1].v")));
+  EXPECT_TRUE(tree.Contains(P("xs[2].v")));
+  EXPECT_EQ(tree.Find(P("xs[1]"))->manipulated_by.count(f), 1u);
+}
+
+TEST(BacktraceTest, AggregationKeepsOnlyTracedPositions) {
+  // Ex. 6.6 analog: tracing one nested position keeps exactly the group
+  // member that produced it.
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int g = b.GroupAggregate(scan, {GroupKey::Of("tag")},
+                           {AggSpec::CollectList("k", "ks")});
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(g));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       RunWith(p, CaptureMode::kStructural,
+                               /*num_partitions=*/1));
+  // Group "a" collects ks = [1, 3] from scan ids 1 and 3; trace position 2.
+  int64_t out_id = OutputIdWhere(run, [](const Value& v) {
+    return v.FindField("tag")->string_value() == "a";
+  });
+  Backtracer tracer(run.provenance.get());
+  ASSERT_OK_AND_ASSIGN(std::vector<SourceProvenance> sources,
+                       tracer.Backtrace(Seed(out_id, {"ks[2]"})));
+  ASSERT_EQ(sources.size(), 1u);
+  ASSERT_EQ(sources[0].items.size(), 1u);
+  EXPECT_EQ(sources[0].items[0].id, 3);  // second group member only
+  const BacktraceTree& tree = sources[0].items[0].tree;
+  // ks[2] transformed back to input attribute k; other positions removed.
+  EXPECT_TRUE(tree.Contains(P("k")));
+  EXPECT_FALSE(tree.Contains(P("ks")));
+  // The grouping key is influencing (accessed), not contributing on its own.
+  const BtNode* tag = tree.Find(P("tag"));
+  ASSERT_NE(tag, nullptr);
+  EXPECT_EQ(tag->accessed_by.count(g), 1u);
+}
+
+TEST(BacktraceTest, AggregationConstantAggKeepsAllMembers) {
+  // Tracing a sum output keeps every group member (all contribute).
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int g = b.GroupAggregate(scan, {GroupKey::Of("tag")},
+                           {AggSpec::Sum("k", "total")});
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(g));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       RunWith(p, CaptureMode::kStructural,
+                               /*num_partitions=*/1));
+  int64_t out_id = OutputIdWhere(run, [](const Value& v) {
+    return v.FindField("tag")->string_value() == "a";
+  });
+  Backtracer tracer(run.provenance.get());
+  ASSERT_OK_AND_ASSIGN(std::vector<SourceProvenance> sources,
+                       tracer.Backtrace(Seed(out_id, {"total"})));
+  ASSERT_EQ(sources[0].items.size(), 2u);  // ids 1 and 3
+}
+
+TEST(BacktraceTest, AggregationKeyOnlyTraceYieldsNothing) {
+  // A trace that only touches the grouping key produces no contributing
+  // input items (keys are influencing; Ex. 6.6 semantics).
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int g = b.GroupAggregate(scan, {GroupKey::Of("tag")},
+                           {AggSpec::CollectList("k", "ks")});
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(g));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       RunWith(p, CaptureMode::kStructural));
+  int64_t out_id = OutputIdWhere(run, [](const Value& v) {
+    return v.FindField("tag")->string_value() == "a";
+  });
+  Backtracer tracer(run.provenance.get());
+  ASSERT_OK_AND_ASSIGN(std::vector<SourceProvenance> sources,
+                       tracer.Backtrace(Seed(out_id, {"tag"})));
+  EXPECT_TRUE(sources.empty() || sources[0].items.empty());
+}
+
+TEST(BacktraceTest, UnionRoutesToOriginSide) {
+  auto data_a = std::make_shared<std::vector<ValuePtr>>();
+  data_a->push_back(MiniItem(1, "left", {}));
+  auto data_b = std::make_shared<std::vector<ValuePtr>>();
+  data_b->push_back(MiniItem(2, "right", {}));
+  PipelineBuilder b;
+  int scan_a = b.Scan("a", MiniSchema(), data_a);
+  int scan_b = b.Scan("b", MiniSchema(), data_b);
+  int u = b.Union(scan_a, scan_b);
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(u));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       RunWith(p, CaptureMode::kStructural));
+  int64_t right_out = OutputIdWhere(run, [](const Value& v) {
+    return v.FindField("tag")->string_value() == "right";
+  });
+  Backtracer tracer(run.provenance.get());
+  ASSERT_OK_AND_ASSIGN(std::vector<SourceProvenance> sources,
+                       tracer.Backtrace(Seed(right_out, {"k"})));
+  // Only the right scan receives provenance.
+  ASSERT_EQ(sources.size(), 1u);
+  EXPECT_EQ(sources[0].scan_oid, scan_b);
+  EXPECT_TRUE(sources[0].items[0].tree.Contains(P("k")));
+}
+
+TEST(BacktraceTest, JoinSplitsTreeBySideSchema) {
+  TypePtr left_schema = DataType::Struct({
+      {"lk", DataType::String()},
+      {"lv", DataType::Int()},
+  });
+  TypePtr right_schema = DataType::Struct({
+      {"rk", DataType::String()},
+      {"rv", DataType::Int()},
+  });
+  auto left_data = std::make_shared<std::vector<ValuePtr>>();
+  left_data->push_back(Value::Struct(
+      {{"lk", Value::String("a")}, {"lv", Value::Int(1)}}));
+  auto right_data = std::make_shared<std::vector<ValuePtr>>();
+  right_data->push_back(Value::Struct(
+      {{"rk", Value::String("a")}, {"rv", Value::Int(2)}}));
+  PipelineBuilder b;
+  int left = b.Scan("left", left_schema, left_data);
+  int right = b.Scan("right", right_schema, right_data);
+  int j = b.Join(left, right, {"lk"}, {"rk"});
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(j));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       RunWith(p, CaptureMode::kStructural));
+  int64_t out_id = run.output.CollectRows()[0].id;
+  Backtracer tracer(run.provenance.get());
+  ASSERT_OK_AND_ASSIGN(std::vector<SourceProvenance> sources,
+                       tracer.Backtrace(Seed(out_id, {"lv", "rv"})));
+  ASSERT_EQ(sources.size(), 2u);
+  const BacktraceStructure* left_items = ItemsOf(sources, left);
+  const BacktraceStructure* right_items = ItemsOf(sources, right);
+  ASSERT_NE(left_items, nullptr);
+  ASSERT_NE(right_items, nullptr);
+  // Each side's tree is restricted to its own schema; join keys are
+  // accessed (influencing) on each side.
+  const BacktraceTree& lt = (*left_items)[0].tree;
+  EXPECT_TRUE(lt.Contains(P("lv")));
+  EXPECT_FALSE(lt.Contains(P("rv")));
+  const BtNode* lk = lt.Find(P("lk"));
+  ASSERT_NE(lk, nullptr);
+  EXPECT_FALSE(lk->contributing);
+  EXPECT_EQ(lk->accessed_by.count(j), 1u);
+  const BacktraceTree& rt = (*right_items)[0].tree;
+  EXPECT_TRUE(rt.Contains(P("rv")));
+  EXPECT_FALSE(rt.Contains(P("lv")));
+}
+
+TEST(BacktraceTest, MultiHopPipelineEndsAtScan) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int f = b.Filter(scan, Expr::Gt(Expr::Col("k"), Expr::LitInt(1)));
+  int fl = b.Flatten(f, "xs", "x");
+  int s = b.Select(fl, {Projection::Leaf("vv", "x.v"),
+                        Projection::Keep("tag")});
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(s));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       RunWith(p, CaptureMode::kStructural));
+  int64_t out_id = OutputIdWhere(run, [](const Value& v) {
+    return v.FindField("vv")->int_value() == 41;
+  });
+  Backtracer tracer(run.provenance.get());
+  ASSERT_OK_AND_ASSIGN(std::vector<SourceProvenance> sources,
+                       tracer.Backtrace(Seed(out_id, {"vv"})));
+  ASSERT_EQ(sources.size(), 1u);
+  ASSERT_EQ(sources[0].items.size(), 1u);
+  EXPECT_EQ(sources[0].items[0].id, 4);  // k=4 holds xs value 41
+  const BacktraceTree& tree = sources[0].items[0].tree;
+  EXPECT_TRUE(tree.Contains(P("xs[2].v")));  // position recovered
+  EXPECT_TRUE(tree.Find(P("k")) != nullptr);  // filter access mark
+}
+
+TEST(BacktraceTest, NoStoreIsError) {
+  Backtracer tracer(nullptr);
+  EXPECT_FALSE(tracer.Backtrace({}).ok());
+}
+
+TEST(BacktraceTest, EmptySeedYieldsEmptyProvenance) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int f = b.Filter(scan, Expr::Gt(Expr::Col("k"), Expr::LitInt(0)));
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(f));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       RunWith(p, CaptureMode::kStructural));
+  Backtracer tracer(run.provenance.get());
+  ASSERT_OK_AND_ASSIGN(std::vector<SourceProvenance> sources,
+                       tracer.Backtrace({}));
+  EXPECT_TRUE(sources.empty());
+}
+
+TEST(ExpandAccessPathTest, StructExpandsToLeaves) {
+  TypePtr schema = DataType::Struct({
+      {"user", DataType::Struct({{"id_str", DataType::String()},
+                                 {"name", DataType::String()}})},
+  });
+  std::vector<Path> expanded = ExpandAccessPath(schema, P("user"));
+  ASSERT_EQ(expanded.size(), 2u);
+  EXPECT_EQ(expanded[0].ToString(), "user.id_str");
+  EXPECT_EQ(expanded[1].ToString(), "user.name");
+}
+
+TEST(ExpandAccessPathTest, StopsAtCollections) {
+  TypePtr schema = DataType::Struct({
+      {"xs", DataType::Bag(DataType::Struct({{"v", DataType::Int()}}))},
+  });
+  std::vector<Path> expanded = ExpandAccessPath(schema, P("xs"));
+  ASSERT_EQ(expanded.size(), 1u);
+  EXPECT_EQ(expanded[0].ToString(), "xs");
+}
+
+TEST(ExpandAccessPathTest, LeafStaysItself) {
+  TypePtr schema = DataType::Struct({{"k", DataType::Int()}});
+  std::vector<Path> expanded = ExpandAccessPath(schema, P("k"));
+  ASSERT_EQ(expanded.size(), 1u);
+  EXPECT_EQ(expanded[0].ToString(), "k");
+}
+
+TEST(BuildSchemaTreeTest, CoversAllAttributes) {
+  TypePtr schema = DataType::Struct({
+      {"a", DataType::Int()},
+      {"nested", DataType::Struct({{"b", DataType::Int()}})},
+      {"xs", DataType::Bag(DataType::Struct({{"v", DataType::Int()}}))},
+  });
+  BacktraceTree tree = BuildSchemaTree(schema);
+  EXPECT_TRUE(tree.Contains(P("a")));
+  EXPECT_TRUE(tree.Contains(P("nested.b")));
+  EXPECT_TRUE(tree.Contains(P("xs.v")));  // element fields, no positions
+}
+
+}  // namespace
+}  // namespace pebble

@@ -1,0 +1,283 @@
+// Tests for backtracing trees and the manipulatePath / accessPath methods
+// (paper Sec. 6.2).
+
+#include "core/backtrace_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace pebble {
+namespace {
+
+Path P(const std::string& s) { return std::move(Path::Parse(s)).ValueOrDie(); }
+
+TEST(BtNodeKeyTest, ToString) {
+  EXPECT_EQ((BtNodeKey{"user", kNoPos}.ToString()), "user");
+  EXPECT_EQ((BtNodeKey{"", 3}.ToString()), "3");
+  EXPECT_EQ((BtNodeKey{"", kPosPlaceholder}.ToString()), "[pos]");
+}
+
+TEST(BacktraceTreeTest, KeysOfExpandsPositions) {
+  std::vector<BtNodeKey> keys = BacktraceTree::KeysOf(P("tweets[2].text"));
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0].attr, "tweets");
+  EXPECT_TRUE(keys[1].is_position());
+  EXPECT_EQ(keys[1].pos, 2);
+  EXPECT_EQ(keys[2].attr, "text");
+}
+
+TEST(BacktraceTreeTest, EnsureAndFind) {
+  BacktraceTree tree;
+  EXPECT_TRUE(tree.empty());
+  BtNode* n = tree.Ensure(P("user.id_str"), /*contributing=*/true);
+  ASSERT_NE(n, nullptr);
+  EXPECT_TRUE(n->contributing);
+  EXPECT_TRUE(tree.Contains(P("user")));
+  EXPECT_TRUE(tree.Contains(P("user.id_str")));
+  EXPECT_FALSE(tree.Contains(P("user.name")));
+  EXPECT_FALSE(tree.empty());
+}
+
+TEST(BacktraceTreeTest, EnsureIsIdempotent) {
+  BacktraceTree tree;
+  BtNode* a = tree.Ensure(P("a.b"), true);
+  a->accessed_by.insert(7);
+  BtNode* again = tree.Ensure(P("a.b"), false);
+  EXPECT_EQ(again->accessed_by.count(7), 1u);
+  EXPECT_TRUE(again->contributing);  // existing flag not downgraded
+  EXPECT_EQ(tree.root().children.size(), 1u);
+}
+
+TEST(BacktraceTreeTest, PositionalNodes) {
+  BacktraceTree tree;
+  tree.Ensure(P("tweets[2].text"), true);
+  tree.Ensure(P("tweets[3].text"), true);
+  const BtNode* tweets = tree.Find(P("tweets"));
+  ASSERT_NE(tweets, nullptr);
+  EXPECT_EQ(tweets->children.size(), 2u);
+  EXPECT_TRUE(tree.Contains(P("tweets[3]")));
+}
+
+TEST(BacktraceTreeTest, AccessPathOnExistingMarksTerminal) {
+  BacktraceTree tree;
+  tree.Ensure(P("user.id_str"), true);
+  bool created = tree.AccessPath(P("user.id_str"), 9);
+  EXPECT_FALSE(created);
+  EXPECT_EQ(tree.Find(P("user.id_str"))->accessed_by.count(9), 1u);
+  // Intermediates stay unmarked so later detaches can prune them.
+  EXPECT_TRUE(tree.Find(P("user"))->accessed_by.empty());
+  // Contribution flag unchanged.
+  EXPECT_TRUE(tree.Find(P("user.id_str"))->contributing);
+}
+
+TEST(BacktraceTreeTest, AccessPathCreatesInfluencingNodes) {
+  // Sec. 6.2 case 2: nodes not needed to reproduce the result are created
+  // with c = false.
+  BacktraceTree tree;
+  tree.Ensure(P("user.id_str"), true);
+  bool created = tree.AccessPath(P("user.name"), 9);
+  EXPECT_TRUE(created);
+  const BtNode* name = tree.Find(P("user.name"));
+  ASSERT_NE(name, nullptr);
+  EXPECT_FALSE(name->contributing);
+  EXPECT_EQ(name->accessed_by.count(9), 1u);
+}
+
+TEST(BacktraceTreeTest, ManipulatePathMovesSubtree) {
+  BacktraceTree tree;
+  tree.Ensure(P("wrapped.text"), true);
+  bool applied = tree.ManipulatePath(P("text"), P("wrapped.text"), 8);
+  EXPECT_TRUE(applied);
+  EXPECT_FALSE(tree.Contains(P("wrapped")));  // pruned empty parent
+  const BtNode* text = tree.Find(P("text"));
+  ASSERT_NE(text, nullptr);
+  EXPECT_EQ(text->manipulated_by.count(8), 1u);
+  EXPECT_TRUE(text->contributing);
+}
+
+TEST(BacktraceTreeTest, ManipulatePathMissingOutIsNoop) {
+  BacktraceTree tree;
+  tree.Ensure(P("a"), true);
+  EXPECT_FALSE(tree.ManipulatePath(P("x"), P("b"), 1));
+  EXPECT_TRUE(tree.Contains(P("a")));
+  EXPECT_FALSE(tree.Contains(P("x")));
+}
+
+TEST(BacktraceTreeTest, ManipulatePathPreservesSubtreeContents) {
+  BacktraceTree tree;
+  BtNode* deep = tree.Ensure(P("out.sub.leaf"), true);
+  deep->accessed_by.insert(4);
+  tree.ManipulatePath(P("in"), P("out"), 5);
+  EXPECT_TRUE(tree.Contains(P("in.sub.leaf")));
+  EXPECT_EQ(tree.Find(P("in.sub.leaf"))->accessed_by.count(4), 1u);
+}
+
+TEST(BacktraceTreeTest, ManipulatePathMergesWithExistingTarget) {
+  BacktraceTree tree;
+  tree.Ensure(P("target.x"), true);
+  tree.Ensure(P("source_loc.y"), false);
+  tree.ManipulatePath(P("target"), P("source_loc"), 3);
+  // target now holds both children, c stays true.
+  const BtNode* target = tree.Find(P("target"));
+  ASSERT_NE(target, nullptr);
+  EXPECT_TRUE(target->contributing);
+  EXPECT_TRUE(tree.Contains(P("target.x")));
+  EXPECT_TRUE(tree.Contains(P("target.y")));
+}
+
+TEST(BacktraceTreeTest, DetachFoldsPrunedAncestorMarks) {
+  // A marked ancestor that becomes childless folds its A/M into the moved
+  // subtree instead of lingering as a phantom.
+  BacktraceTree tree;
+  tree.Ensure(P("tweet.text"), true);
+  tree.Find(P("tweet"))->manipulated_by.insert(9);
+  tree.ManipulatePath(P("text"), P("tweet.text"), 8);
+  EXPECT_FALSE(tree.Contains(P("tweet")));
+  const BtNode* text = tree.Find(P("text"));
+  ASSERT_NE(text, nullptr);
+  EXPECT_EQ(text->manipulated_by.count(8), 1u);
+  EXPECT_EQ(text->manipulated_by.count(9), 1u);  // folded
+}
+
+TEST(BacktraceTreeTest, DetachKeepsAncestorWithOtherChildren) {
+  BacktraceTree tree;
+  tree.Ensure(P("user.id_str"), true);
+  tree.Ensure(P("user.name"), false);
+  tree.ManipulatePath(P("id_str"), P("user.id_str"), 3);
+  EXPECT_TRUE(tree.Contains(P("user.name")));
+  EXPECT_TRUE(tree.Contains(P("id_str")));
+  EXPECT_FALSE(tree.Contains(P("user.id_str")));
+}
+
+TEST(BacktraceTreeTest, ApplyManipulationsHandlesSwaps) {
+  // Overlapping mappings must not observe each other's effects.
+  BacktraceTree tree;
+  tree.Ensure(P("a"), true)->accessed_by.insert(1);
+  tree.Ensure(P("b"), false)->accessed_by.insert(2);
+  tree.ApplyManipulations({PathMapping{P("b"), P("a")},
+                           PathMapping{P("a"), P("b")}},
+                          7);
+  // a's old content is now at b and vice versa.
+  const BtNode* a = tree.Find(P("a"));
+  const BtNode* b = tree.Find(P("b"));
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->accessed_by.count(1), 1u);
+  EXPECT_EQ(a->accessed_by.count(2), 1u);
+  EXPECT_TRUE(b->contributing);
+}
+
+TEST(BacktraceTreeTest, ApplyManipulationsDuplicateSource) {
+  // Two outputs copied from the same input path merge at the input node.
+  BacktraceTree tree;
+  tree.Ensure(P("copy1"), true)->accessed_by.insert(1);
+  tree.Ensure(P("copy2"), false)->accessed_by.insert(2);
+  tree.ApplyManipulations({PathMapping{P("x"), P("copy1")},
+                           PathMapping{P("x"), P("copy2")}},
+                          4);
+  const BtNode* x = tree.Find(P("x"));
+  ASSERT_NE(x, nullptr);
+  EXPECT_EQ(x->accessed_by.count(1), 1u);
+  EXPECT_EQ(x->accessed_by.count(2), 1u);
+  EXPECT_TRUE(x->contributing);
+  EXPECT_FALSE(tree.Contains(P("copy1")));
+  EXPECT_FALSE(tree.Contains(P("copy2")));
+}
+
+TEST(BacktraceTreeTest, RemoveSubtree) {
+  BacktraceTree tree;
+  tree.Ensure(P("tweets[2].text"), true);
+  tree.Ensure(P("tweets[3].text"), true);
+  tree.Ensure(P("user"), true);
+  EXPECT_TRUE(tree.RemoveSubtree(P("tweets")));
+  EXPECT_FALSE(tree.Contains(P("tweets")));
+  EXPECT_TRUE(tree.Contains(P("user")));
+  EXPECT_FALSE(tree.RemoveSubtree(P("tweets")));  // already gone
+}
+
+TEST(BacktraceTreeTest, RestrictToSchema) {
+  TypePtr schema = DataType::Struct({{"keep", DataType::Int()}});
+  BacktraceTree tree;
+  tree.Ensure(P("keep.sub"), true);
+  tree.Ensure(P("drop"), true);
+  tree.RestrictToSchema(*schema);
+  EXPECT_TRUE(tree.Contains(P("keep.sub")));
+  EXPECT_FALSE(tree.Contains(P("drop")));
+}
+
+TEST(BacktraceTreeTest, MarkAllManipulated) {
+  BacktraceTree tree;
+  tree.Ensure(P("a.b"), true);
+  tree.Ensure(P("c"), false);
+  tree.MarkAllManipulated(6);
+  EXPECT_EQ(tree.Find(P("a"))->manipulated_by.count(6), 1u);
+  EXPECT_EQ(tree.Find(P("a.b"))->manipulated_by.count(6), 1u);
+  EXPECT_EQ(tree.Find(P("c"))->manipulated_by.count(6), 1u);
+}
+
+TEST(BacktraceTreeTest, MergeFromUnionsEverything) {
+  BacktraceTree a;
+  a.Ensure(P("x.y"), true)->accessed_by.insert(1);
+  BacktraceTree b;
+  b.Ensure(P("x.z"), false)->manipulated_by.insert(2);
+  b.Ensure(P("w"), false);
+  a.MergeFrom(b);
+  EXPECT_TRUE(a.Contains(P("x.y")));
+  EXPECT_TRUE(a.Contains(P("x.z")));
+  EXPECT_TRUE(a.Contains(P("w")));
+  EXPECT_EQ(a.Find(P("x.z"))->manipulated_by.count(2), 1u);
+}
+
+TEST(BacktraceTreeTest, VisitProducesFoldedPaths) {
+  BacktraceTree tree;
+  tree.Ensure(P("tweets[2].text"), true);
+  std::vector<std::string> paths;
+  tree.Visit([&](const Path& p, const BtNode&) {
+    paths.push_back(p.ToString());
+  });
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_EQ(paths[0], "tweets");
+  EXPECT_EQ(paths[1], "tweets[2]");
+  EXPECT_EQ(paths[2], "tweets[2].text");
+}
+
+TEST(BacktraceTreeTest, EqualityIsOrderInsensitive) {
+  BacktraceTree a;
+  a.Ensure(P("x"), true);
+  a.Ensure(P("y"), false);
+  BacktraceTree b;
+  b.Ensure(P("y"), false);
+  b.Ensure(P("x"), true);
+  EXPECT_TRUE(a == b);
+  b.Find(P("y"))->accessed_by.insert(1);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(BacktraceTreeTest, ToStringRendersBadges) {
+  BacktraceTree tree;
+  BtNode* n = tree.Ensure(P("name"), false);
+  n->accessed_by.insert(9);
+  n->manipulated_by.insert(3);
+  n->manipulated_by.insert(8);
+  std::string s = tree.ToString();
+  EXPECT_NE(s.find("name [influencing] A={9} M={3,8}"), std::string::npos);
+}
+
+TEST(MergeEntryTest, MergesById) {
+  BacktraceStructure structure;
+  BacktraceEntry e1{5, {}};
+  e1.tree.Ensure(P("a"), true);
+  MergeEntry(&structure, std::move(e1));
+  BacktraceEntry e2{5, {}};
+  e2.tree.Ensure(P("b"), false);
+  MergeEntry(&structure, std::move(e2));
+  BacktraceEntry e3{6, {}};
+  MergeEntry(&structure, std::move(e3));
+  ASSERT_EQ(structure.size(), 2u);
+  EXPECT_TRUE(structure[0].tree.Contains(P("a")));
+  EXPECT_TRUE(structure[0].tree.Contains(P("b")));
+}
+
+}  // namespace
+}  // namespace pebble

@@ -1,0 +1,121 @@
+// Failure-injection tests: backtracing and lineage tracing over corrupted
+// or inconsistent provenance stores must fail with clean Status errors —
+// never crash, hang, or fabricate results.
+
+#include <gtest/gtest.h>
+
+#include "baselines/titian.h"
+#include "core/provenance_io.h"
+#include "core/query.h"
+#include "engine/engine_test_util.h"
+#include "workload/running_example.h"
+
+namespace pebble {
+namespace {
+
+using testing::MiniData;
+using testing::MiniSchema;
+using testing::RunWith;
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK_AND_ASSIGN(ex_, MakeRunningExample());
+    Executor executor(ExecOptions{CaptureMode::kStructural, 2, 1});
+    ASSERT_OK_AND_ASSIGN(run_, executor.Run(ex_.pipeline));
+    ASSERT_OK_AND_ASSIGN(seed_, ex_.query.Match(run_.output, 1));
+    ASSERT_FALSE(seed_.empty());
+  }
+
+  RunningExample ex_;
+  ExecutionResult run_;
+  BacktraceStructure seed_;
+};
+
+TEST_F(FailureInjectionTest, UnknownSeedIdIsCleanError) {
+  BacktraceStructure bogus;
+  bogus.push_back(BacktraceEntry{999999, {}});
+  Backtracer tracer(run_.provenance.get());
+  Result<std::vector<SourceProvenance>> result = tracer.Backtrace(bogus);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST_F(FailureInjectionTest, DroppedIdRowIsCleanError) {
+  // Remove the aggregation's id rows: the very first backtracing join must
+  // fail loudly.
+  ProvenanceStore* store = run_.provenance.get();
+  store->Mutable(9)->agg_ids.clear();
+  Backtracer tracer(store);
+  Result<std::vector<SourceProvenance>> result = tracer.Backtrace(seed_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST_F(FailureInjectionTest, BrokenMidPipelineTableIsCleanError) {
+  // Corrupt the union's table so ids resolve at the sink but not deeper.
+  ProvenanceStore* store = run_.provenance.get();
+  store->Mutable(7)->binary_ids.clear();
+  Backtracer tracer(store);
+  Result<std::vector<SourceProvenance>> result = tracer.Backtrace(seed_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+
+  LineageTracer lineage(store);
+  // Lineage tracing degrades to empty (no matching rows) without crashing.
+  std::vector<int64_t> ids;
+  for (const BacktraceEntry& e : seed_) {
+    ids.push_back(e.id);
+  }
+  Result<std::vector<SourceLineage>> traced = lineage.Trace(ids);
+  ASSERT_TRUE(traced.ok());
+  for (const SourceLineage& sl : *traced) {
+    EXPECT_TRUE(sl.ids.empty());
+  }
+}
+
+TEST_F(FailureInjectionTest, QueryAgainstWrongStoreFails) {
+  // Capture a store from a *different* pipeline and backtrace this run's
+  // matches against it: ids don't resolve -> clean error.
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int f = b.Filter(scan, Expr::Gt(Expr::Col("k"), Expr::LitInt(0)));
+  ASSERT_OK_AND_ASSIGN(Pipeline other, b.Build(f));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult other_run,
+                       RunWith(other, CaptureMode::kStructural));
+  Backtracer tracer(other_run.provenance.get());
+  Result<std::vector<SourceProvenance>> result = tracer.Backtrace(seed_);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(FailureInjectionTest, LineageOnlyStoreCannotAnswerStructuralQuery) {
+  // A lineage-mode capture has no manipulations: the aggregation backtrace
+  // yields no inProv members, i.e. an empty (not wrong) structural answer.
+  Executor executor(ExecOptions{CaptureMode::kLineage, 2, 1});
+  ASSERT_OK_AND_ASSIGN(ExecutionResult lineage_run,
+                       executor.Run(ex_.pipeline));
+  ASSERT_OK_AND_ASSIGN(BacktraceStructure seed,
+                       ex_.query.Match(lineage_run.output, 1));
+  Backtracer tracer(lineage_run.provenance.get());
+  ASSERT_OK_AND_ASSIGN(std::vector<SourceProvenance> sources,
+                       tracer.Backtrace(seed));
+  size_t items = 0;
+  for (const SourceProvenance& sp : sources) {
+    items += sp.items.size();
+  }
+  EXPECT_EQ(items, 0u);
+}
+
+TEST_F(FailureInjectionTest, TruncatedSerializationRejected) {
+  std::string text = SerializeProvenanceStore(*run_.provenance);
+  // Cut in the middle of a record.
+  std::string truncated = text.substr(0, text.size() / 2);
+  size_t last_newline = truncated.rfind('\n');
+  std::string partial_line = truncated.substr(0, last_newline) + "\nu 5\n";
+  Result<std::unique_ptr<ProvenanceStore>> loaded =
+      DeserializeProvenanceStore(partial_line);
+  EXPECT_FALSE(loaded.ok());
+}
+
+}  // namespace
+}  // namespace pebble

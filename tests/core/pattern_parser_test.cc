@@ -1,0 +1,129 @@
+// Tests for the compact tree-pattern text syntax.
+
+#include <gtest/gtest.h>
+
+#include "core/tree_pattern.h"
+#include "test_util.h"
+
+namespace pebble {
+namespace {
+
+using testing::S;
+
+TEST(PatternParserTest, SimpleAttribute) {
+  ASSERT_OK_AND_ASSIGN(TreePattern p, TreePattern::Parse("user"));
+  ASSERT_EQ(p.roots().size(), 1u);
+  EXPECT_EQ(p.roots()[0].name(), "user");
+  EXPECT_FALSE(p.roots()[0].is_descendant());
+  EXPECT_EQ(p.roots()[0].equals(), nullptr);
+}
+
+TEST(PatternParserTest, DescendantAxis) {
+  ASSERT_OK_AND_ASSIGN(TreePattern p, TreePattern::Parse("//id_str"));
+  EXPECT_TRUE(p.roots()[0].is_descendant());
+}
+
+TEST(PatternParserTest, StringEquality) {
+  ASSERT_OK_AND_ASSIGN(TreePattern p, TreePattern::Parse("id_str='lp'"));
+  ASSERT_NE(p.roots()[0].equals(), nullptr);
+  EXPECT_EQ(p.roots()[0].equals()->string_value(), "lp");
+  ASSERT_OK_AND_ASSIGN(p, TreePattern::Parse("id_str=\"l p\""));
+  EXPECT_EQ(p.roots()[0].equals()->string_value(), "l p");
+}
+
+TEST(PatternParserTest, NumericAndBoolLiterals) {
+  ASSERT_OK_AND_ASSIGN(TreePattern p, TreePattern::Parse("year=2015"));
+  EXPECT_EQ(p.roots()[0].equals()->int_value(), 2015);
+  ASSERT_OK_AND_ASSIGN(p, TreePattern::Parse("score=2.5"));
+  EXPECT_EQ(p.roots()[0].equals()->double_value(), 2.5);
+  ASSERT_OK_AND_ASSIGN(p, TreePattern::Parse("neg=-3"));
+  EXPECT_EQ(p.roots()[0].equals()->int_value(), -3);
+  ASSERT_OK_AND_ASSIGN(p, TreePattern::Parse("flag=true"));
+  EXPECT_TRUE(p.roots()[0].equals()->bool_value());
+  ASSERT_OK_AND_ASSIGN(p, TreePattern::Parse("flag=false"));
+  EXPECT_FALSE(p.roots()[0].equals()->bool_value());
+}
+
+TEST(PatternParserTest, CountConstraints) {
+  ASSERT_OK_AND_ASSIGN(TreePattern p, TreePattern::Parse("text='x'[2,2]"));
+  EXPECT_EQ(p.roots()[0].min_count(), 2);
+  EXPECT_EQ(p.roots()[0].max_count(), 2);
+  ASSERT_OK_AND_ASSIGN(p, TreePattern::Parse("text[3,*]"));
+  EXPECT_EQ(p.roots()[0].min_count(), 3);
+  EXPECT_EQ(p.roots()[0].max_count(), std::numeric_limits<int>::max());
+}
+
+TEST(PatternParserTest, ChildrenAndConjuncts) {
+  ASSERT_OK_AND_ASSIGN(
+      TreePattern p,
+      TreePattern::Parse("//id_str='lp', tweets(text='Hello World'[2,2])"));
+  ASSERT_EQ(p.roots().size(), 2u);
+  EXPECT_EQ(p.roots()[0].name(), "id_str");
+  EXPECT_TRUE(p.roots()[0].is_descendant());
+  const PatternNode& tweets = p.roots()[1];
+  EXPECT_EQ(tweets.name(), "tweets");
+  ASSERT_EQ(tweets.children().size(), 1u);
+  EXPECT_EQ(tweets.children()[0].name(), "text");
+  EXPECT_EQ(tweets.children()[0].min_count(), 2);
+}
+
+TEST(PatternParserTest, NestedChildren) {
+  ASSERT_OK_AND_ASSIGN(TreePattern p,
+                       TreePattern::Parse("a(b(c='x'),d)"));
+  const PatternNode& a = p.roots()[0];
+  ASSERT_EQ(a.children().size(), 2u);
+  EXPECT_EQ(a.children()[0].children()[0].name(), "c");
+  EXPECT_EQ(a.children()[1].name(), "d");
+}
+
+TEST(PatternParserTest, EscapedQuoteInString) {
+  ASSERT_OK_AND_ASSIGN(TreePattern p, TreePattern::Parse("t='a\\'b'"));
+  EXPECT_EQ(p.roots()[0].equals()->string_value(), "a'b");
+}
+
+TEST(PatternParserTest, ParseErrors) {
+  EXPECT_FALSE(TreePattern::Parse("").ok());
+  EXPECT_FALSE(TreePattern::Parse("a(").ok());
+  EXPECT_FALSE(TreePattern::Parse("a=").ok());
+  EXPECT_FALSE(TreePattern::Parse("a='x").ok());
+  EXPECT_FALSE(TreePattern::Parse("a[1]").ok());
+  EXPECT_FALSE(TreePattern::Parse("a[1,2").ok());
+  EXPECT_FALSE(TreePattern::Parse("a,,b").ok());
+  EXPECT_FALSE(TreePattern::Parse("a)b").ok());
+}
+
+TEST(PatternParserTest, ParsedPatternMatchesLikeBuiltPattern) {
+  // The Fig. 4 question parsed from text behaves identically to the
+  // programmatic version.
+  ValuePtr lp = Value::Struct({
+      {"user", Value::Struct({{"id_str", S("lp")}})},
+      {"tweets", Value::Bag({
+                     Value::Struct({{"text", S("Hello World")}}),
+                     Value::Struct({{"text", S("Hello World")}}),
+                     Value::Struct({{"text", S("other")}}),
+                 })},
+  });
+  ASSERT_OK_AND_ASSIGN(
+      TreePattern parsed,
+      TreePattern::Parse("//id_str='lp', tweets(text='Hello World'[2,2])"));
+  TreePattern built({
+      PatternNode::Descendant("id_str").Equals(S("lp")),
+      PatternNode::Attr("tweets").With(
+          PatternNode::Attr("text").Equals(S("Hello World")).Count(2, 2)),
+  });
+  ASSERT_OK_AND_ASSIGN(TreePattern::ItemMatch m1, parsed.MatchItem(*lp));
+  ASSERT_OK_AND_ASSIGN(TreePattern::ItemMatch m2, built.MatchItem(*lp));
+  EXPECT_TRUE(m1.matched);
+  EXPECT_TRUE(m2.matched);
+  EXPECT_TRUE(m1.tree == m2.tree);
+}
+
+TEST(PatternParserTest, WhitespaceTolerant) {
+  ASSERT_OK_AND_ASSIGN(
+      TreePattern p,
+      TreePattern::Parse("  //id_str = 'lp' ,  tweets ( text [ 1 , 2 ] ) "));
+  EXPECT_EQ(p.roots().size(), 2u);
+}
+
+}  // namespace
+}  // namespace pebble

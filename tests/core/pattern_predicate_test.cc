@@ -1,0 +1,108 @@
+// Tests for general comparison predicates on pattern nodes and their
+// textual syntax (extension of the paper's "e.g., equality" constraints).
+
+#include <gtest/gtest.h>
+
+#include "core/tree_pattern.h"
+#include "test_util.h"
+
+namespace pebble {
+namespace {
+
+using testing::D;
+using testing::I;
+using testing::S;
+
+ValuePtr Record(int64_t year, const char* title) {
+  return Value::Struct({
+      {"year", I(year)},
+      {"title", S(title)},
+      {"scores", Value::Bag({I(1), I(5), I(9)})},
+  });
+}
+
+TEST(PatternPredicateTest, OrderedComparisonOnScalar) {
+  TreePattern newer(
+      {PatternNode::Attr("year").Where(CompareOp::kGt, I(2014))});
+  ASSERT_OK_AND_ASSIGN(TreePattern::ItemMatch m,
+                       newer.MatchItem(*Record(2015, "a")));
+  EXPECT_TRUE(m.matched);
+  ASSERT_OK_AND_ASSIGN(m, newer.MatchItem(*Record(2014, "a")));
+  EXPECT_FALSE(m.matched);
+}
+
+TEST(PatternPredicateTest, AllOperators) {
+  auto match = [](CompareOp op, int64_t bound, int64_t year) {
+    TreePattern p({PatternNode::Attr("year").Where(op, I(bound))});
+    return std::move(p.MatchItem(*Record(year, "t"))).ValueOrDie().matched;
+  };
+  EXPECT_TRUE(match(CompareOp::kEq, 2015, 2015));
+  EXPECT_FALSE(match(CompareOp::kEq, 2015, 2016));
+  EXPECT_TRUE(match(CompareOp::kNe, 2015, 2016));
+  EXPECT_TRUE(match(CompareOp::kLt, 2015, 2014));
+  EXPECT_FALSE(match(CompareOp::kLt, 2015, 2015));
+  EXPECT_TRUE(match(CompareOp::kLe, 2015, 2015));
+  EXPECT_TRUE(match(CompareOp::kGt, 2015, 2016));
+  EXPECT_TRUE(match(CompareOp::kGe, 2015, 2015));
+}
+
+TEST(PatternPredicateTest, NumericCrossKindComparison) {
+  TreePattern p({PatternNode::Attr("year").Where(CompareOp::kLt, D(2015.5))});
+  ASSERT_OK_AND_ASSIGN(TreePattern::ItemMatch m,
+                       p.MatchItem(*Record(2015, "t")));
+  EXPECT_TRUE(m.matched);
+}
+
+TEST(PatternPredicateTest, IncomparableKindsNeverMatch) {
+  TreePattern p({PatternNode::Attr("title").Where(CompareOp::kLt, I(5))});
+  ASSERT_OK_AND_ASSIGN(TreePattern::ItemMatch m,
+                       p.MatchItem(*Record(2015, "t")));
+  EXPECT_FALSE(m.matched);
+}
+
+TEST(PatternPredicateTest, ComparisonOverCollectionElements) {
+  // scores = [1, 5, 9]: exactly two are >= 5.
+  TreePattern p({PatternNode::Attr("scores")
+                     .Where(CompareOp::kGe, I(5))
+                     .Count(2, 2)});
+  ASSERT_OK_AND_ASSIGN(TreePattern::ItemMatch m,
+                       p.MatchItem(*Record(2015, "t")));
+  ASSERT_TRUE(m.matched);
+  EXPECT_TRUE(m.tree.Contains(std::move(Path::Parse("scores[2]")).ValueOrDie()));
+  EXPECT_TRUE(m.tree.Contains(std::move(Path::Parse("scores[3]")).ValueOrDie()));
+  EXPECT_FALSE(m.tree.Contains(std::move(Path::Parse("scores[1]")).ValueOrDie()));
+}
+
+TEST(PatternPredicateTest, ParsedComparisons) {
+  for (auto [text, year, expected] :
+       {std::tuple{"year>2014", 2015, true},
+        std::tuple{"year>2014", 2014, false},
+        std::tuple{"year>=2014", 2014, true},
+        std::tuple{"year<2014", 2013, true},
+        std::tuple{"year<=2013", 2013, true},
+        std::tuple{"year!=2015", 2013, true},
+        std::tuple{"year!=2015", 2015, false}}) {
+    ASSERT_OK_AND_ASSIGN(TreePattern p, TreePattern::Parse(text));
+    ASSERT_OK_AND_ASSIGN(TreePattern::ItemMatch m,
+                         p.MatchItem(*Record(year, "t")));
+    EXPECT_EQ(m.matched, expected) << text << " year=" << year;
+  }
+}
+
+TEST(PatternPredicateTest, ToStringRendersOperators) {
+  ASSERT_OK_AND_ASSIGN(TreePattern p, TreePattern::Parse("year>=2014"));
+  EXPECT_EQ(p.roots()[0].ToString(), "year>=2014");
+  ASSERT_OK_AND_ASSIGN(p, TreePattern::Parse("year!=2014"));
+  EXPECT_EQ(p.roots()[0].ToString(), "year!=2014");
+}
+
+TEST(PatternPredicateTest, EqualsAccessorOnlyForEquality) {
+  ASSERT_OK_AND_ASSIGN(TreePattern eq, TreePattern::Parse("year=2014"));
+  EXPECT_NE(eq.roots()[0].equals(), nullptr);
+  ASSERT_OK_AND_ASSIGN(TreePattern gt, TreePattern::Parse("year>2014"));
+  EXPECT_EQ(gt.roots()[0].equals(), nullptr);
+  EXPECT_EQ(gt.roots()[0].predicate_op(), CompareOp::kGt);
+}
+
+}  // namespace
+}  // namespace pebble

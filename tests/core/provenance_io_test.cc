@@ -1,0 +1,168 @@
+// Tests for provenance store serialization: round-trip fidelity and
+// backtracing equivalence across a save/load cycle.
+
+#include "core/provenance_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/query.h"
+#include "test_util.h"
+#include "workload/running_example.h"
+
+namespace pebble {
+namespace {
+
+class ProvenanceIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK_AND_ASSIGN(ex_, MakeRunningExample());
+    Executor executor(ExecOptions{CaptureMode::kStructural, 2, 1});
+    ASSERT_OK_AND_ASSIGN(run_, executor.Run(ex_.pipeline));
+  }
+
+  RunningExample ex_;
+  ExecutionResult run_;
+};
+
+TEST_F(ProvenanceIoTest, RoundTripPreservesTopology) {
+  std::string text = SerializeProvenanceStore(*run_.provenance);
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<ProvenanceStore> loaded,
+                       DeserializeProvenanceStore(text));
+  EXPECT_EQ(loaded->sink_oid(), run_.provenance->sink_oid());
+  EXPECT_EQ(loaded->mode(), run_.provenance->mode());
+  EXPECT_EQ(loaded->AllOids(), run_.provenance->AllOids());
+  EXPECT_EQ(loaded->SourceOids(), run_.provenance->SourceOids());
+  for (int oid : run_.provenance->AllOids()) {
+    const OperatorInfo* a = run_.provenance->FindInfo(oid);
+    const OperatorInfo* b = loaded->FindInfo(oid);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(a->type, b->type);
+    EXPECT_EQ(a->input_oids, b->input_oids);
+    EXPECT_EQ(a->label, b->label);
+  }
+}
+
+TEST_F(ProvenanceIoTest, RoundTripPreservesCapturedRecords) {
+  std::string text = SerializeProvenanceStore(*run_.provenance);
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<ProvenanceStore> loaded,
+                       DeserializeProvenanceStore(text));
+  for (int oid : run_.provenance->AllOids()) {
+    const OperatorProvenance* a = run_.provenance->Find(oid);
+    const OperatorProvenance* b = loaded->Find(oid);
+    if (a == nullptr) {
+      EXPECT_EQ(b, nullptr);
+      continue;
+    }
+    ASSERT_NE(b, nullptr) << "oid " << oid;
+    ASSERT_EQ(a->inputs.size(), b->inputs.size());
+    for (size_t k = 0; k < a->inputs.size(); ++k) {
+      EXPECT_EQ(a->inputs[k].producer_oid, b->inputs[k].producer_oid);
+      EXPECT_EQ(a->inputs[k].accessed_undefined,
+                b->inputs[k].accessed_undefined);
+      ASSERT_EQ(a->inputs[k].accessed.size(), b->inputs[k].accessed.size());
+      for (size_t p = 0; p < a->inputs[k].accessed.size(); ++p) {
+        EXPECT_TRUE(a->inputs[k].accessed[p] == b->inputs[k].accessed[p]);
+      }
+      if (a->inputs[k].input_schema != nullptr) {
+        ASSERT_NE(b->inputs[k].input_schema, nullptr);
+        EXPECT_TRUE(
+            a->inputs[k].input_schema->Equals(*b->inputs[k].input_schema));
+      }
+    }
+    EXPECT_EQ(a->manip_undefined, b->manip_undefined);
+    ASSERT_EQ(a->manipulations.size(), b->manipulations.size());
+    for (size_t m = 0; m < a->manipulations.size(); ++m) {
+      EXPECT_TRUE(a->manipulations[m] == b->manipulations[m]);
+    }
+    EXPECT_EQ(a->unary_ids.size(), b->unary_ids.size());
+    EXPECT_EQ(a->binary_ids.size(), b->binary_ids.size());
+    EXPECT_EQ(a->flatten_ids.size(), b->flatten_ids.size());
+    EXPECT_EQ(a->agg_ids.size(), b->agg_ids.size());
+    EXPECT_EQ(a->LineageBytes(), b->LineageBytes());
+    EXPECT_EQ(a->StructuralExtraBytes(), b->StructuralExtraBytes());
+  }
+}
+
+TEST_F(ProvenanceIoTest, BacktracingEquivalentAfterReload) {
+  // Run the Fig. 4 question against the in-memory store and against a
+  // store that went through serialize -> parse.
+  ASSERT_OK_AND_ASSIGN(BacktraceStructure seed,
+                       ex_.query.Match(run_.output, 1));
+  Backtracer original(run_.provenance.get());
+  ASSERT_OK_AND_ASSIGN(std::vector<SourceProvenance> expected,
+                       original.Backtrace(seed));
+
+  std::string text = SerializeProvenanceStore(*run_.provenance);
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<ProvenanceStore> loaded,
+                       DeserializeProvenanceStore(text));
+  Backtracer reloaded(loaded.get());
+  ASSERT_OK_AND_ASSIGN(std::vector<SourceProvenance> actual,
+                       reloaded.Backtrace(seed));
+
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t s = 0; s < expected.size(); ++s) {
+    EXPECT_EQ(actual[s].scan_oid, expected[s].scan_oid);
+    ASSERT_EQ(actual[s].items.size(), expected[s].items.size());
+    for (size_t i = 0; i < expected[s].items.size(); ++i) {
+      EXPECT_EQ(actual[s].items[i].id, expected[s].items[i].id);
+      EXPECT_TRUE(actual[s].items[i].tree == expected[s].items[i].tree);
+    }
+  }
+}
+
+TEST_F(ProvenanceIoTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/pebble_prov_io_test.prov";
+  ASSERT_OK(SaveProvenanceStore(*run_.provenance, path));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<ProvenanceStore> loaded,
+                       LoadProvenanceStore(path));
+  EXPECT_EQ(loaded->TotalIdRows(), run_.provenance->TotalIdRows());
+  std::remove(path.c_str());
+}
+
+TEST(ProvenanceIoErrorTest, RejectsGarbage) {
+  EXPECT_FALSE(DeserializeProvenanceStore("").ok());
+  EXPECT_FALSE(DeserializeProvenanceStore("not a store\n").ok());
+  EXPECT_FALSE(
+      DeserializeProvenanceStore("pebbleprov 2 structural 1\n").ok());
+  EXPECT_FALSE(DeserializeProvenanceStore(
+                   "pebbleprov 1 structural 1\nu 1 2\n")
+                   .ok());  // ids before any provenance record
+  EXPECT_FALSE(DeserializeProvenanceStore(
+                   "pebbleprov 1 structural 1\nz whatever\n")
+                   .ok());
+}
+
+TEST(ProvenanceIoErrorTest, LoadMissingFileFails) {
+  EXPECT_EQ(LoadProvenanceStore("/nonexistent/path.prov").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(TypeParseTest, RoundTripsSchemas) {
+  ASSERT_OK_AND_ASSIGN(RunningExample ex, MakeRunningExample());
+  std::string rendered = ex.schema->ToString();
+  ASSERT_OK_AND_ASSIGN(TypePtr parsed, ParseDataType(rendered));
+  EXPECT_TRUE(parsed->Equals(*ex.schema));
+}
+
+TEST(TypeParseTest, AllKinds) {
+  for (const char* text :
+       {"Int", "Double", "String", "Bool", "Null", "{{Int}}", "{String}",
+        "<>", "<a:Int>", "<a:Int,b:{{<x:String,y:{{Double}}>}}>"}) {
+    ASSERT_OK_AND_ASSIGN(TypePtr t, ParseDataType(text));
+    EXPECT_EQ(t->ToString(), text);
+  }
+}
+
+TEST(TypeParseTest, Errors) {
+  EXPECT_FALSE(ParseDataType("").ok());
+  EXPECT_FALSE(ParseDataType("Intx").ok());
+  EXPECT_FALSE(ParseDataType("<a>").ok());
+  EXPECT_FALSE(ParseDataType("<a:Int").ok());
+  EXPECT_FALSE(ParseDataType("{{Int}").ok());
+  EXPECT_FALSE(ParseDataType("Unknown").ok());
+}
+
+}  // namespace
+}  // namespace pebble

@@ -1,0 +1,53 @@
+// Tests for the Graphviz DOT rendering.
+
+#include "core/render.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "workload/running_example.h"
+
+namespace pebble {
+namespace {
+
+TEST(RenderTest, PipelineDotContainsAllOperatorsAndEdges) {
+  ASSERT_OK_AND_ASSIGN(RunningExample ex, MakeRunningExample());
+  std::string dot = PipelineToDot(ex.pipeline);
+  EXPECT_NE(dot.find("digraph pipeline"), std::string::npos);
+  for (int oid = 1; oid <= 9; ++oid) {
+    EXPECT_NE(dot.find("op" + std::to_string(oid) + " [label="),
+              std::string::npos);
+  }
+  EXPECT_NE(dot.find("op7 -> op8"), std::string::npos);
+  EXPECT_NE(dot.find("op3 -> op7"), std::string::npos);
+  EXPECT_NE(dot.find("op6 -> op7"), std::string::npos);
+}
+
+TEST(RenderTest, BacktraceTreeDotMarksContributionAndBadges) {
+  BacktraceTree tree;
+  BtNode* name = tree.Ensure(std::move(Path::Parse("user.name")).ValueOrDie(),
+                             /*contributing=*/false);
+  name->accessed_by.insert(9);
+  name->manipulated_by.insert(3);
+  name->manipulated_by.insert(8);
+  tree.Ensure(std::move(Path::Parse("text")).ValueOrDie(), true);
+
+  std::string dot = BacktraceTreeToDot(tree, "input item 12");
+  EXPECT_NE(dot.find("digraph backtrace"), std::string::npos);
+  EXPECT_NE(dot.find("input item 12"), std::string::npos);
+  // Influencing node with both badges.
+  EXPECT_NE(dot.find("name\\nA={9}\\nM={3,8}"), std::string::npos);
+  // Contributing node rendered dark, influencing light.
+  EXPECT_NE(dot.find("#1b7837"), std::string::npos);
+  EXPECT_NE(dot.find("#a6dba0"), std::string::npos);
+}
+
+TEST(RenderTest, EscapesQuotes) {
+  BacktraceTree tree;
+  tree.Ensure(Path({PathStep{"we\"ird", kNoPos}}), true);
+  std::string dot = BacktraceTreeToDot(tree, "t");
+  EXPECT_NE(dot.find("we\\\"ird"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pebble

@@ -1,0 +1,199 @@
+// Tests for tree-pattern matching (paper Sec. 6.1, Fig. 4).
+
+#include "core/tree_pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace pebble {
+namespace {
+
+using testing::I;
+using testing::S;
+
+Path P(const std::string& s) { return std::move(Path::Parse(s)).ValueOrDie(); }
+
+// The lp result item of Tab. 2.
+ValuePtr LpItem() {
+  return Value::Struct({
+      {"user", Value::Struct({{"id_str", S("lp")}, {"name", S("Lisa Paul")}})},
+      {"tweets", Value::Bag({
+                     Value::Struct({{"text", S("Hello @ls @jm @ls")}}),
+                     Value::Struct({{"text", S("Hello World")}}),
+                     Value::Struct({{"text", S("Hello World")}}),
+                     Value::Struct({{"text", S("Hello @lp")}}),
+                 })},
+  });
+}
+
+ValuePtr JmItem() {
+  return Value::Struct({
+      {"user",
+       Value::Struct({{"id_str", S("jm")}, {"name", S("John Miller")}})},
+      {"tweets", Value::Bag({
+                     Value::Struct({{"text", S("This is me @jm")}}),
+                     Value::Struct({{"text", S("Hello World")}}),
+                 })},
+  });
+}
+
+TEST(TreePatternTest, ChildEqualityOnScalar) {
+  TreePattern pattern({PatternNode::Attr("user").With(
+      PatternNode::Attr("id_str").Equals(S("lp")))});
+  ASSERT_OK_AND_ASSIGN(TreePattern::ItemMatch m, pattern.MatchItem(*LpItem()));
+  EXPECT_TRUE(m.matched);
+  EXPECT_TRUE(m.tree.Contains(P("user.id_str")));
+  ASSERT_OK_AND_ASSIGN(m, pattern.MatchItem(*JmItem()));
+  EXPECT_FALSE(m.matched);
+}
+
+TEST(TreePatternTest, MissingAttributeFailsMatch) {
+  TreePattern pattern({PatternNode::Attr("nope")});
+  ASSERT_OK_AND_ASSIGN(TreePattern::ItemMatch m, pattern.MatchItem(*LpItem()));
+  EXPECT_FALSE(m.matched);
+}
+
+TEST(TreePatternTest, DescendantFindsDeepAttribute) {
+  TreePattern pattern({PatternNode::Descendant("id_str").Equals(S("lp"))});
+  ASSERT_OK_AND_ASSIGN(TreePattern::ItemMatch m, pattern.MatchItem(*LpItem()));
+  EXPECT_TRUE(m.matched);
+  EXPECT_TRUE(m.tree.Contains(P("user.id_str")));
+}
+
+TEST(TreePatternTest, DescendantThroughCollections) {
+  TreePattern pattern(
+      {PatternNode::Descendant("text").Equals(S("Hello @lp"))});
+  ASSERT_OK_AND_ASSIGN(TreePattern::ItemMatch m, pattern.MatchItem(*LpItem()));
+  EXPECT_TRUE(m.matched);
+  EXPECT_TRUE(m.tree.Contains(P("tweets[4].text")));
+}
+
+TEST(TreePatternTest, CollectionChildMatchesPerElement) {
+  TreePattern pattern({PatternNode::Attr("tweets").With(
+      PatternNode::Attr("text").Equals(S("Hello World")))});
+  ASSERT_OK_AND_ASSIGN(TreePattern::ItemMatch m, pattern.MatchItem(*LpItem()));
+  ASSERT_TRUE(m.matched);
+  EXPECT_TRUE(m.tree.Contains(P("tweets[2].text")));
+  EXPECT_TRUE(m.tree.Contains(P("tweets[3].text")));
+  EXPECT_FALSE(m.tree.Contains(P("tweets[1].text")));
+  EXPECT_FALSE(m.tree.Contains(P("tweets[4].text")));
+}
+
+TEST(TreePatternTest, CountConstraintExact) {
+  // Fig. 4: "Hello World" must occur exactly twice.
+  auto make = [](int min, int max) {
+    return TreePattern({PatternNode::Attr("tweets").With(
+        PatternNode::Attr("text").Equals(S("Hello World")).Count(min, max))});
+  };
+  ASSERT_OK_AND_ASSIGN(TreePattern::ItemMatch m,
+                       make(2, 2).MatchItem(*LpItem()));
+  EXPECT_TRUE(m.matched);
+  ASSERT_OK_AND_ASSIGN(m, make(2, 2).MatchItem(*JmItem()));
+  EXPECT_FALSE(m.matched);  // only one occurrence
+  ASSERT_OK_AND_ASSIGN(m, make(3, 99).MatchItem(*LpItem()));
+  EXPECT_FALSE(m.matched);
+  ASSERT_OK_AND_ASSIGN(m, make(1, 1).MatchItem(*LpItem()));
+  EXPECT_FALSE(m.matched);  // two occurrences exceed max 1
+}
+
+TEST(TreePatternTest, ZeroMatchesFailEvenWithMinZero) {
+  TreePattern pattern({PatternNode::Attr("tweets").With(
+      PatternNode::Attr("text").Equals(S("absent")).Count(0, 5))});
+  ASSERT_OK_AND_ASSIGN(TreePattern::ItemMatch m, pattern.MatchItem(*LpItem()));
+  EXPECT_FALSE(m.matched);
+}
+
+TEST(TreePatternTest, MultipleRootsAreConjunctive) {
+  TreePattern pattern({
+      PatternNode::Descendant("id_str").Equals(S("lp")),
+      PatternNode::Attr("tweets").With(
+          PatternNode::Attr("text").Equals(S("Hello World")).Count(2, 2)),
+  });
+  ASSERT_OK_AND_ASSIGN(TreePattern::ItemMatch m, pattern.MatchItem(*LpItem()));
+  EXPECT_TRUE(m.matched);
+  // Both constraints contribute paths.
+  EXPECT_TRUE(m.tree.Contains(P("user.id_str")));
+  EXPECT_TRUE(m.tree.Contains(P("tweets[2].text")));
+  // name is absent: not pertinent to the query (Sec. 2).
+  EXPECT_FALSE(m.tree.Contains(P("user.name")));
+  ASSERT_OK_AND_ASSIGN(m, pattern.MatchItem(*JmItem()));
+  EXPECT_FALSE(m.matched);
+}
+
+TEST(TreePatternTest, StructEqualityIsDeep) {
+  TreePattern pattern({PatternNode::Attr("user").Equals(
+      Value::Struct({{"id_str", S("lp")}, {"name", S("Lisa Paul")}}))});
+  ASSERT_OK_AND_ASSIGN(TreePattern::ItemMatch m, pattern.MatchItem(*LpItem()));
+  EXPECT_TRUE(m.matched);
+}
+
+TEST(TreePatternTest, ScalarWithChildrenNeverMatches) {
+  TreePattern pattern({PatternNode::Attr("user").With(
+      PatternNode::Attr("id_str").With(PatternNode::Attr("deeper")))});
+  ASSERT_OK_AND_ASSIGN(TreePattern::ItemMatch m, pattern.MatchItem(*LpItem()));
+  EXPECT_FALSE(m.matched);
+}
+
+TEST(TreePatternTest, CollectionOfConstants) {
+  ValuePtr item = Value::Struct({
+      {"tags", Value::Bag({S("x"), S("y"), S("x")})},
+  });
+  TreePattern pattern({PatternNode::Attr("tags").Equals(S("x")).Count(2, 2)});
+  ASSERT_OK_AND_ASSIGN(TreePattern::ItemMatch m, pattern.MatchItem(*item));
+  ASSERT_TRUE(m.matched);
+  EXPECT_TRUE(m.tree.Contains(P("tags[1]")));
+  EXPECT_TRUE(m.tree.Contains(P("tags[3]")));
+  EXPECT_FALSE(m.tree.Contains(P("tags[2]")));
+}
+
+TEST(TreePatternTest, NonStructItemIsTypeError) {
+  TreePattern pattern({PatternNode::Attr("a")});
+  EXPECT_EQ(pattern.MatchItem(*I(1)).status().code(), StatusCode::kTypeError);
+}
+
+TEST(TreePatternTest, MatchOverDatasetReturnsSeedStructure) {
+  std::vector<Partition> parts(2);
+  parts[0].push_back(Row{101, JmItem()});
+  parts[1].push_back(Row{102, LpItem()});
+  Dataset data(LpItem()->InferType(), std::move(parts));
+  TreePattern pattern({
+      PatternNode::Descendant("id_str").Equals(S("lp")),
+      PatternNode::Attr("tweets").With(
+          PatternNode::Attr("text").Equals(S("Hello World")).Count(2, 2)),
+  });
+  ASSERT_OK_AND_ASSIGN(BacktraceStructure seed, pattern.Match(data));
+  ASSERT_EQ(seed.size(), 1u);
+  EXPECT_EQ(seed[0].id, 102);
+  EXPECT_TRUE(seed[0].tree.Contains(P("tweets[3].text")));
+}
+
+TEST(TreePatternTest, ParallelMatchEqualsSequential) {
+  std::vector<Partition> parts(8);
+  for (int i = 0; i < 64; ++i) {
+    parts[static_cast<size_t>(i % 8)].push_back(
+        Row{i, i % 3 == 0 ? LpItem() : JmItem()});
+  }
+  Dataset data(LpItem()->InferType(), std::move(parts));
+  TreePattern pattern({PatternNode::Descendant("id_str").Equals(S("lp"))});
+  ASSERT_OK_AND_ASSIGN(BacktraceStructure seq, pattern.Match(data, 1));
+  ASSERT_OK_AND_ASSIGN(BacktraceStructure par, pattern.Match(data, 8));
+  ASSERT_EQ(seq.size(), par.size());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].id, par[i].id);
+    EXPECT_TRUE(seq[i].tree == par[i].tree);
+  }
+}
+
+TEST(TreePatternTest, ToStringRendersStructure) {
+  TreePattern pattern({
+      PatternNode::Descendant("id_str").Equals(S("lp")),
+      PatternNode::Attr("tweets").With(
+          PatternNode::Attr("text").Equals(S("Hello World")).Count(2, 2)),
+  });
+  EXPECT_EQ(pattern.ToString(),
+            "root(//id_str=\"lp\",tweets(text=\"Hello World\"[2,2]))");
+}
+
+}  // namespace
+}  // namespace pebble

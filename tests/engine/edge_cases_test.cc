@@ -1,0 +1,212 @@
+// Edge-case tests across the engine: deep nesting, nested flattens, null
+// group keys, unicode strings, single-row and skewed inputs.
+
+#include <gtest/gtest.h>
+
+#include "engine/engine_test_util.h"
+#include "pebble.h"
+
+namespace pebble {
+namespace {
+
+using testing::RunWith;
+
+TEST(EdgeCaseTest, DeeplyNestedValuesSurvivePipeline) {
+  // 8 levels of nesting (the Twitter dataset's depth, Sec. 7.2).
+  ValuePtr deep = Value::Int(1);
+  TypePtr deep_type = DataType::Int();
+  for (int level = 0; level < 8; ++level) {
+    deep = Value::Struct({{"lvl" + std::to_string(level), deep}});
+    deep_type =
+        DataType::Struct({{"lvl" + std::to_string(level), deep_type}});
+  }
+  auto data = std::make_shared<std::vector<ValuePtr>>();
+  data->push_back(Value::Struct({{"d", deep}, {"k", Value::Int(1)}}));
+  TypePtr schema = DataType::Struct({{"d", deep_type}, {"k", DataType::Int()}});
+
+  PipelineBuilder b;
+  int scan = b.Scan("deep", schema, data);
+  int s = b.Select(scan,
+                   {Projection::Leaf(
+                        "leaf", "d.lvl7.lvl6.lvl5.lvl4.lvl3.lvl2.lvl1.lvl0"),
+                    Projection::Keep("k")});
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(s));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       RunWith(p, CaptureMode::kStructural));
+  EXPECT_EQ(run.output.CollectValues()[0]->FindField("leaf")->int_value(), 1);
+
+  // Backtrace the deep leaf all the way to the input path.
+  TreePattern pattern({PatternNode::Attr("leaf")});
+  ASSERT_OK_AND_ASSIGN(ProvenanceQueryResult prov,
+                       QueryStructuralProvenance(run, pattern));
+  ASSERT_EQ(prov.sources.size(), 1u);
+  ASSERT_OK_AND_ASSIGN(Path deep_path,
+                       Path::Parse("d.lvl7.lvl6.lvl5.lvl4.lvl3.lvl2.lvl1.lvl0"));
+  EXPECT_TRUE(prov.sources[0].items[0].tree.Contains(deep_path));
+}
+
+TEST(EdgeCaseTest, FlattenOfFlattenedCollection) {
+  // Nested bags: flatten the outer, then the inner.
+  TypePtr inner = DataType::Bag(DataType::Struct({{"v", DataType::Int()}}));
+  TypePtr schema = DataType::Struct({
+      {"k", DataType::Int()},
+      {"outer", DataType::Bag(DataType::Struct({{"inner", inner}}))},
+  });
+  auto data = std::make_shared<std::vector<ValuePtr>>();
+  data->push_back(Value::Struct({
+      {"k", Value::Int(1)},
+      {"outer",
+       Value::Bag({
+           Value::Struct({{"inner",
+                           Value::Bag({Value::Struct({{"v", Value::Int(10)}}),
+                                       Value::Struct({{"v", Value::Int(11)}})})}}),
+           Value::Struct({{"inner",
+                           Value::Bag({Value::Struct(
+                               {{"v", Value::Int(20)}})})}}),
+       })},
+  }));
+  PipelineBuilder b;
+  int scan = b.Scan("nested", schema, data);
+  int f1 = b.Flatten(scan, "outer", "o");
+  int f2 = b.Flatten(f1, "o.inner", "i");
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(f2));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       RunWith(p, CaptureMode::kStructural,
+                               /*num_partitions=*/1));
+  ASSERT_EQ(run.output.NumRows(), 3u);  // 2 + 1 inner elements
+  EXPECT_EQ(run.output.CollectValues()[2]->FindField("i")
+                ->FindField("v")->int_value(),
+            20);
+
+  // Backtracing the last element recovers both positions.
+  int64_t out_id = run.output.CollectRows()[2].id;
+  BacktraceEntry seed{out_id, {}};
+  seed.tree.Ensure(std::move(Path::Parse("i.v")).ValueOrDie(), true);
+  Backtracer tracer(run.provenance.get());
+  ASSERT_OK_AND_ASSIGN(std::vector<SourceProvenance> sources,
+                       tracer.Backtrace({seed}));
+  ASSERT_EQ(sources[0].items.size(), 1u);
+  EXPECT_TRUE(sources[0].items[0].tree.Contains(
+      std::move(Path::Parse("outer[2].inner[1].v")).ValueOrDie()));
+}
+
+TEST(EdgeCaseTest, NullGroupKeysFormOneGroup) {
+  TypePtr schema = DataType::Struct({
+      {"g", DataType::Null()},
+      {"k", DataType::Int()},
+  });
+  auto data = std::make_shared<std::vector<ValuePtr>>();
+  for (int i = 0; i < 4; ++i) {
+    data->push_back(
+        Value::Struct({{"g", Value::Null()}, {"k", Value::Int(i)}}));
+  }
+  PipelineBuilder b;
+  int scan = b.Scan("nulls", schema, data);
+  int g = b.GroupAggregate(scan, {GroupKey::Of("g")},
+                           {AggSpec::Count("n")});
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(g));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, RunWith(p, CaptureMode::kOff));
+  ASSERT_EQ(run.output.NumRows(), 1u);
+  EXPECT_EQ(run.output.CollectValues()[0]->FindField("n")->int_value(), 4);
+}
+
+TEST(EdgeCaseTest, UnicodeStringsRoundTripThroughPipeline) {
+  TypePtr schema = DataType::Struct({{"text", DataType::String()}});
+  auto data = std::make_shared<std::vector<ValuePtr>>();
+  data->push_back(Value::Struct({{"text", Value::String("héllo wörld 🌍")}}));
+  data->push_back(Value::Struct({{"text", Value::String("日本語のツイート")}}));
+  PipelineBuilder b;
+  int scan = b.Scan("unicode", schema, data);
+  int f = b.Filter(scan, Expr::Contains(Expr::Col("text"),
+                                        Expr::LitString("wörld")));
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(f));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, RunWith(p, CaptureMode::kOff));
+  ASSERT_EQ(run.output.NumRows(), 1u);
+  EXPECT_EQ(run.output.CollectValues()[0]->FindField("text")->string_value(),
+            "héllo wörld 🌍");
+  // And through JSON serialization.
+  ASSERT_OK_AND_ASSIGN(
+      ValuePtr reparsed,
+      ParseJson(run.output.CollectValues()[0]->ToString()));
+  EXPECT_TRUE(reparsed->Equals(*run.output.CollectValues()[0]));
+}
+
+TEST(EdgeCaseTest, SingleRowEveryOperator) {
+  auto data = std::make_shared<std::vector<ValuePtr>>();
+  data->push_back(testing::MiniItem(1, "a", {7}));
+  PipelineBuilder b;
+  int scan = b.Scan("one", testing::MiniSchema(), data);
+  int f = b.Filter(scan, Expr::Gt(Expr::Col("k"), Expr::LitInt(0)));
+  int fl = b.Flatten(f, "xs", "x");
+  int s = b.Select(fl, {Projection::Keep("tag"),
+                        Projection::Leaf("v", "x.v")});
+  int g = b.GroupAggregate(s, {GroupKey::Of("tag")},
+                           {AggSpec::CollectList("v", "vs")});
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(g));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       RunWith(p, CaptureMode::kStructural,
+                               /*num_partitions=*/5));
+  ASSERT_EQ(run.output.NumRows(), 1u);
+  TreePattern pattern({PatternNode::Attr("vs")});
+  ASSERT_OK_AND_ASSIGN(ProvenanceQueryResult prov,
+                       QueryStructuralProvenance(run, pattern));
+  ASSERT_EQ(prov.sources.size(), 1u);
+  EXPECT_EQ(prov.sources[0].items[0].id, 1);
+}
+
+TEST(EdgeCaseTest, HeavilySkewedGroupSizes) {
+  // One giant group, many singletons.
+  auto data = std::make_shared<std::vector<ValuePtr>>();
+  for (int i = 0; i < 300; ++i) {
+    data->push_back(testing::MiniItem(i, i < 250 ? "big" : "s" + std::to_string(i),
+                                      {}));
+  }
+  PipelineBuilder b;
+  int scan = b.Scan("skew", testing::MiniSchema(), data);
+  int g = b.GroupAggregate(scan, {GroupKey::Of("tag")},
+                           {AggSpec::CollectList("k", "ks")});
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(g));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       RunWith(p, CaptureMode::kStructural,
+                               /*num_partitions=*/4, /*num_threads=*/4));
+  EXPECT_EQ(run.output.NumRows(), 51u);
+  // Trace position 250 of the big group.
+  for (const Row& row : run.output.CollectRows()) {
+    if (row.value->FindField("tag")->string_value() != "big") continue;
+    BacktraceEntry seed{row.id, {}};
+    seed.tree.Ensure(std::move(Path::Parse("ks[250]")).ValueOrDie(), true);
+    Backtracer tracer(run.provenance.get());
+    ASSERT_OK_AND_ASSIGN(std::vector<SourceProvenance> sources,
+                         tracer.Backtrace({seed}));
+    ASSERT_EQ(sources[0].items.size(), 1u);
+    ValuePtr item =
+        FindItemById(run.source_datasets.at(scan), sources[0].items[0].id);
+    EXPECT_EQ(item->FindField("k")->int_value(),
+              row.value->FindField("ks")->elements()[249]->int_value());
+  }
+}
+
+TEST(EdgeCaseTest, CollectSetBacktracesWholeCollection) {
+  // Set nesting has no stable positions; tracing the set keeps every group
+  // member (coarser but sound, per the paper's bag-nesting-only positions).
+  PipelineBuilder b;
+  int scan = b.Scan("mini", testing::MiniSchema(), testing::MiniData());
+  int g = b.GroupAggregate(scan, {GroupKey::Of("tag")},
+                           {AggSpec::CollectSet("k", "kset")});
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(g));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       RunWith(p, CaptureMode::kStructural,
+                               /*num_partitions=*/1));
+  for (const Row& row : run.output.CollectRows()) {
+    if (row.value->FindField("tag")->string_value() != "a") continue;
+    BacktraceEntry seed{row.id, {}};
+    seed.tree.Ensure(std::move(Path::Parse("kset")).ValueOrDie(), true);
+    Backtracer tracer(run.provenance.get());
+    ASSERT_OK_AND_ASSIGN(std::vector<SourceProvenance> sources,
+                         tracer.Backtrace({seed}));
+    EXPECT_EQ(sources[0].items.size(), 2u);  // both "a" members
+  }
+}
+
+}  // namespace
+}  // namespace pebble

@@ -1,0 +1,66 @@
+// Helpers for engine operator tests.
+
+#ifndef PEBBLE_TESTS_ENGINE_ENGINE_TEST_UTIL_H_
+#define PEBBLE_TESTS_ENGINE_ENGINE_TEST_UTIL_H_
+
+#include <memory>
+#include <vector>
+
+#include "engine/executor.h"
+#include "test_util.h"
+
+namespace pebble::testing {
+
+/// Simple source: items <k:Int, tag:String, xs:{{<v:Int>}}>.
+inline TypePtr MiniSchema() {
+  return DataType::Struct({
+      {"k", DataType::Int()},
+      {"tag", DataType::String()},
+      {"xs", DataType::Bag(DataType::Struct({{"v", DataType::Int()}}))},
+  });
+}
+
+/// Builds a mini item; xs gets the given ints.
+inline ValuePtr MiniItem(int64_t k, const std::string& tag,
+                         std::vector<int64_t> xs) {
+  std::vector<ValuePtr> elems;
+  elems.reserve(xs.size());
+  for (int64_t v : xs) {
+    elems.push_back(Value::Struct({{"v", Value::Int(v)}}));
+  }
+  return Value::Struct({
+      {"k", Value::Int(k)},
+      {"tag", Value::String(tag)},
+      {"xs", Value::Bag(std::move(elems))},
+  });
+}
+
+inline std::shared_ptr<const std::vector<ValuePtr>> MiniData() {
+  auto data = std::make_shared<std::vector<ValuePtr>>();
+  data->push_back(MiniItem(1, "a", {10, 11}));
+  data->push_back(MiniItem(2, "b", {20}));
+  data->push_back(MiniItem(3, "a", {}));
+  data->push_back(MiniItem(4, "c", {40, 41, 42}));
+  return data;
+}
+
+inline Result<ExecutionResult> RunWith(const Pipeline& pipeline,
+                                       CaptureMode mode,
+                                       int num_partitions = 2,
+                                       int num_threads = 1) {
+  Executor executor(ExecOptions{mode, num_partitions, num_threads});
+  return executor.Run(pipeline);
+}
+
+/// Values of the output in partition order.
+inline std::vector<std::string> OutputStrings(const ExecutionResult& run) {
+  std::vector<std::string> out;
+  for (const ValuePtr& v : run.output.CollectValues()) {
+    out.push_back(v->ToString());
+  }
+  return out;
+}
+
+}  // namespace pebble::testing
+
+#endif  // PEBBLE_TESTS_ENGINE_ENGINE_TEST_UTIL_H_

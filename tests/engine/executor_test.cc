@@ -1,0 +1,181 @@
+// Executor-level tests: DAG execution, partitioning, parallelism, and the
+// transparency invariant (capture modes never change results).
+
+#include <gtest/gtest.h>
+
+#include "engine/engine_test_util.h"
+#include "workload/running_example.h"
+
+namespace pebble {
+namespace {
+
+using testing::MiniData;
+using testing::MiniSchema;
+using testing::RunWith;
+
+Pipeline BuildDiamond() {
+  // Two branches over the same scan data, unioned.
+  PipelineBuilder b;
+  int scan1 = b.Scan("mini", MiniSchema(), MiniData());
+  int f1 = b.Filter(scan1, Expr::Eq(Expr::Col("tag"), Expr::LitString("a")));
+  int scan2 = b.Scan("mini", MiniSchema(), MiniData());
+  int f2 = b.Filter(scan2, Expr::Eq(Expr::Col("tag"), Expr::LitString("b")));
+  int u = b.Union(f1, f2);
+  return std::move(b.Build(u)).ValueOrDie();
+}
+
+TEST(ExecutorTest, RunsDagInTopologicalOrder) {
+  Pipeline p = BuildDiamond();
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, RunWith(p, CaptureMode::kOff));
+  EXPECT_EQ(run.output.NumRows(), 3u);  // 2 of tag a + 1 of tag b
+}
+
+TEST(ExecutorTest, SourceDatasetsExposedPerScan) {
+  Pipeline p = BuildDiamond();
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       RunWith(p, CaptureMode::kStructural));
+  EXPECT_EQ(run.source_datasets.size(), 2u);
+  for (const auto& [oid, ds] : run.source_datasets) {
+    EXPECT_EQ(ds.NumRows(), 4u);
+  }
+}
+
+TEST(ExecutorTest, RowsPerOperatorReported) {
+  Pipeline p = BuildDiamond();
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, RunWith(p, CaptureMode::kOff));
+  // Scans 1/3 emit 4 rows each; filters 2/4 keep 2 and 1; union 5 emits 3.
+  EXPECT_EQ(run.rows_per_operator.at(1), 4u);
+  EXPECT_EQ(run.rows_per_operator.at(2), 2u);
+  EXPECT_EQ(run.rows_per_operator.at(3), 4u);
+  EXPECT_EQ(run.rows_per_operator.at(4), 1u);
+  EXPECT_EQ(run.rows_per_operator.at(5), 3u);
+}
+
+TEST(ExecutorTest, ElapsedTimeReported) {
+  Pipeline p = BuildDiamond();
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, RunWith(p, CaptureMode::kOff));
+  EXPECT_GE(run.elapsed_ms, 0.0);
+}
+
+TEST(ExecutorTest, StoreRegistersAllOperators) {
+  Pipeline p = BuildDiamond();
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       RunWith(p, CaptureMode::kStructural));
+  ASSERT_NE(run.provenance, nullptr);
+  EXPECT_EQ(run.provenance->AllOids().size(), 5u);
+  EXPECT_EQ(run.provenance->SourceOids().size(), 2u);
+  EXPECT_EQ(run.provenance->sink_oid(), p.sink_oid());
+  EXPECT_EQ(run.provenance->mode(), CaptureMode::kStructural);
+}
+
+class TransparencyTest
+    : public ::testing::TestWithParam<std::tuple<CaptureMode, int, int>> {};
+
+TEST_P(TransparencyTest, CaptureAndPartitioningNeverChangeResults) {
+  auto [mode, partitions, threads] = GetParam();
+  ASSERT_OK_AND_ASSIGN(RunningExample ex, MakeRunningExample());
+
+  // Reference: sequential, single partition, no capture.
+  Executor ref_exec(ExecOptions{CaptureMode::kOff, 1, 1});
+  ASSERT_OK_AND_ASSIGN(ExecutionResult ref, ref_exec.Run(ex.pipeline));
+
+  Executor exec(ExecOptions{mode, partitions, threads});
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, exec.Run(ex.pipeline));
+
+  // Same multiset of result items (order may differ across partitionings).
+  std::vector<ValuePtr> expected = ref.output.CollectValues();
+  std::vector<ValuePtr> actual = run.output.CollectValues();
+  ASSERT_EQ(expected.size(), actual.size());
+  auto cmp = [](const ValuePtr& x, const ValuePtr& y) {
+    return x->Compare(*y) < 0;
+  };
+  std::sort(expected.begin(), expected.end(), cmp);
+  std::sort(actual.begin(), actual.end(), cmp);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_TRUE(expected[i]->Equals(*actual[i]))
+        << expected[i]->ToString() << " vs " << actual[i]->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndPartitionings, TransparencyTest,
+    ::testing::Combine(
+        ::testing::Values(CaptureMode::kOff, CaptureMode::kLineage,
+                          CaptureMode::kStructural, CaptureMode::kFullModel),
+        ::testing::Values(1, 2, 7),
+        ::testing::Values(1, 4)),
+    [](const ::testing::TestParamInfo<TransparencyTest::ParamType>& info) {
+      std::string mode = CaptureModeToString(std::get<0>(info.param));
+      for (char& c : mode) {
+        if (c == '-') c = '_';
+      }
+      return mode + "_p" + std::to_string(std::get<1>(info.param)) + "_t" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(ExecutorTest, MorePartitionsThanRows) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int f = b.Filter(scan, Expr::Gt(Expr::Col("k"), Expr::LitInt(0)));
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(f));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       RunWith(p, CaptureMode::kStructural,
+                               /*num_partitions=*/16, /*num_threads=*/8));
+  EXPECT_EQ(run.output.NumRows(), 4u);
+}
+
+TEST(ExecutorTest, EmptySource) {
+  auto empty = std::make_shared<std::vector<ValuePtr>>();
+  PipelineBuilder b;
+  int scan = b.Scan("empty", MiniSchema(), empty);
+  int g = b.GroupAggregate(scan, {GroupKey::Of("tag")},
+                           {AggSpec::Count("n")});
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(g));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       RunWith(p, CaptureMode::kStructural));
+  EXPECT_EQ(run.output.NumRows(), 0u);
+}
+
+TEST(PipelineBuilderTest, InvalidSinkRejected) {
+  PipelineBuilder b;
+  b.Scan("mini", MiniSchema(), MiniData());
+  EXPECT_FALSE(b.Build(99).ok());
+  PipelineBuilder b2;
+  b2.Scan("mini", MiniSchema(), MiniData());
+  EXPECT_FALSE(b2.Build(0).ok());
+}
+
+TEST(PipelineTest, ToStringListsOperators) {
+  Pipeline p = BuildDiamond();
+  std::string s = p.ToString();
+  EXPECT_NE(s.find("read mini"), std::string::npos);
+  EXPECT_NE(s.find("union"), std::string::npos);
+  EXPECT_NE(s.find("<- [1]"), std::string::npos);
+}
+
+TEST(PipelineTest, FindByOid) {
+  Pipeline p = BuildDiamond();
+  EXPECT_EQ(p.Find(1)->type(), OpType::kScan);
+  EXPECT_EQ(p.Find(5)->type(), OpType::kUnion);
+  EXPECT_EQ(p.Find(0), nullptr);
+  EXPECT_EQ(p.Find(6), nullptr);
+}
+
+TEST(ExecContextTest, ParallelForPropagatesFirstError) {
+  ExecContext ctx(ExecOptions{CaptureMode::kOff, 4, 4}, nullptr);
+  Status st = ctx.ParallelFor(100, [](size_t i) -> Status {
+    if (i == 57) return Status::Internal("57");
+    return Status::OK();
+  });
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+}
+
+TEST(ExecContextTest, ReserveIdsIsMonotonic) {
+  ExecContext ctx(ExecOptions{}, nullptr);
+  int64_t a = ctx.ReserveIds(5);
+  int64_t b = ctx.ReserveIds(3);
+  EXPECT_EQ(b, a + 5);
+}
+
+}  // namespace
+}  // namespace pebble

@@ -1,0 +1,194 @@
+#include "engine/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace pebble {
+namespace {
+
+using testing::B;
+using testing::D;
+using testing::I;
+using testing::S;
+
+ValuePtr Item() {
+  return Value::Struct({
+      {"text", S("Hello World")},
+      {"retweet_count", I(5)},
+      {"score", D(0.5)},
+      {"flag", B(true)},
+      {"user", Value::Struct({{"id_str", S("lp")}})},
+      {"mentions", Value::Bag({S("a"), S("b")})},
+      {"nothing", Value::Null()},
+  });
+}
+
+TEST(ExprTest, LiteralEvaluation) {
+  ASSERT_OK_AND_ASSIGN(ValuePtr v, Expr::LitInt(3)->Evaluate(*Item()));
+  EXPECT_EQ(v->int_value(), 3);
+}
+
+TEST(ExprTest, ColumnEvaluation) {
+  ASSERT_OK_AND_ASSIGN(ValuePtr v,
+                       Expr::Col("user.id_str")->Evaluate(*Item()));
+  EXPECT_EQ(v->string_value(), "lp");
+}
+
+TEST(ExprTest, MissingColumnIsKeyError) {
+  EXPECT_EQ(Expr::Col("missing")->Evaluate(*Item()).status().code(),
+            StatusCode::kKeyError);
+}
+
+TEST(ExprTest, ComparisonOperators) {
+  ValuePtr item = Item();
+  auto check = [&](ExprPtr e, bool expected) {
+    auto r = e->EvaluateBool(*item);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(*r, expected) << e->ToString();
+  };
+  ExprPtr rc = Expr::Col("retweet_count");
+  check(Expr::Eq(rc, Expr::LitInt(5)), true);
+  check(Expr::Ne(rc, Expr::LitInt(5)), false);
+  check(Expr::Lt(rc, Expr::LitInt(6)), true);
+  check(Expr::Le(rc, Expr::LitInt(5)), true);
+  check(Expr::Gt(rc, Expr::LitInt(5)), false);
+  check(Expr::Ge(rc, Expr::LitInt(5)), true);
+}
+
+TEST(ExprTest, MixedNumericComparison) {
+  // Int vs Double compares numerically.
+  ASSERT_OK_AND_ASSIGN(
+      bool lt, Expr::Lt(Expr::Col("score"), Expr::LitInt(1))
+                   ->EvaluateBool(*Item()));
+  EXPECT_TRUE(lt);
+}
+
+TEST(ExprTest, StringComparison) {
+  ASSERT_OK_AND_ASSIGN(
+      bool eq, Expr::Eq(Expr::Col("text"), Expr::LitString("Hello World"))
+                   ->EvaluateBool(*Item()));
+  EXPECT_TRUE(eq);
+}
+
+TEST(ExprTest, CrossKindComparisonIsTypeError) {
+  EXPECT_EQ(Expr::Lt(Expr::Col("text"), Expr::LitInt(1))
+                ->Evaluate(*Item())
+                .status()
+                .code(),
+            StatusCode::kTypeError);
+}
+
+TEST(ExprTest, NullComparisonYieldsNullThenFalse) {
+  ExprPtr e = Expr::Eq(Expr::Col("nothing"), Expr::LitInt(1));
+  ASSERT_OK_AND_ASSIGN(ValuePtr v, e->Evaluate(*Item()));
+  EXPECT_TRUE(v->is_null());
+  ASSERT_OK_AND_ASSIGN(bool b, e->EvaluateBool(*Item()));
+  EXPECT_FALSE(b);
+}
+
+TEST(ExprTest, LogicalShortCircuit) {
+  // The right side would be a type error; AND short-circuits on false.
+  ExprPtr bad = Expr::Lt(Expr::Col("text"), Expr::LitInt(1));
+  ExprPtr e = Expr::And(Expr::LitBool(false), bad);
+  ASSERT_OK_AND_ASSIGN(bool v, e->EvaluateBool(*Item()));
+  EXPECT_FALSE(v);
+  ExprPtr e2 = Expr::Or(Expr::LitBool(true), bad);
+  ASSERT_OK_AND_ASSIGN(bool v2, e2->EvaluateBool(*Item()));
+  EXPECT_TRUE(v2);
+}
+
+TEST(ExprTest, NotOperator) {
+  ASSERT_OK_AND_ASSIGN(bool v,
+                       Expr::Not(Expr::Col("flag"))->EvaluateBool(*Item()));
+  EXPECT_FALSE(v);
+}
+
+TEST(ExprTest, ArithmeticIntPreserving) {
+  ExprPtr e = Expr::Arith(ArithOp::kAdd, Expr::Col("retweet_count"),
+                          Expr::LitInt(2));
+  ASSERT_OK_AND_ASSIGN(ValuePtr v, e->Evaluate(*Item()));
+  EXPECT_EQ(v->kind(), ValueKind::kInt);
+  EXPECT_EQ(v->int_value(), 7);
+}
+
+TEST(ExprTest, ArithmeticDivisionIsDouble) {
+  ExprPtr e = Expr::Arith(ArithOp::kDiv, Expr::LitInt(7), Expr::LitInt(2));
+  ASSERT_OK_AND_ASSIGN(ValuePtr v, e->Evaluate(*Item()));
+  EXPECT_EQ(v->kind(), ValueKind::kDouble);
+  EXPECT_EQ(v->double_value(), 3.5);
+}
+
+TEST(ExprTest, DivisionByZeroIsNull) {
+  ExprPtr e = Expr::Arith(ArithOp::kDiv, Expr::LitInt(7), Expr::LitInt(0));
+  ASSERT_OK_AND_ASSIGN(ValuePtr v, e->Evaluate(*Item()));
+  EXPECT_TRUE(v->is_null());
+}
+
+TEST(ExprTest, Contains) {
+  ASSERT_OK_AND_ASSIGN(
+      bool v, Expr::Contains(Expr::Col("text"), Expr::LitString("lo Wo"))
+                  ->EvaluateBool(*Item()));
+  EXPECT_TRUE(v);
+  ASSERT_OK_AND_ASSIGN(
+      v, Expr::Contains(Expr::Col("text"), Expr::LitString("xyz"))
+             ->EvaluateBool(*Item()));
+  EXPECT_FALSE(v);
+}
+
+TEST(ExprTest, ContainsTypeError) {
+  EXPECT_EQ(Expr::Contains(Expr::Col("retweet_count"), Expr::LitString("x"))
+                ->Evaluate(*Item())
+                .status()
+                .code(),
+            StatusCode::kTypeError);
+}
+
+TEST(ExprTest, SizeOfCollection) {
+  ASSERT_OK_AND_ASSIGN(ValuePtr v,
+                       Expr::SizeOf(Expr::Col("mentions"))->Evaluate(*Item()));
+  EXPECT_EQ(v->int_value(), 2);
+}
+
+TEST(ExprTest, SizeOfNonCollectionIsTypeError) {
+  EXPECT_EQ(
+      Expr::SizeOf(Expr::Col("text"))->Evaluate(*Item()).status().code(),
+      StatusCode::kTypeError);
+}
+
+TEST(ExprTest, IsNull) {
+  ASSERT_OK_AND_ASSIGN(bool v,
+                       Expr::IsNull(Expr::Col("nothing"))
+                           ->EvaluateBool(*Item()));
+  EXPECT_TRUE(v);
+  ASSERT_OK_AND_ASSIGN(v, Expr::IsNull(Expr::Col("text"))
+                              ->EvaluateBool(*Item()));
+  EXPECT_FALSE(v);
+}
+
+TEST(ExprTest, EvaluateBoolRejectsNonBoolean) {
+  EXPECT_EQ(Expr::Col("retweet_count")->EvaluateBool(*Item()).status().code(),
+            StatusCode::kTypeError);
+}
+
+TEST(ExprTest, CollectAccessedPathsFindsAllColumns) {
+  ExprPtr e = Expr::And(
+      Expr::Eq(Expr::Col("user.id_str"), Expr::LitString("lp")),
+      Expr::Or(Expr::Gt(Expr::Col("retweet_count"), Expr::LitInt(1)),
+               Expr::Contains(Expr::Col("text"), Expr::LitString("x"))));
+  std::vector<Path> paths;
+  e->CollectAccessedPaths(&paths);
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_EQ(paths[0].ToString(), "user.id_str");
+  EXPECT_EQ(paths[1].ToString(), "retweet_count");
+  EXPECT_EQ(paths[2].ToString(), "text");
+}
+
+TEST(ExprTest, ToStringIsReadable) {
+  ExprPtr e = Expr::And(Expr::Eq(Expr::Col("a"), Expr::LitInt(1)),
+                        Expr::Not(Expr::Col("b")));
+  EXPECT_EQ(e->ToString(), "((a == 1) && !(b))");
+}
+
+}  // namespace
+}  // namespace pebble

@@ -1,0 +1,155 @@
+// Tests for the flatten operator (Tab. 5 flatten rule, Fig. 3).
+
+#include <gtest/gtest.h>
+
+#include "engine/engine_test_util.h"
+
+namespace pebble {
+namespace {
+
+using testing::MiniData;
+using testing::MiniSchema;
+using testing::RunWith;
+
+TEST(FlattenTest, ExplodesCollectionElements) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int f = b.Flatten(scan, "xs", "x");
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(f));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, RunWith(p, CaptureMode::kOff));
+  // 2 + 1 + 0 + 3 = 6 output rows.
+  EXPECT_EQ(run.output.NumRows(), 6u);
+}
+
+TEST(FlattenTest, KeepsOriginalAttributesAndAppendsNew) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int f = b.Flatten(scan, "xs", "x");
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(f));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, RunWith(p, CaptureMode::kOff));
+  ValuePtr first = run.output.CollectValues()[0];
+  // r = <i, a_new : j>: the whole input item plus the new attribute.
+  EXPECT_EQ(first->num_fields(), 4u);
+  EXPECT_EQ(first->FindField("k")->int_value(), 1);
+  EXPECT_NE(first->FindField("xs"), nullptr);
+  EXPECT_EQ(first->FindField("x")->FindField("v")->int_value(), 10);
+}
+
+TEST(FlattenTest, EmptyCollectionProducesNoRows) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int f = b.Flatten(scan, "xs", "x");
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(f));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, RunWith(p, CaptureMode::kOff));
+  for (const ValuePtr& v : run.output.CollectValues()) {
+    EXPECT_NE(v->FindField("k")->int_value(), 3);  // k=3 has empty xs
+  }
+}
+
+TEST(FlattenTest, OutputSchemaAppendsElementType) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int f = b.Flatten(scan, "xs", "x");
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(f));
+  const TypePtr& schema = p.Find(f)->output_schema();
+  const FieldType* x = schema->FindField("x");
+  ASSERT_NE(x, nullptr);
+  EXPECT_EQ(x->type->kind(), TypeKind::kStruct);
+  EXPECT_NE(x->type->FindField("v"), nullptr);
+}
+
+TEST(FlattenTest, NonCollectionColumnRejectedAtBuild) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int f = b.Flatten(scan, "tag", "x");
+  EXPECT_EQ(b.Build(f).status().code(), StatusCode::kTypeError);
+}
+
+TEST(FlattenTest, ExistingAttributeNameRejected) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int f = b.Flatten(scan, "xs", "tag");
+  EXPECT_EQ(b.Build(f).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlattenTest, CaptureRecordsPositions) {
+  // Fig. 3: P = {{<id_i, pos, id_o>}}, A = {a_col[pos]},
+  // M = {(a_col[pos], a_new)}.
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int f = b.Flatten(scan, "xs", "x");
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(f));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       RunWith(p, CaptureMode::kStructural,
+                               /*num_partitions=*/1));
+  const OperatorProvenance* prov = run.provenance->Find(f);
+  ASSERT_NE(prov, nullptr);
+  ASSERT_EQ(prov->flatten_ids.size(), 6u);
+  // Positions are 1-based per input item: 1,2 | 1 | 1,2,3.
+  EXPECT_EQ(prov->flatten_ids[0].pos, 1);
+  EXPECT_EQ(prov->flatten_ids[1].pos, 2);
+  EXPECT_EQ(prov->flatten_ids[0].in, prov->flatten_ids[1].in);
+  EXPECT_EQ(prov->flatten_ids[2].pos, 1);
+  EXPECT_EQ(prov->flatten_ids[5].pos, 3);
+  ASSERT_EQ(prov->inputs[0].accessed.size(), 1u);
+  EXPECT_EQ(prov->inputs[0].accessed[0].ToString(), "xs[pos]");
+  ASSERT_EQ(prov->manipulations.size(), 1u);
+  EXPECT_EQ(prov->manipulations[0].in.ToString(), "xs[pos]");
+  EXPECT_EQ(prov->manipulations[0].out.ToString(), "x");
+}
+
+TEST(FlattenTest, StructuralBytesExceedLineageBytes) {
+  // Flatten stores positions that lineage solutions do not capture
+  // (Sec. 7.3.2 last paragraph).
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int f = b.Flatten(scan, "xs", "x");
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(f));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       RunWith(p, CaptureMode::kStructural));
+  const OperatorProvenance* prov = run.provenance->Find(f);
+  EXPECT_GT(prov->StructuralExtraBytes(), 0u);
+  EXPECT_GT(prov->LineageBytes(), 0u);
+}
+
+TEST(FlattenTest, NestedPathColumn) {
+  // Flatten a collection nested deeper than the top level.
+  TypePtr schema = DataType::Struct({
+      {"w", DataType::Struct(
+                {{"ys", DataType::Bag(DataType::Struct(
+                            {{"n", DataType::Int()}}))}})},
+  });
+  auto data = std::make_shared<std::vector<ValuePtr>>();
+  data->push_back(Value::Struct(
+      {{"w", Value::Struct({{"ys", Value::Bag({
+                                       Value::Struct({{"n", Value::Int(1)}}),
+                                       Value::Struct({{"n", Value::Int(2)}}),
+                                   })}})}}));
+  PipelineBuilder b;
+  int scan = b.Scan("deep", schema, data);
+  int f = b.Flatten(scan, "w.ys", "y");
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(f));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, RunWith(p, CaptureMode::kOff));
+  ASSERT_EQ(run.output.NumRows(), 2u);
+  EXPECT_EQ(run.output.CollectValues()[1]->FindField("y")
+                ->FindField("n")->int_value(),
+            2);
+}
+
+TEST(FlattenTest, FullModelRecordsConcretePositions) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int f = b.Flatten(scan, "xs", "x");
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(f));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       RunWith(p, CaptureMode::kFullModel,
+                               /*num_partitions=*/1));
+  const OperatorProvenance* prov = run.provenance->Find(f);
+  ASSERT_EQ(prov->item_provenance.size(), 6u);
+  EXPECT_EQ(prov->item_provenance[1].inputs[0].accessed[0].ToString(),
+            "xs[2]");
+  EXPECT_EQ(prov->item_provenance[1].manipulations[0].in.ToString(), "xs[2]");
+}
+
+}  // namespace
+}  // namespace pebble

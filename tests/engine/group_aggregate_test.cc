@@ -1,0 +1,233 @@
+// Tests for groupBy + aggregation/nesting (Tab. 5 grouping*/aggregation).
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "engine/engine_test_util.h"
+
+namespace pebble {
+namespace {
+
+using testing::MiniData;
+using testing::MiniSchema;
+using testing::RunWith;
+
+std::map<std::string, ValuePtr> ByTag(const ExecutionResult& run) {
+  std::map<std::string, ValuePtr> out;
+  for (const ValuePtr& v : run.output.CollectValues()) {
+    out[v->FindField("tag")->string_value()] = v;
+  }
+  return out;
+}
+
+TEST(GroupAggregateTest, CountPerGroup) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int g = b.GroupAggregate(scan, {GroupKey::Of("tag")},
+                           {AggSpec::Count("n")});
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(g));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, RunWith(p, CaptureMode::kOff));
+  auto by_tag = ByTag(run);
+  ASSERT_EQ(by_tag.size(), 3u);
+  EXPECT_EQ(by_tag["a"]->FindField("n")->int_value(), 2);
+  EXPECT_EQ(by_tag["b"]->FindField("n")->int_value(), 1);
+  EXPECT_EQ(by_tag["c"]->FindField("n")->int_value(), 1);
+}
+
+TEST(GroupAggregateTest, SumMinMaxAvg) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int g = b.GroupAggregate(scan, {GroupKey::Of("tag")},
+                           {
+                               AggSpec::Sum("k", "sum_k"),
+                               AggSpec::Min("k", "min_k"),
+                               AggSpec::Max("k", "max_k"),
+                               AggSpec::Avg("k", "avg_k"),
+                           });
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(g));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, RunWith(p, CaptureMode::kOff));
+  auto by_tag = ByTag(run);
+  ValuePtr a = by_tag["a"];  // items k=1 and k=3
+  EXPECT_EQ(a->FindField("sum_k")->int_value(), 4);
+  EXPECT_EQ(a->FindField("min_k")->int_value(), 1);
+  EXPECT_EQ(a->FindField("max_k")->int_value(), 3);
+  EXPECT_EQ(a->FindField("avg_k")->double_value(), 2.0);
+}
+
+TEST(GroupAggregateTest, CollectListPreservesOrderAndDuplicates) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int g = b.GroupAggregate(scan, {GroupKey::Of("tag")},
+                           {AggSpec::CollectList("k", "ks")});
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(g));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       RunWith(p, CaptureMode::kOff, /*num_partitions=*/1));
+  auto by_tag = ByTag(run);
+  ValuePtr ks = by_tag["a"]->FindField("ks");
+  ASSERT_EQ(ks->num_elements(), 2u);
+  EXPECT_EQ(ks->elements()[0]->int_value(), 1);  // encounter order
+  EXPECT_EQ(ks->elements()[1]->int_value(), 3);
+}
+
+TEST(GroupAggregateTest, CollectSetDeduplicates) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int g = b.GroupAggregate(scan, {GroupKey::Of("tag")},
+                           {AggSpec::CollectSet("tag", "tags")});
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(g));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, RunWith(p, CaptureMode::kOff));
+  auto by_tag = ByTag(run);
+  EXPECT_EQ(by_tag["a"]->FindField("tags")->num_elements(), 1u);
+}
+
+TEST(GroupAggregateTest, StructGroupKey) {
+  // Group by a nested struct value (the running example groups by `user`).
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int s = b.Select(scan, {Projection::Nested("key_struct",
+                                             {Projection::Keep("tag")}),
+                          Projection::Keep("k")});
+  int g = b.GroupAggregate(s, {GroupKey::Of("key_struct")},
+                           {AggSpec::Count("n")});
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(g));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, RunWith(p, CaptureMode::kOff));
+  EXPECT_EQ(run.output.NumRows(), 3u);  // tags a, b, c
+}
+
+TEST(GroupAggregateTest, MultipleKeys) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int g = b.GroupAggregate(scan,
+                           {GroupKey::Of("tag"), GroupKey::Of("k")},
+                           {AggSpec::Count("n")});
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(g));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, RunWith(p, CaptureMode::kOff));
+  EXPECT_EQ(run.output.NumRows(), 4u);  // all (tag,k) pairs distinct
+}
+
+TEST(GroupAggregateTest, KeyRename) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int g = b.GroupAggregate(scan, {GroupKey::As("tag", "label")},
+                           {AggSpec::Count("n")});
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(g));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, RunWith(p, CaptureMode::kOff));
+  EXPECT_NE(run.output.CollectValues()[0]->FindField("label"), nullptr);
+}
+
+TEST(GroupAggregateTest, NoKeysRejected) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int g = b.GroupAggregate(scan, {}, {AggSpec::Count("n")});
+  EXPECT_EQ(b.Build(g).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GroupAggregateTest, DuplicateOutputRejected) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int g = b.GroupAggregate(scan, {GroupKey::Of("tag")},
+                           {AggSpec::Count("tag")});
+  EXPECT_EQ(b.Build(g).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GroupAggregateTest, SumOverStringsIsTypeError) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int g = b.GroupAggregate(scan, {GroupKey::Of("k")},
+                           {AggSpec::Sum("tag", "s")});
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(g));
+  EXPECT_EQ(RunWith(p, CaptureMode::kOff).status().code(),
+            StatusCode::kTypeError);
+}
+
+TEST(GroupAggregateTest, OutputSchemaTypes) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int g = b.GroupAggregate(scan, {GroupKey::Of("tag")},
+                           {
+                               AggSpec::Count("n"),
+                               AggSpec::Avg("k", "avg_k"),
+                               AggSpec::CollectList("k", "ks"),
+                               AggSpec::CollectSet("k", "kset"),
+                           });
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(g));
+  const TypePtr& schema = p.Find(g)->output_schema();
+  EXPECT_EQ(schema->FindField("n")->type->kind(), TypeKind::kInt);
+  EXPECT_EQ(schema->FindField("avg_k")->type->kind(), TypeKind::kDouble);
+  EXPECT_EQ(schema->FindField("ks")->type->kind(), TypeKind::kBag);
+  EXPECT_EQ(schema->FindField("kset")->type->kind(), TypeKind::kSet);
+  EXPECT_EQ(schema->FindField("ks")->type->element()->kind(), TypeKind::kInt);
+}
+
+TEST(GroupAggregateTest, CaptureIdCollectionOrderMatchesNesting) {
+  // Tab. 6: the position of an input id equals the position of the nested
+  // item it produced.
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int g = b.GroupAggregate(scan, {GroupKey::Of("tag")},
+                           {AggSpec::CollectList("k", "ks")});
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(g));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       RunWith(p, CaptureMode::kStructural,
+                               /*num_partitions=*/1));
+  const OperatorProvenance* prov = run.provenance->Find(g);
+  ASSERT_NE(prov, nullptr);
+  ASSERT_EQ(prov->agg_ids.size(), 3u);
+  // Find the "a" group's output item and its id row.
+  for (const Row& row : run.output.CollectRows()) {
+    if (row.value->FindField("tag")->string_value() != "a") continue;
+    for (const AggIdRow& id_row : prov->agg_ids) {
+      if (id_row.out != row.id) continue;
+      ASSERT_EQ(id_row.ins.size(), 2u);
+      // Nested list is [1, 3]; the ids must point to k=1 and k=3 in that
+      // order. Scan ids are 1..4 in input order.
+      EXPECT_EQ(id_row.ins[0], 1);
+      EXPECT_EQ(id_row.ins[1], 3);
+    }
+  }
+}
+
+TEST(GroupAggregateTest, CaptureAccessAndManipulations) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int g = b.GroupAggregate(scan, {GroupKey::Of("tag")},
+                           {
+                               AggSpec::CollectList("k", "ks"),
+                               AggSpec::Sum("k", "total"),
+                           });
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(g));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       RunWith(p, CaptureMode::kStructural));
+  const OperatorProvenance* prov = run.provenance->Find(g);
+  // A = keys ∪ aggregated attributes.
+  ASSERT_EQ(prov->inputs[0].accessed.size(), 3u);
+  // M: key mapping flagged from_grouping; bag nesting carries [pos].
+  ASSERT_EQ(prov->manipulations.size(), 3u);
+  EXPECT_TRUE(prov->manipulations[0].from_grouping);
+  EXPECT_EQ(prov->manipulations[0].in.ToString(), "tag");
+  EXPECT_EQ(prov->manipulations[1].out.ToString(), "ks[pos]");
+  EXPECT_FALSE(prov->manipulations[1].from_grouping);
+  EXPECT_EQ(prov->manipulations[2].out.ToString(), "total");
+}
+
+TEST(GroupAggregateTest, AggregationProvenanceLargerThanResult) {
+  // Sec. 7.3.1: aggregations store a collection with all contributing item
+  // ids, typically much larger than the result itself.
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int g = b.GroupAggregate(scan, {GroupKey::Of("tag")},
+                           {AggSpec::Count("n")});
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(g));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       RunWith(p, CaptureMode::kStructural));
+  const OperatorProvenance* prov = run.provenance->Find(g);
+  size_t total_ins = 0;
+  for (const AggIdRow& row : prov->agg_ids) {
+    total_ins += row.ins.size();
+  }
+  EXPECT_EQ(total_ins, 4u);  // every input id retained
+}
+
+}  // namespace
+}  // namespace pebble

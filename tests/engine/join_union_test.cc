@@ -1,0 +1,191 @@
+// Tests for the join and union operators (Tab. 5 join / union* rules).
+
+#include <gtest/gtest.h>
+
+#include "engine/engine_test_util.h"
+
+namespace pebble {
+namespace {
+
+using testing::MiniData;
+using testing::MiniSchema;
+using testing::RunWith;
+
+TypePtr LeftSchema() {
+  return DataType::Struct({
+      {"lk", DataType::String()},
+      {"lv", DataType::Int()},
+  });
+}
+
+TypePtr RightSchema() {
+  return DataType::Struct({
+      {"rk", DataType::String()},
+      {"rv", DataType::Int()},
+  });
+}
+
+std::shared_ptr<const std::vector<ValuePtr>> LeftData() {
+  auto data = std::make_shared<std::vector<ValuePtr>>();
+  for (int i = 0; i < 4; ++i) {
+    data->push_back(Value::Struct({
+        {"lk", Value::String(std::string(1, static_cast<char>('a' + i)))},
+        {"lv", Value::Int(i)},
+    }));
+  }
+  return data;
+}
+
+std::shared_ptr<const std::vector<ValuePtr>> RightData() {
+  auto data = std::make_shared<std::vector<ValuePtr>>();
+  // Keys: a, a, b, z -> 'a' matches twice, 'b' once, 'z' never.
+  const char* keys[] = {"a", "a", "b", "z"};
+  for (int i = 0; i < 4; ++i) {
+    data->push_back(Value::Struct({
+        {"rk", Value::String(keys[i])},
+        {"rv", Value::Int(100 + i)},
+    }));
+  }
+  return data;
+}
+
+TEST(JoinTest, EquiJoinMatchesKeys) {
+  PipelineBuilder b;
+  int left = b.Scan("left", LeftSchema(), LeftData());
+  int right = b.Scan("right", RightSchema(), RightData());
+  int j = b.Join(left, right, {"lk"}, {"rk"});
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(j));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, RunWith(p, CaptureMode::kOff));
+  // a matches 2 right rows, b matches 1: 3 result rows.
+  ASSERT_EQ(run.output.NumRows(), 3u);
+  for (const ValuePtr& v : run.output.CollectValues()) {
+    EXPECT_EQ(v->FindField("lk")->string_value(),
+              v->FindField("rk")->string_value());
+  }
+}
+
+TEST(JoinTest, ResultConcatenatesAttributes) {
+  PipelineBuilder b;
+  int left = b.Scan("left", LeftSchema(), LeftData());
+  int right = b.Scan("right", RightSchema(), RightData());
+  int j = b.Join(left, right, {"lk"}, {"rk"});
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(j));
+  const TypePtr& schema = p.Find(j)->output_schema();
+  ASSERT_EQ(schema->fields().size(), 4u);
+  EXPECT_EQ(schema->fields()[0].name, "lk");
+  EXPECT_EQ(schema->fields()[3].name, "rv");
+}
+
+TEST(JoinTest, NoMatchesYieldsEmpty) {
+  auto only_z = std::make_shared<std::vector<ValuePtr>>();
+  only_z->push_back(
+      Value::Struct({{"lk", Value::String("q")}, {"lv", Value::Int(1)}}));
+  PipelineBuilder b;
+  int left = b.Scan("left", LeftSchema(), only_z);
+  int right = b.Scan("right", RightSchema(), RightData());
+  int j = b.Join(left, right, {"lk"}, {"rk"});
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(j));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, RunWith(p, CaptureMode::kOff));
+  EXPECT_EQ(run.output.NumRows(), 0u);
+}
+
+TEST(JoinTest, AttributeCollisionRejected) {
+  PipelineBuilder b;
+  int left = b.Scan("left", LeftSchema(), LeftData());
+  int right = b.Scan("right", LeftSchema(), LeftData());
+  int j = b.Join(left, right, {"lk"}, {"lk"});
+  EXPECT_EQ(b.Build(j).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(JoinTest, KeyCountMismatchRejected) {
+  PipelineBuilder b;
+  int left = b.Scan("left", LeftSchema(), LeftData());
+  int right = b.Scan("right", RightSchema(), RightData());
+  int j = b.Join(left, right, {"lk", "lv"}, {"rk"});
+  EXPECT_EQ(b.Build(j).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(JoinTest, CaptureRecordsBothSides) {
+  PipelineBuilder b;
+  int left = b.Scan("left", LeftSchema(), LeftData());
+  int right = b.Scan("right", RightSchema(), RightData());
+  int j = b.Join(left, right, {"lk"}, {"rk"});
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(j));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       RunWith(p, CaptureMode::kStructural));
+  const OperatorProvenance* prov = run.provenance->Find(j);
+  ASSERT_NE(prov, nullptr);
+  ASSERT_EQ(prov->binary_ids.size(), 3u);
+  for (const BinaryIdRow& row : prov->binary_ids) {
+    EXPECT_GT(row.in1, 0);
+    EXPECT_GT(row.in2, 0);
+  }
+  ASSERT_EQ(prov->inputs.size(), 2u);
+  EXPECT_EQ(prov->inputs[0].accessed[0].ToString(), "lk");
+  EXPECT_EQ(prov->inputs[1].accessed[0].ToString(), "rk");
+  // M: every top-level attribute maps to itself.
+  EXPECT_EQ(prov->manipulations.size(), 4u);
+}
+
+TEST(UnionTest, ConcatenatesBothInputs) {
+  PipelineBuilder b;
+  int a = b.Scan("a", MiniSchema(), MiniData());
+  int c = b.Scan("c", MiniSchema(), MiniData());
+  int u = b.Union(a, c);
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(u));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, RunWith(p, CaptureMode::kOff));
+  EXPECT_EQ(run.output.NumRows(), 8u);
+}
+
+TEST(UnionTest, IncompatibleSchemasRejected) {
+  PipelineBuilder b;
+  int a = b.Scan("a", MiniSchema(), MiniData());
+  int c = b.Scan("c", LeftSchema(), LeftData());
+  int u = b.Union(a, c);
+  EXPECT_EQ(b.Build(u).status().code(), StatusCode::kTypeError);
+}
+
+TEST(UnionTest, CaptureMarksOriginSide) {
+  PipelineBuilder b;
+  int a = b.Scan("a", MiniSchema(), MiniData());
+  int c = b.Scan("c", MiniSchema(), MiniData());
+  int u = b.Union(a, c);
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(u));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       RunWith(p, CaptureMode::kStructural));
+  const OperatorProvenance* prov = run.provenance->Find(u);
+  ASSERT_NE(prov, nullptr);
+  ASSERT_EQ(prov->binary_ids.size(), 8u);
+  int from_left = 0;
+  int from_right = 0;
+  for (const BinaryIdRow& row : prov->binary_ids) {
+    // Exactly one side is defined per row (Sec. 6.3 union backtracing).
+    EXPECT_NE(row.in1 == kNoId, row.in2 == kNoId);
+    if (row.in1 != kNoId) ++from_left;
+    if (row.in2 != kNoId) ++from_right;
+  }
+  EXPECT_EQ(from_left, 4);
+  EXPECT_EQ(from_right, 4);
+  // A = {} and M = {} per the union* rule.
+  EXPECT_TRUE(prov->inputs[0].accessed.empty());
+  EXPECT_FALSE(prov->inputs[0].accessed_undefined);
+  EXPECT_TRUE(prov->manipulations.empty());
+}
+
+TEST(UnionTest, EmptyCollectionElementTypesCompatible) {
+  // An input whose collection happens to be empty everywhere still unions
+  // with a populated one (kNull wildcard element type).
+  auto empty_xs = std::make_shared<std::vector<ValuePtr>>();
+  empty_xs->push_back(testing::MiniItem(9, "z", {}));
+  TypePtr null_schema = (*empty_xs)[0]->InferType();
+  PipelineBuilder b;
+  int a = b.Scan("a", null_schema, empty_xs);
+  int c = b.Scan("c", MiniSchema(), MiniData());
+  int u = b.Union(a, c);
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(u));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, RunWith(p, CaptureMode::kOff));
+  EXPECT_EQ(run.output.NumRows(), 5u);
+}
+
+}  // namespace
+}  // namespace pebble

@@ -1,0 +1,276 @@
+// Tests for scan, filter, select and map operators, including their
+// capture rules (Tab. 5 filter*/select*/map*).
+
+#include <gtest/gtest.h>
+
+#include "engine/engine_test_util.h"
+
+namespace pebble {
+namespace {
+
+using testing::MiniData;
+using testing::MiniSchema;
+using testing::OutputStrings;
+using testing::RunWith;
+
+TEST(ScanTest, ProducesAllRowsAcrossPartitions) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(scan));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       RunWith(p, CaptureMode::kOff, /*num_partitions=*/3));
+  EXPECT_EQ(run.output.NumRows(), 4u);
+  EXPECT_EQ(run.output.num_partitions(), 3);
+  // Contiguous-range partitioning preserves order under concatenation.
+  EXPECT_EQ(run.output.CollectValues()[0]->FindField("k")->int_value(), 1);
+  EXPECT_EQ(run.output.CollectValues()[3]->FindField("k")->int_value(), 4);
+}
+
+TEST(ScanTest, CaptureAssignsUniqueIds) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(scan));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       RunWith(p, CaptureMode::kStructural));
+  std::set<int64_t> ids;
+  for (const Row& row : run.output.CollectRows()) {
+    EXPECT_GT(row.id, 0);
+    ids.insert(row.id);
+  }
+  EXPECT_EQ(ids.size(), 4u);
+}
+
+TEST(ScanTest, NoCaptureLeavesIdsUnassigned) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(scan));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, RunWith(p, CaptureMode::kOff));
+  for (const Row& row : run.output.CollectRows()) {
+    EXPECT_EQ(row.id, -1);
+  }
+  EXPECT_EQ(run.provenance, nullptr);
+}
+
+TEST(FilterTest, KeepsOnlyMatchingRows) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int f = b.Filter(scan, Expr::Eq(Expr::Col("tag"), Expr::LitString("a")));
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(f));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, RunWith(p, CaptureMode::kOff));
+  ASSERT_EQ(run.output.NumRows(), 2u);
+  for (const ValuePtr& v : run.output.CollectValues()) {
+    EXPECT_EQ(v->FindField("tag")->string_value(), "a");
+  }
+}
+
+TEST(FilterTest, SchemaIsUnchanged) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int f = b.Filter(scan, Expr::Gt(Expr::Col("k"), Expr::LitInt(0)));
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(f));
+  EXPECT_TRUE(p.Find(f)->output_schema()->Equals(*MiniSchema()));
+}
+
+TEST(FilterTest, UnknownPredicatePathFailsAtBuild) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int f = b.Filter(scan, Expr::Eq(Expr::Col("nope"), Expr::LitInt(0)));
+  EXPECT_EQ(b.Build(f).status().code(), StatusCode::kKeyError);
+}
+
+TEST(FilterTest, CaptureRecordsIdPairsAndAccess) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int f = b.Filter(scan, Expr::Eq(Expr::Col("tag"), Expr::LitString("a")));
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(f));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       RunWith(p, CaptureMode::kStructural));
+  const OperatorProvenance* prov = run.provenance->Find(f);
+  ASSERT_NE(prov, nullptr);
+  EXPECT_EQ(prov->type, OpType::kFilter);
+  // One id row per passing item, linking to the scan ids.
+  ASSERT_EQ(prov->unary_ids.size(), 2u);
+  for (const UnaryIdRow& row : prov->unary_ids) {
+    EXPECT_GT(row.in, 0);
+    EXPECT_GT(row.out, 0);
+    EXPECT_NE(row.in, row.out);
+  }
+  // A = predicate columns; M = {} (no restructuring).
+  ASSERT_EQ(prov->inputs.size(), 1u);
+  EXPECT_EQ(prov->inputs[0].producer_oid, scan);
+  ASSERT_EQ(prov->inputs[0].accessed.size(), 1u);
+  EXPECT_EQ(prov->inputs[0].accessed[0].ToString(), "tag");
+  EXPECT_TRUE(prov->manipulations.empty());
+  EXPECT_FALSE(prov->manip_undefined);
+}
+
+TEST(FilterTest, LineageModeDropsPaths) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int f = b.Filter(scan, Expr::Eq(Expr::Col("tag"), Expr::LitString("a")));
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(f));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, RunWith(p, CaptureMode::kLineage));
+  const OperatorProvenance* prov = run.provenance->Find(f);
+  ASSERT_NE(prov, nullptr);
+  EXPECT_EQ(prov->unary_ids.size(), 2u);
+  EXPECT_TRUE(prov->inputs[0].accessed.empty());
+  EXPECT_EQ(prov->inputs[0].producer_oid, scan);  // topology retained
+}
+
+TEST(SelectTest, ProjectsAndRenames) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int s = b.Select(scan, {Projection::Leaf("key", "k"),
+                          Projection::Keep("tag")});
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(s));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, RunWith(p, CaptureMode::kOff));
+  EXPECT_EQ(OutputStrings(run)[0], R"({"key":1,"tag":"a"})");
+}
+
+TEST(SelectTest, NestedStructConstruction) {
+  // The running example's operator 8 shape: build new nested items.
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int s = b.Select(
+      scan, {Projection::Nested("wrap", {Projection::Keep("k"),
+                                         Projection::Keep("tag")})});
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(s));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, RunWith(p, CaptureMode::kOff));
+  EXPECT_EQ(OutputStrings(run)[1], R"({"wrap":{"k":2,"tag":"b"}})");
+}
+
+TEST(SelectTest, PositionalSourcePath) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int s = b.Select(scan, {Projection::Leaf("first_v", "xs[1].v")});
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(s));
+  // Item 3 has an empty xs -> positional access fails at runtime.
+  Result<ExecutionResult> run = RunWith(p, CaptureMode::kOff);
+  EXPECT_EQ(run.status().code(), StatusCode::kIndexError);
+}
+
+TEST(SelectTest, DuplicateOutputNameRejected) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int s = b.Select(scan, {Projection::Keep("k"), Projection::Leaf("k", "tag")});
+  EXPECT_EQ(b.Build(s).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SelectTest, CaptureRecordsMappingsPerLeaf) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int s = b.Select(
+      scan, {Projection::Leaf("key", "k"),
+             Projection::Nested("wrap", {Projection::Keep("tag")})});
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(s));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       RunWith(p, CaptureMode::kStructural));
+  const OperatorProvenance* prov = run.provenance->Find(s);
+  ASSERT_NE(prov, nullptr);
+  ASSERT_EQ(prov->manipulations.size(), 2u);
+  EXPECT_EQ(prov->manipulations[0].in.ToString(), "k");
+  EXPECT_EQ(prov->manipulations[0].out.ToString(), "key");
+  EXPECT_EQ(prov->manipulations[1].in.ToString(), "tag");
+  EXPECT_EQ(prov->manipulations[1].out.ToString(), "wrap.tag");
+  ASSERT_EQ(prov->inputs[0].accessed.size(), 2u);
+}
+
+TEST(MapTest, AppliesFunctionPerItem) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int m = b.Map(scan, [](const Value& item) -> Result<ValuePtr> {
+    return Value::Struct({
+        {"k2", Value::Int(item.FindField("k")->int_value() * 2)},
+    });
+  });
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(m));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, RunWith(p, CaptureMode::kOff));
+  EXPECT_EQ(OutputStrings(run)[2], R"({"k2":6})");
+}
+
+TEST(MapTest, SchemaInferredFromFirstItemWhenUndeclared) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int m = b.Map(scan, [](const Value&) -> Result<ValuePtr> {
+    return Value::Struct({{"x", Value::Int(1)}});
+  });
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(m));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, RunWith(p, CaptureMode::kOff));
+  ASSERT_EQ(run.output.schema()->kind(), TypeKind::kStruct);
+  EXPECT_NE(run.output.schema()->FindField("x"), nullptr);
+}
+
+TEST(MapTest, DeclaredSchemaWins) {
+  TypePtr declared = DataType::Struct({{"x", DataType::Int()}});
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int m = b.Map(
+      scan,
+      [](const Value&) -> Result<ValuePtr> {
+        return Value::Struct({{"x", Value::Int(1)}});
+      },
+      declared);
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(m));
+  EXPECT_TRUE(p.Find(m)->output_schema()->Equals(*declared));
+}
+
+TEST(MapTest, NonStructReturnIsTypeError) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int m = b.Map(scan, [](const Value&) -> Result<ValuePtr> {
+    return Value::Int(1);
+  });
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(m));
+  EXPECT_EQ(RunWith(p, CaptureMode::kOff).status().code(),
+            StatusCode::kTypeError);
+}
+
+TEST(MapTest, UserErrorPropagates) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int m = b.Map(scan, [](const Value& item) -> Result<ValuePtr> {
+    if (item.FindField("k")->int_value() == 3) {
+      return Status::InvalidArgument("bad item");
+    }
+    return Value::Struct({{"x", Value::Int(1)}});
+  });
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(m));
+  EXPECT_EQ(RunWith(p, CaptureMode::kOff).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MapTest, CaptureIsUndefinedBottom) {
+  // Tab. 5 map rule: A = ⊥, M = ⊥.
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int m = b.Map(scan, [](const Value&) -> Result<ValuePtr> {
+    return Value::Struct({{"x", Value::Int(1)}});
+  });
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(m));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       RunWith(p, CaptureMode::kStructural));
+  const OperatorProvenance* prov = run.provenance->Find(m);
+  ASSERT_NE(prov, nullptr);
+  EXPECT_TRUE(prov->inputs[0].accessed_undefined);
+  EXPECT_TRUE(prov->manip_undefined);
+  EXPECT_EQ(prov->unary_ids.size(), 4u);
+}
+
+TEST(FullModelTest, FilterMaterializesPerItemProvenance) {
+  PipelineBuilder b;
+  int scan = b.Scan("mini", MiniSchema(), MiniData());
+  int f = b.Filter(scan, Expr::Eq(Expr::Col("tag"), Expr::LitString("a")));
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(f));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       RunWith(p, CaptureMode::kFullModel));
+  const OperatorProvenance* prov = run.provenance->Find(f);
+  ASSERT_NE(prov, nullptr);
+  ASSERT_EQ(prov->item_provenance.size(), 2u);
+  const ItemProvenance& item = prov->item_provenance[0];
+  ASSERT_EQ(item.inputs.size(), 1u);
+  EXPECT_EQ(item.inputs[0].accessed.size(), 1u);
+  EXPECT_GT(prov->FullModelBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace pebble

@@ -1,0 +1,181 @@
+// Tests for the general theta-join (the paper's join rule with an
+// arbitrary condition phi(i, j)).
+
+#include <gtest/gtest.h>
+
+#include "core/query.h"
+#include "engine/engine_test_util.h"
+
+namespace pebble {
+namespace {
+
+using testing::RunWith;
+
+TypePtr LeftSchema() {
+  return DataType::Struct({
+      {"lo", DataType::Int()},
+      {"hi", DataType::Int()},
+      {"label", DataType::String()},
+  });
+}
+
+TypePtr RightSchema() {
+  return DataType::Struct({
+      {"x", DataType::Int()},
+  });
+}
+
+std::shared_ptr<const std::vector<ValuePtr>> Ranges() {
+  auto data = std::make_shared<std::vector<ValuePtr>>();
+  data->push_back(Value::Struct({{"lo", Value::Int(0)},
+                                 {"hi", Value::Int(10)},
+                                 {"label", Value::String("small")}}));
+  data->push_back(Value::Struct({{"lo", Value::Int(10)},
+                                 {"hi", Value::Int(100)},
+                                 {"label", Value::String("large")}}));
+  return data;
+}
+
+std::shared_ptr<const std::vector<ValuePtr>> Points() {
+  auto data = std::make_shared<std::vector<ValuePtr>>();
+  for (int64_t v : {5, 15, 50, 200}) {
+    data->push_back(Value::Struct({{"x", Value::Int(v)}}));
+  }
+  return data;
+}
+
+ExprPtr BandPredicate() {
+  // lo <= x < hi: a genuine non-equi condition.
+  return Expr::And(Expr::Le(Expr::Col("lo"), Expr::Col("x")),
+                   Expr::Lt(Expr::Col("x"), Expr::Col("hi")));
+}
+
+TEST(ThetaJoinTest, BandJoinMatchesRanges) {
+  PipelineBuilder b;
+  int ranges = b.Scan("ranges", LeftSchema(), Ranges());
+  int points = b.Scan("points", RightSchema(), Points());
+  int j = b.ThetaJoin(ranges, points, BandPredicate());
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(j));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, RunWith(p, CaptureMode::kOff));
+  // 5 -> small; 15, 50 -> large; 200 -> nothing.
+  ASSERT_EQ(run.output.NumRows(), 3u);
+  for (const ValuePtr& v : run.output.CollectValues()) {
+    int64_t x = v->FindField("x")->int_value();
+    EXPECT_GE(x, v->FindField("lo")->int_value());
+    EXPECT_LT(x, v->FindField("hi")->int_value());
+  }
+}
+
+TEST(ThetaJoinTest, EquiJoinWithResidualTheta) {
+  // Keys plus a residual predicate over the combined item.
+  auto left = std::make_shared<std::vector<ValuePtr>>();
+  left->push_back(Value::Struct(
+      {{"lk", Value::String("a")}, {"lv", Value::Int(1)}}));
+  left->push_back(Value::Struct(
+      {{"lk", Value::String("a")}, {"lv", Value::Int(9)}}));
+  auto right = std::make_shared<std::vector<ValuePtr>>();
+  right->push_back(Value::Struct(
+      {{"rk", Value::String("a")}, {"rv", Value::Int(5)}}));
+
+  PipelineBuilder b;
+  TypePtr ls = DataType::Struct(
+      {{"lk", DataType::String()}, {"lv", DataType::Int()}});
+  TypePtr rs = DataType::Struct(
+      {{"rk", DataType::String()}, {"rv", DataType::Int()}});
+  int l = b.Scan("l", ls, left);
+  int r = b.Scan("r", rs, right);
+  // Manually compose via JoinOp with keys + theta through the builder: the
+  // fluent API exposes pure theta joins; keyed+theta is exercised via the
+  // operator directly in this test.
+  int j = b.ThetaJoin(
+      l, r,
+      Expr::And(Expr::Eq(Expr::Col("lk"), Expr::Col("rk")),
+                Expr::Lt(Expr::Col("lv"), Expr::Col("rv"))));
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(j));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, RunWith(p, CaptureMode::kOff));
+  ASSERT_EQ(run.output.NumRows(), 1u);
+  EXPECT_EQ(run.output.CollectValues()[0]->FindField("lv")->int_value(), 1);
+}
+
+TEST(ThetaJoinTest, BadThetaPathRejectedAtBuild) {
+  PipelineBuilder b;
+  int ranges = b.Scan("ranges", LeftSchema(), Ranges());
+  int points = b.Scan("points", RightSchema(), Points());
+  int j = b.ThetaJoin(ranges, points,
+                      Expr::Lt(Expr::Col("nope"), Expr::Col("x")));
+  EXPECT_EQ(b.Build(j).status().code(), StatusCode::kKeyError);
+}
+
+TEST(ThetaJoinTest, CaptureAttributesPathsPerSide) {
+  PipelineBuilder b;
+  int ranges = b.Scan("ranges", LeftSchema(), Ranges());
+  int points = b.Scan("points", RightSchema(), Points());
+  int j = b.ThetaJoin(ranges, points, BandPredicate());
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(j));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       RunWith(p, CaptureMode::kStructural));
+  const OperatorProvenance* prov = run.provenance->Find(j);
+  ASSERT_NE(prov, nullptr);
+  // lo and hi belong to the left side; x to the right side.
+  std::vector<std::string> left_paths;
+  for (const Path& path : prov->inputs[0].accessed) {
+    left_paths.push_back(path.ToString());
+  }
+  std::vector<std::string> right_paths;
+  for (const Path& path : prov->inputs[1].accessed) {
+    right_paths.push_back(path.ToString());
+  }
+  EXPECT_EQ(left_paths, (std::vector<std::string>{"lo", "hi"}));
+  EXPECT_EQ(right_paths, (std::vector<std::string>{"x", "x"}));
+}
+
+TEST(ThetaJoinTest, BacktraceMarksThetaAttributesInfluencing) {
+  PipelineBuilder b;
+  int ranges = b.Scan("ranges", LeftSchema(), Ranges());
+  int points = b.Scan("points", RightSchema(), Points());
+  int j = b.ThetaJoin(ranges, points, BandPredicate());
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(j));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       RunWith(p, CaptureMode::kStructural));
+  // Trace the label of the x=5 match.
+  TreePattern pattern({PatternNode::Attr("x").Equals(Value::Int(5)),
+                       PatternNode::Attr("label")});
+  ASSERT_OK_AND_ASSIGN(ProvenanceQueryResult prov,
+                       QueryStructuralProvenance(run, pattern));
+  ASSERT_EQ(prov.matched.size(), 1u);
+  bool found_left = false;
+  for (const SourceProvenance& source : prov.sources) {
+    if (source.scan_oid != ranges) continue;
+    found_left = true;
+    ASSERT_EQ(source.items.size(), 1u);
+    const BacktraceTree& tree = source.items[0].tree;
+    // label contributes; lo/hi only influenced the join.
+    EXPECT_TRUE(
+        tree.Find(std::move(Path::Parse("label")).ValueOrDie())->contributing);
+    const BtNode* lo = tree.Find(std::move(Path::Parse("lo")).ValueOrDie());
+    ASSERT_NE(lo, nullptr);
+    EXPECT_FALSE(lo->contributing);
+    EXPECT_EQ(lo->accessed_by.count(j), 1u);
+  }
+  EXPECT_TRUE(found_left);
+}
+
+TEST(ThetaJoinTest, TransparencyUnderCapture) {
+  PipelineBuilder b1;
+  int r1 = b1.Scan("ranges", LeftSchema(), Ranges());
+  int p1 = b1.Scan("points", RightSchema(), Points());
+  int j1 = b1.ThetaJoin(r1, p1, BandPredicate());
+  ASSERT_OK_AND_ASSIGN(Pipeline off_p, b1.Build(j1));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult off, RunWith(off_p, CaptureMode::kOff));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult on,
+                       RunWith(off_p, CaptureMode::kStructural));
+  ASSERT_EQ(off.output.NumRows(), on.output.NumRows());
+  std::vector<ValuePtr> a = off.output.CollectValues();
+  std::vector<ValuePtr> c = on.output.CollectValues();
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i]->Equals(*c[i]));
+  }
+}
+
+}  // namespace
+}  // namespace pebble

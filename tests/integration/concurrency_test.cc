@@ -1,0 +1,110 @@
+// Concurrency tests: the executor is stateless and pipelines are immutable
+// after Build, so concurrent executions of the same pipeline — and
+// concurrent provenance queries against one captured store — must be safe
+// and deterministic.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/query.h"
+#include "test_util.h"
+#include "workload/running_example.h"
+#include "workload/scenarios.h"
+
+namespace pebble {
+namespace {
+
+TEST(ConcurrencyTest, ParallelExecutionsOfOnePipeline) {
+  ASSERT_OK_AND_ASSIGN(RunningExample ex, MakeRunningExample());
+  Executor executor(ExecOptions{CaptureMode::kStructural, 2, 2});
+
+  constexpr int kThreads = 6;
+  std::vector<std::thread> pool;
+  std::vector<Result<ExecutionResult>> results(
+      kThreads, Result<ExecutionResult>(Status::Internal("unset")));
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back(
+        [&, t]() { results[static_cast<size_t>(t)] = executor.Run(ex.pipeline); });
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+
+  // All runs succeed with identical result multisets.
+  auto cmp = [](const ValuePtr& x, const ValuePtr& y) {
+    return x->Compare(*y) < 0;
+  };
+  ASSERT_TRUE(results[0].ok()) << results[0].status().ToString();
+  std::vector<ValuePtr> reference = results[0]->output.CollectValues();
+  std::sort(reference.begin(), reference.end(), cmp);
+  for (int t = 1; t < kThreads; ++t) {
+    ASSERT_TRUE(results[static_cast<size_t>(t)].ok());
+    std::vector<ValuePtr> values =
+        results[static_cast<size_t>(t)]->output.CollectValues();
+    std::sort(values.begin(), values.end(), cmp);
+    ASSERT_EQ(values.size(), reference.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      EXPECT_TRUE(values[i]->Equals(*reference[i]));
+    }
+  }
+}
+
+TEST(ConcurrencyTest, ParallelQueriesAgainstOneStore) {
+  TwitterGenOptions options;
+  options.num_tweets = 400;
+  TwitterGenerator gen(options);
+  auto data = gen.Generate();
+  ASSERT_OK_AND_ASSIGN(Scenario sc, MakeTwitterScenario(3, gen, data));
+  Executor executor(ExecOptions{CaptureMode::kStructural, 4, 2});
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, executor.Run(sc.pipeline));
+  BacktraceIndex index(*run.provenance);
+
+  // A mixed batch of questions executed concurrently, twice each; both
+  // rounds must agree.
+  std::vector<std::string> questions = {
+      "//id_str='u0', tweets(text)",
+      "//id_str='u1', tweets(text)",
+      "tweets(text='Hello World')",
+      "user(id_str!='nobody'), tweets(text)",
+  };
+  auto ask = [&](const std::string& text)
+      -> Result<std::vector<SourceProvenance>> {
+    PEBBLE_ASSIGN_OR_RETURN(TreePattern pattern, TreePattern::Parse(text));
+    PEBBLE_ASSIGN_OR_RETURN(BacktraceStructure seed,
+                            pattern.Match(run.output, 1));
+    Backtracer tracer(run.provenance.get(), &index);
+    return tracer.Backtrace(seed);
+  };
+
+  std::vector<std::thread> pool;
+  std::vector<Result<std::vector<SourceProvenance>>> round1(
+      questions.size(),
+      Result<std::vector<SourceProvenance>>(Status::Internal("unset")));
+  std::vector<Result<std::vector<SourceProvenance>>> round2 = round1;
+  for (size_t q = 0; q < questions.size(); ++q) {
+    pool.emplace_back([&, q]() { round1[q] = ask(questions[q]); });
+    pool.emplace_back([&, q]() { round2[q] = ask(questions[q]); });
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  for (size_t q = 0; q < questions.size(); ++q) {
+    ASSERT_TRUE(round1[q].ok()) << questions[q];
+    ASSERT_TRUE(round2[q].ok()) << questions[q];
+    ASSERT_EQ(round1[q]->size(), round2[q]->size());
+    for (size_t s = 0; s < round1[q]->size(); ++s) {
+      const SourceProvenance& a = (*round1[q])[s];
+      const SourceProvenance& b = (*round2[q])[s];
+      ASSERT_EQ(a.items.size(), b.items.size());
+      for (size_t i = 0; i < a.items.size(); ++i) {
+        EXPECT_EQ(a.items[i].id, b.items[i].id);
+        EXPECT_TRUE(a.items[i].tree == b.items[i].tree);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pebble

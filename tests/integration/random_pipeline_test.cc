@@ -1,0 +1,220 @@
+// Randomized property test: for pseudo-random datasets and pipelines
+// (seeded, hence reproducible), the system invariants must hold:
+// transparency, backtrace liveness, structural-subset-of-lineage, source
+// schema validity, and serialization round-trip equivalence.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/titian.h"
+#include "common/rng.h"
+#include "core/provenance_io.h"
+#include "core/query.h"
+#include "test_util.h"
+
+namespace pebble {
+namespace {
+
+const char* const kWords[] = {"alpha", "beta", "gamma", "delta", "epsilon"};
+
+TypePtr RandomSchema() {
+  return DataType::Struct({
+      {"k", DataType::Int()},
+      {"grp", DataType::String()},
+      {"s", DataType::String()},
+      {"xs", DataType::Bag(DataType::Struct({
+                 {"v", DataType::Int()},
+                 {"w", DataType::String()},
+             }))},
+  });
+}
+
+std::shared_ptr<const std::vector<ValuePtr>> RandomData(Rng* rng) {
+  size_t n = 40 + rng->NextBounded(160);
+  auto out = std::make_shared<std::vector<ValuePtr>>();
+  out->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<ValuePtr> xs;
+    int nx = static_cast<int>(rng->NextBounded(4));
+    for (int x = 0; x < nx; ++x) {
+      xs.push_back(Value::Struct({
+          {"v", Value::Int(rng->NextInt(0, 9))},
+          {"w", Value::String(kWords[rng->NextBounded(5)])},
+      }));
+    }
+    out->push_back(Value::Struct({
+        {"k", Value::Int(rng->NextInt(0, 20))},
+        {"grp", Value::String("g" + std::to_string(rng->NextBounded(5)))},
+        {"s", Value::String(kWords[rng->NextBounded(5)])},
+        {"xs", Value::Bag(std::move(xs))},
+    }));
+  }
+  return out;
+}
+
+/// Builds a random pipeline over the random schema. Returns the pipeline
+/// plus the name of one attribute guaranteed to exist in the sink schema
+/// (used to build a match-all provenance question).
+struct RandomCase {
+  Pipeline pipeline;
+  std::string probe_attr;
+  // A second attribute to anchor aggregation questions (the collected
+  // output), empty if the sink is not an aggregation.
+  std::string agg_attr;
+};
+
+Result<RandomCase> RandomPipeline(Rng* rng,
+                                  std::shared_ptr<const std::vector<ValuePtr>>
+                                      data) {
+  PipelineBuilder b;
+  TypePtr schema = RandomSchema();
+  int cur;
+  if (rng->NextBool(0.3)) {
+    // Union of two filtered branches over the same source.
+    int scan1 = b.Scan("left", schema, data);
+    int f1 = b.Filter(scan1, Expr::Lt(Expr::Col("k"), Expr::LitInt(12)));
+    int scan2 = b.Scan("right", schema, data);
+    int f2 = b.Filter(scan2, Expr::Ge(Expr::Col("k"), Expr::LitInt(8)));
+    cur = b.Union(f1, f2);
+  } else {
+    cur = b.Scan("source", schema, data);
+  }
+
+  RandomCase result;
+  result.probe_attr = "k";
+  bool flattened = false;
+  bool grouped = false;
+  int extra_ops = static_cast<int>(rng->NextBounded(4));
+  for (int op = 0; op < extra_ops && !grouped; ++op) {
+    switch (rng->NextBounded(4)) {
+      case 0:
+        cur = b.Filter(cur, Expr::Eq(Expr::Col("grp"),
+                                     Expr::LitString(
+                                         "g" + std::to_string(
+                                                   rng->NextBounded(5)))));
+        break;
+      case 1:
+        if (!flattened) {
+          cur = b.Flatten(cur, "xs", "x");
+          flattened = true;
+        }
+        break;
+      case 2: {
+        std::vector<Projection> projections = {
+            Projection::Keep("k"),
+            Projection::Keep("grp"),
+            Projection::Keep("s"),
+        };
+        if (flattened) {
+          projections.push_back(Projection::Leaf("xv", "x.v"));
+        } else {
+          projections.push_back(Projection::Keep("xs"));
+        }
+        cur = b.Select(cur, std::move(projections));
+        // After this select the flattened attribute is folded into xv.
+        if (flattened) {
+          result.probe_attr = "xv";
+        }
+        flattened = false;  // x is gone either way
+        break;
+      }
+      case 3:
+        cur = b.GroupAggregate(cur, {GroupKey::Of("grp")},
+                               {AggSpec::Count("n"),
+                                AggSpec::CollectList("k", "ks")});
+        result.probe_attr = "grp";
+        result.agg_attr = "ks";
+        grouped = true;
+        break;
+    }
+  }
+  PEBBLE_ASSIGN_OR_RETURN(result.pipeline, b.Build(cur));
+  return result;
+}
+
+class RandomPipelineTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPipelineTest, InvariantsHold) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  auto data = RandomData(&rng);
+  ASSERT_OK_AND_ASSIGN(RandomCase rc, RandomPipeline(&rng, data));
+
+  // 1. Transparency.
+  Executor plain(ExecOptions{CaptureMode::kOff, 3, 2});
+  ASSERT_OK_AND_ASSIGN(ExecutionResult off, plain.Run(rc.pipeline));
+  Executor capture(ExecOptions{CaptureMode::kStructural, 3, 2});
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, capture.Run(rc.pipeline));
+  {
+    std::vector<ValuePtr> a = off.output.CollectValues();
+    std::vector<ValuePtr> c = run.output.CollectValues();
+    ASSERT_EQ(a.size(), c.size());
+    auto cmp = [](const ValuePtr& x, const ValuePtr& y) {
+      return x->Compare(*y) < 0;
+    };
+    std::sort(a.begin(), a.end(), cmp);
+    std::sort(c.begin(), c.end(), cmp);
+    for (size_t i = 0; i < a.size(); ++i) {
+      ASSERT_TRUE(a[i]->Equals(*c[i]));
+    }
+  }
+  if (run.output.NumRows() == 0) {
+    return;  // empty result: nothing to trace (valid random outcome)
+  }
+
+  // 2. Match-all question backtraces without error.
+  std::vector<PatternNode> roots;
+  roots.push_back(PatternNode::Attr(rc.probe_attr));
+  if (!rc.agg_attr.empty()) {
+    roots.push_back(PatternNode::Attr(rc.agg_attr));
+  }
+  TreePattern pattern(std::move(roots));
+  ASSERT_OK_AND_ASSIGN(ProvenanceQueryResult prov,
+                       QueryStructuralProvenance(run, pattern));
+  EXPECT_EQ(prov.matched.size(), run.output.NumRows());
+
+  // 3. Structural item ids are a subset of lineage; trees reference only
+  //    source-schema attributes.
+  std::vector<int64_t> matched_ids;
+  for (const BacktraceEntry& e : prov.matched) {
+    matched_ids.push_back(e.id);
+  }
+  LineageTracer tracer(run.provenance.get());
+  ASSERT_OK_AND_ASSIGN(std::vector<SourceLineage> lineage,
+                       tracer.Trace(matched_ids));
+  std::map<int, std::set<int64_t>> allowed;
+  for (const SourceLineage& sl : lineage) {
+    allowed[sl.scan_oid].insert(sl.ids.begin(), sl.ids.end());
+  }
+  TypePtr source_schema = RandomSchema();
+  for (const SourceProvenance& source : prov.sources) {
+    for (const BacktraceEntry& entry : source.items) {
+      EXPECT_EQ(allowed[source.scan_oid].count(entry.id), 1u);
+      for (const BtNode& child : entry.tree.root().children) {
+        EXPECT_NE(source_schema->FindField(child.key.attr), nullptr)
+            << child.key.attr;
+      }
+    }
+  }
+
+  // 4. Serialization round-trip yields identical backtracing results.
+  std::string text = SerializeProvenanceStore(*run.provenance);
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<ProvenanceStore> loaded,
+                       DeserializeProvenanceStore(text));
+  Backtracer reloaded(loaded.get());
+  ASSERT_OK_AND_ASSIGN(std::vector<SourceProvenance> again,
+                       reloaded.Backtrace(prov.matched));
+  ASSERT_EQ(again.size(), prov.sources.size());
+  for (size_t s = 0; s < again.size(); ++s) {
+    ASSERT_EQ(again[s].items.size(), prov.sources[s].items.size());
+    for (size_t i = 0; i < again[s].items.size(); ++i) {
+      EXPECT_TRUE(again[s].items[i].tree == prov.sources[s].items[i].tree);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPipelineTest,
+                         ::testing::Range(1, 25));
+
+}  // namespace
+}  // namespace pebble

@@ -1,0 +1,240 @@
+// End-to-end reproduction of the paper's running example (Sec. 2):
+// Tab. 1 input -> Fig. 1 pipeline -> Tab. 2 result -> Fig. 4 tree pattern
+// -> Fig. 2 backtracing trees, plus the lineage comparison of Sec. 2.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baselines/titian.h"
+#include "core/query.h"
+#include "test_util.h"
+#include "workload/running_example.h"
+
+namespace pebble {
+namespace {
+
+Path P(const std::string& s) { return std::move(Path::Parse(s)).ValueOrDie(); }
+
+class RunningExampleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK_AND_ASSIGN(ex_, MakeRunningExample());
+    Executor executor(
+        ExecOptions{CaptureMode::kStructural, /*num_partitions=*/2,
+                    /*num_threads=*/2});
+    ASSERT_OK_AND_ASSIGN(run_, executor.Run(ex_.pipeline));
+    ASSERT_OK_AND_ASSIGN(prov_, QueryStructuralProvenance(run_, ex_.query));
+  }
+
+  /// The output item whose user.id_str equals `id`.
+  ValuePtr ResultItem(const std::string& id) {
+    for (const ValuePtr& v : run_.output.CollectValues()) {
+      if (v->FindField("user")->FindField("id_str")->string_value() == id) {
+        return v;
+      }
+    }
+    return nullptr;
+  }
+
+  RunningExample ex_;
+  ExecutionResult run_;
+  ProvenanceQueryResult prov_;
+};
+
+TEST_F(RunningExampleTest, OperatorIdsMatchFigure1) {
+  EXPECT_EQ(ex_.pipeline.Find(1)->type(), OpType::kScan);
+  EXPECT_EQ(ex_.pipeline.Find(2)->type(), OpType::kFilter);
+  EXPECT_EQ(ex_.pipeline.Find(3)->type(), OpType::kSelect);
+  EXPECT_EQ(ex_.pipeline.Find(4)->type(), OpType::kScan);
+  EXPECT_EQ(ex_.pipeline.Find(5)->type(), OpType::kFlatten);
+  EXPECT_EQ(ex_.pipeline.Find(6)->type(), OpType::kSelect);
+  EXPECT_EQ(ex_.pipeline.Find(7)->type(), OpType::kUnion);
+  EXPECT_EQ(ex_.pipeline.Find(8)->type(), OpType::kSelect);
+  EXPECT_EQ(ex_.pipeline.Find(9)->type(), OpType::kGroupAggregate);
+  EXPECT_EQ(ex_.pipeline.sink_oid(), 9);
+}
+
+TEST_F(RunningExampleTest, ResultSchemaMatchesExample42) {
+  // {{ <user:<id_str:String,name:String>, tweets:{{<text:String>}}> }}
+  EXPECT_EQ(run_.output.schema()->ToString(),
+            "<user:<id_str:String,name:String>,tweets:{{<text:String>}}>");
+}
+
+TEST_F(RunningExampleTest, ResultMatchesTable2) {
+  ASSERT_EQ(run_.output.NumRows(), 3u);
+
+  ValuePtr lp = ResultItem("lp");
+  ASSERT_NE(lp, nullptr);
+  ValuePtr tweets = lp->FindField("tweets");
+  ASSERT_EQ(tweets->num_elements(), 4u);
+  EXPECT_EQ(tweets->elements()[0]->FindField("text")->string_value(),
+            "Hello @ls @jm @ls");
+  EXPECT_EQ(tweets->elements()[1]->FindField("text")->string_value(),
+            "Hello World");
+  EXPECT_EQ(tweets->elements()[2]->FindField("text")->string_value(),
+            "Hello World");
+  EXPECT_EQ(tweets->elements()[3]->FindField("text")->string_value(),
+            "Hello @lp");
+
+  ValuePtr ls = ResultItem("ls");
+  ASSERT_NE(ls, nullptr);
+  EXPECT_EQ(ls->FindField("tweets")->num_elements(), 2u);
+
+  ValuePtr jm = ResultItem("jm");
+  ASSERT_NE(jm, nullptr);
+  EXPECT_EQ(jm->FindField("tweets")->num_elements(), 3u);
+}
+
+TEST_F(RunningExampleTest, PatternMatchesOnlyLpItem) {
+  ASSERT_EQ(prov_.matched.size(), 1u);
+  const BacktraceTree& tree = prov_.matched[0].tree;
+  // The tree on the right of Fig. 2.
+  EXPECT_TRUE(tree.Contains(P("user.id_str")));
+  EXPECT_TRUE(tree.Contains(P("tweets[2].text")));
+  EXPECT_TRUE(tree.Contains(P("tweets[3].text")));
+  EXPECT_FALSE(tree.Contains(P("tweets[1]")));
+  EXPECT_FALSE(tree.Contains(P("tweets[4]")));
+  // name is not pertinent to the query and absent (Sec. 2).
+  EXPECT_FALSE(tree.Contains(P("user.name")));
+}
+
+TEST_F(RunningExampleTest, BacktraceFindsExactlyTheTwoHelloWorldTweets) {
+  // Fig. 2: trees for input items 12 and 17 only (our scan ids 2 and 3 of
+  // the upper read); the lower branch contributes nothing because position
+  // tweets[4] is not traced.
+  ASSERT_EQ(prov_.sources.size(), 1u);
+  const SourceProvenance& source = prov_.sources[0];
+  EXPECT_EQ(source.scan_oid, 1);
+  ASSERT_EQ(source.items.size(), 2u);
+
+  const Dataset& input = run_.source_datasets.at(1);
+  for (const BacktraceEntry& entry : source.items) {
+    ValuePtr item = FindItemById(input, entry.id);
+    ASSERT_NE(item, nullptr);
+    EXPECT_EQ(item->FindField("text")->string_value(), "Hello World");
+  }
+}
+
+TEST_F(RunningExampleTest, InputTreesMatchFigure2) {
+  const BacktraceTree& tree = prov_.sources[0].items[0].tree;
+
+  // text: contributing, manipulated by the selects 3 and 8 (and the
+  // nesting 9, folded from the collected tweet).
+  const BtNode* text = tree.Find(P("text"));
+  ASSERT_NE(text, nullptr);
+  EXPECT_TRUE(text->contributing);
+  EXPECT_EQ(text->manipulated_by.count(3), 1u);
+  EXPECT_EQ(text->manipulated_by.count(8), 1u);
+
+  // user.id_str: contributing, manipulated by 3 and 8, accessed by the
+  // grouping 9.
+  const BtNode* id_str = tree.Find(P("user.id_str"));
+  ASSERT_NE(id_str, nullptr);
+  EXPECT_TRUE(id_str->contributing);
+  EXPECT_EQ(id_str->manipulated_by.count(3), 1u);
+  EXPECT_EQ(id_str->manipulated_by.count(8), 1u);
+  EXPECT_EQ(id_str->accessed_by.count(9), 1u);
+
+  // user.name: influencing only — accessed by the grouping (9), moved by
+  // the selects (3, 8) — exactly the medium-green node of Fig. 2.
+  const BtNode* name = tree.Find(P("user.name"));
+  ASSERT_NE(name, nullptr);
+  EXPECT_FALSE(name->contributing);
+  EXPECT_EQ(name->accessed_by.count(9), 1u);
+  EXPECT_EQ(name->manipulated_by.count(3), 1u);
+  EXPECT_EQ(name->manipulated_by.count(8), 1u);
+
+  // retweet_cnt: influencing, accessed by the filter (2).
+  const BtNode* rc = tree.Find(P("retweet_cnt"));
+  ASSERT_NE(rc, nullptr);
+  EXPECT_FALSE(rc->contributing);
+  EXPECT_EQ(rc->accessed_by.count(2), 1u);
+  EXPECT_TRUE(rc->manipulated_by.empty());
+
+  // user_mentions does not appear: not needed, not accessed upstream.
+  EXPECT_FALSE(tree.Contains(P("user_mentions")));
+}
+
+TEST_F(RunningExampleTest, BothHelloWorldTreesAreIdentical) {
+  ASSERT_EQ(prov_.sources[0].items.size(), 2u);
+  EXPECT_TRUE(prov_.sources[0].items[0].tree ==
+              prov_.sources[0].items[1].tree);
+}
+
+TEST_F(RunningExampleTest, LineageIsStrictlyCoarser) {
+  // Sec. 2: lineage returns all tweets containing user lp — items 1, 12,
+  // 17 (upper read: our ids 1, 2, 3) and 29 (lower read) — masking the two
+  // tweets that cause the duplicate.
+  std::vector<int64_t> matched_ids;
+  for (const BacktraceEntry& e : prov_.matched) {
+    matched_ids.push_back(e.id);
+  }
+  LineageTracer tracer(run_.provenance.get());
+  ASSERT_OK_AND_ASSIGN(std::vector<SourceLineage> lineage,
+                       tracer.Trace(matched_ids));
+  ASSERT_EQ(lineage.size(), 2u);  // both reads
+
+  std::map<int, std::vector<int64_t>> by_scan;
+  for (const SourceLineage& sl : lineage) {
+    by_scan[sl.scan_oid] = sl.ids;
+  }
+  // Upper read: tweets 1, 2, 3 (authored by lp with retweet_cnt 0).
+  EXPECT_EQ(by_scan[1].size(), 3u);
+  // Lower read: the tweet mentioning lp.
+  ASSERT_EQ(by_scan[4].size(), 1u);
+  ValuePtr mention_tweet =
+      FindItemById(run_.source_datasets.at(4), by_scan[4][0]);
+  ASSERT_NE(mention_tweet, nullptr);
+  EXPECT_EQ(mention_tweet->FindField("text")->string_value(), "Hello @lp");
+
+  // Structural provenance is a strict subset of lineage at item level.
+  for (const BacktraceEntry& entry : prov_.sources[0].items) {
+    EXPECT_NE(std::find(by_scan[1].begin(), by_scan[1].end(), entry.id),
+              by_scan[1].end());
+  }
+  EXPECT_LT(prov_.sources[0].items.size(),
+            by_scan[1].size() + by_scan[4].size());
+}
+
+TEST_F(RunningExampleTest, QueryTimesReported) {
+  EXPECT_GE(prov_.match_ms, 0.0);
+  EXPECT_GE(prov_.backtrace_ms, 0.0);
+}
+
+TEST_F(RunningExampleTest, SourceProvenanceRendering) {
+  std::string s = SourceProvenanceToString(prov_.sources[0]);
+  EXPECT_NE(s.find("read tweets.json"), std::string::npos);
+  EXPECT_NE(s.find("[contributing]"), std::string::npos);
+  EXPECT_NE(s.find("[influencing]"), std::string::npos);
+}
+
+TEST_F(RunningExampleTest, MentionTraceFollowsLowerBranch) {
+  // A different question: trace the jm result item's "Hello @ls @jm @ls"
+  // tweet (position 2 in jm's tweets), which arrived via the flatten of
+  // tweet 1's user_mentions (jm is mentioned there).
+  TreePattern pattern({
+      PatternNode::Descendant("id_str").Equals(Value::String("jm")),
+      PatternNode::Attr("tweets").With(
+          PatternNode::Attr("text").Equals(
+              Value::String("Hello @ls @jm @ls"))),
+  });
+  ASSERT_OK_AND_ASSIGN(ProvenanceQueryResult result,
+                       QueryStructuralProvenance(run_, pattern));
+  ASSERT_EQ(result.matched.size(), 1u);
+  // The contributing input is tweet 1 in the lower read (mention position
+  // 2 of its user_mentions is jm).
+  bool found_lower = false;
+  for (const SourceProvenance& source : result.sources) {
+    if (source.scan_oid != 4) continue;
+    found_lower = true;
+    ASSERT_EQ(source.items.size(), 1u);
+    const BacktraceTree& tree = source.items[0].tree;
+    EXPECT_TRUE(tree.Contains(P("user_mentions[2].id_str")));
+    EXPECT_TRUE(tree.Contains(P("text")));
+  }
+  EXPECT_TRUE(found_lower);
+}
+
+}  // namespace
+}  // namespace pebble

@@ -1,0 +1,244 @@
+// Property tests over the ten evaluation scenarios (Tab. 7): every scenario
+// must satisfy the core invariants of the system regardless of workload.
+//
+//  1. Transparency: capture modes never change pipeline results.
+//  2. Query liveness: the scenario's provenance question matches and
+//     backtraces without error.
+//  3. Lineage consistency: structural provenance item ids are a subset of
+//     Titian-style lineage ids (structural refines lineage, never widens).
+//  4. Tree validity: every backtraced tree only references attributes that
+//     exist in the source schema.
+//  5. Replay soundness: re-running the pipeline on only the lineage items
+//     reproduces every matched result item.
+//  6. Lazy equivalence: PROVision-style lazy querying returns the same
+//     provenance as the eager path.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/lazy.h"
+#include "baselines/titian.h"
+#include "core/query.h"
+#include "test_util.h"
+#include "workload/scenarios.h"
+
+namespace pebble {
+namespace {
+
+struct ScenarioCase {
+  std::string name;  // "T1".."D5"
+};
+
+class ScenarioPropertyTest : public ::testing::TestWithParam<ScenarioCase> {
+ protected:
+  static constexpr size_t kTweets = 400;
+  static constexpr size_t kRecords = 800;
+
+  /// Builds the scenario over the given source data (or freshly generated
+  /// data when `override_data` is null).
+  Result<Scenario> Build(
+      std::shared_ptr<const std::vector<ValuePtr>> override_data = nullptr) {
+    const std::string& name = GetParam().name;
+    int id = name[1] - '0';
+    if (name[0] == 'T') {
+      TwitterGenOptions options;
+      options.num_tweets = kTweets;
+      TwitterGenerator gen(options);
+      auto data = override_data != nullptr ? override_data : gen.Generate();
+      data_ = data;
+      schema_ = gen.Schema();
+      return MakeTwitterScenario(id, gen, data);
+    }
+    DblpGenOptions options;
+    options.num_records = kRecords;
+    DblpGenerator gen(options);
+    auto data = override_data != nullptr ? override_data : gen.Generate();
+    data_ = data;
+    schema_ = gen.Schema();
+    return MakeDblpScenario(id, gen, data);
+  }
+
+  std::shared_ptr<const std::vector<ValuePtr>> data_;
+  TypePtr schema_;
+};
+
+TEST_P(ScenarioPropertyTest, TransparencyAcrossCaptureModes) {
+  ASSERT_OK_AND_ASSIGN(Scenario sc, Build());
+  Executor plain(ExecOptions{CaptureMode::kOff, 4, 2});
+  ASSERT_OK_AND_ASSIGN(ExecutionResult off, plain.Run(sc.pipeline));
+  for (CaptureMode mode :
+       {CaptureMode::kLineage, CaptureMode::kStructural}) {
+    Executor exec(ExecOptions{mode, 4, 2});
+    ASSERT_OK_AND_ASSIGN(ExecutionResult on, exec.Run(sc.pipeline));
+    std::vector<ValuePtr> a = off.output.CollectValues();
+    std::vector<ValuePtr> b = on.output.CollectValues();
+    ASSERT_EQ(a.size(), b.size());
+    auto cmp = [](const ValuePtr& x, const ValuePtr& y) {
+      return x->Compare(*y) < 0;
+    };
+    std::sort(a.begin(), a.end(), cmp);
+    std::sort(b.begin(), b.end(), cmp);
+    for (size_t i = 0; i < a.size(); ++i) {
+      ASSERT_TRUE(a[i]->Equals(*b[i]));
+    }
+  }
+}
+
+TEST_P(ScenarioPropertyTest, QueryMatchesAndBacktraces) {
+  ASSERT_OK_AND_ASSIGN(Scenario sc, Build());
+  Executor exec(ExecOptions{CaptureMode::kStructural, 4, 2});
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, exec.Run(sc.pipeline));
+  ASSERT_OK_AND_ASSIGN(ProvenanceQueryResult prov,
+                       QueryStructuralProvenance(run, sc.query));
+  // Every scenario's question is chosen to hit the generated data.
+  EXPECT_FALSE(prov.matched.empty()) << sc.query.ToString();
+  size_t total_items = 0;
+  for (const SourceProvenance& source : prov.sources) {
+    total_items += source.items.size();
+  }
+  EXPECT_GT(total_items, 0u);
+}
+
+TEST_P(ScenarioPropertyTest, StructuralIdsSubsetOfLineage) {
+  ASSERT_OK_AND_ASSIGN(Scenario sc, Build());
+  Executor exec(ExecOptions{CaptureMode::kStructural, 4, 2});
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, exec.Run(sc.pipeline));
+  ASSERT_OK_AND_ASSIGN(ProvenanceQueryResult prov,
+                       QueryStructuralProvenance(run, sc.query));
+  std::vector<int64_t> matched_ids;
+  for (const BacktraceEntry& e : prov.matched) {
+    matched_ids.push_back(e.id);
+  }
+  LineageTracer tracer(run.provenance.get());
+  ASSERT_OK_AND_ASSIGN(std::vector<SourceLineage> lineage,
+                       tracer.Trace(matched_ids));
+  std::map<int, std::set<int64_t>> lineage_ids;
+  for (const SourceLineage& sl : lineage) {
+    lineage_ids[sl.scan_oid].insert(sl.ids.begin(), sl.ids.end());
+  }
+  for (const SourceProvenance& source : prov.sources) {
+    const std::set<int64_t>& allowed = lineage_ids[source.scan_oid];
+    for (const BacktraceEntry& entry : source.items) {
+      EXPECT_EQ(allowed.count(entry.id), 1u)
+          << "structural id " << entry.id << " not in lineage of scan "
+          << source.scan_oid;
+    }
+  }
+}
+
+TEST_P(ScenarioPropertyTest, BacktracedTreesReferenceSourceSchema) {
+  ASSERT_OK_AND_ASSIGN(Scenario sc, Build());
+  Executor exec(ExecOptions{CaptureMode::kStructural, 4, 2});
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, exec.Run(sc.pipeline));
+  ASSERT_OK_AND_ASSIGN(ProvenanceQueryResult prov,
+                       QueryStructuralProvenance(run, sc.query));
+  for (const SourceProvenance& source : prov.sources) {
+    for (const BacktraceEntry& entry : source.items) {
+      for (const BtNode& child : entry.tree.root().children) {
+        EXPECT_NE(schema_->FindField(child.key.attr), nullptr)
+            << "tree references unknown source attribute '" << child.key.attr
+            << "' in scenario " << sc.name;
+      }
+    }
+  }
+}
+
+TEST_P(ScenarioPropertyTest, LineageReplayReproducesMatchedItems) {
+  ASSERT_OK_AND_ASSIGN(Scenario sc, Build());
+  Executor exec(ExecOptions{CaptureMode::kStructural, 4, 2});
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, exec.Run(sc.pipeline));
+  ASSERT_OK_AND_ASSIGN(ProvenanceQueryResult prov,
+                       QueryStructuralProvenance(run, sc.query));
+  ASSERT_FALSE(prov.matched.empty());
+
+  // Collect matched output items and the lineage of their ids.
+  std::vector<ValuePtr> matched_values;
+  std::vector<int64_t> matched_ids;
+  for (const BacktraceEntry& e : prov.matched) {
+    matched_ids.push_back(e.id);
+    ValuePtr v = FindItemById(run.output, e.id);
+    ASSERT_NE(v, nullptr);
+    matched_values.push_back(v);
+  }
+  LineageTracer tracer(run.provenance.get());
+  ASSERT_OK_AND_ASSIGN(std::vector<SourceLineage> lineage,
+                       tracer.Trace(matched_ids));
+
+  // Restrict the input to the union of all scans' lineage items, keeping
+  // the original input order (collected lists are order-sensitive).
+  std::set<const Value*> keep;
+  for (const SourceLineage& sl : lineage) {
+    const Dataset& source = run.source_datasets.at(sl.scan_oid);
+    for (int64_t id : sl.ids) {
+      ValuePtr item = FindItemById(source, id);
+      ASSERT_NE(item, nullptr);
+      keep.insert(item.get());
+    }
+  }
+  std::vector<ValuePtr> subset_values;
+  for (const ValuePtr& item : *data_) {
+    if (keep.count(item.get()) > 0) {
+      subset_values.push_back(item);
+    }
+  }
+  ASSERT_FALSE(subset_values.empty());
+  auto subset = std::make_shared<std::vector<ValuePtr>>(subset_values);
+
+  // Re-run the same scenario over the subset; every matched item must be
+  // reproduced exactly.
+  ASSERT_OK_AND_ASSIGN(Scenario replay, Build(subset));
+  Executor replay_exec(ExecOptions{CaptureMode::kOff, 4, 2});
+  ASSERT_OK_AND_ASSIGN(ExecutionResult replay_run,
+                       replay_exec.Run(replay.pipeline));
+  std::vector<ValuePtr> replay_values = replay_run.output.CollectValues();
+  for (const ValuePtr& expected : matched_values) {
+    bool found = false;
+    for (const ValuePtr& actual : replay_values) {
+      if (expected->Equals(*actual)) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "matched item not reproduced by lineage replay: "
+                       << expected->ToString();
+  }
+}
+
+TEST_P(ScenarioPropertyTest, LazyEqualsEager) {
+  ASSERT_OK_AND_ASSIGN(Scenario sc, Build());
+  ExecOptions options{CaptureMode::kStructural, 4, 2};
+  Executor exec(options);
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, exec.Run(sc.pipeline));
+  ASSERT_OK_AND_ASSIGN(ProvenanceQueryResult eager,
+                       QueryStructuralProvenance(run, sc.query));
+
+  ExecOptions off = options;
+  off.capture = CaptureMode::kOff;
+  ASSERT_OK_AND_ASSIGN(LazyQueryResult lazy,
+                       LazyQueryStructuralProvenance(sc.pipeline, off,
+                                                     sc.query));
+  ASSERT_EQ(lazy.sources.size(), eager.sources.size());
+  for (size_t s = 0; s < lazy.sources.size(); ++s) {
+    ASSERT_EQ(lazy.sources[s].items.size(), eager.sources[s].items.size())
+        << "source " << lazy.sources[s].scan_oid;
+    for (size_t i = 0; i < lazy.sources[s].items.size(); ++i) {
+      EXPECT_TRUE(lazy.sources[s].items[i].tree ==
+                  eager.sources[s].items[i].tree);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenarios, ScenarioPropertyTest,
+    ::testing::Values(ScenarioCase{"T1"}, ScenarioCase{"T2"},
+                      ScenarioCase{"T3"}, ScenarioCase{"T4"},
+                      ScenarioCase{"T5"}, ScenarioCase{"D1"},
+                      ScenarioCase{"D2"}, ScenarioCase{"D3"},
+                      ScenarioCase{"D4"}, ScenarioCase{"D5"}),
+    [](const ::testing::TestParamInfo<ScenarioCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace pebble

@@ -1,0 +1,83 @@
+// Tests for NDJSON file I/O and file-backed scans.
+
+#include "nested/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "engine/executor.h"
+#include "test_util.h"
+#include "workload/running_example.h"
+
+namespace pebble {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(IoTest, WriteReadRoundTrip) {
+  ASSERT_OK_AND_ASSIGN(RunningExample ex, MakeRunningExample());
+  std::string path = TempPath("tweets_roundtrip.ndjson");
+  ASSERT_OK(WriteJsonLinesFile(path, *ex.tweets));
+  ASSERT_OK_AND_ASSIGN(std::vector<ValuePtr> loaded,
+                       ReadJsonLinesFile(path));
+  ASSERT_EQ(loaded.size(), ex.tweets->size());
+  for (size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_TRUE(loaded[i]->Equals(*(*ex.tweets)[i]));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, ReadMissingFileIsIOError) {
+  EXPECT_EQ(ReadJsonLinesFile("/nonexistent/file.ndjson").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(IoTest, ReadMalformedFileFails) {
+  std::string path = TempPath("malformed.ndjson");
+  std::ofstream(path) << "{\"a\":1}\n{broken\n";
+  EXPECT_FALSE(ReadJsonLinesFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ScanJsonFileTest, RunsPipelineFromFile) {
+  // Write the Tab. 1 tweets to disk and run the Fig. 1 filter branch over
+  // the file, schema inferred.
+  ASSERT_OK_AND_ASSIGN(RunningExample ex, MakeRunningExample());
+  std::string path = TempPath("tweets_scan.ndjson");
+  ASSERT_OK(WriteJsonLinesFile(path, *ex.tweets));
+
+  PipelineBuilder b;
+  ASSERT_OK_AND_ASSIGN(int scan, b.ScanJsonFile(path));
+  int f = b.Filter(scan, Expr::Eq(Expr::Col("retweet_cnt"), Expr::LitInt(0)));
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(f));
+  Executor executor(ExecOptions{CaptureMode::kStructural, 2, 1});
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, executor.Run(p));
+  EXPECT_EQ(run.output.NumRows(), 4u);  // tweet 5 has retweet_cnt 1
+  std::remove(path.c_str());
+}
+
+TEST(ScanJsonFileTest, ExplicitSchemaValidatesRecords) {
+  std::string path = TempPath("typed_scan.ndjson");
+  std::ofstream(path) << "{\"a\":1}\n{\"a\":\"oops\"}\n";
+  PipelineBuilder b;
+  TypePtr schema = DataType::Struct({{"a", DataType::Int()}});
+  Result<int> scan = b.ScanJsonFile(path, schema);
+  EXPECT_EQ(scan.status().code(), StatusCode::kTypeError);
+  std::remove(path.c_str());
+}
+
+TEST(ScanJsonFileTest, EmptyFileWithoutSchemaRejected) {
+  std::string path = TempPath("empty_scan.ndjson");
+  std::ofstream(path) << "";
+  PipelineBuilder b;
+  EXPECT_EQ(b.ScanJsonFile(path).status().code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pebble

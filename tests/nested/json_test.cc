@@ -1,0 +1,114 @@
+#include "nested/json.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace pebble {
+namespace {
+
+TEST(JsonTest, ParsePrimitives) {
+  ASSERT_OK_AND_ASSIGN(ValuePtr v, ParseJson("42"));
+  EXPECT_EQ(v->int_value(), 42);
+  ASSERT_OK_AND_ASSIGN(v, ParseJson("-3"));
+  EXPECT_EQ(v->int_value(), -3);
+  ASSERT_OK_AND_ASSIGN(v, ParseJson("2.5"));
+  EXPECT_EQ(v->double_value(), 2.5);
+  ASSERT_OK_AND_ASSIGN(v, ParseJson("1e3"));
+  EXPECT_EQ(v->double_value(), 1000.0);
+  ASSERT_OK_AND_ASSIGN(v, ParseJson("true"));
+  EXPECT_TRUE(v->bool_value());
+  ASSERT_OK_AND_ASSIGN(v, ParseJson("false"));
+  EXPECT_FALSE(v->bool_value());
+  ASSERT_OK_AND_ASSIGN(v, ParseJson("null"));
+  EXPECT_TRUE(v->is_null());
+  ASSERT_OK_AND_ASSIGN(v, ParseJson("\"hi\""));
+  EXPECT_EQ(v->string_value(), "hi");
+}
+
+TEST(JsonTest, ParseNestedDocument) {
+  ASSERT_OK_AND_ASSIGN(
+      ValuePtr v,
+      ParseJson(R"({"user":{"id_str":"lp"},"mentions":[{"id_str":"jm"}],)"
+                R"("retweet_cnt":0})"));
+  ASSERT_TRUE(v->is_struct());
+  EXPECT_EQ(v->FindField("user")->FindField("id_str")->string_value(), "lp");
+  EXPECT_EQ(v->FindField("mentions")->num_elements(), 1u);
+  EXPECT_EQ(v->FindField("retweet_cnt")->int_value(), 0);
+}
+
+TEST(JsonTest, ParsePreservesKeyOrder) {
+  ASSERT_OK_AND_ASSIGN(ValuePtr v, ParseJson(R"({"z":1,"a":2})"));
+  EXPECT_EQ(v->fields()[0].name, "z");
+  EXPECT_EQ(v->fields()[1].name, "a");
+}
+
+TEST(JsonTest, ParseEscapes) {
+  ASSERT_OK_AND_ASSIGN(ValuePtr v,
+                       ParseJson(R"("a\"b\\c\nd\teA")"));
+  EXPECT_EQ(v->string_value(), "a\"b\\c\nd\teA");
+}
+
+TEST(JsonTest, ParseUnicodeEscapeMultibyte) {
+  ASSERT_OK_AND_ASSIGN(ValuePtr v, ParseJson(R"("é€")"));
+  EXPECT_EQ(v->string_value(), "\xC3\xA9\xE2\x82\xAC");  // é and €
+}
+
+TEST(JsonTest, ParseWhitespaceTolerant) {
+  ASSERT_OK_AND_ASSIGN(ValuePtr v,
+                       ParseJson(" { \"a\" : [ 1 , 2 ] , \"b\" : { } } "));
+  EXPECT_EQ(v->FindField("a")->num_elements(), 2u);
+  EXPECT_EQ(v->FindField("b")->num_fields(), 0u);
+}
+
+TEST(JsonTest, ParseEmptyContainers) {
+  ASSERT_OK_AND_ASSIGN(ValuePtr v, ParseJson("[]"));
+  EXPECT_EQ(v->num_elements(), 0u);
+  ASSERT_OK_AND_ASSIGN(v, ParseJson("{}"));
+  EXPECT_EQ(v->num_fields(), 0u);
+}
+
+TEST(JsonTest, ParseErrors) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseJson("tru").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok());  // trailing content
+  EXPECT_FALSE(ParseJson("{\"a\":1,}").ok());
+  EXPECT_FALSE(ParseJson("\"\\u00g1\"").ok());
+}
+
+TEST(JsonTest, RoundTripThroughToString) {
+  const char* doc =
+      R"({"text":"Hello World","user":{"id_str":"lp"},"ms":[{"x":1},{"x":2}],"f":1.5,"b":true,"n":null})";
+  ASSERT_OK_AND_ASSIGN(ValuePtr v, ParseJson(doc));
+  ASSERT_OK_AND_ASSIGN(ValuePtr again, ParseJson(v->ToString()));
+  EXPECT_TRUE(v->Equals(*again));
+}
+
+TEST(JsonTest, ParseJsonLines) {
+  ASSERT_OK_AND_ASSIGN(std::vector<ValuePtr> values,
+                       ParseJsonLines("{\"a\":1}\n\n{\"a\":2}\n"));
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[1]->FindField("a")->int_value(), 2);
+}
+
+TEST(JsonTest, JsonLinesRoundTrip) {
+  ASSERT_OK_AND_ASSIGN(std::vector<ValuePtr> values,
+                       ParseJsonLines("{\"a\":1}\n{\"a\":[true,null]}"));
+  std::string text = ToJsonLines(values);
+  ASSERT_OK_AND_ASSIGN(std::vector<ValuePtr> again, ParseJsonLines(text));
+  ASSERT_EQ(again.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_TRUE(values[i]->Equals(*again[i]));
+  }
+}
+
+TEST(JsonTest, ParseJsonLinesErrorPropagates) {
+  EXPECT_FALSE(ParseJsonLines("{\"a\":1}\n{bad}\n").ok());
+}
+
+}  // namespace
+}  // namespace pebble

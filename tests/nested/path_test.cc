@@ -1,0 +1,193 @@
+#include "nested/path.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace pebble {
+namespace {
+
+using testing::I;
+using testing::S;
+
+ValuePtr SampleItem() {
+  // d102 of the paper (Fig. 2 / Ex. 4.4).
+  return Value::Struct({
+      {"user", Value::Struct({{"id_str", S("lp")}, {"name", S("Lisa Paul")}})},
+      {"tweets", Value::Bag({
+                     Value::Struct({{"text", S("Hello @ls @jm @ls")}}),
+                     Value::Struct({{"text", S("Hello World")}}),
+                     Value::Struct({{"text", S("Hello World")}}),
+                     Value::Struct({{"text", S("Hello @lp")}}),
+                 })},
+  });
+}
+
+TEST(PathTest, ParseSimple) {
+  ASSERT_OK_AND_ASSIGN(Path p, Path::Parse("user.id_str"));
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.step(0).attr, "user");
+  EXPECT_FALSE(p.step(0).has_pos());
+  EXPECT_EQ(p.ToString(), "user.id_str");
+}
+
+TEST(PathTest, ParsePositional) {
+  ASSERT_OK_AND_ASSIGN(Path p, Path::Parse("user_mentions[1].id_str"));
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.step(0).pos, 1);
+  EXPECT_EQ(p.ToString(), "user_mentions[1].id_str");
+}
+
+TEST(PathTest, ParsePlaceholder) {
+  ASSERT_OK_AND_ASSIGN(Path p, Path::Parse("tweets[pos].text"));
+  EXPECT_TRUE(p.step(0).is_placeholder());
+  EXPECT_EQ(p.ToString(), "tweets[pos].text");
+}
+
+TEST(PathTest, ParseDottedPositionSpelling) {
+  // "a.[2].b" merges the position into the previous step.
+  ASSERT_OK_AND_ASSIGN(Path p, Path::Parse("tweets.[2].text"));
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.step(0).pos, 2);
+}
+
+TEST(PathTest, ParseEmptyIsEmptyPath) {
+  ASSERT_OK_AND_ASSIGN(Path p, Path::Parse(""));
+  EXPECT_TRUE(p.empty());
+}
+
+TEST(PathTest, ParseErrors) {
+  EXPECT_FALSE(Path::Parse("a[").ok());
+  EXPECT_FALSE(Path::Parse("a[]").ok());
+  EXPECT_FALSE(Path::Parse("a[x]").ok());
+  EXPECT_FALSE(Path::Parse("a[0]").ok());  // positions are 1-based
+  EXPECT_FALSE(Path::Parse("a.").ok());
+  EXPECT_FALSE(Path::Parse("a..b").ok());
+}
+
+TEST(PathTest, RoundTripParseToString) {
+  for (const char* text :
+       {"a", "a.b.c", "a[3]", "a[pos].b", "x[1].y[2].z"}) {
+    ASSERT_OK_AND_ASSIGN(Path p, Path::Parse(text));
+    EXPECT_EQ(p.ToString(), text);
+  }
+}
+
+TEST(PathTest, EvaluateAttribute) {
+  // Ex. 4.4: d102.tweets evaluates to a list of four data items.
+  ValuePtr item = SampleItem();
+  ASSERT_OK_AND_ASSIGN(Path p, Path::Parse("tweets"));
+  ASSERT_OK_AND_ASSIGN(ValuePtr v, p.Evaluate(*item));
+  EXPECT_EQ(v->num_elements(), 4u);
+}
+
+TEST(PathTest, EvaluatePositionIsOneBased) {
+  // Ex. 4.4: tweets[2].text points to the first "Hello World".
+  ValuePtr item = SampleItem();
+  ASSERT_OK_AND_ASSIGN(Path p, Path::Parse("tweets[2].text"));
+  ASSERT_OK_AND_ASSIGN(ValuePtr v, p.Evaluate(*item));
+  EXPECT_EQ(v->string_value(), "Hello World");
+}
+
+TEST(PathTest, EvaluateErrors) {
+  ValuePtr item = SampleItem();
+  EXPECT_EQ(std::move(Path::Parse("nope")).ValueOrDie().Evaluate(*item)
+                .status().code(),
+            StatusCode::kKeyError);
+  EXPECT_EQ(std::move(Path::Parse("tweets[9]")).ValueOrDie().Evaluate(*item)
+                .status().code(),
+            StatusCode::kIndexError);
+  EXPECT_EQ(std::move(Path::Parse("user[1]")).ValueOrDie().Evaluate(*item)
+                .status().code(),
+            StatusCode::kTypeError);
+  EXPECT_EQ(std::move(Path::Parse("user.id_str.deeper")).ValueOrDie()
+                .Evaluate(*item).status().code(),
+            StatusCode::kTypeError);
+  EXPECT_EQ(std::move(Path::Parse("tweets[pos]")).ValueOrDie()
+                .Evaluate(*item).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PathTest, EmptyPathEvaluatesToNull) {
+  ValuePtr item = SampleItem();
+  ASSERT_OK_AND_ASSIGN(ValuePtr v, Path().Evaluate(*item));
+  EXPECT_TRUE(v->is_null());
+}
+
+TEST(PathTest, PrefixOperations) {
+  ASSERT_OK_AND_ASSIGN(Path p, Path::Parse("a.b.c"));
+  ASSERT_OK_AND_ASSIGN(Path prefix, Path::Parse("a.b"));
+  ASSERT_OK_AND_ASSIGN(Path other, Path::Parse("a.x"));
+  EXPECT_TRUE(p.HasPrefix(prefix));
+  EXPECT_TRUE(p.HasPrefix(Path()));
+  EXPECT_FALSE(p.HasPrefix(other));
+  EXPECT_FALSE(prefix.HasPrefix(p));
+  EXPECT_EQ(p.SuffixAfter(prefix).ToString(), "c");
+  EXPECT_EQ(p.Parent().ToString(), "a.b");
+  EXPECT_EQ(Path().Parent().ToString(), "");
+}
+
+TEST(PathTest, ChildAndConcat) {
+  Path p = Path::Attr("a").Child(PathStep{"b", 2});
+  EXPECT_EQ(p.ToString(), "a.b[2]");
+  ASSERT_OK_AND_ASSIGN(Path suffix, Path::Parse("c.d"));
+  EXPECT_EQ(p.Concat(suffix).ToString(), "a.b[2].c.d");
+}
+
+TEST(PathTest, PositionHelpers) {
+  ASSERT_OK_AND_ASSIGN(Path p, Path::Parse("a[3].b[7].c"));
+  EXPECT_TRUE(p.HasPositions());
+  EXPECT_EQ(p.WithPosPlaceholders().ToString(), "a[pos].b[pos].c");
+  EXPECT_EQ(p.WithoutPositions().ToString(), "a.b.c");
+  ASSERT_OK_AND_ASSIGN(Path ph, Path::Parse("a[pos].b[pos]"));
+  // Only the first placeholder is replaced.
+  EXPECT_EQ(ph.WithPlaceholderReplaced(4).ToString(), "a[4].b[pos]");
+}
+
+TEST(PathTest, ExistsInType) {
+  TypePtr t = DataType::Struct({
+      {"user", DataType::Struct({{"id_str", DataType::String()}})},
+      {"tweets",
+       DataType::Bag(DataType::Struct({{"text", DataType::String()}}))},
+  });
+  auto exists = [&](const char* s) {
+    return std::move(Path::Parse(s)).ValueOrDie().ExistsInType(*t);
+  };
+  EXPECT_TRUE(exists("user.id_str"));
+  EXPECT_TRUE(exists("tweets[2].text"));
+  EXPECT_TRUE(exists("tweets[pos].text"));
+  EXPECT_FALSE(exists("user.nope"));
+  EXPECT_FALSE(exists("user[1]"));        // positional on struct
+  EXPECT_FALSE(exists("tweets.text"));    // missing positional step? no:
+  // tweets.text: step tweets without pos leads to bag; then struct access
+  // on a bag type fails.
+}
+
+TEST(PathTest, ResolveType) {
+  TypePtr t = DataType::Struct({
+      {"tweets",
+       DataType::Bag(DataType::Struct({{"text", DataType::String()}}))},
+  });
+  ASSERT_OK_AND_ASSIGN(Path p, Path::Parse("tweets[pos].text"));
+  ASSERT_OK_AND_ASSIGN(TypePtr rt, ResolveType(t, p));
+  EXPECT_EQ(rt->kind(), TypeKind::kString);
+  ASSERT_OK_AND_ASSIGN(Path bag_path, Path::Parse("tweets"));
+  ASSERT_OK_AND_ASSIGN(TypePtr bag_type, ResolveType(t, bag_path));
+  EXPECT_EQ(bag_type->kind(), TypeKind::kBag);
+  ASSERT_OK_AND_ASSIGN(Path bad, Path::Parse("missing"));
+  EXPECT_FALSE(ResolveType(t, bad).ok());
+}
+
+TEST(PathTest, OrderingAndHash) {
+  ASSERT_OK_AND_ASSIGN(Path a, Path::Parse("a.b"));
+  ASSERT_OK_AND_ASSIGN(Path b, Path::Parse("a.c"));
+  ASSERT_OK_AND_ASSIGN(Path a2, Path::Parse("a.b"));
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+  EXPECT_TRUE(a == a2);
+  EXPECT_EQ(a.Hash(), a2.Hash());
+  EXPECT_NE(a.Hash(), b.Hash());
+}
+
+}  // namespace
+}  // namespace pebble

@@ -1,0 +1,86 @@
+#include "nested/type.h"
+
+#include <gtest/gtest.h>
+
+namespace pebble {
+namespace {
+
+TEST(TypeTest, PrimitivesAreInterned) {
+  EXPECT_EQ(DataType::Int().get(), DataType::Int().get());
+  EXPECT_EQ(DataType::String().get(), DataType::String().get());
+}
+
+TEST(TypeTest, KindPredicates) {
+  EXPECT_TRUE(DataType::Int()->is_primitive());
+  EXPECT_FALSE(DataType::Bag(DataType::Int())->is_primitive());
+  EXPECT_TRUE(DataType::Bag(DataType::Int())->is_collection());
+  EXPECT_TRUE(DataType::Set(DataType::Int())->is_collection());
+  EXPECT_FALSE(DataType::Struct({})->is_collection());
+}
+
+TEST(TypeTest, StructFieldAccess) {
+  TypePtr t = DataType::Struct({
+      {"a", DataType::Int()},
+      {"b", DataType::String()},
+  });
+  ASSERT_NE(t->FindField("a"), nullptr);
+  EXPECT_EQ(t->FindField("a")->type->kind(), TypeKind::kInt);
+  EXPECT_EQ(t->FindField("zzz"), nullptr);
+  EXPECT_EQ(t->FieldIndex("b"), 1);
+  EXPECT_EQ(t->FieldIndex("zzz"), -1);
+}
+
+TEST(TypeTest, DeepEquality) {
+  TypePtr a = DataType::Bag(DataType::Struct({{"x", DataType::Int()}}));
+  TypePtr b = DataType::Bag(DataType::Struct({{"x", DataType::Int()}}));
+  TypePtr c = DataType::Bag(DataType::Struct({{"x", DataType::Double()}}));
+  EXPECT_TRUE(a->Equals(*b));
+  EXPECT_FALSE(a->Equals(*c));
+  EXPECT_TRUE(*a == *b);
+}
+
+TEST(TypeTest, EqualityIsFieldOrderSensitive) {
+  TypePtr a = DataType::Struct({{"x", DataType::Int()}, {"y", DataType::Int()}});
+  TypePtr b = DataType::Struct({{"y", DataType::Int()}, {"x", DataType::Int()}});
+  EXPECT_FALSE(a->Equals(*b));
+}
+
+TEST(TypeTest, BagAndSetDiffer) {
+  EXPECT_FALSE(
+      DataType::Bag(DataType::Int())->Equals(*DataType::Set(DataType::Int())));
+}
+
+TEST(TypeTest, NullCompatibleWithAnything) {
+  TypePtr bag_of_null = DataType::Bag(DataType::Null());
+  TypePtr bag_of_int = DataType::Bag(DataType::Int());
+  EXPECT_TRUE(bag_of_null->CompatibleWith(*bag_of_int));
+  EXPECT_TRUE(bag_of_int->CompatibleWith(*bag_of_null));
+  EXPECT_FALSE(bag_of_int->Equals(*bag_of_null));
+}
+
+TEST(TypeTest, CompatibilityIsStillStructuralOtherwise) {
+  TypePtr a = DataType::Struct({{"x", DataType::Int()}});
+  TypePtr b = DataType::Struct({{"x", DataType::String()}});
+  EXPECT_FALSE(a->CompatibleWith(*b));
+  TypePtr c = DataType::Struct({{"x", DataType::Null()}});
+  EXPECT_TRUE(a->CompatibleWith(*c));
+}
+
+TEST(TypeTest, ToStringMatchesPaperNotation) {
+  // Ex. 4.2 result type shape.
+  TypePtr t = DataType::Bag(DataType::Struct({
+      {"user", DataType::Struct({{"id_str", DataType::String()},
+                                 {"name", DataType::String()}})},
+      {"tweets",
+       DataType::Bag(DataType::Struct({{"text", DataType::String()}}))},
+  }));
+  EXPECT_EQ(t->ToString(),
+            "{{<user:<id_str:String,name:String>,tweets:{{<text:String>}}>}}");
+}
+
+TEST(TypeTest, SetToString) {
+  EXPECT_EQ(DataType::Set(DataType::Int())->ToString(), "{Int}");
+}
+
+}  // namespace
+}  // namespace pebble

@@ -1,0 +1,163 @@
+#include "nested/value.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace pebble {
+namespace {
+
+using testing::B;
+using testing::D;
+using testing::I;
+using testing::S;
+
+TEST(ValueTest, NullSingleton) {
+  EXPECT_TRUE(Value::Null()->is_null());
+  EXPECT_EQ(Value::Null().get(), Value::Null().get());
+}
+
+TEST(ValueTest, Constants) {
+  EXPECT_EQ(I(7)->int_value(), 7);
+  EXPECT_EQ(D(1.5)->double_value(), 1.5);
+  EXPECT_EQ(S("x")->string_value(), "x");
+  EXPECT_TRUE(B(true)->bool_value());
+}
+
+TEST(ValueTest, AsDoubleCoversIntAndDouble) {
+  EXPECT_EQ(I(4)->AsDouble(), 4.0);
+  EXPECT_EQ(D(4.5)->AsDouble(), 4.5);
+}
+
+TEST(ValueTest, StructFieldLookup) {
+  ValuePtr item = Value::Struct({{"a", I(1)}, {"b", S("two")}});
+  EXPECT_TRUE(item->is_struct());
+  EXPECT_EQ(item->num_fields(), 2u);
+  ASSERT_NE(item->FindField("b"), nullptr);
+  EXPECT_EQ(item->FindField("b")->string_value(), "two");
+  EXPECT_EQ(item->FindField("missing"), nullptr);
+}
+
+TEST(ValueTest, StructPreservesFieldOrder) {
+  ValuePtr item = Value::Struct({{"z", I(1)}, {"a", I(2)}});
+  EXPECT_EQ(item->fields()[0].name, "z");
+  EXPECT_EQ(item->fields()[1].name, "a");
+}
+
+TEST(ValueTest, BagKeepsDuplicatesAndOrder) {
+  ValuePtr bag = Value::Bag({I(1), I(2), I(1)});
+  EXPECT_EQ(bag->num_elements(), 3u);
+  EXPECT_EQ(bag->elements()[2]->int_value(), 1);
+}
+
+TEST(ValueTest, SetRemovesDuplicatesKeepingFirst) {
+  ValuePtr set = Value::Set({I(1), I(2), I(1), I(3), I(2)});
+  ASSERT_EQ(set->num_elements(), 3u);
+  EXPECT_EQ(set->elements()[0]->int_value(), 1);
+  EXPECT_EQ(set->elements()[1]->int_value(), 2);
+  EXPECT_EQ(set->elements()[2]->int_value(), 3);
+}
+
+TEST(ValueTest, SetDeepDuplicateDetection) {
+  ValuePtr a = Value::Struct({{"x", I(1)}});
+  ValuePtr b = Value::Struct({{"x", I(1)}});  // structurally equal
+  ValuePtr set = Value::Set({a, b});
+  EXPECT_EQ(set->num_elements(), 1u);
+}
+
+TEST(ValueTest, DeepEquality) {
+  ValuePtr a = Value::Struct(
+      {{"u", Value::Struct({{"id", S("x")}})}, {"n", Value::Bag({I(1)})}});
+  ValuePtr b = Value::Struct(
+      {{"u", Value::Struct({{"id", S("x")}})}, {"n", Value::Bag({I(1)})}});
+  EXPECT_TRUE(a->Equals(*b));
+  EXPECT_EQ(a->Hash(), b->Hash());
+}
+
+TEST(ValueTest, InequalityByKind) {
+  EXPECT_FALSE(I(1)->Equals(*D(1.0)));
+  EXPECT_FALSE(I(0)->Equals(*Value::Null()));
+}
+
+TEST(ValueTest, InequalityByFieldName) {
+  ValuePtr a = Value::Struct({{"a", I(1)}});
+  ValuePtr b = Value::Struct({{"b", I(1)}});
+  EXPECT_FALSE(a->Equals(*b));
+}
+
+TEST(ValueTest, InequalityByNestedElement) {
+  ValuePtr a = Value::Bag({Value::Bag({I(1)})});
+  ValuePtr b = Value::Bag({Value::Bag({I(2)})});
+  EXPECT_FALSE(a->Equals(*b));
+}
+
+TEST(ValueTest, CompareTotalOrder) {
+  EXPECT_LT(I(1)->Compare(*I(2)), 0);
+  EXPECT_GT(S("b")->Compare(*S("a")), 0);
+  EXPECT_EQ(I(5)->Compare(*I(5)), 0);
+  // Cross-kind: ordered by kind rank, consistent both directions.
+  int ab = I(1)->Compare(*S("a"));
+  int ba = S("a")->Compare(*I(1));
+  EXPECT_EQ(ab, -ba);
+  EXPECT_NE(ab, 0);
+}
+
+TEST(ValueTest, CompareCollectionsLexicographic) {
+  ValuePtr a = Value::Bag({I(1), I(2)});
+  ValuePtr b = Value::Bag({I(1), I(3)});
+  ValuePtr c = Value::Bag({I(1)});
+  EXPECT_LT(a->Compare(*b), 0);
+  EXPECT_GT(a->Compare(*c), 0);
+}
+
+TEST(ValueTest, InferTypePrimitives) {
+  EXPECT_EQ(I(1)->InferType()->kind(), TypeKind::kInt);
+  EXPECT_EQ(D(1)->InferType()->kind(), TypeKind::kDouble);
+  EXPECT_EQ(S("")->InferType()->kind(), TypeKind::kString);
+  EXPECT_EQ(B(true)->InferType()->kind(), TypeKind::kBool);
+  EXPECT_EQ(Value::Null()->InferType()->kind(), TypeKind::kNull);
+}
+
+TEST(ValueTest, InferTypeNested) {
+  ValuePtr v = Value::Struct({{"xs", Value::Bag({Value::Struct({{"a", I(1)}})})}});
+  TypePtr t = v->InferType();
+  ASSERT_EQ(t->kind(), TypeKind::kStruct);
+  const FieldType* xs = t->FindField("xs");
+  ASSERT_NE(xs, nullptr);
+  ASSERT_EQ(xs->type->kind(), TypeKind::kBag);
+  EXPECT_EQ(xs->type->element()->kind(), TypeKind::kStruct);
+}
+
+TEST(ValueTest, InferTypeEmptyCollectionIsNullElement) {
+  EXPECT_EQ(Value::Bag({})->InferType()->element()->kind(), TypeKind::kNull);
+}
+
+TEST(ValueTest, ToStringIsJson) {
+  ValuePtr v = Value::Struct({
+      {"s", S("a\"b")},
+      {"n", I(3)},
+      {"xs", Value::Bag({B(false), Value::Null()})},
+  });
+  EXPECT_EQ(v->ToString(), R"({"s":"a\"b","n":3,"xs":[false,null]})");
+}
+
+TEST(ValueTest, ToStringEscapesControlCharacters) {
+  EXPECT_EQ(S("a\nb\tc")->ToString(), R"("a\nb\tc")");
+}
+
+TEST(ValueTest, ApproxBytesGrowsWithContent) {
+  ValuePtr small = Value::Struct({{"a", I(1)}});
+  ValuePtr big =
+      Value::Struct({{"a", I(1)}, {"text", S(std::string(1000, 'x'))}});
+  EXPECT_GT(big->ApproxBytes(), small->ApproxBytes() + 900);
+}
+
+TEST(ValueTest, HashDiffersForDifferentValues) {
+  // Not guaranteed in theory, but catastrophic-collision regression guard.
+  EXPECT_NE(I(1)->Hash(), I(2)->Hash());
+  EXPECT_NE(S("a")->Hash(), S("b")->Hash());
+  EXPECT_NE(Value::Bag({I(1)})->Hash(), Value::Set({I(1)})->Hash());
+}
+
+}  // namespace
+}  // namespace pebble

@@ -1,0 +1,51 @@
+// Shared helpers for the pebble test suite.
+
+#ifndef PEBBLE_TESTS_TEST_UTIL_H_
+#define PEBBLE_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nested/value.h"
+
+// Asserts that a Status-returning expression is OK.
+#define ASSERT_OK(expr)                                 \
+  do {                                                  \
+    ::pebble::Status _st = (expr);                      \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();            \
+  } while (false)
+
+#define EXPECT_OK(expr)                                 \
+  do {                                                  \
+    ::pebble::Status _st = (expr);                      \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();            \
+  } while (false)
+
+// Asserts a Result is OK and assigns its value.
+#define ASSERT_OK_AND_ASSIGN(lhs, rexpr)                        \
+  ASSERT_OK_AND_ASSIGN_IMPL(PEBBLE_CONCAT(_r_, __LINE__), lhs, rexpr)
+
+#define ASSERT_OK_AND_ASSIGN_IMPL(r, lhs, rexpr)                \
+  auto r = (rexpr);                                             \
+  ASSERT_TRUE(r.ok()) << r.status().ToString();                 \
+  lhs = std::move(r).value()
+
+namespace pebble::testing {
+
+/// Quick struct builder: MakeItem({{"a", Value::Int(1)}}).
+inline ValuePtr MakeItem(std::vector<Field> fields) {
+  return Value::Struct(std::move(fields));
+}
+
+/// Shorthand constants.
+inline ValuePtr I(int64_t v) { return Value::Int(v); }
+inline ValuePtr D(double v) { return Value::Double(v); }
+inline ValuePtr S(std::string v) { return Value::String(std::move(v)); }
+inline ValuePtr B(bool v) { return Value::Bool(v); }
+
+}  // namespace pebble::testing
+
+#endif  // PEBBLE_TESTS_TEST_UTIL_H_

@@ -1,0 +1,108 @@
+// Tests for the GDPR auditing use-case (Sec. 7.3.5).
+
+#include "usecases/audit.h"
+
+#include <gtest/gtest.h>
+
+#include "core/query.h"
+#include "test_util.h"
+#include "workload/running_example.h"
+
+namespace pebble {
+namespace {
+
+Path P(const std::string& s) { return std::move(Path::Parse(s)).ValueOrDie(); }
+
+TEST(AuditTest, HandBuiltReport) {
+  SourceProvenance structural;
+  structural.scan_oid = 1;
+  BacktraceEntry entry{5, {}};
+  entry.tree.Ensure(P("name"), true);
+  entry.tree.Ensure(P("address"), true);
+  entry.tree.Ensure(P("year"), false);  // influencing only
+  structural.items.push_back(std::move(entry));
+
+  SourceLineage lineage;
+  lineage.scan_oid = 1;
+  lineage.ids = {5, 6, 7};  // lineage over-reports two extra items
+
+  AuditReport report = BuildAuditReport(structural, lineage,
+                                        /*num_attributes=*/10);
+  ASSERT_EQ(report.items.size(), 1u);
+  EXPECT_EQ(report.items[0].id, 5);
+  EXPECT_EQ(report.items[0].leaked_attributes,
+            (std::vector<std::string>{"name", "address"}));
+  EXPECT_EQ(report.items[0].influenced_attributes,
+            (std::vector<std::string>{"year"}));
+  // Lineage must report 3 items x 10 attributes; Pebble reports 2 values.
+  EXPECT_EQ(report.lineage_reported_values, 30u);
+  EXPECT_EQ(report.pebble_leaked_values, 2u);
+  EXPECT_EQ(report.influencing_values, 1u);
+  std::string s = report.ToString();
+  EXPECT_NE(s.find("reconstruction risk"), std::string::npos);
+}
+
+TEST(AuditTest, InnerNodesSummarizedByLeaves) {
+  SourceProvenance structural;
+  structural.scan_oid = 1;
+  BacktraceEntry entry{5, {}};
+  entry.tree.Ensure(P("user.id_str"), true);
+  structural.items.push_back(std::move(entry));
+  AuditReport report = BuildAuditReport(structural, SourceLineage{}, 4);
+  // Only the leaf path is reported, not the intermediate "user".
+  EXPECT_EQ(report.items[0].leaked_attributes,
+            (std::vector<std::string>{"user.id_str"}));
+}
+
+TEST(AuditTest, RunningExampleAudit) {
+  // Audit the running example's leak: the provenance question's result
+  // exposes text and user.id_str; name and retweet_cnt were accessed but
+  // not exposed (reconstruction-attack candidates).
+  ASSERT_OK_AND_ASSIGN(RunningExample ex, MakeRunningExample());
+  Executor exec(ExecOptions{CaptureMode::kStructural, 2, 2});
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, exec.Run(ex.pipeline));
+  ASSERT_OK_AND_ASSIGN(ProvenanceQueryResult prov,
+                       QueryStructuralProvenance(run, ex.query));
+
+  std::vector<int64_t> matched_ids;
+  for (const BacktraceEntry& e : prov.matched) {
+    matched_ids.push_back(e.id);
+  }
+  LineageTracer tracer(run.provenance.get());
+  ASSERT_OK_AND_ASSIGN(std::vector<SourceLineage> lineage,
+                       tracer.Trace(matched_ids));
+
+  ASSERT_EQ(prov.sources.size(), 1u);
+  const SourceLineage* upper_lineage = nullptr;
+  for (const SourceLineage& sl : lineage) {
+    if (sl.scan_oid == prov.sources[0].scan_oid) upper_lineage = &sl;
+  }
+  ASSERT_NE(upper_lineage, nullptr);
+  AuditReport report =
+      BuildAuditReport(prov.sources[0], *upper_lineage,
+                       ex.schema->fields().size());
+
+  ASSERT_EQ(report.items.size(), 2u);
+  for (const AuditItem& item : report.items) {
+    EXPECT_NE(std::find(item.leaked_attributes.begin(),
+                        item.leaked_attributes.end(), "text"),
+              item.leaked_attributes.end());
+    EXPECT_NE(std::find(item.leaked_attributes.begin(),
+                        item.leaked_attributes.end(), "user.id_str"),
+              item.leaked_attributes.end());
+    EXPECT_NE(std::find(item.influenced_attributes.begin(),
+                        item.influenced_attributes.end(), "user.name"),
+              item.influenced_attributes.end());
+    EXPECT_NE(std::find(item.influenced_attributes.begin(),
+                        item.influenced_attributes.end(), "retweet_cnt"),
+              item.influenced_attributes.end());
+  }
+  // Lineage over-reports: 3 items x 4 attributes = 12 values vs Pebble's 4
+  // actually leaked values.
+  EXPECT_EQ(report.lineage_reported_values, 12u);
+  EXPECT_EQ(report.pebble_leaked_values, 4u);
+  EXPECT_EQ(report.influencing_values, 4u);
+}
+
+}  // namespace
+}  // namespace pebble

@@ -1,0 +1,163 @@
+// Tests for the data-usage pattern analysis (Fig. 10 machinery).
+
+#include "usecases/usage.h"
+
+#include <gtest/gtest.h>
+
+#include "core/query.h"
+#include "test_util.h"
+#include "workload/scenarios.h"
+
+namespace pebble {
+namespace {
+
+class UsageAnalyzerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DblpGenOptions options;
+    options.num_records = 600;
+    gen_ = std::make_unique<DblpGenerator>(options);
+    data_ = gen_->Generate();
+  }
+
+  /// Runs DBLP scenario `id` and feeds its provenance into the analyzer.
+  void RunScenario(int id, UsageAnalyzer* analyzer) {
+    ASSERT_OK_AND_ASSIGN(Scenario sc, MakeDblpScenario(id, *gen_, data_));
+    Executor exec(ExecOptions{CaptureMode::kStructural, 2, 2});
+    ASSERT_OK_AND_ASSIGN(ExecutionResult run, exec.Run(sc.pipeline));
+    ASSERT_OK_AND_ASSIGN(ProvenanceQueryResult prov,
+                         QueryStructuralProvenance(run, sc.query));
+    // Normalize scan oids to 1 so usage accumulates across scenarios that
+    // read the same dataset through different pipelines (the Fig. 10 merge).
+    for (SourceProvenance& sp : prov.sources) {
+      sp.scan_oid = 1;
+    }
+    analyzer->AddQueryResult(prov.sources);
+  }
+
+  std::unique_ptr<DblpGenerator> gen_;
+  std::shared_ptr<const std::vector<ValuePtr>> data_;
+};
+
+TEST_F(UsageAnalyzerTest, AccumulatesAcrossQueries) {
+  UsageAnalyzer analyzer;
+  for (int id = 1; id <= 5; ++id) {
+    RunScenario(id, &analyzer);
+  }
+  // Some items were used; attribute counters distinguish contributing from
+  // influencing.
+  int items_with_usage = 0;
+  int influencing_only_attrs = 0;
+  for (int64_t id = 1; id <= 600; ++id) {
+    const UsageAnalyzer::ItemUsage* usage = analyzer.Find(1, id);
+    if (usage == nullptr) continue;
+    ++items_with_usage;
+    for (const auto& [attr, counts] : usage->attrs) {
+      if (counts.contributing == 0 && counts.influencing > 0) {
+        ++influencing_only_attrs;
+      }
+    }
+  }
+  EXPECT_GT(items_with_usage, 0);
+  EXPECT_GT(influencing_only_attrs, 0);
+}
+
+TEST_F(UsageAnalyzerTest, HeatmapShape) {
+  UsageAnalyzer analyzer;
+  RunScenario(1, &analyzer);
+  std::vector<int64_t> ids;
+  for (int64_t id = 1; id <= 25; ++id) {
+    ids.push_back(id);
+  }
+  UsageAnalyzer::Heatmap heatmap =
+      analyzer.BuildHeatmap(1, ids, gen_->Schema());
+  EXPECT_EQ(heatmap.rows.size(), 25u);
+  EXPECT_EQ(heatmap.attributes.size(), gen_->Schema()->fields().size());
+  for (const auto& row : heatmap.rows) {
+    EXPECT_EQ(row.counts.size(), heatmap.attributes.size());
+  }
+  std::string rendered = heatmap.ToString();
+  EXPECT_NE(rendered.find("tuple"), std::string::npos);
+}
+
+TEST_F(UsageAnalyzerTest, UnusedItemsAreCold) {
+  UsageAnalyzer analyzer;
+  RunScenario(2, &analyzer);  // D2 only touches article/0 and its lineage
+  // Build the heatmap over all items; most must be cold (tuple_count 0).
+  std::vector<int64_t> ids;
+  for (int64_t id = 1; id <= 600; ++id) {
+    ids.push_back(id);
+  }
+  UsageAnalyzer::Heatmap heatmap =
+      analyzer.BuildHeatmap(1, ids, gen_->Schema());
+  int cold = 0;
+  for (const auto& row : heatmap.rows) {
+    if (row.tuple_count == 0) ++cold;
+  }
+  EXPECT_GT(cold, 500);
+}
+
+TEST_F(UsageAnalyzerTest, AttributeStatsRevealVerticalPartitioning) {
+  UsageAnalyzer analyzer;
+  for (int id = 1; id <= 5; ++id) {
+    RunScenario(id, &analyzer);
+  }
+  std::vector<UsageAnalyzer::AttrStats> stats =
+      analyzer.AttributeStats(1, gen_->Schema());
+  ASSERT_EQ(stats.size(), gen_->Schema()->fields().size());
+  int used = 0;
+  int unused = 0;
+  for (const auto& s : stats) {
+    if (s.contributing + s.influencing > 0) {
+      ++used;
+    } else {
+      ++unused;
+    }
+  }
+  // Only a fraction of all attributes is touched by the workload — the
+  // basis of the paper's vertical-partitioning argument (Sec. 7.3.5).
+  EXPECT_GT(used, 0);
+  EXPECT_GT(unused, 0);
+}
+
+TEST_F(UsageAnalyzerTest, CoUsagePairsDetected) {
+  UsageAnalyzer analyzer;
+  for (int id = 1; id <= 5; ++id) {
+    RunScenario(id, &analyzer);
+  }
+  auto pairs = analyzer.CoUsagePairs(1);
+  ASSERT_FALSE(pairs.empty());
+  // Sorted descending by count.
+  for (size_t i = 1; i < pairs.size(); ++i) {
+    EXPECT_GE(pairs[i - 1].second, pairs[i].second);
+  }
+}
+
+TEST(UsageAnalyzerUnitTest, FindOnEmptyAnalyzer) {
+  UsageAnalyzer analyzer;
+  EXPECT_EQ(analyzer.Find(1, 42), nullptr);
+}
+
+TEST(UsageAnalyzerUnitTest, ContributingVsInfluencingSplit) {
+  // Hand-built provenance: attribute a contributing, b influencing.
+  SourceProvenance sp;
+  sp.scan_oid = 7;
+  BacktraceEntry entry{11, {}};
+  entry.tree.Ensure(std::move(Path::Parse("a")).ValueOrDie(), true);
+  entry.tree.Ensure(std::move(Path::Parse("b")).ValueOrDie(), false);
+  sp.items.push_back(std::move(entry));
+  UsageAnalyzer analyzer;
+  analyzer.AddQueryResult({sp});
+  analyzer.AddQueryResult({sp});
+
+  const UsageAnalyzer::ItemUsage* usage = analyzer.Find(7, 11);
+  ASSERT_NE(usage, nullptr);
+  EXPECT_EQ(usage->tuple_count, 2);
+  EXPECT_EQ(usage->attrs.at("a").contributing, 2);
+  EXPECT_EQ(usage->attrs.at("a").influencing, 0);
+  EXPECT_EQ(usage->attrs.at("b").contributing, 0);
+  EXPECT_EQ(usage->attrs.at("b").influencing, 2);
+}
+
+}  // namespace
+}  // namespace pebble

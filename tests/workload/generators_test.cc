@@ -1,0 +1,231 @@
+// Tests for the Twitter and DBLP synthetic dataset generators.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_util.h"
+#include "workload/dblp_gen.h"
+#include "workload/twitter_gen.h"
+
+namespace pebble {
+namespace {
+
+TEST(TwitterGenTest, DeterministicPerSeed) {
+  TwitterGenOptions options;
+  options.num_tweets = 50;
+  TwitterGenerator gen(options);
+  auto a = gen.Generate();
+  auto b = gen.Generate();
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_TRUE((*a)[i]->Equals(*(*b)[i]));
+  }
+}
+
+TEST(TwitterGenTest, DifferentSeedsDiffer) {
+  TwitterGenOptions o1;
+  o1.num_tweets = 20;
+  TwitterGenOptions o2 = o1;
+  o2.seed = 999;
+  auto a = TwitterGenerator(o1).Generate();
+  auto b = TwitterGenerator(o2).Generate();
+  int equal = 0;
+  for (size_t i = 0; i < a->size(); ++i) {
+    if ((*a)[i]->Equals(*(*b)[i])) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(TwitterGenTest, TweetsConformToSchema) {
+  TwitterGenOptions options;
+  options.num_tweets = 100;
+  TwitterGenerator gen(options);
+  TypePtr schema = gen.Schema();
+  auto gen_items = gen.Generate();
+  for (const ValuePtr& tweet : *gen_items) {
+    EXPECT_TRUE(tweet->InferType()->CompatibleWith(*schema))
+        << tweet->ToString();
+  }
+}
+
+TEST(TwitterGenTest, WidthAndDepthKnobs) {
+  TwitterGenOptions options;
+  options.num_tweets = 5;
+  options.padding_attrs = 40;
+  options.nesting_depth = 7;
+  TwitterGenerator gen(options);
+  ValuePtr tweet = (*gen.Generate())[0];
+  EXPECT_GE(tweet->num_fields(), 40u);
+  // Walk place.inner...inner to the configured depth.
+  ValuePtr cur = tweet->FindField("place");
+  int depth = 0;
+  while (cur->FindField("inner") != nullptr) {
+    cur = cur->FindField("inner");
+    ++depth;
+  }
+  EXPECT_EQ(depth, 7);
+}
+
+TEST(TwitterGenTest, MentionsSkewTowardsUserZero) {
+  TwitterGenOptions options;
+  options.num_tweets = 2000;
+  TwitterGenerator gen(options);
+  int u0_mentions = 0;
+  int total_mentions = 0;
+  auto gen_items = gen.Generate();
+  for (const ValuePtr& tweet : *gen_items) {
+    for (const ValuePtr& mention :
+         tweet->FindField("user_mentions")->elements()) {
+      ++total_mentions;
+      if (mention->FindField("id_str")->string_value() == "u0") {
+        ++u0_mentions;
+      }
+    }
+  }
+  ASSERT_GT(total_mentions, 500);
+  // Zipf 1.1 over 100 users: u0 receives a dominant share.
+  EXPECT_GT(u0_mentions * 100 / total_mentions, 10);
+}
+
+TEST(TwitterGenTest, HelloWorldTweetsOccur) {
+  TwitterGenOptions options;
+  options.num_tweets = 200;
+  TwitterGenerator gen(options);
+  int hello_world = 0;
+  auto gen_items = gen.Generate();
+  for (const ValuePtr& tweet : *gen_items) {
+    const std::string& text = tweet->FindField("text")->string_value();
+    if (text.rfind("Hello World", 0) == 0) ++hello_world;
+  }
+  EXPECT_GT(hello_world, 10);
+}
+
+TEST(TwitterGenTest, RetweetZeroProbabilityRespected) {
+  TwitterGenOptions options;
+  options.num_tweets = 2000;
+  options.retweet_zero_prob = 0.6;
+  TwitterGenerator gen(options);
+  int zero = 0;
+  auto gen_items = gen.Generate();
+  for (const ValuePtr& tweet : *gen_items) {
+    if (tweet->FindField("retweet_count")->int_value() == 0) ++zero;
+  }
+  EXPECT_GT(zero, 1000);
+  EXPECT_LT(zero, 1400);
+}
+
+TEST(DblpGenTest, DeterministicPerSeed) {
+  DblpGenOptions options;
+  options.num_records = 100;
+  DblpGenerator gen(options);
+  auto a = gen.Generate();
+  auto b = gen.Generate();
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_TRUE((*a)[i]->Equals(*(*b)[i]));
+  }
+}
+
+TEST(DblpGenTest, RecordsConformToSchema) {
+  DblpGenOptions options;
+  options.num_records = 200;
+  DblpGenerator gen(options);
+  TypePtr schema = gen.Schema();
+  auto gen_items = gen.Generate();
+  for (const ValuePtr& rec : *gen_items) {
+    EXPECT_TRUE(rec->InferType()->CompatibleWith(*schema));
+  }
+}
+
+TEST(DblpGenTest, KeysAreUnique) {
+  DblpGenOptions options;
+  options.num_records = 500;
+  DblpGenerator gen(options);
+  std::set<std::string> keys;
+  auto gen_items = gen.Generate();
+  for (const ValuePtr& rec : *gen_items) {
+    EXPECT_TRUE(keys.insert(rec->FindField("key")->string_value()).second);
+  }
+}
+
+TEST(DblpGenTest, InproceedingsPerProceedingsRatioPreserved) {
+  DblpGenOptions options;
+  options.num_records = 3000;
+  options.inproc_per_proc = 25;
+  DblpGenerator gen(options);
+  int inprocs = 0;
+  int procs = 0;
+  auto gen_items = gen.Generate();
+  for (const ValuePtr& rec : *gen_items) {
+    const std::string& type = rec->FindField("type")->string_value();
+    if (type == "inproceedings") ++inprocs;
+    if (type == "proceedings") ++procs;
+  }
+  ASSERT_GT(procs, 0);
+  double ratio = static_cast<double>(inprocs) / procs;
+  EXPECT_GT(ratio, 15.0);
+  EXPECT_LT(ratio, 35.0);
+}
+
+TEST(DblpGenTest, CrossrefsResolveToProceedings) {
+  DblpGenOptions options;
+  options.num_records = 1000;
+  DblpGenerator gen(options);
+  auto records = gen.Generate();
+  std::set<std::string> proc_keys;
+  for (const ValuePtr& rec : *records) {
+    if (rec->FindField("type")->string_value() == "proceedings") {
+      proc_keys.insert(rec->FindField("key")->string_value());
+    }
+  }
+  int dangling = 0;
+  int total = 0;
+  for (const ValuePtr& rec : *records) {
+    if (rec->FindField("type")->string_value() != "inproceedings") continue;
+    ++total;
+    if (proc_keys.count(rec->FindField("crossref")->string_value()) == 0) {
+      ++dangling;
+    }
+  }
+  ASSERT_GT(total, 300);
+  // The tail of inproceedings may reference a proceedings generated after
+  // the dataset boundary; the vast majority resolve.
+  EXPECT_LT(dangling, total / 10);
+}
+
+TEST(DblpGenTest, ArticleZeroExists) {
+  DblpGenOptions options;
+  options.num_records = 200;
+  DblpGenerator gen(options);
+  bool found = false;
+  auto gen_items = gen.Generate();
+  for (const ValuePtr& rec : *gen_items) {
+    if (rec->FindField("key")->string_value() == "article/0") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DblpGenTest, AllTenTypesAppearAtScale) {
+  DblpGenOptions options;
+  options.num_records = 5000;
+  DblpGenerator gen(options);
+  std::set<std::string> types;
+  auto gen_items = gen.Generate();
+  for (const ValuePtr& rec : *gen_items) {
+    types.insert(rec->FindField("type")->string_value());
+  }
+  EXPECT_GE(types.size(), 8u);
+}
+
+TEST(DblpGenTest, NarrowerThanTwitter) {
+  // The Fig. 8 contrast: DBLP items are far narrower than tweets, so the
+  // same byte volume holds many more records.
+  DblpGenerator dblp(DblpGenOptions{});
+  TwitterGenerator twitter(TwitterGenOptions{});
+  ValuePtr rec = (*dblp.Generate())[0];
+  ValuePtr tweet = (*twitter.Generate())[0];
+  EXPECT_LT(rec->ApproxBytes() * 3, tweet->ApproxBytes());
+}
+
+}  // namespace
+}  // namespace pebble
