@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_capture_modes.dir/ablation_capture_modes.cc.o"
+  "CMakeFiles/ablation_capture_modes.dir/ablation_capture_modes.cc.o.d"
+  "ablation_capture_modes"
+  "ablation_capture_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_capture_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

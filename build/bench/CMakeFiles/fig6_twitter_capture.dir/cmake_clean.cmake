@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_twitter_capture.dir/fig6_twitter_capture.cc.o"
+  "CMakeFiles/fig6_twitter_capture.dir/fig6_twitter_capture.cc.o.d"
+  "fig6_twitter_capture"
+  "fig6_twitter_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_twitter_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_twitter_capture.
+# This may be replaced when dependencies are built.

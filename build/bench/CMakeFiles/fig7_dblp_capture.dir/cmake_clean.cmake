@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_dblp_capture.dir/fig7_dblp_capture.cc.o"
+  "CMakeFiles/fig7_dblp_capture.dir/fig7_dblp_capture.cc.o.d"
+  "fig7_dblp_capture"
+  "fig7_dblp_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_dblp_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_query_backtrace.dir/fig9_query_backtrace.cc.o"
+  "CMakeFiles/fig9_query_backtrace.dir/fig9_query_backtrace.cc.o.d"
+  "fig9_query_backtrace"
+  "fig9_query_backtrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_query_backtrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

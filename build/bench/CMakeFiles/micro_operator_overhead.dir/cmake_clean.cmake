@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_operator_overhead.dir/micro_operator_overhead.cc.o"
+  "CMakeFiles/micro_operator_overhead.dir/micro_operator_overhead.cc.o.d"
+  "micro_operator_overhead"
+  "micro_operator_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_operator_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_titian_comparison.dir/table_titian_comparison.cc.o"
+  "CMakeFiles/table_titian_comparison.dir/table_titian_comparison.cc.o.d"
+  "table_titian_comparison"
+  "table_titian_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_titian_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

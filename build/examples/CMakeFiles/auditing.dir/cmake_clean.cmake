@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auditing.dir/auditing.cpp.o"
+  "CMakeFiles/auditing.dir/auditing.cpp.o.d"
+  "auditing"
+  "auditing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auditing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for auditing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debugging_duplicates.dir/debugging_duplicates.cpp.o"
+  "CMakeFiles/debugging_duplicates.dir/debugging_duplicates.cpp.o.d"
+  "debugging_duplicates"
+  "debugging_duplicates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debugging_duplicates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

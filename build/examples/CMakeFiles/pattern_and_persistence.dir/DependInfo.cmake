@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/pattern_and_persistence.cpp" "examples/CMakeFiles/pattern_and_persistence.dir/pattern_and_persistence.cpp.o" "gcc" "examples/CMakeFiles/pattern_and_persistence.dir/pattern_and_persistence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pebble_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/pebble_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pebble_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/pebble_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/usecases/CMakeFiles/pebble_usecases.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pebble_prov.dir/DependInfo.cmake"
+  "/root/repo/build/src/nested/CMakeFiles/pebble_nested.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pebble_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_and_persistence.dir/pattern_and_persistence.cpp.o"
+  "CMakeFiles/pattern_and_persistence.dir/pattern_and_persistence.cpp.o.d"
+  "pattern_and_persistence"
+  "pattern_and_persistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_and_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

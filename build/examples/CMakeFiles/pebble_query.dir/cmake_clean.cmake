@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pebble_query.dir/pebble_query.cpp.o"
+  "CMakeFiles/pebble_query.dir/pebble_query.cpp.o.d"
+  "pebble_query"
+  "pebble_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pebble_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usage_patterns.dir/usage_patterns.cpp.o"
+  "CMakeFiles/usage_patterns.dir/usage_patterns.cpp.o.d"
+  "usage_patterns"
+  "usage_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usage_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pebble_baselines.dir/lazy.cc.o"
+  "CMakeFiles/pebble_baselines.dir/lazy.cc.o.d"
+  "CMakeFiles/pebble_baselines.dir/lipstick.cc.o"
+  "CMakeFiles/pebble_baselines.dir/lipstick.cc.o.d"
+  "CMakeFiles/pebble_baselines.dir/polynomial.cc.o"
+  "CMakeFiles/pebble_baselines.dir/polynomial.cc.o.d"
+  "CMakeFiles/pebble_baselines.dir/titian.cc.o"
+  "CMakeFiles/pebble_baselines.dir/titian.cc.o.d"
+  "libpebble_baselines.a"
+  "libpebble_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pebble_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

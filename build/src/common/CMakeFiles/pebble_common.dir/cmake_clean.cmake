@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pebble_common.dir/rng.cc.o"
+  "CMakeFiles/pebble_common.dir/rng.cc.o.d"
+  "CMakeFiles/pebble_common.dir/status.cc.o"
+  "CMakeFiles/pebble_common.dir/status.cc.o.d"
+  "CMakeFiles/pebble_common.dir/string_util.cc.o"
+  "CMakeFiles/pebble_common.dir/string_util.cc.o.d"
+  "libpebble_common.a"
+  "libpebble_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pebble_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/backtrace.cc" "src/core/CMakeFiles/pebble_core.dir/backtrace.cc.o" "gcc" "src/core/CMakeFiles/pebble_core.dir/backtrace.cc.o.d"
+  "/root/repo/src/core/backtrace_tree.cc" "src/core/CMakeFiles/pebble_core.dir/backtrace_tree.cc.o" "gcc" "src/core/CMakeFiles/pebble_core.dir/backtrace_tree.cc.o.d"
+  "/root/repo/src/core/pattern_parser.cc" "src/core/CMakeFiles/pebble_core.dir/pattern_parser.cc.o" "gcc" "src/core/CMakeFiles/pebble_core.dir/pattern_parser.cc.o.d"
+  "/root/repo/src/core/provenance_io.cc" "src/core/CMakeFiles/pebble_core.dir/provenance_io.cc.o" "gcc" "src/core/CMakeFiles/pebble_core.dir/provenance_io.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/core/CMakeFiles/pebble_core.dir/query.cc.o" "gcc" "src/core/CMakeFiles/pebble_core.dir/query.cc.o.d"
+  "/root/repo/src/core/render.cc" "src/core/CMakeFiles/pebble_core.dir/render.cc.o" "gcc" "src/core/CMakeFiles/pebble_core.dir/render.cc.o.d"
+  "/root/repo/src/core/tree_pattern.cc" "src/core/CMakeFiles/pebble_core.dir/tree_pattern.cc.o" "gcc" "src/core/CMakeFiles/pebble_core.dir/tree_pattern.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/pebble_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pebble_prov.dir/DependInfo.cmake"
+  "/root/repo/build/src/nested/CMakeFiles/pebble_nested.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pebble_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pebble_core.dir/backtrace.cc.o"
+  "CMakeFiles/pebble_core.dir/backtrace.cc.o.d"
+  "CMakeFiles/pebble_core.dir/backtrace_tree.cc.o"
+  "CMakeFiles/pebble_core.dir/backtrace_tree.cc.o.d"
+  "CMakeFiles/pebble_core.dir/pattern_parser.cc.o"
+  "CMakeFiles/pebble_core.dir/pattern_parser.cc.o.d"
+  "CMakeFiles/pebble_core.dir/provenance_io.cc.o"
+  "CMakeFiles/pebble_core.dir/provenance_io.cc.o.d"
+  "CMakeFiles/pebble_core.dir/query.cc.o"
+  "CMakeFiles/pebble_core.dir/query.cc.o.d"
+  "CMakeFiles/pebble_core.dir/render.cc.o"
+  "CMakeFiles/pebble_core.dir/render.cc.o.d"
+  "CMakeFiles/pebble_core.dir/tree_pattern.cc.o"
+  "CMakeFiles/pebble_core.dir/tree_pattern.cc.o.d"
+  "libpebble_core.a"
+  "libpebble_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pebble_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

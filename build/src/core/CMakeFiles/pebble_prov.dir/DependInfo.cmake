@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/provenance_model.cc" "src/core/CMakeFiles/pebble_prov.dir/provenance_model.cc.o" "gcc" "src/core/CMakeFiles/pebble_prov.dir/provenance_model.cc.o.d"
+  "/root/repo/src/core/provenance_store.cc" "src/core/CMakeFiles/pebble_prov.dir/provenance_store.cc.o" "gcc" "src/core/CMakeFiles/pebble_prov.dir/provenance_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nested/CMakeFiles/pebble_nested.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pebble_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

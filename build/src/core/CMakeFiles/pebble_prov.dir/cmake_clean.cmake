@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pebble_prov.dir/provenance_model.cc.o"
+  "CMakeFiles/pebble_prov.dir/provenance_model.cc.o.d"
+  "CMakeFiles/pebble_prov.dir/provenance_store.cc.o"
+  "CMakeFiles/pebble_prov.dir/provenance_store.cc.o.d"
+  "libpebble_prov.a"
+  "libpebble_prov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pebble_prov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/dataset.cc" "src/engine/CMakeFiles/pebble_engine.dir/dataset.cc.o" "gcc" "src/engine/CMakeFiles/pebble_engine.dir/dataset.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/engine/CMakeFiles/pebble_engine.dir/executor.cc.o" "gcc" "src/engine/CMakeFiles/pebble_engine.dir/executor.cc.o.d"
+  "/root/repo/src/engine/expr.cc" "src/engine/CMakeFiles/pebble_engine.dir/expr.cc.o" "gcc" "src/engine/CMakeFiles/pebble_engine.dir/expr.cc.o.d"
+  "/root/repo/src/engine/op_internal.cc" "src/engine/CMakeFiles/pebble_engine.dir/op_internal.cc.o" "gcc" "src/engine/CMakeFiles/pebble_engine.dir/op_internal.cc.o.d"
+  "/root/repo/src/engine/operator.cc" "src/engine/CMakeFiles/pebble_engine.dir/operator.cc.o" "gcc" "src/engine/CMakeFiles/pebble_engine.dir/operator.cc.o.d"
+  "/root/repo/src/engine/ops_binary.cc" "src/engine/CMakeFiles/pebble_engine.dir/ops_binary.cc.o" "gcc" "src/engine/CMakeFiles/pebble_engine.dir/ops_binary.cc.o.d"
+  "/root/repo/src/engine/ops_flatten.cc" "src/engine/CMakeFiles/pebble_engine.dir/ops_flatten.cc.o" "gcc" "src/engine/CMakeFiles/pebble_engine.dir/ops_flatten.cc.o.d"
+  "/root/repo/src/engine/ops_group.cc" "src/engine/CMakeFiles/pebble_engine.dir/ops_group.cc.o" "gcc" "src/engine/CMakeFiles/pebble_engine.dir/ops_group.cc.o.d"
+  "/root/repo/src/engine/ops_unary.cc" "src/engine/CMakeFiles/pebble_engine.dir/ops_unary.cc.o" "gcc" "src/engine/CMakeFiles/pebble_engine.dir/ops_unary.cc.o.d"
+  "/root/repo/src/engine/pipeline.cc" "src/engine/CMakeFiles/pebble_engine.dir/pipeline.cc.o" "gcc" "src/engine/CMakeFiles/pebble_engine.dir/pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nested/CMakeFiles/pebble_nested.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pebble_prov.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pebble_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

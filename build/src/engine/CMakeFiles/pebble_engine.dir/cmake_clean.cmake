@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pebble_engine.dir/dataset.cc.o"
+  "CMakeFiles/pebble_engine.dir/dataset.cc.o.d"
+  "CMakeFiles/pebble_engine.dir/executor.cc.o"
+  "CMakeFiles/pebble_engine.dir/executor.cc.o.d"
+  "CMakeFiles/pebble_engine.dir/expr.cc.o"
+  "CMakeFiles/pebble_engine.dir/expr.cc.o.d"
+  "CMakeFiles/pebble_engine.dir/op_internal.cc.o"
+  "CMakeFiles/pebble_engine.dir/op_internal.cc.o.d"
+  "CMakeFiles/pebble_engine.dir/operator.cc.o"
+  "CMakeFiles/pebble_engine.dir/operator.cc.o.d"
+  "CMakeFiles/pebble_engine.dir/ops_binary.cc.o"
+  "CMakeFiles/pebble_engine.dir/ops_binary.cc.o.d"
+  "CMakeFiles/pebble_engine.dir/ops_flatten.cc.o"
+  "CMakeFiles/pebble_engine.dir/ops_flatten.cc.o.d"
+  "CMakeFiles/pebble_engine.dir/ops_group.cc.o"
+  "CMakeFiles/pebble_engine.dir/ops_group.cc.o.d"
+  "CMakeFiles/pebble_engine.dir/ops_unary.cc.o"
+  "CMakeFiles/pebble_engine.dir/ops_unary.cc.o.d"
+  "CMakeFiles/pebble_engine.dir/pipeline.cc.o"
+  "CMakeFiles/pebble_engine.dir/pipeline.cc.o.d"
+  "libpebble_engine.a"
+  "libpebble_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pebble_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nested/io.cc" "src/nested/CMakeFiles/pebble_nested.dir/io.cc.o" "gcc" "src/nested/CMakeFiles/pebble_nested.dir/io.cc.o.d"
+  "/root/repo/src/nested/json.cc" "src/nested/CMakeFiles/pebble_nested.dir/json.cc.o" "gcc" "src/nested/CMakeFiles/pebble_nested.dir/json.cc.o.d"
+  "/root/repo/src/nested/path.cc" "src/nested/CMakeFiles/pebble_nested.dir/path.cc.o" "gcc" "src/nested/CMakeFiles/pebble_nested.dir/path.cc.o.d"
+  "/root/repo/src/nested/type.cc" "src/nested/CMakeFiles/pebble_nested.dir/type.cc.o" "gcc" "src/nested/CMakeFiles/pebble_nested.dir/type.cc.o.d"
+  "/root/repo/src/nested/value.cc" "src/nested/CMakeFiles/pebble_nested.dir/value.cc.o" "gcc" "src/nested/CMakeFiles/pebble_nested.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pebble_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

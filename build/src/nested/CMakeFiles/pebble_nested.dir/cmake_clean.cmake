@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pebble_nested.dir/io.cc.o"
+  "CMakeFiles/pebble_nested.dir/io.cc.o.d"
+  "CMakeFiles/pebble_nested.dir/json.cc.o"
+  "CMakeFiles/pebble_nested.dir/json.cc.o.d"
+  "CMakeFiles/pebble_nested.dir/path.cc.o"
+  "CMakeFiles/pebble_nested.dir/path.cc.o.d"
+  "CMakeFiles/pebble_nested.dir/type.cc.o"
+  "CMakeFiles/pebble_nested.dir/type.cc.o.d"
+  "CMakeFiles/pebble_nested.dir/value.cc.o"
+  "CMakeFiles/pebble_nested.dir/value.cc.o.d"
+  "libpebble_nested.a"
+  "libpebble_nested.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pebble_nested.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

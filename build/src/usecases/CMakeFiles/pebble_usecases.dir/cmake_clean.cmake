@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pebble_usecases.dir/audit.cc.o"
+  "CMakeFiles/pebble_usecases.dir/audit.cc.o.d"
+  "CMakeFiles/pebble_usecases.dir/usage.cc.o"
+  "CMakeFiles/pebble_usecases.dir/usage.cc.o.d"
+  "libpebble_usecases.a"
+  "libpebble_usecases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pebble_usecases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pebble_workload.dir/dblp_gen.cc.o"
+  "CMakeFiles/pebble_workload.dir/dblp_gen.cc.o.d"
+  "CMakeFiles/pebble_workload.dir/running_example.cc.o"
+  "CMakeFiles/pebble_workload.dir/running_example.cc.o.d"
+  "CMakeFiles/pebble_workload.dir/scenarios.cc.o"
+  "CMakeFiles/pebble_workload.dir/scenarios.cc.o.d"
+  "CMakeFiles/pebble_workload.dir/twitter_gen.cc.o"
+  "CMakeFiles/pebble_workload.dir/twitter_gen.cc.o.d"
+  "libpebble_workload.a"
+  "libpebble_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pebble_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

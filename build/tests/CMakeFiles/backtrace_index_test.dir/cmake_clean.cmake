@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backtrace_index_test.dir/core/backtrace_index_test.cc.o"
+  "CMakeFiles/backtrace_index_test.dir/core/backtrace_index_test.cc.o.d"
+  "backtrace_index_test"
+  "backtrace_index_test.pdb"
+  "backtrace_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backtrace_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backtrace_test.dir/core/backtrace_test.cc.o"
+  "CMakeFiles/backtrace_test.dir/core/backtrace_test.cc.o.d"
+  "backtrace_test"
+  "backtrace_test.pdb"
+  "backtrace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backtrace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

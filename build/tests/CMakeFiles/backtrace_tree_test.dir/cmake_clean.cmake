@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backtrace_tree_test.dir/core/backtrace_tree_test.cc.o"
+  "CMakeFiles/backtrace_tree_test.dir/core/backtrace_tree_test.cc.o.d"
+  "backtrace_tree_test"
+  "backtrace_tree_test.pdb"
+  "backtrace_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backtrace_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

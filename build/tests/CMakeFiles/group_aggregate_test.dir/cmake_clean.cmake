@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_aggregate_test.dir/engine/group_aggregate_test.cc.o"
+  "CMakeFiles/group_aggregate_test.dir/engine/group_aggregate_test.cc.o.d"
+  "group_aggregate_test"
+  "group_aggregate_test.pdb"
+  "group_aggregate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_aggregate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

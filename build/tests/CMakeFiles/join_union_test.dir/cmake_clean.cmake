@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_union_test.dir/engine/join_union_test.cc.o"
+  "CMakeFiles/join_union_test.dir/engine/join_union_test.cc.o.d"
+  "join_union_test"
+  "join_union_test.pdb"
+  "join_union_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_union_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazy_test.dir/baselines/lazy_test.cc.o"
+  "CMakeFiles/lazy_test.dir/baselines/lazy_test.cc.o.d"
+  "lazy_test"
+  "lazy_test.pdb"
+  "lazy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

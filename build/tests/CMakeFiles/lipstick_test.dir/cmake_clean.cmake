@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lipstick_test.dir/baselines/lipstick_test.cc.o"
+  "CMakeFiles/lipstick_test.dir/baselines/lipstick_test.cc.o.d"
+  "lipstick_test"
+  "lipstick_test.pdb"
+  "lipstick_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lipstick_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

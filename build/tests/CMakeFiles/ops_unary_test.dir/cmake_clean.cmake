@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_unary_test.dir/engine/ops_unary_test.cc.o"
+  "CMakeFiles/ops_unary_test.dir/engine/ops_unary_test.cc.o.d"
+  "ops_unary_test"
+  "ops_unary_test.pdb"
+  "ops_unary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_unary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

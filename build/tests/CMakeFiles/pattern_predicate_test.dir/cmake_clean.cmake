@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_predicate_test.dir/core/pattern_predicate_test.cc.o"
+  "CMakeFiles/pattern_predicate_test.dir/core/pattern_predicate_test.cc.o.d"
+  "pattern_predicate_test"
+  "pattern_predicate_test.pdb"
+  "pattern_predicate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_predicate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

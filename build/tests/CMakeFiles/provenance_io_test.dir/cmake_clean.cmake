@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provenance_io_test.dir/core/provenance_io_test.cc.o"
+  "CMakeFiles/provenance_io_test.dir/core/provenance_io_test.cc.o.d"
+  "provenance_io_test"
+  "provenance_io_test.pdb"
+  "provenance_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provenance_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

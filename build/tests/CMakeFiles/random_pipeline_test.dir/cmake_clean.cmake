@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_pipeline_test.dir/integration/random_pipeline_test.cc.o"
+  "CMakeFiles/random_pipeline_test.dir/integration/random_pipeline_test.cc.o.d"
+  "random_pipeline_test"
+  "random_pipeline_test.pdb"
+  "random_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

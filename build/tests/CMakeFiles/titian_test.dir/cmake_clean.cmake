@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/titian_test.dir/baselines/titian_test.cc.o"
+  "CMakeFiles/titian_test.dir/baselines/titian_test.cc.o.d"
+  "titian_test"
+  "titian_test.pdb"
+  "titian_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/titian_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

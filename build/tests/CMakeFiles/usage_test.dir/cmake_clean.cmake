@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usage_test.dir/usecases/usage_test.cc.o"
+  "CMakeFiles/usage_test.dir/usecases/usage_test.cc.o.d"
+  "usage_test"
+  "usage_test.pdb"
+  "usage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
