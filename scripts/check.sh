@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Full local verification: tier-1 tests plain, then under ASan+UBSan, then
+# the concurrency-sensitive tests (task runner, chaos, concurrency) under
+# TSan. Usage:
+#
+#   scripts/check.sh            # all three stages
+#   scripts/check.sh plain      # just the plain tier-1 run
+#   scripts/check.sh asan       # just the address+undefined stage
+#   scripts/check.sh tsan       # just the thread-sanitizer stage
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+STAGE="${1:-all}"
+case "${STAGE}" in
+  all|plain|asan|tsan) ;;
+  *) echo "unknown stage '${STAGE}' (expected: all, plain, asan, tsan)" >&2
+     exit 2 ;;
+esac
+
+run_stage() {
+  local name="$1" build_dir="$2" sanitize="$3" test_filter="$4"
+  echo "==> ${name}: configure + build (${build_dir})"
+  cmake -B "${build_dir}" -S . -DPEBBLE_SANITIZE="${sanitize}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "${build_dir}" -j "${JOBS}"
+  echo "==> ${name}: ctest"
+  if [[ -n "${test_filter}" ]]; then
+    (cd "${build_dir}" && ctest --output-on-failure -j "${JOBS}" \
+        -R "${test_filter}")
+  else
+    (cd "${build_dir}" && ctest --output-on-failure -j "${JOBS}")
+  fi
+}
+
+if [[ "${STAGE}" == "all" || "${STAGE}" == "plain" ]]; then
+  run_stage "plain" build "" ""
+fi
+
+if [[ "${STAGE}" == "all" || "${STAGE}" == "asan" ]]; then
+  ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1" \
+    run_stage "asan+ubsan" build-asan "address;undefined" ""
+fi
+
+if [[ "${STAGE}" == "all" || "${STAGE}" == "tsan" ]]; then
+  # TSan over the suites that exercise cross-thread engine paths.
+  TSAN_OPTIONS="halt_on_error=1" \
+    run_stage "tsan" build-tsan "thread" \
+      "Concurrency|ChaosTest|TaskRunner|Failpoint"
+fi
+
+echo "==> all requested stages passed"

@@ -1,0 +1,122 @@
+#include "common/failpoint.h"
+
+#include <chrono>
+#include <thread>
+
+namespace pebble {
+
+namespace {
+
+/// SplitMix64 finalizer: mixes a 64-bit value into a well-distributed one.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashString(const char* s) {
+  // FNV-1a.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (; *s != '\0'; ++s) {
+    h ^= static_cast<unsigned char>(*s);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+FailpointRegistry& FailpointRegistry::Global() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+void FailpointRegistry::Enable(const std::string& site, FailpointSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& s = sites_[site];
+  s.spec = std::move(spec);
+  s.evaluations = 0;
+  s.fires = 0;
+  armed_count_.store(static_cast<int>(sites_.size()),
+                     std::memory_order_release);
+}
+
+void FailpointRegistry::Disable(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.erase(site);
+  armed_count_.store(static_cast<int>(sites_.size()),
+                     std::memory_order_release);
+}
+
+void FailpointRegistry::DisableAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  armed_count_.store(0, std::memory_order_release);
+}
+
+Status FailpointRegistry::Evaluate(const char* site, uint64_t key) {
+  if (armed_count_.load(std::memory_order_acquire) == 0) {
+    return Status::OK();
+  }
+  int delay_ms = 0;
+  Status injected;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sites_.find(site);
+    if (it == sites_.end()) return Status::OK();
+    Site& s = it->second;
+    uint64_t eval_index = s.evaluations++;
+    delay_ms = s.spec.delay_ms;
+
+    bool fire = false;
+    if (s.spec.every_nth > 0) {
+      fire = (eval_index + 1) % s.spec.every_nth == 0;
+    } else if (s.spec.probability > 0.0) {
+      uint64_t k = key == kNoKey ? eval_index : key;
+      uint64_t h = Mix64(s.spec.seed ^ Mix64(HashString(site) ^ Mix64(k)));
+      // Top 53 bits -> uniform double in [0, 1).
+      double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+      fire = u < s.spec.probability;
+    }
+    if (fire && s.spec.max_fires >= 0 &&
+        s.fires >= static_cast<uint64_t>(s.spec.max_fires)) {
+      fire = false;
+    }
+    if (fire) {
+      ++s.fires;
+      std::string msg = s.spec.message.empty()
+                            ? "injected fault at " + std::string(site)
+                            : s.spec.message;
+      injected = Status::FromCode(s.spec.code, std::move(msg));
+    }
+  }
+  // Sleep outside the lock so a delayed site never serializes other sites.
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  return injected;
+}
+
+uint64_t FailpointRegistry::evaluations(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.evaluations;
+}
+
+uint64_t FailpointRegistry::fires(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+uint64_t FailpointRegistry::TotalFires() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [name, s] : sites_) {
+    total += s.fires;
+  }
+  return total;
+}
+
+}  // namespace pebble

@@ -1,0 +1,113 @@
+// Failpoint framework: named fault-injection sites threaded through the
+// engine's execution paths (scan, partition tasks, shuffles, provenance
+// commit). Production code evaluates a site with FailpointRegistry::Evaluate;
+// tests arm sites with firing rules (every-Nth, seeded probability, delay)
+// that inject transient Status errors. All sites are disabled by default and
+// evaluation is a single relaxed atomic load when nothing is armed.
+//
+// Determinism: in probability mode, passing a caller-chosen `key` (e.g. the
+// partition-task index and attempt number) makes firing a pure function of
+// (seed, site, key), independent of thread interleaving. Without a key the
+// per-site evaluation counter is used, which is only deterministic for
+// serial call sites.
+
+#ifndef PEBBLE_COMMON_FAILPOINT_H_
+#define PEBBLE_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace pebble {
+
+/// Canonical failpoint site names. A site only exists operationally where a
+/// production code path evaluates it; this list documents the contract.
+namespace failpoints {
+/// ScanOp::Execute, once per source partition (keyed by partition index).
+inline constexpr char kScanRead[] = "scan.read";
+/// The retrying task runner, once per (task, attempt) before the task body
+/// runs (keyed deterministically by task index and attempt).
+inline constexpr char kTaskPartition[] = "task.partition";
+/// Join/group shuffle phases, once per input partition being exchanged.
+inline constexpr char kShuffleExchange[] = "shuffle.exchange";
+/// Provenance commit: evaluated once per operator immediately before staged
+/// id rows are appended to the shared ProvenanceStore.
+inline constexpr char kProvenanceAppend[] = "provenance.append";
+/// ReadJsonLinesFile, once per file open.
+inline constexpr char kIoRead[] = "io.read";
+}  // namespace failpoints
+
+/// Firing rule for one armed site. Exactly one of `every_nth` /
+/// `probability` selects the mode; `delay_ms` composes with either (and with
+/// neither: delay-only sites sleep but never fail).
+struct FailpointSpec {
+  /// > 0: fire on every Nth evaluation of the site (1 = always).
+  uint64_t every_nth = 0;
+  /// In (0, 1]: fire pseudo-randomly with this probability, seeded.
+  double probability = 0.0;
+  /// Seed for probability mode (see class comment on determinism).
+  uint64_t seed = 0;
+  /// Sleep this long on every evaluation before applying the firing rule
+  /// (injects slowness; used to exercise task timeouts).
+  int delay_ms = 0;
+  /// Stop firing after this many fires; < 0 means unlimited.
+  int max_fires = -1;
+  /// Status code of the injected error.
+  StatusCode code = StatusCode::kUnavailable;
+  /// Custom message; empty uses "injected fault at <site>".
+  std::string message;
+};
+
+/// Thread-safe registry of armed failpoints. One process-wide instance
+/// (Global()); tests arm/disarm sites around the code under test.
+class FailpointRegistry {
+ public:
+  /// Sentinel for "no caller-provided key": use the evaluation counter.
+  static constexpr uint64_t kNoKey = ~0ull;
+
+  static FailpointRegistry& Global();
+
+  FailpointRegistry() = default;
+  FailpointRegistry(const FailpointRegistry&) = delete;
+  FailpointRegistry& operator=(const FailpointRegistry&) = delete;
+
+  /// Arms `site` with `spec`, replacing any previous spec and resetting its
+  /// counters.
+  void Enable(const std::string& site, FailpointSpec spec);
+
+  /// Disarms one site / all sites. Counters are discarded.
+  void Disable(const std::string& site);
+  void DisableAll();
+
+  /// Evaluates a site: returns the injected error if the site is armed and
+  /// its rule fires, OK otherwise. Near-free when nothing is armed.
+  Status Evaluate(const char* site, uint64_t key = kNoKey);
+
+  /// Counters for assertions: evaluations / fires since Enable.
+  uint64_t evaluations(const std::string& site) const;
+  uint64_t fires(const std::string& site) const;
+  uint64_t TotalFires() const;
+
+ private:
+  struct Site {
+    FailpointSpec spec;
+    uint64_t evaluations = 0;
+    uint64_t fires = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Site> sites_;
+  std::atomic<int> armed_count_{0};
+};
+
+/// Evaluates a site on the global registry and propagates an injected error.
+#define PEBBLE_FAILPOINT(site) \
+  PEBBLE_RETURN_NOT_OK(::pebble::FailpointRegistry::Global().Evaluate(site))
+
+}  // namespace pebble
+
+#endif  // PEBBLE_COMMON_FAILPOINT_H_

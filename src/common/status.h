@@ -23,6 +23,9 @@ enum class StatusCode {
   kIOError,
   kNotImplemented,
   kInternal,
+  /// Transient failure (injected fault, timeout, lost task): the operation
+  /// may succeed if retried. The default retryable code of RetryPolicy.
+  kUnavailable,
 };
 
 /// Returns a short human-readable name ("InvalidArgument", ...).
@@ -55,6 +58,18 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// Builds a failure with a runtime-chosen code (`code` must not be kOk;
+  /// kOk is mapped to an Internal error rather than a silent success).
+  static Status FromCode(StatusCode code, std::string msg) {
+    if (code == StatusCode::kOk) {
+      return Status(StatusCode::kInternal,
+                    "Status::FromCode(kOk): " + std::move(msg));
+    }
+    return Status(code, std::move(msg));
   }
 
   bool ok() const { return state_ == nullptr; }

@@ -1,5 +1,7 @@
 #include "core/provenance_store.h"
 
+#include <unordered_set>
+
 namespace pebble {
 
 const char* CaptureModeToString(CaptureMode mode) {
@@ -80,6 +82,155 @@ uint64_t ProvenanceStore::TotalFullModelBytes() const {
     bytes += p.FullModelBytes();
   }
   return bytes;
+}
+
+namespace {
+
+std::string Describe(int oid, const OperatorProvenance& p) {
+  return "operator " + std::to_string(oid) + " (" + OpTypeToString(p.type) +
+         (p.label.empty() ? "" : ", '" + p.label + "'") + ")";
+}
+
+/// Appends all output ids of `p` to `out`.
+void CollectOutIds(const OperatorProvenance& p, std::vector<int64_t>* out) {
+  for (const UnaryIdRow& r : p.unary_ids) out->push_back(r.out);
+  for (const BinaryIdRow& r : p.binary_ids) out->push_back(r.out);
+  for (const FlattenIdRow& r : p.flatten_ids) out->push_back(r.out);
+  for (const AggIdRow& r : p.agg_ids) out->push_back(r.out);
+}
+
+}  // namespace
+
+Status ProvenanceStore::Validate() const {
+  // Pass 1: per-operator shape — the populated id-table flavor must match
+  // the operator type — and output-id collection.
+  std::map<int, std::unordered_set<int64_t>> out_ids;
+  std::unordered_set<int64_t> all_out_ids;
+  for (const auto& [oid, p] : ops_) {
+    const bool unary = !p.unary_ids.empty();
+    const bool binary = !p.binary_ids.empty();
+    const bool flatten = !p.flatten_ids.empty();
+    const bool agg = !p.agg_ids.empty();
+    if (static_cast<int>(unary) + static_cast<int>(binary) +
+            static_cast<int>(flatten) + static_cast<int>(agg) >
+        1) {
+      return Status::Internal(Describe(oid, p) +
+                              " populates more than one id-table flavor");
+    }
+    bool flavor_ok = true;
+    switch (p.type) {
+      case OpType::kScan:
+        flavor_ok = !unary && !binary && !flatten && !agg;
+        break;
+      case OpType::kFilter:
+      case OpType::kSelect:
+      case OpType::kMap:
+        flavor_ok = !binary && !flatten && !agg;
+        break;
+      case OpType::kJoin:
+      case OpType::kUnion:
+        flavor_ok = !unary && !flatten && !agg;
+        break;
+      case OpType::kFlatten:
+        flavor_ok = !unary && !binary && !agg;
+        break;
+      case OpType::kGroupAggregate:
+        flavor_ok = !unary && !binary && !flatten;
+        break;
+    }
+    if (!flavor_ok) {
+      return Status::Internal(Describe(oid, p) +
+                              " has an id table of the wrong flavor");
+    }
+
+    std::vector<int64_t> outs;
+    CollectOutIds(p, &outs);
+    std::unordered_set<int64_t>& seen = out_ids[oid];
+    seen.reserve(outs.size());
+    for (int64_t id : outs) {
+      if (id <= 0) {
+        return Status::Internal(Describe(oid, p) +
+                                " has a non-positive output id " +
+                                std::to_string(id));
+      }
+      if (!seen.insert(id).second) {
+        return Status::Internal(Describe(oid, p) + " has duplicate id rows" +
+                                " for output id " + std::to_string(id) +
+                                " (double-committed task?)");
+      }
+      if (!all_out_ids.insert(id).second) {
+        return Status::Internal(
+            "output id " + std::to_string(id) + " of " + Describe(oid, p) +
+            " collides with another operator's output (ids are run-global)");
+      }
+    }
+  }
+
+  // Pass 2: sink-to-source chain resolvability. Every referenced input id
+  // must be an output id of the producing operator. Scans annotate their
+  // rows directly and keep no table, so edges into scans are exempt.
+  for (const auto& [oid, p] : ops_) {
+    const OperatorInfo* info = FindInfo(oid);
+    if (info == nullptr) {
+      return Status::Internal(Describe(oid, p) +
+                              " captured provenance but was never registered");
+    }
+    auto resolvable = [&](int input_index, int64_t in_id) -> Status {
+      if (in_id <= 0) {
+        return Status::Internal(Describe(oid, p) +
+                                " references non-positive input id " +
+                                std::to_string(in_id));
+      }
+      if (input_index >= static_cast<int>(info->input_oids.size())) {
+        return Status::Internal(Describe(oid, p) + " references input #" +
+                                std::to_string(input_index) +
+                                " but has only " +
+                                std::to_string(info->input_oids.size()) +
+                                " inputs");
+      }
+      int producer = info->input_oids[static_cast<size_t>(input_index)];
+      const OperatorInfo* producer_info = FindInfo(producer);
+      if (producer_info != nullptr && producer_info->type == OpType::kScan) {
+        return Status::OK();
+      }
+      auto it = out_ids.find(producer);
+      if (it == out_ids.end() || it->second.count(in_id) == 0) {
+        return Status::Internal(
+            Describe(oid, p) + " references input id " +
+            std::to_string(in_id) + " which operator " +
+            std::to_string(producer) + " never produced (broken id chain)");
+      }
+      return Status::OK();
+    };
+    for (const UnaryIdRow& r : p.unary_ids) {
+      PEBBLE_RETURN_NOT_OK(resolvable(0, r.in));
+    }
+    for (const FlattenIdRow& r : p.flatten_ids) {
+      PEBBLE_RETURN_NOT_OK(resolvable(0, r.in));
+    }
+    for (const AggIdRow& r : p.agg_ids) {
+      for (int64_t in : r.ins) {
+        PEBBLE_RETURN_NOT_OK(resolvable(0, in));
+      }
+    }
+    for (const BinaryIdRow& r : p.binary_ids) {
+      if (p.type == OpType::kUnion) {
+        if ((r.in1 == kNoId) == (r.in2 == kNoId)) {
+          return Status::Internal(
+              Describe(oid, p) + " union row for output id " +
+              std::to_string(r.out) +
+              " must reference exactly one input side");
+        }
+      } else if (r.in1 == kNoId || r.in2 == kNoId) {
+        return Status::Internal(Describe(oid, p) + " join row for output id " +
+                                std::to_string(r.out) +
+                                " must reference both input sides");
+      }
+      if (r.in1 != kNoId) PEBBLE_RETURN_NOT_OK(resolvable(0, r.in1));
+      if (r.in2 != kNoId) PEBBLE_RETURN_NOT_OK(resolvable(1, r.in2));
+    }
+  }
+  return Status::OK();
 }
 
 uint64_t ProvenanceStore::TotalIdRows() const {

@@ -81,6 +81,22 @@ class ProvenanceStore {
   /// Total id association rows across all operators.
   uint64_t TotalIdRows() const;
 
+  /// Integrity pass over the captured provenance, callable after any run.
+  /// Verifies the invariants a correct (in particular retry-idempotent)
+  /// capture must uphold:
+  ///   - every operator populates at most the one id-table flavor matching
+  ///     its type (Tab. 6);
+  ///   - output ids are unique within each operator AND across the whole
+  ///     store (ids come from one run-global counter, so any duplicate
+  ///     means a task's rows were committed twice);
+  ///   - id chains resolve sink-to-source: every input id referenced by an
+  ///     operator's table appears as an output id of the producing
+  ///     operator (scans carry their ids on data rows, not in tables, so
+  ///     edges into scans are exempt);
+  ///   - union rows reference exactly one side, join rows both.
+  /// Returns kInternal describing the first violation found.
+  Status Validate() const;
+
  private:
   std::map<int, OperatorInfo> infos_;
   std::map<int, OperatorProvenance> ops_;

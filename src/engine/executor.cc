@@ -4,7 +4,25 @@
 
 namespace pebble {
 
+namespace {
+
+/// Statistics delta of one operator's execution.
+TaskStats StatsDelta(const TaskStats& before, const TaskStats& after) {
+  TaskStats d;
+  d.tasks_started = after.tasks_started - before.tasks_started;
+  d.tasks_succeeded = after.tasks_succeeded - before.tasks_succeeded;
+  d.tasks_failed = after.tasks_failed - before.tasks_failed;
+  d.tasks_skipped = after.tasks_skipped - before.tasks_skipped;
+  d.attempts = after.attempts - before.attempts;
+  d.retries = after.retries - before.retries;
+  d.timeouts = after.timeouts - before.timeouts;
+  return d;
+}
+
+}  // namespace
+
 Result<ExecutionResult> Executor::Run(const Pipeline& pipeline) const {
+  PEBBLE_RETURN_NOT_OK(ValidateExecOptions(options_));
   Stopwatch watch;
   ExecutionResult result;
   std::shared_ptr<ProvenanceStore> store;
@@ -41,7 +59,12 @@ Result<ExecutionResult> Executor::Run(const Pipeline& pipeline) const {
       }
       inputs.push_back(&it->second);
     }
+    TaskStats before = ctx.task_stats();
     PEBBLE_ASSIGN_OR_RETURN(Dataset out, op->Execute(&ctx, inputs));
+    TaskStats delta = StatsDelta(before, ctx.task_stats());
+    if (delta.attempts > 0) {
+      result.tasks_per_operator[op->oid()] = delta;
+    }
     if (op->type() == OpType::kScan) {
       result.source_datasets.emplace(op->oid(), out);
     }
@@ -60,6 +83,7 @@ Result<ExecutionResult> Executor::Run(const Pipeline& pipeline) const {
   }
   result.output = std::move(sink_it->second);
   result.provenance = std::move(store);
+  result.task_stats = ctx.task_stats();
   result.elapsed_ms = watch.ElapsedMillis();
   return result;
 }

@@ -24,6 +24,11 @@ struct ExecutionResult {
   std::map<int, Dataset> source_datasets;
   /// Output row count per operator (Spark-UI-style execution statistics).
   std::map<int, size_t> rows_per_operator;
+  /// Partition-task statistics per operator: attempts, retries, timeouts,
+  /// fail-fast skips (only operators that ran partition tasks appear).
+  std::map<int, TaskStats> tasks_per_operator;
+  /// Aggregate task statistics of the whole run.
+  TaskStats task_stats;
   /// Wall-clock execution time.
   double elapsed_ms = 0;
 };

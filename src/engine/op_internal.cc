@@ -1,5 +1,7 @@
 #include "engine/op_internal.h"
 
+#include "common/failpoint.h"
+
 namespace pebble::internal {
 
 namespace {
@@ -10,10 +12,16 @@ void HashCombine(uint64_t* seed, uint64_t v) {
 
 }  // namespace
 
-Dataset FinalizeUnary(ExecContext* ctx, TypePtr schema,
-                      std::vector<std::vector<UnaryPending>> pending,
-                      OperatorProvenance* prov,
-                      const ItemCaptureSpec* item_spec) {
+Status CheckProvenanceCommit(const OperatorProvenance* prov) {
+  if (prov == nullptr) return Status::OK();
+  return FailpointRegistry::Global().Evaluate(failpoints::kProvenanceAppend);
+}
+
+Result<Dataset> FinalizeUnary(ExecContext* ctx, TypePtr schema,
+                              std::vector<std::vector<UnaryPending>> pending,
+                              OperatorProvenance* prov,
+                              const ItemCaptureSpec* item_spec) {
+  PEBBLE_RETURN_NOT_OK(CheckProvenanceCommit(prov));
   std::vector<Partition> parts(pending.size());
   const bool items = ctx->capture_items() && item_spec != nullptr;
   for (size_t p = 0; p < pending.size(); ++p) {

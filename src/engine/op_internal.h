@@ -28,13 +28,20 @@ struct ItemCaptureSpec {
   bool manip_undefined = false;
 };
 
-/// Assigns output ids in partition order, emits unary id rows (and, in
-/// full-model mode, per-item provenance per `item_spec`) into `prov`, and
-/// returns the final dataset. `prov` may be nullptr (capture off).
-Dataset FinalizeUnary(ExecContext* ctx, TypePtr schema,
-                      std::vector<std::vector<UnaryPending>> pending,
-                      OperatorProvenance* prov,
-                      const ItemCaptureSpec* item_spec);
+/// Commit phase of a unary operator: assigns output ids in partition order,
+/// emits unary id rows (and, in full-model mode, per-item provenance per
+/// `item_spec`) into `prov`, and returns the final dataset. `prov` may be
+/// nullptr (capture off). Runs serially after every partition task of the
+/// operator succeeded — a retried task therefore never double-appends id
+/// rows. Evaluates the `provenance.append` failpoint before committing.
+Result<Dataset> FinalizeUnary(ExecContext* ctx, TypePtr schema,
+                              std::vector<std::vector<UnaryPending>> pending,
+                              OperatorProvenance* prov,
+                              const ItemCaptureSpec* item_spec);
+
+/// Evaluates the `provenance.append` failpoint guarding an operator's
+/// commit into the shared ProvenanceStore. No-op when `prov` is nullptr.
+Status CheckProvenanceCommit(const OperatorProvenance* prov);
 
 /// Deep hash of a key tuple (used by join/group shuffles).
 uint64_t HashKeyTuple(const std::vector<ValuePtr>& key);

@@ -1,40 +1,153 @@
 #include "engine/operator.h"
 
-#include <mutex>
+#include <chrono>
 #include <thread>
 
+#include "common/failpoint.h"
+#include "common/stopwatch.h"
+
 namespace pebble {
+
+Status ValidateExecOptions(const ExecOptions& options) {
+  if (options.num_partitions <= 0) {
+    return Status::InvalidArgument(
+        "num_partitions must be positive, got " +
+        std::to_string(options.num_partitions));
+  }
+  if (options.num_threads <= 0) {
+    return Status::InvalidArgument("num_threads must be positive, got " +
+                                   std::to_string(options.num_threads));
+  }
+  if (options.retry.max_attempts < 1) {
+    return Status::InvalidArgument(
+        "retry.max_attempts must be at least 1, got " +
+        std::to_string(options.retry.max_attempts));
+  }
+  if (options.retry.backoff_base_ms < 0) {
+    return Status::InvalidArgument(
+        "retry.backoff_base_ms must be non-negative, got " +
+        std::to_string(options.retry.backoff_base_ms));
+  }
+  for (StatusCode code : options.retry.retryable_codes) {
+    if (code == StatusCode::kOk) {
+      return Status::InvalidArgument("kOk cannot be a retryable error code");
+    }
+  }
+  if (options.task_timeout_ms < 0) {
+    return Status::InvalidArgument(
+        "task_timeout_ms must be non-negative, got " +
+        std::to_string(options.task_timeout_ms));
+  }
+  return Status::OK();
+}
+
+Status ExecContext::RunTaskAttempts(size_t i,
+                                    const std::function<Status(size_t)>& fn,
+                                    TaskStats* stats) {
+  const RetryPolicy& retry = options_.retry;
+  const int max_attempts = std::max(1, retry.max_attempts);
+  stats->tasks_started += 1;
+  Status last;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) {
+      stats->retries += 1;
+      if (retry.backoff_base_ms > 0) {
+        int64_t backoff = static_cast<int64_t>(retry.backoff_base_ms)
+                          << (attempt - 2);
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      }
+    }
+    stats->attempts += 1;
+    // Deterministic per-(task, attempt) key: fault schedules replay exactly
+    // regardless of which worker thread picks the task up when.
+    uint64_t key = (static_cast<uint64_t>(i) << 8) |
+                   static_cast<uint64_t>(attempt & 0xff);
+    Stopwatch watch;
+    Status st = FailpointRegistry::Global().Evaluate(
+        failpoints::kTaskPartition, key);
+    if (st.ok()) {
+      st = fn(i);
+    }
+    if (st.ok() && options_.task_timeout_ms > 0 &&
+        watch.ElapsedMillis() > options_.task_timeout_ms) {
+      stats->timeouts += 1;
+      st = Status::Unavailable(
+          "task " + std::to_string(i) + " exceeded the " +
+          std::to_string(options_.task_timeout_ms) + "ms timeout");
+    }
+    if (st.ok()) {
+      stats->tasks_succeeded += 1;
+      return st;
+    }
+    last = std::move(st);
+    if (!retry.IsRetryable(last.code())) break;
+  }
+  stats->tasks_failed += 1;
+  return last;
+}
 
 Status ExecContext::ParallelFor(size_t n,
                                 const std::function<Status(size_t)>& fn) {
   if (n == 0) return Status::OK();
-  int threads = options_.num_threads;
-  if (threads <= 1 || n == 1) {
-    for (size_t i = 0; i < n; ++i) {
-      PEBBLE_RETURN_NOT_OK(fn(i));
-    }
-    return Status::OK();
-  }
-  size_t workers = std::min<size_t>(static_cast<size_t>(threads), n);
-  std::mutex mu;
-  Status first_error;
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (size_t w = 0; w < workers; ++w) {
-    pool.emplace_back([&, w]() {
-      for (size_t i = w; i < n; i += workers) {
-        Status st = fn(i);
-        if (!st.ok()) {
-          std::lock_guard<std::mutex> lock(mu);
-          if (first_error.ok()) first_error = st;
-        }
+
+  // Fail-fast bound: tasks with index > bound are skipped. The bound only
+  // ever moves down to the index of a terminally failed task, so every task
+  // below the lowest failure still runs — the reported error is therefore
+  // always the lowest-index failure, independent of thread timing.
+  std::atomic<size_t> cancel_bound{n};
+  std::vector<Status> terminal(n);
+  TaskStats run_stats;
+  std::mutex agg_mu;
+
+  auto run_range = [&](size_t first, size_t stride) {
+    TaskStats local;
+    for (size_t i = first; i < n; i += stride) {
+      if (i > cancel_bound.load(std::memory_order_acquire)) {
+        local.tasks_skipped += 1;
+        continue;
       }
-    });
+      Status st = RunTaskAttempts(i, fn, &local);
+      if (!st.ok()) {
+        size_t cur = cancel_bound.load(std::memory_order_acquire);
+        while (i < cur && !cancel_bound.compare_exchange_weak(
+                              cur, i, std::memory_order_acq_rel)) {
+        }
+        terminal[i] = std::move(st);
+      }
+    }
+    std::lock_guard<std::mutex> lock(agg_mu);
+    run_stats.Add(local);
+  };
+
+  size_t workers =
+      std::min<size_t>(static_cast<size_t>(std::max(1, options_.num_threads)),
+                       n);
+  if (workers <= 1) {
+    run_range(0, 1);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      pool.emplace_back(run_range, w, workers);
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
   }
-  for (std::thread& t : pool) {
-    t.join();
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.Add(run_stats);
   }
-  return first_error;
+  for (size_t i = 0; i < n; ++i) {
+    if (!terminal[i].ok()) return terminal[i];
+  }
+  return Status::OK();
+}
+
+TaskStats ExecContext::task_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
 }
 
 }  // namespace pebble

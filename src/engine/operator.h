@@ -12,6 +12,7 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -21,13 +22,80 @@
 
 namespace pebble {
 
+/// Retry behavior of the partition-task runner (Spark-style task-level fault
+/// tolerance: failed tasks are re-attempted; their effects are staged per
+/// attempt and committed only on success).
+struct RetryPolicy {
+  /// Total attempts per task, including the first. 1 = no retry.
+  int max_attempts = 1;
+  /// Sleep backoff_base_ms * 2^(attempt-1) before re-attempting. 0 = none.
+  int backoff_base_ms = 0;
+  /// Status codes treated as transient. Empty = default set, which is
+  /// exactly {kUnavailable}. Other codes fail the run immediately.
+  std::vector<StatusCode> retryable_codes;
+
+  bool IsRetryable(StatusCode code) const {
+    if (retryable_codes.empty()) return code == StatusCode::kUnavailable;
+    for (StatusCode c : retryable_codes) {
+      if (c == code) return true;
+    }
+    return false;
+  }
+
+  /// A policy with retries on: `attempts` tries, no backoff.
+  static RetryPolicy WithRetries(int attempts) {
+    RetryPolicy p;
+    p.max_attempts = attempts;
+    return p;
+  }
+};
+
 /// Execution-wide knobs.
 struct ExecOptions {
+  ExecOptions() = default;
+  ExecOptions(CaptureMode capture_mode, int partitions, int threads)
+      : capture(capture_mode),
+        num_partitions(partitions),
+        num_threads(threads) {}
+
   CaptureMode capture = CaptureMode::kOff;
   /// Partition count for scans and shuffles (simulated cluster width).
   int num_partitions = 4;
   /// Worker threads for partition-parallel sections. 1 = sequential.
   int num_threads = 4;
+  /// Task-level retry behavior; defaults to no retries.
+  RetryPolicy retry;
+  /// Cooperative per-task-attempt timeout: an attempt whose wall time
+  /// exceeds this is treated as a failed (retryable) attempt and its staged
+  /// output is discarded. 0 = no timeout. The attempt is not preempted
+  /// mid-flight; the budget is checked when the task body returns.
+  int task_timeout_ms = 0;
+};
+
+/// Validates user-supplied options; kInvalidArgument on nonsense values.
+Status ValidateExecOptions(const ExecOptions& options);
+
+/// Per-run partition-task statistics (Spark-UI-style), aggregated by the
+/// task runner.
+struct TaskStats {
+  uint64_t tasks_started = 0;   // tasks that ran at least one attempt
+  uint64_t tasks_succeeded = 0;
+  uint64_t tasks_failed = 0;    // final status non-OK (retries exhausted or
+                                // non-retryable)
+  uint64_t tasks_skipped = 0;   // cancelled fail-fast before starting
+  uint64_t attempts = 0;        // total attempts, including retries
+  uint64_t retries = 0;         // attempts beyond each task's first
+  uint64_t timeouts = 0;        // attempts failed by the cooperative timeout
+
+  void Add(const TaskStats& other) {
+    tasks_started += other.tasks_started;
+    tasks_succeeded += other.tasks_succeeded;
+    tasks_failed += other.tasks_failed;
+    tasks_skipped += other.tasks_skipped;
+    attempts += other.attempts;
+    retries += other.retries;
+    timeouts += other.timeouts;
+  }
 };
 
 /// Shared state of one pipeline execution: capture mode, provenance store,
@@ -56,15 +124,42 @@ class ExecContext {
   /// Reserves `count` consecutive top-level item ids; returns the first.
   int64_t ReserveIds(int64_t count) { return next_id_.fetch_add(count); }
 
-  /// Runs fn(i) for i in [0, n), distributing across the configured worker
-  /// threads. Returns the first non-OK status produced (remaining iterations
-  /// still run). fn must be safe to call concurrently for distinct i.
+  /// Runs partition tasks fn(i) for i in [0, n) on the configured worker
+  /// threads, with task-level fault tolerance per options().retry:
+  ///
+  ///  - Each task is attempted up to retry.max_attempts times; attempts that
+  ///    fail with a retryable code (or exceed task_timeout_ms) are retried
+  ///    after exponential backoff. The `task.partition` failpoint is
+  ///    evaluated before every attempt, keyed by (task, attempt), so
+  ///    injected fault schedules are deterministic under any interleaving.
+  ///  - fn must be retry-idempotent: an attempt must overwrite (not append
+  ///    to) any task-local staging it owns, because a timed-out or failed
+  ///    attempt may already have written to it.
+  ///  - Fail-fast: once a task fails terminally, tasks with a higher index
+  ///    that have not started are skipped. Tasks with a lower index still
+  ///    run, so the returned Status is always the terminal failure of the
+  ///    *lowest-index* failing task — deterministic whenever fn and the
+  ///    fault schedule are.
+  ///  - fn must be safe to call concurrently for distinct i.
+  ///
+  /// Statistics of every run accumulate into task_stats().
   Status ParallelFor(size_t n, const std::function<Status(size_t)>& fn);
 
+  /// Cumulative task statistics across all ParallelFor calls on this
+  /// context. Thread-safe.
+  TaskStats task_stats() const;
+
  private:
+  /// Runs all attempts of task `i`; returns its terminal status and
+  /// accumulates into `stats`.
+  Status RunTaskAttempts(size_t i, const std::function<Status(size_t)>& fn,
+                         TaskStats* stats);
+
   ExecOptions options_;
   ProvenanceStore* store_;
   std::atomic<int64_t> next_id_{1};
+  mutable std::mutex stats_mu_;
+  TaskStats stats_;
 };
 
 /// Abstract operator node. Concrete operators live in engine/operators.h.

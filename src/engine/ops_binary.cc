@@ -3,6 +3,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "engine/op_internal.h"
 #include "engine/operators.h"
 
@@ -113,20 +114,26 @@ Result<Dataset> JoinOp::Execute(
     ExecContext* ctx, const std::vector<const Dataset*>& inputs) const {
   const Dataset& left = *inputs[0];
   const Dataset& right = *inputs[1];
-  const size_t buckets = left_keys_.empty()
-                             ? 1  // nested-loop theta-join: single bucket
-                             : static_cast<size_t>(
-                                   std::max(1, ctx->options().num_partitions));
+  // num_partitions is validated positive at Executor::Run entry.
+  const size_t buckets =
+      left_keys_.empty()
+          ? 1  // nested-loop theta-join: single bucket
+          : static_cast<size_t>(ctx->options().num_partitions);
 
   // Shuffle phase: hash-partition both sides by key tuple, preserving the
-  // global row order within each bucket (deterministic output).
+  // global row order within each bucket (deterministic output). Each input
+  // partition is one simulated exchange that can fail independently.
   struct KeyedRow {
     std::vector<ValuePtr> key;
     Row row;
   };
+  FailpointRegistry& fp = FailpointRegistry::Global();
   std::vector<std::vector<KeyedRow>> left_buckets(buckets);
   std::vector<std::vector<KeyedRow>> right_buckets(buckets);
+  size_t exchange = 0;
   for (const Partition& part : left.partitions()) {
+    PEBBLE_RETURN_NOT_OK(
+        fp.Evaluate(failpoints::kShuffleExchange, exchange++));
     for (const Row& row : part) {
       PEBBLE_ASSIGN_OR_RETURN(std::vector<ValuePtr> key,
                               EvalKeys(left_keys_, *row.value));
@@ -135,6 +142,8 @@ Result<Dataset> JoinOp::Execute(
     }
   }
   for (const Partition& part : right.partitions()) {
+    PEBBLE_RETURN_NOT_OK(
+        fp.Evaluate(failpoints::kShuffleExchange, exchange++));
     for (const Row& row : part) {
       PEBBLE_ASSIGN_OR_RETURN(std::vector<ValuePtr> key,
                               EvalKeys(right_keys_, *row.value));
@@ -146,6 +155,7 @@ Result<Dataset> JoinOp::Execute(
   const bool capture = ctx->capture_enabled();
   std::vector<std::vector<BinaryPending>> pending(buckets);
   PEBBLE_RETURN_NOT_OK(ctx->ParallelFor(buckets, [&](size_t b) -> Status {
+    pending[b].clear();  // retry-idempotent: overwrite, never append
     // Build a multimap over the right side of this bucket.
     std::unordered_multimap<uint64_t, const KeyedRow*> index;
     index.reserve(right_buckets[b].size());
@@ -236,6 +246,7 @@ Result<Dataset> JoinOp::Execute(
     internal::EmitSchemaCapture(ctx, *this, prov, {ip1, ip2},
                                 std::move(manipulations), false);
   }
+  PEBBLE_RETURN_NOT_OK(internal::CheckProvenanceCommit(prov));
 
   const bool items = ctx->capture_items();
   for (size_t b = 0; b < buckets; ++b) {
@@ -306,6 +317,7 @@ Result<Dataset> UnionOp::Execute(
     // A = {} (schema comparison only) and M = {} per the union* rule.
     internal::EmitSchemaCapture(ctx, *this, prov, {ip1, ip2}, {}, false);
   }
+  PEBBLE_RETURN_NOT_OK(internal::CheckProvenanceCommit(prov));
   const bool items = ctx->capture_items();
 
   std::vector<Partition> parts;

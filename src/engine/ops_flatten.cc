@@ -71,6 +71,7 @@ Result<Dataset> FlattenOp::Execute(
   if (!ctx->capture_enabled()) {
     std::vector<Partition> parts(nparts);
     PEBBLE_RETURN_NOT_OK(ctx->ParallelFor(nparts, [&](size_t p) -> Status {
+      parts[p].clear();  // retry-idempotent: overwrite, never append
       for (const Row& row : in.partitions()[p]) {
         PEBBLE_RETURN_NOT_OK(explode(row, [&](ValuePtr v, int32_t) {
           parts[p].push_back(Row{-1, std::move(v)});
@@ -83,6 +84,7 @@ Result<Dataset> FlattenOp::Execute(
 
   std::vector<std::vector<FlattenPending>> pending(nparts);
   PEBBLE_RETURN_NOT_OK(ctx->ParallelFor(nparts, [&](size_t p) -> Status {
+    pending[p].clear();  // retry-idempotent: overwrite, never append
     for (const Row& row : in.partitions()[p]) {
       PEBBLE_RETURN_NOT_OK(explode(row, [&](ValuePtr v, int32_t pos) {
         pending[p].push_back(FlattenPending{std::move(v), row.id, pos});
@@ -92,6 +94,7 @@ Result<Dataset> FlattenOp::Execute(
   }));
 
   OperatorProvenance* prov = ctx->store()->Mutable(oid());
+  PEBBLE_RETURN_NOT_OK(internal::CheckProvenanceCommit(prov));
   // Schema-level capture: A = {a_col[pos]}, M = {(a_col[pos], a_new)}.
   Path col_pos = column_.Parent().Child(
       PathStep{column_.back().attr, kPosPlaceholder});

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "engine/op_internal.h"
 #include "engine/operators.h"
 
@@ -211,17 +212,21 @@ Result<TypePtr> GroupAggregateOp::InferSchema(
 Result<Dataset> GroupAggregateOp::Execute(
     ExecContext* ctx, const std::vector<const Dataset*>& inputs) const {
   const Dataset& in = *inputs[0];
-  const size_t buckets =
-      static_cast<size_t>(std::max(1, ctx->options().num_partitions));
+  // num_partitions is validated positive at Executor::Run entry.
+  const size_t buckets = static_cast<size_t>(ctx->options().num_partitions);
   const bool capture = ctx->capture_enabled();
 
   // Shuffle: hash-partition rows by key tuple, preserving global order.
+  // Each input partition is one simulated exchange that can fail.
   struct KeyedRow {
     std::vector<ValuePtr> key;
     Row row;
   };
   std::vector<std::vector<KeyedRow>> keyed(buckets);
+  size_t exchange = 0;
   for (const Partition& part : in.partitions()) {
+    PEBBLE_RETURN_NOT_OK(FailpointRegistry::Global().Evaluate(
+        failpoints::kShuffleExchange, exchange++));
     for (const Row& row : part) {
       std::vector<ValuePtr> key;
       key.reserve(keys_.size());
@@ -240,14 +245,17 @@ Result<Dataset> GroupAggregateOp::Execute(
   };
   std::vector<std::vector<PendingGroup>> pending(buckets);
   PEBBLE_RETURN_NOT_OK(ctx->ParallelFor(buckets, [&](size_t b) -> Status {
-    // Group rows of this bucket in encounter order.
+    pending[b].clear();  // retry-idempotent: overwrite, never append
+    // Group rows of this bucket in encounter order. The shuffled input
+    // (keyed[b]) is shared across attempts and must only be read, never
+    // moved from: a retried attempt sees the same rows again.
     struct Group {
       std::vector<ValuePtr> key;
       std::vector<Row> rows;
     };
     std::vector<Group> groups;
     std::unordered_multimap<uint64_t, size_t> index;
-    for (KeyedRow& kr : keyed[b]) {
+    for (const KeyedRow& kr : keyed[b]) {
       uint64_t h = internal::HashKeyTuple(kr.key);
       size_t gidx = SIZE_MAX;
       auto range = index.equal_range(h);
@@ -259,7 +267,7 @@ Result<Dataset> GroupAggregateOp::Execute(
       }
       if (gidx == SIZE_MAX) {
         gidx = groups.size();
-        groups.push_back(Group{std::move(kr.key), {}});
+        groups.push_back(Group{kr.key, {}});
         index.emplace(h, gidx);
       }
       groups[gidx].rows.push_back(kr.row);
@@ -335,6 +343,7 @@ Result<Dataset> GroupAggregateOp::Execute(
     internal::EmitSchemaCapture(ctx, *this, prov, {ip},
                                 std::move(manipulations), false);
   }
+  PEBBLE_RETURN_NOT_OK(internal::CheckProvenanceCommit(prov));
 
   const bool items = ctx->capture_items();
   std::vector<Partition> parts(buckets);

@@ -3,6 +3,7 @@
 
 #include <utility>
 
+#include "common/failpoint.h"
 #include "engine/op_internal.h"
 #include "engine/operators.h"
 
@@ -36,6 +37,12 @@ Result<Dataset> ScanOp::Execute(ExecContext* ctx,
                                 const std::vector<const Dataset*>&) const {
   Dataset ds =
       Dataset::FromValues(schema_, *data_, ctx->options().num_partitions);
+  // One read per source partition; each can fail independently (keyed by
+  // partition index for deterministic injection).
+  for (size_t p = 0; p < ds.partitions().size(); ++p) {
+    PEBBLE_RETURN_NOT_OK(
+        FailpointRegistry::Global().Evaluate(failpoints::kScanRead, p));
+  }
   if (ctx->capture_enabled()) {
     // Annotate the top-level input items with fresh provenance ids. This is
     // the only annotation Pebble attaches to data (Sec. 5.1).
@@ -82,6 +89,7 @@ Result<Dataset> FilterOp::Execute(
   if (!ctx->capture_enabled()) {
     std::vector<Partition> parts(nparts);
     PEBBLE_RETURN_NOT_OK(ctx->ParallelFor(nparts, [&](size_t p) -> Status {
+      parts[p].clear();  // retry-idempotent: overwrite, never append
       for (const Row& row : in.partitions()[p]) {
         PEBBLE_ASSIGN_OR_RETURN(bool pass,
                                 predicate_->EvaluateBool(*row.value));
@@ -94,6 +102,7 @@ Result<Dataset> FilterOp::Execute(
 
   std::vector<std::vector<UnaryPending>> pending(nparts);
   PEBBLE_RETURN_NOT_OK(ctx->ParallelFor(nparts, [&](size_t p) -> Status {
+    pending[p].clear();  // retry-idempotent: overwrite, never append
     for (const Row& row : in.partitions()[p]) {
       PEBBLE_ASSIGN_OR_RETURN(bool pass, predicate_->EvaluateBool(*row.value));
       if (pass) pending[p].push_back(UnaryPending{row.value, row.id});
@@ -244,6 +253,7 @@ Result<Dataset> SelectOp::Execute(
   if (!ctx->capture_enabled()) {
     std::vector<Partition> parts(nparts);
     PEBBLE_RETURN_NOT_OK(ctx->ParallelFor(nparts, [&](size_t p) -> Status {
+      parts[p].clear();  // retry-idempotent: overwrite, never append
       parts[p].reserve(in.partitions()[p].size());
       for (const Row& row : in.partitions()[p]) {
         PEBBLE_ASSIGN_OR_RETURN(ValuePtr v, project_row(*row.value));
@@ -256,6 +266,7 @@ Result<Dataset> SelectOp::Execute(
 
   std::vector<std::vector<UnaryPending>> pending(nparts);
   PEBBLE_RETURN_NOT_OK(ctx->ParallelFor(nparts, [&](size_t p) -> Status {
+    pending[p].clear();  // retry-idempotent: overwrite, never append
     pending[p].reserve(in.partitions()[p].size());
     for (const Row& row : in.partitions()[p]) {
       PEBBLE_ASSIGN_OR_RETURN(ValuePtr v, project_row(*row.value));
@@ -308,6 +319,7 @@ Result<Dataset> MapOp::Execute(
 
   std::vector<std::vector<UnaryPending>> pending(nparts);
   PEBBLE_RETURN_NOT_OK(ctx->ParallelFor(nparts, [&](size_t p) -> Status {
+    pending[p].clear();  // retry-idempotent: overwrite, never append
     pending[p].reserve(in.partitions()[p].size());
     for (const Row& row : in.partitions()[p]) {
       PEBBLE_ASSIGN_OR_RETURN(ValuePtr v, fn_(*row.value));

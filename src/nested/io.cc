@@ -3,11 +3,13 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/failpoint.h"
 #include "nested/json.h"
 
 namespace pebble {
 
 Result<std::vector<ValuePtr>> ReadJsonLinesFile(const std::string& path) {
+  PEBBLE_FAILPOINT(failpoints::kIoRead);
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::IOError("cannot open '" + path + "' for reading");

@@ -1,0 +1,168 @@
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "test_util.h"
+
+namespace pebble {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailpointRegistry::Global().DisableAll(); }
+
+  FailpointRegistry& fp_ = FailpointRegistry::Global();
+};
+
+TEST_F(FailpointTest, DisarmedSiteIsFree) {
+  EXPECT_OK(fp_.Evaluate("nonexistent.site"));
+  EXPECT_EQ(fp_.evaluations("nonexistent.site"), 0u);
+  EXPECT_EQ(fp_.TotalFires(), 0u);
+}
+
+TEST_F(FailpointTest, EveryNthFiresOnSchedule) {
+  FailpointSpec spec;
+  spec.every_nth = 3;
+  fp_.Enable("t.site", spec);
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; ++i) {
+    fired.push_back(!fp_.Evaluate("t.site").ok());
+  }
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false, true,
+                                      false, false, true}));
+  EXPECT_EQ(fp_.evaluations("t.site"), 9u);
+  EXPECT_EQ(fp_.fires("t.site"), 3u);
+}
+
+TEST_F(FailpointTest, AlwaysFireInjectsConfiguredStatus) {
+  FailpointSpec spec;
+  spec.every_nth = 1;
+  spec.code = StatusCode::kIOError;
+  spec.message = "disk on fire";
+  fp_.Enable("t.site", spec);
+  Status s = fp_.Evaluate("t.site");
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_EQ(s.message(), "disk on fire");
+}
+
+TEST_F(FailpointTest, DefaultInjectedErrorIsTransient) {
+  FailpointSpec spec;
+  spec.every_nth = 1;
+  fp_.Enable("t.site", spec);
+  Status s = fp_.Evaluate("t.site");
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_NE(s.message().find("t.site"), std::string::npos);
+}
+
+TEST_F(FailpointTest, KeyedProbabilityIsDeterministic) {
+  FailpointSpec spec;
+  spec.probability = 0.5;
+  spec.seed = 99;
+  fp_.Enable("t.site", spec);
+  std::vector<bool> first;
+  for (uint64_t k = 0; k < 64; ++k) {
+    first.push_back(!fp_.Evaluate("t.site", k).ok());
+  }
+  // Re-arming resets counters; keyed firing must reproduce exactly.
+  fp_.Enable("t.site", spec);
+  for (uint64_t k = 0; k < 64; ++k) {
+    EXPECT_EQ(!fp_.Evaluate("t.site", k).ok(), first[k]) << "key " << k;
+  }
+  // ~50% fire rate: loose sanity bounds.
+  int fires = 0;
+  for (bool b : first) fires += b;
+  EXPECT_GT(fires, 16);
+  EXPECT_LT(fires, 48);
+}
+
+TEST_F(FailpointTest, ProbabilityDependsOnSeedAndSite) {
+  FailpointSpec a;
+  a.probability = 0.5;
+  a.seed = 1;
+  FailpointSpec b = a;
+  b.seed = 2;
+  fp_.Enable("site.a", a);
+  fp_.Enable("site.b", a);
+  fp_.Enable("site.c", b);
+  std::vector<bool> fa, fb, fc;
+  for (uint64_t k = 0; k < 128; ++k) {
+    fa.push_back(!fp_.Evaluate("site.a", k).ok());
+    fb.push_back(!fp_.Evaluate("site.b", k).ok());
+    fc.push_back(!fp_.Evaluate("site.c", k).ok());
+  }
+  EXPECT_NE(fa, fb);  // same seed, different site
+  EXPECT_NE(fa, fc);  // same site name length, different seed
+}
+
+TEST_F(FailpointTest, MaxFiresCapsInjection) {
+  FailpointSpec spec;
+  spec.every_nth = 1;
+  spec.max_fires = 2;
+  fp_.Enable("t.site", spec);
+  EXPECT_FALSE(fp_.Evaluate("t.site").ok());
+  EXPECT_FALSE(fp_.Evaluate("t.site").ok());
+  EXPECT_OK(fp_.Evaluate("t.site"));
+  EXPECT_OK(fp_.Evaluate("t.site"));
+  EXPECT_EQ(fp_.fires("t.site"), 2u);
+  EXPECT_EQ(fp_.evaluations("t.site"), 4u);
+}
+
+TEST_F(FailpointTest, ZeroMaxFiresMakesSitePassive) {
+  // delay-only / observation-only site: evaluations counted, never fires.
+  FailpointSpec spec;
+  spec.every_nth = 1;
+  spec.max_fires = 0;
+  fp_.Enable("t.site", spec);
+  EXPECT_OK(fp_.Evaluate("t.site"));
+  EXPECT_EQ(fp_.evaluations("t.site"), 1u);
+  EXPECT_EQ(fp_.fires("t.site"), 0u);
+}
+
+TEST_F(FailpointTest, DisableStopsInjection) {
+  FailpointSpec spec;
+  spec.every_nth = 1;
+  fp_.Enable("t.site", spec);
+  EXPECT_FALSE(fp_.Evaluate("t.site").ok());
+  fp_.Disable("t.site");
+  EXPECT_OK(fp_.Evaluate("t.site"));
+  EXPECT_EQ(fp_.fires("t.site"), 0u);  // counters discarded with the site
+}
+
+TEST_F(FailpointTest, EnableResetsCounters) {
+  FailpointSpec spec;
+  spec.every_nth = 2;
+  fp_.Enable("t.site", spec);
+  EXPECT_OK(fp_.Evaluate("t.site"));
+  EXPECT_FALSE(fp_.Evaluate("t.site").ok());
+  fp_.Enable("t.site", spec);  // re-arm: schedule starts over
+  EXPECT_OK(fp_.Evaluate("t.site"));
+  EXPECT_FALSE(fp_.Evaluate("t.site").ok());
+  EXPECT_EQ(fp_.evaluations("t.site"), 2u);
+}
+
+TEST_F(FailpointTest, ConcurrentEvaluationCountsExactly) {
+  FailpointSpec spec;
+  spec.every_nth = 4;
+  fp_.Enable("t.site", spec);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 250;
+  std::atomic<uint64_t> observed_fires{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (!fp_.Evaluate("t.site").ok()) observed_fires.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(fp_.evaluations("t.site"), uint64_t{kThreads * kPerThread});
+  EXPECT_EQ(fp_.fires("t.site"), uint64_t{kThreads * kPerThread / 4});
+  EXPECT_EQ(observed_fires.load(), fp_.fires("t.site"));
+}
+
+}  // namespace
+}  // namespace pebble

@@ -1,10 +1,15 @@
 // Failure-injection tests: backtracing and lineage tracing over corrupted
-// or inconsistent provenance stores must fail with clean Status errors —
-// never crash, hang, or fabricate results.
+// or inconsistent provenance stores — and pipeline construction over
+// corrupted input files — must fail with clean Status errors, never crash,
+// hang, or fabricate results.
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
 #include "baselines/titian.h"
+#include "common/failpoint.h"
 #include "core/provenance_io.h"
 #include "core/query.h"
 #include "engine/engine_test_util.h"
@@ -115,6 +120,94 @@ TEST_F(FailureInjectionTest, TruncatedSerializationRejected) {
   Result<std::unique_ptr<ProvenanceStore>> loaded =
       DeserializeProvenanceStore(partial_line);
   EXPECT_FALSE(loaded.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Corrupted input files: building a pipeline over bad NDJSON must fail with
+// clean kIOError / kInvalidArgument Statuses.
+
+class IoFailureTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailpointRegistry::Global().DisableAll(); }
+
+  std::string WriteFile(const std::string& name, const std::string& content) {
+    std::string path = ::testing::TempDir() + "pebble_" + name;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+    out.close();
+    return path;
+  }
+};
+
+TEST_F(IoFailureTest, MissingFileIsIoError) {
+  PipelineBuilder b;
+  Result<int> scan = b.ScanJsonFile("/nonexistent/pebble/input.ndjson");
+  ASSERT_FALSE(scan.ok());
+  EXPECT_EQ(scan.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(IoFailureTest, TruncatedRecordIsCleanParseError) {
+  // File cut off mid-record, as after a partial upload.
+  std::string path = WriteFile("truncated.ndjson",
+                               "{\"k\": 1}\n{\"k\": ");
+  PipelineBuilder b;
+  Result<int> scan = b.ScanJsonFile(path);
+  ASSERT_FALSE(scan.ok());
+  EXPECT_EQ(scan.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoFailureTest, MalformedLineIsCleanParseError) {
+  std::string path = WriteFile("malformed.ndjson",
+                               "{\"k\": 1}\nnot json at all\n{\"k\": 2}\n");
+  PipelineBuilder b;
+  Result<int> scan = b.ScanJsonFile(path);
+  ASSERT_FALSE(scan.ok());
+  EXPECT_EQ(scan.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoFailureTest, EmptyFileWithoutSchemaRejected) {
+  std::string path = WriteFile("empty.ndjson", "");
+  PipelineBuilder b;
+  Result<int> scan = b.ScanJsonFile(path);
+  ASSERT_FALSE(scan.ok());
+  EXPECT_EQ(scan.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoFailureTest, SchemaMismatchRejected) {
+  std::string path = WriteFile("mismatch.ndjson",
+                               "{\"k\": 1}\n{\"k\": \"oops\"}\n");
+  PipelineBuilder b;
+  Result<int> scan = b.ScanJsonFile(path);
+  ASSERT_FALSE(scan.ok());
+  EXPECT_EQ(scan.status().code(), StatusCode::kTypeError);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoFailureTest, InjectedReadFaultSurfacesAndPipelineStillBuildsAfter) {
+  std::string path = WriteFile("good.ndjson", "{\"k\": 1}\n{\"k\": 2}\n");
+  FailpointSpec spec;
+  spec.every_nth = 1;
+  spec.max_fires = 1;
+  spec.code = StatusCode::kIOError;
+  FailpointRegistry::Global().Enable(failpoints::kIoRead, spec);
+
+  PipelineBuilder b;
+  Result<int> scan = b.ScanJsonFile(path);
+  ASSERT_FALSE(scan.ok());
+  EXPECT_EQ(scan.status().code(), StatusCode::kIOError);
+
+  // Fault cleared (max_fires exhausted): the same read now succeeds and the
+  // pipeline executes normally.
+  ASSERT_OK_AND_ASSIGN(int scan2, b.ScanJsonFile(path));
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(scan2));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       RunWith(p, CaptureMode::kStructural));
+  EXPECT_EQ(run.output.NumRows(), 2u);
+  ASSERT_OK(run.provenance->Validate());
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -120,5 +120,142 @@ TEST(ProvenanceStoreTest, MutableIsIdempotentPerOid) {
   EXPECT_EQ(store.Find(1)->unary_ids.size(), 2u);
 }
 
+// ---------------------------------------------------------------------------
+// Validate(): integrity pass over a captured store.
+
+/// scan(1) -> filter(2) -> flatten(3), with a consistent id chain.
+void FillGoodStore(ProvenanceStore* store) {
+  store->RegisterOperator(OperatorInfo{1, OpType::kScan, {}, "scan"});
+  store->RegisterOperator(OperatorInfo{2, OpType::kFilter, {1}, "filter"});
+  store->RegisterOperator(OperatorInfo{3, OpType::kFlatten, {2}, "flatten"});
+  store->set_sink_oid(3);
+  // Scans keep ids on rows; no table. Filter maps source ids 1,2 -> 10,11.
+  store->Mutable(2)->unary_ids = {{1, 10}, {2, 11}};
+  store->Mutable(3)->flatten_ids = {{10, 0, 20}, {10, 1, 21}, {11, 0, 22}};
+}
+
+TEST(ProvenanceValidateTest, ConsistentStorePasses) {
+  ProvenanceStore store;
+  FillGoodStore(&store);
+  EXPECT_OK(store.Validate());
+}
+
+TEST(ProvenanceValidateTest, EmptyStorePasses) {
+  ProvenanceStore store;
+  EXPECT_OK(store.Validate());
+}
+
+TEST(ProvenanceValidateTest, DuplicateOutputIdFails) {
+  // The signature of a double-committed task: the same id rows appended
+  // twice.
+  ProvenanceStore store;
+  FillGoodStore(&store);
+  store.Mutable(2)->unary_ids.push_back({1, 10});
+  Status s = store.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_NE(s.message().find("duplicate"), std::string::npos);
+}
+
+TEST(ProvenanceValidateTest, CrossOperatorIdCollisionFails) {
+  // Ids are run-global; two operators claiming the same output id means a
+  // commit happened against a stale id reservation.
+  ProvenanceStore store;
+  FillGoodStore(&store);
+  store.Mutable(3)->flatten_ids.push_back({11, 1, 10});  // 10 is filter's
+  Status s = store.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("collides"), std::string::npos);
+}
+
+TEST(ProvenanceValidateTest, BrokenIdChainFails) {
+  ProvenanceStore store;
+  FillGoodStore(&store);
+  store.Mutable(3)->flatten_ids.push_back({99, 0, 23});  // 99 never produced
+  Status s = store.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("broken id chain"), std::string::npos);
+}
+
+TEST(ProvenanceValidateTest, NonPositiveIdsFail) {
+  {
+    ProvenanceStore store;
+    FillGoodStore(&store);
+    store.Mutable(2)->unary_ids.push_back({3, 0});
+    EXPECT_FALSE(store.Validate().ok());
+  }
+  {
+    ProvenanceStore store;
+    FillGoodStore(&store);
+    store.Mutable(2)->unary_ids.push_back({-7, 12});
+    EXPECT_FALSE(store.Validate().ok());
+  }
+}
+
+TEST(ProvenanceValidateTest, WrongTableFlavorFails) {
+  ProvenanceStore store;
+  FillGoodStore(&store);
+  store.Mutable(2)->agg_ids.push_back(AggIdRow{{1}, 30});  // filter w/ agg
+  Status s = store.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("flavor"), std::string::npos);
+}
+
+TEST(ProvenanceValidateTest, ScanWithIdTableFails) {
+  ProvenanceStore store;
+  FillGoodStore(&store);
+  store.Mutable(1)->unary_ids.push_back({5, 6});
+  EXPECT_FALSE(store.Validate().ok());
+}
+
+TEST(ProvenanceValidateTest, UnionRowMustReferenceExactlyOneSide) {
+  ProvenanceStore store;
+  store.RegisterOperator(OperatorInfo{1, OpType::kScan, {}, "l"});
+  store.RegisterOperator(OperatorInfo{2, OpType::kScan, {}, "r"});
+  store.RegisterOperator(OperatorInfo{3, OpType::kUnion, {1, 2}, "u"});
+  store.Mutable(3)->binary_ids = {{1, kNoId, 10}, {kNoId, 2, 11}};
+  EXPECT_OK(store.Validate());
+
+  store.Mutable(3)->binary_ids.push_back({3, 4, 12});  // both sides set
+  Status s = store.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("exactly one input side"), std::string::npos);
+}
+
+TEST(ProvenanceValidateTest, JoinRowMustReferenceBothSides) {
+  ProvenanceStore store;
+  store.RegisterOperator(OperatorInfo{1, OpType::kScan, {}, "l"});
+  store.RegisterOperator(OperatorInfo{2, OpType::kScan, {}, "r"});
+  store.RegisterOperator(OperatorInfo{3, OpType::kJoin, {1, 2}, "j"});
+  store.Mutable(3)->binary_ids = {{1, 2, 10}};
+  EXPECT_OK(store.Validate());
+
+  store.Mutable(3)->binary_ids.push_back({5, kNoId, 11});
+  Status s = store.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("both input sides"), std::string::npos);
+}
+
+TEST(ProvenanceValidateTest, UnregisteredOperatorWithCaptureFails) {
+  ProvenanceStore store;
+  store.Mutable(42);  // capture entry exists, operator never registered
+  Status s = store.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("never registered"), std::string::npos);
+}
+
+TEST(ProvenanceValidateTest, AggRowInputsMustResolve) {
+  ProvenanceStore store;
+  store.RegisterOperator(OperatorInfo{1, OpType::kScan, {}, "s"});
+  store.RegisterOperator(OperatorInfo{2, OpType::kFilter, {1}, "f"});
+  store.RegisterOperator(OperatorInfo{3, OpType::kGroupAggregate, {2}, "g"});
+  store.Mutable(2)->unary_ids = {{1, 10}, {2, 11}};
+  store.Mutable(3)->agg_ids.push_back(AggIdRow{{10, 11}, 20});
+  EXPECT_OK(store.Validate());
+
+  store.Mutable(3)->agg_ids.push_back(AggIdRow{{12}, 21});  // 12 unknown
+  EXPECT_FALSE(store.Validate().ok());
+}
+
 }  // namespace
 }  // namespace pebble

@@ -1,0 +1,306 @@
+// Tests for the retrying partition-task runner (ExecContext::ParallelFor)
+// and ExecOptions validation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "engine/executor.h"
+#include "test_util.h"
+
+namespace pebble {
+namespace {
+
+ExecOptions WithRetries(int attempts) {
+  ExecOptions options;
+  options.retry = RetryPolicy::WithRetries(attempts);
+  return options;
+}
+
+TEST(TaskRunnerTest, RunsEveryTaskOnce) {
+  ExecContext ctx(ExecOptions{}, nullptr);
+  std::vector<std::atomic<int>> calls(16);
+  ASSERT_OK(ctx.ParallelFor(16, [&](size_t i) {
+    calls[i].fetch_add(1);
+    return Status::OK();
+  }));
+  for (auto& c : calls) EXPECT_EQ(c.load(), 1);
+  TaskStats stats = ctx.task_stats();
+  EXPECT_EQ(stats.tasks_started, 16u);
+  EXPECT_EQ(stats.tasks_succeeded, 16u);
+  EXPECT_EQ(stats.attempts, 16u);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.tasks_failed, 0u);
+}
+
+TEST(TaskRunnerTest, TransientFailuresAreRetried) {
+  ExecContext ctx(WithRetries(3), nullptr);
+  std::vector<std::atomic<int>> calls(8);
+  ASSERT_OK(ctx.ParallelFor(8, [&](size_t i) {
+    // Every task fails its first two attempts, succeeds on the third.
+    if (calls[i].fetch_add(1) < 2) return Status::Unavailable("flaky");
+    return Status::OK();
+  }));
+  for (auto& c : calls) EXPECT_EQ(c.load(), 3);
+  TaskStats stats = ctx.task_stats();
+  EXPECT_EQ(stats.tasks_succeeded, 8u);
+  EXPECT_EQ(stats.attempts, 24u);
+  EXPECT_EQ(stats.retries, 16u);
+}
+
+TEST(TaskRunnerTest, ExhaustedRetriesReportLastError) {
+  ExecContext ctx(WithRetries(3), nullptr);
+  std::atomic<int> calls{0};
+  Status s = ctx.ParallelFor(1, [&](size_t) {
+    calls.fetch_add(1);
+    return Status::Unavailable("still down");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(s.message(), "still down");
+  EXPECT_EQ(calls.load(), 3);
+  TaskStats stats = ctx.task_stats();
+  EXPECT_EQ(stats.tasks_failed, 1u);
+  EXPECT_EQ(stats.attempts, 3u);
+}
+
+TEST(TaskRunnerTest, NonRetryableCodesFailImmediately) {
+  ExecContext ctx(WithRetries(5), nullptr);
+  std::atomic<int> calls{0};
+  Status s = ctx.ParallelFor(1, [&](size_t) {
+    calls.fetch_add(1);
+    return Status::Internal("logic bug");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(calls.load(), 1) << "non-retryable errors must not be retried";
+}
+
+TEST(TaskRunnerTest, CustomRetryableCodes) {
+  ExecOptions options;
+  options.retry.max_attempts = 2;
+  options.retry.retryable_codes = {StatusCode::kIOError};
+  ExecContext ctx(options, nullptr);
+  std::atomic<int> io_calls{0};
+  ASSERT_OK(ctx.ParallelFor(1, [&](size_t) {
+    if (io_calls.fetch_add(1) == 0) return Status::IOError("blip");
+    return Status::OK();
+  }));
+  EXPECT_EQ(io_calls.load(), 2);
+
+  // With an explicit list, kUnavailable is no longer retryable.
+  std::atomic<int> un_calls{0};
+  Status s = ctx.ParallelFor(1, [&](size_t) {
+    un_calls.fetch_add(1);
+    return Status::Unavailable("down");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(un_calls.load(), 1);
+}
+
+TEST(TaskRunnerTest, ReportsLowestIndexFailure) {
+  // Several tasks fail with distinct messages; the reported Status must be
+  // the lowest-index one regardless of scheduling, every time.
+  for (int round = 0; round < 20; ++round) {
+    ExecOptions options;
+    options.num_threads = 4;
+    ExecContext ctx(options, nullptr);
+    Status s = ctx.ParallelFor(32, [&](size_t i) {
+      if (i % 7 == 3) {  // fails at i = 3, 10, 17, 24, 31
+        return Status::Internal("task " + std::to_string(i));
+      }
+      return Status::OK();
+    });
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.message(), "task 3");
+  }
+}
+
+TEST(TaskRunnerTest, FailFastSkipsHigherTasks) {
+  ExecOptions options;
+  options.num_threads = 2;
+  ExecContext ctx(options, nullptr);
+  std::atomic<int> ran{0};
+  Status s = ctx.ParallelFor(1000, [&](size_t i) {
+    ran.fetch_add(1);
+    if (i == 0) return Status::Internal("early");
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    return Status::OK();
+  });
+  EXPECT_EQ(s.message(), "early");
+  // Exact count depends on timing; the point is that nearly all of the 1000
+  // tasks were cancelled.
+  EXPECT_LT(ran.load(), 900);
+  TaskStats stats = ctx.task_stats();
+  EXPECT_GT(stats.tasks_skipped, 0u);
+  EXPECT_EQ(stats.tasks_started + stats.tasks_skipped, 1000u);
+}
+
+TEST(TaskRunnerTest, TimeoutFailsAndRetries) {
+  ExecOptions options;
+  options.retry.max_attempts = 3;
+  options.task_timeout_ms = 5;
+  ExecContext ctx(options, nullptr);
+  std::atomic<int> calls{0};
+  ASSERT_OK(ctx.ParallelFor(1, [&](size_t) {
+    // Slow on the first attempt only.
+    if (calls.fetch_add(1) == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    return Status::OK();
+  }));
+  EXPECT_EQ(calls.load(), 2);
+  TaskStats stats = ctx.task_stats();
+  EXPECT_EQ(stats.timeouts, 1u);
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.tasks_succeeded, 1u);
+}
+
+TEST(TaskRunnerTest, TimeoutExhaustionIsCleanUnavailable) {
+  ExecOptions options;
+  options.retry.max_attempts = 2;
+  options.task_timeout_ms = 1;
+  ExecContext ctx(options, nullptr);
+  Status s = ctx.ParallelFor(1, [&](size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    return Status::OK();
+  });
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_NE(s.message().find("timeout"), std::string::npos);
+  EXPECT_EQ(ctx.task_stats().timeouts, 2u);
+}
+
+TEST(TaskRunnerTest, FailpointDrivesRetries) {
+  FailpointRegistry& fp = FailpointRegistry::Global();
+  FailpointSpec spec;
+  spec.every_nth = 1;
+  spec.max_fires = 2;  // first two (task, attempt) evaluations fail
+  fp.Enable(failpoints::kTaskPartition, spec);
+
+  ExecContext ctx(WithRetries(3), nullptr);
+  std::atomic<int> body_runs{0};
+  Status s = ctx.ParallelFor(1, [&](size_t) {
+    body_runs.fetch_add(1);
+    return Status::OK();
+  });
+  fp.DisableAll();
+  ASSERT_OK(s);
+  // Attempts 1 and 2 were killed by the failpoint before the body ran;
+  // attempt 3 went through.
+  EXPECT_EQ(body_runs.load(), 1);
+  EXPECT_EQ(ctx.task_stats().attempts, 3u);
+  EXPECT_EQ(ctx.task_stats().retries, 2u);
+}
+
+TEST(TaskRunnerTest, StatsAccumulateAcrossCalls) {
+  ExecContext ctx(ExecOptions{}, nullptr);
+  ASSERT_OK(ctx.ParallelFor(4, [](size_t) { return Status::OK(); }));
+  ASSERT_OK(ctx.ParallelFor(6, [](size_t) { return Status::OK(); }));
+  EXPECT_EQ(ctx.task_stats().tasks_succeeded, 10u);
+}
+
+TEST(TaskRunnerTest, ZeroTasksIsOk) {
+  ExecContext ctx(ExecOptions{}, nullptr);
+  ASSERT_OK(ctx.ParallelFor(0, [](size_t) { return Status::Internal("no"); }));
+  EXPECT_EQ(ctx.task_stats().tasks_started, 0u);
+}
+
+TEST(ValidateExecOptionsTest, AcceptsDefaults) {
+  EXPECT_OK(ValidateExecOptions(ExecOptions{}));
+  ExecOptions tuned(CaptureMode::kStructural, 8, 2);
+  tuned.retry = RetryPolicy::WithRetries(4);
+  tuned.retry.backoff_base_ms = 10;
+  tuned.task_timeout_ms = 1000;
+  EXPECT_OK(ValidateExecOptions(tuned));
+}
+
+TEST(ValidateExecOptionsTest, RejectsBadValues) {
+  {
+    ExecOptions o;
+    o.num_partitions = 0;
+    EXPECT_EQ(ValidateExecOptions(o).code(), StatusCode::kInvalidArgument);
+  }
+  {
+    ExecOptions o;
+    o.num_partitions = -3;
+    EXPECT_EQ(ValidateExecOptions(o).code(), StatusCode::kInvalidArgument);
+  }
+  {
+    ExecOptions o;
+    o.num_threads = 0;
+    EXPECT_EQ(ValidateExecOptions(o).code(), StatusCode::kInvalidArgument);
+  }
+  {
+    ExecOptions o;
+    o.retry.max_attempts = 0;
+    EXPECT_EQ(ValidateExecOptions(o).code(), StatusCode::kInvalidArgument);
+  }
+  {
+    ExecOptions o;
+    o.retry.backoff_base_ms = -1;
+    EXPECT_EQ(ValidateExecOptions(o).code(), StatusCode::kInvalidArgument);
+  }
+  {
+    ExecOptions o;
+    o.retry.retryable_codes = {StatusCode::kOk};
+    EXPECT_EQ(ValidateExecOptions(o).code(), StatusCode::kInvalidArgument);
+  }
+  {
+    ExecOptions o;
+    o.task_timeout_ms = -5;
+    EXPECT_EQ(ValidateExecOptions(o).code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ValidateExecOptionsTest, ExecutorRunRejectsBadOptions) {
+  ExecOptions o;
+  o.num_partitions = 0;
+  Executor executor(o);
+  PipelineBuilder b;
+  TypePtr schema = DataType::Struct({{"k", DataType::Int()}});
+  auto data = std::make_shared<std::vector<ValuePtr>>();
+  data->push_back(Value::Struct({{"k", Value::Int(1)}}));
+  int scan = b.Scan("s", schema, data);
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(scan));
+  Result<ExecutionResult> r = executor.Run(p);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TaskRunnerTest, ExecutorReportsPerOperatorStats) {
+  FailpointRegistry& fp = FailpointRegistry::Global();
+  FailpointSpec spec;
+  spec.every_nth = 1;
+  spec.max_fires = 1;
+  fp.Enable(failpoints::kTaskPartition, spec);
+
+  PipelineBuilder b;
+  TypePtr schema = DataType::Struct({{"k", DataType::Int()}});
+  auto data = std::make_shared<std::vector<ValuePtr>>();
+  for (int i = 0; i < 10; ++i) {
+    data->push_back(Value::Struct({{"k", Value::Int(i)}}));
+  }
+  int scan = b.Scan("s", schema, data);
+  int filter = b.Filter(scan, Expr::Lt(Expr::Col("k"), Expr::LitInt(5)));
+  ASSERT_OK_AND_ASSIGN(Pipeline p, b.Build(filter));
+
+  ExecOptions options(CaptureMode::kStructural, 3, 2);
+  options.retry = RetryPolicy::WithRetries(2);
+  Executor executor(options);
+  Result<ExecutionResult> r = executor.Run(p);
+  fp.DisableAll();
+  ASSERT_OK(r.status());
+  EXPECT_EQ(r->task_stats.retries, 1u);
+  // The single injected retry is attributed to exactly one operator.
+  uint64_t retries = 0;
+  for (const auto& [oid, stats] : r->tasks_per_operator) {
+    retries += stats.retries;
+  }
+  EXPECT_EQ(retries, 1u);
+  EXPECT_EQ(r->output.NumRows(), 5u);
+}
+
+}  // namespace
+}  // namespace pebble

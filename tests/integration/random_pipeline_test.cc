@@ -8,130 +8,18 @@
 #include <set>
 
 #include "baselines/titian.h"
-#include "common/rng.h"
 #include "core/provenance_io.h"
 #include "core/query.h"
+#include "integration/random_pipeline_util.h"
 #include "test_util.h"
 
 namespace pebble {
 namespace {
 
-const char* const kWords[] = {"alpha", "beta", "gamma", "delta", "epsilon"};
-
-TypePtr RandomSchema() {
-  return DataType::Struct({
-      {"k", DataType::Int()},
-      {"grp", DataType::String()},
-      {"s", DataType::String()},
-      {"xs", DataType::Bag(DataType::Struct({
-                 {"v", DataType::Int()},
-                 {"w", DataType::String()},
-             }))},
-  });
-}
-
-std::shared_ptr<const std::vector<ValuePtr>> RandomData(Rng* rng) {
-  size_t n = 40 + rng->NextBounded(160);
-  auto out = std::make_shared<std::vector<ValuePtr>>();
-  out->reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    std::vector<ValuePtr> xs;
-    int nx = static_cast<int>(rng->NextBounded(4));
-    for (int x = 0; x < nx; ++x) {
-      xs.push_back(Value::Struct({
-          {"v", Value::Int(rng->NextInt(0, 9))},
-          {"w", Value::String(kWords[rng->NextBounded(5)])},
-      }));
-    }
-    out->push_back(Value::Struct({
-        {"k", Value::Int(rng->NextInt(0, 20))},
-        {"grp", Value::String("g" + std::to_string(rng->NextBounded(5)))},
-        {"s", Value::String(kWords[rng->NextBounded(5)])},
-        {"xs", Value::Bag(std::move(xs))},
-    }));
-  }
-  return out;
-}
-
-/// Builds a random pipeline over the random schema. Returns the pipeline
-/// plus the name of one attribute guaranteed to exist in the sink schema
-/// (used to build a match-all provenance question).
-struct RandomCase {
-  Pipeline pipeline;
-  std::string probe_attr;
-  // A second attribute to anchor aggregation questions (the collected
-  // output), empty if the sink is not an aggregation.
-  std::string agg_attr;
-};
-
-Result<RandomCase> RandomPipeline(Rng* rng,
-                                  std::shared_ptr<const std::vector<ValuePtr>>
-                                      data) {
-  PipelineBuilder b;
-  TypePtr schema = RandomSchema();
-  int cur;
-  if (rng->NextBool(0.3)) {
-    // Union of two filtered branches over the same source.
-    int scan1 = b.Scan("left", schema, data);
-    int f1 = b.Filter(scan1, Expr::Lt(Expr::Col("k"), Expr::LitInt(12)));
-    int scan2 = b.Scan("right", schema, data);
-    int f2 = b.Filter(scan2, Expr::Ge(Expr::Col("k"), Expr::LitInt(8)));
-    cur = b.Union(f1, f2);
-  } else {
-    cur = b.Scan("source", schema, data);
-  }
-
-  RandomCase result;
-  result.probe_attr = "k";
-  bool flattened = false;
-  bool grouped = false;
-  int extra_ops = static_cast<int>(rng->NextBounded(4));
-  for (int op = 0; op < extra_ops && !grouped; ++op) {
-    switch (rng->NextBounded(4)) {
-      case 0:
-        cur = b.Filter(cur, Expr::Eq(Expr::Col("grp"),
-                                     Expr::LitString(
-                                         "g" + std::to_string(
-                                                   rng->NextBounded(5)))));
-        break;
-      case 1:
-        if (!flattened) {
-          cur = b.Flatten(cur, "xs", "x");
-          flattened = true;
-        }
-        break;
-      case 2: {
-        std::vector<Projection> projections = {
-            Projection::Keep("k"),
-            Projection::Keep("grp"),
-            Projection::Keep("s"),
-        };
-        if (flattened) {
-          projections.push_back(Projection::Leaf("xv", "x.v"));
-        } else {
-          projections.push_back(Projection::Keep("xs"));
-        }
-        cur = b.Select(cur, std::move(projections));
-        // After this select the flattened attribute is folded into xv.
-        if (flattened) {
-          result.probe_attr = "xv";
-        }
-        flattened = false;  // x is gone either way
-        break;
-      }
-      case 3:
-        cur = b.GroupAggregate(cur, {GroupKey::Of("grp")},
-                               {AggSpec::Count("n"),
-                                AggSpec::CollectList("k", "ks")});
-        result.probe_attr = "grp";
-        result.agg_attr = "ks";
-        grouped = true;
-        break;
-    }
-  }
-  PEBBLE_ASSIGN_OR_RETURN(result.pipeline, b.Build(cur));
-  return result;
-}
+using testing::RandomCase;
+using testing::RandomData;
+using testing::RandomPipeline;
+using testing::RandomSchema;
 
 class RandomPipelineTest : public ::testing::TestWithParam<int> {};
 
@@ -158,6 +46,10 @@ TEST_P(RandomPipelineTest, InvariantsHold) {
       ASSERT_TRUE(a[i]->Equals(*c[i]));
     }
   }
+
+  // Any captured store must pass the integrity pass.
+  ASSERT_OK(run.provenance->Validate());
+
   if (run.output.NumRows() == 0) {
     return;  // empty result: nothing to trace (valid random outcome)
   }
