@@ -41,10 +41,23 @@ struct Paired {
   double ratio = 0;         // median of per-pair with/base ratios
 };
 
+/// Trial count for paired measurements: $PEBBLE_BENCH_TRIALS when set and
+/// positive, else the caller's fallback. More trials tighten the median at
+/// proportional wall-clock cost (used by scripts/bench.sh for the
+/// checked-in regression numbers).
+inline int TrialsFromEnv(int fallback = 7) {
+  const char* e = std::getenv("PEBBLE_BENCH_TRIALS");
+  if (e != nullptr && *e != '\0') {
+    int v = std::atoi(e);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
 /// Runs `base` and `with` back-to-back `trials` times (plus one untimed
 /// warm-up pair) and aggregates medians.
 template <typename F1, typename F2>
-Paired MeasurePaired(F1&& base, F2&& with, int trials = 7) {
+Paired MeasurePaired(F1&& base, F2&& with, int trials = TrialsFromEnv()) {
   base();
   with();
   std::vector<double> base_times;
@@ -101,6 +114,72 @@ inline void PrintHeader(const std::string& title) {
   std::printf("%s\n", title.c_str());
   std::printf("%s\n", std::string(78, '=').c_str());
 }
+
+// --------------------------------------------------------------------------
+// Machine-readable results. When $PEBBLE_BENCH_JSON names a file, each
+// benchmark appends one JSON object per measured cell (JSON-lines); the
+// scripts/bench.sh driver wraps the lines into the checked-in BENCH
+// report. Without the env var the reporter is a no-op, so the binaries'
+// human-readable tables are unaffected.
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+/// One JSON-lines record, built field by field and appended on Emit().
+class JsonRecord {
+ public:
+  JsonRecord(const std::string& bench, const std::string& cell) {
+    body_ = "{\"bench\":\"" + JsonEscape(bench) + "\",\"cell\":\"" +
+            JsonEscape(cell) + "\"";
+  }
+
+  JsonRecord& Str(const char* key, const std::string& v) {
+    body_ += ",\"" + std::string(key) + "\":\"" + JsonEscape(v) + "\"";
+    return *this;
+  }
+  JsonRecord& Num(const char* key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    body_ += ",\"" + std::string(key) + "\":" + buf;
+    return *this;
+  }
+  JsonRecord& Int(const char* key, int64_t v) {
+    body_ += ",\"" + std::string(key) + "\":" + std::to_string(v);
+    return *this;
+  }
+  JsonRecord& Pair(const char* prefix, const Paired& p) {
+    std::string pre(prefix);
+    Num((pre + "_base_ms").c_str(), p.base_ms);
+    Num((pre + "_with_ms").c_str(), p.with_ms);
+    Num((pre + "_overhead_pct").c_str(), p.overhead_pct);
+    Num((pre + "_ratio").c_str(), p.ratio);
+    return *this;
+  }
+
+  /// Appends the record to $PEBBLE_BENCH_JSON (no-op when unset).
+  void Emit() {
+    const char* path = std::getenv("PEBBLE_BENCH_JSON");
+    if (path == nullptr || *path == '\0') return;
+    std::FILE* f = std::fopen(path, "a");
+    if (f == nullptr) return;
+    std::fprintf(f, "%s}\n", body_.c_str());
+    std::fclose(f);
+  }
+
+ private:
+  std::string body_;
+};
 
 }  // namespace pebble::bench
 

@@ -45,6 +45,24 @@ int Main() {
                   ("T" + std::to_string(scenario)).c_str(), result.base_ms,
                   result.with_ms, result.overhead_pct);
       std::fflush(stdout);
+      // One instrumented capture run for the provenance-size metrics.
+      Result<ExecutionResult> sized = capture.Run(on->pipeline);
+      const uint64_t prov_bytes =
+          sized.ok() ? sized->provenance->TotalLineageBytes() +
+                           sized->provenance->TotalStructuralExtraBytes()
+                     : 0;
+      const uint64_t id_rows = sized.ok() ? sized->provenance->TotalIdRows() : 0;
+      const double items = static_cast<double>(kScaleTweets[scale]);
+      bench::JsonRecord("fig6_twitter_capture",
+                        std::string(kScaleLabels[scale]) + "/T" +
+                            std::to_string(scenario))
+          .Int("num_tweets", static_cast<int64_t>(kScaleTweets[scale]))
+          .Pair("capture", result)
+          .Num("items_per_sec_off", items / (result.base_ms / 1000.0))
+          .Num("items_per_sec_structural", items / (result.with_ms / 1000.0))
+          .Int("provenance_bytes", static_cast<int64_t>(prov_bytes))
+          .Int("id_rows", static_cast<int64_t>(id_rows))
+          .Emit();
     }
   }
   std::printf(

@@ -47,6 +47,21 @@ int Main() {
                   ("D" + std::to_string(scenario)).c_str(), result.base_ms,
                   result.with_ms, result.overhead_pct);
       std::fflush(stdout);
+      Result<ExecutionResult> sized = capture.Run(on->pipeline);
+      const uint64_t prov_bytes =
+          sized.ok() ? sized->provenance->TotalLineageBytes() +
+                           sized->provenance->TotalStructuralExtraBytes()
+                     : 0;
+      const double items = static_cast<double>(kScaleRecords[scale]);
+      bench::JsonRecord("fig7_dblp_capture",
+                        std::string(kScaleLabels[scale]) + "/D" +
+                            std::to_string(scenario))
+          .Int("num_records", static_cast<int64_t>(kScaleRecords[scale]))
+          .Pair("capture", result)
+          .Num("items_per_sec_off", items / (result.base_ms / 1000.0))
+          .Num("items_per_sec_structural", items / (result.with_ms / 1000.0))
+          .Int("provenance_bytes", static_cast<int64_t>(prov_bytes))
+          .Emit();
     }
   }
   std::printf(

@@ -114,10 +114,7 @@ int Main() {
         const OperatorProvenance* prov = prov_run->provenance->Find(oid);
         if (prov == nullptr) continue;
         entries += prov->unary_ids.size() + prov->binary_ids.size() +
-                   prov->flatten_ids.size();
-        for (const AggIdRow& row : prov->agg_ids) {
-          entries += row.ins.size();
-        }
+                   prov->flatten_ids.size() + prov->agg_ids.TotalIns();
       }
       ids_per_row = static_cast<double>(entries) /
                     static_cast<double>(prov_run->output.NumRows());
@@ -126,6 +123,15 @@ int Main() {
                 result.base_ms, result.with_ms, result.overhead_pct,
                 ids_per_row);
     std::fflush(stdout);
+    const uint64_t prov_bytes =
+        prov_run.ok() ? prov_run->provenance->TotalLineageBytes() +
+                            prov_run->provenance->TotalStructuralExtraBytes()
+                      : 0;
+    bench::JsonRecord("micro_operator_overhead", name)
+        .Pair("capture", result)
+        .Num("ids_per_result_row", ids_per_row)
+        .Int("provenance_bytes", static_cast<int64_t>(prov_bytes))
+        .Emit();
   }
   std::printf(
       "\nexpected shape: constant-annotation operators store ~1 id entry\n"

@@ -46,7 +46,7 @@ if [[ "${STAGE}" == "all" || "${STAGE}" == "tsan" ]]; then
   # TSan over the suites that exercise cross-thread engine paths.
   TSAN_OPTIONS="halt_on_error=1" \
     run_stage "tsan" build-tsan "thread" \
-      "Concurrency|ChaosTest|TaskRunner|Failpoint"
+      "Concurrency|ChaosTest|TaskRunner|Failpoint|Interner"
 fi
 
 echo "==> all requested stages passed"

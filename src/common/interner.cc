@@ -1,0 +1,57 @@
+#include "common/interner.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace pebble {
+
+Interner::Interner() { Intern(""); }
+
+Interner::~Interner() {
+  for (std::atomic<Chunk*>& slot : chunks_) {
+    delete slot.load(std::memory_order_relaxed);
+  }
+}
+
+Interner& Interner::Global() {
+  // Leaked on purpose: symbols live in long-lived structures (paths inside
+  // provenance stores) that may be destroyed after static teardown begins.
+  static Interner* global = new Interner();
+  return *global;
+}
+
+int32_t Interner::Intern(std::string_view name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto it = index_.find(name);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+
+  uint32_t symbol = next_;
+  uint32_t chunk_index = symbol >> kChunkBits;
+  if (chunk_index >= kMaxChunks) {
+    std::fprintf(stderr, "Interner: symbol space exhausted (%u)\n", symbol);
+    std::abort();
+  }
+  Chunk* chunk = chunks_[chunk_index].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new Chunk();
+    chunks_[chunk_index].store(chunk, std::memory_order_release);
+  }
+  std::string& stored = chunk->strings[symbol & kChunkMask];
+  stored.assign(name);
+  index_.emplace(std::string_view(stored), static_cast<int32_t>(symbol));
+  ++next_;
+  return static_cast<int32_t>(symbol);
+}
+
+size_t Interner::size() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return next_;
+}
+
+}  // namespace pebble

@@ -1,0 +1,75 @@
+// Per-process attribute-name interner: maps strings to dense int32 symbols
+// so hot-path structures (PathStep) can store and compare a word instead of
+// a heap string.
+//
+// Concurrency contract:
+//  - Intern() may be called from any thread; first-wins under a mutex, a
+//    shared-lock fast path serves the common already-interned case.
+//  - ToString() is lock-free: symbols index into chunked storage whose
+//    chunks are published with release stores and never move, so the
+//    returned reference is stable for the process lifetime.
+//  - Symbols are assigned densely in first-intern order; interning the same
+//    sequence of names always yields the same symbols (stability tested in
+//    interner_test.cc). Symbol 0 is always the empty string.
+
+#ifndef PEBBLE_COMMON_INTERNER_H_
+#define PEBBLE_COMMON_INTERNER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace pebble {
+
+class Interner {
+ public:
+  Interner();
+  ~Interner();
+
+  Interner(const Interner&) = delete;
+  Interner& operator=(const Interner&) = delete;
+
+  /// The process-wide interner used by PathStep.
+  static Interner& Global();
+
+  /// Returns the symbol for `name`, interning it on first sight. Symbols
+  /// are dense, starting at 0 (the empty string).
+  int32_t Intern(std::string_view name);
+
+  /// Resolves a symbol back to its string. The reference is stable for the
+  /// lifetime of the interner. Lock-free.
+  const std::string& ToString(int32_t symbol) const {
+    Chunk* chunk =
+        chunks_[static_cast<uint32_t>(symbol) >> kChunkBits].load(
+            std::memory_order_acquire);
+    return chunk->strings[static_cast<uint32_t>(symbol) & kChunkMask];
+  }
+
+  /// Number of distinct strings interned so far (including "").
+  size_t size() const;
+
+ private:
+  static constexpr uint32_t kChunkBits = 12;  // 4096 strings per chunk
+  static constexpr uint32_t kChunkSize = 1u << kChunkBits;
+  static constexpr uint32_t kChunkMask = kChunkSize - 1;
+  static constexpr uint32_t kMaxChunks = 1u << 9;  // ~2M symbols total
+
+  struct Chunk {
+    std::string strings[kChunkSize];
+  };
+
+  mutable std::shared_mutex mutex_;
+  // Keys are views into the chunk-stored strings (stable addresses).
+  std::unordered_map<std::string_view, int32_t> index_;
+  std::atomic<Chunk*> chunks_[kMaxChunks] = {};
+  uint32_t next_ = 0;
+};
+
+}  // namespace pebble
+
+#endif  // PEBBLE_COMMON_INTERNER_H_

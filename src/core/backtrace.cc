@@ -75,31 +75,37 @@ BacktraceIndex::BacktraceIndex(const ProvenanceStore& store) {
     const OperatorProvenance* prov = store.Find(oid);
     if (prov == nullptr) continue;
     if (!prov->unary_ids.empty()) {
+      const UnaryIdTable& t = prov->unary_ids;
       auto& map = unary_[oid];
-      map.reserve(prov->unary_ids.size());
-      for (const UnaryIdRow& row : prov->unary_ids) {
-        map.emplace(row.out, row.in);
+      map.reserve(t.size());
+      for (size_t i = 0; i < t.size(); ++i) {
+        map.emplace(t.out_col()[i], t.in_col()[i]);
       }
     }
     if (!prov->binary_ids.empty()) {
+      const BinaryIdTable& t = prov->binary_ids;
       auto& map = binary_[oid];
-      map.reserve(prov->binary_ids.size());
-      for (const BinaryIdRow& row : prov->binary_ids) {
-        map.emplace(row.out, BinaryEntry{row.in1, row.in2});
+      map.reserve(t.size());
+      for (size_t i = 0; i < t.size(); ++i) {
+        map.emplace(t.out_col()[i], BinaryEntry{t.in1_col()[i], t.in2_col()[i]});
       }
     }
     if (!prov->flatten_ids.empty()) {
+      const FlattenIdTable& t = prov->flatten_ids;
       auto& map = flatten_[oid];
-      map.reserve(prov->flatten_ids.size());
-      for (const FlattenIdRow& row : prov->flatten_ids) {
-        map.emplace(row.out, FlattenEntry{row.in, row.pos});
+      map.reserve(t.size());
+      for (size_t i = 0; i < t.size(); ++i) {
+        map.emplace(t.out_col()[i], FlattenEntry{t.in_col()[i], t.pos_col()[i]});
       }
     }
     if (!prov->agg_ids.empty()) {
+      const AggIdTable& t = prov->agg_ids;
       auto& map = agg_[oid];
-      map.reserve(prov->agg_ids.size());
-      for (const AggIdRow& row : prov->agg_ids) {
-        map.emplace(row.out, &row);
+      map.reserve(t.size());
+      for (size_t i = 0; i < t.size(); ++i) {
+        // Spans borrow the table's flat in-id column; the index documents
+        // that it must not outlive the store.
+        map.emplace(t.out_col()[i], t.ins(i));
       }
     }
   }
@@ -123,7 +129,7 @@ BacktraceIndex::flatten(int oid) const {
   return it == flatten_.end() ? nullptr : &it->second;
 }
 
-const std::unordered_map<int64_t, const AggIdRow*>* BacktraceIndex::agg(
+const std::unordered_map<int64_t, IdSpan>* BacktraceIndex::agg(
     int oid) const {
   auto it = agg_.find(oid);
   return it == agg_.end() ? nullptr : &it->second;
@@ -334,7 +340,7 @@ Status Backtracer::BacktraceBinary(
     if (prov.type == OpType::kJoin && input.input_schema != nullptr) {
       for (const PathMapping& m : prov.manipulations) {
         if (!m.in.empty() &&
-            input.input_schema->FindField(m.in.step(0).attr) != nullptr) {
+            input.input_schema->FindField(m.in.step(0).attr()) != nullptr) {
           side_mappings.push_back(m);
         }
       }
@@ -374,17 +380,17 @@ Status Backtracer::BacktraceBinary(
 Status Backtracer::BacktraceAggregation(
     const OperatorProvenance& prov, const BacktraceStructure& structure,
     std::map<int, BacktraceStructure>* at_sources) const {
-  std::unordered_map<int64_t, const AggIdRow*> scratch;
-  const std::unordered_map<int64_t, const AggIdRow*>* lookup =
+  std::unordered_map<int64_t, IdSpan> scratch;
+  const std::unordered_map<int64_t, IdSpan>* lookup =
       index_ != nullptr ? index_->agg(prov.oid) : nullptr;
   if (lookup == nullptr) {
     scratch.reserve(prov.agg_ids.size());
-    for (const AggIdRow& row : prov.agg_ids) {
-      scratch.emplace(row.out, &row);
+    for (size_t i = 0; i < prov.agg_ids.size(); ++i) {
+      scratch.emplace(prov.agg_ids.out_col()[i], prov.agg_ids.ins(i));
     }
     lookup = &scratch;
   }
-  const std::unordered_map<int64_t, const AggIdRow*>& out_to_row = *lookup;
+  const std::unordered_map<int64_t, IdSpan>& out_to_row = *lookup;
   const std::vector<Path> accessed = ExpandedAccess(prov.inputs[0]);
   BacktraceStructure next;
   for (const BacktraceEntry& entry : structure) {
@@ -394,10 +400,10 @@ Status Backtracer::BacktraceAggregation(
                               " not found in id table of aggregation " +
                               std::to_string(prov.oid));
     }
-    const AggIdRow& row = *it->second;
-    for (size_t k = 0; k < row.ins.size(); ++k) {
+    const IdSpan row_ins = it->second;
+    for (size_t k = 0; k < row_ins.size(); ++k) {
       const int32_t pos = static_cast<int32_t>(k + 1);  // pP (Alg. 4 l.1)
-      BacktraceEntry out{row.ins[k], entry.tree};
+      BacktraceEntry out{row_ins[k], entry.tree};
       bool in_prov = false;
       for (const PathMapping& m : prov.manipulations) {
         const bool nesting = m.out.HasPositions();
@@ -412,7 +418,7 @@ Status Backtracer::BacktraceAggregation(
         }
         if (nesting) {
           // Drop information about items at other positions (l.13).
-          out.tree.RemoveSubtree(Path::Attr(m.out.step(0).attr));
+          out.tree.RemoveSubtree(Path::Attr(m.out.step(0).attr()));
         }
       }
       if (!in_prov) continue;  // l.17: sigma_{inProv=true}

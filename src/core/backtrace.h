@@ -36,13 +36,13 @@ class BacktraceIndex {
   const std::unordered_map<int64_t, int64_t>* unary(int oid) const;
   const std::unordered_map<int64_t, BinaryEntry>* binary(int oid) const;
   const std::unordered_map<int64_t, FlattenEntry>* flatten(int oid) const;
-  const std::unordered_map<int64_t, const AggIdRow*>* agg(int oid) const;
+  const std::unordered_map<int64_t, IdSpan>* agg(int oid) const;
 
  private:
   std::map<int, std::unordered_map<int64_t, int64_t>> unary_;
   std::map<int, std::unordered_map<int64_t, BinaryEntry>> binary_;
   std::map<int, std::unordered_map<int64_t, FlattenEntry>> flatten_;
-  std::map<int, std::unordered_map<int64_t, const AggIdRow*>> agg_;
+  std::map<int, std::unordered_map<int64_t, IdSpan>> agg_;
 };
 
 /// Structural provenance arriving at one source (scan) dataset: for each

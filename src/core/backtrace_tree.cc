@@ -76,8 +76,8 @@ bool BtNode::operator==(const BtNode& other) const {
 std::vector<BtNodeKey> BacktraceTree::KeysOf(const Path& path) {
   std::vector<BtNodeKey> keys;
   for (const PathStep& step : path.steps()) {
-    if (!step.attr.empty()) {
-      keys.push_back(BtNodeKey{step.attr, kNoPos});
+    if (!step.attr().empty()) {
+      keys.push_back(BtNodeKey{step.attr(), kNoPos});
     }
     if (step.has_pos()) {
       keys.push_back(BtNodeKey{"", step.pos});

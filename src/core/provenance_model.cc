@@ -25,21 +25,18 @@ const char* OpTypeToString(OpType type) {
 }
 
 uint64_t ApproxPathBytes(const Path& path) {
-  uint64_t bytes = sizeof(Path);
-  for (const PathStep& s : path.steps()) {
-    bytes += sizeof(PathStep) + s.attr.size();
-  }
-  return bytes;
+  // Steps are packed {symbol, pos} words; the attribute bytes live once in
+  // the process-wide interner and are not charged per path.
+  return sizeof(Path) + path.size() * sizeof(PathStep);
 }
 
 uint64_t OperatorProvenance::LineageBytes() const {
+  // Computed from the columnar layout: ids are 8-byte column entries.
   uint64_t bytes = 0;
-  bytes += unary_ids.size() * sizeof(UnaryIdRow);
-  bytes += binary_ids.size() * sizeof(BinaryIdRow);
+  bytes += unary_ids.size() * (sizeof(int64_t) * 2);   // in, out
+  bytes += binary_ids.size() * (sizeof(int64_t) * 3);  // in1, in2, out
   bytes += flatten_ids.size() * (sizeof(int64_t) * 2);  // in, out (no pos)
-  for (const AggIdRow& r : agg_ids) {
-    bytes += r.ins.size() * sizeof(int64_t) + sizeof(int64_t);
-  }
+  bytes += (agg_ids.TotalIns() + agg_ids.size()) * sizeof(int64_t);
   return bytes;
 }
 

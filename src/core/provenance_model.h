@@ -19,6 +19,9 @@
 #define PEBBLE_CORE_PROVENANCE_MODEL_H_
 
 #include <cstdint>
+#include <initializer_list>
+#include <iterator>
+#include <numeric>
 #include <string>
 #include <vector>
 
@@ -66,6 +69,328 @@ struct AggIdRow {
   // equals the position of any nested item the aggregation produced from it.
   std::vector<int64_t> ins;
   int64_t out;
+};
+
+/// Borrowed view of a contiguous run of ids (one agg row's inputs).
+struct IdSpan {
+  const int64_t* ptr = nullptr;
+  size_t len = 0;
+
+  const int64_t* begin() const { return ptr; }
+  const int64_t* end() const { return ptr + len; }
+  int64_t operator[](size_t i) const { return ptr[i]; }
+  size_t size() const { return len; }
+  bool empty() const { return len == 0; }
+};
+
+// --------------------------------------------------------------------------
+// Columnar (SoA) id tables. Ids live in flat per-column vectors so capture
+// bulk-moves staged per-task columns in (no per-row push_back of structs)
+// and readers scan contiguous arrays. The row structs above remain the
+// value types of a row-oriented compatibility API: push_back/assign/
+// operator[] and value-returning iteration keep existing call sites
+// working, while hot paths use the *_col() accessors and AppendStage().
+// --------------------------------------------------------------------------
+
+namespace internal {
+
+/// Input-iterator shim over a table with `Row operator[](size_t) const`.
+template <typename Table, typename Row>
+class RowIterator {
+ public:
+  using iterator_category = std::input_iterator_tag;
+  using value_type = Row;
+  using difference_type = std::ptrdiff_t;
+  using pointer = const Row*;
+  using reference = Row;
+
+  RowIterator(const Table* table, size_t i) : table_(table), i_(i) {}
+  Row operator*() const { return (*table_)[i_]; }
+  RowIterator& operator++() {
+    ++i_;
+    return *this;
+  }
+  bool operator==(const RowIterator& other) const { return i_ == other.i_; }
+  bool operator!=(const RowIterator& other) const { return i_ != other.i_; }
+
+ private:
+  const Table* table_;
+  size_t i_;
+};
+
+}  // namespace internal
+
+class UnaryIdTable {
+ public:
+  using const_iterator = internal::RowIterator<UnaryIdTable, UnaryIdRow>;
+
+  UnaryIdTable() = default;
+  UnaryIdTable(std::initializer_list<UnaryIdRow> rows) { AssignRows(rows); }
+  UnaryIdTable& operator=(std::initializer_list<UnaryIdRow> rows) {
+    clear();
+    AssignRows(rows);
+    return *this;
+  }
+
+  size_t size() const { return out_.size(); }
+  bool empty() const { return out_.empty(); }
+  void clear() {
+    in_.clear();
+    out_.clear();
+  }
+  void reserve(size_t n) {
+    in_.reserve(n);
+    out_.reserve(n);
+  }
+  void push_back(const UnaryIdRow& r) {
+    in_.push_back(r.in);
+    out_.push_back(r.out);
+  }
+  void assign(size_t n, const UnaryIdRow& r) {
+    in_.assign(n, r.in);
+    out_.assign(n, r.out);
+  }
+  UnaryIdRow operator[](size_t i) const { return {in_[i], out_[i]}; }
+  const_iterator begin() const { return {this, 0}; }
+  const_iterator end() const { return {this, size()}; }
+
+  const std::vector<int64_t>& in_col() const { return in_; }
+  const std::vector<int64_t>& out_col() const { return out_; }
+
+  /// Bulk commit of one task's staged in-id column; out ids are the dense
+  /// range [first_out, first_out + in.size()).
+  void AppendStage(std::vector<int64_t>&& in, int64_t first_out) {
+    size_t n = in.size();
+    if (in_.empty()) {
+      in_ = std::move(in);
+    } else {
+      in_.insert(in_.end(), in.begin(), in.end());
+    }
+    size_t start = out_.size();
+    out_.resize(start + n);
+    std::iota(out_.begin() + start, out_.end(), first_out);
+  }
+
+ private:
+  void AssignRows(std::initializer_list<UnaryIdRow> rows) {
+    reserve(rows.size());
+    for (const UnaryIdRow& r : rows) push_back(r);
+  }
+
+  std::vector<int64_t> in_;
+  std::vector<int64_t> out_;
+};
+
+class BinaryIdTable {
+ public:
+  using const_iterator = internal::RowIterator<BinaryIdTable, BinaryIdRow>;
+
+  BinaryIdTable() = default;
+  BinaryIdTable(std::initializer_list<BinaryIdRow> rows) { AssignRows(rows); }
+  BinaryIdTable& operator=(std::initializer_list<BinaryIdRow> rows) {
+    clear();
+    AssignRows(rows);
+    return *this;
+  }
+
+  size_t size() const { return out_.size(); }
+  bool empty() const { return out_.empty(); }
+  void clear() {
+    in1_.clear();
+    in2_.clear();
+    out_.clear();
+  }
+  void reserve(size_t n) {
+    in1_.reserve(n);
+    in2_.reserve(n);
+    out_.reserve(n);
+  }
+  void push_back(const BinaryIdRow& r) {
+    in1_.push_back(r.in1);
+    in2_.push_back(r.in2);
+    out_.push_back(r.out);
+  }
+  void assign(size_t n, const BinaryIdRow& r) {
+    in1_.assign(n, r.in1);
+    in2_.assign(n, r.in2);
+    out_.assign(n, r.out);
+  }
+  BinaryIdRow operator[](size_t i) const { return {in1_[i], in2_[i], out_[i]}; }
+  const_iterator begin() const { return {this, 0}; }
+  const_iterator end() const { return {this, size()}; }
+
+  const std::vector<int64_t>& in1_col() const { return in1_; }
+  const std::vector<int64_t>& in2_col() const { return in2_; }
+  const std::vector<int64_t>& out_col() const { return out_; }
+
+  /// Bulk commit of one task's staged columns (equal lengths); out ids are
+  /// [first_out, first_out + n).
+  void AppendStage(std::vector<int64_t>&& in1, std::vector<int64_t>&& in2,
+                   int64_t first_out) {
+    size_t n = in1.size();
+    if (in1_.empty()) {
+      in1_ = std::move(in1);
+      in2_ = std::move(in2);
+    } else {
+      in1_.insert(in1_.end(), in1.begin(), in1.end());
+      in2_.insert(in2_.end(), in2.begin(), in2.end());
+    }
+    size_t start = out_.size();
+    out_.resize(start + n);
+    std::iota(out_.begin() + start, out_.end(), first_out);
+  }
+
+ private:
+  void AssignRows(std::initializer_list<BinaryIdRow> rows) {
+    reserve(rows.size());
+    for (const BinaryIdRow& r : rows) push_back(r);
+  }
+
+  std::vector<int64_t> in1_;
+  std::vector<int64_t> in2_;
+  std::vector<int64_t> out_;
+};
+
+class FlattenIdTable {
+ public:
+  using const_iterator = internal::RowIterator<FlattenIdTable, FlattenIdRow>;
+
+  FlattenIdTable() = default;
+  FlattenIdTable(std::initializer_list<FlattenIdRow> rows) {
+    AssignRows(rows);
+  }
+  FlattenIdTable& operator=(std::initializer_list<FlattenIdRow> rows) {
+    clear();
+    AssignRows(rows);
+    return *this;
+  }
+
+  size_t size() const { return out_.size(); }
+  bool empty() const { return out_.empty(); }
+  void clear() {
+    in_.clear();
+    pos_.clear();
+    out_.clear();
+  }
+  void reserve(size_t n) {
+    in_.reserve(n);
+    pos_.reserve(n);
+    out_.reserve(n);
+  }
+  void push_back(const FlattenIdRow& r) {
+    in_.push_back(r.in);
+    pos_.push_back(r.pos);
+    out_.push_back(r.out);
+  }
+  FlattenIdRow operator[](size_t i) const { return {in_[i], pos_[i], out_[i]}; }
+  const_iterator begin() const { return {this, 0}; }
+  const_iterator end() const { return {this, size()}; }
+
+  const std::vector<int64_t>& in_col() const { return in_; }
+  const std::vector<int32_t>& pos_col() const { return pos_; }
+  const std::vector<int64_t>& out_col() const { return out_; }
+
+  void AppendStage(std::vector<int64_t>&& in, std::vector<int32_t>&& pos,
+                   int64_t first_out) {
+    size_t n = in.size();
+    if (in_.empty()) {
+      in_ = std::move(in);
+      pos_ = std::move(pos);
+    } else {
+      in_.insert(in_.end(), in.begin(), in.end());
+      pos_.insert(pos_.end(), pos.begin(), pos.end());
+    }
+    size_t start = out_.size();
+    out_.resize(start + n);
+    std::iota(out_.begin() + start, out_.end(), first_out);
+  }
+
+ private:
+  void AssignRows(std::initializer_list<FlattenIdRow> rows) {
+    reserve(rows.size());
+    for (const FlattenIdRow& r : rows) push_back(r);
+  }
+
+  std::vector<int64_t> in_;
+  std::vector<int32_t> pos_;
+  std::vector<int64_t> out_;
+};
+
+/// Agg rows are variable length: input ids live in one flat column, with an
+/// exclusive-end offset per group (group i's ids are [ends_[i-1], ends_[i])).
+class AggIdTable {
+ public:
+  using const_iterator = internal::RowIterator<AggIdTable, AggIdRow>;
+
+  AggIdTable() = default;
+  AggIdTable(std::initializer_list<AggIdRow> rows) { AssignRows(rows); }
+  AggIdTable& operator=(std::initializer_list<AggIdRow> rows) {
+    clear();
+    AssignRows(rows);
+    return *this;
+  }
+
+  size_t size() const { return out_.size(); }
+  bool empty() const { return out_.empty(); }
+  void clear() {
+    ins_.clear();
+    ends_.clear();
+    out_.clear();
+  }
+  void reserve(size_t groups) {
+    ends_.reserve(groups);
+    out_.reserve(groups);
+  }
+  void push_back(const AggIdRow& r) {
+    ins_.insert(ins_.end(), r.ins.begin(), r.ins.end());
+    ends_.push_back(ins_.size());
+    out_.push_back(r.out);
+  }
+  /// Row copy (materializes the ins vector); hot readers use ins()/out_col().
+  AggIdRow operator[](size_t i) const {
+    IdSpan span = ins(i);
+    return {std::vector<int64_t>(span.begin(), span.end()), out_[i]};
+  }
+  const_iterator begin() const { return {this, 0}; }
+  const_iterator end() const { return {this, size()}; }
+
+  /// Group i's input ids, without copying.
+  IdSpan ins(size_t i) const {
+    size_t begin = i == 0 ? 0 : ends_[i - 1];
+    return {ins_.data() + begin, ends_[i] - begin};
+  }
+  const std::vector<int64_t>& out_col() const { return out_; }
+  const std::vector<int64_t>& ins_col() const { return ins_; }
+  /// Total input ids across all groups.
+  size_t TotalIns() const { return ins_.size(); }
+
+  /// Bulk commit of one task's staged groups: a flat in-id column plus one
+  /// exclusive end offset per group; out ids are [first_out, first_out + n).
+  void AppendStage(std::vector<int64_t>&& ins, std::vector<size_t>&& ends,
+                   int64_t first_out) {
+    size_t base = ins_.size();
+    size_t n = ends.size();
+    if (ins_.empty()) {
+      ins_ = std::move(ins);
+    } else {
+      ins_.insert(ins_.end(), ins.begin(), ins.end());
+    }
+    ends_.reserve(ends_.size() + n);
+    for (size_t e : ends) ends_.push_back(base + e);
+    size_t start = out_.size();
+    out_.resize(start + n);
+    std::iota(out_.begin() + start, out_.end(), first_out);
+  }
+
+ private:
+  void AssignRows(std::initializer_list<AggIdRow> rows) {
+    reserve(rows.size());
+    for (const AggIdRow& r : rows) push_back(r);
+  }
+
+  std::vector<int64_t> ins_;
+  std::vector<size_t> ends_;  // exclusive end of each group's run in ins_
+  std::vector<int64_t> out_;
 };
 
 /// A structural manipulation: the operator copies/moves the data reachable
@@ -130,11 +455,12 @@ class OperatorProvenance {
   std::vector<PathMapping> manipulations;
   bool manip_undefined = false;
 
-  // Id association table; exactly one is populated, per Tab. 6.
-  std::vector<UnaryIdRow> unary_ids;
-  std::vector<BinaryIdRow> binary_ids;
-  std::vector<FlattenIdRow> flatten_ids;
-  std::vector<AggIdRow> agg_ids;
+  // Id association table; exactly one is populated, per Tab. 6. Columnar
+  // (SoA) storage; see the table classes above.
+  UnaryIdTable unary_ids;
+  BinaryIdTable binary_ids;
+  FlattenIdTable flatten_ids;
+  AggIdTable agg_ids;
 
   // Full per-item model (only with CaptureMode::kFullModel).
   std::vector<ItemProvenance> item_provenance;

@@ -18,29 +18,27 @@ Status CheckProvenanceCommit(const OperatorProvenance* prov) {
 }
 
 Result<Dataset> FinalizeUnary(ExecContext* ctx, TypePtr schema,
-                              std::vector<std::vector<UnaryPending>> pending,
+                              std::vector<UnaryStage> staged,
                               OperatorProvenance* prov,
                               const ItemCaptureSpec* item_spec) {
   PEBBLE_RETURN_NOT_OK(CheckProvenanceCommit(prov));
-  std::vector<Partition> parts(pending.size());
+  std::vector<Partition> parts(staged.size());
   const bool items = ctx->capture_items() && item_spec != nullptr;
-  for (size_t p = 0; p < pending.size(); ++p) {
-    std::vector<UnaryPending>& rows = pending[p];
-    Partition& out = parts[p];
-    out.reserve(rows.size());
-    int64_t first = rows.empty()
-                        ? 0
-                        : ctx->ReserveIds(static_cast<int64_t>(rows.size()));
-    for (size_t k = 0; k < rows.size(); ++k) {
-      int64_t out_id = first + static_cast<int64_t>(k);
-      out.push_back(Row{out_id, std::move(rows[k].value)});
-      if (prov != nullptr) {
-        prov->unary_ids.push_back(UnaryIdRow{rows[k].in_id, out_id});
-        if (items) {
+  for (size_t p = 0; p < staged.size(); ++p) {
+    UnaryStage& stage = staged[p];
+    const size_t n = stage.size();
+    int64_t first = n == 0 ? 0 : ctx->ReserveIds(static_cast<int64_t>(n));
+    for (size_t k = 0; k < n; ++k) {
+      stage.rows[k].id = first + static_cast<int64_t>(k);
+    }
+    parts[p] = std::move(stage.rows);
+    if (prov != nullptr) {
+      if (items) {
+        for (size_t k = 0; k < n; ++k) {
           ItemProvenance ip;
-          ip.out_id = out_id;
+          ip.out_id = first + static_cast<int64_t>(k);
           ItemInputProvenance in;
-          in.in_id = rows[k].in_id;
+          in.in_id = stage.in_ids[k];
           in.input_index = 0;
           in.accessed = item_spec->accessed;
           in.accessed_undefined = item_spec->accessed_undefined;
@@ -50,6 +48,7 @@ Result<Dataset> FinalizeUnary(ExecContext* ctx, TypePtr schema,
           prov->item_provenance.push_back(std::move(ip));
         }
       }
+      prov->unary_ids.AppendStage(std::move(stage.in_ids), first);
     }
   }
   return Dataset(std::move(schema), std::move(parts));

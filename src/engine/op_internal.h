@@ -11,11 +11,29 @@
 
 namespace pebble::internal {
 
-/// A produced row whose output id is not assigned yet, with the lineage
-/// information needed to emit the operator's id association rows.
-struct UnaryPending {
-  ValuePtr value;
-  int64_t in_id;
+/// Per-task SoA staging for a unary operator: the produced rows (ids
+/// assigned at commit) and the input-id column, appended in row order into
+/// flat buffers (reserved from the input cardinality). Cleared at the
+/// start of every task attempt (retry idempotence); at commit the id
+/// column is bulk-moved into the store and the row vector is moved into
+/// the output dataset wholesale — the commit pass only writes ids.
+struct UnaryStage {
+  Partition rows;
+  std::vector<int64_t> in_ids;
+
+  void Reserve(size_t n) {
+    rows.reserve(n);
+    in_ids.reserve(n);
+  }
+  void Clear() {
+    rows.clear();
+    in_ids.clear();
+  }
+  void Push(ValuePtr value, int64_t in_id) {
+    rows.push_back(Row{-1, std::move(value)});
+    in_ids.push_back(in_id);
+  }
+  size_t size() const { return rows.size(); }
 };
 
 /// Constant-per-operator item-level capture content (full-model mode). For
@@ -29,13 +47,14 @@ struct ItemCaptureSpec {
 };
 
 /// Commit phase of a unary operator: assigns output ids in partition order,
-/// emits unary id rows (and, in full-model mode, per-item provenance per
-/// `item_spec`) into `prov`, and returns the final dataset. `prov` may be
-/// nullptr (capture off). Runs serially after every partition task of the
-/// operator succeeded — a retried task therefore never double-appends id
-/// rows. Evaluates the `provenance.append` failpoint before committing.
+/// bulk-moves the staged id columns into `prov` (and, in full-model mode,
+/// emits per-item provenance per `item_spec`), and returns the final
+/// dataset. `prov` may be nullptr (capture off). Runs serially after every
+/// partition task of the operator succeeded — a retried task therefore
+/// never double-appends id rows. Evaluates the `provenance.append`
+/// failpoint before committing.
 Result<Dataset> FinalizeUnary(ExecContext* ctx, TypePtr schema,
-                              std::vector<std::vector<UnaryPending>> pending,
+                              std::vector<UnaryStage> staged,
                               OperatorProvenance* prov,
                               const ItemCaptureSpec* item_spec);
 

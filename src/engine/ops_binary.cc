@@ -11,10 +11,24 @@ namespace pebble {
 
 namespace {
 
-struct BinaryPending {
-  ValuePtr value;
-  int64_t in1;
-  int64_t in2;
+/// Per-task SoA staging for join: produced values plus flat (in1, in2)
+/// id columns, bulk-moved into the columnar binary table at commit.
+struct BinaryStage {
+  Partition rows;
+  std::vector<int64_t> in1;
+  std::vector<int64_t> in2;
+
+  void Clear() {
+    rows.clear();
+    in1.clear();
+    in2.clear();
+  }
+  void Push(ValuePtr value, int64_t a, int64_t b) {
+    rows.push_back(Row{-1, std::move(value)});
+    in1.push_back(a);
+    in2.push_back(b);
+  }
+  size_t size() const { return rows.size(); }
 };
 
 std::string DescribeKeys(const std::vector<Path>& left,
@@ -153,9 +167,9 @@ Result<Dataset> JoinOp::Execute(
   }
 
   const bool capture = ctx->capture_enabled();
-  std::vector<std::vector<BinaryPending>> pending(buckets);
+  std::vector<BinaryStage> staged(buckets);
   PEBBLE_RETURN_NOT_OK(ctx->ParallelFor(buckets, [&](size_t b) -> Status {
-    pending[b].clear();  // retry-idempotent: overwrite, never append
+    staged[b].Clear();  // retry-idempotent: overwrite, never append
     // Build a multimap over the right side of this bucket.
     std::unordered_multimap<uint64_t, const KeyedRow*> index;
     index.reserve(right_buckets[b].size());
@@ -194,9 +208,8 @@ Result<Dataset> JoinOp::Execute(
           PEBBLE_ASSIGN_OR_RETURN(bool pass, theta_->EvaluateBool(*combined));
           if (!pass) continue;
         }
-        pending[b].push_back(BinaryPending{std::move(combined),
-                                           capture ? lkr.row.id : -1,
-                                           capture ? rkr->row.id : -1});
+        staged[b].Push(std::move(combined), capture ? lkr.row.id : -1,
+                       capture ? rkr->row.id : -1);
       }
     }
     return Status::OK();
@@ -221,7 +234,7 @@ Result<Dataset> JoinOp::Execute(
       theta_->CollectAccessedPaths(&theta_paths);
       for (const Path& p : theta_paths) {
         if (!p.empty() &&
-            left.schema()->FindField(p.step(0).attr) != nullptr) {
+            left.schema()->FindField(p.step(0).attr()) != nullptr) {
           left_accessed.push_back(p.WithPosPlaceholders());
         } else {
           right_accessed.push_back(p.WithPosPlaceholders());
@@ -250,26 +263,28 @@ Result<Dataset> JoinOp::Execute(
 
   const bool items = ctx->capture_items();
   for (size_t b = 0; b < buckets; ++b) {
-    std::vector<BinaryPending>& rows = pending[b];
-    parts[b].reserve(rows.size());
-    int64_t first = rows.empty() || !capture
+    BinaryStage& stage = staged[b];
+    const size_t n = stage.size();
+    int64_t first = n == 0 || !capture
                         ? 0
-                        : ctx->ReserveIds(static_cast<int64_t>(rows.size()));
-    for (size_t k = 0; k < rows.size(); ++k) {
-      int64_t out_id = capture ? first + static_cast<int64_t>(k) : -1;
-      parts[b].push_back(Row{out_id, std::move(rows[k].value)});
-      if (capture) {
-        prov->binary_ids.push_back(
-            BinaryIdRow{rows[k].in1, rows[k].in2, out_id});
-        if (items) {
+                        : ctx->ReserveIds(static_cast<int64_t>(n));
+    if (capture) {
+      for (size_t k = 0; k < n; ++k) {
+        stage.rows[k].id = first + static_cast<int64_t>(k);
+      }
+    }
+    parts[b] = std::move(stage.rows);
+    if (capture) {
+      if (items) {
+        for (size_t k = 0; k < n; ++k) {
           ItemProvenance item;
-          item.out_id = out_id;
+          item.out_id = first + static_cast<int64_t>(k);
           ItemInputProvenance l;
-          l.in_id = rows[k].in1;
+          l.in_id = stage.in1[k];
           l.input_index = 0;
           for (const Path& p : left_keys_) l.accessed.push_back(p);
           ItemInputProvenance r;
-          r.in_id = rows[k].in2;
+          r.in_id = stage.in2[k];
           r.input_index = 1;
           for (const Path& p : right_keys_) r.accessed.push_back(p);
           item.inputs.push_back(std::move(l));
@@ -278,6 +293,8 @@ Result<Dataset> JoinOp::Execute(
           prov->item_provenance.push_back(std::move(item));
         }
       }
+      prov->binary_ids.AppendStage(std::move(stage.in1),
+                                   std::move(stage.in2), first);
     }
   }
   return Dataset(output_schema(), std::move(parts));
@@ -334,19 +351,27 @@ Result<Dataset> UnionOp::Execute(
       for (size_t k = 0; k < part.size(); ++k) {
         int64_t out_id = capture ? first + static_cast<int64_t>(k) : -1;
         out.push_back(Row{out_id, part[k].value});
-        if (capture) {
-          prov->binary_ids.push_back(
-              BinaryIdRow{side == 0 ? part[k].id : kNoId,
-                          side == 1 ? part[k].id : kNoId, out_id});
-          if (items) {
-            ItemProvenance item;
-            item.out_id = out_id;
-            ItemInputProvenance in;
-            in.in_id = part[k].id;
-            in.input_index = side;
-            item.inputs.push_back(std::move(in));
-            prov->item_provenance.push_back(std::move(item));
-          }
+        if (capture && items) {
+          ItemProvenance item;
+          item.out_id = out_id;
+          ItemInputProvenance in;
+          in.in_id = part[k].id;
+          in.input_index = side;
+          item.inputs.push_back(std::move(in));
+          prov->item_provenance.push_back(std::move(item));
+        }
+      }
+      if (capture && !part.empty()) {
+        // Originating side carries the ids; the other column is kNoId.
+        std::vector<int64_t> ids(part.size());
+        for (size_t k = 0; k < part.size(); ++k) ids[k] = part[k].id;
+        std::vector<int64_t> none(part.size(), kNoId);
+        if (side == 0) {
+          prov->binary_ids.AppendStage(std::move(ids), std::move(none),
+                                       first);
+        } else {
+          prov->binary_ids.AppendStage(std::move(none), std::move(ids),
+                                       first);
         }
       }
       parts.push_back(std::move(out));

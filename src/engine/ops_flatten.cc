@@ -9,10 +9,24 @@ namespace pebble {
 
 namespace {
 
-struct FlattenPending {
-  ValuePtr value;
-  int64_t in_id;
-  int32_t pos;  // 1-based position of the unnested element
+/// Per-task SoA staging: produced values plus flat (in-id, pos) columns,
+/// bulk-moved into the store's columnar flatten table at commit.
+struct FlattenStage {
+  Partition rows;
+  std::vector<int64_t> in_ids;
+  std::vector<int32_t> pos;
+
+  void Clear() {
+    rows.clear();
+    in_ids.clear();
+    pos.clear();
+  }
+  void Reserve(size_t n) {
+    rows.reserve(n);
+    in_ids.reserve(n);
+    pos.reserve(n);
+  }
+  size_t size() const { return rows.size(); }
 };
 
 }  // namespace
@@ -82,12 +96,15 @@ Result<Dataset> FlattenOp::Execute(
     return Dataset(output_schema(), std::move(parts));
   }
 
-  std::vector<std::vector<FlattenPending>> pending(nparts);
+  std::vector<FlattenStage> staged(nparts);
   PEBBLE_RETURN_NOT_OK(ctx->ParallelFor(nparts, [&](size_t p) -> Status {
-    pending[p].clear();  // retry-idempotent: overwrite, never append
+    staged[p].Clear();  // retry-idempotent: overwrite, never append
+    staged[p].Reserve(in.partitions()[p].size());
     for (const Row& row : in.partitions()[p]) {
       PEBBLE_RETURN_NOT_OK(explode(row, [&](ValuePtr v, int32_t pos) {
-        pending[p].push_back(FlattenPending{std::move(v), row.id, pos});
+        staged[p].rows.push_back(Row{-1, std::move(v)});
+        staged[p].in_ids.push_back(row.id);
+        staged[p].pos.push_back(pos);
       }));
     }
     return Status::OK();
@@ -97,7 +114,7 @@ Result<Dataset> FlattenOp::Execute(
   PEBBLE_RETURN_NOT_OK(internal::CheckProvenanceCommit(prov));
   // Schema-level capture: A = {a_col[pos]}, M = {(a_col[pos], a_new)}.
   Path col_pos = column_.Parent().Child(
-      PathStep{column_.back().attr, kPosPlaceholder});
+      PathStep{column_.back().attr(), kPosPlaceholder});
   InputProvenance ip;
   ip.producer_oid = input_oids()[0];
   ip.accessed = {col_pos};
@@ -109,24 +126,22 @@ Result<Dataset> FlattenOp::Execute(
   const bool items = ctx->capture_items();
   std::vector<Partition> parts(nparts);
   for (size_t p = 0; p < nparts; ++p) {
-    std::vector<FlattenPending>& rows = pending[p];
-    parts[p].reserve(rows.size());
-    int64_t first = rows.empty()
-                        ? 0
-                        : ctx->ReserveIds(static_cast<int64_t>(rows.size()));
-    for (size_t k = 0; k < rows.size(); ++k) {
-      int64_t out_id = first + static_cast<int64_t>(k);
-      parts[p].push_back(Row{out_id, std::move(rows[k].value)});
-      prov->flatten_ids.push_back(
-          FlattenIdRow{rows[k].in_id, rows[k].pos, out_id});
-      if (items) {
+    FlattenStage& stage = staged[p];
+    const size_t n = stage.size();
+    int64_t first = n == 0 ? 0 : ctx->ReserveIds(static_cast<int64_t>(n));
+    for (size_t k = 0; k < n; ++k) {
+      stage.rows[k].id = first + static_cast<int64_t>(k);
+    }
+    parts[p] = std::move(stage.rows);
+    if (items) {
+      for (size_t k = 0; k < n; ++k) {
         // Item-level provenance: the concrete position is materialized.
         Path concrete = column_.Parent().Child(
-            PathStep{column_.back().attr, rows[k].pos});
+            PathStep{column_.back().attr(), stage.pos[k]});
         ItemProvenance item;
-        item.out_id = out_id;
+        item.out_id = first + static_cast<int64_t>(k);
         ItemInputProvenance in_prov;
-        in_prov.in_id = rows[k].in_id;
+        in_prov.in_id = stage.in_ids[k];
         in_prov.input_index = 0;
         in_prov.accessed = {concrete};
         item.inputs.push_back(std::move(in_prov));
@@ -135,6 +150,8 @@ Result<Dataset> FlattenOp::Execute(
         prov->item_provenance.push_back(std::move(item));
       }
     }
+    prov->flatten_ids.AppendStage(std::move(stage.in_ids),
+                                  std::move(stage.pos), first);
   }
   return Dataset(output_schema(), std::move(parts));
 }

@@ -165,7 +165,7 @@ AggSpec AggSpec::CollectSet(const std::string& input, std::string output) {
 
 GroupKey GroupKey::Of(const std::string& path) {
   Path p = std::move(Path::Parse(path)).ValueOrDie();
-  std::string name = p.back().attr;
+  std::string name = p.back().attr();
   return GroupKey{std::move(p), std::move(name)};
 }
 
@@ -239,13 +239,24 @@ Result<Dataset> GroupAggregateOp::Execute(
     }
   }
 
-  struct PendingGroup {
-    ValuePtr value;
-    std::vector<int64_t> ins;  // input ids in collect order
+  // Per-task SoA staging: one result value per group, plus the flat
+  // input-id column with an exclusive end offset per group (collect order),
+  // bulk-moved into the columnar agg table at commit.
+  struct AggStage {
+    Partition rows;
+    std::vector<int64_t> ins;
+    std::vector<size_t> ends;
+
+    void Clear() {
+      rows.clear();
+      ins.clear();
+      ends.clear();
+    }
+    size_t size() const { return rows.size(); }
   };
-  std::vector<std::vector<PendingGroup>> pending(buckets);
+  std::vector<AggStage> staged(buckets);
   PEBBLE_RETURN_NOT_OK(ctx->ParallelFor(buckets, [&](size_t b) -> Status {
-    pending[b].clear();  // retry-idempotent: overwrite, never append
+    staged[b].Clear();  // retry-idempotent: overwrite, never append
     // Group rows of this bucket in encounter order. The shuffled input
     // (keyed[b]) is shared across attempts and must only be read, never
     // moved from: a retried attempt sees the same rows again.
@@ -273,7 +284,8 @@ Result<Dataset> GroupAggregateOp::Execute(
       groups[gidx].rows.push_back(kr.row);
     }
     // Reduce each group to one result item (Tab. 5 aggregation rule).
-    pending[b].reserve(groups.size());
+    staged[b].rows.reserve(groups.size());
+    if (capture) staged[b].ends.reserve(groups.size());
     for (Group& g : groups) {
       std::vector<Field> fields;
       fields.reserve(keys_.size() + aggs_.size());
@@ -294,15 +306,13 @@ Result<Dataset> GroupAggregateOp::Execute(
         PEBBLE_ASSIGN_OR_RETURN(ValuePtr out, ComputeAgg(a, values));
         fields.push_back(Field{a.output, std::move(out)});
       }
-      PendingGroup pg;
-      pg.value = Value::Struct(std::move(fields));
+      staged[b].rows.push_back(Row{-1, Value::Struct(std::move(fields))});
       if (capture) {
-        pg.ins.reserve(g.rows.size());
         for (const Row& row : g.rows) {
-          pg.ins.push_back(row.id);
+          staged[b].ins.push_back(row.id);
         }
+        staged[b].ends.push_back(staged[b].ins.size());
       }
-      pending[b].push_back(std::move(pg));
     }
     return Status::OK();
   }));
@@ -348,23 +358,29 @@ Result<Dataset> GroupAggregateOp::Execute(
   const bool items = ctx->capture_items();
   std::vector<Partition> parts(buckets);
   for (size_t b = 0; b < buckets; ++b) {
-    std::vector<PendingGroup>& rows = pending[b];
-    parts[b].reserve(rows.size());
-    int64_t first = rows.empty() || !capture
+    AggStage& stage = staged[b];
+    const size_t n = stage.size();
+    int64_t first = n == 0 || !capture
                         ? 0
-                        : ctx->ReserveIds(static_cast<int64_t>(rows.size()));
-    for (size_t k = 0; k < rows.size(); ++k) {
-      int64_t out_id = capture ? first + static_cast<int64_t>(k) : -1;
-      parts[b].push_back(Row{out_id, std::move(rows[k].value)});
-      if (capture) {
-        if (items) {
-          // Full model: one input entry per group member, with item-level
-          // manipulation targets using concrete positions.
+                        : ctx->ReserveIds(static_cast<int64_t>(n));
+    if (capture) {
+      for (size_t k = 0; k < n; ++k) {
+        stage.rows[k].id = first + static_cast<int64_t>(k);
+      }
+    }
+    parts[b] = std::move(stage.rows);
+    if (capture) {
+      if (items) {
+        // Full model: one input entry per group member, with item-level
+        // manipulation targets using concrete positions.
+        for (size_t k = 0; k < n; ++k) {
+          size_t begin = k == 0 ? 0 : stage.ends[k - 1];
+          size_t count = stage.ends[k] - begin;
           ItemProvenance item;
-          item.out_id = out_id;
-          for (size_t pos = 0; pos < rows[k].ins.size(); ++pos) {
+          item.out_id = first + static_cast<int64_t>(k);
+          for (size_t pos = 0; pos < count; ++pos) {
             ItemInputProvenance in_prov;
-            in_prov.in_id = rows[k].ins[pos];
+            in_prov.in_id = stage.ins[begin + pos];
             in_prov.input_index = 0;
             for (const GroupKey& key : keys_) {
               in_prov.accessed.push_back(key.path);
@@ -378,7 +394,7 @@ Result<Dataset> GroupAggregateOp::Execute(
           }
           for (const AggSpec& a : aggs_) {
             if (a.kind == AggKind::kCollectList) {
-              for (size_t pos = 1; pos <= rows[k].ins.size(); ++pos) {
+              for (size_t pos = 1; pos <= count; ++pos) {
                 item.manipulations.push_back(PathMapping{
                     a.input,
                     Path({PathStep{a.output, static_cast<int32_t>(pos)}})});
@@ -387,8 +403,9 @@ Result<Dataset> GroupAggregateOp::Execute(
           }
           prov->item_provenance.push_back(std::move(item));
         }
-        prov->agg_ids.push_back(AggIdRow{std::move(rows[k].ins), out_id});
       }
+      prov->agg_ids.AppendStage(std::move(stage.ins), std::move(stage.ends),
+                                first);
     }
   }
   return Dataset(output_schema(), std::move(parts));

@@ -10,7 +10,7 @@
 namespace pebble {
 
 using internal::ItemCaptureSpec;
-using internal::UnaryPending;
+using internal::UnaryStage;
 
 // ---------------------------------------------------------------------------
 // Scan
@@ -100,12 +100,13 @@ Result<Dataset> FilterOp::Execute(
     return Dataset(output_schema(), std::move(parts));
   }
 
-  std::vector<std::vector<UnaryPending>> pending(nparts);
+  std::vector<UnaryStage> staged(nparts);
   PEBBLE_RETURN_NOT_OK(ctx->ParallelFor(nparts, [&](size_t p) -> Status {
-    pending[p].clear();  // retry-idempotent: overwrite, never append
+    staged[p].Clear();  // retry-idempotent: overwrite, never append
+    staged[p].Reserve(in.partitions()[p].size());
     for (const Row& row : in.partitions()[p]) {
       PEBBLE_ASSIGN_OR_RETURN(bool pass, predicate_->EvaluateBool(*row.value));
-      if (pass) pending[p].push_back(UnaryPending{row.value, row.id});
+      if (pass) staged[p].Push(row.value, row.id);
     }
     return Status::OK();
   }));
@@ -124,7 +125,7 @@ Result<Dataset> FilterOp::Execute(
 
   ItemCaptureSpec spec;
   spec.accessed = std::move(accessed);
-  return internal::FinalizeUnary(ctx, output_schema(), std::move(pending),
+  return internal::FinalizeUnary(ctx, output_schema(), std::move(staged),
                                  prov, &spec);
 }
 
@@ -199,7 +200,7 @@ Projection Projection::Leaf(std::string name, const std::string& path) {
 
 Projection Projection::Keep(const std::string& attr) {
   Path p = std::move(Path::Parse(attr)).ValueOrDie();
-  std::string name = p.back().attr;
+  std::string name = p.back().attr();
   return MakeLeaf(std::move(name), std::move(p));
 }
 
@@ -264,13 +265,13 @@ Result<Dataset> SelectOp::Execute(
     return Dataset(output_schema(), std::move(parts));
   }
 
-  std::vector<std::vector<UnaryPending>> pending(nparts);
+  std::vector<UnaryStage> staged(nparts);
   PEBBLE_RETURN_NOT_OK(ctx->ParallelFor(nparts, [&](size_t p) -> Status {
-    pending[p].clear();  // retry-idempotent: overwrite, never append
-    pending[p].reserve(in.partitions()[p].size());
+    staged[p].Clear();  // retry-idempotent: overwrite, never append
+    staged[p].Reserve(in.partitions()[p].size());
     for (const Row& row : in.partitions()[p]) {
       PEBBLE_ASSIGN_OR_RETURN(ValuePtr v, project_row(*row.value));
-      pending[p].push_back(UnaryPending{std::move(v), row.id});
+      staged[p].Push(std::move(v), row.id);
     }
     return Status::OK();
   }));
@@ -290,7 +291,7 @@ Result<Dataset> SelectOp::Execute(
   ItemCaptureSpec spec;
   spec.accessed = std::move(accessed);
   spec.manipulations = std::move(manipulations);
-  return internal::FinalizeUnary(ctx, output_schema(), std::move(pending),
+  return internal::FinalizeUnary(ctx, output_schema(), std::move(staged),
                                  prov, &spec);
 }
 
@@ -317,17 +318,17 @@ Result<Dataset> MapOp::Execute(
   const Dataset& in = *inputs[0];
   const size_t nparts = in.partitions().size();
 
-  std::vector<std::vector<UnaryPending>> pending(nparts);
+  std::vector<UnaryStage> staged(nparts);
   PEBBLE_RETURN_NOT_OK(ctx->ParallelFor(nparts, [&](size_t p) -> Status {
-    pending[p].clear();  // retry-idempotent: overwrite, never append
-    pending[p].reserve(in.partitions()[p].size());
+    staged[p].Clear();  // retry-idempotent: overwrite, never append
+    staged[p].Reserve(in.partitions()[p].size());
     for (const Row& row : in.partitions()[p]) {
       PEBBLE_ASSIGN_OR_RETURN(ValuePtr v, fn_(*row.value));
       if (v == nullptr || !v->is_struct()) {
         return Status::TypeError(
             "map function must return a data item (struct)");
       }
-      pending[p].push_back(UnaryPending{std::move(v), row.id});
+      staged[p].Push(std::move(v), row.id);
     }
     return Status::OK();
   }));
@@ -336,9 +337,9 @@ Result<Dataset> MapOp::Execute(
   TypePtr schema = output_schema();
   if (schema == nullptr || schema->kind() == TypeKind::kNull) {
     schema = DataType::Struct({});
-    for (const auto& part : pending) {
-      if (!part.empty()) {
-        schema = part[0].value->InferType();
+    for (const UnaryStage& stage : staged) {
+      if (!stage.rows.empty()) {
+        schema = stage.rows[0].value->InferType();
         break;
       }
     }
@@ -347,10 +348,7 @@ Result<Dataset> MapOp::Execute(
   if (!ctx->capture_enabled()) {
     std::vector<Partition> parts(nparts);
     for (size_t p = 0; p < nparts; ++p) {
-      parts[p].reserve(pending[p].size());
-      for (UnaryPending& row : pending[p]) {
-        parts[p].push_back(Row{-1, std::move(row.value)});
-      }
+      parts[p] = std::move(staged[p].rows);
     }
     return Dataset(std::move(schema), std::move(parts));
   }
@@ -366,7 +364,7 @@ Result<Dataset> MapOp::Execute(
   ItemCaptureSpec spec;
   spec.accessed_undefined = true;
   spec.manip_undefined = true;
-  return internal::FinalizeUnary(ctx, std::move(schema), std::move(pending),
+  return internal::FinalizeUnary(ctx, std::move(schema), std::move(staged),
                                  prov, &spec);
 }
 

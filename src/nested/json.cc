@@ -39,7 +39,8 @@ class JsonParser {
   }
 
   bool ConsumeLiteral(std::string_view lit) {
-    if (text_.substr(pos_, lit.size()) == lit) {
+    if (text_.size() - pos_ >= lit.size() &&
+        text_.compare(pos_, lit.size(), lit) == 0) {
       pos_ += lit.size();
       return true;
     }
@@ -75,6 +76,7 @@ class JsonParser {
   Result<ValuePtr> ParseObject() {
     ++pos_;  // '{'
     std::vector<Field> fields;
+    fields.reserve(8);
     SkipWhitespace();
     if (pos_ < text_.size() && text_[pos_] == '}') {
       ++pos_;
@@ -111,6 +113,7 @@ class JsonParser {
   Result<ValuePtr> ParseArray() {
     ++pos_;  // '['
     std::vector<ValuePtr> elems;
+    elems.reserve(8);
     SkipWhitespace();
     if (pos_ < text_.size() && text_[pos_] == ']') {
       ++pos_;

@@ -13,9 +13,10 @@ void HashCombine(size_t* seed, size_t v) {
 }  // namespace
 
 std::string PathStep::ToString() const {
-  if (!has_pos()) return attr;
-  if (is_placeholder()) return attr + "[pos]";
-  return attr + "[" + std::to_string(pos) + "]";
+  const std::string& name = attr();
+  if (!has_pos()) return name;
+  if (is_placeholder()) return name + "[pos]";
+  return name + "[" + std::to_string(pos) + "]";
 }
 
 Path Path::Attr(std::string name) {
@@ -158,9 +159,9 @@ Result<ValuePtr> Path::Evaluate(const Value& context) const {
       return Status::TypeError("path step '" + step.ToString() +
                                "' applied to non-struct value");
     }
-    ValuePtr next = cur->FindField(step.attr);
+    ValuePtr next = cur->FindField(step.attr());
     if (next == nullptr) {
-      return Status::KeyError("no attribute '" + step.attr + "' in item");
+      return Status::KeyError("no attribute '" + step.attr() + "' in item");
     }
     if (step.has_pos()) {
       if (step.is_placeholder()) {
@@ -169,12 +170,12 @@ Result<ValuePtr> Path::Evaluate(const Value& context) const {
       }
       if (!next->is_collection()) {
         return Status::TypeError("positional access on non-collection '" +
-                                 step.attr + "'");
+                                 step.attr() + "'");
       }
       size_t idx = static_cast<size_t>(step.pos);  // 1-based
       if (idx == 0 || idx > next->num_elements()) {
         return Status::IndexError("position " + std::to_string(step.pos) +
-                                  " out of range for '" + step.attr + "'");
+                                  " out of range for '" + step.attr() + "'");
       }
       next = next->elements()[idx - 1];
     }
@@ -189,7 +190,7 @@ bool Path::ExistsInType(const DataType& type) const {
   const DataType* cur = &type;
   for (const PathStep& step : steps_) {
     if (cur->kind() != TypeKind::kStruct) return false;
-    const FieldType* f = cur->FindField(step.attr);
+    const FieldType* f = cur->FindField(step.attr());
     if (f == nullptr) return false;
     cur = f->type.get();
     if (step.has_pos()) {
@@ -212,8 +213,8 @@ std::string Path::ToString() const {
 bool Path::operator<(const Path& other) const {
   size_t n = std::min(size(), other.size());
   for (size_t i = 0; i < n; ++i) {
-    if (steps_[i].attr != other.steps_[i].attr) {
-      return steps_[i].attr < other.steps_[i].attr;
+    if (steps_[i].sym != other.steps_[i].sym) {
+      return steps_[i].attr() < other.steps_[i].attr();
     }
     if (steps_[i].pos != other.steps_[i].pos) {
       return steps_[i].pos < other.steps_[i].pos;
@@ -223,10 +224,12 @@ bool Path::operator<(const Path& other) const {
 }
 
 size_t Path::Hash() const {
+  // Steps are packed (sym, pos) words: hash the 8-byte word directly.
   size_t h = 0;
   for (const PathStep& s : steps_) {
-    HashCombine(&h, std::hash<std::string>{}(s.attr));
-    HashCombine(&h, std::hash<int32_t>{}(s.pos));
+    uint64_t word = (static_cast<uint64_t>(static_cast<uint32_t>(s.sym)) << 32) |
+                    static_cast<uint32_t>(s.pos);
+    HashCombine(&h, std::hash<uint64_t>{}(word));
   }
   return h;
 }
@@ -239,16 +242,16 @@ Result<TypePtr> ResolveType(const TypePtr& root, const Path& path) {
                                "' applied to non-struct type " +
                                cur->ToString());
     }
-    const FieldType* f = cur->FindField(step.attr);
+    const FieldType* f = cur->FindField(step.attr());
     if (f == nullptr) {
-      return Status::KeyError("no attribute '" + step.attr + "' in type " +
+      return Status::KeyError("no attribute '" + step.attr() + "' in type " +
                               cur->ToString());
     }
     cur = f->type;
     if (step.has_pos()) {
       if (!cur->is_collection()) {
         return Status::TypeError("positional access on non-collection '" +
-                                 step.attr + "'");
+                                 step.attr() + "'");
       }
       cur = cur->element();
     }

@@ -14,8 +14,10 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/status.h"
 #include "nested/type.h"
 #include "nested/value.h"
@@ -28,15 +30,24 @@ inline constexpr int32_t kNoPos = -1;
 inline constexpr int32_t kPosPlaceholder = 0;
 
 /// One step of an access path: an attribute, optionally followed by a
-/// 1-based position into that attribute's collection value.
+/// 1-based position into that attribute's collection value. The attribute
+/// is stored as an interned symbol, so a step is a packed 8 bytes and
+/// step/path equality are word compares.
 struct PathStep {
-  std::string attr;
+  int32_t sym = 0;  // Interner::Global() symbol; 0 is "".
   int32_t pos = kNoPos;
+
+  PathStep() = default;
+  PathStep(std::string_view attr, int32_t pos = kNoPos)
+      : sym(Interner::Global().Intern(attr)), pos(pos) {}
+
+  /// The attribute name; stable reference into the global interner.
+  const std::string& attr() const { return Interner::Global().ToString(sym); }
 
   bool has_pos() const { return pos != kNoPos; }
   bool is_placeholder() const { return pos == kPosPlaceholder; }
   bool operator==(const PathStep& other) const {
-    return attr == other.attr && pos == other.pos;
+    return sym == other.sym && pos == other.pos;
   }
   std::string ToString() const;
 };
@@ -94,7 +105,10 @@ class Path {
   bool ExistsInType(const DataType& type) const;
 
   std::string ToString() const;
+  /// Word-compare over packed (symbol, pos) steps.
   bool operator==(const Path& other) const { return steps_ == other.steps_; }
+  /// Lexicographic by attribute string then position (NOT by symbol), so
+  /// ordered output is independent of interning order.
   bool operator<(const Path& other) const;
   size_t Hash() const;
 

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <functional>
+#include <unordered_set>
 
 namespace pebble {
 
@@ -46,59 +47,67 @@ void AppendJsonString(const std::string& s, std::string* out) {
 }  // namespace
 
 ValuePtr Value::Null() {
-  static const ValuePtr v(new Value(ValueKind::kNull));
+  static const ValuePtr v = [] {
+    auto* n = new Value(ValueKind::kNull);
+    n->ComputeHash();
+    return ValuePtr(n);
+  }();
   return v;
 }
 
 ValuePtr Value::Bool(bool b) {
   auto* v = new Value(ValueKind::kBool);
   v->bool_ = b;
+  v->ComputeHash();
   return ValuePtr(v);
 }
 
 ValuePtr Value::Int(int64_t i) {
   auto* v = new Value(ValueKind::kInt);
   v->int_ = i;
+  v->ComputeHash();
   return ValuePtr(v);
 }
 
 ValuePtr Value::Double(double d) {
   auto* v = new Value(ValueKind::kDouble);
   v->double_ = d;
+  v->ComputeHash();
   return ValuePtr(v);
 }
 
 ValuePtr Value::String(std::string s) {
   auto* v = new Value(ValueKind::kString);
   v->string_ = std::move(s);
+  v->ComputeHash();
   return ValuePtr(v);
 }
 
 ValuePtr Value::Struct(std::vector<Field> fields) {
   auto* v = new Value(ValueKind::kStruct);
   v->fields_ = std::move(fields);
+  v->ComputeHash();
   return ValuePtr(v);
 }
 
 ValuePtr Value::Bag(std::vector<ValuePtr> elements) {
   auto* v = new Value(ValueKind::kBag);
   v->elements_ = std::move(elements);
+  v->ComputeHash();
   return ValuePtr(v);
 }
 
 ValuePtr Value::Set(std::vector<ValuePtr> elements) {
   auto* v = new Value(ValueKind::kSet);
   v->elements_.reserve(elements.size());
-  for (const ValuePtr& e : elements) {
-    bool dup = false;
-    for (const ValuePtr& existing : v->elements_) {
-      if (existing->Equals(*e)) {
-        dup = true;
-        break;
-      }
-    }
-    if (!dup) v->elements_.push_back(e);
+  // Hash-based dedup keeping first occurrences: O(n) expected via the
+  // memoized per-node hashes (previously an O(n^2) deep-equality scan).
+  std::unordered_set<ValuePtr, ValuePtrHash, ValuePtrEq> seen;
+  seen.reserve(elements.size());
+  for (ValuePtr& e : elements) {
+    if (seen.insert(e).second) v->elements_.push_back(std::move(e));
   }
+  v->ComputeHash();
   return ValuePtr(v);
 }
 
@@ -111,6 +120,7 @@ ValuePtr Value::FindField(const std::string& name) const {
 
 bool Value::Equals(const Value& other) const {
   if (this == &other) return true;
+  if (hash_ != other.hash_) return false;
   if (kind_ != other.kind_) return false;
   switch (kind_) {
     case ValueKind::kNull:
@@ -143,7 +153,11 @@ bool Value::Equals(const Value& other) const {
   return false;
 }
 
-size_t Value::Hash() const {
+void Value::ComputeHash() {
+  // Children are constructed (and hashed) before their parents, so this is
+  // a shallow combine over already-memoized child hashes. The computation
+  // matches the old deep recursion bit-for-bit: downstream hash
+  // partitioning (join/group shuffles) must not change row order.
   size_t h = static_cast<size_t>(kind_) * 0x9e3779b97f4a7c15ULL;
   switch (kind_) {
     case ValueKind::kNull:
@@ -173,7 +187,7 @@ size_t Value::Hash() const {
       }
       break;
   }
-  return h;
+  hash_ = h;
 }
 
 int Value::Compare(const Value& other) const {

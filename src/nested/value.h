@@ -85,11 +85,14 @@ class Value {
   size_t num_elements() const { return elements_.size(); }
 
   /// Deep structural equality (NaN != NaN, matching SQL-ish semantics is not
-  /// needed here; bitwise double equality is used).
+  /// needed here; bitwise double equality is used). Short-circuits on the
+  /// memoized structural hash: unequal hashes prove inequality without
+  /// walking the trees.
   bool Equals(const Value& other) const;
 
-  /// Deep hash consistent with Equals.
-  size_t Hash() const;
+  /// Structural hash consistent with Equals. Memoized: computed bottom-up at
+  /// construction (children are already hashed), so this is O(1).
+  size_t Hash() const { return hash_; }
 
   /// Total order over values of mixed kinds (kind rank first, then value);
   /// used for canonical sorting in tests and set construction.
@@ -109,10 +112,15 @@ class Value {
  private:
   explicit Value(ValueKind kind) : kind_(kind) {}
 
+  /// Computes and stores the structural hash; called once per node by the
+  /// factories, after the payload is in place.
+  void ComputeHash();
+
   ValueKind kind_;
   bool bool_ = false;
   int64_t int_ = 0;
   double double_ = 0;
+  size_t hash_ = 0;
   std::string string_;
   std::vector<Field> fields_;
   std::vector<ValuePtr> elements_;

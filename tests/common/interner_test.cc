@@ -1,0 +1,132 @@
+// Tests for the process-wide attribute-name interner that backs packed
+// PathStep symbols. The concurrency test is part of the TSan suite
+// (scripts/check.sh runs it under -fsanitize=thread): interning races the
+// writer path of the same Interner from many partition tasks while readers
+// resolve symbols lock-free.
+
+#include "common/interner.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/operator.h"
+#include "nested/path.h"
+
+namespace pebble {
+namespace {
+
+TEST(InternerTest, InternIsIdempotent) {
+  Interner interner;
+  const int32_t a = interner.Intern("user");
+  const int32_t b = interner.Intern("text");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, interner.Intern("user"));
+  EXPECT_EQ(b, interner.Intern("text"));
+  EXPECT_EQ(interner.ToString(a), "user");
+  EXPECT_EQ(interner.ToString(b), "text");
+}
+
+TEST(InternerTest, EmptyStringIsSymbolZero) {
+  Interner interner;
+  EXPECT_EQ(interner.Intern(""), 0);
+  EXPECT_EQ(interner.ToString(0), "");
+  EXPECT_EQ(Interner::Global().Intern(""), 0);
+}
+
+// Symbols are assigned in first-intern order, so two interners fed the
+// same name sequence assign the same ids. This is the property that makes
+// symbol values stable across runs of a deterministic pipeline.
+TEST(InternerTest, SymbolAssignmentIsSequenceStable) {
+  const std::vector<std::string> names = {"user", "name",  "id_str",
+                                          "text", "likes", "user"};
+  Interner a;
+  Interner b;
+  for (const std::string& n : names) {
+    EXPECT_EQ(a.Intern(n), b.Intern(n)) << n;
+  }
+  EXPECT_EQ(a.size(), b.size());
+}
+
+TEST(InternerTest, HandlesManySymbolsAcrossChunks) {
+  Interner interner;
+  std::vector<int32_t> syms;
+  // More than one 4096-entry chunk, to cross a chunk boundary.
+  const int n = 10000;
+  syms.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    syms.push_back(interner.Intern("attr_" + std::to_string(i)));
+  }
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(interner.ToString(syms[i]), "attr_" + std::to_string(i));
+    EXPECT_EQ(interner.Intern("attr_" + std::to_string(i)), syms[i]);
+  }
+}
+
+// Hammers one Interner from the engine's own task runner: every task
+// interns a mix of shared and task-private names and immediately resolves
+// them back. Run under TSan this exercises the shared-lock fast path, the
+// unique-lock insert and the lock-free ToString publication together.
+TEST(InternerTest, ConcurrentInterningFromParallelFor) {
+  Interner interner;
+  ExecOptions options(CaptureMode::kOff, /*partitions=*/8, /*threads=*/8);
+  ExecContext ctx(options, nullptr);
+  const int kTasks = 32;
+  const int kPerTask = 200;
+  Status st = ctx.ParallelFor(kTasks, [&](size_t t) -> Status {
+    for (int i = 0; i < kPerTask; ++i) {
+      // Shared across tasks: every task races to intern the same name.
+      const std::string shared = "shared_" + std::to_string(i);
+      const int32_t s1 = interner.Intern(shared);
+      if (interner.ToString(s1) != shared) {
+        return Status::Internal("round-trip mismatch for " + shared);
+      }
+      if (interner.Intern(shared) != s1) {
+        return Status::Internal("unstable symbol for " + shared);
+      }
+      // Private to this task: forces concurrent insertions of new names.
+      const std::string mine =
+          "task" + std::to_string(t) + "_" + std::to_string(i);
+      const int32_t s2 = interner.Intern(mine);
+      if (interner.ToString(s2) != mine) {
+        return Status::Internal("round-trip mismatch for " + mine);
+      }
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  // 200 shared + 32*200 private + the pre-interned "".
+  EXPECT_EQ(interner.size(), 1u + kPerTask + kTasks * kPerTask);
+}
+
+// Paths survive a text round-trip even though steps now store interned
+// symbols: Parse re-interns the attribute names and must reproduce equal
+// steps (and ToString the original text).
+TEST(InternerTest, PathParseToStringRoundTrip) {
+  const std::vector<std::string> texts = {
+      "user", "user.name", "user_mentions[1].id_str", "tweets[pos].text",
+      "a.b.c[7].d"};
+  for (const std::string& text : texts) {
+    Result<Path> parsed = Path::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_EQ(parsed.value().ToString(), text);
+    Result<Path> again = Path::Parse(parsed.value().ToString());
+    ASSERT_TRUE(again.ok()) << text;
+    EXPECT_TRUE(parsed.value() == again.value()) << text;
+    EXPECT_EQ(parsed.value().Hash(), again.value().Hash()) << text;
+  }
+}
+
+// Step equality is a packed word compare, but ordering must remain
+// lexicographic by attribute string regardless of interning order.
+TEST(InternerTest, PathOrderingIsLexicographicNotSymbolOrder) {
+  // Intern "zzz" before "aaa" so symbol order disagrees with string order.
+  Path z = Path::Attr("zzz_order_probe");
+  Path a = Path::Attr("aaa_order_probe");
+  EXPECT_TRUE(a < z);
+  EXPECT_FALSE(z < a);
+}
+
+}  // namespace
+}  // namespace pebble

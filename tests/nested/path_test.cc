@@ -26,7 +26,7 @@ ValuePtr SampleItem() {
 TEST(PathTest, ParseSimple) {
   ASSERT_OK_AND_ASSIGN(Path p, Path::Parse("user.id_str"));
   ASSERT_EQ(p.size(), 2u);
-  EXPECT_EQ(p.step(0).attr, "user");
+  EXPECT_EQ(p.step(0).attr(), "user");
   EXPECT_FALSE(p.step(0).has_pos());
   EXPECT_EQ(p.ToString(), "user.id_str");
 }

@@ -65,6 +65,27 @@ TEST(ValueTest, SetDeepDuplicateDetection) {
   EXPECT_EQ(set->num_elements(), 1u);
 }
 
+// The hash-based dedup must stay order-preserving and correct on large
+// inputs (the old quadratic scan made 10k-element sets pathological).
+TEST(ValueTest, SetLargeDedupKeepsFirstOccurrenceOrder) {
+  const int kUnique = 10000;
+  std::vector<ValuePtr> elements;
+  elements.reserve(2 * kUnique);
+  for (int i = 0; i < kUnique; ++i) {
+    // Structurally-equal duplicates, not shared pointers: i and i + kUnique
+    // are distinct nodes with equal content.
+    elements.push_back(Value::Struct({{"id", I(i % kUnique)}}));
+  }
+  for (int i = 0; i < kUnique; ++i) {
+    elements.push_back(Value::Struct({{"id", I(i % kUnique)}}));
+  }
+  ValuePtr set = Value::Set(std::move(elements));
+  ASSERT_EQ(set->num_elements(), static_cast<size_t>(kUnique));
+  for (int i = 0; i < kUnique; ++i) {
+    EXPECT_EQ(set->elements()[i]->fields()[0].value->int_value(), i);
+  }
+}
+
 TEST(ValueTest, DeepEquality) {
   ValuePtr a = Value::Struct(
       {{"u", Value::Struct({{"id", S("x")}})}, {"n", Value::Bag({I(1)})}});
