@@ -36,16 +36,20 @@ int main() {
   }
   ExecutionResult run = std::move(run_result).value();
 
-  // 2. Persist the provenance next to the (imagined) result files.
+  // 2. Persist the provenance next to the (imagined) result files. The
+  // save is crash-safe: a checksummed durable snapshot written via temp
+  // file + fsync + atomic rename (DESIGN.md §8).
   const char* path = "/tmp/pebble_running_example.prov";
   Status save = SaveProvenanceStore(*run.provenance, path);
   if (!save.ok()) {
     std::fprintf(stderr, "save failed: %s\n", save.ToString().c_str());
     return 1;
   }
-  std::printf("provenance captured and saved to %s (%llu id rows)\n", path,
-              static_cast<unsigned long long>(
-                  run.provenance->TotalIdRows()));
+  std::printf(
+      "provenance captured and saved to %s (durable snapshot, %llu id "
+      "rows)\n",
+      path,
+      static_cast<unsigned long long>(run.provenance->TotalIdRows()));
 
   // 3. Later: reload and ask the Fig. 4 question, written as text.
   Result<std::unique_ptr<ProvenanceStore>> loaded =

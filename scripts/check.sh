@@ -1,20 +1,24 @@
 #!/usr/bin/env bash
-# Full local verification: tier-1 tests plain, then under ASan+UBSan, then
-# the concurrency-sensitive tests (task runner, chaos, concurrency) under
+# Full local verification: tier-1 tests plain, then under ASan+UBSan, the
+# durable-snapshot corruption suite (plain + ASan+UBSan), then the
+# concurrency-sensitive tests (task runner, chaos, concurrency) under
 # TSan. Usage:
 #
-#   scripts/check.sh            # all three stages
+#   scripts/check.sh            # all stages
 #   scripts/check.sh plain      # just the plain tier-1 run
 #   scripts/check.sh asan       # just the address+undefined stage
 #   scripts/check.sh tsan       # just the thread-sanitizer stage
+#   scripts/check.sh corruption # durable-snapshot corruption suite,
+#                               # plain and under ASan+UBSan
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 STAGE="${1:-all}"
 case "${STAGE}" in
-  all|plain|asan|tsan) ;;
-  *) echo "unknown stage '${STAGE}' (expected: all, plain, asan, tsan)" >&2
+  all|plain|asan|tsan|corruption) ;;
+  *) echo "unknown stage '${STAGE}'" \
+          "(expected: all, plain, asan, tsan, corruption)" >&2
      exit 2 ;;
 esac
 
@@ -40,6 +44,17 @@ fi
 if [[ "${STAGE}" == "all" || "${STAGE}" == "asan" ]]; then
   ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1" \
     run_stage "asan+ubsan" build-asan "address;undefined" ""
+fi
+
+if [[ "${STAGE}" == "all" || "${STAGE}" == "corruption" ]]; then
+  # Durable-snapshot robustness gate: randomized bit-flip/truncate/splice
+  # corruption plus interrupted-save chaos, plain and under ASan+UBSan
+  # (the "no crash, no sanitizer finding on corrupt input" contract).
+  CORRUPTION_FILTER="Corruption|DurableFormat|DurableGolden|AtomicWriteFile|Crc32"
+  run_stage "corruption (plain)" build "" "${CORRUPTION_FILTER}"
+  ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1" \
+    run_stage "corruption (asan+ubsan)" build-asan "address;undefined" \
+      "${CORRUPTION_FILTER}"
 fi
 
 if [[ "${STAGE}" == "all" || "${STAGE}" == "tsan" ]]; then

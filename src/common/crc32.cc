@@ -1,0 +1,34 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace pebble {
+
+namespace {
+
+constexpr uint32_t kPolynomial = 0xEDB88320u;
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (kPolynomial ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t state, const void* data, size_t size) {
+  static const std::array<uint32_t, 256> kTable = BuildTable();
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    state = kTable[(state ^ p[i]) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+}  // namespace pebble

@@ -1,0 +1,35 @@
+// CRC32 (IEEE 802.3, polynomial 0xEDB88320), table-driven, incremental.
+// Used by the durable provenance snapshot format to detect torn writes and
+// bit rot: every segment carries a CRC32 footer that the loader verifies
+// before trusting the payload. Stable across platforms and endianness.
+
+#ifndef PEBBLE_COMMON_CRC32_H_
+#define PEBBLE_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace pebble {
+
+/// Incremental update: feed chunks in order, starting from kCrc32Init, and
+/// finalize with Crc32Finalize. Internally keeps the ones-complement
+/// running state.
+inline constexpr uint32_t kCrc32Init = 0xFFFFFFFFu;
+
+uint32_t Crc32Update(uint32_t state, const void* data, size_t size);
+
+inline uint32_t Crc32Finalize(uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+/// One-shot CRC32 of a buffer.
+inline uint32_t Crc32(const void* data, size_t size) {
+  return Crc32Finalize(Crc32Update(kCrc32Init, data, size));
+}
+
+inline uint32_t Crc32(std::string_view data) {
+  return Crc32(data.data(), data.size());
+}
+
+}  // namespace pebble
+
+#endif  // PEBBLE_COMMON_CRC32_H_

@@ -39,6 +39,18 @@ inline constexpr char kShuffleExchange[] = "shuffle.exchange";
 inline constexpr char kProvenanceAppend[] = "provenance.append";
 /// ReadJsonLinesFile, once per file open.
 inline constexpr char kIoRead[] = "io.read";
+/// AtomicWriteFile, once per chunk written to the temp file (keyed by chunk
+/// index). Firing simulates a torn write: a prefix of the chunk reaches the
+/// file before the fault.
+inline constexpr char kIoWrite[] = "io.write";
+/// AtomicWriteFile, before fsyncing the temp file (key 0) and before
+/// fsyncing the parent directory after the rename (key 1).
+inline constexpr char kIoFsync[] = "io.fsync";
+/// AtomicWriteFile, immediately before the atomic rename over the
+/// destination.
+inline constexpr char kIoRename[] = "io.rename";
+/// LoadProvenanceStore, once per load before the snapshot file is opened.
+inline constexpr char kIoLoad[] = "io.load";
 }  // namespace failpoints
 
 /// Firing rule for one armed site. Exactly one of `every_nth` /
@@ -107,6 +119,11 @@ class FailpointRegistry {
 /// Evaluates a site on the global registry and propagates an injected error.
 #define PEBBLE_FAILPOINT(site) \
   PEBBLE_RETURN_NOT_OK(::pebble::FailpointRegistry::Global().Evaluate(site))
+
+/// Same, with a caller-chosen determinism key (see class comment).
+#define PEBBLE_FAILPOINT_KEYED(site, key) \
+  PEBBLE_RETURN_NOT_OK(                   \
+      ::pebble::FailpointRegistry::Global().Evaluate(site, (key)))
 
 }  // namespace pebble
 

@@ -1,0 +1,153 @@
+#include "common/file_io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/failpoint.h"
+
+namespace pebble {
+
+namespace {
+
+std::string ErrnoText() { return std::strerror(errno); }
+
+/// Directory part of `path` ("." when the path has no separator).
+std::string ParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+/// RAII fd that closes on scope exit unless released.
+class ScopedFd {
+ public:
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ~ScopedFd() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  int get() const { return fd_; }
+  /// Closes eagerly; returns false on close error.
+  bool Close() {
+    int fd = fd_;
+    fd_ = -1;
+    return ::close(fd) == 0;
+  }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::IOError("read failure on '" + path + "'");
+  }
+  return buffer.str();
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view data,
+                       const AtomicWriteOptions& options) {
+  const std::string tmp_path = path + ".tmp";
+  const size_t chunk = options.chunk_bytes == 0 ? size_t{1} << 16
+                                                : options.chunk_bytes;
+
+  // Any failure after this point removes the temp file (best-effort; a real
+  // crash would leave it, which a later save simply overwrites) and leaves
+  // the destination untouched.
+  auto fail = [&](Status st) {
+    std::remove(tmp_path.c_str());
+    return st;
+  };
+
+  ScopedFd fd(::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644));
+  if (fd.get() < 0) {
+    return Status::IOError("cannot open temp file '" + tmp_path +
+                           "' for writing: " + ErrnoText());
+  }
+
+  size_t offset = 0;
+  uint64_t chunk_index = 0;
+  while (offset < data.size()) {
+    size_t n = std::min(chunk, data.size() - offset);
+    Status injected = FailpointRegistry::Global().Evaluate(
+        failpoints::kIoWrite, chunk_index);
+    if (!injected.ok()) {
+      // Simulate a torn write: half the chunk reaches the disk before the
+      // fault, so the temp file holds a mid-record prefix.
+      ssize_t torn = ::write(fd.get(), data.data() + offset, n / 2);
+      (void)torn;
+      return fail(injected.WithContext("write of '" + tmp_path +
+                                       "' failed at byte " +
+                                       std::to_string(offset)));
+    }
+    ssize_t written = ::write(fd.get(), data.data() + offset, n);
+    if (written < 0 || static_cast<size_t>(written) != n) {
+      return fail(Status::IOError("short write to '" + tmp_path +
+                                  "' at byte " + std::to_string(offset) +
+                                  ": " + ErrnoText()));
+    }
+    offset += n;
+    ++chunk_index;
+  }
+
+  if (options.sync) {
+    Status injected =
+        FailpointRegistry::Global().Evaluate(failpoints::kIoFsync, 0);
+    if (!injected.ok()) {
+      return fail(injected.WithContext("fsync of '" + tmp_path + "' failed"));
+    }
+    if (::fsync(fd.get()) != 0) {
+      return fail(Status::IOError("fsync of '" + tmp_path +
+                                  "' failed: " + ErrnoText()));
+    }
+  }
+  if (!fd.Close()) {
+    return fail(Status::IOError("close of '" + tmp_path +
+                                "' failed: " + ErrnoText()));
+  }
+
+  Status injected =
+      FailpointRegistry::Global().Evaluate(failpoints::kIoRename, 0);
+  if (!injected.ok()) {
+    return fail(injected.WithContext("rename of '" + tmp_path + "' to '" +
+                                     path + "' failed"));
+  }
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    return fail(Status::IOError("rename of '" + tmp_path + "' to '" + path +
+                                "' failed: " + ErrnoText()));
+  }
+
+  if (options.sync) {
+    // Make the rename itself durable. Failure here is reported, but the
+    // destination already holds the complete new content.
+    Status dir_injected =
+        FailpointRegistry::Global().Evaluate(failpoints::kIoFsync, 1);
+    if (!dir_injected.ok()) {
+      return dir_injected.WithContext("fsync of directory '" +
+                                      ParentDir(path) + "' failed");
+    }
+    ScopedFd dir(::open(ParentDir(path).c_str(), O_RDONLY | O_DIRECTORY));
+    if (dir.get() >= 0 && ::fsync(dir.get()) != 0) {
+      return Status::IOError("fsync of directory '" + ParentDir(path) +
+                             "' failed: " + ErrnoText());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace pebble

@@ -1,0 +1,41 @@
+// Crash-safe file I/O helpers. AtomicWriteFile implements the classic
+// temp-file + fsync + rename protocol: the destination path either keeps its
+// previous content byte-for-byte or atomically becomes the new content —
+// a crash (or injected fault) at any point never leaves a half-written
+// destination. Failpoint sites io.write / io.fsync / io.rename are threaded
+// through every step so chaos tests can kill a save at any byte offset.
+
+#ifndef PEBBLE_COMMON_FILE_IO_H_
+#define PEBBLE_COMMON_FILE_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace pebble {
+
+/// Reads a whole file into a string. IOError (with the path in the message)
+/// on open/read failure.
+Result<std::string> ReadFileToString(const std::string& path);
+
+struct AtomicWriteOptions {
+  /// Data is written in chunks of this size; the io.write failpoint is
+  /// evaluated once per chunk (keyed by chunk index), so tests can abort a
+  /// write after any prefix of the data has reached the temp file.
+  size_t chunk_bytes = 1 << 16;
+  /// fsync the temp file before rename and the parent directory after
+  /// (durability of the rename itself). Disable only in tests.
+  bool sync = true;
+};
+
+/// Atomically replaces `path` with `data`: writes `path`.tmp, fsyncs it,
+/// renames over `path`, then fsyncs the parent directory. On any failure the
+/// temp file is removed (best-effort) and the previous `path` content is
+/// untouched. Error Statuses carry the path and the byte offset reached.
+Status AtomicWriteFile(const std::string& path, std::string_view data,
+                       const AtomicWriteOptions& options = {});
+
+}  // namespace pebble
+
+#endif  // PEBBLE_COMMON_FILE_IO_H_

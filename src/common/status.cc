@@ -37,6 +37,11 @@ const std::string& Status::message() const {
   return ok() ? kEmptyString : state_->msg;
 }
 
+Status Status::WithContext(const std::string& context) const {
+  if (ok()) return *this;
+  return Status(code(), context + ": " + message());
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = StatusCodeToString(code());

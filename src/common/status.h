@@ -76,6 +76,11 @@ class Status {
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
   const std::string& message() const;
 
+  /// Returns this status with `context` prefixed to the message ("context:
+  /// message"), preserving the code. OK stays OK. Use when relaying an
+  /// error across a boundary that knows more (file path, segment, offset).
+  Status WithContext(const std::string& context) const;
+
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;
 

@@ -1,29 +1,42 @@
 #include "core/provenance_io.h"
 
+#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
+#include <vector>
 
+#include "common/crc32.h"
+#include "common/failpoint.h"
+#include "common/file_io.h"
 #include "common/string_util.h"
 
 namespace pebble {
 
 namespace {
 
-// Line-oriented format, one record per line, space-separated fields. Paths
-// and type renderings contain no spaces; labels go last on their line and
-// may contain spaces.
+// ---------------------------------------------------------------------------
+// Record lines, shared by both formats.
 //
-//   pebbleprov 1 <mode> <sink_oid>
+// Line-oriented records, one per line, space-separated fields. Paths and
+// type renderings contain no spaces; labels go last on their line and may
+// contain spaces.
+//
 //   o <oid> <type> <n_inputs> <input_oid>... <label...>
 //   p <oid>                          start of captured record for oid
-//   i <producer_oid> <undef:0|1> <schema|-> <n> <path>...
+//   i <producer_oid> <undef:0|1> <schema_ref|-> <n> <path>...
 //   m <from_grouping:0|1> <undef:0|1> <in_path|-> <out_path|->
 //   u <in> <out>
 //   b <in1> <in2> <out>
 //   f <in> <pos> <out>
 //   a <out> <n> <in>...
+//
+// In the legacy v1 text format <schema_ref> is the inline type rendering;
+// in durable v2 segments it is "@<index>" into the schemas segment.
 
 const char* ModeToToken(CaptureMode mode) { return CaptureModeToString(mode); }
 
@@ -47,7 +60,200 @@ Result<OpType> TokenToType(const std::string& token) {
   return Status::InvalidArgument("unknown operator type '" + token + "'");
 }
 
+void AppendTopologyLine(const OperatorInfo& info, std::string* out) {
+  *out += "o " + std::to_string(info.oid) + " " + TypeToToken(info.type) +
+          " " + std::to_string(info.input_oids.size());
+  for (int in : info.input_oids) {
+    *out += " " + std::to_string(in);
+  }
+  *out += " " + info.label + "\n";
+}
+
+void AppendInputLine(const InputProvenance& input,
+                     const std::string& schema_ref, std::string* out) {
+  *out += "i " + std::to_string(input.producer_oid) + " " +
+          (input.accessed_undefined ? "1" : "0") + " " + schema_ref + " " +
+          std::to_string(input.accessed.size());
+  for (const Path& p : input.accessed) {
+    *out += " " + p.ToString();
+  }
+  *out += "\n";
+}
+
+void AppendManipLines(const OperatorProvenance& prov, std::string* out) {
+  if (prov.manip_undefined) {
+    *out += "m 0 1 - -\n";
+  }
+  for (const PathMapping& m : prov.manipulations) {
+    // Empty paths (e.g. count()'s input) are encoded as "-".
+    std::string in_text = m.in.empty() ? "-" : m.in.ToString();
+    std::string out_text = m.out.empty() ? "-" : m.out.ToString();
+    *out += "m " + std::string(m.from_grouping ? "1" : "0") + " 0 " +
+            in_text + " " + out_text + "\n";
+  }
+}
+
+void AppendIdRowLines(const OperatorProvenance& prov, std::string* out) {
+  for (const UnaryIdRow& row : prov.unary_ids) {
+    *out += "u " + std::to_string(row.in) + " " + std::to_string(row.out) +
+            "\n";
+  }
+  for (const BinaryIdRow& row : prov.binary_ids) {
+    *out += "b " + std::to_string(row.in1) + " " + std::to_string(row.in2) +
+            " " + std::to_string(row.out) + "\n";
+  }
+  for (const FlattenIdRow& row : prov.flatten_ids) {
+    *out += "f " + std::to_string(row.in) + " " + std::to_string(row.pos) +
+            " " + std::to_string(row.out) + "\n";
+  }
+  for (const AggIdRow& row : prov.agg_ids) {
+    *out += "a " + std::to_string(row.out) + " " +
+            std::to_string(row.ins.size());
+    for (int64_t in : row.ins) {
+      *out += " " + std::to_string(in);
+    }
+    *out += "\n";
+  }
+}
+
+// --- shared record parsers. Callers wrap failures with line/segment/file
+// context; messages here describe just the defect.
+
+Status ParseTopologyRecord(std::istringstream& in, ProvenanceStore* store) {
+  OperatorInfo info;
+  std::string type_token;
+  size_t n_inputs = 0;
+  in >> info.oid >> type_token >> n_inputs;
+  if (in.fail()) return Status::InvalidArgument("bad operator record");
+  PEBBLE_ASSIGN_OR_RETURN(info.type, TokenToType(type_token));
+  for (size_t k = 0; k < n_inputs; ++k) {
+    int input_oid = -1;
+    in >> input_oid;
+    if (in.fail()) return Status::InvalidArgument("bad operator inputs");
+    info.input_oids.push_back(input_oid);
+  }
+  std::getline(in, info.label);
+  if (!info.label.empty() && info.label[0] == ' ') {
+    info.label.erase(0, 1);
+  }
+  store->RegisterOperator(std::move(info));
+  return Status::OK();
+}
+
+/// Parses an `i` record. With `schema_table` != nullptr the schema field
+/// must be "-" or "@<index>"; otherwise it is an inline type rendering.
+Status ParseInputRecord(std::istringstream& in, OperatorProvenance* current,
+                        const std::vector<TypePtr>* schema_table) {
+  if (current == nullptr) {
+    return Status::InvalidArgument("input before provenance record");
+  }
+  InputProvenance input;
+  int undef = 0;
+  std::string schema;
+  size_t n = 0;
+  in >> input.producer_oid >> undef >> schema >> n;
+  if (in.fail()) return Status::InvalidArgument("bad input record");
+  input.accessed_undefined = undef != 0;
+  if (schema != "-") {
+    if (schema_table != nullptr) {
+      if (schema.size() < 2 || schema[0] != '@') {
+        return Status::InvalidArgument("bad schema reference '" + schema +
+                                       "'");
+      }
+      char* end = nullptr;
+      unsigned long idx = std::strtoul(schema.c_str() + 1, &end, 10);
+      if (end != schema.c_str() + schema.size() ||
+          idx >= schema_table->size()) {
+        return Status::InvalidArgument(
+            "schema reference '" + schema + "' out of range (table has " +
+            std::to_string(schema_table->size()) + " entries)");
+      }
+      input.input_schema = (*schema_table)[idx];
+    } else {
+      PEBBLE_ASSIGN_OR_RETURN(input.input_schema, ParseDataType(schema));
+    }
+  }
+  for (size_t k = 0; k < n; ++k) {
+    std::string path_text;
+    in >> path_text;
+    if (in.fail()) return Status::InvalidArgument("bad access path");
+    PEBBLE_ASSIGN_OR_RETURN(Path p, Path::Parse(path_text));
+    input.accessed.push_back(std::move(p));
+  }
+  current->inputs.push_back(std::move(input));
+  return Status::OK();
+}
+
+Status ParseManipRecord(std::istringstream& in, OperatorProvenance* current) {
+  if (current == nullptr) {
+    return Status::InvalidArgument("mapping before provenance record");
+  }
+  int from_grouping = 0;
+  int undef = 0;
+  std::string in_text;
+  std::string out_text;
+  in >> from_grouping >> undef >> in_text >> out_text;
+  if (in.fail()) return Status::InvalidArgument("bad mapping record");
+  if (undef != 0) {
+    current->manip_undefined = true;
+    return Status::OK();
+  }
+  Path in_path;
+  Path out_path;
+  if (in_text != "-") {
+    PEBBLE_ASSIGN_OR_RETURN(in_path, Path::Parse(in_text));
+  }
+  if (out_text != "-") {
+    PEBBLE_ASSIGN_OR_RETURN(out_path, Path::Parse(out_text));
+  }
+  current->manipulations.push_back(
+      PathMapping{std::move(in_path), std::move(out_path),
+                  from_grouping != 0});
+  return Status::OK();
+}
+
+Status ParseIdRecord(const std::string& tag, std::istringstream& in,
+                     OperatorProvenance* current) {
+  if (current == nullptr) {
+    return Status::InvalidArgument("ids before provenance record");
+  }
+  if (tag == "u") {
+    UnaryIdRow row;
+    in >> row.in >> row.out;
+    if (in.fail()) return Status::InvalidArgument("bad unary id row");
+    current->unary_ids.push_back(row);
+  } else if (tag == "b") {
+    BinaryIdRow row;
+    in >> row.in1 >> row.in2 >> row.out;
+    if (in.fail()) return Status::InvalidArgument("bad binary id row");
+    current->binary_ids.push_back(row);
+  } else if (tag == "f") {
+    FlattenIdRow row;
+    in >> row.in >> row.pos >> row.out;
+    if (in.fail()) return Status::InvalidArgument("bad flatten id row");
+    current->flatten_ids.push_back(row);
+  } else {  // "a"
+    AggIdRow row;
+    size_t n = 0;
+    in >> row.out >> n;
+    if (in.fail()) return Status::InvalidArgument("bad aggregation id row");
+    row.ins.reserve(n);
+    for (size_t k = 0; k < n; ++k) {
+      int64_t id = kNoId;
+      in >> id;
+      if (in.fail()) return Status::InvalidArgument("bad aggregation id row");
+      row.ins.push_back(id);
+    }
+    current->agg_ids.push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Legacy v1 text format. Byte-stable: the golden identity tests fingerprint
+// SerializeProvenanceStore output.
 
 std::string SerializeProvenanceStore(const ProvenanceStore& store) {
   std::string out = "pebbleprov 1 ";
@@ -55,13 +261,7 @@ std::string SerializeProvenanceStore(const ProvenanceStore& store) {
   out += " " + std::to_string(store.sink_oid()) + "\n";
 
   for (int oid : store.AllOids()) {
-    const OperatorInfo* info = store.FindInfo(oid);
-    out += "o " + std::to_string(info->oid) + " " + TypeToToken(info->type) +
-           " " + std::to_string(info->input_oids.size());
-    for (int in : info->input_oids) {
-      out += " " + std::to_string(in);
-    }
-    out += " " + info->label + "\n";
+    AppendTopologyLine(*store.FindInfo(oid), &out);
   }
 
   for (int oid : store.AllOids()) {
@@ -69,46 +269,14 @@ std::string SerializeProvenanceStore(const ProvenanceStore& store) {
     if (prov == nullptr) continue;
     out += "p " + std::to_string(oid) + "\n";
     for (const InputProvenance& input : prov->inputs) {
-      out += "i " + std::to_string(input.producer_oid) + " " +
-             (input.accessed_undefined ? "1" : "0") + " " +
-             (input.input_schema != nullptr ? input.input_schema->ToString()
-                                            : "-") +
-             " " + std::to_string(input.accessed.size());
-      for (const Path& p : input.accessed) {
-        out += " " + p.ToString();
-      }
-      out += "\n";
+      AppendInputLine(input,
+                      input.input_schema != nullptr
+                          ? input.input_schema->ToString()
+                          : "-",
+                      &out);
     }
-    if (prov->manip_undefined) {
-      out += "m 0 1 - -\n";
-    }
-    for (const PathMapping& m : prov->manipulations) {
-      // Empty paths (e.g. count()'s input) are encoded as "-".
-      std::string in_text = m.in.empty() ? "-" : m.in.ToString();
-      std::string out_text = m.out.empty() ? "-" : m.out.ToString();
-      out += "m " + std::string(m.from_grouping ? "1" : "0") + " 0 " +
-             in_text + " " + out_text + "\n";
-    }
-    for (const UnaryIdRow& row : prov->unary_ids) {
-      out += "u " + std::to_string(row.in) + " " + std::to_string(row.out) +
-             "\n";
-    }
-    for (const BinaryIdRow& row : prov->binary_ids) {
-      out += "b " + std::to_string(row.in1) + " " + std::to_string(row.in2) +
-             " " + std::to_string(row.out) + "\n";
-    }
-    for (const FlattenIdRow& row : prov->flatten_ids) {
-      out += "f " + std::to_string(row.in) + " " + std::to_string(row.pos) +
-             " " + std::to_string(row.out) + "\n";
-    }
-    for (const AggIdRow& row : prov->agg_ids) {
-      out += "a " + std::to_string(row.out) + " " +
-             std::to_string(row.ins.size());
-      for (int64_t in : row.ins) {
-        out += " " + std::to_string(in);
-      }
-      out += "\n";
-    }
+    AppendManipLines(*prov, &out);
+    AppendIdRowLines(*prov, &out);
   }
   return out;
 }
@@ -130,9 +298,12 @@ Result<std::unique_ptr<ProvenanceStore>> DeserializeProvenanceStore(
     if (line.empty()) continue;
 
     std::istringstream in(line);
+    auto wrap = [&](const Status& st) {
+      return st.WithContext("provenance parse error on line " +
+                            std::to_string(line_no));
+    };
     auto err = [&](const std::string& msg) {
-      return Status::InvalidArgument("provenance parse error on line " +
-                                     std::to_string(line_no) + ": " + msg);
+      return wrap(Status::InvalidArgument(msg));
     };
 
     std::string tag;
@@ -151,106 +322,24 @@ Result<std::unique_ptr<ProvenanceStore>> DeserializeProvenanceStore(
       continue;
     }
 
+    Status st;
     if (tag == "o") {
-      OperatorInfo info;
-      std::string type_token;
-      size_t n_inputs = 0;
-      in >> info.oid >> type_token >> n_inputs;
-      if (in.fail()) return err("bad operator record");
-      PEBBLE_ASSIGN_OR_RETURN(info.type, TokenToType(type_token));
-      for (size_t k = 0; k < n_inputs; ++k) {
-        int input_oid = -1;
-        in >> input_oid;
-        if (in.fail()) return err("bad operator inputs");
-        info.input_oids.push_back(input_oid);
-      }
-      std::getline(in, info.label);
-      if (!info.label.empty() && info.label[0] == ' ') {
-        info.label.erase(0, 1);
-      }
-      store->RegisterOperator(std::move(info));
+      st = ParseTopologyRecord(in, store.get());
     } else if (tag == "p") {
       int oid = -1;
       in >> oid;
       if (in.fail()) return err("bad provenance record");
       current = store->Mutable(oid);
     } else if (tag == "i") {
-      if (current == nullptr) return err("input before provenance record");
-      InputProvenance input;
-      int undef = 0;
-      std::string schema;
-      size_t n = 0;
-      in >> input.producer_oid >> undef >> schema >> n;
-      if (in.fail()) return err("bad input record");
-      input.accessed_undefined = undef != 0;
-      if (schema != "-") {
-        PEBBLE_ASSIGN_OR_RETURN(input.input_schema, ParseDataType(schema));
-      }
-      for (size_t k = 0; k < n; ++k) {
-        std::string path_text;
-        in >> path_text;
-        if (in.fail()) return err("bad access path");
-        PEBBLE_ASSIGN_OR_RETURN(Path p, Path::Parse(path_text));
-        input.accessed.push_back(std::move(p));
-      }
-      current->inputs.push_back(std::move(input));
+      st = ParseInputRecord(in, current, /*schema_table=*/nullptr);
     } else if (tag == "m") {
-      if (current == nullptr) return err("mapping before provenance record");
-      int from_grouping = 0;
-      int undef = 0;
-      std::string in_text;
-      std::string out_text;
-      in >> from_grouping >> undef >> in_text >> out_text;
-      if (in.fail()) return err("bad mapping record");
-      if (undef != 0) {
-        current->manip_undefined = true;
-      } else {
-        Path in_path;
-        Path out_path;
-        if (in_text != "-") {
-          PEBBLE_ASSIGN_OR_RETURN(in_path, Path::Parse(in_text));
-        }
-        if (out_text != "-") {
-          PEBBLE_ASSIGN_OR_RETURN(out_path, Path::Parse(out_text));
-        }
-        current->manipulations.push_back(PathMapping{
-            std::move(in_path), std::move(out_path), from_grouping != 0});
-      }
-    } else if (tag == "u") {
-      if (current == nullptr) return err("ids before provenance record");
-      UnaryIdRow row;
-      in >> row.in >> row.out;
-      if (in.fail()) return err("bad unary id row");
-      current->unary_ids.push_back(row);
-    } else if (tag == "b") {
-      if (current == nullptr) return err("ids before provenance record");
-      BinaryIdRow row;
-      in >> row.in1 >> row.in2 >> row.out;
-      if (in.fail()) return err("bad binary id row");
-      current->binary_ids.push_back(row);
-    } else if (tag == "f") {
-      if (current == nullptr) return err("ids before provenance record");
-      FlattenIdRow row;
-      in >> row.in >> row.pos >> row.out;
-      if (in.fail()) return err("bad flatten id row");
-      current->flatten_ids.push_back(row);
-    } else if (tag == "a") {
-      if (current == nullptr) return err("ids before provenance record");
-      AggIdRow row;
-      size_t n = 0;
-      in >> row.out >> n;
-      if (in.fail()) return err("bad aggregation id row");
-      row.ins.reserve(n);
-      for (size_t k = 0; k < n; ++k) {
-        int64_t id = kNoId;
-        in >> id;
-        if (in.fail()) return err("bad aggregation id row");
-        row.ins.push_back(id);
-      }
-      current->agg_ids.push_back(std::move(row));
+      st = ParseManipRecord(in, current);
+    } else if (tag == "u" || tag == "b" || tag == "f" || tag == "a") {
+      st = ParseIdRecord(tag, in, current);
     } else {
       return err("unknown record tag '" + tag + "'");
     }
+    if (!st.ok()) return wrap(st);
   }
   if (!header_seen) {
     return Status::InvalidArgument("empty provenance document");
@@ -258,29 +347,529 @@ Result<std::unique_ptr<ProvenanceStore>> DeserializeProvenanceStore(
   return store;
 }
 
-Status SaveProvenanceStore(const ProvenanceStore& store,
-                           const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    return Status::IOError("cannot open '" + path + "' for writing");
+// ---------------------------------------------------------------------------
+// Durable v2 snapshot format (see DESIGN.md §8 for the byte layout):
+//
+//   [0,8)    magic "PBLPROV2"
+//   [8,12)   u32 LE format version (2)
+//   [12,16)  u32 LE segment count
+//   [16,20)  u32 LE CRC32 of bytes [0,16)
+//   then per segment:
+//     u16 LE name length, name bytes,
+//     u64 LE payload length, payload bytes,
+//     u32 LE CRC32 of (name bytes || payload bytes)
+//   and nothing after the last segment.
+//
+// Segments, in order: meta (counts cross-checked after parse), topology,
+// schemas (deduplicated type renderings), paths (access/manipulation
+// records referencing schemas by index), ids (id association tables).
+
+namespace {
+
+constexpr char kDurableMagic[8] = {'P', 'B', 'L', 'P', 'R', 'O', 'V', '2'};
+constexpr uint32_t kDurableVersion = 2;
+constexpr size_t kHeaderBytes = 20;  // magic + version + count + crc
+constexpr const char* kSegmentNames[] = {"meta", "topology", "schemas",
+                                         "paths", "ids"};
+constexpr size_t kNumSegments = 5;
+
+void AppendU16(uint16_t v, std::string* out) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void AppendU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
   }
-  std::string text = SerializeProvenanceStore(store);
-  out.write(text.data(), static_cast<std::streamsize>(text.size()));
-  if (!out) {
-    return Status::IOError("short write to '" + path + "'");
+}
+
+void AppendU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+/// Bounds-checked little-endian reader over the snapshot bytes.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  size_t offset() const { return offset_; }
+  size_t remaining() const { return data_.size() - offset_; }
+
+  bool ReadU16(uint16_t* v) {
+    if (remaining() < 2) return false;
+    *v = static_cast<uint16_t>(Byte(0) | (Byte(1) << 8));
+    offset_ += 2;
+    return true;
+  }
+  bool ReadU32(uint32_t* v) {
+    if (remaining() < 4) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) *v |= static_cast<uint32_t>(Byte(i)) << (8 * i);
+    offset_ += 4;
+    return true;
+  }
+  bool ReadU64(uint64_t* v) {
+    if (remaining() < 8) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) *v |= static_cast<uint64_t>(Byte(i)) << (8 * i);
+    offset_ += 8;
+    return true;
+  }
+  bool ReadBytes(size_t n, std::string_view* out) {
+    if (remaining() < n) return false;
+    *out = data_.substr(offset_, n);
+    offset_ += n;
+    return true;
+  }
+
+ private:
+  uint32_t Byte(int i) const {
+    return static_cast<unsigned char>(data_[offset_ + static_cast<size_t>(i)]);
+  }
+
+  std::string_view data_;
+  size_t offset_ = 0;
+};
+
+void AppendSegment(const std::string& name, const std::string& payload,
+                   std::string* out) {
+  AppendU16(static_cast<uint16_t>(name.size()), out);
+  *out += name;
+  AppendU64(payload.size(), out);
+  *out += payload;
+  uint32_t crc = Crc32Update(kCrc32Init, name.data(), name.size());
+  crc = Crc32Update(crc, payload.data(), payload.size());
+  AppendU32(Crc32Finalize(crc), out);
+}
+
+/// Counts used for the meta segment and re-checked after load.
+struct StoreCounts {
+  size_t ops = 0;
+  size_t captured = 0;
+  uint64_t id_rows = 0;
+};
+
+StoreCounts CountStore(const ProvenanceStore& store) {
+  StoreCounts c;
+  for (int oid : store.AllOids()) {
+    ++c.ops;
+    if (store.Find(oid) != nullptr) ++c.captured;
+  }
+  c.id_rows = store.TotalIdRows();
+  return c;
+}
+
+}  // namespace
+
+std::string SerializeDurableProvenanceStore(const ProvenanceStore& store) {
+  const StoreCounts counts = CountStore(store);
+
+  std::string meta = "mode " + std::string(ModeToToken(store.mode())) + "\n";
+  meta += "sink " + std::to_string(store.sink_oid()) + "\n";
+  meta += "ops " + std::to_string(counts.ops) + "\n";
+  meta += "captured " + std::to_string(counts.captured) + "\n";
+  meta += "idrows " + std::to_string(counts.id_rows) + "\n";
+
+  std::string topology;
+  for (int oid : store.AllOids()) {
+    AppendTopologyLine(*store.FindInfo(oid), &topology);
+  }
+
+  // Deduplicate input schemas into an indexed table; `i` records reference
+  // entries as "@<index>".
+  std::string schemas;
+  std::map<std::string, size_t> schema_index;
+  std::string paths;
+  std::string ids;
+  for (int oid : store.AllOids()) {
+    const OperatorProvenance* prov = store.Find(oid);
+    if (prov == nullptr) continue;
+    paths += "p " + std::to_string(oid) + "\n";
+    for (const InputProvenance& input : prov->inputs) {
+      std::string ref = "-";
+      if (input.input_schema != nullptr) {
+        std::string rendered = input.input_schema->ToString();
+        auto [it, inserted] =
+            schema_index.emplace(std::move(rendered), schema_index.size());
+        if (inserted) {
+          schemas += "s " + std::to_string(it->second) + " " + it->first +
+                     "\n";
+        }
+        ref = "@" + std::to_string(it->second);
+      }
+      AppendInputLine(input, ref, &paths);
+    }
+    AppendManipLines(*prov, &paths);
+
+    ids += "p " + std::to_string(oid) + "\n";
+    AppendIdRowLines(*prov, &ids);
+  }
+
+  std::string out;
+  out.reserve(kHeaderBytes + meta.size() + topology.size() + schemas.size() +
+              paths.size() + ids.size() + 256);
+  out.append(kDurableMagic, sizeof(kDurableMagic));
+  AppendU32(kDurableVersion, &out);
+  AppendU32(static_cast<uint32_t>(kNumSegments), &out);
+  AppendU32(Crc32(out.data(), out.size()), &out);
+  const std::string* payloads[kNumSegments] = {&meta, &topology, &schemas,
+                                               &paths, &ids};
+  for (size_t i = 0; i < kNumSegments; ++i) {
+    AppendSegment(kSegmentNames[i], *payloads[i], &out);
+  }
+  return out;
+}
+
+namespace {
+
+/// Parses one durable segment payload into the store under construction.
+/// `schema_table` is filled by the schemas segment and consumed by paths.
+Status ParseDurableSegment(const std::string& name, std::string_view payload,
+                           ProvenanceStore* store,
+                           std::vector<TypePtr>* schema_table,
+                           OperatorProvenance** current) {
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start < payload.size()) {
+    size_t end = payload.find('\n', start);
+    if (end == std::string_view::npos) end = payload.size();
+    std::string line(payload.substr(start, end - start));
+    start = end + 1;
+    ++line_no;
+    if (line.empty()) continue;
+
+    std::istringstream in(line);
+    std::string tag;
+    in >> tag;
+    auto wrap = [&](const Status& st) {
+      return st.WithContext("segment '" + name + "' line " +
+                            std::to_string(line_no));
+    };
+
+    Status st;
+    if (name == "meta") {
+      // Handled by the caller (needs the whole key/value view); nothing
+      // reaches here.
+      return Status::Internal("meta segment routed to line parser");
+    } else if (name == "topology") {
+      if (tag != "o") {
+        return wrap(Status::InvalidArgument("unexpected record tag '" + tag +
+                                            "'"));
+      }
+      st = ParseTopologyRecord(in, store);
+    } else if (name == "schemas") {
+      if (tag != "s") {
+        return wrap(Status::InvalidArgument("unexpected record tag '" + tag +
+                                            "'"));
+      }
+      size_t idx = 0;
+      std::string rendered;
+      in >> idx >> rendered;
+      if (in.fail()) return wrap(Status::InvalidArgument("bad schema record"));
+      if (idx != schema_table->size()) {
+        return wrap(Status::InvalidArgument(
+            "schema index " + std::to_string(idx) +
+            " out of order (expected " +
+            std::to_string(schema_table->size()) + ")"));
+      }
+      auto parsed = ParseDataType(rendered);
+      if (!parsed.ok()) return wrap(parsed.status());
+      schema_table->push_back(std::move(parsed).value());
+    } else if (name == "paths") {
+      if (tag == "p") {
+        int oid = -1;
+        in >> oid;
+        if (in.fail()) {
+          return wrap(Status::InvalidArgument("bad provenance record"));
+        }
+        *current = store->Mutable(oid);
+      } else if (tag == "i") {
+        st = ParseInputRecord(in, *current, schema_table);
+      } else if (tag == "m") {
+        st = ParseManipRecord(in, *current);
+      } else {
+        return wrap(Status::InvalidArgument("unexpected record tag '" + tag +
+                                            "'"));
+      }
+    } else if (name == "ids") {
+      if (tag == "p") {
+        int oid = -1;
+        in >> oid;
+        if (in.fail()) {
+          return wrap(Status::InvalidArgument("bad provenance record"));
+        }
+        *current = store->Mutable(oid);
+      } else if (tag == "u" || tag == "b" || tag == "f" || tag == "a") {
+        st = ParseIdRecord(tag, in, *current);
+      } else {
+        return wrap(Status::InvalidArgument("unexpected record tag '" + tag +
+                                            "'"));
+      }
+    }
+    if (!st.ok()) return wrap(st);
   }
   return Status::OK();
 }
 
+/// Parses the meta segment: "key value" lines, all keys required.
+Status ParseMetaSegment(std::string_view payload, ProvenanceStore* store,
+                        StoreCounts* expected) {
+  std::map<std::string, std::string> kv;
+  size_t start = 0;
+  while (start < payload.size()) {
+    size_t end = payload.find('\n', start);
+    if (end == std::string_view::npos) end = payload.size();
+    std::string line(payload.substr(start, end - start));
+    start = end + 1;
+    if (line.empty()) continue;
+    size_t space = line.find(' ');
+    if (space == std::string::npos) {
+      return Status::InvalidArgument("segment 'meta': malformed line '" +
+                                     line + "'");
+    }
+    kv[line.substr(0, space)] = line.substr(space + 1);
+  }
+  for (const char* key : {"mode", "sink", "ops", "captured", "idrows"}) {
+    if (kv.count(key) == 0) {
+      return Status::InvalidArgument("segment 'meta': missing key '" +
+                                     std::string(key) + "'");
+    }
+  }
+  auto meta_err = [](const std::string& what) {
+    return Status::InvalidArgument("segment 'meta': " + what);
+  };
+  auto mode = TokenToMode(kv["mode"]);
+  if (!mode.ok()) return meta_err(mode.status().message());
+  store->set_mode(*mode);
+  errno = 0;
+  char* end = nullptr;
+  long sink = std::strtol(kv["sink"].c_str(), &end, 10);
+  if (end == kv["sink"].c_str() || *end != '\0' || errno == ERANGE) {
+    return meta_err("bad sink oid '" + kv["sink"] + "'");
+  }
+  store->set_sink_oid(static_cast<int>(sink));
+  auto parse_count = [&](const char* key, uint64_t* out) {
+    errno = 0;
+    char* e = nullptr;
+    unsigned long long v = std::strtoull(kv[key].c_str(), &e, 10);
+    if (e == kv[key].c_str() || *e != '\0' || errno == ERANGE) {
+      return meta_err("bad count for '" + std::string(key) + "': '" +
+                      kv[key] + "'");
+    }
+    *out = v;
+    return Status::OK();
+  };
+  uint64_t ops = 0, captured = 0, idrows = 0;
+  PEBBLE_RETURN_NOT_OK(parse_count("ops", &ops));
+  PEBBLE_RETURN_NOT_OK(parse_count("captured", &captured));
+  PEBBLE_RETURN_NOT_OK(parse_count("idrows", &idrows));
+  expected->ops = static_cast<size_t>(ops);
+  expected->captured = static_cast<size_t>(captured);
+  expected->id_rows = idrows;
+  return Status::OK();
+}
+
+}  // namespace
+
+SnapshotFormat SniffSnapshotFormat(std::string_view data) {
+  if (data.size() >= sizeof(kDurableMagic) &&
+      std::memcmp(data.data(), kDurableMagic, sizeof(kDurableMagic)) == 0) {
+    return SnapshotFormat::kDurableV2;
+  }
+  constexpr std::string_view kLegacyHeader = "pebbleprov";
+  if (data.substr(0, kLegacyHeader.size()) == kLegacyHeader) {
+    return SnapshotFormat::kLegacyText;
+  }
+  return SnapshotFormat::kUnknown;
+}
+
+Result<std::unique_ptr<ProvenanceStore>> DeserializeDurableProvenanceStore(
+    std::string_view data, const std::string& origin) {
+  auto corrupt = [&](const std::string& what) {
+    return Status::IOError("durable snapshot '" + origin + "': " + what);
+  };
+
+  // Header: magic, version, segment count, header CRC.
+  if (data.size() < kHeaderBytes) {
+    return corrupt("truncated header: " + std::to_string(data.size()) +
+                   " bytes, need " + std::to_string(kHeaderBytes));
+  }
+  if (SniffSnapshotFormat(data) != SnapshotFormat::kDurableV2) {
+    return corrupt("bad magic in first 8 bytes");
+  }
+  ByteReader reader(data);
+  std::string_view magic;
+  uint32_t version = 0, segment_count = 0, header_crc = 0;
+  reader.ReadBytes(sizeof(kDurableMagic), &magic);
+  reader.ReadU32(&version);
+  reader.ReadU32(&segment_count);
+  reader.ReadU32(&header_crc);
+  uint32_t computed_header_crc = Crc32(data.data(), kHeaderBytes - 4);
+  if (computed_header_crc != header_crc) {
+    return corrupt("header checksum mismatch");
+  }
+  if (version != kDurableVersion) {
+    return corrupt("unsupported format version " + std::to_string(version) +
+                   " (supported: " + std::to_string(kDurableVersion) + ")");
+  }
+  if (segment_count != kNumSegments) {
+    return corrupt("unexpected segment count " +
+                   std::to_string(segment_count) + " (expected " +
+                   std::to_string(kNumSegments) + ")");
+  }
+
+  // Frame all segments before parsing any payload: a truncated tail or a
+  // flipped length must surface as a framing error with an offset, not as a
+  // half-applied parse.
+  struct Segment {
+    std::string name;
+    std::string_view payload;
+    size_t offset;  // byte offset of the segment header in the file
+  };
+  std::vector<Segment> segments;
+  for (uint32_t s = 0; s < segment_count; ++s) {
+    Segment seg;
+    seg.offset = reader.offset();
+    auto at = [&] {
+      return " (segment " + std::to_string(s) + " at byte " +
+             std::to_string(seg.offset) + ")";
+    };
+    uint16_t name_len = 0;
+    if (!reader.ReadU16(&name_len)) {
+      return corrupt("truncated segment name length" + at());
+    }
+    if (name_len == 0 || name_len > 64) {
+      return corrupt("implausible segment name length " +
+                     std::to_string(name_len) + at());
+    }
+    std::string_view name;
+    if (!reader.ReadBytes(name_len, &name)) {
+      return corrupt("truncated segment name" + at());
+    }
+    seg.name = std::string(name);
+    uint64_t payload_len = 0;
+    if (!reader.ReadU64(&payload_len)) {
+      return corrupt("truncated payload length of segment '" + seg.name +
+                     "'" + at());
+    }
+    if (payload_len > reader.remaining()) {
+      return corrupt("payload of segment '" + seg.name + "' (" +
+                     std::to_string(payload_len) +
+                     " bytes) exceeds remaining file size (" +
+                     std::to_string(reader.remaining()) + ")" + at());
+    }
+    if (!reader.ReadBytes(static_cast<size_t>(payload_len), &seg.payload)) {
+      return corrupt("truncated payload of segment '" + seg.name + "'" +
+                     at());
+    }
+    uint32_t stored_crc = 0;
+    if (!reader.ReadU32(&stored_crc)) {
+      return corrupt("truncated checksum of segment '" + seg.name + "'" +
+                     at());
+    }
+    uint32_t crc = Crc32Update(kCrc32Init, seg.name.data(), seg.name.size());
+    crc = Crc32Update(crc, seg.payload.data(), seg.payload.size());
+    if (Crc32Finalize(crc) != stored_crc) {
+      return corrupt("checksum mismatch in segment '" + seg.name + "'" +
+                     at());
+    }
+    if (seg.name != kSegmentNames[s]) {
+      return corrupt("unexpected segment '" + seg.name + "' (expected '" +
+                     std::string(kSegmentNames[s]) + "')" + at());
+    }
+    segments.push_back(seg);
+  }
+  if (reader.remaining() != 0) {
+    return corrupt(std::to_string(reader.remaining()) +
+                   " trailing bytes after last segment at byte " +
+                   std::to_string(reader.offset()));
+  }
+
+  // Parse payloads in order.
+  auto store = std::make_unique<ProvenanceStore>();
+  StoreCounts expected;
+  PEBBLE_RETURN_NOT_OK(ParseMetaSegment(segments[0].payload, store.get(),
+                                        &expected)
+                           .WithContext("durable snapshot '" + origin + "'"));
+  std::vector<TypePtr> schema_table;
+  OperatorProvenance* current = nullptr;
+  for (size_t s = 1; s < segments.size(); ++s) {
+    current = nullptr;
+    PEBBLE_RETURN_NOT_OK(
+        ParseDurableSegment(segments[s].name, segments[s].payload,
+                            store.get(), &schema_table, &current)
+            .WithContext("durable snapshot '" + origin + "'"));
+  }
+
+  // Integrity gate: the meta counts and the store-level invariants must
+  // hold before anyone trusts this data.
+  const StoreCounts actual = CountStore(*store);
+  if (actual.ops != expected.ops || actual.captured != expected.captured ||
+      actual.id_rows != expected.id_rows) {
+    return corrupt(
+        "meta counts disagree with parsed content (ops " +
+        std::to_string(actual.ops) + "/" + std::to_string(expected.ops) +
+        ", captured " + std::to_string(actual.captured) + "/" +
+        std::to_string(expected.captured) + ", idrows " +
+        std::to_string(actual.id_rows) + "/" +
+        std::to_string(expected.id_rows) + ")");
+  }
+  Status valid = store->Validate();
+  if (!valid.ok()) {
+    return Status::FromCode(
+        StatusCode::kIOError,
+        "durable snapshot '" + origin +
+            "' failed post-load validation: " + valid.message());
+  }
+  return store;
+}
+
+// ---------------------------------------------------------------------------
+// File wrappers.
+
+Status SaveProvenanceStore(const ProvenanceStore& store,
+                           const std::string& path) {
+  std::string blob = SerializeDurableProvenanceStore(store);
+  return AtomicWriteFile(path, blob)
+      .WithContext("saving provenance snapshot to '" + path + "'");
+}
+
 Result<std::unique_ptr<ProvenanceStore>> LoadProvenanceStore(
     const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return Status::IOError("cannot open '" + path + "' for reading");
+  PEBBLE_FAILPOINT(failpoints::kIoLoad);
+  auto data = ReadFileToString(path);
+  if (!data.ok()) {
+    return data.status().WithContext("loading provenance snapshot");
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return DeserializeProvenanceStore(buffer.str());
+  switch (SniffSnapshotFormat(*data)) {
+    case SnapshotFormat::kDurableV2:
+      return DeserializeDurableProvenanceStore(*data, path);
+    case SnapshotFormat::kLegacyText: {
+      auto parsed = DeserializeProvenanceStore(*data);
+      if (!parsed.ok()) {
+        return parsed.status().WithContext("legacy provenance text '" + path +
+                                           "'");
+      }
+      std::unique_ptr<ProvenanceStore> store = std::move(parsed).value();
+      Status valid = store->Validate();
+      if (!valid.ok()) {
+        return Status::FromCode(
+            StatusCode::kIOError,
+            "legacy provenance text '" + path +
+                "' failed post-load validation: " + valid.message());
+      }
+      return store;
+    }
+    case SnapshotFormat::kUnknown:
+      break;
+  }
+  return Status::IOError("'" + path +
+                         "' is not a provenance snapshot (bad leading " +
+                         "bytes; expected PBLPROV2 magic or legacy " +
+                         "'pebbleprov' header)");
 }
 
 }  // namespace pebble

@@ -1,34 +1,68 @@
 // Persistence for captured provenance. Pipelines run at one time;
-// provenance questions are asked later (audits, usage studies). This module
-// serializes a ProvenanceStore into a compact line-oriented text format and
-// loads it back, so backtracing can run in a different process than the
-// capture.
+// provenance questions are asked later (audits, usage studies), so the
+// serialized ProvenanceStore is the system's only durable artifact and is
+// treated as such: saves are crash-safe (temp file + fsync + atomic
+// rename — a snapshot is either fully durable or invisible) and loads are
+// corruption-tolerant (every segment is CRC32-verified; any corruption
+// becomes a structured Status carrying file path, segment name and byte
+// offset, never a crash or silently wrong data).
 //
-// The format covers the lightweight capture (Def. 5.1): topology, id
-// association tables, schema-level access/manipulation paths, and input
-// schemas. The eager full per-item model (CaptureMode::kFullModel) is an
-// in-memory ablation aid and is not serialized.
+// Two formats exist:
+//   - Durable snapshot (v2, default for Save): versioned binary header plus
+//     length-prefixed segments (meta, topology, schemas, paths, ids), each
+//     with a CRC32 footer. See DESIGN.md §8 for the byte layout.
+//   - Legacy text (v1, "pebbleprov ..."): the original line-oriented format,
+//     still readable behind a format sniff for backward compatibility.
+//
+// Both cover the lightweight capture (Def. 5.1): topology, id association
+// tables, schema-level access/manipulation paths, and input schemas. The
+// eager full per-item model (CaptureMode::kFullModel) is an in-memory
+// ablation aid and is not serialized.
 
 #ifndef PEBBLE_CORE_PROVENANCE_IO_H_
 #define PEBBLE_CORE_PROVENANCE_IO_H_
 
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "core/provenance_store.h"
 
 namespace pebble {
 
-/// Serializes the store (lightweight capture component).
+/// Serializes the store into the legacy v1 text format (kept byte-stable:
+/// the golden identity tests fingerprint it).
 std::string SerializeProvenanceStore(const ProvenanceStore& store);
 
-/// Parses a serialized store.
+/// Parses a legacy v1 text store. Lenient: no post-parse Validate() (the
+/// file-level LoadProvenanceStore adds that gate).
 Result<std::unique_ptr<ProvenanceStore>> DeserializeProvenanceStore(
     const std::string& text);
 
-/// File convenience wrappers.
+/// Serializes the store into the durable v2 snapshot blob.
+std::string SerializeDurableProvenanceStore(const ProvenanceStore& store);
+
+/// Parses a durable v2 snapshot, verifying magic, version and every
+/// segment's checksum, then running ProvenanceStore::Validate() as a
+/// post-load integrity gate. `origin` names the data source (file path) in
+/// error messages. Truncated tails and bit flips yield clean errors with
+/// segment name and byte offset.
+Result<std::unique_ptr<ProvenanceStore>> DeserializeDurableProvenanceStore(
+    std::string_view data, const std::string& origin);
+
+/// What a byte buffer appears to contain.
+enum class SnapshotFormat { kDurableV2, kLegacyText, kUnknown };
+SnapshotFormat SniffSnapshotFormat(std::string_view data);
+
+/// Saves the store crash-safely in the durable v2 format: the previous
+/// snapshot at `path` survives byte-for-byte unless the new one is fully
+/// written, fsynced and renamed into place.
 Status SaveProvenanceStore(const ProvenanceStore& store,
                            const std::string& path);
+
+/// Loads a snapshot, sniffing the format (durable v2 or legacy text). All
+/// errors carry the file path; both formats pass through Validate() before
+/// the store is returned.
 Result<std::unique_ptr<ProvenanceStore>> LoadProvenanceStore(
     const std::string& path);
 

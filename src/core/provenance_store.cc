@@ -102,6 +102,24 @@ void CollectOutIds(const OperatorProvenance& p, std::vector<int64_t>* out) {
 }  // namespace
 
 Status ProvenanceStore::Validate() const {
+  // Pass 0: topology well-formedness. Loaded snapshots go through this
+  // gate, so a corrupted topology segment must not survive as a store with
+  // dangling operator references.
+  for (const auto& [oid, info] : infos_) {
+    for (int input_oid : info.input_oids) {
+      if (infos_.find(input_oid) == infos_.end()) {
+        return Status::Internal(
+            "operator " + std::to_string(oid) +
+            " references unregistered input operator " +
+            std::to_string(input_oid));
+      }
+    }
+  }
+  if (sink_oid_ >= 0 && infos_.find(sink_oid_) == infos_.end()) {
+    return Status::Internal("sink operator " + std::to_string(sink_oid_) +
+                            " is not registered");
+  }
+
   // Pass 1: per-operator shape — the populated id-table flavor must match
   // the operator type — and output-id collection.
   std::map<int, std::unordered_set<int64_t>> out_ids;

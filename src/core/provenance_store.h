@@ -81,9 +81,12 @@ class ProvenanceStore {
   /// Total id association rows across all operators.
   uint64_t TotalIdRows() const;
 
-  /// Integrity pass over the captured provenance, callable after any run.
-  /// Verifies the invariants a correct (in particular retry-idempotent)
-  /// capture must uphold:
+  /// Integrity pass over the captured provenance, callable after any run
+  /// and used as the post-load gate for deserialized snapshots. Verifies
+  /// the invariants a correct (in particular retry-idempotent) capture must
+  /// uphold:
+  ///   - the topology is closed: every input oid is registered, and the
+  ///     sink (when set) is registered;
   ///   - every operator populates at most the one id-table flavor matching
   ///     its type (Tab. 6);
   ///   - output ids are unique within each operator AND across the whole

@@ -23,6 +23,21 @@ Result<ProvenanceQueryResult> QueryStructuralProvenance(
   return result;
 }
 
+Result<ProvenanceQueryResult> QueryStructuralProvenanceOffline(
+    const Dataset& output, const ProvenanceStore& store,
+    const TreePattern& pattern, int num_threads) {
+  ProvenanceQueryResult result;
+  Stopwatch watch;
+  PEBBLE_ASSIGN_OR_RETURN(result.matched, pattern.Match(output, num_threads));
+  result.match_ms = watch.ElapsedMillis();
+
+  watch.Restart();
+  Backtracer tracer(&store);
+  PEBBLE_ASSIGN_OR_RETURN(result.sources, tracer.Backtrace(result.matched));
+  result.backtrace_ms = watch.ElapsedMillis();
+  return result;
+}
+
 std::string SourceProvenanceToString(const SourceProvenance& source) {
   std::string out = "source [" + std::to_string(source.scan_oid) + "] " +
                     source.source_name + ":\n";

@@ -33,6 +33,14 @@ Result<ProvenanceQueryResult> QueryStructuralProvenance(
     const ExecutionResult& run, const TreePattern& pattern,
     int num_threads = 4);
 
+/// Offline variant of the above for the decoupled capture-then-query
+///// workflow: the pipeline ran earlier (possibly in another process) and
+/// `store` was reloaded from a durable snapshot (LoadProvenanceStore),
+/// while `output` is the retained result dataset the question is asked on.
+Result<ProvenanceQueryResult> QueryStructuralProvenanceOffline(
+    const Dataset& output, const ProvenanceStore& store,
+    const TreePattern& pattern, int num_threads = 4);
+
 /// Renders a source provenance (ids plus trees) for human consumption.
 std::string SourceProvenanceToString(const SourceProvenance& source);
 

@@ -73,13 +73,23 @@ class JsonParser {
     }
   }
 
+  Status EnterContainer() {
+    if (++depth_ > kMaxJsonDepth) {
+      return Err("nesting depth limit of " + std::to_string(kMaxJsonDepth) +
+                 " exceeded");
+    }
+    return Status::OK();
+  }
+
   Result<ValuePtr> ParseObject() {
+    PEBBLE_RETURN_NOT_OK(EnterContainer());
     ++pos_;  // '{'
     std::vector<Field> fields;
     fields.reserve(8);
     SkipWhitespace();
     if (pos_ < text_.size() && text_[pos_] == '}') {
       ++pos_;
+      --depth_;
       return Value::Struct(std::move(fields));
     }
     while (true) {
@@ -104,6 +114,7 @@ class JsonParser {
       }
       if (text_[pos_] == '}') {
         ++pos_;
+        --depth_;
         return Value::Struct(std::move(fields));
       }
       return Err("expected ',' or '}'");
@@ -111,12 +122,14 @@ class JsonParser {
   }
 
   Result<ValuePtr> ParseArray() {
+    PEBBLE_RETURN_NOT_OK(EnterContainer());
     ++pos_;  // '['
     std::vector<ValuePtr> elems;
     elems.reserve(8);
     SkipWhitespace();
     if (pos_ < text_.size() && text_[pos_] == ']') {
       ++pos_;
+      --depth_;
       return Value::Bag(std::move(elems));
     }
     while (true) {
@@ -131,6 +144,7 @@ class JsonParser {
       }
       if (text_[pos_] == ']') {
         ++pos_;
+        --depth_;
         return Value::Bag(std::move(elems));
       }
       return Err("expected ',' or ']'");
@@ -252,6 +266,7 @@ class JsonParser {
 
   std::string_view text_;
   size_t pos_ = 0;
+  size_t depth_ = 0;
 };
 
 }  // namespace
@@ -263,10 +278,12 @@ Result<ValuePtr> ParseJson(std::string_view text) {
 Result<std::vector<ValuePtr>> ParseJsonLines(std::string_view text) {
   std::vector<ValuePtr> out;
   size_t start = 0;
+  size_t line_no = 0;
   for (size_t i = 0; i <= text.size(); ++i) {
     if (i == text.size() || text[i] == '\n') {
       std::string_view line = text.substr(start, i - start);
       start = i + 1;
+      ++line_no;
       // Skip blank lines.
       bool blank = true;
       for (char c : line) {
@@ -276,8 +293,11 @@ Result<std::vector<ValuePtr>> ParseJsonLines(std::string_view text) {
         }
       }
       if (blank) continue;
-      PEBBLE_ASSIGN_OR_RETURN(ValuePtr v, ParseJson(line));
-      out.push_back(std::move(v));
+      Result<ValuePtr> v = ParseJson(line);
+      if (!v.ok()) {
+        return v.status().WithContext("line " + std::to_string(line_no));
+      }
+      out.push_back(std::move(v).value());
     }
   }
   return out;

@@ -14,7 +14,14 @@
 
 namespace pebble {
 
-/// Parses one JSON document.
+/// Maximum container nesting depth ParseJson accepts. Deeper documents are
+/// rejected with an InvalidArgument carrying the byte offset, bounding the
+/// parser's recursion on adversarial input (e.g. megabytes of '[').
+inline constexpr size_t kMaxJsonDepth = 256;
+
+/// Parses one JSON document. Malformed input yields InvalidArgument with
+/// the byte offset of the defect; parsing never crashes or recurses
+/// unboundedly.
 Result<ValuePtr> ParseJson(std::string_view text);
 
 /// Parses newline-delimited JSON (one document per non-empty line).

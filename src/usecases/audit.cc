@@ -1,5 +1,9 @@
 #include "usecases/audit.h"
 
+#include <memory>
+
+#include "core/provenance_io.h"
+
 namespace pebble {
 
 AuditReport BuildAuditReport(const SourceProvenance& structural,
@@ -30,6 +34,47 @@ AuditReport BuildAuditReport(const SourceProvenance& structural,
     report.items.push_back(std::move(item));
   }
   return report;
+}
+
+Result<std::vector<AuditReport>> AuditFromSnapshot(
+    const std::string& snapshot_path, const Dataset& leaked_output,
+    const TreePattern& pattern, size_t num_attributes, int num_threads) {
+  auto loaded = LoadProvenanceStore(snapshot_path);
+  if (!loaded.ok()) {
+    return loaded.status().WithContext("audit aborted");
+  }
+  std::unique_ptr<ProvenanceStore> store = std::move(loaded).value();
+
+  PEBBLE_ASSIGN_OR_RETURN(BacktraceStructure matched,
+                          pattern.Match(leaked_output, num_threads));
+  Backtracer tracer(store.get());
+  PEBBLE_ASSIGN_OR_RETURN(std::vector<SourceProvenance> sources,
+                          tracer.Backtrace(matched));
+
+  // What a tuple-level lineage tracer would report for the same matches
+  // (the over-reporting comparison of the report).
+  std::vector<int64_t> matched_ids;
+  matched_ids.reserve(matched.size());
+  for (const BacktraceEntry& entry : matched) {
+    matched_ids.push_back(entry.id);
+  }
+  LineageTracer lineage_tracer(store.get());
+  PEBBLE_ASSIGN_OR_RETURN(std::vector<SourceLineage> lineages,
+                          lineage_tracer.Trace(matched_ids));
+
+  std::vector<AuditReport> reports;
+  reports.reserve(sources.size());
+  for (const SourceProvenance& source : sources) {
+    SourceLineage lineage;
+    for (const SourceLineage& candidate : lineages) {
+      if (candidate.scan_oid == source.scan_oid) {
+        lineage = candidate;
+        break;
+      }
+    }
+    reports.push_back(BuildAuditReport(source, lineage, num_attributes));
+  }
+  return reports;
 }
 
 std::string AuditReport::ToString() const {

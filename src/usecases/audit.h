@@ -13,6 +13,7 @@
 
 #include "baselines/titian.h"
 #include "core/backtrace.h"
+#include "core/tree_pattern.h"
 
 namespace pebble {
 
@@ -49,6 +50,16 @@ struct AuditReport {
 AuditReport BuildAuditReport(const SourceProvenance& structural,
                              const SourceLineage& lineage,
                              size_t num_attributes);
+
+/// Offline audit for the decoupled workflow: the pipeline ran earlier; its
+/// provenance was persisted with SaveProvenanceStore. Reloads the snapshot
+/// at `snapshot_path` (checksummed + validated), matches `pattern` on the
+/// leaked result dataset, backtraces, and builds one report per source.
+/// Any failure (missing file, corrupt snapshot, bad pattern) propagates as
+/// a Status with its original code and the snapshot path in the message.
+Result<std::vector<AuditReport>> AuditFromSnapshot(
+    const std::string& snapshot_path, const Dataset& leaked_output,
+    const TreePattern& pattern, size_t num_attributes, int num_threads = 2);
 
 }  // namespace pebble
 

@@ -1,5 +1,7 @@
 #include "workload/scenarios.h"
 
+#include "core/provenance_io.h"
+
 namespace pebble {
 
 namespace {
@@ -387,6 +389,30 @@ Result<Scenario> MakeTwitterScenario(
     default:
       return Status::InvalidArgument("Twitter scenario id must be 1..5");
   }
+}
+
+std::string ScenarioSnapshotPath(const std::string& dir,
+                                 const std::string& scenario_name) {
+  std::string path = dir;
+  if (!path.empty() && path.back() != '/') path += '/';
+  return path + scenario_name + ".pprov";
+}
+
+Status SaveScenarioSnapshot(const Scenario& scenario,
+                            const ProvenanceStore& store,
+                            const std::string& dir) {
+  return SaveProvenanceStore(store, ScenarioSnapshotPath(dir, scenario.name))
+      .WithContext("scenario " + scenario.name);
+}
+
+Result<std::unique_ptr<ProvenanceStore>> LoadScenarioSnapshot(
+    const std::string& dir, const std::string& scenario_name) {
+  auto loaded =
+      LoadProvenanceStore(ScenarioSnapshotPath(dir, scenario_name));
+  if (!loaded.ok()) {
+    return loaded.status().WithContext("scenario " + scenario_name);
+  }
+  return loaded;
 }
 
 Result<Scenario> MakeDblpScenario(

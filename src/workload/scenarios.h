@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 
+#include "core/provenance_store.h"
 #include "core/tree_pattern.h"
 #include "engine/pipeline.h"
 #include "workload/dblp_gen.h"
@@ -34,6 +35,24 @@ Result<Scenario> MakeTwitterScenario(
 Result<Scenario> MakeDblpScenario(
     int id, const DblpGenerator& gen,
     std::shared_ptr<const std::vector<ValuePtr>> records);
+
+/// Where scenario `scenario_name`'s durable provenance snapshot lives
+/// inside `dir`: "<dir>/<scenario_name>.pprov".
+std::string ScenarioSnapshotPath(const std::string& dir,
+                                 const std::string& scenario_name);
+
+/// Persists a scenario run's captured provenance crash-safely (checksummed
+/// durable format, atomic rename; see provenance_io.h). An existing
+/// snapshot for the scenario survives byte-for-byte if this fails.
+Status SaveScenarioSnapshot(const Scenario& scenario,
+                            const ProvenanceStore& store,
+                            const std::string& dir);
+
+/// Reloads a scenario snapshot saved by SaveScenarioSnapshot. Errors keep
+/// their original StatusCode (kIOError for missing/corrupt files) and name
+/// both the scenario and the file.
+Result<std::unique_ptr<ProvenanceStore>> LoadScenarioSnapshot(
+    const std::string& dir, const std::string& scenario_name);
 
 }  // namespace pebble
 

@@ -1,0 +1,167 @@
+// Tests for the crash-safe file I/O helpers: atomic replace semantics and
+// the io.write / io.fsync / io.rename failpoint sites. The invariant under
+// test is the one the durable snapshot format builds on: the destination
+// file either keeps its previous content byte-for-byte or atomically
+// becomes the new content, never a mix.
+
+#include "common/file_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/failpoint.h"
+#include "test_util.h"
+
+namespace pebble {
+namespace {
+
+struct FailpointGuard {
+  ~FailpointGuard() { FailpointRegistry::Global().DisableAll(); }
+};
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool Exists(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return static_cast<bool>(in);
+}
+
+class AtomicWriteFileTest : public ::testing::Test {
+ protected:
+  // Unique path per test: ctest runs cases of this suite as separate
+  // concurrent processes, so a shared filename would race.
+  void SetUp() override {
+    path_ = TempPath(
+        std::string("pebble_file_io_") +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+        ".bin");
+  }
+  void TearDown() override {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+  std::string path_;
+};
+
+TEST_F(AtomicWriteFileTest, WritesAndReadsBack) {
+  std::string data(100000, 'x');
+  data[0] = 'a';
+  data[data.size() - 1] = 'z';
+  ASSERT_OK(AtomicWriteFile(path_, data));
+  ASSERT_OK_AND_ASSIGN(std::string read_back, ReadFileToString(path_));
+  EXPECT_EQ(read_back, data);
+  EXPECT_FALSE(Exists(path_ + ".tmp")) << "temp file must not linger";
+}
+
+TEST_F(AtomicWriteFileTest, OverwritesAtomically) {
+  ASSERT_OK(AtomicWriteFile(path_, "old content"));
+  ASSERT_OK(AtomicWriteFile(path_, "new content"));
+  EXPECT_EQ(Slurp(path_), "new content");
+}
+
+TEST_F(AtomicWriteFileTest, EmptyData) {
+  ASSERT_OK(AtomicWriteFile(path_, ""));
+  EXPECT_EQ(Slurp(path_), "");
+}
+
+TEST_F(AtomicWriteFileTest, ReadMissingFileFails) {
+  Result<std::string> r = ReadFileToString(TempPath("nonexistent.bin"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  EXPECT_NE(r.status().message().find("nonexistent.bin"), std::string::npos);
+}
+
+TEST_F(AtomicWriteFileTest, UnwritableDirectoryFails) {
+  Status st = AtomicWriteFile("/nonexistent_dir/file.bin", "data");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_NE(st.message().find("/nonexistent_dir/file.bin"),
+            std::string::npos);
+}
+
+/// Injected faults at every io.* site: the previous content must survive
+/// byte-for-byte, and the temp file must not linger.
+TEST_F(AtomicWriteFileTest, InjectedFaultsPreserveOldContent) {
+  FailpointGuard guard;
+  const std::string old_content = "precious old bytes";
+  // New data spans multiple chunks so mid-write faults hit a true prefix.
+  AtomicWriteOptions options;
+  options.chunk_bytes = 1024;
+  std::string new_data(10 * 1024, 'n');
+
+  for (const char* site :
+       {failpoints::kIoWrite, failpoints::kIoFsync, failpoints::kIoRename}) {
+    SCOPED_TRACE(site);
+    ASSERT_OK(AtomicWriteFile(path_, old_content));
+
+    FailpointSpec spec;
+    spec.every_nth = 1;
+    spec.code = StatusCode::kIOError;
+    FailpointRegistry::Global().Enable(site, spec);
+    Status st = AtomicWriteFile(path_, new_data, options);
+    FailpointRegistry::Global().DisableAll();
+
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kIOError);
+    EXPECT_EQ(Slurp(path_), old_content)
+        << "destination changed despite failed write";
+    EXPECT_FALSE(Exists(path_ + ".tmp"));
+  }
+}
+
+/// A fault on a *later* chunk leaves a longer prefix in the temp file; the
+/// destination is still never touched.
+TEST_F(AtomicWriteFileTest, MidWriteFaultAtEveryChunk) {
+  FailpointGuard guard;
+  AtomicWriteOptions options;
+  options.chunk_bytes = 512;
+  std::string new_data(4 * 512, 'd');
+  const std::string old_content = "v1";
+
+  for (uint64_t chunk = 0; chunk < 4; ++chunk) {
+    SCOPED_TRACE("chunk " + std::to_string(chunk));
+    ASSERT_OK(AtomicWriteFile(path_, old_content));
+    FailpointSpec spec;
+    spec.every_nth = chunk + 1;  // fire on the chunk-th evaluation
+    spec.max_fires = 1;
+    spec.code = StatusCode::kIOError;
+    FailpointRegistry::Global().Enable(failpoints::kIoWrite, spec);
+    Status st = AtomicWriteFile(path_, new_data, options);
+    FailpointRegistry::Global().DisableAll();
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.message().find("byte " + std::to_string(chunk * 512)),
+              std::string::npos)
+        << st.ToString();
+    EXPECT_EQ(Slurp(path_), old_content);
+  }
+}
+
+/// The injected Status code must propagate unchanged (e.g. kUnavailable
+/// from a transient-fault schedule), not be rewritten to kIOError.
+TEST_F(AtomicWriteFileTest, InjectedCodePropagates) {
+  FailpointGuard guard;
+  FailpointSpec spec;
+  spec.every_nth = 1;
+  spec.code = StatusCode::kUnavailable;
+  FailpointRegistry::Global().Enable(failpoints::kIoRename, spec);
+  Status st = AtomicWriteFile(path_, "data");
+  FailpointRegistry::Global().DisableAll();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace pebble

@@ -109,5 +109,29 @@ TEST(ResultTest, ReturnNotOkPropagates) {
   EXPECT_EQ(CheckBoth(-1, 2).code(), StatusCode::kIndexError);
 }
 
+TEST(StatusTest, WithContextPrefixesMessageAndKeepsCode) {
+  Status st = Status::IOError("read failed");
+  Status wrapped = st.WithContext("loading snapshot 'x.pprov'");
+  EXPECT_EQ(wrapped.code(), StatusCode::kIOError);
+  EXPECT_EQ(wrapped.message(), "loading snapshot 'x.pprov': read failed");
+  // The original is untouched.
+  EXPECT_EQ(st.message(), "read failed");
+}
+
+TEST(StatusTest, WithContextOnOkIsNoop) {
+  Status ok = Status::OK();
+  EXPECT_TRUE(ok.WithContext("anything").ok());
+  EXPECT_EQ(ok.WithContext("anything").message(), "");
+}
+
+TEST(StatusTest, WithContextStacks) {
+  Status st = Status::Unavailable("disk gone")
+                  .WithContext("segment 'ids'")
+                  .WithContext("durable snapshot 'a.pprov'");
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(st.message(),
+            "durable snapshot 'a.pprov': segment 'ids': disk gone");
+}
+
 }  // namespace
 }  // namespace pebble

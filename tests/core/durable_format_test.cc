@@ -1,0 +1,360 @@
+// Tests for the durable v2 snapshot format: round-trip fidelity (including
+// backtracing equivalence), format sniffing, legacy compatibility, and the
+// structured errors every kind of corruption must produce — with file path,
+// segment name and byte offset, never a crash.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "common/crc32.h"
+#include "core/provenance_io.h"
+#include "core/query.h"
+#include "test_util.h"
+#include "workload/running_example.h"
+
+namespace pebble {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteRaw(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  ASSERT_TRUE(out.good());
+}
+
+/// Patches the header CRC (bytes [16,20), over bytes [0,16)) after the test
+/// tampered with a header field, so the tamper reaches the field's own check
+/// instead of stopping at the checksum.
+void FixHeaderCrc(std::string* blob) {
+  ASSERT_GE(blob->size(), 20u);
+  uint32_t crc = Crc32(blob->data(), 16);
+  for (int i = 0; i < 4; ++i) {
+    (*blob)[16 + i] = static_cast<char>((crc >> (8 * i)) & 0xFF);
+  }
+}
+
+class DurableFormatTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK_AND_ASSIGN(ex_, MakeRunningExample());
+    Executor executor(ExecOptions{CaptureMode::kStructural, 2, 1});
+    ASSERT_OK_AND_ASSIGN(run_, executor.Run(ex_.pipeline));
+    blob_ = SerializeDurableProvenanceStore(*run_.provenance);
+  }
+
+  RunningExample ex_;
+  ExecutionResult run_;
+  std::string blob_;
+};
+
+TEST_F(DurableFormatTest, SniffsFormats) {
+  EXPECT_EQ(SniffSnapshotFormat(blob_), SnapshotFormat::kDurableV2);
+  EXPECT_EQ(SniffSnapshotFormat(SerializeProvenanceStore(*run_.provenance)),
+            SnapshotFormat::kLegacyText);
+  EXPECT_EQ(SniffSnapshotFormat(""), SnapshotFormat::kUnknown);
+  EXPECT_EQ(SniffSnapshotFormat("random bytes"), SnapshotFormat::kUnknown);
+  EXPECT_EQ(SniffSnapshotFormat("PBLPROV"), SnapshotFormat::kUnknown);
+}
+
+TEST_F(DurableFormatTest, BlobStartsWithMagic) {
+  ASSERT_GE(blob_.size(), 8u);
+  EXPECT_EQ(blob_.substr(0, 8), "PBLPROV2");
+}
+
+TEST_F(DurableFormatTest, RoundTripPreservesEverything) {
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<ProvenanceStore> loaded,
+                       DeserializeDurableProvenanceStore(blob_, "test"));
+  EXPECT_EQ(loaded->sink_oid(), run_.provenance->sink_oid());
+  EXPECT_EQ(loaded->mode(), run_.provenance->mode());
+  EXPECT_EQ(loaded->AllOids(), run_.provenance->AllOids());
+  EXPECT_EQ(loaded->TotalIdRows(), run_.provenance->TotalIdRows());
+  // The legacy serialization is a canonical full rendering of a store:
+  // byte-equality through it proves the durable round trip lost nothing.
+  EXPECT_EQ(SerializeProvenanceStore(*loaded),
+            SerializeProvenanceStore(*run_.provenance));
+}
+
+TEST_F(DurableFormatTest, BacktracingEquivalentAfterDurableReload) {
+  ASSERT_OK_AND_ASSIGN(BacktraceStructure seed,
+                       ex_.query.Match(run_.output, 1));
+  Backtracer original(run_.provenance.get());
+  ASSERT_OK_AND_ASSIGN(std::vector<SourceProvenance> expected,
+                       original.Backtrace(seed));
+
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<ProvenanceStore> loaded,
+                       DeserializeDurableProvenanceStore(blob_, "test"));
+  Backtracer reloaded(loaded.get());
+  ASSERT_OK_AND_ASSIGN(std::vector<SourceProvenance> actual,
+                       reloaded.Backtrace(seed));
+
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t s = 0; s < expected.size(); ++s) {
+    EXPECT_EQ(actual[s].scan_oid, expected[s].scan_oid);
+    ASSERT_EQ(actual[s].items.size(), expected[s].items.size());
+    for (size_t i = 0; i < expected[s].items.size(); ++i) {
+      EXPECT_EQ(actual[s].items[i].id, expected[s].items[i].id);
+      EXPECT_TRUE(actual[s].items[i].tree == expected[s].items[i].tree);
+    }
+  }
+}
+
+TEST_F(DurableFormatTest, EmptyStoreRoundTrips) {
+  ProvenanceStore empty;
+  std::string blob = SerializeDurableProvenanceStore(empty);
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<ProvenanceStore> loaded,
+                       DeserializeDurableProvenanceStore(blob, "empty"));
+  EXPECT_TRUE(loaded->AllOids().empty());
+  EXPECT_EQ(loaded->TotalIdRows(), 0u);
+}
+
+TEST_F(DurableFormatTest, OfflineQueryMatchesOnline) {
+  // The decoupled capture-then-query entry point must answer the Fig. 4
+  // question identically from a reloaded store.
+  ASSERT_OK_AND_ASSIGN(ProvenanceQueryResult online,
+                       QueryStructuralProvenance(run_, ex_.query, 1));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<ProvenanceStore> loaded,
+                       DeserializeDurableProvenanceStore(blob_, "test"));
+  ASSERT_OK_AND_ASSIGN(
+      ProvenanceQueryResult offline,
+      QueryStructuralProvenanceOffline(run_.output, *loaded, ex_.query, 1));
+  ASSERT_EQ(offline.sources.size(), online.sources.size());
+  for (size_t s = 0; s < online.sources.size(); ++s) {
+    EXPECT_EQ(offline.sources[s].scan_oid, online.sources[s].scan_oid);
+    EXPECT_EQ(offline.sources[s].items.size(), online.sources[s].items.size());
+  }
+}
+
+// --- corruption: every tamper must become a structured kIOError naming the
+// origin, never a crash or a silently wrong store.
+
+void ExpectCorrupt(const std::string& blob, const std::string& needle) {
+  Result<std::unique_ptr<ProvenanceStore>> r =
+      DeserializeDurableProvenanceStore(blob, "origin.pprov");
+  ASSERT_FALSE(r.ok()) << "expected corruption error containing '" << needle
+                       << "'";
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  EXPECT_NE(r.status().message().find("origin.pprov"), std::string::npos)
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find(needle), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(DurableFormatTest, RejectsTruncatedHeader) {
+  ExpectCorrupt(blob_.substr(0, 10), "truncated header");
+  ExpectCorrupt("", "truncated header");
+}
+
+TEST_F(DurableFormatTest, RejectsBadMagic) {
+  std::string bad = blob_;
+  bad[0] = 'X';
+  ExpectCorrupt(bad, "bad magic");
+}
+
+TEST_F(DurableFormatTest, RejectsHeaderBitFlip) {
+  // Any flip inside [0,16) that keeps the magic intact trips the header CRC.
+  std::string bad = blob_;
+  bad[9] ^= 0x40;  // version field
+  ExpectCorrupt(bad, "header checksum mismatch");
+}
+
+TEST_F(DurableFormatTest, RejectsUnsupportedVersion) {
+  std::string bad = blob_;
+  bad[8] = 99;  // version LSB
+  FixHeaderCrc(&bad);
+  ExpectCorrupt(bad, "unsupported format version 99");
+}
+
+TEST_F(DurableFormatTest, RejectsWrongSegmentCount) {
+  std::string bad = blob_;
+  bad[12] = 9;  // segment count LSB
+  FixHeaderCrc(&bad);
+  ExpectCorrupt(bad, "unexpected segment count 9");
+}
+
+TEST_F(DurableFormatTest, TruncatedTailNamesSegmentAndOffset) {
+  // Cutting anywhere after the header must produce a framing error that
+  // carries a segment index and byte offset.
+  for (size_t keep : {blob_.size() - 1, blob_.size() - 10, size_t{21},
+                      size_t{30}}) {
+    SCOPED_TRACE("keep " + std::to_string(keep));
+    Result<std::unique_ptr<ProvenanceStore>> r =
+        DeserializeDurableProvenanceStore(blob_.substr(0, keep),
+                                          "origin.pprov");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+    EXPECT_NE(r.status().message().find("at byte"), std::string::npos)
+        << r.status().ToString();
+  }
+}
+
+TEST_F(DurableFormatTest, RejectsTrailingBytes) {
+  ExpectCorrupt(blob_ + "extra", "trailing bytes");
+}
+
+TEST_F(DurableFormatTest, PayloadBitFlipTripsSegmentChecksum) {
+  // Flip one byte inside the first segment (name or payload): its CRC
+  // footer must catch it and the error must say which segment.
+  std::string bad = blob_;
+  bad[22] ^= 0x01;  // inside the "meta" segment name
+  ExpectCorrupt(bad, "checksum mismatch in segment");
+}
+
+TEST_F(DurableFormatTest, MetaCountMismatchRejected) {
+  // Rebuild a blob whose meta segment claims the wrong id-row count by
+  // serializing a store, then appending an extra id row only to the store.
+  // Simpler: serialize, reload, drop nothing — instead build two stores.
+  ProvenanceStore a;
+  a.set_mode(CaptureMode::kStructural);
+  OperatorInfo scan;
+  scan.oid = 1;
+  scan.type = OpType::kScan;
+  scan.label = "src";
+  a.RegisterOperator(scan);
+  OperatorInfo filter;
+  filter.oid = 2;
+  filter.type = OpType::kFilter;
+  filter.input_oids = {1};
+  filter.label = "f";
+  a.RegisterOperator(filter);
+  a.set_sink_oid(2);
+  OperatorProvenance* prov = a.Mutable(2);
+  prov->unary_ids.push_back(UnaryIdRow{10, 20});
+
+  std::string blob = SerializeDurableProvenanceStore(a);
+  // The ids segment is last; its payload ends "u 10 20\n" preceded by
+  // "p 2\n". Splice one id line out and re-checksum nothing: the segment
+  // CRC catches it first. To reach the meta cross-check, rebuild the ids
+  // segment properly with the row removed.
+  size_t ids_line = blob.rfind("u 10 20\n");
+  ASSERT_NE(ids_line, std::string::npos);
+  std::string tampered = blob;
+  tampered.erase(ids_line, 8);
+  // Fix the ids segment framing: payload length shrinks by 8 and the CRC
+  // must be recomputed over name||payload.
+  // Locate the ids segment header: u16 len=3, "ids", u64 payload_len.
+  size_t name_at = tampered.rfind(std::string("\x03\x00ids", 5));
+  ASSERT_NE(name_at, std::string::npos);
+  size_t len_at = name_at + 2 + 3;
+  uint64_t payload_len = 0;
+  for (int i = 0; i < 8; ++i) {
+    payload_len |= static_cast<uint64_t>(
+                       static_cast<unsigned char>(tampered[len_at + i]))
+                   << (8 * i);
+  }
+  payload_len -= 8;
+  for (int i = 0; i < 8; ++i) {
+    tampered[len_at + i] =
+        static_cast<char>((payload_len >> (8 * i)) & 0xFF);
+  }
+  size_t payload_at = len_at + 8;
+  uint32_t crc = Crc32Update(kCrc32Init, "ids", 3);
+  crc = Crc32Update(crc, tampered.data() + payload_at, payload_len);
+  crc = Crc32Finalize(crc);
+  size_t crc_at = payload_at + payload_len;
+  tampered.resize(crc_at);
+  for (int i = 0; i < 4; ++i) {
+    tampered.push_back(static_cast<char>((crc >> (8 * i)) & 0xFF));
+  }
+  ExpectCorrupt(tampered, "meta counts disagree");
+}
+
+// --- file-level loads: path in every error, both formats accepted, the
+// post-load Validate() gate rejects internally inconsistent data.
+
+TEST_F(DurableFormatTest, LoadUnknownFormatNamesFile) {
+  std::string path = TempPath("pebble_durable_unknown.bin");
+  WriteRaw(path, "these are not the bytes you are looking for");
+  Result<std::unique_ptr<ProvenanceStore>> r = LoadProvenanceStore(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  EXPECT_NE(r.status().message().find(path), std::string::npos);
+  EXPECT_NE(r.status().message().find("not a provenance snapshot"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(DurableFormatTest, LoadsLegacyTextFile) {
+  std::string path = TempPath("pebble_durable_legacy.prov");
+  WriteRaw(path, SerializeProvenanceStore(*run_.provenance));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<ProvenanceStore> loaded,
+                       LoadProvenanceStore(path));
+  EXPECT_EQ(SerializeProvenanceStore(*loaded),
+            SerializeProvenanceStore(*run_.provenance));
+  std::remove(path.c_str());
+}
+
+TEST_F(DurableFormatTest, LegacyParseErrorCarriesPathAndLine) {
+  std::string path = TempPath("pebble_durable_badlegacy.prov");
+  WriteRaw(path, "pebbleprov 1 structural 1\nz bogus record\n");
+  Result<std::unique_ptr<ProvenanceStore>> r = LoadProvenanceStore(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find(path), std::string::npos);
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos)
+      << r.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST_F(DurableFormatTest, ValidateGateRejectsBrokenIdChain) {
+  // Legacy text that parses fine but violates store invariants: operator 3
+  // consumes id 99 which operator 2 never produced. The lenient
+  // DeserializeProvenanceStore accepts it; the file-level load must not.
+  const std::string text =
+      "pebbleprov 1 structural 3\n"
+      "o 1 scan 0 src\n"
+      "o 2 filter 1 1 keep\n"
+      "o 3 flatten 1 2 fl\n"
+      "p 2\n"
+      "u 1 10\n"
+      "p 3\n"
+      "f 99 0 20\n";
+  ASSERT_OK(DeserializeProvenanceStore(text).status());
+  std::string path = TempPath("pebble_durable_invalid.prov");
+  WriteRaw(path, text);
+  Result<std::unique_ptr<ProvenanceStore>> r = LoadProvenanceStore(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  EXPECT_NE(r.status().message().find("post-load validation"),
+            std::string::npos)
+      << r.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST_F(DurableFormatTest, ValidateRejectsUnregisteredInputOid) {
+  // Topology closure: an operator referencing an unregistered input.
+  ProvenanceStore store;
+  OperatorInfo op;
+  op.oid = 2;
+  op.type = OpType::kFilter;
+  op.input_oids = {1};  // never registered
+  op.label = "f";
+  store.RegisterOperator(op);
+  Status st = store.Validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("unregistered input operator 1"),
+            std::string::npos)
+      << st.ToString();
+}
+
+TEST_F(DurableFormatTest, ValidateRejectsUnregisteredSink) {
+  ProvenanceStore store;
+  OperatorInfo op;
+  op.oid = 1;
+  op.type = OpType::kScan;
+  op.label = "s";
+  store.RegisterOperator(op);
+  store.set_sink_oid(7);
+  Status st = store.Validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("sink operator 7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pebble

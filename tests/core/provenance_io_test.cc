@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 
 #include "core/query.h"
 #include "test_util.h"
@@ -113,11 +114,22 @@ TEST_F(ProvenanceIoTest, BacktracingEquivalentAfterReload) {
 }
 
 TEST_F(ProvenanceIoTest, FileRoundTrip) {
+  // Save now writes the durable v2 snapshot: checksummed segments behind
+  // the PBLPROV2 magic, atomically renamed into place.
   std::string path = ::testing::TempDir() + "/pebble_prov_io_test.prov";
   ASSERT_OK(SaveProvenanceStore(*run_.provenance, path));
+  {
+    std::ifstream in(path, std::ios::binary);
+    char magic[8] = {};
+    in.read(magic, 8);
+    ASSERT_TRUE(in.good());
+    EXPECT_EQ(std::string(magic, 8), "PBLPROV2");
+  }
   ASSERT_OK_AND_ASSIGN(std::unique_ptr<ProvenanceStore> loaded,
                        LoadProvenanceStore(path));
   EXPECT_EQ(loaded->TotalIdRows(), run_.provenance->TotalIdRows());
+  EXPECT_EQ(SerializeProvenanceStore(*loaded),
+            SerializeProvenanceStore(*run_.provenance));
   std::remove(path.c_str());
 }
 
@@ -135,8 +147,13 @@ TEST(ProvenanceIoErrorTest, RejectsGarbage) {
 }
 
 TEST(ProvenanceIoErrorTest, LoadMissingFileFails) {
-  EXPECT_EQ(LoadProvenanceStore("/nonexistent/path.prov").status().code(),
-            StatusCode::kIOError);
+  Result<std::unique_ptr<ProvenanceStore>> r =
+      LoadProvenanceStore("/nonexistent/path.prov");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  EXPECT_NE(r.status().message().find("/nonexistent/path.prov"),
+            std::string::npos)
+      << r.status().ToString();
 }
 
 TEST(TypeParseTest, RoundTripsSchemas) {

@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <set>
 
 #include "baselines/lazy.h"
@@ -62,6 +63,50 @@ class ScenarioPropertyTest : public ::testing::TestWithParam<ScenarioCase> {
   std::shared_ptr<const std::vector<ValuePtr>> data_;
   TypePtr schema_;
 };
+
+TEST_P(ScenarioPropertyTest, SnapshotRoundTripPreservesQueryAnswers) {
+  // Decoupled capture-then-query: persist the scenario's provenance with
+  // the durable snapshot helpers, reload it, and re-answer the scenario
+  // question offline. Answers must be identical to the online path.
+  ASSERT_OK_AND_ASSIGN(Scenario sc, Build());
+  Executor exec(ExecOptions{CaptureMode::kStructural, 4, 2});
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, exec.Run(sc.pipeline));
+  ASSERT_OK_AND_ASSIGN(ProvenanceQueryResult online,
+                       QueryStructuralProvenance(run, sc.query));
+
+  const std::string dir = ::testing::TempDir();
+  ASSERT_OK(SaveScenarioSnapshot(sc, *run.provenance, dir));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<ProvenanceStore> loaded,
+                       LoadScenarioSnapshot(dir, sc.name));
+  ASSERT_OK_AND_ASSIGN(
+      ProvenanceQueryResult offline,
+      QueryStructuralProvenanceOffline(run.output, *loaded, sc.query));
+
+  ASSERT_EQ(offline.sources.size(), online.sources.size());
+  for (size_t s = 0; s < online.sources.size(); ++s) {
+    EXPECT_EQ(offline.sources[s].scan_oid, online.sources[s].scan_oid);
+    ASSERT_EQ(offline.sources[s].items.size(),
+              online.sources[s].items.size());
+    for (size_t i = 0; i < online.sources[s].items.size(); ++i) {
+      EXPECT_EQ(offline.sources[s].items[i].id,
+                online.sources[s].items[i].id);
+      EXPECT_TRUE(offline.sources[s].items[i].tree ==
+                  online.sources[s].items[i].tree);
+    }
+  }
+  std::remove(ScenarioSnapshotPath(dir, sc.name).c_str());
+}
+
+TEST_P(ScenarioPropertyTest, MissingSnapshotErrorNamesScenarioAndFile) {
+  const std::string dir = ::testing::TempDir();
+  Result<std::unique_ptr<ProvenanceStore>> r =
+      LoadScenarioSnapshot(dir, GetParam().name + "_never_saved");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  EXPECT_NE(r.status().message().find(GetParam().name + "_never_saved"),
+            std::string::npos)
+      << r.status().ToString();
+}
 
 TEST_P(ScenarioPropertyTest, TransparencyAcrossCaptureModes) {
   ASSERT_OK_AND_ASSIGN(Scenario sc, Build());

@@ -110,5 +110,70 @@ TEST(JsonTest, ParseJsonLinesErrorPropagates) {
   EXPECT_FALSE(ParseJsonLines("{\"a\":1}\n{bad}\n").ok());
 }
 
+TEST(JsonTest, ParseJsonLinesErrorNamesLine) {
+  Result<std::vector<ValuePtr>> r = ParseJsonLines("{\"a\":1}\n{bad}\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(JsonTest, NestingWithinLimitParses) {
+  // Exactly kMaxJsonDepth nested arrays must still parse.
+  std::string doc(kMaxJsonDepth, '[');
+  doc += "1";
+  doc += std::string(kMaxJsonDepth, ']');
+  ASSERT_OK(ParseJson(doc).status());
+}
+
+TEST(JsonTest, DeeplyNestedInputRejectedNotCrashed) {
+  // Megabytes of '[' used to drive unbounded recursion; the depth limit
+  // must turn this into a clean error carrying the byte offset.
+  for (size_t depth : {kMaxJsonDepth + 1, size_t{100000}}) {
+    SCOPED_TRACE("depth " + std::to_string(depth));
+    std::string doc(depth, '[');
+    Result<ValuePtr> r = ParseJson(doc);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(r.status().message().find("nesting depth limit"),
+              std::string::npos)
+        << r.status().ToString();
+    EXPECT_NE(r.status().message().find("offset"), std::string::npos);
+  }
+}
+
+TEST(JsonTest, DeepObjectsAlsoBounded) {
+  std::string doc;
+  for (size_t i = 0; i < kMaxJsonDepth + 8; ++i) doc += "{\"k\":";
+  Result<ValuePtr> r = ParseJson(doc);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("nesting depth limit"),
+            std::string::npos);
+}
+
+TEST(JsonTest, MixedNestingBelowLimitStillWorks) {
+  // Closing a container must release its depth budget: many sibling
+  // containers at the same level are fine.
+  std::string doc = "[";
+  for (int i = 0; i < 1000; ++i) {
+    if (i > 0) doc += ",";
+    doc += "{\"a\":[1]}";
+  }
+  doc += "]";
+  ASSERT_OK(ParseJson(doc).status());
+}
+
+TEST(JsonTest, TruncatedDocumentsErrorWithOffset) {
+  for (const char* doc :
+       {"{\"a\":", "[1,2", "{\"a\":{\"b\":[", "\"abc", "{\"a\":1,"}) {
+    SCOPED_TRACE(doc);
+    Result<ValuePtr> r = ParseJson(doc);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(r.status().message().find("offset"), std::string::npos)
+        << r.status().ToString();
+  }
+}
+
 }  // namespace
 }  // namespace pebble

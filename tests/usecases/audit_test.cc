@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
+#include "core/provenance_io.h"
 #include "core/query.h"
 #include "test_util.h"
 #include "workload/running_example.h"
@@ -102,6 +105,43 @@ TEST(AuditTest, RunningExampleAudit) {
   EXPECT_EQ(report.lineage_reported_values, 12u);
   EXPECT_EQ(report.pebble_leaked_values, 4u);
   EXPECT_EQ(report.influencing_values, 4u);
+}
+
+TEST(AuditTest, AuditFromSnapshotMatchesInMemoryAudit) {
+  // Decoupled workflow: capture + persist now, audit later from the
+  // durable snapshot. The offline report must agree with the in-memory
+  // RunningExampleAudit numbers above.
+  ASSERT_OK_AND_ASSIGN(RunningExample ex, MakeRunningExample());
+  Executor exec(ExecOptions{CaptureMode::kStructural, 2, 2});
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, exec.Run(ex.pipeline));
+  const std::string path =
+      ::testing::TempDir() + "/pebble_audit_snapshot.pprov";
+  ASSERT_OK(SaveProvenanceStore(*run.provenance, path));
+
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<AuditReport> reports,
+      AuditFromSnapshot(path, run.output, ex.query,
+                        ex.schema->fields().size()));
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].items.size(), 2u);
+  EXPECT_EQ(reports[0].lineage_reported_values, 12u);
+  EXPECT_EQ(reports[0].pebble_leaked_values, 4u);
+  EXPECT_EQ(reports[0].influencing_values, 4u);
+  std::remove(path.c_str());
+}
+
+TEST(AuditTest, AuditFromMissingSnapshotFailsWithPath) {
+  ASSERT_OK_AND_ASSIGN(RunningExample ex, MakeRunningExample());
+  Executor exec(ExecOptions{CaptureMode::kOff, 2, 1});
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run, exec.Run(ex.pipeline));
+  Result<std::vector<AuditReport>> r = AuditFromSnapshot(
+      "/nonexistent/audit.pprov", run.output, ex.query, 4);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  EXPECT_NE(r.status().message().find("/nonexistent/audit.pprov"),
+            std::string::npos)
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find("audit aborted"), std::string::npos);
 }
 
 }  // namespace
