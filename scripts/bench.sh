@@ -5,21 +5,23 @@
 # ratios, provenance bytes) from the per-cell JSON-lines records.
 #
 # Usage: scripts/bench.sh [output.json]
-#   Default output: BENCH_2.json in the repo root.
+#   Default output: BENCH_4.json in the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_2.json}"
+OUT="${1:-BENCH_4.json}"
 BUILD_DIR=build-bench
 
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "${BUILD_DIR}" -j "$(nproc)" --target \
-  micro_operator_overhead fig6_twitter_capture fig7_dblp_capture >/dev/null
+  micro_operator_overhead fig6_twitter_capture fig7_dblp_capture \
+  governance_overhead >/dev/null
 
 LINES="$(mktemp)"
 trap 'rm -f "${LINES}"' EXIT
 
-for bin in micro_operator_overhead fig6_twitter_capture fig7_dblp_capture; do
+for bin in micro_operator_overhead fig6_twitter_capture fig7_dblp_capture \
+           governance_overhead; do
   echo "==> ${bin}"
   PEBBLE_BENCH_JSON="${LINES}" "./${BUILD_DIR}/bench/${bin}"
 done
@@ -35,6 +37,11 @@ fig6 = [r for r in records if r["bench"] == "fig6_twitter_capture"]
 ratios = sorted(r["capture_ratio"] for r in fig6)
 mean_ratio = sum(ratios) / len(ratios) if ratios else None
 median_ratio = ratios[len(ratios) // 2] if ratios else None
+
+gov = [r for r in records if r["bench"] == "governance_overhead"]
+gov_overheads = sorted(r["governance_overhead_pct"] for r in gov)
+gov_median = gov_overheads[len(gov_overheads) // 2] if gov_overheads else None
+gov_mean = (sum(gov_overheads) / len(gov_overheads)) if gov_overheads else None
 
 try:
     commit = subprocess.check_output(
@@ -74,10 +81,17 @@ doc = {
         "fig6_mean_capture_ratio": mean_ratio,
         "fig6_median_capture_ratio": median_ratio,
         "fig6_cells": len(fig6),
+        # Resource-governance bookkeeping cost: armed-but-never-tripping
+        # deadline + budget + cancel token vs governance fully off, paired
+        # runs on the fig6 scenarios. Acceptance bar: median < 2%.
+        "governance_median_overhead_pct": gov_median,
+        "governance_mean_overhead_pct": gov_mean,
+        "governance_cells": len(gov),
     },
     "results": records,
 }
 json.dump(doc, open(out_path, "w"), indent=2)
 print(f"wrote {out_path}: {len(records)} records, "
-      f"fig6 mean ratio {mean_ratio}")
+      f"fig6 mean ratio {mean_ratio}, "
+      f"governance median overhead {gov_median}%")
 EOF

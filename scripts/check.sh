@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Full local verification: tier-1 tests plain, then under ASan+UBSan, the
-# durable-snapshot corruption suite (plain + ASan+UBSan), then the
+# durable-snapshot corruption suite (plain + ASan+UBSan), the
 # concurrency-sensitive tests (task runner, chaos, concurrency) under
-# TSan. Usage:
+# TSan, and the scaled-up governance stress suite. Usage:
 #
 #   scripts/check.sh            # all stages
 #   scripts/check.sh plain      # just the plain tier-1 run
@@ -10,15 +10,17 @@
 #   scripts/check.sh tsan       # just the thread-sanitizer stage
 #   scripts/check.sh corruption # durable-snapshot corruption suite,
 #                               # plain and under ASan+UBSan
+#   scripts/check.sh stress     # governance chaos/stress suite with
+#                               # PEBBLE_STRESS=1 (10x workload sizes)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 STAGE="${1:-all}"
 case "${STAGE}" in
-  all|plain|asan|tsan|corruption) ;;
+  all|plain|asan|tsan|corruption|stress) ;;
   *) echo "unknown stage '${STAGE}'" \
-          "(expected: all, plain, asan, tsan, corruption)" >&2
+          "(expected: all, plain, asan, tsan, corruption, stress)" >&2
      exit 2 ;;
 esac
 
@@ -58,10 +60,18 @@ if [[ "${STAGE}" == "all" || "${STAGE}" == "corruption" ]]; then
 fi
 
 if [[ "${STAGE}" == "all" || "${STAGE}" == "tsan" ]]; then
-  # TSan over the suites that exercise cross-thread engine paths.
+  # TSan over the suites that exercise cross-thread engine paths,
+  # including the governance layer (cancel tokens, budget atomics).
   TSAN_OPTIONS="halt_on_error=1" \
     run_stage "tsan" build-tsan "thread" \
-      "Concurrency|ChaosTest|TaskRunner|Failpoint|Interner"
+      "Concurrency|ChaosTest|TaskRunner|Failpoint|Interner|Governance|Resource"
+fi
+
+if [[ "${STAGE}" == "all" || "${STAGE}" == "stress" ]]; then
+  # Governance chaos + degradation suite at 10x workload scale: deadlines
+  # trip genuinely mid-run and budgets bite on real working sets.
+  PEBBLE_STRESS=1 run_stage "stress (PEBBLE_STRESS=1)" build "" \
+    "Governance|Resource"
 fi
 
 echo "==> all requested stages passed"

@@ -1,0 +1,143 @@
+#include "common/resource.h"
+
+#include <limits>
+
+namespace pebble {
+
+namespace internal {
+
+bool CancelState::Tripped() const { return TrippedState() != nullptr; }
+
+const CancelState* CancelState::TrippedState() const {
+  for (const CancelState* s = this; s != nullptr; s = s->parent.get()) {
+    if (s->cancelled.load(std::memory_order_acquire)) return s;
+  }
+  return nullptr;
+}
+
+}  // namespace internal
+
+bool CancellationToken::IsCancelled() const {
+  return state_ != nullptr && state_->Tripped();
+}
+
+Status CancellationToken::Check(const char* where) const {
+  if (state_ == nullptr) return Status::OK();
+  const internal::CancelState* tripped = state_->TrippedState();
+  if (tripped == nullptr) return Status::OK();
+  std::string reason;
+  {
+    std::lock_guard<std::mutex> lock(tripped->mu);
+    reason = tripped->reason;
+  }
+  Status st = Status::Cancelled("operation cancelled: " + reason);
+  return where != nullptr ? st.WithContext(where) : st;
+}
+
+std::string CancellationToken::reason() const {
+  if (state_ == nullptr) return "";
+  const internal::CancelState* tripped = state_->TrippedState();
+  if (tripped == nullptr) return "";
+  std::lock_guard<std::mutex> lock(tripped->mu);
+  return tripped->reason;
+}
+
+double CancellationToken::MillisSinceCancel() const {
+  if (state_ == nullptr) return 0.0;
+  const internal::CancelState* tripped = state_->TrippedState();
+  if (tripped == nullptr) return 0.0;
+  std::chrono::steady_clock::time_point at;
+  {
+    std::lock_guard<std::mutex> lock(tripped->mu);
+    at = tripped->cancelled_at;
+  }
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - at)
+      .count();
+}
+
+CancellationSource::CancellationSource()
+    : state_(std::make_shared<internal::CancelState>()) {}
+
+CancellationSource::CancellationSource(const CancellationToken& parent)
+    : state_(std::make_shared<internal::CancelState>()) {
+  state_->parent = parent.state_;
+}
+
+void CancellationSource::Cancel(std::string reason) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->cancelled.load(std::memory_order_relaxed)) return;
+    state_->reason = std::move(reason);
+    state_->cancelled_at = std::chrono::steady_clock::now();
+  }
+  state_->cancelled.store(true, std::memory_order_release);
+}
+
+bool CancellationSource::IsCancelled() const { return state_->Tripped(); }
+
+Deadline Deadline::AfterMillis(int64_t ms) {
+  Deadline d;
+  d.has_ = true;
+  d.budget_ms_ = ms;
+  d.at_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  return d;
+}
+
+bool Deadline::Expired() const {
+  return has_ && std::chrono::steady_clock::now() >= at_;
+}
+
+double Deadline::RemainingMillis() const {
+  if (!has_) return std::numeric_limits<double>::max();
+  return std::chrono::duration<double, std::milli>(
+             at_ - std::chrono::steady_clock::now())
+      .count();
+}
+
+double Deadline::MillisSinceExpiry() const {
+  if (!has_) return 0.0;
+  double over = -RemainingMillis();
+  return over > 0.0 ? over : 0.0;
+}
+
+Status Deadline::Check(const char* where) const {
+  if (!Expired()) return Status::OK();
+  Status st = Status::DeadlineExceeded("deadline of " +
+                                       std::to_string(budget_ms_) +
+                                       " ms exceeded");
+  return where != nullptr ? st.WithContext(where) : st;
+}
+
+Status MemoryBudget::TryCharge(uint64_t bytes, const char* what) {
+  uint64_t now = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (limit_ != 0 && now > limit_) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    std::string msg = "memory budget exhausted: charge of " +
+                      std::to_string(bytes) + " bytes would raise usage to " +
+                      std::to_string(now) + " of " + std::to_string(limit_) +
+                      " byte limit";
+    Status st = Status::ResourceExhausted(std::move(msg));
+    return what != nullptr ? st.WithContext(what) : st;
+  }
+  uint64_t hw = high_water_.load(std::memory_order_relaxed);
+  while (now > hw &&
+         !high_water_.compare_exchange_weak(hw, now,
+                                            std::memory_order_relaxed)) {
+  }
+  if (parent_ != nullptr) {
+    Status st = parent_->TryCharge(bytes, what);
+    if (!st.ok()) {
+      used_.fetch_sub(bytes, std::memory_order_relaxed);
+      return st;
+    }
+  }
+  return Status::OK();
+}
+
+void MemoryBudget::Release(uint64_t bytes) {
+  used_.fetch_sub(bytes, std::memory_order_relaxed);
+  if (parent_ != nullptr) parent_->Release(bytes);
+}
+
+}  // namespace pebble

@@ -1,0 +1,191 @@
+// Query-wide resource governance primitives: cooperative cancellation,
+// wall-clock deadlines, and atomic memory budgets.
+//
+// These are the building blocks of the governance contract in DESIGN.md §9:
+// every long-running entry point (pipeline execution, backtracing, pattern
+// matching) periodically polls a CancellationToken / Deadline at batch
+// granularity and charges a MemoryBudget at its staging and materialization
+// points, so runaway work is shed with a structured error (kCancelled /
+// kDeadlineExceeded / kResourceExhausted) instead of pinning a core or
+// dying on std::bad_alloc.
+
+#ifndef PEBBLE_COMMON_RESOURCE_H_
+#define PEBBLE_COMMON_RESOURCE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace pebble {
+
+namespace internal {
+
+/// Shared cancellation state. A child state is cancelled when either its own
+/// flag is set or any ancestor's flag is set (checked by walking `parent`).
+struct CancelState {
+  std::atomic<bool> cancelled{false};
+  std::shared_ptr<const CancelState> parent;  // nullptr at the root
+
+  // Reason and trip time, written once under `mu` when Cancel() fires.
+  mutable std::mutex mu;
+  std::string reason;
+  std::chrono::steady_clock::time_point cancelled_at{};
+
+  /// True if this state or any ancestor has been cancelled.
+  bool Tripped() const;
+  /// The nearest tripped state on the ancestor chain (self first); nullptr
+  /// if none tripped.
+  const CancelState* TrippedState() const;
+};
+
+}  // namespace internal
+
+/// Read-only handle for observing cancellation. Default-constructed tokens
+/// can never be cancelled ("null token"): all checks are O(1) no-ops, so a
+/// token can be threaded unconditionally through hot paths.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  /// False for a default-constructed token (cancellation impossible).
+  bool CanBeCancelled() const { return state_ != nullptr; }
+
+  /// True once the owning source (or any ancestor source) called Cancel().
+  bool IsCancelled() const;
+
+  /// OK while not cancelled; kCancelled carrying the source's reason
+  /// (prefixed with `where` when given) afterwards.
+  Status Check(const char* where = nullptr) const;
+
+  /// The reason passed to Cancel(); empty while not cancelled.
+  std::string reason() const;
+
+  /// Milliseconds elapsed since Cancel() fired; 0.0 while not cancelled.
+  /// Used to report how quickly a cooperative cancellation point reacted.
+  double MillisSinceCancel() const;
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<const internal::CancelState> s)
+      : state_(std::move(s)) {}
+
+  std::shared_ptr<const internal::CancelState> state_;
+};
+
+/// Owning side of a cancellation pair. Hierarchical: a source built from a
+/// parent token trips when either it or the parent is cancelled, so a
+/// per-query source can fan out per-phase children that all stop together.
+class CancellationSource {
+ public:
+  CancellationSource();
+  /// Child source: observed as cancelled when either this source or
+  /// `parent` is cancelled. A null parent token yields an independent root.
+  explicit CancellationSource(const CancellationToken& parent);
+
+  /// Trips the token. Idempotent: the first call wins; later calls (and
+  /// later reasons) are ignored.
+  void Cancel(std::string reason = "cancelled by caller");
+
+  bool IsCancelled() const;
+  CancellationToken token() const { return CancellationToken(state_); }
+
+ private:
+  std::shared_ptr<internal::CancelState> state_;
+};
+
+/// A wall-clock deadline on the monotonic clock. Default-constructed
+/// deadlines never expire; checks against them are O(1) no-ops.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  /// Expires `ms` milliseconds from now. `ms <= 0` expires immediately.
+  static Deadline AfterMillis(int64_t ms);
+  static Deadline Infinite() { return Deadline(); }
+
+  bool has_deadline() const { return has_; }
+  bool Expired() const;
+
+  /// Milliseconds until expiry (negative once expired); a very large value
+  /// for the infinite deadline.
+  double RemainingMillis() const;
+
+  /// Milliseconds since expiry; 0.0 if not expired (or infinite). Used to
+  /// report how late the first cancellation point observed the trip.
+  double MillisSinceExpiry() const;
+
+  /// OK while not expired; kDeadlineExceeded (prefixed with `where` when
+  /// given) afterwards. The message carries the original budget.
+  Status Check(const char* where = nullptr) const;
+
+ private:
+  bool has_ = false;
+  int64_t budget_ms_ = 0;  // original allowance, for error messages
+  std::chrono::steady_clock::time_point at_{};
+};
+
+/// Thread-safe byte budget with a high-water mark. `limit_bytes == 0` means
+/// unlimited: charges are still tracked (so the high-water mark is usable
+/// for telemetry) but never fail.
+///
+/// Budgets can be chained: a child constructed with a parent charges and
+/// releases the parent in lockstep, so a reservation against a per-phase
+/// child also holds real bytes from the query-wide budget. The parent must
+/// outlive the child.
+class MemoryBudget {
+ public:
+  explicit MemoryBudget(uint64_t limit_bytes = 0,
+                        MemoryBudget* parent = nullptr)
+      : limit_(limit_bytes), parent_(parent) {}
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  uint64_t limit() const { return limit_; }
+  /// True when this budget (or an ancestor) can actually reject charges.
+  bool limited() const {
+    return limit_ != 0 || (parent_ != nullptr && parent_->limited());
+  }
+
+  /// Reserves `bytes`, failing with kResourceExhausted (message tagged with
+  /// `what` when given) if the reservation would exceed this budget's limit
+  /// or any ancestor's. On failure nothing is held: partial charges up the
+  /// chain are rolled back.
+  Status TryCharge(uint64_t bytes, const char* what = nullptr);
+
+  /// Returns a reservation. Callers must release exactly what they charged.
+  void Release(uint64_t bytes);
+
+  /// Bytes currently reserved.
+  uint64_t used() const { return used_.load(std::memory_order_relaxed); }
+
+  /// Largest value `used()` ever reached. Under concurrent failed charges
+  /// this can transiently overstate by the rolled-back amount; it never
+  /// understates.
+  uint64_t high_water() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const uint64_t limit_;
+  MemoryBudget* const parent_;
+  std::atomic<uint64_t> used_{0};
+  std::atomic<uint64_t> high_water_{0};
+};
+
+/// True for the status codes produced by governance trips (cancellation,
+/// deadline expiry, budget/limit exhaustion) as opposed to real failures.
+inline bool IsResourceGovernanceError(StatusCode code) {
+  return code == StatusCode::kCancelled ||
+         code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kResourceExhausted;
+}
+
+}  // namespace pebble
+
+#endif  // PEBBLE_COMMON_RESOURCE_H_

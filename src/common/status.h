@@ -26,6 +26,14 @@ enum class StatusCode {
   /// Transient failure (injected fault, timeout, lost task): the operation
   /// may succeed if retried. The default retryable code of RetryPolicy.
   kUnavailable,
+  /// The caller cancelled the operation via a CancellationToken; cooperative
+  /// cancellation points return this (common/resource.h).
+  kCancelled,
+  /// A query-wide wall-clock deadline expired before the operation finished.
+  kDeadlineExceeded,
+  /// A resource budget (memory bytes, visited-node limit) was exhausted; the
+  /// operation was shed rather than allowed to grow unboundedly.
+  kResourceExhausted,
 };
 
 /// Returns a short human-readable name ("InvalidArgument", ...).
@@ -61,6 +69,15 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
   /// Builds a failure with a runtime-chosen code (`code` must not be kOk;
   /// kOk is mapped to an Internal error rather than a silent success).

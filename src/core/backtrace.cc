@@ -1,8 +1,82 @@
 #include "core/backtrace.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 namespace pebble {
+
+namespace {
+
+/// Seed entries traced per chunk on the governed path. Small enough that
+/// several chunks finish within a tens-of-milliseconds deadline even on
+/// the stress-scale scenarios (a tight deadline then yields a non-empty
+/// partial answer), large enough to amortize the per-chunk bookkeeping.
+constexpr size_t kSeedChunk = 4;
+
+}  // namespace
+
+Status ValidateBacktraceOptions(const BacktraceOptions& options) {
+  if (options.max_visited_nodes < 0) {
+    return Status::InvalidArgument(
+        "max_visited_nodes must be non-negative, got " +
+        std::to_string(options.max_visited_nodes));
+  }
+  if (options.max_results < 0) {
+    return Status::InvalidArgument("max_results must be non-negative, got " +
+                                   std::to_string(options.max_results));
+  }
+  return Status::OK();
+}
+
+const char* TruncationReasonToString(TruncationReason reason) {
+  switch (reason) {
+    case TruncationReason::kNone:
+      return "none";
+    case TruncationReason::kDeadline:
+      return "deadline";
+    case TruncationReason::kCancelled:
+      return "cancelled";
+    case TruncationReason::kVisitLimit:
+      return "visit-limit";
+    case TruncationReason::kResultLimit:
+      return "result-limit";
+  }
+  return "?";
+}
+
+/// Per-query governance state: limits plus the running visit count,
+/// checked at every recursion level of the governed path.
+struct Backtracer::TraceState {
+  const BacktraceOptions* options = nullptr;
+  uint64_t visited = 0;
+  uint32_t polls = 0;
+
+  /// Cadence check for the per-entry mapping loops: deadline/cancel every
+  /// 64 entries (one big structure at one operator can be most of a
+  /// chunk's work, so per-level checks alone overshoot tight deadlines).
+  /// Does not count toward the visit limit.
+  Status Poll() {
+    if ((++polls & 0x3F) != 0) return Status::OK();
+    PEBBLE_RETURN_NOT_OK(options->cancel.Check("backtrace"));
+    return options->deadline.Check("backtrace");
+  }
+
+  /// Counts `about_to_visit` structure entries, then checks every limit.
+  /// Governance trips surface as kResourceExhausted / kCancelled /
+  /// kDeadlineExceeded and are converted to truncation by the caller.
+  Status CheckLimits(size_t about_to_visit) {
+    visited += about_to_visit;
+    if (options->max_visited_nodes > 0 &&
+        visited > static_cast<uint64_t>(options->max_visited_nodes)) {
+      return Status::ResourceExhausted(
+          "backtrace visited " + std::to_string(visited) +
+          " structure entries, over the limit of " +
+          std::to_string(options->max_visited_nodes));
+    }
+    PEBBLE_RETURN_NOT_OK(options->cancel.Check("backtrace"));
+    return options->deadline.Check("backtrace");
+  }
+};
 
 namespace {
 
@@ -141,7 +215,117 @@ Result<std::vector<SourceProvenance>> Backtracer::Backtrace(
     return Status::InvalidArgument("no provenance store (capture was off?)");
   }
   std::map<int, BacktraceStructure> at_sources;
-  PEBBLE_RETURN_NOT_OK(BacktraceFrom(store_->sink_oid(), seed, &at_sources));
+  PEBBLE_RETURN_NOT_OK(
+      BacktraceFrom(store_->sink_oid(), seed, &at_sources, nullptr));
+  std::vector<SourceProvenance> out;
+  for (auto& [oid, structure] : at_sources) {
+    SourceProvenance sp;
+    sp.scan_oid = oid;
+    if (const OperatorInfo* info = store_->FindInfo(oid)) {
+      sp.source_name = info->label;
+    }
+    sp.items = std::move(structure);
+    out.push_back(std::move(sp));
+  }
+  return out;
+}
+
+Result<std::vector<SourceProvenance>> Backtracer::Backtrace(
+    const BacktraceStructure& seed, const BacktraceOptions& options,
+    BacktraceTruncation* truncation) const {
+  if (truncation != nullptr) {
+    *truncation = BacktraceTruncation{};
+    truncation->seed_entries_total = seed.size();
+  }
+  PEBBLE_RETURN_NOT_OK(ValidateBacktraceOptions(options));
+  if (options.Unlimited()) {
+    // Exact legacy code path: results are byte-identical to an ungoverned
+    // query, including entry order at every source.
+    Result<std::vector<SourceProvenance>> result = Backtrace(seed);
+    if (result.ok() && truncation != nullptr) {
+      truncation->seed_entries_traced = seed.size();
+    }
+    return result;
+  }
+  if (store_ == nullptr) {
+    return Status::InvalidArgument("no provenance store (capture was off?)");
+  }
+
+  TraceState state;
+  state.options = &options;
+  std::map<int, BacktraceStructure> at_sources;
+  auto result_count = [&at_sources]() {
+    size_t n = 0;
+    for (const auto& [oid, s] : at_sources) n += s.size();
+    return n;
+  };
+
+  Status trip;  // first governance trip, if any
+  TruncationReason reason = TruncationReason::kNone;
+  size_t traced = 0;
+  for (size_t begin = 0; begin < seed.size(); begin += kSeedChunk) {
+    Status g = state.CheckLimits(0);
+    if (!g.ok()) {
+      trip = std::move(g);
+      break;
+    }
+    if (options.max_results > 0 &&
+        result_count() >= static_cast<size_t>(options.max_results)) {
+      trip = Status::ResourceExhausted(
+          "backtrace reached the result limit of " +
+          std::to_string(options.max_results) + " source items");
+      reason = TruncationReason::kResultLimit;
+      break;
+    }
+    size_t end = std::min(begin + kSeedChunk, seed.size());
+    BacktraceStructure chunk(seed.begin() + begin, seed.begin() + end);
+    // Trace into a chunk-local accumulator. Every entry BacktraceFrom
+    // lands at a scan is a complete, independently sound derivation (the
+    // full answer contains the same item, possibly with more merged
+    // paths), so a tripped chunk's partial yield is merged too — the
+    // result stays a lower bound of the full answer, and a deadline
+    // tighter than one chunk still returns what it managed to derive.
+    // Only seed_entries_traced counts whole chunks.
+    std::map<int, BacktraceStructure> chunk_sources;
+    Status st = BacktraceFrom(store_->sink_oid(), std::move(chunk),
+                              &chunk_sources, &state);
+    if (!st.ok() && !IsResourceGovernanceError(st.code())) return st;
+    for (auto& [oid, structure] : chunk_sources) {
+      BacktraceStructure& dest = at_sources[oid];
+      for (BacktraceEntry& e : structure) {
+        MergeEntry(&dest, std::move(e));
+      }
+    }
+    if (!st.ok()) {
+      trip = std::move(st);
+      break;
+    }
+    traced = end;
+  }
+
+  if (truncation != nullptr) {
+    truncation->visited_nodes = state.visited;
+    truncation->seed_entries_traced = traced;
+    if (!trip.ok()) {
+      truncation->truncated = true;
+      truncation->detail = trip.message();
+      if (reason == TruncationReason::kNone) {
+        switch (trip.code()) {
+          case StatusCode::kCancelled:
+            reason = TruncationReason::kCancelled;
+            break;
+          case StatusCode::kDeadlineExceeded:
+            reason = TruncationReason::kDeadline;
+            break;
+          default:
+            reason = TruncationReason::kVisitLimit;
+            break;
+        }
+      }
+      truncation->reason = reason;
+    }
+  }
+
   std::vector<SourceProvenance> out;
   for (auto& [oid, structure] : at_sources) {
     SourceProvenance sp;
@@ -157,8 +341,13 @@ Result<std::vector<SourceProvenance>> Backtracer::Backtrace(
 
 Status Backtracer::BacktraceFrom(
     int oid, BacktraceStructure structure,
-    std::map<int, BacktraceStructure>* at_sources) const {
+    std::map<int, BacktraceStructure>* at_sources, TraceState* state) const {
   if (structure.empty()) return Status::OK();
+  if (state != nullptr) {
+    // One check per (operator, structure) recursion level: granular enough
+    // to stop a blown-up trace within one level's work.
+    PEBBLE_RETURN_NOT_OK(state->CheckLimits(structure.size()));
+  }
   const OperatorInfo* info = store_->FindInfo(oid);
   if (info == nullptr) {
     return Status::Internal("no operator info for oid " + std::to_string(oid));
@@ -179,16 +368,16 @@ Status Backtracer::BacktraceFrom(
   switch (info->type) {
     case OpType::kFilter:
     case OpType::kSelect:
-      return BacktraceGenericUnary(*prov, structure, at_sources);
+      return BacktraceGenericUnary(*prov, structure, at_sources, state);
     case OpType::kMap:
-      return BacktraceMap(*prov, structure, at_sources);
+      return BacktraceMap(*prov, structure, at_sources, state);
     case OpType::kFlatten:
-      return BacktraceFlatten(*prov, structure, at_sources);
+      return BacktraceFlatten(*prov, structure, at_sources, state);
     case OpType::kJoin:
     case OpType::kUnion:
-      return BacktraceBinary(*prov, structure, at_sources);
+      return BacktraceBinary(*prov, structure, at_sources, state);
     case OpType::kGroupAggregate:
-      return BacktraceAggregation(*prov, structure, at_sources);
+      return BacktraceAggregation(*prov, structure, at_sources, state);
     case OpType::kScan:
       break;  // handled above
   }
@@ -198,7 +387,7 @@ Status Backtracer::BacktraceFrom(
 // Alg. 3: join B with the id table, undo manipulations, record accesses.
 Status Backtracer::BacktraceGenericUnary(
     const OperatorProvenance& prov, const BacktraceStructure& structure,
-    std::map<int, BacktraceStructure>* at_sources) const {
+    std::map<int, BacktraceStructure>* at_sources, TraceState* state) const {
   std::unordered_map<int64_t, int64_t> scratch;
   const std::unordered_map<int64_t, int64_t>* lookup =
       index_ != nullptr ? index_->unary(prov.oid) : nullptr;
@@ -213,6 +402,7 @@ Status Backtracer::BacktraceGenericUnary(
   const std::vector<Path> accessed = ExpandedAccess(prov.inputs[0]);
   BacktraceStructure next;
   for (const BacktraceEntry& entry : structure) {
+    if (state != nullptr) PEBBLE_RETURN_NOT_OK(state->Poll());
     auto it = out_to_in.find(entry.id);
     if (it == out_to_in.end()) {
       return Status::Internal("item " + std::to_string(entry.id) +
@@ -227,14 +417,14 @@ Status Backtracer::BacktraceGenericUnary(
     MergeEntry(&next, std::move(out));
   }
   return BacktraceFrom(prov.inputs[0].producer_oid, std::move(next),
-                       at_sources);
+                       at_sources, state);
 }
 
 // Map: no path information was capturable (A = M = ⊥); every attribute of
 // the input schema is conservatively marked as manipulated.
 Status Backtracer::BacktraceMap(
     const OperatorProvenance& prov, const BacktraceStructure& structure,
-    std::map<int, BacktraceStructure>* at_sources) const {
+    std::map<int, BacktraceStructure>* at_sources, TraceState* state) const {
   std::unordered_map<int64_t, int64_t> scratch;
   const std::unordered_map<int64_t, int64_t>* lookup =
       index_ != nullptr ? index_->unary(prov.oid) : nullptr;
@@ -248,6 +438,7 @@ Status Backtracer::BacktraceMap(
   const std::unordered_map<int64_t, int64_t>& out_to_in = *lookup;
   BacktraceStructure next;
   for (const BacktraceEntry& entry : structure) {
+    if (state != nullptr) PEBBLE_RETURN_NOT_OK(state->Poll());
     auto it = out_to_in.find(entry.id);
     if (it == out_to_in.end()) {
       return Status::Internal("item " + std::to_string(entry.id) +
@@ -260,14 +451,14 @@ Status Backtracer::BacktraceMap(
     MergeEntry(&next, std::move(out));
   }
   return BacktraceFrom(prov.inputs[0].producer_oid, std::move(next),
-                       at_sources);
+                       at_sources, state);
 }
 
 // Alg. 2: undo the flatten per item, substituting the concrete position for
 // the [pos] placeholder, then merge trees of the same input item.
 Status Backtracer::BacktraceFlatten(
     const OperatorProvenance& prov, const BacktraceStructure& structure,
-    std::map<int, BacktraceStructure>* at_sources) const {
+    std::map<int, BacktraceStructure>* at_sources, TraceState* state) const {
   std::unordered_map<int64_t, BacktraceIndex::FlattenEntry> scratch;
   const std::unordered_map<int64_t, BacktraceIndex::FlattenEntry>* lookup =
       index_ != nullptr ? index_->flatten(prov.oid) : nullptr;
@@ -282,6 +473,7 @@ Status Backtracer::BacktraceFlatten(
       out_to_in = *lookup;
   BacktraceStructure next;
   for (const BacktraceEntry& entry : structure) {
+    if (state != nullptr) PEBBLE_RETURN_NOT_OK(state->Poll());
     auto it = out_to_in.find(entry.id);
     if (it == out_to_in.end()) {
       return Status::Internal("item " + std::to_string(entry.id) +
@@ -311,7 +503,7 @@ Status Backtracer::BacktraceFlatten(
     MergeEntry(&next, std::move(out));  // merge-by-id == Alg. 2 l.2
   }
   return BacktraceFrom(prov.inputs[0].producer_oid, std::move(next),
-                       at_sources);
+                       at_sources, state);
 }
 
 // Join and union: trace each of the two inputs independently; join trees
@@ -319,7 +511,7 @@ Status Backtracer::BacktraceFlatten(
 // that originated from the traced side.
 Status Backtracer::BacktraceBinary(
     const OperatorProvenance& prov, const BacktraceStructure& structure,
-    std::map<int, BacktraceStructure>* at_sources) const {
+    std::map<int, BacktraceStructure>* at_sources, TraceState* state) const {
   std::unordered_map<int64_t, BacktraceIndex::BinaryEntry> scratch;
   const std::unordered_map<int64_t, BacktraceIndex::BinaryEntry>* lookup =
       index_ != nullptr ? index_->binary(prov.oid) : nullptr;
@@ -348,6 +540,7 @@ Status Backtracer::BacktraceBinary(
     const std::vector<Path> accessed = ExpandedAccess(input);
     BacktraceStructure next;
     for (const BacktraceEntry& entry : structure) {
+      if (state != nullptr) PEBBLE_RETURN_NOT_OK(state->Poll());
       auto it = out_to_in.find(entry.id);
       if (it == out_to_in.end()) {
         return Status::Internal("item " + std::to_string(entry.id) +
@@ -369,7 +562,7 @@ Status Backtracer::BacktraceBinary(
       MergeEntry(&next, std::move(out));
     }
     PEBBLE_RETURN_NOT_OK(
-        BacktraceFrom(input.producer_oid, std::move(next), at_sources));
+        BacktraceFrom(input.producer_oid, std::move(next), at_sources, state));
   }
   return Status::OK();
 }
@@ -379,7 +572,7 @@ Status Backtracer::BacktraceBinary(
 // the input items that remain in the provenance (inProv).
 Status Backtracer::BacktraceAggregation(
     const OperatorProvenance& prov, const BacktraceStructure& structure,
-    std::map<int, BacktraceStructure>* at_sources) const {
+    std::map<int, BacktraceStructure>* at_sources, TraceState* state) const {
   std::unordered_map<int64_t, IdSpan> scratch;
   const std::unordered_map<int64_t, IdSpan>* lookup =
       index_ != nullptr ? index_->agg(prov.oid) : nullptr;
@@ -402,6 +595,7 @@ Status Backtracer::BacktraceAggregation(
     }
     const IdSpan row_ins = it->second;
     for (size_t k = 0; k < row_ins.size(); ++k) {
+      if (state != nullptr) PEBBLE_RETURN_NOT_OK(state->Poll());
       const int32_t pos = static_cast<int32_t>(k + 1);  // pP (Alg. 4 l.1)
       BacktraceEntry out{row_ins[k], entry.tree};
       bool in_prov = false;
@@ -429,7 +623,7 @@ Status Backtracer::BacktraceAggregation(
     }
   }
   return BacktraceFrom(prov.inputs[0].producer_oid, std::move(next),
-                       at_sources);
+                       at_sources, state);
 }
 
 }  // namespace pebble

@@ -6,13 +6,70 @@
 #define PEBBLE_CORE_BACKTRACE_H_
 
 #include <map>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/resource.h"
 #include "core/backtrace_tree.h"
 #include "core/provenance_store.h"
 
 namespace pebble {
+
+/// Resource limits on one backtracing query (DESIGN.md §9). Default
+/// constructed = unlimited, which selects the exact legacy code path
+/// (byte-identical results). Any active limit enables chunked tracing with
+/// graceful degradation: on a trip, the provenance reconstructed so far is
+/// returned with an explicit truncation record instead of an error.
+struct BacktraceOptions {
+  /// Wall-clock deadline over matching + tracing. Infinite by default.
+  Deadline deadline;
+  /// Cooperative cancellation of the query.
+  CancellationToken cancel;
+  /// Cap on backtracing-structure entries visited across all recursion
+  /// levels (a proxy for tracing work and memory). 0 = unlimited.
+  int64_t max_visited_nodes = 0;
+  /// Cap on source items reported; tracing stops once the merged result
+  /// reaches it. 0 = unlimited.
+  int64_t max_results = 0;
+
+  bool Unlimited() const {
+    return !deadline.has_deadline() && !cancel.CanBeCancelled() &&
+           max_visited_nodes == 0 && max_results == 0;
+  }
+};
+
+/// Rejects nonsense limits (negative caps) with kInvalidArgument.
+Status ValidateBacktraceOptions(const BacktraceOptions& options);
+
+/// Which limit cut a degraded backtrace short.
+enum class TruncationReason {
+  kNone,
+  kDeadline,
+  kCancelled,
+  kVisitLimit,
+  kResultLimit,
+};
+
+const char* TruncationReasonToString(TruncationReason reason);
+
+/// Degradation record of a governed backtrace: whether the result is
+/// partial, why, and how far tracing got. A truncated result is sound but
+/// incomplete — every reported source item is real provenance, but seed
+/// entries beyond `seed_entries_traced` were not traced (lower bound
+/// semantics; DESIGN.md §9).
+struct BacktraceTruncation {
+  bool truncated = false;
+  TruncationReason reason = TruncationReason::kNone;
+  /// Human-readable trip description (the governance status message).
+  std::string detail;
+  /// Structure entries visited across all recursion levels.
+  uint64_t visited_nodes = 0;
+  size_t seed_entries_total = 0;
+  /// Seed entries whose tracing fully completed and is reflected in the
+  /// result.
+  size_t seed_entries_traced = 0;
+};
 
 /// Prebuilt hash indexes over the id association tables of a store. The
 /// backtracing join (Alg. 3 l.1) needs an out-id -> in-id(s) lookup per
@@ -70,27 +127,45 @@ class Backtracer {
   Result<std::vector<SourceProvenance>> Backtrace(
       const BacktraceStructure& seed) const;
 
+  /// Governed variant: traces the seed in chunks, checking `options`
+  /// between chunks and at every recursion level. When a limit trips, the
+  /// provenance of fully traced chunks is returned (not an error) and
+  /// `truncation` (when non-null) records why and how far tracing got.
+  /// With unlimited options this delegates to the legacy path above —
+  /// byte-identical results. Non-governance failures still propagate.
+  Result<std::vector<SourceProvenance>> Backtrace(
+      const BacktraceStructure& seed, const BacktraceOptions& options,
+      BacktraceTruncation* truncation) const;
+
  private:
+  /// Per-query governance state threaded through the recursion; nullptr on
+  /// the ungoverned (legacy) path.
+  struct TraceState;
+
   Status BacktraceFrom(int oid, BacktraceStructure structure,
-                       std::map<int, BacktraceStructure>* at_sources) const;
+                       std::map<int, BacktraceStructure>* at_sources,
+                       TraceState* state) const;
 
   Status BacktraceGenericUnary(const OperatorProvenance& prov,
                                const BacktraceStructure& structure,
-                               std::map<int, BacktraceStructure>* at_sources)
-      const;
+                               std::map<int, BacktraceStructure>* at_sources,
+                               TraceState* state) const;
   Status BacktraceMap(const OperatorProvenance& prov,
                       const BacktraceStructure& structure,
-                      std::map<int, BacktraceStructure>* at_sources) const;
+                      std::map<int, BacktraceStructure>* at_sources,
+                      TraceState* state) const;
   Status BacktraceFlatten(const OperatorProvenance& prov,
                           const BacktraceStructure& structure,
-                          std::map<int, BacktraceStructure>* at_sources) const;
+                          std::map<int, BacktraceStructure>* at_sources,
+                          TraceState* state) const;
   Status BacktraceBinary(const OperatorProvenance& prov,
                          const BacktraceStructure& structure,
-                         std::map<int, BacktraceStructure>* at_sources) const;
+                         std::map<int, BacktraceStructure>* at_sources,
+                         TraceState* state) const;
   Status BacktraceAggregation(const OperatorProvenance& prov,
                               const BacktraceStructure& structure,
-                              std::map<int, BacktraceStructure>* at_sources)
-      const;
+                              std::map<int, BacktraceStructure>* at_sources,
+                              TraceState* state) const;
 
   const ProvenanceStore* store_;
   const BacktraceIndex* index_;

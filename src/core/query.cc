@@ -4,38 +4,73 @@
 
 namespace pebble {
 
+namespace {
+
+/// Shared query body: validate inputs, match under the options' deadline and
+/// cancellation token, backtrace under the full options, and fold a
+/// match-phase trip into the truncation record when the backtrace itself
+/// finished clean.
+Result<ProvenanceQueryResult> RunQuery(const Dataset& output,
+                                       const ProvenanceStore& store,
+                                       const TreePattern& pattern,
+                                       const BacktraceOptions& options,
+                                       int num_threads) {
+  PEBBLE_RETURN_NOT_OK(ValidateTreePattern(pattern));
+  PEBBLE_RETURN_NOT_OK(ValidateBacktraceOptions(options));
+  ProvenanceQueryResult result;
+  Stopwatch watch;
+  bool match_truncated = false;
+  PEBBLE_ASSIGN_OR_RETURN(
+      result.matched, pattern.Match(output, num_threads, options.deadline,
+                                    options.cancel, &match_truncated));
+  result.match_ms = watch.ElapsedMillis();
+
+  watch.Restart();
+  Backtracer tracer(&store);
+  PEBBLE_ASSIGN_OR_RETURN(
+      result.sources,
+      tracer.Backtrace(result.matched, options, &result.truncation));
+  result.backtrace_ms = watch.ElapsedMillis();
+  if (match_truncated && !result.truncation.truncated) {
+    result.truncation.truncated = true;
+    result.truncation.reason = options.cancel.IsCancelled()
+                                   ? TruncationReason::kCancelled
+                                   : TruncationReason::kDeadline;
+    result.truncation.detail = "tree-pattern matching stopped early";
+  }
+  return result;
+}
+
+}  // namespace
+
 Result<ProvenanceQueryResult> QueryStructuralProvenance(
     const ExecutionResult& run, const TreePattern& pattern, int num_threads) {
+  return QueryStructuralProvenance(run, pattern, BacktraceOptions(),
+                                   num_threads);
+}
+
+Result<ProvenanceQueryResult> QueryStructuralProvenance(
+    const ExecutionResult& run, const TreePattern& pattern,
+    const BacktraceOptions& options, int num_threads) {
   if (run.provenance == nullptr) {
     return Status::InvalidArgument(
         "pipeline was executed without provenance capture");
   }
-  ProvenanceQueryResult result;
-  Stopwatch watch;
-  PEBBLE_ASSIGN_OR_RETURN(result.matched,
-                          pattern.Match(run.output, num_threads));
-  result.match_ms = watch.ElapsedMillis();
-
-  watch.Restart();
-  Backtracer tracer(run.provenance.get());
-  PEBBLE_ASSIGN_OR_RETURN(result.sources, tracer.Backtrace(result.matched));
-  result.backtrace_ms = watch.ElapsedMillis();
-  return result;
+  return RunQuery(run.output, *run.provenance, pattern, options, num_threads);
 }
 
 Result<ProvenanceQueryResult> QueryStructuralProvenanceOffline(
     const Dataset& output, const ProvenanceStore& store,
     const TreePattern& pattern, int num_threads) {
-  ProvenanceQueryResult result;
-  Stopwatch watch;
-  PEBBLE_ASSIGN_OR_RETURN(result.matched, pattern.Match(output, num_threads));
-  result.match_ms = watch.ElapsedMillis();
+  return QueryStructuralProvenanceOffline(output, store, pattern,
+                                          BacktraceOptions(), num_threads);
+}
 
-  watch.Restart();
-  Backtracer tracer(&store);
-  PEBBLE_ASSIGN_OR_RETURN(result.sources, tracer.Backtrace(result.matched));
-  result.backtrace_ms = watch.ElapsedMillis();
-  return result;
+Result<ProvenanceQueryResult> QueryStructuralProvenanceOffline(
+    const Dataset& output, const ProvenanceStore& store,
+    const TreePattern& pattern, const BacktraceOptions& options,
+    int num_threads) {
+  return RunQuery(output, store, pattern, options, num_threads);
 }
 
 std::string SourceProvenanceToString(const SourceProvenance& source) {

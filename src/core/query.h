@@ -22,24 +22,45 @@ struct ProvenanceQueryResult {
   /// Backtraced provenance per source dataset (the left-hand trees of
   /// Fig. 2).
   std::vector<SourceProvenance> sources;
+  /// Degradation record when the query ran with BacktraceOptions limits
+  /// (DESIGN.md §9). `truncated == false` means the result is exact; when
+  /// true, `matched` and `sources` are sound lower bounds.
+  BacktraceTruncation truncation;
   double match_ms = 0;
   double backtrace_ms = 0;
 };
 
 /// Runs `pattern` against `run.output` and backtraces the matches using the
 /// provenance captured in `run`. Requires capture mode kStructural or
-/// kFullModel during execution.
+/// kFullModel during execution. The pattern is validated
+/// (ValidateTreePattern) before any work happens.
 Result<ProvenanceQueryResult> QueryStructuralProvenance(
     const ExecutionResult& run, const TreePattern& pattern,
     int num_threads = 4);
 
+/// Governed variant: `options` bounds the whole query — the deadline and
+/// cancellation token cover both pattern matching and backtracing, the
+/// visit/result caps bound the backtrace. On a limit trip the provenance
+/// reconstructed so far is returned with `result.truncation` explaining why
+/// (graceful degradation, not an error). Unlimited options are
+/// byte-identical to the ungoverned overload.
+Result<ProvenanceQueryResult> QueryStructuralProvenance(
+    const ExecutionResult& run, const TreePattern& pattern,
+    const BacktraceOptions& options, int num_threads = 4);
+
 /// Offline variant of the above for the decoupled capture-then-query
-///// workflow: the pipeline ran earlier (possibly in another process) and
+/// workflow: the pipeline ran earlier (possibly in another process) and
 /// `store` was reloaded from a durable snapshot (LoadProvenanceStore),
 /// while `output` is the retained result dataset the question is asked on.
 Result<ProvenanceQueryResult> QueryStructuralProvenanceOffline(
     const Dataset& output, const ProvenanceStore& store,
     const TreePattern& pattern, int num_threads = 4);
+
+/// Governed offline variant; see the governed eager overload above.
+Result<ProvenanceQueryResult> QueryStructuralProvenanceOffline(
+    const Dataset& output, const ProvenanceStore& store,
+    const TreePattern& pattern, const BacktraceOptions& options,
+    int num_threads = 4);
 
 /// Renders a source provenance (ids plus trees) for human consumption.
 std::string SourceProvenanceToString(const SourceProvenance& source);

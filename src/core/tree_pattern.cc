@@ -1,5 +1,6 @@
 #include "core/tree_pattern.h"
 
+#include <atomic>
 #include <mutex>
 #include <thread>
 
@@ -282,12 +283,35 @@ Result<TreePattern::ItemMatch> TreePattern::MatchItem(
 
 Result<BacktraceStructure> TreePattern::Match(const Dataset& data,
                                               int num_threads) const {
+  return Match(data, num_threads, Deadline::Infinite(), CancellationToken(),
+               nullptr);
+}
+
+Result<BacktraceStructure> TreePattern::Match(const Dataset& data,
+                                              int num_threads,
+                                              const Deadline& deadline,
+                                              const CancellationToken& cancel,
+                                              bool* truncated) const {
+  if (truncated != nullptr) *truncated = false;
+  const bool governed = deadline.has_deadline() || cancel.CanBeCancelled();
   const size_t nparts = data.partitions().size();
   std::vector<BacktraceStructure> per_part(nparts);
   std::vector<Status> statuses(nparts);
+  // Shared trip flag: once one worker observes an expired deadline or a
+  // cancelled token, all partitions stop at their next check. Matches
+  // recorded before the trip are kept (partial seed, lower-bound result).
+  std::atomic<bool> tripped{false};
 
   auto match_partition = [&](size_t p) {
+    uint32_t ticker = 0;
     for (const Row& row : data.partitions()[p]) {
+      if (governed && (++ticker & 0x3F) == 0) {
+        if (tripped.load(std::memory_order_relaxed) || cancel.IsCancelled() ||
+            deadline.Expired()) {
+          tripped.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
       Result<ItemMatch> m = MatchItem(*row.value);
       if (!m.ok()) {
         statuses[p] = m.status();
@@ -327,7 +351,47 @@ Result<BacktraceStructure> TreePattern::Match(const Dataset& data,
       out.push_back(std::move(e));
     }
   }
+  if (truncated != nullptr && tripped.load(std::memory_order_relaxed)) {
+    *truncated = true;
+  }
   return out;
+}
+
+namespace {
+
+Status ValidatePatternNode(const PatternNode& node) {
+  if (node.name().empty()) {
+    return Status::InvalidArgument("pattern node has an empty attribute name");
+  }
+  if (node.min_count() < 0) {
+    return Status::InvalidArgument(
+        "pattern node '" + node.name() + "' has a negative min count (" +
+        std::to_string(node.min_count()) + ")");
+  }
+  if (node.max_count() < node.min_count()) {
+    return Status::InvalidArgument(
+        "pattern node '" + node.name() + "' has max count " +
+        std::to_string(node.max_count()) + " < min count " +
+        std::to_string(node.min_count()));
+  }
+  for (const PatternNode& child : node.children()) {
+    PEBBLE_RETURN_NOT_OK(ValidatePatternNode(child));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateTreePattern(const TreePattern& pattern) {
+  if (pattern.roots().empty()) {
+    return Status::InvalidArgument("tree pattern has no root nodes")
+        .WithContext(pattern.ToString());
+  }
+  for (const PatternNode& root : pattern.roots()) {
+    Status st = ValidatePatternNode(root);
+    if (!st.ok()) return st.WithContext(pattern.ToString());
+  }
+  return Status::OK();
 }
 
 std::string TreePattern::ToString() const {

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/resource.h"
 #include "core/backtrace_tree.h"
 #include "engine/dataset.h"
 #include "engine/expr.h"
@@ -120,11 +121,25 @@ class TreePattern {
   Result<BacktraceStructure> Match(const Dataset& data,
                                    int num_threads = 1) const;
 
+  /// Governed variant: checks `deadline` and `cancel` every few rows. On a
+  /// trip, matching stops and the entries matched so far are returned with
+  /// `*truncated` set — partial seeds are sound (every entry is a real
+  /// match), the caller reports lower-bound results (DESIGN.md §9).
+  Result<BacktraceStructure> Match(const Dataset& data, int num_threads,
+                                   const Deadline& deadline,
+                                   const CancellationToken& cancel,
+                                   bool* truncated) const;
+
   std::string ToString() const;
 
  private:
   std::vector<PatternNode> roots_;
 };
+
+/// Rejects degenerate patterns with kInvalidArgument (context: the pattern
+/// text): no root nodes, empty attribute names, negative or inverted count
+/// constraints — checked recursively over all nodes.
+Status ValidateTreePattern(const TreePattern& pattern);
 
 }  // namespace pebble
 

@@ -60,4 +60,45 @@ uint64_t Dataset::ApproxBytes() const {
   return bytes;
 }
 
+uint64_t ApproxShallowValueBytes(const Value& value) {
+  uint64_t bytes = sizeof(Value);
+  switch (value.kind()) {
+    case ValueKind::kString:
+      bytes += value.string_value().size();
+      break;
+    case ValueKind::kStruct:
+      bytes += value.num_fields() * sizeof(Field);
+      break;
+    case ValueKind::kBag:
+    case ValueKind::kSet:
+      bytes += value.num_elements() * sizeof(ValuePtr);
+      break;
+    default:
+      break;
+  }
+  return bytes;
+}
+
+uint64_t ApproxShallowRowBytes(const Row& row) {
+  uint64_t bytes = sizeof(Row);
+  if (row.value != nullptr) bytes += ApproxShallowValueBytes(*row.value);
+  return bytes;
+}
+
+uint64_t ApproxShallowPartitionBytes(const Partition& partition) {
+  uint64_t bytes = sizeof(Partition);
+  for (const Row& r : partition) {
+    bytes += ApproxShallowRowBytes(r);
+  }
+  return bytes;
+}
+
+uint64_t ApproxShallowDatasetBytes(const Dataset& dataset) {
+  uint64_t bytes = 0;
+  for (const Partition& p : dataset.partitions()) {
+    bytes += ApproxShallowPartitionBytes(p);
+  }
+  return bytes;
+}
+
 }  // namespace pebble

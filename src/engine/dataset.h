@@ -62,6 +62,22 @@ class Dataset {
   std::vector<Partition> partitions_;
 };
 
+/// O(1) shallow footprint of one value node: the node itself plus its string
+/// payload and immediate child slots, NOT the (possibly shared) deep
+/// substructure. This is the accounting unit of the engine memory budget
+/// (DESIGN.md §9): cheap enough for hot staging loops, and proportional to
+/// the bytes an operator actually adds when it shares subtrees.
+uint64_t ApproxShallowValueBytes(const Value& value);
+
+/// Shallow footprint of a row: the Row struct plus its value node.
+uint64_t ApproxShallowRowBytes(const Row& row);
+
+/// Sum of shallow row footprints plus the vector itself.
+uint64_t ApproxShallowPartitionBytes(const Partition& partition);
+
+/// Sum over all partitions.
+uint64_t ApproxShallowDatasetBytes(const Dataset& dataset);
+
 }  // namespace pebble
 
 #endif  // PEBBLE_ENGINE_DATASET_H_

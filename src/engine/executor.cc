@@ -16,13 +16,44 @@ TaskStats StatsDelta(const TaskStats& before, const TaskStats& after) {
   d.attempts = after.attempts - before.attempts;
   d.retries = after.retries - before.retries;
   d.timeouts = after.timeouts - before.timeouts;
+  d.tasks_shed = after.tasks_shed - before.tasks_shed;
   return d;
+}
+
+/// Context string identifying an operator in error messages: makes every
+/// run failure attributable to the operator it came from.
+std::string OperatorContext(const Operator& op) {
+  return "operator " + std::to_string(op.oid()) + " (" + op.label() + ")";
+}
+
+void FillTelemetry(RunTelemetry* telemetry, const Status& status,
+                   const ExecOptions& options, ExecContext* ctx) {
+  if (telemetry == nullptr) return;
+  telemetry->status = status;
+  telemetry->memory_limit_bytes = options.memory_budget_bytes;
+  if (ctx != nullptr) {
+    telemetry->peak_memory_bytes = ctx->budget().high_water();
+    telemetry->cancel_latency_ms = ctx->trip_latency_ms();
+    telemetry->task_stats = ctx->task_stats();
+    telemetry->tasks_shed = telemetry->task_stats.tasks_shed;
+  }
 }
 
 }  // namespace
 
 Result<ExecutionResult> Executor::Run(const Pipeline& pipeline) const {
-  PEBBLE_RETURN_NOT_OK(ValidateExecOptions(options_));
+  return Run(pipeline, nullptr);
+}
+
+Result<ExecutionResult> Executor::Run(const Pipeline& pipeline,
+                                      RunTelemetry* telemetry) const {
+  {
+    Status st = ValidateExecOptions(options_);
+    if (!st.ok()) {
+      FillTelemetry(telemetry, st, options_, nullptr);
+      return st;
+    }
+  }
   Stopwatch watch;
   ExecutionResult result;
   std::shared_ptr<ProvenanceStore> store;
@@ -35,7 +66,13 @@ Result<ExecutionResult> Executor::Run(const Pipeline& pipeline) const {
                                            op->input_oids(), op->label()});
     }
   }
+  // The deadline clock of the run starts with the context.
   ExecContext ctx(options_, store.get());
+  auto fail = [&](Status st) -> Status {
+    FillTelemetry(telemetry, st, options_, &ctx);
+    if (telemetry != nullptr) telemetry->provenance = store;
+    return st;
+  };
 
   // Reference counts: an intermediate dataset can be released once its last
   // consumer has executed (bounds peak memory on deep pipelines).
@@ -47,23 +84,41 @@ Result<ExecutionResult> Executor::Run(const Pipeline& pipeline) const {
   }
 
   std::map<int, Dataset> materialized;
+  // Budget reservations held for materialized datasets, by oid.
+  std::map<int, uint64_t> charged;
   for (const auto& op : pipeline.operators()) {
+    // Cancellation point between operators: a tripped run stops before
+    // launching the next operator's tasks.
+    {
+      Status g = ctx.CheckInterrupt("executor");
+      if (!g.ok()) return fail(std::move(g));
+    }
     std::vector<const Dataset*> inputs;
     inputs.reserve(op->input_oids().size());
     for (int in : op->input_oids()) {
       auto it = materialized.find(in);
       if (it == materialized.end()) {
-        return Status::Internal("input dataset " + std::to_string(in) +
-                                " of operator " + std::to_string(op->oid()) +
-                                " not materialized");
+        return fail(Status::Internal(
+            "input dataset " + std::to_string(in) + " of operator " +
+            std::to_string(op->oid()) + " not materialized"));
       }
       inputs.push_back(&it->second);
     }
     TaskStats before = ctx.task_stats();
-    PEBBLE_ASSIGN_OR_RETURN(Dataset out, op->Execute(&ctx, inputs));
+    Result<Dataset> executed = op->Execute(&ctx, inputs);
     TaskStats delta = StatsDelta(before, ctx.task_stats());
-    if (delta.attempts > 0) {
+    if (delta.attempts > 0 || delta.tasks_shed > 0) {
       result.tasks_per_operator[op->oid()] = delta;
+    }
+    if (!executed.ok()) {
+      return fail(executed.status().WithContext(OperatorContext(*op)));
+    }
+    Dataset out = std::move(executed).value();
+    if (ctx.budget_limited()) {
+      uint64_t bytes = ApproxShallowDatasetBytes(out);
+      Status st = ctx.ChargeBytes(bytes, "materialized dataset");
+      if (!st.ok()) return fail(st.WithContext(OperatorContext(*op)));
+      charged[op->oid()] = bytes;
     }
     if (op->type() == OpType::kScan) {
       result.source_datasets.emplace(op->oid(), out);
@@ -72,6 +127,11 @@ Result<ExecutionResult> Executor::Run(const Pipeline& pipeline) const {
     for (int in : op->input_oids()) {
       if (--remaining_consumers[in] == 0 && in != pipeline.sink_oid()) {
         materialized.erase(in);
+        auto ch = charged.find(in);
+        if (ch != charged.end()) {
+          ctx.ReleaseBytes(ch->second);
+          charged.erase(ch);
+        }
       }
     }
     materialized.emplace(op->oid(), std::move(out));
@@ -79,12 +139,16 @@ Result<ExecutionResult> Executor::Run(const Pipeline& pipeline) const {
 
   auto sink_it = materialized.find(pipeline.sink_oid());
   if (sink_it == materialized.end()) {
-    return Status::Internal("sink dataset not materialized");
+    return fail(Status::Internal("sink dataset not materialized"));
   }
   result.output = std::move(sink_it->second);
   result.provenance = std::move(store);
   result.task_stats = ctx.task_stats();
   result.elapsed_ms = watch.ElapsedMillis();
+  result.peak_memory_bytes = ctx.budget().high_water();
+  result.cancel_latency_ms = ctx.trip_latency_ms();
+  FillTelemetry(telemetry, Status::OK(), options_, &ctx);
+  if (telemetry != nullptr) telemetry->provenance = result.provenance;
   return result;
 }
 

@@ -31,16 +31,46 @@ struct ExecutionResult {
   TaskStats task_stats;
   /// Wall-clock execution time.
   double elapsed_ms = 0;
+  /// High-water mark of the run's memory budget (materialized datasets plus
+  /// staging/shuffle buffers, shallow accounting — DESIGN.md §9). Tracked
+  /// only when options.memory_budget_bytes > 0; otherwise 0.
+  uint64_t peak_memory_bytes = 0;
+  /// Milliseconds between an external trip (Cancel() / deadline expiry) and
+  /// the first cancellation point that observed it; 0 when the run never
+  /// tripped. A successful run can still report a nonzero value if a trip
+  /// raced with completion.
+  double cancel_latency_ms = 0;
+};
+
+/// Governance telemetry of a run, filled even when Run fails — the only way
+/// to observe peak bytes, reaction latency and shed-task counts of a run
+/// that was cancelled or ran out of budget.
+struct RunTelemetry {
+  Status status;                  // the run's final status
+  uint64_t peak_memory_bytes = 0;
+  uint64_t memory_limit_bytes = 0;
+  double cancel_latency_ms = 0;
+  uint64_t tasks_shed = 0;
+  TaskStats task_stats;
+  /// The run's provenance store, filled even when the run failed so aborted
+  /// runs can be integrity-checked (no torn commits: Validate() must pass).
+  /// nullptr when capture was off.
+  std::shared_ptr<ProvenanceStore> provenance;
 };
 
 /// Executes pipelines with the given options. Stateless; safe to reuse.
 class Executor {
  public:
-  explicit Executor(ExecOptions options) : options_(options) {}
+  explicit Executor(ExecOptions options) : options_(std::move(options)) {}
 
   const ExecOptions& options() const { return options_; }
 
   Result<ExecutionResult> Run(const Pipeline& pipeline) const;
+
+  /// As above, additionally filling `telemetry` (when non-null) on success
+  /// AND failure.
+  Result<ExecutionResult> Run(const Pipeline& pipeline,
+                              RunTelemetry* telemetry) const;
 
  private:
   ExecOptions options_;

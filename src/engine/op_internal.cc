@@ -12,16 +12,32 @@ void HashCombine(uint64_t* seed, uint64_t v) {
 
 }  // namespace
 
-Status CheckProvenanceCommit(const OperatorProvenance* prov) {
+Status CheckProvenanceCommit(ExecContext* ctx,
+                             const OperatorProvenance* prov) {
   if (prov == nullptr) return Status::OK();
+  PEBBLE_RETURN_NOT_OK(ctx->CheckInterrupt("provenance commit"));
   return FailpointRegistry::Global().Evaluate(failpoints::kProvenanceAppend);
+}
+
+Status ChargeStage(ExecContext* ctx, const Partition& rows,
+                   uint64_t extra_bytes, const char* what, uint64_t* charged) {
+  if (!ctx->budget_limited()) return Status::OK();
+  uint64_t bytes = ApproxShallowPartitionBytes(rows) + extra_bytes;
+  PEBBLE_RETURN_NOT_OK(ctx->ChargeBytes(bytes, what));
+  *charged = bytes;
+  return Status::OK();
+}
+
+void ReleaseStageCharge(ExecContext* ctx, uint64_t* charged) {
+  ctx->ReleaseBytes(*charged);
+  *charged = 0;
 }
 
 Result<Dataset> FinalizeUnary(ExecContext* ctx, TypePtr schema,
                               std::vector<UnaryStage> staged,
                               OperatorProvenance* prov,
                               const ItemCaptureSpec* item_spec) {
-  PEBBLE_RETURN_NOT_OK(CheckProvenanceCommit(prov));
+  PEBBLE_RETURN_NOT_OK(CheckProvenanceCommit(ctx, prov));
   std::vector<Partition> parts(staged.size());
   const bool items = ctx->capture_items() && item_spec != nullptr;
   for (size_t p = 0; p < staged.size(); ++p) {
@@ -50,6 +66,9 @@ Result<Dataset> FinalizeUnary(ExecContext* ctx, TypePtr schema,
       }
       prov->unary_ids.AppendStage(std::move(stage.in_ids), first);
     }
+    // The staged rows now live in the output dataset (charged by the
+    // executor at materialization); drop the staging reservation.
+    ReleaseStageCharge(ctx, &stage.charged_bytes);
   }
   return Dataset(std::move(schema), std::move(parts));
 }

@@ -20,6 +20,10 @@ namespace pebble::internal {
 struct UnaryStage {
   Partition rows;
   std::vector<int64_t> in_ids;
+  /// Bytes currently reserved against the run's memory budget for this
+  /// stage; released when a retry discards the attempt and when the staged
+  /// rows move into the output dataset.
+  uint64_t charged_bytes = 0;
 
   void Reserve(size_t n) {
     rows.reserve(n);
@@ -35,6 +39,21 @@ struct UnaryStage {
   }
   size_t size() const { return rows.size(); }
 };
+
+/// Row-loop cancellation granularity: staging loops call CheckInterrupt
+/// every (kInterruptStride) rows via `(++counter & kInterruptMask) == 0`.
+inline constexpr uint32_t kInterruptMask = 0xFF;  // every 256 rows
+
+/// Charges the run's budget for a freshly staged partition (`rows` plus
+/// `extra_bytes` of side columns), recording the reservation in `*charged`.
+/// No-op (and no byte-estimation cost) when the run has no budget.
+Status ChargeStage(ExecContext* ctx, const Partition& rows,
+                   uint64_t extra_bytes, const char* what, uint64_t* charged);
+
+/// Releases a reservation made by ChargeStage and zeroes it. Called at
+/// attempt start (retry idempotence: the previous attempt's charge must not
+/// leak) and after the staged rows have moved into the output dataset.
+void ReleaseStageCharge(ExecContext* ctx, uint64_t* charged);
 
 /// Constant-per-operator item-level capture content (full-model mode). For
 /// filter/select/map the item-level paths coincide with the schema-level
@@ -58,9 +77,13 @@ Result<Dataset> FinalizeUnary(ExecContext* ctx, TypePtr schema,
                               OperatorProvenance* prov,
                               const ItemCaptureSpec* item_spec);
 
-/// Evaluates the `provenance.append` failpoint guarding an operator's
-/// commit into the shared ProvenanceStore. No-op when `prov` is nullptr.
-Status CheckProvenanceCommit(const OperatorProvenance* prov);
+/// Gate before an operator's serial commit into the shared ProvenanceStore:
+/// evaluates the `provenance.append` failpoint and the run's governance
+/// state (cancel token / deadline). Runs strictly BEFORE the commit loop —
+/// a trip here aborts with the store untouched, never mid-commit, so
+/// aborted runs always leave the store Validate()-clean. No-op when `prov`
+/// is nullptr (capture off).
+Status CheckProvenanceCommit(ExecContext* ctx, const OperatorProvenance* prov);
 
 /// Deep hash of a key tuple (used by join/group shuffles).
 uint64_t HashKeyTuple(const std::vector<ValuePtr>& key);

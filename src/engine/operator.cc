@@ -38,7 +38,42 @@ Status ValidateExecOptions(const ExecOptions& options) {
         "task_timeout_ms must be non-negative, got " +
         std::to_string(options.task_timeout_ms));
   }
+  if (options.deadline_ms < 0) {
+    return Status::InvalidArgument("deadline_ms must be non-negative, got " +
+                                   std::to_string(options.deadline_ms));
+  }
   return Status::OK();
+}
+
+void ExecContext::RecordTrip(double latency_ms) {
+  int64_t us = static_cast<int64_t>(latency_ms * 1000.0);
+  if (us < 0) us = 0;
+  int64_t expected = -1;
+  trip_latency_us_.compare_exchange_strong(expected, us,
+                                           std::memory_order_relaxed);
+}
+
+Status ExecContext::CheckInterrupt(const char* where) {
+  if (!governed_) return Status::OK();
+  if (options_.cancel.IsCancelled()) {
+    RecordTrip(options_.cancel.MillisSinceCancel());
+    return options_.cancel.Check(where);
+  }
+  if (deadline_.Expired()) {
+    RecordTrip(deadline_.MillisSinceExpiry());
+    return deadline_.Check(where);
+  }
+  return Status::OK();
+}
+
+Status ExecContext::ChargeBytes(uint64_t bytes, const char* what) {
+  if (!budget_.limited() || bytes == 0) return Status::OK();
+  return budget_.TryCharge(bytes, what);
+}
+
+void ExecContext::ReleaseBytes(uint64_t bytes) {
+  if (!budget_.limited() || bytes == 0) return;
+  budget_.Release(bytes);
 }
 
 Status ExecContext::RunTaskAttempts(size_t i,
@@ -58,6 +93,16 @@ Status ExecContext::RunTaskAttempts(size_t i,
       }
     }
     stats->attempts += 1;
+    // Cancellation point: a retry chain must not outlive a cancel or the
+    // run deadline. kCancelled / kDeadlineExceeded are not retryable by any
+    // sensible policy, so this ends the task.
+    {
+      Status g = CheckInterrupt("task attempt");
+      if (!g.ok()) {
+        stats->tasks_failed += 1;
+        return g;
+      }
+    }
     // Deterministic per-(task, attempt) key: fault schedules replay exactly
     // regardless of which worker thread picks the task up when.
     uint64_t key = (static_cast<uint64_t>(i) << 8) |
@@ -105,6 +150,22 @@ Status ExecContext::ParallelFor(size_t n,
       if (i > cancel_bound.load(std::memory_order_acquire)) {
         local.tasks_skipped += 1;
         continue;
+      }
+      // Governance cancellation point at task granularity: a tripped run
+      // sheds tasks that have not started instead of attempting them. The
+      // trip is recorded like any terminal failure so fail-fast and the
+      // lowest-index-failure guarantee apply unchanged.
+      if (governed_) {
+        Status g = CheckInterrupt("task scheduling");
+        if (!g.ok()) {
+          local.tasks_shed += 1;
+          size_t cur = cancel_bound.load(std::memory_order_acquire);
+          while (i < cur && !cancel_bound.compare_exchange_weak(
+                                cur, i, std::memory_order_acq_rel)) {
+          }
+          terminal[i] = std::move(g);
+          continue;
+        }
       }
       Status st = RunTaskAttempts(i, fn, &local);
       if (!st.ok()) {

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/resource.h"
 #include "common/status.h"
 #include "core/provenance_store.h"
 #include "engine/dataset.h"
@@ -70,6 +71,19 @@ struct ExecOptions {
   /// output is discarded. 0 = no timeout. The attempt is not preempted
   /// mid-flight; the budget is checked when the task body returns.
   int task_timeout_ms = 0;
+  /// Query-wide wall-clock deadline over the whole run, measured from
+  /// Executor::Run entry. 0 = none. Expiry fails the run with
+  /// kDeadlineExceeded at the next cancellation point (DESIGN.md §9).
+  int64_t deadline_ms = 0;
+  /// Byte budget over the run's working set: materialized datasets plus
+  /// per-task staging and shuffle buffers, with shallow O(1)-per-row
+  /// accounting (DESIGN.md §9). 0 = unlimited. Exceeding it fails the run
+  /// with kResourceExhausted — never std::bad_alloc.
+  uint64_t memory_budget_bytes = 0;
+  /// Cooperative external cancellation: Cancel() on the owning source stops
+  /// the run with kCancelled at the next cancellation point. A
+  /// default-constructed token disables cancellation at zero cost.
+  CancellationToken cancel;
 };
 
 /// Validates user-supplied options; kInvalidArgument on nonsense values.
@@ -86,6 +100,8 @@ struct TaskStats {
   uint64_t attempts = 0;        // total attempts, including retries
   uint64_t retries = 0;         // attempts beyond each task's first
   uint64_t timeouts = 0;        // attempts failed by the cooperative timeout
+  uint64_t tasks_shed = 0;      // never attempted: governance trip (cancel /
+                                // deadline) observed before the first attempt
 
   void Add(const TaskStats& other) {
     tasks_started += other.tasks_started;
@@ -95,6 +111,7 @@ struct TaskStats {
     attempts += other.attempts;
     retries += other.retries;
     timeouts += other.timeouts;
+    tasks_shed += other.tasks_shed;
   }
 };
 
@@ -102,8 +119,17 @@ struct TaskStats {
 /// id allocation and the parallel-for helper.
 class ExecContext {
  public:
+  /// The run's deadline clock starts here: construct the context at
+  /// Executor::Run entry, not earlier.
   ExecContext(ExecOptions options, ProvenanceStore* store)
-      : options_(options), store_(store) {}
+      : options_(std::move(options)),
+        store_(store),
+        deadline_(options_.deadline_ms > 0
+                      ? Deadline::AfterMillis(options_.deadline_ms)
+                      : Deadline::Infinite()),
+        budget_(options_.memory_budget_bytes),
+        governed_(options_.cancel.CanBeCancelled() ||
+                  deadline_.has_deadline()) {}
 
   ExecContext(const ExecContext&) = delete;
   ExecContext& operator=(const ExecContext&) = delete;
@@ -149,15 +175,51 @@ class ExecContext {
   /// context. Thread-safe.
   TaskStats task_stats() const;
 
+  /// Governance cancellation point: OK when the run is neither cancelled
+  /// nor past its deadline; kCancelled / kDeadlineExceeded (with `where`
+  /// context) otherwise. O(1) and branch-free when no token or deadline was
+  /// configured. Records the reaction latency of the first trip observed.
+  Status CheckInterrupt(const char* where);
+
+  /// True when a cancel token or deadline is active (CheckInterrupt can
+  /// actually trip).
+  bool governed() const { return governed_; }
+  /// True when the run has a memory budget that can reject charges.
+  bool budget_limited() const { return budget_.limited(); }
+
+  /// Reserves `bytes` against the run's memory budget; kResourceExhausted
+  /// when the budget would be exceeded. No-op without a budget.
+  Status ChargeBytes(uint64_t bytes, const char* what);
+  /// Returns a reservation made by ChargeBytes.
+  void ReleaseBytes(uint64_t bytes);
+
+  MemoryBudget& budget() { return budget_; }
+  const Deadline& deadline() const { return deadline_; }
+
+  /// Milliseconds between the external trip (Cancel() call or deadline
+  /// expiry) and the first cancellation point that observed it; 0.0 when
+  /// the run never tripped.
+  double trip_latency_ms() const {
+    int64_t us = trip_latency_us_.load(std::memory_order_relaxed);
+    return us < 0 ? 0.0 : static_cast<double>(us) / 1000.0;
+  }
+
  private:
   /// Runs all attempts of task `i`; returns its terminal status and
   /// accumulates into `stats`.
   Status RunTaskAttempts(size_t i, const std::function<Status(size_t)>& fn,
                          TaskStats* stats);
 
+  /// Stamps the reaction latency of the first governance trip observed.
+  void RecordTrip(double latency_ms);
+
   ExecOptions options_;
   ProvenanceStore* store_;
+  Deadline deadline_;
+  MemoryBudget budget_;
+  bool governed_;
   std::atomic<int64_t> next_id_{1};
+  std::atomic<int64_t> trip_latency_us_{-1};  // -1 = never tripped
   mutable std::mutex stats_mu_;
   TaskStats stats_;
 };

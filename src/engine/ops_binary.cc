@@ -17,6 +17,7 @@ struct BinaryStage {
   Partition rows;
   std::vector<int64_t> in1;
   std::vector<int64_t> in2;
+  uint64_t charged_bytes = 0;  // memory-budget reservation for this stage
 
   void Clear() {
     rows.clear();
@@ -145,30 +146,53 @@ Result<Dataset> JoinOp::Execute(
   std::vector<std::vector<KeyedRow>> left_buckets(buckets);
   std::vector<std::vector<KeyedRow>> right_buckets(buckets);
   size_t exchange = 0;
+  uint64_t shuffle_charged = 0;
+  uint32_t ticker = 0;
   for (const Partition& part : left.partitions()) {
+    PEBBLE_RETURN_NOT_OK(ctx->CheckInterrupt("join shuffle"));
     PEBBLE_RETURN_NOT_OK(
         fp.Evaluate(failpoints::kShuffleExchange, exchange++));
     for (const Row& row : part) {
+      if ((++ticker & internal::kInterruptMask) == 0) {
+        PEBBLE_RETURN_NOT_OK(ctx->CheckInterrupt("join shuffle"));
+      }
       PEBBLE_ASSIGN_OR_RETURN(std::vector<ValuePtr> key,
                               EvalKeys(left_keys_, *row.value));
       size_t b = internal::HashKeyTuple(key) % buckets;
       left_buckets[b].push_back(KeyedRow{std::move(key), row});
     }
+    if (ctx->budget_limited()) {
+      uint64_t bytes = part.size() * (sizeof(KeyedRow) +
+                                      left_keys_.size() * sizeof(ValuePtr));
+      PEBBLE_RETURN_NOT_OK(ctx->ChargeBytes(bytes, "join shuffle"));
+      shuffle_charged += bytes;
+    }
   }
   for (const Partition& part : right.partitions()) {
+    PEBBLE_RETURN_NOT_OK(ctx->CheckInterrupt("join shuffle"));
     PEBBLE_RETURN_NOT_OK(
         fp.Evaluate(failpoints::kShuffleExchange, exchange++));
     for (const Row& row : part) {
+      if ((++ticker & internal::kInterruptMask) == 0) {
+        PEBBLE_RETURN_NOT_OK(ctx->CheckInterrupt("join shuffle"));
+      }
       PEBBLE_ASSIGN_OR_RETURN(std::vector<ValuePtr> key,
                               EvalKeys(right_keys_, *row.value));
       size_t b = internal::HashKeyTuple(key) % buckets;
       right_buckets[b].push_back(KeyedRow{std::move(key), row});
+    }
+    if (ctx->budget_limited()) {
+      uint64_t bytes = part.size() * (sizeof(KeyedRow) +
+                                      right_keys_.size() * sizeof(ValuePtr));
+      PEBBLE_RETURN_NOT_OK(ctx->ChargeBytes(bytes, "join shuffle"));
+      shuffle_charged += bytes;
     }
   }
 
   const bool capture = ctx->capture_enabled();
   std::vector<BinaryStage> staged(buckets);
   PEBBLE_RETURN_NOT_OK(ctx->ParallelFor(buckets, [&](size_t b) -> Status {
+    internal::ReleaseStageCharge(ctx, &staged[b].charged_bytes);
     staged[b].Clear();  // retry-idempotent: overwrite, never append
     // Build a multimap over the right side of this bucket.
     std::unordered_multimap<uint64_t, const KeyedRow*> index;
@@ -176,7 +200,11 @@ Result<Dataset> JoinOp::Execute(
     for (const KeyedRow& kr : right_buckets[b]) {
       index.emplace(internal::HashKeyTuple(kr.key), &kr);
     }
+    uint32_t probe_ticker = 0;
     for (const KeyedRow& lkr : left_buckets[b]) {
+      if ((++probe_ticker & internal::kInterruptMask) == 0) {
+        PEBBLE_RETURN_NOT_OK(ctx->CheckInterrupt("join probe"));
+      }
       // Collect matches in right insertion order for determinism. With no
       // keys (pure theta-join) every right row is a candidate.
       std::vector<const KeyedRow*> matches;
@@ -212,8 +240,12 @@ Result<Dataset> JoinOp::Execute(
                        capture ? rkr->row.id : -1);
       }
     }
-    return Status::OK();
+    return internal::ChargeStage(ctx, staged[b].rows,
+                                 staged[b].in1.size() * 2 * sizeof(int64_t),
+                                 "join staging", &staged[b].charged_bytes);
   }));
+  // The shuffle buckets are consumed; drop their reservation.
+  ctx->ReleaseBytes(shuffle_charged);
 
   std::vector<Partition> parts(buckets);
   OperatorProvenance* prov = nullptr;
@@ -259,7 +291,7 @@ Result<Dataset> JoinOp::Execute(
     internal::EmitSchemaCapture(ctx, *this, prov, {ip1, ip2},
                                 std::move(manipulations), false);
   }
-  PEBBLE_RETURN_NOT_OK(internal::CheckProvenanceCommit(prov));
+  PEBBLE_RETURN_NOT_OK(internal::CheckProvenanceCommit(ctx, prov));
 
   const bool items = ctx->capture_items();
   for (size_t b = 0; b < buckets; ++b) {
@@ -296,6 +328,7 @@ Result<Dataset> JoinOp::Execute(
       prov->binary_ids.AppendStage(std::move(stage.in1),
                                    std::move(stage.in2), first);
     }
+    internal::ReleaseStageCharge(ctx, &stage.charged_bytes);
   }
   return Dataset(output_schema(), std::move(parts));
 }
@@ -334,7 +367,7 @@ Result<Dataset> UnionOp::Execute(
     // A = {} (schema comparison only) and M = {} per the union* rule.
     internal::EmitSchemaCapture(ctx, *this, prov, {ip1, ip2}, {}, false);
   }
-  PEBBLE_RETURN_NOT_OK(internal::CheckProvenanceCommit(prov));
+  PEBBLE_RETURN_NOT_OK(internal::CheckProvenanceCommit(ctx, prov));
   const bool items = ctx->capture_items();
 
   std::vector<Partition> parts;
@@ -342,6 +375,14 @@ Result<Dataset> UnionOp::Execute(
                 inputs[1]->partitions().size());
   for (int side = 0; side < 2; ++side) {
     for (const Partition& part : inputs[side]->partitions()) {
+      // Union shares row values (no new allocation beyond the row vectors);
+      // the executor charges the materialized output. With capture on this
+      // loop IS the commit (id stages append per partition), so it must not
+      // be interrupted mid-way — the pre-commit gate above is the only
+      // cancellation point then. Capture-off runs stay interruptible here.
+      if (!capture) {
+        PEBBLE_RETURN_NOT_OK(ctx->CheckInterrupt("union"));
+      }
       Partition out;
       out.reserve(part.size());
       int64_t first =

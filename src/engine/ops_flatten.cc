@@ -15,6 +15,7 @@ struct FlattenStage {
   Partition rows;
   std::vector<int64_t> in_ids;
   std::vector<int32_t> pos;
+  uint64_t charged_bytes = 0;  // memory-budget reservation for this stage
 
   void Clear() {
     rows.clear();
@@ -84,34 +85,52 @@ Result<Dataset> FlattenOp::Execute(
 
   if (!ctx->capture_enabled()) {
     std::vector<Partition> parts(nparts);
+    std::vector<uint64_t> charged(nparts, 0);
     PEBBLE_RETURN_NOT_OK(ctx->ParallelFor(nparts, [&](size_t p) -> Status {
+      internal::ReleaseStageCharge(ctx, &charged[p]);
       parts[p].clear();  // retry-idempotent: overwrite, never append
+      uint32_t ticker = 0;
       for (const Row& row : in.partitions()[p]) {
+        if ((++ticker & internal::kInterruptMask) == 0) {
+          PEBBLE_RETURN_NOT_OK(ctx->CheckInterrupt("flatten"));
+        }
         PEBBLE_RETURN_NOT_OK(explode(row, [&](ValuePtr v, int32_t) {
           parts[p].push_back(Row{-1, std::move(v)});
         }));
       }
-      return Status::OK();
+      return internal::ChargeStage(ctx, parts[p], 0, "flatten staging",
+                                   &charged[p]);
     }));
+    for (size_t p = 0; p < nparts; ++p) {
+      internal::ReleaseStageCharge(ctx, &charged[p]);
+    }
     return Dataset(output_schema(), std::move(parts));
   }
 
   std::vector<FlattenStage> staged(nparts);
   PEBBLE_RETURN_NOT_OK(ctx->ParallelFor(nparts, [&](size_t p) -> Status {
+    internal::ReleaseStageCharge(ctx, &staged[p].charged_bytes);
     staged[p].Clear();  // retry-idempotent: overwrite, never append
     staged[p].Reserve(in.partitions()[p].size());
+    uint32_t ticker = 0;
     for (const Row& row : in.partitions()[p]) {
+      if ((++ticker & internal::kInterruptMask) == 0) {
+        PEBBLE_RETURN_NOT_OK(ctx->CheckInterrupt("flatten"));
+      }
       PEBBLE_RETURN_NOT_OK(explode(row, [&](ValuePtr v, int32_t pos) {
         staged[p].rows.push_back(Row{-1, std::move(v)});
         staged[p].in_ids.push_back(row.id);
         staged[p].pos.push_back(pos);
       }));
     }
-    return Status::OK();
+    return internal::ChargeStage(
+        ctx, staged[p].rows,
+        staged[p].in_ids.size() * (sizeof(int64_t) + sizeof(int32_t)),
+        "flatten staging", &staged[p].charged_bytes);
   }));
 
   OperatorProvenance* prov = ctx->store()->Mutable(oid());
-  PEBBLE_RETURN_NOT_OK(internal::CheckProvenanceCommit(prov));
+  PEBBLE_RETURN_NOT_OK(internal::CheckProvenanceCommit(ctx, prov));
   // Schema-level capture: A = {a_col[pos]}, M = {(a_col[pos], a_new)}.
   Path col_pos = column_.Parent().Child(
       PathStep{column_.back().attr(), kPosPlaceholder});
@@ -152,6 +171,7 @@ Result<Dataset> FlattenOp::Execute(
     }
     prov->flatten_ids.AppendStage(std::move(stage.in_ids),
                                   std::move(stage.pos), first);
+    internal::ReleaseStageCharge(ctx, &stage.charged_bytes);
   }
   return Dataset(output_schema(), std::move(parts));
 }

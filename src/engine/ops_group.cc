@@ -224,10 +224,16 @@ Result<Dataset> GroupAggregateOp::Execute(
   };
   std::vector<std::vector<KeyedRow>> keyed(buckets);
   size_t exchange = 0;
+  uint64_t shuffle_charged = 0;
+  uint32_t ticker = 0;
   for (const Partition& part : in.partitions()) {
+    PEBBLE_RETURN_NOT_OK(ctx->CheckInterrupt("group shuffle"));
     PEBBLE_RETURN_NOT_OK(FailpointRegistry::Global().Evaluate(
         failpoints::kShuffleExchange, exchange++));
     for (const Row& row : part) {
+      if ((++ticker & internal::kInterruptMask) == 0) {
+        PEBBLE_RETURN_NOT_OK(ctx->CheckInterrupt("group shuffle"));
+      }
       std::vector<ValuePtr> key;
       key.reserve(keys_.size());
       for (const GroupKey& k : keys_) {
@@ -236,6 +242,12 @@ Result<Dataset> GroupAggregateOp::Execute(
       }
       size_t b = internal::HashKeyTuple(key) % buckets;
       keyed[b].push_back(KeyedRow{std::move(key), row});
+    }
+    if (ctx->budget_limited()) {
+      uint64_t bytes = part.size() *
+                       (sizeof(KeyedRow) + keys_.size() * sizeof(ValuePtr));
+      PEBBLE_RETURN_NOT_OK(ctx->ChargeBytes(bytes, "group shuffle"));
+      shuffle_charged += bytes;
     }
   }
 
@@ -246,6 +258,7 @@ Result<Dataset> GroupAggregateOp::Execute(
     Partition rows;
     std::vector<int64_t> ins;
     std::vector<size_t> ends;
+    uint64_t charged_bytes = 0;  // memory-budget reservation for this stage
 
     void Clear() {
       rows.clear();
@@ -256,6 +269,7 @@ Result<Dataset> GroupAggregateOp::Execute(
   };
   std::vector<AggStage> staged(buckets);
   PEBBLE_RETURN_NOT_OK(ctx->ParallelFor(buckets, [&](size_t b) -> Status {
+    internal::ReleaseStageCharge(ctx, &staged[b].charged_bytes);
     staged[b].Clear();  // retry-idempotent: overwrite, never append
     // Group rows of this bucket in encounter order. The shuffled input
     // (keyed[b]) is shared across attempts and must only be read, never
@@ -266,7 +280,11 @@ Result<Dataset> GroupAggregateOp::Execute(
     };
     std::vector<Group> groups;
     std::unordered_multimap<uint64_t, size_t> index;
+    uint32_t group_ticker = 0;
     for (const KeyedRow& kr : keyed[b]) {
+      if ((++group_ticker & internal::kInterruptMask) == 0) {
+        PEBBLE_RETURN_NOT_OK(ctx->CheckInterrupt("group build"));
+      }
       uint64_t h = internal::HashKeyTuple(kr.key);
       size_t gidx = SIZE_MAX;
       auto range = index.equal_range(h);
@@ -286,7 +304,11 @@ Result<Dataset> GroupAggregateOp::Execute(
     // Reduce each group to one result item (Tab. 5 aggregation rule).
     staged[b].rows.reserve(groups.size());
     if (capture) staged[b].ends.reserve(groups.size());
+    uint32_t reduce_ticker = 0;
     for (Group& g : groups) {
+      if ((++reduce_ticker & internal::kInterruptMask) == 0) {
+        PEBBLE_RETURN_NOT_OK(ctx->CheckInterrupt("group reduce"));
+      }
       std::vector<Field> fields;
       fields.reserve(keys_.size() + aggs_.size());
       for (size_t k = 0; k < keys_.size(); ++k) {
@@ -314,8 +336,14 @@ Result<Dataset> GroupAggregateOp::Execute(
         staged[b].ends.push_back(staged[b].ins.size());
       }
     }
-    return Status::OK();
+    return internal::ChargeStage(
+        ctx, staged[b].rows,
+        staged[b].ins.size() * sizeof(int64_t) +
+            staged[b].ends.size() * sizeof(size_t),
+        "group staging", &staged[b].charged_bytes);
   }));
+  // The shuffle buckets are consumed; drop their reservation.
+  ctx->ReleaseBytes(shuffle_charged);
 
   OperatorProvenance* prov = nullptr;
   if (capture) {
@@ -353,7 +381,7 @@ Result<Dataset> GroupAggregateOp::Execute(
     internal::EmitSchemaCapture(ctx, *this, prov, {ip},
                                 std::move(manipulations), false);
   }
-  PEBBLE_RETURN_NOT_OK(internal::CheckProvenanceCommit(prov));
+  PEBBLE_RETURN_NOT_OK(internal::CheckProvenanceCommit(ctx, prov));
 
   const bool items = ctx->capture_items();
   std::vector<Partition> parts(buckets);
@@ -407,6 +435,7 @@ Result<Dataset> GroupAggregateOp::Execute(
       prov->agg_ids.AppendStage(std::move(stage.ins), std::move(stage.ends),
                                 first);
     }
+    internal::ReleaseStageCharge(ctx, &stage.charged_bytes);
   }
   return Dataset(output_schema(), std::move(parts));
 }

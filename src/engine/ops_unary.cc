@@ -38,8 +38,10 @@ Result<Dataset> ScanOp::Execute(ExecContext* ctx,
   Dataset ds =
       Dataset::FromValues(schema_, *data_, ctx->options().num_partitions);
   // One read per source partition; each can fail independently (keyed by
-  // partition index for deterministic injection).
+  // partition index for deterministic injection). Also a cancellation point:
+  // a tripped run stops before annotating ids.
   for (size_t p = 0; p < ds.partitions().size(); ++p) {
+    PEBBLE_RETURN_NOT_OK(ctx->CheckInterrupt("scan"));
     PEBBLE_RETURN_NOT_OK(
         FailpointRegistry::Global().Evaluate(failpoints::kScanRead, p));
   }
@@ -88,27 +90,44 @@ Result<Dataset> FilterOp::Execute(
 
   if (!ctx->capture_enabled()) {
     std::vector<Partition> parts(nparts);
+    std::vector<uint64_t> charged(nparts, 0);
     PEBBLE_RETURN_NOT_OK(ctx->ParallelFor(nparts, [&](size_t p) -> Status {
+      internal::ReleaseStageCharge(ctx, &charged[p]);
       parts[p].clear();  // retry-idempotent: overwrite, never append
+      uint32_t ticker = 0;
       for (const Row& row : in.partitions()[p]) {
+        if ((++ticker & internal::kInterruptMask) == 0) {
+          PEBBLE_RETURN_NOT_OK(ctx->CheckInterrupt("filter"));
+        }
         PEBBLE_ASSIGN_OR_RETURN(bool pass,
                                 predicate_->EvaluateBool(*row.value));
         if (pass) parts[p].push_back(Row{-1, row.value});
       }
-      return Status::OK();
+      return internal::ChargeStage(ctx, parts[p], 0, "filter staging",
+                                   &charged[p]);
     }));
+    for (size_t p = 0; p < nparts; ++p) {
+      internal::ReleaseStageCharge(ctx, &charged[p]);
+    }
     return Dataset(output_schema(), std::move(parts));
   }
 
   std::vector<UnaryStage> staged(nparts);
   PEBBLE_RETURN_NOT_OK(ctx->ParallelFor(nparts, [&](size_t p) -> Status {
+    internal::ReleaseStageCharge(ctx, &staged[p].charged_bytes);
     staged[p].Clear();  // retry-idempotent: overwrite, never append
     staged[p].Reserve(in.partitions()[p].size());
+    uint32_t ticker = 0;
     for (const Row& row : in.partitions()[p]) {
+      if ((++ticker & internal::kInterruptMask) == 0) {
+        PEBBLE_RETURN_NOT_OK(ctx->CheckInterrupt("filter"));
+      }
       PEBBLE_ASSIGN_OR_RETURN(bool pass, predicate_->EvaluateBool(*row.value));
       if (pass) staged[p].Push(row.value, row.id);
     }
-    return Status::OK();
+    return internal::ChargeStage(ctx, staged[p].rows,
+                                 staged[p].in_ids.size() * sizeof(int64_t),
+                                 "filter staging", &staged[p].charged_bytes);
   }));
 
   OperatorProvenance* prov = ctx->store()->Mutable(oid());
@@ -253,27 +272,44 @@ Result<Dataset> SelectOp::Execute(
 
   if (!ctx->capture_enabled()) {
     std::vector<Partition> parts(nparts);
+    std::vector<uint64_t> charged(nparts, 0);
     PEBBLE_RETURN_NOT_OK(ctx->ParallelFor(nparts, [&](size_t p) -> Status {
+      internal::ReleaseStageCharge(ctx, &charged[p]);
       parts[p].clear();  // retry-idempotent: overwrite, never append
       parts[p].reserve(in.partitions()[p].size());
+      uint32_t ticker = 0;
       for (const Row& row : in.partitions()[p]) {
+        if ((++ticker & internal::kInterruptMask) == 0) {
+          PEBBLE_RETURN_NOT_OK(ctx->CheckInterrupt("select"));
+        }
         PEBBLE_ASSIGN_OR_RETURN(ValuePtr v, project_row(*row.value));
         parts[p].push_back(Row{-1, std::move(v)});
       }
-      return Status::OK();
+      return internal::ChargeStage(ctx, parts[p], 0, "select staging",
+                                   &charged[p]);
     }));
+    for (size_t p = 0; p < nparts; ++p) {
+      internal::ReleaseStageCharge(ctx, &charged[p]);
+    }
     return Dataset(output_schema(), std::move(parts));
   }
 
   std::vector<UnaryStage> staged(nparts);
   PEBBLE_RETURN_NOT_OK(ctx->ParallelFor(nparts, [&](size_t p) -> Status {
+    internal::ReleaseStageCharge(ctx, &staged[p].charged_bytes);
     staged[p].Clear();  // retry-idempotent: overwrite, never append
     staged[p].Reserve(in.partitions()[p].size());
+    uint32_t ticker = 0;
     for (const Row& row : in.partitions()[p]) {
+      if ((++ticker & internal::kInterruptMask) == 0) {
+        PEBBLE_RETURN_NOT_OK(ctx->CheckInterrupt("select"));
+      }
       PEBBLE_ASSIGN_OR_RETURN(ValuePtr v, project_row(*row.value));
       staged[p].Push(std::move(v), row.id);
     }
-    return Status::OK();
+    return internal::ChargeStage(ctx, staged[p].rows,
+                                 staged[p].in_ids.size() * sizeof(int64_t),
+                                 "select staging", &staged[p].charged_bytes);
   }));
 
   OperatorProvenance* prov = ctx->store()->Mutable(oid());
@@ -320,9 +356,14 @@ Result<Dataset> MapOp::Execute(
 
   std::vector<UnaryStage> staged(nparts);
   PEBBLE_RETURN_NOT_OK(ctx->ParallelFor(nparts, [&](size_t p) -> Status {
+    internal::ReleaseStageCharge(ctx, &staged[p].charged_bytes);
     staged[p].Clear();  // retry-idempotent: overwrite, never append
     staged[p].Reserve(in.partitions()[p].size());
+    uint32_t ticker = 0;
     for (const Row& row : in.partitions()[p]) {
+      if ((++ticker & internal::kInterruptMask) == 0) {
+        PEBBLE_RETURN_NOT_OK(ctx->CheckInterrupt("map"));
+      }
       PEBBLE_ASSIGN_OR_RETURN(ValuePtr v, fn_(*row.value));
       if (v == nullptr || !v->is_struct()) {
         return Status::TypeError(
@@ -330,7 +371,9 @@ Result<Dataset> MapOp::Execute(
       }
       staged[p].Push(std::move(v), row.id);
     }
-    return Status::OK();
+    return internal::ChargeStage(ctx, staged[p].rows,
+                                 staged[p].in_ids.size() * sizeof(int64_t),
+                                 "map staging", &staged[p].charged_bytes);
   }));
 
   // Runtime schema: declared, else inferred from the first produced item.
@@ -349,6 +392,7 @@ Result<Dataset> MapOp::Execute(
     std::vector<Partition> parts(nparts);
     for (size_t p = 0; p < nparts; ++p) {
       parts[p] = std::move(staged[p].rows);
+      internal::ReleaseStageCharge(ctx, &staged[p].charged_bytes);
     }
     return Dataset(std::move(schema), std::move(parts));
   }

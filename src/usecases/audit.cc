@@ -38,18 +38,32 @@ AuditReport BuildAuditReport(const SourceProvenance& structural,
 
 Result<std::vector<AuditReport>> AuditFromSnapshot(
     const std::string& snapshot_path, const Dataset& leaked_output,
-    const TreePattern& pattern, size_t num_attributes, int num_threads) {
+    const TreePattern& pattern, size_t num_attributes, int num_threads,
+    const BacktraceOptions& options) {
+  PEBBLE_RETURN_NOT_OK(ValidateTreePattern(pattern));
+  PEBBLE_RETURN_NOT_OK(ValidateBacktraceOptions(options));
   auto loaded = LoadProvenanceStore(snapshot_path);
   if (!loaded.ok()) {
     return loaded.status().WithContext("audit aborted");
   }
   std::unique_ptr<ProvenanceStore> store = std::move(loaded).value();
 
-  PEBBLE_ASSIGN_OR_RETURN(BacktraceStructure matched,
-                          pattern.Match(leaked_output, num_threads));
+  bool match_truncated = false;
+  PEBBLE_ASSIGN_OR_RETURN(
+      BacktraceStructure matched,
+      pattern.Match(leaked_output, num_threads, options.deadline,
+                    options.cancel, &match_truncated));
   Backtracer tracer(store.get());
+  BacktraceTruncation truncation;
   PEBBLE_ASSIGN_OR_RETURN(std::vector<SourceProvenance> sources,
-                          tracer.Backtrace(matched));
+                          tracer.Backtrace(matched, options, &truncation));
+  if (match_truncated && !truncation.truncated) {
+    truncation.truncated = true;
+    truncation.reason = options.cancel.IsCancelled()
+                            ? TruncationReason::kCancelled
+                            : TruncationReason::kDeadline;
+    truncation.detail = "tree-pattern matching stopped early";
+  }
 
   // What a tuple-level lineage tracer would report for the same matches
   // (the over-reporting comparison of the report).
@@ -72,7 +86,14 @@ Result<std::vector<AuditReport>> AuditFromSnapshot(
         break;
       }
     }
-    reports.push_back(BuildAuditReport(source, lineage, num_attributes));
+    AuditReport report = BuildAuditReport(source, lineage, num_attributes);
+    if (truncation.truncated) {
+      report.truncated = true;
+      report.truncation_reason =
+          std::string(TruncationReasonToString(truncation.reason)) +
+          (truncation.detail.empty() ? "" : ": " + truncation.detail);
+    }
+    reports.push_back(std::move(report));
   }
   return reports;
 }
@@ -81,6 +102,10 @@ std::string AuditReport::ToString() const {
   std::string out = "audit report for source " + std::to_string(scan_oid) +
                     ": " + std::to_string(items.size()) +
                     " affected items\n";
+  if (truncated) {
+    out += "  TRUNCATED (" + truncation_reason +
+           "): counts below are lower bounds\n";
+  }
   out += "  values a lineage solution must report leaked: " +
          std::to_string(lineage_reported_values) + "\n";
   out += "  values actually leaked (Pebble):              " +

@@ -41,6 +41,13 @@ struct AuditReport {
   /// Influencing-only values that a Lipstick-style tracer misses.
   uint64_t influencing_values = 0;
 
+  /// Set when the underlying query ran with resource limits and tripped one
+  /// (DESIGN.md §9): the report is a sound lower bound — every listed item
+  /// and attribute is genuinely affected, but more may exist.
+  bool truncated = false;
+  /// Human-readable reason + trip detail when truncated.
+  std::string truncation_reason;
+
   std::string ToString() const;
 };
 
@@ -57,9 +64,13 @@ AuditReport BuildAuditReport(const SourceProvenance& structural,
 /// leaked result dataset, backtraces, and builds one report per source.
 /// Any failure (missing file, corrupt snapshot, bad pattern) propagates as
 /// a Status with its original code and the snapshot path in the message.
+/// `options` bounds the query (deadline / cancellation / visit caps); on a
+/// limit trip every report carries `truncated = true` with the reason —
+/// lower-bound semantics, not an error.
 Result<std::vector<AuditReport>> AuditFromSnapshot(
     const std::string& snapshot_path, const Dataset& leaked_output,
-    const TreePattern& pattern, size_t num_attributes, int num_threads = 2);
+    const TreePattern& pattern, size_t num_attributes, int num_threads = 2,
+    const BacktraceOptions& options = BacktraceOptions());
 
 }  // namespace pebble
 

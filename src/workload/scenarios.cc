@@ -391,6 +391,14 @@ Result<Scenario> MakeTwitterScenario(
   }
 }
 
+Result<Scenario> MakeStressScenario(size_t num_tweets, uint64_t seed) {
+  TwitterGenOptions options;
+  options.seed = seed;
+  options.num_tweets = num_tweets;
+  TwitterGenerator gen(options);
+  return TwitterT3(gen, gen.Generate());
+}
+
 std::string ScenarioSnapshotPath(const std::string& dir,
                                  const std::string& scenario_name) {
   std::string path = dir;

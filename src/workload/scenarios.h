@@ -36,6 +36,13 @@ Result<Scenario> MakeDblpScenario(
     int id, const DblpGenerator& gen,
     std::shared_ptr<const std::vector<ValuePtr>> records);
 
+/// Builds the largest single scenario shape (T3, the running example: two
+/// scans, filter, flatten, selects, union, group-aggregate) over a freshly
+/// generated tweet dataset of `num_tweets` items. Used by the governance
+/// stress tests and the overhead benchmark, where the working set must be
+/// big enough for deadlines/budgets to bite.
+Result<Scenario> MakeStressScenario(size_t num_tweets, uint64_t seed = 42);
+
 /// Where scenario `scenario_name`'s durable provenance snapshot lives
 /// inside `dir`: "<dir>/<scenario_name>.pprov".
 std::string ScenarioSnapshotPath(const std::string& dir,

@@ -1,0 +1,190 @@
+// Unit tests for the resource-governance primitives (DESIGN.md §9):
+// cooperative cancellation tokens, deadlines and hierarchical memory
+// budgets.
+
+#include "common/resource.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "test_util.h"
+
+namespace pebble {
+namespace {
+
+TEST(CancellationTest, DefaultTokenIsInert) {
+  CancellationToken token;
+  EXPECT_FALSE(token.CanBeCancelled());
+  EXPECT_FALSE(token.IsCancelled());
+  ASSERT_OK(token.Check("anywhere"));
+}
+
+TEST(CancellationTest, CancelTripsToken) {
+  CancellationSource source;
+  CancellationToken token = source.token();
+  EXPECT_TRUE(token.CanBeCancelled());
+  EXPECT_FALSE(token.IsCancelled());
+  ASSERT_OK(token.Check("before"));
+
+  source.Cancel("user pressed ctrl-c");
+  EXPECT_TRUE(token.IsCancelled());
+  Status st = token.Check("filter");
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+  EXPECT_NE(st.message().find("user pressed ctrl-c"), std::string::npos);
+  EXPECT_NE(st.message().find("filter"), std::string::npos);
+  EXPECT_EQ(token.reason(), "user pressed ctrl-c");
+  EXPECT_GE(token.MillisSinceCancel(), 0.0);
+}
+
+TEST(CancellationTest, CancelIsIdempotentFirstReasonWins) {
+  CancellationSource source;
+  source.Cancel("first");
+  source.Cancel("second");
+  EXPECT_EQ(source.token().reason(), "first");
+}
+
+TEST(CancellationTest, ChildSeesParentCancellation) {
+  CancellationSource parent;
+  CancellationSource child(parent.token());
+  EXPECT_FALSE(child.token().IsCancelled());
+  parent.Cancel("parent gone");
+  EXPECT_TRUE(child.token().IsCancelled());
+  EXPECT_EQ(child.token().Check("x").code(), StatusCode::kCancelled);
+}
+
+TEST(CancellationTest, ParentUnaffectedByChildCancellation) {
+  CancellationSource parent;
+  CancellationSource child(parent.token());
+  child.Cancel("child only");
+  EXPECT_TRUE(child.token().IsCancelled());
+  EXPECT_FALSE(parent.token().IsCancelled());
+}
+
+TEST(CancellationTest, ConcurrentCancelAndCheckIsSafe) {
+  CancellationSource source;
+  CancellationToken token = source.token();
+  std::vector<std::thread> checkers;
+  std::atomic<bool> saw_cancel{false};
+  for (int t = 0; t < 4; ++t) {
+    checkers.emplace_back([&]() {
+      while (!token.IsCancelled()) {
+      }
+      // After IsCancelled observes true, the reason must be visible.
+      if (token.reason() == "stop") saw_cancel.store(true);
+    });
+  }
+  source.Cancel("stop");
+  for (std::thread& t : checkers) t.join();
+  EXPECT_TRUE(saw_cancel.load());
+}
+
+TEST(DeadlineTest, InfiniteNeverExpires) {
+  Deadline d = Deadline::Infinite();
+  EXPECT_FALSE(d.has_deadline());
+  EXPECT_FALSE(d.Expired());
+  ASSERT_OK(d.Check("anywhere"));
+}
+
+TEST(DeadlineTest, ExpiresAndReportsWhere) {
+  Deadline d = Deadline::AfterMillis(1);
+  EXPECT_TRUE(d.has_deadline());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(d.Expired());
+  Status st = d.Check("group reduce");
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(st.message().find("group reduce"), std::string::npos);
+  EXPECT_GE(d.MillisSinceExpiry(), 0.0);
+}
+
+TEST(DeadlineTest, GenerousDeadlineDoesNotTrip) {
+  Deadline d = Deadline::AfterMillis(60'000);
+  EXPECT_FALSE(d.Expired());
+  ASSERT_OK(d.Check("anywhere"));
+  EXPECT_GT(d.RemainingMillis(), 0.0);
+}
+
+TEST(MemoryBudgetTest, UnlimitedTracksUsage) {
+  MemoryBudget budget(0);
+  EXPECT_FALSE(budget.limited());
+  ASSERT_OK(budget.TryCharge(1 << 20, "stage"));
+  EXPECT_EQ(budget.used(), static_cast<uint64_t>(1 << 20));
+  EXPECT_EQ(budget.high_water(), static_cast<uint64_t>(1 << 20));
+  budget.Release(1 << 20);
+  EXPECT_EQ(budget.used(), 0u);
+  EXPECT_EQ(budget.high_water(), static_cast<uint64_t>(1 << 20));
+}
+
+TEST(MemoryBudgetTest, RejectsOverLimitAndRollsBack) {
+  MemoryBudget budget(1000);
+  EXPECT_TRUE(budget.limited());
+  ASSERT_OK(budget.TryCharge(600, "a"));
+  Status st = budget.TryCharge(600, "b");
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(st.message().find("b"), std::string::npos);
+  // The rejected charge must not stick.
+  EXPECT_EQ(budget.used(), 600u);
+  ASSERT_OK(budget.TryCharge(400, "c"));
+  EXPECT_EQ(budget.used(), 1000u);
+}
+
+TEST(MemoryBudgetTest, ChildChargesPropagateToParent) {
+  MemoryBudget parent(1000);
+  MemoryBudget child(0, &parent);
+  EXPECT_TRUE(child.limited());  // limited through the parent
+  ASSERT_OK(child.TryCharge(800, "stage"));
+  EXPECT_EQ(parent.used(), 800u);
+  // Parent rejection rolls the child back too.
+  Status st = child.TryCharge(300, "stage");
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(child.used(), 800u);
+  EXPECT_EQ(parent.used(), 800u);
+  child.Release(800);
+  EXPECT_EQ(parent.used(), 0u);
+  EXPECT_EQ(child.used(), 0u);
+}
+
+TEST(MemoryBudgetTest, ConcurrentChargesNeverExceedLimit) {
+  constexpr uint64_t kLimit = 64 * 100;
+  MemoryBudget budget(kLimit);
+  std::atomic<uint64_t> accepted{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&]() {
+      for (int i = 0; i < 1000; ++i) {
+        if (budget.TryCharge(64, "worker").ok()) {
+          accepted.fetch_add(64);
+          budget.Release(64);
+          accepted.fetch_sub(64);
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  EXPECT_EQ(budget.used(), 0u);
+  EXPECT_LE(budget.high_water(), kLimit);
+  EXPECT_GT(budget.high_water(), 0u);
+}
+
+TEST(MemoryBudgetTest, HighWaterIsMonotone) {
+  MemoryBudget budget(0);
+  ASSERT_OK(budget.TryCharge(500, "a"));
+  ASSERT_OK(budget.TryCharge(300, "b"));
+  budget.Release(800);
+  ASSERT_OK(budget.TryCharge(100, "c"));
+  EXPECT_EQ(budget.high_water(), 800u);
+}
+
+TEST(ResourceTest, GovernanceErrorClassification) {
+  EXPECT_TRUE(IsResourceGovernanceError(StatusCode::kCancelled));
+  EXPECT_TRUE(IsResourceGovernanceError(StatusCode::kDeadlineExceeded));
+  EXPECT_TRUE(IsResourceGovernanceError(StatusCode::kResourceExhausted));
+  EXPECT_FALSE(IsResourceGovernanceError(StatusCode::kIOError));
+  EXPECT_FALSE(IsResourceGovernanceError(StatusCode::kOk));
+  EXPECT_FALSE(IsResourceGovernanceError(StatusCode::kUnavailable));
+}
+
+}  // namespace
+}  // namespace pebble

@@ -1,0 +1,491 @@
+// Integration tests for query-wide resource governance (DESIGN.md §9):
+// deadlines, cooperative cancellation and memory budgets on pipeline
+// execution, plus graceful degradation of governed backtracing queries.
+// The chaos section combines failpoint faults with mid-run cancellation and
+// tight budgets and asserts the invariant the governance layer promises:
+// aborted runs fail with a clean structured Status, never tear provenance
+// commits (the store always passes Validate()), and never crash or hang.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <limits>
+#include <thread>
+
+#include "common/failpoint.h"
+#include "common/stopwatch.h"
+#include "core/provenance_io.h"
+#include "core/query.h"
+#include "integration/random_pipeline_util.h"
+#include "test_util.h"
+#include "usecases/audit.h"
+#include "workload/scenarios.h"
+
+namespace pebble {
+namespace {
+
+using testing::RandomCase;
+using testing::RandomData;
+using testing::RandomPipeline;
+
+struct FailpointGuard {
+  ~FailpointGuard() { FailpointRegistry::Global().DisableAll(); }
+};
+
+/// Tweet count for the stress scenario: large enough that a millisecond
+/// deadline trips mid-run and a small budget cannot hold the working set,
+/// small enough for the plain test-suite time budget. PEBBLE_STRESS=1
+/// scales it up (scripts/check.sh stress stage).
+size_t StressTweets() {
+  const char* stress = std::getenv("PEBBLE_STRESS");
+  return (stress != nullptr && stress[0] == '1') ? 20000 : 2000;
+}
+
+ExecOptions GovernedOptions() {
+  return ExecOptions(CaptureMode::kStructural, /*num_partitions=*/4,
+                     /*num_threads=*/2);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-side governance: deadlines, budgets, cancellation on Executor::Run.
+
+TEST(GovernanceTest, ImmediateDeadlineFailsCleanly) {
+  ASSERT_OK_AND_ASSIGN(Scenario s, MakeStressScenario(StressTweets()));
+  ExecOptions options = GovernedOptions();
+  options.deadline_ms = 1;  // expires before any real work completes
+  RunTelemetry telemetry;
+  Result<ExecutionResult> run = Executor(options).Run(s.pipeline, &telemetry);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(telemetry.status.code(), StatusCode::kDeadlineExceeded);
+  // The aborted run's store must be commit-clean (possibly empty).
+  ASSERT_NE(telemetry.provenance, nullptr);
+  ASSERT_OK(telemetry.provenance->Validate());
+}
+
+TEST(GovernanceTest, MidRunCancellationStopsTheRun) {
+  ASSERT_OK_AND_ASSIGN(Scenario s, MakeStressScenario(StressTweets()));
+  ExecOptions options = GovernedOptions();
+  CancellationSource source;
+  options.cancel = source.token();
+
+  std::thread canceller([&source]() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    source.Cancel("test cancellation");
+  });
+  RunTelemetry telemetry;
+  Result<ExecutionResult> run = Executor(options).Run(s.pipeline, &telemetry);
+  canceller.join();
+
+  if (!run.ok()) {  // the run may legitimately win the race and complete
+    EXPECT_EQ(run.status().code(), StatusCode::kCancelled);
+    EXPECT_NE(run.status().message().find("test cancellation"),
+              std::string::npos);
+    ASSERT_NE(telemetry.provenance, nullptr);
+    ASSERT_OK(telemetry.provenance->Validate());
+  }
+}
+
+TEST(GovernanceTest, TinyBudgetFailsWithResourceExhausted) {
+  ASSERT_OK_AND_ASSIGN(Scenario s, MakeStressScenario(StressTweets()));
+  // Measure the run's actual working set with a generous budget, then rerun
+  // with budgets just below it. Probing downward keeps the budget above the
+  // largest single charge (the scan materialization), so some charges
+  // succeed before the trip and the reported peak is meaningful.
+  ExecOptions generous = GovernedOptions();
+  generous.memory_budget_bytes = 8ull << 30;
+  ASSERT_OK_AND_ASSIGN(ExecutionResult unconstrained,
+                       Executor(generous).Run(s.pipeline));
+  ASSERT_GT(unconstrained.peak_memory_bytes, 0u);
+
+  bool tripped = false;
+  for (double frac : {0.9, 0.75, 0.6}) {
+    ExecOptions options = GovernedOptions();
+    options.memory_budget_bytes = static_cast<uint64_t>(
+        static_cast<double>(unconstrained.peak_memory_bytes) * frac);
+    RunTelemetry telemetry;
+    Result<ExecutionResult> run =
+        Executor(options).Run(s.pipeline, &telemetry);
+    if (run.ok()) continue;  // concurrent staging made this run leaner
+    tripped = true;
+    // Structured failure, never std::bad_alloc / crash.
+    EXPECT_EQ(run.status().code(), StatusCode::kResourceExhausted);
+    // The failing operator is identified (satellite: task-failure context).
+    EXPECT_NE(run.status().message().find("operator "), std::string::npos)
+        << run.status().ToString();
+    // Peak usage was tracked and lies within the configured limit.
+    EXPECT_GT(telemetry.peak_memory_bytes, 0u);
+    EXPECT_LE(telemetry.peak_memory_bytes, telemetry.memory_limit_bytes);
+    ASSERT_NE(telemetry.provenance, nullptr);
+    ASSERT_OK(telemetry.provenance->Validate());
+    break;
+  }
+  EXPECT_TRUE(tripped) << "no sub-peak budget tripped the run";
+}
+
+TEST(GovernanceTest, GenerousLimitsLeaveResultsByteIdentical) {
+  ASSERT_OK_AND_ASSIGN(Scenario s, MakeStressScenario(500));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult baseline,
+                       Executor(GovernedOptions()).Run(s.pipeline));
+
+  ExecOptions governed = GovernedOptions();
+  governed.deadline_ms = 600'000;
+  governed.memory_budget_bytes = 8ull << 30;
+  CancellationSource source;  // armed but never fired
+  governed.cancel = source.token();
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       Executor(governed).Run(s.pipeline));
+
+  EXPECT_EQ(SerializeProvenanceStore(*run.provenance),
+            SerializeProvenanceStore(*baseline.provenance));
+  EXPECT_EQ(run.output.NumRows(), baseline.output.NumRows());
+  EXPECT_GT(run.peak_memory_bytes, 0u);
+  EXPECT_EQ(baseline.peak_memory_bytes, 0u);  // tracking off without budget
+}
+
+TEST(GovernanceTest, SuccessfulRunReportsNoTrip) {
+  ASSERT_OK_AND_ASSIGN(Scenario s, MakeStressScenario(200));
+  ExecOptions options = GovernedOptions();
+  options.deadline_ms = 600'000;
+  RunTelemetry telemetry;
+  ASSERT_OK_AND_ASSIGN(ExecutionResult run,
+                       Executor(options).Run(s.pipeline, &telemetry));
+  EXPECT_OK(telemetry.status);
+  EXPECT_EQ(telemetry.tasks_shed, 0u);
+  EXPECT_EQ(run.cancel_latency_ms, 0.0);
+}
+
+TEST(GovernanceTest, NegativeDeadlineIsRejected) {
+  ASSERT_OK_AND_ASSIGN(Scenario s, MakeStressScenario(10));
+  ExecOptions options = GovernedOptions();
+  options.deadline_ms = -5;
+  Result<ExecutionResult> run = Executor(options).Run(s.pipeline);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos: injected faults x cancellation x tight budgets. Runs must always
+// end in a clean structured Status with a commit-clean store.
+
+TEST(GovernanceTest, ChaosWithFaultsCancellationAndBudgets) {
+  FailpointGuard guard;
+  FailpointRegistry& fp = FailpointRegistry::Global();
+  constexpr int kCases = 30;
+  int governance_trips = 0;
+  int injected_failures = 0;
+  int completions = 0;
+  for (int c = 1; c <= kCases; ++c) {
+    SCOPED_TRACE("case " + std::to_string(c));
+    Rng rng(static_cast<uint64_t>(c) * 104729 + 7);
+    auto data = RandomData(&rng);
+    ASSERT_OK_AND_ASSIGN(RandomCase rc, RandomPipeline(&rng, data));
+
+    // Fault schedule: probabilistic task faults plus an occasional serial
+    // site, exactly like the chaos suite.
+    FailpointSpec spec;
+    spec.probability = 0.05;
+    spec.seed = static_cast<uint64_t>(c) * 31 + 5;
+    fp.Enable(failpoints::kTaskPartition, spec);
+    if (c % 3 == 0) {
+      FailpointSpec serial;
+      serial.every_nth = 7;
+      serial.code = StatusCode::kIOError;
+      fp.Enable(failpoints::kProvenanceAppend, serial);
+    }
+
+    ExecOptions options(CaptureMode::kStructural, 3, 2);
+    options.retry.max_attempts = 2;
+    // Rotate the governance pressure: tight budget, tight deadline, or an
+    // asynchronous cancel racing the run.
+    CancellationSource source;
+    std::thread canceller;
+    switch (c % 3) {
+      case 0:
+        options.memory_budget_bytes = 32 * 1024;
+        break;
+      case 1:
+        options.deadline_ms = 2;
+        break;
+      default:
+        options.cancel = source.token();
+        canceller = std::thread([&source]() { source.Cancel("chaos"); });
+        break;
+    }
+
+    RunTelemetry telemetry;
+    Result<ExecutionResult> run =
+        Executor(options).Run(rc.pipeline, &telemetry);
+    if (canceller.joinable()) canceller.join();
+    fp.DisableAll();
+
+    if (run.ok()) {
+      ++completions;
+      ASSERT_OK(run->provenance->Validate());
+    } else if (IsResourceGovernanceError(run.status().code())) {
+      ++governance_trips;
+    } else {
+      // Only the injected fault codes may surface otherwise.
+      EXPECT_TRUE(run.status().code() == StatusCode::kUnavailable ||
+                  run.status().code() == StatusCode::kIOError)
+          << run.status().ToString();
+      ++injected_failures;
+    }
+    // The governance invariant: however the run ended, the store has no
+    // torn commits.
+    if (telemetry.provenance != nullptr) {
+      ASSERT_OK(telemetry.provenance->Validate());
+    }
+  }
+  // The schedule must actually exercise all three endings.
+  EXPECT_GT(governance_trips, 0);
+  EXPECT_GT(governance_trips + injected_failures + completions, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Query-side governance: governed backtracing with graceful degradation.
+
+class GovernedQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK_AND_ASSIGN(scenario_, MakeStressScenario(StressTweets()));
+    ASSERT_OK_AND_ASSIGN(run_,
+                         Executor(GovernedOptions()).Run(scenario_.pipeline));
+  }
+
+  /// Matches every output group (each collects at least one tweet): yields
+  /// one seed entry per output item, so chunked tracing has many chunks,
+  /// and the contributing collected-tweet elements trace back to sources.
+  static TreePattern BroadPattern() {
+    return TreePattern({PatternNode::Attr("tweets")});
+  }
+
+  Scenario scenario_;
+  ExecutionResult run_;
+};
+
+TEST_F(GovernedQueryTest, UnlimitedOptionsMatchUngovernedQuery) {
+  ASSERT_OK_AND_ASSIGN(ProvenanceQueryResult plain,
+                       QueryStructuralProvenance(run_, scenario_.query));
+  ASSERT_OK_AND_ASSIGN(
+      ProvenanceQueryResult governed,
+      QueryStructuralProvenance(run_, scenario_.query, BacktraceOptions()));
+  EXPECT_FALSE(plain.truncation.truncated);
+  EXPECT_FALSE(governed.truncation.truncated);
+  ASSERT_EQ(governed.sources.size(), plain.sources.size());
+  for (size_t i = 0; i < plain.sources.size(); ++i) {
+    EXPECT_EQ(governed.sources[i].scan_oid, plain.sources[i].scan_oid);
+    ASSERT_EQ(governed.sources[i].items.size(), plain.sources[i].items.size());
+    for (size_t k = 0; k < plain.sources[i].items.size(); ++k) {
+      EXPECT_EQ(governed.sources[i].items[k].id, plain.sources[i].items[k].id);
+      EXPECT_EQ(governed.sources[i].items[k].tree.ToString(),
+                plain.sources[i].items[k].tree.ToString());
+    }
+  }
+}
+
+TEST_F(GovernedQueryTest, VisitLimitTruncatesDeterministically) {
+  BacktraceOptions options;
+  options.max_visited_nodes = 1;  // trips on the very first chunk
+  ASSERT_OK_AND_ASSIGN(
+      ProvenanceQueryResult result,
+      QueryStructuralProvenance(run_, scenario_.query, options));
+  EXPECT_TRUE(result.truncation.truncated);
+  EXPECT_EQ(result.truncation.reason, TruncationReason::kVisitLimit);
+  EXPECT_FALSE(result.truncation.detail.empty());
+  EXPECT_LT(result.truncation.seed_entries_traced,
+            result.truncation.seed_entries_total);
+}
+
+TEST_F(GovernedQueryTest, PartialProvenanceIsAPrefixOfTheFullAnswer) {
+  ASSERT_OK_AND_ASSIGN(ProvenanceQueryResult full,
+                       QueryStructuralProvenance(run_, BroadPattern()));
+  ASSERT_FALSE(full.sources.empty());
+  if (full.matched.size() <= 16) {
+    GTEST_SKIP() << "scenario too small for multi-chunk tracing";
+  }
+
+  // Probe the total visit cost with a cap that can never trip: the governed
+  // path counts every visit into truncation.visited_nodes.
+  BacktraceOptions probe;
+  probe.max_visited_nodes = std::numeric_limits<int64_t>::max();
+  ASSERT_OK_AND_ASSIGN(ProvenanceQueryResult counted,
+                       QueryStructuralProvenance(run_, BroadPattern(), probe));
+  ASSERT_FALSE(counted.truncation.truncated);
+  ASSERT_GT(counted.truncation.visited_nodes, 0u);
+
+  // One visit short of the full cost: tracing trips inside the last chunk,
+  // keeping every chunk before it.
+  BacktraceOptions options;
+  options.max_visited_nodes =
+      static_cast<int64_t>(counted.truncation.visited_nodes) - 1;
+  ASSERT_OK_AND_ASSIGN(ProvenanceQueryResult partial,
+                       QueryStructuralProvenance(run_, BroadPattern(),
+                                                 options));
+  ASSERT_TRUE(partial.truncation.truncated);
+  EXPECT_EQ(partial.truncation.reason, TruncationReason::kVisitLimit);
+  ASSERT_GT(partial.truncation.seed_entries_traced, 0u);
+  ASSERT_LT(partial.truncation.seed_entries_traced,
+            partial.truncation.seed_entries_total);
+  ASSERT_FALSE(partial.sources.empty());
+
+  // Soundness: every item the partial answer reports appears in the full
+  // answer (lower-bound semantics, DESIGN.md §9).
+  for (const SourceProvenance& psrc : partial.sources) {
+    const SourceProvenance* fsrc = nullptr;
+    for (const SourceProvenance& candidate : full.sources) {
+      if (candidate.scan_oid == psrc.scan_oid) fsrc = &candidate;
+    }
+    ASSERT_NE(fsrc, nullptr);
+    for (const BacktraceEntry& pe : psrc.items) {
+      bool found = false;
+      for (const BacktraceEntry& fe : fsrc->items) {
+        if (fe.id == pe.id) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "partial result reported unknown item " << pe.id;
+    }
+  }
+}
+
+TEST_F(GovernedQueryTest, ShortDeadlineReturnsTruncatedWithinBound) {
+  constexpr int64_t kDeadlineMs = 50;
+  BacktraceOptions options;
+  options.deadline = Deadline::AfterMillis(kDeadlineMs);
+  Stopwatch watch;
+  ASSERT_OK_AND_ASSIGN(ProvenanceQueryResult result,
+                       QueryStructuralProvenance(run_, BroadPattern(),
+                                                 options));
+  double elapsed = watch.ElapsedMillis();
+  // Graceful degradation: a partial (possibly empty) answer, never an
+  // error, returned in the vicinity of the deadline. The ~2x bound of the
+  // acceptance criterion gets slack for scheduler noise on busy CI boxes.
+  EXPECT_LT(elapsed, 8 * kDeadlineMs) << "governed query overshot deadline";
+  if (result.truncation.truncated) {
+    EXPECT_TRUE(result.truncation.reason == TruncationReason::kDeadline ||
+                result.truncation.reason == TruncationReason::kCancelled);
+    EXPECT_LE(result.truncation.seed_entries_traced,
+              result.truncation.seed_entries_total);
+    // Chunks that finished before the trip stay in the answer: partial
+    // provenance is non-empty whenever any chunk completed.
+    if (result.truncation.seed_entries_traced > 0) {
+      EXPECT_FALSE(result.sources.empty());
+    }
+  }
+}
+
+TEST_F(GovernedQueryTest, CancellationTruncatesTheQuery) {
+  CancellationSource source;
+  source.Cancel("user aborted the audit");
+  BacktraceOptions options;
+  options.cancel = source.token();
+  ASSERT_OK_AND_ASSIGN(
+      ProvenanceQueryResult result,
+      QueryStructuralProvenance(run_, scenario_.query, options));
+  EXPECT_TRUE(result.truncation.truncated);
+  EXPECT_EQ(result.truncation.reason, TruncationReason::kCancelled);
+}
+
+TEST_F(GovernedQueryTest, ResultLimitStopsTracing) {
+  ASSERT_OK_AND_ASSIGN(ProvenanceQueryResult full,
+                       QueryStructuralProvenance(run_, BroadPattern()));
+  ASSERT_FALSE(full.sources.empty());
+  if (full.matched.size() <= 16) {
+    GTEST_SKIP() << "scenario too small for multi-chunk tracing";
+  }
+  BacktraceOptions options;
+  options.max_results = 1;
+  ASSERT_OK_AND_ASSIGN(
+      ProvenanceQueryResult result,
+      QueryStructuralProvenance(run_, BroadPattern(), options));
+  ASSERT_TRUE(result.truncation.truncated);
+  EXPECT_EQ(result.truncation.reason, TruncationReason::kResultLimit);
+  size_t total = 0;
+  for (const SourceProvenance& src : result.sources) {
+    total += src.items.size();
+  }
+  EXPECT_GE(total, 1u);  // stops after the limit is reached, not before
+}
+
+TEST_F(GovernedQueryTest, InvalidOptionsAndPatternsAreRejected) {
+  BacktraceOptions bad;
+  bad.max_visited_nodes = -1;
+  Result<ProvenanceQueryResult> r1 =
+      QueryStructuralProvenance(run_, scenario_.query, bad);
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kInvalidArgument);
+
+  bad.max_visited_nodes = 0;
+  bad.max_results = -3;
+  Result<ProvenanceQueryResult> r2 =
+      QueryStructuralProvenance(run_, scenario_.query, bad);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kInvalidArgument);
+
+  // Degenerate patterns are rejected on every entry point, including the
+  // legacy one (kInvalidArgument with the pattern text as context).
+  TreePattern empty_pattern{{}};
+  Result<ProvenanceQueryResult> r3 =
+      QueryStructuralProvenance(run_, empty_pattern);
+  ASSERT_FALSE(r3.ok());
+  EXPECT_EQ(r3.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r3.status().message().find("root("), std::string::npos);
+
+  TreePattern inverted({PatternNode::Attr("text").Count(3, 1)});
+  Result<ProvenanceQueryResult> r4 =
+      QueryStructuralProvenance(run_, inverted);
+  ASSERT_FALSE(r4.ok());
+  EXPECT_EQ(r4.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r4.status().message().find("max count"), std::string::npos);
+}
+
+TEST(GovernanceValidationTest, ValidateTreePatternChecksRecursively) {
+  ASSERT_OK(ValidateTreePattern(
+      TreePattern({PatternNode::Attr("a").With(PatternNode::Attr("b"))})));
+  Status nested_bad = ValidateTreePattern(TreePattern(
+      {PatternNode::Attr("a").With(PatternNode::Attr("b").Count(-1, 2))}));
+  ASSERT_FALSE(nested_bad.ok());
+  EXPECT_EQ(nested_bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(nested_bad.message().find("negative"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Audit surfaces the degraded-result flag.
+
+TEST_F(GovernedQueryTest, AuditReportsTruncationAsLowerBound) {
+  std::string dir = ::testing::TempDir() + "governance_audit_snap";
+  std::filesystem::create_directories(dir);
+  ASSERT_OK(SaveScenarioSnapshot(scenario_, *run_.provenance, dir));
+  std::string path = ScenarioSnapshotPath(dir, scenario_.name);
+
+  size_t width =
+      run_.source_datasets.begin()->second.schema()->fields().size();
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<AuditReport> exact,
+      AuditFromSnapshot(path, run_.output, scenario_.query, width));
+  for (const AuditReport& report : exact) {
+    EXPECT_FALSE(report.truncated);
+  }
+
+  CancellationSource source;
+  source.Cancel("audit window closed");
+  BacktraceOptions options;
+  options.cancel = source.token();
+  options.max_visited_nodes = 1;
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<AuditReport> degraded,
+      AuditFromSnapshot(path, run_.output, scenario_.query, width,
+                        /*num_threads=*/2, options));
+  for (const AuditReport& report : degraded) {
+    EXPECT_TRUE(report.truncated);
+    EXPECT_FALSE(report.truncation_reason.empty());
+    EXPECT_NE(report.ToString().find("lower bounds"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace pebble
