@@ -12,15 +12,19 @@
 #                               # plain and under ASan+UBSan
 #   scripts/check.sh stress     # governance chaos/stress suite with
 #                               # PEBBLE_STRESS=1 (10x workload sizes)
+#   scripts/check.sh diff       # differential/metamorphic gate: oracle +
+#                               # shrinker suites, the seeded sweep, then a
+#                               # deep run of the standalone fuzzer
+#                               # (PEBBLE_FUZZ_ITERS seeds, default 2000)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 STAGE="${1:-all}"
 case "${STAGE}" in
-  all|plain|asan|tsan|corruption|stress) ;;
+  all|plain|asan|tsan|corruption|stress|diff) ;;
   *) echo "unknown stage '${STAGE}'" \
-          "(expected: all, plain, asan, tsan, corruption, stress)" >&2
+          "(expected: all, plain, asan, tsan, corruption, stress, diff)" >&2
      exit 2 ;;
 esac
 
@@ -65,6 +69,21 @@ if [[ "${STAGE}" == "all" || "${STAGE}" == "tsan" ]]; then
   TSAN_OPTIONS="halt_on_error=1" \
     run_stage "tsan" build-tsan "thread" \
       "Concurrency|ChaosTest|TaskRunner|Failpoint|Interner|Governance|Resource"
+fi
+
+if [[ "${STAGE}" == "all" || "${STAGE}" == "diff" ]]; then
+  # Differential correctness gate: the oracle/shrinker/truncation suites and
+  # the 500-seed tier-1 sweep first, then a deep randomized run through the
+  # standalone fuzzer over a disjoint seed range. Failing seeds are shrunk
+  # and dropped as replayable .diffcase repros under build/diff-repros
+  # (nightly CI uploads that directory as an artifact).
+  run_stage "diff (suites)" build "" \
+    "Differential|Oracle|Shrinker|BacktraceTruncation|PatternParser"
+  DIFF_ITERS="${PEBBLE_FUZZ_ITERS:-2000}"
+  echo "==> diff: pebble_diff over ${DIFF_ITERS} seeds"
+  mkdir -p build/diff-repros
+  ./build/src/testing/pebble_diff --seeds "${DIFF_ITERS}" --start 500 \
+      --out-dir build/diff-repros --scratch build/diff-repros
 fi
 
 if [[ "${STAGE}" == "all" || "${STAGE}" == "stress" ]]; then

@@ -176,8 +176,19 @@ class PatternParser {
     }
     if (pos_ == start) return Err("expected literal");
     std::string num = text_.substr(start, pos_ - start);
+    // A bare sign or dot, or a second dot, would slip through to std::stod /
+    // std::stoll as a throw or a silently truncated value.
+    if (num.find_first_of("0123456789") == std::string::npos) {
+      return Err("expected literal");
+    }
+    if (num.find('.') != num.rfind('.')) {
+      return Err("malformed decimal literal");
+    }
     if (is_double) {
       return Value::Double(std::stod(num));
+    }
+    if (num.size() > (num[0] == '-' ? 19u : 18u)) {
+      return Err("integer literal out of range");
     }
     return Value::Int(std::stoll(num));
   }
@@ -190,6 +201,7 @@ class PatternParser {
       ++pos_;
     }
     if (pos_ == start) return Err("expected integer");
+    if (pos_ - start > 9) return Err("count out of range");
     return std::stoll(text_.substr(start, pos_ - start));
   }
 

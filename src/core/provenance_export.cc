@@ -1,0 +1,127 @@
+#include "core/provenance_export.h"
+
+#include <algorithm>
+
+namespace pebble {
+
+namespace {
+
+std::string JoinOids(const std::set<int>& oids) {
+  std::string out;
+  bool first = true;
+  for (int oid : oids) {
+    if (!first) out += ",";
+    out += std::to_string(oid);
+    first = false;
+  }
+  return out;
+}
+
+std::string RenderNode(const BtNode& node, const std::string& key_label) {
+  std::string out = key_label;
+  out += node.contributing ? "|c|A{" : "|i|A{";
+  out += JoinOids(node.accessed_by);
+  out += "}|M{";
+  out += JoinOids(node.manipulated_by);
+  out += "}[";
+  std::vector<std::string> children;
+  children.reserve(node.children.size());
+  for (const BtNode& c : node.children) {
+    std::string label = c.key.is_position()
+                            ? "p:" + std::to_string(c.key.pos)
+                            : "a:" + c.key.attr;
+    children.push_back(RenderNode(c, label));
+  }
+  std::sort(children.begin(), children.end());
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (i > 0) out += ",";
+    out += children[i];
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+std::string CanonicalTreeString(const BacktraceTree& tree) {
+  return RenderNode(tree.root(), "$");
+}
+
+Result<std::map<int64_t, int64_t>> IdToOrdinalMap(const Dataset& data) {
+  std::map<int64_t, int64_t> out;
+  int64_t ordinal = 0;
+  for (const Partition& part : data.partitions()) {
+    for (const Row& row : part) {
+      if (row.id != kNoId) {
+        auto [it, inserted] = out.emplace(row.id, ordinal);
+        if (!inserted) {
+          return Status::Internal("duplicate provenance id " +
+                                  std::to_string(row.id) + " in dataset");
+        }
+      }
+      ++ordinal;
+    }
+  }
+  return out;
+}
+
+Result<CanonicalProvenance> ExportCanonicalProvenance(
+    const ProvenanceQueryResult& result, const Dataset& output,
+    const std::map<int, Dataset>& source_datasets) {
+  using OrdinalMap = std::map<int64_t, int64_t>;
+  CanonicalProvenance out;
+  PEBBLE_ASSIGN_OR_RETURN(OrdinalMap out_ids, IdToOrdinalMap(output));
+  for (const BacktraceEntry& e : result.matched) {
+    auto it = out_ids.find(e.id);
+    if (it == out_ids.end()) {
+      return Status::Internal("matched id " + std::to_string(e.id) +
+                              " not present in the output dataset");
+    }
+    out.matched.push_back({it->second, CanonicalTreeString(e.tree)});
+  }
+  std::sort(out.matched.begin(), out.matched.end());
+  for (const SourceProvenance& sp : result.sources) {
+    auto ds = source_datasets.find(sp.scan_oid);
+    if (ds == source_datasets.end()) {
+      return Status::Internal("no source dataset for scan oid " +
+                              std::to_string(sp.scan_oid));
+    }
+    PEBBLE_ASSIGN_OR_RETURN(OrdinalMap src_ids, IdToOrdinalMap(ds->second));
+    std::map<int64_t, std::string>& dest = out.sources[sp.scan_oid];
+    for (const BacktraceEntry& e : sp.items) {
+      auto it = src_ids.find(e.id);
+      if (it == src_ids.end()) {
+        return Status::Internal("backtraced id " + std::to_string(e.id) +
+                                " not present in source dataset of scan " +
+                                std::to_string(sp.scan_oid));
+      }
+      auto [slot, inserted] =
+          dest.emplace(it->second, CanonicalTreeString(e.tree));
+      if (!inserted) {
+        return Status::Internal(
+            "source item traced twice (duplicate entries for ordinal " +
+            std::to_string(it->second) + " at scan " +
+            std::to_string(sp.scan_oid) + ")");
+      }
+    }
+  }
+  return out;
+}
+
+std::string CanonicalProvenance::ToString() const {
+  std::string out;
+  out += "matched (" + std::to_string(matched.size()) + "):\n";
+  for (const auto& [ordinal, tree] : matched) {
+    out += "  #" + std::to_string(ordinal) + " " + tree + "\n";
+  }
+  for (const auto& [oid, items] : sources) {
+    out += "source scan " + std::to_string(oid) + " (" +
+           std::to_string(items.size()) + "):\n";
+    for (const auto& [ordinal, tree] : items) {
+      out += "  #" + std::to_string(ordinal) + " " + tree + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace pebble

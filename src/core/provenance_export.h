@@ -1,0 +1,76 @@
+// Oracle-comparable canonical export of backtracing results.
+//
+// The differential harness (src/testing) compares the engine's lazily
+// backtraced provenance against an independent eager reference oracle. The
+// two sides use different tree representations (BtNode's insertion-ordered
+// children vs the oracle's key-ordered map) and different item identifiers
+// (engine provenance ids vs the oracle's data ordinals), so the comparison
+// happens over a canonical form:
+//
+//  - trees render to a canonical string with children sorted by their
+//    rendered form, INCLUDING the root's own access/manipulation marks
+//    (BacktraceTree::ToString omits them);
+//  - engine provenance ids map to data ordinals — the item's 0-based
+//    position in partition-concatenation order, which is the original data
+//    order because Dataset::FromValues splits contiguous ranges.
+//
+// The canonical grammar (kept in sync with the oracle's independent
+// renderer in src/testing/reference_tree.cc — change both or neither):
+//
+//   node     := key "|" ("c"|"i") "|A{" oids "}|M{" oids "}[" children "]"
+//   key      := "$"            root
+//             | "a:" attr      attribute child
+//             | "p:" pos       positional child (placeholder renders p:0)
+//   oids     := comma-joined ascending operator ids
+//   children := comma-joined child renders, sorted lexicographically
+
+#ifndef PEBBLE_CORE_PROVENANCE_EXPORT_H_
+#define PEBBLE_CORE_PROVENANCE_EXPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/query.h"
+
+namespace pebble {
+
+/// Canonical render of one backtracing tree (see grammar above).
+std::string CanonicalTreeString(const BacktraceTree& tree);
+
+/// Maps provenance id -> data ordinal (0-based position in
+/// partition-concatenation order). Rows without ids (kNoId) are skipped.
+/// Fails on duplicate ids (would make the comparison ambiguous).
+Result<std::map<int64_t, int64_t>> IdToOrdinalMap(const Dataset& data);
+
+/// A provenance query result in canonical, id-free form.
+struct CanonicalProvenance {
+  /// Matched sink items: (output ordinal, canonical match tree), sorted by
+  /// ordinal.
+  std::vector<std::pair<int64_t, std::string>> matched;
+  /// Backtraced source items per scan oid: data ordinal -> canonical tree.
+  std::map<int, std::map<int64_t, std::string>> sources;
+
+  bool operator==(const CanonicalProvenance& other) const {
+    return matched == other.matched && sources == other.sources;
+  }
+  bool operator!=(const CanonicalProvenance& other) const {
+    return !(*this == other);
+  }
+
+  /// Human-readable dump for mismatch reports.
+  std::string ToString() const;
+};
+
+/// Converts a ProvenanceQueryResult to canonical form. `output` is the
+/// id-annotated sink dataset the query ran on; `source_datasets` the
+/// id-annotated scans (ExecutionResult::source_datasets).
+Result<CanonicalProvenance> ExportCanonicalProvenance(
+    const ProvenanceQueryResult& result, const Dataset& output,
+    const std::map<int, Dataset>& source_datasets);
+
+}  // namespace pebble
+
+#endif  // PEBBLE_CORE_PROVENANCE_EXPORT_H_

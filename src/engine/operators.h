@@ -96,6 +96,10 @@ class ScanOp final : public Operator {
       const std::vector<const Dataset*>& inputs) const override;
 
   const std::string& source_name() const { return source_name_; }
+  const TypePtr& schema() const { return schema_; }
+  const std::shared_ptr<const std::vector<ValuePtr>>& data() const {
+    return data_;
+  }
 
  private:
   std::string source_name_;
@@ -133,6 +137,8 @@ class SelectOp final : public Operator {
       ExecContext* ctx,
       const std::vector<const Dataset*>& inputs) const override;
 
+  const std::vector<Projection>& projections() const { return projections_; }
+
  private:
   std::vector<Projection> projections_;
 };
@@ -150,6 +156,9 @@ class MapOp final : public Operator {
   Result<Dataset> Execute(
       ExecContext* ctx,
       const std::vector<const Dataset*>& inputs) const override;
+
+  const MapFn& fn() const { return fn_; }
+  const TypePtr& declared_schema() const { return declared_schema_; }
 
  private:
   MapFn fn_;
@@ -180,6 +189,10 @@ class JoinOp final : public Operator {
   Result<Dataset> Execute(
       ExecContext* ctx,
       const std::vector<const Dataset*>& inputs) const override;
+
+  const std::vector<Path>& left_keys() const { return left_keys_; }
+  const std::vector<Path>& right_keys() const { return right_keys_; }
+  const ExprPtr& theta() const { return theta_; }
 
  private:
   std::vector<Path> left_keys_;
@@ -240,6 +253,9 @@ class GroupAggregateOp final : public Operator {
   Result<Dataset> Execute(
       ExecContext* ctx,
       const std::vector<const Dataset*>& inputs) const override;
+
+  const std::vector<GroupKey>& keys() const { return keys_; }
+  const std::vector<AggSpec>& aggs() const { return aggs_; }
 
  private:
   std::vector<GroupKey> keys_;

@@ -1,0 +1,350 @@
+#include "testing/diff.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "core/provenance_io.h"
+#include "core/query.h"
+#include "engine/executor.h"
+
+namespace pebble {
+namespace difftest {
+
+namespace {
+
+std::string Clip(std::string text, size_t max = 1500) {
+  if (text.size() > max) {
+    text.resize(max);
+    text += "...";
+  }
+  return text;
+}
+
+Status Mismatch(const std::string& stage, const std::string& detail) {
+  return Status::Internal("diff:" + stage + ": " + Clip(detail, 3200));
+}
+
+/// Clips each side separately so a long `got` cannot truncate `want` out of
+/// the message entirely.
+std::string TwoSided(const std::string& got, const std::string& want) {
+  return Clip(got) + "\n-- vs --\n" + Clip(want);
+}
+
+std::vector<std::string> SortedRenders(const std::vector<ValuePtr>& values) {
+  std::vector<std::string> out;
+  out.reserve(values.size());
+  for (const ValuePtr& v : values) {
+    out.push_back(v != nullptr ? v->ToString() : "<null>");
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Status CompareOrderedRows(const std::string& stage,
+                          const std::vector<ValuePtr>& got,
+                          const std::vector<ValuePtr>& want) {
+  if (got.size() != want.size()) {
+    return Mismatch(stage, "row count " + std::to_string(got.size()) +
+                               " vs " + std::to_string(want.size()));
+  }
+  for (size_t i = 0; i < got.size(); ++i) {
+    const bool got_null = got[i] == nullptr;
+    const bool want_null = want[i] == nullptr;
+    if (got_null != want_null ||
+        (!got_null && !got[i]->Equals(*want[i]))) {
+      return Mismatch(stage,
+                      "row " + std::to_string(i) + ": " +
+                          (got_null ? "<null>" : got[i]->ToString()) +
+                          " vs " +
+                          (want_null ? "<null>" : want[i]->ToString()));
+    }
+  }
+  return Status::OK();
+}
+
+Result<CanonicalProvenance> EngineCanonical(const ExecutionResult& run,
+                                            const TreePattern& pattern) {
+  PEBBLE_ASSIGN_OR_RETURN(
+      ProvenanceQueryResult q,
+      QueryStructuralProvenance(run, pattern, /*num_threads=*/1));
+  return ExportCanonicalProvenance(q, run.output, run.source_datasets);
+}
+
+/// Order-insensitive comparison for exchange DAGs, where multi-partition
+/// output order (and hence match ordinals) is a permutation: source trees
+/// must agree exactly (tree merging is commutative, so they are
+/// permutation-invariant), matched trees as multisets.
+bool LooselyEqual(const CanonicalProvenance& a,
+                  const CanonicalProvenance& b) {
+  if (a.sources != b.sources) return false;
+  if (a.matched.size() != b.matched.size()) return false;
+  std::vector<std::string> ta, tb;
+  ta.reserve(a.matched.size());
+  tb.reserve(b.matched.size());
+  for (const auto& [ord, tree] : a.matched) ta.push_back(tree);
+  for (const auto& [ord, tree] : b.matched) tb.push_back(tree);
+  std::sort(ta.begin(), ta.end());
+  std::sort(tb.begin(), tb.end());
+  return ta == tb;
+}
+
+struct FailpointGuard {
+  ~FailpointGuard() { FailpointRegistry::Global().DisableAll(); }
+};
+
+Status RunMetamorphicStages(const DiffCase& c, const DiffOptions& options,
+                            const BuiltCase& built,
+                            const ExecutionResult& exact,
+                            const CanonicalProvenance& canonical) {
+  const std::vector<ValuePtr> exact_values = exact.output.CollectValues();
+
+  // --- Partition-count invariance -----------------------------------------
+  {
+    const int parts = std::max(2, c.partitions);
+    Executor alt_exec(ExecOptions(CaptureMode::kStructural, parts, 2));
+    Result<ExecutionResult> alt = alt_exec.Run(built.pipeline);
+    if (!alt.ok()) {
+      return Mismatch("partitions", alt.status().message());
+    }
+    const std::vector<ValuePtr> alt_values = alt.value().output.CollectValues();
+    const std::vector<std::string> alt_sorted = SortedRenders(alt_values);
+    const std::vector<std::string> exact_sorted = SortedRenders(exact_values);
+    if (alt_sorted != exact_sorted) {
+      std::string detail = std::to_string(alt_values.size()) + " rows vs " +
+                           std::to_string(exact_values.size());
+      for (size_t i = 0; i < alt_sorted.size() && i < exact_sorted.size();
+           ++i) {
+        if (alt_sorted[i] != exact_sorted[i]) {
+          detail += "; first diff: " + alt_sorted[i] + " vs " +
+                    exact_sorted[i];
+          break;
+        }
+      }
+      return Mismatch("partitions-result", detail);
+    }
+    PEBBLE_ASSIGN_OR_RETURN(CanonicalProvenance alt_canonical,
+                            EngineCanonical(alt.value(), built.pattern));
+    const bool exchange = c.HasExchange();
+    const bool equal = exchange ? LooselyEqual(alt_canonical, canonical)
+                                : alt_canonical == canonical;
+    if (!equal) {
+      return Mismatch("partitions-provenance",
+                      TwoSided(alt_canonical.ToString(),
+                               canonical.ToString()));
+    }
+    if (!exchange) {
+      // Exchange-free DAGs assign ids in data order regardless of the
+      // partition count, so the stores must serialize byte-identically.
+      if (SerializeProvenanceStore(*alt.value().provenance) !=
+          SerializeProvenanceStore(*exact.provenance)) {
+        return Mismatch("partition-fingerprint",
+                        "serialized stores differ between 1 and " +
+                            std::to_string(parts) + " partitions");
+      }
+    }
+  }
+
+  // --- Capture on/off result equality -------------------------------------
+  {
+    Executor off_exec(ExecOptions(CaptureMode::kOff, 1, 1));
+    Result<ExecutionResult> off = off_exec.Run(built.pipeline);
+    if (!off.ok()) {
+      return Mismatch("capture-off", off.status().message());
+    }
+    PEBBLE_RETURN_NOT_OK(CompareOrderedRows(
+        "capture-off", off.value().output.CollectValues(), exact_values));
+  }
+
+  // --- Serializer stability ------------------------------------------------
+  {
+    const std::string bytes = SerializeProvenanceStore(*exact.provenance);
+    PEBBLE_ASSIGN_OR_RETURN(std::unique_ptr<ProvenanceStore> reloaded,
+                            DeserializeProvenanceStore(bytes));
+    if (SerializeProvenanceStore(*reloaded) != bytes) {
+      return Mismatch("serialize-roundtrip",
+                      "re-serialization is not byte-stable");
+    }
+  }
+
+  // --- Durable snapshot round-trip -----------------------------------------
+  if (!options.scratch_dir.empty()) {
+    const std::string path = options.scratch_dir + "/diffcase_snapshot.bin";
+    PEBBLE_RETURN_NOT_OK(SaveProvenanceStore(*exact.provenance, path));
+    PEBBLE_ASSIGN_OR_RETURN(std::unique_ptr<ProvenanceStore> loaded,
+                            LoadProvenanceStore(path));
+    Result<ProvenanceQueryResult> offline = QueryStructuralProvenanceOffline(
+        exact.output, *loaded, built.pattern, /*num_threads=*/1);
+    if (!offline.ok()) {
+      return Mismatch("snapshot", offline.status().message());
+    }
+    PEBBLE_ASSIGN_OR_RETURN(
+        CanonicalProvenance snap_canonical,
+        ExportCanonicalProvenance(offline.value(), exact.output,
+                                  exact.source_datasets));
+    if (snap_canonical != canonical) {
+      return Mismatch("snapshot", TwoSided(snap_canonical.ToString(),
+                                           canonical.ToString()));
+    }
+  }
+
+  // --- Governance: Unlimited() must equal the legacy path ------------------
+  {
+    Result<ProvenanceQueryResult> governed = QueryStructuralProvenance(
+        exact, built.pattern, BacktraceOptions{}, /*num_threads=*/1);
+    if (!governed.ok()) {
+      return Mismatch("governed-unlimited", governed.status().message());
+    }
+    if (governed.value().truncation.truncated) {
+      return Mismatch("governed-unlimited",
+                      "unlimited options reported truncation");
+    }
+    PEBBLE_ASSIGN_OR_RETURN(
+        CanonicalProvenance governed_canonical,
+        ExportCanonicalProvenance(governed.value(), exact.output,
+                                  exact.source_datasets));
+    if (governed_canonical != canonical) {
+      return Mismatch("governed-unlimited",
+                      TwoSided(governed_canonical.ToString(),
+                               canonical.ToString()));
+    }
+  }
+
+  // --- Governance: huge (non-binding) caps must not degrade ----------------
+  // Finite caps route the query through the chunked tracer, which merges
+  // seed entries per chunk rather than all at once before replaying the
+  // trace rules. Mark folding during subtree detachment is sensitive to
+  // that merge order (backtrace.cc documents per-chunk derivations as
+  // independently sound, "possibly with more merged paths"), so access and
+  // manipulation marks may legitimately differ from the legacy whole-seed
+  // path. What the engine does promise — and this stage checks — is: no
+  // truncation reported, identical matched output entries, and identical
+  // source item sets at every scan.
+  {
+    BacktraceOptions caps;
+    caps.max_visited_nodes = 1000000000;
+    caps.max_results = 1000000000;
+    Result<ProvenanceQueryResult> governed = QueryStructuralProvenance(
+        exact, built.pattern, caps, /*num_threads=*/1);
+    if (!governed.ok()) {
+      return Mismatch("governed-large", governed.status().message());
+    }
+    if (governed.value().truncation.truncated) {
+      return Mismatch("governed-large",
+                      "non-binding caps reported truncation");
+    }
+    PEBBLE_ASSIGN_OR_RETURN(
+        CanonicalProvenance governed_canonical,
+        ExportCanonicalProvenance(governed.value(), exact.output,
+                                  exact.source_datasets));
+    if (governed_canonical.matched != canonical.matched) {
+      return Mismatch("governed-large",
+                      TwoSided(governed_canonical.ToString(),
+                               canonical.ToString()));
+    }
+    auto item_sets = [](const CanonicalProvenance& p) {
+      std::map<int, std::vector<int64_t>> out;
+      for (const auto& [oid, items] : p.sources) {
+        std::vector<int64_t>& ords = out[oid];
+        for (const auto& [ordinal, tree] : items) ords.push_back(ordinal);
+      }
+      return out;
+    };
+    if (item_sets(governed_canonical) != item_sets(canonical)) {
+      return Mismatch("governed-large",
+                      "source item sets diverge under finite caps:\n" +
+                          TwoSided(governed_canonical.ToString(),
+                                   canonical.ToString()));
+    }
+  }
+
+  // --- Retry-schedule invariance -------------------------------------------
+  {
+    FailpointGuard guard;
+    FailpointSpec append_spec;
+    append_spec.every_nth = 3;
+    FailpointSpec task_spec;
+    task_spec.every_nth = 5;
+    FailpointRegistry::Global().Enable(failpoints::kProvenanceAppend,
+                                       append_spec);
+    FailpointRegistry::Global().Enable(failpoints::kTaskPartition, task_spec);
+
+    ExecOptions retry_options(CaptureMode::kStructural, 1, 1);
+    retry_options.retry = RetryPolicy::WithRetries(6);
+    Executor retry_exec(retry_options);
+    Result<ExecutionResult> faulted = retry_exec.Run(built.pipeline);
+    FailpointRegistry::Global().DisableAll();
+    if (!faulted.ok()) {
+      // Exhausting the retry budget is a legitimate outcome of injected
+      // faults; anything else leaking out is a harness finding.
+      if (faulted.status().code() == StatusCode::kUnavailable) {
+        return Status::OK();
+      }
+      return Mismatch("retry", faulted.status().message());
+    }
+    PEBBLE_RETURN_NOT_OK(CompareOrderedRows(
+        "retry", faulted.value().output.CollectValues(), exact_values));
+    if (SerializeProvenanceStore(*faulted.value().provenance) !=
+        SerializeProvenanceStore(*exact.provenance)) {
+      return Mismatch("retry",
+                      "provenance store bytes differ after retried faults");
+    }
+  }
+
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RunDiffCase(const DiffCase& c, const DiffOptions& options) {
+  PEBBLE_ASSIGN_OR_RETURN(BuiltCase built, BuildCase(c));
+
+  // Engine exact leg: one partition, one thread — output order is the
+  // oracle's data order, so rows and ordinals compare positionally.
+  Executor exact_exec(ExecOptions(CaptureMode::kStructural, 1, 1));
+  Result<ExecutionResult> exact = exact_exec.Run(built.pipeline);
+
+  Oracle oracle(&built.pipeline, options.quirks);
+  const Status oracle_status = oracle.Run();
+
+  if (!exact.ok() || !oracle_status.ok()) {
+    if (!exact.ok() && !oracle_status.ok()) {
+      return Status::OK();  // agreeing failure (e.g. a type error both saw)
+    }
+    return Mismatch("engine-run",
+                    "engine: " +
+                        (exact.ok() ? std::string("ok")
+                                    : exact.status().message()) +
+                        " oracle: " +
+                        (oracle_status.ok() ? std::string("ok")
+                                            : oracle_status.message()));
+  }
+
+  PEBBLE_RETURN_NOT_OK(CompareOrderedRows(
+      "result", exact.value().output.CollectValues(), oracle.Output()));
+
+  PEBBLE_ASSIGN_OR_RETURN(CanonicalProvenance got,
+                          EngineCanonical(exact.value(), built.pattern));
+  PEBBLE_ASSIGN_OR_RETURN(CanonicalProvenance want,
+                          oracle.Query(built.pattern));
+  if (got != want) {
+    return Mismatch("provenance", "engine:\n" + Clip(got.ToString()) +
+                                      "\n-- oracle --\n" +
+                                      Clip(want.ToString()));
+  }
+
+  if (!options.metamorphic) return Status::OK();
+  return RunMetamorphicStages(c, options, built, exact.value(), got);
+}
+
+bool IsDiffMismatch(const Status& status) {
+  return !status.ok() && status.code() == StatusCode::kInternal &&
+         status.message().rfind("diff:", 0) == 0;
+}
+
+}  // namespace difftest
+}  // namespace pebble

@@ -1,0 +1,64 @@
+// The differential harness: one DiffCase run end to end through the engine
+// and the reference oracle, with every disagreement reported as a
+// machine-recognizable mismatch status.
+//
+// Stage layout (each failing stage produces Status::Internal with message
+// "diff:<stage>: ..."; IsDiffMismatch recognizes the prefix, which is what
+// lets the shrinker distinguish "still reproduces the mismatch" from
+// "became invalid while shrinking"):
+//
+//   engine-run            engine and oracle disagree on run success
+//   result                1-partition/1-thread output rows != oracle rows
+//   provenance            backtraced canonical provenance != eager oracle
+//   partitions            the N-partition/2-thread leg failed to run
+//   partitions-result     N-partition result multiset != 1-partition
+//   partitions-provenance N-partition canonical provenance mismatch
+//                         (ordinal-exact for exchange-free DAGs, order-
+//                         insensitive on matched trees otherwise)
+//   partition-fingerprint exchange-free only: the serialized provenance
+//                         store of the 1- and N-partition runs must be
+//                         byte-identical
+//   capture-off           CaptureMode::kOff changes the query result
+//   serialize-roundtrip   serialize -> deserialize -> serialize not stable
+//   snapshot              save/load round-trip changes offline query answer
+//   governed-unlimited    BacktraceOptions{} differs from ungoverned path
+//   governed-large        huge (non-binding) caps truncate, change matched
+//                         entries, or change source item sets (tree marks
+//                         may differ: the chunked tracer folds marks per
+//                         chunk — see backtrace.cc)
+//   retry                 injected provenance.append/task.partition faults
+//                         with retries change results or provenance bytes
+
+#ifndef PEBBLE_TESTING_DIFF_H_
+#define PEBBLE_TESTING_DIFF_H_
+
+#include <string>
+
+#include "testing/generator.h"
+#include "testing/oracle.h"
+
+namespace pebble {
+namespace difftest {
+
+struct DiffOptions {
+  /// Bugs injected into the ORACLE (shrinker demos / self-tests).
+  OracleQuirks quirks;
+  /// Run the metamorphic stages after the core engine-vs-oracle diff.
+  bool metamorphic = true;
+  /// Directory for the snapshot round-trip stage; empty skips that stage
+  /// (callers own uniqueness — parallel tests must not share a file).
+  std::string scratch_dir;
+};
+
+/// Runs one case through every stage. OK = no disagreement anywhere;
+/// "diff:..." Internal = a differential finding; anything else = the case
+/// itself is invalid (build/validation failure).
+Status RunDiffCase(const DiffCase& c, const DiffOptions& options = {});
+
+/// True iff `status` is a differential finding (any stage mismatch).
+bool IsDiffMismatch(const Status& status);
+
+}  // namespace difftest
+}  // namespace pebble
+
+#endif  // PEBBLE_TESTING_DIFF_H_

@@ -1,0 +1,152 @@
+// Differential fuzz driver (CI nightly + local debugging).
+//
+//   pebble_diff --seeds 500                    fuzz seeds [0, 500)
+//   pebble_diff --seeds 200 --start 1000       fuzz seeds [1000, 1200)
+//   pebble_diff --replay case.diffcase         replay one serialized case
+//   pebble_diff --out-dir repros ...           write shrunk repros there
+//   pebble_diff --scratch /tmp/scratch ...     enable the snapshot stage
+//
+// PEBBLE_FUZZ_ITERS overrides --seeds (how the nightly job deepens the
+// run without touching the command line). Exit code: 0 = no mismatches,
+// 1 = at least one differential finding, 2 = usage/setup error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "testing/diff.h"
+#include "testing/shrinker.h"
+
+namespace {
+
+using pebble::Status;
+using pebble::difftest::DiffCase;
+using pebble::difftest::DiffOptions;
+using pebble::difftest::IsDiffMismatch;
+using pebble::difftest::RunDiffCase;
+using pebble::difftest::ShrinkCase;
+using pebble::difftest::ShrinkStats;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: pebble_diff [--seeds N] [--start S] "
+               "[--replay FILE] [--out-dir DIR] [--scratch DIR]\n");
+  return 2;
+}
+
+int ReplayFile(const std::string& path, const DiffOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  pebble::Result<DiffCase> c = DiffCase::Parse(text.str());
+  if (!c.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 c.status().ToString().c_str());
+    return 2;
+  }
+  const Status status = RunDiffCase(c.value(), options);
+  if (status.ok()) {
+    std::printf("%s: ok\n", path.c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "%s: %s\n", path.c_str(),
+               status.ToString().c_str());
+  return IsDiffMismatch(status) ? 1 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long long seeds = 500;
+  long long start = 0;
+  std::string replay;
+  std::string out_dir;
+  DiffOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--seeds") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      seeds = std::atoll(v);
+    } else if (arg == "--start") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      start = std::atoll(v);
+    } else if (arg == "--replay") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      replay = v;
+    } else if (arg == "--out-dir") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      out_dir = v;
+    } else if (arg == "--scratch") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.scratch_dir = v;
+    } else {
+      return Usage();
+    }
+  }
+  if (const char* env = std::getenv("PEBBLE_FUZZ_ITERS")) {
+    seeds = std::atoll(env);
+  }
+
+  if (!replay.empty()) {
+    return ReplayFile(replay, options);
+  }
+
+  int findings = 0;
+  for (long long seed = start; seed < start + seeds; ++seed) {
+    const DiffCase c =
+        pebble::difftest::GenerateCase(static_cast<uint64_t>(seed));
+    const Status status = RunDiffCase(c, options);
+    if (status.ok()) continue;
+    if (!IsDiffMismatch(status)) {
+      // The generator produced an invalid case: a harness bug, worth
+      // failing loudly on.
+      std::fprintf(stderr, "seed %lld: invalid case: %s\n", seed,
+                   status.ToString().c_str());
+      ++findings;
+      continue;
+    }
+    ++findings;
+    std::fprintf(stderr, "seed %lld: %s\n", seed,
+                 status.ToString().c_str());
+    ShrinkStats stats;
+    const DiffCase shrunk = ShrinkCase(
+        c,
+        [&options](const DiffCase& cand) {
+          return IsDiffMismatch(RunDiffCase(cand, options));
+        },
+        &stats);
+    std::fprintf(stderr,
+                 "seed %lld: shrunk to %d op(s) "
+                 "(%d attempts, %d accepted)\n",
+                 seed, shrunk.NumOperators(), stats.attempts,
+                 stats.successes);
+    const std::string repro = shrunk.Serialize();
+    std::fputs(repro.c_str(), stderr);
+    if (!out_dir.empty()) {
+      const std::string path =
+          out_dir + "/repro_seed" + std::to_string(seed) + ".diffcase";
+      std::ofstream out(path);
+      out << repro;
+      std::fprintf(stderr, "seed %lld: repro written to %s\n", seed,
+                   path.c_str());
+    }
+  }
+  std::printf("pebble_diff: %lld seed(s), %d finding(s)\n", seeds, findings);
+  return findings == 0 ? 0 : 1;
+}

@@ -1,0 +1,1190 @@
+#include "testing/generator.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "common/rng.h"
+#include "workload/random_data.h"
+
+namespace pebble {
+namespace difftest {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Textual encodings
+// ---------------------------------------------------------------------------
+
+const char* KindName(OpSpec::Kind kind) {
+  switch (kind) {
+    case OpSpec::Kind::kFilter:
+      return "filter";
+    case OpSpec::Kind::kSelect:
+      return "select";
+    case OpSpec::Kind::kMap:
+      return "map";
+    case OpSpec::Kind::kJoin:
+      return "join";
+    case OpSpec::Kind::kThetaJoin:
+      return "thetajoin";
+    case OpSpec::Kind::kUnion:
+      return "union";
+    case OpSpec::Kind::kFlatten:
+      return "flatten";
+    case OpSpec::Kind::kGroup:
+      return "group";
+  }
+  return "?";
+}
+
+Result<OpSpec::Kind> ParseKind(const std::string& name) {
+  if (name == "filter") return OpSpec::Kind::kFilter;
+  if (name == "select") return OpSpec::Kind::kSelect;
+  if (name == "map") return OpSpec::Kind::kMap;
+  if (name == "join") return OpSpec::Kind::kJoin;
+  if (name == "thetajoin") return OpSpec::Kind::kThetaJoin;
+  if (name == "union") return OpSpec::Kind::kUnion;
+  if (name == "flatten") return OpSpec::Kind::kFlatten;
+  if (name == "group") return OpSpec::Kind::kGroup;
+  return Status::InvalidArgument("diffcase: unknown op kind '" + name + "'");
+}
+
+bool IsBinary(OpSpec::Kind kind) {
+  return kind == OpSpec::Kind::kJoin || kind == OpSpec::Kind::kThetaJoin ||
+         kind == OpSpec::Kind::kUnion;
+}
+
+Result<CompareOp> ParseCmp(const std::string& name) {
+  if (name == "eq") return CompareOp::kEq;
+  if (name == "ne") return CompareOp::kNe;
+  if (name == "lt") return CompareOp::kLt;
+  if (name == "le") return CompareOp::kLe;
+  if (name == "gt") return CompareOp::kGt;
+  if (name == "ge") return CompareOp::kGe;
+  return Status::InvalidArgument("diffcase: unknown comparison '" + name +
+                                 "'");
+}
+
+Result<ExprPtr> ParseLiteralExpr(const std::string& text) {
+  if (text.size() < 2 || text[1] != ':') {
+    return Status::InvalidArgument("diffcase: bad literal '" + text + "'");
+  }
+  const std::string body = text.substr(2);
+  switch (text[0]) {
+    case 'i':
+      return Expr::LitInt(std::strtoll(body.c_str(), nullptr, 10));
+    case 'd':
+      return Expr::Lit(Value::Double(std::strtod(body.c_str(), nullptr)));
+    case 's':
+      return Expr::LitString(body);
+    case 'b':
+      return Expr::LitBool(body == "1" || body == "true");
+    default:
+      return Status::InvalidArgument("diffcase: bad literal '" + text + "'");
+  }
+}
+
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      if (i > start) out.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+/// Splits on top-level ';' only (braces nest for wrapped projections).
+std::vector<std::string> SplitProjectionItems(const std::string& text) {
+  std::vector<std::string> out;
+  int depth = 0;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || (text[i] == ';' && depth == 0)) {
+      if (i > start) out.push_back(text.substr(start, i - start));
+      start = i + 1;
+    } else if (text[i] == '{') {
+      ++depth;
+    } else if (text[i] == '}') {
+      --depth;
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Projection>> ParseProjectionList(const std::string& text) {
+  std::vector<Projection> out;
+  for (const std::string& item : SplitProjectionItems(text)) {
+    const size_t eq = item.find('=');
+    const size_t brace = item.find('{');
+    if (brace != std::string::npos &&
+        (eq == std::string::npos || brace < eq)) {
+      if (item.empty() || item.back() != '}') {
+        return Status::InvalidArgument("diffcase: bad projection '" + item +
+                                       "'");
+      }
+      PEBBLE_ASSIGN_OR_RETURN(
+          std::vector<Projection> children,
+          ParseProjectionList(item.substr(brace + 1,
+                                          item.size() - brace - 2)));
+      out.push_back(
+          Projection::Nested(item.substr(0, brace), std::move(children)));
+    } else if (eq != std::string::npos && eq > 0) {
+      const std::string path_text = item.substr(eq + 1);
+      PEBBLE_ASSIGN_OR_RETURN(Path parsed, Path::Parse(path_text));
+      (void)parsed;
+      out.push_back(Projection::Leaf(item.substr(0, eq), path_text));
+    } else {
+      return Status::InvalidArgument("diffcase: bad projection '" + item +
+                                     "'");
+    }
+  }
+  if (out.empty()) {
+    return Status::InvalidArgument("diffcase: empty projection list");
+  }
+  return out;
+}
+
+Result<std::vector<GroupKey>> ParseGroupKeys(const std::string& text) {
+  std::vector<GroupKey> keys;
+  for (const std::string& item : Split(text, ',')) {
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == item.size()) {
+      return Status::InvalidArgument("diffcase: bad group key '" + item +
+                                     "'");
+    }
+    PEBBLE_ASSIGN_OR_RETURN(Path parsed, Path::Parse(item.substr(0, eq)));
+    (void)parsed;
+    keys.push_back(GroupKey::As(item.substr(0, eq), item.substr(eq + 1)));
+  }
+  if (keys.empty()) {
+    return Status::InvalidArgument("diffcase: empty group key list");
+  }
+  return keys;
+}
+
+Result<std::vector<AggSpec>> ParseAggSpecs(const std::string& text) {
+  std::vector<AggSpec> aggs;
+  for (const std::string& item : Split(text, ',')) {
+    const size_t c1 = item.find(':');
+    const size_t c2 = c1 == std::string::npos ? c1 : item.find(':', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos) {
+      return Status::InvalidArgument("diffcase: bad aggregate '" + item +
+                                     "'");
+    }
+    const std::string kind = item.substr(0, c1);
+    const std::string input = item.substr(c1 + 1, c2 - c1 - 1);
+    const std::string output = item.substr(c2 + 1);
+    if (output.empty()) {
+      return Status::InvalidArgument("diffcase: aggregate without output '" +
+                                     item + "'");
+    }
+    if (kind == "count") {
+      aggs.push_back(AggSpec::Count(output));
+      continue;
+    }
+    PEBBLE_ASSIGN_OR_RETURN(Path parsed, Path::Parse(input));
+    (void)parsed;
+    if (kind == "sum") {
+      aggs.push_back(AggSpec::Sum(input, output));
+    } else if (kind == "min") {
+      aggs.push_back(AggSpec::Min(input, output));
+    } else if (kind == "max") {
+      aggs.push_back(AggSpec::Max(input, output));
+    } else if (kind == "avg") {
+      aggs.push_back(AggSpec::Avg(input, output));
+    } else if (kind == "collect_list") {
+      aggs.push_back(AggSpec::CollectList(input, output));
+    } else if (kind == "collect_set") {
+      aggs.push_back(AggSpec::CollectSet(input, output));
+    } else {
+      return Status::InvalidArgument("diffcase: unknown aggregate kind '" +
+                                     kind + "'");
+    }
+  }
+  if (aggs.empty()) {
+    return Status::InvalidArgument("diffcase: empty aggregate list");
+  }
+  return aggs;
+}
+
+Result<std::vector<Path>> ParsePathList(const std::string& text) {
+  std::vector<Path> out;
+  for (const std::string& item : Split(text, ',')) {
+    PEBBLE_ASSIGN_OR_RETURN(Path path, Path::Parse(item));
+    out.push_back(std::move(path));
+  }
+  if (out.empty()) {
+    return Status::InvalidArgument("diffcase: empty path list");
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Lowering OpSpecs to engine artifacts
+// ---------------------------------------------------------------------------
+
+Result<ExprPtr> BuildFilterPredicate(const OpSpec& op) {
+  PEBBLE_ASSIGN_OR_RETURN(CompareOp cmp, ParseCmp(op.cmp));
+  PEBBLE_ASSIGN_OR_RETURN(Path col, Path::Parse(op.path));
+  PEBBLE_ASSIGN_OR_RETURN(ExprPtr lit, ParseLiteralExpr(op.literal));
+  return Expr::Compare(cmp, Expr::ColPath(std::move(col)), std::move(lit));
+}
+
+Result<ExprPtr> BuildThetaPredicate(const OpSpec& op) {
+  PEBBLE_ASSIGN_OR_RETURN(CompareOp cmp, ParseCmp(op.cmp));
+  PEBBLE_ASSIGN_OR_RETURN(Path left, Path::Parse(op.path));
+  PEBBLE_ASSIGN_OR_RETURN(Path right, Path::Parse(op.rpath));
+  return Expr::Compare(cmp, Expr::ColPath(std::move(left)),
+                       Expr::ColPath(std::move(right)));
+}
+
+struct MapArtifacts {
+  MapFn fn;
+  TypePtr declared;
+  std::string label;
+};
+
+Result<MapArtifacts> BuildMapArtifacts(const OpSpec& op,
+                                       const TypePtr& in_schema) {
+  if (in_schema == nullptr || in_schema->kind() != TypeKind::kStruct) {
+    return Status::InvalidArgument("diffcase: map over a non-struct input");
+  }
+  MapArtifacts out;
+  if (op.variant == "tag") {
+    if (op.attr.empty()) {
+      return Status::InvalidArgument("diffcase: map tag without attribute");
+    }
+    const std::string attr = op.attr;
+    out.fn = [attr](const Value& item) -> Result<ValuePtr> {
+      if (!item.is_struct()) {
+        return Status::TypeError("map tag expects a struct item");
+      }
+      std::vector<Field> fields = item.fields();
+      fields.push_back(Field{attr, Value::Int(1)});
+      return Value::Struct(std::move(fields));
+    };
+    std::vector<FieldType> fields = in_schema->fields();
+    fields.push_back(FieldType{attr, DataType::Int()});
+    out.declared = DataType::Struct(std::move(fields));
+    out.label = "map(tag:" + attr + ")";
+  } else if (op.variant == "identity") {
+    out.fn = [](const Value& item) -> Result<ValuePtr> {
+      if (!item.is_struct()) {
+        return Status::TypeError("map identity expects a struct item");
+      }
+      return Value::Struct(item.fields());
+    };
+    out.declared = in_schema;
+    out.label = "map(identity)";
+  } else {
+    return Status::InvalidArgument("diffcase: unknown map variant '" +
+                                   op.variant + "'");
+  }
+  return out;
+}
+
+/// The output schema of one OpSpec, recomputed through the engine's own
+/// InferSchema on a throwaway operator instance — the single source of truth
+/// for schema tracking in both the generator and BuildCase, so shrunk or
+/// hand-edited cases can never carry stale schema state.
+Result<TypePtr> OpOutputSchema(const OpSpec& op,
+                               const std::vector<TypePtr>& in_schemas) {
+  switch (op.kind) {
+    case OpSpec::Kind::kFilter: {
+      PEBBLE_ASSIGN_OR_RETURN(ExprPtr pred, BuildFilterPredicate(op));
+      return FilterOp(std::move(pred)).InferSchema(in_schemas);
+    }
+    case OpSpec::Kind::kSelect: {
+      PEBBLE_ASSIGN_OR_RETURN(std::vector<Projection> projs,
+                              ParseProjectionList(op.projections));
+      return SelectOp(std::move(projs)).InferSchema(in_schemas);
+    }
+    case OpSpec::Kind::kMap: {
+      PEBBLE_ASSIGN_OR_RETURN(MapArtifacts m,
+                              BuildMapArtifacts(op, in_schemas[0]));
+      return m.declared;
+    }
+    case OpSpec::Kind::kJoin: {
+      PEBBLE_ASSIGN_OR_RETURN(std::vector<Path> lk, ParsePathList(op.keys));
+      PEBBLE_ASSIGN_OR_RETURN(std::vector<Path> rk, ParsePathList(op.rkeys));
+      return JoinOp(std::move(lk), std::move(rk)).InferSchema(in_schemas);
+    }
+    case OpSpec::Kind::kThetaJoin: {
+      PEBBLE_ASSIGN_OR_RETURN(ExprPtr phi, BuildThetaPredicate(op));
+      return JoinOp::Theta(std::move(phi))->InferSchema(in_schemas);
+    }
+    case OpSpec::Kind::kUnion:
+      return UnionOp().InferSchema(in_schemas);
+    case OpSpec::Kind::kFlatten: {
+      PEBBLE_ASSIGN_OR_RETURN(Path col, Path::Parse(op.path));
+      return FlattenOp(std::move(col), op.attr).InferSchema(in_schemas);
+    }
+    case OpSpec::Kind::kGroup: {
+      PEBBLE_ASSIGN_OR_RETURN(std::vector<GroupKey> keys,
+                              ParseGroupKeys(op.keys));
+      PEBBLE_ASSIGN_OR_RETURN(std::vector<AggSpec> aggs,
+                              ParseAggSpecs(op.aggs));
+      return GroupAggregateOp(std::move(keys), std::move(aggs))
+          .InferSchema(in_schemas);
+    }
+  }
+  return Status::Internal("diffcase: unreachable op kind");
+}
+
+Status ValidateWiring(const DiffCase& c) {
+  if (c.partitions < 1) {
+    return Status::InvalidArgument("diffcase: partitions must be >= 1");
+  }
+  if (c.sources.empty()) {
+    return Status::InvalidArgument("diffcase: no sources");
+  }
+  for (size_t j = 0; j < c.ops.size(); ++j) {
+    const OpSpec& op = c.ops[j];
+    const int node = static_cast<int>(c.sources.size() + j);
+    if (op.in1 < 0 || op.in1 >= node) {
+      return Status::InvalidArgument("diffcase: op " + std::to_string(j) +
+                                     " input out of range");
+    }
+    if (IsBinary(op.kind) && (op.in2 < 0 || op.in2 >= node)) {
+      return Status::InvalidArgument("diffcase: op " + std::to_string(j) +
+                                     " second input out of range");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DiffCase
+// ---------------------------------------------------------------------------
+
+bool DiffCase::HasExchange() const {
+  for (const OpSpec& op : ops) {
+    if (IsBinary(op.kind) || op.kind == OpSpec::Kind::kGroup) return true;
+  }
+  return false;
+}
+
+std::string DiffCase::Serialize() const {
+  std::ostringstream out;
+  out << "pebble-diffcase v1\n";
+  out << "partitions " << partitions << "\n";
+  for (const SourceSpec& s : sources) {
+    out << "source " << s.name << " " << s.seed << " " << s.rows << " "
+        << (s.schema != nullptr ? s.schema->ToString() : "?") << "\n";
+  }
+  for (const OpSpec& op : ops) {
+    out << "op " << KindName(op.kind) << " " << op.in1;
+    if (IsBinary(op.kind)) out << " " << op.in2;
+    if (!op.path.empty()) out << " p=" << op.path;
+    if (!op.cmp.empty()) out << " c=" << op.cmp;
+    if (!op.literal.empty()) out << " l=" << op.literal;
+    if (!op.rpath.empty()) out << " r=" << op.rpath;
+    if (!op.projections.empty()) out << " proj=" << op.projections;
+    if (!op.variant.empty()) out << " v=" << op.variant;
+    if (!op.attr.empty()) out << " a=" << op.attr;
+    if (!op.keys.empty()) out << " k=" << op.keys;
+    if (!op.rkeys.empty()) out << " rk=" << op.rkeys;
+    if (!op.aggs.empty()) out << " agg=" << op.aggs;
+    out << "\n";
+  }
+  if (!pattern_text.empty()) out << "pattern " << pattern_text << "\n";
+  return out.str();
+}
+
+Result<DiffCase> DiffCase::Parse(const std::string& text) {
+  DiffCase c;
+  c.partitions = 2;
+  std::istringstream in(text);
+  std::string line;
+  bool saw_header = false;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    if (!saw_header) {
+      if (line != "pebble-diffcase v1") {
+        return Status::InvalidArgument(
+            "diffcase: missing 'pebble-diffcase v1' header");
+      }
+      saw_header = true;
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    const auto err = [&](const std::string& msg) {
+      return Status::InvalidArgument("diffcase line " +
+                                     std::to_string(lineno) + ": " + msg);
+    };
+    if (tag == "partitions") {
+      if (!(ls >> c.partitions)) return err("bad partition count");
+    } else if (tag == "source") {
+      SourceSpec s;
+      std::string schema_text;
+      if (!(ls >> s.name >> s.seed >> s.rows >> schema_text)) {
+        return err("want: source <name> <seed> <rows> <schema>");
+      }
+      PEBBLE_ASSIGN_OR_RETURN(s.schema, ParseDataType(schema_text));
+      if (s.schema->kind() != TypeKind::kStruct) {
+        return err("source schema must be a struct");
+      }
+      if (s.rows < 0) return err("negative row count");
+      c.sources.push_back(std::move(s));
+    } else if (tag == "op") {
+      OpSpec op;
+      std::string kind_name;
+      if (!(ls >> kind_name)) return err("missing op kind");
+      PEBBLE_ASSIGN_OR_RETURN(op.kind, ParseKind(kind_name));
+      if (!(ls >> op.in1)) return err("missing op input");
+      if (IsBinary(op.kind) && !(ls >> op.in2)) {
+        return err("missing second op input");
+      }
+      std::string kv;
+      while (ls >> kv) {
+        const size_t eq = kv.find('=');
+        if (eq == std::string::npos) return err("bad op argument '" + kv +
+                                                "'");
+        const std::string key = kv.substr(0, eq);
+        const std::string value = kv.substr(eq + 1);
+        if (key == "p") {
+          op.path = value;
+        } else if (key == "c") {
+          op.cmp = value;
+        } else if (key == "l") {
+          op.literal = value;
+        } else if (key == "r") {
+          op.rpath = value;
+        } else if (key == "proj") {
+          op.projections = value;
+        } else if (key == "v") {
+          op.variant = value;
+        } else if (key == "a") {
+          op.attr = value;
+        } else if (key == "k") {
+          op.keys = value;
+        } else if (key == "rk") {
+          op.rkeys = value;
+        } else if (key == "agg") {
+          op.aggs = value;
+        } else {
+          return err("unknown op argument key '" + key + "'");
+        }
+      }
+      c.ops.push_back(std::move(op));
+    } else if (tag == "pattern") {
+      std::string rest;
+      std::getline(ls, rest);
+      size_t start = rest.find_first_not_of(' ');
+      c.pattern_text =
+          start == std::string::npos ? std::string() : rest.substr(start);
+    } else {
+      return err("unknown line tag '" + tag + "'");
+    }
+  }
+  if (!saw_header) {
+    return Status::InvalidArgument("diffcase: empty input");
+  }
+  PEBBLE_RETURN_NOT_OK(ValidateWiring(c));
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// BuildCase
+// ---------------------------------------------------------------------------
+
+Result<std::vector<TypePtr>> NodeSchemas(const DiffCase& c) {
+  PEBBLE_RETURN_NOT_OK(ValidateWiring(c));
+  std::vector<TypePtr> schemas;
+  schemas.reserve(c.NumNodes());
+  for (const SourceSpec& s : c.sources) schemas.push_back(s.schema);
+  for (const OpSpec& op : c.ops) {
+    std::vector<TypePtr> ins;
+    ins.push_back(schemas[op.in1]);
+    if (IsBinary(op.kind)) ins.push_back(schemas[op.in2]);
+    PEBBLE_ASSIGN_OR_RETURN(TypePtr out, OpOutputSchema(op, ins));
+    schemas.push_back(std::move(out));
+  }
+  return schemas;
+}
+
+Result<BuiltCase> BuildCase(const DiffCase& c) {
+  PEBBLE_RETURN_NOT_OK(ValidateWiring(c));
+
+  PipelineBuilder builder;
+  std::vector<int> oids;
+  std::vector<TypePtr> schemas;
+  oids.reserve(c.NumNodes());
+  schemas.reserve(c.NumNodes());
+
+  for (const SourceSpec& s : c.sources) {
+    auto data = std::make_shared<const std::vector<ValuePtr>>(
+        workload::RandomDataset(s.seed, s.schema, s.rows));
+    oids.push_back(builder.Scan(s.name, s.schema, std::move(data)));
+    schemas.push_back(s.schema);
+  }
+
+  for (const OpSpec& op : c.ops) {
+    std::vector<TypePtr> in_schemas;
+    in_schemas.push_back(schemas[op.in1]);
+    if (IsBinary(op.kind)) in_schemas.push_back(schemas[op.in2]);
+    PEBBLE_ASSIGN_OR_RETURN(TypePtr out_schema,
+                            OpOutputSchema(op, in_schemas));
+
+    int oid = -1;
+    switch (op.kind) {
+      case OpSpec::Kind::kFilter: {
+        PEBBLE_ASSIGN_OR_RETURN(ExprPtr pred, BuildFilterPredicate(op));
+        oid = builder.Filter(oids[op.in1], std::move(pred));
+        break;
+      }
+      case OpSpec::Kind::kSelect: {
+        PEBBLE_ASSIGN_OR_RETURN(std::vector<Projection> projs,
+                                ParseProjectionList(op.projections));
+        oid = builder.Select(oids[op.in1], std::move(projs));
+        break;
+      }
+      case OpSpec::Kind::kMap: {
+        PEBBLE_ASSIGN_OR_RETURN(MapArtifacts m,
+                                BuildMapArtifacts(op, in_schemas[0]));
+        oid = builder.Map(oids[op.in1], std::move(m.fn),
+                          std::move(m.declared), std::move(m.label));
+        break;
+      }
+      case OpSpec::Kind::kJoin: {
+        oid = builder.Join(oids[op.in1], oids[op.in2], Split(op.keys, ','),
+                           Split(op.rkeys, ','));
+        break;
+      }
+      case OpSpec::Kind::kThetaJoin: {
+        PEBBLE_ASSIGN_OR_RETURN(ExprPtr phi, BuildThetaPredicate(op));
+        oid = builder.ThetaJoin(oids[op.in1], oids[op.in2], std::move(phi));
+        break;
+      }
+      case OpSpec::Kind::kUnion: {
+        oid = builder.Union(oids[op.in1], oids[op.in2]);
+        break;
+      }
+      case OpSpec::Kind::kFlatten: {
+        oid = builder.Flatten(oids[op.in1], op.path, op.attr);
+        break;
+      }
+      case OpSpec::Kind::kGroup: {
+        PEBBLE_ASSIGN_OR_RETURN(std::vector<GroupKey> keys,
+                                ParseGroupKeys(op.keys));
+        PEBBLE_ASSIGN_OR_RETURN(std::vector<AggSpec> aggs,
+                                ParseAggSpecs(op.aggs));
+        oid = builder.GroupAggregate(oids[op.in1], std::move(keys),
+                                     std::move(aggs));
+        break;
+      }
+    }
+    oids.push_back(oid);
+    schemas.push_back(std::move(out_schema));
+  }
+
+  if (c.pattern_text.empty()) {
+    return Status::InvalidArgument("diffcase: missing pattern");
+  }
+  PEBBLE_ASSIGN_OR_RETURN(Pipeline pipeline, builder.Build(oids.back()));
+  PEBBLE_ASSIGN_OR_RETURN(TreePattern pattern,
+                          TreePattern::Parse(c.pattern_text));
+  return BuiltCase{std::move(pipeline), std::move(pattern)};
+}
+
+// ---------------------------------------------------------------------------
+// GenerateCase
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct FieldInfo {
+  std::string name;
+  TypePtr type;
+};
+
+bool IsScalarKind(TypeKind kind) {
+  return kind == TypeKind::kInt || kind == TypeKind::kDouble ||
+         kind == TypeKind::kString;
+}
+
+std::vector<FieldInfo> TopFields(const TypePtr& schema) {
+  std::vector<FieldInfo> out;
+  if (schema != nullptr && schema->kind() == TypeKind::kStruct) {
+    for (const FieldType& f : schema->fields()) {
+      out.push_back(FieldInfo{f.name, f.type});
+    }
+  }
+  return out;
+}
+
+std::vector<FieldInfo> FieldsOfKind(const std::vector<FieldInfo>& fields,
+                                    TypeKind kind) {
+  std::vector<FieldInfo> out;
+  for (const FieldInfo& f : fields) {
+    if (f.type->kind() == kind) out.push_back(f);
+  }
+  return out;
+}
+
+std::vector<FieldInfo> ScalarFields(const std::vector<FieldInfo>& fields) {
+  std::vector<FieldInfo> out;
+  for (const FieldInfo& f : fields) {
+    if (IsScalarKind(f.type->kind())) out.push_back(f);
+  }
+  return out;
+}
+
+/// Bag fields whose elements are structs (flatten + child patterns) and bag
+/// fields of scalars, separately.
+std::vector<FieldInfo> StructBagFields(const std::vector<FieldInfo>& fields) {
+  std::vector<FieldInfo> out;
+  for (const FieldInfo& f : fields) {
+    if (f.type->kind() == TypeKind::kBag &&
+        f.type->element()->kind() == TypeKind::kStruct &&
+        !f.type->element()->fields().empty()) {
+      out.push_back(f);
+    }
+  }
+  return out;
+}
+
+std::vector<FieldInfo> ScalarBagFields(const std::vector<FieldInfo>& fields) {
+  std::vector<FieldInfo> out;
+  for (const FieldInfo& f : fields) {
+    if (f.type->kind() == TypeKind::kBag &&
+        IsScalarKind(f.type->element()->kind())) {
+      out.push_back(f);
+    }
+  }
+  return out;
+}
+
+std::string FormatHalf(int64_t halves) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", static_cast<double>(halves) * 0.5);
+  return buf;
+}
+
+/// Literal in the OpSpec encoding for a scalar of `kind`, drawn from the
+/// same tiny domains random_data.h fills values from (so predicates hit).
+std::string RandomLiteralFor(Rng* rng, TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kInt:
+      return "i:" + std::to_string(rng->NextInt(0, 7));
+    case TypeKind::kDouble:
+      return "d:" + FormatHalf(rng->NextInt(0, 14));
+    case TypeKind::kString:
+      return "s:s" + std::to_string(rng->NextBounded(5));
+    default:
+      return "i:0";
+  }
+}
+
+std::string RandomCmp(Rng* rng, TypeKind kind) {
+  static const std::vector<std::string> kAll = {"eq", "ne", "lt",
+                                                "le", "gt", "ge"};
+  static const std::vector<std::string> kEquality = {"eq", "ne"};
+  return kind == TypeKind::kString ? rng->Pick(kEquality) : rng->Pick(kAll);
+}
+
+/// Pattern-syntax predicate suffix for a scalar of `kind` ("" = bare name).
+std::string RandomPatternPredicate(Rng* rng, TypeKind kind) {
+  static const std::vector<std::string> kOps = {"=", "!=", "<",
+                                                "<=", ">", ">="};
+  switch (kind) {
+    case TypeKind::kInt:
+      if (rng->NextBool(0.2)) return "";
+      return rng->Pick(kOps) + std::to_string(rng->NextInt(0, 7));
+    case TypeKind::kDouble:
+      return rng->Pick(kOps) + FormatHalf(rng->NextInt(0, 14));
+    case TypeKind::kString:
+      if (rng->NextBool(0.2)) return "";
+      return (rng->NextBool(0.5) ? "=" : "!=") + std::string("'s") +
+             std::to_string(rng->NextBounded(5)) + "'";
+    default:
+      return "";
+  }
+}
+
+/// One conjunct over a scalar field (used at top level, inside struct and
+/// collection children, and behind the descendant axis).
+std::string ScalarConjunct(Rng* rng, const FieldInfo& f) {
+  return f.name + RandomPatternPredicate(rng, f.type->kind());
+}
+
+std::string RandomCount(Rng* rng) {
+  switch (rng->NextBounded(3)) {
+    case 0:
+      return "[1,2]";
+    case 1:
+      return "[2,*]";
+    default:
+      return "[1,*]";
+  }
+}
+
+/// One random root conjunct over the sink schema. Returns "" when the field
+/// shape offers nothing (never happens with generated schemas, but be safe).
+std::string RootConjunct(Rng* rng, const FieldInfo& f) {
+  const TypeKind kind = f.type->kind();
+  if (IsScalarKind(kind)) {
+    return ScalarConjunct(rng, f);
+  }
+  if (kind == TypeKind::kBag || kind == TypeKind::kSet) {
+    const TypePtr elem = f.type->element();
+    if (elem->kind() == TypeKind::kStruct && !elem->fields().empty()) {
+      std::vector<FieldInfo> inner = ScalarFields(TopFields(elem));
+      if (inner.empty()) return f.name;
+      std::string text = f.name;
+      if (rng->NextBool(0.35)) text += RandomCount(rng);
+      text += "(" + ScalarConjunct(rng, rng->Pick(inner)) + ")";
+      return text;
+    }
+    if (IsScalarKind(elem->kind())) {
+      std::string text =
+          f.name + RandomPatternPredicate(rng, elem->kind());
+      if (rng->NextBool(0.3)) text += RandomCount(rng);
+      return text;
+    }
+    return f.name;
+  }
+  if (kind == TypeKind::kStruct) {
+    std::vector<FieldInfo> inner = ScalarFields(TopFields(f.type));
+    if (inner.empty()) return f.name;
+    return f.name + "(" + ScalarConjunct(rng, rng->Pick(inner)) + ")";
+  }
+  return f.name;
+}
+
+/// Scalar leaves reachable anywhere below the sink's top level, for the
+/// descendant axis (name only — that is all '//' matches on).
+void CollectDescendantLeaves(const TypePtr& type,
+                             std::vector<FieldInfo>* out) {
+  switch (type->kind()) {
+    case TypeKind::kStruct:
+      for (const FieldType& f : type->fields()) {
+        if (IsScalarKind(f.type->kind())) {
+          out->push_back(FieldInfo{f.name, f.type});
+        } else {
+          CollectDescendantLeaves(f.type, out);
+        }
+      }
+      break;
+    case TypeKind::kBag:
+    case TypeKind::kSet:
+      CollectDescendantLeaves(type->element(), out);
+      break;
+    default:
+      break;
+  }
+}
+
+std::string GeneratePatternText(Rng* rng, const TypePtr& sink) {
+  std::vector<FieldInfo> fields = TopFields(sink);
+  if (fields.empty()) return "";
+  std::vector<std::string> conjuncts;
+  conjuncts.push_back(RootConjunct(rng, rng->Pick(fields)));
+  if (rng->NextBool(0.35)) {
+    conjuncts.push_back(RootConjunct(rng, rng->Pick(fields)));
+  }
+  if (rng->NextBool(0.25)) {
+    std::vector<FieldInfo> leaves;
+    CollectDescendantLeaves(sink, &leaves);
+    if (!leaves.empty()) {
+      conjuncts.push_back("//" + ScalarConjunct(rng, rng->Pick(leaves)));
+    }
+  }
+  std::string out;
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += conjuncts[i];
+  }
+  return out;
+}
+
+/// Random source schema: always a top-level Int and String field (so joins,
+/// filters and grouping always have material), plus 1-3 extras drawn from
+/// the full nested repertoire. `counter` keeps names globally unique so the
+/// two join sides never collide (JoinOp rejects shared attribute names).
+TypePtr RandomSchema(Rng* rng, int* counter) {
+  const auto fresh = [counter] {
+    return "f" + std::to_string((*counter)++);
+  };
+  std::vector<FieldType> fields;
+  fields.push_back(FieldType{fresh(), DataType::Int()});
+  fields.push_back(FieldType{fresh(), DataType::String()});
+  const int extras = 1 + static_cast<int>(rng->NextBounded(3));
+  for (int i = 0; i < extras; ++i) {
+    switch (rng->NextBounded(6)) {
+      case 0:
+        fields.push_back(FieldType{fresh(), DataType::Int()});
+        break;
+      case 1:
+        fields.push_back(FieldType{fresh(), DataType::Double()});
+        break;
+      case 2:
+        fields.push_back(FieldType{fresh(), DataType::String()});
+        break;
+      case 3: {
+        std::vector<FieldType> inner;
+        inner.push_back(FieldType{fresh(), DataType::Int()});
+        inner.push_back(FieldType{fresh(), DataType::String()});
+        fields.push_back(
+            FieldType{fresh(), DataType::Bag(DataType::Struct(inner))});
+        break;
+      }
+      case 4:
+        fields.push_back(FieldType{fresh(), DataType::Bag(DataType::Int())});
+        break;
+      default: {
+        std::vector<FieldType> inner;
+        inner.push_back(FieldType{fresh(), DataType::Int()});
+        inner.push_back(FieldType{fresh(), DataType::String()});
+        fields.push_back(FieldType{fresh(), DataType::Struct(inner)});
+        break;
+      }
+    }
+  }
+  return DataType::Struct(std::move(fields));
+}
+
+/// Common scalar kind present at the top level of both schemas, in int,
+/// string, double preference order; kNull when none.
+TypeKind CommonScalarKind(const TypePtr& left, const TypePtr& right) {
+  const std::vector<FieldInfo> lf = TopFields(left);
+  const std::vector<FieldInfo> rf = TopFields(right);
+  for (TypeKind kind :
+       {TypeKind::kInt, TypeKind::kString, TypeKind::kDouble}) {
+    if (!FieldsOfKind(lf, kind).empty() && !FieldsOfKind(rf, kind).empty()) {
+      return kind;
+    }
+  }
+  return TypeKind::kNull;
+}
+
+/// A join (equi when the sides share a scalar kind, theta otherwise)
+/// between `left_node` and `right_node`.
+OpSpec MakeJoinSpec(Rng* rng, int left_node, const TypePtr& left_schema,
+                    int right_node, const TypePtr& right_schema) {
+  OpSpec op;
+  op.in1 = left_node;
+  op.in2 = right_node;
+  const TypeKind kind = CommonScalarKind(left_schema, right_schema);
+  if (kind != TypeKind::kNull && rng->NextBool(0.85)) {
+    op.kind = OpSpec::Kind::kJoin;
+    op.keys = rng->Pick(FieldsOfKind(TopFields(left_schema), kind)).name;
+    op.rkeys = rng->Pick(FieldsOfKind(TopFields(right_schema), kind)).name;
+    return op;
+  }
+  op.kind = OpSpec::Kind::kThetaJoin;
+  const std::vector<FieldInfo> ls = ScalarFields(TopFields(left_schema));
+  const std::vector<FieldInfo> rs = ScalarFields(TopFields(right_schema));
+  const FieldInfo& lf = rng->Pick(ls);
+  // Prefer a same-kind right field; cross-kind comparisons just evaluate to
+  // null and produce an empty (but still well-defined) join.
+  std::vector<FieldInfo> rk = FieldsOfKind(TopFields(right_schema),
+                                           lf.type->kind());
+  const FieldInfo& rf = rk.empty() ? rng->Pick(rs) : rng->Pick(rk);
+  op.path = lf.name;
+  op.rpath = rf.name;
+  op.cmp = RandomCmp(rng, lf.type->kind());
+  return op;
+}
+
+OpSpec MakeFilterSpec(Rng* rng, int node, const TypePtr& schema) {
+  OpSpec op;
+  op.kind = OpSpec::Kind::kFilter;
+  op.in1 = node;
+  const FieldInfo f = rng->Pick(ScalarFields(TopFields(schema)));
+  op.path = f.name;
+  op.cmp = RandomCmp(rng, f.type->kind());
+  op.literal = RandomLiteralFor(rng, f.type->kind());
+  return op;
+}
+
+OpSpec MakeSelectSpec(Rng* rng, int node, const TypePtr& schema,
+                      int* counter) {
+  OpSpec op;
+  op.kind = OpSpec::Kind::kSelect;
+  op.in1 = node;
+  const std::vector<FieldInfo> fields = TopFields(schema);
+  const std::vector<FieldInfo> scalars = ScalarFields(fields);
+
+  std::vector<std::string> items;
+  bool kept_scalar = false;
+  for (const FieldInfo& f : fields) {
+    const bool scalar = IsScalarKind(f.type->kind());
+    if (rng->NextBool(0.7)) {
+      items.push_back(f.name + "=" + f.name);
+      kept_scalar = kept_scalar || scalar;
+    }
+  }
+  // The chain invariant: every node keeps at least one top-level scalar
+  // (filters, group keys and join keys all need one downstream).
+  if (!kept_scalar && !scalars.empty()) {
+    const FieldInfo& f = rng->Pick(scalars);
+    items.push_back(f.name + "=" + f.name);
+  }
+  if (items.empty()) {
+    const FieldInfo& f = fields[0];
+    items.push_back(f.name + "=" + f.name);
+  }
+  // Occasionally regroup two scalars under a fresh struct (the select
+  // restructuring rule of Tab. 5 — manipulations with nested out paths).
+  if (scalars.size() >= 2 && rng->NextBool(0.3)) {
+    const std::string wrap = "f" + std::to_string((*counter)++);
+    const FieldInfo& a = scalars[rng->NextBounded(scalars.size())];
+    const FieldInfo& b = scalars[rng->NextBounded(scalars.size())];
+    items.push_back(wrap + "{" + a.name + "=" + a.name + ";" + b.name + "=" +
+                    b.name + "}");
+  }
+  // Occasionally pull a nested-struct leaf up to the top level.
+  const std::vector<FieldInfo> structs =
+      FieldsOfKind(fields, TypeKind::kStruct);
+  if (!structs.empty() && rng->NextBool(0.4)) {
+    const FieldInfo& st = rng->Pick(structs);
+    const std::vector<FieldInfo> inner = ScalarFields(TopFields(st.type));
+    if (!inner.empty()) {
+      const FieldInfo& leaf = rng->Pick(inner);
+      items.push_back("f" + std::to_string((*counter)++) + "=" + st.name +
+                      "." + leaf.name);
+    }
+  }
+  std::string text;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) text += ";";
+    text += items[i];
+  }
+  op.projections = text;
+  return op;
+}
+
+OpSpec MakeMapSpec(Rng* rng, int node, int* counter) {
+  OpSpec op;
+  op.kind = OpSpec::Kind::kMap;
+  op.in1 = node;
+  if (rng->NextBool(0.3)) {
+    op.variant = "tag";
+    op.attr = "f" + std::to_string((*counter)++);
+  } else {
+    op.variant = "identity";
+  }
+  return op;
+}
+
+OpSpec MakeFlattenSpec(Rng* rng, int node, const TypePtr& schema,
+                       int* counter) {
+  OpSpec op;
+  op.kind = OpSpec::Kind::kFlatten;
+  op.in1 = node;
+  std::vector<FieldInfo> bags = StructBagFields(TopFields(schema));
+  for (const FieldInfo& f : ScalarBagFields(TopFields(schema))) {
+    bags.push_back(f);
+  }
+  op.path = rng->Pick(bags).name;
+  op.attr = "f" + std::to_string((*counter)++);
+  return op;
+}
+
+/// `allow_collect` gates the order-sensitive nesting aggregates: downstream
+/// of an exchange (join/union/group) the member order seen by collect_list
+/// depends on the partitioning (Spark-like shuffle nondeterminism), so the
+/// partition-invariance stages would flag a non-bug. The exact 1-partition
+/// leg still exercises collect aggregates against the oracle whenever the
+/// chain below is exchange-free.
+OpSpec MakeGroupSpec(Rng* rng, int node, const TypePtr& schema,
+                     int* counter, bool allow_collect) {
+  OpSpec op;
+  op.kind = OpSpec::Kind::kGroup;
+  op.in1 = node;
+  const std::vector<FieldInfo> scalars = ScalarFields(TopFields(schema));
+  const auto fresh = [counter] {
+    return "f" + std::to_string((*counter)++);
+  };
+
+  std::vector<FieldInfo> keys;
+  keys.push_back(rng->Pick(scalars));
+  if (scalars.size() >= 2 && rng->NextBool(0.3)) {
+    const FieldInfo& second = rng->Pick(scalars);
+    if (second.name != keys[0].name) keys.push_back(second);
+  }
+  std::string key_text;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (i > 0) key_text += ",";
+    key_text += keys[i].name + "=" + keys[i].name;
+  }
+  op.keys = key_text;
+
+  std::vector<std::string> aggs;
+  const int num_aggs = 1 + static_cast<int>(rng->NextBounded(2));
+  for (int i = 0; i < num_aggs; ++i) {
+    const FieldInfo& f = rng->Pick(scalars);
+    const TypeKind kind = f.type->kind();
+    std::vector<std::string> cands = {"count", "min", "max"};
+    if (allow_collect) {
+      cands.push_back("collect_list");
+      cands.push_back("collect_set");
+    }
+    if (kind == TypeKind::kInt || kind == TypeKind::kDouble) {
+      cands.push_back("sum");
+      cands.push_back("avg");
+    }
+    const std::string agg_kind = rng->Pick(cands);
+    const std::string input = agg_kind == "count" ? "" : f.name;
+    aggs.push_back(agg_kind + ":" + input + ":" + fresh());
+  }
+  std::string agg_text;
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    if (i > 0) agg_text += ",";
+    agg_text += aggs[i];
+  }
+  op.aggs = agg_text;
+  return op;
+}
+
+}  // namespace
+
+DiffCase GenerateCase(uint64_t seed) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0xd1ffca5eULL);
+  DiffCase c;
+  c.partitions = 2 + static_cast<int>(rng.NextBounded(3));
+
+  int counter = 0;
+  const int num_sources = rng.NextBool(0.5) ? 2 : 1;
+  for (int i = 0; i < num_sources; ++i) {
+    SourceSpec s;
+    s.name = "src" + std::to_string(i);
+    s.seed = seed * 31 + static_cast<uint64_t>(i) + 1;
+    s.rows = 6 + static_cast<int>(rng.NextBounded(15));
+    s.schema = RandomSchema(&rng, &counter);
+    c.sources.push_back(std::move(s));
+  }
+
+  // Schema per node, maintained through the engine's own InferSchema, and
+  // whether an exchange feeds the node (gates order-sensitive aggregates).
+  std::vector<TypePtr> schemas;
+  std::vector<bool> exchanged;
+  for (const SourceSpec& s : c.sources) {
+    schemas.push_back(s.schema);
+    exchanged.push_back(false);
+  }
+
+  const auto append = [&](OpSpec op) -> bool {
+    std::vector<TypePtr> ins;
+    ins.push_back(schemas[op.in1]);
+    if (IsBinary(op.kind)) ins.push_back(schemas[op.in2]);
+    Result<TypePtr> out = OpOutputSchema(op, ins);
+    if (!out.ok()) return false;  // defensive: drop the candidate
+    const bool taint = IsBinary(op.kind) ||
+                       op.kind == OpSpec::Kind::kGroup ||
+                       exchanged[op.in1];
+    c.ops.push_back(std::move(op));
+    schemas.push_back(std::move(out).value());
+    exchanged.push_back(taint);
+    return true;
+  };
+
+  int cur = 0;  // current chain head (node index)
+  bool second_used = num_sources == 1;
+  bool made_diamond = false;
+
+  const int steps = 1 + static_cast<int>(rng.NextBounded(4));
+  for (int k = 0; k < steps; ++k) {
+    const std::vector<FieldInfo> fields = TopFields(schemas[cur]);
+    const bool has_scalar = !ScalarFields(fields).empty();
+    const bool has_bag = !StructBagFields(fields).empty() ||
+                         !ScalarBagFields(fields).empty();
+
+    std::vector<int> cands;  // weighted candidate kinds
+    if (has_scalar) cands.insert(cands.end(), 3, 0);   // filter
+    cands.insert(cands.end(), 2, 1);                   // select
+    cands.push_back(2);                                // map
+    if (has_bag) cands.insert(cands.end(), 2, 3);      // flatten
+    if (has_scalar) cands.insert(cands.end(), 2, 4);   // group
+    if (!second_used) cands.insert(cands.end(), 2, 5); // join
+    if (has_scalar && !made_diamond) cands.push_back(6);  // union diamond
+
+    switch (rng.Pick(cands)) {
+      case 0:
+        if (append(MakeFilterSpec(&rng, cur, schemas[cur]))) {
+          cur = c.NumNodes() - 1;
+        }
+        break;
+      case 1:
+        if (append(MakeSelectSpec(&rng, cur, schemas[cur], &counter))) {
+          cur = c.NumNodes() - 1;
+        }
+        break;
+      case 2:
+        if (append(MakeMapSpec(&rng, cur, &counter))) {
+          cur = c.NumNodes() - 1;
+        }
+        break;
+      case 3:
+        if (append(MakeFlattenSpec(&rng, cur, schemas[cur], &counter))) {
+          cur = c.NumNodes() - 1;
+        }
+        break;
+      case 4:
+        if (append(MakeGroupSpec(&rng, cur, schemas[cur], &counter,
+                                 /*allow_collect=*/!exchanged[cur]))) {
+          cur = c.NumNodes() - 1;
+        }
+        break;
+      case 5:
+        if (append(MakeJoinSpec(&rng, cur, schemas[cur], 1, schemas[1]))) {
+          cur = c.NumNodes() - 1;
+          second_used = true;
+        }
+        break;
+      default: {
+        // Union diamond: two filters over the same node, then their union.
+        if (!append(MakeFilterSpec(&rng, cur, schemas[cur]))) break;
+        const int a = c.NumNodes() - 1;
+        if (!append(MakeFilterSpec(&rng, cur, schemas[cur]))) {
+          cur = a;
+          break;
+        }
+        const int b = c.NumNodes() - 1;
+        OpSpec u;
+        u.kind = OpSpec::Kind::kUnion;
+        u.in1 = a;
+        u.in2 = b;
+        if (append(std::move(u))) {
+          cur = c.NumNodes() - 1;
+          made_diamond = true;
+        } else {
+          cur = b;
+        }
+        break;
+      }
+    }
+  }
+
+  // Every source must feed the sink: Build() rejects dangling operators.
+  if (!second_used) {
+    if (append(MakeJoinSpec(&rng, cur, schemas[cur], 1, schemas[1]))) {
+      cur = c.NumNodes() - 1;
+    }
+  }
+
+  c.pattern_text = GeneratePatternText(&rng, schemas[cur]);
+  if (c.pattern_text.empty() ||
+      !TreePattern::Parse(c.pattern_text).ok()) {
+    // Defensive fallback: a bare-name conjunct on the first sink field.
+    c.pattern_text = TopFields(schemas[cur])[0].name;
+  }
+  return c;
+}
+
+}  // namespace difftest
+}  // namespace pebble

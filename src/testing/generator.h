@@ -1,0 +1,115 @@
+// Seeded, schema-aware differential-case generation.
+//
+// A DiffCase is a fully serializable description of one differential run:
+// random sources (named by (seed, schema, rows) — random_data.h makes that
+// triple deterministic), an operator DAG over them, the partition count for
+// the engine's multi-partition leg, and a tree-pattern query over the sink.
+// The textual form round-trips (Serialize/Parse), which is what makes
+// shrunk repros replayable: the shrinker writes a file, a test replays it.
+//
+// Node indexing: sources come first (0..S-1), then ops in vector order
+// (node S+j for ops[j]); OpSpec inputs are node indexes. BuildCase turns a
+// case into a runnable Pipeline + TreePattern, recomputing every schema
+// from scratch so that a shrunk case (ops dropped, rewired) stays
+// internally consistent without any serialized schema state.
+
+#ifndef PEBBLE_TESTING_GENERATOR_H_
+#define PEBBLE_TESTING_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/tree_pattern.h"
+#include "engine/pipeline.h"
+
+namespace pebble {
+namespace difftest {
+
+/// One random in-memory source: `seed`+`schema`+`rows` name the dataset.
+struct SourceSpec {
+  std::string name;
+  uint64_t seed = 0;
+  int rows = 0;
+  TypePtr schema;
+};
+
+/// One operator over earlier nodes. Parameters are kept in their textual
+/// encodings (the same strings Serialize writes) so specs stay trivially
+/// copyable and the shrinker can splice them without re-encoding.
+struct OpSpec {
+  enum class Kind {
+    kFilter,
+    kSelect,
+    kMap,
+    kJoin,       // equi-join: keys/rkeys are comma-joined path lists
+    kThetaJoin,  // path cmp rpath over the concatenated item
+    kUnion,
+    kFlatten,
+    kGroup,
+  };
+
+  Kind kind = Kind::kFilter;
+  int in1 = -1;  // node index
+  int in2 = -1;  // node index (join/theta-join/union only)
+
+  std::string path;         // filter column, flatten column, theta left path
+  std::string cmp;          // eq|ne|lt|le|gt|ge
+  std::string literal;      // i:<int> | d:<decimal> | s:<text> | b:<0|1>
+  std::string rpath;        // theta right path
+  std::string projections;  // select: name=path;wrap{inner=path;...};...
+  std::string variant;      // map: identity | tag
+  std::string attr;         // flatten new attribute / map tag attribute
+  std::string keys;         // join: csv paths; group: path=name,...
+  std::string rkeys;        // join right csv paths
+  std::string aggs;         // group: kind:input:output,... (count: empty input)
+};
+
+/// A complete replayable differential case.
+struct DiffCase {
+  int partitions = 2;  // the multi-partition leg's partition count
+  std::vector<SourceSpec> sources;
+  std::vector<OpSpec> ops;
+  std::string pattern_text;
+
+  int NumNodes() const {
+    return static_cast<int>(sources.size() + ops.size());
+  }
+  int NumOperators() const { return static_cast<int>(ops.size()); }
+
+  /// True when the DAG contains an exchange (join/union/group): engine ids
+  /// then depend on partitioning and the bit-identical-fingerprint
+  /// metamorphic check does not apply.
+  bool HasExchange() const;
+
+  /// Line-oriented textual form ("pebble-diffcase v1"). Round-trips through
+  /// Parse. Schemas serialize via DataType::ToString (no spaces).
+  std::string Serialize() const;
+  static Result<DiffCase> Parse(const std::string& text);
+};
+
+/// A case lowered to runnable form.
+struct BuiltCase {
+  Pipeline pipeline;
+  TreePattern pattern;
+};
+
+/// Validates node wiring, materializes the random sources, recomputes every
+/// operator schema (via the engine's own InferSchema) and builds the
+/// pipeline + parsed pattern.
+Result<BuiltCase> BuildCase(const DiffCase& c);
+
+/// Output schema of every node (sources then ops), recomputed from scratch.
+/// The shrinker uses this to re-anchor the pattern after structural edits.
+Result<std::vector<TypePtr>> NodeSchemas(const DiffCase& c);
+
+/// Deterministically generates a valid random case from `seed`: random
+/// nested schemas, a 1-8 operator DAG weighted over the full algebra
+/// (including a union diamond and forced consumption of a second source via
+/// join), and a random tree-pattern query over the sink schema.
+DiffCase GenerateCase(uint64_t seed);
+
+}  // namespace difftest
+}  // namespace pebble
+
+#endif  // PEBBLE_TESTING_GENERATOR_H_

@@ -1,0 +1,825 @@
+#include "testing/oracle.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pebble {
+namespace difftest {
+
+// ---------------------------------------------------------------------------
+// Independent tree-pattern matcher (Sec. 6.1 semantics over RefTree).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool RefMatchValue(const PatternNode& node, const Value& value,
+                   const Path& path, RefTree* tree);
+
+bool RefMatchStructChildren(const std::vector<PatternNode>& patterns,
+                            const Value& context, const Path& base,
+                            RefTree* tree);
+
+/// Every occurrence of attribute `name` at any depth below `context`,
+/// descending through structs and collection elements; 1-based positions
+/// fold into the last attribute step of the base path when it has none,
+/// otherwise a fresh positional step is appended.
+void RefFindDescendants(const std::string& name, const Value& context,
+                        const Path& base,
+                        std::vector<std::pair<ValuePtr, Path>>* out) {
+  if (context.is_struct()) {
+    for (const Field& f : context.fields()) {
+      Path p = base.Child(PathStep{f.name, kNoPos});
+      if (f.name == name) {
+        out->push_back({f.value, p});
+      }
+      RefFindDescendants(name, *f.value, p, out);
+    }
+  } else if (context.is_collection()) {
+    for (size_t i = 0; i < context.num_elements(); ++i) {
+      std::vector<PathStep> steps = base.steps();
+      if (!steps.empty() && !steps.back().has_pos()) {
+        steps.back().pos = static_cast<int32_t>(i + 1);
+      } else {
+        steps.push_back(PathStep{"", static_cast<int32_t>(i + 1)});
+      }
+      RefFindDescendants(name, *context.elements()[i], Path(steps), out);
+    }
+  }
+}
+
+bool RefMatchValue(const PatternNode& node, const Value& value,
+                   const Path& path, RefTree* tree) {
+  if (value.is_collection()) {
+    // Each child pattern is counted over the elements; the node's own
+    // predicate applies per element. Leaf nodes count satisfying constants.
+    RefTree local;
+    if (node.children().empty()) {
+      int count = 0;
+      std::vector<int32_t> matched;
+      for (size_t i = 0; i < value.num_elements(); ++i) {
+        if (node.SatisfiesPredicate(*value.elements()[i])) {
+          ++count;
+          matched.push_back(static_cast<int32_t>(i + 1));
+        }
+      }
+      if (count < node.min_count() || count > node.max_count()) return false;
+      if (count == 0) return false;
+      for (int32_t pos : matched) {
+        std::vector<PathStep> steps = path.steps();
+        steps.back().pos = pos;
+        local.Ensure(Path(std::move(steps)), /*contributing=*/true);
+      }
+      tree->MergeFrom(local);
+      return true;
+    }
+    for (const PatternNode& child : node.children()) {
+      int count = 0;
+      std::vector<std::pair<int32_t, RefTree>> matches;
+      for (size_t i = 0; i < value.num_elements(); ++i) {
+        const Value& elem = *value.elements()[i];
+        if (!node.SatisfiesPredicate(elem)) {
+          continue;
+        }
+        RefTree elem_tree;
+        if (elem.is_struct() &&
+            RefMatchStructChildren({child}, elem, Path(), &elem_tree)) {
+          ++count;
+          matches.push_back(
+              {static_cast<int32_t>(i + 1), std::move(elem_tree)});
+        }
+      }
+      if (count < child.min_count() || count > child.max_count()) {
+        return false;
+      }
+      if (count == 0) return false;
+      for (auto& [pos, elem_tree] : matches) {
+        std::vector<PathStep> steps = path.steps();
+        steps.back().pos = pos;
+        Path elem_path(std::move(steps));
+        RefNode* anchor = local.Ensure(elem_path, /*contributing=*/true);
+        MergeRefNode(anchor, elem_tree.root());
+        anchor->contributing = true;
+      }
+    }
+    tree->MergeFrom(local);
+    return true;
+  }
+
+  if (value.is_struct()) {
+    if (!node.SatisfiesPredicate(value)) {
+      return false;
+    }
+    RefTree local;
+    if (!RefMatchStructChildren(node.children(), value, Path(), &local)) {
+      return false;
+    }
+    RefNode* anchor = tree->Ensure(path, /*contributing=*/true);
+    MergeRefNode(anchor, local.root());
+    anchor->contributing = true;
+    return true;
+  }
+
+  // Constant value.
+  if (!node.children().empty()) return false;
+  if (!node.SatisfiesPredicate(value)) {
+    return false;
+  }
+  tree->Ensure(path, /*contributing=*/true);
+  return true;
+}
+
+bool RefMatchStructChildren(const std::vector<PatternNode>& patterns,
+                            const Value& context, const Path& base,
+                            RefTree* tree) {
+  RefTree local;
+  for (const PatternNode& node : patterns) {
+    if (node.is_descendant()) {
+      std::vector<std::pair<ValuePtr, Path>> occurrences;
+      RefFindDescendants(node.name(), context, base, &occurrences);
+      int count = 0;
+      RefTree node_tree;
+      for (const auto& [v, p] : occurrences) {
+        RefTree occ_tree;
+        if (RefMatchValue(node, *v, p, &occ_tree)) {
+          ++count;
+          node_tree.MergeFrom(occ_tree);
+        }
+      }
+      if (count == 0 || count < node.min_count() ||
+          count > node.max_count()) {
+        return false;
+      }
+      local.MergeFrom(node_tree);
+    } else {
+      ValuePtr v = context.FindField(node.name());
+      if (v == nullptr) return false;
+      Path p = base.Child(PathStep{node.name(), kNoPos});
+      if (!RefMatchValue(node, *v, p, &local)) return false;
+    }
+  }
+  tree->MergeFrom(local);
+  return true;
+}
+
+}  // namespace
+
+Result<RefItemMatch> RefMatchItem(const TreePattern& pattern,
+                                  const Value& item) {
+  RefItemMatch result;
+  if (!item.is_struct()) {
+    return Status::TypeError("tree patterns match data items (structs)");
+  }
+  RefTree tree;
+  if (RefMatchStructChildren(pattern.roots(), item, Path(), &tree)) {
+    result.matched = true;
+    result.tree = std::move(tree);
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One projected value (select rule): leaves copy the source path's value,
+/// inner nodes construct a fresh struct from their children.
+Result<ValuePtr> RefProjectionValue(const Projection& proj,
+                                    const Value& item) {
+  if (proj.is_leaf()) {
+    return proj.source.Evaluate(item);
+  }
+  std::vector<Field> fields;
+  fields.reserve(proj.children.size());
+  for (const Projection& child : proj.children) {
+    PEBBLE_ASSIGN_OR_RETURN(ValuePtr v, RefProjectionValue(child, item));
+    fields.push_back(Field{child.name, std::move(v)});
+  }
+  return Value::Struct(std::move(fields));
+}
+
+/// Schema-level capture of one projection subtree (Tab. 5 select rule):
+/// every leaf contributes its placeholdered source to A and a
+/// (source -> output path) mapping to M, in depth-first projection order.
+void RefCollectProjectionCapture(const Projection& proj,
+                                 const Path& out_prefix,
+                                 std::vector<Path>* accessed,
+                                 std::vector<RefMapping>* manipulations) {
+  Path out = out_prefix.Child(PathStep{proj.name, kNoPos});
+  if (proj.is_leaf()) {
+    Path src = proj.source.WithPosPlaceholders();
+    accessed->push_back(src);
+    manipulations->push_back(RefMapping{src, out, false});
+    return;
+  }
+  for (const Projection& child : proj.children) {
+    RefCollectProjectionCapture(child, out, accessed, manipulations);
+  }
+}
+
+bool RefKeyTupleEquals(const std::vector<ValuePtr>& a,
+                       const std::vector<ValuePtr>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a[i]->Equals(*b[i])) return false;
+  }
+  return true;
+}
+
+/// The aggregation functions, re-derived (null-skipping, int/double sum
+/// promotion, first-wins min/max, bag/set nesting).
+Result<ValuePtr> RefComputeAgg(const AggSpec& spec,
+                               const std::vector<ValuePtr>& values) {
+  switch (spec.kind) {
+    case AggKind::kCount:
+      return Value::Int(static_cast<int64_t>(values.size()));
+    case AggKind::kSum: {
+      bool any_double = false;
+      int64_t isum = 0;
+      double dsum = 0;
+      for (const ValuePtr& v : values) {
+        if (v->is_null()) continue;
+        if (!v->is_numeric()) {
+          return Status::TypeError("sum over non-numeric value");
+        }
+        if (v->kind() == ValueKind::kDouble) any_double = true;
+        isum += v->kind() == ValueKind::kInt ? v->int_value() : 0;
+        dsum += v->AsDouble();
+      }
+      return any_double ? Value::Double(dsum) : Value::Int(isum);
+    }
+    case AggKind::kMin:
+    case AggKind::kMax: {
+      ValuePtr best;
+      for (const ValuePtr& v : values) {
+        if (v->is_null()) continue;
+        if (best == nullptr) {
+          best = v;
+          continue;
+        }
+        int c = v->Compare(*best);
+        if ((spec.kind == AggKind::kMin && c < 0) ||
+            (spec.kind == AggKind::kMax && c > 0)) {
+          best = v;
+        }
+      }
+      return best != nullptr ? best : Value::Null();
+    }
+    case AggKind::kAvg: {
+      double sum = 0;
+      int64_t n = 0;
+      for (const ValuePtr& v : values) {
+        if (v->is_null()) continue;
+        if (!v->is_numeric()) {
+          return Status::TypeError("avg over non-numeric value");
+        }
+        sum += v->AsDouble();
+        ++n;
+      }
+      return n == 0 ? Value::Null() : Value::Double(sum / n);
+    }
+    case AggKind::kCollectList:
+      return Value::Bag(values);
+    case AggKind::kCollectSet:
+      return Value::Set(values);
+  }
+  return Status::Internal("unreachable aggregate kind");
+}
+
+}  // namespace
+
+Oracle::Oracle(const Pipeline* pipeline, OracleQuirks quirks)
+    : pipeline_(pipeline), quirks_(quirks) {}
+
+Status Oracle::Run() {
+  states_.clear();
+  for (const std::unique_ptr<Operator>& op : pipeline_->operators()) {
+    PEBBLE_RETURN_NOT_OK(RunOp(*op));
+  }
+  ran_ = true;
+  return Status::OK();
+}
+
+Status Oracle::RunOp(const Operator& op) {
+  OpState state;
+  state.type = op.type();
+  state.inputs = op.input_oids();
+  state.out_schema = op.output_schema();
+  for (int in : state.inputs) {
+    state.in_schemas.push_back(states_.at(in).out_schema);
+  }
+  state.accessed.resize(state.inputs.size());
+
+  Status st;
+  switch (op.type()) {
+    case OpType::kScan:
+      st = RunScan(static_cast<const ScanOp&>(op), &state);
+      break;
+    case OpType::kFilter:
+      st = RunFilter(static_cast<const FilterOp&>(op), &state);
+      break;
+    case OpType::kSelect:
+      st = RunSelect(static_cast<const SelectOp&>(op), &state);
+      break;
+    case OpType::kMap:
+      st = RunMap(static_cast<const MapOp&>(op), &state);
+      break;
+    case OpType::kJoin:
+      st = RunJoin(static_cast<const JoinOp&>(op), &state);
+      break;
+    case OpType::kUnion:
+      st = RunUnion(&state);
+      break;
+    case OpType::kFlatten:
+      st = RunFlatten(static_cast<const FlattenOp&>(op), &state);
+      break;
+    case OpType::kGroupAggregate:
+      st = RunGroupAggregate(static_cast<const GroupAggregateOp&>(op),
+                             &state);
+      break;
+  }
+  PEBBLE_RETURN_NOT_OK(st);
+  states_.emplace(op.oid(), std::move(state));
+  return Status::OK();
+}
+
+Status Oracle::RunScan(const ScanOp& op, OpState* state) {
+  state->out_schema = op.schema();
+  state->rows = *op.data();
+  state->links.resize(state->rows.size());
+  return Status::OK();
+}
+
+Status Oracle::RunFilter(const FilterOp& op, OpState* state) {
+  const OpState& in = states_.at(state->inputs[0]);
+  for (size_t i = 0; i < in.rows.size(); ++i) {
+    PEBBLE_ASSIGN_OR_RETURN(bool keep,
+                            op.predicate()->EvaluateBool(*in.rows[i]));
+    if (!keep) continue;
+    state->rows.push_back(in.rows[i]);
+    OracleLink link;
+    link.in1 = static_cast<int64_t>(i);
+    state->links.push_back(link);
+  }
+  std::vector<Path> raw;
+  op.predicate()->CollectAccessedPaths(&raw);
+  for (const Path& p : raw) {
+    state->accessed[0].push_back(p.WithPosPlaceholders());
+  }
+  return Status::OK();
+}
+
+Status Oracle::RunSelect(const SelectOp& op, OpState* state) {
+  const OpState& in = states_.at(state->inputs[0]);
+  for (size_t i = 0; i < in.rows.size(); ++i) {
+    std::vector<Field> fields;
+    fields.reserve(op.projections().size());
+    for (const Projection& proj : op.projections()) {
+      PEBBLE_ASSIGN_OR_RETURN(ValuePtr v,
+                              RefProjectionValue(proj, *in.rows[i]));
+      fields.push_back(Field{proj.name, std::move(v)});
+    }
+    state->rows.push_back(Value::Struct(std::move(fields)));
+    OracleLink link;
+    link.in1 = static_cast<int64_t>(i);
+    state->links.push_back(link);
+  }
+  for (const Projection& proj : op.projections()) {
+    RefCollectProjectionCapture(proj, Path(), &state->accessed[0],
+                                &state->manipulations);
+  }
+  if (quirks_.drop_select_manipulations) {
+    state->manipulations.clear();
+  }
+  return Status::OK();
+}
+
+Status Oracle::RunMap(const MapOp& op, OpState* state) {
+  const OpState& in = states_.at(state->inputs[0]);
+  for (size_t i = 0; i < in.rows.size(); ++i) {
+    PEBBLE_ASSIGN_OR_RETURN(ValuePtr v, op.fn()(*in.rows[i]));
+    if (!v->is_struct()) {
+      return Status::TypeError("map function must return a data item");
+    }
+    state->rows.push_back(std::move(v));
+    OracleLink link;
+    link.in1 = static_cast<int64_t>(i);
+    state->links.push_back(link);
+  }
+  if (op.declared_schema() != nullptr) {
+    state->out_schema = op.declared_schema();
+  } else {
+    state->out_schema = state->rows.empty() ? DataType::Struct({})
+                                            : state->rows[0]->InferType();
+  }
+  state->accessed_undefined = true;
+  state->manip_undefined = true;
+  return Status::OK();
+}
+
+Status Oracle::RunJoin(const JoinOp& op, OpState* state) {
+  const OpState& left = states_.at(state->inputs[0]);
+  const OpState& right = states_.at(state->inputs[1]);
+  const bool equi = !op.left_keys().empty();
+
+  auto eval_keys = [](const std::vector<Path>& keys,
+                      const Value& item) -> Result<std::vector<ValuePtr>> {
+    std::vector<ValuePtr> out;
+    out.reserve(keys.size());
+    for (const Path& k : keys) {
+      PEBBLE_ASSIGN_OR_RETURN(ValuePtr v, k.Evaluate(item));
+      out.push_back(std::move(v));
+    }
+    return out;
+  };
+
+  std::vector<std::vector<ValuePtr>> right_keys;
+  if (equi) {
+    right_keys.reserve(right.rows.size());
+    for (const ValuePtr& r : right.rows) {
+      PEBBLE_ASSIGN_OR_RETURN(std::vector<ValuePtr> key,
+                              eval_keys(op.right_keys(), *r));
+      right_keys.push_back(std::move(key));
+    }
+  }
+
+  for (size_t l = 0; l < left.rows.size(); ++l) {
+    std::vector<ValuePtr> lkey;
+    if (equi) {
+      PEBBLE_ASSIGN_OR_RETURN(lkey, eval_keys(op.left_keys(), *left.rows[l]));
+    }
+    for (size_t r = 0; r < right.rows.size(); ++r) {
+      if (equi && !RefKeyTupleEquals(lkey, right_keys[r])) continue;
+      std::vector<Field> fields;
+      fields.reserve(left.rows[l]->num_fields() +
+                     right.rows[r]->num_fields());
+      for (const Field& f : left.rows[l]->fields()) fields.push_back(f);
+      for (const Field& f : right.rows[r]->fields()) fields.push_back(f);
+      ValuePtr combined = Value::Struct(std::move(fields));
+      if (op.theta() != nullptr) {
+        PEBBLE_ASSIGN_OR_RETURN(bool keep,
+                                op.theta()->EvaluateBool(*combined));
+        if (!keep) continue;
+      }
+      state->rows.push_back(std::move(combined));
+      OracleLink link;
+      link.in1 = static_cast<int64_t>(l);
+      link.in2 = static_cast<int64_t>(r);
+      state->links.push_back(link);
+    }
+  }
+
+  // Capture (Tab. 5 join rule): per-side key paths plus the side each theta
+  // path belongs to; M maps every output attribute to itself.
+  for (const Path& k : op.left_keys()) {
+    state->accessed[0].push_back(k.WithPosPlaceholders());
+  }
+  for (const Path& k : op.right_keys()) {
+    state->accessed[1].push_back(k.WithPosPlaceholders());
+  }
+  if (op.theta() != nullptr) {
+    std::vector<Path> raw;
+    op.theta()->CollectAccessedPaths(&raw);
+    for (const Path& p : raw) {
+      size_t side = 1;
+      if (!p.empty() && left.out_schema != nullptr &&
+          left.out_schema->FindField(p.step(0).attr()) != nullptr) {
+        side = 0;
+      }
+      state->accessed[side].push_back(p.WithPosPlaceholders());
+    }
+  }
+  if (state->out_schema != nullptr) {
+    for (const FieldType& f : state->out_schema->fields()) {
+      state->manipulations.push_back(
+          RefMapping{Path::Attr(f.name), Path::Attr(f.name), false});
+    }
+  }
+  return Status::OK();
+}
+
+Status Oracle::RunUnion(OpState* state) {
+  for (size_t side = 0; side < 2; ++side) {
+    const OpState& in = states_.at(state->inputs[side]);
+    for (size_t i = 0; i < in.rows.size(); ++i) {
+      state->rows.push_back(in.rows[i]);
+      OracleLink link;
+      if (side == 0) {
+        link.in1 = static_cast<int64_t>(i);
+      } else {
+        link.in2 = static_cast<int64_t>(i);
+      }
+      state->links.push_back(link);
+    }
+  }
+  return Status::OK();
+}
+
+Status Oracle::RunFlatten(const FlattenOp& op, OpState* state) {
+  const OpState& in = states_.at(state->inputs[0]);
+  for (size_t i = 0; i < in.rows.size(); ++i) {
+    PEBBLE_ASSIGN_OR_RETURN(ValuePtr col, op.column().Evaluate(*in.rows[i]));
+    if (col->is_null()) continue;
+    if (!col->is_collection()) {
+      return Status::TypeError("flatten over a non-collection value");
+    }
+    for (size_t x = 0; x < col->num_elements(); ++x) {
+      std::vector<Field> fields = in.rows[i]->fields();
+      fields.push_back(Field{op.new_attr(), col->elements()[x]});
+      state->rows.push_back(Value::Struct(std::move(fields)));
+      OracleLink link;
+      link.in1 = static_cast<int64_t>(i);
+      link.pos = static_cast<int32_t>(x + 1);
+      if (quirks_.flatten_positions_off_by_one) {
+        link.pos = static_cast<int32_t>(x);
+      }
+      state->links.push_back(link);
+    }
+  }
+  Path col_pos = op.column().Parent().Child(
+      PathStep{op.column().back().attr(), kPosPlaceholder});
+  state->accessed[0].push_back(col_pos);
+  state->manipulations.push_back(
+      RefMapping{col_pos, Path::Attr(op.new_attr()), false});
+  return Status::OK();
+}
+
+Status Oracle::RunGroupAggregate(const GroupAggregateOp& op, OpState* state) {
+  const OpState& in = states_.at(state->inputs[0]);
+
+  struct Group {
+    std::vector<ValuePtr> key;
+    std::vector<int64_t> members;
+  };
+  std::vector<Group> groups;
+  for (size_t i = 0; i < in.rows.size(); ++i) {
+    std::vector<ValuePtr> key;
+    key.reserve(op.keys().size());
+    for (const GroupKey& k : op.keys()) {
+      PEBBLE_ASSIGN_OR_RETURN(ValuePtr v, k.path.Evaluate(*in.rows[i]));
+      key.push_back(std::move(v));
+    }
+    size_t gidx = SIZE_MAX;
+    for (size_t g = 0; g < groups.size(); ++g) {
+      if (RefKeyTupleEquals(groups[g].key, key)) {
+        gidx = g;
+        break;
+      }
+    }
+    if (gidx == SIZE_MAX) {
+      gidx = groups.size();
+      groups.push_back(Group{std::move(key), {}});
+    }
+    groups[gidx].members.push_back(static_cast<int64_t>(i));
+  }
+
+  for (Group& g : groups) {
+    std::vector<Field> fields;
+    fields.reserve(op.keys().size() + op.aggs().size());
+    for (size_t k = 0; k < op.keys().size(); ++k) {
+      fields.push_back(Field{op.keys()[k].name, g.key[k]});
+    }
+    for (const AggSpec& a : op.aggs()) {
+      std::vector<ValuePtr> values;
+      if (a.kind != AggKind::kCount) {
+        values.reserve(g.members.size());
+        for (int64_t m : g.members) {
+          PEBBLE_ASSIGN_OR_RETURN(
+              ValuePtr v, a.input.Evaluate(*in.rows[static_cast<size_t>(m)]));
+          values.push_back(std::move(v));
+        }
+      } else {
+        values.resize(g.members.size());
+      }
+      PEBBLE_ASSIGN_OR_RETURN(ValuePtr out, RefComputeAgg(a, values));
+      fields.push_back(Field{a.output, std::move(out)});
+    }
+    state->rows.push_back(Value::Struct(std::move(fields)));
+    OracleLink link;
+    link.members = std::move(g.members);
+    state->links.push_back(std::move(link));
+  }
+
+  // Capture (Tab. 5 grouping/aggregation rules).
+  for (const GroupKey& k : op.keys()) {
+    Path p = k.path.WithPosPlaceholders();
+    state->accessed[0].push_back(p);
+    state->manipulations.push_back(
+        RefMapping{p, Path::Attr(k.name), /*from_grouping=*/true});
+  }
+  for (const AggSpec& a : op.aggs()) {
+    if (a.kind != AggKind::kCount) {
+      state->accessed[0].push_back(a.input.WithPosPlaceholders());
+    }
+    if (a.kind == AggKind::kCollectList) {
+      state->manipulations.push_back(
+          RefMapping{a.input.WithPosPlaceholders(),
+                     Path({PathStep{a.output, kPosPlaceholder}}), false});
+    } else {
+      state->manipulations.push_back(RefMapping{
+          a.input.WithPosPlaceholders(), Path::Attr(a.output), false});
+    }
+  }
+  return Status::OK();
+}
+
+const std::vector<ValuePtr>& Oracle::Output() const {
+  return states_.at(pipeline_->sink_oid()).rows;
+}
+
+const std::vector<ValuePtr>& Oracle::RowsOf(int oid) const {
+  return states_.at(oid).rows;
+}
+
+const std::vector<OracleLink>& Oracle::LinksOf(int oid) const {
+  return states_.at(oid).links;
+}
+
+// ---------------------------------------------------------------------------
+// Naive recursive tracer (Alg. 1-4 semantics over ordinals).
+// ---------------------------------------------------------------------------
+
+std::vector<Path> Oracle::ExpandedAccessed(const OpState& state,
+                                           size_t input_index) const {
+  std::vector<Path> out;
+  if (state.accessed_undefined) return out;
+  const TypePtr& schema = state.in_schemas[input_index];
+  if (schema == nullptr) return out;
+  for (const Path& a : state.accessed[input_index]) {
+    for (Path& e : ExpandRefAccessPath(schema, a)) {
+      out.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
+void Oracle::TraceFrom(int oid, const RefStructure& structure,
+                       std::map<int, RefStructure>* at_sources) const {
+  // Empty structures never reach a scan: a source appears in the result
+  // only when at least one entry arrived (mirrors Alg. 1's early exit).
+  if (structure.empty()) return;
+  const OpState& state = states_.at(oid);
+
+  if (state.type == OpType::kScan) {
+    RefStructure& dest = (*at_sources)[oid];
+    for (const auto& [ordinal, tree] : structure) {
+      dest[ordinal].MergeFrom(tree);
+    }
+    return;
+  }
+
+  switch (state.type) {
+    case OpType::kFilter:
+    case OpType::kSelect: {
+      std::vector<Path> expanded = ExpandedAccessed(state, 0);
+      RefStructure next;
+      for (const auto& [ordinal, tree] : structure) {
+        const OracleLink& link = state.links[static_cast<size_t>(ordinal)];
+        RefTree out = tree;
+        out.ApplyManipulations(state.manipulations, oid);
+        for (const Path& a : expanded) {
+          out.AccessPath(a, oid);
+        }
+        next[link.in1].MergeFrom(out);
+      }
+      TraceFrom(state.inputs[0], next, at_sources);
+      return;
+    }
+    case OpType::kMap: {
+      // A = M = bottom: the whole input item is conservatively reported as
+      // manipulated; the incoming tree is discarded.
+      RefStructure next;
+      for (const auto& [ordinal, tree] : structure) {
+        const OracleLink& link = state.links[static_cast<size_t>(ordinal)];
+        RefTree out = BuildRefSchemaTree(state.in_schemas[0]);
+        out.MarkAllManipulated(oid);
+        next[link.in1].MergeFrom(out);
+      }
+      TraceFrom(state.inputs[0], next, at_sources);
+      return;
+    }
+    case OpType::kFlatten: {
+      RefStructure next;
+      for (const auto& [ordinal, tree] : structure) {
+        const OracleLink& link = state.links[static_cast<size_t>(ordinal)];
+        RefTree out = tree;
+        std::vector<RefMapping> concrete;
+        concrete.reserve(state.manipulations.size());
+        for (const RefMapping& m : state.manipulations) {
+          concrete.push_back(RefMapping{
+              m.in.WithPlaceholderReplaced(link.pos), m.out, m.from_grouping});
+        }
+        out.ApplyManipulations(concrete, oid);
+        if (state.in_schemas[0] != nullptr) {
+          for (const Path& a : state.accessed[0]) {
+            Path c = a.WithPlaceholderReplaced(link.pos);
+            for (const Path& e : ExpandRefAccessPath(state.in_schemas[0], c)) {
+              out.AccessPath(e, oid);
+            }
+          }
+        }
+        next[link.in1].MergeFrom(out);
+      }
+      TraceFrom(state.inputs[0], next, at_sources);
+      return;
+    }
+    case OpType::kJoin:
+    case OpType::kUnion: {
+      for (size_t side = 0; side < 2; ++side) {
+        const TypePtr& side_schema = state.in_schemas[side];
+        std::vector<RefMapping> side_mappings;
+        if (state.type == OpType::kJoin && side_schema != nullptr) {
+          for (const RefMapping& m : state.manipulations) {
+            if (!m.in.empty() &&
+                side_schema->FindField(m.in.step(0).attr()) != nullptr) {
+              side_mappings.push_back(m);
+            }
+          }
+        }
+        std::vector<Path> expanded = ExpandedAccessed(state, side);
+        RefStructure next;
+        for (const auto& [ordinal, tree] : structure) {
+          const OracleLink& link = state.links[static_cast<size_t>(ordinal)];
+          int64_t in_ord = side == 0 ? link.in1 : link.in2;
+          if (in_ord < 0) continue;
+          RefTree out = tree;
+          if (state.type == OpType::kJoin) {
+            out.ApplyManipulations(side_mappings, oid);
+            if (side_schema != nullptr) out.RestrictToSchema(*side_schema);
+          }
+          for (const Path& a : expanded) {
+            out.AccessPath(a, oid);
+          }
+          next[in_ord].MergeFrom(out);
+        }
+        TraceFrom(state.inputs[side], next, at_sources);
+      }
+      return;
+    }
+    case OpType::kGroupAggregate: {
+      std::vector<Path> expanded = ExpandedAccessed(state, 0);
+      RefStructure next;
+      for (const auto& [ordinal, tree] : structure) {
+        const OracleLink& link = state.links[static_cast<size_t>(ordinal)];
+        for (size_t k = 0; k < link.members.size(); ++k) {
+          int32_t pos = static_cast<int32_t>(k + 1);
+          RefTree out = tree;
+          bool in_prov = false;
+          for (const RefMapping& m : state.manipulations) {
+            bool nesting = m.out.HasPositions();
+            Path out_path =
+                nesting ? m.out.WithPlaceholderReplaced(pos) : m.out;
+            if (out.Contains(out_path)) {
+              if (!m.from_grouping) in_prov = true;
+              out.ManipulatePath(m.in, out_path, oid);
+            }
+            if (nesting) {
+              out.RemoveSubtree(Path::Attr(m.out.step(0).attr()));
+            }
+          }
+          if (!in_prov) continue;
+          for (const Path& a : expanded) {
+            out.AccessPath(a, oid);
+          }
+          next[link.members[k]].MergeFrom(out);
+        }
+      }
+      TraceFrom(state.inputs[0], next, at_sources);
+      return;
+    }
+    case OpType::kScan:
+      return;  // handled above
+  }
+}
+
+Result<CanonicalProvenance> Oracle::Query(const TreePattern& pattern) const {
+  if (!ran_) {
+    return Status::Internal("Oracle::Query before Run");
+  }
+  const OpState& sink = states_.at(pipeline_->sink_oid());
+  CanonicalProvenance out;
+  RefStructure seed;
+  for (size_t i = 0; i < sink.rows.size(); ++i) {
+    PEBBLE_ASSIGN_OR_RETURN(RefItemMatch m,
+                            RefMatchItem(pattern, *sink.rows[i]));
+    if (!m.matched) continue;
+    int64_t ordinal = static_cast<int64_t>(i);
+    out.matched.push_back({ordinal, m.tree.Canonical()});
+    seed.emplace(ordinal, std::move(m.tree));
+  }
+  std::map<int, RefStructure> at_sources;
+  if (!seed.empty()) {
+    TraceFrom(pipeline_->sink_oid(), seed, &at_sources);
+  }
+  for (const auto& [scan_oid, items] : at_sources) {
+    std::map<int64_t, std::string>& dest = out.sources[scan_oid];
+    for (const auto& [ordinal, tree] : items) {
+      dest.emplace(ordinal, tree.Canonical());
+    }
+  }
+  return out;
+}
+
+}  // namespace difftest
+}  // namespace pebble

@@ -1,0 +1,140 @@
+// The reference oracle: a deliberately naive, single-threaded interpreter
+// of the full operator algebra that computes eager attribute-level
+// provenance forward alongside each result item.
+//
+// Independence contract: the oracle shares the nested value/type/path model
+// (src/nested) and the PUBLIC descriptions of pipelines, expressions and
+// tree patterns (the query ASTs), but none of the engine's execution or
+// provenance machinery — no partitions, no staging, no id counters, no
+// ProvenanceStore, no BacktraceIndex, no BacktraceTree. Every semantic rule
+// (operator evaluation order, null handling, the capture rules of Tab. 5,
+// the trace rules of Alg. 2-4, tree-pattern matching of Sec. 6.1) is
+// re-derived here over plain row vectors and the oracle's own RefTree.
+//
+// "Eager" means: the per-item provenance links (which input rows produced
+// each output row, at which flatten position, as which group members) and
+// the schema-level access/manipulation sets are fully materialized while
+// each operator's result is computed — there is nothing left to
+// reconstruct at query time except the (query-dependent) tree rewriting,
+// which a naive recursive walk performs directly on those links.
+//
+// Items are identified by DATA ORDINALS (0-based position in an operator's
+// output), never by engine provenance ids; the harness compares the two
+// sides through the canonical form of src/core/provenance_export.h.
+
+#ifndef PEBBLE_TESTING_ORACLE_H_
+#define PEBBLE_TESTING_ORACLE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/provenance_export.h"
+#include "core/tree_pattern.h"
+#include "engine/pipeline.h"
+#include "testing/reference_tree.h"
+
+namespace pebble {
+namespace difftest {
+
+/// Deliberate bugs injectable into the oracle's capture rules. The harness
+/// flags any differential case whose provenance flows through an affected
+/// rule, which is exactly what the shrinker demo needs: a known-bad oracle
+/// must shrink to a minimal pipeline still exercising the broken rule.
+struct OracleQuirks {
+  /// Drops the select rule's manipulation mappings (access marks are kept):
+  /// backtraced trees stay keyed by OUTPUT paths instead of being rewritten
+  /// to source paths.
+  bool drop_select_manipulations = false;
+  /// Skips the +1 on flatten positions (records 0-based positions).
+  bool flatten_positions_off_by_one = false;
+};
+
+/// Eager per-row provenance link of one oracle output row: ordinals into
+/// the producing operator's input row vectors.
+struct OracleLink {
+  int64_t in1 = -1;                // unary/flatten input, join left, union
+  int64_t in2 = -1;                // join right / union side-2 ordinal
+  int32_t pos = 0;                 // flatten: 1-based element position
+  std::vector<int64_t> members;    // aggregation: group members, collect order
+};
+
+class Oracle {
+ public:
+  explicit Oracle(const Pipeline* pipeline, OracleQuirks quirks = {});
+
+  /// Interprets the whole DAG bottom-up, one operator at a time, rows in
+  /// order, no partitions, no threads. Fails with the same Status codes the
+  /// engine's evaluation would produce (path/expression errors).
+  Status Run();
+
+  /// The sink's output values, in order. Valid after Run().
+  const std::vector<ValuePtr>& Output() const;
+
+  /// Output values of any operator (for tests poking intermediates).
+  const std::vector<ValuePtr>& RowsOf(int oid) const;
+  const std::vector<OracleLink>& LinksOf(int oid) const;
+
+  /// Matches `pattern` against the sink output and traces every match back
+  /// to the scans with the naive recursive tracer. Returns the canonical
+  /// form directly (ordinals + canonical tree strings).
+  Result<CanonicalProvenance> Query(const TreePattern& pattern) const;
+
+ private:
+  /// Everything the oracle knows about one interpreted operator.
+  struct OpState {
+    OpType type = OpType::kScan;
+    std::vector<int> inputs;             // producer oids
+    TypePtr out_schema;                  // runtime output schema
+    std::vector<TypePtr> in_schemas;     // runtime input schemas
+    std::vector<ValuePtr> rows;          // output values in order
+    std::vector<OracleLink> links;       // parallel to rows
+
+    // Schema-level capture (Def. 5.1), re-derived per operator.
+    std::vector<std::vector<Path>> accessed;  // per input
+    bool accessed_undefined = false;
+    std::vector<RefMapping> manipulations;
+    bool manip_undefined = false;
+  };
+
+  /// One level of the naive tracer: merged trees per input-row ordinal.
+  using RefStructure = std::map<int64_t, RefTree>;
+
+  Status RunOp(const Operator& op);
+  Status RunScan(const ScanOp& op, OpState* state);
+  Status RunFilter(const FilterOp& op, OpState* state);
+  Status RunSelect(const SelectOp& op, OpState* state);
+  Status RunMap(const MapOp& op, OpState* state);
+  Status RunJoin(const JoinOp& op, OpState* state);
+  Status RunUnion(OpState* state);
+  Status RunFlatten(const FlattenOp& op, OpState* state);
+  Status RunGroupAggregate(const GroupAggregateOp& op, OpState* state);
+
+  /// Accessed paths of one input expanded to leaf attributes (empty when
+  /// the access set is undefined or the schema is unknown).
+  std::vector<Path> ExpandedAccessed(const OpState& state,
+                                     size_t input_index) const;
+
+  void TraceFrom(int oid, const RefStructure& structure,
+                 std::map<int, RefStructure>* at_sources) const;
+
+  const Pipeline* pipeline_;
+  OracleQuirks quirks_;
+  std::map<int, OpState> states_;
+  bool ran_ = false;
+};
+
+/// The oracle's independent tree-pattern matcher (mirrors Sec. 6.1
+/// semantics over RefTree). Exposed for direct unit testing against the
+/// engine's TreePattern::MatchItem.
+struct RefItemMatch {
+  bool matched = false;
+  RefTree tree;
+};
+Result<RefItemMatch> RefMatchItem(const TreePattern& pattern,
+                                  const Value& item);
+
+}  // namespace difftest
+}  // namespace pebble
+
+#endif  // PEBBLE_TESTING_ORACLE_H_

@@ -1,0 +1,283 @@
+#include "testing/reference_tree.h"
+
+#include <algorithm>
+
+namespace pebble {
+namespace difftest {
+
+std::vector<RefKey> RefTree::KeysOf(const Path& path) {
+  std::vector<RefKey> keys;
+  for (const PathStep& step : path.steps()) {
+    if (!step.attr().empty()) {
+      keys.push_back(RefKey{step.attr(), kNoPos});
+    }
+    if (step.has_pos()) {
+      keys.push_back(RefKey{"", step.pos});
+    }
+  }
+  return keys;
+}
+
+RefNode* RefTree::Find(const Path& path) {
+  RefNode* cur = &root_;
+  for (const RefKey& k : KeysOf(path)) {
+    auto it = cur->children.find(k);
+    if (it == cur->children.end()) return nullptr;
+    cur = &it->second;
+  }
+  return cur;
+}
+
+const RefNode* RefTree::Find(const Path& path) const {
+  return const_cast<RefTree*>(this)->Find(path);
+}
+
+RefNode* RefTree::Ensure(const Path& path, bool contributing) {
+  RefNode* cur = &root_;
+  for (const RefKey& k : KeysOf(path)) {
+    auto it = cur->children.find(k);
+    if (it == cur->children.end()) {
+      RefNode node;
+      node.contributing = contributing;
+      it = cur->children.emplace(k, std::move(node)).first;
+    }
+    cur = &it->second;
+  }
+  return cur;
+}
+
+void RefTree::AccessPath(const Path& path, int oid) {
+  RefNode* terminal = Ensure(path, /*contributing=*/false);
+  terminal->accessed_by.insert(oid);
+}
+
+namespace {
+
+/// Detaches the subtree at keys[depth...]; childless ancestors are pruned
+/// and fold their marks into the detached root. The caller's root is never
+/// pruned (its fold is applied, the returned "remove me" is ignored).
+bool DetachRec(RefNode* node, const std::vector<RefKey>& keys, size_t depth,
+               bool* found, RefNode* out) {
+  auto it = node->children.find(keys[depth]);
+  if (it == node->children.end()) return false;
+  if (depth + 1 == keys.size()) {
+    *out = std::move(it->second);
+    node->children.erase(it);
+    *found = true;
+  } else {
+    if (DetachRec(&it->second, keys, depth + 1, found, out)) {
+      node->children.erase(it);
+    }
+  }
+  if (!*found || !node->children.empty()) return false;
+  out->accessed_by.insert(node->accessed_by.begin(), node->accessed_by.end());
+  out->manipulated_by.insert(node->manipulated_by.begin(),
+                             node->manipulated_by.end());
+  return true;
+}
+
+}  // namespace
+
+void MergeRefNode(RefNode* dest, const RefNode& src) {
+  dest->accessed_by.insert(src.accessed_by.begin(), src.accessed_by.end());
+  dest->manipulated_by.insert(src.manipulated_by.begin(),
+                              src.manipulated_by.end());
+  dest->contributing = dest->contributing || src.contributing;
+  for (const auto& [key, child] : src.children) {
+    auto it = dest->children.find(key);
+    if (it == dest->children.end()) {
+      dest->children.emplace(key, child);
+    } else {
+      MergeRefNode(&it->second, child);
+    }
+  }
+}
+
+void RefTree::ManipulatePath(const Path& in, const Path& out, int oid) {
+  std::vector<RefKey> keys = KeysOf(out);
+  if (keys.empty()) return;
+  bool found = false;
+  RefNode detached;
+  DetachRec(&root_, keys, 0, &found, &detached);
+  if (!found) return;
+  RefNode* target = Ensure(in, detached.contributing);
+  MergeRefNode(target, detached);
+  target->manipulated_by.insert(oid);
+}
+
+void RefTree::ApplyManipulations(const std::vector<RefMapping>& mappings,
+                                 int oid) {
+  struct Detached {
+    const Path* in;
+    RefNode subtree;
+  };
+  std::vector<Detached> detached;
+  for (const RefMapping& m : mappings) {
+    std::vector<RefKey> keys = KeysOf(m.out);
+    if (keys.empty()) continue;
+    bool found = false;
+    RefNode node;
+    DetachRec(&root_, keys, 0, &found, &node);
+    if (found) detached.push_back(Detached{&m.in, std::move(node)});
+  }
+  for (Detached& d : detached) {
+    RefNode* target = Ensure(*d.in, d.subtree.contributing);
+    MergeRefNode(target, d.subtree);
+    target->manipulated_by.insert(oid);
+  }
+}
+
+void RefTree::RemoveSubtree(const Path& path) {
+  std::vector<RefKey> keys = KeysOf(path);
+  if (keys.empty()) return;
+  RefNode* parent = &root_;
+  for (size_t i = 0; i + 1 < keys.size(); ++i) {
+    auto it = parent->children.find(keys[i]);
+    if (it == parent->children.end()) return;
+    parent = &it->second;
+  }
+  parent->children.erase(keys.back());
+}
+
+void RefTree::RestrictToSchema(const DataType& schema) {
+  for (auto it = root_.children.begin(); it != root_.children.end();) {
+    if (it->first.is_position() ||
+        schema.FindField(it->first.attr) == nullptr) {
+      it = root_.children.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+namespace {
+
+void MarkAllRec(RefNode* node, int oid) {
+  node->manipulated_by.insert(oid);
+  for (auto& [key, child] : node->children) {
+    MarkAllRec(&child, oid);
+  }
+}
+
+std::string JoinOids(const std::set<int>& oids) {
+  std::string out;
+  bool first = true;
+  for (int oid : oids) {
+    if (!first) out += ",";
+    out += std::to_string(oid);
+    first = false;
+  }
+  return out;
+}
+
+// Same canonical grammar as core/provenance_export.cc — duplicated on
+// purpose, so the render itself is part of the differential surface.
+std::string RenderNode(const RefNode& node, const std::string& key_label) {
+  std::string out = key_label;
+  out += node.contributing ? "|c|A{" : "|i|A{";
+  out += JoinOids(node.accessed_by);
+  out += "}|M{";
+  out += JoinOids(node.manipulated_by);
+  out += "}[";
+  std::vector<std::string> children;
+  children.reserve(node.children.size());
+  for (const auto& [key, child] : node.children) {
+    std::string label = key.is_position() ? "p:" + std::to_string(key.pos)
+                                          : "a:" + key.attr;
+    children.push_back(RenderNode(child, label));
+  }
+  std::sort(children.begin(), children.end());
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (i > 0) out += ",";
+    out += children[i];
+  }
+  out += "]";
+  return out;
+}
+
+void AddSchemaNodesRec(RefNode* node, const DataType& type) {
+  switch (type.kind()) {
+    case TypeKind::kStruct:
+      for (const FieldType& f : type.fields()) {
+        RefKey key{f.name, kNoPos};
+        auto it = node->children.find(key);
+        if (it == node->children.end()) {
+          RefNode child;
+          child.contributing = true;
+          it = node->children.emplace(key, std::move(child)).first;
+        }
+        AddSchemaNodesRec(&it->second, *f.type);
+      }
+      break;
+    case TypeKind::kBag:
+    case TypeKind::kSet:
+      AddSchemaNodesRec(node, *type.element());
+      break;
+    default:
+      break;
+  }
+}
+
+/// Independent re-derivation of path type resolution (nullptr on any
+/// failure, mirroring how ExpandAccessPath treats unresolvable paths).
+TypePtr ResolveRefType(const TypePtr& root, const Path& path) {
+  TypePtr cur = root;
+  for (const PathStep& step : path.steps()) {
+    if (cur == nullptr || cur->kind() != TypeKind::kStruct) return nullptr;
+    const FieldType* f = cur->FindField(step.attr());
+    if (f == nullptr) return nullptr;
+    cur = f->type;
+    if (step.has_pos()) {
+      if (!cur->is_collection()) return nullptr;
+      cur = cur->element();
+    }
+  }
+  return cur;
+}
+
+void ExpandRec(const TypePtr& type, const Path& path, std::vector<Path>* out) {
+  if (type->kind() == TypeKind::kStruct && !type->fields().empty()) {
+    for (const FieldType& f : type->fields()) {
+      ExpandRec(f.type, path.Child(PathStep{f.name, kNoPos}), out);
+    }
+    return;
+  }
+  out->push_back(path);
+}
+
+}  // namespace
+
+void RefTree::MarkAllManipulated(int oid) {
+  for (auto& [key, child] : root_.children) {
+    MarkAllRec(&child, oid);
+  }
+}
+
+void RefTree::MergeFrom(const RefTree& other) {
+  MergeRefNode(&root_, other.root_);
+}
+
+std::string RefTree::Canonical() const { return RenderNode(root_, "$"); }
+
+RefTree BuildRefSchemaTree(const TypePtr& schema) {
+  RefTree tree;
+  if (schema != nullptr) {
+    AddSchemaNodesRec(&tree.root(), *schema);
+  }
+  return tree;
+}
+
+std::vector<Path> ExpandRefAccessPath(const TypePtr& schema,
+                                      const Path& path) {
+  std::vector<Path> out;
+  TypePtr type = ResolveRefType(schema, path);
+  if (type == nullptr) {
+    out.push_back(path);
+    return out;
+  }
+  ExpandRec(type, path, &out);
+  return out;
+}
+
+}  // namespace difftest
+}  // namespace pebble

@@ -1,0 +1,142 @@
+// The reference oracle's backtracing-tree implementation.
+//
+// Deliberately independent of core/backtrace_tree.h: nodes live in a
+// key-ordered std::map (the engine keeps insertion-ordered vectors), and
+// every rewrite primitive is re-derived here from the paper's semantics
+// (Tab. 5/6, Alg. 2-4) rather than shared. The two implementations must
+// agree on OBSERVABLE semantics — the differential harness compares their
+// canonical renders — including the subtle corners:
+//
+//  - detaching a subtree prunes ancestors left childless and folds their
+//    access/manipulation marks into the detached root (the tree root folds
+//    its marks too but is never removed and keeps its own copies);
+//  - Ensure() creates missing nodes with the given contributing flag but
+//    never changes existing nodes' flags;
+//  - AccessPath() marks only the terminal node, creating intermediates as
+//    influencing-only;
+//  - ApplyManipulations() detaches ALL matched subtrees against the
+//    pre-transformation tree before grafting any of them.
+//
+// The canonical render grammar is documented in
+// src/core/provenance_export.h and duplicated here on purpose (change both
+// or neither).
+
+#ifndef PEBBLE_TESTING_REFERENCE_TREE_H_
+#define PEBBLE_TESTING_REFERENCE_TREE_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "nested/path.h"
+#include "nested/type.h"
+
+namespace pebble {
+namespace difftest {
+
+/// One edge label: an attribute or a 1-based position (0 = the [pos]
+/// placeholder). Mirrors BtNodeKey without sharing it.
+struct RefKey {
+  std::string attr;        // empty <=> positional key
+  int32_t pos = kNoPos;
+
+  bool is_position() const { return attr.empty(); }
+  bool operator<(const RefKey& other) const {
+    if (is_position() != other.is_position()) {
+      return !is_position();  // attribute keys order before positional ones
+    }
+    if (attr != other.attr) return attr < other.attr;
+    return pos < other.pos;
+  }
+  bool operator==(const RefKey& other) const {
+    return attr == other.attr && pos == other.pos;
+  }
+};
+
+struct RefNode {
+  bool contributing = false;
+  std::set<int> accessed_by;
+  std::set<int> manipulated_by;
+  std::map<RefKey, RefNode> children;
+};
+
+/// A path mapping as the trace rules consume it (mirrors PathMapping).
+struct RefMapping {
+  Path in;
+  Path out;
+  bool from_grouping = false;
+};
+
+/// The oracle's backtracing tree with the full rewrite-primitive set.
+class RefTree {
+ public:
+  /// The root represents the whole item and always contributes (the engine's
+  /// BacktraceTree constructor pins the same flag).
+  RefTree() { root_.contributing = true; }
+
+  RefNode& root() { return root_; }
+  const RefNode& root() const { return root_; }
+  bool empty() const { return root_.children.empty(); }
+
+  /// Path -> edge-label sequence: one attribute key per named step plus one
+  /// positional key per step carrying a position.
+  static std::vector<RefKey> KeysOf(const Path& path);
+
+  RefNode* Find(const Path& path);
+  const RefNode* Find(const Path& path) const;
+  bool Contains(const Path& path) const { return Find(path) != nullptr; }
+
+  /// Walks to `path`, creating missing nodes with `contributing`; existing
+  /// nodes keep their flags.
+  RefNode* Ensure(const Path& path, bool contributing);
+
+  /// Records an access: terminal node marked, intermediates created
+  /// influencing-only.
+  void AccessPath(const Path& path, int oid);
+
+  /// Moves the subtree at `out` to `in` (detach + graft + mark). No-op when
+  /// `out` names nothing.
+  void ManipulatePath(const Path& in, const Path& out, int oid);
+
+  /// Applies all mappings at once: every detach observes the
+  /// pre-transformation tree.
+  void ApplyManipulations(const std::vector<RefMapping>& mappings, int oid);
+
+  /// Removes the subtree at `path` (no ancestor pruning, no mark folding).
+  void RemoveSubtree(const Path& path);
+
+  /// Drops root children that are positional or name no field of `schema`.
+  void RestrictToSchema(const DataType& schema);
+
+  /// Marks every node below the root (not the root) as manipulated by oid.
+  void MarkAllManipulated(int oid);
+
+  void MergeFrom(const RefTree& other);
+
+  /// Canonical render; grammar in core/provenance_export.h.
+  std::string Canonical() const;
+
+ private:
+  RefNode root_;
+};
+
+/// Merges node contents (marks, contributing, children by key).
+void MergeRefNode(RefNode* dest, const RefNode& src);
+
+/// Schema tree: one contributing node per struct attribute, descending
+/// through collection elements without positional nodes (mirrors
+/// BuildSchemaTree).
+RefTree BuildRefSchemaTree(const TypePtr& schema);
+
+/// Expands an accessed path to the leaf attributes beneath it, in schema
+/// field order; unresolvable paths expand to themselves (mirrors
+/// ExpandAccessPath).
+std::vector<Path> ExpandRefAccessPath(const TypePtr& schema,
+                                      const Path& path);
+
+}  // namespace difftest
+}  // namespace pebble
+
+#endif  // PEBBLE_TESTING_REFERENCE_TREE_H_

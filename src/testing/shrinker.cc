@@ -1,0 +1,217 @@
+#include "testing/shrinker.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pebble {
+namespace difftest {
+
+namespace {
+
+bool IsBinaryKind(OpSpec::Kind kind) {
+  return kind == OpSpec::Kind::kJoin || kind == OpSpec::Kind::kThetaJoin ||
+         kind == OpSpec::Kind::kUnion;
+}
+
+/// Restricts the case to the sink's ancestor closure (the sink is always
+/// the last node), remapping node indexes. False when the wiring is broken.
+bool PruneToSink(DiffCase* c) {
+  const int num_sources = static_cast<int>(c->sources.size());
+  const int n = c->NumNodes();
+  if (n == 0) return false;
+  std::vector<bool> keep(n, false);
+  std::vector<int> stack = {n - 1};
+  while (!stack.empty()) {
+    const int node = stack.back();
+    stack.pop_back();
+    if (node < 0 || node >= n) return false;
+    if (keep[node]) continue;
+    keep[node] = true;
+    if (node >= num_sources) {
+      const OpSpec& op = c->ops[node - num_sources];
+      stack.push_back(op.in1);
+      if (IsBinaryKind(op.kind)) stack.push_back(op.in2);
+    }
+  }
+  // Sources precede ops in both the old and new numbering and inputs only
+  // point backwards, so position-in-kept-sequence is a valid remap.
+  std::vector<int> remap(n, -1);
+  int next = 0;
+  DiffCase out;
+  out.partitions = c->partitions;
+  out.pattern_text = c->pattern_text;
+  for (int i = 0; i < num_sources; ++i) {
+    if (!keep[i]) continue;
+    remap[i] = next++;
+    out.sources.push_back(c->sources[i]);
+  }
+  for (int i = num_sources; i < n; ++i) {
+    if (!keep[i]) continue;
+    remap[i] = next++;
+    OpSpec op = c->ops[i - num_sources];
+    op.in1 = remap[op.in1];
+    if (IsBinaryKind(op.kind)) op.in2 = remap[op.in2];
+    if (op.in1 < 0 || (IsBinaryKind(op.kind) && op.in2 < 0)) return false;
+    out.ops.push_back(std::move(op));
+  }
+  if (out.sources.empty()) return false;
+  *c = std::move(out);
+  return true;
+}
+
+/// Removes op `j`, rewiring its consumers to its primary input, then prunes
+/// nodes that no longer feed the sink.
+bool RemoveOp(const DiffCase& in, size_t j, DiffCase* out) {
+  const int num_sources = static_cast<int>(in.sources.size());
+  const int removed = num_sources + static_cast<int>(j);
+  const int target = in.ops[j].in1;
+  out->partitions = in.partitions;
+  out->pattern_text = in.pattern_text;
+  out->sources = in.sources;
+  out->ops.clear();
+  const auto remap = [removed, target](int node) {
+    if (node == removed) node = target;
+    return node > removed ? node - 1 : node;
+  };
+  for (size_t i = 0; i < in.ops.size(); ++i) {
+    if (i == j) continue;
+    OpSpec op = in.ops[i];
+    op.in1 = remap(op.in1);
+    if (IsBinaryKind(op.kind)) op.in2 = remap(op.in2);
+    out->ops.push_back(std::move(op));
+  }
+  return PruneToSink(out);
+}
+
+std::string Trim(const std::string& text) {
+  size_t b = text.find_first_not_of(' ');
+  if (b == std::string::npos) return "";
+  size_t e = text.find_last_not_of(' ');
+  return text.substr(b, e - b + 1);
+}
+
+/// Top-level conjuncts of a pattern text (commas inside children '()' and
+/// count '[]' brackets do not split).
+std::vector<std::string> SplitConjuncts(const std::string& text) {
+  std::vector<std::string> out;
+  int depth = 0;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || (text[i] == ',' && depth == 0)) {
+      std::string item = Trim(text.substr(start, i - start));
+      if (!item.empty()) out.push_back(std::move(item));
+      start = i + 1;
+    } else if (text[i] == '(' || text[i] == '[') {
+      ++depth;
+    } else if (text[i] == ')' || text[i] == ']') {
+      --depth;
+    }
+  }
+  return out;
+}
+
+/// Bare-name pattern over the first field of the sink schema — the simplest
+/// query that still traces every sink row.
+bool FallbackPattern(const DiffCase& c, std::string* out) {
+  Result<std::vector<TypePtr>> schemas = NodeSchemas(c);
+  if (!schemas.ok() || schemas.value().empty()) return false;
+  const TypePtr& sink = schemas.value().back();
+  if (sink == nullptr || sink->kind() != TypeKind::kStruct ||
+      sink->fields().empty()) {
+    return false;
+  }
+  *out = sink->fields()[0].name;
+  return true;
+}
+
+}  // namespace
+
+DiffCase ShrinkCase(const DiffCase& start, const FailPredicate& still_fails,
+                    ShrinkStats* stats) {
+  ShrinkStats local;
+  ShrinkStats* st = stats != nullptr ? stats : &local;
+  constexpr int kMaxAttempts = 300;
+
+  const auto accept = [&](const DiffCase& cand) {
+    if (st->attempts >= kMaxAttempts) return false;
+    ++st->attempts;
+    if (!still_fails(cand)) return false;
+    ++st->successes;
+    return true;
+  };
+
+  DiffCase best = start;
+  bool progress = true;
+  while (progress && st->attempts < kMaxAttempts) {
+    progress = false;
+
+    // Drop one operator (last to first — trailing ops are the cheapest to
+    // lose since the pattern usually survives unchanged).
+    for (int j = static_cast<int>(best.ops.size()) - 1;
+         j >= 0 && !progress; --j) {
+      DiffCase cand;
+      if (!RemoveOp(best, static_cast<size_t>(j), &cand)) continue;
+      if (accept(cand)) {
+        best = std::move(cand);
+        progress = true;
+        break;
+      }
+      std::string fb;
+      if (FallbackPattern(cand, &fb) && fb != cand.pattern_text) {
+        DiffCase cand2 = cand;
+        cand2.pattern_text = fb;
+        if (accept(cand2)) {
+          best = std::move(cand2);
+          progress = true;
+        }
+      }
+    }
+    if (progress) continue;
+
+    // Halve a source's rows.
+    for (size_t i = 0; i < best.sources.size() && !progress; ++i) {
+      if (best.sources[i].rows <= 1) continue;
+      DiffCase cand = best;
+      cand.sources[i].rows = std::max(1, best.sources[i].rows / 2);
+      if (accept(cand)) {
+        best = std::move(cand);
+        progress = true;
+      }
+    }
+    if (progress) continue;
+
+    // Reduce the pattern to a single conjunct.
+    const std::vector<std::string> conjuncts =
+        SplitConjuncts(best.pattern_text);
+    if (conjuncts.size() > 1) {
+      for (const std::string& conjunct : conjuncts) {
+        DiffCase cand = best;
+        cand.pattern_text = conjunct;
+        if (accept(cand)) {
+          best = std::move(cand);
+          progress = true;
+          break;
+        }
+      }
+    }
+    if (progress) continue;
+
+    // Last resort: the bare-field fallback pattern, when strictly shorter.
+    std::string fb;
+    if (FallbackPattern(best, &fb) && fb != best.pattern_text &&
+        fb.size() < best.pattern_text.size()) {
+      DiffCase cand = best;
+      cand.pattern_text = fb;
+      if (accept(cand)) {
+        best = std::move(cand);
+        progress = true;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace difftest
+}  // namespace pebble

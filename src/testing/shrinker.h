@@ -1,0 +1,43 @@
+// Delta-debugging shrinker for failing differential cases.
+//
+// Given a case for which `still_fails` holds, greedily searches for a
+// smaller case where it still holds, iterating to a fixpoint: individual
+// operators are removed (consumers rewired to the removed operator's
+// primary input, then the DAG pruned to the sink's ancestor closure so no
+// dangling nodes remain), source row counts are halved, and the pattern is
+// reduced to single conjuncts. Every structural edit is also retried with
+// the pattern re-anchored to a bare field of the new sink schema, so a
+// shrink step is never rejected merely because the old pattern no longer
+// parses against the new sink.
+//
+// The predicate is typically RunDiffCase + IsDiffMismatch (diff.h): shrink
+// only into cases that fail with a *mismatch*, never into cases that fail
+// to build or execute.
+
+#ifndef PEBBLE_TESTING_SHRINKER_H_
+#define PEBBLE_TESTING_SHRINKER_H_
+
+#include <functional>
+
+#include "testing/generator.h"
+
+namespace pebble {
+namespace difftest {
+
+using FailPredicate = std::function<bool(const DiffCase&)>;
+
+struct ShrinkStats {
+  int attempts = 0;   // candidate evaluations
+  int successes = 0;  // accepted shrink steps
+};
+
+/// Returns the smallest case found (== the input when nothing shrinks).
+/// `still_fails(start)` is assumed true and is not re-checked. Candidate
+/// evaluations are capped (~300) so a pathological predicate terminates.
+DiffCase ShrinkCase(const DiffCase& start, const FailPredicate& still_fails,
+                    ShrinkStats* stats = nullptr);
+
+}  // namespace difftest
+}  // namespace pebble
+
+#endif  // PEBBLE_TESTING_SHRINKER_H_

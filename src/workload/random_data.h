@@ -1,0 +1,49 @@
+// Schema-driven random nested data synthesis: the generator hook behind the
+// differential harness (src/testing). Given any struct schema, produces a
+// deterministic dataset of items conforming to it.
+//
+// Value domains are deliberately tiny (small int range, small string pool)
+// so that randomly generated predicates, join keys and grouping keys collide
+// often — a differential case with no matches or empty joins exercises
+// nothing. Determinism: SplitMix64 (common/rng.h) is platform-stable, so a
+// (seed, schema, rows) triple names the same dataset everywhere.
+
+#ifndef PEBBLE_WORKLOAD_RANDOM_DATA_H_
+#define PEBBLE_WORKLOAD_RANDOM_DATA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "nested/type.h"
+#include "nested/value.h"
+
+namespace pebble {
+namespace workload {
+
+/// Knobs for the value domains.
+struct RandomDataProfile {
+  /// Ints are drawn uniformly from [0, int_domain).
+  int64_t int_domain = 8;
+  /// Strings are "s0" .. "s<string_domain-1>".
+  int string_domain = 5;
+  /// Collection lengths are drawn from [0, max_collection_len].
+  int max_collection_len = 3;
+  /// Probability of a null leaf (exercises null-skipping aggregation and
+  /// SQL-ish predicate semantics).
+  double null_probability = 0.05;
+};
+
+/// One random value conforming to `type`.
+ValuePtr RandomValueForType(Rng* rng, const DataType& type,
+                            const RandomDataProfile& profile);
+
+/// `rows` random items of struct type `schema`, from `seed`.
+std::vector<ValuePtr> RandomDataset(uint64_t seed, const TypePtr& schema,
+                                    int rows,
+                                    const RandomDataProfile& profile = {});
+
+}  // namespace workload
+}  // namespace pebble
+
+#endif  // PEBBLE_WORKLOAD_RANDOM_DATA_H_

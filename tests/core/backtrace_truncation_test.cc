@@ -1,0 +1,151 @@
+// Per-reason tests for governed-backtrace truncation and its lower-bound
+// contract (DESIGN.md §9): each TruncationReason is tripped on a real
+// pipeline, and whatever a truncated query reports must be a subset of the
+// unlimited answer — items only, never invented provenance.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "common/resource.h"
+#include "core/backtrace.h"
+#include "core/query.h"
+#include "engine/executor.h"
+#include "test_util.h"
+#include "testing/generator.h"
+
+namespace pebble {
+namespace {
+
+using difftest::BuildCase;
+using difftest::BuiltCase;
+using difftest::DiffCase;
+using difftest::GenerateCase;
+
+/// A fixture running one mid-sized generated pipeline once, with the
+/// unlimited answer cached for subset checks.
+class BacktraceTruncationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Seed 2 generates a multi-operator case with a non-trivial match set
+    // (dozens of matched entries over two scans); any seed with matches
+    // would do, this one is pinned for determinism.
+    ASSERT_OK_AND_ASSIGN(BuiltCase built, BuildCase(GenerateCase(2)));
+    built_ = std::make_unique<BuiltCase>(std::move(built));
+    Executor exec(ExecOptions(CaptureMode::kStructural, 1, 1));
+    ASSERT_OK_AND_ASSIGN(ExecutionResult run, exec.Run(built_->pipeline));
+    run_ = std::make_unique<ExecutionResult>(std::move(run));
+    ASSERT_OK_AND_ASSIGN(
+        ProvenanceQueryResult full,
+        QueryStructuralProvenance(*run_, built_->pattern, /*num_threads=*/1));
+    full_ = std::make_unique<ProvenanceQueryResult>(std::move(full));
+    ASSERT_FALSE(full_->matched.empty()) << "fixture needs a non-empty match";
+    ASSERT_FALSE(full_->sources.empty());
+  }
+
+  Result<ProvenanceQueryResult> Governed(const BacktraceOptions& options) {
+    return QueryStructuralProvenance(*run_, built_->pattern, options,
+                                     /*num_threads=*/1);
+  }
+
+  static std::map<int, std::set<int64_t>> SourceIds(
+      const ProvenanceQueryResult& r) {
+    std::map<int, std::set<int64_t>> out;
+    for (const SourceProvenance& sp : r.sources) {
+      std::set<int64_t>& ids = out[sp.scan_oid];
+      for (const BacktraceEntry& e : sp.items) ids.insert(e.id);
+    }
+    return out;
+  }
+
+  static std::set<int64_t> MatchedIds(const ProvenanceQueryResult& r) {
+    std::set<int64_t> out;
+    for (const BacktraceEntry& e : r.matched) out.insert(e.id);
+    return out;
+  }
+
+  /// The lower-bound contract: every id a truncated query reports exists in
+  /// the unlimited answer.
+  void ExpectSubsetOfFull(const ProvenanceQueryResult& partial) {
+    const std::set<int64_t> full_matched = MatchedIds(*full_);
+    for (int64_t id : MatchedIds(partial)) {
+      EXPECT_TRUE(full_matched.count(id)) << "invented matched id " << id;
+    }
+    const std::map<int, std::set<int64_t>> full_sources = SourceIds(*full_);
+    for (const auto& [oid, ids] : SourceIds(partial)) {
+      auto it = full_sources.find(oid);
+      ASSERT_NE(it, full_sources.end()) << "invented scan oid " << oid;
+      for (int64_t id : ids) {
+        EXPECT_TRUE(it->second.count(id))
+            << "invented source id " << id << " at scan " << oid;
+      }
+    }
+  }
+
+  std::unique_ptr<BuiltCase> built_;
+  std::unique_ptr<ExecutionResult> run_;
+  std::unique_ptr<ProvenanceQueryResult> full_;
+};
+
+TEST_F(BacktraceTruncationTest, VisitLimitTripsAndStaysSound) {
+  BacktraceOptions options;
+  options.max_visited_nodes = 1;
+  ASSERT_OK_AND_ASSIGN(ProvenanceQueryResult partial, Governed(options));
+  EXPECT_TRUE(partial.truncation.truncated);
+  EXPECT_EQ(partial.truncation.reason, TruncationReason::kVisitLimit);
+  EXPECT_LT(partial.truncation.seed_entries_traced,
+            partial.truncation.seed_entries_total);
+  ExpectSubsetOfFull(partial);
+}
+
+TEST_F(BacktraceTruncationTest, ResultLimitTripsAndStaysSound) {
+  BacktraceOptions options;
+  options.max_results = 1;
+  ASSERT_OK_AND_ASSIGN(ProvenanceQueryResult partial, Governed(options));
+  EXPECT_TRUE(partial.truncation.truncated);
+  EXPECT_EQ(partial.truncation.reason, TruncationReason::kResultLimit);
+  ExpectSubsetOfFull(partial);
+}
+
+TEST_F(BacktraceTruncationTest, PreCancelledTokenShortCircuits) {
+  CancellationSource source;
+  source.Cancel("test cancels before the query");
+  BacktraceOptions options;
+  options.cancel = source.token();
+  ASSERT_OK_AND_ASSIGN(ProvenanceQueryResult partial, Governed(options));
+  EXPECT_TRUE(partial.truncation.truncated);
+  EXPECT_EQ(partial.truncation.reason, TruncationReason::kCancelled);
+  ExpectSubsetOfFull(partial);
+}
+
+TEST_F(BacktraceTruncationTest, ExpiredDeadlineShortCircuits) {
+  BacktraceOptions options;
+  options.deadline = Deadline::AfterMillis(0);
+  ASSERT_OK_AND_ASSIGN(ProvenanceQueryResult partial, Governed(options));
+  EXPECT_TRUE(partial.truncation.truncated);
+  EXPECT_EQ(partial.truncation.reason, TruncationReason::kDeadline);
+  ExpectSubsetOfFull(partial);
+}
+
+TEST_F(BacktraceTruncationTest, UnlimitedOptionsNeverTruncate) {
+  ASSERT_OK_AND_ASSIGN(ProvenanceQueryResult same, Governed(BacktraceOptions{}));
+  EXPECT_FALSE(same.truncation.truncated);
+  EXPECT_EQ(same.truncation.reason, TruncationReason::kNone);
+  EXPECT_EQ(MatchedIds(same), MatchedIds(*full_));
+  EXPECT_EQ(SourceIds(same), SourceIds(*full_));
+}
+
+TEST_F(BacktraceTruncationTest, NegativeCapsAreRejected) {
+  BacktraceOptions options;
+  options.max_visited_nodes = -1;
+  EXPECT_FALSE(Governed(options).ok());
+  options.max_visited_nodes = 0;
+  options.max_results = -5;
+  EXPECT_FALSE(Governed(options).ok());
+}
+
+}  // namespace
+}  // namespace pebble

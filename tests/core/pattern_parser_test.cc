@@ -92,6 +92,64 @@ TEST(PatternParserTest, ParseErrors) {
   EXPECT_FALSE(TreePattern::Parse("a)b").ok());
 }
 
+TEST(PatternParserTest, RejectsMalformedPredicates) {
+  // Every comparison operator demands a literal after it.
+  for (const char* op : {"=", "!=", "<", "<=", ">", ">="}) {
+    EXPECT_FALSE(TreePattern::Parse(std::string("a") + op).ok()) << op;
+    EXPECT_FALSE(TreePattern::Parse(std::string("a") + op + ",b").ok()) << op;
+  }
+  // A predicate needs an attribute in front of it.
+  EXPECT_FALSE(TreePattern::Parse("=3").ok());
+  EXPECT_FALSE(TreePattern::Parse("!=3").ok());
+  // '!' alone is not an operator, so it is a trailing character.
+  EXPECT_FALSE(TreePattern::Parse("a!3").ok());
+}
+
+TEST(PatternParserTest, RejectsMalformedLiterals) {
+  // A bare sign or dot must not reach std::stoll/std::stod (which would
+  // throw instead of returning a status).
+  EXPECT_FALSE(TreePattern::Parse("a=-").ok());
+  EXPECT_FALSE(TreePattern::Parse("a=.").ok());
+  EXPECT_FALSE(TreePattern::Parse("a=-.").ok());
+  // Two dots must not silently truncate to the leading prefix.
+  EXPECT_FALSE(TreePattern::Parse("a=1.2.3").ok());
+  // Out-of-range integers are a parse error, not an exception.
+  EXPECT_FALSE(TreePattern::Parse("a=99999999999999999999").ok());
+  EXPECT_FALSE(TreePattern::Parse("a=-99999999999999999999").ok());
+  // Unterminated double-quoted string, and an escape at end of input.
+  EXPECT_FALSE(TreePattern::Parse("a=\"x").ok());
+  EXPECT_FALSE(TreePattern::Parse("a='x\\'").ok());
+}
+
+TEST(PatternParserTest, RejectsMalformedCounts) {
+  EXPECT_FALSE(TreePattern::Parse("a[,2]").ok());
+  EXPECT_FALSE(TreePattern::Parse("a[1,]").ok());
+  EXPECT_FALSE(TreePattern::Parse("a[-1,2]").ok());
+  EXPECT_FALSE(TreePattern::Parse("a[1,2,3]").ok());
+  EXPECT_FALSE(TreePattern::Parse("a[*,2]").ok());
+  EXPECT_FALSE(TreePattern::Parse("a[]").ok());
+  // Counts past nine digits would overflow the int cast.
+  EXPECT_FALSE(TreePattern::Parse("a[99999999999999999999,*]").ok());
+  // Count belongs BEFORE children: name predicate? count? children?
+  EXPECT_FALSE(TreePattern::Parse("a(b)[1,2]").ok());
+  ASSERT_OK_AND_ASSIGN(TreePattern p, TreePattern::Parse("a[1,2](b)"));
+  EXPECT_EQ(p.roots()[0].min_count(), 1);
+  ASSERT_EQ(p.roots()[0].children().size(), 1u);
+}
+
+TEST(PatternParserTest, RejectsMalformedStructure) {
+  EXPECT_FALSE(TreePattern::Parse("a,").ok());
+  EXPECT_FALSE(TreePattern::Parse(",a").ok());
+  EXPECT_FALSE(TreePattern::Parse("a()").ok());
+  EXPECT_FALSE(TreePattern::Parse("a((b))").ok());
+  EXPECT_FALSE(TreePattern::Parse("a(b))").ok());
+  EXPECT_FALSE(TreePattern::Parse("a b").ok());
+  EXPECT_FALSE(TreePattern::Parse("//").ok());
+  EXPECT_FALSE(TreePattern::Parse("/a").ok());
+  EXPECT_FALSE(TreePattern::Parse("a//b").ok());
+  EXPECT_FALSE(TreePattern::Parse("a.b").ok());
+}
+
 TEST(PatternParserTest, ParsedPatternMatchesLikeBuiltPattern) {
   // The Fig. 4 question parsed from text behaves identically to the
   // programmatic version.

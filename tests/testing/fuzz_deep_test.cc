@@ -1,0 +1,47 @@
+// Deep differential fuzzing, nightly-scale. Gated twice: the `fuzz` ctest
+// label keeps it out of `ctest -LE fuzz`, and without PEBBLE_FUZZ_ITERS in
+// the environment the test skips, so an accidental plain invocation stays
+// cheap. PEBBLE_FUZZ_START offsets the seed range so successive nightly
+// runs can walk disjoint ranges.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "test_util.h"
+#include "testing/diff.h"
+#include "testing/generator.h"
+
+namespace pebble {
+namespace difftest {
+namespace {
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return static_cast<uint64_t>(std::strtoull(raw, nullptr, 10));
+}
+
+TEST(FuzzDeepTest, SeededSweep) {
+  const uint64_t iters = EnvU64("PEBBLE_FUZZ_ITERS", 0);
+  if (iters == 0) {
+    GTEST_SKIP() << "set PEBBLE_FUZZ_ITERS to enable the deep sweep";
+  }
+  const uint64_t start = EnvU64("PEBBLE_FUZZ_START", 0);
+  DiffOptions options;
+  options.scratch_dir = ::testing::TempDir() + "/pebble_fuzz_deep";
+  std::filesystem::create_directories(options.scratch_dir);
+  for (uint64_t seed = start; seed < start + iters; ++seed) {
+    const DiffCase c = GenerateCase(seed);
+    const Status st = RunDiffCase(c, options);
+    ASSERT_TRUE(st.ok()) << "seed " << seed << ": " << st.ToString() << "\n"
+                         << c.Serialize();
+  }
+}
+
+}  // namespace
+}  // namespace difftest
+}  // namespace pebble

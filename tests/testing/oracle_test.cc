@@ -1,0 +1,178 @@
+// Direct unit tests for the reference oracle: its tree-pattern matcher
+// against the engine's, its interpreter on hand-written cases, and the
+// deliberate quirks the shrinker demo relies on.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/provenance_export.h"
+#include "core/tree_pattern.h"
+#include "test_util.h"
+#include "testing/generator.h"
+#include "testing/oracle.h"
+
+namespace pebble {
+namespace difftest {
+namespace {
+
+using pebble::testing::B;
+using pebble::testing::I;
+using pebble::testing::MakeItem;
+using pebble::testing::S;
+
+ValuePtr NestedItem() {
+  return MakeItem(
+      {{"a", I(1)},
+       {"b", S("x")},
+       {"c", Value::Bag({MakeItem({{"d", I(2)}, {"e", S("p")}}),
+                         MakeItem({{"d", I(3)}, {"e", S("q")}})})},
+       {"f", B(true)}});
+}
+
+// The oracle's matcher and the engine's must agree on both the match
+// decision and the resulting contributing tree, rendered canonically.
+void ExpectAgreement(const std::string& pattern_text, const ValuePtr& item) {
+  ASSERT_OK_AND_ASSIGN(TreePattern pattern,
+                       TreePattern::Parse(pattern_text));
+  ASSERT_OK_AND_ASSIGN(TreePattern::ItemMatch engine,
+                       pattern.MatchItem(*item));
+  ASSERT_OK_AND_ASSIGN(RefItemMatch oracle, RefMatchItem(pattern, *item));
+  EXPECT_EQ(engine.matched, oracle.matched) << pattern_text;
+  if (engine.matched && oracle.matched) {
+    EXPECT_EQ(CanonicalTreeString(engine.tree), oracle.tree.Canonical())
+        << pattern_text;
+  }
+}
+
+TEST(OracleMatcherTest, AgreesWithEngineOnNestedItem) {
+  const ValuePtr item = NestedItem();
+  ExpectAgreement("a", item);
+  ExpectAgreement("a=1", item);
+  ExpectAgreement("a=2", item);
+  ExpectAgreement("a,b", item);
+  ExpectAgreement("c(d)", item);
+  ExpectAgreement("c(d=3)", item);
+  ExpectAgreement("c(d=9)", item);
+  ExpectAgreement("c(d=2,e='p')", item);
+  ExpectAgreement("//d", item);
+  ExpectAgreement("//d=3", item);
+  ExpectAgreement("//missing", item);
+  ExpectAgreement("c[2,2]", item);
+  ExpectAgreement("c[3,*]", item);
+  ExpectAgreement("c[1,1](d=2)", item);
+  ExpectAgreement("f=true", item);
+  ExpectAgreement("f=false", item);
+}
+
+TEST(OracleMatcherTest, AgreesOnEdgeValues) {
+  const ValuePtr empty_bag = MakeItem({{"a", I(1)}, {"c", Value::Bag({})}});
+  ExpectAgreement("c", empty_bag);
+  ExpectAgreement("c[0,0]", empty_bag);
+  ExpectAgreement("c[1,*]", empty_bag);
+  const ValuePtr with_null = MakeItem({{"a", Value::Null()}, {"b", S("y")}});
+  ExpectAgreement("a", with_null);
+  ExpectAgreement("a=1", with_null);
+  ExpectAgreement("b='y'", with_null);
+}
+
+Result<BuiltCase> BuildFromText(const std::string& text) {
+  PEBBLE_ASSIGN_OR_RETURN(DiffCase c, DiffCase::Parse(text));
+  return BuildCase(c);
+}
+
+TEST(OracleInterpreterTest, ScanAndFilterRowCounts) {
+  ASSERT_OK_AND_ASSIGN(BuiltCase built, BuildFromText(
+      "pebble-diffcase v1\n"
+      "partitions 1\n"
+      "source src0 11 12 <f0:Int,f1:String>\n"
+      "op filter 0 p=f0 c=ge l=i:0\n"
+      "pattern f0\n"));
+  Oracle oracle(&built.pipeline);
+  ASSERT_OK(oracle.Run());
+  // The scan yields exactly the declared row count; the filter keeps a
+  // subset and every link points at a valid input ordinal, in order.
+  EXPECT_EQ(oracle.RowsOf(/*oid=*/1).size(), 12u);
+  const std::vector<ValuePtr>& out = oracle.Output();
+  const std::vector<OracleLink>& links = oracle.LinksOf(/*oid=*/2);
+  ASSERT_EQ(out.size(), links.size());
+  EXPECT_LE(out.size(), 12u);
+  int64_t prev = -1;
+  for (size_t i = 0; i < links.size(); ++i) {
+    EXPECT_GT(links[i].in1, prev);
+    EXPECT_LT(links[i].in1, 12);
+    prev = links[i].in1;
+    EXPECT_TRUE(out[i]->Equals(*oracle.RowsOf(1)[links[i].in1]));
+  }
+}
+
+TEST(OracleInterpreterTest, FlattenPositionsAreOneBased) {
+  ASSERT_OK_AND_ASSIGN(BuiltCase built, BuildFromText(
+      "pebble-diffcase v1\n"
+      "partitions 1\n"
+      "source src0 3 8 <f0:Int,f1:{{String}}>\n"
+      "op flatten 0 p=f1 a=f2\n"
+      "pattern f0\n"));
+  Oracle oracle(&built.pipeline);
+  ASSERT_OK(oracle.Run());
+  int64_t last_in = -1;
+  int32_t expected_pos = 0;
+  for (const OracleLink& link : oracle.LinksOf(/*oid=*/2)) {
+    // Positions restart at 1 for each input row and count up within it.
+    expected_pos = link.in1 == last_in ? expected_pos + 1 : 1;
+    EXPECT_EQ(link.pos, expected_pos);
+    last_in = link.in1;
+  }
+}
+
+TEST(OracleQuirkTest, DropSelectManipulationsChangesProvenance) {
+  const std::string text =
+      "pebble-diffcase v1\n"
+      "partitions 1\n"
+      "source src0 5 10 <f0:Int,f1:String,f2:Int>\n"
+      "op select 0 proj=f0=f0;g{x=f1;y=f2}\n"
+      "pattern g(x)\n";
+  ASSERT_OK_AND_ASSIGN(BuiltCase built, BuildFromText(text));
+  Oracle clean(&built.pipeline);
+  ASSERT_OK(clean.Run());
+  ASSERT_OK_AND_ASSIGN(CanonicalProvenance clean_prov,
+                       clean.Query(built.pattern));
+
+  OracleQuirks quirks;
+  quirks.drop_select_manipulations = true;
+  ASSERT_OK_AND_ASSIGN(BuiltCase built2, BuildFromText(text));
+  Oracle broken(&built2.pipeline, quirks);
+  ASSERT_OK(broken.Run());
+  ASSERT_OK_AND_ASSIGN(CanonicalProvenance broken_prov,
+                       broken.Query(built2.pattern));
+
+  // Output rows are untouched (the quirk only corrupts capture) ...
+  ASSERT_EQ(clean.Output().size(), broken.Output().size());
+  // ... but the backtraced trees stay keyed by output paths.
+  EXPECT_NE(clean_prov.ToString(), broken_prov.ToString());
+}
+
+TEST(OracleQuirkTest, FlattenOffByOneChangesPositions) {
+  const std::string text =
+      "pebble-diffcase v1\n"
+      "partitions 1\n"
+      "source src0 3 8 <f0:Int,f1:{{String}}>\n"
+      "op flatten 0 p=f1 a=f2\n"
+      "pattern f0\n";
+  ASSERT_OK_AND_ASSIGN(BuiltCase built, BuildFromText(text));
+  OracleQuirks quirks;
+  quirks.flatten_positions_off_by_one = true;
+  Oracle broken(&built.pipeline, quirks);
+  ASSERT_OK(broken.Run());
+  bool saw_zero = false;
+  for (const OracleLink& link : broken.LinksOf(/*oid=*/2)) {
+    if (link.pos == 0) saw_zero = true;
+    EXPECT_GE(link.pos, 0);
+  }
+  EXPECT_TRUE(saw_zero) << "off-by-one quirk should emit 0-based positions";
+}
+
+}  // namespace
+}  // namespace difftest
+}  // namespace pebble
