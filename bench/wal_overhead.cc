@@ -1,0 +1,168 @@
+// Measures the cost of streaming provenance capture through the WAL
+// (DESIGN.md §11) on the fig6 Twitter scenarios. Every leg ends with the
+// run's provenance durable on disk — the comparison is between the two
+// ways of getting there, not between "write" and "don't write":
+//
+//   base        kStructural capture + one SaveProvenanceStore at run end
+//               (snapshot-only durability: a crash loses the whole run)
+//   per-commit  WAL sink, group_commit_bytes = 0: every operator commit is
+//               written AND fsynced before the executor proceeds (a crash
+//               loses at most the uncommitted tail record)
+//   group       WAL sink, group_commit_bytes = 256 KiB: records batch up
+//               and flush together (run boundaries still flush)
+//
+// Each WAL trial opens a fresh directory (recovery of an empty log is
+// part of the measured setup, as it would be for a new ingest process) and
+// closes the writer before the trial ends, so buffered bytes are on disk.
+// The acceptance bar: group-commit capture within 2 percentage points of
+// the snapshot-only leg on these scenarios.
+
+#include <filesystem>
+
+#include "bench/bench_util.h"
+#include "core/provenance_io.h"
+#include "core/provenance_wal.h"
+#include "workload/scenarios.h"
+
+namespace pebble {
+namespace {
+
+constexpr size_t kScaleTweets[] = {2000, 6000, 10000};
+constexpr const char* kScaleLabels[] = {"S1", "S3", "S5"};
+constexpr int kNumScales = 3;
+constexpr uint64_t kGroupBytes = 4 << 20;
+
+std::string BenchWalDir() {
+  const char* raw = std::getenv("PEBBLE_BENCH_WAL_DIR");
+  std::string base = raw != nullptr && *raw != '\0'
+                         ? std::string(raw)
+                         : std::string("/tmp/pebble-wal-bench");
+  std::filesystem::create_directories(base);
+  return base;
+}
+
+/// One snapshot-durable run: capture in memory, then save one durable
+/// snapshot. Aborts on any error so a measurement never silently times a
+/// failed run.
+void RunWithSnapshot(const Executor& executor, const Pipeline& pipeline,
+                     const std::string& path) {
+  Result<ExecutionResult> run = executor.Run(pipeline);
+  if (!run.ok() || run.value().provenance == nullptr) {
+    std::fprintf(stderr, "benchmark pipeline failed: %s\n",
+                 run.status().ToString().c_str());
+    std::abort();
+  }
+  Status saved = SaveProvenanceStore(*run.value().provenance, path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "snapshot save failed: %s\n",
+                 saved.ToString().c_str());
+    std::abort();
+  }
+}
+
+/// One WAL-captured run in a fresh directory. The caller hands out a new
+/// directory per run and reclaims them between measurements, so the timed
+/// path never pays for recursive deletion of a previous run's files.
+void RunWithWal(const Pipeline& pipeline, const std::string& dir,
+                uint64_t group_commit_bytes) {
+  WalOptions wal;
+  wal.group_commit_bytes = group_commit_bytes;
+  Result<std::unique_ptr<WalWriter>> opened = WalWriter::Open(dir, wal);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "wal open failed: %s\n",
+                 opened.status().ToString().c_str());
+    std::abort();
+  }
+  std::shared_ptr<WalWriter> writer = std::move(opened).value();
+  ExecOptions options = bench::BenchOptions(CaptureMode::kStructural);
+  options.commit_sink = writer;
+  Executor executor(options);
+  bench::RunOrDie(executor, pipeline);
+  Status closed = writer->Close();
+  if (!closed.ok()) {
+    std::fprintf(stderr, "wal close failed: %s\n",
+                 closed.ToString().c_str());
+    std::abort();
+  }
+}
+
+int Main() {
+  bench::PrintHeader(
+      "WAL capture overhead — fig6 Twitter scenarios; every leg leaves\n"
+      "durable provenance: snapshot-at-end vs WAL-per-commit vs\n"
+      "group-commit (256 KiB)");
+  std::printf("%-6s %-10s %11s %14s %9s %12s %9s\n", "scale", "scenario",
+              "base (ms)", "per-commit", "ovh", "group", "ovh");
+
+  const std::string base_dir = BenchWalDir();
+  Executor plain(bench::BenchOptions(CaptureMode::kStructural));
+  // Both legs write the same bytes; the delta being measured (extra fsync
+  // barriers) is small against this VM's IO noise, so this bench defaults
+  // to more trials than the harness-wide 7 for a stable median.
+  const int trials = bench::TrialsFromEnv(15);
+
+  std::vector<double> per_commit_overheads;
+  std::vector<double> group_overheads;
+  for (int scale = 0; scale < kNumScales; ++scale) {
+    TwitterGenOptions gen_options;
+    gen_options.num_tweets = kScaleTweets[scale];
+    TwitterGenerator gen(gen_options);
+    auto data = gen.Generate();
+    for (int scenario = 1; scenario <= 5; ++scenario) {
+      Result<Scenario> base = MakeTwitterScenario(scenario, gen, data);
+      Result<Scenario> with = MakeTwitterScenario(scenario, gen, data);
+      if (!base.ok() || !with.ok()) {
+        std::fprintf(stderr, "scenario setup failed\n");
+        return 1;
+      }
+      const std::string snap = base_dir + "/cell.pprov";
+      size_t run_id = 0;
+      auto fresh_dir = [&] {
+        return base_dir + "/r" + std::to_string(run_id++);
+      };
+      bench::Paired per_commit = bench::MeasurePaired(
+          [&] { RunWithSnapshot(plain, base->pipeline, snap); },
+          [&] { RunWithWal(with->pipeline, fresh_dir(), 0); }, trials);
+      bench::Paired group = bench::MeasurePaired(
+          [&] { RunWithSnapshot(plain, base->pipeline, snap); },
+          [&] { RunWithWal(with->pipeline, fresh_dir(), kGroupBytes); },
+          trials);
+      // Reclaim this cell's run directories outside the timed region.
+      std::error_code cleanup_ec;
+      for (size_t i = 0; i < run_id; ++i) {
+        std::filesystem::remove_all(base_dir + "/r" + std::to_string(i),
+                                    cleanup_ec);
+      }
+      per_commit_overheads.push_back(per_commit.overhead_pct);
+      group_overheads.push_back(group.overhead_pct);
+      std::printf("%-6s %-10s %11.2f %14.2f %8.2f%% %12.2f %8.2f%%\n",
+                  kScaleLabels[scale],
+                  ("T" + std::to_string(scenario)).c_str(),
+                  per_commit.base_ms, per_commit.with_ms,
+                  per_commit.overhead_pct, group.with_ms,
+                  group.overhead_pct);
+      std::fflush(stdout);
+      bench::JsonRecord("wal_overhead",
+                        std::string(kScaleLabels[scale]) + "/T" +
+                            std::to_string(scenario))
+          .Int("num_tweets", static_cast<int64_t>(kScaleTweets[scale]))
+          .Int("group_commit_bytes", static_cast<int64_t>(kGroupBytes))
+          .Pair("wal_per_commit", per_commit)
+          .Pair("wal_group", group)
+          .Emit();
+    }
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(base_dir, ec);
+  std::printf(
+      "\nmedian WAL overhead over snapshot-at-end capture: per-commit "
+      "%.2f%%, group-commit %.2f%%\n(acceptance bar: group-commit within "
+      "2pp of the snapshot-only leg)\n",
+      bench::Median(per_commit_overheads), bench::Median(group_overheads));
+  return 0;
+}
+
+}  // namespace
+}  // namespace pebble
+
+int main() { return pebble::Main(); }

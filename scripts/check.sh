@@ -16,15 +16,21 @@
 #                               # shrinker suites, the seeded sweep, then a
 #                               # deep run of the standalone fuzzer
 #                               # (PEBBLE_FUZZ_ITERS seeds, default 2000)
+#   scripts/check.sh wal        # provenance-WAL durability gate: writer/
+#                               # recovery units + the crash-point chaos
+#                               # suite, plain and under ASan+UBSan; with
+#                               # PEBBLE_FUZZ_ITERS set, also the random
+#                               # mutate-then-recover sweep (failing WAL
+#                               # segments land in build/wal-repros)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 STAGE="${1:-all}"
 case "${STAGE}" in
-  all|plain|asan|tsan|corruption|stress|diff) ;;
+  all|plain|asan|tsan|corruption|stress|diff|wal) ;;
   *) echo "unknown stage '${STAGE}'" \
-          "(expected: all, plain, asan, tsan, corruption, stress, diff)" >&2
+          "(expected: all, plain, asan, tsan, corruption, stress, diff, wal)" >&2
      exit 2 ;;
 esac
 
@@ -84,6 +90,23 @@ if [[ "${STAGE}" == "all" || "${STAGE}" == "diff" ]]; then
   mkdir -p build/diff-repros
   ./build/src/testing/pebble_diff --seeds "${DIFF_ITERS}" --start 500 \
       --out-dir build/diff-repros --scratch build/diff-repros
+fi
+
+if [[ "${STAGE}" == "all" || "${STAGE}" == "wal" ]]; then
+  # Provenance-WAL durability gate: framing/recovery/compaction units plus
+  # the crash-point chaos suite (torn appends, byte truncation, bit flips,
+  # compaction-window faults), plain and under ASan+UBSan. When
+  # PEBBLE_FUZZ_ITERS is set (nightly), the chaos binary additionally runs
+  # its randomized mutate-then-recover sweep; any failing segment is
+  # dumped under build/wal-repros for artifact upload.
+  WAL_FILTER="ProvenanceWal|WalChaos|MicroBatch|Wal"
+  mkdir -p build/wal-repros
+  PEBBLE_WAL_REPRO_DIR="$(pwd)/build/wal-repros" \
+    run_stage "wal (plain)" build "" "${WAL_FILTER}"
+  PEBBLE_WAL_REPRO_DIR="$(pwd)/build/wal-repros" \
+    ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1" \
+    run_stage "wal (asan+ubsan)" build-asan "address;undefined" \
+      "${WAL_FILTER}"
 fi
 
 if [[ "${STAGE}" == "all" || "${STAGE}" == "stress" ]]; then

@@ -51,6 +51,21 @@ inline constexpr char kIoFsync[] = "io.fsync";
 inline constexpr char kIoRename[] = "io.rename";
 /// LoadProvenanceStore, once per load before the snapshot file is opened.
 inline constexpr char kIoLoad[] = "io.load";
+/// WalWriter, once per record appended to the provenance WAL (keyed by the
+/// writer's record ordinal). Firing simulates a crash mid-append: a prefix
+/// of the framed record reaches the segment file, then the writer poisons
+/// itself (no further appends can land after the torn bytes).
+inline constexpr char kWalAppend[] = "wal.append";
+/// WalWriter, before each fsync of the active segment (keyed by a running
+/// flush ordinal). Firing leaves buffered bytes written but not durable and
+/// poisons the writer.
+inline constexpr char kWalSync[] = "wal.sync";
+/// WalWriter, after sealing the active segment and before creating its
+/// successor (keyed by the new segment's sequence number).
+inline constexpr char kWalRotate[] = "wal.rotate";
+/// Compaction, immediately before the manifest file is atomically
+/// rewritten to advance the covered sequence number.
+inline constexpr char kWalManifest[] = "wal.manifest";
 }  // namespace failpoints
 
 /// Firing rule for one armed site. Exactly one of `every_nth` /

@@ -1,0 +1,61 @@
+// Streaming provenance commit hook. The executor commits each operator's
+// staged id rows into the run's ProvenanceStore at one serial point
+// (CheckProvenanceCommit gates the staged-column appends; the operator's
+// commit is complete when Execute returns). A ProvenanceCommitSink observes
+// exactly those commit points, in topological operator order, so an
+// implementation can make every committed chunk durable before the run
+// acknowledges the operator — this is the engine-side seam the provenance
+// WAL (core/provenance_wal.h) plugs into.
+//
+// This header is part of the provenance-model layer (pebble_prov) so the
+// engine can depend on the interface without depending on pebble_core,
+// which implements WalWriter on top of it.
+
+#ifndef PEBBLE_CORE_COMMIT_SINK_H_
+#define PEBBLE_CORE_COMMIT_SINK_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace pebble {
+
+class ProvenanceStore;
+
+/// Observer of the executor's serial provenance-commit points. Calls arrive
+/// on the executor thread, strictly ordered:
+///
+///   OnRunBegin(store, first_item_id)        once, topology registered
+///   OnOperatorCommit(store, oid)            once per operator, topo order,
+///                                           after its staged rows committed
+///   OnRunEnd(store, next_item_id)           once, iff every operator ran
+///
+/// Any non-OK return fails the run at that point (the current operator is
+/// committed in memory but the run is not acknowledged). A failed run calls
+/// no further hooks; the sink may be reused for a later run only if its
+/// implementation allows it (WalWriter does not — it poisons itself on
+/// failure so no record can land after a torn tail).
+class ProvenanceCommitSink {
+ public:
+  virtual ~ProvenanceCommitSink() = default;
+
+  /// The run's store exists and holds the full topology (mode, sink oid,
+  /// every OperatorInfo) but no id rows yet. `first_item_id` is the first
+  /// top-level item id this run will allocate.
+  virtual Status OnRunBegin(const ProvenanceStore& store,
+                            int64_t first_item_id) = 0;
+
+  /// Operator `oid`'s staged rows are fully committed into `store`. For
+  /// operators that capture nothing (scans, capture-mode gaps) the store
+  /// has no record for `oid`; sinks must tolerate that.
+  virtual Status OnOperatorCommit(const ProvenanceStore& store, int oid) = 0;
+
+  /// The run completed; `next_item_id` is the first id a later run over the
+  /// same store may use without colliding.
+  virtual Status OnRunEnd(const ProvenanceStore& store,
+                          int64_t next_item_id) = 0;
+};
+
+}  // namespace pebble
+
+#endif  // PEBBLE_CORE_COMMIT_SINK_H_

@@ -1,0 +1,83 @@
+#include "core/compactor.h"
+
+#include <chrono>
+#include <utility>
+
+#include "core/provenance_wal.h"
+
+namespace pebble {
+
+Result<WalCompactionStats> CompactWal(const std::string& dir) {
+  return internal::FoldWalSegments(dir, /*through=*/~0ull, /*sync=*/true);
+}
+
+BackgroundCompactor::BackgroundCompactor(WalWriter* writer, Options options)
+    : writer_(writer), options_(options) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+BackgroundCompactor::~BackgroundCompactor() { Stop(); }
+
+void BackgroundCompactor::TriggerNow() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    triggered_ = true;
+  }
+  cv_.notify_all();
+}
+
+void BackgroundCompactor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      if (thread_.joinable()) thread_.join();
+      return;
+    }
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+uint64_t BackgroundCompactor::passes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return passes_;
+}
+
+Status BackgroundCompactor::last_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_error_;
+}
+
+void BackgroundCompactor::Loop() {
+  for (;;) {
+    bool run_pass = false;
+    bool stopping = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, std::chrono::milliseconds(options_.poll_ms),
+                   [this] { return stop_ || triggered_; });
+      run_pass = triggered_;
+      triggered_ = false;
+      stopping = stop_;
+    }
+    // A trigger that raced with Stop still gets its pass (drain-on-stop),
+    // so TriggerNow-then-Stop deterministically compacts once.
+    if (!run_pass) {
+      if (stopping) return;
+      if (writer_->sealed_bytes() < options_.threshold_bytes) continue;
+    }
+    Status st = writer_->Compact();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (st.ok()) {
+        ++passes_;
+      } else if (last_error_.ok()) {
+        last_error_ = st;
+      }
+    }
+    if (stopping) return;
+  }
+}
+
+}  // namespace pebble

@@ -1,0 +1,112 @@
+// Compaction of the provenance WAL: folds sealed segments (plus the
+// previous snapshot) into a fresh durable v2 snapshot, atomically advances
+// the MANIFEST, then reclaims the folded files (DESIGN.md §11.4).
+//
+// Crash safety across the whole window:
+//   1. snapshot-NNNNNN.pprov is written via AtomicWriteFile — a crash here
+//      leaves at most an orphan snapshot, which recovery ignores (the
+//      manifest is the commit point);
+//   2. MANIFEST is rewritten via AtomicWriteFile — old-or-new, never torn;
+//   3. folded segments and superseded snapshots are deleted best-effort —
+//      a crash here leaves stale files that recovery skips (sequence <=
+//      covered) and the next compaction reclaims.
+
+#ifndef PEBBLE_CORE_COMPACTOR_H_
+#define PEBBLE_CORE_COMPACTOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace pebble {
+
+class WalWriter;
+
+/// What one compaction pass did.
+struct WalCompactionStats {
+  /// False when there was nothing to fold (no uncovered sealed segments).
+  bool performed = false;
+  /// Highest segment sequence the manifest covers after the pass.
+  uint64_t covered_seq = 0;
+  size_t segments_folded = 0;
+  size_t segments_removed = 0;
+  size_t snapshots_removed = 0;
+  std::string snapshot_path;
+};
+
+/// Offline compaction of a WAL directory with no live writer: folds EVERY
+/// segment present — including a torn-tail newest segment, whose torn bytes
+/// are unrecoverable either way — into one snapshot and reclaims them.
+/// Safe to run repeatedly; a second pass is a no-op. Not safe concurrently
+/// with a live WalWriter on the same directory (use WalWriter::Compact /
+/// BackgroundCompactor there, which exclude appends for the fold).
+Result<WalCompactionStats> CompactWal(const std::string& dir);
+
+namespace internal {
+/// Shared fold core used by CompactWal and WalWriter::Compact: folds the
+/// present segments with sequence in (manifest covered, `through`] into a
+/// new snapshot + manifest, then reclaims folded/superseded files. `sync`
+/// controls fsync of the manifest write. Evaluates the wal.manifest
+/// failpoint (keyed by the new covered sequence) between snapshot and
+/// manifest. On failure the log is untouched (old manifest still rules).
+Result<WalCompactionStats> FoldWalSegments(const std::string& dir,
+                                           uint64_t through, bool sync);
+}  // namespace internal
+
+/// Drives WalWriter::Compact from a background thread whenever the bytes in
+/// sealed-but-uncompacted segments exceed a threshold. Compaction runs on
+/// this thread while the executor keeps appending between polls; the
+/// writer's mutex serializes the actual fold against appends.
+struct BackgroundCompactorOptions {
+  /// Compact once sealed_bytes() reaches this many bytes.
+  uint64_t threshold_bytes = 8ull << 20;
+  /// Poll cadence while idle.
+  int poll_ms = 50;
+};
+
+class BackgroundCompactor {
+ public:
+  using Options = BackgroundCompactorOptions;
+
+  /// Starts the thread immediately. `writer` must outlive this object.
+  explicit BackgroundCompactor(WalWriter* writer, Options options = {});
+  ~BackgroundCompactor();
+
+  BackgroundCompactor(const BackgroundCompactor&) = delete;
+  BackgroundCompactor& operator=(const BackgroundCompactor&) = delete;
+
+  /// Wakes the thread for an immediate pass regardless of the threshold.
+  void TriggerNow();
+
+  /// Stops and joins the thread. Idempotent; also run by the destructor.
+  void Stop();
+
+  /// Number of compaction passes this thread completed successfully.
+  uint64_t passes() const;
+
+  /// First error any pass returned (compaction failures leave the log
+  /// intact, so the writer itself stays healthy).
+  Status last_error() const;
+
+ private:
+  void Loop();
+
+  WalWriter* const writer_;
+  const Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool triggered_ = false;
+  uint64_t passes_ = 0;
+  Status last_error_;
+  std::thread thread_;
+};
+
+}  // namespace pebble
+
+#endif  // PEBBLE_CORE_COMPACTOR_H_

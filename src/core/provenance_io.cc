@@ -14,242 +14,22 @@
 #include "common/failpoint.h"
 #include "common/file_io.h"
 #include "common/string_util.h"
+#include "core/provenance_records.h"
 
 namespace pebble {
 
-namespace {
-
-// ---------------------------------------------------------------------------
-// Record lines, shared by both formats.
-//
-// Line-oriented records, one per line, space-separated fields. Paths and
-// type renderings contain no spaces; labels go last on their line and may
-// contain spaces.
-//
-//   o <oid> <type> <n_inputs> <input_oid>... <label...>
-//   p <oid>                          start of captured record for oid
-//   i <producer_oid> <undef:0|1> <schema_ref|-> <n> <path>...
-//   m <from_grouping:0|1> <undef:0|1> <in_path|-> <out_path|->
-//   u <in> <out>
-//   b <in1> <in2> <out>
-//   f <in> <pos> <out>
-//   a <out> <n> <in>...
-//
-// In the legacy v1 text format <schema_ref> is the inline type rendering;
-// in durable v2 segments it is "@<index>" into the schemas segment.
-
-const char* ModeToToken(CaptureMode mode) { return CaptureModeToString(mode); }
-
-Result<CaptureMode> TokenToMode(const std::string& token) {
-  if (token == "off") return CaptureMode::kOff;
-  if (token == "lineage") return CaptureMode::kLineage;
-  if (token == "structural") return CaptureMode::kStructural;
-  if (token == "full-model") return CaptureMode::kFullModel;
-  return Status::InvalidArgument("unknown capture mode '" + token + "'");
-}
-
-const char* TypeToToken(OpType type) { return OpTypeToString(type); }
-
-Result<OpType> TokenToType(const std::string& token) {
-  for (OpType type :
-       {OpType::kScan, OpType::kFilter, OpType::kSelect, OpType::kMap,
-        OpType::kJoin, OpType::kUnion, OpType::kFlatten,
-        OpType::kGroupAggregate}) {
-    if (token == OpTypeToString(type)) return type;
-  }
-  return Status::InvalidArgument("unknown operator type '" + token + "'");
-}
-
-void AppendTopologyLine(const OperatorInfo& info, std::string* out) {
-  *out += "o " + std::to_string(info.oid) + " " + TypeToToken(info.type) +
-          " " + std::to_string(info.input_oids.size());
-  for (int in : info.input_oids) {
-    *out += " " + std::to_string(in);
-  }
-  *out += " " + info.label + "\n";
-}
-
-void AppendInputLine(const InputProvenance& input,
-                     const std::string& schema_ref, std::string* out) {
-  *out += "i " + std::to_string(input.producer_oid) + " " +
-          (input.accessed_undefined ? "1" : "0") + " " + schema_ref + " " +
-          std::to_string(input.accessed.size());
-  for (const Path& p : input.accessed) {
-    *out += " " + p.ToString();
-  }
-  *out += "\n";
-}
-
-void AppendManipLines(const OperatorProvenance& prov, std::string* out) {
-  if (prov.manip_undefined) {
-    *out += "m 0 1 - -\n";
-  }
-  for (const PathMapping& m : prov.manipulations) {
-    // Empty paths (e.g. count()'s input) are encoded as "-".
-    std::string in_text = m.in.empty() ? "-" : m.in.ToString();
-    std::string out_text = m.out.empty() ? "-" : m.out.ToString();
-    *out += "m " + std::string(m.from_grouping ? "1" : "0") + " 0 " +
-            in_text + " " + out_text + "\n";
-  }
-}
-
-void AppendIdRowLines(const OperatorProvenance& prov, std::string* out) {
-  for (const UnaryIdRow& row : prov.unary_ids) {
-    *out += "u " + std::to_string(row.in) + " " + std::to_string(row.out) +
-            "\n";
-  }
-  for (const BinaryIdRow& row : prov.binary_ids) {
-    *out += "b " + std::to_string(row.in1) + " " + std::to_string(row.in2) +
-            " " + std::to_string(row.out) + "\n";
-  }
-  for (const FlattenIdRow& row : prov.flatten_ids) {
-    *out += "f " + std::to_string(row.in) + " " + std::to_string(row.pos) +
-            " " + std::to_string(row.out) + "\n";
-  }
-  for (const AggIdRow& row : prov.agg_ids) {
-    *out += "a " + std::to_string(row.out) + " " +
-            std::to_string(row.ins.size());
-    for (int64_t in : row.ins) {
-      *out += " " + std::to_string(in);
-    }
-    *out += "\n";
-  }
-}
-
-// --- shared record parsers. Callers wrap failures with line/segment/file
-// context; messages here describe just the defect.
-
-Status ParseTopologyRecord(std::istringstream& in, ProvenanceStore* store) {
-  OperatorInfo info;
-  std::string type_token;
-  size_t n_inputs = 0;
-  in >> info.oid >> type_token >> n_inputs;
-  if (in.fail()) return Status::InvalidArgument("bad operator record");
-  PEBBLE_ASSIGN_OR_RETURN(info.type, TokenToType(type_token));
-  for (size_t k = 0; k < n_inputs; ++k) {
-    int input_oid = -1;
-    in >> input_oid;
-    if (in.fail()) return Status::InvalidArgument("bad operator inputs");
-    info.input_oids.push_back(input_oid);
-  }
-  std::getline(in, info.label);
-  if (!info.label.empty() && info.label[0] == ' ') {
-    info.label.erase(0, 1);
-  }
-  store->RegisterOperator(std::move(info));
-  return Status::OK();
-}
-
-/// Parses an `i` record. With `schema_table` != nullptr the schema field
-/// must be "-" or "@<index>"; otherwise it is an inline type rendering.
-Status ParseInputRecord(std::istringstream& in, OperatorProvenance* current,
-                        const std::vector<TypePtr>* schema_table) {
-  if (current == nullptr) {
-    return Status::InvalidArgument("input before provenance record");
-  }
-  InputProvenance input;
-  int undef = 0;
-  std::string schema;
-  size_t n = 0;
-  in >> input.producer_oid >> undef >> schema >> n;
-  if (in.fail()) return Status::InvalidArgument("bad input record");
-  input.accessed_undefined = undef != 0;
-  if (schema != "-") {
-    if (schema_table != nullptr) {
-      if (schema.size() < 2 || schema[0] != '@') {
-        return Status::InvalidArgument("bad schema reference '" + schema +
-                                       "'");
-      }
-      char* end = nullptr;
-      unsigned long idx = std::strtoul(schema.c_str() + 1, &end, 10);
-      if (end != schema.c_str() + schema.size() ||
-          idx >= schema_table->size()) {
-        return Status::InvalidArgument(
-            "schema reference '" + schema + "' out of range (table has " +
-            std::to_string(schema_table->size()) + " entries)");
-      }
-      input.input_schema = (*schema_table)[idx];
-    } else {
-      PEBBLE_ASSIGN_OR_RETURN(input.input_schema, ParseDataType(schema));
-    }
-  }
-  for (size_t k = 0; k < n; ++k) {
-    std::string path_text;
-    in >> path_text;
-    if (in.fail()) return Status::InvalidArgument("bad access path");
-    PEBBLE_ASSIGN_OR_RETURN(Path p, Path::Parse(path_text));
-    input.accessed.push_back(std::move(p));
-  }
-  current->inputs.push_back(std::move(input));
-  return Status::OK();
-}
-
-Status ParseManipRecord(std::istringstream& in, OperatorProvenance* current) {
-  if (current == nullptr) {
-    return Status::InvalidArgument("mapping before provenance record");
-  }
-  int from_grouping = 0;
-  int undef = 0;
-  std::string in_text;
-  std::string out_text;
-  in >> from_grouping >> undef >> in_text >> out_text;
-  if (in.fail()) return Status::InvalidArgument("bad mapping record");
-  if (undef != 0) {
-    current->manip_undefined = true;
-    return Status::OK();
-  }
-  Path in_path;
-  Path out_path;
-  if (in_text != "-") {
-    PEBBLE_ASSIGN_OR_RETURN(in_path, Path::Parse(in_text));
-  }
-  if (out_text != "-") {
-    PEBBLE_ASSIGN_OR_RETURN(out_path, Path::Parse(out_text));
-  }
-  current->manipulations.push_back(
-      PathMapping{std::move(in_path), std::move(out_path),
-                  from_grouping != 0});
-  return Status::OK();
-}
-
-Status ParseIdRecord(const std::string& tag, std::istringstream& in,
-                     OperatorProvenance* current) {
-  if (current == nullptr) {
-    return Status::InvalidArgument("ids before provenance record");
-  }
-  if (tag == "u") {
-    UnaryIdRow row;
-    in >> row.in >> row.out;
-    if (in.fail()) return Status::InvalidArgument("bad unary id row");
-    current->unary_ids.push_back(row);
-  } else if (tag == "b") {
-    BinaryIdRow row;
-    in >> row.in1 >> row.in2 >> row.out;
-    if (in.fail()) return Status::InvalidArgument("bad binary id row");
-    current->binary_ids.push_back(row);
-  } else if (tag == "f") {
-    FlattenIdRow row;
-    in >> row.in >> row.pos >> row.out;
-    if (in.fail()) return Status::InvalidArgument("bad flatten id row");
-    current->flatten_ids.push_back(row);
-  } else {  // "a"
-    AggIdRow row;
-    size_t n = 0;
-    in >> row.out >> n;
-    if (in.fail()) return Status::InvalidArgument("bad aggregation id row");
-    row.ins.reserve(n);
-    for (size_t k = 0; k < n; ++k) {
-      int64_t id = kNoId;
-      in >> id;
-      if (in.fail()) return Status::InvalidArgument("bad aggregation id row");
-      row.ins.push_back(id);
-    }
-    current->agg_ids.push_back(std::move(row));
-  }
-  return Status::OK();
-}
-
-}  // namespace
+// The record-line grammar shared by both formats (and the provenance WAL)
+// lives in core/provenance_records.h.
+using provio::AppendIdRowLines;
+using provio::AppendInputLine;
+using provio::AppendManipLines;
+using provio::AppendTopologyLine;
+using provio::ModeToToken;
+using provio::ParseIdRecord;
+using provio::ParseInputRecord;
+using provio::ParseManipRecord;
+using provio::ParseTopologyRecord;
+using provio::TokenToMode;
 
 // ---------------------------------------------------------------------------
 // Legacy v1 text format. Byte-stable: the golden identity tests fingerprint

@@ -157,6 +157,15 @@ class UnaryIdTable {
   const std::vector<int64_t>& in_col() const { return in_; }
   const std::vector<int64_t>& out_col() const { return out_; }
 
+  /// Appends another table's rows after this table's, keeping the other
+  /// table's (arbitrary) out ids. Used when merging stores captured over
+  /// separate micro-batch runs; AppendStage assumes dense out ids and is
+  /// the capture-commit path.
+  void Append(const UnaryIdTable& other) {
+    in_.insert(in_.end(), other.in_.begin(), other.in_.end());
+    out_.insert(out_.end(), other.out_.begin(), other.out_.end());
+  }
+
   /// Bulk commit of one task's staged in-id column; out ids are the dense
   /// range [first_out, first_out + in.size()).
   void AppendStage(std::vector<int64_t>&& in, int64_t first_out) {
@@ -222,6 +231,14 @@ class BinaryIdTable {
   const std::vector<int64_t>& in1_col() const { return in1_; }
   const std::vector<int64_t>& in2_col() const { return in2_; }
   const std::vector<int64_t>& out_col() const { return out_; }
+
+  /// Appends another table's rows, keeping their out ids (see
+  /// UnaryIdTable::Append).
+  void Append(const BinaryIdTable& other) {
+    in1_.insert(in1_.end(), other.in1_.begin(), other.in1_.end());
+    in2_.insert(in2_.end(), other.in2_.begin(), other.in2_.end());
+    out_.insert(out_.end(), other.out_.begin(), other.out_.end());
+  }
 
   /// Bulk commit of one task's staged columns (equal lengths); out ids are
   /// [first_out, first_out + n).
@@ -289,6 +306,14 @@ class FlattenIdTable {
   const std::vector<int64_t>& in_col() const { return in_; }
   const std::vector<int32_t>& pos_col() const { return pos_; }
   const std::vector<int64_t>& out_col() const { return out_; }
+
+  /// Appends another table's rows, keeping their out ids (see
+  /// UnaryIdTable::Append).
+  void Append(const FlattenIdTable& other) {
+    in_.insert(in_.end(), other.in_.begin(), other.in_.end());
+    pos_.insert(pos_.end(), other.pos_.begin(), other.pos_.end());
+    out_.insert(out_.end(), other.out_.begin(), other.out_.end());
+  }
 
   void AppendStage(std::vector<int64_t>&& in, std::vector<int32_t>&& pos,
                    int64_t first_out) {
@@ -363,6 +388,16 @@ class AggIdTable {
   const std::vector<int64_t>& ins_col() const { return ins_; }
   /// Total input ids across all groups.
   size_t TotalIns() const { return ins_.size(); }
+
+  /// Appends another table's groups, keeping their out ids (see
+  /// UnaryIdTable::Append). End offsets are rebased past this table's ins.
+  void Append(const AggIdTable& other) {
+    size_t base = ins_.size();
+    ins_.insert(ins_.end(), other.ins_.begin(), other.ins_.end());
+    ends_.reserve(ends_.size() + other.ends_.size());
+    for (size_t e : other.ends_) ends_.push_back(base + e);
+    out_.insert(out_.end(), other.out_.begin(), other.out_.end());
+  }
 
   /// Bulk commit of one task's staged groups: a flat in-id column plus one
   /// exclusive end offset per group; out ids are [first_out, first_out + n).

@@ -1,0 +1,241 @@
+#include "core/provenance_records.h"
+
+#include <cstdlib>
+
+#include "nested/type.h"
+
+namespace pebble {
+namespace provio {
+
+const char* ModeToToken(CaptureMode mode) { return CaptureModeToString(mode); }
+
+Result<CaptureMode> TokenToMode(const std::string& token) {
+  if (token == "off") return CaptureMode::kOff;
+  if (token == "lineage") return CaptureMode::kLineage;
+  if (token == "structural") return CaptureMode::kStructural;
+  if (token == "full-model") return CaptureMode::kFullModel;
+  return Status::InvalidArgument("unknown capture mode '" + token + "'");
+}
+
+const char* TypeToToken(OpType type) { return OpTypeToString(type); }
+
+Result<OpType> TokenToType(const std::string& token) {
+  for (OpType type :
+       {OpType::kScan, OpType::kFilter, OpType::kSelect, OpType::kMap,
+        OpType::kJoin, OpType::kUnion, OpType::kFlatten,
+        OpType::kGroupAggregate}) {
+    if (token == OpTypeToString(type)) return type;
+  }
+  return Status::InvalidArgument("unknown operator type '" + token + "'");
+}
+
+void AppendTopologyLine(const OperatorInfo& info, std::string* out) {
+  *out += "o " + std::to_string(info.oid) + " " + TypeToToken(info.type) +
+          " " + std::to_string(info.input_oids.size());
+  for (int in : info.input_oids) {
+    *out += " " + std::to_string(in);
+  }
+  *out += " " + info.label + "\n";
+}
+
+void AppendInputLine(const InputProvenance& input,
+                     const std::string& schema_ref, std::string* out) {
+  *out += "i " + std::to_string(input.producer_oid) + " " +
+          (input.accessed_undefined ? "1" : "0") + " " + schema_ref + " " +
+          std::to_string(input.accessed.size());
+  for (const Path& p : input.accessed) {
+    *out += " " + p.ToString();
+  }
+  *out += "\n";
+}
+
+void AppendManipLines(const OperatorProvenance& prov, std::string* out) {
+  if (prov.manip_undefined) {
+    *out += "m 0 1 - -\n";
+  }
+  for (const PathMapping& m : prov.manipulations) {
+    // Empty paths (e.g. count()'s input) are encoded as "-".
+    std::string in_text = m.in.empty() ? "-" : m.in.ToString();
+    std::string out_text = m.out.empty() ? "-" : m.out.ToString();
+    *out += "m " + std::string(m.from_grouping ? "1" : "0") + " 0 " +
+            in_text + " " + out_text + "\n";
+  }
+}
+
+IdTableCursor EndCursor(const OperatorProvenance& prov) {
+  return IdTableCursor{prov.unary_ids.size(), prov.binary_ids.size(),
+                       prov.flatten_ids.size(), prov.agg_ids.size()};
+}
+
+bool HasRowsAfter(const OperatorProvenance& prov,
+                  const IdTableCursor& cursor) {
+  return prov.unary_ids.size() > cursor.unary ||
+         prov.binary_ids.size() > cursor.binary ||
+         prov.flatten_ids.size() > cursor.flatten ||
+         prov.agg_ids.size() > cursor.agg;
+}
+
+void AppendIdRowLinesFrom(const OperatorProvenance& prov,
+                          IdTableCursor* cursor, std::string* out) {
+  for (size_t i = cursor->unary; i < prov.unary_ids.size(); ++i) {
+    UnaryIdRow row = prov.unary_ids[i];
+    *out += "u " + std::to_string(row.in) + " " + std::to_string(row.out) +
+            "\n";
+  }
+  for (size_t i = cursor->binary; i < prov.binary_ids.size(); ++i) {
+    BinaryIdRow row = prov.binary_ids[i];
+    *out += "b " + std::to_string(row.in1) + " " + std::to_string(row.in2) +
+            " " + std::to_string(row.out) + "\n";
+  }
+  for (size_t i = cursor->flatten; i < prov.flatten_ids.size(); ++i) {
+    FlattenIdRow row = prov.flatten_ids[i];
+    *out += "f " + std::to_string(row.in) + " " + std::to_string(row.pos) +
+            " " + std::to_string(row.out) + "\n";
+  }
+  for (size_t i = cursor->agg; i < prov.agg_ids.size(); ++i) {
+    IdSpan ins = prov.agg_ids.ins(i);
+    *out += "a " + std::to_string(prov.agg_ids.out_col()[i]) + " " +
+            std::to_string(ins.size());
+    for (int64_t in : ins) {
+      *out += " " + std::to_string(in);
+    }
+    *out += "\n";
+  }
+  *cursor = EndCursor(prov);
+}
+
+void AppendIdRowLines(const OperatorProvenance& prov, std::string* out) {
+  IdTableCursor cursor;
+  AppendIdRowLinesFrom(prov, &cursor, out);
+}
+
+Status ParseTopologyRecord(std::istringstream& in, ProvenanceStore* store) {
+  OperatorInfo info;
+  std::string type_token;
+  size_t n_inputs = 0;
+  in >> info.oid >> type_token >> n_inputs;
+  if (in.fail()) return Status::InvalidArgument("bad operator record");
+  PEBBLE_ASSIGN_OR_RETURN(info.type, TokenToType(type_token));
+  for (size_t k = 0; k < n_inputs; ++k) {
+    int input_oid = -1;
+    in >> input_oid;
+    if (in.fail()) return Status::InvalidArgument("bad operator inputs");
+    info.input_oids.push_back(input_oid);
+  }
+  std::getline(in, info.label);
+  if (!info.label.empty() && info.label[0] == ' ') {
+    info.label.erase(0, 1);
+  }
+  store->RegisterOperator(std::move(info));
+  return Status::OK();
+}
+
+Status ParseInputRecord(std::istringstream& in, OperatorProvenance* current,
+                        const std::vector<TypePtr>* schema_table) {
+  if (current == nullptr) {
+    return Status::InvalidArgument("input before provenance record");
+  }
+  InputProvenance input;
+  int undef = 0;
+  std::string schema;
+  size_t n = 0;
+  in >> input.producer_oid >> undef >> schema >> n;
+  if (in.fail()) return Status::InvalidArgument("bad input record");
+  input.accessed_undefined = undef != 0;
+  if (schema != "-") {
+    if (schema_table != nullptr) {
+      if (schema.size() < 2 || schema[0] != '@') {
+        return Status::InvalidArgument("bad schema reference '" + schema +
+                                       "'");
+      }
+      char* end = nullptr;
+      unsigned long idx = std::strtoul(schema.c_str() + 1, &end, 10);
+      if (end != schema.c_str() + schema.size() ||
+          idx >= schema_table->size()) {
+        return Status::InvalidArgument(
+            "schema reference '" + schema + "' out of range (table has " +
+            std::to_string(schema_table->size()) + " entries)");
+      }
+      input.input_schema = (*schema_table)[idx];
+    } else {
+      PEBBLE_ASSIGN_OR_RETURN(input.input_schema, ParseDataType(schema));
+    }
+  }
+  for (size_t k = 0; k < n; ++k) {
+    std::string path_text;
+    in >> path_text;
+    if (in.fail()) return Status::InvalidArgument("bad access path");
+    PEBBLE_ASSIGN_OR_RETURN(Path p, Path::Parse(path_text));
+    input.accessed.push_back(std::move(p));
+  }
+  current->inputs.push_back(std::move(input));
+  return Status::OK();
+}
+
+Status ParseManipRecord(std::istringstream& in, OperatorProvenance* current) {
+  if (current == nullptr) {
+    return Status::InvalidArgument("mapping before provenance record");
+  }
+  int from_grouping = 0;
+  int undef = 0;
+  std::string in_text;
+  std::string out_text;
+  in >> from_grouping >> undef >> in_text >> out_text;
+  if (in.fail()) return Status::InvalidArgument("bad mapping record");
+  if (undef != 0) {
+    current->manip_undefined = true;
+    return Status::OK();
+  }
+  Path in_path;
+  Path out_path;
+  if (in_text != "-") {
+    PEBBLE_ASSIGN_OR_RETURN(in_path, Path::Parse(in_text));
+  }
+  if (out_text != "-") {
+    PEBBLE_ASSIGN_OR_RETURN(out_path, Path::Parse(out_text));
+  }
+  current->manipulations.push_back(
+      PathMapping{std::move(in_path), std::move(out_path),
+                  from_grouping != 0});
+  return Status::OK();
+}
+
+Status ParseIdRecord(const std::string& tag, std::istringstream& in,
+                     OperatorProvenance* current) {
+  if (current == nullptr) {
+    return Status::InvalidArgument("ids before provenance record");
+  }
+  if (tag == "u") {
+    UnaryIdRow row;
+    in >> row.in >> row.out;
+    if (in.fail()) return Status::InvalidArgument("bad unary id row");
+    current->unary_ids.push_back(row);
+  } else if (tag == "b") {
+    BinaryIdRow row;
+    in >> row.in1 >> row.in2 >> row.out;
+    if (in.fail()) return Status::InvalidArgument("bad binary id row");
+    current->binary_ids.push_back(row);
+  } else if (tag == "f") {
+    FlattenIdRow row;
+    in >> row.in >> row.pos >> row.out;
+    if (in.fail()) return Status::InvalidArgument("bad flatten id row");
+    current->flatten_ids.push_back(row);
+  } else {  // "a"
+    AggIdRow row;
+    size_t n = 0;
+    in >> row.out >> n;
+    if (in.fail()) return Status::InvalidArgument("bad aggregation id row");
+    row.ins.reserve(n);
+    for (size_t k = 0; k < n; ++k) {
+      int64_t id = kNoId;
+      in >> id;
+      if (in.fail()) return Status::InvalidArgument("bad aggregation id row");
+      row.ins.push_back(id);
+    }
+    current->agg_ids.push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
+}  // namespace provio
+}  // namespace pebble

@@ -1,0 +1,87 @@
+// Line-oriented provenance record grammar, shared by the legacy v1 text
+// format, the durable v2 snapshot segments (provenance_io.cc) and the
+// provenance WAL payloads (provenance_wal.cc).
+//
+// One record per line, space-separated fields. Paths and type renderings
+// contain no spaces; labels go last on their line and may contain spaces.
+//
+//   o <oid> <type> <n_inputs> <input_oid>... <label...>
+//   p <oid>                          start of captured record for oid
+//   i <producer_oid> <undef:0|1> <schema_ref|-> <n> <path>...
+//   m <from_grouping:0|1> <undef:0|1> <in_path|-> <out_path|->
+//   u <in> <out>
+//   b <in1> <in2> <out>
+//   f <in> <pos> <out>
+//   a <out> <n> <in>...
+//
+// In the legacy v1 text format <schema_ref> is the inline type rendering;
+// in durable v2 segments it is "@<index>" into the schemas segment. WAL
+// payloads use the inline rendering (every record must be self-contained).
+//
+// The emitted bytes are frozen: the golden identity tests fingerprint
+// SerializeProvenanceStore output, which is built from these helpers.
+
+#ifndef PEBBLE_CORE_PROVENANCE_RECORDS_H_
+#define PEBBLE_CORE_PROVENANCE_RECORDS_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/provenance_store.h"
+
+namespace pebble {
+namespace provio {
+
+const char* ModeToToken(CaptureMode mode);
+Result<CaptureMode> TokenToMode(const std::string& token);
+const char* TypeToToken(OpType type);
+Result<OpType> TokenToType(const std::string& token);
+
+void AppendTopologyLine(const OperatorInfo& info, std::string* out);
+void AppendInputLine(const InputProvenance& input,
+                     const std::string& schema_ref, std::string* out);
+void AppendManipLines(const OperatorProvenance& prov, std::string* out);
+void AppendIdRowLines(const OperatorProvenance& prov, std::string* out);
+
+/// Per-flavor row counts marking how much of an operator's id tables has
+/// already been emitted. The WAL uses one cursor per operator to serialize
+/// only the delta committed since the previous record.
+struct IdTableCursor {
+  size_t unary = 0;
+  size_t binary = 0;
+  size_t flatten = 0;
+  size_t agg = 0;
+};
+
+/// Cursor positioned at the current end of `prov`'s id tables.
+IdTableCursor EndCursor(const OperatorProvenance& prov);
+
+/// True iff `prov` has id rows past `cursor`.
+bool HasRowsAfter(const OperatorProvenance& prov, const IdTableCursor& cursor);
+
+/// Serializes the id rows in [cursor, end of tables) and advances `cursor`
+/// to the new end. AppendIdRowLines(prov, out) is the zero-cursor case.
+void AppendIdRowLinesFrom(const OperatorProvenance& prov,
+                          IdTableCursor* cursor, std::string* out);
+
+// Parsers: callers wrap failures with line/segment/file context; messages
+// here describe just the defect.
+
+Status ParseTopologyRecord(std::istringstream& in, ProvenanceStore* store);
+
+/// Parses an `i` record. With `schema_table` != nullptr the schema field
+/// must be "-" or "@<index>"; otherwise it is an inline type rendering.
+Status ParseInputRecord(std::istringstream& in, OperatorProvenance* current,
+                        const std::vector<TypePtr>* schema_table);
+
+Status ParseManipRecord(std::istringstream& in, OperatorProvenance* current);
+
+Status ParseIdRecord(const std::string& tag, std::istringstream& in,
+                     OperatorProvenance* current);
+
+}  // namespace provio
+}  // namespace pebble
+
+#endif  // PEBBLE_CORE_PROVENANCE_RECORDS_H_

@@ -251,6 +251,82 @@ Status ProvenanceStore::Validate() const {
   return Status::OK();
 }
 
+namespace {
+
+bool SameInfo(const OperatorInfo& a, const OperatorInfo& b) {
+  return a.oid == b.oid && a.type == b.type && a.input_oids == b.input_oids &&
+         a.label == b.label;
+}
+
+bool SameInputs(const std::vector<InputProvenance>& a,
+                const std::vector<InputProvenance>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].producer_oid != b[i].producer_oid ||
+        a[i].accessed != b[i].accessed ||
+        a[i].accessed_undefined != b[i].accessed_undefined) {
+      return false;
+    }
+    const bool a_schema = a[i].input_schema != nullptr;
+    const bool b_schema = b[i].input_schema != nullptr;
+    if (a_schema != b_schema) return false;
+    if (a_schema &&
+        a[i].input_schema->ToString() != b[i].input_schema->ToString()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool HasPaths(const OperatorProvenance& p) {
+  return !p.inputs.empty() || !p.manipulations.empty() || p.manip_undefined;
+}
+
+}  // namespace
+
+Status ProvenanceStore::AppendFrom(const ProvenanceStore& other) {
+  auto mismatch = [](const std::string& what) {
+    return Status::InvalidArgument(
+        "ProvenanceStore::AppendFrom: stores disagree on " + what);
+  };
+  if (infos_.empty() && ops_.empty()) {
+    infos_ = other.infos_;
+    mode_ = other.mode_;
+    sink_oid_ = other.sink_oid_;
+  } else {
+    if (mode_ != other.mode_) return mismatch("capture mode");
+    if (sink_oid_ != other.sink_oid_) return mismatch("sink oid");
+    if (infos_.size() != other.infos_.size()) return mismatch("topology size");
+    for (const auto& [oid, info] : other.infos_) {
+      auto it = infos_.find(oid);
+      if (it == infos_.end() || !SameInfo(it->second, info)) {
+        return mismatch("topology of operator " + std::to_string(oid));
+      }
+    }
+  }
+  for (const auto& [oid, src] : other.ops_) {
+    OperatorProvenance* dst = Mutable(oid);
+    if (!HasPaths(*dst)) {
+      dst->inputs = src.inputs;
+      dst->manipulations = src.manipulations;
+      dst->manip_undefined = src.manip_undefined;
+    } else if (HasPaths(src) &&
+               (!SameInputs(dst->inputs, src.inputs) ||
+                dst->manipulations != src.manipulations ||
+                dst->manip_undefined != src.manip_undefined)) {
+      return mismatch("schema-level paths of operator " + std::to_string(oid));
+    }
+    dst->unary_ids.Append(src.unary_ids);
+    dst->binary_ids.Append(src.binary_ids);
+    dst->flatten_ids.Append(src.flatten_ids);
+    dst->agg_ids.Append(src.agg_ids);
+    dst->item_provenance.insert(dst->item_provenance.end(),
+                                src.item_provenance.begin(),
+                                src.item_provenance.end());
+  }
+  return Status::OK();
+}
+
 uint64_t ProvenanceStore::TotalIdRows() const {
   uint64_t rows = 0;
   for (const auto& [oid, p] : ops_) {

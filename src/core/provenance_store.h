@@ -81,6 +81,16 @@ class ProvenanceStore {
   /// Total id association rows across all operators.
   uint64_t TotalIdRows() const;
 
+  /// Merges provenance captured over a later run of the SAME pipeline into
+  /// this store (micro-batch ingest: one live store, repeated appends).
+  /// When this store is empty the topology/mode/sink are adopted from
+  /// `other`; otherwise they must match exactly (kInvalidArgument if not).
+  /// Schema-level paths are adopted on first sight and verified equal on
+  /// later merges; id rows are appended keeping `other`'s out ids, so the
+  /// runs must have been executed with non-overlapping id ranges
+  /// (ExecOptions::first_item_id) for the result to pass Validate().
+  Status AppendFrom(const ProvenanceStore& other);
+
   /// Integrity pass over the captured provenance, callable after any run
   /// and used as the post-load gate for deserialized snapshots. Verifies
   /// the invariants a correct (in particular retry-idempotent) capture must

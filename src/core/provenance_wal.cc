@@ -1,0 +1,1083 @@
+#include "core/provenance_wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <sstream>
+
+#include "common/crc32.h"
+#include "common/failpoint.h"
+#include "common/file_io.h"
+#include "core/compactor.h"
+#include "core/provenance_io.h"
+
+namespace pebble {
+
+namespace {
+
+void AppendU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+uint32_t ReadU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t ReadU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+std::string JoinPath(const std::string& dir, const std::string& name) {
+  if (dir.empty() || dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+std::string SegmentName(uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "segment-%06llu.wal",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+std::string SnapshotName(uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "snapshot-%06llu.pprov",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+std::string BuildSegmentHeader(uint64_t seq) {
+  std::string h;
+  h.append(kWalMagic, sizeof(kWalMagic));
+  AppendU32(kWalVersion, &h);
+  AppendU64(seq, &h);
+  AppendU32(Crc32(h.data(), h.size()), &h);
+  return h;
+}
+
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("cannot open WAL directory '" + dir +
+                           "' for fsync: " + std::strerror(errno));
+  }
+  int rc = ::fsync(fd);
+  int saved = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError("fsync of WAL directory '" + dir +
+                           "' failed: " + std::strerror(saved));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Manifest: small atomically-replaced text file naming the newest snapshot
+// and the highest segment sequence folded into it.
+//
+//   pebblewal 1
+//   covered <seq>
+//   snapshot <file|->
+
+struct Manifest {
+  uint64_t covered = 0;
+  std::string snapshot;  // file name, empty = none
+};
+
+std::string SerializeManifest(const Manifest& m) {
+  return "pebblewal 1\ncovered " + std::to_string(m.covered) + "\nsnapshot " +
+         (m.snapshot.empty() ? "-" : m.snapshot) + "\n";
+}
+
+Result<Manifest> ParseManifest(const std::string& text,
+                               const std::string& origin) {
+  auto corrupt = [&](const std::string& what) {
+    return Status::IOError("WAL manifest '" + origin + "': " + what);
+  };
+  std::istringstream in(text);
+  std::string word;
+  int version = 0;
+  in >> word >> version;
+  if (in.fail() || word != "pebblewal") return corrupt("bad header");
+  if (version != 1) {
+    return corrupt("unsupported manifest version " + std::to_string(version));
+  }
+  Manifest m;
+  in >> word >> m.covered;
+  if (in.fail() || word != "covered") return corrupt("bad covered line");
+  std::string snapshot;
+  in >> word >> snapshot;
+  if (in.fail() || word != "snapshot") return corrupt("bad snapshot line");
+  if (snapshot != "-") {
+    if (snapshot.find('/') != std::string::npos) {
+      return corrupt("snapshot name '" + snapshot + "' contains a path");
+    }
+    m.snapshot = snapshot;
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Record payload builders (writer side).
+
+std::string BuildMetaPayload(const ProvenanceStore& store) {
+  std::string p = "meta " + std::string(provio::ModeToToken(store.mode())) +
+                  " " + std::to_string(store.sink_oid()) + "\n";
+  for (int oid : store.AllOids()) {
+    provio::AppendTopologyLine(*store.FindInfo(oid), &p);
+  }
+  return p;
+}
+
+std::string BuildPathsPayload(int oid, const OperatorProvenance& prov) {
+  std::string p = "paths " + std::to_string(oid) + "\n";
+  for (const InputProvenance& input : prov.inputs) {
+    provio::AppendInputLine(input,
+                            input.input_schema != nullptr
+                                ? input.input_schema->ToString()
+                                : "-",
+                            &p);
+  }
+  provio::AppendManipLines(prov, &p);
+  return p;
+}
+
+bool HasSchemaPaths(const OperatorProvenance& prov) {
+  return !prov.inputs.empty() || !prov.manipulations.empty() ||
+         prov.manip_undefined;
+}
+
+// ---------------------------------------------------------------------------
+// Record replay (recovery side).
+
+struct ReplayState {
+  RecoveredStore* out = nullptr;
+  bool meta_seen = false;
+  int64_t last_run_next_id = 0;
+};
+
+/// Applies one CRC-valid record payload. Failures here are hard corruption
+/// (a checksummed record that does not parse is a bug, not a torn write).
+Status ApplyWalRecord(const std::string& payload, ReplayState* rs,
+                      WalRecoveryInfo* info) {
+  ProvenanceStore* store = rs->out->store.get();
+
+  // Split off the first line (record kind) from the body.
+  size_t first_end = payload.find('\n');
+  if (first_end == std::string::npos) first_end = payload.size();
+  std::istringstream head(payload.substr(0, first_end));
+  std::string kind;
+  head >> kind;
+
+  auto body_lines = [&](const std::function<Status(const std::string& tag,
+                                                   std::istringstream& in)>&
+                            fn) -> Status {
+    size_t start = first_end == payload.size() ? first_end : first_end + 1;
+    size_t line_no = 1;
+    while (start < payload.size()) {
+      size_t end = payload.find('\n', start);
+      if (end == std::string::npos) end = payload.size();
+      std::string line = payload.substr(start, end - start);
+      start = end + 1;
+      ++line_no;
+      if (line.empty()) continue;
+      std::istringstream in(line);
+      std::string tag;
+      in >> tag;
+      Status st = fn(tag, in);
+      if (!st.ok()) {
+        return st.WithContext("record line " + std::to_string(line_no));
+      }
+    }
+    return Status::OK();
+  };
+
+  if (kind == "meta") {
+    if (rs->meta_seen || !rs->out->meta_payload.empty() ||
+        !store->AllOids().empty()) {
+      // Duplicate meta (e.g. a stale segment surviving an interrupted
+      // cleanup): must describe the identical pipeline.
+      std::string expected = rs->out->meta_payload.empty()
+                                 ? BuildMetaPayload(*store)
+                                 : rs->out->meta_payload;
+      if (payload != expected) {
+        return Status::IOError("meta record disagrees with earlier topology");
+      }
+      rs->meta_seen = true;
+      return Status::OK();
+    }
+    std::string mode_token;
+    int sink = -1;
+    head >> mode_token >> sink;
+    if (head.fail()) return Status::IOError("bad meta record");
+    auto mode = provio::TokenToMode(mode_token);
+    if (!mode.ok()) return mode.status();
+    store->set_mode(*mode);
+    store->set_sink_oid(sink);
+    PEBBLE_RETURN_NOT_OK(body_lines([&](const std::string& tag,
+                                        std::istringstream& in) -> Status {
+      if (tag != "o") {
+        return Status::IOError("unexpected tag '" + tag +
+                               "' in meta record");
+      }
+      return provio::ParseTopologyRecord(in, store);
+    }));
+    rs->out->meta_payload = payload;
+    rs->meta_seen = true;
+    return Status::OK();
+  }
+
+  if (kind == "paths") {
+    int oid = -1;
+    head >> oid;
+    if (head.fail()) return Status::IOError("bad paths record");
+    if (!rs->meta_seen) return Status::IOError("paths record before meta");
+    auto it = rs->out->paths_payloads.find(oid);
+    OperatorProvenance* prov = store->Mutable(oid);
+    if (it != rs->out->paths_payloads.end() || HasSchemaPaths(*prov)) {
+      std::string expected = it != rs->out->paths_payloads.end()
+                                 ? it->second
+                                 : BuildPathsPayload(oid, *prov);
+      if (payload != expected) {
+        return Status::IOError("paths record for operator " +
+                               std::to_string(oid) +
+                               " disagrees with earlier paths");
+      }
+      return Status::OK();
+    }
+    PEBBLE_RETURN_NOT_OK(body_lines([&](const std::string& tag,
+                                        std::istringstream& in) -> Status {
+      if (tag == "i") {
+        return provio::ParseInputRecord(in, prov, /*schema_table=*/nullptr);
+      }
+      if (tag == "m") return provio::ParseManipRecord(in, prov);
+      return Status::IOError("unexpected tag '" + tag + "' in paths record");
+    }));
+    rs->out->paths_payloads[oid] = payload;
+    return Status::OK();
+  }
+
+  if (kind == "chunk") {
+    int oid = -1;
+    head >> oid;
+    if (head.fail()) return Status::IOError("bad chunk record");
+    if (!rs->meta_seen) return Status::IOError("chunk record before meta");
+    OperatorProvenance* prov = store->Mutable(oid);
+    PEBBLE_RETURN_NOT_OK(body_lines([&](const std::string& tag,
+                                        std::istringstream& in) -> Status {
+      if (tag == "u" || tag == "b" || tag == "f" || tag == "a") {
+        return provio::ParseIdRecord(tag, in, prov);
+      }
+      return Status::IOError("unexpected tag '" + tag + "' in chunk record");
+    }));
+    ++info->chunk_records;
+    return Status::OK();
+  }
+
+  if (kind == "run-begin") {
+    ++info->runs_started;
+    return Status::OK();
+  }
+
+  if (kind == "run-end") {
+    uint64_t index = 0;
+    int64_t next_id = 0;
+    head >> index >> next_id;
+    if (head.fail()) return Status::IOError("bad run-end record");
+    rs->last_run_next_id = std::max(rs->last_run_next_id, next_id);
+    ++info->runs_completed;
+    return Status::OK();
+  }
+
+  return Status::IOError("unknown WAL record kind '" + kind + "'");
+}
+
+int64_t MaxIdInStore(const ProvenanceStore& store) {
+  int64_t max_id = 0;
+  auto take = [&max_id](int64_t id) { max_id = std::max(max_id, id); };
+  for (int oid : store.AllOids()) {
+    const OperatorProvenance* p = store.Find(oid);
+    if (p == nullptr) continue;
+    for (int64_t id : p->unary_ids.in_col()) take(id);
+    for (int64_t id : p->unary_ids.out_col()) take(id);
+    for (int64_t id : p->binary_ids.in1_col()) take(id);
+    for (int64_t id : p->binary_ids.in2_col()) take(id);
+    for (int64_t id : p->binary_ids.out_col()) take(id);
+    for (int64_t id : p->flatten_ids.in_col()) take(id);
+    for (int64_t id : p->flatten_ids.out_col()) take(id);
+    for (int64_t id : p->agg_ids.ins_col()) take(id);
+    for (int64_t id : p->agg_ids.out_col()) take(id);
+  }
+  return max_id;
+}
+
+}  // namespace
+
+std::string WalSegmentPath(const std::string& dir, uint64_t seq) {
+  return JoinPath(dir, SegmentName(seq));
+}
+
+std::string WalManifestPath(const std::string& dir) {
+  return JoinPath(dir, "MANIFEST");
+}
+
+std::string WalSnapshotPath(const std::string& dir, uint64_t seq) {
+  return JoinPath(dir, SnapshotName(seq));
+}
+
+Result<std::map<uint64_t, std::string>> ListWalSegments(
+    const std::string& dir) {
+  std::map<uint64_t, std::string> out;
+  std::error_code ec;
+  if (!std::filesystem::exists(dir, ec)) return out;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot list WAL directory '" + dir +
+                           "': " + ec.message());
+  }
+  for (const auto& entry : it) {
+    std::string name = entry.path().filename().string();
+    constexpr std::string_view kPrefix = "segment-";
+    constexpr std::string_view kSuffix = ".wal";
+    if (name.size() <= kPrefix.size() + kSuffix.size() ||
+        name.compare(0, kPrefix.size(), kPrefix) != 0 ||
+        name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+            0) {
+      continue;
+    }
+    std::string digits = name.substr(
+        kPrefix.size(), name.size() - kPrefix.size() - kSuffix.size());
+    char* end = nullptr;
+    errno = 0;
+    unsigned long long seq = std::strtoull(digits.c_str(), &end, 10);
+    if (end != digits.c_str() + digits.size() || errno == ERANGE ||
+        digits.empty() || seq == 0) {
+      continue;  // not one of ours
+    }
+    out[seq] = entry.path().string();
+  }
+  return out;
+}
+
+Result<RecoveredStore> RecoverStore(const std::string& dir) {
+  return RecoverStoreThrough(dir, ~0ull);
+}
+
+Result<RecoveredStore> RecoverStoreThrough(const std::string& dir,
+                                           uint64_t through) {
+  RecoveredStore out;
+  out.store = std::make_unique<ProvenanceStore>();
+  WalRecoveryInfo& info = out.info;
+
+  std::error_code ec;
+  if (!std::filesystem::exists(dir, ec)) return out;  // nothing yet: empty
+
+  // 1. Manifest (authoritative for what the snapshot covers).
+  Manifest manifest;
+  const std::string manifest_path = WalManifestPath(dir);
+  if (std::filesystem::exists(manifest_path, ec)) {
+    auto text = ReadFileToString(manifest_path);
+    if (!text.ok()) return text.status().WithContext("reading WAL manifest");
+    PEBBLE_ASSIGN_OR_RETURN(manifest, ParseManifest(*text, manifest_path));
+    info.manifest_found = true;
+    info.covered_seq = manifest.covered;
+  }
+
+  // 2. Snapshot named by the manifest (orphan snapshots from interrupted
+  // compactions are ignored — the manifest is the commit point).
+  ReplayState rs;
+  rs.out = &out;
+  if (!manifest.snapshot.empty()) {
+    auto loaded = LoadProvenanceStore(JoinPath(dir, manifest.snapshot));
+    if (!loaded.ok()) {
+      return loaded.status().WithContext("loading WAL snapshot");
+    }
+    out.store = std::move(loaded).value();
+    info.snapshot_loaded = true;
+    rs.meta_seen = true;
+  }
+
+  // 3. Contiguous segment tail with sequence > covered.
+  PEBBLE_ASSIGN_OR_RETURN(auto segments, ListWalSegments(dir));
+  const uint64_t max_present =
+      segments.empty() ? 0 : segments.rbegin()->first;
+  info.max_segment_seq = std::max(info.covered_seq, max_present);
+
+  uint64_t expected = info.covered_seq + 1;
+  for (const auto& [seq, path] : segments) {
+    if (seq <= info.covered_seq) continue;  // stale: already folded
+    if (seq > through) break;
+    if (seq != expected) {
+      return Status::IOError("WAL segment gap in '" + dir + "': expected " +
+                             SegmentName(expected) + ", found " +
+                             SegmentName(seq));
+    }
+    ++expected;
+    const bool newest = seq == max_present;
+    auto data_or = ReadFileToString(path);
+    if (!data_or.ok()) {
+      return data_or.status().WithContext("reading WAL segment");
+    }
+    const std::string& data = *data_or;
+
+    auto torn = [&](uint64_t offset) {
+      info.torn_tail = true;
+      info.torn_segment_seq = seq;
+      info.torn_offset = offset;
+    };
+    auto corrupt = [&](uint64_t offset, const std::string& what) {
+      return Status::IOError("WAL segment '" + path + "' at byte " +
+                             std::to_string(offset) + ": " + what +
+                             " (sealed segment: not a torn tail)");
+    };
+
+    // Header.
+    if (data.size() < kWalSegmentHeaderBytes ||
+        std::memcmp(data.data(), kWalMagic, sizeof(kWalMagic)) != 0 ||
+        ReadU32(data.data() + 20) != Crc32(data.data(), 20)) {
+      if (newest) {
+        torn(0);
+        break;
+      }
+      return corrupt(0, "bad segment header");
+    }
+    if (ReadU32(data.data() + 8) != kWalVersion) {
+      return corrupt(8, "unsupported WAL version " +
+                            std::to_string(ReadU32(data.data() + 8)));
+    }
+    if (ReadU64(data.data() + 12) != seq) {
+      return corrupt(12, "header sequence " +
+                             std::to_string(ReadU64(data.data() + 12)) +
+                             " disagrees with file name");
+    }
+
+    // Records.
+    size_t offset = kWalSegmentHeaderBytes;
+    bool stop = false;
+    while (offset < data.size()) {
+      size_t remaining = data.size() - offset;
+      if (remaining < kWalRecordHeaderBytes) {
+        if (newest) {
+          torn(offset);
+          stop = true;
+          break;
+        }
+        return corrupt(offset, "truncated record header");
+      }
+      uint32_t len = ReadU32(data.data() + offset);
+      uint32_t crc = ReadU32(data.data() + offset + 4);
+      if (len > remaining - kWalRecordHeaderBytes) {
+        if (newest) {
+          torn(offset);
+          stop = true;
+          break;
+        }
+        return corrupt(offset, "record length " + std::to_string(len) +
+                                   " exceeds segment");
+      }
+      std::string payload =
+          data.substr(offset + kWalRecordHeaderBytes, len);
+      if (Crc32(payload.data(), payload.size()) != crc) {
+        if (newest) {
+          torn(offset);
+          stop = true;
+          break;
+        }
+        return corrupt(offset, "record checksum mismatch");
+      }
+      Status applied = ApplyWalRecord(payload, &rs, &info);
+      if (!applied.ok()) {
+        // A CRC-valid record that does not apply is corruption everywhere,
+        // including the newest segment: a torn write cannot survive the
+        // checksum, so this is a real defect.
+        return Status::FromCode(
+            StatusCode::kIOError,
+            "WAL segment '" + path + "' record at byte " +
+                std::to_string(offset) + ": " + applied.message());
+      }
+      ++info.records_replayed;
+      offset += kWalRecordHeaderBytes + len;
+    }
+    ++info.segments_replayed;
+    if (stop || info.torn_tail) break;
+  }
+
+  // 4. Validation gate: never hand back a store that would poison queries.
+  Status valid = out.store->Validate();
+  if (!valid.ok()) {
+    return Status::FromCode(StatusCode::kIOError,
+                            "recovered WAL store from '" + dir +
+                                "' failed validation: " + valid.message());
+  }
+
+  info.next_item_id =
+      std::max<int64_t>({rs.last_run_next_id, MaxIdInStore(*out.store) + 1,
+                         1});
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// WalWriter.
+
+WalWriter::WalWriter(std::string dir, WalOptions options)
+    : dir_(std::move(dir)), options_(options) {}
+
+WalWriter::~WalWriter() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    if (broken_.ok() && !closed_) {
+      (void)FlushLocked();
+    }
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& dir,
+                                                   const WalOptions& options,
+                                                   RecoveredStore* recovered) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create WAL directory '" + dir +
+                           "': " + ec.message());
+  }
+
+  auto rec_or = RecoverStore(dir);
+  if (!rec_or.ok()) {
+    return rec_or.status().WithContext("opening WAL at '" + dir + "'");
+  }
+  RecoveredStore rec = std::move(rec_or).value();
+
+  std::unique_ptr<WalWriter> writer(new WalWriter(dir, options));
+  writer->covered_seq_ = rec.info.covered_seq;
+  writer->record_ordinal_ = rec.info.records_replayed;
+  writer->records_appended_ = rec.info.records_replayed;
+  writer->records_durable_ = rec.info.records_replayed;
+  writer->next_run_index_ = rec.info.runs_started + 1;
+
+  // Writer-resume state: the topology and paths already in the log (either
+  // as replayed payloads or folded into the snapshot).
+  writer->meta_payload_ = std::move(rec.meta_payload);
+  writer->paths_payloads_ = rec.paths_payloads;
+  if (writer->meta_payload_.empty() && !rec.store->AllOids().empty()) {
+    writer->meta_payload_ = BuildMetaPayload(*rec.store);
+  }
+  for (int oid : rec.store->AllOids()) {
+    const OperatorProvenance* prov = rec.store->Find(oid);
+    if (prov != nullptr && HasSchemaPaths(*prov) &&
+        writer->paths_payloads_.count(oid) == 0) {
+      writer->paths_payloads_[oid] = BuildPathsPayload(oid, *prov);
+    }
+  }
+  rec.meta_payload = writer->meta_payload_;
+  rec.paths_payloads = writer->paths_payloads_;
+
+  // Repair a torn tail physically: truncate at the first bad byte so the
+  // segment — about to become non-newest — is clean for every later
+  // recovery. A segment whose header itself is torn is removed and its
+  // sequence number reused.
+  uint64_t new_seq = rec.info.max_segment_seq + 1;
+  if (rec.info.torn_tail) {
+    const std::string torn_path =
+        WalSegmentPath(dir, rec.info.torn_segment_seq);
+    if (rec.info.torn_offset >= kWalSegmentHeaderBytes) {
+      int fd = ::open(torn_path.c_str(), O_WRONLY | O_CLOEXEC);
+      if (fd < 0) {
+        return Status::IOError("cannot open torn WAL segment '" + torn_path +
+                               "' for repair: " + std::strerror(errno));
+      }
+      int rc = ::ftruncate(fd, static_cast<off_t>(rec.info.torn_offset));
+      if (rc == 0 && options.sync) rc = ::fsync(fd);
+      int saved = errno;
+      ::close(fd);
+      if (rc != 0) {
+        return Status::IOError("cannot truncate torn WAL segment '" +
+                               torn_path + "': " + std::strerror(saved));
+      }
+    } else {
+      std::filesystem::remove(torn_path, ec);
+      if (ec) {
+        return Status::IOError("cannot remove torn WAL segment '" +
+                               torn_path + "': " + ec.message());
+      }
+      new_seq = rec.info.torn_segment_seq;
+    }
+  }
+
+  // Account already-sealed segments for the compaction trigger.
+  PEBBLE_ASSIGN_OR_RETURN(auto segments, ListWalSegments(dir));
+  for (const auto& [seq, path] : segments) {
+    if (seq <= writer->covered_seq_ || seq >= new_seq) continue;
+    uint64_t bytes = std::filesystem::file_size(path, ec);
+    if (ec) bytes = 0;
+    writer->sealed_.push_back({seq, bytes});
+    writer->sealed_bytes_ += bytes;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(writer->mu_);
+    PEBBLE_RETURN_NOT_OK(writer->OpenSegmentLocked(new_seq));
+  }
+  if (recovered != nullptr) *recovered = std::move(rec);
+  return writer;
+}
+
+Status WalWriter::BrokenLocked() const {
+  if (!broken_.ok()) return broken_;
+  if (closed_) {
+    return Status::InvalidArgument("provenance WAL at '" + dir_ +
+                                   "' is closed");
+  }
+  return Status::OK();
+}
+
+Status WalWriter::OpenSegmentLocked(uint64_t seq) {
+  const std::string path = WalSegmentPath(dir_, seq);
+  int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    broken_ = Status::IOError("cannot create WAL segment '" + path +
+                              "': " + std::strerror(errno));
+    return broken_;
+  }
+  fd_ = fd;
+  active_seq_ = seq;
+  active_bytes_ = 0;
+  const std::string header = BuildSegmentHeader(seq);
+  Status st = WriteRawLocked(header.data(), header.size());
+  if (!st.ok()) {
+    broken_ = st;
+    return broken_;
+  }
+  active_bytes_ = header.size();
+  // The header and the directory entry are NOT fsynced here: nothing has
+  // been acknowledged yet, so a crash that loses the empty segment loses
+  // nothing. The first record flush fsyncs the same fd (covering the
+  // header) and syncs the directory before any acknowledgment.
+  segment_entry_synced_ = false;
+  return Status::OK();
+}
+
+Status WalWriter::WriteRawLocked(const void* data, size_t size) {
+  const char* p = static_cast<const char*>(data);
+  size_t written = 0;
+  while (written < size) {
+    ssize_t n = ::write(fd_, p + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("write to WAL segment " +
+                             SegmentName(active_seq_) + " failed after " +
+                             std::to_string(written) + "/" +
+                             std::to_string(size) + " bytes: " +
+                             std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status WalWriter::AppendRecordLocked(const std::string& payload) {
+  const uint64_t key = record_ordinal_;
+  std::string frame;
+  frame.reserve(kWalRecordHeaderBytes + payload.size());
+  AppendU32(static_cast<uint32_t>(payload.size()), &frame);
+  AppendU32(Crc32Finalize(
+                Crc32Update(kCrc32Init, payload.data(), payload.size())),
+            &frame);
+  frame += payload;
+
+  Status injected =
+      FailpointRegistry::Global().Evaluate(failpoints::kWalAppend, key);
+  if (!injected.ok()) {
+    // Simulated crash mid-append: whatever was buffered plus a strict
+    // prefix of this frame reaches the file; nothing after it ever will.
+    (void)WriteRawLocked(pending_.data(), pending_.size());
+    active_bytes_ += pending_.size();
+    pending_.clear();
+    records_pending_ = 0;
+    size_t cut = static_cast<size_t>((key * 7919 + 3) % frame.size());
+    (void)WriteRawLocked(frame.data(), cut);
+    active_bytes_ += cut;
+    broken_ = injected.WithContext("provenance WAL append (record " +
+                                   std::to_string(key) + ")");
+    return broken_;
+  }
+  ++record_ordinal_;
+  pending_ += frame;
+  ++records_appended_;
+  ++records_pending_;
+  return Status::OK();
+}
+
+Status WalWriter::FlushLocked() {
+  if (fd_ < 0) {
+    return Status::Internal("provenance WAL flush with no active segment");
+  }
+  if (pending_.empty() && records_durable_ == records_appended_) {
+    return Status::OK();
+  }
+  if (!pending_.empty()) {
+    Status st = WriteRawLocked(pending_.data(), pending_.size());
+    if (!st.ok()) {
+      broken_ = st;
+      return broken_;
+    }
+    active_bytes_ += pending_.size();
+    pending_.clear();
+    records_pending_ = 0;
+  }
+  if (options_.sync) {
+    const uint64_t key = flush_ordinal_++;
+    Status injected =
+        FailpointRegistry::Global().Evaluate(failpoints::kWalSync, key);
+    if (!injected.ok()) {
+      // Data reached the OS but durability was not confirmed: same poison
+      // rule as a real fsync failure.
+      broken_ = injected.WithContext("provenance WAL fsync (flush " +
+                                     std::to_string(key) + ")");
+      return broken_;
+    }
+    if (::fsync(fd_) != 0) {
+      broken_ = Status::IOError("fsync of WAL segment " +
+                                SegmentName(active_seq_) +
+                                " failed: " + std::strerror(errno));
+      return broken_;
+    }
+    if (!segment_entry_synced_) {
+      Status dsync = SyncDir(dir_);
+      if (!dsync.ok()) {
+        broken_ = dsync;
+        return broken_;
+      }
+      segment_entry_synced_ = true;
+    }
+  }
+  records_durable_ = records_appended_;
+  return Status::OK();
+}
+
+Status WalWriter::RotateLocked() {
+  PEBBLE_RETURN_NOT_OK(FlushLocked());
+  if (::close(fd_) != 0) {
+    fd_ = -1;
+    broken_ = Status::IOError("close of WAL segment " +
+                              SegmentName(active_seq_) +
+                              " failed: " + std::strerror(errno));
+    return broken_;
+  }
+  fd_ = -1;
+  sealed_.push_back({active_seq_, active_bytes_});
+  sealed_bytes_ += active_bytes_;
+
+  const uint64_t next_seq = active_seq_ + 1;
+  Status injected =
+      FailpointRegistry::Global().Evaluate(failpoints::kWalRotate, next_seq);
+  if (!injected.ok()) {
+    // Crash between seal and successor creation: recovery sees only sealed
+    // segments, which is fine; the writer must not continue.
+    broken_ = injected.WithContext("provenance WAL rotate (to segment " +
+                                   std::to_string(next_seq) + ")");
+    return broken_;
+  }
+  return OpenSegmentLocked(next_seq);
+}
+
+Status WalWriter::OnRunBegin(const ProvenanceStore& store,
+                             int64_t first_item_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PEBBLE_RETURN_NOT_OK(BrokenLocked());
+
+  if (store.mode() == CaptureMode::kFullModel) {
+    // Chunk records carry id rows and schema-level paths only; streaming
+    // per-item provenance would silently drop it on recovery.
+    return Status::InvalidArgument(
+        "full-model capture cannot be streamed to a provenance WAL "
+        "(per-item provenance is not chunked); use kStructural or kLineage");
+  }
+
+  std::string meta = BuildMetaPayload(store);
+  if (meta_payload_.empty()) {
+    PEBBLE_RETURN_NOT_OK(AppendRecordLocked(meta));
+    meta_payload_ = std::move(meta);
+  } else if (meta != meta_payload_) {
+    return Status::InvalidArgument(
+        "provenance WAL at '" + dir_ +
+        "' already holds a different pipeline topology; one WAL logs one "
+        "pipeline shape");
+  }
+
+  // Each executor run starts from an empty store: nothing of the new run's
+  // tables has been logged yet.
+  cursors_.clear();
+
+  PEBBLE_RETURN_NOT_OK(AppendRecordLocked(
+      "run-begin " + std::to_string(next_run_index_) + " " +
+      std::to_string(first_item_id) + "\n"));
+  ++next_run_index_;
+
+  if (options_.group_commit_bytes == 0 ||
+      pending_.size() >= options_.group_commit_bytes) {
+    PEBBLE_RETURN_NOT_OK(FlushLocked());
+  }
+  if (active_bytes_ + pending_.size() >= options_.segment_bytes) {
+    PEBBLE_RETURN_NOT_OK(RotateLocked());
+  }
+  return Status::OK();
+}
+
+Status WalWriter::OnOperatorCommit(const ProvenanceStore& store, int oid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PEBBLE_RETURN_NOT_OK(BrokenLocked());
+
+  const OperatorProvenance* prov = store.Find(oid);
+  if (prov == nullptr) return Status::OK();  // nothing captured (e.g. scan)
+
+  if (HasSchemaPaths(*prov)) {
+    std::string paths = BuildPathsPayload(oid, *prov);
+    auto it = paths_payloads_.find(oid);
+    if (it == paths_payloads_.end()) {
+      PEBBLE_RETURN_NOT_OK(AppendRecordLocked(paths));
+      paths_payloads_[oid] = std::move(paths);
+    } else if (paths != it->second) {
+      return Status::InvalidArgument(
+          "provenance WAL at '" + dir_ + "': operator " +
+          std::to_string(oid) +
+          " committed different schema-level paths than previously logged");
+    }
+  }
+
+  provio::IdTableCursor& cursor = cursors_[oid];
+  if (provio::HasRowsAfter(*prov, cursor)) {
+    std::string chunk = "chunk " + std::to_string(oid) + "\n";
+    provio::AppendIdRowLinesFrom(*prov, &cursor, &chunk);
+    PEBBLE_RETURN_NOT_OK(AppendRecordLocked(chunk));
+  }
+
+  if (options_.group_commit_bytes == 0 ||
+      pending_.size() >= options_.group_commit_bytes) {
+    PEBBLE_RETURN_NOT_OK(FlushLocked());
+  }
+  if (active_bytes_ + pending_.size() >= options_.segment_bytes) {
+    PEBBLE_RETURN_NOT_OK(RotateLocked());
+  }
+  return Status::OK();
+}
+
+Status WalWriter::OnRunEnd(const ProvenanceStore& store,
+                           int64_t next_item_id) {
+  (void)store;
+  std::lock_guard<std::mutex> lock(mu_);
+  PEBBLE_RETURN_NOT_OK(BrokenLocked());
+  PEBBLE_RETURN_NOT_OK(AppendRecordLocked(
+      "run-end " + std::to_string(next_run_index_ - 1) + " " +
+      std::to_string(next_item_id) + "\n"));
+  // A run boundary is always a durability point, group commit or not.
+  PEBBLE_RETURN_NOT_OK(FlushLocked());
+  if (active_bytes_ >= options_.segment_bytes) {
+    PEBBLE_RETURN_NOT_OK(RotateLocked());
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  PEBBLE_RETURN_NOT_OK(BrokenLocked());
+  return FlushLocked();
+}
+
+Status WalWriter::Rotate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  PEBBLE_RETURN_NOT_OK(BrokenLocked());
+  return RotateLocked();
+}
+
+Status WalWriter::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!broken_.ok()) return broken_;
+  if (closed_) return Status::OK();
+  PEBBLE_RETURN_NOT_OK(FlushLocked());
+  if (fd_ >= 0) {
+    if (::close(fd_) != 0) {
+      fd_ = -1;
+      broken_ = Status::IOError("close of WAL segment " +
+                                SegmentName(active_seq_) +
+                                " failed: " + std::strerror(errno));
+      return broken_;
+    }
+    fd_ = -1;
+  }
+  closed_ = true;
+  return Status::OK();
+}
+
+Status WalWriter::CompactLocked() {
+  PEBBLE_RETURN_NOT_OK(BrokenLocked());
+  // Seal the active segment first when it holds records, so every record
+  // written so far is foldable.
+  if (active_bytes_ > kWalSegmentHeaderBytes || !pending_.empty()) {
+    PEBBLE_RETURN_NOT_OK(RotateLocked());
+  }
+  const uint64_t through = active_seq_ - 1;
+  if (through <= covered_seq_) return Status::OK();  // nothing sealed
+
+  auto stats = internal::FoldWalSegments(dir_, through, options_.sync);
+  if (!stats.ok()) {
+    // The log is untouched by a failed fold; the writer stays healthy.
+    return stats.status().WithContext("provenance WAL compaction");
+  }
+  if (stats->performed) {
+    covered_seq_ = stats->covered_seq;
+    sealed_.erase(std::remove_if(sealed_.begin(), sealed_.end(),
+                                 [&](const SealedSegment& s) {
+                                   return s.seq <= covered_seq_;
+                                 }),
+                  sealed_.end());
+    sealed_bytes_ = 0;
+    for (const SealedSegment& s : sealed_) sealed_bytes_ += s.bytes;
+    ++compactions_;
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Compact() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CompactLocked();
+}
+
+uint64_t WalWriter::sealed_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sealed_bytes_;
+}
+
+uint64_t WalWriter::records_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_appended_;
+}
+
+uint64_t WalWriter::records_durable() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_durable_;
+}
+
+uint64_t WalWriter::active_segment_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_seq_;
+}
+
+uint64_t WalWriter::compactions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return compactions_;
+}
+
+// ---------------------------------------------------------------------------
+// Fold core (shared by WalWriter::Compact and the offline CompactWal). Lives
+// here for access to the manifest helpers; declared in core/compactor.h.
+
+namespace internal {
+
+Result<WalCompactionStats> FoldWalSegments(const std::string& dir,
+                                           uint64_t through, bool sync) {
+  WalCompactionStats stats;
+  PEBBLE_ASSIGN_OR_RETURN(auto segments, ListWalSegments(dir));
+
+  auto rec_or = RecoverStoreThrough(dir, through);
+  if (!rec_or.ok()) {
+    return rec_or.status().WithContext("WAL compaction recovery");
+  }
+  RecoveredStore rec = std::move(rec_or).value();
+
+  const uint64_t old_covered = rec.info.covered_seq;
+  uint64_t new_covered = old_covered;
+  for (const auto& [seq, path] : segments) {
+    if (seq > old_covered && seq <= through) {
+      ++stats.segments_folded;
+      new_covered = std::max(new_covered, seq);
+    }
+  }
+  stats.covered_seq = old_covered;
+  if (stats.segments_folded == 0) return stats;  // nothing new to fold
+
+  // 1. Snapshot first. A crash after this point but before the manifest
+  // lands leaves an orphan file that recovery never looks at.
+  const std::string snap_path = WalSnapshotPath(dir, new_covered);
+  Status saved = SaveProvenanceStore(*rec.store, snap_path);
+  if (!saved.ok()) {
+    return saved.WithContext("writing WAL compaction snapshot");
+  }
+
+  // 2. Manifest rename is the commit point of the compaction.
+  PEBBLE_RETURN_NOT_OK(
+      FailpointRegistry::Global()
+          .Evaluate(failpoints::kWalManifest, new_covered)
+          .WithContext("WAL compaction manifest"));
+  Manifest manifest;
+  manifest.covered = new_covered;
+  manifest.snapshot = SnapshotName(new_covered);
+  AtomicWriteOptions write_options;
+  write_options.sync = sync;
+  Status committed = AtomicWriteFile(WalManifestPath(dir),
+                                     SerializeManifest(manifest),
+                                     write_options);
+  if (!committed.ok()) {
+    return committed.WithContext("writing WAL manifest");
+  }
+
+  // 3. Reclaim folded segments and superseded snapshots, best-effort: a
+  // leftover here is invisible to recovery and reclaimed next pass.
+  std::error_code ec;
+  for (const auto& [seq, path] : segments) {
+    if (seq > new_covered) continue;
+    if (std::filesystem::remove(path, ec) && !ec) ++stats.segments_removed;
+  }
+  std::filesystem::directory_iterator it(dir, ec);
+  if (!ec) {
+    for (const auto& entry : it) {
+      std::string name = entry.path().filename().string();
+      constexpr std::string_view kPrefix = "snapshot-";
+      constexpr std::string_view kSuffix = ".pprov";
+      if (name == manifest.snapshot || name.size() <= kPrefix.size() ||
+          name.compare(0, kPrefix.size(), kPrefix) != 0 ||
+          name.size() < kPrefix.size() + kSuffix.size() ||
+          name.compare(name.size() - kSuffix.size(), kSuffix.size(),
+                       kSuffix) != 0) {
+        continue;
+      }
+      if (std::filesystem::remove(entry.path(), ec) && !ec) {
+        ++stats.snapshots_removed;
+      }
+    }
+  }
+
+  stats.performed = true;
+  stats.covered_seq = new_covered;
+  stats.snapshot_path = snap_path;
+  return stats;
+}
+
+}  // namespace internal
+
+}  // namespace pebble

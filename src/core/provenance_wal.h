@@ -1,0 +1,247 @@
+// Crash-safe streaming provenance capture: an append-only, segment-based
+// write-ahead log of committed id-table chunks (DESIGN.md §11).
+//
+// A WalWriter implements ProvenanceCommitSink: hooked into the executor via
+// ExecOptions::commit_sink it appends, at each serial commit point, the
+// delta of id rows the operator just committed — framed as
+// [u32 LE payload length | u32 LE CRC32 | payload] records inside segment
+// files "segment-NNNNNN.wal". Payloads reuse the line-oriented record
+// grammar of the snapshot formats (core/provenance_records.h), so a WAL is
+// replayable into a ProvenanceStore with the exact bytes of the in-memory
+// store it mirrored.
+//
+// Durability contract: with group_commit_bytes == 0 every commit point is
+// flushed and fsynced before the executor acknowledges the operator, so a
+// crash at any instant loses at most the single uncommitted tail record.
+// With group commit, up to group_commit_bytes of acknowledged-but-buffered
+// records can be lost on a crash — the recovered store is still always a
+// Validate()-clean prefix of the committed history, never torn.
+//
+// Recovery (RecoverStore) loads the manifest-named v2 snapshot, replays the
+// contiguous segment tail in sequence order, tolerates a torn final record
+// in the NEWEST segment only (truncate-at-first-bad-CRC), and gates the
+// result through ProvenanceStore::Validate(). Recovery never writes; double
+// recovery is trivially idempotent. WalWriter::Open physically truncates a
+// torn tail before opening a fresh segment, so the torn segment never ends
+// up in the middle of the log.
+
+#ifndef PEBBLE_CORE_PROVENANCE_WAL_H_
+#define PEBBLE_CORE_PROVENANCE_WAL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/commit_sink.h"
+#include "core/provenance_records.h"
+#include "core/provenance_store.h"
+
+namespace pebble {
+
+/// Tuning knobs of a WalWriter.
+struct WalOptions {
+  /// Rotate (seal + start a new segment) once the active segment exceeds
+  /// this many bytes.
+  uint64_t segment_bytes = 4ull << 20;
+  /// Group-commit threshold: records are buffered until this many payload
+  /// bytes are pending, then written and fsynced together. 0 = flush and
+  /// fsync at every commit point (strongest durability, default). A run
+  /// boundary (OnRunEnd) always flushes regardless.
+  uint64_t group_commit_bytes = 0;
+  /// fsync segment data and directory entries. Disable only in tests that
+  /// don't simulate power loss (process crashes keep written bytes).
+  bool sync = true;
+};
+
+/// What RecoverStore found while replaying a WAL directory.
+struct WalRecoveryInfo {
+  bool manifest_found = false;
+  bool snapshot_loaded = false;
+  /// Highest segment sequence folded into the snapshot (0 = none).
+  uint64_t covered_seq = 0;
+  /// Highest segment sequence present on disk (file or covered), i.e. the
+  /// sequence floor for a new active segment.
+  uint64_t max_segment_seq = 0;
+  size_t segments_replayed = 0;
+  size_t records_replayed = 0;
+  size_t chunk_records = 0;
+  /// Completed runs (run-end records) and started runs (run-begin).
+  size_t runs_started = 0;
+  size_t runs_completed = 0;
+  /// True when the newest segment ended in a torn/corrupt record that was
+  /// logically truncated.
+  bool torn_tail = false;
+  uint64_t torn_segment_seq = 0;
+  /// Byte offset of the first bad byte in the torn segment (replay stopped
+  /// there). Less than the segment header size means the header itself was
+  /// torn and the whole segment was treated as empty.
+  uint64_t torn_offset = 0;
+  /// First top-level item id a future run can use without colliding with
+  /// any id observed in the recovered store (max of the last run-end
+  /// record's next_item_id and every id in the id tables, plus one).
+  int64_t next_item_id = 1;
+};
+
+/// A recovered store plus replay facts and the writer-resume state.
+struct RecoveredStore {
+  std::unique_ptr<ProvenanceStore> store;
+  WalRecoveryInfo info;
+  /// Exact payload of the WAL's meta record (empty if none was replayed)
+  /// and of each operator's paths record; WalWriter::Open uses these to
+  /// enforce cross-run topology/path consistency without rewriting them.
+  std::string meta_payload;
+  std::map<int, std::string> paths_payloads;
+};
+
+/// Replays the provenance WAL in `dir` into a fresh store: manifest-named
+/// snapshot first, then every segment with sequence > covered in contiguous
+/// order. A missing directory, missing manifest or zero segments are all
+/// fine (smaller prefixes of the same story). Torn final records are
+/// tolerated in the newest segment only; a bad CRC in any sealed (non-
+/// newest) segment, a sequence gap, or a parse failure of a CRC-valid
+/// record is kIOError. The result always passed ProvenanceStore::Validate().
+Result<RecoveredStore> RecoverStore(const std::string& dir);
+
+/// As RecoverStore but ignores segments with sequence > `through`
+/// (compaction folds everything up to the last sealed segment while the
+/// active one keeps growing).
+Result<RecoveredStore> RecoverStoreThrough(const std::string& dir,
+                                           uint64_t through);
+
+/// Append-only provenance WAL writer; implements the executor's commit-sink
+/// seam. Thread-safe (one internal mutex); hooks arrive serially from the
+/// executor but Compact() may be driven concurrently by a
+/// BackgroundCompactor. On the first failed or injected write/sync the
+/// writer poisons itself: every later call returns the original error, so
+/// no record can ever land after a torn tail. Recovery-then-reopen is the
+/// only way to continue after poisoning, exactly as after a real crash.
+class WalWriter final : public ProvenanceCommitSink {
+ public:
+  /// Opens (creating if needed) the WAL at `dir`: recovers existing state,
+  /// physically truncates a torn tail, and starts a NEW active segment —
+  /// an existing segment is never appended to. When `recovered` is non-null
+  /// the recovery result (store + info) is moved into it, letting callers
+  /// resume a live store and thread info.next_item_id into the next run.
+  static Result<std::unique_ptr<WalWriter>> Open(
+      const std::string& dir, const WalOptions& options = {},
+      RecoveredStore* recovered = nullptr);
+
+  ~WalWriter() override;
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  // ProvenanceCommitSink:
+  Status OnRunBegin(const ProvenanceStore& store,
+                    int64_t first_item_id) override;
+  Status OnOperatorCommit(const ProvenanceStore& store, int oid) override;
+  Status OnRunEnd(const ProvenanceStore& store, int64_t next_item_id) override;
+
+  /// Writes and (when options.sync) fsyncs any buffered records.
+  Status Flush();
+
+  /// Flushes, seals the active segment and opens its successor.
+  Status Rotate();
+
+  /// Folds every sealed segment (and the previous snapshot) into a fresh
+  /// v2 snapshot, atomically advances the manifest, then reclaims the
+  /// folded files. Rotates first when the active segment holds records.
+  /// Crash-safe across the whole window: until the manifest rename lands,
+  /// recovery ignores the new snapshot; after it, stale segments are
+  /// ignored and reclaimed by the next compaction. A compaction failure
+  /// leaves the log fully intact (the writer is NOT poisoned).
+  Status Compact();
+
+  /// Flushes and closes the active segment. Further appends fail.
+  Status Close();
+
+  const std::string& dir() const { return dir_; }
+  const WalOptions& options() const { return options_; }
+  /// Bytes in sealed-but-not-yet-compacted segments (compaction trigger).
+  uint64_t sealed_bytes() const;
+  uint64_t records_appended() const;
+  /// Records known flushed+fsynced (== records_appended after Flush).
+  uint64_t records_durable() const;
+  uint64_t active_segment_seq() const;
+  uint64_t compactions() const;
+
+ private:
+  WalWriter(std::string dir, WalOptions options);
+
+  Status BrokenLocked() const;
+  /// Frames and buffers one record; evaluates the wal.append failpoint
+  /// (keyed by record ordinal) and simulates a torn write when it fires.
+  Status AppendRecordLocked(const std::string& payload);
+  Status FlushLocked();
+  Status WriteRawLocked(const void* data, size_t size);
+  Status RotateLocked();
+  Status OpenSegmentLocked(uint64_t seq);
+  Status CompactLocked();
+
+  const std::string dir_;
+  const WalOptions options_;
+
+  mutable std::mutex mu_;
+  Status broken_;        // first failure; non-OK poisons the writer
+  bool closed_ = false;
+  int fd_ = -1;
+  uint64_t active_seq_ = 0;
+  uint64_t active_bytes_ = 0;
+  /// Whether the active segment's directory entry (and header) have been
+  /// fsynced; deferred to the first record flush so an empty segment costs
+  /// no barriers.
+  bool segment_entry_synced_ = false;
+  std::string pending_;  // framed records not yet written to fd_
+  uint64_t record_ordinal_ = 0;   // wal.append failpoint key
+  uint64_t flush_ordinal_ = 0;    // wal.sync failpoint key
+  uint64_t records_appended_ = 0;
+  uint64_t records_durable_ = 0;
+  uint64_t records_pending_ = 0;
+  uint64_t covered_seq_ = 0;
+  struct SealedSegment {
+    uint64_t seq;
+    uint64_t bytes;
+  };
+  std::vector<SealedSegment> sealed_;
+  uint64_t sealed_bytes_ = 0;
+  uint64_t compactions_ = 0;
+
+  // Cross-run consistency state: the WAL's meta record (topology) and each
+  // operator's paths record are written once and verified on later runs.
+  std::string meta_payload_;
+  std::map<int, std::string> paths_payloads_;
+  // Per-operator end-of-table cursors marking what has been logged; reset
+  // to zero at OnRunBegin (each executor run starts an empty store).
+  std::map<int, provio::IdTableCursor> cursors_;
+  uint64_t next_run_index_ = 1;
+};
+
+// WAL layout constants, shared with the recovery/compaction code and the
+// chaos tests (which corrupt files at byte granularity).
+inline constexpr char kWalMagic[8] = {'P', 'B', 'L', 'W', 'A', 'L', '0', '1'};
+inline constexpr uint32_t kWalVersion = 1;
+/// magic + u32 version + u64 seq + u32 CRC32 of the preceding 20 bytes.
+inline constexpr size_t kWalSegmentHeaderBytes = 24;
+/// u32 payload length + u32 payload CRC32.
+inline constexpr size_t kWalRecordHeaderBytes = 8;
+
+/// Segment files present in `dir`, keyed by sequence number (parsed from
+/// the file name). Unrelated files are ignored; a missing directory is an
+/// empty map. Used by recovery, compaction and the chaos tests.
+Result<std::map<uint64_t, std::string>> ListWalSegments(
+    const std::string& dir);
+
+/// "segment-NNNNNN.wal" inside `dir`.
+std::string WalSegmentPath(const std::string& dir, uint64_t seq);
+/// "MANIFEST" inside `dir`.
+std::string WalManifestPath(const std::string& dir);
+/// "snapshot-NNNNNN.pprov" inside `dir`.
+std::string WalSnapshotPath(const std::string& dir, uint64_t seq);
+
+}  // namespace pebble
+
+#endif  // PEBBLE_CORE_PROVENANCE_WAL_H_

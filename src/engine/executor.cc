@@ -74,6 +74,15 @@ Result<ExecutionResult> Executor::Run(const Pipeline& pipeline,
     return st;
   };
 
+  // Streaming capture: the commit sink observes the run at its serial
+  // commit points. Only meaningful when a store is being captured.
+  ProvenanceCommitSink* sink =
+      store != nullptr ? options_.commit_sink.get() : nullptr;
+  if (sink != nullptr) {
+    Status st = sink->OnRunBegin(*store, options_.first_item_id);
+    if (!st.ok()) return fail(st.WithContext("commit sink (run begin)"));
+  }
+
   // Reference counts: an intermediate dataset can be released once its last
   // consumer has executed (bounds peak memory on deep pipelines).
   std::map<int, int> remaining_consumers;
@@ -114,6 +123,14 @@ Result<ExecutionResult> Executor::Run(const Pipeline& pipeline,
       return fail(executed.status().WithContext(OperatorContext(*op)));
     }
     Dataset out = std::move(executed).value();
+    // Serial commit point: the operator's staged provenance is fully in the
+    // store. The sink must succeed (durability) before the run continues.
+    if (sink != nullptr) {
+      Status st = sink->OnOperatorCommit(*store, op->oid());
+      if (!st.ok()) {
+        return fail(st.WithContext("commit sink, " + OperatorContext(*op)));
+      }
+    }
     if (ctx.budget_limited()) {
       uint64_t bytes = ApproxShallowDatasetBytes(out);
       Status st = ctx.ChargeBytes(bytes, "materialized dataset");
@@ -142,6 +159,11 @@ Result<ExecutionResult> Executor::Run(const Pipeline& pipeline,
     return fail(Status::Internal("sink dataset not materialized"));
   }
   result.output = std::move(sink_it->second);
+  if (sink != nullptr) {
+    Status st = sink->OnRunEnd(*store, ctx.next_item_id());
+    if (!st.ok()) return fail(st.WithContext("commit sink (run end)"));
+  }
+  result.next_item_id = ctx.next_item_id();
   result.provenance = std::move(store);
   result.task_stats = ctx.task_stats();
   result.elapsed_ms = watch.ElapsedMillis();

@@ -40,6 +40,10 @@ struct ExecutionResult {
   /// tripped. A successful run can still report a nonzero value if a trip
   /// raced with completion.
   double cancel_latency_ms = 0;
+  /// First top-level item id not allocated by this run. A follow-up run
+  /// over the same id space (micro-batch ingest) passes this as
+  /// ExecOptions::first_item_id to keep id ranges disjoint.
+  int64_t next_item_id = 1;
 };
 
 /// Governance telemetry of a run, filled even when Run fails — the only way

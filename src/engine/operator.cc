@@ -42,6 +42,10 @@ Status ValidateExecOptions(const ExecOptions& options) {
     return Status::InvalidArgument("deadline_ms must be non-negative, got " +
                                    std::to_string(options.deadline_ms));
   }
+  if (options.first_item_id < 1) {
+    return Status::InvalidArgument("first_item_id must be at least 1, got " +
+                                   std::to_string(options.first_item_id));
+  }
   return Status::OK();
 }
 

@@ -18,6 +18,7 @@
 
 #include "common/resource.h"
 #include "common/status.h"
+#include "core/commit_sink.h"
 #include "core/provenance_store.h"
 #include "engine/dataset.h"
 
@@ -84,6 +85,16 @@ struct ExecOptions {
   /// the run with kCancelled at the next cancellation point. A
   /// default-constructed token disables cancellation at zero cost.
   CancellationToken cancel;
+  /// First top-level item id this run allocates (must be >= 1). Micro-batch
+  /// ingest threads disjoint id ranges through successive runs so their
+  /// stores merge cleanly (ProvenanceStore::AppendFrom); the WAL recovery
+  /// info reports the next safe value after a crash.
+  int64_t first_item_id = 1;
+  /// Streaming capture sink invoked at the executor's serial commit points
+  /// (run begin, after each operator commits, run end). A WalWriter here
+  /// makes every committed chunk durable before the run is acknowledged.
+  /// Ignored when capture == kOff; a sink error fails the run.
+  std::shared_ptr<ProvenanceCommitSink> commit_sink;
 };
 
 /// Validates user-supplied options; kInvalidArgument on nonsense values.
@@ -129,7 +140,8 @@ class ExecContext {
                       : Deadline::Infinite()),
         budget_(options_.memory_budget_bytes),
         governed_(options_.cancel.CanBeCancelled() ||
-                  deadline_.has_deadline()) {}
+                  deadline_.has_deadline()),
+        next_id_(options_.first_item_id) {}
 
   ExecContext(const ExecContext&) = delete;
   ExecContext& operator=(const ExecContext&) = delete;
@@ -149,6 +161,10 @@ class ExecContext {
 
   /// Reserves `count` consecutive top-level item ids; returns the first.
   int64_t ReserveIds(int64_t count) { return next_id_.fetch_add(count); }
+
+  /// First id not yet reserved; after the run, the floor for the
+  /// first_item_id of a follow-up run over the same id space.
+  int64_t next_item_id() const { return next_id_.load(); }
 
   /// Runs partition tasks fn(i) for i in [0, n) on the configured worker
   /// threads, with task-level fault tolerance per options().retry:

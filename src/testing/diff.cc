@@ -2,13 +2,17 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <filesystem>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/failpoint.h"
+#include "core/compactor.h"
 #include "core/provenance_io.h"
+#include "core/provenance_wal.h"
 #include "core/query.h"
 #include "engine/executor.h"
 
@@ -189,6 +193,56 @@ Status RunMetamorphicStages(const DiffCase& c, const DiffOptions& options,
     if (snap_canonical != canonical) {
       return Mismatch("snapshot", TwoSided(snap_canonical.ToString(),
                                            canonical.ToString()));
+    }
+  }
+
+  // --- WAL capture replay ---------------------------------------------------
+  // Re-running the case with a WAL commit sink, then recovering the log,
+  // must reproduce the exact serialized store of the direct run; folding
+  // the log into a snapshot (compaction) must commute with recovery.
+  if (!options.scratch_dir.empty()) {
+    const std::string wal_dir = options.scratch_dir + "/diffcase_wal";
+    std::error_code ec;
+    std::filesystem::remove_all(wal_dir, ec);
+    WalOptions wal;
+    wal.sync = false;  // no power-loss simulation here; keeps the sweep fast
+    Result<std::unique_ptr<WalWriter>> opened = WalWriter::Open(wal_dir, wal);
+    if (!opened.ok()) {
+      return Mismatch("wal-replay", opened.status().message());
+    }
+    std::shared_ptr<WalWriter> writer = std::move(opened).value();
+    ExecOptions wal_options(CaptureMode::kStructural, 1, 1);
+    wal_options.commit_sink = writer;
+    Executor wal_exec(wal_options);
+    Result<ExecutionResult> captured = wal_exec.Run(built.pipeline);
+    if (!captured.ok()) {
+      return Mismatch("wal-replay", captured.status().message());
+    }
+    Status closed = writer->Close();
+    if (!closed.ok()) {
+      return Mismatch("wal-replay", closed.message());
+    }
+    const std::string direct =
+        SerializeProvenanceStore(*captured.value().provenance);
+    Result<RecoveredStore> replayed = RecoverStore(wal_dir);
+    if (!replayed.ok()) {
+      return Mismatch("wal-replay", replayed.status().message());
+    }
+    if (SerializeProvenanceStore(*replayed.value().store) != direct) {
+      return Mismatch("wal-replay",
+                      "recovered store differs from the captured run");
+    }
+    Result<WalCompactionStats> folded = CompactWal(wal_dir);
+    if (!folded.ok()) {
+      return Mismatch("wal-replay", folded.status().message());
+    }
+    Result<RecoveredStore> compacted = RecoverStore(wal_dir);
+    if (!compacted.ok()) {
+      return Mismatch("wal-replay", compacted.status().message());
+    }
+    if (SerializeProvenanceStore(*compacted.value().store) != direct) {
+      return Mismatch("wal-replay",
+                      "compaction changed the recovered store");
     }
   }
 

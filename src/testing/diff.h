@@ -21,6 +21,8 @@
 //   capture-off           CaptureMode::kOff changes the query result
 //   serialize-roundtrip   serialize -> deserialize -> serialize not stable
 //   snapshot              save/load round-trip changes offline query answer
+//   wal-replay            WAL-captured run does not recover to the exact
+//                         serialized store, or compaction changes it
 //   governed-unlimited    BacktraceOptions{} differs from ungoverned path
 //   governed-large        huge (non-binding) caps truncate, change matched
 //                         entries, or change source item sets (tree marks

@@ -1,0 +1,63 @@
+#include "workload/micro_batch.h"
+
+#include <utility>
+
+#include "workload/scenarios.h"
+
+namespace pebble {
+
+Result<MicroBatchRun> RunMicroBatchIngest(const MicroBatchOptions& options) {
+  if (options.wal_dir.empty()) {
+    return Status::InvalidArgument("MicroBatchOptions::wal_dir is empty");
+  }
+  if (options.capture == CaptureMode::kOff) {
+    return Status::InvalidArgument(
+        "micro-batch ingest needs a capture mode (the WAL logs provenance)");
+  }
+
+  RecoveredStore recovered;
+  PEBBLE_ASSIGN_OR_RETURN(
+      std::shared_ptr<WalWriter> writer,
+      WalWriter::Open(options.wal_dir, options.wal, &recovered));
+
+  MicroBatchRun run;
+  run.live_store = std::move(recovered.store);
+  run.next_item_id = recovered.info.next_item_id;
+
+  for (size_t batch = 0; batch < options.batches; ++batch) {
+    PEBBLE_ASSIGN_OR_RETURN(
+        Scenario scenario,
+        MakeStressScenario(options.tweets_per_batch, options.seed + batch));
+
+    ExecOptions exec(options.capture, options.num_partitions,
+                     options.num_threads);
+    exec.first_item_id = run.next_item_id;
+    exec.commit_sink = writer;
+    Executor executor(exec);
+    auto result = executor.Run(scenario.pipeline);
+    if (!result.ok()) {
+      return result.status().WithContext("micro-batch " +
+                                         std::to_string(batch));
+    }
+
+    run.next_item_id = result->next_item_id;
+    run.batch_output_rows[batch] = result->output.NumRows();
+    PEBBLE_RETURN_NOT_OK(
+        run.live_store->AppendFrom(*result->provenance)
+            .WithContext("merging micro-batch " + std::to_string(batch)));
+    if (options.validate_each_batch) {
+      PEBBLE_RETURN_NOT_OK(
+          run.live_store->Validate().WithContext(
+              "live store after micro-batch " + std::to_string(batch)));
+    }
+    ++run.batches_run;
+  }
+
+  PEBBLE_RETURN_NOT_OK(
+      run.live_store->Validate().WithContext("final micro-batch store"));
+  run.records_appended = writer->records_appended();
+  PEBBLE_RETURN_NOT_OK(writer->Close());
+  return run;
+}
+
+}  // namespace pebble

@@ -1,0 +1,71 @@
+// Micro-batch ingest driver: runs the same pipeline shape repeatedly over
+// fresh batches of generated data, streaming every batch's provenance into
+// one provenance WAL and merging it into one live store. Models the
+// streaming-capture deployment of DESIGN.md §11: a long-lived ingest
+// process whose captured provenance survives a crash at any instant, losing
+// at most the uncommitted tail of the batch in flight.
+//
+// Id ranges are threaded across batches via ExecOptions::first_item_id, so
+// the merged store (ProvenanceStore::AppendFrom) keeps run-global unique
+// ids and passes Validate(). Reopening the same WAL directory resumes from
+// the recovered next_item_id, so a crashed ingest continues without id
+// collisions.
+
+#ifndef PEBBLE_WORKLOAD_MICRO_BATCH_H_
+#define PEBBLE_WORKLOAD_MICRO_BATCH_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/provenance_store.h"
+#include "core/provenance_wal.h"
+#include "engine/executor.h"
+
+namespace pebble {
+
+struct MicroBatchOptions {
+  /// WAL directory; created if missing. Reopening an existing directory
+  /// resumes the previous ingest (recovered store + next id).
+  std::string wal_dir;
+  /// Batches to run in this call.
+  size_t batches = 4;
+  /// Tweets generated per batch; batch i uses seed `seed + i` so batches
+  /// differ in data but share the pipeline shape.
+  size_t tweets_per_batch = 200;
+  uint64_t seed = 42;
+  CaptureMode capture = CaptureMode::kStructural;
+  int num_partitions = 2;
+  int num_threads = 1;
+  WalOptions wal;
+  /// Validate() the merged live store after every batch (cheap at test
+  /// sizes; the final store is always validated regardless).
+  bool validate_each_batch = true;
+};
+
+/// Outcome of one RunMicroBatchIngest call.
+struct MicroBatchRun {
+  /// The live merged store: recovered state plus every batch of this call.
+  std::unique_ptr<ProvenanceStore> live_store;
+  /// Rows in each batch's sink output, by batch index of this call.
+  std::map<size_t, size_t> batch_output_rows;
+  /// First id a future batch may allocate.
+  int64_t next_item_id = 1;
+  /// Batches whose commit the WAL acknowledged during this call.
+  size_t batches_run = 0;
+  /// Cumulative records in the WAL after this call.
+  uint64_t records_appended = 0;
+};
+
+/// Runs `options.batches` micro-batches against the WAL at
+/// `options.wal_dir`. Each batch executes the stress pipeline (T3 shape)
+/// over freshly generated data with a WalWriter as the commit sink, then
+/// merges the run's store into the live store. On a WAL or executor
+/// failure the error is returned as-is; the WAL then holds the committed
+/// prefix, which RecoverStore turns back into a consistent store.
+Result<MicroBatchRun> RunMicroBatchIngest(const MicroBatchOptions& options);
+
+}  // namespace pebble
+
+#endif  // PEBBLE_WORKLOAD_MICRO_BATCH_H_

@@ -5,7 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
+#include <vector>
+
+#include "common/rng.h"
 
 namespace pebble {
 namespace {
@@ -25,6 +29,43 @@ TEST(Crc32Test, IncrementalMatchesOneShot) {
     state = Crc32Update(state, data.data() + split, data.size() - split);
     EXPECT_EQ(Crc32Finalize(state), Crc32(data)) << "split at " << split;
   }
+}
+
+TEST(Crc32Test, ArbitraryChunkingMatchesOneShot) {
+  // The WAL writer feeds record frames to Crc32Update in whatever pieces
+  // its buffers happen to hold, so the state must be invariant under ANY
+  // partition of the input — including empty chunks and hundreds of
+  // single-byte calls — not just one split point.
+  Rng rng(4242);
+  std::string data(1021, '\0');  // odd length, all byte values represented
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<char>(rng.NextBounded(256));
+  }
+  const uint32_t expected = Crc32(data);
+
+  for (int trial = 0; trial < 100; ++trial) {
+    // A random partition of [0, size): random cut count, random cuts,
+    // duplicates allowed (duplicate cuts produce zero-length chunks).
+    std::vector<size_t> cuts = {0, data.size()};
+    const size_t extra = rng.NextBounded(32);
+    for (size_t i = 0; i < extra; ++i) {
+      cuts.push_back(rng.NextBounded(data.size() + 1));
+    }
+    std::sort(cuts.begin(), cuts.end());
+    uint32_t state = kCrc32Init;
+    for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+      state = Crc32Update(state, data.data() + cuts[i], cuts[i + 1] - cuts[i]);
+    }
+    EXPECT_EQ(Crc32Finalize(state), expected) << "trial " << trial;
+  }
+
+  // Degenerate chunkings: one byte at a time, and empty updates anywhere.
+  uint32_t state = kCrc32Init;
+  for (size_t i = 0; i < data.size(); ++i) {
+    state = Crc32Update(state, data.data(), 0);
+    state = Crc32Update(state, data.data() + i, 1);
+  }
+  EXPECT_EQ(Crc32Finalize(state), expected);
 }
 
 TEST(Crc32Test, DetectsEverySingleBitFlip) {

@@ -1,0 +1,386 @@
+// Unit tests of the provenance WAL writer and recovery: framing, group
+// commit, segment rotation, reopen-resume, compaction, and the cross-run
+// consistency checks. Crash-point chaos lives in
+// tests/integration/wal_chaos_test.cc.
+
+#include "core/provenance_wal.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/compactor.h"
+#include "core/provenance_io.h"
+#include "engine/executor.h"
+#include "test_util.h"
+#include "workload/scenarios.h"
+
+namespace pebble {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// A fresh directory per test case (removed up front so reruns start clean).
+std::string FreshDir(const std::string& name) {
+  std::string dir = TempPath(name);
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Runs the stress scenario (T3 shape) once with `writer` as commit sink.
+Result<ExecutionResult> RunScenario(std::shared_ptr<WalWriter> writer,
+                                    size_t tweets, uint64_t seed,
+                                    int64_t first_item_id = 1,
+                                    CaptureMode mode =
+                                        CaptureMode::kStructural) {
+  PEBBLE_ASSIGN_OR_RETURN(Scenario scenario,
+                          MakeStressScenario(tweets, seed));
+  ExecOptions options(mode, /*partitions=*/2, /*threads=*/1);
+  options.first_item_id = first_item_id;
+  options.commit_sink = std::move(writer);
+  Executor executor(options);
+  return executor.Run(scenario.pipeline);
+}
+
+TEST(WalPathsTest, NamesAreZeroPadded) {
+  EXPECT_EQ(WalSegmentPath("d", 1), "d/segment-000001.wal");
+  EXPECT_EQ(WalSegmentPath("d", 123456), "d/segment-123456.wal");
+  EXPECT_EQ(WalManifestPath("d"), "d/MANIFEST");
+  EXPECT_EQ(WalSnapshotPath("d", 7), "d/snapshot-000007.pprov");
+}
+
+TEST(WalRecoveryTest, MissingDirectoryIsEmptyStore) {
+  ASSERT_OK_AND_ASSIGN(RecoveredStore rec,
+                       RecoverStore(FreshDir("wal_missing")));
+  EXPECT_FALSE(rec.info.manifest_found);
+  EXPECT_EQ(rec.info.records_replayed, 0u);
+  EXPECT_EQ(rec.info.next_item_id, 1);
+  EXPECT_TRUE(rec.store->AllOids().empty());
+  ASSERT_OK(rec.store->Validate());
+}
+
+TEST(WalWriterTest, RoundTripMatchesInMemoryStore) {
+  const std::string dir = FreshDir("wal_roundtrip");
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<WalWriter> writer,
+                       WalWriter::Open(dir));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult result, RunScenario(writer, 40, 7));
+  ASSERT_NE(result.provenance, nullptr);
+  EXPECT_GT(writer->records_appended(), 0u);
+  EXPECT_EQ(writer->records_durable(), writer->records_appended());
+  ASSERT_OK(writer->Close());
+
+  ASSERT_OK_AND_ASSIGN(RecoveredStore rec, RecoverStore(dir));
+  EXPECT_EQ(rec.info.runs_started, 1u);
+  EXPECT_EQ(rec.info.runs_completed, 1u);
+  EXPECT_GT(rec.info.chunk_records, 0u);
+  EXPECT_FALSE(rec.info.torn_tail);
+  EXPECT_EQ(rec.info.next_item_id, result.next_item_id);
+  EXPECT_EQ(SerializeProvenanceStore(*rec.store),
+            SerializeProvenanceStore(*result.provenance));
+}
+
+TEST(WalWriterTest, GroupCommitProducesIdenticalStore) {
+  const std::string per_commit = FreshDir("wal_per_commit");
+  const std::string grouped = FreshDir("wal_grouped");
+
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<WalWriter> w1,
+                       WalWriter::Open(per_commit));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult r1, RunScenario(w1, 30, 11));
+  ASSERT_OK(w1->Close());
+
+  WalOptions group;
+  group.group_commit_bytes = 64u << 10;
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<WalWriter> w2,
+                       WalWriter::Open(grouped, group));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult r2, RunScenario(w2, 30, 11));
+  ASSERT_OK(w2->Close());
+
+  ASSERT_OK_AND_ASSIGN(RecoveredStore rec1, RecoverStore(per_commit));
+  ASSERT_OK_AND_ASSIGN(RecoveredStore rec2, RecoverStore(grouped));
+  EXPECT_EQ(SerializeProvenanceStore(*rec1.store),
+            SerializeProvenanceStore(*rec2.store));
+  EXPECT_EQ(SerializeProvenanceStore(*rec1.store),
+            SerializeProvenanceStore(*r1.provenance));
+  EXPECT_EQ(SerializeProvenanceStore(*r2.provenance),
+            SerializeProvenanceStore(*r1.provenance));
+}
+
+TEST(WalWriterTest, RotationSplitsLogAcrossSegments) {
+  const std::string dir = FreshDir("wal_rotate");
+  WalOptions options;
+  options.segment_bytes = 1024;  // force many rotations
+  options.sync = false;
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<WalWriter> writer,
+                       WalWriter::Open(dir, options));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult result, RunScenario(writer, 50, 3));
+  EXPECT_GT(writer->active_segment_seq(), 1u);
+  EXPECT_GT(writer->sealed_bytes(), 0u);
+  ASSERT_OK(writer->Close());
+
+  ASSERT_OK_AND_ASSIGN(RecoveredStore rec, RecoverStore(dir));
+  EXPECT_GT(rec.info.segments_replayed, 1u);
+  EXPECT_EQ(SerializeProvenanceStore(*rec.store),
+            SerializeProvenanceStore(*result.provenance));
+}
+
+TEST(WalWriterTest, ReopenResumesWithDisjointIds) {
+  const std::string dir = FreshDir("wal_reopen");
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<WalWriter> w1, WalWriter::Open(dir));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult r1, RunScenario(w1, 25, 5));
+  ASSERT_OK(w1->Close());
+
+  RecoveredStore mid;
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<WalWriter> w2,
+                       WalWriter::Open(dir, WalOptions{}, &mid));
+  EXPECT_EQ(mid.info.next_item_id, r1.next_item_id);
+  EXPECT_FALSE(mid.meta_payload.empty());
+  // Second run of the same shape over different data, disjoint id range.
+  ASSERT_OK_AND_ASSIGN(ExecutionResult r2,
+                       RunScenario(w2, 25, 6, mid.info.next_item_id));
+  ASSERT_OK(w2->Close());
+
+  // The recovered store equals the two runs merged.
+  ASSERT_OK_AND_ASSIGN(RecoveredStore rec, RecoverStore(dir));
+  EXPECT_EQ(rec.info.runs_started, 2u);
+  EXPECT_EQ(rec.info.runs_completed, 2u);
+  EXPECT_EQ(rec.info.next_item_id, r2.next_item_id);
+  ASSERT_OK(mid.store->AppendFrom(*r2.provenance));
+  ASSERT_OK(mid.store->Validate());
+  EXPECT_EQ(SerializeProvenanceStore(*rec.store),
+            SerializeProvenanceStore(*mid.store));
+}
+
+TEST(WalWriterTest, RejectsDifferentPipelineTopology) {
+  const std::string dir = FreshDir("wal_topology");
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<WalWriter> writer,
+                       WalWriter::Open(dir));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult r1, RunScenario(writer, 20, 5));
+
+  // A different pipeline shape against the same WAL must be rejected at the
+  // run-begin commit point, failing the run without poisoning the writer.
+  TwitterGenOptions gen_options;
+  gen_options.seed = 5;
+  gen_options.num_tweets = 20;
+  TwitterGenerator gen(gen_options);
+  ASSERT_OK_AND_ASSIGN(Scenario other,
+                       MakeTwitterScenario(1, gen, gen.Generate()));
+  ExecOptions options(CaptureMode::kStructural, 2, 1);
+  options.commit_sink = writer;
+  auto run = Executor(options).Run(other.pipeline);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+
+  // The writer still works for the original shape.
+  ASSERT_OK_AND_ASSIGN(ExecutionResult r2,
+                       RunScenario(writer, 20, 9, r1.next_item_id));
+  ASSERT_OK(writer->Close());
+  ASSERT_OK_AND_ASSIGN(RecoveredStore rec, RecoverStore(dir));
+  EXPECT_EQ(rec.info.runs_completed, 2u);
+}
+
+TEST(WalWriterTest, RejectsFullModelCapture) {
+  const std::string dir = FreshDir("wal_fullmodel");
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<WalWriter> writer,
+                       WalWriter::Open(dir));
+  auto run = RunScenario(writer, 10, 5, 1, CaptureMode::kFullModel);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WalWriterTest, ClosedWriterRejectsCommits) {
+  const std::string dir = FreshDir("wal_closed");
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<WalWriter> writer,
+                       WalWriter::Open(dir));
+  ASSERT_OK(writer->Close());
+  ASSERT_OK(writer->Close());  // idempotent
+  ProvenanceStore store;
+  store.set_mode(CaptureMode::kStructural);
+  EXPECT_FALSE(writer->OnRunBegin(store, 1).ok());
+}
+
+TEST(WalRecoveryTest, RecoverThroughStopsAtSequence) {
+  const std::string dir = FreshDir("wal_through");
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<WalWriter> writer,
+                       WalWriter::Open(dir));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult r1, RunScenario(writer, 20, 5));
+  ASSERT_OK(writer->Rotate());  // seals segment 1; run 2 goes to segment 2
+  ASSERT_OK_AND_ASSIGN(ExecutionResult r2,
+                       RunScenario(writer, 20, 6, r1.next_item_id));
+  ASSERT_OK(writer->Close());
+
+  ASSERT_OK_AND_ASSIGN(RecoveredStore first, RecoverStoreThrough(dir, 1));
+  EXPECT_EQ(first.info.runs_completed, 1u);
+  EXPECT_EQ(SerializeProvenanceStore(*first.store),
+            SerializeProvenanceStore(*r1.provenance));
+
+  ASSERT_OK_AND_ASSIGN(RecoveredStore all, RecoverStore(dir));
+  EXPECT_EQ(all.info.runs_completed, 2u);
+}
+
+TEST(WalRecoveryTest, CorruptManifestIsIOError) {
+  const std::string dir = FreshDir("wal_bad_manifest");
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<WalWriter> writer,
+                       WalWriter::Open(dir));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult r, RunScenario(writer, 10, 5));
+  ASSERT_OK(writer->Close());
+  {
+    std::ofstream out(WalManifestPath(dir), std::ios::trunc);
+    out << "not a manifest\n";
+  }
+  auto rec = RecoverStore(dir);
+  ASSERT_FALSE(rec.ok());
+  EXPECT_EQ(rec.status().code(), StatusCode::kIOError);
+}
+
+TEST(WalRecoveryTest, SegmentGapIsIOError) {
+  const std::string dir = FreshDir("wal_gap");
+  WalOptions options;
+  options.segment_bytes = 512;
+  options.sync = false;
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<WalWriter> writer,
+                       WalWriter::Open(dir, options));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult r, RunScenario(writer, 50, 3));
+  ASSERT_OK(writer->Close());
+  ASSERT_OK_AND_ASSIGN(auto segments, ListWalSegments(dir));
+  ASSERT_GE(segments.size(), 3u);
+  // Remove a middle segment: its absence must be detected, not skipped.
+  auto middle = std::next(segments.begin());
+  std::filesystem::remove(middle->second);
+  auto rec = RecoverStore(dir);
+  ASSERT_FALSE(rec.ok());
+  EXPECT_EQ(rec.status().code(), StatusCode::kIOError);
+  EXPECT_NE(rec.status().message().find("gap"), std::string::npos);
+}
+
+TEST(WalCompactionTest, WriterCompactFoldsSealedSegments) {
+  const std::string dir = FreshDir("wal_compact");
+  WalOptions options;
+  options.segment_bytes = 2048;
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<WalWriter> writer,
+                       WalWriter::Open(dir, options));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult r1, RunScenario(writer, 40, 7));
+  const std::string full = SerializeProvenanceStore(*r1.provenance);
+
+  ASSERT_OK(writer->Compact());
+  EXPECT_EQ(writer->compactions(), 1u);
+  EXPECT_EQ(writer->sealed_bytes(), 0u);
+  EXPECT_TRUE(std::filesystem::exists(WalManifestPath(dir)));
+
+  // Recovery after compaction reproduces the exact same store.
+  ASSERT_OK_AND_ASSIGN(RecoveredStore rec, RecoverStore(dir));
+  EXPECT_TRUE(rec.info.snapshot_loaded);
+  EXPECT_EQ(SerializeProvenanceStore(*rec.store), full);
+
+  // Nothing new sealed: a second compaction is a no-op.
+  ASSERT_OK(writer->Compact());
+  EXPECT_EQ(writer->compactions(), 1u);
+
+  // The WAL stays appendable after compaction; later runs replay on top of
+  // the snapshot.
+  ASSERT_OK_AND_ASSIGN(ExecutionResult r2,
+                       RunScenario(writer, 40, 8, r1.next_item_id));
+  ASSERT_OK(writer->Close());
+  ASSERT_OK_AND_ASSIGN(RecoveredStore rec2, RecoverStore(dir));
+  EXPECT_EQ(rec2.info.runs_completed, 1u);  // run 1 lives in the snapshot
+  ASSERT_OK(rec.store->AppendFrom(*r2.provenance));
+  EXPECT_EQ(SerializeProvenanceStore(*rec2.store),
+            SerializeProvenanceStore(*rec.store));
+}
+
+TEST(WalCompactionTest, OfflineCompactWalIsIdempotent) {
+  const std::string dir = FreshDir("wal_offline_compact");
+  WalOptions options;
+  options.segment_bytes = 2048;
+  options.sync = false;
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<WalWriter> writer,
+                       WalWriter::Open(dir, options));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult r, RunScenario(writer, 40, 7));
+  const std::string full = SerializeProvenanceStore(*r.provenance);
+  ASSERT_OK(writer->Close());
+
+  ASSERT_OK_AND_ASSIGN(WalCompactionStats stats, CompactWal(dir));
+  EXPECT_TRUE(stats.performed);
+  EXPECT_GT(stats.segments_folded, 0u);
+  ASSERT_OK_AND_ASSIGN(auto segments, ListWalSegments(dir));
+  EXPECT_TRUE(segments.empty());
+
+  ASSERT_OK_AND_ASSIGN(RecoveredStore rec, RecoverStore(dir));
+  EXPECT_EQ(SerializeProvenanceStore(*rec.store), full);
+
+  ASSERT_OK_AND_ASSIGN(WalCompactionStats again, CompactWal(dir));
+  EXPECT_FALSE(again.performed);
+}
+
+TEST(WalCompactionTest, BackgroundCompactorTriggersOnThreshold) {
+  const std::string dir = FreshDir("wal_bg_compact");
+  WalOptions options;
+  options.segment_bytes = 1024;
+  options.sync = false;
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<WalWriter> writer,
+                       WalWriter::Open(dir, options));
+  BackgroundCompactorOptions bg;
+  bg.threshold_bytes = 1;  // compact as soon as anything is sealed
+  bg.poll_ms = 5;
+  {
+    BackgroundCompactor compactor(writer.get(), bg);
+    ASSERT_OK_AND_ASSIGN(ExecutionResult r, RunScenario(writer, 50, 3));
+    compactor.TriggerNow();
+    // Close the writer only after the compactor stopped (Stop joins).
+    compactor.Stop();
+    ASSERT_OK(compactor.last_error());
+    EXPECT_GE(compactor.passes(), 1u);
+    EXPECT_GE(writer->compactions(), 1u);
+    ASSERT_OK(writer->Close());
+    ASSERT_OK_AND_ASSIGN(RecoveredStore rec, RecoverStore(dir));
+    EXPECT_EQ(SerializeProvenanceStore(*rec.store),
+              SerializeProvenanceStore(*r.provenance));
+  }
+}
+
+TEST(WalRecoveryTest, OrphanSnapshotIsIgnored) {
+  const std::string dir = FreshDir("wal_orphan_snapshot");
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<WalWriter> writer,
+                       WalWriter::Open(dir));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult r, RunScenario(writer, 20, 5));
+  ASSERT_OK(writer->Close());
+  const std::string full = SerializeProvenanceStore(*r.provenance);
+
+  // A crash between snapshot write and manifest advance leaves an orphan
+  // snapshot; the manifest is authoritative, so it must be invisible.
+  {
+    ProvenanceStore empty;
+    ASSERT_OK(SaveProvenanceStore(empty, WalSnapshotPath(dir, 99)));
+  }
+  ASSERT_OK_AND_ASSIGN(RecoveredStore rec, RecoverStore(dir));
+  EXPECT_FALSE(rec.info.snapshot_loaded);
+  EXPECT_EQ(SerializeProvenanceStore(*rec.store), full);
+}
+
+TEST(WalFramingTest, SegmentHeaderLayout) {
+  const std::string dir = FreshDir("wal_header");
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<WalWriter> writer,
+                       WalWriter::Open(dir));
+  ASSERT_OK(writer->Close());
+  const std::string bytes = Slurp(WalSegmentPath(dir, 1));
+  ASSERT_GE(bytes.size(), kWalSegmentHeaderBytes);
+  EXPECT_EQ(bytes.substr(0, 8), "PBLWAL01");
+  // Version (u32 LE) and sequence (u64 LE).
+  EXPECT_EQ(static_cast<unsigned char>(bytes[8]), kWalVersion);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[12]), 1);
+}
+
+}  // namespace
+}  // namespace pebble

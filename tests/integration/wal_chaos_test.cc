@@ -1,0 +1,601 @@
+// Crash-point chaos suite for the provenance WAL (ISSUE 6 acceptance
+// gate). Well over 200 seeded cases, each simulating a crash or
+// corruption at a specific instant, all sharing one oracle:
+//
+//   recovery always succeeds with a Validate()-clean store holding exactly
+//   the committed record prefix, and recovering twice yields byte-identical
+//   canonical serializations (idempotence).
+//
+// Crash instants covered:
+//   - every record append (wal.append failpoint, torn mid-frame write),
+//   - every fsync (wal.sync) and segment rotation (wal.rotate),
+//   - byte-level truncation at every offset of a clean segment,
+//   - seeded single-bit flips anywhere in a segment,
+//   - every fault site inside the compaction window (snapshot write/fsync/
+//     rename and the manifest advance), plus stale-segment resurrection,
+//   - a crashed micro-batch ingest resumed against the same directory.
+//
+// A deep randomized sweep (mutate-then-recover) runs when PEBBLE_FUZZ_ITERS
+// is set (nightly); failing inputs are dumped under PEBBLE_WAL_REPRO_DIR
+// (default: the test temp dir) for upload as CI artifacts.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/rng.h"
+#include "core/compactor.h"
+#include "core/provenance_io.h"
+#include "core/provenance_wal.h"
+#include "engine/executor.h"
+#include "test_util.h"
+#include "workload/micro_batch.h"
+#include "workload/scenarios.h"
+
+namespace pebble {
+namespace {
+
+struct FailpointGuard {
+  ~FailpointGuard() { FailpointRegistry::Global().DisableAll(); }
+};
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// Scratch directories are namespaced by pid: ctest runs each TEST as its
+/// own process, concurrently, and several tests build identically-named
+/// scratch state (the shared CleanSegment, the prefix oracle).
+std::string FreshDir(const std::string& name) {
+  std::string dir = TempPath(name + "-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteRaw(const std::string& path, const std::string& data) {
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path());
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+Result<ExecutionResult> RunScenario(std::shared_ptr<WalWriter> writer,
+                                    size_t tweets, uint64_t seed,
+                                    int64_t first_item_id = 1) {
+  PEBBLE_ASSIGN_OR_RETURN(Scenario scenario, MakeStressScenario(tweets, seed));
+  ExecOptions options(CaptureMode::kStructural, /*partitions=*/2,
+                      /*threads=*/1);
+  options.first_item_id = first_item_id;
+  options.commit_sink = std::move(writer);
+  Executor executor(options);
+  return executor.Run(scenario.pipeline);
+}
+
+/// Canonical rendering used as the byte-equality oracle everywhere below.
+std::string Canonical(const ProvenanceStore& store) {
+  return SerializeProvenanceStore(store);
+}
+
+/// Recovers `dir` twice and asserts idempotence; returns the first result.
+RecoveredStore RecoverChecked(const std::string& dir,
+                              const std::string& trace) {
+  SCOPED_TRACE(trace);
+  Result<RecoveredStore> first = RecoverStore(dir);
+  EXPECT_TRUE(first.ok()) << first.status().ToString();
+  if (!first.ok()) return RecoveredStore{};
+  Result<RecoveredStore> second = RecoverStore(dir);
+  EXPECT_TRUE(second.ok()) << second.status().ToString();
+  if (second.ok()) {
+    EXPECT_EQ(Canonical(*first.value().store),
+              Canonical(*second.value().store))
+        << "double recovery diverged";
+    EXPECT_EQ(first.value().info.records_replayed,
+              second.value().info.records_replayed);
+  }
+  return std::move(first).value();
+}
+
+/// Byte offsets at which each complete record of `segment` ends. Walks the
+/// framing independently of the recovery code, so the two can cross-check.
+std::vector<size_t> RecordEnds(const std::string& segment) {
+  std::vector<size_t> ends;
+  size_t pos = kWalSegmentHeaderBytes;
+  while (pos + kWalRecordHeaderBytes <= segment.size()) {
+    const unsigned char* b =
+        reinterpret_cast<const unsigned char*>(segment.data()) + pos;
+    uint32_t len = static_cast<uint32_t>(b[0]) |
+                   static_cast<uint32_t>(b[1]) << 8 |
+                   static_cast<uint32_t>(b[2]) << 16 |
+                   static_cast<uint32_t>(b[3]) << 24;
+    size_t end = pos + kWalRecordHeaderBytes + len;
+    if (end > segment.size()) break;
+    ends.push_back(end);
+    pos = end;
+  }
+  return ends;
+}
+
+/// One clean single-segment WAL built once and shared by the byte-level
+/// mutation sweeps: the segment bytes, the per-record end offsets, and the
+/// canonical store bytes after replaying exactly n records (cached).
+class CleanSegment {
+ public:
+  static CleanSegment& Get() {
+    static CleanSegment* instance = new CleanSegment();
+    return *instance;
+  }
+
+  const std::string& bytes() const { return bytes_; }
+  const std::vector<size_t>& ends() const { return ends_; }
+
+  /// Canonical bytes of a store holding the first `n` records.
+  const std::string& CanonicalPrefix(size_t n) {
+    auto it = prefix_cache_.find(n);
+    if (it != prefix_cache_.end()) return it->second;
+    std::string dir = FreshDir("wal_chaos_prefix_oracle");
+    std::filesystem::create_directories(dir);
+    size_t cut = n == 0 ? kWalSegmentHeaderBytes : ends_[n - 1];
+    WriteRaw(WalSegmentPath(dir, 1), bytes_.substr(0, cut));
+    Result<RecoveredStore> rec = RecoverStore(dir);
+    EXPECT_TRUE(rec.ok()) << rec.status().ToString();
+    std::string canon =
+        rec.ok() ? Canonical(*rec.value().store) : std::string("<error>");
+    EXPECT_TRUE(!rec.ok() || rec.value().info.records_replayed == n);
+    return prefix_cache_.emplace(n, std::move(canon)).first->second;
+  }
+
+  /// Number of complete records fully contained in the first `offset`
+  /// bytes (0 when even the header is cut short).
+  size_t RecordsBefore(size_t offset) const {
+    if (offset < kWalSegmentHeaderBytes) return 0;
+    size_t n = 0;
+    while (n < ends_.size() && ends_[n] <= offset) ++n;
+    return n;
+  }
+
+ private:
+  CleanSegment() {
+    const std::string dir = FreshDir("wal_chaos_clean_segment");
+    Result<std::unique_ptr<WalWriter>> writer = WalWriter::Open(dir);
+    EXPECT_TRUE(writer.ok()) << writer.status().ToString();
+    std::shared_ptr<WalWriter> shared = std::move(writer).value();
+    Result<ExecutionResult> run = RunScenario(shared, /*tweets=*/4,
+                                              /*seed=*/17);
+    EXPECT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_TRUE(shared->Close().ok());
+    bytes_ = Slurp(WalSegmentPath(dir, 1));
+    EXPECT_GT(bytes_.size(), kWalSegmentHeaderBytes);
+    ends_ = RecordEnds(bytes_);
+    EXPECT_GT(ends_.size(), 4u);
+    // The framing walk must account for every byte of a clean segment.
+    EXPECT_EQ(ends_.empty() ? kWalSegmentHeaderBytes : ends_.back(),
+              bytes_.size());
+  }
+
+  std::string bytes_;
+  std::vector<size_t> ends_;
+  std::map<size_t, std::string> prefix_cache_;
+};
+
+// ---------------------------------------------------------------------------
+// Crash at every commit instant: the wal.append failpoint tears the k-th
+// record mid-frame for every k. Recovery must surface exactly the k-1
+// records that were acknowledged before the crash.
+// ---------------------------------------------------------------------------
+
+TEST(WalChaosTest, CrashAtEveryAppend) {
+  FailpointGuard guard;
+  // Clean run first to learn how many records the scenario appends.
+  const std::string clean = FreshDir("wal_chaos_append_clean");
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<WalWriter> probe,
+                       WalWriter::Open(clean));
+  ASSERT_OK(RunScenario(probe, 4, 17).status());
+  const uint64_t records = probe->records_appended();
+  ASSERT_OK(probe->Close());
+  ASSERT_GE(records, 8u);
+
+  for (uint64_t k = 1; k <= records; ++k) {
+    SCOPED_TRACE("crash at append #" + std::to_string(k));
+    const std::string dir =
+        FreshDir("wal_chaos_append_" + std::to_string(k));
+    ASSERT_OK_AND_ASSIGN(std::shared_ptr<WalWriter> writer,
+                         WalWriter::Open(dir));
+    FailpointSpec spec;
+    spec.every_nth = k;
+    spec.max_fires = 1;
+    spec.code = StatusCode::kIOError;
+    FailpointRegistry::Global().Enable(failpoints::kWalAppend, spec);
+    Result<ExecutionResult> run = RunScenario(writer, 4, 17);
+    FailpointRegistry::Global().DisableAll();
+    EXPECT_FALSE(run.ok()) << "crash was injected but the run succeeded";
+    // The writer is poisoned: nothing can land after the torn tail.
+    EXPECT_FALSE(writer->Flush().ok());
+
+    RecoveredStore rec = RecoverChecked(dir, "recover");
+    if (rec.store == nullptr) continue;
+    EXPECT_EQ(rec.info.records_replayed, k - 1)
+        << "recovered prefix must be exactly the acknowledged records";
+    ASSERT_OK(rec.store->Validate());
+
+    // Recovery-then-reopen continues cleanly: a fresh writer repairs the
+    // torn tail and a full run lands on top of the recovered prefix.
+    RecoveredStore resumed;
+    ASSERT_OK_AND_ASSIGN(
+        std::shared_ptr<WalWriter> reopened,
+        WalWriter::Open(dir, WalOptions{}, &resumed));
+    ASSERT_OK_AND_ASSIGN(
+        ExecutionResult result,
+        RunScenario(reopened, 4, 18, resumed.info.next_item_id));
+    ASSERT_OK(reopened->Close());
+    RecoveredStore final_rec = RecoverChecked(dir, "recover after resume");
+    if (final_rec.store == nullptr) continue;
+    ASSERT_OK(final_rec.store->Validate());
+    EXPECT_FALSE(final_rec.info.torn_tail)
+        << "reopen must have physically repaired the torn tail";
+    EXPECT_GE(final_rec.info.next_item_id, result.next_item_id);
+  }
+}
+
+TEST(WalChaosTest, CrashAtEverySync) {
+  FailpointGuard guard;
+  // Arm a delay-only spec as a pure evaluation counter to learn how many
+  // fsync points one run has.
+  const std::string clean = FreshDir("wal_chaos_sync_clean");
+  FailpointRegistry::Global().Enable(failpoints::kWalSync, FailpointSpec{});
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<WalWriter> probe,
+                       WalWriter::Open(clean));
+  ASSERT_OK(RunScenario(probe, 4, 17).status());
+  ASSERT_OK(probe->Close());
+  const uint64_t syncs =
+      FailpointRegistry::Global().evaluations(failpoints::kWalSync);
+  FailpointRegistry::Global().DisableAll();
+  ASSERT_GE(syncs, 4u);
+
+  for (uint64_t k = 1; k <= syncs; ++k) {
+    SCOPED_TRACE("crash at fsync #" + std::to_string(k));
+    const std::string dir = FreshDir("wal_chaos_sync_" + std::to_string(k));
+    ASSERT_OK_AND_ASSIGN(std::shared_ptr<WalWriter> writer,
+                         WalWriter::Open(dir));
+    FailpointSpec spec;
+    spec.every_nth = k;
+    spec.max_fires = 1;
+    spec.code = StatusCode::kIOError;
+    FailpointRegistry::Global().Enable(failpoints::kWalSync, spec);
+    Result<ExecutionResult> run = RunScenario(writer, 4, 17);
+    FailpointRegistry::Global().DisableAll();
+    EXPECT_FALSE(run.ok());
+    RecoveredStore rec = RecoverChecked(dir, "recover");
+    if (rec.store == nullptr) continue;
+    ASSERT_OK(rec.store->Validate());
+    EXPECT_FALSE(rec.info.torn_tail)
+        << "a sync fault leaves whole records, never torn bytes";
+  }
+}
+
+TEST(WalChaosTest, CrashAtEveryRotation) {
+  FailpointGuard guard;
+  WalOptions tiny;
+  tiny.segment_bytes = 1024;  // force several rotations per run
+  const std::string clean = FreshDir("wal_chaos_rotate_clean");
+  FailpointRegistry::Global().Enable(failpoints::kWalRotate,
+                                     FailpointSpec{});
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<WalWriter> probe,
+                       WalWriter::Open(clean, tiny));
+  ASSERT_OK(RunScenario(probe, 6, 17).status());
+  ASSERT_OK(probe->Close());
+  const uint64_t rotations =
+      FailpointRegistry::Global().evaluations(failpoints::kWalRotate);
+  FailpointRegistry::Global().DisableAll();
+  ASSERT_GE(rotations, 2u);
+
+  for (uint64_t k = 1; k <= rotations; ++k) {
+    SCOPED_TRACE("crash at rotation #" + std::to_string(k));
+    const std::string dir =
+        FreshDir("wal_chaos_rotate_" + std::to_string(k));
+    ASSERT_OK_AND_ASSIGN(std::shared_ptr<WalWriter> writer,
+                         WalWriter::Open(dir, tiny));
+    FailpointSpec spec;
+    spec.every_nth = k;
+    spec.max_fires = 1;
+    spec.code = StatusCode::kIOError;
+    FailpointRegistry::Global().Enable(failpoints::kWalRotate, spec);
+    Result<ExecutionResult> run = RunScenario(writer, 6, 17);
+    FailpointRegistry::Global().DisableAll();
+    EXPECT_FALSE(run.ok());
+    RecoveredStore rec = RecoverChecked(dir, "recover");
+    if (rec.store == nullptr) continue;
+    ASSERT_OK(rec.store->Validate());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Byte-level mutations of a clean segment. The per-offset sweep walks every
+// truncation point; the bit-flip sweep adds 256 seeded corruption cases.
+// Both use an independent framing walk as the oracle: replay must stop at
+// exactly the last record boundary before the first bad byte.
+// ---------------------------------------------------------------------------
+
+TEST(WalChaosTest, TruncationAtEveryOffsetRecoversCommittedPrefix) {
+  CleanSegment& clean = CleanSegment::Get();
+  const std::string& bytes = clean.bytes();
+  ASSERT_FALSE(bytes.empty());
+  const std::string dir = FreshDir("wal_chaos_truncate");
+  std::filesystem::create_directories(dir);
+
+  // Every offset when the segment is small; otherwise every offset through
+  // the first few records plus a deterministic stride over the rest.
+  size_t stride = bytes.size() <= 2048 ? 1 : bytes.size() / 2048 + 1;
+  size_t cases = 0;
+  for (size_t offset = 0; offset <= bytes.size();
+       offset += (offset < 256 ? 1 : stride)) {
+    SCOPED_TRACE("truncate at " + std::to_string(offset));
+    WriteRaw(WalSegmentPath(dir, 1), bytes.substr(0, offset));
+    RecoveredStore rec =
+        RecoverChecked(dir, "offset " + std::to_string(offset));
+    if (rec.store == nullptr) continue;
+    size_t expect = clean.RecordsBefore(offset);
+    EXPECT_EQ(rec.info.records_replayed, expect);
+    ASSERT_OK(rec.store->Validate());
+    EXPECT_EQ(Canonical(*rec.store), clean.CanonicalPrefix(expect))
+        << "truncated replay must equal the record-boundary prefix";
+    ++cases;
+  }
+  EXPECT_GE(cases, 200u) << "the sweep is the bulk of the crash-case count";
+}
+
+TEST(WalChaosTest, BitFlipsAnywhereTruncateAtFirstBadRecord) {
+  CleanSegment& clean = CleanSegment::Get();
+  const std::string& bytes = clean.bytes();
+  ASSERT_FALSE(bytes.empty());
+  const std::string dir = FreshDir("wal_chaos_bitflip");
+  std::filesystem::create_directories(dir);
+
+  Rng rng(20260809);
+  for (int i = 0; i < 256; ++i) {
+    size_t offset = rng.NextBounded(bytes.size());
+    int bit = static_cast<int>(rng.NextBounded(8));
+    SCOPED_TRACE("flip bit " + std::to_string(bit) + " at offset " +
+                 std::to_string(offset) + " (case " + std::to_string(i) +
+                 ")");
+    std::string mutated = bytes;
+    mutated[offset] = static_cast<char>(mutated[offset] ^ (1 << bit));
+    WriteRaw(WalSegmentPath(dir, 1), mutated);
+    RecoveredStore rec = RecoverChecked(dir, "recover");
+    if (rec.store == nullptr) continue;
+    // CRC32 catches any single-bit flip, so replay stops at the record
+    // containing the flipped byte; everything before it is intact.
+    size_t expect = clean.RecordsBefore(offset);
+    EXPECT_EQ(rec.info.records_replayed, expect);
+    ASSERT_OK(rec.store->Validate());
+    EXPECT_EQ(Canonical(*rec.store), clean.CanonicalPrefix(expect));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Compaction window faults: a crash between "snapshot written" and
+// "manifest advanced" (or anywhere earlier) must leave recovery reading the
+// old state, the writer healthy, and a retry able to finish the job.
+// ---------------------------------------------------------------------------
+
+TEST(WalChaosTest, CompactionFaultsLeaveLogIntactAndRetryable) {
+  FailpointGuard guard;
+  const char* sites[] = {failpoints::kIoWrite, failpoints::kIoFsync,
+                         failpoints::kIoRename, failpoints::kWalManifest};
+  for (const char* site : sites) {
+    SCOPED_TRACE(std::string("fault at ") + site);
+    const std::string dir =
+        FreshDir(std::string("wal_chaos_compact_") + site);
+    WalOptions tiny;
+    tiny.segment_bytes = 1024;
+    ASSERT_OK_AND_ASSIGN(std::shared_ptr<WalWriter> writer,
+                         WalWriter::Open(dir, tiny));
+    ASSERT_OK_AND_ASSIGN(ExecutionResult first, RunScenario(writer, 6, 3));
+    ASSERT_OK_AND_ASSIGN(
+        ExecutionResult second,
+        RunScenario(writer, 6, 4, first.next_item_id));
+    RecoveredStore before = RecoverChecked(dir, "before compaction");
+    ASSERT_NE(before.store, nullptr);
+    const std::string pre = Canonical(*before.store);
+
+    FailpointSpec spec;
+    spec.every_nth = 1;
+    spec.max_fires = 1;
+    spec.code = StatusCode::kIOError;
+    FailpointRegistry::Global().Enable(site, spec);
+    Status st = writer->Compact();
+    FailpointRegistry::Global().DisableAll();
+    EXPECT_FALSE(st.ok()) << "injected fault must surface";
+
+    // Nothing lost, writer not poisoned.
+    RecoveredStore after_fault = RecoverChecked(dir, "after fault");
+    ASSERT_NE(after_fault.store, nullptr);
+    EXPECT_EQ(Canonical(*after_fault.store), pre);
+    ASSERT_OK(writer->Flush());
+
+    // Retry folds successfully and preserves content.
+    ASSERT_OK(writer->Compact());
+    RecoveredStore after_retry = RecoverChecked(dir, "after retry");
+    ASSERT_NE(after_retry.store, nullptr);
+    EXPECT_EQ(Canonical(*after_retry.store), pre);
+
+    // The writer keeps working after the whole episode.
+    ASSERT_OK_AND_ASSIGN(
+        ExecutionResult third,
+        RunScenario(writer, 6, 5, second.next_item_id));
+    (void)third;
+    ASSERT_OK(writer->Close());
+    RecoveredStore final_rec = RecoverChecked(dir, "final");
+    ASSERT_NE(final_rec.store, nullptr);
+    ASSERT_OK(final_rec.store->Validate());
+  }
+}
+
+TEST(WalChaosTest, ResurrectedStaleSegmentIsIgnored) {
+  const std::string dir = FreshDir("wal_chaos_stale");
+  WalOptions tiny;
+  tiny.segment_bytes = 1024;
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<WalWriter> writer,
+                       WalWriter::Open(dir, tiny));
+  ASSERT_OK(RunScenario(writer, 6, 9).status());
+  // Stash a pre-compaction segment, compact (which deletes it), then put
+  // the stale file back — as a crashed backup-restore job might.
+  ASSERT_OK_AND_ASSIGN(auto segments_before, ListWalSegments(dir));
+  ASSERT_FALSE(segments_before.empty());
+  const uint64_t stale_seq = segments_before.begin()->first;
+  const std::string stale_bytes = Slurp(segments_before.begin()->second);
+  ASSERT_OK(writer->Compact());
+  ASSERT_OK(writer->Close());
+  RecoveredStore before = RecoverChecked(dir, "after compaction");
+  ASSERT_NE(before.store, nullptr);
+
+  WriteRaw(WalSegmentPath(dir, stale_seq), stale_bytes);
+  RecoveredStore after = RecoverChecked(dir, "after resurrection");
+  ASSERT_NE(after.store, nullptr);
+  EXPECT_EQ(Canonical(*after.store), Canonical(*before.store))
+      << "segments at or below the covered sequence must be ignored";
+}
+
+// ---------------------------------------------------------------------------
+// Micro-batch ingest: crash mid-batch, then resume against the same
+// directory. The resumed ingest must pick up the recovered id space and
+// leave a store equal to what recovery reads back.
+// ---------------------------------------------------------------------------
+
+TEST(WalChaosTest, CrashedMicroBatchIngestResumes) {
+  FailpointGuard guard;
+  MicroBatchOptions opt;
+  opt.wal_dir = FreshDir("wal_chaos_microbatch");
+  opt.batches = 2;
+  opt.tweets_per_batch = 6;
+  opt.seed = 30;
+  ASSERT_OK_AND_ASSIGN(MicroBatchRun first, RunMicroBatchIngest(opt));
+  EXPECT_EQ(first.batches_run, 2u);
+  ASSERT_GT(first.next_item_id, 1);
+
+  // Crash partway into the next ingest call (5th append of that call).
+  FailpointSpec spec;
+  spec.every_nth = 5;
+  spec.max_fires = 1;
+  spec.code = StatusCode::kIOError;
+  FailpointRegistry::Global().Enable(failpoints::kWalAppend, spec);
+  opt.seed = 40;
+  Result<MicroBatchRun> crashed = RunMicroBatchIngest(opt);
+  FailpointRegistry::Global().DisableAll();
+  EXPECT_FALSE(crashed.ok());
+
+  // Resume: recovery repairs the tail, ids keep advancing, and the final
+  // live store equals an independent recovery of the directory.
+  opt.seed = 50;
+  ASSERT_OK_AND_ASSIGN(MicroBatchRun resumed, RunMicroBatchIngest(opt));
+  EXPECT_EQ(resumed.batches_run, 2u);
+  EXPECT_GT(resumed.next_item_id, first.next_item_id);
+  ASSERT_OK(resumed.live_store->Validate());
+  RecoveredStore rec = RecoverChecked(opt.wal_dir, "final recovery");
+  ASSERT_NE(rec.store, nullptr);
+  EXPECT_EQ(Canonical(*rec.store), Canonical(*resumed.live_store));
+  EXPECT_EQ(rec.info.next_item_id, resumed.next_item_id);
+}
+
+// ---------------------------------------------------------------------------
+// Deep randomized sweep (nightly): arbitrary mutations at arbitrary
+// offsets. Gated on PEBBLE_FUZZ_ITERS like the other deep fuzzers; failing
+// inputs are dumped for CI artifact upload.
+// ---------------------------------------------------------------------------
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return std::strtoull(raw, nullptr, 10);
+}
+
+std::string ReproDir() {
+  const char* raw = std::getenv("PEBBLE_WAL_REPRO_DIR");
+  return raw != nullptr && *raw != '\0' ? std::string(raw)
+                                        : TempPath("wal-repros");
+}
+
+TEST(WalChaosFuzzTest, RandomMutationsNeverBreakRecovery) {
+  const uint64_t iters = EnvU64("PEBBLE_FUZZ_ITERS", 0);
+  if (iters == 0) {
+    GTEST_SKIP() << "set PEBBLE_FUZZ_ITERS to enable the deep sweep";
+  }
+  const std::string& bytes = CleanSegment::Get().bytes();
+  ASSERT_FALSE(bytes.empty());
+  const std::string dir = FreshDir("wal_chaos_fuzz");
+  std::filesystem::create_directories(dir);
+  const std::string repro_dir = ReproDir();
+
+  Rng rng(EnvU64("PEBBLE_FUZZ_SEED", 6069));
+  for (uint64_t i = 0; i < iters; ++i) {
+    std::string mutated = bytes;
+    const int kind = static_cast<int>(rng.NextBounded(3));
+    std::string what;
+    if (kind == 0) {  // truncate
+      size_t cut = rng.NextBounded(mutated.size() + 1);
+      mutated.resize(cut);
+      what = "truncate@" + std::to_string(cut);
+    } else if (kind == 1) {  // flip 1-4 bits
+      int flips = static_cast<int>(rng.NextBounded(4)) + 1;
+      what = "flip";
+      for (int f = 0; f < flips; ++f) {
+        size_t off = rng.NextBounded(mutated.size());
+        mutated[off] =
+            static_cast<char>(mutated[off] ^ (1 << rng.NextBounded(8)));
+        what += "@" + std::to_string(off);
+      }
+    } else {  // splice random garbage over a random span
+      size_t off = rng.NextBounded(mutated.size());
+      size_t len = rng.NextBounded(64) + 1;
+      for (size_t j = off; j < mutated.size() && j < off + len; ++j) {
+        mutated[j] = static_cast<char>(rng.NextBounded(256));
+      }
+      what = "splice@" + std::to_string(off) + "+" + std::to_string(len);
+    }
+
+    WriteRaw(WalSegmentPath(dir, 1), mutated);
+    Result<RecoveredStore> first = RecoverStore(dir);
+    bool bad = false;
+    if (first.ok()) {
+      bad = !first.value().store->Validate().ok();
+      Result<RecoveredStore> second = RecoverStore(dir);
+      bad = bad || !second.ok() ||
+            Canonical(*first.value().store) !=
+                Canonical(*second.value().store);
+    }
+    // A clean structured error is acceptable (e.g. a splice that forges a
+    // plausible but unparseable record); a crash or divergence is not —
+    // gtest death or the `bad` flag below catches those.
+    if (bad) {
+      std::filesystem::create_directories(repro_dir);
+      const std::string repro =
+          repro_dir + "/wal-fuzz-" + std::to_string(i) + ".wal";
+      WriteRaw(repro, mutated);
+      ADD_FAILURE() << "iteration " << i << " (" << what
+                    << ") violated the recovery oracle; segment dumped to "
+                    << repro;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pebble
