@@ -11,6 +11,7 @@
 #include "baselines/lazy.h"
 #include "bench/bench_util.h"
 #include "core/query.h"
+#include "core/query_cache.h"
 #include "workload/scenarios.h"
 
 namespace pebble {
@@ -51,6 +52,10 @@ Status MeasureScenarios(const MakeScenario& make, const Gen& gen,
 }
 
 int Main() {
+  // The eager leg asks the same question repeatedly; without this the
+  // timed asks would be answer-cache hits and the eager-vs-lazy comparison
+  // meaningless (bench/query_warm_path.cc measures the cache on purpose).
+  QueryAnswerCache::Instance().set_enabled(false);
   TwitterGenOptions twitter_options;
   twitter_options.num_tweets = 3000;
   TwitterGenerator twitter(twitter_options);

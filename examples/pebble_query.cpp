@@ -2,17 +2,30 @@
 //
 // Usage:
 //   pebble_query <tweets.ndjson> "<pattern>"
+//   pebble_query --wal DIR [--runs K] [--through SEQ] ["<pattern>"]
 //
-// Reads a newline-delimited JSON file of tweets (running-example schema:
-// text, user<id_str,name>, user_mentions, retweet_cnt), runs the Fig. 1
-// pipeline over it with structural provenance capture, matches the pattern
-// (textual syntax, e.g. "//id_str='lp', tweets(text='Hello World'[2,2])")
-// against the result, and prints the backtraced provenance.
+// Default mode reads a newline-delimited JSON file of tweets
+// (running-example schema: text, user<id_str,name>, user_mentions,
+// retweet_cnt), runs the Fig. 1 pipeline over it with structural provenance
+// capture, matches the pattern (textual syntax, e.g.
+// "//id_str='lp', tweets(text='Hello World'[2,2])") against the result, and
+// prints the backtraced provenance.
+//
+// --wal mode demonstrates the decoupled point-in-time workflow: it runs the
+// Fig. 1 pipeline K times (micro-batches) against one provenance WAL,
+// rotating the segment between runs so each run lands in its own segment,
+// then answers the question AS OF segment SEQ via
+// QueryStructuralProvenanceFromWal (RecoverStoreThrough under the hood) —
+// later runs' provenance is excluded, exactly as if querying right after
+// that batch committed.
 //
 // Without arguments it runs on the paper's Tab. 1 data with the Fig. 4
 // question.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
 
 #include "nested/io.h"
 #include "pebble.h"
@@ -21,6 +34,184 @@
 using namespace pebble;  // NOLINT: example brevity
 
 namespace {
+
+/// The Fig. 1 pipeline over `data` (scan label `label`).
+Result<Pipeline> BuildFig1(
+    const RunningExample& ex, const char* label,
+    std::shared_ptr<const std::vector<ValuePtr>> data) {
+  PipelineBuilder b;
+  int read1 = b.Scan(label, ex.schema, data);
+  int filter = b.Filter(
+      read1, Expr::Eq(Expr::Col("retweet_cnt"), Expr::LitInt(0)));
+  int upper = b.Select(filter, {Projection::Keep("text"),
+                                Projection::Keep("user.id_str"),
+                                Projection::Keep("user.name")});
+  int read2 = b.Scan(label, ex.schema, data);
+  int flat = b.Flatten(read2, "user_mentions", "m_user");
+  int lower = b.Select(flat, {Projection::Keep("text"),
+                              Projection::Keep("m_user.id_str"),
+                              Projection::Keep("m_user.name")});
+  int unioned = b.Union(upper, lower);
+  int restructured = b.Select(
+      unioned, {Projection::Nested("tweet", {Projection::Keep("text")}),
+                Projection::Nested("user", {Projection::Keep("id_str"),
+                                            Projection::Keep("name")})});
+  int agg = b.GroupAggregate(restructured, {GroupKey::Of("user")},
+                             {AggSpec::CollectList("tweet", "tweets")});
+  return b.Build(agg);
+}
+
+void PrintProvenance(const ProvenanceQueryResult& prov,
+                     const ExecutionResult& run) {
+  std::printf("matched %zu result items (%.2f ms match, %.2f ms "
+              "backtrace)\n\n",
+              prov.matched.size(), prov.match_ms, prov.backtrace_ms);
+  for (const SourceProvenance& source : prov.sources) {
+    std::printf("%s", SourceProvenanceToString(source).c_str());
+    auto it = run.source_datasets.find(source.scan_oid);
+    if (it == run.source_datasets.end()) continue;
+    for (const BacktraceEntry& entry : source.items) {
+      ValuePtr item = FindItemById(it->second, entry.id);
+      if (item != nullptr) {
+        std::printf("    input %lld = %s\n",
+                    static_cast<long long>(entry.id),
+                    item->ToString().c_str());
+      }
+    }
+  }
+}
+
+Result<TreePattern> ParseQuestion(const char* pattern_text) {
+  return TreePattern::Parse(
+      pattern_text != nullptr
+          ? pattern_text
+          : "//id_str='lp', tweets(text='Hello World'[2,2])");
+}
+
+/// --wal mode: K micro-batch runs into one WAL, one segment per run, then a
+/// point-in-time query at segment `through` via the WAL entry point.
+int RunWal(const char* dir, int runs, long long through,
+           const char* pattern_text) {
+  Result<RunningExample> ex_result = MakeRunningExample();
+  if (!ex_result.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 ex_result.status().ToString().c_str());
+    return 1;
+  }
+  RunningExample ex = std::move(ex_result).value();
+
+  Result<TreePattern> pattern = ParseQuestion(pattern_text);
+  if (!pattern.ok()) {
+    std::fprintf(stderr, "pattern error: %s\n",
+                 pattern.status().ToString().c_str());
+    return 1;
+  }
+
+  // Resume the WAL (fresh directory = empty recovery) and append `runs`
+  // micro-batches, rotating so run i lives in its own segment.
+  RecoveredStore resumed;
+  Result<std::unique_ptr<WalWriter>> writer_result =
+      WalWriter::Open(dir, WalOptions{}, &resumed);
+  if (!writer_result.ok()) {
+    std::fprintf(stderr, "cannot open WAL %s: %s\n", dir,
+                 writer_result.status().ToString().c_str());
+    return 1;
+  }
+  std::shared_ptr<WalWriter> writer = std::move(writer_result).value();
+  int64_t next_item_id = resumed.info.runs_completed > 0
+                             ? /*resume the id space*/ 0
+                             : 1;
+  if (next_item_id == 0) {
+    std::fprintf(stderr,
+                 "WAL %s already holds %zu completed runs; use a fresh "
+                 "directory\n",
+                 dir, resumed.info.runs_completed);
+    return 1;
+  }
+
+  struct Batch {
+    uint64_t segment_seq;
+    ExecutionResult run;
+  };
+  std::vector<Batch> batches;
+  for (int i = 0; i < runs; ++i) {
+    Result<Pipeline> pipeline = BuildFig1(ex, "tab1", ex.tweets);
+    if (!pipeline.ok()) {
+      std::fprintf(stderr, "pipeline error: %s\n",
+                   pipeline.status().ToString().c_str());
+      return 1;
+    }
+    ExecOptions options(CaptureMode::kStructural, /*partitions=*/4,
+                        /*threads=*/2);
+    options.first_item_id = next_item_id;
+    options.commit_sink = writer;
+    Executor executor(options);
+    Result<ExecutionResult> run = executor.Run(*pipeline);
+    if (!run.ok()) {
+      std::fprintf(stderr, "run %d failed: %s\n", i + 1,
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    next_item_id = run->next_item_id;
+    const uint64_t seq = writer->active_segment_seq();
+    Status rotated = writer->Rotate();
+    if (!rotated.ok()) {
+      std::fprintf(stderr, "rotate failed: %s\n",
+                   rotated.ToString().c_str());
+      return 1;
+    }
+    std::printf("run %d committed to segment %llu (%zu result items)\n",
+                i + 1, static_cast<unsigned long long>(seq),
+                run->output.NumRows());
+    batches.push_back(Batch{seq, std::move(run).value()});
+  }
+  Status closed = writer->Close();
+  if (!closed.ok()) {
+    std::fprintf(stderr, "close failed: %s\n", closed.ToString().c_str());
+    return 1;
+  }
+
+  // Pick the newest batch visible at `through` and ask the question as of
+  // that point in the log.
+  const uint64_t upto =
+      through >= 0 ? static_cast<uint64_t>(through)
+                   : batches.back().segment_seq;
+  const Batch* visible = nullptr;
+  for (const Batch& batch : batches) {
+    if (batch.segment_seq <= upto) visible = &batch;
+  }
+  if (visible == nullptr) {
+    std::fprintf(stderr, "--through %llu precedes the first run (segment "
+                 "%llu)\n",
+                 static_cast<unsigned long long>(upto),
+                 static_cast<unsigned long long>(batches.front().segment_seq));
+    return 1;
+  }
+
+  Result<RecoveredStore> recovered = RecoverStoreThrough(dir, upto);
+  if (!recovered.ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n",
+                 recovered.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "\npoint-in-time recovery through segment %llu: %zu segments, %zu "
+      "records, %zu/%zu runs; question: %s\n",
+      static_cast<unsigned long long>(upto),
+      recovered->info.segments_replayed, recovered->info.records_replayed,
+      recovered->info.runs_completed, recovered->info.runs_started,
+      pattern->ToString().c_str());
+
+  Result<ProvenanceQueryResult> prov = QueryStructuralProvenanceFromWal(
+      dir, upto, visible->run.output, *pattern);
+  if (!prov.ok()) {
+    std::fprintf(stderr, "query error: %s\n",
+                 prov.status().ToString().c_str());
+    return 1;
+  }
+  PrintProvenance(*prov, visible->run);
+  return 0;
+}
 
 int Run(const char* file, const char* pattern_text) {
   // Build the Fig. 1 pipeline over the given file (or the Tab. 1 data).
@@ -52,37 +243,15 @@ int Run(const char* file, const char* pattern_text) {
         std::make_shared<std::vector<ValuePtr>>(std::move(loaded).value());
   }
 
-  PipelineBuilder b;
-  int read1 = b.Scan(file != nullptr ? file : "tab1", ex.schema, data);
-  int filter = b.Filter(
-      read1, Expr::Eq(Expr::Col("retweet_cnt"), Expr::LitInt(0)));
-  int upper = b.Select(filter, {Projection::Keep("text"),
-                                Projection::Keep("user.id_str"),
-                                Projection::Keep("user.name")});
-  int read2 = b.Scan(file != nullptr ? file : "tab1", ex.schema, data);
-  int flat = b.Flatten(read2, "user_mentions", "m_user");
-  int lower = b.Select(flat, {Projection::Keep("text"),
-                              Projection::Keep("m_user.id_str"),
-                              Projection::Keep("m_user.name")});
-  int unioned = b.Union(upper, lower);
-  int restructured = b.Select(
-      unioned, {Projection::Nested("tweet", {Projection::Keep("text")}),
-                Projection::Nested("user", {Projection::Keep("id_str"),
-                                            Projection::Keep("name")})});
-  int agg = b.GroupAggregate(restructured, {GroupKey::Of("user")},
-                             {AggSpec::CollectList("tweet", "tweets")});
-  Result<Pipeline> pipeline = b.Build(agg);
+  Result<Pipeline> pipeline =
+      BuildFig1(ex, file != nullptr ? file : "tab1", data);
   if (!pipeline.ok()) {
     std::fprintf(stderr, "pipeline error: %s\n",
                  pipeline.status().ToString().c_str());
     return 1;
   }
 
-  Result<TreePattern> pattern =
-      pattern_text != nullptr
-          ? TreePattern::Parse(pattern_text)
-          : TreePattern::Parse(
-                "//id_str='lp', tweets(text='Hello World'[2,2])");
+  Result<TreePattern> pattern = ParseQuestion(pattern_text);
   if (!pattern.ok()) {
     std::fprintf(stderr, "pattern error: %s\n",
                  pattern.status().ToString().c_str());
@@ -106,32 +275,47 @@ int Run(const char* file, const char* pattern_text) {
                  prov.status().ToString().c_str());
     return 1;
   }
-  std::printf("matched %zu result items (%.2f ms match, %.2f ms "
-              "backtrace)\n\n",
-              prov->matched.size(), prov->match_ms, prov->backtrace_ms);
-  for (const SourceProvenance& source : prov->sources) {
-    std::printf("%s", SourceProvenanceToString(source).c_str());
-    auto it = run->source_datasets.find(source.scan_oid);
-    if (it == run->source_datasets.end()) continue;
-    for (const BacktraceEntry& entry : source.items) {
-      ValuePtr item = FindItemById(it->second, entry.id);
-      if (item != nullptr) {
-        std::printf("    input %lld = %s\n",
-                    static_cast<long long>(entry.id),
-                    item->ToString().c_str());
-      }
-    }
-  }
+  PrintProvenance(*prov, *run);
   return 0;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [tweets.ndjson] [\"pattern\"]\n"
+               "       %s --wal DIR [--runs K] [--through SEQ] "
+               "[\"pattern\"]\n",
+               argv0, argv0);
+  return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 3) {
-    std::fprintf(stderr, "usage: %s [tweets.ndjson] [\"pattern\"]\n",
-                 argv[0]);
-    return 2;
+  const char* wal_dir = nullptr;
+  int runs = 3;
+  long long through = -1;  // default: newest segment
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--wal") == 0 && i + 1 < argc) {
+      wal_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
+      runs = std::atoi(argv[++i]);
+      if (runs < 1) return Usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--through") == 0 && i + 1 < argc) {
+      through = std::atoll(argv[++i]);
+      if (through < 0) return Usage(argv[0]);
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      return Usage(argv[0]);
+    } else {
+      positional.push_back(argv[i]);
+    }
   }
-  return Run(argc > 1 ? argv[1] : nullptr, argc > 2 ? argv[2] : nullptr);
+  if (wal_dir != nullptr) {
+    if (positional.size() > 1) return Usage(argv[0]);
+    return RunWal(wal_dir, runs, through,
+                  positional.empty() ? nullptr : positional[0]);
+  }
+  if (positional.size() > 2) return Usage(argv[0]);
+  return Run(positional.empty() ? nullptr : positional[0],
+             positional.size() > 1 ? positional[1] : nullptr);
 }

@@ -22,15 +22,20 @@
 #                               # PEBBLE_FUZZ_ITERS set, also the random
 #                               # mutate-then-recover sweep (failing WAL
 #                               # segments land in build/wal-repros)
+#   scripts/check.sh cache      # warm-path gate: answer-cache and
+#                               # persisted-index suites plain, then the
+#                               # cache suite (incl. the concurrent mixed-
+#                               # query test) under TSan
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 STAGE="${1:-all}"
 case "${STAGE}" in
-  all|plain|asan|tsan|corruption|stress|diff|wal) ;;
+  all|plain|asan|tsan|corruption|stress|diff|wal|cache) ;;
   *) echo "unknown stage '${STAGE}'" \
-          "(expected: all, plain, asan, tsan, corruption, stress, diff, wal)" >&2
+          "(expected: all, plain, asan, tsan, corruption, stress, diff, wal," \
+          "cache)" >&2
      exit 2 ;;
 esac
 
@@ -62,7 +67,7 @@ if [[ "${STAGE}" == "all" || "${STAGE}" == "corruption" ]]; then
   # Durable-snapshot robustness gate: randomized bit-flip/truncate/splice
   # corruption plus interrupted-save chaos, plain and under ASan+UBSan
   # (the "no crash, no sanitizer finding on corrupt input" contract).
-  CORRUPTION_FILTER="Corruption|DurableFormat|DurableGolden|AtomicWriteFile|Crc32"
+  CORRUPTION_FILTER="Corruption|DurableFormat|DurableGolden|AtomicWriteFile|Crc32|IndexSegment"
   run_stage "corruption (plain)" build "" "${CORRUPTION_FILTER}"
   ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1" \
     run_stage "corruption (asan+ubsan)" build-asan "address;undefined" \
@@ -107,6 +112,17 @@ if [[ "${STAGE}" == "all" || "${STAGE}" == "wal" ]]; then
     ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1" \
     run_stage "wal (asan+ubsan)" build-asan "address;undefined" \
       "${WAL_FILTER}"
+fi
+
+if [[ "${STAGE}" == "all" || "${STAGE}" == "cache" ]]; then
+  # Warm-path gate: the answer cache and the persisted backtrace index are
+  # pure accelerations — these suites pin hit/miss/invalidation semantics
+  # and byte-identical answers; the TSan leg hammers the cache from
+  # concurrent threads (thread-local scoped-disable vs global LRU mutex).
+  CACHE_FILTER="QueryCache|IndexSegment"
+  run_stage "cache (plain)" build "" "${CACHE_FILTER}"
+  TSAN_OPTIONS="halt_on_error=1" \
+    run_stage "cache (tsan)" build-tsan "thread" "QueryCache"
 fi
 
 if [[ "${STAGE}" == "all" || "${STAGE}" == "stress" ]]; then

@@ -8,25 +8,57 @@ namespace {
 
 constexpr uint32_t kPolynomial = 0xEDB88320u;
 
-std::array<uint32_t, 256> BuildTable() {
-  std::array<uint32_t, 256> table{};
+// Slicing-by-8 (Intel's technique): table[0] is the classic byte-at-a-time
+// table; table[s][b] advances the CRC of byte b through s additional zero
+// bytes. Eight bytes are then folded per iteration with eight independent
+// table lookups instead of eight serial ones — identical output to the
+// byte-at-a-time loop (the remainder path below), ~5x the throughput.
+// Snapshot save/load CRCs whole segments and the WAL CRCs every record,
+// so this is directly on the durability hot paths.
+std::array<std::array<uint32_t, 256>, 8> BuildTables() {
+  std::array<std::array<uint32_t, 256>, 8> tables{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1u) ? (kPolynomial ^ (c >> 1)) : (c >> 1);
     }
-    table[i] = c;
+    tables[0][i] = c;
   }
-  return table;
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = tables[0][i];
+    for (int s = 1; s < 8; ++s) {
+      c = tables[0][c & 0xFFu] ^ (c >> 8);
+      tables[s][i] = c;
+    }
+  }
+  return tables;
 }
 
 }  // namespace
 
 uint32_t Crc32Update(uint32_t state, const void* data, size_t size) {
-  static const std::array<uint32_t, 256> kTable = BuildTable();
+  static const std::array<std::array<uint32_t, 256>, 8> kTables =
+      BuildTables();
   const auto* p = static_cast<const unsigned char*>(data);
+  while (size >= 8) {
+    const uint32_t lo = (static_cast<uint32_t>(p[0]) |
+                         (static_cast<uint32_t>(p[1]) << 8) |
+                         (static_cast<uint32_t>(p[2]) << 16) |
+                         (static_cast<uint32_t>(p[3]) << 24)) ^
+                        state;
+    const uint32_t hi = static_cast<uint32_t>(p[4]) |
+                        (static_cast<uint32_t>(p[5]) << 8) |
+                        (static_cast<uint32_t>(p[6]) << 16) |
+                        (static_cast<uint32_t>(p[7]) << 24);
+    state = kTables[7][lo & 0xFFu] ^ kTables[6][(lo >> 8) & 0xFFu] ^
+            kTables[5][(lo >> 16) & 0xFFu] ^ kTables[4][lo >> 24] ^
+            kTables[3][hi & 0xFFu] ^ kTables[2][(hi >> 8) & 0xFFu] ^
+            kTables[1][(hi >> 16) & 0xFFu] ^ kTables[0][hi >> 24];
+    p += 8;
+    size -= 8;
+  }
   for (size_t i = 0; i < size; ++i) {
-    state = kTable[(state ^ p[i]) & 0xFFu] ^ (state >> 8);
+    state = kTables[0][(state ^ p[i]) & 0xFFu] ^ (state >> 8);
   }
   return state;
 }

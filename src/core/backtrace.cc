@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
+
+#include "core/provenance_records.h"
 
 namespace pebble {
 
@@ -75,6 +78,62 @@ struct Backtracer::TraceState {
     }
     PEBBLE_RETURN_NOT_OK(options->cancel.Check("backtrace"));
     return options->deadline.Check("backtrace");
+  }
+
+  /// Shared-prefix transform memo (DESIGN.md §12): seeds traversing the
+  /// same ancestor paths present the same (operator, input tree) pairs to
+  /// the per-entry tree transform over and over across chunks; the memo
+  /// returns the previously derived tree instead of re-deriving it. Scope
+  /// and contract:
+  ///   - per query (lives in this TraceState), governed path only — the
+  ///     ungoverned legacy path stays exactly as before;
+  ///   - memoizes ONLY the per-entry transform, never the MergeEntry fold
+  ///     or the recursion, so chunk merge granularity — the mark
+  ///     attribution contract pinned by
+  ///     tests/corpus/governed_chunk_fold.diffcase — is untouched;
+  ///   - every hit verifies full input-tree equality (hash collisions cost
+  ///     time, never correctness).
+  struct MemoEntry {
+    int oid;
+    uint8_t flavor;
+    int32_t aux;  // flatten/agg position, binary side; 0 for unary
+    BacktraceTree input;
+    BacktraceTree derived;
+    bool flag;  // aggregation: inProv of the derived tree
+  };
+  static constexpr size_t kMemoCap = 4096;
+  std::unordered_map<uint64_t, std::vector<MemoEntry>> memo;
+  size_t memo_entries = 0;
+
+  /// Returns the transform of `input` under (oid, flavor, aux): a memo hit
+  /// if an equal input was derived before, else `fn(input, &flag)`
+  /// (recorded until the cap). `fn` must be a pure function of its input
+  /// and the captured per-operator context encoded in (oid, flavor, aux).
+  template <typename Fn>
+  BacktraceTree Derive(int oid, uint8_t flavor, int32_t aux,
+                       const BacktraceTree& input, bool* flag, Fn&& fn) {
+    uint64_t h = BacktraceTreeStructuralHash(input);
+    h ^= static_cast<uint64_t>(oid + 1) * 0x9e3779b97f4a7c15ull;
+    h ^= static_cast<uint64_t>(flavor) << 56;
+    h ^= static_cast<uint64_t>(static_cast<uint32_t>(aux)) * 0x100000001b3ull;
+    auto it = memo.find(h);
+    if (it != memo.end()) {
+      for (const MemoEntry& e : it->second) {
+        if (e.oid == oid && e.flavor == flavor && e.aux == aux &&
+            e.input == input) {
+          if (flag != nullptr) *flag = e.flag;
+          return e.derived;
+        }
+      }
+    }
+    bool computed = false;
+    BacktraceTree derived = fn(input, &computed);
+    if (flag != nullptr) *flag = computed;
+    if (memo_entries < kMemoCap) {
+      memo[h].push_back(MemoEntry{oid, flavor, aux, input, derived, computed});
+      ++memo_entries;
+    }
+    return derived;
   }
 };
 
@@ -183,6 +242,124 @@ BacktraceIndex::BacktraceIndex(const ProvenanceStore& store) {
       }
     }
   }
+}
+
+BacktraceIndex::BacktraceIndex(const ProvenanceStore& store,
+                               BacktraceIndexPerms perms)
+    : store_(&store), perms_(std::move(perms)) {}
+
+BacktraceIndexPerms BacktraceIndex::BuildPerms(const ProvenanceStore& store) {
+  BacktraceIndexPerms perms;
+  for (int oid : store.AllOids()) {
+    const OperatorProvenance* prov = store.Find(oid);
+    if (prov == nullptr) continue;
+    if (!prov->unary_ids.empty()) {
+      perms.unary[oid] =
+          provio::SortedByOutPermutation(prov->unary_ids.out_col());
+    }
+    if (!prov->binary_ids.empty()) {
+      perms.binary[oid] =
+          provio::SortedByOutPermutation(prov->binary_ids.out_col());
+    }
+    if (!prov->flatten_ids.empty()) {
+      perms.flatten[oid] =
+          provio::SortedByOutPermutation(prov->flatten_ids.out_col());
+    }
+    if (!prov->agg_ids.empty()) {
+      perms.agg[oid] = provio::SortedByOutPermutation(prov->agg_ids.out_col());
+    }
+  }
+  return perms;
+}
+
+namespace {
+
+int64_t UnaryRowValue(const void* table, uint32_t row) {
+  return static_cast<const UnaryIdTable*>(table)->in_col()[row];
+}
+
+BacktraceIndex::BinaryEntry BinaryRowValue(const void* table, uint32_t row) {
+  const auto* t = static_cast<const BinaryIdTable*>(table);
+  return BacktraceIndex::BinaryEntry{t->in1_col()[row], t->in2_col()[row]};
+}
+
+BacktraceIndex::FlattenEntry FlattenRowValue(const void* table, uint32_t row) {
+  const auto* t = static_cast<const FlattenIdTable*>(table);
+  return BacktraceIndex::FlattenEntry{t->in_col()[row], t->pos_col()[row]};
+}
+
+IdSpan AggRowValue(const void* table, uint32_t row) {
+  return static_cast<const AggIdTable*>(table)->ins(row);
+}
+
+}  // namespace
+
+BacktraceIndex::Lookup<int64_t> BacktraceIndex::UnaryFor(int oid) const {
+  auto it = unary_.find(oid);
+  if (it != unary_.end()) return Lookup<int64_t>(&it->second);
+  if (store_ != nullptr) {
+    auto p = perms_.unary.find(oid);
+    if (p != perms_.unary.end()) {
+      const OperatorProvenance* prov = store_->Find(oid);
+      if (prov != nullptr) {
+        return Lookup<int64_t>(&prov->unary_ids, &prov->unary_ids.out_col(),
+                               &p->second, &UnaryRowValue);
+      }
+    }
+  }
+  return {};
+}
+
+BacktraceIndex::Lookup<BacktraceIndex::BinaryEntry> BacktraceIndex::BinaryFor(
+    int oid) const {
+  auto it = binary_.find(oid);
+  if (it != binary_.end()) return Lookup<BinaryEntry>(&it->second);
+  if (store_ != nullptr) {
+    auto p = perms_.binary.find(oid);
+    if (p != perms_.binary.end()) {
+      const OperatorProvenance* prov = store_->Find(oid);
+      if (prov != nullptr) {
+        return Lookup<BinaryEntry>(&prov->binary_ids,
+                                   &prov->binary_ids.out_col(), &p->second,
+                                   &BinaryRowValue);
+      }
+    }
+  }
+  return {};
+}
+
+BacktraceIndex::Lookup<BacktraceIndex::FlattenEntry>
+BacktraceIndex::FlattenFor(int oid) const {
+  auto it = flatten_.find(oid);
+  if (it != flatten_.end()) return Lookup<FlattenEntry>(&it->second);
+  if (store_ != nullptr) {
+    auto p = perms_.flatten.find(oid);
+    if (p != perms_.flatten.end()) {
+      const OperatorProvenance* prov = store_->Find(oid);
+      if (prov != nullptr) {
+        return Lookup<FlattenEntry>(&prov->flatten_ids,
+                                    &prov->flatten_ids.out_col(), &p->second,
+                                    &FlattenRowValue);
+      }
+    }
+  }
+  return {};
+}
+
+BacktraceIndex::Lookup<IdSpan> BacktraceIndex::AggFor(int oid) const {
+  auto it = agg_.find(oid);
+  if (it != agg_.end()) return Lookup<IdSpan>(&it->second);
+  if (store_ != nullptr) {
+    auto p = perms_.agg.find(oid);
+    if (p != perms_.agg.end()) {
+      const OperatorProvenance* prov = store_->Find(oid);
+      if (prov != nullptr) {
+        return Lookup<IdSpan>(&prov->agg_ids, &prov->agg_ids.out_col(),
+                              &p->second, &AggRowValue);
+      }
+    }
+  }
+  return {};
 }
 
 const std::unordered_map<int64_t, int64_t>* BacktraceIndex::unary(
@@ -389,31 +566,38 @@ Status Backtracer::BacktraceGenericUnary(
     const OperatorProvenance& prov, const BacktraceStructure& structure,
     std::map<int, BacktraceStructure>* at_sources, TraceState* state) const {
   std::unordered_map<int64_t, int64_t> scratch;
-  const std::unordered_map<int64_t, int64_t>* lookup =
-      index_ != nullptr ? index_->unary(prov.oid) : nullptr;
-  if (lookup == nullptr) {
+  BacktraceIndex::Lookup<int64_t> lookup =
+      index_ != nullptr ? index_->UnaryFor(prov.oid)
+                        : BacktraceIndex::Lookup<int64_t>();
+  if (!lookup.present()) {
     scratch.reserve(prov.unary_ids.size());
     for (const UnaryIdRow& row : prov.unary_ids) {
       scratch.emplace(row.out, row.in);
     }
-    lookup = &scratch;
+    lookup = BacktraceIndex::Lookup<int64_t>(&scratch);
   }
-  const std::unordered_map<int64_t, int64_t>& out_to_in = *lookup;
   const std::vector<Path> accessed = ExpandedAccess(prov.inputs[0]);
+  auto transform = [&](const BacktraceTree& tree, bool*) {
+    BacktraceTree derived = tree;
+    derived.ApplyManipulations(prov.manipulations, prov.oid);
+    for (const Path& a : accessed) {
+      derived.AccessPath(a, prov.oid);
+    }
+    return derived;
+  };
   BacktraceStructure next;
   for (const BacktraceEntry& entry : structure) {
     if (state != nullptr) PEBBLE_RETURN_NOT_OK(state->Poll());
-    auto it = out_to_in.find(entry.id);
-    if (it == out_to_in.end()) {
+    int64_t in_id = kNoId;
+    if (!lookup.Find(entry.id, &in_id)) {
       return Status::Internal("item " + std::to_string(entry.id) +
                               " not found in id table of operator " +
                               std::to_string(prov.oid));
     }
-    BacktraceEntry out{it->second, entry.tree};
-    out.tree.ApplyManipulations(prov.manipulations, prov.oid);
-    for (const Path& a : accessed) {
-      out.tree.AccessPath(a, prov.oid);
-    }
+    BacktraceEntry out{in_id, state != nullptr
+                                  ? state->Derive(prov.oid, 0, 0, entry.tree,
+                                                  nullptr, transform)
+                                  : transform(entry.tree, nullptr)};
     MergeEntry(&next, std::move(out));
   }
   return BacktraceFrom(prov.inputs[0].producer_oid, std::move(next),
@@ -426,29 +610,30 @@ Status Backtracer::BacktraceMap(
     const OperatorProvenance& prov, const BacktraceStructure& structure,
     std::map<int, BacktraceStructure>* at_sources, TraceState* state) const {
   std::unordered_map<int64_t, int64_t> scratch;
-  const std::unordered_map<int64_t, int64_t>* lookup =
-      index_ != nullptr ? index_->unary(prov.oid) : nullptr;
-  if (lookup == nullptr) {
+  BacktraceIndex::Lookup<int64_t> lookup =
+      index_ != nullptr ? index_->UnaryFor(prov.oid)
+                        : BacktraceIndex::Lookup<int64_t>();
+  if (!lookup.present()) {
     scratch.reserve(prov.unary_ids.size());
     for (const UnaryIdRow& row : prov.unary_ids) {
       scratch.emplace(row.out, row.in);
     }
-    lookup = &scratch;
+    lookup = BacktraceIndex::Lookup<int64_t>(&scratch);
   }
-  const std::unordered_map<int64_t, int64_t>& out_to_in = *lookup;
+  // The derived tree is entry-independent (the conservative schema tree),
+  // so build it once per operator and copy it per entry.
+  BacktraceTree derived = BuildSchemaTree(prov.inputs[0].input_schema);
+  derived.MarkAllManipulated(prov.oid);
   BacktraceStructure next;
   for (const BacktraceEntry& entry : structure) {
     if (state != nullptr) PEBBLE_RETURN_NOT_OK(state->Poll());
-    auto it = out_to_in.find(entry.id);
-    if (it == out_to_in.end()) {
+    int64_t in_id = kNoId;
+    if (!lookup.Find(entry.id, &in_id)) {
       return Status::Internal("item " + std::to_string(entry.id) +
                               " not found in id table of map operator " +
                               std::to_string(prov.oid));
     }
-    BacktraceEntry out{it->second,
-                       BuildSchemaTree(prov.inputs[0].input_schema)};
-    out.tree.MarkAllManipulated(prov.oid);
-    MergeEntry(&next, std::move(out));
+    MergeEntry(&next, BacktraceEntry{in_id, derived});
   }
   return BacktraceFrom(prov.inputs[0].producer_oid, std::move(next),
                        at_sources, state);
@@ -460,46 +645,52 @@ Status Backtracer::BacktraceFlatten(
     const OperatorProvenance& prov, const BacktraceStructure& structure,
     std::map<int, BacktraceStructure>* at_sources, TraceState* state) const {
   std::unordered_map<int64_t, BacktraceIndex::FlattenEntry> scratch;
-  const std::unordered_map<int64_t, BacktraceIndex::FlattenEntry>* lookup =
-      index_ != nullptr ? index_->flatten(prov.oid) : nullptr;
-  if (lookup == nullptr) {
+  BacktraceIndex::Lookup<BacktraceIndex::FlattenEntry> lookup =
+      index_ != nullptr ? index_->FlattenFor(prov.oid)
+                        : BacktraceIndex::Lookup<BacktraceIndex::FlattenEntry>();
+  if (!lookup.present()) {
     scratch.reserve(prov.flatten_ids.size());
     for (const FlattenIdRow& row : prov.flatten_ids) {
       scratch.emplace(row.out, BacktraceIndex::FlattenEntry{row.in, row.pos});
     }
-    lookup = &scratch;
+    lookup = BacktraceIndex::Lookup<BacktraceIndex::FlattenEntry>(&scratch);
   }
-  const std::unordered_map<int64_t, BacktraceIndex::FlattenEntry>&
-      out_to_in = *lookup;
   BacktraceStructure next;
   for (const BacktraceEntry& entry : structure) {
     if (state != nullptr) PEBBLE_RETURN_NOT_OK(state->Poll());
-    auto it = out_to_in.find(entry.id);
-    if (it == out_to_in.end()) {
+    BacktraceIndex::FlattenEntry fe{kNoId, 0};
+    if (!lookup.Find(entry.id, &fe)) {
       return Status::Internal("item " + std::to_string(entry.id) +
                               " not found in id table of flatten operator " +
                               std::to_string(prov.oid));
     }
-    const int32_t pos = it->second.pos;
-    BacktraceEntry out{it->second.in, entry.tree};
-    // Substitute the concrete position into the schema-level mappings
-    // ("user_mentions[pos]" -> "user_mentions[2]") before transforming.
-    std::vector<PathMapping> mappings;
-    mappings.reserve(prov.manipulations.size());
-    for (const PathMapping& m : prov.manipulations) {
-      mappings.push_back(PathMapping{m.in.WithPlaceholderReplaced(pos), m.out,
-                                     m.from_grouping});
-    }
-    out.tree.ApplyManipulations(mappings, prov.oid);
-    if (prov.inputs[0].input_schema != nullptr) {
-      for (const Path& a : prov.inputs[0].accessed) {
-        Path concrete = a.WithPlaceholderReplaced(pos);
-        for (const Path& e :
-             ExpandAccessPath(prov.inputs[0].input_schema, concrete)) {
-          out.tree.AccessPath(e, prov.oid);
+    const int32_t pos = fe.pos;
+    auto transform = [&](const BacktraceTree& tree, bool*) {
+      BacktraceTree derived = tree;
+      // Substitute the concrete position into the schema-level mappings
+      // ("user_mentions[pos]" -> "user_mentions[2]") before transforming.
+      std::vector<PathMapping> mappings;
+      mappings.reserve(prov.manipulations.size());
+      for (const PathMapping& m : prov.manipulations) {
+        mappings.push_back(PathMapping{m.in.WithPlaceholderReplaced(pos),
+                                       m.out, m.from_grouping});
+      }
+      derived.ApplyManipulations(mappings, prov.oid);
+      if (prov.inputs[0].input_schema != nullptr) {
+        for (const Path& a : prov.inputs[0].accessed) {
+          Path concrete = a.WithPlaceholderReplaced(pos);
+          for (const Path& e :
+               ExpandAccessPath(prov.inputs[0].input_schema, concrete)) {
+            derived.AccessPath(e, prov.oid);
+          }
         }
       }
-    }
+      return derived;
+    };
+    BacktraceEntry out{fe.in, state != nullptr
+                                  ? state->Derive(prov.oid, 2, pos, entry.tree,
+                                                  nullptr, transform)
+                                  : transform(entry.tree, nullptr)};
     MergeEntry(&next, std::move(out));  // merge-by-id == Alg. 2 l.2
   }
   return BacktraceFrom(prov.inputs[0].producer_oid, std::move(next),
@@ -513,17 +704,16 @@ Status Backtracer::BacktraceBinary(
     const OperatorProvenance& prov, const BacktraceStructure& structure,
     std::map<int, BacktraceStructure>* at_sources, TraceState* state) const {
   std::unordered_map<int64_t, BacktraceIndex::BinaryEntry> scratch;
-  const std::unordered_map<int64_t, BacktraceIndex::BinaryEntry>* lookup =
-      index_ != nullptr ? index_->binary(prov.oid) : nullptr;
-  if (lookup == nullptr) {
+  BacktraceIndex::Lookup<BacktraceIndex::BinaryEntry> lookup =
+      index_ != nullptr ? index_->BinaryFor(prov.oid)
+                        : BacktraceIndex::Lookup<BacktraceIndex::BinaryEntry>();
+  if (!lookup.present()) {
     scratch.reserve(prov.binary_ids.size());
     for (const BinaryIdRow& row : prov.binary_ids) {
       scratch.emplace(row.out, BacktraceIndex::BinaryEntry{row.in1, row.in2});
     }
-    lookup = &scratch;
+    lookup = BacktraceIndex::Lookup<BacktraceIndex::BinaryEntry>(&scratch);
   }
-  const std::unordered_map<int64_t, BacktraceIndex::BinaryEntry>&
-      out_to_in = *lookup;
   for (int side = 0; side < 2; ++side) {
     const InputProvenance& input = prov.inputs[static_cast<size_t>(side)];
     // Side-specific manipulations: identity mappings over this side's
@@ -538,27 +728,35 @@ Status Backtracer::BacktraceBinary(
       }
     }
     const std::vector<Path> accessed = ExpandedAccess(input);
+    auto transform = [&](const BacktraceTree& tree, bool*) {
+      BacktraceTree derived = tree;
+      if (prov.type == OpType::kJoin) {
+        derived.ApplyManipulations(side_mappings, prov.oid);
+        if (input.input_schema != nullptr) {
+          derived.RestrictToSchema(*input.input_schema);
+        }
+      }
+      for (const Path& a : accessed) {
+        derived.AccessPath(a, prov.oid);
+      }
+      return derived;
+    };
     BacktraceStructure next;
     for (const BacktraceEntry& entry : structure) {
       if (state != nullptr) PEBBLE_RETURN_NOT_OK(state->Poll());
-      auto it = out_to_in.find(entry.id);
-      if (it == out_to_in.end()) {
+      BacktraceIndex::BinaryEntry be{kNoId, kNoId};
+      if (!lookup.Find(entry.id, &be)) {
         return Status::Internal("item " + std::to_string(entry.id) +
                                 " not found in id table of operator " +
                                 std::to_string(prov.oid));
       }
-      int64_t in_id = side == 0 ? it->second.in1 : it->second.in2;
+      int64_t in_id = side == 0 ? be.in1 : be.in2;
       if (in_id == kNoId) continue;  // union row from the other input
-      BacktraceEntry out{in_id, entry.tree};
-      if (prov.type == OpType::kJoin) {
-        out.tree.ApplyManipulations(side_mappings, prov.oid);
-        if (input.input_schema != nullptr) {
-          out.tree.RestrictToSchema(*input.input_schema);
-        }
-      }
-      for (const Path& a : accessed) {
-        out.tree.AccessPath(a, prov.oid);
-      }
+      BacktraceEntry out{in_id,
+                         state != nullptr
+                             ? state->Derive(prov.oid, 1, side, entry.tree,
+                                             nullptr, transform)
+                             : transform(entry.tree, nullptr)};
       MergeEntry(&next, std::move(out));
     }
     PEBBLE_RETURN_NOT_OK(
@@ -574,52 +772,62 @@ Status Backtracer::BacktraceAggregation(
     const OperatorProvenance& prov, const BacktraceStructure& structure,
     std::map<int, BacktraceStructure>* at_sources, TraceState* state) const {
   std::unordered_map<int64_t, IdSpan> scratch;
-  const std::unordered_map<int64_t, IdSpan>* lookup =
-      index_ != nullptr ? index_->agg(prov.oid) : nullptr;
-  if (lookup == nullptr) {
+  BacktraceIndex::Lookup<IdSpan> lookup =
+      index_ != nullptr ? index_->AggFor(prov.oid)
+                        : BacktraceIndex::Lookup<IdSpan>();
+  if (!lookup.present()) {
     scratch.reserve(prov.agg_ids.size());
     for (size_t i = 0; i < prov.agg_ids.size(); ++i) {
       scratch.emplace(prov.agg_ids.out_col()[i], prov.agg_ids.ins(i));
     }
-    lookup = &scratch;
+    lookup = BacktraceIndex::Lookup<IdSpan>(&scratch);
   }
-  const std::unordered_map<int64_t, IdSpan>& out_to_row = *lookup;
   const std::vector<Path> accessed = ExpandedAccess(prov.inputs[0]);
   BacktraceStructure next;
   for (const BacktraceEntry& entry : structure) {
-    auto it = out_to_row.find(entry.id);
-    if (it == out_to_row.end()) {
+    IdSpan row_ins{};
+    if (!lookup.Find(entry.id, &row_ins)) {
       return Status::Internal("item " + std::to_string(entry.id) +
                               " not found in id table of aggregation " +
                               std::to_string(prov.oid));
     }
-    const IdSpan row_ins = it->second;
     for (size_t k = 0; k < row_ins.size(); ++k) {
       if (state != nullptr) PEBBLE_RETURN_NOT_OK(state->Poll());
       const int32_t pos = static_cast<int32_t>(k + 1);  // pP (Alg. 4 l.1)
-      BacktraceEntry out{row_ins[k], entry.tree};
+      auto transform = [&](const BacktraceTree& tree, bool* in_prov) {
+        BacktraceTree derived = tree;
+        *in_prov = false;
+        for (const PathMapping& m : prov.manipulations) {
+          const bool nesting = m.out.HasPositions();
+          Path out_path =
+              nesting ? m.out.WithPlaceholderReplaced(pos) : m.out;  // l.6-9
+          if (derived.Contains(out_path)) {
+            // Grouping-key mappings transform the tree but do not by
+            // themselves make the item part of the provenance (Ex. 6.6
+            // drops group members whose nested positions are untraced).
+            if (!m.from_grouping) *in_prov = true;  // l.10-11
+            derived.ManipulatePath(m.in, out_path, prov.oid);  // l.12
+          }
+          if (nesting) {
+            // Drop information about items at other positions (l.13).
+            derived.RemoveSubtree(Path::Attr(m.out.step(0).attr()));
+          }
+        }
+        if (*in_prov) {
+          for (const Path& a : accessed) {
+            derived.AccessPath(a, prov.oid);  // l.14-16
+          }
+        }
+        return derived;
+      };
       bool in_prov = false;
-      for (const PathMapping& m : prov.manipulations) {
-        const bool nesting = m.out.HasPositions();
-        Path out_path =
-            nesting ? m.out.WithPlaceholderReplaced(pos) : m.out;  // l.6-9
-        if (out.tree.Contains(out_path)) {
-          // Grouping-key mappings transform the tree but do not by
-          // themselves make the item part of the provenance (Ex. 6.6 drops
-          // group members whose nested positions are untraced).
-          if (!m.from_grouping) in_prov = true;  // l.10-11
-          out.tree.ManipulatePath(m.in, out_path, prov.oid);  // l.12
-        }
-        if (nesting) {
-          // Drop information about items at other positions (l.13).
-          out.tree.RemoveSubtree(Path::Attr(m.out.step(0).attr()));
-        }
-      }
+      BacktraceTree derived =
+          state != nullptr
+              ? state->Derive(prov.oid, 3, pos, entry.tree, &in_prov,
+                              transform)
+              : transform(entry.tree, &in_prov);
       if (!in_prov) continue;  // l.17: sigma_{inProv=true}
-      for (const Path& a : accessed) {
-        out.tree.AccessPath(a, prov.oid);  // l.14-16
-      }
-      MergeEntry(&next, std::move(out));
+      MergeEntry(&next, BacktraceEntry{row_ins[k], std::move(derived)});
     }
   }
   return BacktraceFrom(prov.inputs[0].producer_oid, std::move(next),

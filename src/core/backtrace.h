@@ -5,6 +5,8 @@
 #ifndef PEBBLE_CORE_BACKTRACE_H_
 #define PEBBLE_CORE_BACKTRACE_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <unordered_map>
@@ -71,12 +73,31 @@ struct BacktraceTruncation {
   size_t seed_entries_traced = 0;
 };
 
-/// Prebuilt hash indexes over the id association tables of a store. The
+/// Sorted row permutations of a store's id tables: for each operator and
+/// populated id-table flavor, the table's row indices ordered by ascending
+/// out id. This is the deserialized form of the "btindex" snapshot segment
+/// (provenance_io.h) — cheap to persist, cheap to validate, and directly
+/// usable for out-id lookup via binary search without rebuilding hash maps.
+struct BacktraceIndexPerms {
+  std::map<int, std::vector<uint32_t>> unary;
+  std::map<int, std::vector<uint32_t>> binary;
+  std::map<int, std::vector<uint32_t>> flatten;
+  std::map<int, std::vector<uint32_t>> agg;
+
+  bool empty() const {
+    return unary.empty() && binary.empty() && flatten.empty() && agg.empty();
+  }
+};
+
+/// Prebuilt indexes over the id association tables of a store. The
 /// backtracing join (Alg. 3 l.1) needs an out-id -> in-id(s) lookup per
-/// operator; building these maps once and reusing them across provenance
+/// operator; building these once and reusing them across provenance
 /// questions amortizes the dominant per-query setup cost (the paper's
-/// "optimize provenance querying" outlook). The index references the store
-/// and must not outlive it.
+/// "optimize provenance querying" outlook). Two backends share one lookup
+/// interface: hash maps built by scanning the tables (the classic
+/// in-process index) and sorted permutations loaded straight from a
+/// snapshot's persisted index segment (binary search, no per-query
+/// rebuild). The index references the store and must not outlive it.
 class BacktraceIndex {
  public:
   struct BinaryEntry {
@@ -88,18 +109,90 @@ class BacktraceIndex {
     int32_t pos;
   };
 
+  /// Unified out-id resolver for one operator's id table, handed to the
+  /// Backtracer: dispatches to a hash map (built index, or the tracer's
+  /// per-query scratch map) or to binary search over a sorted permutation
+  /// (index loaded from a snapshot segment). Default-constructed =
+  /// not present (the tracer then builds its scratch map).
+  template <typename V>
+  class Lookup {
+   public:
+    using HashMap = std::unordered_map<int64_t, V>;
+    /// Extracts row `row`'s value from the type-erased id table.
+    using RowValueFn = V (*)(const void* table, uint32_t row);
+
+    Lookup() = default;
+    explicit Lookup(const HashMap* hash) : hash_(hash) {}
+    Lookup(const void* table, const std::vector<int64_t>* out_col,
+           const std::vector<uint32_t>* perm, RowValueFn row_value)
+        : table_(table), out_col_(out_col), perm_(perm),
+          row_value_(row_value) {}
+
+    bool present() const { return hash_ != nullptr || table_ != nullptr; }
+
+    bool Find(int64_t out, V* value) const {
+      if (hash_ != nullptr) {
+        auto it = hash_->find(out);
+        if (it == hash_->end()) return false;
+        *value = it->second;
+        return true;
+      }
+      auto it = std::lower_bound(
+          perm_->begin(), perm_->end(), out,
+          [this](uint32_t row, int64_t v) { return (*out_col_)[row] < v; });
+      if (it == perm_->end() || (*out_col_)[*it] != out) return false;
+      *value = row_value_(table_, *it);
+      return true;
+    }
+
+   private:
+    const HashMap* hash_ = nullptr;
+    const void* table_ = nullptr;
+    const std::vector<int64_t>* out_col_ = nullptr;
+    const std::vector<uint32_t>* perm_ = nullptr;
+    RowValueFn row_value_ = nullptr;
+  };
+
+  /// Builds the hash-map backend by scanning `store`'s id tables.
   explicit BacktraceIndex(const ProvenanceStore& store);
 
+  /// Adopts persisted sorted permutations (the loaded backend). The caller
+  /// (the snapshot loader) must have validated `perms` against `store`:
+  /// permutation sizes equal table sizes, row indices in range, out ids
+  /// strictly increasing along each permutation.
+  BacktraceIndex(const ProvenanceStore& store, BacktraceIndexPerms perms);
+
+  /// The sorted permutations for `store`'s id tables — what the snapshot
+  /// serializer persists as the index segment.
+  static BacktraceIndexPerms BuildPerms(const ProvenanceStore& store);
+
+  /// True for an index adopted from persisted permutations (vs hash-built).
+  bool loaded() const { return store_ != nullptr; }
+
+  // Unified per-operator resolvers (either backend); !present() when the
+  // operator has no indexed table of that flavor.
+  Lookup<int64_t> UnaryFor(int oid) const;
+  Lookup<BinaryEntry> BinaryFor(int oid) const;
+  Lookup<FlattenEntry> FlattenFor(int oid) const;
+  Lookup<IdSpan> AggFor(int oid) const;
+
+  // Direct hash-backend accessors (nullptr for absent oid/flavor, and for
+  // every oid on a loaded index).
   const std::unordered_map<int64_t, int64_t>* unary(int oid) const;
   const std::unordered_map<int64_t, BinaryEntry>* binary(int oid) const;
   const std::unordered_map<int64_t, FlattenEntry>* flatten(int oid) const;
   const std::unordered_map<int64_t, IdSpan>* agg(int oid) const;
 
  private:
+  // Hash backend (empty on a loaded index).
   std::map<int, std::unordered_map<int64_t, int64_t>> unary_;
   std::map<int, std::unordered_map<int64_t, BinaryEntry>> binary_;
   std::map<int, std::unordered_map<int64_t, FlattenEntry>> flatten_;
   std::map<int, std::unordered_map<int64_t, IdSpan>> agg_;
+  // Loaded backend: permutations plus the store whose tables they order
+  // (nullptr for a hash-built index).
+  const ProvenanceStore* store_ = nullptr;
+  BacktraceIndexPerms perms_;
 };
 
 /// Structural provenance arriving at one source (scan) dataset: for each

@@ -308,4 +308,38 @@ void MergeEntry(BacktraceStructure* structure, BacktraceEntry entry) {
   structure->push_back(std::move(entry));
 }
 
+namespace {
+
+inline uint64_t MixHash(uint64_t h, uint64_t v) {
+  // FNV-1a style mix; the exact constants only affect collision rates.
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+uint64_t BtNodeStructuralHash(const BtNode& node) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  h = MixHash(h, std::hash<std::string>()(node.key.attr));
+  h = MixHash(h, static_cast<uint64_t>(node.key.pos));
+  h = MixHash(h, node.contributing ? 1 : 2);
+  for (int oid : node.accessed_by) {
+    h = MixHash(h, 0xA0000000ull + static_cast<uint64_t>(oid));
+  }
+  for (int oid : node.manipulated_by) {
+    h = MixHash(h, 0xB0000000ull + static_cast<uint64_t>(oid));
+  }
+  // operator== compares children order-insensitively, so child hashes must
+  // combine commutatively for "equal implies equal hash" to hold.
+  uint64_t children = 0;
+  for (const BtNode& child : node.children) {
+    children += BtNodeStructuralHash(child);
+  }
+  return MixHash(h, children);
+}
+
+uint64_t BacktraceTreeStructuralHash(const BacktraceTree& tree) {
+  return BtNodeStructuralHash(tree.root());
+}
+
 }  // namespace pebble

@@ -145,6 +145,16 @@ using BacktraceStructure = std::vector<BacktraceEntry>;
 /// tree is merged, otherwise the entry is appended.
 void MergeEntry(BacktraceStructure* structure, BacktraceEntry entry);
 
+/// Structural hash of a node (subtree) consistent with BtNode::operator==:
+/// equal nodes hash equal. Children combine commutatively because the
+/// equality is order-insensitive over children. Keys the governed tracer's
+/// shared-prefix transform memo (core/backtrace.cc), which verifies full
+/// equality on every hit, so collisions cost time, never correctness.
+uint64_t BtNodeStructuralHash(const BtNode& node);
+
+/// BtNodeStructuralHash of the tree's root.
+uint64_t BacktraceTreeStructuralHash(const BacktraceTree& tree);
+
 }  // namespace pebble
 
 #endif  // PEBBLE_CORE_BACKTRACE_TREE_H_

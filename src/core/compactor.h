@@ -1,6 +1,9 @@
 // Compaction of the provenance WAL: folds sealed segments (plus the
 // previous snapshot) into a fresh durable v2 snapshot, atomically advances
-// the MANIFEST, then reclaims the folded files (DESIGN.md §11.4).
+// the MANIFEST, then reclaims the folded files (DESIGN.md §11.4). Folded
+// snapshots go through SaveProvenanceStore and therefore carry the
+// persisted backtrace-index segment ("btindex", DESIGN.md §12): every
+// compaction also pre-pays the index build for later offline queries.
 //
 // Crash safety across the whole window:
 //   1. snapshot-NNNNNN.pprov is written via AtomicWriteFile — a crash here

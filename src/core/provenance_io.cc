@@ -6,8 +6,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "common/crc32.h"
@@ -143,6 +145,13 @@ Result<std::unique_ptr<ProvenanceStore>> DeserializeProvenanceStore(
 // Segments, in order: meta (counts cross-checked after parse), topology,
 // schemas (deduplicated type renderings), paths (access/manipulation
 // records referencing schemas by index), ids (id association tables).
+// After these five core segments a writer may append extension segments
+// (the segment count in the header says how many there are in total);
+// readers CRC-verify every segment but only decode extensions they know,
+// so snapshots stay loadable in both directions across versions. The one
+// extension today is "btindex", the persisted backtrace index
+// (DESIGN.md §12): sorted out-id permutations of the id tables that spare
+// offline queries the per-query index rebuild.
 
 namespace {
 
@@ -152,6 +161,16 @@ constexpr size_t kHeaderBytes = 20;  // magic + version + count + crc
 constexpr const char* kSegmentNames[] = {"meta", "topology", "schemas",
                                          "paths", "ids"};
 constexpr size_t kNumSegments = 5;
+// Extension segment carrying the persisted backtrace index; appended after
+// the core segments when DurableSaveOptions::include_backtrace_index.
+constexpr const char* kIndexSegmentName = "btindex";
+
+bool IsCoreSegmentName(const std::string& name) {
+  for (size_t i = 0; i < kNumSegments; ++i) {
+    if (name == kSegmentNames[i]) return true;
+  }
+  return false;
+}
 
 void AppendU16(uint16_t v, std::string* out) {
   out->push_back(static_cast<char>(v & 0xFF));
@@ -242,9 +261,42 @@ StoreCounts CountStore(const ProvenanceStore& store) {
   return c;
 }
 
+/// Payload of the "btindex" segment: u32 LE entry count, then per entry a
+/// u8 id-table flavor (0 unary, 1 binary, 2 flatten, 3 agg), u32 LE
+/// operator id, u64 LE row count n, and n u32 LE row indices — the table's
+/// rows ordered by ascending out id. Deterministic: permutation order is a
+/// pure function of the id tables (out ids are distinct per Validate()),
+/// and entries iterate flavors then operator ids in ascending order.
+std::string BuildIndexSegmentPayload(const ProvenanceStore& store) {
+  const BacktraceIndexPerms perms = BacktraceIndex::BuildPerms(store);
+  std::string payload;
+  const size_t entries = perms.unary.size() + perms.binary.size() +
+                         perms.flatten.size() + perms.agg.size();
+  AppendU32(static_cast<uint32_t>(entries), &payload);
+  auto emit = [&payload](uint8_t flavor,
+                         const std::map<int, std::vector<uint32_t>>& tables) {
+    for (const auto& [oid, perm] : tables) {
+      payload.push_back(static_cast<char>(flavor));
+      AppendU32(static_cast<uint32_t>(oid), &payload);
+      AppendU64(perm.size(), &payload);
+      for (uint32_t row : perm) AppendU32(row, &payload);
+    }
+  };
+  emit(0, perms.unary);
+  emit(1, perms.binary);
+  emit(2, perms.flatten);
+  emit(3, perms.agg);
+  return payload;
+}
+
 }  // namespace
 
 std::string SerializeDurableProvenanceStore(const ProvenanceStore& store) {
+  return SerializeDurableProvenanceStore(store, DurableSaveOptions());
+}
+
+std::string SerializeDurableProvenanceStore(const ProvenanceStore& store,
+                                            const DurableSaveOptions& options) {
   const StoreCounts counts = CountStore(store);
 
   std::string meta = "mode " + std::string(ModeToToken(store.mode())) + "\n";
@@ -288,17 +340,27 @@ std::string SerializeDurableProvenanceStore(const ProvenanceStore& store) {
     AppendIdRowLines(*prov, &ids);
   }
 
+  std::string btindex;
+  size_t segment_count = kNumSegments;
+  if (options.include_backtrace_index) {
+    btindex = BuildIndexSegmentPayload(store);
+    ++segment_count;
+  }
+
   std::string out;
   out.reserve(kHeaderBytes + meta.size() + topology.size() + schemas.size() +
-              paths.size() + ids.size() + 256);
+              paths.size() + ids.size() + btindex.size() + 256);
   out.append(kDurableMagic, sizeof(kDurableMagic));
   AppendU32(kDurableVersion, &out);
-  AppendU32(static_cast<uint32_t>(kNumSegments), &out);
+  AppendU32(static_cast<uint32_t>(segment_count), &out);
   AppendU32(Crc32(out.data(), out.size()), &out);
   const std::string* payloads[kNumSegments] = {&meta, &topology, &schemas,
                                                &paths, &ids};
   for (size_t i = 0; i < kNumSegments; ++i) {
     AppendSegment(kSegmentNames[i], *payloads[i], &out);
+  }
+  if (options.include_backtrace_index) {
+    AppendSegment(kIndexSegmentName, btindex, &out);
   }
   return out;
 }
@@ -452,6 +514,108 @@ Status ParseMetaSegment(std::string_view payload, ProvenanceStore* store,
   return Status::OK();
 }
 
+/// Decodes and validates the "btindex" segment against the fully parsed
+/// (and Validate()d) store. The CRC framing has already been verified;
+/// this checks the semantics: the referenced id table exists and has
+/// exactly the claimed row count, every row index is in range, out ids
+/// strictly increase along each permutation (which, with Validate()'s
+/// per-table-distinct out ids, proves a true permutation), and no
+/// (flavor, operator) pair repeats. Any violation means the index does not
+/// describe this store — corruption, never a silent fallback.
+Status ParseIndexSegment(std::string_view payload,
+                         const ProvenanceStore& store,
+                         BacktraceIndexPerms* perms) {
+  ByteReader reader(payload);
+  auto bad = [](const std::string& what) {
+    return Status::InvalidArgument("segment 'btindex': " + what);
+  };
+  uint32_t entries = 0;
+  if (!reader.ReadU32(&entries)) return bad("truncated entry count");
+  for (uint32_t e = 0; e < entries; ++e) {
+    std::string_view flavor_byte;
+    uint32_t oid_u32 = 0;
+    uint64_t rows = 0;
+    if (!reader.ReadBytes(1, &flavor_byte) || !reader.ReadU32(&oid_u32) ||
+        !reader.ReadU64(&rows)) {
+      return bad("truncated header of entry " + std::to_string(e));
+    }
+    const uint8_t flavor = static_cast<unsigned char>(flavor_byte[0]);
+    const int oid = static_cast<int>(oid_u32);
+    const OperatorProvenance* prov = store.Find(oid);
+    if (prov == nullptr) {
+      return bad("entry for operator " + std::to_string(oid) +
+                 " which has no captured provenance");
+    }
+    const std::vector<int64_t>* out_col = nullptr;
+    std::map<int, std::vector<uint32_t>>* dest = nullptr;
+    switch (flavor) {
+      case 0:
+        out_col = &prov->unary_ids.out_col();
+        dest = &perms->unary;
+        break;
+      case 1:
+        out_col = &prov->binary_ids.out_col();
+        dest = &perms->binary;
+        break;
+      case 2:
+        out_col = &prov->flatten_ids.out_col();
+        dest = &perms->flatten;
+        break;
+      case 3:
+        out_col = &prov->agg_ids.out_col();
+        dest = &perms->agg;
+        break;
+      default:
+        return bad("unknown id-table flavor " + std::to_string(flavor) +
+                   " for operator " + std::to_string(oid));
+    }
+    if (rows != out_col->size()) {
+      return bad("permutation of operator " + std::to_string(oid) + " has " +
+                 std::to_string(rows) + " rows but its id table has " +
+                 std::to_string(out_col->size()));
+    }
+    // Bulk-read the whole permutation, then validate over raw bytes: one
+    // bounds check up front instead of one per row (the per-row ReadU32
+    // path dominated decode time on large id tables).
+    std::string_view raw;
+    if (rows > reader.remaining() / 4 ||
+        !reader.ReadBytes(static_cast<size_t>(rows) * 4, &raw)) {
+      return bad("truncated permutation of operator " + std::to_string(oid));
+    }
+    std::vector<uint32_t> perm(static_cast<size_t>(rows));
+    const auto* q = reinterpret_cast<const unsigned char*>(raw.data());
+    const size_t table_rows = out_col->size();
+    int64_t prev = std::numeric_limits<int64_t>::min();
+    for (uint64_t i = 0; i < rows; ++i, q += 4) {
+      const uint32_t row = static_cast<uint32_t>(q[0]) |
+                           (static_cast<uint32_t>(q[1]) << 8) |
+                           (static_cast<uint32_t>(q[2]) << 16) |
+                           (static_cast<uint32_t>(q[3]) << 24);
+      if (row >= table_rows) {
+        return bad("row index " + std::to_string(row) +
+                   " out of range in the permutation of operator " +
+                   std::to_string(oid));
+      }
+      const int64_t out_id = (*out_col)[row];
+      if (out_id <= prev) {
+        return bad("out ids not strictly increasing along the permutation "
+                   "of operator " +
+                   std::to_string(oid));
+      }
+      prev = out_id;
+      perm[i] = row;
+    }
+    if (!dest->emplace(oid, std::move(perm)).second) {
+      return bad("duplicate entry for operator " + std::to_string(oid));
+    }
+  }
+  if (reader.remaining() != 0) {
+    return bad(std::to_string(reader.remaining()) +
+               " trailing bytes after last entry");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 SnapshotFormat SniffSnapshotFormat(std::string_view data) {
@@ -466,8 +630,21 @@ SnapshotFormat SniffSnapshotFormat(std::string_view data) {
   return SnapshotFormat::kUnknown;
 }
 
-Result<std::unique_ptr<ProvenanceStore>> DeserializeDurableProvenanceStore(
-    std::string_view data, const std::string& origin) {
+namespace {
+
+/// One framed (but not yet parsed) snapshot segment.
+struct Segment {
+  std::string name;
+  std::string_view payload;
+  size_t offset;  // byte offset of the segment header in the file
+};
+
+/// Verifies the snapshot header and frames + CRC-verifies every segment —
+/// core and trailing extensions alike — without parsing any payload. A
+/// truncated tail or a flipped length surfaces here as a framing error
+/// with an offset, never as a half-applied parse.
+Status FrameDurableSegments(std::string_view data, const std::string& origin,
+                            std::vector<Segment>* segments) {
   auto corrupt = [&](const std::string& what) {
     return Status::IOError("durable snapshot '" + origin + "': " + what);
   };
@@ -495,21 +672,12 @@ Result<std::unique_ptr<ProvenanceStore>> DeserializeDurableProvenanceStore(
     return corrupt("unsupported format version " + std::to_string(version) +
                    " (supported: " + std::to_string(kDurableVersion) + ")");
   }
-  if (segment_count != kNumSegments) {
+  if (segment_count < kNumSegments) {
     return corrupt("unexpected segment count " +
-                   std::to_string(segment_count) + " (expected " +
+                   std::to_string(segment_count) + " (expected at least " +
                    std::to_string(kNumSegments) + ")");
   }
 
-  // Frame all segments before parsing any payload: a truncated tail or a
-  // flipped length must surface as a framing error with an offset, not as a
-  // half-applied parse.
-  struct Segment {
-    std::string name;
-    std::string_view payload;
-    size_t offset;  // byte offset of the segment header in the file
-  };
-  std::vector<Segment> segments;
   for (uint32_t s = 0; s < segment_count; ++s) {
     Segment seg;
     seg.offset = reader.offset();
@@ -556,17 +724,42 @@ Result<std::unique_ptr<ProvenanceStore>> DeserializeDurableProvenanceStore(
       return corrupt("checksum mismatch in segment '" + seg.name + "'" +
                      at());
     }
-    if (seg.name != kSegmentNames[s]) {
-      return corrupt("unexpected segment '" + seg.name + "' (expected '" +
-                     std::string(kSegmentNames[s]) + "')" + at());
+    if (s < kNumSegments) {
+      if (seg.name != kSegmentNames[s]) {
+        return corrupt("unexpected segment '" + seg.name + "' (expected '" +
+                       std::string(kSegmentNames[s]) + "')" + at());
+      }
+    } else if (IsCoreSegmentName(seg.name)) {
+      // Trailing segments are extensions ("btindex" today, future ones
+      // tomorrow) — already CRC-verified above, decoded below if known,
+      // skipped if not. A repeat of a core segment is never legitimate.
+      return corrupt("duplicate core segment '" + seg.name +
+                     "' in trailing position" + at());
     }
-    segments.push_back(seg);
+    segments->push_back(seg);
   }
   if (reader.remaining() != 0) {
     return corrupt(std::to_string(reader.remaining()) +
                    " trailing bytes after last segment at byte " +
                    std::to_string(reader.offset()));
   }
+  return Status::OK();
+}
+
+/// Shared body of the two durable deserializers. Frames and CRC-verifies
+/// every segment (core and trailing extensions alike), parses the five
+/// core segments, and — only when `want_index` — decodes a trailing
+/// "btindex" segment into a ready BacktraceIndex. Unknown trailing
+/// segments are verified and skipped, which is the forward-compatibility
+/// contract that lets pre-index readers load post-index snapshots.
+Result<LoadedProvenance> DeserializeDurableInternal(std::string_view data,
+                                                    const std::string& origin,
+                                                    bool want_index) {
+  auto corrupt = [&](const std::string& what) {
+    return Status::IOError("durable snapshot '" + origin + "': " + what);
+  };
+  std::vector<Segment> segments;
+  PEBBLE_RETURN_NOT_OK(FrameDurableSegments(data, origin, &segments));
 
   // Parse payloads in order.
   auto store = std::make_unique<ProvenanceStore>();
@@ -576,7 +769,7 @@ Result<std::unique_ptr<ProvenanceStore>> DeserializeDurableProvenanceStore(
                            .WithContext("durable snapshot '" + origin + "'"));
   std::vector<TypePtr> schema_table;
   OperatorProvenance* current = nullptr;
-  for (size_t s = 1; s < segments.size(); ++s) {
+  for (size_t s = 1; s < kNumSegments; ++s) {
     current = nullptr;
     PEBBLE_RETURN_NOT_OK(
         ParseDurableSegment(segments[s].name, segments[s].payload,
@@ -604,7 +797,54 @@ Result<std::unique_ptr<ProvenanceStore>> DeserializeDurableProvenanceStore(
         "durable snapshot '" + origin +
             "' failed post-load validation: " + valid.message());
   }
-  return store;
+
+  LoadedProvenance loaded;
+  loaded.store = std::move(store);
+  if (want_index) {
+    for (size_t s = kNumSegments; s < segments.size(); ++s) {
+      if (segments[s].name != kIndexSegmentName) continue;
+      BacktraceIndexPerms perms;
+      Status st = ParseIndexSegment(segments[s].payload, *loaded.store,
+                                    &perms);
+      if (!st.ok()) return corrupt(st.message());
+      loaded.index = std::make_unique<BacktraceIndex>(*loaded.store,
+                                                      std::move(perms));
+      break;
+    }
+  }
+  return loaded;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<BacktraceIndex>> DecodePersistedBacktraceIndex(
+    std::string_view data, const ProvenanceStore& store,
+    const std::string& origin) {
+  std::vector<Segment> segments;
+  PEBBLE_RETURN_NOT_OK(FrameDurableSegments(data, origin, &segments));
+  for (size_t s = kNumSegments; s < segments.size(); ++s) {
+    if (segments[s].name != kIndexSegmentName) continue;
+    BacktraceIndexPerms perms;
+    Status st = ParseIndexSegment(segments[s].payload, store, &perms);
+    if (!st.ok()) {
+      return Status::IOError("durable snapshot '" + origin + "': " +
+                             st.message());
+    }
+    return std::make_unique<BacktraceIndex>(store, std::move(perms));
+  }
+  return std::unique_ptr<BacktraceIndex>();
+}
+
+Result<std::unique_ptr<ProvenanceStore>> DeserializeDurableProvenanceStore(
+    std::string_view data, const std::string& origin) {
+  auto loaded = DeserializeDurableInternal(data, origin, /*want_index=*/false);
+  if (!loaded.ok()) return loaded.status();
+  return std::move(loaded->store);
+}
+
+Result<LoadedProvenance> DeserializeDurableProvenanceStoreWithIndex(
+    std::string_view data, const std::string& origin) {
+  return DeserializeDurableInternal(data, origin, /*want_index=*/true);
 }
 
 // ---------------------------------------------------------------------------
@@ -617,8 +857,13 @@ Status SaveProvenanceStore(const ProvenanceStore& store,
       .WithContext("saving provenance snapshot to '" + path + "'");
 }
 
-Result<std::unique_ptr<ProvenanceStore>> LoadProvenanceStore(
-    const std::string& path) {
+namespace {
+
+/// Shared body of the two file loaders; `want_index` selects whether a
+/// durable snapshot's persisted index segment is decoded. Legacy text has
+/// no index — it always loads with a null one.
+Result<LoadedProvenance> LoadProvenanceInternal(const std::string& path,
+                                                bool want_index) {
   PEBBLE_FAILPOINT(failpoints::kIoLoad);
   auto data = ReadFileToString(path);
   if (!data.ok()) {
@@ -626,7 +871,7 @@ Result<std::unique_ptr<ProvenanceStore>> LoadProvenanceStore(
   }
   switch (SniffSnapshotFormat(*data)) {
     case SnapshotFormat::kDurableV2:
-      return DeserializeDurableProvenanceStore(*data, path);
+      return DeserializeDurableInternal(*data, path, want_index);
     case SnapshotFormat::kLegacyText: {
       auto parsed = DeserializeProvenanceStore(*data);
       if (!parsed.ok()) {
@@ -641,7 +886,9 @@ Result<std::unique_ptr<ProvenanceStore>> LoadProvenanceStore(
             "legacy provenance text '" + path +
                 "' failed post-load validation: " + valid.message());
       }
-      return store;
+      LoadedProvenance loaded;
+      loaded.store = std::move(store);
+      return loaded;
     }
     case SnapshotFormat::kUnknown:
       break;
@@ -650,6 +897,19 @@ Result<std::unique_ptr<ProvenanceStore>> LoadProvenanceStore(
                          "' is not a provenance snapshot (bad leading " +
                          "bytes; expected PBLPROV2 magic or legacy " +
                          "'pebbleprov' header)");
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ProvenanceStore>> LoadProvenanceStore(
+    const std::string& path) {
+  auto loaded = LoadProvenanceInternal(path, /*want_index=*/false);
+  if (!loaded.ok()) return loaded.status();
+  return std::move(loaded->store);
+}
+
+Result<LoadedProvenance> LoadProvenanceStoreWithIndex(const std::string& path) {
+  return LoadProvenanceInternal(path, /*want_index=*/true);
 }
 
 }  // namespace pebble

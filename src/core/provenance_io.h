@@ -10,7 +10,13 @@
 // Two formats exist:
 //   - Durable snapshot (v2, default for Save): versioned binary header plus
 //     length-prefixed segments (meta, topology, schemas, paths, ids), each
-//     with a CRC32 footer. See DESIGN.md §8 for the byte layout.
+//     with a CRC32 footer, optionally followed by trailing extension
+//     segments — today the persisted backtrace index ("btindex"), so
+//     offline queries load a ready index instead of rebuilding one per
+//     query. Readers CRC-verify and skip trailing segments they do not
+//     know, so older snapshots (no index) and newer ones (with it, or with
+//     future extensions) both load everywhere. See DESIGN.md §8/§12 for the
+//     byte layouts.
 //   - Legacy text (v1, "pebbleprov ..."): the original line-oriented format,
 //     still readable behind a format sniff for backward compatibility.
 //
@@ -26,6 +32,7 @@
 #include <string>
 #include <string_view>
 
+#include "core/backtrace.h"
 #include "core/provenance_store.h"
 
 namespace pebble {
@@ -39,8 +46,21 @@ std::string SerializeProvenanceStore(const ProvenanceStore& store);
 Result<std::unique_ptr<ProvenanceStore>> DeserializeProvenanceStore(
     const std::string& text);
 
-/// Serializes the store into the durable v2 snapshot blob.
+/// Knobs of the durable v2 serializer.
+struct DurableSaveOptions {
+  /// Append the "btindex" segment (sorted out-id permutations per id
+  /// table) after the five core segments. On by default — Save and WAL
+  /// compaction persist it so offline queries skip the per-query index
+  /// rebuild. Off reproduces the pre-index five-segment blob byte for
+  /// byte (used by tests pinning the legacy shape).
+  bool include_backtrace_index = true;
+};
+
+/// Serializes the store into the durable v2 snapshot blob (with the
+/// default options, i.e. including the backtrace-index segment).
 std::string SerializeDurableProvenanceStore(const ProvenanceStore& store);
+std::string SerializeDurableProvenanceStore(const ProvenanceStore& store,
+                                            const DurableSaveOptions& options);
 
 /// Parses a durable v2 snapshot, verifying magic, version and every
 /// segment's checksum, then running ProvenanceStore::Validate() as a
@@ -49,6 +69,37 @@ std::string SerializeDurableProvenanceStore(const ProvenanceStore& store);
 /// segment name and byte offset.
 Result<std::unique_ptr<ProvenanceStore>> DeserializeDurableProvenanceStore(
     std::string_view data, const std::string& origin);
+
+/// A deserialized store plus, when the snapshot carried a valid persisted
+/// index segment, the ready-to-use backtrace index over it. `index`
+/// references `store` and must not outlive it; nullptr when the snapshot
+/// has no index segment (pre-index snapshot or legacy text) — callers fall
+/// back to building the index from the id tables.
+struct LoadedProvenance {
+  std::unique_ptr<ProvenanceStore> store;
+  std::unique_ptr<BacktraceIndex> index;
+};
+
+/// As DeserializeDurableProvenanceStore, but additionally decodes and
+/// validates the "btindex" segment when present. A CRC-valid index segment
+/// that is inconsistent with the store (wrong sizes, out-of-range rows,
+/// unsorted ids) is corruption — kIOError, never a silent fallback.
+Result<LoadedProvenance> DeserializeDurableProvenanceStoreWithIndex(
+    std::string_view data, const std::string& origin);
+
+/// Decodes just the persisted "btindex" segment of a durable snapshot
+/// against a store that was already deserialized from the same bytes —
+/// the step that differs between the two offline-startup paths (decode
+/// the persisted permutations vs re-hash every id table), isolated so a
+/// long-lived server can re-attach an index without re-parsing the store
+/// and so the warm-path benchmark can measure it. Frames and CRC-verifies
+/// all segments; returns a null pointer when the snapshot carries no
+/// index segment, and the same kIOError as the WithIndex loader when the
+/// segment is corrupt or inconsistent with `store`. The returned index
+/// references `store` and must not outlive it.
+Result<std::unique_ptr<BacktraceIndex>> DecodePersistedBacktraceIndex(
+    std::string_view data, const ProvenanceStore& store,
+    const std::string& origin);
 
 /// What a byte buffer appears to contain.
 enum class SnapshotFormat { kDurableV2, kLegacyText, kUnknown };
@@ -65,6 +116,11 @@ Status SaveProvenanceStore(const ProvenanceStore& store,
 /// the store is returned.
 Result<std::unique_ptr<ProvenanceStore>> LoadProvenanceStore(
     const std::string& path);
+
+/// As LoadProvenanceStore, but also surfaces the persisted backtrace index
+/// when the snapshot carries one (LoadedProvenance::index stays nullptr
+/// otherwise). The warm path of offline query/audit entry points.
+Result<LoadedProvenance> LoadProvenanceStoreWithIndex(const std::string& path);
 
 }  // namespace pebble
 

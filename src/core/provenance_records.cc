@@ -1,5 +1,6 @@
 #include "core/provenance_records.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "nested/type.h"
@@ -107,6 +108,16 @@ void AppendIdRowLinesFrom(const OperatorProvenance& prov,
 void AppendIdRowLines(const OperatorProvenance& prov, std::string* out) {
   IdTableCursor cursor;
   AppendIdRowLinesFrom(prov, &cursor, out);
+}
+
+std::vector<uint32_t> SortedByOutPermutation(
+    const std::vector<int64_t>& out_ids) {
+  std::vector<uint32_t> perm(out_ids.size());
+  for (uint32_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  std::sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+    return out_ids[a] < out_ids[b];
+  });
+  return perm;
 }
 
 Status ParseTopologyRecord(std::istringstream& in, ProvenanceStore* store) {

@@ -66,6 +66,15 @@ bool HasRowsAfter(const OperatorProvenance& prov, const IdTableCursor& cursor);
 void AppendIdRowLinesFrom(const OperatorProvenance& prov,
                           IdTableCursor* cursor, std::string* out);
 
+/// Row indices of `out_ids` sorted by ascending id value. This is the
+/// payload of the persisted backtrace-index segment ("btindex",
+/// provenance_io.cc): a permutation per id table that turns out-id lookup
+/// into binary search without rebuilding hash maps at query time. The ids
+/// of one operator are distinct (ProvenanceStore::Validate()), so the
+/// order — and therefore the serialized segment — is deterministic.
+std::vector<uint32_t> SortedByOutPermutation(
+    const std::vector<int64_t>& out_ids);
+
 // Parsers: callers wrap failures with line/segment/file context; messages
 // here describe just the defect.
 

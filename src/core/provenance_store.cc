@@ -18,11 +18,18 @@ const char* CaptureModeToString(CaptureMode mode) {
   return "unknown";
 }
 
+uint64_t ProvenanceStore::NextUid() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 void ProvenanceStore::RegisterOperator(OperatorInfo info) {
   infos_[info.oid] = std::move(info);
+  BumpGeneration();
 }
 
 OperatorProvenance* ProvenanceStore::Mutable(int oid) {
+  BumpGeneration();
   OperatorProvenance& p = ops_[oid];
   p.oid = oid;
   auto it = infos_.find(oid);
@@ -289,6 +296,10 @@ Status ProvenanceStore::AppendFrom(const ProvenanceStore& other) {
     return Status::InvalidArgument(
         "ProvenanceStore::AppendFrom: stores disagree on " + what);
   };
+  // Any append attempt invalidates cached answers, even one that merges an
+  // empty store (Mutable below bumps too; this covers the topology-only
+  // path).
+  BumpGeneration();
   if (infos_.empty() && ops_.empty()) {
     infos_ = other.infos_;
     mode_ = other.mode_;

@@ -5,6 +5,8 @@
 #ifndef PEBBLE_CORE_PROVENANCE_STORE_H_
 #define PEBBLE_CORE_PROVENANCE_STORE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -61,7 +63,10 @@ class ProvenanceStore {
 
   /// The operator producing the final result.
   int sink_oid() const { return sink_oid_; }
-  void set_sink_oid(int oid) { sink_oid_ = oid; }
+  void set_sink_oid(int oid) {
+    sink_oid_ = oid;
+    BumpGeneration();
+  }
 
   /// Oids of all scan (source) operators, in registration order.
   std::vector<int> SourceOids() const;
@@ -70,7 +75,26 @@ class ProvenanceStore {
   std::vector<int> AllOids() const;
 
   CaptureMode mode() const { return mode_; }
-  void set_mode(CaptureMode mode) { mode_ = mode; }
+  void set_mode(CaptureMode mode) {
+    mode_ = mode;
+    BumpGeneration();
+  }
+
+  /// Process-unique identity of this store instance, assigned at
+  /// construction and never reused within the process. Together with
+  /// generation() it fingerprints an exact store state: the query answer
+  /// cache (core/query_cache.h) keys on (uid, generation), so a cached
+  /// answer can never be served for a different store or for this store
+  /// after any mutation.
+  uint64_t uid() const { return uid_; }
+
+  /// Monotonic mutation counter: bumped by every mutating entry point
+  /// (RegisterOperator, Mutable, set_sink_oid, set_mode, AppendFrom).
+  /// Capture commits, WAL replay, recovery and compaction all funnel
+  /// through these, so any observable store change advances it.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
 
   /// Aggregate size of the lineage component across all operators.
   uint64_t TotalLineageBytes() const;
@@ -111,10 +135,17 @@ class ProvenanceStore {
   Status Validate() const;
 
  private:
+  void BumpGeneration() {
+    generation_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  static uint64_t NextUid();
+
   std::map<int, OperatorInfo> infos_;
   std::map<int, OperatorProvenance> ops_;
   int sink_oid_ = -1;
   CaptureMode mode_ = CaptureMode::kOff;
+  const uint64_t uid_ = NextUid();
+  std::atomic<uint64_t> generation_{0};
 };
 
 }  // namespace pebble

@@ -1,22 +1,39 @@
 #include "core/query.h"
 
 #include "common/stopwatch.h"
+#include "core/provenance_wal.h"
+#include "core/query_cache.h"
 
 namespace pebble {
 
 namespace {
 
-/// Shared query body: validate inputs, match under the options' deadline and
+/// Shared query body: consult the answer cache (exact, ungoverned
+/// questions only), validate inputs, match under the options' deadline and
 /// cancellation token, backtrace under the full options, and fold a
 /// match-phase trip into the truncation record when the backtrace itself
-/// finished clean.
+/// finished clean. Untruncated answers are cached on the way out; governed
+/// or truncated ones never are (core/query_cache.h).
 Result<ProvenanceQueryResult> RunQuery(const Dataset& output,
                                        const ProvenanceStore& store,
                                        const TreePattern& pattern,
                                        const BacktraceOptions& options,
-                                       int num_threads) {
+                                       int num_threads,
+                                       const BacktraceIndex* index) {
   PEBBLE_RETURN_NOT_OK(ValidateTreePattern(pattern));
   PEBBLE_RETURN_NOT_OK(ValidateBacktraceOptions(options));
+
+  QueryAnswerCache& cache = QueryAnswerCache::Instance();
+  const bool cacheable = options.Unlimited() && cache.enabled();
+  std::string cache_key;
+  std::string exact_pattern;
+  if (cacheable) {
+    cache_key = QueryAnswerCache::MakeKey(store, output, pattern);
+    exact_pattern = pattern.ToString();
+    ProvenanceQueryResult cached;
+    if (cache.Lookup(cache_key, exact_pattern, &cached)) return cached;
+  }
+
   ProvenanceQueryResult result;
   Stopwatch watch;
   bool match_truncated = false;
@@ -26,7 +43,7 @@ Result<ProvenanceQueryResult> RunQuery(const Dataset& output,
   result.match_ms = watch.ElapsedMillis();
 
   watch.Restart();
-  Backtracer tracer(&store);
+  Backtracer tracer(&store, index);
   PEBBLE_ASSIGN_OR_RETURN(
       result.sources,
       tracer.Backtrace(result.matched, options, &result.truncation));
@@ -37,6 +54,9 @@ Result<ProvenanceQueryResult> RunQuery(const Dataset& output,
                                    ? TruncationReason::kCancelled
                                    : TruncationReason::kDeadline;
     result.truncation.detail = "tree-pattern matching stopped early";
+  }
+  if (cacheable && !result.truncation.truncated) {
+    cache.Insert(cache_key, exact_pattern, result);
   }
   return result;
 }
@@ -56,7 +76,8 @@ Result<ProvenanceQueryResult> QueryStructuralProvenance(
     return Status::InvalidArgument(
         "pipeline was executed without provenance capture");
   }
-  return RunQuery(run.output, *run.provenance, pattern, options, num_threads);
+  return RunQuery(run.output, *run.provenance, pattern, options, num_threads,
+                  /*index=*/nullptr);
 }
 
 Result<ProvenanceQueryResult> QueryStructuralProvenanceOffline(
@@ -69,8 +90,18 @@ Result<ProvenanceQueryResult> QueryStructuralProvenanceOffline(
 Result<ProvenanceQueryResult> QueryStructuralProvenanceOffline(
     const Dataset& output, const ProvenanceStore& store,
     const TreePattern& pattern, const BacktraceOptions& options,
+    int num_threads, const BacktraceIndex* index) {
+  return RunQuery(output, store, pattern, options, num_threads, index);
+}
+
+Result<ProvenanceQueryResult> QueryStructuralProvenanceFromWal(
+    const std::string& wal_dir, uint64_t through, const Dataset& output,
+    const TreePattern& pattern, const BacktraceOptions& options,
     int num_threads) {
-  return RunQuery(output, store, pattern, options, num_threads);
+  PEBBLE_ASSIGN_OR_RETURN(RecoveredStore recovered,
+                          RecoverStoreThrough(wal_dir, through));
+  return RunQuery(output, *recovered.store, pattern, options, num_threads,
+                  /*index=*/nullptr);
 }
 
 std::string SourceProvenanceToString(const SourceProvenance& source) {

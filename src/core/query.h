@@ -6,6 +6,8 @@
 #ifndef PEBBLE_CORE_QUERY_H_
 #define PEBBLE_CORE_QUERY_H_
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/backtrace.h"
@@ -57,9 +59,25 @@ Result<ProvenanceQueryResult> QueryStructuralProvenanceOffline(
     const TreePattern& pattern, int num_threads = 4);
 
 /// Governed offline variant; see the governed eager overload above.
+/// `index` is optional: pass the persisted backtrace index surfaced by
+/// LoadProvenanceStoreWithIndex (it must describe `store`) to skip the
+/// tracer's per-query id-table hashing; nullptr preserves the classic
+/// rebuild path.
 Result<ProvenanceQueryResult> QueryStructuralProvenanceOffline(
     const Dataset& output, const ProvenanceStore& store,
     const TreePattern& pattern, const BacktraceOptions& options,
+    int num_threads = 4, const BacktraceIndex* index = nullptr);
+
+/// Point-in-time offline query (decoupled workflow against a live WAL
+/// directory instead of a snapshot file): recovers the store from `wal_dir`
+/// replaying only segments with sequence <= `through`
+/// (RecoverStoreThrough; pass WalRecoveryInfo::max_segment_seq or anything
+/// larger for "everything"), then queries `output` against it. When run
+/// boundaries align with segment boundaries (the writer Rotate()s between
+/// runs), `through` selects the pipeline run to audit as of.
+Result<ProvenanceQueryResult> QueryStructuralProvenanceFromWal(
+    const std::string& wal_dir, uint64_t through, const Dataset& output,
+    const TreePattern& pattern, const BacktraceOptions& options = {},
     int num_threads = 4);
 
 /// Renders a source provenance (ids plus trees) for human consumption.

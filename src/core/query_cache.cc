@@ -1,0 +1,181 @@
+#include "core/query_cache.h"
+
+#include <utility>
+
+namespace pebble {
+
+namespace {
+
+// Nesting depth of ScopedDisable on this thread; > 0 suppresses the cache
+// for queries issued here without racing concurrent users elsewhere.
+thread_local int g_scoped_disable_depth = 0;
+
+uint64_t MixFnv(uint64_t h, uint64_t v) {
+  h ^= v;
+  h *= 0x100000001b3ull;
+  return h;
+}
+
+size_t ApproxNodeBytes(const BtNode& node) {
+  size_t bytes = sizeof(BtNode) + node.key.attr.size() +
+                 sizeof(int) * (node.accessed_by.size() +
+                                node.manipulated_by.size());
+  for (const BtNode& child : node.children) bytes += ApproxNodeBytes(child);
+  return bytes;
+}
+
+size_t ApproxStructureBytes(const BacktraceStructure& structure) {
+  size_t bytes = sizeof(BacktraceEntry) * structure.capacity();
+  for (const BacktraceEntry& entry : structure) {
+    bytes += ApproxNodeBytes(entry.tree.root());
+  }
+  return bytes;
+}
+
+size_t ApproxResultBytes(const ProvenanceQueryResult& result) {
+  size_t bytes = sizeof(ProvenanceQueryResult) +
+                 ApproxStructureBytes(result.matched) +
+                 result.truncation.detail.size();
+  for (const SourceProvenance& source : result.sources) {
+    bytes += sizeof(SourceProvenance) + source.source_name.size() +
+             ApproxStructureBytes(source.items);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+QueryAnswerCache& QueryAnswerCache::Instance() {
+  static QueryAnswerCache* cache = new QueryAnswerCache();
+  return *cache;
+}
+
+std::string QueryAnswerCache::MakeKey(const ProvenanceStore& store,
+                                      const Dataset& output,
+                                      const TreePattern& pattern) {
+  return std::to_string(store.uid()) + "@" +
+         std::to_string(store.generation()) + "|" +
+         std::to_string(DatasetFingerprint(output)) + "|" +
+         pattern.CanonicalText();
+}
+
+uint64_t QueryAnswerCache::DatasetFingerprint(const Dataset& output) {
+  uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  const std::vector<Partition>& parts = output.partitions();
+  h = MixFnv(h, parts.size());
+  for (const Partition& part : parts) {
+    h = MixFnv(h, part.size());
+    size_t i = 0;
+    for (const Row& row : part) {
+      h = MixFnv(h, static_cast<uint64_t>(row.id));
+      // Value addresses pin the physical dataset, not just its ids; a few
+      // per partition suffice and keep the fingerprint O(rows).
+      if (i < 8) {
+        h = MixFnv(h, reinterpret_cast<uintptr_t>(row.value.get()));
+      }
+      ++i;
+    }
+  }
+  return h;
+}
+
+bool QueryAnswerCache::Lookup(const std::string& key,
+                              const std::string& exact_pattern,
+                              ProvenanceQueryResult* result) {
+  if (!enabled()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_key_.find(key);
+  if (it == by_key_.end() || it->second->exact_pattern != exact_pattern) {
+    ++misses_;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  *result = it->second->result;
+  return true;
+}
+
+void QueryAnswerCache::Insert(const std::string& key,
+                              const std::string& exact_pattern,
+                              const ProvenanceQueryResult& result) {
+  if (!enabled()) return;
+  Entry entry;
+  entry.key = key;
+  entry.exact_pattern = exact_pattern;
+  entry.result = result;
+  entry.bytes = ApproxResultBytes(result) + key.size() + exact_pattern.size();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entry.bytes > limits_.max_bytes || limits_.max_entries == 0) return;
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) {
+    bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    by_key_.erase(it);
+  }
+  bytes_ += entry.bytes;
+  lru_.push_front(std::move(entry));
+  by_key_[key] = lru_.begin();
+  ++inserts_;
+  EvictLockedUntilWithinLimits();
+}
+
+void QueryAnswerCache::EvictLockedUntilWithinLimits() {
+  while (!lru_.empty() &&
+         (lru_.size() > limits_.max_entries || bytes_ > limits_.max_bytes)) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    by_key_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void QueryAnswerCache::set_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  global_enabled_ = enabled;
+}
+
+bool QueryAnswerCache::enabled() const {
+  if (g_scoped_disable_depth > 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  return global_enabled_;
+}
+
+void QueryAnswerCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  by_key_.clear();
+  bytes_ = 0;
+}
+
+void QueryAnswerCache::SetLimits(const Limits& limits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  limits_ = limits;
+  EvictLockedUntilWithinLimits();
+}
+
+QueryCacheStats QueryAnswerCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  QueryCacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.inserts = inserts_;
+  s.evictions = evictions_;
+  s.entries = lru_.size();
+  s.bytes = bytes_;
+  return s;
+}
+
+void QueryAnswerCache::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  hits_ = 0;
+  misses_ = 0;
+  inserts_ = 0;
+  evictions_ = 0;
+}
+
+QueryAnswerCache::ScopedDisable::ScopedDisable() { ++g_scoped_disable_depth; }
+QueryAnswerCache::ScopedDisable::~ScopedDisable() { --g_scoped_disable_depth; }
+
+}  // namespace pebble

@@ -1,0 +1,135 @@
+// Warm-path answer cache for structural provenance queries (DESIGN.md
+// §12). Audits and usage studies ask the same handful of questions against
+// a store that changes rarely (between micro-batches) or never (offline
+// snapshots), so QueryStructuralProvenance memoizes whole
+// ProvenanceQueryResults in a process-wide, size-bounded LRU.
+//
+// Keying and invalidation: an entry is keyed by the store's identity
+// fingerprint (uid plus a monotonic generation bumped on every mutation —
+// WAL-backed appends, recovery and compaction included, see
+// ProvenanceStore::generation()), an identity fingerprint of the output
+// dataset the question is asked on, and the canonical order-normalized
+// pattern text (TreePattern::CanonicalText()). Any store mutation changes
+// the generation, so stale answers are unreachable rather than purged.
+// Canonical keying lets conjunct-reordered patterns share one entry, but
+// because rendered answers are child-order-sensitive a hit additionally
+// requires the exact pattern text to match — a canonical collision with a
+// different exact form is a miss, never a wrong answer.
+//
+// Only exact answers are cached: governed queries (non-Unlimited options)
+// bypass the cache entirely, and truncated results are never inserted —
+// a degraded lower bound must not masquerade as the exact answer later.
+
+#ifndef PEBBLE_CORE_QUERY_CACHE_H_
+#define PEBBLE_CORE_QUERY_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/query.h"
+
+namespace pebble {
+
+/// Point-in-time counters of the answer cache.
+struct QueryCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;
+  size_t entries = 0;
+  size_t bytes = 0;
+};
+
+/// Process-wide, thread-safe LRU of provenance query answers. All methods
+/// are safe to call concurrently.
+class QueryAnswerCache {
+ public:
+  struct Limits {
+    size_t max_entries = 64;
+    /// Approximate retained bytes across all cached results.
+    size_t max_bytes = 64ull << 20;
+  };
+
+  static QueryAnswerCache& Instance();
+
+  /// Cache key for a (store, output, pattern) question; stable across
+  /// queries, changed by any store mutation (the generation component).
+  static std::string MakeKey(const ProvenanceStore& store,
+                             const Dataset& output, const TreePattern& pattern);
+
+  /// Identity fingerprint of an output dataset: partition layout, every row
+  /// id, and the value-node addresses of the first rows per partition. Two
+  /// physically different datasets that merely render alike fingerprint
+  /// differently, so offline queries pairing arbitrary retained outputs
+  /// with one store cannot alias each other's answers.
+  static uint64_t DatasetFingerprint(const Dataset& output);
+
+  /// Returns true and copies the cached answer when `key` is present AND
+  /// the entry's exact pattern text equals `exact_pattern`. The copy's
+  /// timing fields (match_ms/backtrace_ms) are those of the original
+  /// computation.
+  bool Lookup(const std::string& key, const std::string& exact_pattern,
+              ProvenanceQueryResult* result);
+
+  /// Inserts (or replaces) the answer for `key`, then evicts LRU entries
+  /// until the limits hold again. Callers must only insert exact,
+  /// untruncated answers.
+  void Insert(const std::string& key, const std::string& exact_pattern,
+              const ProvenanceQueryResult& result);
+
+  /// Globally enables/disables the cache (benchmark cold legs, ablations).
+  /// Disabled means Lookup always misses without counting and Insert is a
+  /// no-op; existing entries are kept.
+  void set_enabled(bool enabled);
+  /// True when globally enabled and not suppressed on this thread.
+  bool enabled() const;
+
+  void Clear();
+  void SetLimits(const Limits& limits);
+  QueryCacheStats stats() const;
+  void ResetStats();
+
+  /// Suppresses the cache on the constructing thread for the scope's
+  /// lifetime (nestable). The differential harness wraps its legs in this
+  /// so every stage genuinely recomputes; thread-local, so concurrent
+  /// cached queries on other threads are unaffected.
+  class ScopedDisable {
+   public:
+    ScopedDisable();
+    ~ScopedDisable();
+    ScopedDisable(const ScopedDisable&) = delete;
+    ScopedDisable& operator=(const ScopedDisable&) = delete;
+  };
+
+ private:
+  QueryAnswerCache() = default;
+
+  struct Entry {
+    std::string key;
+    std::string exact_pattern;
+    ProvenanceQueryResult result;
+    size_t bytes = 0;
+  };
+
+  void EvictLockedUntilWithinLimits();
+
+  mutable std::mutex mu_;
+  // Front = most recently used.
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> by_key_;
+  Limits limits_;
+  size_t bytes_ = 0;
+  bool global_enabled_ = true;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t inserts_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace pebble
+
+#endif  // PEBBLE_CORE_QUERY_CACHE_H_

@@ -1,5 +1,6 @@
 #include "core/tree_pattern.h"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 #include <thread>
@@ -65,39 +66,69 @@ PatternNode&& PatternNode::With(PatternNode child) && {
   return std::move(*this);
 }
 
-std::string PatternNode::ToString() const {
-  std::string out = descendant_ ? "//" + name_ : name_;
-  if (predicate_value_ != nullptr) {
-    const char* op = "=";
-    switch (predicate_op_) {
-      case CompareOp::kEq:
-        op = "=";
-        break;
-      case CompareOp::kNe:
-        op = "!=";
-        break;
-      case CompareOp::kLt:
-        op = "<";
-        break;
-      case CompareOp::kLe:
-        op = "<=";
-        break;
-      case CompareOp::kGt:
-        op = ">";
-        break;
-      case CompareOp::kGe:
-        op = ">=";
-        break;
-    }
-    out += op + predicate_value_->ToString();
+namespace {
+
+const char* CompareOpToken(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
   }
-  if (min_count_ != 1 || max_count_ != std::numeric_limits<int>::max()) {
-    out += "[" + std::to_string(min_count_) + "," +
-           (max_count_ == std::numeric_limits<int>::max()
+  return "=";
+}
+
+/// Head of a node rendering (name, predicate, count constraint) — shared
+/// between the insertion-order ToString and the sorted CanonicalText.
+std::string RenderNodeHead(const PatternNode& node) {
+  std::string out =
+      node.is_descendant() ? "//" + node.name() : node.name();
+  if (node.predicate_value() != nullptr) {
+    out += std::string(CompareOpToken(node.predicate_op())) +
+           node.predicate_value()->ToString();
+  }
+  if (node.min_count() != 1 ||
+      node.max_count() != std::numeric_limits<int>::max()) {
+    out += "[" + std::to_string(node.min_count()) + "," +
+           (node.max_count() == std::numeric_limits<int>::max()
                 ? std::string("*")
-                : std::to_string(max_count_)) +
+                : std::to_string(node.max_count())) +
            "]";
   }
+  return out;
+}
+
+std::string CanonicalRenderNode(const PatternNode& node) {
+  std::string out = RenderNodeHead(node);
+  if (!node.children().empty()) {
+    std::vector<std::string> rendered;
+    rendered.reserve(node.children().size());
+    for (const PatternNode& child : node.children()) {
+      rendered.push_back(CanonicalRenderNode(child));
+    }
+    std::sort(rendered.begin(), rendered.end());
+    out += "(";
+    for (size_t i = 0; i < rendered.size(); ++i) {
+      if (i > 0) out += ",";
+      out += rendered[i];
+    }
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string PatternNode::ToString() const {
+  std::string out = RenderNodeHead(*this);
   if (!children_.empty()) {
     out += "(";
     for (size_t i = 0; i < children_.size(); ++i) {
@@ -401,6 +432,24 @@ std::string TreePattern::ToString() const {
     out += roots_[i].ToString();
   }
   out += ")";
+  return out;
+}
+
+std::string TreePattern::CanonicalText() const {
+  std::vector<std::string> rendered;
+  rendered.reserve(roots_.size());
+  for (const PatternNode& root : roots_) {
+    rendered.push_back(CanonicalRenderNode(root));
+  }
+  std::sort(rendered.begin(), rendered.end());
+  // Top-level conjuncts joined bare (no synthetic root(...) wrapper): this
+  // is exactly the Parse conjunction grammar, so the canonical text reparses
+  // to a pattern with the same canonical text.
+  std::string out;
+  for (size_t i = 0; i < rendered.size(); ++i) {
+    if (i > 0) out += ",";
+    out += rendered[i];
+  }
   return out;
 }
 

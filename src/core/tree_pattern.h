@@ -132,6 +132,16 @@ class TreePattern {
 
   std::string ToString() const;
 
+  /// Canonical, order-normalized text form: sibling nodes (conjuncts and
+  /// nested children) render in sorted order instead of insertion order, so
+  /// patterns that differ only in conjunct order serialize identically. The
+  /// rendering is a pure function of the pattern (no addresses, no
+  /// iteration-order dependence), hence stable across processes, and stays
+  /// inside the Parse grammar: Parse(CanonicalText()) round-trips to a
+  /// pattern with the same CanonicalText. This is the answer-cache key
+  /// (core/query_cache.h).
+  std::string CanonicalText() const;
+
  private:
   std::vector<PatternNode> roots_;
 };

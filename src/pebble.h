@@ -25,6 +25,7 @@
 #include "core/provenance_io.h"
 #include "core/provenance_model.h"
 #include "core/provenance_store.h"
+#include "core/provenance_wal.h"
 #include "core/query.h"
 #include "core/render.h"
 #include "core/tree_pattern.h"

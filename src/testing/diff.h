@@ -30,6 +30,12 @@
 //                         chunk — see backtrace.cc)
 //   retry                 injected provenance.append/task.partition faults
 //                         with retries change results or provenance bytes
+//   query-cache           answer served by the query cache (or the cold
+//                         fill before it) differs from the cache-suppressed
+//                         baseline (all other stages run cache-suppressed)
+//   index-segment         querying via the snapshot's persisted backtrace
+//                         index differs from a rebuilt index or the
+//                         baseline, or the saved snapshot lacks the segment
 
 #ifndef PEBBLE_TESTING_DIFF_H_
 #define PEBBLE_TESTING_DIFF_H_

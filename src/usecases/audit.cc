@@ -1,8 +1,10 @@
 #include "usecases/audit.h"
 
 #include <memory>
+#include <utility>
 
 #include "core/provenance_io.h"
+#include "core/provenance_wal.h"
 
 namespace pebble {
 
@@ -36,24 +38,21 @@ AuditReport BuildAuditReport(const SourceProvenance& structural,
   return report;
 }
 
-Result<std::vector<AuditReport>> AuditFromSnapshot(
-    const std::string& snapshot_path, const Dataset& leaked_output,
-    const TreePattern& pattern, size_t num_attributes, int num_threads,
-    const BacktraceOptions& options) {
-  PEBBLE_RETURN_NOT_OK(ValidateTreePattern(pattern));
-  PEBBLE_RETURN_NOT_OK(ValidateBacktraceOptions(options));
-  auto loaded = LoadProvenanceStore(snapshot_path);
-  if (!loaded.ok()) {
-    return loaded.status().WithContext("audit aborted");
-  }
-  std::unique_ptr<ProvenanceStore> store = std::move(loaded).value();
+namespace {
 
+/// Shared audit body over an already-loaded store. `index` is optional
+/// (the persisted backtrace index of a snapshot); nullptr selects the
+/// tracer's classic per-query lookup rebuild.
+Result<std::vector<AuditReport>> AuditStore(
+    const ProvenanceStore& store, const BacktraceIndex* index,
+    const Dataset& leaked_output, const TreePattern& pattern,
+    size_t num_attributes, int num_threads, const BacktraceOptions& options) {
   bool match_truncated = false;
   PEBBLE_ASSIGN_OR_RETURN(
       BacktraceStructure matched,
       pattern.Match(leaked_output, num_threads, options.deadline,
                     options.cancel, &match_truncated));
-  Backtracer tracer(store.get());
+  Backtracer tracer(&store, index);
   BacktraceTruncation truncation;
   PEBBLE_ASSIGN_OR_RETURN(std::vector<SourceProvenance> sources,
                           tracer.Backtrace(matched, options, &truncation));
@@ -72,7 +71,7 @@ Result<std::vector<AuditReport>> AuditFromSnapshot(
   for (const BacktraceEntry& entry : matched) {
     matched_ids.push_back(entry.id);
   }
-  LineageTracer lineage_tracer(store.get());
+  LineageTracer lineage_tracer(&store);
   PEBBLE_ASSIGN_OR_RETURN(std::vector<SourceLineage> lineages,
                           lineage_tracer.Trace(matched_ids));
 
@@ -96,6 +95,37 @@ Result<std::vector<AuditReport>> AuditFromSnapshot(
     reports.push_back(std::move(report));
   }
   return reports;
+}
+
+}  // namespace
+
+Result<std::vector<AuditReport>> AuditFromSnapshot(
+    const std::string& snapshot_path, const Dataset& leaked_output,
+    const TreePattern& pattern, size_t num_attributes, int num_threads,
+    const BacktraceOptions& options) {
+  PEBBLE_RETURN_NOT_OK(ValidateTreePattern(pattern));
+  PEBBLE_RETURN_NOT_OK(ValidateBacktraceOptions(options));
+  auto loaded = LoadProvenanceStoreWithIndex(snapshot_path);
+  if (!loaded.ok()) {
+    return loaded.status().WithContext("audit aborted");
+  }
+  LoadedProvenance provenance = std::move(loaded).value();
+  return AuditStore(*provenance.store, provenance.index.get(), leaked_output,
+                    pattern, num_attributes, num_threads, options);
+}
+
+Result<std::vector<AuditReport>> AuditFromWal(
+    const std::string& wal_dir, uint64_t through, const Dataset& leaked_output,
+    const TreePattern& pattern, size_t num_attributes, int num_threads,
+    const BacktraceOptions& options) {
+  PEBBLE_RETURN_NOT_OK(ValidateTreePattern(pattern));
+  PEBBLE_RETURN_NOT_OK(ValidateBacktraceOptions(options));
+  auto recovered = RecoverStoreThrough(wal_dir, through);
+  if (!recovered.ok()) {
+    return recovered.status().WithContext("audit aborted");
+  }
+  return AuditStore(*recovered->store, /*index=*/nullptr, leaked_output,
+                    pattern, num_attributes, num_threads, options);
 }
 
 std::string AuditReport::ToString() const {

@@ -62,6 +62,9 @@ AuditReport BuildAuditReport(const SourceProvenance& structural,
 /// provenance was persisted with SaveProvenanceStore. Reloads the snapshot
 /// at `snapshot_path` (checksummed + validated), matches `pattern` on the
 /// leaked result dataset, backtraces, and builds one report per source.
+/// When the snapshot carries a persisted backtrace index ("btindex"
+/// segment) the tracer uses it directly instead of rebuilding id-table
+/// lookups; index-less snapshots audit identically via the rebuild path.
 /// Any failure (missing file, corrupt snapshot, bad pattern) propagates as
 /// a Status with its original code and the snapshot path in the message.
 /// `options` bounds the query (deadline / cancellation / visit caps); on a
@@ -69,6 +72,16 @@ AuditReport BuildAuditReport(const SourceProvenance& structural,
 /// lower-bound semantics, not an error.
 Result<std::vector<AuditReport>> AuditFromSnapshot(
     const std::string& snapshot_path, const Dataset& leaked_output,
+    const TreePattern& pattern, size_t num_attributes, int num_threads = 2,
+    const BacktraceOptions& options = BacktraceOptions());
+
+/// Point-in-time audit against a provenance WAL directory: recovers the
+/// store replaying only segments with sequence <= `through`
+/// (RecoverStoreThrough), then audits `leaked_output` against that state.
+/// With the writer Rotate()ing between pipeline runs, `through` selects
+/// which run's provenance the audit sees — "what had leaked as of run k".
+Result<std::vector<AuditReport>> AuditFromWal(
+    const std::string& wal_dir, uint64_t through, const Dataset& leaked_output,
     const TreePattern& pattern, size_t num_attributes, int num_threads = 2,
     const BacktraceOptions& options = BacktraceOptions());
 

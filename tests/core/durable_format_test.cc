@@ -172,11 +172,28 @@ TEST_F(DurableFormatTest, RejectsUnsupportedVersion) {
   ExpectCorrupt(bad, "unsupported format version 99");
 }
 
-TEST_F(DurableFormatTest, RejectsWrongSegmentCount) {
+TEST_F(DurableFormatTest, RejectsTooSmallSegmentCount) {
+  // Fewer than the five core segments can never be a valid snapshot. More
+  // is legal (trailing extension segments, e.g. the backtrace index), so
+  // only the lower bound is rejected by the count check itself.
   std::string bad = blob_;
-  bad[12] = 9;  // segment count LSB
+  bad[12] = 2;  // segment count LSB
   FixHeaderCrc(&bad);
-  ExpectCorrupt(bad, "unexpected segment count 9");
+  ExpectCorrupt(bad, "unexpected segment count 2");
+}
+
+TEST_F(DurableFormatTest, RejectsOverclaimedSegmentCount) {
+  // A count larger than what the file actually contains dies framing the
+  // phantom segment, with index and offset.
+  std::string bad = blob_;
+  bad[12] = static_cast<char>(bad[12] + 1);
+  FixHeaderCrc(&bad);
+  Result<std::unique_ptr<ProvenanceStore>> r =
+      DeserializeDurableProvenanceStore(bad, "origin.pprov");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  EXPECT_NE(r.status().message().find("at byte"), std::string::npos)
+      << r.status().ToString();
 }
 
 TEST_F(DurableFormatTest, TruncatedTailNamesSegmentAndOffset) {
@@ -228,7 +245,11 @@ TEST_F(DurableFormatTest, MetaCountMismatchRejected) {
   OperatorProvenance* prov = a.Mutable(2);
   prov->unary_ids.push_back(UnaryIdRow{10, 20});
 
-  std::string blob = SerializeDurableProvenanceStore(a);
+  // Serialize without the trailing index segment: the tamper below rebuilds
+  // the ids segment as the final bytes of the blob.
+  DurableSaveOptions no_index;
+  no_index.include_backtrace_index = false;
+  std::string blob = SerializeDurableProvenanceStore(a, no_index);
   // The ids segment is last; its payload ends "u 10 20\n" preceded by
   // "p 2\n". Splice one id line out and re-checksum nothing: the segment
   // CRC catches it first. To reach the meta cross-check, rebuild the ids
@@ -264,6 +285,75 @@ TEST_F(DurableFormatTest, MetaCountMismatchRejected) {
     tampered.push_back(static_cast<char>((crc >> (8 * i)) & 0xFF));
   }
   ExpectCorrupt(tampered, "meta counts disagree");
+}
+
+// --- trailing extension segments: unknown ones are CRC-verified and
+// skipped (forward compatibility), duplicates of core segments are not.
+
+/// Appends a CRC-correct segment named `name` to `blob` and bumps the
+/// header's segment count accordingly.
+void AppendExtraSegment(const std::string& name, const std::string& payload,
+                        std::string* blob) {
+  (*blob) += static_cast<char>(name.size() & 0xFF);
+  (*blob) += static_cast<char>((name.size() >> 8) & 0xFF);
+  (*blob) += name;
+  uint64_t len = payload.size();
+  for (int i = 0; i < 8; ++i) {
+    (*blob) += static_cast<char>((len >> (8 * i)) & 0xFF);
+  }
+  (*blob) += payload;
+  uint32_t crc = Crc32Update(kCrc32Init, name.data(), name.size());
+  crc = Crc32Update(crc, payload.data(), payload.size());
+  crc = Crc32Finalize(crc);
+  for (int i = 0; i < 4; ++i) {
+    (*blob) += static_cast<char>((crc >> (8 * i)) & 0xFF);
+  }
+  (*blob)[12] = static_cast<char>((*blob)[12] + 1);  // segment count LSB
+  FixHeaderCrc(blob);
+}
+
+TEST_F(DurableFormatTest, UnknownTrailingSegmentIsSkipped) {
+  // A snapshot written by a future version with one more extension segment
+  // must still load today — the unknown-segment-skip contract.
+  std::string future = blob_;
+  AppendExtraSegment("futureext", "opaque bytes of a future feature",
+                     &future);
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<ProvenanceStore> loaded,
+                       DeserializeDurableProvenanceStore(future, "test"));
+  EXPECT_EQ(SerializeProvenanceStore(*loaded),
+            SerializeProvenanceStore(*run_.provenance));
+}
+
+TEST_F(DurableFormatTest, CorruptUnknownTrailingSegmentStillCaught) {
+  // Skipped does not mean unverified: a bit flip inside the unknown
+  // segment's payload must trip its CRC.
+  std::string future = blob_;
+  AppendExtraSegment("futureext", "opaque bytes of a future feature",
+                     &future);
+  future[future.size() - 10] ^= 0x01;
+  ExpectCorrupt(future, "checksum mismatch in segment");
+}
+
+TEST_F(DurableFormatTest, DuplicateCoreSegmentInTrailingPositionRejected) {
+  std::string dup = blob_;
+  AppendExtraSegment("ids", "p 1\n", &dup);
+  ExpectCorrupt(dup, "duplicate core segment 'ids'");
+}
+
+TEST_F(DurableFormatTest, IndexSegmentPresentByDefaultAndOptional) {
+  EXPECT_NE(blob_.find("btindex"), std::string::npos);
+  DurableSaveOptions no_index;
+  no_index.include_backtrace_index = false;
+  const std::string bare =
+      SerializeDurableProvenanceStore(*run_.provenance, no_index);
+  EXPECT_EQ(bare.find("btindex"), std::string::npos);
+  // Both load to the same store through the plain reader.
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<ProvenanceStore> with,
+                       DeserializeDurableProvenanceStore(blob_, "with"));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<ProvenanceStore> without,
+                       DeserializeDurableProvenanceStore(bare, "without"));
+  EXPECT_EQ(SerializeProvenanceStore(*with),
+            SerializeProvenanceStore(*without));
 }
 
 // --- file-level loads: path in every error, both formats accepted, the

@@ -1,0 +1,489 @@
+// Tests for the persisted backtrace-index segment ("btindex") of the
+// durable v2 snapshot: golden round trip (byte-identical store, identical
+// answers vs a rebuilt index), lookup equivalence between the loaded and
+// hash-built index backends, the index-less rebuild fallback, and the
+// semantic corruption gate — a CRC-valid index that does not describe its
+// store must be a structured kIOError, never a wrong answer.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/crc32.h"
+#include "core/provenance_io.h"
+#include "core/query.h"
+#include "core/query_cache.h"
+#include "test_util.h"
+#include "workload/running_example.h"
+
+namespace pebble {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+class IndexSegmentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK_AND_ASSIGN(ex_, MakeRunningExample());
+    Executor executor(ExecOptions{CaptureMode::kStructural, 2, 1});
+    ASSERT_OK_AND_ASSIGN(run_, executor.Run(ex_.pipeline));
+    blob_ = SerializeDurableProvenanceStore(*run_.provenance);
+  }
+
+  RunningExample ex_;
+  ExecutionResult run_;
+  std::string blob_;
+};
+
+// --- little-endian helpers over the raw blob --------------------------------
+
+uint32_t ReadU32At(const std::string& data, size_t at) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(data[at + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+uint64_t ReadU64At(const std::string& data, size_t at) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(data[at + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+void WriteU32At(std::string* data, size_t at, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    (*data)[at + i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+/// Extracts the btindex segment payload; the segment is the last one in the
+/// blob, found via its length-prefixed name marker.
+std::string IndexPayloadOf(const std::string& blob, size_t* payload_at) {
+  std::string marker;
+  marker.push_back(7);  // u16 LE name length 7
+  marker.push_back(0);
+  marker += "btindex";
+  size_t name_at = blob.find(marker);
+  if (name_at == std::string::npos) {
+    ADD_FAILURE() << "blob has no btindex segment";
+    return "";
+  }
+  size_t len_at = name_at + marker.size();
+  uint64_t len = ReadU64At(blob, len_at);
+  *payload_at = len_at + 8;
+  return blob.substr(*payload_at, static_cast<size_t>(len));
+}
+
+/// Returns `blob` with the btindex payload replaced by `mutate`'s output,
+/// with length and segment CRC re-framed so only the semantic validation
+/// can object.
+std::string WithTamperedIndexPayload(
+    const std::string& blob,
+    const std::function<void(std::string*)>& mutate) {
+  size_t payload_at = 0;
+  std::string payload = IndexPayloadOf(blob, &payload_at);
+  mutate(&payload);
+  std::string out = blob.substr(0, payload_at - 8);
+  uint64_t len = payload.size();
+  for (int i = 0; i < 8; ++i) {
+    out += static_cast<char>((len >> (8 * i)) & 0xFF);
+  }
+  out += payload;
+  uint32_t crc = Crc32Update(kCrc32Init, "btindex", 7);
+  crc = Crc32Update(crc, payload.data(), payload.size());
+  crc = Crc32Finalize(crc);
+  for (int i = 0; i < 4; ++i) {
+    out += static_cast<char>((crc >> (8 * i)) & 0xFF);
+  }
+  return out;
+}
+
+/// One parsed btindex entry: byte offset of its flavor byte within the
+/// payload, plus the decoded header fields and the offset of its row array.
+struct EntryRef {
+  size_t at = 0;
+  uint8_t flavor = 0;
+  uint32_t oid = 0;
+  uint64_t rows = 0;
+  size_t rows_at = 0;
+};
+
+std::vector<EntryRef> ParseIndexEntries(const std::string& payload) {
+  std::vector<EntryRef> entries;
+  size_t at = 4;  // skip entry count
+  uint32_t count = ReadU32At(payload, 0);
+  for (uint32_t e = 0; e < count; ++e) {
+    EntryRef ref;
+    ref.at = at;
+    ref.flavor = static_cast<unsigned char>(payload[at]);
+    ref.oid = ReadU32At(payload, at + 1);
+    ref.rows = ReadU64At(payload, at + 5);
+    ref.rows_at = at + 13;
+    at = ref.rows_at + static_cast<size_t>(ref.rows) * 4;
+    entries.push_back(ref);
+  }
+  return entries;
+}
+
+void ExpectIndexCorrupt(const std::string& blob, const std::string& needle) {
+  // The index-aware reader must reject...
+  Result<LoadedProvenance> r =
+      DeserializeDurableProvenanceStoreWithIndex(blob, "origin.pprov");
+  ASSERT_FALSE(r.ok()) << "expected index corruption containing '" << needle
+                       << "'";
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  EXPECT_NE(r.status().message().find("origin.pprov"), std::string::npos)
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find(needle), std::string::npos)
+      << r.status().ToString();
+  // ...while the plain reader, which never decodes the extension, still
+  // loads the core segments (they are untouched and CRC-valid).
+  ASSERT_OK(DeserializeDurableProvenanceStore(blob, "origin.pprov").status());
+}
+
+// --- golden round trip ------------------------------------------------------
+
+TEST_F(IndexSegmentTest, SerializationIsDeterministic) {
+  EXPECT_EQ(SerializeDurableProvenanceStore(*run_.provenance), blob_);
+}
+
+TEST_F(IndexSegmentTest, RoundTripIsByteIdentical) {
+  ASSERT_OK_AND_ASSIGN(LoadedProvenance loaded,
+                       DeserializeDurableProvenanceStoreWithIndex(blob_,
+                                                                  "test"));
+  ASSERT_NE(loaded.store, nullptr);
+  ASSERT_NE(loaded.index, nullptr);
+  EXPECT_TRUE(loaded.index->loaded());
+  // Re-serializing the loaded store (index segment included) reproduces the
+  // original snapshot byte for byte.
+  EXPECT_EQ(SerializeDurableProvenanceStore(*loaded.store), blob_);
+}
+
+TEST_F(IndexSegmentTest, PersistedIndexAnswersMatchRebuiltIndex) {
+  // Same question three ways over the same loaded store: persisted index,
+  // hash-rebuilt index, and no index at all. The cache is suppressed so
+  // every leg truly traces.
+  QueryAnswerCache::ScopedDisable cache_off;
+  ASSERT_OK_AND_ASSIGN(LoadedProvenance loaded,
+                       DeserializeDurableProvenanceStoreWithIndex(blob_,
+                                                                  "test"));
+  ASSERT_NE(loaded.index, nullptr);
+  const BacktraceIndex rebuilt(*loaded.store);
+  const BacktraceIndex* legs[3] = {loaded.index.get(), &rebuilt, nullptr};
+  std::vector<std::string> renders;
+  for (const BacktraceIndex* index : legs) {
+    ASSERT_OK_AND_ASSIGN(
+        ProvenanceQueryResult q,
+        QueryStructuralProvenanceOffline(run_.output, *loaded.store,
+                                         ex_.query, BacktraceOptions(),
+                                         /*num_threads=*/1, index));
+    std::string render;
+    for (const SourceProvenance& source : q.sources) {
+      render += SourceProvenanceToString(source);
+    }
+    renders.push_back(std::move(render));
+  }
+  EXPECT_EQ(renders[0], renders[1]);
+  EXPECT_EQ(renders[0], renders[2]);
+  EXPECT_FALSE(renders[0].empty());
+}
+
+TEST_F(IndexSegmentTest, LoadedLookupsMatchHashBuilt) {
+  ASSERT_OK_AND_ASSIGN(LoadedProvenance loaded,
+                       DeserializeDurableProvenanceStoreWithIndex(blob_,
+                                                                  "test"));
+  ASSERT_NE(loaded.index, nullptr);
+  const BacktraceIndex hash_built(*loaded.store);
+  const BacktraceIndexPerms perms = BacktraceIndex::BuildPerms(*loaded.store);
+  ASSERT_FALSE(perms.empty());
+
+  for (const auto& [oid, perm] : perms.unary) {
+    const auto* map = hash_built.unary(oid);
+    ASSERT_NE(map, nullptr);
+    // The pinned contract: hash accessors answer nullptr on a loaded index;
+    // the unified lookups answer on both backends.
+    EXPECT_EQ(loaded.index->unary(oid), nullptr);
+    BacktraceIndex::Lookup<int64_t> lookup = loaded.index->UnaryFor(oid);
+    ASSERT_TRUE(lookup.present());
+    for (const auto& [out, in] : *map) {
+      int64_t got = 0;
+      ASSERT_TRUE(lookup.Find(out, &got)) << "out id " << out;
+      EXPECT_EQ(got, in);
+    }
+    int64_t miss = 0;
+    EXPECT_FALSE(lookup.Find(-987654, &miss));
+  }
+  for (const auto& [oid, perm] : perms.binary) {
+    const auto* map = hash_built.binary(oid);
+    ASSERT_NE(map, nullptr);
+    BacktraceIndex::Lookup<BacktraceIndex::BinaryEntry> lookup =
+        loaded.index->BinaryFor(oid);
+    ASSERT_TRUE(lookup.present());
+    for (const auto& [out, entry] : *map) {
+      BacktraceIndex::BinaryEntry got{0, 0};
+      ASSERT_TRUE(lookup.Find(out, &got));
+      EXPECT_EQ(got.in1, entry.in1);
+      EXPECT_EQ(got.in2, entry.in2);
+    }
+  }
+  for (const auto& [oid, perm] : perms.flatten) {
+    const auto* map = hash_built.flatten(oid);
+    ASSERT_NE(map, nullptr);
+    BacktraceIndex::Lookup<BacktraceIndex::FlattenEntry> lookup =
+        loaded.index->FlattenFor(oid);
+    ASSERT_TRUE(lookup.present());
+    for (const auto& [out, entry] : *map) {
+      BacktraceIndex::FlattenEntry got{0, 0};
+      ASSERT_TRUE(lookup.Find(out, &got));
+      EXPECT_EQ(got.in, entry.in);
+      EXPECT_EQ(got.pos, entry.pos);
+    }
+  }
+  for (const auto& [oid, perm] : perms.agg) {
+    const auto* map = hash_built.agg(oid);
+    ASSERT_NE(map, nullptr);
+    BacktraceIndex::Lookup<IdSpan> lookup = loaded.index->AggFor(oid);
+    ASSERT_TRUE(lookup.present());
+    for (const auto& [out, span] : *map) {
+      IdSpan got{};
+      ASSERT_TRUE(lookup.Find(out, &got));
+      ASSERT_EQ(got.size(), span.size());
+      for (size_t i = 0; i < span.size(); ++i) EXPECT_EQ(got[i], span[i]);
+    }
+  }
+}
+
+// --- fallback paths ---------------------------------------------------------
+
+TEST_F(IndexSegmentTest, IndexLessSnapshotFallsBackToRebuild) {
+  DurableSaveOptions no_index;
+  no_index.include_backtrace_index = false;
+  const std::string bare =
+      SerializeDurableProvenanceStore(*run_.provenance, no_index);
+  ASSERT_OK_AND_ASSIGN(LoadedProvenance loaded,
+                       DeserializeDurableProvenanceStoreWithIndex(bare,
+                                                                  "bare"));
+  ASSERT_NE(loaded.store, nullptr);
+  EXPECT_EQ(loaded.index, nullptr);
+  QueryAnswerCache::ScopedDisable cache_off;
+  ASSERT_OK_AND_ASSIGN(
+      ProvenanceQueryResult q,
+      QueryStructuralProvenanceOffline(run_.output, *loaded.store, ex_.query,
+                                       /*num_threads=*/1));
+  EXPECT_FALSE(q.sources.empty());
+}
+
+TEST_F(IndexSegmentTest, FileLoadSurfacesIndexAndLegacyHasNone) {
+  const std::string durable_path = TempPath("index_segment_durable.pprov");
+  ASSERT_OK(SaveProvenanceStore(*run_.provenance, durable_path));
+  ASSERT_OK_AND_ASSIGN(LoadedProvenance durable,
+                       LoadProvenanceStoreWithIndex(durable_path));
+  EXPECT_NE(durable.index, nullptr);
+
+  const std::string legacy_path = TempPath("index_segment_legacy.prov");
+  {
+    std::ofstream out(legacy_path, std::ios::binary | std::ios::trunc);
+    const std::string text = SerializeProvenanceStore(*run_.provenance);
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+    ASSERT_TRUE(out.good());
+  }
+  ASSERT_OK_AND_ASSIGN(LoadedProvenance legacy,
+                       LoadProvenanceStoreWithIndex(legacy_path));
+  EXPECT_EQ(legacy.index, nullptr);
+  EXPECT_EQ(SerializeProvenanceStore(*legacy.store),
+            SerializeProvenanceStore(*durable.store));
+  std::remove(durable_path.c_str());
+  std::remove(legacy_path.c_str());
+}
+
+// --- semantic corruption of a CRC-valid index segment -----------------------
+
+TEST_F(IndexSegmentTest, RejectsUnknownFlavor) {
+  std::string bad = WithTamperedIndexPayload(blob_, [](std::string* payload) {
+    std::vector<EntryRef> entries = ParseIndexEntries(*payload);
+    ASSERT_FALSE(entries.empty());
+    (*payload)[entries[0].at] = 9;
+  });
+  ExpectIndexCorrupt(bad, "unknown id-table flavor 9");
+}
+
+TEST_F(IndexSegmentTest, RejectsUncapturedOperator) {
+  std::string bad = WithTamperedIndexPayload(blob_, [](std::string* payload) {
+    std::vector<EntryRef> entries = ParseIndexEntries(*payload);
+    ASSERT_FALSE(entries.empty());
+    WriteU32At(payload, entries[0].at + 1, 9999);
+  });
+  ExpectIndexCorrupt(bad, "operator 9999");
+}
+
+TEST_F(IndexSegmentTest, RejectsRowCountMismatch) {
+  std::string bad = WithTamperedIndexPayload(blob_, [](std::string* payload) {
+    std::vector<EntryRef> entries = ParseIndexEntries(*payload);
+    ASSERT_FALSE(entries.empty());
+    // Bump the claimed row count without adding rows: the size cross-check
+    // fires before any row is read.
+    uint64_t rows = entries[0].rows + 1;
+    for (int i = 0; i < 8; ++i) {
+      (*payload)[entries[0].at + 5 + i] =
+          static_cast<char>((rows >> (8 * i)) & 0xFF);
+    }
+  });
+  ExpectIndexCorrupt(bad, "rows but its id table has");
+}
+
+TEST_F(IndexSegmentTest, RejectsOutOfRangeRowIndex) {
+  std::string bad = WithTamperedIndexPayload(blob_, [](std::string* payload) {
+    std::vector<EntryRef> entries = ParseIndexEntries(*payload);
+    for (const EntryRef& entry : entries) {
+      if (entry.rows == 0) continue;
+      WriteU32At(payload, entry.rows_at, 0xFFFFFF);
+      return;
+    }
+    FAIL() << "no non-empty index entry to tamper";
+  });
+  ExpectIndexCorrupt(bad, "out of range");
+}
+
+TEST_F(IndexSegmentTest, RejectsUnsortedPermutation) {
+  std::string bad = WithTamperedIndexPayload(blob_, [](std::string* payload) {
+    std::vector<EntryRef> entries = ParseIndexEntries(*payload);
+    for (const EntryRef& entry : entries) {
+      if (entry.rows < 2) continue;
+      const uint32_t first = ReadU32At(*payload, entry.rows_at);
+      const uint32_t second = ReadU32At(*payload, entry.rows_at + 4);
+      WriteU32At(payload, entry.rows_at, second);
+      WriteU32At(payload, entry.rows_at + 4, first);
+      return;
+    }
+    FAIL() << "no index entry with >= 2 rows to tamper";
+  });
+  ExpectIndexCorrupt(bad, "not strictly increasing");
+}
+
+TEST_F(IndexSegmentTest, RejectsDuplicateEntry) {
+  std::string bad = WithTamperedIndexPayload(blob_, [](std::string* payload) {
+    std::vector<EntryRef> entries = ParseIndexEntries(*payload);
+    ASSERT_FALSE(entries.empty());
+    const EntryRef& first = entries[0];
+    const size_t entry_bytes =
+        13 + static_cast<size_t>(first.rows) * 4;
+    const std::string copy = payload->substr(first.at, entry_bytes);
+    payload->insert(first.at + entry_bytes, copy);
+    WriteU32At(payload, 0, ReadU32At(*payload, 0) + 1);
+  });
+  ExpectIndexCorrupt(bad, "duplicate entry");
+}
+
+TEST_F(IndexSegmentTest, RejectsTrailingPayloadBytes) {
+  std::string bad = WithTamperedIndexPayload(
+      blob_, [](std::string* payload) { payload->push_back('x'); });
+  ExpectIndexCorrupt(bad, "trailing bytes");
+}
+
+TEST_F(IndexSegmentTest, RejectsTruncatedPayload) {
+  std::string bad = WithTamperedIndexPayload(
+      blob_, [](std::string* payload) { payload->pop_back(); });
+  ExpectIndexCorrupt(bad, "truncated");
+}
+
+TEST_F(IndexSegmentTest, BitFlipInsideIndexPayloadTripsSegmentCrc) {
+  // Without re-framing, a plain bit flip is caught by the segment CRC long
+  // before semantic validation — by BOTH readers.
+  size_t payload_at = 0;
+  std::string payload = IndexPayloadOf(blob_, &payload_at);
+  ASSERT_FALSE(payload.empty());
+  std::string bad = blob_;
+  bad[payload_at + payload.size() / 2] ^= 0x10;
+  Result<LoadedProvenance> with =
+      DeserializeDurableProvenanceStoreWithIndex(bad, "origin.pprov");
+  ASSERT_FALSE(with.ok());
+  EXPECT_NE(with.status().message().find("checksum mismatch in segment"),
+            std::string::npos);
+  Result<std::unique_ptr<ProvenanceStore>> plain =
+      DeserializeDurableProvenanceStore(bad, "origin.pprov");
+  ASSERT_FALSE(plain.ok());
+  EXPECT_NE(plain.status().message().find("checksum mismatch in segment"),
+            std::string::npos);
+}
+
+TEST_F(IndexSegmentTest, StandaloneDecodeMatchesFullLoad) {
+  // DecodePersistedBacktraceIndex re-attaches an index to a store that
+  // was already deserialized from the same bytes; it must yield a loaded
+  // index whose answers match the one the WithIndex loader produces.
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<ProvenanceStore> store,
+                       DeserializeDurableProvenanceStore(blob_, "b"));
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<BacktraceIndex> decoded,
+      DecodePersistedBacktraceIndex(blob_, *store, "origin.pprov"));
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_TRUE(decoded->loaded());
+
+  ASSERT_OK_AND_ASSIGN(LoadedProvenance loaded,
+                       DeserializeDurableProvenanceStoreWithIndex(blob_, "b"));
+  ASSERT_NE(loaded.index, nullptr);
+  QueryAnswerCache::ScopedDisable off;
+  ASSERT_OK_AND_ASSIGN(
+      ProvenanceQueryResult via_decoded,
+      QueryStructuralProvenanceOffline(run_.output, *store, ex_.query,
+                                       BacktraceOptions(), 1, decoded.get()));
+  ASSERT_OK_AND_ASSIGN(
+      ProvenanceQueryResult via_loaded,
+      QueryStructuralProvenanceOffline(run_.output, *loaded.store, ex_.query,
+                                       BacktraceOptions(), 1,
+                                       loaded.index.get()));
+  auto render = [](const ProvenanceQueryResult& q) {
+    std::string out;
+    for (const SourceProvenance& s : q.sources) {
+      out += SourceProvenanceToString(s);
+    }
+    return out;
+  };
+  EXPECT_EQ(render(via_decoded), render(via_loaded));
+}
+
+TEST_F(IndexSegmentTest, StandaloneDecodeReturnsNullWithoutIndexSegment) {
+  DurableSaveOptions no_index;
+  no_index.include_backtrace_index = false;
+  const std::string plain_blob =
+      SerializeDurableProvenanceStore(*run_.provenance, no_index);
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<ProvenanceStore> store,
+                       DeserializeDurableProvenanceStore(plain_blob, "b"));
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<BacktraceIndex> decoded,
+      DecodePersistedBacktraceIndex(plain_blob, *store, "origin.pprov"));
+  EXPECT_EQ(decoded, nullptr);
+}
+
+TEST_F(IndexSegmentTest, StandaloneDecodeRejectsCorruptIndex) {
+  // The standalone decode runs the same framing + semantic gate as the
+  // WithIndex loader: a CRC-valid but lying index is kIOError here too.
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<ProvenanceStore> store,
+                       DeserializeDurableProvenanceStore(blob_, "b"));
+  std::string bad = WithTamperedIndexPayload(blob_, [](std::string* payload) {
+    (*payload)[4] = static_cast<char>(9);  // first entry's flavor byte
+  });
+  Result<std::unique_ptr<BacktraceIndex>> decoded =
+      DecodePersistedBacktraceIndex(bad, *store, "origin.pprov");
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kIOError);
+  EXPECT_NE(decoded.status().message().find("origin.pprov"),
+            std::string::npos);
+  EXPECT_NE(decoded.status().message().find("unknown id-table flavor"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace pebble

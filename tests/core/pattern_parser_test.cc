@@ -183,5 +183,43 @@ TEST(PatternParserTest, WhitespaceTolerant) {
   EXPECT_EQ(p.roots().size(), 2u);
 }
 
+TEST(PatternParserTest, CanonicalTextRoundTripsThroughParse) {
+  // CanonicalText stays inside the Parse grammar: reparsing it yields a
+  // pattern with the same canonical text (the answer-cache key contract).
+  const char* cases[] = {
+      "user",
+      "//id_str='lp'",
+      "text='x'[2,2]",
+      "a(b(c='x'),d)",
+      "//id_str='lp', tweets(text='Hello World'[2,2])",
+      "t='a\\'b'",
+      "year=2015, flag=true, score=2.5",
+  };
+  for (const char* text : cases) {
+    ASSERT_OK_AND_ASSIGN(TreePattern p, TreePattern::Parse(text));
+    const std::string canonical = p.CanonicalText();
+    ASSERT_OK_AND_ASSIGN(TreePattern reparsed, TreePattern::Parse(canonical));
+    EXPECT_EQ(reparsed.CanonicalText(), canonical) << text;
+  }
+}
+
+TEST(PatternParserTest, CanonicalTextIsOrderNormalized) {
+  // Conjunct and sibling order are presentation details: reorderings share
+  // one canonical text while ToString preserves the written order.
+  ASSERT_OK_AND_ASSIGN(TreePattern ab,
+                       TreePattern::Parse("a(b,c='x'), //d"));
+  ASSERT_OK_AND_ASSIGN(TreePattern ba,
+                       TreePattern::Parse("//d, a(c='x',b)"));
+  EXPECT_EQ(ab.CanonicalText(), ba.CanonicalText());
+  EXPECT_NE(ab.ToString(), ba.ToString());
+
+  // Distinct predicates/cardinalities stay distinct under normalization.
+  ASSERT_OK_AND_ASSIGN(TreePattern other, TreePattern::Parse("a(b,c='y'), //d"));
+  EXPECT_NE(other.CanonicalText(), ab.CanonicalText());
+  ASSERT_OK_AND_ASSIGN(TreePattern counted,
+                       TreePattern::Parse("a(b[1,2],c='x'), //d"));
+  EXPECT_NE(counted.CanonicalText(), ab.CanonicalText());
+}
+
 }  // namespace
 }  // namespace pebble

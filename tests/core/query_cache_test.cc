@@ -1,0 +1,256 @@
+// Tests for the warm-path query answer cache: hit/miss accounting, the
+// canonical-key-with-exact-text contract, generation-based invalidation on
+// every store mutation, the governed/truncated bypass, LRU and byte
+// eviction, scoped and global disable, and a concurrent smoke test for the
+// tsan leg of the query-cache check stage.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/query.h"
+#include "core/query_cache.h"
+#include "engine/executor.h"
+#include "test_util.h"
+#include "workload/running_example.h"
+
+namespace pebble {
+namespace {
+
+// The cache is a process-wide singleton shared with every other suite in
+// this binary, so each test starts from and restores the pristine state.
+class QueryCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK_AND_ASSIGN(ex_, MakeRunningExample());
+    Executor executor(ExecOptions{CaptureMode::kStructural, 2, 1});
+    ASSERT_OK_AND_ASSIGN(run_, executor.Run(ex_.pipeline));
+    ResetCache();
+  }
+
+  void TearDown() override { ResetCache(); }
+
+  static void ResetCache() {
+    QueryAnswerCache& cache = QueryAnswerCache::Instance();
+    cache.set_enabled(true);
+    cache.SetLimits(QueryAnswerCache::Limits{});
+    cache.Clear();
+    cache.ResetStats();
+  }
+
+  static std::string Render(const ProvenanceQueryResult& q) {
+    std::string out;
+    for (const SourceProvenance& source : q.sources) {
+      out += SourceProvenanceToString(source);
+    }
+    return out;
+  }
+
+  RunningExample ex_;
+  ExecutionResult run_;
+};
+
+TEST_F(QueryCacheTest, RepeatedQueryHitsAndAnswersMatch) {
+  QueryAnswerCache& cache = QueryAnswerCache::Instance();
+  ASSERT_OK_AND_ASSIGN(ProvenanceQueryResult cold,
+                       QueryStructuralProvenance(run_, ex_.query, 1));
+  QueryCacheStats after_cold = cache.stats();
+  EXPECT_EQ(after_cold.hits, 0u);
+  EXPECT_EQ(after_cold.misses, 1u);
+  EXPECT_EQ(after_cold.inserts, 1u);
+  EXPECT_EQ(after_cold.entries, 1u);
+
+  ASSERT_OK_AND_ASSIGN(ProvenanceQueryResult warm,
+                       QueryStructuralProvenance(run_, ex_.query, 1));
+  QueryCacheStats after_warm = cache.stats();
+  EXPECT_EQ(after_warm.hits, 1u);
+  EXPECT_EQ(after_warm.misses, 1u);
+  EXPECT_EQ(after_warm.inserts, 1u);
+  EXPECT_EQ(Render(warm), Render(cold));
+  EXPECT_FALSE(Render(warm).empty());
+
+  // The warm answer is exactly what a cache-suppressed recompute produces.
+  QueryAnswerCache::ScopedDisable off;
+  ASSERT_OK_AND_ASSIGN(ProvenanceQueryResult recomputed,
+                       QueryStructuralProvenance(run_, ex_.query, 1));
+  EXPECT_EQ(Render(warm), Render(recomputed));
+}
+
+TEST_F(QueryCacheTest, CanonicalCollisionWithDifferentExactTextIsAMiss) {
+  QueryAnswerCache& cache = QueryAnswerCache::Instance();
+  // Same canonical text, different exact child order: one cache slot, but a
+  // hit requires the exact form to match (rendered answers are child-order
+  // sensitive).
+  ASSERT_OK_AND_ASSIGN(TreePattern ab, TreePattern::Parse("zz(aa,bb)"));
+  ASSERT_OK_AND_ASSIGN(TreePattern ba, TreePattern::Parse("zz(bb,aa)"));
+  ASSERT_EQ(ab.CanonicalText(), ba.CanonicalText());
+  ASSERT_NE(ab.ToString(), ba.ToString());
+
+  ASSERT_OK(QueryStructuralProvenance(run_, ab, 1).status());
+  ASSERT_OK(QueryStructuralProvenance(run_, ba, 1).status());
+  QueryCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.inserts, 2u);
+  // The second insert replaced the first (same canonical key).
+  EXPECT_EQ(stats.entries, 1u);
+
+  // The resident exact form hits; the evicted exact form misses again.
+  ASSERT_OK(QueryStructuralProvenance(run_, ba, 1).status());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  ASSERT_OK(QueryStructuralProvenance(run_, ab, 1).status());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 3u);
+}
+
+TEST_F(QueryCacheTest, StoreMutationInvalidates) {
+  QueryAnswerCache& cache = QueryAnswerCache::Instance();
+  ASSERT_OK_AND_ASSIGN(ProvenanceQueryResult before,
+                       QueryStructuralProvenance(run_, ex_.query, 1));
+  ASSERT_OK(QueryStructuralProvenance(run_, ex_.query, 1).status());
+  ASSERT_EQ(cache.stats().hits, 1u);
+
+  // Any mutation bumps the generation — even one that leaves the store
+  // semantically identical — so the old key becomes unreachable.
+  const uint64_t gen = run_.provenance->generation();
+  run_.provenance->set_sink_oid(run_.provenance->sink_oid());
+  ASSERT_GT(run_.provenance->generation(), gen);
+
+  ASSERT_OK_AND_ASSIGN(ProvenanceQueryResult after,
+                       QueryStructuralProvenance(run_, ex_.query, 1));
+  QueryCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(Render(after), Render(before));
+}
+
+TEST_F(QueryCacheTest, GovernedQueriesBypassTheCache) {
+  QueryAnswerCache& cache = QueryAnswerCache::Instance();
+  ASSERT_OK(QueryStructuralProvenance(run_, ex_.query, 1).status());
+  const QueryCacheStats primed = cache.stats();
+  ASSERT_EQ(primed.entries, 1u);
+
+  // Non-Unlimited options never consult nor fill the cache — a truncated
+  // lower bound must not be served as the exact answer later, and the
+  // exact answer must not short-circuit a governed run.
+  BacktraceOptions governed;
+  governed.max_results = 1;
+  ASSERT_FALSE(governed.Unlimited());
+  ASSERT_OK(QueryStructuralProvenance(run_, ex_.query, governed, 1).status());
+  QueryCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, primed.hits);
+  EXPECT_EQ(stats.misses, primed.misses);
+  EXPECT_EQ(stats.inserts, primed.inserts);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST_F(QueryCacheTest, LruEvictsLeastRecentlyUsed) {
+  QueryAnswerCache& cache = QueryAnswerCache::Instance();
+  QueryAnswerCache::Limits limits;
+  limits.max_entries = 2;
+  cache.SetLimits(limits);
+
+  ASSERT_OK_AND_ASSIGN(TreePattern p1, TreePattern::Parse("zz_one"));
+  ASSERT_OK_AND_ASSIGN(TreePattern p2, TreePattern::Parse("zz_two"));
+  ASSERT_OK_AND_ASSIGN(TreePattern p3, TreePattern::Parse("zz_three"));
+  ASSERT_OK(QueryStructuralProvenance(run_, p1, 1).status());
+  ASSERT_OK(QueryStructuralProvenance(run_, p2, 1).status());
+  ASSERT_OK(QueryStructuralProvenance(run_, p3, 1).status());
+  QueryCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_GE(stats.evictions, 1u);
+
+  // p3 and p2 are resident; p1 was the LRU victim.
+  ASSERT_OK(QueryStructuralProvenance(run_, p3, 1).status());
+  ASSERT_OK(QueryStructuralProvenance(run_, p2, 1).status());
+  EXPECT_EQ(cache.stats().hits, 2u);
+  ASSERT_OK(QueryStructuralProvenance(run_, p1, 1).status());
+  EXPECT_EQ(cache.stats().hits, 2u);
+}
+
+TEST_F(QueryCacheTest, AnswerLargerThanByteBudgetIsNotRetained) {
+  QueryAnswerCache& cache = QueryAnswerCache::Instance();
+  QueryAnswerCache::Limits limits;
+  limits.max_bytes = 1;
+  cache.SetLimits(limits);
+  ASSERT_OK(QueryStructuralProvenance(run_, ex_.query, 1).status());
+  EXPECT_EQ(cache.stats().entries, 0u);
+  ASSERT_OK(QueryStructuralProvenance(run_, ex_.query, 1).status());
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST_F(QueryCacheTest, ScopedDisableSuppressesOnlyItsScope) {
+  QueryAnswerCache& cache = QueryAnswerCache::Instance();
+  ASSERT_OK(QueryStructuralProvenance(run_, ex_.query, 1).status());
+  const QueryCacheStats primed = cache.stats();
+  {
+    QueryAnswerCache::ScopedDisable off;
+    EXPECT_FALSE(cache.enabled());
+    ASSERT_OK(QueryStructuralProvenance(run_, ex_.query, 1).status());
+    QueryCacheStats during = cache.stats();
+    EXPECT_EQ(during.hits, primed.hits);
+    EXPECT_EQ(during.misses, primed.misses);
+  }
+  EXPECT_TRUE(cache.enabled());
+  ASSERT_OK(QueryStructuralProvenance(run_, ex_.query, 1).status());
+  EXPECT_EQ(cache.stats().hits, primed.hits + 1);
+}
+
+TEST_F(QueryCacheTest, GlobalDisableKeepsEntriesButServesNothing) {
+  QueryAnswerCache& cache = QueryAnswerCache::Instance();
+  ASSERT_OK(QueryStructuralProvenance(run_, ex_.query, 1).status());
+  const QueryCacheStats primed = cache.stats();
+  cache.set_enabled(false);
+  ASSERT_OK(QueryStructuralProvenance(run_, ex_.query, 1).status());
+  QueryCacheStats disabled = cache.stats();
+  EXPECT_EQ(disabled.hits, primed.hits);
+  EXPECT_EQ(disabled.misses, primed.misses);
+  EXPECT_EQ(disabled.entries, primed.entries);
+  cache.set_enabled(true);
+  ASSERT_OK(QueryStructuralProvenance(run_, ex_.query, 1).status());
+  EXPECT_EQ(cache.stats().hits, primed.hits + 1);
+}
+
+TEST_F(QueryCacheTest, ConcurrentMixedQueriesStayConsistent) {
+  // Hammer the cache from several threads — some caching, some scoped off —
+  // and require every answer to equal the baseline. Run under tsan by the
+  // query-cache check stage.
+  QueryAnswerCache::ScopedDisable baseline_off;
+  ASSERT_OK_AND_ASSIGN(ProvenanceQueryResult baseline,
+                       QueryStructuralProvenance(run_, ex_.query, 1));
+  const std::string expected = Render(baseline);
+  ASSERT_FALSE(expected.empty());
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 8;
+  std::vector<int> bad_answers(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        if (t % 2 == 0) {
+          QueryAnswerCache::ScopedDisable off;
+          Result<ProvenanceQueryResult> q =
+              QueryStructuralProvenance(run_, ex_.query, 1);
+          if (!q.ok() || Render(*q) != expected) ++bad_answers[t];
+        } else {
+          Result<ProvenanceQueryResult> q =
+              QueryStructuralProvenance(run_, ex_.query, 1);
+          if (!q.ok() || Render(*q) != expected) ++bad_answers[t];
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(bad_answers[t], 0) << "thread " << t;
+  }
+  QueryCacheStats stats = QueryAnswerCache::Instance().stats();
+  EXPECT_GE(stats.hits + stats.misses, static_cast<uint64_t>(kThreads / 2));
+}
+
+}  // namespace
+}  // namespace pebble

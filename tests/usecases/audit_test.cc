@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 
 #include "core/provenance_io.h"
+#include "core/provenance_wal.h"
 #include "core/query.h"
 #include "test_util.h"
 #include "workload/running_example.h"
@@ -142,6 +144,38 @@ TEST(AuditTest, AuditFromMissingSnapshotFailsWithPath) {
             std::string::npos)
       << r.status().ToString();
   EXPECT_NE(r.status().message().find("audit aborted"), std::string::npos);
+}
+
+TEST(AuditTest, AuditFromWalMatchesInMemoryAudit) {
+  // Decoupled point-in-time workflow against a live WAL directory: two
+  // micro-batch runs land in their own segments; auditing "through" the
+  // first segment sees exactly the first batch and reproduces the
+  // in-memory RunningExampleAudit numbers.
+  ASSERT_OK_AND_ASSIGN(RunningExample ex, MakeRunningExample());
+  const std::string dir = ::testing::TempDir() + "/pebble_audit_wal";
+  std::filesystem::remove_all(dir);  // reruns must start from a fresh log
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<WalWriter> writer,
+                       WalWriter::Open(dir));
+  ExecOptions options(CaptureMode::kStructural, 2, 2);
+  options.commit_sink = writer;
+  Executor exec(options);
+  ASSERT_OK_AND_ASSIGN(ExecutionResult first, exec.Run(ex.pipeline));
+  const uint64_t first_seq = writer->active_segment_seq();
+  ASSERT_OK(writer->Rotate());
+  ExecOptions second_options = options;
+  second_options.first_item_id = first.next_item_id;
+  ASSERT_OK(Executor(second_options).Run(ex.pipeline).status());
+  ASSERT_OK(writer->Close());
+
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<AuditReport> reports,
+      AuditFromWal(dir, first_seq, first.output, ex.query,
+                   ex.schema->fields().size()));
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].items.size(), 2u);
+  EXPECT_EQ(reports[0].lineage_reported_values, 12u);
+  EXPECT_EQ(reports[0].pebble_leaked_values, 4u);
+  EXPECT_EQ(reports[0].influencing_values, 4u);
 }
 
 }  // namespace
