@@ -1,0 +1,212 @@
+// Serving latency/throughput of the provenance query daemon (DESIGN.md
+// §13): an in-process PebbleServer over loopback driven by the YCSB-style
+// workload driver, reported per cell as p50/p99/max latency, throughput,
+// and shed rate. Cells:
+//
+//   - closed-loop thread sweep (1/2/4 concurrent clients, think time 0):
+//     the saturation throughput curve;
+//   - open-loop arrival-rate sweep (Poisson-less fixed-rate schedule, no
+//     coordinated omission): latency at controlled load;
+//   - a faulted leg (probability failpoints on net.read/net.write +
+//     retrying clients): the latency and shed cost of riding through
+//     injected transport faults.
+//
+// Serving invariant checked on every cell: every request was answered or
+// structurally shed (driver errors == 0 on fault-free legs), and the
+// server's admission queue depth never exceeded its capacity.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "common/failpoint.h"
+#include "server/server.h"
+#include "workload/serving_driver.h"
+
+namespace pebble {
+namespace {
+
+/// Per-cell drive duration; $PEBBLE_SERVING_MS overrides (the nightly
+/// harness stretches it for tighter tails).
+int ServingMs() {
+  const char* e = std::getenv("PEBBLE_SERVING_MS");
+  if (e != nullptr && *e != '\0') {
+    int v = std::atoi(e);
+    if (v > 0) return v;
+  }
+  return 1200;
+}
+
+struct CellResult {
+  std::string name;
+  std::string model;
+  bool faults = false;
+  ServingWorkloadReport report;
+};
+
+void PrintRow(const CellResult& cell) {
+  const ServingWorkloadReport& r = cell.report;
+  const double shed_rate = r.sent > 0
+                               ? static_cast<double>(r.shed) /
+                                     static_cast<double>(r.sent)
+                               : 0.0;
+  std::printf(
+      "%-26s %-7s %6s  %8llu req  %9.1f rps  p50 %7.0f us  p99 %7.0f us"
+      "  shed %5.1f%%  err %llu\n",
+      cell.name.c_str(), cell.model.c_str(), cell.faults ? "faults" : "clean",
+      static_cast<unsigned long long>(r.sent), r.throughput_rps, r.p50_us,
+      r.p99_us, shed_rate * 100.0,
+      static_cast<unsigned long long>(r.errors));
+}
+
+void EmitRecord(const CellResult& cell, const server::ServerStats& server_stats) {
+  const ServingWorkloadReport& r = cell.report;
+  const double shed_rate = r.sent > 0
+                               ? static_cast<double>(r.shed) /
+                                     static_cast<double>(r.sent)
+                               : 0.0;
+  bench::JsonRecord record("serving_latency", cell.name);
+  record.Str("model", cell.model)
+      .Int("faults", cell.faults ? 1 : 0)
+      .Int("sent", static_cast<int64_t>(r.sent))
+      .Int("ok", static_cast<int64_t>(r.ok))
+      .Int("truncated", static_cast<int64_t>(r.truncated))
+      .Int("shed", static_cast<int64_t>(r.shed))
+      .Int("errors", static_cast<int64_t>(r.errors))
+      .Num("p50_us", r.p50_us)
+      .Num("p99_us", r.p99_us)
+      .Num("max_us", r.max_us)
+      .Num("throughput_rps", r.throughput_rps)
+      .Num("shed_rate", shed_rate)
+      .Int("answered_or_shed",
+           r.ok + r.shed + r.errors == r.sent ? 1 : 0)
+      .Int("queue_depth_bounded",
+           server_stats.queue_max_depth <= server_stats.queue_capacity ? 1
+                                                                       : 0)
+      .Emit();
+}
+
+int Run() {
+  // One served dataset for every cell: fig6-scale stress scenario.
+  Result<ServedScenario> scenario =
+      MakeServedStressScenario(/*num_tweets=*/800, /*seed=*/21);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "scenario: %s\n",
+                 scenario.status().ToString().c_str());
+    return 1;
+  }
+
+  server::ServerOptions options;
+  options.workers = 2;
+  options.handlers = 8;
+  options.queue_capacity = 32;
+  auto server = std::make_unique<server::PebbleServer>(options);
+  {
+    server::ServedDataset dataset = scenario->dataset;
+    Status s = server->RegisterDataset("stress", std::move(dataset));
+    if (s.ok()) s = server->Start();
+    if (!s.ok()) {
+      std::fprintf(stderr, "server: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  bench::PrintHeader(
+      "Serving latency/throughput: pebbled over loopback (DESIGN.md §13)");
+
+  std::vector<CellResult> cells;
+  auto drive = [&](const std::string& name, ServingWorkloadOptions workload,
+                   bool faults) -> Status {
+    workload.duration_ms = ServingMs();
+    workload.deadline_ms = 2000;
+    workload.retry = faults;  // riders need retries to survive torn reads
+    PEBBLE_ASSIGN_OR_RETURN(
+        ServingWorkloadReport report,
+        RunServingWorkload(server->port(), "stress",
+                           scenario->pattern_text, workload));
+    CellResult cell;
+    cell.name = name;
+    cell.model = workload.model == LoadModel::kClosedLoop ? "closed" : "open";
+    cell.faults = faults;
+    cell.report = report;
+    PrintRow(cell);
+    EmitRecord(cell, server->stats());
+    cells.push_back(cell);
+    return Status::OK();
+  };
+
+  Status status = Status::OK();
+  for (int threads : {1, 2, 4}) {
+    ServingWorkloadOptions workload;
+    workload.model = LoadModel::kClosedLoop;
+    workload.threads = threads;
+    if (status.ok()) {
+      status = drive("closed_t" + std::to_string(threads), workload, false);
+    }
+  }
+  for (int rate : {50, 200}) {
+    ServingWorkloadOptions workload;
+    workload.model = LoadModel::kOpenLoop;
+    workload.threads = 2;
+    workload.open_rate_per_sec = rate;
+    if (status.ok()) {
+      status = drive("open_r" + std::to_string(rate), workload, false);
+    }
+  }
+
+  // Faulted leg: transport faults on read+write, retrying clients.
+  if (status.ok()) {
+    auto& registry = FailpointRegistry::Global();
+    FailpointSpec spec;
+    spec.probability = 0.02;
+    spec.seed = 5;
+    registry.Enable(failpoints::kNetRead, spec);
+    spec.seed = 6;
+    registry.Enable(failpoints::kNetWrite, spec);
+    ServingWorkloadOptions workload;
+    workload.model = LoadModel::kClosedLoop;
+    workload.threads = 2;
+    status = drive("closed_t2_faulted", workload, true);
+    registry.DisableAll();
+  }
+
+  server->Shutdown();
+  if (!status.ok()) {
+    std::fprintf(stderr, "workload: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // Serving invariants across the fault-free cells.
+  for (const CellResult& cell : cells) {
+    const ServingWorkloadReport& r = cell.report;
+    if (!cell.faults && r.errors != 0) {
+      std::fprintf(stderr, "FAIL: %s saw %llu transport errors\n",
+                   cell.name.c_str(),
+                   static_cast<unsigned long long>(r.errors));
+      return 1;
+    }
+    if (r.ok + r.shed + r.errors != r.sent) {
+      std::fprintf(stderr, "FAIL: %s dropped requests silently\n",
+                   cell.name.c_str());
+      return 1;
+    }
+  }
+  const server::ServerStats stats = server->stats();
+  if (stats.queue_max_depth > stats.queue_capacity) {
+    std::fprintf(stderr, "FAIL: admission queue exceeded its capacity\n");
+    return 1;
+  }
+  std::printf("\nserver: %llu received, %llu admitted, queue depth max "
+              "%zu/%zu\n",
+              static_cast<unsigned long long>(stats.requests_received),
+              static_cast<unsigned long long>(stats.admitted),
+              stats.queue_max_depth, stats.queue_capacity);
+  return 0;
+}
+
+}  // namespace
+}  // namespace pebble
+
+int main() { return pebble::Run(); }

@@ -21,6 +21,18 @@
 //
 // Without arguments it runs on the paper's Tab. 1 data with the Fig. 4
 // question.
+//
+// Governance flags (--deadline-ms / --max-visited / --max-results) bound
+// the query via BacktraceOptions; a tripped limit degrades the answer to a
+// partial lower bound rather than failing (DESIGN.md §9).
+//
+// Exit codes (scriptable):
+//   0  success, exact answer
+//   2  bad arguments / unparsable pattern (kInvalidArgument)
+//   3  IO failure (unreadable input, WAL/snapshot errors — kIOError)
+//   4  governance: the answer was truncated by a limit, or the query was
+//      shed (kDeadlineExceeded / kCancelled / kResourceExhausted)
+//   1  anything else
 
 #include <cstdio>
 #include <cstdlib>
@@ -34,6 +46,52 @@
 using namespace pebble;  // NOLINT: example brevity
 
 namespace {
+
+enum ExitCode {
+  kExitOk = 0,
+  kExitOther = 1,
+  kExitUsage = 2,
+  kExitIo = 3,
+  kExitGovernance = 4,
+};
+
+/// Maps a failure Status onto the documented exit codes.
+int ExitCodeFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+      return kExitUsage;
+    case StatusCode::kIOError:
+      return kExitIo;
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kCancelled:
+    case StatusCode::kResourceExhausted:
+      return kExitGovernance;
+    default:
+      return kExitOther;
+  }
+}
+
+/// Structured error context: what failed, the status code name, and the
+/// message — one line, grep-friendly.
+int Fail(const char* what, const Status& status) {
+  std::fprintf(stderr, "error: %s: [%s] %s\n", what,
+               StatusCodeToString(status.code()), status.message().c_str());
+  return ExitCodeFor(status);
+}
+
+/// Governance options assembled from the command line (global: both modes
+/// use them). The deadline is kept as a budget and armed at the query call
+/// site, so pipeline setup does not eat into it.
+BacktraceOptions g_options;
+long long g_deadline_ms = 0;
+
+BacktraceOptions QueryOptions() {
+  BacktraceOptions options = g_options;
+  if (g_deadline_ms > 0) {
+    options.deadline = Deadline::AfterMillis(g_deadline_ms);
+  }
+  return options;
+}
 
 /// The Fig. 1 pipeline over `data` (scan label `label`).
 Result<Pipeline> BuildFig1(
@@ -61,8 +119,11 @@ Result<Pipeline> BuildFig1(
   return b.Build(agg);
 }
 
-void PrintProvenance(const ProvenanceQueryResult& prov,
-                     const ExecutionResult& run) {
+/// Prints the answer; returns kExitGovernance when it is a truncated
+/// lower bound (the partial answer is still printed first), kExitOk when
+/// exact.
+int PrintProvenance(const ProvenanceQueryResult& prov,
+                    const ExecutionResult& run) {
   std::printf("matched %zu result items (%.2f ms match, %.2f ms "
               "backtrace)\n\n",
               prov.matched.size(), prov.match_ms, prov.backtrace_ms);
@@ -79,6 +140,19 @@ void PrintProvenance(const ProvenanceQueryResult& prov,
       }
     }
   }
+  if (prov.truncation.truncated) {
+    std::fprintf(stderr,
+                 "warning: partial answer (lower bound): [%s] %s — visited "
+                 "%llu nodes, traced %zu/%zu seeds\n",
+                 TruncationReasonToString(prov.truncation.reason),
+                 prov.truncation.detail.c_str(),
+                 static_cast<unsigned long long>(
+                     prov.truncation.visited_nodes),
+                 prov.truncation.seed_entries_traced,
+                 prov.truncation.seed_entries_total);
+    return kExitGovernance;
+  }
+  return kExitOk;
 }
 
 Result<TreePattern> ParseQuestion(const char* pattern_text) {
@@ -93,19 +167,11 @@ Result<TreePattern> ParseQuestion(const char* pattern_text) {
 int RunWal(const char* dir, int runs, long long through,
            const char* pattern_text) {
   Result<RunningExample> ex_result = MakeRunningExample();
-  if (!ex_result.ok()) {
-    std::fprintf(stderr, "setup failed: %s\n",
-                 ex_result.status().ToString().c_str());
-    return 1;
-  }
+  if (!ex_result.ok()) return Fail("setup", ex_result.status());
   RunningExample ex = std::move(ex_result).value();
 
   Result<TreePattern> pattern = ParseQuestion(pattern_text);
-  if (!pattern.ok()) {
-    std::fprintf(stderr, "pattern error: %s\n",
-                 pattern.status().ToString().c_str());
-    return 1;
-  }
+  if (!pattern.ok()) return Fail("pattern", pattern.status());
 
   // Resume the WAL (fresh directory = empty recovery) and append `runs`
   // micro-batches, rotating so run i lives in its own segment.
@@ -113,9 +179,8 @@ int RunWal(const char* dir, int runs, long long through,
   Result<std::unique_ptr<WalWriter>> writer_result =
       WalWriter::Open(dir, WalOptions{}, &resumed);
   if (!writer_result.ok()) {
-    std::fprintf(stderr, "cannot open WAL %s: %s\n", dir,
-                 writer_result.status().ToString().c_str());
-    return 1;
+    return Fail((std::string("open WAL ") + dir).c_str(),
+                writer_result.status());
   }
   std::shared_ptr<WalWriter> writer = std::move(writer_result).value();
   int64_t next_item_id = resumed.info.runs_completed > 0
@@ -126,7 +191,7 @@ int RunWal(const char* dir, int runs, long long through,
                  "WAL %s already holds %zu completed runs; use a fresh "
                  "directory\n",
                  dir, resumed.info.runs_completed);
-    return 1;
+    return kExitUsage;
   }
 
   struct Batch {
@@ -136,40 +201,25 @@ int RunWal(const char* dir, int runs, long long through,
   std::vector<Batch> batches;
   for (int i = 0; i < runs; ++i) {
     Result<Pipeline> pipeline = BuildFig1(ex, "tab1", ex.tweets);
-    if (!pipeline.ok()) {
-      std::fprintf(stderr, "pipeline error: %s\n",
-                   pipeline.status().ToString().c_str());
-      return 1;
-    }
+    if (!pipeline.ok()) return Fail("pipeline", pipeline.status());
     ExecOptions options(CaptureMode::kStructural, /*partitions=*/4,
                         /*threads=*/2);
     options.first_item_id = next_item_id;
     options.commit_sink = writer;
     Executor executor(options);
     Result<ExecutionResult> run = executor.Run(*pipeline);
-    if (!run.ok()) {
-      std::fprintf(stderr, "run %d failed: %s\n", i + 1,
-                   run.status().ToString().c_str());
-      return 1;
-    }
+    if (!run.ok()) return Fail("pipeline run", run.status());
     next_item_id = run->next_item_id;
     const uint64_t seq = writer->active_segment_seq();
     Status rotated = writer->Rotate();
-    if (!rotated.ok()) {
-      std::fprintf(stderr, "rotate failed: %s\n",
-                   rotated.ToString().c_str());
-      return 1;
-    }
+    if (!rotated.ok()) return Fail("WAL rotate", rotated);
     std::printf("run %d committed to segment %llu (%zu result items)\n",
                 i + 1, static_cast<unsigned long long>(seq),
                 run->output.NumRows());
     batches.push_back(Batch{seq, std::move(run).value()});
   }
   Status closed = writer->Close();
-  if (!closed.ok()) {
-    std::fprintf(stderr, "close failed: %s\n", closed.ToString().c_str());
-    return 1;
-  }
+  if (!closed.ok()) return Fail("WAL close", closed);
 
   // Pick the newest batch visible at `through` and ask the question as of
   // that point in the log.
@@ -185,15 +235,11 @@ int RunWal(const char* dir, int runs, long long through,
                  "%llu)\n",
                  static_cast<unsigned long long>(upto),
                  static_cast<unsigned long long>(batches.front().segment_seq));
-    return 1;
+    return kExitUsage;
   }
 
   Result<RecoveredStore> recovered = RecoverStoreThrough(dir, upto);
-  if (!recovered.ok()) {
-    std::fprintf(stderr, "recovery failed: %s\n",
-                 recovered.status().ToString().c_str());
-    return 1;
-  }
+  if (!recovered.ok()) return Fail("recovery", recovered.status());
   std::printf(
       "\npoint-in-time recovery through segment %llu: %zu segments, %zu "
       "records, %zu/%zu runs; question: %s\n",
@@ -203,40 +249,29 @@ int RunWal(const char* dir, int runs, long long through,
       pattern->ToString().c_str());
 
   Result<ProvenanceQueryResult> prov = QueryStructuralProvenanceFromWal(
-      dir, upto, visible->run.output, *pattern);
-  if (!prov.ok()) {
-    std::fprintf(stderr, "query error: %s\n",
-                 prov.status().ToString().c_str());
-    return 1;
-  }
-  PrintProvenance(*prov, visible->run);
-  return 0;
+      dir, upto, visible->run.output, *pattern, QueryOptions());
+  if (!prov.ok()) return Fail("query", prov.status());
+  return PrintProvenance(*prov, visible->run);
 }
 
 int Run(const char* file, const char* pattern_text) {
   // Build the Fig. 1 pipeline over the given file (or the Tab. 1 data).
   Result<RunningExample> ex_result = MakeRunningExample();
-  if (!ex_result.ok()) {
-    std::fprintf(stderr, "setup failed: %s\n",
-                 ex_result.status().ToString().c_str());
-    return 1;
-  }
+  if (!ex_result.ok()) return Fail("setup", ex_result.status());
   RunningExample ex = std::move(ex_result).value();
 
   std::shared_ptr<const std::vector<ValuePtr>> data = ex.tweets;
   if (file != nullptr) {
     Result<std::vector<ValuePtr>> loaded = ReadJsonLinesFile(file);
     if (!loaded.ok()) {
-      std::fprintf(stderr, "cannot read %s: %s\n", file,
-                   loaded.status().ToString().c_str());
-      return 1;
+      return Fail((std::string("read ") + file).c_str(), loaded.status());
     }
     for (const ValuePtr& v : *loaded) {
       if (!v->InferType()->CompatibleWith(*ex.schema)) {
         std::fprintf(stderr,
                      "record does not match the tweet schema %s:\n  %s\n",
                      ex.schema->ToString().c_str(), v->ToString().c_str());
-        return 1;
+        return kExitUsage;
       }
     }
     data =
@@ -245,47 +280,36 @@ int Run(const char* file, const char* pattern_text) {
 
   Result<Pipeline> pipeline =
       BuildFig1(ex, file != nullptr ? file : "tab1", data);
-  if (!pipeline.ok()) {
-    std::fprintf(stderr, "pipeline error: %s\n",
-                 pipeline.status().ToString().c_str());
-    return 1;
-  }
+  if (!pipeline.ok()) return Fail("pipeline", pipeline.status());
 
   Result<TreePattern> pattern = ParseQuestion(pattern_text);
-  if (!pattern.ok()) {
-    std::fprintf(stderr, "pattern error: %s\n",
-                 pattern.status().ToString().c_str());
-    return 1;
-  }
+  if (!pattern.ok()) return Fail("pattern", pattern.status());
 
   Executor executor(ExecOptions{CaptureMode::kStructural, 4, 2});
   Result<ExecutionResult> run = executor.Run(*pipeline);
-  if (!run.ok()) {
-    std::fprintf(stderr, "execution error: %s\n",
-                 run.status().ToString().c_str());
-    return 1;
-  }
+  if (!run.ok()) return Fail("execution", run.status());
   std::printf("pipeline produced %zu result items; question: %s\n",
               run->output.NumRows(), pattern->ToString().c_str());
 
   Result<ProvenanceQueryResult> prov =
-      QueryStructuralProvenance(*run, *pattern);
-  if (!prov.ok()) {
-    std::fprintf(stderr, "query error: %s\n",
-                 prov.status().ToString().c_str());
-    return 1;
-  }
-  PrintProvenance(*prov, *run);
-  return 0;
+      QueryStructuralProvenance(*run, *pattern, QueryOptions());
+  if (!prov.ok()) return Fail("query", prov.status());
+  return PrintProvenance(*prov, *run);
 }
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [tweets.ndjson] [\"pattern\"]\n"
                "       %s --wal DIR [--runs K] [--through SEQ] "
-               "[\"pattern\"]\n",
+               "[\"pattern\"]\n"
+               "governance (both modes):\n"
+               "  --deadline-ms MS   wall-clock budget for the query\n"
+               "  --max-visited N    cap on visited structure entries\n"
+               "  --max-results N    cap on reported source items\n"
+               "exit codes: 0 ok, 2 bad arguments, 3 IO error, "
+               "4 truncated/governed, 1 other\n",
                argv0, argv0);
-  return 2;
+  return kExitUsage;
 }
 
 }  // namespace
@@ -304,6 +328,15 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--through") == 0 && i + 1 < argc) {
       through = std::atoll(argv[++i]);
       if (through < 0) return Usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      g_deadline_ms = std::atoll(argv[++i]);
+      if (g_deadline_ms <= 0) return Usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--max-visited") == 0 && i + 1 < argc) {
+      g_options.max_visited_nodes = std::atoll(argv[++i]);
+      if (g_options.max_visited_nodes <= 0) return Usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--max-results") == 0 && i + 1 < argc) {
+      g_options.max_results = std::atoll(argv[++i]);
+      if (g_options.max_results <= 0) return Usage(argv[0]);
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       return Usage(argv[0]);
     } else {

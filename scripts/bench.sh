@@ -5,23 +5,25 @@
 # ratios, provenance bytes) from the per-cell JSON-lines records.
 #
 # Usage: scripts/bench.sh [output.json]
-#   Default output: BENCH_7.json in the repo root.
+#   Default output: BENCH_8.json in the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_7.json}"
+OUT="${1:-BENCH_8.json}"
 BUILD_DIR=build-bench
 
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "${BUILD_DIR}" -j "$(nproc)" --target \
   micro_operator_overhead fig6_twitter_capture fig7_dblp_capture \
-  governance_overhead wal_overhead query_warm_path >/dev/null
+  governance_overhead wal_overhead query_warm_path serving_latency \
+  >/dev/null
 
 LINES="$(mktemp)"
 trap 'rm -f "${LINES}"' EXIT
 
 for bin in micro_operator_overhead fig6_twitter_capture fig7_dblp_capture \
-           governance_overhead wal_overhead query_warm_path; do
+           governance_overhead wal_overhead query_warm_path \
+           serving_latency; do
   echo "==> ${bin}"
   PEBBLE_BENCH_JSON="${LINES}" "./${BUILD_DIR}/bench/${bin}"
 done
@@ -56,6 +58,23 @@ startup_speedup_largest = largest["startup_speedup"] if largest else None
 warm_all_identical = all(
     r["cache_bit_identical"] == 1 and r["index_bit_identical"] == 1
     for r in warm) if warm else None
+
+serving = [r for r in records if r["bench"] == "serving_latency"]
+serving_clean = [r for r in serving if r["faults"] == 0]
+serving_closed = [r for r in serving_clean if r["model"] == "closed"]
+serving_peak_rps = max(
+    (r["throughput_rps"] for r in serving_closed), default=None)
+serving_open = [r for r in serving_clean if r["model"] == "open"]
+serving_open_p99 = (
+    min(serving_open, key=lambda r: r["throughput_rps"])["p99_us"]
+    if serving_open else None)
+serving_faulted = [r for r in serving if r["faults"] == 1]
+serving_faulted_shed = (
+    max(r["shed_rate"] for r in serving_faulted) if serving_faulted
+    else None)
+serving_all_accounted = all(
+    r["answered_or_shed"] == 1 and r["queue_depth_bounded"] == 1
+    for r in serving) if serving else None
 
 wal = [r for r in records if r["bench"] == "wal_overhead"]
 wal_group = sorted(r["wal_group_overhead_pct"] for r in wal)
@@ -132,6 +151,16 @@ doc = {
         "warm_startup_speedup_largest_store": startup_speedup_largest,
         "warm_bit_identical": warm_all_identical,
         "warm_cells": len(warm),
+        # Query daemon serving profile (DESIGN.md §13): closed-loop peak
+        # throughput, p99 at the lightest open-loop rate, shed behavior
+        # under injected transport faults, and the serving invariant
+        # (every request answered or structurally shed; admission queue
+        # depth bounded by its capacity) across all cells.
+        "serving_peak_closed_loop_rps": serving_peak_rps,
+        "serving_open_loop_low_rate_p99_us": serving_open_p99,
+        "serving_faulted_max_shed_rate": serving_faulted_shed,
+        "serving_answered_or_shed_all_cells": serving_all_accounted,
+        "serving_cells": len(serving),
     },
     "results": records,
 }

@@ -26,16 +26,21 @@
 #                               # persisted-index suites plain, then the
 #                               # cache suite (incl. the concurrent mixed-
 #                               # query test) under TSan
+#   scripts/check.sh server     # query-daemon gate: frame/wire/admission
+#                               # units, the socket end-to-end suite, and
+#                               # the fault-injected overload soak — plain
+#                               # and under TSan (frame repros land in
+#                               # build/server-repros)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 STAGE="${1:-all}"
 case "${STAGE}" in
-  all|plain|asan|tsan|corruption|stress|diff|wal|cache) ;;
+  all|plain|asan|tsan|corruption|stress|diff|wal|cache|server) ;;
   *) echo "unknown stage '${STAGE}'" \
           "(expected: all, plain, asan, tsan, corruption, stress, diff, wal," \
-          "cache)" >&2
+          "cache, server)" >&2
      exit 2 ;;
 esac
 
@@ -123,6 +128,21 @@ if [[ "${STAGE}" == "all" || "${STAGE}" == "cache" ]]; then
   run_stage "cache (plain)" build "" "${CACHE_FILTER}"
   TSAN_OPTIONS="halt_on_error=1" \
     run_stage "cache (tsan)" build-tsan "thread" "QueryCache"
+fi
+
+if [[ "${STAGE}" == "all" || "${STAGE}" == "server" ]]; then
+  # Query-daemon gate: the framing/wire/admission units, the loopback
+  # end-to-end suite, and the chaos soak. The TSan leg re-runs all of it —
+  # the server is the most thread-dense subsystem in the tree (accept +
+  # handler + worker pools, drain, hard-cancel watchdog). Frame-fuzz
+  # disagreements land in build/server-repros for artifact upload.
+  SERVER_FILTER="FrameTest|WireTest|AdmissionTest|BoundedQueue|ServerTest|ServerChaos"
+  mkdir -p build/server-repros
+  PEBBLE_SERVER_REPRO_DIR="$(pwd)/build/server-repros" \
+    run_stage "server (plain)" build "" "${SERVER_FILTER}"
+  PEBBLE_SERVER_REPRO_DIR="$(pwd)/build/server-repros" \
+    TSAN_OPTIONS="halt_on_error=1" \
+    run_stage "server (tsan)" build-tsan "thread" "${SERVER_FILTER}"
 fi
 
 if [[ "${STAGE}" == "all" || "${STAGE}" == "stress" ]]; then

@@ -66,6 +66,21 @@ inline constexpr char kWalRotate[] = "wal.rotate";
 /// Compaction, immediately before the manifest file is atomically
 /// rewritten to advance the covered sequence number.
 inline constexpr char kWalManifest[] = "wal.manifest";
+/// Server accept loop, once per accepted connection (keyed by the
+/// connection ordinal). Firing tears the connection down before any frame
+/// is read — the client sees a closed socket, the server counts a reaped
+/// accept and stays up.
+inline constexpr char kNetAccept[] = "net.accept";
+/// net::ReadFull, once per full-read call (keyed by the caller's key,
+/// typically a connection id). Firing simulates a torn/failed socket read.
+inline constexpr char kNetRead[] = "net.read";
+/// net::WriteFull, once per full-write call (keyed like net.read). Firing
+/// simulates a peer that vanished mid-response.
+inline constexpr char kNetWrite[] = "net.write";
+/// PebbleServer, immediately before a decoded request is pushed onto the
+/// admission queue (keyed by the request ordinal). Firing sheds the
+/// request with a structured error, as if the queue had rejected it.
+inline constexpr char kServerEnqueue[] = "server.enqueue";
 }  // namespace failpoints
 
 /// Firing rule for one armed site. Exactly one of `every_nth` /

@@ -8,12 +8,14 @@ namespace pebble {
 
 namespace {
 
-/// Shared query body: consult the answer cache (exact, ungoverned
-/// questions only), validate inputs, match under the options' deadline and
-/// cancellation token, backtrace under the full options, and fold a
-/// match-phase trip into the truncation record when the backtrace itself
-/// finished clean. Untruncated answers are cached on the way out; governed
-/// or truncated ones never are (core/query_cache.h).
+/// Shared query body: consult the answer cache, validate inputs, match
+/// under the options' deadline and cancellation token, backtrace under the
+/// full options, and fold a match-phase trip into the truncation record
+/// when the backtrace itself finished clean. Cache eligibility
+/// (core/query_cache.h): count-capped questions (max_visited_nodes /
+/// max_results) bypass entirely — a cached full answer would violate "at
+/// most N"; deadline/cancel-governed questions may hit, and insert only
+/// when the answer finished untruncated (i.e. exact).
 Result<ProvenanceQueryResult> RunQuery(const Dataset& output,
                                        const ProvenanceStore& store,
                                        const TreePattern& pattern,
@@ -24,7 +26,9 @@ Result<ProvenanceQueryResult> RunQuery(const Dataset& output,
   PEBBLE_RETURN_NOT_OK(ValidateBacktraceOptions(options));
 
   QueryAnswerCache& cache = QueryAnswerCache::Instance();
-  const bool cacheable = options.Unlimited() && cache.enabled();
+  const bool count_capped =
+      options.max_visited_nodes != 0 || options.max_results != 0;
+  const bool cacheable = !count_capped && cache.enabled();
   std::string cache_key;
   std::string exact_pattern;
   if (cacheable) {

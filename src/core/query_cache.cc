@@ -10,6 +10,9 @@ namespace {
 // for queries issued here without racing concurrent users elsewhere.
 thread_local int g_scoped_disable_depth = 0;
 
+// Ambient tenant of the calling thread ("" = default tenant).
+thread_local std::string g_current_tenant;  // NOLINT(runtime/string)
+
 uint64_t MixFnv(uint64_t h, uint64_t v) {
   h ^= v;
   h *= 0x100000001b3ull;
@@ -79,18 +82,39 @@ uint64_t QueryAnswerCache::DatasetFingerprint(const Dataset& output) {
   return h;
 }
 
+QueryAnswerCache::Shard& QueryAnswerCache::ShardForLocked(
+    const std::string& tenant) {
+  return shards_[tenant];
+}
+
+QueryAnswerCache::Limits QueryAnswerCache::ShardQuotaLocked(
+    const std::string& tenant, const Shard& shard) const {
+  if (shard.has_quota) return shard.quota;
+  // The default tenant always spans the full global budget (single-tenant
+  // embedders see pre-partitioning behavior); named tenants get the
+  // configured default quota when one is set.
+  if (!tenant.empty() && has_default_tenant_quota_) {
+    return default_tenant_quota_;
+  }
+  return limits_;
+}
+
 bool QueryAnswerCache::Lookup(const std::string& key,
                               const std::string& exact_pattern,
                               ProvenanceQueryResult* result) {
   if (!enabled()) return false;
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = by_key_.find(key);
-  if (it == by_key_.end() || it->second->exact_pattern != exact_pattern) {
+  Shard& shard = ShardForLocked(CurrentTenant());
+  auto it = shard.by_key.find(key);
+  if (it == shard.by_key.end() ||
+      it->second->exact_pattern != exact_pattern) {
     ++misses_;
+    ++shard.misses;
     return false;
   }
-  lru_.splice(lru_.begin(), lru_, it->second);
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   ++hits_;
+  ++shard.hits;
   *result = it->second->result;
   return true;
 }
@@ -106,29 +130,72 @@ void QueryAnswerCache::Insert(const std::string& key,
   entry.bytes = ApproxResultBytes(result) + key.size() + exact_pattern.size();
 
   std::lock_guard<std::mutex> lock(mu_);
-  if (entry.bytes > limits_.max_bytes || limits_.max_entries == 0) return;
-  auto it = by_key_.find(key);
-  if (it != by_key_.end()) {
-    bytes_ -= it->second->bytes;
-    lru_.erase(it->second);
-    by_key_.erase(it);
+  const std::string& tenant = CurrentTenant();
+  Shard& shard = ShardForLocked(tenant);
+  const Limits quota = ShardQuotaLocked(tenant, shard);
+  if (entry.bytes > quota.max_bytes || quota.max_entries == 0 ||
+      entry.bytes > limits_.max_bytes || limits_.max_entries == 0) {
+    return;
   }
+  auto it = shard.by_key.find(key);
+  if (it != shard.by_key.end()) {
+    shard.bytes -= it->second->bytes;
+    bytes_ -= it->second->bytes;
+    shard.lru.erase(it->second);
+    shard.by_key.erase(it);
+  }
+  shard.bytes += entry.bytes;
   bytes_ += entry.bytes;
-  lru_.push_front(std::move(entry));
-  by_key_[key] = lru_.begin();
+  shard.lru.push_front(std::move(entry));
+  shard.by_key[key] = shard.lru.begin();
   ++inserts_;
-  EvictLockedUntilWithinLimits();
+  ++shard.inserts;
+  EvictShardUntilWithinQuotaLocked(tenant, &shard);
+  EvictGlobalBackstopLocked();
 }
 
-void QueryAnswerCache::EvictLockedUntilWithinLimits() {
-  while (!lru_.empty() &&
-         (lru_.size() > limits_.max_entries || bytes_ > limits_.max_bytes)) {
-    const Entry& victim = lru_.back();
-    bytes_ -= victim.bytes;
-    by_key_.erase(victim.key);
-    lru_.pop_back();
-    ++evictions_;
+void QueryAnswerCache::EvictTailLocked(Shard* shard) {
+  const Entry& victim = shard->lru.back();
+  shard->bytes -= victim.bytes;
+  bytes_ -= victim.bytes;
+  shard->by_key.erase(victim.key);
+  shard->lru.pop_back();
+  ++evictions_;
+  ++shard->evictions;
+}
+
+void QueryAnswerCache::EvictShardUntilWithinQuotaLocked(
+    const std::string& tenant, Shard* shard) {
+  const Limits quota = ShardQuotaLocked(tenant, *shard);
+  while (!shard->lru.empty() && (shard->lru.size() > quota.max_entries ||
+                                 shard->bytes > quota.max_bytes)) {
+    EvictTailLocked(shard);
   }
+}
+
+void QueryAnswerCache::EvictGlobalBackstopLocked() {
+  // The aggregate across shards must respect the process-wide limits no
+  // matter how many tenants exist. Evict from the shard currently holding
+  // the most bytes: the tenant putting the most pressure on the budget
+  // pays, never a small warm tenant.
+  while (TotalEntriesLocked() > limits_.max_entries ||
+         bytes_ > limits_.max_bytes) {
+    Shard* largest = nullptr;
+    for (auto& [tenant, shard] : shards_) {
+      if (shard.lru.empty()) continue;
+      if (largest == nullptr || shard.bytes > largest->bytes) {
+        largest = &shard;
+      }
+    }
+    if (largest == nullptr) return;
+    EvictTailLocked(largest);
+  }
+}
+
+size_t QueryAnswerCache::TotalEntriesLocked() const {
+  size_t n = 0;
+  for (const auto& [tenant, shard] : shards_) n += shard.lru.size();
+  return n;
 }
 
 void QueryAnswerCache::set_enabled(bool enabled) {
@@ -144,15 +211,45 @@ bool QueryAnswerCache::enabled() const {
 
 void QueryAnswerCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
-  lru_.clear();
-  by_key_.clear();
+  for (auto& [tenant, shard] : shards_) {
+    shard.lru.clear();
+    shard.by_key.clear();
+    shard.bytes = 0;
+  }
   bytes_ = 0;
 }
 
 void QueryAnswerCache::SetLimits(const Limits& limits) {
   std::lock_guard<std::mutex> lock(mu_);
   limits_ = limits;
-  EvictLockedUntilWithinLimits();
+  for (auto& [tenant, shard] : shards_) {
+    EvictShardUntilWithinQuotaLocked(tenant, &shard);
+  }
+  EvictGlobalBackstopLocked();
+}
+
+void QueryAnswerCache::SetTenantQuota(const std::string& tenant,
+                                      const Limits& quota) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Shard& shard = ShardForLocked(tenant);
+  shard.has_quota = true;
+  shard.quota = quota;
+  EvictShardUntilWithinQuotaLocked(tenant, &shard);
+}
+
+void QueryAnswerCache::SetDefaultTenantQuota(const Limits& quota) {
+  std::lock_guard<std::mutex> lock(mu_);
+  has_default_tenant_quota_ = true;
+  default_tenant_quota_ = quota;
+  for (auto& [tenant, shard] : shards_) {
+    EvictShardUntilWithinQuotaLocked(tenant, &shard);
+  }
+}
+
+void QueryAnswerCache::ResetTenantQuotas() {
+  std::lock_guard<std::mutex> lock(mu_);
+  has_default_tenant_quota_ = false;
+  for (auto& [tenant, shard] : shards_) shard.has_quota = false;
 }
 
 QueryCacheStats QueryAnswerCache::stats() const {
@@ -162,9 +259,42 @@ QueryCacheStats QueryAnswerCache::stats() const {
   s.misses = misses_;
   s.inserts = inserts_;
   s.evictions = evictions_;
-  s.entries = lru_.size();
+  s.entries = TotalEntriesLocked();
   s.bytes = bytes_;
   return s;
+}
+
+QueryCacheStats QueryAnswerCache::tenant_stats(
+    const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  QueryCacheStats s;
+  auto it = shards_.find(tenant);
+  if (it == shards_.end()) return s;
+  const Shard& shard = it->second;
+  s.hits = shard.hits;
+  s.misses = shard.misses;
+  s.inserts = shard.inserts;
+  s.evictions = shard.evictions;
+  s.entries = shard.lru.size();
+  s.bytes = shard.bytes;
+  return s;
+}
+
+std::map<std::string, QueryCacheStats> QueryAnswerCache::all_tenant_stats()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, QueryCacheStats> out;
+  for (const auto& [tenant, shard] : shards_) {
+    QueryCacheStats s;
+    s.hits = shard.hits;
+    s.misses = shard.misses;
+    s.inserts = shard.inserts;
+    s.evictions = shard.evictions;
+    s.entries = shard.lru.size();
+    s.bytes = shard.bytes;
+    out[tenant] = s;
+  }
+  return out;
 }
 
 void QueryAnswerCache::ResetStats() {
@@ -173,9 +303,28 @@ void QueryAnswerCache::ResetStats() {
   misses_ = 0;
   inserts_ = 0;
   evictions_ = 0;
+  for (auto& [tenant, shard] : shards_) {
+    shard.hits = 0;
+    shard.misses = 0;
+    shard.inserts = 0;
+    shard.evictions = 0;
+  }
 }
 
 QueryAnswerCache::ScopedDisable::ScopedDisable() { ++g_scoped_disable_depth; }
 QueryAnswerCache::ScopedDisable::~ScopedDisable() { --g_scoped_disable_depth; }
+
+QueryAnswerCache::ScopedTenant::ScopedTenant(std::string tenant)
+    : previous_(std::move(g_current_tenant)) {
+  g_current_tenant = std::move(tenant);
+}
+
+QueryAnswerCache::ScopedTenant::~ScopedTenant() {
+  g_current_tenant = std::move(previous_);
+}
+
+const std::string& QueryAnswerCache::CurrentTenant() {
+  return g_current_tenant;
+}
 
 }  // namespace pebble

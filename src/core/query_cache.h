@@ -16,9 +16,28 @@
 // requires the exact pattern text to match — a canonical collision with a
 // different exact form is a miss, never a wrong answer.
 //
-// Only exact answers are cached: governed queries (non-Unlimited options)
-// bypass the cache entirely, and truncated results are never inserted —
-// a degraded lower bound must not masquerade as the exact answer later.
+// Only exact answers are cached, and count-capped questions never touch
+// the cache: a query with max_visited_nodes / max_results set asks for "at
+// most N", which a cached full answer would violate, and a truncated
+// result must never masquerade as the exact answer later. Deadline- or
+// cancellation-governed queries without count caps DO consult the cache —
+// a cached exact answer strictly dominates anything a deadline-bounded
+// recompute could produce — and insert their answer when it finished
+// untruncated (an untruncated governed answer is exact). This is what
+// makes the cache effective behind the query daemon, where every request
+// carries a deadline (DESIGN.md §13).
+//
+// Multi-tenancy: the LRU budget is partitioned into per-tenant shards so
+// one tenant's churn cannot evict another tenant's warm entries. The
+// issuing tenant is ambient per thread (ScopedTenant; the query server
+// wraps each request in it), defaulting to the "" tenant, whose shard
+// gets the full global budget — single-tenant embedders see exactly the
+// pre-partitioning behavior. Shards are budgeted by SetTenantQuota /
+// SetDefaultTenantQuota and evict only their own entries; a global
+// backstop (the configured process-wide limits) additionally evicts from
+// whichever shard currently holds the most bytes, so the aggregate stays
+// bounded no matter how many tenants appear. Per-tenant hit/miss stats
+// are exposed for the server's stats endpoint.
 
 #ifndef PEBBLE_CORE_QUERY_CACHE_H_
 #define PEBBLE_CORE_QUERY_CACHE_H_
@@ -26,6 +45,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
+#include <map>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -34,7 +54,7 @@
 
 namespace pebble {
 
-/// Point-in-time counters of the answer cache.
+/// Point-in-time counters of the answer cache (global or per tenant).
 struct QueryCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -68,16 +88,17 @@ class QueryAnswerCache {
   /// with one store cannot alias each other's answers.
   static uint64_t DatasetFingerprint(const Dataset& output);
 
-  /// Returns true and copies the cached answer when `key` is present AND
-  /// the entry's exact pattern text equals `exact_pattern`. The copy's
-  /// timing fields (match_ms/backtrace_ms) are those of the original
-  /// computation.
+  /// Returns true and copies the cached answer when `key` is present in
+  /// the current tenant's shard AND the entry's exact pattern text equals
+  /// `exact_pattern`. The copy's timing fields (match_ms/backtrace_ms) are
+  /// those of the original computation.
   bool Lookup(const std::string& key, const std::string& exact_pattern,
               ProvenanceQueryResult* result);
 
-  /// Inserts (or replaces) the answer for `key`, then evicts LRU entries
-  /// until the limits hold again. Callers must only insert exact,
-  /// untruncated answers.
+  /// Inserts (or replaces) the answer for `key` into the current tenant's
+  /// shard, then evicts — first within the shard until its quota holds,
+  /// then from the largest shard until the global limits hold. Callers
+  /// must only insert exact, untruncated answers.
   void Insert(const std::string& key, const std::string& exact_pattern,
               const ProvenanceQueryResult& result);
 
@@ -89,8 +110,21 @@ class QueryAnswerCache {
   bool enabled() const;
 
   void Clear();
+  /// Process-wide limits (also the default-tenant shard's quota).
   void SetLimits(const Limits& limits);
+  /// Budget for one tenant's shard (overrides the default quota).
+  void SetTenantQuota(const std::string& tenant, const Limits& quota);
+  /// Budget applied to tenant shards without an explicit quota. Unset,
+  /// every shard may grow to the global limits (the pre-partitioning
+  /// behavior); the query server sets a fair share at startup.
+  void SetDefaultTenantQuota(const Limits& quota);
+  /// Drops per-tenant quota configuration (tests).
+  void ResetTenantQuotas();
+
   QueryCacheStats stats() const;
+  /// Counters of one tenant's shard (zeros for an unseen tenant).
+  QueryCacheStats tenant_stats(const std::string& tenant) const;
+  std::map<std::string, QueryCacheStats> all_tenant_stats() const;
   void ResetStats();
 
   /// Suppresses the cache on the constructing thread for the scope's
@@ -105,6 +139,23 @@ class QueryAnswerCache {
     ScopedDisable& operator=(const ScopedDisable&) = delete;
   };
 
+  /// Sets the ambient tenant for cache operations on this thread for the
+  /// scope's lifetime (nestable; restores the previous tenant). The query
+  /// server wraps request execution in this.
+  class ScopedTenant {
+   public:
+    explicit ScopedTenant(std::string tenant);
+    ~ScopedTenant();
+    ScopedTenant(const ScopedTenant&) = delete;
+    ScopedTenant& operator=(const ScopedTenant&) = delete;
+
+   private:
+    std::string previous_;
+  };
+
+  /// The ambient tenant of the calling thread ("" by default).
+  static const std::string& CurrentTenant();
+
  private:
   QueryAnswerCache() = default;
 
@@ -115,14 +166,35 @@ class QueryAnswerCache {
     size_t bytes = 0;
   };
 
-  void EvictLockedUntilWithinLimits();
+  /// One tenant's partition: its own LRU list, key map, byte account,
+  /// quota, and counters. Eviction inside a shard touches only that
+  /// tenant's entries.
+  struct Shard {
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> by_key;
+    size_t bytes = 0;
+    bool has_quota = false;
+    Limits quota;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardForLocked(const std::string& tenant);
+  Limits ShardQuotaLocked(const std::string& tenant, const Shard& shard) const;
+  void EvictTailLocked(Shard* shard);
+  void EvictShardUntilWithinQuotaLocked(const std::string& tenant,
+                                        Shard* shard);
+  void EvictGlobalBackstopLocked();
+  size_t TotalEntriesLocked() const;
 
   mutable std::mutex mu_;
-  // Front = most recently used.
-  std::list<Entry> lru_;
-  std::unordered_map<std::string, std::list<Entry>::iterator> by_key_;
+  std::map<std::string, Shard> shards_;
   Limits limits_;
-  size_t bytes_ = 0;
+  bool has_default_tenant_quota_ = false;
+  Limits default_tenant_quota_;
+  size_t bytes_ = 0;  // across all shards
   bool global_enabled_ = true;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;

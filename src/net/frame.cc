@@ -1,0 +1,117 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+#include "net/net.h"
+
+namespace pebble::net {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  char b[4];
+  b[0] = static_cast<char>(v & 0xff);
+  b[1] = static_cast<char>((v >> 8) & 0xff);
+  b[2] = static_cast<char>((v >> 16) & 0xff);
+  b[3] = static_cast<char>((v >> 24) & 0xff);
+  out->append(b, 4);
+}
+
+uint32_t GetU32(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+}  // namespace
+
+std::string EncodeFrame(std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  PutU32(&out, Crc32(payload));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+FrameDecode DecodeFrame(std::string_view data, std::string* payload,
+                        size_t* consumed, Status* error) {
+  *consumed = 0;
+  if (data.size() < kFrameHeaderBytes) return FrameDecode::kNeedMore;
+  const uint32_t len = GetU32(data.data());
+  const uint32_t want_crc = GetU32(data.data() + 4);
+  if (len > kMaxFramePayload) {
+    *error = Status::InvalidArgument(
+        "frame declares " + std::to_string(len) + " payload bytes, limit " +
+        std::to_string(kMaxFramePayload));
+    return FrameDecode::kBad;
+  }
+  if (data.size() < kFrameHeaderBytes + len) return FrameDecode::kNeedMore;
+  std::string_view body = data.substr(kFrameHeaderBytes, len);
+  const uint32_t got_crc = Crc32(body);
+  if (got_crc != want_crc) {
+    *error = Status::IOError(
+        "frame crc mismatch: stored " + std::to_string(want_crc) +
+        ", computed " + std::to_string(got_crc) + " over " +
+        std::to_string(len) + " payload bytes");
+    return FrameDecode::kBad;
+  }
+  payload->assign(body.data(), body.size());
+  *consumed = kFrameHeaderBytes + len;
+  return FrameDecode::kOk;
+}
+
+Status WriteFrame(int fd, std::string_view payload, int timeout_ms,
+                  const std::atomic<bool>* interrupt, uint64_t fp_key) {
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument(
+        "refusing to send oversized frame: " +
+        std::to_string(payload.size()) + " > " +
+        std::to_string(kMaxFramePayload) + " bytes");
+  }
+  std::string frame = EncodeFrame(payload);
+  return WriteFull(fd, frame.data(), frame.size(), timeout_ms, interrupt,
+                   fp_key);
+}
+
+Status ReadFrame(int fd, std::string* payload, int timeout_ms,
+                 const std::atomic<bool>* interrupt, uint64_t fp_key) {
+  char header[kFrameHeaderBytes];
+  PEBBLE_RETURN_NOT_OK(ReadFull(fd, header, sizeof(header), timeout_ms,
+                                interrupt, fp_key));
+  const uint32_t len = GetU32(header);
+  const uint32_t want_crc = GetU32(header + 4);
+  if (len > kMaxFramePayload) {
+    return Status::InvalidArgument(
+        "frame declares " + std::to_string(len) + " payload bytes, limit " +
+        std::to_string(kMaxFramePayload));
+  }
+  payload->resize(len);
+  if (len > 0) {
+    Status body = ReadFull(fd, payload->data(), len, timeout_ms, interrupt,
+                           fp_key);
+    if (!body.ok()) {
+      // EOF exactly between frames is a clean close; EOF inside the
+      // payload is a torn frame. ReadFull already distinguishes these,
+      // but a clean close *after the header landed* is still torn.
+      if (body.code() == StatusCode::kUnavailable &&
+          body.message() == "connection closed by peer") {
+        return Status::IOError("connection closed after frame header (" +
+                               std::to_string(len) + " payload bytes due)");
+      }
+      return body;
+    }
+  }
+  const uint32_t got_crc = Crc32(*payload);
+  if (got_crc != want_crc) {
+    return Status::IOError(
+        "frame crc mismatch: stored " + std::to_string(want_crc) +
+        ", computed " + std::to_string(got_crc) + " over " +
+        std::to_string(len) + " payload bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace pebble::net

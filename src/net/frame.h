@@ -1,0 +1,79 @@
+// Wire framing for the provenance query protocol (DESIGN.md §13): every
+// message travels as one frame
+//
+//   u32 payload_len (LE) | u32 crc32(payload) (LE) | payload bytes
+//
+// — the same length-prefixed + CRC32 record grammar the durable snapshot
+// segments and the provenance WAL use, so a frame is verifiable before a
+// single payload byte is parsed. A frame whose length field exceeds
+// kMaxFramePayload is a protocol violation (kInvalidArgument): the peer is
+// speaking garbage or attacking, and the connection should be closed. A
+// CRC mismatch is kIOError: bytes were torn or flipped in flight.
+//
+// The in-memory Encode/Decode pair is the ground truth the socket-level
+// Read/WriteFrame build on; the protocol fuzz tests run DecodeFrame
+// against an independent oracle over mutated byte streams.
+
+#ifndef PEBBLE_NET_FRAME_H_
+#define PEBBLE_NET_FRAME_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/failpoint.h"
+#include "common/status.h"
+
+namespace pebble::net {
+
+/// Hard cap on a frame payload. Requests and responses are far smaller;
+/// anything bigger is a protocol violation, not a big message.
+inline constexpr uint32_t kMaxFramePayload = 16u << 20;  // 16 MiB
+
+/// Bytes of the frame header (length + CRC).
+inline constexpr size_t kFrameHeaderBytes = 8;
+
+/// Frames `payload` (header + bytes appended to a fresh string).
+std::string EncodeFrame(std::string_view payload);
+
+/// Outcome of decoding one frame from the front of a byte buffer.
+enum class FrameDecode {
+  /// A complete, CRC-valid frame was consumed into `payload`.
+  kOk,
+  /// The buffer holds a valid prefix of a frame; more bytes are needed.
+  kNeedMore,
+  /// The buffer is irrecoverably bad (oversized length or CRC mismatch);
+  /// the caller should drop the connection. `error` says why.
+  kBad,
+};
+
+/// Decodes one frame from the front of `data`. On kOk, `*payload` holds
+/// the payload and `*consumed` the total frame size. On kNeedMore,
+/// `*consumed` is 0. On kBad, `*error` carries the structured reason
+/// (kInvalidArgument for an oversized declared length, kIOError for a CRC
+/// mismatch) including the offending offset/values.
+FrameDecode DecodeFrame(std::string_view data, std::string* payload,
+                        size_t* consumed, Status* error);
+
+/// Writes one frame to `fd` (WriteFull semantics: full transfer under one
+/// timeout, interruptible, net.write failpoint keyed by `fp_key`).
+Status WriteFrame(int fd, std::string_view payload, int timeout_ms,
+                  const std::atomic<bool>* interrupt = nullptr,
+                  uint64_t fp_key = FailpointRegistry::kNoKey);
+
+/// Reads one frame from `fd` into `*payload`. `timeout_ms` covers the
+/// whole frame (header + payload), so a peer trickling one byte per poll
+/// tick — the slow-loris pattern — is bounded by it. Error contract:
+///   - kUnavailable: clean close before a new frame started (keep-alive
+///     end) or `interrupt` tripped;
+///   - kInvalidArgument: declared length exceeds kMaxFramePayload;
+///   - kIOError: torn mid-frame, socket error, or CRC mismatch;
+///   - kDeadlineExceeded: timeout (slow peer).
+Status ReadFrame(int fd, std::string* payload, int timeout_ms,
+                 const std::atomic<bool>* interrupt = nullptr,
+                 uint64_t fp_key = FailpointRegistry::kNoKey);
+
+}  // namespace pebble::net
+
+#endif  // PEBBLE_NET_FRAME_H_

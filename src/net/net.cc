@@ -1,0 +1,253 @@
+#include "net/net.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace pebble::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string ErrnoString(const char* what, int err) {
+  return std::string(what) + ": " + std::strerror(err) + " (errno " +
+         std::to_string(err) + ")";
+}
+
+/// Milliseconds left before `deadline`, clamped to [0, tick].
+int RemainingTick(Clock::time_point deadline, int tick_ms) {
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  deadline - Clock::now())
+                  .count();
+  if (left < 0) left = 0;
+  if (left > tick_ms) left = tick_ms;
+  return static_cast<int>(left);
+}
+
+/// Polls `fd` for `events` until the deadline, waking every ~50 ms to
+/// check `interrupt`. Returns 1 when ready, 0 on timeout, kUnavailable
+/// via `*interrupted` when the stop flag tripped.
+Result<int> PollUntil(int fd, short events, Clock::time_point deadline,
+                      const std::atomic<bool>* interrupt) {
+  constexpr int kTickMs = 50;
+  for (;;) {
+    if (interrupt != nullptr &&
+        interrupt->load(std::memory_order_relaxed)) {
+      return Status::Unavailable("interrupted (server stopping)");
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    int tick = RemainingTick(deadline, kTickMs);
+    int rc = ::poll(&pfd, 1, tick);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(ErrnoString("poll", errno));
+    }
+    if (rc > 0) return 1;
+    if (Clock::now() >= deadline) return 0;
+  }
+}
+
+}  // namespace
+
+UniqueFd& UniqueFd::operator=(UniqueFd&& other) noexcept {
+  if (this != &other) reset(other.release());
+  return *this;
+}
+
+int UniqueFd::release() {
+  int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void UniqueFd::reset(int fd) {
+  if (fd_ >= 0) {
+    int rc;
+    do {
+      rc = ::close(fd_);
+    } while (rc < 0 && errno == EINTR);
+  }
+  fd_ = fd;
+}
+
+Result<UniqueFd> ListenTcp(uint16_t port, int backlog) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    return Status::IOError(ErrnoString("socket", errno));
+  }
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::IOError(
+        ErrnoString(("bind 127.0.0.1:" + std::to_string(port)).c_str(),
+                    errno));
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    return Status::IOError(ErrnoString("listen", errno));
+  }
+  return fd;
+}
+
+Result<uint16_t> LocalPort(int listen_fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return Status::IOError(ErrnoString("getsockname", errno));
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<UniqueFd> AcceptTimeout(int listen_fd, int timeout_ms,
+                               uint64_t fp_key) {
+  auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    PEBBLE_ASSIGN_OR_RETURN(int ready,
+                            PollUntil(listen_fd, POLLIN, deadline, nullptr));
+    if (ready == 0) return UniqueFd();  // timeout tick, not an error
+    int raw = ::accept(listen_fd, nullptr, nullptr);
+    if (raw < 0) {
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+          errno == EWOULDBLOCK) {
+        if (Clock::now() >= deadline) return UniqueFd();
+        continue;
+      }
+      return Status::IOError(ErrnoString("accept", errno));
+    }
+    UniqueFd fd(raw);
+    // Injected accept-time fault: the connection is torn down before any
+    // byte is exchanged (the UniqueFd destructor closes it).
+    Status injected =
+        FailpointRegistry::Global().Evaluate(failpoints::kNetAccept, fp_key);
+    if (!injected.ok()) return injected;
+    int one = 1;
+    ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+  }
+}
+
+Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port,
+                            int timeout_ms) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    return Status::IOError(ErrnoString("socket", errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  ::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    return Status::IOError(ErrnoString(
+        ("connect " + host + ":" + std::to_string(port)).c_str(), errno));
+  }
+  if (rc != 0) {
+    auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    PEBBLE_ASSIGN_OR_RETURN(int ready,
+                            PollUntil(fd.get(), POLLOUT, deadline, nullptr));
+    if (ready == 0) {
+      return Status::DeadlineExceeded(
+          "connect " + host + ":" + std::to_string(port) + " timed out after " +
+          std::to_string(timeout_ms) + " ms");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0) {
+      return Status::IOError(ErrnoString(
+          ("connect " + host + ":" + std::to_string(port)).c_str(),
+          err != 0 ? err : errno));
+    }
+  }
+  ::fcntl(fd.get(), F_SETFL, flags);
+  int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Status ReadFull(int fd, void* buf, size_t size, int timeout_ms,
+                const std::atomic<bool>* interrupt, uint64_t fp_key) {
+  PEBBLE_RETURN_NOT_OK(
+      FailpointRegistry::Global().Evaluate(failpoints::kNetRead, fp_key));
+  auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  size_t done = 0;
+  char* out = static_cast<char*>(buf);
+  while (done < size) {
+    PEBBLE_ASSIGN_OR_RETURN(int ready,
+                            PollUntil(fd, POLLIN, deadline, interrupt));
+    if (ready == 0) {
+      return Status::DeadlineExceeded(
+          "read timed out after " + std::to_string(timeout_ms) + " ms (" +
+          std::to_string(done) + "/" + std::to_string(size) + " bytes)");
+    }
+    ssize_t n = ::recv(fd, out + done, size - done, 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return Status::IOError(ErrnoString("recv", errno) + " at byte " +
+                             std::to_string(done) + "/" +
+                             std::to_string(size));
+    }
+    if (n == 0) {
+      if (done == 0) return Status::Unavailable("connection closed by peer");
+      return Status::IOError("connection closed mid-read at byte " +
+                             std::to_string(done) + "/" +
+                             std::to_string(size));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status WriteFull(int fd, const void* buf, size_t size, int timeout_ms,
+                 const std::atomic<bool>* interrupt, uint64_t fp_key) {
+  PEBBLE_RETURN_NOT_OK(
+      FailpointRegistry::Global().Evaluate(failpoints::kNetWrite, fp_key));
+  auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  size_t done = 0;
+  const char* in = static_cast<const char*>(buf);
+  while (done < size) {
+    PEBBLE_ASSIGN_OR_RETURN(int ready,
+                            PollUntil(fd, POLLOUT, deadline, interrupt));
+    if (ready == 0) {
+      return Status::DeadlineExceeded(
+          "write timed out after " + std::to_string(timeout_ms) + " ms (" +
+          std::to_string(done) + "/" + std::to_string(size) + " bytes)");
+    }
+    ssize_t n = ::send(fd, in + done, size - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return Status::IOError(ErrnoString("send", errno) + " at byte " +
+                             std::to_string(done) + "/" +
+                             std::to_string(size));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace pebble::net

@@ -1,0 +1,87 @@
+// Minimal robust socket layer for the provenance query daemon (DESIGN.md
+// §13). Everything here is written for hostile conditions: every read and
+// write loops over EINTR and short transfers, carries a wall-clock timeout
+// implemented with poll() so a stalled peer can never wedge a thread
+// forever, and can be interrupted by an external stop flag so server
+// drain does not have to wait out the longest timeout. SIGPIPE is never
+// raised (MSG_NOSIGNAL); a vanished peer surfaces as a Status like any
+// other failure. Failpoint sites net.accept / net.read / net.write let
+// chaos tests tear connections deterministically at any of these points.
+
+#ifndef PEBBLE_NET_NET_H_
+#define PEBBLE_NET_NET_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/failpoint.h"
+#include "common/status.h"
+
+namespace pebble::net {
+
+/// Owning file-descriptor handle; closes on destruction (EINTR-safe).
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept;
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  ~UniqueFd() { reset(); }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release();
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on 127.0.0.1:`port` (0 = ephemeral). The returned fd
+/// has SO_REUSEADDR set and a backlog sized for a busy accept loop.
+Result<UniqueFd> ListenTcp(uint16_t port, int backlog = 128);
+
+/// The port a listening socket is actually bound to (resolves port 0).
+Result<uint16_t> LocalPort(int listen_fd);
+
+/// Waits up to `timeout_ms` for a connection and accepts it. Returns an
+/// invalid UniqueFd on timeout (not an error: the accept loop uses short
+/// ticks to poll its stop flag). EINTR and transient accept errors
+/// (ECONNABORTED) are retried within the timeout. `fp_key` keys the
+/// net.accept failpoint; a firing site closes the freshly accepted
+/// connection and reports the injected status.
+Result<UniqueFd> AcceptTimeout(int listen_fd, int timeout_ms,
+                               uint64_t fp_key = FailpointRegistry::kNoKey);
+
+/// Connects to 127.0.0.1:`port` within `timeout_ms` (non-blocking connect
+/// + poll, then back to blocking mode).
+Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port,
+                            int timeout_ms);
+
+/// Reads exactly `size` bytes. The timeout covers the whole transfer, not
+/// each chunk. Interruptible: when `interrupt` is non-null and becomes
+/// true, returns kUnavailable promptly (drain). Error contract:
+///   - clean EOF before the first byte: kUnavailable ("connection closed"),
+///     the normal end of a keep-alive connection between frames;
+///   - EOF or socket error mid-transfer: kIOError with the byte offset;
+///   - timeout: kDeadlineExceeded with offset and budget.
+/// The net.read failpoint is evaluated once per call, keyed by `fp_key`.
+Status ReadFull(int fd, void* buf, size_t size, int timeout_ms,
+                const std::atomic<bool>* interrupt = nullptr,
+                uint64_t fp_key = FailpointRegistry::kNoKey);
+
+/// Writes exactly `size` bytes; same timeout/interrupt/error contract as
+/// ReadFull (mid-transfer failures report the offset reached). Uses
+/// MSG_NOSIGNAL, so a dead peer yields kIOError instead of SIGPIPE. The
+/// net.write failpoint is evaluated once per call, keyed by `fp_key`.
+Status WriteFull(int fd, const void* buf, size_t size, int timeout_ms,
+                 const std::atomic<bool>* interrupt = nullptr,
+                 uint64_t fp_key = FailpointRegistry::kNoKey);
+
+}  // namespace pebble::net
+
+#endif  // PEBBLE_NET_NET_H_

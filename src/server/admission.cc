@@ -1,0 +1,69 @@
+#include "server/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pebble::server {
+
+void AdmissionController::SetQuota(const std::string& tenant,
+                                   TenantQuota quota) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Bucket& bucket = buckets_[tenant];
+  bucket.quota = quota;
+  bucket.tokens = std::max(1.0, quota.burst);
+  bucket.refilled_at = std::chrono::steady_clock::now();
+}
+
+Status AdmissionController::Admit(const std::string& tenant,
+                                  uint32_t* retry_after_ms) {
+  *retry_after_ms = 0;
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) {
+    Bucket fresh;
+    fresh.quota = default_quota_;
+    fresh.tokens = std::max(1.0, fresh.quota.burst);
+    fresh.refilled_at = now;
+    it = buckets_.emplace(tenant, std::move(fresh)).first;
+  }
+  Bucket& bucket = it->second;
+  if (bucket.quota.rate_per_sec <= 0) {
+    ++bucket.stats.admitted;
+    return Status::OK();
+  }
+  const double burst = std::max(1.0, bucket.quota.burst);
+  const double elapsed_sec =
+      std::chrono::duration<double>(now - bucket.refilled_at).count();
+  bucket.tokens = std::min(
+      burst, bucket.tokens + elapsed_sec * bucket.quota.rate_per_sec);
+  bucket.refilled_at = now;
+  if (bucket.tokens >= 1.0) {
+    bucket.tokens -= 1.0;
+    ++bucket.stats.admitted;
+    return Status::OK();
+  }
+  ++bucket.stats.shed;
+  const double deficit = 1.0 - bucket.tokens;
+  const double wait_ms = deficit / bucket.quota.rate_per_sec * 1000.0;
+  *retry_after_ms =
+      static_cast<uint32_t>(std::max(1.0, std::ceil(wait_ms)));
+  return Status::ResourceExhausted(
+      "tenant '" + (tenant.empty() ? std::string("<default>") : tenant) +
+      "' over admission rate (" +
+      std::to_string(bucket.quota.rate_per_sec) + "/s, burst " +
+      std::to_string(burst) + "); retry in " +
+      std::to_string(*retry_after_ms) + " ms");
+}
+
+std::map<std::string, TenantAdmissionStats> AdmissionController::TenantStats()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, TenantAdmissionStats> out;
+  for (const auto& [tenant, bucket] : buckets_) {
+    out[tenant] = bucket.stats;
+  }
+  return out;
+}
+
+}  // namespace pebble::server

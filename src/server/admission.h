@@ -1,0 +1,144 @@
+// Per-tenant admission control and the bounded admission queue of the
+// provenance query daemon (DESIGN.md §13).
+//
+// Two gates stand between a decoded request and a worker:
+//
+//   1. AdmissionController — a token bucket per tenant. Tokens refill at
+//      `rate_per_sec` up to `burst`; a request takes one token or is shed
+//      with kResourceExhausted carrying a retry-after hint computed from
+//      the refill rate (the client library honors it). Rate 0 = unlimited.
+//
+//   2. BoundedQueue — a fixed-capacity FIFO feeding the worker pool. A
+//      full queue sheds the request immediately with the observed depth;
+//      it never blocks the connection thread, so a saturated server stays
+//      responsive and its memory stays bounded.
+//
+// Shedding is always a structured response, never a dropped connection:
+// overload is a first-class, observable server state.
+
+#ifndef PEBBLE_SERVER_ADMISSION_H_
+#define PEBBLE_SERVER_ADMISSION_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pebble::server {
+
+/// Rate policy of one tenant. rate_per_sec == 0 disables rate limiting
+/// (the bucket always admits).
+struct TenantQuota {
+  double rate_per_sec = 0;
+  double burst = 1;
+};
+
+/// Admission counters of one tenant.
+struct TenantAdmissionStats {
+  uint64_t admitted = 0;
+  uint64_t shed = 0;
+};
+
+/// Thread-safe per-tenant token buckets. Unknown tenants get the default
+/// quota on first sight.
+class AdmissionController {
+ public:
+  explicit AdmissionController(TenantQuota default_quota = {})
+      : default_quota_(default_quota) {}
+
+  /// Overrides the quota for one tenant (resets its bucket to full burst).
+  void SetQuota(const std::string& tenant, TenantQuota quota);
+
+  /// Takes one token for `tenant`. On shed returns kResourceExhausted
+  /// naming the tenant, and sets `*retry_after_ms` to the time until a
+  /// token will be available (>= 1).
+  Status Admit(const std::string& tenant, uint32_t* retry_after_ms);
+
+  std::map<std::string, TenantAdmissionStats> TenantStats() const;
+
+ private:
+  struct Bucket {
+    TenantQuota quota;
+    double tokens = 0;
+    std::chrono::steady_clock::time_point refilled_at{};
+    TenantAdmissionStats stats;
+  };
+
+  mutable std::mutex mu_;
+  TenantQuota default_quota_;
+  std::map<std::string, Bucket> buckets_;
+};
+
+/// Fixed-capacity MPMC FIFO with shed-on-full semantics and a high-water
+/// mark. Close() stops new pushes; Pop drains remaining items and then
+/// returns false, so a draining server finishes every admitted request.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  /// Enqueues, or returns false when full/closed. `*depth_out` reports the
+  /// depth that caused a shed (== capacity) or the depth after the push.
+  bool TryPush(T&& item, size_t* depth_out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= capacity_) {
+      *depth_out = items_.size();
+      return false;
+    }
+    items_.push_back(std::move(item));
+    *depth_out = items_.size();
+    if (items_.size() > max_depth_) max_depth_ = items_.size();
+    lock.unlock();
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks for the next item. False when closed and drained.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  size_t depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  /// Largest depth ever observed; bounded by capacity by construction.
+  size_t max_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_depth_;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  size_t max_depth_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace pebble::server
+
+#endif  // PEBBLE_SERVER_ADMISSION_H_

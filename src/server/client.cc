@@ -1,0 +1,102 @@
+#include "server/client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "net/frame.h"
+
+namespace pebble::server {
+
+PebbleClient::PebbleClient(ClientOptions options)
+    : options_(std::move(options)), jitter_(options_.jitter_seed) {}
+
+Status PebbleClient::EnsureConnected() {
+  if (fd_.valid()) return Status::OK();
+  PEBBLE_ASSIGN_OR_RETURN(
+      fd_, net::ConnectTcp(options_.host, options_.port,
+                           options_.connect_timeout_ms));
+  ++stats_.reconnects;
+  return Status::OK();
+}
+
+void PebbleClient::Disconnect() { fd_.reset(); }
+
+Status PebbleClient::Call(const QueryRequest& request,
+                          QueryResponse* response) {
+  ++stats_.calls;
+  PEBBLE_RETURN_NOT_OK(EnsureConnected());
+  Status sent = net::WriteFrame(fd_.get(), EncodeRequest(request),
+                                options_.write_timeout_ms);
+  if (!sent.ok()) {
+    Disconnect();
+    return sent.WithContext("sending request");
+  }
+  std::string payload;
+  Status received =
+      net::ReadFrame(fd_.get(), &payload, options_.read_timeout_ms);
+  if (!received.ok()) {
+    Disconnect();
+    return received.WithContext("awaiting response");
+  }
+  Status decoded = DecodeResponse(payload, response);
+  if (!decoded.ok()) {
+    // The stream is desynchronized if we cannot parse what arrived.
+    Disconnect();
+    return decoded.WithContext("decoding response");
+  }
+  return Status::OK();
+}
+
+Status PebbleClient::CallWithRetry(const QueryRequest& request,
+                                   QueryResponse* response) {
+  const int max_attempts = std::max(1, options_.max_attempts);
+  Status last = Status::OK();
+  int backoff_ms = options_.backoff_initial_ms;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    uint32_t hinted_ms = 0;
+    Status transport = Call(request, response);
+    if (transport.ok()) {
+      if (response->code != StatusCode::kResourceExhausted &&
+          response->code != StatusCode::kUnavailable) {
+        return Status::OK();  // delivered (possibly a semantic error)
+      }
+      // A structured shed carries a backoff hint from the server.
+      ++stats_.sheds_seen;
+      hinted_ms = response->retry_after_ms;
+      last = response->ToStatus();
+    } else if (transport.code() == StatusCode::kIOError ||
+               transport.code() == StatusCode::kUnavailable ||
+               transport.code() == StatusCode::kDeadlineExceeded) {
+      last = transport;
+    } else {
+      return transport;  // non-retryable (e.g. kInvalidArgument)
+    }
+    if (attempt + 1 >= max_attempts) break;
+    ++stats_.retries;
+    // Exponential backoff with full jitter; when the server hinted a
+    // retry-after it overrides the exponential schedule (the server knows
+    // its refill rate better than we do), plus jitter to decorrelate a
+    // thundering herd of shed clients.
+    const uint64_t wait_ms =
+        hinted_ms != 0
+            ? hinted_ms + jitter_.NextBounded(hinted_ms + 1)
+            : 1 + jitter_.NextBounded(static_cast<uint64_t>(backoff_ms));
+    std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+    backoff_ms = std::min(backoff_ms * 2, options_.backoff_max_ms);
+  }
+  return last.ok()
+             ? Status::Unavailable("retries exhausted")
+             : last.WithContext("after " + std::to_string(max_attempts) +
+                                " attempts");
+}
+
+Status PebbleClient::Ping() {
+  QueryRequest request;
+  request.op = RequestOp::kPing;
+  QueryResponse response;
+  PEBBLE_RETURN_NOT_OK(Call(request, &response));
+  return response.ToStatus();
+}
+
+}  // namespace pebble::server

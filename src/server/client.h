@@ -1,0 +1,91 @@
+// Client library for the provenance query daemon (DESIGN.md §13). One
+// PebbleClient owns one keep-alive connection and offers two calling
+// styles:
+//
+//   Call          — one attempt over the current connection (reconnecting
+//                   first if needed); any failure is returned as-is.
+//   CallWithRetry — production style: transport failures (kIOError,
+//                   kUnavailable) and structured sheds (kResourceExhausted)
+//                   are retried with exponential backoff plus seeded
+//                   jitter, honoring the server's retry_after_ms hint when
+//                   one is present. kInvalidArgument (a bad request stays
+//                   bad) and query-semantic errors are never retried.
+//
+// The client is deliberately single-threaded per instance (one in-flight
+// request per connection, matching the protocol); drivers wanting
+// concurrency hold one client per thread.
+
+#ifndef PEBBLE_SERVER_CLIENT_H_
+#define PEBBLE_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "net/net.h"
+#include "server/wire.h"
+
+namespace pebble::server {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  int connect_timeout_ms = 2000;
+  /// Per-IO budgets; the read budget bounds a whole response frame, so it
+  /// must cover server queueing + execution for the slowest call.
+  int write_timeout_ms = 5000;
+  int read_timeout_ms = 15000;
+  /// CallWithRetry policy.
+  int max_attempts = 5;
+  int backoff_initial_ms = 10;
+  int backoff_max_ms = 1000;
+  /// Seed for backoff jitter (deterministic per client).
+  uint64_t jitter_seed = 1;
+};
+
+/// Counters of one client's lifetime (CallWithRetry bookkeeping).
+struct ClientStats {
+  uint64_t calls = 0;
+  uint64_t retries = 0;
+  uint64_t reconnects = 0;
+  uint64_t sheds_seen = 0;  // kResourceExhausted responses observed
+};
+
+class PebbleClient {
+ public:
+  explicit PebbleClient(ClientOptions options);
+
+  PebbleClient(const PebbleClient&) = delete;
+  PebbleClient& operator=(const PebbleClient&) = delete;
+
+  /// One attempt: connect if disconnected, send, await the response frame.
+  /// Transport failures close the connection (the next call reconnects).
+  /// A structured non-OK response is returned in `*response` with an OK
+  /// transport Status — inspect response->code / ToStatus().
+  Status Call(const QueryRequest& request, QueryResponse* response);
+
+  /// Retrying variant per the header comment. Returns the last transport
+  /// error after exhausting attempts, or OK with the final response (which
+  /// may still carry a non-retryable error code).
+  Status CallWithRetry(const QueryRequest& request, QueryResponse* response);
+
+  /// Convenience: ping the server once (one attempt).
+  Status Ping();
+
+  void Disconnect();
+  bool connected() const { return fd_.valid(); }
+  const ClientStats& stats() const { return stats_; }
+
+ private:
+  Status EnsureConnected();
+
+  const ClientOptions options_;
+  net::UniqueFd fd_;
+  Rng jitter_;
+  ClientStats stats_;
+};
+
+}  // namespace pebble::server
+
+#endif  // PEBBLE_SERVER_CLIENT_H_

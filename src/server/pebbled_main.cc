@@ -1,0 +1,109 @@
+// pebbled — standalone provenance query daemon (DESIGN.md §13). Builds
+// the T3-shaped stress scenario with structural capture, serves it on a
+// TCP port, and answers concurrent provenance queries until SIGTERM/SIGINT
+// triggers a graceful drain (in-flight requests finish, new ones are shed
+// with kUnavailable). Exit prints the lifetime stats.
+//
+// Usage:
+//   pebbled [--port N] [--workers N] [--handlers N] [--queue N]
+//           [--tweets N] [--rate-per-sec R] [--burst B]
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "server/server.h"
+#include "workload/serving_driver.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleStop(int) { g_stop = 1; }
+
+bool ParseFlag(int argc, char** argv, int* i, const char* name, long* out) {
+  if (std::strcmp(argv[*i], name) != 0) return false;
+  if (*i + 1 >= argc) {
+    std::fprintf(stderr, "%s needs a value\n", name);
+    std::exit(2);
+  }
+  *out = std::strtol(argv[++*i], nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long port = 7437;
+  long workers = 4;
+  long handlers = 8;
+  long queue = 64;
+  long tweets = 2000;
+  long rate = 0;
+  long burst = 8;
+  for (int i = 1; i < argc; ++i) {
+    if (ParseFlag(argc, argv, &i, "--port", &port)) continue;
+    if (ParseFlag(argc, argv, &i, "--workers", &workers)) continue;
+    if (ParseFlag(argc, argv, &i, "--handlers", &handlers)) continue;
+    if (ParseFlag(argc, argv, &i, "--queue", &queue)) continue;
+    if (ParseFlag(argc, argv, &i, "--tweets", &tweets)) continue;
+    if (ParseFlag(argc, argv, &i, "--rate-per-sec", &rate)) continue;
+    if (ParseFlag(argc, argv, &i, "--burst", &burst)) continue;
+    std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+    return 2;
+  }
+
+  std::fprintf(stderr, "pebbled: building stress scenario (%ld tweets)...\n",
+               tweets);
+  auto served =
+      pebble::MakeServedStressScenario(static_cast<size_t>(tweets));
+  if (!served.ok()) {
+    std::fprintf(stderr, "pebbled: %s\n",
+                 served.status().ToString().c_str());
+    return 1;
+  }
+
+  pebble::server::ServerOptions options;
+  options.port = static_cast<uint16_t>(port);
+  options.workers = static_cast<int>(workers);
+  options.handlers = static_cast<int>(handlers);
+  options.queue_capacity = static_cast<size_t>(queue);
+  options.default_tenant_quota.rate_per_sec = static_cast<double>(rate);
+  options.default_tenant_quota.burst = static_cast<double>(burst);
+
+  pebble::server::PebbleServer server(options);
+  pebble::Status registered =
+      server.RegisterDataset("stress", std::move(served->dataset));
+  if (!registered.ok()) {
+    std::fprintf(stderr, "pebbled: %s\n", registered.ToString().c_str());
+    return 1;
+  }
+  pebble::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "pebbled: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "pebbled: serving 'stress' (pattern: %s) on 127.0.0.1:%u\n",
+               served->pattern_text.c_str(), server.port());
+
+  struct sigaction action {};
+  action.sa_handler = HandleStop;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::fprintf(stderr, "pebbled: draining...\n");
+  server.BeginDrain();
+  server.Shutdown();
+  std::fprintf(
+      stderr, "%s",
+      pebble::server::RenderServerStats(server.stats(),
+                                        server.tenant_admission_stats())
+          .c_str());
+  return 0;
+}

@@ -1,0 +1,524 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "core/query_cache.h"
+#include "net/frame.h"
+
+namespace pebble::server {
+
+namespace {
+
+QueryResponse ErrorResponse(StatusCode code, std::string message) {
+  QueryResponse resp;
+  resp.code = code;
+  resp.message = std::move(message);
+  return resp;
+}
+
+uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+}  // namespace
+
+PebbleServer::PebbleServer(ServerOptions options)
+    : options_(options),
+      admission_(options.default_tenant_quota),
+      queue_(options.queue_capacity),
+      pending_conns_(options.conn_backlog) {}
+
+PebbleServer::~PebbleServer() { Shutdown(); }
+
+Status PebbleServer::RegisterDataset(const std::string& name,
+                                     ServedDataset dataset) {
+  if (started_) {
+    return Status::InvalidArgument(
+        "RegisterDataset after Start(): the catalog is frozen");
+  }
+  if (dataset.store == nullptr) {
+    return Status::InvalidArgument("ServedDataset '" + name +
+                                   "' has no provenance store");
+  }
+  if (!catalog_.emplace(name, std::move(dataset)).second) {
+    return Status::InvalidArgument("dataset '" + name +
+                                   "' is already registered");
+  }
+  return Status::OK();
+}
+
+void PebbleServer::SetTenantQuota(const std::string& tenant,
+                                  TenantQuota quota) {
+  admission_.SetQuota(tenant, quota);
+}
+
+Status PebbleServer::Start() {
+  if (started_) return Status::InvalidArgument("server already started");
+  PEBBLE_ASSIGN_OR_RETURN(listen_fd_, net::ListenTcp(options_.port));
+  PEBBLE_ASSIGN_OR_RETURN(port_, net::LocalPort(listen_fd_.get()));
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  handler_threads_.reserve(options_.handlers);
+  for (int i = 0; i < options_.handlers; ++i) {
+    handler_threads_.emplace_back([this] { HandlerLoop(); });
+  }
+  worker_threads_.reserve(options_.workers);
+  for (int i = 0; i < options_.workers; ++i) {
+    worker_threads_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void PebbleServer::BeginDrain() {
+  draining_.store(true, std::memory_order_relaxed);
+  stop_io_.store(true, std::memory_order_relaxed);
+}
+
+void PebbleServer::Shutdown(int grace_ms) {
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  if (!started_ || joined_) return;
+  BeginDrain();
+
+  // After the grace period a stuck governed query is hard-cancelled so it
+  // degrades to a partial answer and its worker can exit.
+  std::atomic<bool> watchdog_stop{false};
+  std::thread watchdog([&] {
+    const auto give_up =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(grace_ms);
+    while (!watchdog_stop.load(std::memory_order_relaxed)) {
+      if (std::chrono::steady_clock::now() >= give_up) {
+        hard_cancel_.Cancel("server shutdown grace period expired");
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Handlers drain remaining accepted connections (each gets a prompt
+  // drain shed because draining_ is set), then exit on queue close.
+  pending_conns_.Close();
+  for (std::thread& t : handler_threads_) {
+    if (t.joinable()) t.join();
+  }
+  // Workers finish every admitted job (Pop drains after Close) so every
+  // promise a handler is waiting on is fulfilled before workers exit.
+  queue_.Close();
+  for (std::thread& t : worker_threads_) {
+    if (t.joinable()) t.join();
+  }
+  watchdog_stop.store(true, std::memory_order_relaxed);
+  if (watchdog.joinable()) watchdog.join();
+  listen_fd_.reset();
+  joined_ = true;
+}
+
+void PebbleServer::AcceptLoop() {
+  uint64_t accept_seq = 0;
+  while (!stop_io_.load(std::memory_order_relaxed)) {
+    Result<net::UniqueFd> accepted =
+        net::AcceptTimeout(listen_fd_.get(), /*timeout_ms=*/50, ++accept_seq);
+    if (!accepted.ok()) {
+      counters_.accept_faults.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    net::UniqueFd fd = std::move(accepted).ValueOrDie();
+    if (!fd.valid()) continue;  // timeout tick; re-check the stop flag
+    counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    size_t depth = 0;
+    if (!pending_conns_.TryPush(std::move(fd), &depth)) {
+      // fd was not consumed by the failed push; shed the connection with a
+      // structured response rather than a silent close.
+      counters_.connections_shed_overcap.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      QueryResponse shed = ErrorResponse(
+          StatusCode::kResourceExhausted,
+          "connection capacity reached (" + std::to_string(depth) +
+              " connections pending)");
+      shed.retry_after_ms = 50;
+      // Best effort with a short budget: a peer that cannot take the shed
+      // response promptly is not worth an accept-loop stall.
+      net::WriteFrame(fd.get(), EncodeResponse(shed), /*timeout_ms=*/250)
+          .ok();
+    }
+  }
+}
+
+void PebbleServer::HandlerLoop() {
+  net::UniqueFd fd;
+  while (pending_conns_.Pop(&fd)) {
+    ServeConnection(std::move(fd),
+                    next_conn_id_.fetch_add(1, std::memory_order_relaxed));
+  }
+}
+
+void PebbleServer::ServeConnection(net::UniqueFd fd, uint64_t conn_id) {
+  // Keep-alive: one connection carries many request/response exchanges.
+  while (!stop_io_.load(std::memory_order_relaxed)) {
+    std::string payload;
+    const int frame_budget_ms =
+        std::max(options_.idle_timeout_ms, options_.read_timeout_ms);
+    Status read = net::ReadFrame(fd.get(), &payload, frame_budget_ms,
+                                 &stop_io_, conn_id);
+    if (!read.ok()) {
+      switch (read.code()) {
+        case StatusCode::kUnavailable:
+          // Clean close between frames, or drain interrupted the idle
+          // wait: the normal end of a connection.
+          return;
+        case StatusCode::kDeadlineExceeded:
+          counters_.connections_reaped_idle.fetch_add(
+              1, std::memory_order_relaxed);
+          return;
+        case StatusCode::kInvalidArgument: {
+          // Protocol violation (oversized frame). Answer, then hang up:
+          // the stream is not re-synchronizable.
+          counters_.requests_received.fetch_add(1, std::memory_order_relaxed);
+          counters_.bad_request.fetch_add(1, std::memory_order_relaxed);
+          QueryResponse bad =
+              ErrorResponse(StatusCode::kInvalidArgument, read.message());
+          net::WriteFrame(fd.get(), EncodeResponse(bad),
+                          options_.write_timeout_ms, nullptr, conn_id)
+              .ok();
+          return;
+        }
+        default:
+          counters_.connections_torn.fetch_add(1, std::memory_order_relaxed);
+          return;
+      }
+    }
+
+    counters_.requests_received.fetch_add(1, std::memory_order_relaxed);
+    QueryRequest request;
+    QueryResponse response;
+    Status decoded = DecodeRequest(payload, &request);
+    if (!decoded.ok()) {
+      counters_.bad_request.fetch_add(1, std::memory_order_relaxed);
+      response = ErrorResponse(StatusCode::kInvalidArgument,
+                               decoded.message());
+    } else {
+      response = Dispatch(std::move(request));
+    }
+
+    // Responses are never interrupted by drain: an admitted request's
+    // answer is delivered even while shutting down.
+    Status written =
+        net::WriteFrame(fd.get(), EncodeResponse(response),
+                        options_.write_timeout_ms, nullptr, conn_id);
+    if (!written.ok()) {
+      counters_.responses_write_failed.fetch_add(1,
+                                                 std::memory_order_relaxed);
+      counters_.connections_torn.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+QueryResponse PebbleServer::Dispatch(QueryRequest request) {
+  const auto received_at = std::chrono::steady_clock::now();
+  if (draining_.load(std::memory_order_relaxed)) {
+    counters_.shed_draining.fetch_add(1, std::memory_order_relaxed);
+    QueryResponse resp = ErrorResponse(StatusCode::kUnavailable,
+                                       "server is draining; retry elsewhere");
+    resp.retry_after_ms = 100;
+    return resp;
+  }
+  if (request.version == 0 || request.version > kWireVersion) {
+    counters_.bad_request.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(StatusCode::kInvalidArgument,
+                         "unsupported protocol version " +
+                             std::to_string(request.version));
+  }
+
+  uint32_t retry_after_ms = 0;
+  Status admit = admission_.Admit(request.tenant, &retry_after_ms);
+  if (!admit.ok()) {
+    counters_.shed_rate_limit.fetch_add(1, std::memory_order_relaxed);
+    QueryResponse resp = ErrorResponse(admit.code(), admit.message());
+    resp.retry_after_ms = retry_after_ms;
+    resp.queue_depth = static_cast<uint32_t>(queue_.depth());
+    return resp;
+  }
+
+  const uint64_t id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Status enqueue_fault =
+      FailpointRegistry::Global().Evaluate(failpoints::kServerEnqueue, id);
+  if (!enqueue_fault.ok()) {
+    counters_.shed_enqueue_fault.fetch_add(1, std::memory_order_relaxed);
+    QueryResponse resp =
+        ErrorResponse(enqueue_fault.code(), enqueue_fault.message());
+    resp.retry_after_ms = 20;
+    resp.queue_depth = static_cast<uint32_t>(queue_.depth());
+    return resp;
+  }
+
+  uint32_t deadline_ms = request.deadline_ms == 0
+                             ? options_.default_deadline_ms
+                             : request.deadline_ms;
+  deadline_ms = std::min(deadline_ms, options_.max_deadline_ms);
+
+  auto job = std::make_unique<Job>();
+  job->request = std::move(request);
+  job->enqueued_at = received_at;
+  job->deadline = received_at + std::chrono::milliseconds(deadline_ms);
+  job->id = id;
+  std::future<QueryResponse> answer = job->promise.get_future();
+
+  size_t depth = 0;
+  if (!queue_.TryPush(std::move(job), &depth)) {
+    if (draining_.load(std::memory_order_relaxed)) {
+      counters_.shed_draining.fetch_add(1, std::memory_order_relaxed);
+      QueryResponse resp = ErrorResponse(StatusCode::kUnavailable,
+                                         "server is draining");
+      resp.retry_after_ms = 100;
+      resp.queue_depth = static_cast<uint32_t>(depth);
+      return resp;
+    }
+    counters_.shed_queue_full.fetch_add(1, std::memory_order_relaxed);
+    QueryResponse resp = ErrorResponse(
+        StatusCode::kResourceExhausted,
+        "admission queue full at depth " + std::to_string(depth) + "/" +
+            std::to_string(queue_.capacity()));
+    resp.retry_after_ms = 20;
+    resp.queue_depth = static_cast<uint32_t>(depth);
+    return resp;
+  }
+  counters_.admitted.fetch_add(1, std::memory_order_relaxed);
+
+  // The worker pool fulfills every pushed job's promise (Pop drains after
+  // Close), so this wait always finishes.
+  return answer.get();
+}
+
+void PebbleServer::WorkerLoop() {
+  std::unique_ptr<Job> job;
+  while (queue_.Pop(&job)) {
+    QueryResponse response = Execute(*job);
+    response.server_us = ElapsedUs(job->enqueued_at);
+    response.queue_depth = static_cast<uint32_t>(queue_.depth());
+    job->promise.set_value(std::move(response));
+    job.reset();
+  }
+}
+
+QueryResponse PebbleServer::Execute(const Job& job) {
+  const auto now = std::chrono::steady_clock::now();
+  if (now >= job.deadline) {
+    counters_.deadline_before_start.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(StatusCode::kDeadlineExceeded,
+                         "deadline expired while queued");
+  }
+
+  // Per-request governance mapped onto BacktraceOptions: the remaining
+  // deadline budget, the server's hard-cancel token (trips on shutdown
+  // grace expiry), and count caps from the request or server defaults.
+  // A memory budget is translated into a visited-node cap at a fixed
+  // per-entry charge.
+  BacktraceOptions options;
+  const int64_t remaining_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(job.deadline -
+                                                            now)
+          .count();
+  options.deadline = Deadline::AfterMillis(remaining_ms);
+  options.cancel = hard_cancel_.token();
+  uint64_t max_visited = job.request.max_visited_nodes != 0
+                             ? job.request.max_visited_nodes
+                             : options_.default_max_visited_nodes;
+  if (job.request.memory_budget_bytes != 0) {
+    const uint64_t budget_cap = std::max<uint64_t>(
+        1, job.request.memory_budget_bytes / options_.bytes_per_visited_node);
+    max_visited = max_visited == 0 ? budget_cap
+                                   : std::min(max_visited, budget_cap);
+  }
+  options.max_visited_nodes = static_cast<int64_t>(max_visited);
+  options.max_results = static_cast<int64_t>(job.request.max_results);
+
+  QueryResponse response;
+  switch (job.request.op) {
+    case RequestOp::kPing:
+      response.answer = "pong";
+      break;
+    case RequestOp::kStats:
+      response.answer =
+          RenderServerStats(stats(), tenant_admission_stats());
+      break;
+    case RequestOp::kSleep: {
+      // Synthetic work: sleep in short slices so deadline expiry and the
+      // shutdown hard-cancel are observed promptly.
+      const auto sleep_until =
+          now + std::chrono::milliseconds(job.request.sleep_ms);
+      bool cut_short = false;
+      while (std::chrono::steady_clock::now() < sleep_until) {
+        if (hard_cancel_.IsCancelled()) {
+          response = ErrorResponse(StatusCode::kCancelled,
+                                   "synthetic work cancelled: " +
+                                       hard_cancel_.token().reason());
+          break;
+        }
+        if (std::chrono::steady_clock::now() >= job.deadline) {
+          cut_short = true;
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      if (response.code == StatusCode::kOk && cut_short) {
+        response.truncated = true;
+        response.truncation_detail = "sleep cut short by deadline";
+      }
+      break;
+    }
+    case RequestOp::kQuery: {
+      // The tenant is ambient for the duration of execution so the answer
+      // cache charges (and serves) this tenant's shard.
+      QueryAnswerCache::ScopedTenant tenant_scope(job.request.tenant);
+      response = ExecuteQuery(job, options);
+      break;
+    }
+  }
+
+  if (response.code == StatusCode::kOk) {
+    counters_.completed_ok.fetch_add(1, std::memory_order_relaxed);
+    if (response.truncated) {
+      counters_.completed_truncated.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    counters_.completed_error.fetch_add(1, std::memory_order_relaxed);
+  }
+  return response;
+}
+
+QueryResponse PebbleServer::ExecuteQuery(const Job& job,
+                                         const BacktraceOptions& options) {
+  auto it = catalog_.find(job.request.target);
+  if (it == catalog_.end()) {
+    return ErrorResponse(StatusCode::kKeyError,
+                         "no dataset '" + job.request.target +
+                             "' is served (register it before Start)");
+  }
+  Result<TreePattern> pattern = TreePattern::Parse(job.request.pattern);
+  if (!pattern.ok()) {
+    return ErrorResponse(pattern.status().code(),
+                         pattern.status().message());
+  }
+
+  const ServedDataset& served = it->second;
+  Result<ProvenanceQueryResult> outcome = QueryStructuralProvenanceOffline(
+      served.output, *served.store, *pattern, options,
+      options_.match_threads, served.index.get());
+  if (!outcome.ok()) {
+    return ErrorResponse(outcome.status().code(), outcome.status().message());
+  }
+
+  const ProvenanceQueryResult& result = *outcome;
+  QueryResponse response;
+  response.matched = result.matched.size();
+  response.truncated = result.truncation.truncated;
+  if (result.truncation.truncated) {
+    response.truncation_detail =
+        std::string(TruncationReasonToString(result.truncation.reason)) +
+        ": " + result.truncation.detail + " (visited " +
+        std::to_string(result.truncation.visited_nodes) + ", traced " +
+        std::to_string(result.truncation.seed_entries_traced) + "/" +
+        std::to_string(result.truncation.seed_entries_total) + " seeds)";
+  }
+  response.match_us = static_cast<uint64_t>(result.match_ms * 1000.0);
+  response.backtrace_us =
+      static_cast<uint64_t>(result.backtrace_ms * 1000.0);
+
+  std::string answer;
+  for (const SourceProvenance& source : result.sources) {
+    if (answer.size() >= options_.max_answer_bytes) {
+      answer += "... [answer truncated at " +
+                std::to_string(options_.max_answer_bytes) + " bytes]\n";
+      break;
+    }
+    answer += SourceProvenanceToString(source);
+  }
+  if (answer.size() > options_.max_answer_bytes) {
+    answer.resize(options_.max_answer_bytes);
+    answer += "\n... [answer truncated at " +
+              std::to_string(options_.max_answer_bytes) + " bytes]\n";
+  }
+  response.answer = std::move(answer);
+  return response;
+}
+
+ServerStats PebbleServer::stats() const {
+  ServerStats s;
+  s.connections_accepted =
+      counters_.connections_accepted.load(std::memory_order_relaxed);
+  s.connections_shed_overcap =
+      counters_.connections_shed_overcap.load(std::memory_order_relaxed);
+  s.connections_reaped_idle =
+      counters_.connections_reaped_idle.load(std::memory_order_relaxed);
+  s.connections_torn =
+      counters_.connections_torn.load(std::memory_order_relaxed);
+  s.accept_faults = counters_.accept_faults.load(std::memory_order_relaxed);
+  s.requests_received =
+      counters_.requests_received.load(std::memory_order_relaxed);
+  s.bad_request = counters_.bad_request.load(std::memory_order_relaxed);
+  s.admitted = counters_.admitted.load(std::memory_order_relaxed);
+  s.shed_rate_limit =
+      counters_.shed_rate_limit.load(std::memory_order_relaxed);
+  s.shed_queue_full =
+      counters_.shed_queue_full.load(std::memory_order_relaxed);
+  s.shed_enqueue_fault =
+      counters_.shed_enqueue_fault.load(std::memory_order_relaxed);
+  s.shed_draining = counters_.shed_draining.load(std::memory_order_relaxed);
+  s.completed_ok = counters_.completed_ok.load(std::memory_order_relaxed);
+  s.completed_truncated =
+      counters_.completed_truncated.load(std::memory_order_relaxed);
+  s.completed_error =
+      counters_.completed_error.load(std::memory_order_relaxed);
+  s.deadline_before_start =
+      counters_.deadline_before_start.load(std::memory_order_relaxed);
+  s.responses_write_failed =
+      counters_.responses_write_failed.load(std::memory_order_relaxed);
+  s.queue_max_depth = queue_.max_depth();
+  s.queue_capacity = queue_.capacity();
+  return s;
+}
+
+std::string RenderServerStats(
+    const ServerStats& stats,
+    const std::map<std::string, TenantAdmissionStats>& tenants) {
+  std::ostringstream out;
+  out << "server:\n"
+      << "  connections_accepted=" << stats.connections_accepted
+      << " shed_overcap=" << stats.connections_shed_overcap
+      << " reaped_idle=" << stats.connections_reaped_idle
+      << " torn=" << stats.connections_torn
+      << " accept_faults=" << stats.accept_faults << "\n"
+      << "  requests_received=" << stats.requests_received
+      << " bad_request=" << stats.bad_request
+      << " admitted=" << stats.admitted << "\n"
+      << "  shed: rate_limit=" << stats.shed_rate_limit
+      << " queue_full=" << stats.shed_queue_full
+      << " enqueue_fault=" << stats.shed_enqueue_fault
+      << " draining=" << stats.shed_draining << "\n"
+      << "  completed: ok=" << stats.completed_ok
+      << " truncated=" << stats.completed_truncated
+      << " error=" << stats.completed_error
+      << " deadline_before_start=" << stats.deadline_before_start << "\n"
+      << "  responses_write_failed=" << stats.responses_write_failed
+      << " queue_max_depth=" << stats.queue_max_depth << "/"
+      << stats.queue_capacity << "\n";
+  out << "tenants:\n";
+  for (const auto& [tenant, t] : tenants) {
+    out << "  '" << (tenant.empty() ? "<default>" : tenant)
+        << "': admitted=" << t.admitted << " shed=" << t.shed;
+    const QueryCacheStats cache =
+        QueryAnswerCache::Instance().tenant_stats(tenant);
+    out << " cache_hits=" << cache.hits << " cache_misses=" << cache.misses
+        << " cache_bytes=" << cache.bytes << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace pebble::server

@@ -1,0 +1,240 @@
+// pebbled — the long-lived concurrent provenance query server (DESIGN.md
+// §13, ROADMAP item 1). Holds read-only provenance stores plus their
+// retained output datasets and answers many concurrent backtrace /
+// tree-pattern queries over the framed socket protocol (net/frame.h,
+// server/wire.h).
+//
+// Robustness architecture:
+//
+//   accept thread ──> connection-fd queue ──> handler threads (fixed pool)
+//                                                  │ decode + admit
+//                                                  v
+//                                   bounded admission queue (shed on full)
+//                                                  │
+//                                                  v
+//                                      worker threads (fixed pool)
+//
+// Every stage is bounded: connections beyond the handler pool's backlog
+// are *answered* with a structured kResourceExhausted frame and closed
+// (never silently dropped); requests beyond a tenant's token-bucket rate
+// or past the queue capacity are shed the same way, with a retry-after
+// hint and the queue depth that caused the shed. Per-request governance
+// (deadline, visited-node cap, result cap, memory budget) maps onto
+// BacktraceOptions, so a saturated query degrades to the pinned
+// partial-lower-bound answer instead of pinning a worker. Slow or stalled
+// peers are bounded by read/write/idle timeouts; a torn connection costs
+// the server one handler iteration, nothing more.
+//
+// Shutdown: BeginDrain() stops accepting and sheds *new* requests with
+// kUnavailable while queued and in-flight requests finish and their
+// responses are delivered; Shutdown() drains, then joins every thread and
+// closes every socket. Stats survive Shutdown for post-mortem assertions.
+
+#ifndef PEBBLE_SERVER_SERVER_H_
+#define PEBBLE_SERVER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/resource.h"
+#include "core/backtrace.h"
+#include "core/query.h"
+#include "engine/dataset.h"
+#include "net/net.h"
+#include "server/admission.h"
+#include "server/wire.h"
+
+namespace pebble::server {
+
+/// One queryable unit: a retained output dataset plus the provenance
+/// store captured when it was produced (the decoupled run-then-serve
+/// workflow), optionally with a prebuilt backtrace index. All three are
+/// immutable while served; queries against them are concurrency-safe.
+struct ServedDataset {
+  Dataset output;
+  std::shared_ptr<const ProvenanceStore> store;
+  std::shared_ptr<const BacktraceIndex> index;  // may be null
+};
+
+struct ServerOptions {
+  /// 127.0.0.1 port; 0 = ephemeral (read back via port()).
+  uint16_t port = 0;
+  /// Query worker threads (the execution parallelism).
+  int workers = 4;
+  /// Connection handler threads (concurrent in-flight connections).
+  int handlers = 8;
+  /// Admission queue capacity; beyond it requests are shed.
+  size_t queue_capacity = 64;
+  /// Accepted connections waiting for a free handler; beyond it the
+  /// connection gets an immediate shed response and is closed.
+  size_t conn_backlog = 16;
+  /// Per-IO-call timeouts and the keep-alive idle bound between frames.
+  int read_timeout_ms = 5000;
+  int write_timeout_ms = 5000;
+  int idle_timeout_ms = 30000;
+  /// Governance defaults applied when a request leaves them 0.
+  uint32_t default_deadline_ms = 10000;
+  /// Hard ceiling on any request's deadline.
+  uint32_t max_deadline_ms = 60000;
+  uint64_t default_max_visited_nodes = 0;  // 0 = unlimited
+  /// Bytes charged per visited structure entry when translating a
+  /// request's memory_budget_bytes into a visited-node cap.
+  uint64_t bytes_per_visited_node = 256;
+  /// Default token-bucket quota for tenants without an explicit one
+  /// (rate 0 = unlimited).
+  TenantQuota default_tenant_quota;
+  /// Pattern-match threads per query; workers are the serving
+  /// parallelism, so 1 keeps a query on its worker.
+  int match_threads = 1;
+  /// Cap on a rendered answer; longer answers are truncated with a note.
+  size_t max_answer_bytes = 4u << 20;
+};
+
+/// Monotonic counters of one server's lifetime. Conservation invariants
+/// (checked by the soak tests):
+///   requests_received == admitted + shed_rate_limit + shed_queue_full +
+///                        shed_enqueue_fault + shed_draining + bad_request
+///   admitted          == completed_ok + completed_error +
+///                        deadline_before_start
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_shed_overcap = 0;
+  uint64_t connections_reaped_idle = 0;
+  uint64_t connections_torn = 0;  // read/write failures incl. injected
+  uint64_t accept_faults = 0;     // net.accept failpoint fires
+  uint64_t requests_received = 0;
+  uint64_t bad_request = 0;        // undecodable/oversized/bad version
+  uint64_t admitted = 0;
+  uint64_t shed_rate_limit = 0;
+  uint64_t shed_queue_full = 0;
+  uint64_t shed_enqueue_fault = 0;  // server.enqueue failpoint fires
+  uint64_t shed_draining = 0;
+  uint64_t completed_ok = 0;         // includes truncated-degraded answers
+  uint64_t completed_truncated = 0;  // subset of completed_ok
+  uint64_t completed_error = 0;      // query produced an error status
+  uint64_t deadline_before_start = 0;  // expired while queued
+  uint64_t responses_write_failed = 0;
+  size_t queue_max_depth = 0;
+  size_t queue_capacity = 0;
+};
+
+class PebbleServer {
+ public:
+  explicit PebbleServer(ServerOptions options);
+  ~PebbleServer();
+
+  PebbleServer(const PebbleServer&) = delete;
+  PebbleServer& operator=(const PebbleServer&) = delete;
+
+  /// Registers a dataset before Start(); names are unique. The catalog is
+  /// frozen once the server starts (lock-free concurrent reads).
+  Status RegisterDataset(const std::string& name, ServedDataset dataset);
+
+  /// Overrides one tenant's admission quota (callable any time).
+  void SetTenantQuota(const std::string& tenant, TenantQuota quota);
+
+  /// Binds, listens, and spawns the accept/handler/worker threads.
+  Status Start();
+
+  /// The bound port (valid after Start()).
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting and sheds new requests; already-admitted requests
+  /// keep running and their responses are delivered. Idempotent.
+  void BeginDrain();
+
+  /// BeginDrain() + wait for in-flight work + join all threads. After
+  /// `grace_ms` the hard-cancel token trips, so a stuck governed query
+  /// degrades and returns promptly. Idempotent.
+  void Shutdown(int grace_ms = 10000);
+
+  bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
+
+  ServerStats stats() const;
+  std::map<std::string, TenantAdmissionStats> tenant_admission_stats() const {
+    return admission_.TenantStats();
+  }
+
+ private:
+  struct Job {
+    QueryRequest request;
+    std::chrono::steady_clock::time_point enqueued_at;
+    std::chrono::steady_clock::time_point deadline;
+    uint64_t id = 0;
+    std::promise<QueryResponse> promise;
+  };
+
+  void AcceptLoop();
+  void HandlerLoop();
+  void WorkerLoop();
+  /// Serves one connection until close/idle/error/drain.
+  void ServeConnection(net::UniqueFd fd, uint64_t conn_id);
+  /// Admission + enqueue; returns the response to send (either the
+  /// worker's, or an immediate shed/bad-request response).
+  QueryResponse Dispatch(QueryRequest request);
+  /// Executes one admitted job on a worker thread.
+  QueryResponse Execute(const Job& job);
+  QueryResponse ExecuteQuery(const Job& job, const BacktraceOptions& options);
+
+  const ServerOptions options_;
+  std::map<std::string, ServedDataset> catalog_;
+  bool started_ = false;
+  uint16_t port_ = 0;
+
+  net::UniqueFd listen_fd_;
+  AdmissionController admission_;
+  BoundedQueue<std::unique_ptr<Job>> queue_;
+  BoundedQueue<net::UniqueFd> pending_conns_;
+  CancellationSource hard_cancel_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stop_io_{false};  // interrupts blocked reads/writes
+  std::atomic<uint64_t> next_conn_id_{0};
+  std::atomic<uint64_t> next_request_id_{0};
+
+  std::thread accept_thread_;
+  std::vector<std::thread> handler_threads_;
+  std::vector<std::thread> worker_threads_;
+  bool joined_ = false;
+  std::mutex shutdown_mu_;
+
+  // Stats as atomics (written from many threads, snapshot in stats()).
+  struct AtomicStats {
+    std::atomic<uint64_t> connections_accepted{0};
+    std::atomic<uint64_t> connections_shed_overcap{0};
+    std::atomic<uint64_t> connections_reaped_idle{0};
+    std::atomic<uint64_t> connections_torn{0};
+    std::atomic<uint64_t> accept_faults{0};
+    std::atomic<uint64_t> requests_received{0};
+    std::atomic<uint64_t> bad_request{0};
+    std::atomic<uint64_t> admitted{0};
+    std::atomic<uint64_t> shed_rate_limit{0};
+    std::atomic<uint64_t> shed_queue_full{0};
+    std::atomic<uint64_t> shed_enqueue_fault{0};
+    std::atomic<uint64_t> shed_draining{0};
+    std::atomic<uint64_t> completed_ok{0};
+    std::atomic<uint64_t> completed_truncated{0};
+    std::atomic<uint64_t> completed_error{0};
+    std::atomic<uint64_t> deadline_before_start{0};
+    std::atomic<uint64_t> responses_write_failed{0};
+  } counters_;
+};
+
+/// Renders server + tenant stats as the kStats response text.
+std::string RenderServerStats(const ServerStats& stats,
+                              const std::map<std::string,
+                                             TenantAdmissionStats>& tenants);
+
+}  // namespace pebble::server
+
+#endif  // PEBBLE_SERVER_SERVER_H_

@@ -1,0 +1,209 @@
+#include "server/wire.h"
+
+namespace pebble::server {
+
+namespace {
+
+/// Strings inside a message are separately capped (the frame layer caps
+/// the whole payload; this bounds any single field).
+constexpr uint32_t kMaxStringBytes = 8u << 20;
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutStr(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// Bounds-checked forward reader over a payload. Every getter fails with
+/// the current offset in the message, so a fuzzer-found reject is
+/// reproducible from the error text alone.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  size_t pos() const { return pos_; }
+
+  Status GetU8(uint8_t* v) {
+    PEBBLE_RETURN_NOT_OK(Need(1, "u8"));
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return Status::OK();
+  }
+
+  Status GetU32(uint32_t* v) {
+    PEBBLE_RETURN_NOT_OK(Need(4, "u32"));
+    uint32_t out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_++]))
+             << (8 * i);
+    }
+    *v = out;
+    return Status::OK();
+  }
+
+  Status GetU64(uint64_t* v) {
+    PEBBLE_RETURN_NOT_OK(Need(8, "u64"));
+    uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_++]))
+             << (8 * i);
+    }
+    *v = out;
+    return Status::OK();
+  }
+
+  Status GetStr(std::string* v) {
+    uint32_t len = 0;
+    PEBBLE_RETURN_NOT_OK(GetU32(&len));
+    if (len > kMaxStringBytes) {
+      return Status::InvalidArgument(
+          "string field declares " + std::to_string(len) +
+          " bytes at offset " + std::to_string(pos_ - 4) + ", limit " +
+          std::to_string(kMaxStringBytes));
+    }
+    PEBBLE_RETURN_NOT_OK(Need(len, "string body"));
+    v->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+  Status ExpectEnd() const {
+    if (pos_ != data_.size()) {
+      return Status::InvalidArgument(
+          std::to_string(data_.size() - pos_) +
+          " trailing bytes after message at offset " + std::to_string(pos_));
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Need(size_t n, const char* what) const {
+    if (data_.size() - pos_ < n) {
+      return Status::InvalidArgument(
+          std::string("truncated message: need ") + std::to_string(n) +
+          " bytes for " + what + " at offset " + std::to_string(pos_) +
+          ", have " + std::to_string(data_.size() - pos_));
+    }
+    return Status::OK();
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string EncodeRequest(const QueryRequest& request) {
+  std::string out;
+  PutU8(&out, kMsgRequest);
+  PutU32(&out, request.version);
+  PutStr(&out, request.tenant);
+  PutU8(&out, static_cast<uint8_t>(request.op));
+  PutStr(&out, request.target);
+  PutStr(&out, request.pattern);
+  PutU32(&out, request.deadline_ms);
+  PutU64(&out, request.max_visited_nodes);
+  PutU64(&out, request.max_results);
+  PutU64(&out, request.memory_budget_bytes);
+  PutU32(&out, request.sleep_ms);
+  return out;
+}
+
+std::string EncodeResponse(const QueryResponse& response) {
+  std::string out;
+  PutU8(&out, kMsgResponse);
+  PutU8(&out, static_cast<uint8_t>(response.code));
+  PutStr(&out, response.message);
+  PutU32(&out, response.retry_after_ms);
+  PutU32(&out, response.queue_depth);
+  PutU8(&out, response.truncated ? 1 : 0);
+  PutStr(&out, response.truncation_detail);
+  PutU64(&out, response.matched);
+  PutStr(&out, response.answer);
+  PutU64(&out, response.match_us);
+  PutU64(&out, response.backtrace_us);
+  PutU64(&out, response.server_us);
+  return out;
+}
+
+Status DecodeRequest(std::string_view payload, QueryRequest* request) {
+  Reader r(payload);
+  uint8_t kind = 0;
+  PEBBLE_RETURN_NOT_OK(r.GetU8(&kind));
+  if (kind != kMsgRequest) {
+    return Status::InvalidArgument("expected request message (kind 1), got " +
+                                   std::to_string(kind));
+  }
+  PEBBLE_RETURN_NOT_OK(r.GetU32(&request->version));
+  if (request->version == 0 || request->version > kWireVersion) {
+    return Status::InvalidArgument(
+        "unsupported protocol version " + std::to_string(request->version) +
+        " (this server speaks up to " + std::to_string(kWireVersion) + ")");
+  }
+  PEBBLE_RETURN_NOT_OK(r.GetStr(&request->tenant));
+  uint8_t op = 0;
+  PEBBLE_RETURN_NOT_OK(r.GetU8(&op));
+  if (op > static_cast<uint8_t>(RequestOp::kSleep)) {
+    return Status::InvalidArgument("unknown request op " +
+                                   std::to_string(op));
+  }
+  request->op = static_cast<RequestOp>(op);
+  PEBBLE_RETURN_NOT_OK(r.GetStr(&request->target));
+  PEBBLE_RETURN_NOT_OK(r.GetStr(&request->pattern));
+  PEBBLE_RETURN_NOT_OK(r.GetU32(&request->deadline_ms));
+  PEBBLE_RETURN_NOT_OK(r.GetU64(&request->max_visited_nodes));
+  PEBBLE_RETURN_NOT_OK(r.GetU64(&request->max_results));
+  PEBBLE_RETURN_NOT_OK(r.GetU64(&request->memory_budget_bytes));
+  PEBBLE_RETURN_NOT_OK(r.GetU32(&request->sleep_ms));
+  return r.ExpectEnd();
+}
+
+Status DecodeResponse(std::string_view payload, QueryResponse* response) {
+  Reader r(payload);
+  uint8_t kind = 0;
+  PEBBLE_RETURN_NOT_OK(r.GetU8(&kind));
+  if (kind != kMsgResponse) {
+    return Status::InvalidArgument(
+        "expected response message (kind 2), got " + std::to_string(kind));
+  }
+  uint8_t code = 0;
+  PEBBLE_RETURN_NOT_OK(r.GetU8(&code));
+  if (code > static_cast<uint8_t>(StatusCode::kResourceExhausted)) {
+    return Status::InvalidArgument("unknown status code " +
+                                   std::to_string(code));
+  }
+  response->code = static_cast<StatusCode>(code);
+  PEBBLE_RETURN_NOT_OK(r.GetStr(&response->message));
+  PEBBLE_RETURN_NOT_OK(r.GetU32(&response->retry_after_ms));
+  PEBBLE_RETURN_NOT_OK(r.GetU32(&response->queue_depth));
+  uint8_t truncated = 0;
+  PEBBLE_RETURN_NOT_OK(r.GetU8(&truncated));
+  if (truncated > 1) {
+    return Status::InvalidArgument("truncated flag must be 0/1, got " +
+                                   std::to_string(truncated));
+  }
+  response->truncated = truncated != 0;
+  PEBBLE_RETURN_NOT_OK(r.GetStr(&response->truncation_detail));
+  PEBBLE_RETURN_NOT_OK(r.GetU64(&response->matched));
+  PEBBLE_RETURN_NOT_OK(r.GetStr(&response->answer));
+  PEBBLE_RETURN_NOT_OK(r.GetU64(&response->match_us));
+  PEBBLE_RETURN_NOT_OK(r.GetU64(&response->backtrace_us));
+  PEBBLE_RETURN_NOT_OK(r.GetU64(&response->server_us));
+  return r.ExpectEnd();
+}
+
+}  // namespace pebble::server

@@ -1,0 +1,111 @@
+// Request/response message grammar of the provenance query protocol
+// (DESIGN.md §13). A message is the payload of one net/frame.h frame; the
+// frame layer guarantees integrity (length + CRC32), this layer guarantees
+// meaning: fixed-width little-endian scalars, u32-length-prefixed strings,
+// a leading message-kind byte, and a version field so old clients keep
+// working against newer servers. Decoding is fully bounds-checked and
+// never trusts a declared length beyond the payload — a malformed message
+// is a structured kInvalidArgument, never a crash or over-read.
+
+#ifndef PEBBLE_SERVER_WIRE_H_
+#define PEBBLE_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace pebble::server {
+
+/// Protocol version spoken by this build. Servers accept any version up to
+/// their own and answer in kind; a newer client version is rejected with a
+/// structured error (not a dropped connection).
+inline constexpr uint32_t kWireVersion = 1;
+
+/// Leading message-kind byte of every payload.
+inline constexpr uint8_t kMsgRequest = 1;
+inline constexpr uint8_t kMsgResponse = 2;
+
+/// What the client asks the server to do.
+enum class RequestOp : uint8_t {
+  /// Liveness probe; answered from the worker pool like any request, so a
+  /// ping latency reflects real queueing.
+  kPing = 0,
+  /// Structural provenance query: match `pattern` against the dataset
+  /// registered under `target` and backtrace the matches.
+  kQuery = 1,
+  /// Server + per-tenant statistics, rendered as text in `answer`.
+  kStats = 2,
+  /// Sleeps `sleep_ms` (bounded by the request deadline) and returns OK.
+  /// A calibrated unit of synthetic work for soak tests and benchmarks —
+  /// the serving equivalent of YCSB's think-time knob.
+  kSleep = 3,
+};
+
+/// One client->server request.
+struct QueryRequest {
+  uint32_t version = kWireVersion;
+  /// Admission-control identity. Empty = the default tenant.
+  std::string tenant;
+  RequestOp op = RequestOp::kPing;
+  /// Name of the served dataset to query (RegisterDataset name).
+  std::string target;
+  /// Tree-pattern text (TreePattern::Parse syntax).
+  std::string pattern;
+  /// Per-request governance, mapped onto BacktraceOptions (DESIGN.md §9):
+  /// deadline_ms bounds queue wait + execution (0 = server default);
+  /// max_visited_nodes / max_results cap tracing work (0 = server
+  /// default); memory_budget_bytes is translated into a visited-node cap
+  /// (each visited structure entry is charged a fixed estimate).
+  uint32_t deadline_ms = 0;
+  uint64_t max_visited_nodes = 0;
+  uint64_t max_results = 0;
+  uint64_t memory_budget_bytes = 0;
+  /// kSleep only: synthetic work duration.
+  uint32_t sleep_ms = 0;
+};
+
+/// One server->client response. `code` is the outcome: kOk (possibly with
+/// `truncated` when governance degraded the answer to a lower bound),
+/// kResourceExhausted (shed: admission denied or queue full — retry after
+/// `retry_after_ms`), kDeadlineExceeded, kInvalidArgument (bad request),
+/// kUnavailable (draining), or any error the query itself produced.
+struct QueryResponse {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  /// Shed responses: suggested client backoff before retrying.
+  uint32_t retry_after_ms = 0;
+  /// Admission-queue depth observed when the response was formed (shed
+  /// responses carry the depth that caused the shed).
+  uint32_t queue_depth = 0;
+  /// Governance degradation of an otherwise-OK answer (DESIGN.md §9).
+  bool truncated = false;
+  std::string truncation_detail;
+  /// kQuery: matched result items; rendered provenance in `answer`.
+  uint64_t matched = 0;
+  std::string answer;
+  /// Timings: pattern match, backtrace, and total in-server time.
+  uint64_t match_us = 0;
+  uint64_t backtrace_us = 0;
+  uint64_t server_us = 0;
+
+  /// The response's outcome as a Status (OK for kOk).
+  Status ToStatus() const {
+    if (code == StatusCode::kOk) return Status::OK();
+    return Status::FromCode(code, message);
+  }
+};
+
+std::string EncodeRequest(const QueryRequest& request);
+std::string EncodeResponse(const QueryResponse& response);
+
+/// Decode a payload previously framed by the peer. Rejects wrong leading
+/// kind bytes, unknown enum values, lengths past the payload end, and
+/// trailing garbage — all as kInvalidArgument with the byte offset.
+Status DecodeRequest(std::string_view payload, QueryRequest* request);
+Status DecodeResponse(std::string_view payload, QueryResponse* response);
+
+}  // namespace pebble::server
+
+#endif  // PEBBLE_SERVER_WIRE_H_

@@ -1,0 +1,192 @@
+#include "workload/serving_driver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/rng.h"
+#include "server/client.h"
+#include "workload/scenarios.h"
+
+namespace pebble {
+
+Result<ServedScenario> MakeServedStressScenario(size_t num_tweets,
+                                                uint64_t seed) {
+  PEBBLE_ASSIGN_OR_RETURN(Scenario scenario,
+                          MakeStressScenario(num_tweets, seed));
+  Executor executor(ExecOptions(CaptureMode::kStructural,
+                                /*partitions=*/4, /*threads=*/2));
+  PEBBLE_ASSIGN_OR_RETURN(ExecutionResult run, executor.Run(scenario.pipeline));
+  if (run.provenance == nullptr) {
+    return Status::Internal("stress scenario ran without capture");
+  }
+  ServedScenario served;
+  served.name = scenario.name;
+  served.pattern_text = scenario.query.ToString();
+  served.dataset.output = std::move(run.output);
+  std::shared_ptr<const ProvenanceStore> store = run.provenance;
+  served.dataset.index = std::make_shared<BacktraceIndex>(*store);
+  served.dataset.store = std::move(store);
+  return served;
+}
+
+namespace {
+
+/// Outcome tallies and latencies of one driver thread (merged at the end;
+/// no cross-thread sharing during the run).
+struct ThreadTally {
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  uint64_t truncated = 0;
+  uint64_t shed = 0;
+  uint64_t errors = 0;
+  std::vector<uint64_t> latencies_us;
+  std::map<std::string, uint64_t> sent_by_tenant;
+};
+
+void DriveThread(uint16_t port, const std::string& target,
+                 const std::string& pattern_text,
+                 const ServingWorkloadOptions& options, int thread_index,
+                 ThreadTally* tally) {
+  server::ClientOptions copts;
+  copts.port = port;
+  copts.jitter_seed = options.seed * 1000003 + thread_index;
+  server::PebbleClient client(copts);
+  Rng rng(options.seed * 7919 + thread_index);
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto stop = start + std::chrono::milliseconds(options.duration_ms);
+  // Open loop: this thread owns every arrival whose index ≡ thread_index
+  // (mod threads) on the aggregate schedule.
+  const double interval_us =
+      options.open_rate_per_sec > 0 ? 1e6 / options.open_rate_per_sec : 1e6;
+  uint64_t next_arrival = static_cast<uint64_t>(thread_index);
+
+  while (std::chrono::steady_clock::now() < stop) {
+    if (options.model == LoadModel::kOpenLoop) {
+      const auto due =
+          start + std::chrono::microseconds(static_cast<uint64_t>(
+                      static_cast<double>(next_arrival) * interval_us));
+      next_arrival += static_cast<uint64_t>(options.threads);
+      if (due >= stop) break;
+      // Issue at the scheduled instant; a late thread issues immediately
+      // (the schedule does not slip to hide server slowness).
+      std::this_thread::sleep_until(due);
+    }
+
+    server::QueryRequest request;
+    const uint64_t tenant_index = rng.NextZipf(
+        static_cast<uint64_t>(std::max(1, options.num_tenants)),
+        options.tenant_zipf_s);
+    request.tenant = "tenant-" + std::to_string(tenant_index);
+    request.deadline_ms = options.deadline_ms;
+    request.max_visited_nodes = options.max_visited_nodes;
+    const int dice = static_cast<int>(rng.NextBounded(100));
+    if (dice < options.query_pct) {
+      request.op = server::RequestOp::kQuery;
+      request.target = target;
+      request.pattern = pattern_text;
+    } else if (dice < options.query_pct + options.sleep_pct) {
+      request.op = server::RequestOp::kSleep;
+      request.sleep_ms = options.sleep_ms;
+    } else {
+      request.op = server::RequestOp::kPing;
+    }
+
+    ++tally->sent;
+    ++tally->sent_by_tenant[request.tenant];
+    const auto begin = std::chrono::steady_clock::now();
+    server::QueryResponse response;
+    Status status = options.retry ? client.CallWithRetry(request, &response)
+                                  : client.Call(request, &response);
+    const uint64_t lat_us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - begin)
+            .count());
+    tally->latencies_us.push_back(lat_us);
+
+    if (status.ok() && response.code == StatusCode::kOk) {
+      ++tally->ok;
+      if (response.truncated) ++tally->truncated;
+    } else if (status.ok() &&
+               (response.code == StatusCode::kResourceExhausted ||
+                response.code == StatusCode::kUnavailable)) {
+      ++tally->shed;
+    } else if (!status.ok() &&
+               (status.code() == StatusCode::kResourceExhausted ||
+                status.code() == StatusCode::kUnavailable)) {
+      ++tally->shed;  // CallWithRetry exhausted against a shedding server
+    } else {
+      ++tally->errors;
+    }
+  }
+}
+
+double Percentile(std::vector<uint64_t>* sorted_us, double p) {
+  if (sorted_us->empty()) return 0;
+  const size_t rank = std::min(
+      sorted_us->size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted_us->size())));
+  return static_cast<double>((*sorted_us)[rank]);
+}
+
+}  // namespace
+
+Result<ServingWorkloadReport> RunServingWorkload(
+    uint16_t port, const std::string& target,
+    const std::string& pattern_text, const ServingWorkloadOptions& options) {
+  if (options.threads <= 0) {
+    return Status::InvalidArgument("serving workload needs >= 1 thread");
+  }
+  if (options.query_pct + options.sleep_pct > 100 || options.query_pct < 0 ||
+      options.sleep_pct < 0) {
+    return Status::InvalidArgument("request mix percentages out of range");
+  }
+
+  std::vector<ThreadTally> tallies(options.threads);
+  std::vector<std::thread> threads;
+  threads.reserve(options.threads);
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < options.threads; ++i) {
+    threads.emplace_back(DriveThread, port, std::cref(target),
+                         std::cref(pattern_text), std::cref(options), i,
+                         &tallies[i]);
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
+
+  ServingWorkloadReport report;
+  std::vector<uint64_t> all_us;
+  for (const ThreadTally& tally : tallies) {
+    report.sent += tally.sent;
+    report.ok += tally.ok;
+    report.truncated += tally.truncated;
+    report.shed += tally.shed;
+    report.errors += tally.errors;
+    all_us.insert(all_us.end(), tally.latencies_us.begin(),
+                  tally.latencies_us.end());
+    for (const auto& [tenant, n] : tally.sent_by_tenant) {
+      report.sent_by_tenant[tenant] += n;
+    }
+  }
+  std::sort(all_us.begin(), all_us.end());
+  report.p50_us = Percentile(&all_us, 0.50);
+  report.p99_us = Percentile(&all_us, 0.99);
+  report.max_us = all_us.empty() ? 0 : static_cast<double>(all_us.back());
+  report.wall_ms = wall_ms;
+  report.throughput_rps =
+      wall_ms > 0 ? static_cast<double>(report.ok + report.shed +
+                                        report.errors) /
+                        (wall_ms / 1000.0)
+                  : 0;
+  return report;
+}
+
+}  // namespace pebble

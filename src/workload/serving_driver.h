@@ -1,0 +1,93 @@
+// YCSB-style load driver for the provenance query daemon (DESIGN.md §13).
+// Drives a running PebbleServer over the real socket protocol with a
+// multithreaded mix of query / ping / synthetic-work requests under
+// zipf-skewed tenant selection, in either of the two canonical load
+// models:
+//
+//   closed loop — each driver thread keeps exactly one request in flight
+//     (throughput = what the server sustains; latency excludes queueing at
+//     the client);
+//   open loop — requests are issued on a fixed arrival schedule regardless
+//     of completions (the server's shed behavior under a rate it cannot
+//     sustain is the object under test).
+//
+// The driver records per-request outcomes (ok / shed / error / truncated)
+// and wall-clock latency, and reports p50/p99 plus throughput — the
+// numbers bench/serving_latency.cc emits as BENCH_8.json.
+
+#ifndef PEBBLE_WORKLOAD_SERVING_DRIVER_H_
+#define PEBBLE_WORKLOAD_SERVING_DRIVER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "server/server.h"
+
+namespace pebble {
+
+/// A stress-scenario dataset executed with structural capture and wrapped
+/// for serving, plus the scenario's provenance question for the driver to
+/// ask. `dataset.index` is prebuilt.
+struct ServedScenario {
+  std::string name;
+  server::ServedDataset dataset;
+  std::string pattern_text;
+};
+
+/// Builds the T3-shaped stress scenario at `num_tweets`, runs it with
+/// structural capture, and packages output + store + prebuilt index for
+/// PebbleServer::RegisterDataset.
+Result<ServedScenario> MakeServedStressScenario(size_t num_tweets,
+                                                uint64_t seed = 42);
+
+enum class LoadModel { kClosedLoop, kOpenLoop };
+
+struct ServingWorkloadOptions {
+  LoadModel model = LoadModel::kClosedLoop;
+  int threads = 4;
+  int duration_ms = 1000;
+  /// kOpenLoop: aggregate request arrival rate across all threads.
+  double open_rate_per_sec = 200;
+  /// Request mix in percent; the remainder after query+sleep is pings.
+  int query_pct = 60;
+  int sleep_pct = 20;
+  uint32_t sleep_ms = 5;
+  /// Tenant population and the zipf skew over it (s > 0; higher = more
+  /// load on tenant 0).
+  int num_tenants = 4;
+  double tenant_zipf_s = 1.1;
+  /// Governance attached to every request (0 = server default).
+  uint32_t deadline_ms = 0;
+  uint64_t max_visited_nodes = 0;
+  uint64_t seed = 7;
+  /// Use the retrying client call (honors retry-after hints) instead of
+  /// single attempts. Single attempts expose the raw shed rate.
+  bool retry = false;
+};
+
+struct ServingWorkloadReport {
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  uint64_t truncated = 0;   // subset of ok
+  uint64_t shed = 0;        // kResourceExhausted / kUnavailable responses
+  uint64_t errors = 0;      // any other non-OK outcome (incl. transport)
+  double p50_us = 0;
+  double p99_us = 0;
+  double max_us = 0;
+  double throughput_rps = 0;
+  double wall_ms = 0;
+  std::map<std::string, uint64_t> sent_by_tenant;
+};
+
+/// Runs the workload against 127.0.0.1:`port`, asking `target` with
+/// `pattern_text` for query ops. Blocks for ~duration_ms.
+Result<ServingWorkloadReport> RunServingWorkload(
+    uint16_t port, const std::string& target,
+    const std::string& pattern_text, const ServingWorkloadOptions& options);
+
+}  // namespace pebble
+
+#endif  // PEBBLE_WORKLOAD_SERVING_DRIVER_H_

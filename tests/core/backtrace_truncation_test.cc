@@ -13,6 +13,7 @@
 #include "common/resource.h"
 #include "core/backtrace.h"
 #include "core/query.h"
+#include "core/query_cache.h"
 #include "engine/executor.h"
 #include "test_util.h"
 #include "testing/generator.h"
@@ -85,6 +86,11 @@ class BacktraceTruncationTest : public ::testing::Test {
     }
   }
 
+  // These tests exercise the tracer's short-circuit behavior; without this
+  // the fixture's unlimited query would seed the answer cache and a
+  // governed rerun would hit it (returning the full answer untruncated,
+  // which is the cache's contract but not what is under test here).
+  QueryAnswerCache::ScopedDisable no_cache_;
   std::unique_ptr<BuiltCase> built_;
   std::unique_ptr<ExecutionResult> run_;
   std::unique_ptr<ProvenanceQueryResult> full_;

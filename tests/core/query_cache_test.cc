@@ -36,6 +36,7 @@ class QueryCacheTest : public ::testing::Test {
     QueryAnswerCache& cache = QueryAnswerCache::Instance();
     cache.set_enabled(true);
     cache.SetLimits(QueryAnswerCache::Limits{});
+    cache.ResetTenantQuotas();
     cache.Clear();
     cache.ResetStats();
   }
@@ -211,6 +212,115 @@ TEST_F(QueryCacheTest, GlobalDisableKeepsEntriesButServesNothing) {
   cache.set_enabled(true);
   ASSERT_OK(QueryStructuralProvenance(run_, ex_.query, 1).status());
   EXPECT_EQ(cache.stats().hits, primed.hits + 1);
+}
+
+TEST_F(QueryCacheTest, DeadlineGovernedQueryUsesTheCache) {
+  // Deadline-only governance (no count caps) is cache-eligible: a cached
+  // exact answer dominates anything a deadline-bounded recompute could
+  // produce. This is what makes the cache effective behind the query
+  // daemon, where every request carries a deadline.
+  QueryAnswerCache& cache = QueryAnswerCache::Instance();
+  BacktraceOptions governed;
+  governed.deadline = Deadline::AfterMillis(60000);
+  ASSERT_FALSE(governed.Unlimited());
+
+  // A cold governed query that finishes untruncated inserts its answer...
+  ASSERT_OK_AND_ASSIGN(ProvenanceQueryResult cold,
+                       QueryStructuralProvenance(run_, ex_.query, governed, 1));
+  ASSERT_FALSE(cold.truncation.truncated);
+  EXPECT_EQ(cache.stats().inserts, 1u);
+
+  // ...and both governed and ungoverned reruns hit it.
+  BacktraceOptions governed2;
+  governed2.deadline = Deadline::AfterMillis(60000);
+  ASSERT_OK(QueryStructuralProvenance(run_, ex_.query, governed2, 1).status());
+  ASSERT_OK(QueryStructuralProvenance(run_, ex_.query, 1).status());
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST_F(QueryCacheTest, TenantShardsAreIsolated) {
+  // Tenant B's churn under a tight quota must never evict tenant A's warm
+  // entry, and the shards never see each other's entries.
+  QueryAnswerCache& cache = QueryAnswerCache::Instance();
+  cache.SetTenantQuota("b", QueryAnswerCache::Limits{1, 64ull << 20});
+
+  {
+    QueryAnswerCache::ScopedTenant a("a");
+    ASSERT_OK(QueryStructuralProvenance(run_, ex_.query, 1).status());
+  }
+  {
+    QueryAnswerCache::ScopedTenant b("b");
+    // Same question: separate shard, so this is a miss, not a hit.
+    ASSERT_OK(QueryStructuralProvenance(run_, ex_.query, 1).status());
+    EXPECT_EQ(cache.tenant_stats("b").hits, 0u);
+    EXPECT_EQ(cache.tenant_stats("b").misses, 1u);
+    // Churn b's one-entry shard.
+    ASSERT_OK_AND_ASSIGN(TreePattern p1, TreePattern::Parse("zz_one"));
+    ASSERT_OK_AND_ASSIGN(TreePattern p2, TreePattern::Parse("zz_two"));
+    ASSERT_OK(QueryStructuralProvenance(run_, p1, 1).status());
+    ASSERT_OK(QueryStructuralProvenance(run_, p2, 1).status());
+    EXPECT_EQ(cache.tenant_stats("b").entries, 1u);
+    EXPECT_GE(cache.tenant_stats("b").evictions, 1u);
+  }
+  {
+    // A's entry survived b's churn.
+    QueryAnswerCache::ScopedTenant a("a");
+    ASSERT_OK(QueryStructuralProvenance(run_, ex_.query, 1).status());
+    EXPECT_EQ(cache.tenant_stats("a").hits, 1u);
+    EXPECT_EQ(cache.tenant_stats("a").entries, 1u);
+  }
+  const auto all = cache.all_tenant_stats();
+  ASSERT_TRUE(all.count("a"));
+  ASSERT_TRUE(all.count("b"));
+}
+
+TEST_F(QueryCacheTest, DefaultTenantQuotaCapsNamedTenantsOnly) {
+  QueryAnswerCache& cache = QueryAnswerCache::Instance();
+  cache.SetDefaultTenantQuota(QueryAnswerCache::Limits{1, 64ull << 20});
+
+  ASSERT_OK_AND_ASSIGN(TreePattern p1, TreePattern::Parse("zz_one"));
+  ASSERT_OK_AND_ASSIGN(TreePattern p2, TreePattern::Parse("zz_two"));
+  {
+    QueryAnswerCache::ScopedTenant x("x");
+    ASSERT_OK(QueryStructuralProvenance(run_, p1, 1).status());
+    ASSERT_OK(QueryStructuralProvenance(run_, p2, 1).status());
+    EXPECT_EQ(cache.tenant_stats("x").entries, 1u);
+  }
+  // The "" default tenant is not bound by the default tenant quota: it
+  // keeps the full global budget (single-tenant embedders unchanged).
+  ASSERT_OK(QueryStructuralProvenance(run_, p1, 1).status());
+  ASSERT_OK(QueryStructuralProvenance(run_, p2, 1).status());
+  EXPECT_EQ(cache.tenant_stats("").entries, 2u);
+}
+
+TEST_F(QueryCacheTest, GlobalBackstopBoundsTheAggregate) {
+  // Many tenants, each within its own quota, must still respect the
+  // process-wide limits: the backstop evicts from the largest shard.
+  QueryAnswerCache& cache = QueryAnswerCache::Instance();
+  QueryAnswerCache::Limits limits;
+  limits.max_entries = 2;
+  cache.SetLimits(limits);
+  for (int t = 0; t < 4; ++t) {
+    QueryAnswerCache::ScopedTenant scope("tenant-" + std::to_string(t));
+    ASSERT_OK(QueryStructuralProvenance(run_, ex_.query, 1).status());
+  }
+  EXPECT_LE(cache.stats().entries, 2u);
+  EXPECT_GE(cache.stats().evictions, 2u);
+}
+
+TEST_F(QueryCacheTest, ScopedTenantNestsAndRestores) {
+  EXPECT_EQ(QueryAnswerCache::CurrentTenant(), "");
+  {
+    QueryAnswerCache::ScopedTenant outer("outer");
+    EXPECT_EQ(QueryAnswerCache::CurrentTenant(), "outer");
+    {
+      QueryAnswerCache::ScopedTenant inner("inner");
+      EXPECT_EQ(QueryAnswerCache::CurrentTenant(), "inner");
+    }
+    EXPECT_EQ(QueryAnswerCache::CurrentTenant(), "outer");
+  }
+  EXPECT_EQ(QueryAnswerCache::CurrentTenant(), "");
 }
 
 TEST_F(QueryCacheTest, ConcurrentMixedQueriesStayConsistent) {

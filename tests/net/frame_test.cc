@@ -1,0 +1,209 @@
+// Protocol fuzz tests for the frame layer (net/frame.h): round-trips,
+// systematic truncation at every byte offset, seeded bit-flips, and
+// oversized declared lengths — each checked against an independent oracle
+// reimplementation of the frame grammar, so a shared misunderstanding in
+// DecodeFrame cannot silently self-validate. A disagreement dumps the
+// offending frame bytes to $PEBBLE_SERVER_REPRO_DIR (when set) for
+// post-mortem replay.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "net/frame.h"
+#include "test_util.h"
+
+namespace pebble::net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Independent oracle: a from-scratch decoder of the documented grammar
+//   u32 payload_len (LE) | u32 crc32(payload) (LE) | payload
+// sharing nothing with frame.cc except the Crc32 primitive.
+// ---------------------------------------------------------------------------
+
+enum class OracleOutcome { kOk, kNeedMore, kBad };
+
+OracleOutcome OracleDecode(const std::string& data, std::string* payload) {
+  if (data.size() < 8) return OracleOutcome::kNeedMore;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data.data());
+  const uint32_t len = static_cast<uint32_t>(bytes[0]) |
+                       static_cast<uint32_t>(bytes[1]) << 8 |
+                       static_cast<uint32_t>(bytes[2]) << 16 |
+                       static_cast<uint32_t>(bytes[3]) << 24;
+  const uint32_t crc = static_cast<uint32_t>(bytes[4]) |
+                       static_cast<uint32_t>(bytes[5]) << 8 |
+                       static_cast<uint32_t>(bytes[6]) << 16 |
+                       static_cast<uint32_t>(bytes[7]) << 24;
+  if (len > kMaxFramePayload) return OracleOutcome::kBad;
+  if (data.size() < 8ull + len) return OracleOutcome::kNeedMore;
+  const std::string body = data.substr(8, len);
+  if (Crc32(body.data(), body.size()) != crc) return OracleOutcome::kBad;
+  *payload = body;
+  return OracleOutcome::kOk;
+}
+
+OracleOutcome ToOracle(FrameDecode d) {
+  switch (d) {
+    case FrameDecode::kOk:
+      return OracleOutcome::kOk;
+    case FrameDecode::kNeedMore:
+      return OracleOutcome::kNeedMore;
+    case FrameDecode::kBad:
+      return OracleOutcome::kBad;
+  }
+  return OracleOutcome::kBad;
+}
+
+/// Dumps a disagreeing input for offline replay; best effort.
+void DumpRepro(const std::string& bytes, const char* tag, uint64_t id) {
+  const char* dir = std::getenv("PEBBLE_SERVER_REPRO_DIR");
+  if (dir == nullptr || dir[0] == '\0') return;
+  const std::string path = std::string(dir) + "/frame_" + tag + "_" +
+                           std::to_string(id) + ".bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return;
+  std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+}
+
+/// Runs DecodeFrame and the oracle on the same bytes and asserts they
+/// agree on outcome (and payload when both accept).
+void CheckAgainstOracle(const std::string& bytes, const char* tag,
+                        uint64_t id) {
+  std::string got_payload;
+  std::string oracle_payload;
+  size_t consumed = 0;
+  Status error;
+  const FrameDecode got =
+      DecodeFrame(bytes, &got_payload, &consumed, &error);
+  const OracleOutcome want = OracleDecode(bytes, &oracle_payload);
+  if (ToOracle(got) != want) {
+    DumpRepro(bytes, tag, id);
+    FAIL() << tag << " #" << id << ": DecodeFrame="
+           << static_cast<int>(got) << " oracle=" << static_cast<int>(want)
+           << " error=" << error.ToString();
+  }
+  if (got == FrameDecode::kOk) {
+    EXPECT_EQ(got_payload, oracle_payload);
+    EXPECT_EQ(consumed, kFrameHeaderBytes + got_payload.size());
+  }
+}
+
+TEST(FrameTest, RoundTripsPayloads) {
+  for (const std::string payload :
+       {std::string(), std::string("x"), std::string("hello frame"),
+        std::string(4096, '\0'), std::string(70000, 'z')}) {
+    const std::string framed = EncodeFrame(payload);
+    ASSERT_EQ(framed.size(), kFrameHeaderBytes + payload.size());
+    std::string decoded;
+    size_t consumed = 0;
+    Status error;
+    ASSERT_EQ(DecodeFrame(framed, &decoded, &consumed, &error),
+              FrameDecode::kOk)
+        << error.ToString();
+    EXPECT_EQ(decoded, payload);
+    EXPECT_EQ(consumed, framed.size());
+  }
+}
+
+TEST(FrameTest, EveryTruncationNeedsMoreAndAgreesWithOracle) {
+  const std::string framed = EncodeFrame("truncation probe payload");
+  for (size_t cut = 0; cut < framed.size(); ++cut) {
+    const std::string prefix = framed.substr(0, cut);
+    CheckAgainstOracle(prefix, "trunc", cut);
+    std::string payload;
+    size_t consumed = ~0ull;
+    Status error;
+    ASSERT_EQ(DecodeFrame(prefix, &payload, &consumed, &error),
+              FrameDecode::kNeedMore)
+        << "cut at " << cut;
+    EXPECT_EQ(consumed, 0u);
+  }
+}
+
+TEST(FrameTest, OversizedDeclaredLengthIsInvalidArgument) {
+  std::string framed = EncodeFrame("payload");
+  const uint32_t huge = kMaxFramePayload + 1;
+  std::memcpy(framed.data(), &huge, sizeof(huge));  // little-endian host
+  std::string payload;
+  size_t consumed = 0;
+  Status error;
+  ASSERT_EQ(DecodeFrame(framed, &payload, &consumed, &error),
+            FrameDecode::kBad);
+  EXPECT_EQ(error.code(), StatusCode::kInvalidArgument);
+  CheckAgainstOracle(framed, "oversize", 0);
+}
+
+TEST(FrameTest, CorruptPayloadIsCrcMismatch) {
+  std::string framed = EncodeFrame("payload under test");
+  framed[kFrameHeaderBytes + 3] ^= 0x40;
+  std::string payload;
+  size_t consumed = 0;
+  Status error;
+  ASSERT_EQ(DecodeFrame(framed, &payload, &consumed, &error),
+            FrameDecode::kBad);
+  EXPECT_EQ(error.code(), StatusCode::kIOError);
+}
+
+TEST(FrameTest, SeededBitFlipFuzzAgreesWithOracle) {
+  // Every single-bit flip of a small frame, then a seeded storm of random
+  // multi-bit mutations of larger frames. The oracle arbitrates every case.
+  const std::string small = EncodeFrame("abc");
+  uint64_t id = 0;
+  for (size_t byte = 0; byte < small.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = small;
+      mutated[byte] ^= static_cast<char>(1 << bit);
+      CheckAgainstOracle(mutated, "bitflip", id++);
+    }
+  }
+
+  Rng rng(20260809);
+  const long iters_env =
+      std::getenv("PEBBLE_FUZZ_ITERS") != nullptr
+          ? std::strtol(std::getenv("PEBBLE_FUZZ_ITERS"), nullptr, 10)
+          : 0;
+  const uint64_t iters = iters_env > 0 ? static_cast<uint64_t>(iters_env)
+                                       : 2000;
+  for (uint64_t i = 0; i < iters; ++i) {
+    std::string payload = rng.NextString(rng.NextBounded(300));
+    std::string frame = EncodeFrame(payload);
+    const uint64_t flips = 1 + rng.NextBounded(6);
+    for (uint64_t f = 0; f < flips; ++f) {
+      frame[rng.NextBounded(frame.size())] ^=
+          static_cast<char>(1 + rng.NextBounded(255));
+    }
+    // Also sometimes truncate, sometimes append garbage.
+    if (rng.NextBool(0.3)) frame.resize(rng.NextBounded(frame.size() + 1));
+    if (rng.NextBool(0.2)) frame += rng.NextString(rng.NextBounded(16));
+    CheckAgainstOracle(frame, "fuzz", i);
+  }
+}
+
+TEST(FrameTest, DecodeConsumesOneFrameFromAStream) {
+  // Two back-to-back frames: the decoder must consume exactly the first.
+  const std::string first = EncodeFrame("first");
+  const std::string second = EncodeFrame("second frame");
+  const std::string stream = first + second;
+  std::string payload;
+  size_t consumed = 0;
+  Status error;
+  ASSERT_EQ(DecodeFrame(stream, &payload, &consumed, &error),
+            FrameDecode::kOk);
+  EXPECT_EQ(payload, "first");
+  ASSERT_EQ(consumed, first.size());
+  ASSERT_EQ(DecodeFrame(stream.substr(consumed), &payload, &consumed,
+                        &error),
+            FrameDecode::kOk);
+  EXPECT_EQ(payload, "second frame");
+}
+
+}  // namespace
+}  // namespace pebble::net

@@ -1,0 +1,118 @@
+// Tests for per-tenant admission control and the bounded queue
+// (server/admission.h): token-bucket burst/refill behavior, retry-after
+// hints, tenant isolation, unlimited tenants, and the queue's shed-on-full
+// / close-then-drain semantics.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "server/admission.h"
+#include "test_util.h"
+
+namespace pebble::server {
+namespace {
+
+TEST(AdmissionTest, UnlimitedTenantAlwaysAdmits) {
+  AdmissionController admission;  // default quota: rate 0 = unlimited
+  uint32_t retry = 0;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_OK(admission.Admit("anyone", &retry));
+  }
+  const auto stats = admission.TenantStats();
+  EXPECT_EQ(stats.at("anyone").admitted, 1000u);
+  EXPECT_EQ(stats.at("anyone").shed, 0u);
+}
+
+TEST(AdmissionTest, BurstThenShedWithRetryHint) {
+  AdmissionController admission;
+  admission.SetQuota("t", TenantQuota{/*rate_per_sec=*/1, /*burst=*/3});
+  uint32_t retry = 0;
+  // The full burst admits...
+  EXPECT_OK(admission.Admit("t", &retry));
+  EXPECT_OK(admission.Admit("t", &retry));
+  EXPECT_OK(admission.Admit("t", &retry));
+  // ...then the bucket is empty: shed with a structured error + hint.
+  Status shed = admission.Admit("t", &retry);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.code(), StatusCode::kResourceExhausted);
+  EXPECT_GE(retry, 1u);
+  EXPECT_LE(retry, 1000u);  // at 1/s the deficit is at most one second
+  const auto stats = admission.TenantStats();
+  EXPECT_EQ(stats.at("t").admitted, 3u);
+  EXPECT_EQ(stats.at("t").shed, 1u);
+}
+
+TEST(AdmissionTest, TokensRefillOverTime) {
+  AdmissionController admission;
+  admission.SetQuota("t", TenantQuota{/*rate_per_sec=*/200, /*burst=*/1});
+  uint32_t retry = 0;
+  EXPECT_OK(admission.Admit("t", &retry));
+  EXPECT_FALSE(admission.Admit("t", &retry).ok());
+  // 200/s refills one token in 5 ms; wait comfortably longer.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_OK(admission.Admit("t", &retry));
+}
+
+TEST(AdmissionTest, TenantsAreIsolated) {
+  AdmissionController admission(TenantQuota{/*rate_per_sec=*/0.001,
+                                            /*burst=*/1});
+  uint32_t retry = 0;
+  EXPECT_OK(admission.Admit("a", &retry));
+  EXPECT_FALSE(admission.Admit("a", &retry).ok());
+  // Tenant b has its own full bucket regardless of a's exhaustion.
+  EXPECT_OK(admission.Admit("b", &retry));
+}
+
+TEST(BoundedQueueTest, ShedsOnFullReportingDepth) {
+  BoundedQueue<int> queue(2);
+  size_t depth = 0;
+  EXPECT_TRUE(queue.TryPush(1, &depth));
+  EXPECT_EQ(depth, 1u);
+  EXPECT_TRUE(queue.TryPush(2, &depth));
+  EXPECT_EQ(depth, 2u);
+  EXPECT_FALSE(queue.TryPush(3, &depth));
+  EXPECT_EQ(depth, 2u);
+  EXPECT_EQ(queue.max_depth(), 2u);
+  EXPECT_EQ(queue.capacity(), 2u);
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenStops) {
+  BoundedQueue<int> queue(8);
+  size_t depth = 0;
+  ASSERT_TRUE(queue.TryPush(7, &depth));
+  ASSERT_TRUE(queue.TryPush(8, &depth));
+  queue.Close();
+  EXPECT_FALSE(queue.TryPush(9, &depth));  // closed: no new work
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(&out));  // ...but queued work drains
+  EXPECT_EQ(out, 7);
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 8);
+  EXPECT_FALSE(queue.Pop(&out));  // drained + closed
+}
+
+TEST(BoundedQueueTest, PopBlocksUntilPushOrClose) {
+  BoundedQueue<int> queue(4);
+  int got = 0;
+  std::thread consumer([&] {
+    int out = 0;
+    while (queue.Pop(&out)) ++got;
+  });
+  size_t depth = 0;
+  for (int i = 0; i < 100; ++i) {
+    while (!queue.TryPush(int(i), &depth)) {
+      std::this_thread::yield();
+    }
+  }
+  queue.Close();
+  consumer.join();
+  EXPECT_EQ(got, 100);
+  EXPECT_LE(queue.max_depth(), queue.capacity());
+}
+
+}  // namespace
+}  // namespace pebble::server

@@ -1,0 +1,372 @@
+// End-to-end tests for the provenance query daemon (server/server.h):
+// correctness of served answers against the direct in-process query path,
+// structured shedding (tenant rate limits, full admission queue), abusive
+// peers (slow-loris, mid-request disconnects), graceful drain with
+// in-flight work, and the stats conservation invariants.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/query.h"
+#include "core/query_cache.h"
+#include "net/frame.h"
+#include "net/net.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "test_util.h"
+#include "workload/serving_driver.h"
+
+namespace pebble::server {
+namespace {
+
+/// One stress dataset shared by every test in this binary (building it
+/// runs a full pipeline; doing that per test would dominate the suite).
+const ServedScenario& SharedScenario() {
+  static const ServedScenario* scenario = [] {
+    auto made = MakeServedStressScenario(/*num_tweets=*/120, /*seed=*/3);
+    if (!made.ok()) {
+      ADD_FAILURE() << made.status().ToString();
+      std::abort();
+    }
+    return new ServedScenario(std::move(made).value());
+  }();
+  return *scenario;
+}
+
+/// Server fixture: small pools and short timeouts so shed/reap paths are
+/// reachable in test time.
+class ServerTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<PebbleServer> MakeServer(ServerOptions options) {
+    options.port = 0;
+    auto server = std::make_unique<PebbleServer>(options);
+    ServedDataset dataset;
+    dataset.output = SharedScenario().dataset.output;
+    dataset.store = SharedScenario().dataset.store;
+    dataset.index = SharedScenario().dataset.index;
+    EXPECT_OK(server->RegisterDataset("stress", std::move(dataset)));
+    EXPECT_OK(server->Start());
+    return server;
+  }
+
+  static ClientOptions ClientFor(const PebbleServer& server) {
+    ClientOptions options;
+    options.port = server.port();
+    return options;
+  }
+
+  static void CheckConservation(const ServerStats& s) {
+    EXPECT_EQ(s.requests_received,
+              s.admitted + s.shed_rate_limit + s.shed_queue_full +
+                  s.shed_enqueue_fault + s.shed_draining + s.bad_request);
+    EXPECT_EQ(s.admitted, s.completed_ok + s.completed_error +
+                              s.deadline_before_start);
+    EXPECT_LE(s.queue_max_depth, s.queue_capacity);
+  }
+};
+
+TEST_F(ServerTest, ServedAnswerMatchesDirectQuery) {
+  auto server = MakeServer(ServerOptions{});
+  PebbleClient client(ClientFor(*server));
+
+  QueryRequest request;
+  request.op = RequestOp::kQuery;
+  request.target = "stress";
+  request.pattern = SharedScenario().pattern_text;
+  QueryResponse response;
+  ASSERT_OK(client.Call(request, &response));
+  ASSERT_EQ(response.code, StatusCode::kOk) << response.message;
+  EXPECT_FALSE(response.truncated) << response.truncation_detail;
+
+  // The same question through the in-process path must agree exactly.
+  QueryAnswerCache::ScopedDisable no_cache;
+  ASSERT_OK_AND_ASSIGN(TreePattern pattern,
+                       TreePattern::Parse(SharedScenario().pattern_text));
+  ASSERT_OK_AND_ASSIGN(
+      ProvenanceQueryResult direct,
+      QueryStructuralProvenanceOffline(
+          SharedScenario().dataset.output, *SharedScenario().dataset.store,
+          pattern, BacktraceOptions{}, /*num_threads=*/1,
+          SharedScenario().dataset.index.get()));
+  EXPECT_EQ(response.matched, direct.matched.size());
+  std::string rendered;
+  for (const SourceProvenance& source : direct.sources) {
+    rendered += SourceProvenanceToString(source);
+  }
+  EXPECT_EQ(response.answer, rendered);
+
+  server->Shutdown();
+  CheckConservation(server->stats());
+}
+
+TEST_F(ServerTest, PingStatsAndErrorsAreStructured) {
+  auto server = MakeServer(ServerOptions{});
+  PebbleClient client(ClientFor(*server));
+  ASSERT_OK(client.Ping());
+
+  // Unknown dataset.
+  QueryRequest request;
+  request.op = RequestOp::kQuery;
+  request.target = "nope";
+  request.pattern = "//id_str='x'";
+  QueryResponse response;
+  ASSERT_OK(client.Call(request, &response));
+  EXPECT_EQ(response.code, StatusCode::kKeyError);
+
+  // Unparsable pattern.
+  request.target = "stress";
+  request.pattern = "(((";
+  ASSERT_OK(client.Call(request, &response));
+  EXPECT_EQ(response.code, StatusCode::kInvalidArgument);
+
+  // Newer wire version than the server speaks.
+  QueryRequest newer;
+  newer.op = RequestOp::kPing;
+  newer.version = kWireVersion + 1;
+  ASSERT_OK(client.Call(newer, &response));
+  EXPECT_EQ(response.code, StatusCode::kInvalidArgument);
+
+  // Stats render includes the conservation counters.
+  QueryRequest stats_req;
+  stats_req.op = RequestOp::kStats;
+  ASSERT_OK(client.Call(stats_req, &response));
+  EXPECT_EQ(response.code, StatusCode::kOk);
+  EXPECT_NE(response.answer.find("requests_received="), std::string::npos);
+
+  server->Shutdown();
+  const ServerStats stats = server->stats();
+  EXPECT_EQ(stats.bad_request, 1u);  // the version rejection
+  CheckConservation(stats);
+}
+
+TEST_F(ServerTest, TenantRateLimitShedsWithRetryAfterHint) {
+  auto server = MakeServer(ServerOptions{});
+  server->SetTenantQuota("limited",
+                         TenantQuota{/*rate_per_sec=*/0.001, /*burst=*/2});
+  PebbleClient client(ClientFor(*server));
+
+  QueryRequest request;
+  request.op = RequestOp::kPing;
+  request.tenant = "limited";
+  QueryResponse response;
+  ASSERT_OK(client.Call(request, &response));
+  EXPECT_EQ(response.code, StatusCode::kOk);
+  ASSERT_OK(client.Call(request, &response));
+  EXPECT_EQ(response.code, StatusCode::kOk);
+  ASSERT_OK(client.Call(request, &response));
+  EXPECT_EQ(response.code, StatusCode::kResourceExhausted);
+  EXPECT_GE(response.retry_after_ms, 1u);
+  EXPECT_NE(response.message.find("limited"), std::string::npos);
+
+  // An unthrottled tenant on the same server is unaffected.
+  QueryRequest other;
+  other.op = RequestOp::kPing;
+  other.tenant = "free";
+  ASSERT_OK(client.Call(other, &response));
+  EXPECT_EQ(response.code, StatusCode::kOk);
+
+  server->Shutdown();
+  const ServerStats stats = server->stats();
+  EXPECT_EQ(stats.shed_rate_limit, 1u);
+  const auto tenants = server->tenant_admission_stats();
+  EXPECT_EQ(tenants.at("limited").admitted, 2u);
+  EXPECT_EQ(tenants.at("limited").shed, 1u);
+  CheckConservation(stats);
+}
+
+TEST_F(ServerTest, FullQueueShedsWithDepthAndEveryRequestIsAnswered) {
+  ServerOptions options;
+  options.workers = 1;        // one slow worker...
+  options.queue_capacity = 2;  // ...and almost no queue
+  options.handlers = 12;
+  auto server = MakeServer(options);
+
+  // 10 concurrent sleepers against 1 worker × (2+1) slots: some must shed.
+  std::atomic<int> ok{0};
+  std::atomic<int> shed{0};
+  std::atomic<int> other{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 10; ++i) {
+    threads.emplace_back([&, i] {
+      PebbleClient client(ClientFor(*server));
+      QueryRequest request;
+      request.op = RequestOp::kSleep;
+      request.sleep_ms = 150;
+      request.tenant = "t" + std::to_string(i);
+      QueryResponse response;
+      Status status = client.Call(request, &response);
+      if (!status.ok()) {
+        ++other;
+      } else if (response.code == StatusCode::kOk) {
+        ++ok;
+      } else if (response.code == StatusCode::kResourceExhausted) {
+        EXPECT_GE(response.retry_after_ms, 1u);
+        ++shed;
+      } else {
+        ++other;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(other.load(), 0);
+  EXPECT_GT(ok.load(), 0);
+  EXPECT_GT(shed.load(), 0);
+  EXPECT_EQ(ok.load() + shed.load(), 10);
+
+  server->Shutdown();
+  const ServerStats stats = server->stats();
+  EXPECT_EQ(stats.shed_queue_full, static_cast<uint64_t>(shed.load()));
+  EXPECT_LE(stats.queue_max_depth, stats.queue_capacity);
+  CheckConservation(stats);
+}
+
+TEST_F(ServerTest, SlowLorisConnectionIsReaped) {
+  ServerOptions options;
+  options.read_timeout_ms = 150;
+  options.idle_timeout_ms = 150;
+  auto server = MakeServer(options);
+
+  // Send half a frame header, then stall. The server must reap us instead
+  // of pinning a handler forever.
+  ASSERT_OK_AND_ASSIGN(net::UniqueFd loris,
+                       net::ConnectTcp("127.0.0.1", server->port(), 1000));
+  const char half_header[3] = {0x10, 0x00, 0x00};
+  ASSERT_OK(net::WriteFull(loris.get(), half_header, sizeof(half_header),
+                           1000));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server->stats().connections_reaped_idle == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(server->stats().connections_reaped_idle, 1u);
+
+  // The server is unharmed: a well-behaved client still gets answers.
+  PebbleClient client(ClientFor(*server));
+  ASSERT_OK(client.Ping());
+  server->Shutdown();
+  CheckConservation(server->stats());
+}
+
+TEST_F(ServerTest, MidRequestDisconnectIsTornNotFatal) {
+  auto server = MakeServer(ServerOptions{});
+  {
+    // A full header promising 64 payload bytes, then hang up mid-frame.
+    ASSERT_OK_AND_ASSIGN(
+        net::UniqueFd quitter,
+        net::ConnectTcp("127.0.0.1", server->port(), 1000));
+    std::string partial = net::EncodeFrame(std::string(64, 'q'));
+    partial.resize(net::kFrameHeaderBytes + 10);
+    ASSERT_OK(net::WriteFull(quitter.get(), partial.data(), partial.size(),
+                             1000));
+  }  // close
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server->stats().connections_torn == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(server->stats().connections_torn, 1u);
+
+  PebbleClient client(ClientFor(*server));
+  ASSERT_OK(client.Ping());
+  server->Shutdown();
+  CheckConservation(server->stats());
+}
+
+TEST_F(ServerTest, DrainFinishesInFlightAndShedsNew) {
+  auto server = MakeServer(ServerOptions{});
+
+  // Put a request in flight, then drain while it sleeps.
+  std::atomic<bool> in_flight_done{false};
+  QueryResponse in_flight_response;
+  Status in_flight_status;
+  std::thread in_flight([&] {
+    PebbleClient client(ClientFor(*server));
+    QueryRequest request;
+    request.op = RequestOp::kSleep;
+    request.sleep_ms = 300;
+    in_flight_status = client.Call(request, &in_flight_response);
+    in_flight_done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  server->BeginDrain();
+
+  // The in-flight request completes and its response is delivered.
+  in_flight.join();
+  ASSERT_TRUE(in_flight_done.load());
+  ASSERT_OK(in_flight_status);
+  EXPECT_EQ(in_flight_response.code, StatusCode::kOk)
+      << in_flight_response.message;
+
+  server->Shutdown();
+  const ServerStats stats = server->stats();
+  EXPECT_EQ(stats.completed_ok, 1u);
+  CheckConservation(stats);
+}
+
+TEST_F(ServerTest, ClientRetriesThroughShedsToSuccess) {
+  auto server = MakeServer(ServerOptions{});
+  server->SetTenantQuota("bursty",
+                         TenantQuota{/*rate_per_sec=*/50, /*burst=*/1});
+  ClientOptions copts = ClientFor(*server);
+  copts.max_attempts = 6;
+  PebbleClient client(copts);
+
+  QueryRequest request;
+  request.op = RequestOp::kPing;
+  request.tenant = "bursty";
+  QueryResponse response;
+  // Burn the burst token, then retry through the shed: the retry-after
+  // hint (~20 ms at 50/s) makes the second attempt succeed.
+  ASSERT_OK(client.Call(request, &response));
+  ASSERT_EQ(response.code, StatusCode::kOk);
+  ASSERT_OK(client.CallWithRetry(request, &response));
+  EXPECT_EQ(response.code, StatusCode::kOk);
+  EXPECT_GE(client.stats().sheds_seen, 1u);
+
+  server->Shutdown();
+  CheckConservation(server->stats());
+}
+
+TEST_F(ServerTest, ServingDriverClosedLoopSmoke) {
+  ServerOptions options;
+  options.workers = 2;
+  auto server = MakeServer(options);
+
+  ServingWorkloadOptions workload;
+  workload.threads = 3;
+  workload.duration_ms = 300;
+  workload.query_pct = 40;
+  workload.sleep_pct = 20;
+  workload.sleep_ms = 2;
+  ASSERT_OK_AND_ASSIGN(
+      ServingWorkloadReport report,
+      RunServingWorkload(server->port(), "stress",
+                         SharedScenario().pattern_text, workload));
+  EXPECT_GT(report.sent, 0u);
+  EXPECT_EQ(report.errors, 0u);
+  EXPECT_EQ(report.ok + report.shed, report.sent);
+  EXPECT_GT(report.throughput_rps, 0.0);
+  EXPECT_GE(report.p99_us, report.p50_us);
+  // Zipf skew: tenant-0 must dominate.
+  uint64_t tenant0 = 0;
+  uint64_t rest = 0;
+  for (const auto& [tenant, n] : report.sent_by_tenant) {
+    (tenant == "tenant-0" ? tenant0 : rest) += n;
+  }
+  EXPECT_GT(tenant0, rest / 3);
+
+  server->Shutdown();
+  CheckConservation(server->stats());
+}
+
+}  // namespace
+}  // namespace pebble::server
