@@ -1,0 +1,227 @@
+// Replication catch-up throughput (DESIGN.md §14): how fast a follower
+// drains a primary's WAL over the wire, per catch-up mode:
+//
+//   - cold segment replay: a fresh follower subscribes from zero and the
+//     primary ships every sealed segment + the live tail;
+//   - snapshot bootstrap: the primary has compacted, so the follower is
+//     seeded with the durable snapshot and replays only the suffix;
+//   - live tail: an already-synced follower absorbs freshly ingested
+//     batches (steady-state replication lag drain).
+//
+// Each cell reports wall time to reach `synced`, shipped volume, and the
+// derived MB/s, and self-checks convergence: the follower's recovered
+// store must serialize byte-identically to the primary's. $PEBBLE_REPL_MB
+// scales the seeded WAL volume (default ~4 MB of segments).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "core/provenance_io.h"
+#include "core/provenance_wal.h"
+#include "server/replica.h"
+#include "server/server.h"
+#include "workload/micro_batch.h"
+#include "workload/serving_driver.h"
+
+namespace pebble {
+namespace {
+
+using server::PebbleServer;
+using server::ReplicaDaemon;
+using server::ReplicaOptions;
+using server::ServerOptions;
+
+int TargetBatches() {
+  // One 40-tweet batch lands roughly 100 KB of WAL records; default to
+  // about 4 MB of seeded history.
+  const char* e = std::getenv("PEBBLE_REPL_MB");
+  if (e != nullptr && *e != '\0') {
+    int mb = std::atoi(e);
+    if (mb > 0) return mb * 10;
+  }
+  return 40;
+}
+
+std::string FreshDir(const std::string& name) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / ("pebble_bench_" + name))
+          .string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+Result<MicroBatchRun> Ingest(const std::string& dir, size_t batches,
+                             uint64_t seed) {
+  MicroBatchOptions options;
+  options.wal_dir = dir;
+  options.batches = batches;
+  options.tweets_per_batch = 40;
+  options.seed = seed;
+  options.collect_output = true;
+  options.wal.sync = false;
+  options.wal.segment_bytes = 256u << 10;
+  return RunMicroBatchIngest(options);
+}
+
+uint64_t WalBytes(const std::string& dir) {
+  uint64_t total = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file()) total += entry.file_size();
+  }
+  return total;
+}
+
+/// The primary WAL's on-disk tail position: (newest segment seq, size).
+/// Waiting on this — not on the follower's *observed* primary tail, which
+/// lags freshly ingested batches by up to one ship poll — makes the live
+/// drain measurement race-free.
+std::pair<uint64_t, uint64_t> PrimaryTail(const std::string& dir) {
+  uint64_t seq = 0;
+  uint64_t size = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("segment-", 0) != 0) continue;
+    const uint64_t n = std::strtoull(name.c_str() + 8, nullptr, 10);
+    if (n > seq) {
+      seq = n;
+      size = entry.file_size();
+    }
+  }
+  return {seq, size};
+}
+
+bool Converged(const std::string& primary_dir,
+               const std::string& replica_dir) {
+  auto p = RecoverStore(primary_dir);
+  auto r = RecoverStore(replica_dir);
+  if (!p.ok() || !r.ok()) return false;
+  return SerializeDurableProvenanceStore(*p->store) ==
+         SerializeDurableProvenanceStore(*r->store);
+}
+
+struct Cell {
+  std::string name;
+  double seconds = 0;
+  uint64_t shipped_bytes = 0;
+  bool converged = false;
+};
+
+void PrintCell(const Cell& cell) {
+  const double mb =
+      static_cast<double>(cell.shipped_bytes) / (1024.0 * 1024.0);
+  std::printf("%-22s %8.3f s  %8.2f MB shipped  %8.2f MB/s  %s\n",
+              cell.name.c_str(), cell.seconds, mb,
+              cell.seconds > 0 ? mb / cell.seconds : 0.0,
+              cell.converged ? "converged" : "DIVERGED");
+}
+
+/// Runs one follower against `primary_dir` until synced; returns the cell.
+/// `live_batches` > 0 additionally measures a live-tail drain after the
+/// initial sync instead of the cold catch-up.
+Cell RunFollower(const std::string& name, const std::string& primary_dir,
+                 const Dataset& output, int live_batches, uint64_t seed) {
+  Cell cell;
+  cell.name = name;
+
+  ServerOptions primary_options;
+  primary_options.workers = 1;
+  primary_options.handlers = 2;
+  primary_options.ship_wal_dir = primary_dir;
+  primary_options.ship_poll_ms = 1;
+  primary_options.ship_heartbeat_ms = 20;
+  PebbleServer primary(primary_options);
+  if (!primary.Start().ok()) return cell;
+
+  const std::string replica_dir = FreshDir(name + "_replica");
+  ReplicaOptions options;
+  options.primary_port = primary.port();
+  options.wal_dir = replica_dir;
+  options.dataset_name = "stress";
+  options.output = output;
+  options.sync = false;
+  options.reconnect_initial_ms = 5;
+  options.server.workers = 1;
+  options.server.handlers = 2;
+  ReplicaDaemon follower(options);
+
+  auto start = std::chrono::steady_clock::now();
+  if (!follower.Start().ok()) return cell;
+  if (!follower.WaitUntilSynced(120000)) return cell;
+  if (live_batches > 0) {
+    // Steady state reached; the measured interval is the live-tail drain.
+    start = std::chrono::steady_clock::now();
+    const uint64_t before = follower.stats().bytes_applied;
+    auto run = Ingest(primary_dir, static_cast<size_t>(live_batches), seed);
+    if (!run.ok()) return cell;
+    const auto [tail_seq, tail_size] = PrimaryTail(primary_dir);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(120);
+    while (std::chrono::steady_clock::now() < deadline) {
+      const auto& fresh = follower.freshness();
+      const uint64_t applied_seq = fresh.applied_seq.load();
+      if (applied_seq > tail_seq ||
+          (applied_seq == tail_seq &&
+           fresh.applied_offset.load() >= tail_size)) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    if (!follower.WaitUntilSynced(120000)) return cell;
+    cell.shipped_bytes = follower.stats().bytes_applied - before;
+  } else {
+    cell.shipped_bytes = follower.stats().bytes_applied;
+  }
+  cell.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  follower.Shutdown();
+  primary.Shutdown();
+  cell.converged = Converged(primary_dir, replica_dir);
+  std::filesystem::remove_all(replica_dir);
+  return cell;
+}
+
+int Main() {
+  const int batches = TargetBatches();
+
+  // Cold replay: full segment history over the wire.
+  const std::string cold_dir = FreshDir("repl_cold_primary");
+  auto cold_seed = Ingest(cold_dir, static_cast<size_t>(batches), 42);
+  if (!cold_seed.ok()) {
+    std::fprintf(stderr, "seed ingest failed: %s\n",
+                 cold_seed.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("replication catch-up: %d batches, %.2f MB primary WAL\n\n",
+              batches,
+              static_cast<double>(WalBytes(cold_dir)) / (1024.0 * 1024.0));
+  PrintCell(RunFollower("cold-segment-replay", cold_dir,
+                        cold_seed->last_output, /*live_batches=*/0, 0));
+
+  // Snapshot bootstrap: compact the primary history into one snapshot.
+  {
+    auto writer = WalWriter::Open(cold_dir, WalOptions{});
+    if (writer.ok()) {
+      (void)(*writer)->Compact();
+      (void)(*writer)->Close();
+    }
+  }
+  PrintCell(RunFollower("snapshot-bootstrap", cold_dir,
+                        cold_seed->last_output, /*live_batches=*/0, 0));
+
+  // Live tail: synced follower absorbs fresh batches.
+  PrintCell(RunFollower("live-tail-drain", cold_dir, cold_seed->last_output,
+                        /*live_batches=*/batches / 4 + 1, 777));
+
+  std::filesystem::remove_all(cold_dir);
+  return 0;
+}
+
+}  // namespace
+}  // namespace pebble
+
+int main() { return pebble::Main(); }

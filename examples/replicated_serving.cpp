@@ -1,0 +1,190 @@
+// replicated_serving — a two-process replication topology in one binary.
+//
+// Demonstrates DESIGN.md §14 end to end, entirely in-process:
+//
+//   1. a primary ingests micro-batches into a provenance WAL and serves
+//      queries while shipping the WAL (sealed segments + live tail);
+//   2. a follower subscribes, tail-applies into its own WAL copy, and
+//      serves the same dataset with explicit bounded-staleness metadata
+//      (from_replica / staleness_ms / applied_seq on every answer);
+//   3. mid-run the primary ingests more batches — the follower catches up
+//      live and its answers converge to the primary's, byte for byte;
+//   4. reads issued before the follower syncs are shed structurally
+//      (kUnavailable + retry-after), never answered silently stale.
+//
+// Usage: replicated_serving [batches]   (default 6)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "core/provenance_io.h"
+#include "core/provenance_wal.h"
+#include "server/client.h"
+#include "server/replica.h"
+#include "server/server.h"
+#include "workload/micro_batch.h"
+
+using namespace pebble;  // NOLINT: example brevity
+
+namespace {
+
+std::string FreshDir(const char* name) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / name).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+Result<MicroBatchRun> Ingest(const std::string& wal_dir, size_t batches,
+                             uint64_t seed) {
+  MicroBatchOptions options;
+  options.wal_dir = wal_dir;
+  options.batches = batches;
+  options.tweets_per_batch = 25;
+  options.seed = seed;
+  options.collect_output = true;  // the follower serves the same output
+  options.wal.sync = false;
+  return RunMicroBatchIngest(options);
+}
+
+server::QueryResponse Ask(uint16_t port, const std::string& pattern) {
+  server::ClientOptions copts;
+  copts.port = port;
+  server::PebbleClient client(copts);
+  server::QueryRequest request;
+  request.op = server::RequestOp::kQuery;
+  request.target = "stress";
+  request.pattern = pattern;
+  server::QueryResponse response;
+  Status transport = client.CallWithRetry(request, &response);
+  if (!transport.ok()) {
+    response.code = StatusCode::kIOError;
+    response.message = transport.ToString();
+  }
+  return response;
+}
+
+void PrintAnswer(const char* who, const server::QueryResponse& r) {
+  if (r.code != StatusCode::kOk) {
+    std::printf("%-9s -> %s (retry_after=%ums)\n", who, r.message.c_str(),
+                r.retry_after_ms);
+    return;
+  }
+  std::printf(
+      "%-9s -> matched=%llu gen=%llu%s\n", who,
+      static_cast<unsigned long long>(r.matched),
+      static_cast<unsigned long long>(r.store_generation),
+      r.from_replica
+          ? (" [replica, staleness " + std::to_string(r.staleness_ms) +
+             "ms, applied seq " + std::to_string(r.applied_seq) + "]")
+                .c_str()
+          : " [primary]");
+}
+
+}  // namespace
+
+/// Polls until the follower's local WAL recovers to the same store bytes
+/// as the primary's — true convergence, from durable state on both sides.
+/// (The follower's own freshness view is not enough here: right after an
+/// ingest it may still believe the OLD primary tail is current and report
+/// itself caught up until the next ship frame or heartbeat arrives.)
+bool WaitConverged(const std::string& primary_dir,
+                   const std::string& replica_dir, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto p = RecoverStore(primary_dir);
+    auto r = RecoverStore(replica_dir);
+    if (p.ok() && r.ok() &&
+        SerializeDurableProvenanceStore(*p->store) ==
+            SerializeDurableProvenanceStore(*r->store)) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+int main(int argc, char** argv) {
+  const size_t batches = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 6;
+  const std::string primary_dir = FreshDir("pebble_repl_primary");
+  const std::string replica_dir = FreshDir("pebble_repl_replica");
+
+  // Seed with ONE batch so the served output is the seed-42 scenario the
+  // query below was built for (later batches grow the provenance store but
+  // the served output snapshot stays).
+  std::printf("== ingesting the seed micro-batch into the primary WAL\n");
+  auto seeded = Ingest(primary_dir, 1, 42);
+  if (!seeded.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n",
+                 seeded.status().ToString().c_str());
+    return 1;
+  }
+  // User u0's authored tweets: u0 heads the generator's Zipf author
+  // distribution, so this question reliably matches generated data.
+  const std::string pattern = "//id_str='u0', tweets(text)";
+
+  // Primary: serves "stress" AND ships its WAL to subscribers.
+  server::ServerOptions primary_options;
+  primary_options.ship_wal_dir = primary_dir;
+  server::PebbleServer primary(primary_options);
+  {
+    auto recovered = RecoverStore(primary_dir);
+    if (!recovered.ok()) return 1;
+    server::ServedDataset dataset;
+    dataset.output = seeded->last_output;
+    dataset.store = std::move(recovered->store);
+    if (!primary.RegisterDataset("stress", std::move(dataset)).ok())
+      return 1;
+  }
+  if (!primary.Start().ok()) return 1;
+  std::printf("== primary serving + shipping on port %u\n", primary.port());
+
+  // Follower: subscribes, applies, serves with staleness metadata.
+  server::ReplicaOptions replica_options;
+  replica_options.primary_port = primary.port();
+  replica_options.wal_dir = replica_dir;
+  replica_options.dataset_name = "stress";
+  replica_options.output = seeded->last_output;
+  replica_options.sync = false;
+  server::ReplicaDaemon follower(replica_options);
+  if (!follower.Start().ok()) return 1;
+  std::printf("== follower started on port %u\n", follower.port());
+
+  // A read racing the initial catch-up is shed with a retry-after hint,
+  // never answered silently stale (it may already be synced on a fast
+  // machine — then it answers with its staleness bound attached).
+  PrintAnswer("early", Ask(follower.port(), pattern));
+
+  follower.WaitUntilSynced(30000);
+  PrintAnswer("primary", Ask(primary.port(), pattern));
+  PrintAnswer("follower", Ask(follower.port(), pattern));
+
+  // Live catch-up: new batches land on the primary; the follower's served
+  // store advances without a restart (watch applied_seq move).
+  std::printf("== ingesting %zu more batches on the primary\n", batches);
+  if (!Ingest(primary_dir, batches, 1000).ok()) return 1;
+  if (!WaitConverged(primary_dir, replica_dir, 30000)) {
+    std::fprintf(stderr, "follower failed to catch up\n");
+    return 1;
+  }
+  follower.WaitUntilSynced(30000);
+  PrintAnswer("follower", Ask(follower.port(), pattern));
+
+  const server::ReplicaStats stats = follower.stats();
+  std::printf(
+      "== follower stats: %llu frames, %llu bytes applied, %llu publishes\n",
+      static_cast<unsigned long long>(stats.frames_applied),
+      static_cast<unsigned long long>(stats.bytes_applied),
+      static_cast<unsigned long long>(stats.publishes));
+
+  follower.Shutdown();
+  primary.Shutdown();
+  std::filesystem::remove_all(primary_dir);
+  std::filesystem::remove_all(replica_dir);
+  return 0;
+}

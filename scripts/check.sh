@@ -31,16 +31,22 @@
 #                               # the fault-injected overload soak — plain
 #                               # and under TSan (frame repros land in
 #                               # build/server-repros)
+#   scripts/check.sh replica    # replication gate: WAL tail-applier units,
+#                               # live primary/follower sessions, catalog
+#                               # hot-swap consistency, retry-hint units,
+#                               # and the kill/fault chaos soak — plain and
+#                               # under TSan (diverged WAL dirs land in
+#                               # build/replica-repros)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 STAGE="${1:-all}"
 case "${STAGE}" in
-  all|plain|asan|tsan|corruption|stress|diff|wal|cache|server) ;;
+  all|plain|asan|tsan|corruption|stress|diff|wal|cache|server|replica) ;;
   *) echo "unknown stage '${STAGE}'" \
           "(expected: all, plain, asan, tsan, corruption, stress, diff, wal," \
-          "cache, server)" >&2
+          "cache, server, replica)" >&2
      exit 2 ;;
 esac
 
@@ -143,6 +149,24 @@ if [[ "${STAGE}" == "all" || "${STAGE}" == "server" ]]; then
   PEBBLE_SERVER_REPRO_DIR="$(pwd)/build/server-repros" \
     TSAN_OPTIONS="halt_on_error=1" \
     run_stage "server (tsan)" build-tsan "thread" "${SERVER_FILTER}"
+fi
+
+if [[ "${STAGE}" == "all" || "${STAGE}" == "replica" ]]; then
+  # Replication gate: the WAL tail-applier units, the live primary/follower
+  # session suite (catch-up, crash-resume, snapshot bootstrap, divergence
+  # reset, bounded-staleness shedding), the catalog hot-swap consistency
+  # soak, the queue-depth retry-hint units, and the kill/fault chaos soak.
+  # The TSan leg re-runs everything — the follower's apply/publish/serve
+  # triangle and the catalog RCU are the newest cross-thread surfaces.
+  # A chaos run that fails to converge copies both WAL directories into
+  # build/replica-repros for artifact upload.
+  REPLICA_FILTER="WalTailApplier|ReplicationTest|ReplicationChaos|CatalogSwap|RetryBaseDelay"
+  mkdir -p build/replica-repros
+  PEBBLE_REPLICA_REPRO_DIR="$(pwd)/build/replica-repros" \
+    run_stage "replica (plain)" build "" "${REPLICA_FILTER}"
+  PEBBLE_REPLICA_REPRO_DIR="$(pwd)/build/replica-repros" \
+    TSAN_OPTIONS="halt_on_error=1" \
+    run_stage "replica (tsan)" build-tsan "thread" "${REPLICA_FILTER}"
 fi
 
 if [[ "${STAGE}" == "all" || "${STAGE}" == "stress" ]]; then

@@ -81,6 +81,24 @@ inline constexpr char kNetWrite[] = "net.write";
 /// admission queue (keyed by the request ordinal). Firing sheds the
 /// request with a structured error, as if the queue had rejected it.
 inline constexpr char kServerEnqueue[] = "server.enqueue";
+/// Replication source (primary), once per chunk read from a WAL segment or
+/// snapshot file for shipping (keyed by the ship-frame ordinal of the
+/// connection). Firing simulates an unreadable file; the primary drops the
+/// follower connection and the follower resubscribes.
+inline constexpr char kShipRead[] = "ship.read";
+/// Replication source, once per ship frame immediately before it is
+/// written to the follower socket (keyed like ship.read). Firing tears the
+/// replication connection mid-stream.
+inline constexpr char kShipWrite[] = "ship.write";
+/// Replica, once per ship frame before its bytes are written to the local
+/// WAL copy and fed to the tail applier (keyed by the frame ordinal of the
+/// session). Firing aborts the session; the replica resyncs from its local
+/// files and resubscribes.
+inline constexpr char kReplicaApply[] = "replica.apply";
+/// Replica, immediately before a freshly applied store is swapped into the
+/// serving catalog (keyed by the publish ordinal). Firing skips this
+/// publish; queries keep the previous generation until the next one.
+inline constexpr char kReplicaSwap[] = "replica.swap";
 }  // namespace failpoints
 
 /// Firing rule for one armed site. Exactly one of `every_nth` /

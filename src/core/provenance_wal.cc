@@ -1080,4 +1080,194 @@ Result<WalCompactionStats> FoldWalSegments(const std::string& dir,
 
 }  // namespace internal
 
+// ---------------------------------------------------------------------------
+// WalTailApplier: incremental replication-follower replay.
+
+WalTailApplier::WalTailApplier(RecoveredStore recovered)
+    : recovered_(std::move(recovered)), info_(recovered_.info) {
+  meta_seen_ = info_.snapshot_loaded || !recovered_.meta_payload.empty();
+  last_run_next_id_ = info_.next_item_id;
+}
+
+Status WalTailApplier::Feed(uint64_t seq, uint64_t offset,
+                            std::string_view bytes) {
+  auto reject = [&](const std::string& what) {
+    return Status::IOError(
+        "WAL tail feed for segment " + std::to_string(seq) + " at offset " +
+        std::to_string(offset) + ": " + what + " (applier at segment " +
+        std::to_string(seq_) + ", position " + std::to_string(position_) +
+        ")");
+  };
+  if (seq_ == 0) {
+    // First feed establishes the position (see header contract).
+    if (seq <= info_.covered_seq) {
+      return reject("sequence already folded into the snapshot");
+    }
+    if (offset > 0 && offset < kWalSegmentHeaderBytes) {
+      return reject("resume offset splits the segment header");
+    }
+    seq_ = seq;
+    position_ = offset;
+    header_checked_ = offset >= kWalSegmentHeaderBytes;
+    // A resumed segment (offset > 0) was already counted by the local
+    // recovery that seeded `info_`; a fresh one was not.
+    if (offset == 0) ++info_.segments_replayed;
+  } else if (seq == seq_) {
+    if (offset != position_) return reject("discontinuous bytes");
+  } else if (seq == seq_ + 1) {
+    if (offset != 0) return reject("new segment must start at offset 0");
+    if (!buffer_.empty()) {
+      return reject("previous segment ended inside a record");
+    }
+    if (!header_checked_) {
+      return reject("previous segment ended inside its header");
+    }
+    seq_ = seq;
+    position_ = 0;
+    header_checked_ = false;
+    ++info_.segments_replayed;
+  } else {
+    return reject("sequence gap");
+  }
+  info_.max_segment_seq = std::max(info_.max_segment_seq, seq_);
+
+  buffer_.append(bytes.data(), bytes.size());
+  position_ += bytes.size();
+  return ApplyBuffered();
+}
+
+Status WalTailApplier::ApplyBuffered() {
+  auto corrupt = [&](uint64_t at, const std::string& what) {
+    return Status::IOError("WAL tail segment " + std::to_string(seq_) +
+                           " at byte " + std::to_string(at) + ": " + what);
+  };
+  if (!header_checked_) {
+    if (buffer_.size() < kWalSegmentHeaderBytes) return Status::OK();
+    if (std::memcmp(buffer_.data(), kWalMagic, sizeof(kWalMagic)) != 0 ||
+        ReadU32(buffer_.data() + 20) != Crc32(buffer_.data(), 20)) {
+      return corrupt(0, "bad segment header");
+    }
+    if (ReadU32(buffer_.data() + 8) != kWalVersion) {
+      return corrupt(8, "unsupported WAL version " +
+                            std::to_string(ReadU32(buffer_.data() + 8)));
+    }
+    if (ReadU64(buffer_.data() + 12) != seq_) {
+      return corrupt(12, "header sequence " +
+                             std::to_string(ReadU64(buffer_.data() + 12)) +
+                             " disagrees with the shipped sequence");
+    }
+    buffer_.erase(0, kWalSegmentHeaderBytes);
+    header_checked_ = true;
+  }
+
+  while (buffer_.size() >= kWalRecordHeaderBytes) {
+    const uint64_t at = applied_position();
+    uint32_t len = ReadU32(buffer_.data());
+    uint32_t crc = ReadU32(buffer_.data() + 4);
+    // A record cannot plausibly exceed the rotation threshold by orders of
+    // magnitude; a garbage length would otherwise stall the stream forever
+    // waiting for bytes that never come.
+    if (len > (256u << 20)) {
+      return corrupt(at, "implausible record length " + std::to_string(len));
+    }
+    if (buffer_.size() - kWalRecordHeaderBytes < len) return Status::OK();
+    std::string payload = buffer_.substr(kWalRecordHeaderBytes, len);
+    if (Crc32(payload.data(), payload.size()) != crc) {
+      // The frame is complete, so this is not an in-flight partial record:
+      // the bytes on the primary were torn/garbage. Definitive corruption —
+      // the caller resynchronizes.
+      return corrupt(at, "record checksum mismatch");
+    }
+    ReplayState rs;
+    rs.out = &recovered_;
+    rs.meta_seen = meta_seen_;
+    rs.last_run_next_id = last_run_next_id_;
+    Status applied = ApplyWalRecord(payload, &rs, &info_);
+    if (!applied.ok()) {
+      return corrupt(at, applied.message());
+    }
+    meta_seen_ = rs.meta_seen;
+    last_run_next_id_ = rs.last_run_next_id;
+    ++info_.records_replayed;
+    buffer_.erase(0, kWalRecordHeaderBytes + len);
+  }
+  return Status::OK();
+}
+
+int64_t WalTailApplier::next_item_id() const {
+  return std::max<int64_t>(
+      {last_run_next_id_, MaxIdInStore(*recovered_.store) + 1, 1});
+}
+
+Result<std::unique_ptr<ProvenanceStore>> WalTailApplier::Snapshot() const {
+  auto copy = std::make_unique<ProvenanceStore>();
+  PEBBLE_RETURN_NOT_OK(copy->AppendFrom(*recovered_.store));
+  Status valid = copy->Validate();
+  if (!valid.ok()) {
+    return Status::FromCode(StatusCode::kIOError,
+                            "replicated store snapshot failed validation: " +
+                                valid.message());
+  }
+  return copy;
+}
+
+Result<WalShipState> ReadWalShipState(const std::string& dir) {
+  WalShipState state;
+  std::error_code ec;
+  const std::string manifest_path = WalManifestPath(dir);
+  if (std::filesystem::exists(manifest_path, ec)) {
+    PEBBLE_ASSIGN_OR_RETURN(std::string text, ReadFileToString(manifest_path));
+    PEBBLE_ASSIGN_OR_RETURN(Manifest manifest,
+                            ParseManifest(text, manifest_path));
+    state.manifest_found = true;
+    state.covered_seq = manifest.covered;
+    state.snapshot_file = manifest.snapshot;
+  }
+  PEBBLE_ASSIGN_OR_RETURN(state.segments, ListWalSegments(dir));
+  return state;
+}
+
+Status WriteWalManifest(const std::string& dir, uint64_t covered_seq,
+                        const std::string& snapshot_file, bool sync) {
+  Manifest manifest;
+  manifest.covered = covered_seq;
+  manifest.snapshot = snapshot_file;
+  AtomicWriteOptions options;
+  options.sync = sync;
+  return AtomicWriteFile(WalManifestPath(dir), SerializeManifest(manifest),
+                         options);
+}
+
+Result<uint32_t> Crc32FilePrefix(const std::string& path, uint64_t limit) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("cannot open '" + path +
+                           "': " + std::strerror(errno));
+  }
+  uint32_t crc = kCrc32Init;
+  uint64_t remaining = limit;
+  char buf[1 << 16];
+  while (remaining > 0) {
+    size_t want = static_cast<size_t>(
+        std::min<uint64_t>(remaining, sizeof(buf)));
+    ssize_t n = ::read(fd, buf, want);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int saved = errno;
+      ::close(fd);
+      return Status::IOError("read of '" + path +
+                             "' failed: " + std::strerror(saved));
+    }
+    if (n == 0) {
+      ::close(fd);
+      return Status::IOError("'" + path + "' is shorter than " +
+                             std::to_string(limit) + " bytes");
+    }
+    crc = Crc32Update(crc, buf, static_cast<size_t>(n));
+    remaining -= static_cast<uint64_t>(n);
+  }
+  ::close(fd);
+  return Crc32Finalize(crc);
+}
+
 }  // namespace pebble

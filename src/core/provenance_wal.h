@@ -33,6 +33,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -219,6 +220,103 @@ class WalWriter final : public ProvenanceCommitSink {
   std::map<int, provio::IdTableCursor> cursors_;
   uint64_t next_run_index_ = 1;
 };
+
+/// Incremental WAL replay for replication followers (DESIGN.md §14): the
+/// streaming counterpart of RecoverStore. A follower receives raw segment
+/// bytes from the primary in file order and feeds them here; every
+/// complete, CRC-valid record is applied to the live store immediately and
+/// an incomplete tail stays buffered until its remaining bytes arrive.
+///
+/// Contract:
+///   - The first Feed() establishes the position: any segment with
+///     sequence > the recovered covered_seq, at offset 0 (fresh segment,
+///     header verified incrementally) or at a record-boundary offset past
+///     the header (resuming a segment whose prefix local recovery already
+///     applied — the follower truncates torn tails first, exactly like
+///     WalWriter::Open, so its file size IS a record boundary).
+///   - Later Feeds are strictly contiguous: same segment at
+///     offset == position(), or seq+1 at offset 0 once the previous
+///     segment ended on a record boundary. Advancing past a buffered
+///     partial record is kIOError (a sealed segment never ends
+///     mid-record).
+///   - A complete record frame whose CRC does not match is kIOError
+///     immediately: unlike end-of-recovery torn tails, a live stream can
+///     only contain garbage if the primary crashed mid-append — the caller
+///     must resynchronize (the primary truncates the torn tail when it
+///     restarts, then instructs a reset).
+///   - There is no in-place reset: after any discontinuity the follower
+///     repairs its local WAL copy, re-runs RecoverStore, and builds a
+///     fresh applier — the same code path as its own crash-and-restart.
+/// The applier is single-threaded (the replication session thread); the
+/// stores it hands out via Snapshot() are immutable copies safe to serve
+/// concurrently.
+class WalTailApplier {
+ public:
+  /// Starts from the result of RecoverStore over the follower's local WAL
+  /// copy; `recovered.info` seeds the replay counters.
+  explicit WalTailApplier(RecoveredStore recovered);
+
+  /// The segment the applier is currently consuming (0 = none yet).
+  uint64_t seq() const { return seq_; }
+  /// Raw bytes of that segment consumed so far (applied + buffered tail).
+  uint64_t position() const { return position_; }
+  /// Bytes applied through the last complete record (<= position()).
+  uint64_t applied_position() const { return position_ - buffer_.size(); }
+
+  /// Feeds `bytes` of segment `seq` starting at file offset `offset`.
+  Status Feed(uint64_t seq, uint64_t offset, std::string_view bytes);
+
+  /// Live replay counters (records/chunks/runs applied so far, plus the
+  /// recovery-time fields of the seed).
+  const WalRecoveryInfo& info() const { return info_; }
+
+  /// First item id a future run may allocate without colliding.
+  int64_t next_item_id() const;
+
+  /// The live (mutable) store; valid until the next Feed call.
+  const ProvenanceStore& store() const { return *recovered_.store; }
+
+  /// Deep-copies the live store into a fresh immutable instance (empty-
+  /// store AppendFrom), for publishing into a serving catalog.
+  Result<std::unique_ptr<ProvenanceStore>> Snapshot() const;
+
+ private:
+  Status ApplyBuffered();
+
+  RecoveredStore recovered_;
+  WalRecoveryInfo info_;
+  uint64_t seq_ = 0;
+  uint64_t position_ = 0;
+  bool header_checked_ = false;
+  bool meta_seen_ = false;
+  std::string buffer_;  // bytes past the last applied record boundary
+  int64_t last_run_next_id_ = 0;
+};
+
+/// CRC32 of the first `limit` bytes of `path` (kIOError if the file is
+/// shorter or unreadable). The replication subscribe handshake uses this to
+/// detect content divergence between a follower's local segment prefix and
+/// the primary's file without shipping the bytes.
+Result<uint32_t> Crc32FilePrefix(const std::string& path, uint64_t limit);
+
+/// Cheap structural view of a WAL directory for the replication shipper:
+/// the manifest's covered sequence and snapshot name plus the segment
+/// files present. Re-read every shipping iteration, so a concurrent
+/// writer/compactor is observed promptly. No record bytes are touched.
+struct WalShipState {
+  bool manifest_found = false;
+  uint64_t covered_seq = 0;
+  std::string snapshot_file;  // name inside the dir, empty = none
+  std::map<uint64_t, std::string> segments;  // seq -> full path
+};
+Result<WalShipState> ReadWalShipState(const std::string& dir);
+
+/// Atomically (re)writes the WAL manifest — the replica's snapshot-
+/// bootstrap commit point (it installs the shipped snapshot file first,
+/// then this; a crash between the two leaves an orphan snapshot that
+/// recovery ignores).
+Status WriteWalManifest(const std::string& dir, uint64_t covered_seq,
+                        const std::string& snapshot_file, bool sync);
 
 // WAL layout constants, shared with the recovery/compaction code and the
 // chaos tests (which corrupt files at byte granularity).

@@ -8,6 +8,16 @@
 
 namespace pebble::server {
 
+uint64_t RetryBaseDelayMs(uint32_t hinted_ms, uint32_t queue_depth,
+                          int backoff_ms) {
+  if (hinted_ms == 0) {
+    return static_cast<uint64_t>(std::max(0, backoff_ms));
+  }
+  const uint64_t depth_factor =
+      std::min<uint64_t>(8, 1 + queue_depth / 16);
+  return static_cast<uint64_t>(hinted_ms) * depth_factor;
+}
+
 PebbleClient::PebbleClient(ClientOptions options)
     : options_(std::move(options)), jitter_(options_.jitter_seed) {}
 
@@ -55,6 +65,7 @@ Status PebbleClient::CallWithRetry(const QueryRequest& request,
   int backoff_ms = options_.backoff_initial_ms;
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     uint32_t hinted_ms = 0;
+    uint32_t queue_depth = 0;
     Status transport = Call(request, response);
     if (transport.ok()) {
       if (response->code != StatusCode::kResourceExhausted &&
@@ -64,6 +75,7 @@ Status PebbleClient::CallWithRetry(const QueryRequest& request,
       // A structured shed carries a backoff hint from the server.
       ++stats_.sheds_seen;
       hinted_ms = response->retry_after_ms;
+      queue_depth = response->queue_depth;
       last = response->ToStatus();
     } else if (transport.code() == StatusCode::kIOError ||
                transport.code() == StatusCode::kUnavailable ||
@@ -76,12 +88,14 @@ Status PebbleClient::CallWithRetry(const QueryRequest& request,
     ++stats_.retries;
     // Exponential backoff with full jitter; when the server hinted a
     // retry-after it overrides the exponential schedule (the server knows
-    // its refill rate better than we do), plus jitter to decorrelate a
-    // thundering herd of shed clients.
-    const uint64_t wait_ms =
-        hinted_ms != 0
-            ? hinted_ms + jitter_.NextBounded(hinted_ms + 1)
-            : 1 + jitter_.NextBounded(static_cast<uint64_t>(backoff_ms));
+    // its refill rate better than we do), scaled by the observed queue
+    // depth (RetryBaseDelayMs), plus jitter to decorrelate a thundering
+    // herd of shed clients.
+    const uint64_t base_ms =
+        RetryBaseDelayMs(hinted_ms, queue_depth, backoff_ms);
+    const uint64_t wait_ms = hinted_ms != 0
+                                 ? base_ms + jitter_.NextBounded(base_ms + 1)
+                                 : 1 + jitter_.NextBounded(base_ms);
     std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
     backoff_ms = std::min(backoff_ms * 2, options_.backoff_max_ms);
   }

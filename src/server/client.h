@@ -44,6 +44,17 @@ struct ClientOptions {
   uint64_t jitter_seed = 1;
 };
 
+/// Deterministic part of CallWithRetry's backoff (exported for unit
+/// tests; the caller adds full jitter on top). A structured shed carries
+/// the server's retry_after_ms hint plus the admission-queue depth that
+/// caused it; the hint alone reflects the token-bucket refill rate but
+/// not how much queued work sits in front of a retry, so the base wait is
+/// the hint scaled by depth — 1x at an empty queue, +1x per 16 queued
+/// requests, capped at 8x. Without a hint (transport failures), the
+/// client-side exponential `backoff_ms` is used unchanged.
+uint64_t RetryBaseDelayMs(uint32_t hinted_ms, uint32_t queue_depth,
+                          int backoff_ms);
+
 /// Counters of one client's lifetime (CallWithRetry bookkeeping).
 struct ClientStats {
   uint64_t calls = 0;

@@ -1,19 +1,35 @@
-// pebbled — standalone provenance query daemon (DESIGN.md §13). Builds
-// the T3-shaped stress scenario with structural capture, serves it on a
-// TCP port, and answers concurrent provenance queries until SIGTERM/SIGINT
-// triggers a graceful drain (in-flight requests finish, new ones are shed
-// with kUnavailable). Exit prints the lifetime stats.
+// pebbled — standalone provenance query daemon (DESIGN.md §13, §14).
+// Three deployment shapes:
+//
+//   pebbled                      serve the generated stress scenario
+//   pebbled --wal DIR            serve the WAL-backed stress scenario: an
+//                                empty WAL is seeded by capturing the run
+//                                through it, an existing one is recovered
+//                                and served, and either way the WAL ships
+//                                to replication subscribers
+//   pebbled --follow HOST:PORT --wal DIR
+//                                replication follower: mirror the primary's
+//                                WAL into DIR and serve bounded-staleness
+//                                reads of the replicated store
+//
+// SIGTERM/SIGINT triggers a graceful drain (in-flight requests finish, new
+// ones are shed with kUnavailable). Exit prints the lifetime stats.
 //
 // Usage:
 //   pebbled [--port N] [--workers N] [--handlers N] [--queue N]
 //           [--tweets N] [--rate-per-sec R] [--burst B]
+//           [--wal DIR] [--follow HOST:PORT] [--staleness-ms N]
 
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
+#include <string>
 #include <thread>
 
+#include "core/provenance_wal.h"
+#include "server/replica.h"
 #include "server/server.h"
 #include "workload/serving_driver.h"
 
@@ -33,6 +49,53 @@ bool ParseFlag(int argc, char** argv, int* i, const char* name, long* out) {
   return true;
 }
 
+bool ParseStrFlag(int argc, char** argv, int* i, const char* name,
+                  std::string* out) {
+  if (std::strcmp(argv[*i], name) != 0) return false;
+  if (*i + 1 >= argc) {
+    std::fprintf(stderr, "%s needs a value\n", name);
+    std::exit(2);
+  }
+  *out = argv[++*i];
+  return true;
+}
+
+/// Renders the startup recovery facts; the same text is appended to every
+/// kStats answer so an operator can read them without grepping logs.
+std::string RenderRecoveryInfo(const pebble::WalRecoveryInfo& info) {
+  std::ostringstream os;
+  os << "wal_recovery:\n"
+     << "  manifest_found=" << (info.manifest_found ? 1 : 0)
+     << " snapshot_loaded=" << (info.snapshot_loaded ? 1 : 0)
+     << " covered_seq=" << info.covered_seq << "\n"
+     << "  segments_replayed=" << info.segments_replayed
+     << " records_replayed=" << info.records_replayed
+     << " runs_completed=" << info.runs_completed << "\n"
+     << "  torn_tail=" << (info.torn_tail ? 1 : 0)
+     << " torn_segment_seq=" << info.torn_segment_seq
+     << " torn_offset=" << info.torn_offset << "\n"
+     << "  next_item_id=" << info.next_item_id << "\n";
+  return os.str();
+}
+
+std::string RenderFreshness(const pebble::server::ReplicaFreshness& f) {
+  const uint64_t applied_seq = f.applied_seq.load();
+  const uint64_t applied_off = f.applied_offset.load();
+  const uint64_t primary_seq = f.primary_seq.load();
+  const uint64_t primary_size = f.primary_size.load();
+  std::ostringstream os;
+  os << "replication:\n"
+     << "  synced=" << (f.synced.load() ? 1 : 0)
+     << " staleness_ms=" << f.StalenessMs() << "\n"
+     << "  applied=" << applied_seq << "@" << applied_off
+     << " primary=" << primary_seq << "@" << primary_size;
+  if (primary_seq == applied_seq && primary_size >= applied_off) {
+    os << " lag_bytes=" << (primary_size - applied_off);
+  }
+  os << "\n";
+  return os.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -43,6 +106,9 @@ int main(int argc, char** argv) {
   long tweets = 2000;
   long rate = 0;
   long burst = 8;
+  long staleness_ms = 5000;
+  std::string wal_dir;
+  std::string follow;
   for (int i = 1; i < argc; ++i) {
     if (ParseFlag(argc, argv, &i, "--port", &port)) continue;
     if (ParseFlag(argc, argv, &i, "--workers", &workers)) continue;
@@ -51,14 +117,26 @@ int main(int argc, char** argv) {
     if (ParseFlag(argc, argv, &i, "--tweets", &tweets)) continue;
     if (ParseFlag(argc, argv, &i, "--rate-per-sec", &rate)) continue;
     if (ParseFlag(argc, argv, &i, "--burst", &burst)) continue;
+    if (ParseFlag(argc, argv, &i, "--staleness-ms", &staleness_ms)) continue;
+    if (ParseStrFlag(argc, argv, &i, "--wal", &wal_dir)) continue;
+    if (ParseStrFlag(argc, argv, &i, "--follow", &follow)) continue;
     std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
     return 2;
   }
 
   std::fprintf(stderr, "pebbled: building stress scenario (%ld tweets)...\n",
                tweets);
+  // A primary with --wal serves the WAL-recovered store (seeding an empty
+  // WAL by capturing the scenario through it), so followers of that
+  // directory converge to the exact bytes being served. The follower shape
+  // and the WAL-less daemon only need the scenario's output dataset.
+  pebble::WalRecoveryInfo recovery_info;
   auto served =
-      pebble::MakeServedStressScenario(static_cast<size_t>(tweets));
+      (!wal_dir.empty() && follow.empty())
+          ? pebble::MakeWalBackedStressScenario(static_cast<size_t>(tweets),
+                                                wal_dir, /*seed=*/42,
+                                                &recovery_info)
+          : pebble::MakeServedStressScenario(static_cast<size_t>(tweets));
   if (!served.ok()) {
     std::fprintf(stderr, "pebbled: %s\n",
                  served.status().ToString().c_str());
@@ -73,6 +151,67 @@ int main(int argc, char** argv) {
   options.default_tenant_quota.rate_per_sec = static_cast<double>(rate);
   options.default_tenant_quota.burst = static_cast<double>(burst);
 
+  struct sigaction action {};
+  action.sa_handler = HandleStop;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+
+  if (!follow.empty()) {
+    // Replication follower: --wal names the local mirror directory.
+    if (wal_dir.empty()) {
+      std::fprintf(stderr, "pebbled: --follow requires --wal DIR\n");
+      return 2;
+    }
+    const auto colon = follow.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "pebbled: --follow wants HOST:PORT\n");
+      return 2;
+    }
+    pebble::server::ReplicaOptions replica_options;
+    replica_options.primary_host = follow.substr(0, colon);
+    replica_options.primary_port = static_cast<uint16_t>(
+        std::strtol(follow.c_str() + colon + 1, nullptr, 10));
+    replica_options.wal_dir = wal_dir;
+    replica_options.dataset_name = "stress";
+    replica_options.output = served->dataset.output;
+    replica_options.max_staleness_ms = static_cast<uint32_t>(staleness_ms);
+    replica_options.server = options;
+
+    pebble::server::ReplicaDaemon replica(std::move(replica_options));
+    pebble::Status started = replica.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "pebbled: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    const pebble::server::ReplicaFreshness* freshness = &replica.freshness();
+    replica.server().SetStatsExtension(
+        [freshness] { return RenderFreshness(*freshness); });
+    std::fprintf(stderr,
+                 "pebbled: following %s, serving 'stress' on 127.0.0.1:%u "
+                 "(staleness bound %ld ms)\n",
+                 follow.c_str(), replica.port(), staleness_ms);
+    while (g_stop == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    std::fprintf(stderr, "pebbled: draining...\n");
+    pebble::server::ServerStats stats = replica.server().stats();
+    auto tenants = replica.server().tenant_admission_stats();
+    replica.Shutdown();
+    std::fprintf(stderr, "%s",
+                 pebble::server::RenderServerStats(stats, tenants).c_str());
+    std::fprintf(stderr, "%s", RenderFreshness(*freshness).c_str());
+    return 0;
+  }
+
+  // Primary (or standalone): recover + log the WAL when one is named, and
+  // ship it to subscribers.
+  std::string recovery_text;
+  if (!wal_dir.empty()) {
+    options.ship_wal_dir = wal_dir;
+    recovery_text = RenderRecoveryInfo(recovery_info);
+    std::fprintf(stderr, "%s", recovery_text.c_str());
+  }
+
   pebble::server::PebbleServer server(options);
   pebble::Status registered =
       server.RegisterDataset("stress", std::move(served->dataset));
@@ -80,19 +219,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "pebbled: %s\n", registered.ToString().c_str());
     return 1;
   }
+  if (!recovery_text.empty()) {
+    server.SetStatsExtension([recovery_text] { return recovery_text; });
+  }
   pebble::Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "pebbled: %s\n", started.ToString().c_str());
     return 1;
   }
   std::fprintf(stderr,
-               "pebbled: serving 'stress' (pattern: %s) on 127.0.0.1:%u\n",
-               served->pattern_text.c_str(), server.port());
+               "pebbled: serving 'stress' (pattern: %s) on 127.0.0.1:%u%s\n",
+               served->pattern_text.c_str(), server.port(),
+               wal_dir.empty() ? "" : " [shipping WAL]");
 
-  struct sigaction action {};
-  action.sa_handler = HandleStop;
-  sigaction(SIGTERM, &action, nullptr);
-  sigaction(SIGINT, &action, nullptr);
   while (g_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }

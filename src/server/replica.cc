@@ -1,0 +1,607 @@
+#include "server/replica.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "core/provenance_wal.h"
+#include "net/frame.h"
+#include "net/net.h"
+#include "server/wire.h"
+
+namespace pebble::server {
+
+namespace {
+
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string InDir(const std::string& dir, const std::string& name) {
+  if (dir.empty() || dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+/// A shipped file name must be a plain name inside the WAL directory —
+/// the primary only ever sends its own snapshot file names, so anything
+/// else is a corrupt or hostile frame.
+bool SafeFileName(const std::string& name) {
+  if (name.empty() || name == "." || name == "..") return false;
+  return name.find('/') == std::string::npos &&
+         name.find('\\') == std::string::npos;
+}
+
+/// Removes every WAL-owned file from `dir` (segments, snapshots, manifest,
+/// bootstrap temp). Unrelated files are left alone.
+Status WipeLocalWal(const std::string& dir) {
+  std::error_code ec;
+  if (!std::filesystem::exists(dir, ec)) return Status::OK();
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    const bool owned =
+        name == "MANIFEST" || name == "snapshot.tmp" ||
+        (name.rfind("segment-", 0) == 0) || (name.rfind("snapshot-", 0) == 0);
+    if (!owned) continue;
+    std::error_code rm_ec;
+    std::filesystem::remove(entry.path(), rm_ec);
+    if (rm_ec) {
+      return Status::IOError("wiping local WAL copy: cannot remove " + name +
+                             ": " + rm_ec.message());
+    }
+  }
+  if (ec) {
+    return Status::IOError("wiping local WAL copy: " + ec.message());
+  }
+  return Status::OK();
+}
+
+/// Physically repairs a torn tail found by local recovery, exactly as
+/// WalWriter::Open does on the primary: truncate at the first bad byte, or
+/// remove the segment entirely when its header itself was torn.
+Status RepairTornTail(const std::string& dir, const WalRecoveryInfo& info) {
+  if (!info.torn_tail) return Status::OK();
+  const std::string path = WalSegmentPath(dir, info.torn_segment_seq);
+  if (info.torn_offset < kWalSegmentHeaderBytes) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    if (ec) {
+      return Status::IOError("removing header-torn segment " + path + ": " +
+                             ec.message());
+    }
+    return Status::OK();
+  }
+  if (::truncate(path.c_str(), static_cast<off_t>(info.torn_offset)) != 0) {
+    return Status::IOError("truncating torn tail of " + path + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+/// pwrites `bytes` into the local copy of segment `seq` at `offset`,
+/// creating the file on first touch. `sync` fsyncs afterwards (used at
+/// seal points; mid-segment loss is a torn tail recovery repairs).
+Status WriteSegmentBytes(const std::string& dir, uint64_t seq,
+                         uint64_t offset, std::string_view bytes,
+                         bool sync) {
+  const std::string path = WalSegmentPath(dir, seq);
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IOError("opening local segment " + path + ": " +
+                           std::strerror(errno));
+  }
+  size_t written = 0;
+  Status status = Status::OK();
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::pwrite(fd, bytes.data() + written, bytes.size() - written,
+                 static_cast<off_t>(offset + written));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      status = Status::IOError("writing local segment " + path + ": " +
+                               std::strerror(errno));
+      break;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (status.ok() && sync && ::fsync(fd) != 0) {
+    status = Status::IOError("syncing local segment " + path + ": " +
+                             std::strerror(errno));
+  }
+  ::close(fd);
+  return status;
+}
+
+/// Appends `bytes` to `path` (creating it), for staging a shipped
+/// snapshot. The temp file needs no durability of its own — the manifest
+/// rename at commit is the crash-safety point.
+Status AppendFile(const std::string& path, std::string_view bytes) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IOError("opening " + path + ": " + std::strerror(errno));
+  }
+  size_t written = 0;
+  Status status = Status::OK();
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      status =
+          Status::IOError("writing " + path + ": " + std::strerror(errno));
+      break;
+    }
+    written += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  return status;
+}
+
+}  // namespace
+
+ReplicaDaemon::ReplicaDaemon(ReplicaOptions options)
+    : options_(std::move(options)),
+      freshness_(std::make_shared<ReplicaFreshness>()),
+      jitter_(options_.jitter_seed) {
+  freshness_->max_staleness_ms.store(options_.max_staleness_ms,
+                                     std::memory_order_relaxed);
+}
+
+ReplicaDaemon::~ReplicaDaemon() { Shutdown(); }
+
+Status ReplicaDaemon::Start() {
+  if (started_) return Status::InvalidArgument("replica already started");
+  if (options_.wal_dir.empty()) {
+    return Status::InvalidArgument("ReplicaOptions.wal_dir is required");
+  }
+  if (options_.dataset_name.empty()) {
+    return Status::InvalidArgument("ReplicaOptions.dataset_name is required");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options_.wal_dir, ec);
+  if (ec) {
+    return Status::IOError("creating replica WAL dir " + options_.wal_dir +
+                           ": " + ec.message());
+  }
+  server_ = std::make_unique<PebbleServer>(options_.server);
+  // Register the gated entry before serving starts: until the first
+  // publish+sync the freshness gate sheds every read with a retry-after,
+  // so the placeholder store is never actually queried.
+  ServedDataset placeholder;
+  placeholder.output = options_.output;
+  placeholder.store = std::make_shared<const ProvenanceStore>();
+  PEBBLE_RETURN_NOT_OK(server_->SwapDataset(options_.dataset_name,
+                                            std::move(placeholder),
+                                            freshness_));
+  PEBBLE_RETURN_NOT_OK(server_->Start());
+  stop_.store(false, std::memory_order_relaxed);
+  repl_thread_ = std::thread(&ReplicaDaemon::ReplicationLoop, this);
+  started_ = true;
+  return Status::OK();
+}
+
+void ReplicaDaemon::Shutdown() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (repl_thread_.joinable()) repl_thread_.join();
+  if (server_) server_->Shutdown();
+  started_ = false;
+}
+
+bool ReplicaDaemon::WaitUntilSynced(int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (freshness_->synced.load(std::memory_order_acquire)) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return freshness_->synced.load(std::memory_order_acquire);
+}
+
+ReplicaStats ReplicaDaemon::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+Status ReplicaDaemon::Publish(WalTailApplier& applier) {
+  const uint64_t uid = applier.store().uid();
+  const uint64_t generation = applier.store().generation();
+  if (published_any_ && uid == published_uid_ &&
+      generation == published_generation_) {
+    return Status::OK();  // already serving exactly this state
+  }
+  Status fault = FailpointRegistry::Global().Evaluate(
+      failpoints::kReplicaSwap, publish_ordinal_++);
+  if (!fault.ok()) {
+    // A skipped publish only delays freshness: the catalog keeps serving
+    // the previous snapshot, whose staleness bound still governs it.
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.publish_skips;
+    return Status::OK();
+  }
+  auto snapshot_or = applier.Snapshot();
+  if (!snapshot_or.ok()) return snapshot_or.status();
+  ServedDataset dataset;
+  dataset.output = options_.output;
+  dataset.store = std::shared_ptr<const ProvenanceStore>(
+      std::move(snapshot_or).value());
+  PEBBLE_RETURN_NOT_OK(server_->SwapDataset(options_.dataset_name,
+                                            std::move(dataset), freshness_));
+  freshness_->applied_seq.store(applier.seq(), std::memory_order_release);
+  freshness_->applied_offset.store(applier.applied_position(),
+                                   std::memory_order_release);
+  published_uid_ = uid;
+  published_generation_ = generation;
+  published_any_ = true;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.publishes;
+  return Status::OK();
+}
+
+void ReplicaDaemon::ReplicationLoop() {
+  int backoff_ms = options_.reconnect_initial_ms;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    SessionResult result = RunSession();
+    if (stop_.load(std::memory_order_relaxed)) break;
+    if (result.reset) {
+      // The wipe already happened; resubscribing immediately turns the
+      // reset into one extra round-trip, not a backoff penalty.
+      backoff_ms = options_.reconnect_initial_ms;
+      continue;
+    }
+    if (result.progressed) backoff_ms = options_.reconnect_initial_ms;
+    int wait_ms = result.denied
+                      ? options_.reconnect_max_ms
+                      : backoff_ms + static_cast<int>(jitter_.NextBounded(
+                                         static_cast<uint64_t>(backoff_ms)));
+    // Sleep in small slices so Shutdown is prompt.
+    while (wait_ms > 0 && !stop_.load(std::memory_order_relaxed)) {
+      const int slice = std::min(wait_ms, 10);
+      std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+      wait_ms -= slice;
+    }
+    backoff_ms = std::min(backoff_ms * 2, options_.reconnect_max_ms);
+  }
+}
+
+ReplicaDaemon::SessionResult ReplicaDaemon::RunSession() {
+  SessionResult result;
+  const std::string& dir = options_.wal_dir;
+  auto count_torn = [&] {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.sessions_torn;
+  };
+
+  // Local recovery (the same code path as the follower's own crash):
+  // repair a torn tail physically, wipe-and-retry on a hard failure.
+  auto recovered_or = RecoverStore(dir);
+  if (!recovered_or.ok()) {
+    if (!WipeLocalWal(dir).ok()) {
+      count_torn();
+      return result;
+    }
+    recovered_or = RecoverStore(dir);
+    if (!recovered_or.ok()) {
+      count_torn();
+      return result;
+    }
+  }
+  if (recovered_or->info.torn_tail) {
+    if (!RepairTornTail(dir, recovered_or->info).ok()) {
+      count_torn();
+      return result;
+    }
+    recovered_or = RecoverStore(dir);
+    if (!recovered_or.ok() || recovered_or->info.torn_tail) {
+      count_torn();
+      return result;
+    }
+  }
+  auto applier =
+      std::make_unique<WalTailApplier>(std::move(recovered_or).value());
+
+  // Serve whatever the local copy already holds (still gated unsynced, so
+  // reads stay shed until the primary confirms we are at its tail).
+  if (!Publish(*applier).ok()) {
+    count_torn();
+    return result;
+  }
+
+  // Subscribe position: the newest local segment, its full (post-repair)
+  // size, and the CRC of that prefix for the divergence check.
+  auto state_or = ReadWalShipState(dir);
+  if (!state_or.ok()) {
+    count_torn();
+    return result;
+  }
+  ReplSubscribe sub;
+  sub.stream = options_.stream;
+  sub.covered_seq = state_or->covered_seq;
+  if (!state_or->segments.empty()) {
+    sub.seq = state_or->segments.rbegin()->first;
+    std::error_code ec;
+    const uint64_t size =
+        std::filesystem::file_size(state_or->segments.rbegin()->second, ec);
+    if (ec) {
+      count_torn();
+      return result;
+    }
+    sub.offset = size;
+    if (size > 0) {
+      auto crc_or =
+          Crc32FilePrefix(state_or->segments.rbegin()->second, size);
+      if (!crc_or.ok()) {
+        count_torn();
+        return result;
+      }
+      sub.prefix_crc = *crc_or;
+    }
+  }
+
+  auto fd_or = net::ConnectTcp(options_.primary_host, options_.primary_port,
+                               options_.connect_timeout_ms);
+  if (!fd_or.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.connect_failures;
+    return result;
+  }
+  net::UniqueFd fd = std::move(fd_or).value();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.connects;
+  }
+  if (!net::WriteFrame(fd.get(), EncodeReplSubscribe(sub),
+                       options_.io_timeout_ms, &stop_)
+           .ok()) {
+    count_torn();
+    return result;
+  }
+  result.connected = true;
+
+  auto send_ack = [&](bool ok, const std::string& note) -> bool {
+    ReplAck ack;
+    ack.seq = applier->seq();
+    ack.offset = applier->position();
+    ack.ok = ok;
+    ack.note = note;
+    return net::WriteFrame(fd.get(), EncodeReplAck(ack),
+                           options_.io_timeout_ms, &stop_)
+        .ok();
+  };
+
+  // Snapshot-bootstrap staging state (kSnapshotBegin .. kSnapshotCommit).
+  struct SnapState {
+    bool active = false;
+    uint64_t covered = 0;
+    uint64_t size = 0;
+    uint64_t received = 0;
+    std::string name;
+  } snap;
+  const std::string snap_tmp = InDir(dir, "snapshot.tmp");
+
+  uint64_t last_runs_completed = applier->info().runs_completed;
+
+  while (!stop_.load(std::memory_order_relaxed)) {
+    std::string payload;
+    Status read = net::ReadFrame(fd.get(), &payload, options_.io_timeout_ms,
+                                 &stop_);
+    if (!read.ok()) {
+      if (!stop_.load(std::memory_order_relaxed)) count_torn();
+      return result;
+    }
+    ReplShip ship;
+    if (!DecodeReplShip(payload, &ship).ok()) {
+      count_torn();
+      return result;
+    }
+    // replica.apply: abort the session before touching disk or the store,
+    // as an apply-path crash would. The next session recovers locally.
+    Status fault = FailpointRegistry::Global().Evaluate(
+        failpoints::kReplicaApply, frame_ordinal_++);
+    if (!fault.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.apply_faults;
+      }
+      count_torn();
+      return result;
+    }
+
+    switch (ship.kind) {
+      case ShipKind::kDenied: {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.denied;
+        result.denied = true;
+        return result;
+      }
+      case ShipKind::kReset: {
+        (void)send_ack(true, "resetting");
+        if (!WipeLocalWal(dir).ok()) {
+          count_torn();
+          return result;
+        }
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.resets;
+        result.reset = true;
+        return result;
+      }
+      case ShipKind::kHeartbeat: {
+        freshness_->primary_seq.store(ship.primary_seq,
+                                      std::memory_order_release);
+        freshness_->primary_size.store(ship.primary_size,
+                                       std::memory_order_release);
+        // Lockstep means every data frame the primary sent before this
+        // heartbeat is already applied here, so the heartbeat is proof
+        // the live store equals the primary's tail. Publish any
+        // unpublished progress, then mark the published store fresh.
+        if (!Publish(*applier).ok()) {
+          (void)send_ack(false, "publish failed");
+          count_torn();
+          return result;
+        }
+        if (published_any_ &&
+            published_uid_ == applier->store().uid() &&
+            published_generation_ == applier->store().generation()) {
+          freshness_->fresh_at_ms.store(SteadyNowMs(),
+                                        std::memory_order_release);
+          freshness_->synced.store(true, std::memory_order_release);
+        }
+        result.progressed = true;
+        if (!send_ack(true, "")) {
+          count_torn();
+          return result;
+        }
+        break;
+      }
+      case ShipKind::kData: {
+        // Local durability first: the byte lands in the follower's WAL
+        // copy before the store sees it, so a crash at any instant
+        // replays to a consistent prefix.
+        Status wrote = WriteSegmentBytes(dir, ship.seq, ship.offset,
+                                         ship.bytes,
+                                         ship.sealed && options_.sync);
+        if (!wrote.ok()) {
+          (void)send_ack(false, wrote.message());
+          count_torn();
+          return result;
+        }
+        Status fed = applier->Feed(ship.seq, ship.offset, ship.bytes);
+        if (!fed.ok()) {
+          // Bad bytes are on disk at the tail; the next session's local
+          // recovery truncates them as a torn tail and resubscribes.
+          (void)send_ack(false, fed.message());
+          count_torn();
+          return result;
+        }
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.frames_applied;
+          stats_.bytes_applied += ship.bytes.size();
+        }
+        freshness_->primary_seq.store(ship.primary_seq,
+                                      std::memory_order_release);
+        freshness_->primary_size.store(ship.primary_size,
+                                       std::memory_order_release);
+        const bool at_tail =
+            ship.seq == ship.primary_seq &&
+            ship.offset + ship.bytes.size() == ship.primary_size;
+        const bool run_ended =
+            applier->info().runs_completed > last_runs_completed;
+        if (at_tail || run_ended) {
+          last_runs_completed = applier->info().runs_completed;
+          if (!Publish(*applier).ok()) {
+            (void)send_ack(false, "publish failed");
+            count_torn();
+            return result;
+          }
+          if (at_tail && published_any_ &&
+              published_uid_ == applier->store().uid() &&
+              published_generation_ == applier->store().generation()) {
+            freshness_->fresh_at_ms.store(SteadyNowMs(),
+                                          std::memory_order_release);
+            freshness_->synced.store(true, std::memory_order_release);
+          }
+        }
+        result.progressed = true;
+        if (!send_ack(true, "")) {
+          count_torn();
+          return result;
+        }
+        break;
+      }
+      case ShipKind::kSnapshotBegin: {
+        if (!SafeFileName(ship.note)) {
+          (void)send_ack(false, "unsafe snapshot name");
+          count_torn();
+          return result;
+        }
+        snap.active = true;
+        snap.covered = ship.seq;
+        snap.size = ship.primary_size;
+        snap.received = 0;
+        snap.name = ship.note;
+        std::error_code ec;
+        std::filesystem::remove(snap_tmp, ec);  // stale partial bootstrap
+        if (!send_ack(true, "")) {
+          count_torn();
+          return result;
+        }
+        break;
+      }
+      case ShipKind::kSnapshotChunk: {
+        if (!snap.active || ship.offset != snap.received) {
+          (void)send_ack(false, "snapshot chunk out of order");
+          count_torn();
+          return result;
+        }
+        Status wrote = AppendFile(snap_tmp, ship.bytes);
+        if (!wrote.ok()) {
+          (void)send_ack(false, wrote.message());
+          count_torn();
+          return result;
+        }
+        snap.received += ship.bytes.size();
+        result.progressed = true;
+        if (!send_ack(true, "")) {
+          count_torn();
+          return result;
+        }
+        break;
+      }
+      case ShipKind::kSnapshotCommit: {
+        if (!snap.active || snap.received != snap.size) {
+          (void)send_ack(false, "snapshot incomplete at commit");
+          count_torn();
+          return result;
+        }
+        // Install: snapshot file first, then the manifest naming it — a
+        // crash between the two leaves an orphan file recovery ignores.
+        std::error_code ec;
+        std::filesystem::rename(snap_tmp, InDir(dir, snap.name), ec);
+        if (ec ||
+            !WriteWalManifest(dir, snap.covered, snap.name, options_.sync)
+                 .ok()) {
+          (void)send_ack(false, "snapshot install failed");
+          count_torn();
+          return result;
+        }
+        auto rebuilt_or = RecoverStore(dir);
+        if (!rebuilt_or.ok()) {
+          (void)send_ack(false, "snapshot recovery failed: " +
+                                    rebuilt_or.status().message());
+          count_torn();
+          return result;
+        }
+        applier =
+            std::make_unique<WalTailApplier>(std::move(rebuilt_or).value());
+        last_runs_completed = applier->info().runs_completed;
+        snap = SnapState{};
+        if (!Publish(*applier).ok()) {
+          (void)send_ack(false, "publish failed");
+          count_torn();
+          return result;
+        }
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.snapshots_bootstrapped;
+        }
+        result.progressed = true;
+        if (!send_ack(true, "")) {
+          count_torn();
+          return result;
+        }
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace pebble::server

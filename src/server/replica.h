@@ -1,0 +1,165 @@
+// Replication follower daemon (DESIGN.md §14): maintains a live local copy
+// of a primary pebbled's provenance WAL by subscribing over the framed
+// socket protocol, tail-applies shipped bytes into a live store
+// (WalTailApplier), and serves bounded-staleness reads through its own
+// embedded PebbleServer.
+//
+// Lifecycle of one follower:
+//
+//   Start() ──> local RecoverStore (torn-tail repair, wipe-and-retry)
+//          ──> register <dataset_name> gated by a ReplicaFreshness
+//          ──> replication thread: connect -> subscribe -> apply loop
+//                          │ disconnect / reset / deny
+//                          v
+//              reconnect with exponential backoff + jitter
+//
+// Every shipped byte lands in the follower's local WAL file *before* it is
+// applied, so the follower's own crash-and-restart runs the exact recovery
+// code path a primary does: truncate the torn tail, replay, resubscribe
+// from the surviving position. A kReset from the primary (divergence,
+// compaction) wipes the local copy and resubscribes from scratch — the
+// previously published store keeps serving until the staleness bound
+// sheds it, so a resync degrades reads structurally (kUnavailable +
+// retry-after), never silently to a wrong answer.
+//
+// Publishing: the live applier store is deep-copied (Snapshot) and
+// hot-swapped into the serving catalog at run boundaries, on catching up
+// to the primary's tail, and on heartbeats that find unpublished progress.
+// Freshness (synced + fresh_at) is marked only when the *published* store
+// provably equals the primary's tail — the lockstep protocol makes a
+// received heartbeat exactly that proof.
+
+#ifndef PEBBLE_SERVER_REPLICA_H_
+#define PEBBLE_SERVER_REPLICA_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "engine/dataset.h"
+#include "server/server.h"
+
+namespace pebble {
+class WalTailApplier;
+}
+
+namespace pebble::server {
+
+struct ReplicaOptions {
+  /// Primary pebbled to subscribe to.
+  std::string primary_host = "127.0.0.1";
+  uint16_t primary_port = 0;
+  /// WAL stream identity (must match the primary's ship_stream).
+  std::string stream = "default";
+  /// Directory of the follower's local WAL copy (created if missing).
+  std::string wal_dir;
+  /// Catalog name the replicated store is served under.
+  std::string dataset_name;
+  /// Retained output dataset to serve alongside the store. The WAL carries
+  /// provenance only; outputs travel out-of-band (the deterministic
+  /// pipeline re-run, an object store, ...).
+  Dataset output;
+  /// Serving bound: reads staler than this are shed (ReplicaFreshness).
+  uint32_t max_staleness_ms = 5000;
+  /// The follower's own serving endpoint.
+  ServerOptions server;
+  /// Replication-session IO budgets and reconnect policy.
+  int connect_timeout_ms = 2000;
+  int io_timeout_ms = 5000;
+  int reconnect_initial_ms = 20;
+  int reconnect_max_ms = 1000;
+  /// Seed for reconnect jitter (deterministic per daemon).
+  uint64_t jitter_seed = 1;
+  /// fsync the local WAL copy at seal/commit points. A crash then loses at
+  /// most the active segment's OS-buffered tail, which recovery treats as
+  /// a torn tail and the next session re-ships.
+  bool sync = true;
+};
+
+/// Monotonic counters of one follower's lifetime.
+struct ReplicaStats {
+  uint64_t connects = 0;
+  uint64_t connect_failures = 0;
+  uint64_t sessions_torn = 0;  // IO/decode/apply failures mid-session
+  uint64_t denied = 0;         // kDenied frames received
+  uint64_t resets = 0;         // kReset frames honored (local wipe)
+  uint64_t frames_applied = 0;
+  uint64_t bytes_applied = 0;
+  uint64_t snapshots_bootstrapped = 0;
+  uint64_t publishes = 0;       // successful hot swaps into the catalog
+  uint64_t publish_skips = 0;   // replica.swap failpoint fires
+  uint64_t apply_faults = 0;    // replica.apply failpoint fires
+};
+
+class ReplicaDaemon {
+ public:
+  explicit ReplicaDaemon(ReplicaOptions options);
+  ~ReplicaDaemon();
+
+  ReplicaDaemon(const ReplicaDaemon&) = delete;
+  ReplicaDaemon& operator=(const ReplicaDaemon&) = delete;
+
+  /// Recovers the local WAL copy, registers the (gated) dataset, starts
+  /// the embedded server and the replication thread.
+  Status Start();
+
+  /// Stops the replication thread and shuts the embedded server down.
+  /// Idempotent; the local WAL copy stays on disk for the next Start.
+  void Shutdown();
+
+  /// Blocks until the published store is synced with the primary's tail
+  /// (first heartbeat after catch-up) or `timeout_ms` elapses.
+  bool WaitUntilSynced(int timeout_ms);
+
+  /// The follower's serving port (valid after Start()).
+  uint16_t port() const { return server_ ? server_->port() : 0; }
+  /// The embedded server (valid after Start()), e.g. for stats.
+  PebbleServer& server() { return *server_; }
+  /// The freshness gate shared with the serving catalog entry.
+  const ReplicaFreshness& freshness() const { return *freshness_; }
+
+  ReplicaStats stats() const;
+
+ private:
+  struct SessionResult {
+    bool connected = false;  // the subscribe reached a primary
+    bool progressed = false; // at least one frame was applied/heartbeat
+    bool denied = false;     // terminal refusal; back off long
+    bool reset = false;      // local wipe done; resubscribe immediately
+  };
+
+  void ReplicationLoop();
+  SessionResult RunSession();
+  /// Deep-copies the applier's live store and hot-swaps it into the
+  /// catalog (replica.swap failpoint = skip, delaying freshness only).
+  Status Publish(WalTailApplier& applier);
+
+  const ReplicaOptions options_;
+  std::shared_ptr<ReplicaFreshness> freshness_;
+  std::unique_ptr<PebbleServer> server_;
+
+  std::thread repl_thread_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+
+  // Identity (uid, generation) of the live store state last published, so
+  // publish triggers are idempotent across heartbeats.
+  uint64_t published_uid_ = 0;
+  uint64_t published_generation_ = 0;
+  bool published_any_ = false;
+  uint64_t publish_ordinal_ = 0;  // replica.swap failpoint key
+  uint64_t frame_ordinal_ = 0;    // replica.apply failpoint key
+  Rng jitter_;
+
+  mutable std::mutex stats_mu_;
+  ReplicaStats stats_;
+};
+
+}  // namespace pebble::server
+
+#endif  // PEBBLE_SERVER_REPLICA_H_

@@ -1,9 +1,16 @@
 #include "server/server.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
 #include <sstream>
 #include <utility>
 
+#include "core/provenance_wal.h"
 #include "core/query_cache.h"
 #include "net/frame.h"
 
@@ -18,6 +25,38 @@ QueryResponse ErrorResponse(StatusCode code, std::string message) {
   return resp;
 }
 
+/// Reads [offset, offset + max_len) of `path` into `out` (short at EOF).
+/// The shipper reads sealed-segment bytes and the live tail with this; a
+/// concurrent appender only ever grows the file, so a short read is a
+/// consistent prefix.
+Status ReadFileRange(const std::string& path, uint64_t offset,
+                     size_t max_len, std::string* out) {
+  out->clear();
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("cannot open '" + path +
+                           "': " + std::strerror(errno));
+  }
+  out->resize(max_len);
+  size_t got = 0;
+  while (got < max_len) {
+    ssize_t n = ::pread(fd, out->data() + got, max_len - got,
+                        static_cast<off_t>(offset + got));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int saved = errno;
+      ::close(fd);
+      return Status::IOError("read of '" + path +
+                             "' failed: " + std::strerror(saved));
+    }
+    if (n == 0) break;  // EOF
+    got += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  out->resize(got);
+  return Status::OK();
+}
+
 uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
@@ -27,29 +66,105 @@ uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
 
 }  // namespace
 
+uint32_t ReplicaFreshness::StalenessMs() const {
+  const int64_t fresh_at = fresh_at_ms.load(std::memory_order_acquire);
+  if (fresh_at == 0) return ~0u;  // never fresh
+  const int64_t now =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  const int64_t age = now - fresh_at;
+  if (age <= 0) return 0;
+  if (age >= static_cast<int64_t>(~0u)) return ~0u;
+  return static_cast<uint32_t>(age);
+}
+
 PebbleServer::PebbleServer(ServerOptions options)
     : options_(options),
+      catalog_(std::make_shared<const Catalog>()),
       admission_(options.default_tenant_quota),
       queue_(options.queue_capacity),
       pending_conns_(options.conn_backlog) {}
 
 PebbleServer::~PebbleServer() { Shutdown(); }
 
+std::shared_ptr<const PebbleServer::Catalog> PebbleServer::SnapshotCatalog()
+    const {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  return catalog_;
+}
+
+Status PebbleServer::MutateCatalog(
+    const std::function<Status(Catalog*)>& mutate) {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  // Copy-on-write: readers holding the old root (and the entries it pins)
+  // are unaffected; the swap below is their only synchronization point.
+  auto next = std::make_shared<Catalog>(*catalog_);
+  PEBBLE_RETURN_NOT_OK(mutate(next.get()));
+  catalog_ = std::move(next);
+  return Status::OK();
+}
+
 Status PebbleServer::RegisterDataset(const std::string& name,
                                      ServedDataset dataset) {
-  if (started_) {
-    return Status::InvalidArgument(
-        "RegisterDataset after Start(): the catalog is frozen");
-  }
   if (dataset.store == nullptr) {
     return Status::InvalidArgument("ServedDataset '" + name +
                                    "' has no provenance store");
   }
-  if (!catalog_.emplace(name, std::move(dataset)).second) {
-    return Status::InvalidArgument("dataset '" + name +
-                                   "' is already registered");
+  auto entry = std::make_shared<ServedEntry>();
+  entry->dataset = std::move(dataset);
+  entry->generation =
+      catalog_generation_.fetch_add(1, std::memory_order_relaxed) + 1;
+  return MutateCatalog([&](Catalog* catalog) -> Status {
+    if (!catalog->emplace(name, std::move(entry)).second) {
+      return Status::InvalidArgument("dataset '" + name +
+                                     "' is already registered");
+    }
+    return Status::OK();
+  });
+}
+
+Status PebbleServer::SwapDataset(
+    const std::string& name, ServedDataset dataset,
+    std::shared_ptr<const ReplicaFreshness> freshness) {
+  if (dataset.store == nullptr) {
+    return Status::InvalidArgument("ServedDataset '" + name +
+                                   "' has no provenance store");
   }
-  return Status::OK();
+  auto entry = std::make_shared<ServedEntry>();
+  entry->dataset = std::move(dataset);
+  entry->generation =
+      catalog_generation_.fetch_add(1, std::memory_order_relaxed) + 1;
+  entry->freshness = std::move(freshness);
+  Status swapped = MutateCatalog([&](Catalog* catalog) -> Status {
+    (*catalog)[name] = std::move(entry);
+    return Status::OK();
+  });
+  if (swapped.ok()) {
+    counters_.catalog_swaps.fetch_add(1, std::memory_order_relaxed);
+  }
+  return swapped;
+}
+
+Status PebbleServer::UnregisterDataset(const std::string& name) {
+  return MutateCatalog([&](Catalog* catalog) -> Status {
+    if (catalog->erase(name) == 0) {
+      return Status::KeyError("dataset '" + name + "' is not registered");
+    }
+    return Status::OK();
+  });
+}
+
+uint64_t PebbleServer::DatasetGeneration(const std::string& name) const {
+  auto catalog = SnapshotCatalog();
+  auto it = catalog->find(name);
+  return it == catalog->end() ? 0 : it->second->generation;
+}
+
+void PebbleServer::SetStatsExtension(
+    std::function<std::string()> extension) {
+  std::lock_guard<std::mutex> lock(stats_extension_mu_);
+  stats_extension_ = std::move(extension);
 }
 
 void PebbleServer::SetTenantQuota(const std::string& tenant,
@@ -193,6 +308,15 @@ void PebbleServer::ServeConnection(net::UniqueFd fd, uint64_t conn_id) {
       }
     }
 
+    // A replication subscribe hands the whole connection to the shipping
+    // loop; it is a session, not a request (conservation counters see
+    // nothing).
+    if (!payload.empty() &&
+        static_cast<uint8_t>(payload[0]) == kMsgReplSubscribe) {
+      ServeReplication(fd.get(), payload, conn_id);
+      return;
+    }
+
     counters_.requests_received.fetch_add(1, std::memory_order_relaxed);
     QueryRequest request;
     QueryResponse response;
@@ -215,6 +339,328 @@ void PebbleServer::ServeConnection(net::UniqueFd fd, uint64_t conn_id) {
                                                  std::memory_order_relaxed);
       counters_.connections_torn.fetch_add(1, std::memory_order_relaxed);
       return;
+    }
+  }
+}
+
+void PebbleServer::ServeReplication(int fd,
+                                    const std::string& subscribe_payload,
+                                    uint64_t conn_id) {
+  auto torn = [&] {
+    counters_.repl_sessions_torn.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  // Lockstep helper: one ship frame out, one ack frame back. The ack wait
+  // is the backpressure: a slow follower stalls only this session's
+  // handler thread. ship.write tears the connection mid-stream when
+  // armed (keyed by the session's frame ordinal).
+  uint64_t frame_ordinal = 0;
+  auto ship_and_ack = [&](const ReplShip& ship) -> Status {
+    const uint64_t key = frame_ordinal++;
+    Status fault = FailpointRegistry::Global().Evaluate(
+        failpoints::kShipWrite, key);
+    if (!fault.ok()) {
+      counters_.repl_ship_faults.fetch_add(1, std::memory_order_relaxed);
+      return fault;
+    }
+    PEBBLE_RETURN_NOT_OK(net::WriteFrame(fd, EncodeReplShip(ship),
+                                         options_.write_timeout_ms,
+                                         &stop_io_, conn_id));
+    counters_.repl_frames_shipped.fetch_add(1, std::memory_order_relaxed);
+    counters_.repl_bytes_shipped.fetch_add(ship.bytes.size(),
+                                           std::memory_order_relaxed);
+    std::string payload;
+    // The follower may do real work before acking (snapshot install,
+    // store publish), so the ack budget is the idle timeout, not the
+    // per-read one.
+    const int ack_budget_ms =
+        std::max(options_.read_timeout_ms, options_.idle_timeout_ms);
+    PEBBLE_RETURN_NOT_OK(
+        net::ReadFrame(fd, &payload, ack_budget_ms, &stop_io_, conn_id));
+    ReplAck ack;
+    PEBBLE_RETURN_NOT_OK(DecodeReplAck(payload, &ack));
+    if (!ack.ok) {
+      return Status::IOError("follower aborted the session: " + ack.note);
+    }
+    return Status::OK();
+  };
+
+  auto send_reset = [&](const std::string& why) {
+    counters_.repl_resets.fetch_add(1, std::memory_order_relaxed);
+    ReplShip reset;
+    reset.kind = ShipKind::kReset;
+    reset.note = why;
+    // The session ends after a reset either way; the ack is best-effort
+    // confirmation the follower saw it before we hang up.
+    (void)ship_and_ack(reset);
+  };
+
+  ReplSubscribe sub;
+  Status decoded = DecodeReplSubscribe(subscribe_payload, &sub);
+  std::string deny_reason;
+  if (!decoded.ok()) {
+    deny_reason = "bad subscribe: " + decoded.message();
+  } else if (options_.ship_wal_dir.empty()) {
+    deny_reason = "this server ships no WAL";
+  } else if (sub.stream != options_.ship_stream) {
+    deny_reason = "unknown WAL stream '" + sub.stream + "' (this server ships '" +
+                  options_.ship_stream + "')";
+  }
+  if (!deny_reason.empty()) {
+    counters_.repl_denied.fetch_add(1, std::memory_order_relaxed);
+    ReplShip denied;
+    denied.kind = ShipKind::kDenied;
+    denied.note = deny_reason;
+    (void)net::WriteFrame(fd, EncodeReplShip(denied),
+                          options_.write_timeout_ms, &stop_io_, conn_id);
+    return;
+  }
+  counters_.repl_subscriptions.fetch_add(1, std::memory_order_relaxed);
+
+  const std::string& dir = options_.ship_wal_dir;
+  auto in_dir = [&](const std::string& name) {
+    if (dir.empty() || dir.back() == '/') return dir + name;
+    return dir + "/" + name;
+  };
+
+  auto state_or = ReadWalShipState(dir);
+  if (!state_or.ok()) {
+    torn();
+    return;  // transient local trouble; the follower resubscribes
+  }
+  WalShipState state = std::move(state_or).value();
+
+  // Validate the follower's claimed position and pick the resume point.
+  uint64_t seq = 0;
+  uint64_t offset = 0;
+  bool bootstrap = false;
+  if (sub.seq == 0) {
+    if (sub.covered_seq == 0) {
+      // Fresh follower: bootstrap from the snapshot when history below
+      // covered_seq no longer exists as segments.
+      if (state.covered_seq > 0) {
+        bootstrap = true;
+      } else {
+        seq = 1;
+      }
+    } else if (sub.covered_seq == state.covered_seq) {
+      seq = sub.covered_seq + 1;  // snapshot-only follower, tail segments next
+    } else {
+      send_reset("snapshot coverage diverged: follower covered " +
+                 std::to_string(sub.covered_seq) + ", primary covered " +
+                 std::to_string(state.covered_seq));
+      return;
+    }
+  } else {
+    if (sub.seq <= state.covered_seq) {
+      send_reset("follower position segment " + std::to_string(sub.seq) +
+                 " was compacted away (primary covered " +
+                 std::to_string(state.covered_seq) + ")");
+      return;
+    }
+    auto it = state.segments.find(sub.seq);
+    if (it == state.segments.end()) {
+      send_reset("segment " + std::to_string(sub.seq) +
+                 " does not exist on the primary");
+      return;
+    }
+    std::error_code ec;
+    const uint64_t size = std::filesystem::file_size(it->second, ec);
+    if (ec) {
+      torn();
+      return;
+    }
+    if (sub.offset > size) {
+      // The classic torn-tail shipping case: the follower holds bytes the
+      // primary truncated on restart. Structural degradation: full resync.
+      send_reset("follower holds " + std::to_string(sub.offset) +
+                 " bytes of segment " + std::to_string(sub.seq) +
+                 " but the primary truncated it to " + std::to_string(size));
+      return;
+    }
+    if (sub.offset > 0) {
+      // Same-length prefixes can still diverge (header-torn segments get
+      // their sequence number reused by a restarting primary).
+      auto crc_or = Crc32FilePrefix(it->second, sub.offset);
+      if (!crc_or.ok()) {
+        torn();
+        return;
+      }
+      if (*crc_or != sub.prefix_crc) {
+        send_reset("segment " + std::to_string(sub.seq) +
+                   " content diverged in the first " +
+                   std::to_string(sub.offset) + " bytes");
+        return;
+      }
+    }
+    seq = sub.seq;
+    offset = sub.offset;
+  }
+
+  // Snapshot bootstrap: ship the manifest-named snapshot file, then
+  // continue with segments above its coverage.
+  if (bootstrap) {
+    if (state.snapshot_file.empty()) {
+      send_reset("primary manifest covers " +
+                 std::to_string(state.covered_seq) + " but names no snapshot");
+      return;
+    }
+    const std::string snap_path = in_dir(state.snapshot_file);
+    std::error_code ec;
+    const uint64_t snap_size = std::filesystem::file_size(snap_path, ec);
+    if (ec) {
+      torn();  // compaction may have replaced it; follower retries
+      return;
+    }
+    ReplShip begin;
+    begin.kind = ShipKind::kSnapshotBegin;
+    begin.seq = state.covered_seq;
+    begin.primary_size = snap_size;
+    begin.note = state.snapshot_file;
+    if (!ship_and_ack(begin).ok()) {
+      torn();
+      return;
+    }
+    uint64_t snap_off = 0;
+    while (snap_off < snap_size) {
+      if (stop_io_.load(std::memory_order_relaxed)) return;
+      const size_t want = static_cast<size_t>(std::min<uint64_t>(
+          options_.ship_chunk_bytes, snap_size - snap_off));
+      Status fault = FailpointRegistry::Global().Evaluate(
+          failpoints::kShipRead, frame_ordinal);
+      if (!fault.ok()) {
+        counters_.repl_ship_faults.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      ReplShip chunk;
+      chunk.kind = ShipKind::kSnapshotChunk;
+      chunk.seq = state.covered_seq;
+      chunk.offset = snap_off;
+      if (!ReadFileRange(snap_path, snap_off, want, &chunk.bytes).ok() ||
+          chunk.bytes.size() != want) {
+        torn();
+        return;
+      }
+      if (!ship_and_ack(chunk).ok()) {
+        torn();
+        return;
+      }
+      counters_.repl_snapshot_chunks.fetch_add(1, std::memory_order_relaxed);
+      snap_off += want;
+    }
+    ReplShip commit;
+    commit.kind = ShipKind::kSnapshotCommit;
+    commit.seq = state.covered_seq;
+    if (!ship_and_ack(commit).ok()) {
+      torn();
+      return;
+    }
+    seq = state.covered_seq + 1;
+    offset = 0;
+  }
+
+  // Main shipping loop: stream segment bytes in file order, heartbeat
+  // while caught up. State is re-read every iteration so concurrent
+  // writer rotation and compaction are observed promptly.
+  auto last_heartbeat = std::chrono::steady_clock::now() -
+                        std::chrono::milliseconds(options_.ship_heartbeat_ms);
+  while (!stop_io_.load(std::memory_order_relaxed)) {
+    state_or = ReadWalShipState(dir);
+    if (!state_or.ok()) {
+      torn();
+      return;
+    }
+    state = std::move(state_or).value();
+    if (seq <= state.covered_seq) {
+      // Compaction folded the segment we were shipping; its file is gone.
+      send_reset("segment " + std::to_string(seq) +
+                 " was compacted mid-session");
+      return;
+    }
+    const uint64_t max_present =
+        state.segments.empty() ? 0 : state.segments.rbegin()->first;
+
+    auto it = state.segments.find(seq);
+    bool caught_up = false;
+    if (it == state.segments.end()) {
+      // The next segment does not exist yet (idle primary or a crash
+      // between seal and successor creation): we are at the tail.
+      caught_up = true;
+    } else {
+      std::error_code ec;
+      const uint64_t size = std::filesystem::file_size(it->second, ec);
+      if (ec) {
+        torn();  // vanished between listing and stat (compaction race)
+        return;
+      }
+      if (offset > size) {
+        send_reset("segment " + std::to_string(seq) +
+                   " shrank under the session");
+        return;
+      }
+      if (offset < size) {
+        const size_t want = static_cast<size_t>(
+            std::min<uint64_t>(options_.ship_chunk_bytes, size - offset));
+        Status fault = FailpointRegistry::Global().Evaluate(
+            failpoints::kShipRead, frame_ordinal);
+        if (!fault.ok()) {
+          counters_.repl_ship_faults.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        ReplShip data;
+        data.kind = ShipKind::kData;
+        data.seq = seq;
+        data.offset = offset;
+        if (!ReadFileRange(it->second, offset, want, &data.bytes).ok() ||
+            data.bytes.size() != want) {
+          torn();
+          return;
+        }
+        data.sealed = seq < max_present && offset + want == size;
+        data.primary_seq = max_present;
+        if (seq == max_present) {
+          data.primary_size = size;
+        } else {
+          std::error_code tail_ec;
+          data.primary_size = std::filesystem::file_size(
+              state.segments.rbegin()->second, tail_ec);
+          if (tail_ec) data.primary_size = 0;
+        }
+        if (!ship_and_ack(data).ok()) {
+          torn();
+          return;
+        }
+        offset += want;
+        continue;
+      }
+      // offset == size: this segment is fully shipped.
+      if (seq < max_present) {
+        ++seq;
+        offset = 0;
+        continue;
+      }
+      caught_up = true;
+    }
+
+    if (caught_up) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_heartbeat >=
+          std::chrono::milliseconds(options_.ship_heartbeat_ms)) {
+        ReplShip hb;
+        hb.kind = ShipKind::kHeartbeat;
+        hb.seq = seq;
+        hb.offset = offset;
+        // Caught up means "the shipped position IS the primary tail".
+        hb.primary_seq = seq;
+        hb.primary_size = offset;
+        if (!ship_and_ack(hb).ok()) {
+          torn();
+          return;
+        }
+        last_heartbeat = now;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.ship_poll_ms));
     }
   }
 }
@@ -344,10 +790,17 @@ QueryResponse PebbleServer::Execute(const Job& job) {
     case RequestOp::kPing:
       response.answer = "pong";
       break;
-    case RequestOp::kStats:
+    case RequestOp::kStats: {
       response.answer =
           RenderServerStats(stats(), tenant_admission_stats());
+      std::function<std::string()> extension;
+      {
+        std::lock_guard<std::mutex> lock(stats_extension_mu_);
+        extension = stats_extension_;
+      }
+      if (extension) response.answer += extension();
       break;
+    }
     case RequestOp::kSleep: {
       // Synthetic work: sleep in short slices so deadline expiry and the
       // shutdown hard-cancel are observed promptly.
@@ -395,19 +848,61 @@ QueryResponse PebbleServer::Execute(const Job& job) {
 
 QueryResponse PebbleServer::ExecuteQuery(const Job& job,
                                          const BacktraceOptions& options) {
-  auto it = catalog_.find(job.request.target);
-  if (it == catalog_.end()) {
-    return ErrorResponse(StatusCode::kKeyError,
-                         "no dataset '" + job.request.target +
-                             "' is served (register it before Start)");
+  // Pin the entry for the whole query: a concurrent swap/unregister
+  // replaces the catalog root, but this shared_ptr keeps the store,
+  // output and index alive and internally consistent until we return.
+  std::shared_ptr<const ServedEntry> entry;
+  {
+    auto catalog = SnapshotCatalog();
+    auto it = catalog->find(job.request.target);
+    if (it == catalog->end()) {
+      return ErrorResponse(StatusCode::kKeyError,
+                           "no dataset '" + job.request.target +
+                               "' is served");
+    }
+    entry = it->second;
   }
+
+  // Bounded-staleness gate for replica-published entries: never answer
+  // from a store that is not synced or has aged past its bound — shed
+  // structurally instead so the client retries (here or on the primary).
+  uint32_t staleness_ms = 0;
+  if (entry->freshness != nullptr) {
+    const ReplicaFreshness& fresh = *entry->freshness;
+    const uint32_t bound =
+        fresh.max_staleness_ms.load(std::memory_order_relaxed);
+    staleness_ms = fresh.StalenessMs();
+    if (!fresh.synced.load(std::memory_order_acquire)) {
+      counters_.stale_reads_shed.fetch_add(1, std::memory_order_relaxed);
+      QueryResponse resp = ErrorResponse(
+          StatusCode::kUnavailable,
+          "replica for '" + job.request.target +
+              "' has not caught up with its primary yet");
+      resp.retry_after_ms = 100;
+      resp.from_replica = true;
+      return resp;
+    }
+    if (staleness_ms > bound) {
+      counters_.stale_reads_shed.fetch_add(1, std::memory_order_relaxed);
+      QueryResponse resp = ErrorResponse(
+          StatusCode::kUnavailable,
+          "replica for '" + job.request.target + "' is " +
+              std::to_string(staleness_ms) + "ms stale (bound " +
+              std::to_string(bound) + "ms); primary likely unreachable");
+      resp.retry_after_ms = std::max(100u, bound / 2);
+      resp.from_replica = true;
+      resp.staleness_ms = staleness_ms;
+      return resp;
+    }
+  }
+
   Result<TreePattern> pattern = TreePattern::Parse(job.request.pattern);
   if (!pattern.ok()) {
     return ErrorResponse(pattern.status().code(),
                          pattern.status().message());
   }
 
-  const ServedDataset& served = it->second;
+  const ServedDataset& served = entry->dataset;
   Result<ProvenanceQueryResult> outcome = QueryStructuralProvenanceOffline(
       served.output, *served.store, *pattern, options,
       options_.match_threads, served.index.get());
@@ -446,6 +941,15 @@ QueryResponse PebbleServer::ExecuteQuery(const Job& job,
               std::to_string(options_.max_answer_bytes) + " bytes]\n";
   }
   response.answer = std::move(answer);
+  response.store_generation = entry->generation;
+  if (entry->freshness != nullptr) {
+    response.from_replica = true;
+    response.staleness_ms = staleness_ms;
+    response.applied_seq =
+        entry->freshness->applied_seq.load(std::memory_order_acquire);
+    response.applied_offset =
+        entry->freshness->applied_offset.load(std::memory_order_acquire);
+  }
   return response;
 }
 
@@ -482,6 +986,23 @@ ServerStats PebbleServer::stats() const {
       counters_.responses_write_failed.load(std::memory_order_relaxed);
   s.queue_max_depth = queue_.max_depth();
   s.queue_capacity = queue_.capacity();
+  s.repl_subscriptions =
+      counters_.repl_subscriptions.load(std::memory_order_relaxed);
+  s.repl_frames_shipped =
+      counters_.repl_frames_shipped.load(std::memory_order_relaxed);
+  s.repl_bytes_shipped =
+      counters_.repl_bytes_shipped.load(std::memory_order_relaxed);
+  s.repl_snapshot_chunks =
+      counters_.repl_snapshot_chunks.load(std::memory_order_relaxed);
+  s.repl_resets = counters_.repl_resets.load(std::memory_order_relaxed);
+  s.repl_denied = counters_.repl_denied.load(std::memory_order_relaxed);
+  s.repl_ship_faults =
+      counters_.repl_ship_faults.load(std::memory_order_relaxed);
+  s.repl_sessions_torn =
+      counters_.repl_sessions_torn.load(std::memory_order_relaxed);
+  s.catalog_swaps = counters_.catalog_swaps.load(std::memory_order_relaxed);
+  s.stale_reads_shed =
+      counters_.stale_reads_shed.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -508,7 +1029,17 @@ std::string RenderServerStats(
       << " deadline_before_start=" << stats.deadline_before_start << "\n"
       << "  responses_write_failed=" << stats.responses_write_failed
       << " queue_max_depth=" << stats.queue_max_depth << "/"
-      << stats.queue_capacity << "\n";
+      << stats.queue_capacity << "\n"
+      << "  replication: subscriptions=" << stats.repl_subscriptions
+      << " frames_shipped=" << stats.repl_frames_shipped
+      << " bytes_shipped=" << stats.repl_bytes_shipped
+      << " snapshot_chunks=" << stats.repl_snapshot_chunks << "\n"
+      << "    resets=" << stats.repl_resets
+      << " denied=" << stats.repl_denied
+      << " ship_faults=" << stats.repl_ship_faults
+      << " sessions_torn=" << stats.repl_sessions_torn << "\n"
+      << "  catalog_swaps=" << stats.catalog_swaps
+      << " stale_reads_shed=" << stats.stale_reads_shed << "\n";
   out << "tenants:\n";
   for (const auto& [tenant, t] : tenants) {
     out << "  '" << (tenant.empty() ? "<default>" : tenant)

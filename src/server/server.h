@@ -36,6 +36,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -62,6 +63,32 @@ struct ServedDataset {
   Dataset output;
   std::shared_ptr<const ProvenanceStore> store;
   std::shared_ptr<const BacktraceIndex> index;  // may be null
+};
+
+/// Shared freshness state of a replication follower's served entry,
+/// written by the replica's apply thread and read lock-free by the query
+/// path. Queries against an entry carrying one of these are gated: not yet
+/// synced, or staler than `max_staleness_ms` => shed with kUnavailable +
+/// retry-after; otherwise the answer is stamped with the staleness bound
+/// and the applied WAL position. A primary-registered entry has no
+/// freshness and always answers from_replica == false.
+struct ReplicaFreshness {
+  /// False until the served store first reflected the primary's tail.
+  std::atomic<bool> synced{false};
+  /// Steady-clock ms of the last instant the *published* store was known
+  /// to equal the primary's tail (heartbeat or caught-up publish).
+  std::atomic<int64_t> fresh_at_ms{0};
+  /// WAL position the published store reflects.
+  std::atomic<uint64_t> applied_seq{0};
+  std::atomic<uint64_t> applied_offset{0};
+  /// Primary tail position last observed (lag = primary - applied).
+  std::atomic<uint64_t> primary_seq{0};
+  std::atomic<uint64_t> primary_size{0};
+  /// Serving bound: answers whose staleness would exceed this are shed.
+  std::atomic<uint32_t> max_staleness_ms{5000};
+
+  /// Staleness bound right now (ms since fresh_at); ~0 when never fresh.
+  uint32_t StalenessMs() const;
 };
 
 struct ServerOptions {
@@ -96,6 +123,20 @@ struct ServerOptions {
   int match_threads = 1;
   /// Cap on a rendered answer; longer answers are truncated with a note.
   size_t max_answer_bytes = 4u << 20;
+  /// Replication source: directory of the provenance WAL shipped to
+  /// follower subscriptions (empty = subscriptions are denied). Each
+  /// active subscription occupies one handler thread for its lifetime, so
+  /// `handlers` bounds followers + queries together.
+  std::string ship_wal_dir;
+  /// WAL stream identity a subscribe must name (defense against wiring a
+  /// follower to the wrong primary).
+  std::string ship_stream = "default";
+  /// Max payload bytes per ship frame.
+  size_t ship_chunk_bytes = 64u << 10;
+  /// Poll interval for new primary bytes while a follower is caught up.
+  int ship_poll_ms = 20;
+  /// Heartbeat cadence while caught up (refreshes follower freshness).
+  int ship_heartbeat_ms = 200;
 };
 
 /// Monotonic counters of one server's lifetime. Conservation invariants
@@ -124,6 +165,21 @@ struct ServerStats {
   uint64_t responses_write_failed = 0;
   size_t queue_max_depth = 0;
   size_t queue_capacity = 0;
+  /// Replication-source counters. Subscriptions are NOT requests: they do
+  /// not enter requests_received or the conservation equations above.
+  uint64_t repl_subscriptions = 0;
+  uint64_t repl_frames_shipped = 0;
+  uint64_t repl_bytes_shipped = 0;
+  uint64_t repl_snapshot_chunks = 0;
+  uint64_t repl_resets = 0;
+  uint64_t repl_denied = 0;
+  uint64_t repl_ship_faults = 0;    // ship.read / ship.write fires
+  uint64_t repl_sessions_torn = 0;  // net errors / bad acks mid-session
+  /// Catalog mutation counters (runtime register/unregister/swap).
+  uint64_t catalog_swaps = 0;
+  /// Queries shed because a replica entry was unsynced or out of its
+  /// staleness bound (subset of completed_error).
+  uint64_t stale_reads_shed = 0;
 };
 
 class PebbleServer {
@@ -134,9 +190,33 @@ class PebbleServer {
   PebbleServer(const PebbleServer&) = delete;
   PebbleServer& operator=(const PebbleServer&) = delete;
 
-  /// Registers a dataset before Start(); names are unique. The catalog is
-  /// frozen once the server starts (lock-free concurrent reads).
+  /// Registers a dataset under a new name, before or after Start(). The
+  /// catalog is a read-copy-update snapshot: queries pin the entry they
+  /// found for their whole execution, so registration (and swap /
+  /// unregister) never tears an in-flight answer. Fails if the name is
+  /// taken (use SwapDataset to replace).
   Status RegisterDataset(const std::string& name, ServedDataset dataset);
+
+  /// Replaces (or inserts) the entry under `name` with a fresh dataset —
+  /// the hot-swap path a replication follower publishes through. The new
+  /// entry gets the next catalog generation (monotonic across all
+  /// mutations; answers carry it as store_generation). In-flight queries
+  /// keep the entry they pinned; new queries see the new one. An entry
+  /// carrying `freshness` is staleness-gated (see ReplicaFreshness).
+  Status SwapDataset(const std::string& name, ServedDataset dataset,
+                     std::shared_ptr<const ReplicaFreshness> freshness =
+                         nullptr);
+
+  /// Removes the entry; later queries for it get kKeyError. In-flight
+  /// queries against the removed entry finish normally.
+  Status UnregisterDataset(const std::string& name);
+
+  /// Current generation of the entry under `name` (0 = not registered).
+  uint64_t DatasetGeneration(const std::string& name) const;
+
+  /// Extra text appended to the kStats answer (e.g. replication state).
+  /// The callback must be thread-safe; it runs on worker threads.
+  void SetStatsExtension(std::function<std::string()> extension);
 
   /// Overrides one tenant's admission quota (callable any time).
   void SetTenantQuota(const std::string& tenant, TenantQuota quota);
@@ -174,11 +254,26 @@ class PebbleServer {
     std::promise<QueryResponse> promise;
   };
 
+  /// One catalog entry: the served dataset plus its generation stamp and
+  /// (for replica-published entries) the freshness gate. Entries are
+  /// immutable once published; mutation = building a new Catalog map that
+  /// shares unchanged entries and swapping the root pointer.
+  struct ServedEntry {
+    ServedDataset dataset;
+    uint64_t generation = 0;
+    std::shared_ptr<const ReplicaFreshness> freshness;  // null = primary
+  };
+  using Catalog = std::map<std::string, std::shared_ptr<const ServedEntry>>;
+
   void AcceptLoop();
   void HandlerLoop();
   void WorkerLoop();
   /// Serves one connection until close/idle/error/drain.
   void ServeConnection(net::UniqueFd fd, uint64_t conn_id);
+  /// Takes over a connection whose first frame was a replication
+  /// subscribe; runs the ship/ack lockstep until error or shutdown.
+  void ServeReplication(int fd, const std::string& subscribe_payload,
+                        uint64_t conn_id);
   /// Admission + enqueue; returns the response to send (either the
   /// worker's, or an immediate shed/bad-request response).
   QueryResponse Dispatch(QueryRequest request);
@@ -186,8 +281,18 @@ class PebbleServer {
   QueryResponse Execute(const Job& job);
   QueryResponse ExecuteQuery(const Job& job, const BacktraceOptions& options);
 
+  /// The current catalog root (callers iterate/lookup on the snapshot).
+  std::shared_ptr<const Catalog> SnapshotCatalog() const;
+  /// Installs `mutate`'s result as the new catalog root.
+  Status MutateCatalog(
+      const std::function<Status(Catalog*)>& mutate);
+
   const ServerOptions options_;
-  std::map<std::string, ServedDataset> catalog_;
+  mutable std::mutex catalog_mu_;
+  std::shared_ptr<const Catalog> catalog_;
+  std::atomic<uint64_t> catalog_generation_{0};
+  std::mutex stats_extension_mu_;
+  std::function<std::string()> stats_extension_;
   bool started_ = false;
   uint16_t port_ = 0;
 
@@ -227,6 +332,16 @@ class PebbleServer {
     std::atomic<uint64_t> completed_error{0};
     std::atomic<uint64_t> deadline_before_start{0};
     std::atomic<uint64_t> responses_write_failed{0};
+    std::atomic<uint64_t> repl_subscriptions{0};
+    std::atomic<uint64_t> repl_frames_shipped{0};
+    std::atomic<uint64_t> repl_bytes_shipped{0};
+    std::atomic<uint64_t> repl_snapshot_chunks{0};
+    std::atomic<uint64_t> repl_resets{0};
+    std::atomic<uint64_t> repl_denied{0};
+    std::atomic<uint64_t> repl_ship_faults{0};
+    std::atomic<uint64_t> repl_sessions_torn{0};
+    std::atomic<uint64_t> catalog_swaps{0};
+    std::atomic<uint64_t> stale_reads_shed{0};
   } counters_;
 };
 

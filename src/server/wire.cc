@@ -137,6 +137,49 @@ std::string EncodeResponse(const QueryResponse& response) {
   PutU64(&out, response.match_us);
   PutU64(&out, response.backtrace_us);
   PutU64(&out, response.server_us);
+  PutU64(&out, response.store_generation);
+  PutU8(&out, response.from_replica ? 1 : 0);
+  PutU32(&out, response.staleness_ms);
+  PutU64(&out, response.applied_seq);
+  PutU64(&out, response.applied_offset);
+  return out;
+}
+
+std::string EncodeReplSubscribe(const ReplSubscribe& subscribe) {
+  std::string out;
+  PutU8(&out, kMsgReplSubscribe);
+  PutU32(&out, subscribe.version);
+  PutStr(&out, subscribe.stream);
+  PutU64(&out, subscribe.covered_seq);
+  PutU64(&out, subscribe.seq);
+  PutU64(&out, subscribe.offset);
+  PutU32(&out, subscribe.prefix_crc);
+  return out;
+}
+
+std::string EncodeReplShip(const ReplShip& ship) {
+  std::string out;
+  PutU8(&out, kMsgReplShip);
+  PutU32(&out, ship.version);
+  PutU8(&out, static_cast<uint8_t>(ship.kind));
+  PutU64(&out, ship.seq);
+  PutU64(&out, ship.offset);
+  PutU8(&out, ship.sealed ? 1 : 0);
+  PutStr(&out, ship.bytes);
+  PutU64(&out, ship.primary_seq);
+  PutU64(&out, ship.primary_size);
+  PutStr(&out, ship.note);
+  return out;
+}
+
+std::string EncodeReplAck(const ReplAck& ack) {
+  std::string out;
+  PutU8(&out, kMsgReplAck);
+  PutU32(&out, ack.version);
+  PutU64(&out, ack.seq);
+  PutU64(&out, ack.offset);
+  PutU8(&out, ack.ok ? 1 : 0);
+  PutStr(&out, ack.note);
   return out;
 }
 
@@ -203,6 +246,105 @@ Status DecodeResponse(std::string_view payload, QueryResponse* response) {
   PEBBLE_RETURN_NOT_OK(r.GetU64(&response->match_us));
   PEBBLE_RETURN_NOT_OK(r.GetU64(&response->backtrace_us));
   PEBBLE_RETURN_NOT_OK(r.GetU64(&response->server_us));
+  PEBBLE_RETURN_NOT_OK(r.GetU64(&response->store_generation));
+  uint8_t from_replica = 0;
+  PEBBLE_RETURN_NOT_OK(r.GetU8(&from_replica));
+  if (from_replica > 1) {
+    return Status::InvalidArgument("from_replica flag must be 0/1, got " +
+                                   std::to_string(from_replica));
+  }
+  response->from_replica = from_replica != 0;
+  PEBBLE_RETURN_NOT_OK(r.GetU32(&response->staleness_ms));
+  PEBBLE_RETURN_NOT_OK(r.GetU64(&response->applied_seq));
+  PEBBLE_RETURN_NOT_OK(r.GetU64(&response->applied_offset));
+  return r.ExpectEnd();
+}
+
+namespace {
+
+Status CheckVersion(uint32_t version) {
+  if (version == 0 || version > kWireVersion) {
+    return Status::InvalidArgument(
+        "unsupported protocol version " + std::to_string(version) +
+        " (this build speaks up to " + std::to_string(kWireVersion) + ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status DecodeReplSubscribe(std::string_view payload,
+                           ReplSubscribe* subscribe) {
+  Reader r(payload);
+  uint8_t kind = 0;
+  PEBBLE_RETURN_NOT_OK(r.GetU8(&kind));
+  if (kind != kMsgReplSubscribe) {
+    return Status::InvalidArgument(
+        "expected subscribe message (kind 3), got " + std::to_string(kind));
+  }
+  PEBBLE_RETURN_NOT_OK(r.GetU32(&subscribe->version));
+  PEBBLE_RETURN_NOT_OK(CheckVersion(subscribe->version));
+  PEBBLE_RETURN_NOT_OK(r.GetStr(&subscribe->stream));
+  PEBBLE_RETURN_NOT_OK(r.GetU64(&subscribe->covered_seq));
+  PEBBLE_RETURN_NOT_OK(r.GetU64(&subscribe->seq));
+  PEBBLE_RETURN_NOT_OK(r.GetU64(&subscribe->offset));
+  PEBBLE_RETURN_NOT_OK(r.GetU32(&subscribe->prefix_crc));
+  return r.ExpectEnd();
+}
+
+Status DecodeReplShip(std::string_view payload, ReplShip* ship) {
+  Reader r(payload);
+  uint8_t kind = 0;
+  PEBBLE_RETURN_NOT_OK(r.GetU8(&kind));
+  if (kind != kMsgReplShip) {
+    return Status::InvalidArgument("expected ship message (kind 4), got " +
+                                   std::to_string(kind));
+  }
+  PEBBLE_RETURN_NOT_OK(r.GetU32(&ship->version));
+  PEBBLE_RETURN_NOT_OK(CheckVersion(ship->version));
+  uint8_t ship_kind = 0;
+  PEBBLE_RETURN_NOT_OK(r.GetU8(&ship_kind));
+  if (ship_kind > static_cast<uint8_t>(ShipKind::kDenied)) {
+    return Status::InvalidArgument("unknown ship kind " +
+                                   std::to_string(ship_kind));
+  }
+  ship->kind = static_cast<ShipKind>(ship_kind);
+  PEBBLE_RETURN_NOT_OK(r.GetU64(&ship->seq));
+  PEBBLE_RETURN_NOT_OK(r.GetU64(&ship->offset));
+  uint8_t sealed = 0;
+  PEBBLE_RETURN_NOT_OK(r.GetU8(&sealed));
+  if (sealed > 1) {
+    return Status::InvalidArgument("sealed flag must be 0/1, got " +
+                                   std::to_string(sealed));
+  }
+  ship->sealed = sealed != 0;
+  PEBBLE_RETURN_NOT_OK(r.GetStr(&ship->bytes));
+  PEBBLE_RETURN_NOT_OK(r.GetU64(&ship->primary_seq));
+  PEBBLE_RETURN_NOT_OK(r.GetU64(&ship->primary_size));
+  PEBBLE_RETURN_NOT_OK(r.GetStr(&ship->note));
+  return r.ExpectEnd();
+}
+
+Status DecodeReplAck(std::string_view payload, ReplAck* ack) {
+  Reader r(payload);
+  uint8_t kind = 0;
+  PEBBLE_RETURN_NOT_OK(r.GetU8(&kind));
+  if (kind != kMsgReplAck) {
+    return Status::InvalidArgument("expected ack message (kind 5), got " +
+                                   std::to_string(kind));
+  }
+  PEBBLE_RETURN_NOT_OK(r.GetU32(&ack->version));
+  PEBBLE_RETURN_NOT_OK(CheckVersion(ack->version));
+  PEBBLE_RETURN_NOT_OK(r.GetU64(&ack->seq));
+  PEBBLE_RETURN_NOT_OK(r.GetU64(&ack->offset));
+  uint8_t ok = 0;
+  PEBBLE_RETURN_NOT_OK(r.GetU8(&ok));
+  if (ok > 1) {
+    return Status::InvalidArgument("ok flag must be 0/1, got " +
+                                   std::to_string(ok));
+  }
+  ack->ok = ok != 0;
+  PEBBLE_RETURN_NOT_OK(r.GetStr(&ack->note));
   return r.ExpectEnd();
 }
 

@@ -20,12 +20,17 @@ namespace pebble::server {
 
 /// Protocol version spoken by this build. Servers accept any version up to
 /// their own and answer in kind; a newer client version is rejected with a
-/// structured error (not a dropped connection).
-inline constexpr uint32_t kWireVersion = 1;
+/// structured error (not a dropped connection). Version 2 added the
+/// replication message kinds (subscribe/ship/ack, DESIGN.md §14) and the
+/// staleness/generation tail of the response.
+inline constexpr uint32_t kWireVersion = 2;
 
 /// Leading message-kind byte of every payload.
 inline constexpr uint8_t kMsgRequest = 1;
 inline constexpr uint8_t kMsgResponse = 2;
+inline constexpr uint8_t kMsgReplSubscribe = 3;
+inline constexpr uint8_t kMsgReplShip = 4;
+inline constexpr uint8_t kMsgReplAck = 5;
 
 /// What the client asks the server to do.
 enum class RequestOp : uint8_t {
@@ -89,6 +94,19 @@ struct QueryResponse {
   uint64_t match_us = 0;
   uint64_t backtrace_us = 0;
   uint64_t server_us = 0;
+  /// Catalog generation of the served entry that answered (0 = the answer
+  /// did not come from a catalog entry, e.g. ping/stats). Monotonic across
+  /// register/swap, so a client can order answers by store version.
+  uint64_t store_generation = 0;
+  /// True when a replication follower answered: `staleness_ms` is then the
+  /// upper bound on how far behind the primary the served store may be,
+  /// and applied_seq/applied_offset name the exact WAL position it
+  /// reflects. A primary answers with from_replica == false and all three
+  /// fields zero.
+  bool from_replica = false;
+  uint32_t staleness_ms = 0;
+  uint64_t applied_seq = 0;
+  uint64_t applied_offset = 0;
 
   /// The response's outcome as a Status (OK for kOk).
   Status ToStatus() const {
@@ -97,14 +115,98 @@ struct QueryResponse {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Replication messages (DESIGN.md §14). A follower opens a plain framed
+// connection and sends one ReplSubscribe naming its local WAL position;
+// the primary then drives a strict lockstep of ReplShip frames, each
+// acknowledged by one ReplAck before the next is sent (the lockstep IS the
+// slow-follower backpressure: a follower that cannot keep up simply delays
+// the primary's per-session shipping thread, never its query path).
+
+/// Follower -> primary: the exact local WAL position to resume from.
+/// (covered_seq, seq, offset) describe the follower's local copy after its
+/// own recovery: manifest-covered prefix, tail segment held, and how many
+/// bytes of it (post torn-tail truncation, so `offset` is a record
+/// boundary). `prefix_crc` is the CRC32 of those `offset` bytes; the
+/// primary compares it against its own file to detect divergence (e.g. a
+/// shipped-then-truncated torn tail, or a restart-reused sequence number)
+/// without shipping anything.
+struct ReplSubscribe {
+  uint32_t version = kWireVersion;
+  /// WAL stream identity; must match the primary's served stream.
+  std::string stream;
+  uint64_t covered_seq = 0;
+  uint64_t seq = 0;
+  uint64_t offset = 0;
+  uint32_t prefix_crc = 0;
+};
+
+/// What one primary -> follower ship frame carries.
+enum class ShipKind : uint8_t {
+  /// `bytes` of segment `seq` at byte `offset`; `sealed` marks the chunk
+  /// that reaches the final size of a sealed segment.
+  kData = 0,
+  /// Caught up: no new bytes, refreshes the follower's freshness clock.
+  kHeartbeat = 1,
+  /// The follower's position is unusable (compacted away, diverged, or
+  /// past the primary's file): discard the local WAL copy entirely and
+  /// resubscribe from scratch. `note` says why.
+  kReset = 2,
+  /// Snapshot bootstrap for a fresh follower whose needed segments were
+  /// folded: `seq` is the covered sequence, `primary_size` the snapshot
+  /// byte size; kSnapshotChunk frames follow, then kSnapshotCommit.
+  kSnapshotBegin = 3,
+  /// `bytes` of the snapshot file at `offset`.
+  kSnapshotChunk = 4,
+  /// Snapshot fully shipped: the follower atomically installs it (file +
+  /// manifest) and recovers from it; segment data for seq+1.. follows.
+  kSnapshotCommit = 5,
+  /// This server ships no WAL (or rejected the subscribe); terminal for
+  /// the session. `note` says why.
+  kDenied = 6,
+};
+
+struct ReplShip {
+  uint32_t version = kWireVersion;
+  ShipKind kind = ShipKind::kHeartbeat;
+  uint64_t seq = 0;
+  uint64_t offset = 0;
+  bool sealed = false;
+  std::string bytes;
+  /// Primary tail position (newest segment and its byte size) at send
+  /// time, so the follower can compute and expose replication lag.
+  uint64_t primary_seq = 0;
+  uint64_t primary_size = 0;
+  std::string note;
+};
+
+/// Follower -> primary: acknowledges one ship frame. (seq, offset) is the
+/// follower's position after applying; ok == false aborts the session with
+/// `note` as the reason (the follower then repairs locally and
+/// resubscribes).
+struct ReplAck {
+  uint32_t version = kWireVersion;
+  uint64_t seq = 0;
+  uint64_t offset = 0;
+  bool ok = true;
+  std::string note;
+};
+
 std::string EncodeRequest(const QueryRequest& request);
 std::string EncodeResponse(const QueryResponse& response);
+std::string EncodeReplSubscribe(const ReplSubscribe& subscribe);
+std::string EncodeReplShip(const ReplShip& ship);
+std::string EncodeReplAck(const ReplAck& ack);
 
 /// Decode a payload previously framed by the peer. Rejects wrong leading
 /// kind bytes, unknown enum values, lengths past the payload end, and
 /// trailing garbage — all as kInvalidArgument with the byte offset.
 Status DecodeRequest(std::string_view payload, QueryRequest* request);
 Status DecodeResponse(std::string_view payload, QueryResponse* response);
+Status DecodeReplSubscribe(std::string_view payload,
+                           ReplSubscribe* subscribe);
+Status DecodeReplShip(std::string_view payload, ReplShip* ship);
+Status DecodeReplAck(std::string_view payload, ReplAck* ack);
 
 }  // namespace pebble::server
 

@@ -42,6 +42,7 @@ Result<MicroBatchRun> RunMicroBatchIngest(const MicroBatchOptions& options) {
 
     run.next_item_id = result->next_item_id;
     run.batch_output_rows[batch] = result->output.NumRows();
+    if (options.collect_output) run.last_output = result->output;
     PEBBLE_RETURN_NOT_OK(
         run.live_store->AppendFrom(*result->provenance)
             .WithContext("merging micro-batch " + std::to_string(batch)));

@@ -42,6 +42,12 @@ struct MicroBatchOptions {
   /// Validate() the merged live store after every batch (cheap at test
   /// sizes; the final store is always validated regardless).
   bool validate_each_batch = true;
+  /// Retain the last batch's output dataset in MicroBatchRun::last_output.
+  /// The WAL carries provenance only, so a serving deployment (primary or
+  /// replication follower) obtains outputs out-of-band; with a fixed seed
+  /// the generated batches are deterministic, which is how a follower gets
+  /// a byte-identical output without any extra shipping.
+  bool collect_output = false;
 };
 
 /// Outcome of one RunMicroBatchIngest call.
@@ -56,6 +62,8 @@ struct MicroBatchRun {
   size_t batches_run = 0;
   /// Cumulative records in the WAL after this call.
   uint64_t records_appended = 0;
+  /// Last batch's output (only when options.collect_output).
+  Dataset last_output;
 };
 
 /// Runs `options.batches` micro-batches against the WAL at

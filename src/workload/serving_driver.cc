@@ -34,6 +34,50 @@ Result<ServedScenario> MakeServedStressScenario(size_t num_tweets,
   return served;
 }
 
+Result<ServedScenario> MakeWalBackedStressScenario(size_t num_tweets,
+                                                   const std::string& wal_dir,
+                                                   uint64_t seed,
+                                                   WalRecoveryInfo* recovery) {
+  PEBBLE_ASSIGN_OR_RETURN(RecoveredStore probe, RecoverStore(wal_dir));
+  const bool empty_wal =
+      probe.info.records_replayed == 0 && !probe.info.snapshot_loaded;
+
+  PEBBLE_ASSIGN_OR_RETURN(Scenario scenario,
+                          MakeStressScenario(num_tweets, seed));
+  ExecOptions exec_options(CaptureMode::kStructural,
+                          /*partitions=*/4, /*threads=*/2);
+  std::shared_ptr<WalWriter> writer;
+  if (empty_wal) {
+    WalOptions wal_options;
+    wal_options.sync = false;
+    PEBBLE_ASSIGN_OR_RETURN(std::unique_ptr<WalWriter> opened,
+                            WalWriter::Open(wal_dir, wal_options));
+    writer = std::move(opened);
+    exec_options.commit_sink = writer;
+  }
+  Executor executor(exec_options);
+  PEBBLE_ASSIGN_OR_RETURN(ExecutionResult run, executor.Run(scenario.pipeline));
+  if (run.provenance == nullptr) {
+    return Status::Internal("stress scenario ran without capture");
+  }
+  if (writer != nullptr) {
+    PEBBLE_RETURN_NOT_OK(writer->Close());
+  }
+
+  // Serve what the WAL recovers to — the exact bytes a follower of this
+  // directory will converge to — not the in-memory run store.
+  PEBBLE_ASSIGN_OR_RETURN(RecoveredStore recovered, RecoverStore(wal_dir));
+  if (recovery != nullptr) *recovery = recovered.info;
+  ServedScenario served;
+  served.name = scenario.name;
+  served.pattern_text = scenario.query.ToString();
+  served.dataset.output = std::move(run.output);
+  std::shared_ptr<const ProvenanceStore> store = std::move(recovered.store);
+  served.dataset.index = std::make_shared<BacktraceIndex>(*store);
+  served.dataset.store = std::move(store);
+  return served;
+}
+
 namespace {
 
 /// Outcome tallies and latencies of one driver thread (merged at the end;

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/provenance_wal.h"
 #include "server/server.h"
 
 namespace pebble {
@@ -42,6 +43,18 @@ struct ServedScenario {
 /// PebbleServer::RegisterDataset.
 Result<ServedScenario> MakeServedStressScenario(size_t num_tweets,
                                                 uint64_t seed = 42);
+
+/// As MakeServedStressScenario, but durably backed by the provenance WAL
+/// at `wal_dir`: an empty (or absent) WAL is seeded by capturing the
+/// scenario run through a WalWriter commit sink; a non-empty WAL (a
+/// restart, or a re-serve of shipped history) is recovered as-is. Either
+/// way the *served* store is the WAL-recovered one, so a replication
+/// follower of `wal_dir` ends up serving byte-identical state — this is
+/// what `pebbled --wal DIR` runs (DESIGN.md §14). `recovery` (optional)
+/// receives what recovery found, for startup logs.
+Result<ServedScenario> MakeWalBackedStressScenario(
+    size_t num_tweets, const std::string& wal_dir, uint64_t seed = 42,
+    WalRecoveryInfo* recovery = nullptr);
 
 enum class LoadModel { kClosedLoop, kOpenLoop };
 

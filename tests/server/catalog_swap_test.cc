@@ -1,0 +1,306 @@
+// Catalog hot-swap consistency: query threads hammer a served name while a
+// mutator cycles RegisterDataset / SwapDataset / UnregisterDataset against
+// it. Designed to run under TSan (scripts/check.sh replica). The invariant
+// is read-copy-update semantics (DESIGN.md §14):
+//
+//   - every OK answer is internally consistent: its (matched, answer) pair
+//     equals the precomputed ground truth of exactly ONE dataset variant,
+//     and its store_generation names the generation that variant was
+//     installed under — never a blend of two variants;
+//   - while the name is unregistered, queries get a structured kKeyError;
+//   - no crash, torn read, or use-after-free across thousands of swaps.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/query.h"
+#include "core/query_cache.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "test_util.h"
+#include "workload/serving_driver.h"
+
+namespace pebble::server {
+namespace {
+
+int64_t SoakMs() {
+  const char* env = std::getenv("PEBBLE_SOAK_MS");
+  if (env != nullptr && env[0] != '\0') {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return v;
+  }
+  return 1500;
+}
+
+struct Variant {
+  ServedDataset dataset;
+  std::string pattern_text;
+  uint64_t expected_matched = 0;
+  std::string expected_answer;
+};
+
+/// Builds one stress-scenario variant and precomputes its ground-truth
+/// answer via the offline path, so a served answer can be checked for
+/// exact correctness against the variant its generation names.
+///
+/// The query asks for user u0's group and its tweet texts — u0 is the head
+/// of the generator's Zipf author distribution, so the group exists in
+/// every variant while its provenance (which tweets landed in it) differs
+/// per seed. The scenario's own pattern would be too selective here: it
+/// requires a tweet whose text is EXACTLY "Hello World", which the
+/// generator's mention/hashtag suffixes make rare, and three variants all
+/// answering "0 matches" would be indistinguishable.
+Variant MakeVariant(uint64_t seed) {
+  Variant v;
+  auto scenario = MakeServedStressScenario(/*num_tweets=*/60, seed);
+  EXPECT_TRUE(scenario.ok()) << scenario.status().ToString();
+  v.dataset = scenario->dataset;
+  v.pattern_text = "//id_str='u0', tweets(text)";
+  QueryAnswerCache::ScopedDisable no_cache;
+  auto pattern = TreePattern::Parse(v.pattern_text);
+  EXPECT_TRUE(pattern.ok());
+  auto direct = QueryStructuralProvenanceOffline(
+      v.dataset.output, *v.dataset.store, *pattern, BacktraceOptions{},
+      /*num_threads=*/1, v.dataset.index.get());
+  EXPECT_TRUE(direct.ok()) << direct.status().ToString();
+  v.expected_matched = direct->matched.size();
+  for (const SourceProvenance& source : direct->sources) {
+    v.expected_answer += SourceProvenanceToString(source);
+  }
+  return v;
+}
+
+TEST(CatalogSwapTest, QueriesStayConsistentWhileCatalogChurns) {
+  // Three variants with distinct data (different seeds) under one name.
+  std::vector<Variant> variants;
+  variants.push_back(MakeVariant(11));
+  variants.push_back(MakeVariant(22));
+  variants.push_back(MakeVariant(33));
+  // All variants share the pattern (same pipeline shape); distinct data
+  // makes their answers distinguishable. Guard that they actually ARE
+  // distinguishable — three identical ground truths would make the
+  // cross-variant consistency check below vacuous.
+  const std::string pattern = variants[0].pattern_text;
+  ASSERT_FALSE(variants[0].expected_matched == variants[1].expected_matched &&
+               variants[0].expected_answer == variants[1].expected_answer &&
+               variants[1].expected_matched == variants[2].expected_matched &&
+               variants[1].expected_answer == variants[2].expected_answer)
+      << "variants are indistinguishable (matched="
+      << variants[0].expected_matched << ", answer=["
+      << variants[0].expected_answer << "]); use different seeds or sizes";
+
+  ServerOptions options;
+  options.workers = 2;
+  options.handlers = 6;
+  options.queue_capacity = 32;
+  PebbleServer server(options);
+  ASSERT_OK(server.RegisterDataset("hot", variants[0].dataset));
+  ASSERT_OK(server.Start());
+
+  // generation -> variant index, recorded by the mutator as it swaps.
+  // A query's store_generation must map to the variant whose ground truth
+  // its answer equals.
+  std::mutex gen_mu;
+  std::map<uint64_t, size_t> generation_to_variant;
+  {
+    std::lock_guard<std::mutex> lock(gen_mu);
+    generation_to_variant[server.DatasetGeneration("hot")] = 0;
+  }
+
+  // Static-path probe before any churn: the served answer must match
+  // variant 0's offline ground truth, or the soak below measures nothing.
+  {
+    ClientOptions copts;
+    copts.port = server.port();
+    PebbleClient probe(copts);
+    QueryRequest request;
+    request.op = RequestOp::kQuery;
+    request.target = "hot";
+    request.pattern = pattern;
+    QueryResponse response;
+    ASSERT_OK(probe.Call(request, &response));
+    ASSERT_EQ(response.code, StatusCode::kOk) << response.message;
+    ASSERT_EQ(response.matched, variants[0].expected_matched);
+    ASSERT_EQ(response.answer, variants[0].expected_answer);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> swaps{0};
+  std::atomic<uint64_t> checked_ok{0};
+  std::atomic<uint64_t> key_errors{0};
+  std::atomic<uint64_t> mismatches{0};
+  std::atomic<uint64_t> other_codes{0};
+  std::atomic<uint64_t> transport_failures{0};
+  std::mutex sample_mu;
+  std::string sample_other;  // first non-OK/non-kKeyError answer, for triage
+  std::string sample_transport;
+
+  std::atomic<uint64_t> mutator_rounds{0};
+  std::thread mutator([&] {
+    size_t next = 1;
+    uint64_t round = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      mutator_rounds.fetch_add(1, std::memory_order_relaxed);
+      const size_t idx = next % variants.size();
+      ASSERT_OK(server.SwapDataset("hot", variants[idx].dataset));
+      {
+        std::lock_guard<std::mutex> lock(gen_mu);
+        generation_to_variant[server.DatasetGeneration("hot")] = idx;
+      }
+      ++next;
+      swaps.fetch_add(1, std::memory_order_relaxed);
+      // Periodically yank the entry entirely: queries must degrade to a
+      // structured kKeyError, never a crash or a stale success.
+      if (++round % 7 == 0) {
+        ASSERT_OK(server.UnregisterDataset("hot"));
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        const size_t back = next % variants.size();
+        ASSERT_OK(server.SwapDataset("hot", variants[back].dataset));
+        {
+          std::lock_guard<std::mutex> lock(gen_mu);
+          generation_to_variant[server.DatasetGeneration("hot")] = back;
+        }
+      }
+      // Churn an unrelated name too: its mutations must never perturb
+      // readers of "hot".
+      ServedDataset side = variants[round % variants.size()].dataset;
+      (void)server.SwapDataset("side", std::move(side));
+      if (round % 3 == 0) (void)server.UnregisterDataset("side");
+      // Pace the rounds: without this the registered state lasts only the
+      // few microseconds a swap takes while each unregistered window lasts
+      // a full 1 ms sleep, so readers would essentially never observe a
+      // registered catalog and the consistency check would go unexercised.
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  });
+
+  constexpr int kReaders = 4;
+  std::vector<std::thread> readers;
+  for (int i = 0; i < kReaders; ++i) {
+    readers.emplace_back([&, i] {
+      ClientOptions copts;
+      copts.port = server.port();
+      copts.jitter_seed = 100 + static_cast<uint64_t>(i);
+      PebbleClient client(copts);
+      while (!stop.load(std::memory_order_relaxed)) {
+        QueryRequest request;
+        request.op = RequestOp::kQuery;
+        request.target = "hot";
+        request.pattern = pattern;
+        QueryResponse response;
+        Status transport = client.Call(request, &response);
+        if (!transport.ok()) {  // torn keep-alive etc.
+          transport_failures.fetch_add(1, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(sample_mu);
+          if (sample_transport.empty()) sample_transport = transport.ToString();
+          continue;
+        }
+        if (response.code == StatusCode::kKeyError) {
+          key_errors.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (response.code != StatusCode::kOk) {  // shed
+          other_codes.fetch_add(1, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(sample_mu);
+          if (sample_other.empty()) {
+            sample_other = std::string(StatusCodeToString(response.code)) +
+                           ": " + response.message;
+          }
+          continue;
+        }
+        // The answer must be EXACTLY one variant's ground truth, and the
+        // generation must name that same variant. The mutator records the
+        // generation->variant mapping just AFTER the swap lands, so an
+        // answer can briefly race ahead of the bookkeeping — wait for the
+        // mapping, and only an entry that never appears is a failure.
+        // (Generations are globally monotonic: an entry never remaps.)
+        size_t expected_idx = variants.size();
+        const auto lookup_deadline = std::chrono::steady_clock::now() +
+                                     std::chrono::milliseconds(500);
+        while (expected_idx >= variants.size() &&
+               std::chrono::steady_clock::now() < lookup_deadline) {
+          {
+            std::lock_guard<std::mutex> lock(gen_mu);
+            auto it = generation_to_variant.find(response.store_generation);
+            if (it != generation_to_variant.end()) {
+              expected_idx = it->second;
+              break;
+            }
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        if (expected_idx >= variants.size()) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+          ADD_FAILURE() << "answer carries unknown generation "
+                        << response.store_generation;
+          continue;
+        }
+        const Variant& expected = variants[expected_idx];
+        if (response.matched != expected.expected_matched ||
+            response.answer != expected.expected_answer) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+          ADD_FAILURE() << "generation " << response.store_generation
+                        << " answered matched=" << response.matched
+                        << " but variant " << expected_idx << " expects "
+                        << expected.expected_matched;
+          continue;
+        }
+        checked_ok.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(SoakMs()));
+  stop = true;
+  mutator.join();
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_GT(swaps.load(), 10u);
+  EXPECT_GT(checked_ok.load(), 0u)
+      << "other codes: " << other_codes.load() << " (" << sample_other
+      << ") transport failures: " << transport_failures.load() << " ("
+      << sample_transport << ") key_errors: " << key_errors.load()
+      << " mutator_rounds: " << mutator_rounds.load();
+  // The churn must actually have exposed the unregistered window.
+  EXPECT_GT(key_errors.load(), 0u);
+  EXPECT_GT(server.stats().catalog_swaps, 0u);
+
+  server.Shutdown();
+}
+
+TEST(CatalogSwapTest, RegisterAfterStartAndDuplicateNames) {
+  ServerOptions options;
+  options.workers = 1;
+  options.handlers = 2;
+  PebbleServer server(options);
+  ASSERT_OK(server.Start());
+
+  Variant v = MakeVariant(5);
+  // The catalog is no longer frozen at Start(): runtime registration is
+  // the normal path now.
+  ASSERT_OK(server.RegisterDataset("late", v.dataset));
+  EXPECT_FALSE(server.RegisterDataset("late", v.dataset).ok())
+      << "duplicate register must fail (SwapDataset is the replace path)";
+  EXPECT_GT(server.DatasetGeneration("late"), 0u);
+  ASSERT_OK(server.UnregisterDataset("late"));
+  EXPECT_EQ(server.DatasetGeneration("late"), 0u);
+  EXPECT_FALSE(server.UnregisterDataset("late").ok());
+  // Swap inserts when absent.
+  ASSERT_OK(server.SwapDataset("late", v.dataset));
+  EXPECT_GT(server.DatasetGeneration("late"), 0u);
+
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace pebble::server

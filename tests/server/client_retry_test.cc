@@ -1,0 +1,44 @@
+// Unit tests of the client's shed-backoff policy: the deterministic base
+// delay scales the server's retry-after hint by the admission-queue depth
+// observed at shed time (DESIGN.md §13), so a retry against a deeply
+// backed-up server waits proportionally longer than one against a server
+// that shed on a momentary blip.
+
+#include <gtest/gtest.h>
+
+#include "server/client.h"
+
+namespace pebble::server {
+namespace {
+
+TEST(RetryBaseDelayTest, NoHintUsesClientExponentialBackoff) {
+  EXPECT_EQ(RetryBaseDelayMs(/*hinted_ms=*/0, /*queue_depth=*/0,
+                             /*backoff_ms=*/10),
+            10u);
+  EXPECT_EQ(RetryBaseDelayMs(0, /*queue_depth=*/1000, /*backoff_ms=*/40),
+            40u);  // depth only matters when the server hinted
+  EXPECT_EQ(RetryBaseDelayMs(0, 0, /*backoff_ms=*/0), 0u);
+}
+
+TEST(RetryBaseDelayTest, EmptyQueueIsTheHintUnchanged) {
+  EXPECT_EQ(RetryBaseDelayMs(/*hinted_ms=*/100, /*queue_depth=*/0,
+                             /*backoff_ms=*/10),
+            100u);
+  EXPECT_EQ(RetryBaseDelayMs(100, /*queue_depth=*/15, 10), 100u);
+}
+
+TEST(RetryBaseDelayTest, DepthScalesTheHintOneXPerSixteenQueued) {
+  EXPECT_EQ(RetryBaseDelayMs(100, /*queue_depth=*/16, 10), 200u);
+  EXPECT_EQ(RetryBaseDelayMs(100, /*queue_depth=*/31, 10), 200u);
+  EXPECT_EQ(RetryBaseDelayMs(100, /*queue_depth=*/32, 10), 300u);
+  EXPECT_EQ(RetryBaseDelayMs(50, /*queue_depth=*/48, 10), 200u);
+}
+
+TEST(RetryBaseDelayTest, DepthFactorIsCappedAtEight) {
+  EXPECT_EQ(RetryBaseDelayMs(100, /*queue_depth=*/112, 10), 800u);
+  EXPECT_EQ(RetryBaseDelayMs(100, /*queue_depth=*/100000, 10), 800u);
+  EXPECT_EQ(RetryBaseDelayMs(100, ~0u, 10), 800u);
+}
+
+}  // namespace
+}  // namespace pebble::server

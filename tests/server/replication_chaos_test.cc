@@ -1,0 +1,311 @@
+// Replication chaos soak — the acceptance gate of DESIGN.md §14. While
+// probabilistic faults fire on the shipping path (ship.read, ship.write),
+// the apply path (replica.apply, replica.swap), and the transport
+// (net.read, net.write), a chaos driver kills and restarts the follower
+// AND the primary at arbitrary points, and fresh micro-batches keep
+// landing in the primary's WAL. Invariants:
+//
+//   - every read served during catch-up either carries an explicit
+//     staleness bound (from_replica + staleness_ms within the configured
+//     bound) or is shed structurally (kUnavailable / kResourceExhausted
+//     with a retry-after hint) — never a silent stale or wrong answer;
+//   - after quiesce (faults off, one final ingest), the follower converges
+//     to a store whose serialized v2 snapshot bytes EQUAL the primary's;
+//   - no crash, hang, or leak (run under TSan via scripts/check.sh
+//     replica).
+//
+// On divergence the test copies both WAL directories into
+// $PEBBLE_REPLICA_REPRO_DIR (default ./replica-repros/) so the failing
+// history ships as a CI artifact. Duration scales with $PEBBLE_SOAK_MS
+// (default 2500 ms).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/rng.h"
+#include "core/provenance_io.h"
+#include "core/provenance_wal.h"
+#include "server/client.h"
+#include "server/replica.h"
+#include "server/server.h"
+#include "test_util.h"
+#include "workload/micro_batch.h"
+#include "workload/scenarios.h"
+
+namespace pebble::server {
+namespace {
+
+int64_t SoakMs() {
+  const char* env = std::getenv("PEBBLE_SOAK_MS");
+  if (env != nullptr && env[0] != '\0') {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return v;
+  }
+  return 2500;
+}
+
+struct FailpointGuard {
+  ~FailpointGuard() { FailpointRegistry::Global().DisableAll(); }
+};
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::string RecoveredBytes(const std::string& dir) {
+  auto recovered = RecoverStore(dir);
+  if (!recovered.ok()) return "unrecoverable: " + recovered.status().ToString();
+  return SerializeDurableProvenanceStore(*recovered->store);
+}
+
+Result<MicroBatchRun> Ingest(const std::string& dir, size_t batches,
+                             uint64_t seed) {
+  MicroBatchOptions options;
+  options.wal_dir = dir;
+  options.batches = batches;
+  options.tweets_per_batch = 30;
+  options.seed = seed;
+  options.collect_output = true;
+  options.wal.sync = false;
+  options.wal.segment_bytes = 16u << 10;
+  return RunMicroBatchIngest(options);
+}
+
+/// Preserves both WAL directories for the CI artifact upload when the
+/// soak fails to converge.
+void SaveRepro(const std::string& primary_dir,
+               const std::string& replica_dir) {
+  std::error_code ec;
+  const char* env = std::getenv("PEBBLE_REPLICA_REPRO_DIR");
+  const std::string out =
+      (env != nullptr && env[0] != '\0') ? env : "replica-repros";
+  std::filesystem::remove_all(out, ec);
+  std::filesystem::create_directories(out + "/primary", ec);
+  std::filesystem::create_directories(out + "/replica", ec);
+  std::filesystem::copy(primary_dir, out + "/primary",
+                        std::filesystem::copy_options::recursive, ec);
+  std::filesystem::copy(replica_dir, out + "/replica",
+                        std::filesystem::copy_options::recursive, ec);
+}
+
+constexpr uint32_t kStalenessBoundMs = 60000;  // generous: kills stall applies
+
+TEST(ReplicationChaosTest, KillsAndFaultsNeverBreakConvergenceOrStaleness) {
+  FailpointGuard guard;
+  const std::string primary_dir = FreshDir("repl_chaos_primary");
+  const std::string replica_dir = FreshDir("repl_chaos_replica");
+  ASSERT_OK_AND_ASSIGN(MicroBatchRun seeded, Ingest(primary_dir, 1, 42));
+  const Dataset output = seeded.last_output;
+  // u0 is the Zipf-head author, so this question matches generated data
+  // with a non-empty backtraced answer (the scenario's own "Hello World"
+  // question rarely matches: the generator suffixes mention/hashtag text).
+  const std::string pattern_text = "//id_str='u0', tweets(text)";
+
+  ServerOptions primary_options;
+  primary_options.workers = 1;
+  primary_options.handlers = 4;
+  primary_options.ship_wal_dir = primary_dir;
+  primary_options.ship_poll_ms = 2;
+  primary_options.ship_heartbeat_ms = 10;
+  primary_options.read_timeout_ms = 1000;
+  primary_options.write_timeout_ms = 1000;
+  primary_options.idle_timeout_ms = 2000;
+
+  auto make_replica_options = [&] {
+    ReplicaOptions options;
+    options.wal_dir = replica_dir;
+    options.dataset_name = "stress";
+    options.output = output;
+    options.max_staleness_ms = kStalenessBoundMs;
+    options.sync = false;
+    options.connect_timeout_ms = 500;
+    options.io_timeout_ms = 1500;
+    options.reconnect_initial_ms = 5;
+    options.reconnect_max_ms = 100;
+    options.server.workers = 1;
+    options.server.handlers = 2;
+    return options;
+  };
+
+  // The primary restarts on a stable port (SO_REUSEADDR) so the follower's
+  // fixed target stays valid across primary kills.
+  auto primary = std::make_unique<PebbleServer>(primary_options);
+  ASSERT_OK(primary->Start());
+  const uint16_t primary_port = primary_options.port = primary->port();
+
+  ReplicaOptions replica_options = make_replica_options();
+  replica_options.primary_port = primary_port;
+  std::mutex replica_mu;  // guards the holder swap, not the daemon itself
+  auto replica = std::make_unique<ReplicaDaemon>(replica_options);
+  ASSERT_OK(replica->Start());
+  std::atomic<uint16_t> replica_port{replica->port()};
+
+  // Probabilistic faults on every replication-path site plus the shared
+  // transport sites (which also tear reader connections — expected).
+  auto& registry = FailpointRegistry::Global();
+  {
+    FailpointSpec spec;
+    spec.probability = 0.01;
+    spec.seed = 21;
+    registry.Enable(failpoints::kShipRead, spec);
+    spec.seed = 22;
+    registry.Enable(failpoints::kShipWrite, spec);
+    spec.probability = 0.005;
+    spec.seed = 23;
+    registry.Enable(failpoints::kReplicaApply, spec);
+    spec.seed = 24;
+    registry.Enable(failpoints::kReplicaSwap, spec);
+    spec.probability = 0.002;
+    spec.seed = 25;
+    registry.Enable(failpoints::kNetRead, spec);
+    spec.seed = 26;
+    registry.Enable(failpoints::kNetWrite, spec);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads_ok{0};
+  std::atomic<uint64_t> reads_shed{0};
+  std::atomic<uint64_t> reads_bad{0};
+
+  // Reader: every response during the storm must be an explicitly-bounded
+  // answer or a structured shed. Transport errors are expected (faults +
+  // restarts tear connections).
+  std::thread reader([&] {
+    Rng rng(7);
+    while (!stop.load(std::memory_order_relaxed)) {
+      ClientOptions copts;
+      copts.port = replica_port.load(std::memory_order_relaxed);
+      copts.connect_timeout_ms = 300;
+      copts.read_timeout_ms = 2000;
+      PebbleClient client(copts);
+      QueryRequest request;
+      request.op = RequestOp::kQuery;
+      request.target = "stress";
+      request.pattern = pattern_text;
+      QueryResponse response;
+      if (!client.Call(request, &response).ok()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        continue;
+      }
+      if (response.code == StatusCode::kOk) {
+        if (!response.from_replica ||
+            response.staleness_ms > kStalenessBoundMs) {
+          reads_bad.fetch_add(1, std::memory_order_relaxed);
+          ADD_FAILURE() << "unbounded read: from_replica="
+                        << response.from_replica
+                        << " staleness_ms=" << response.staleness_ms;
+        } else {
+          reads_ok.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else if (response.code == StatusCode::kUnavailable ||
+                 response.code == StatusCode::kResourceExhausted) {
+        if (response.retry_after_ms == 0) {
+          reads_bad.fetch_add(1, std::memory_order_relaxed);
+          ADD_FAILURE() << "shed without retry-after: " << response.message;
+        } else {
+          reads_shed.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else if (response.code == StatusCode::kInvalidArgument) {
+        // The pattern is the scenario's own valid question, so a bad-
+        // request answer would be a real serving bug.
+        reads_bad.fetch_add(1, std::memory_order_relaxed);
+        ADD_FAILURE() << "unexpected response: " << response.message;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(rng.NextBounded(5)));
+    }
+  });
+
+  // Ingester: fresh batches keep landing in the primary WAL mid-storm.
+  std::thread ingester([&] {
+    uint64_t seed = 100;
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto run = Ingest(primary_dir, 1, seed++);
+      EXPECT_TRUE(run.ok()) << run.status().ToString();
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    }
+  });
+
+  // Chaos driver: kill/restart follower and primary at arbitrary points.
+  const auto stop_at = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(SoakMs());
+  Rng chaos(99);
+  uint64_t replica_kills = 0;
+  uint64_t primary_kills = 0;
+  while (std::chrono::steady_clock::now() < stop_at) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(50 + chaos.NextBounded(150)));
+    const uint64_t dice = chaos.NextBounded(10);
+    if (dice < 4) {
+      // Kill the follower mid-apply; its local WAL copy stays, so the
+      // restart resumes from whatever prefix survived.
+      std::lock_guard<std::mutex> lock(replica_mu);
+      replica->Shutdown();
+      replica = std::make_unique<ReplicaDaemon>(replica_options);
+      ASSERT_OK(replica->Start());
+      replica_port.store(replica->port(), std::memory_order_relaxed);
+      ++replica_kills;
+    } else if (dice < 6) {
+      // Kill the primary mid-ship; sessions tear, the follower backs off
+      // and resubscribes when the port answers again.
+      primary->Shutdown();
+      primary = std::make_unique<PebbleServer>(primary_options);
+      ASSERT_OK(primary->Start());
+      ++primary_kills;
+    }
+  }
+  stop = true;
+  ingester.join();
+  reader.join();
+
+  // Quiesce: faults off, everything running, one final ingest, then the
+  // follower must converge to byte equality.
+  registry.DisableAll();
+  ASSERT_OK_AND_ASSIGN(MicroBatchRun last, Ingest(primary_dir, 1, 9999));
+  (void)last;
+  const auto converge_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  bool converged = false;
+  while (std::chrono::steady_clock::now() < converge_deadline) {
+    if (RecoveredBytes(primary_dir) == RecoveredBytes(replica_dir)) {
+      converged = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  {
+    std::lock_guard<std::mutex> lock(replica_mu);
+    EXPECT_TRUE(replica->WaitUntilSynced(30000));
+  }
+  if (!converged &&
+      RecoveredBytes(primary_dir) != RecoveredBytes(replica_dir)) {
+    SaveRepro(primary_dir, replica_dir);
+    FAIL() << "replica failed to converge after quiesce (kills: replica="
+           << replica_kills << " primary=" << primary_kills
+           << "); WAL dirs saved to ./replica-repros/";
+  }
+
+  EXPECT_GT(reads_ok.load() + reads_shed.load(), 0u);
+  EXPECT_EQ(reads_bad.load(), 0u);
+
+  {
+    std::lock_guard<std::mutex> lock(replica_mu);
+    replica->Shutdown();
+  }
+  primary->Shutdown();
+}
+
+}  // namespace
+}  // namespace pebble::server

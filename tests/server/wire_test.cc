@@ -42,7 +42,44 @@ QueryResponse SampleResponse() {
   r.match_us = 1234;
   r.backtrace_us = 5678;
   r.server_us = 9876;
+  r.store_generation = 17;
+  r.from_replica = true;
+  r.staleness_ms = 250;
+  r.applied_seq = 9;
+  r.applied_offset = 4096;
   return r;
+}
+
+ReplSubscribe SampleSubscribe() {
+  ReplSubscribe s;
+  s.stream = "default";
+  s.covered_seq = 3;
+  s.seq = 7;
+  s.offset = 8192;
+  s.prefix_crc = 0xDEADBEEF;
+  return s;
+}
+
+ReplShip SampleShip() {
+  ReplShip s;
+  s.kind = ShipKind::kData;
+  s.seq = 7;
+  s.offset = 8192;
+  s.sealed = true;
+  s.bytes = std::string("\x00\x01payload\xff", 10);
+  s.primary_seq = 9;
+  s.primary_size = 123456;
+  s.note = "why";
+  return s;
+}
+
+ReplAck SampleAck() {
+  ReplAck a;
+  a.seq = 7;
+  a.offset = 16384;
+  a.ok = false;
+  a.note = "follower aborted";
+  return a;
 }
 
 TEST(WireTest, RequestRoundTripsAllFields) {
@@ -76,6 +113,101 @@ TEST(WireTest, ResponseRoundTripsAllFields) {
   EXPECT_EQ(out.match_us, in.match_us);
   EXPECT_EQ(out.backtrace_us, in.backtrace_us);
   EXPECT_EQ(out.server_us, in.server_us);
+  EXPECT_EQ(out.store_generation, in.store_generation);
+  EXPECT_EQ(out.from_replica, in.from_replica);
+  EXPECT_EQ(out.staleness_ms, in.staleness_ms);
+  EXPECT_EQ(out.applied_seq, in.applied_seq);
+  EXPECT_EQ(out.applied_offset, in.applied_offset);
+}
+
+TEST(WireTest, ReplSubscribeRoundTripsAllFields) {
+  const ReplSubscribe in = SampleSubscribe();
+  ReplSubscribe out;
+  ASSERT_OK(DecodeReplSubscribe(EncodeReplSubscribe(in), &out));
+  EXPECT_EQ(out.version, in.version);
+  EXPECT_EQ(out.stream, in.stream);
+  EXPECT_EQ(out.covered_seq, in.covered_seq);
+  EXPECT_EQ(out.seq, in.seq);
+  EXPECT_EQ(out.offset, in.offset);
+  EXPECT_EQ(out.prefix_crc, in.prefix_crc);
+}
+
+TEST(WireTest, ReplShipRoundTripsAllFields) {
+  const ReplShip in = SampleShip();
+  ReplShip out;
+  ASSERT_OK(DecodeReplShip(EncodeReplShip(in), &out));
+  EXPECT_EQ(out.version, in.version);
+  EXPECT_EQ(out.kind, in.kind);
+  EXPECT_EQ(out.seq, in.seq);
+  EXPECT_EQ(out.offset, in.offset);
+  EXPECT_EQ(out.sealed, in.sealed);
+  EXPECT_EQ(out.bytes, in.bytes);  // binary-safe, embedded NUL included
+  EXPECT_EQ(out.primary_seq, in.primary_seq);
+  EXPECT_EQ(out.primary_size, in.primary_size);
+  EXPECT_EQ(out.note, in.note);
+}
+
+TEST(WireTest, ReplAckRoundTripsAllFields) {
+  const ReplAck in = SampleAck();
+  ReplAck out;
+  ASSERT_OK(DecodeReplAck(EncodeReplAck(in), &out));
+  EXPECT_EQ(out.version, in.version);
+  EXPECT_EQ(out.seq, in.seq);
+  EXPECT_EQ(out.offset, in.offset);
+  EXPECT_EQ(out.ok, in.ok);
+  EXPECT_EQ(out.note, in.note);
+}
+
+TEST(WireTest, ReplMessagesRejectCrossKindAndUnknownShipKind) {
+  // Each replication decoder rejects the other kinds' payloads.
+  ReplSubscribe sub_out;
+  EXPECT_EQ(DecodeReplSubscribe(EncodeReplShip(SampleShip()), &sub_out)
+                .code(),
+            StatusCode::kInvalidArgument);
+  ReplShip ship_out;
+  EXPECT_EQ(DecodeReplShip(EncodeReplAck(SampleAck()), &ship_out).code(),
+            StatusCode::kInvalidArgument);
+  ReplAck ack_out;
+  EXPECT_EQ(
+      DecodeReplAck(EncodeReplSubscribe(SampleSubscribe()), &ack_out).code(),
+      StatusCode::kInvalidArgument);
+
+  // A ship kind past kDenied is from a future protocol: structured reject.
+  std::string bytes = EncodeReplShip(SampleShip());
+  // kind byte follows msg-kind(1) + version(4).
+  bytes[1 + 4] = 42;
+  EXPECT_EQ(DecodeReplShip(bytes, &ship_out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WireTest, ReplMessagesSurviveMutationFuzz) {
+  const std::string sub = EncodeReplSubscribe(SampleSubscribe());
+  const std::string ship = EncodeReplShip(SampleShip());
+  const std::string ack = EncodeReplAck(SampleAck());
+  Rng rng(515151);
+  for (int i = 0; i < 2000; ++i) {
+    std::string bytes;
+    switch (rng.NextBounded(3)) {
+      case 0: bytes = sub; break;
+      case 1: bytes = ship; break;
+      default: bytes = ack; break;
+    }
+    const uint64_t mutations = 1 + rng.NextBounded(8);
+    for (uint64_t m = 0; m < mutations; ++m) {
+      bytes[rng.NextBounded(bytes.size())] =
+          static_cast<char>(rng.NextBounded(256));
+    }
+    if (rng.NextBool(0.25)) bytes.resize(rng.NextBounded(bytes.size() + 1));
+    ReplSubscribe sub_out;
+    Status ss = DecodeReplSubscribe(bytes, &sub_out);
+    if (!ss.ok()) EXPECT_EQ(ss.code(), StatusCode::kInvalidArgument);
+    ReplShip ship_out;
+    Status hs = DecodeReplShip(bytes, &ship_out);
+    if (!hs.ok()) EXPECT_EQ(hs.code(), StatusCode::kInvalidArgument);
+    ReplAck ack_out;
+    Status as = DecodeReplAck(bytes, &ack_out);
+    if (!as.ok()) EXPECT_EQ(as.code(), StatusCode::kInvalidArgument);
+  }
 }
 
 TEST(WireTest, RejectsWrongKindByte) {
