@@ -1089,6 +1089,30 @@ WalTailApplier::WalTailApplier(RecoveredStore recovered)
   last_run_next_id_ = info_.next_item_id;
 }
 
+Status WalTailApplier::SeedTail(uint64_t seq, uint64_t offset) {
+  if (seq_ != 0) {
+    return Status::InvalidArgument(
+        "WAL tail seed: applier already positioned at segment " +
+        std::to_string(seq_));
+  }
+  if (seq <= info_.covered_seq) {
+    return Status::InvalidArgument(
+        "WAL tail seed: segment " + std::to_string(seq) +
+        " is already folded into the snapshot (covered " +
+        std::to_string(info_.covered_seq) + ")");
+  }
+  if (offset < kWalSegmentHeaderBytes) {
+    return Status::InvalidArgument(
+        "WAL tail seed: offset " + std::to_string(offset) +
+        " splits the segment header");
+  }
+  seq_ = seq;
+  position_ = offset;
+  header_checked_ = true;
+  info_.max_segment_seq = std::max(info_.max_segment_seq, seq_);
+  return Status::OK();
+}
+
 Status WalTailApplier::Feed(uint64_t seq, uint64_t offset,
                             std::string_view bytes) {
   auto reject = [&](const std::string& what) {

@@ -256,6 +256,15 @@ class WalTailApplier {
   /// copy; `recovered.info` seeds the replay counters.
   explicit WalTailApplier(RecoveredStore recovered);
 
+  /// Seeds the resume position to the local tail segment the recovery
+  /// already replayed — `offset` bytes of segment `seq` — so seq() /
+  /// applied_position() name the recovered WAL position even before the
+  /// first Feed (a session that only ever heartbeats still reports where
+  /// it stands). `offset` must be at/after the segment header and on a
+  /// record boundary; the post-repair file size is both, by construction.
+  /// Only callable before the first Feed.
+  Status SeedTail(uint64_t seq, uint64_t offset);
+
   /// The segment the applier is currently consuming (0 = none yet).
   uint64_t seq() const { return seq_; }
   /// Raw bytes of that segment consumed so far (applied + buffered tail).

@@ -19,6 +19,7 @@
 //   pebbled [--port N] [--workers N] [--handlers N] [--queue N]
 //           [--tweets N] [--rate-per-sec R] [--burst B]
 //           [--wal DIR] [--follow HOST:PORT] [--staleness-ms N]
+//           [--staleness-slack-ms N]
 
 #include <csignal>
 #include <cstdio>
@@ -107,6 +108,7 @@ int main(int argc, char** argv) {
   long rate = 0;
   long burst = 8;
   long staleness_ms = 5000;
+  long staleness_slack_ms = 50;
   std::string wal_dir;
   std::string follow;
   for (int i = 1; i < argc; ++i) {
@@ -118,6 +120,8 @@ int main(int argc, char** argv) {
     if (ParseFlag(argc, argv, &i, "--rate-per-sec", &rate)) continue;
     if (ParseFlag(argc, argv, &i, "--burst", &burst)) continue;
     if (ParseFlag(argc, argv, &i, "--staleness-ms", &staleness_ms)) continue;
+    if (ParseFlag(argc, argv, &i, "--staleness-slack-ms", &staleness_slack_ms))
+      continue;
     if (ParseStrFlag(argc, argv, &i, "--wal", &wal_dir)) continue;
     if (ParseStrFlag(argc, argv, &i, "--follow", &follow)) continue;
     std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
@@ -175,6 +179,8 @@ int main(int argc, char** argv) {
     replica_options.dataset_name = "stress";
     replica_options.output = served->dataset.output;
     replica_options.max_staleness_ms = static_cast<uint32_t>(staleness_ms);
+    replica_options.freshness_slack_ms =
+        static_cast<uint32_t>(staleness_slack_ms);
     replica_options.server = options;
 
     pebble::server::ReplicaDaemon replica(std::move(replica_options));

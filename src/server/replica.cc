@@ -210,6 +210,24 @@ ReplicaStats ReplicaDaemon::stats() const {
   return stats_;
 }
 
+void ReplicaDaemon::MarkUnsynced() {
+  freshness_->synced.store(false, std::memory_order_release);
+  freshness_->fresh_at_ms.store(0, std::memory_order_release);
+}
+
+void ReplicaDaemon::MarkFresh() {
+  // The proof of tail equality is as old as the primary's state sample:
+  // up to one poll interval plus one lockstep round-trip before this
+  // instant. Backdating by the configured slack keeps the advertised
+  // staleness a true upper bound (never 0: that is the never-fresh
+  // sentinel).
+  freshness_->fresh_at_ms.store(
+      std::max<int64_t>(
+          1, SteadyNowMs() - static_cast<int64_t>(options_.freshness_slack_ms)),
+      std::memory_order_release);
+  freshness_->synced.store(true, std::memory_order_release);
+}
+
 Status ReplicaDaemon::Publish(WalTailApplier& applier) {
   const uint64_t uid = applier.store().uid();
   const uint64_t generation = applier.store().generation();
@@ -228,15 +246,30 @@ Status ReplicaDaemon::Publish(WalTailApplier& applier) {
   }
   auto snapshot_or = applier.Snapshot();
   if (!snapshot_or.ok()) return snapshot_or.status();
+  // The position the snapshot reflects. Before any Feed the applier sits
+  // where local state put it: the seeded tail segment, or — snapshot-only
+  // local copy (fresh bootstrap commit) — the covered sequence at offset 0.
+  uint64_t applied_seq = applier.seq();
+  uint64_t applied_offset = applier.applied_position();
+  if (applied_seq == 0) {
+    applied_seq = applier.info().covered_seq;
+    applied_offset = 0;
+  }
   ServedDataset dataset;
   dataset.output = options_.output;
   dataset.store = std::shared_ptr<const ProvenanceStore>(
       std::move(snapshot_or).value());
+  // The position travels inside the swapped entry (queries stamp answers
+  // from the entry they pinned); the freshness atomics mirror it for the
+  // stats/lag views and are written first so no reader of the new entry
+  // can observe the old position.
+  dataset.applied_seq = applied_seq;
+  dataset.applied_offset = applied_offset;
+  freshness_->applied_seq.store(applied_seq, std::memory_order_release);
+  freshness_->applied_offset.store(applied_offset,
+                                   std::memory_order_release);
   PEBBLE_RETURN_NOT_OK(server_->SwapDataset(options_.dataset_name,
                                             std::move(dataset), freshness_));
-  freshness_->applied_seq.store(applier.seq(), std::memory_order_release);
-  freshness_->applied_offset.store(applier.applied_position(),
-                                   std::memory_order_release);
   published_uid_ = uid;
   published_generation_ = generation;
   published_any_ = true;
@@ -283,6 +316,11 @@ ReplicaDaemon::SessionResult ReplicaDaemon::RunSession() {
   // repair a torn tail physically, wipe-and-retry on a hard failure.
   auto recovered_or = RecoverStore(dir);
   if (!recovered_or.ok()) {
+    // The local copy is unreadable and about to be discarded: whatever is
+    // currently published can no longer be proven right, and the store
+    // recovered after the wipe regresses behind it. Drop the gate first so
+    // no read is answered from either.
+    MarkUnsynced();
     if (!WipeLocalWal(dir).ok()) {
       count_torn();
       return result;
@@ -306,13 +344,6 @@ ReplicaDaemon::SessionResult ReplicaDaemon::RunSession() {
   }
   auto applier =
       std::make_unique<WalTailApplier>(std::move(recovered_or).value());
-
-  // Serve whatever the local copy already holds (still gated unsynced, so
-  // reads stay shed until the primary confirms we are at its tail).
-  if (!Publish(*applier).ok()) {
-    count_torn();
-    return result;
-  }
 
   // Subscribe position: the newest local segment, its full (post-repair)
   // size, and the CRC of that prefix for the divergence check.
@@ -343,6 +374,24 @@ ReplicaDaemon::SessionResult ReplicaDaemon::RunSession() {
       }
       sub.prefix_crc = *crc_or;
     }
+    // The applier starts where the subscription resumes, so published
+    // answers name the recovered WAL position even if this session only
+    // ever heartbeats. A tail that is not seedable (e.g. a crashed
+    // compaction left only already-covered segment files) stays unseeded:
+    // the primary adjudicates the position and resets us if needed.
+    if (sub.seq > sub.covered_seq &&
+        sub.offset >= kWalSegmentHeaderBytes &&
+        !applier->SeedTail(sub.seq, sub.offset).ok()) {
+      count_torn();
+      return result;
+    }
+  }
+
+  // Serve whatever the local copy already holds (still gated unsynced, so
+  // reads stay shed until the primary confirms we are at its tail).
+  if (!Publish(*applier).ok()) {
+    count_torn();
+    return result;
   }
 
   auto fd_or = net::ConnectTcp(options_.primary_host, options_.primary_port,
@@ -423,6 +472,12 @@ ReplicaDaemon::SessionResult ReplicaDaemon::RunSession() {
       }
       case ShipKind::kReset: {
         (void)send_ack(true, "resetting");
+        // The primary just told us our history diverged: the published
+        // store may be WRONG, not merely stale, and the next session will
+        // publish the freshly wiped (empty) store. Drop the gate before
+        // touching disk so neither is ever answered from — the documented
+        // "structural degradation, never a wrong answer" invariant.
+        MarkUnsynced();
         if (!WipeLocalWal(dir).ok()) {
           count_torn();
           return result;
@@ -449,9 +504,7 @@ ReplicaDaemon::SessionResult ReplicaDaemon::RunSession() {
         if (published_any_ &&
             published_uid_ == applier->store().uid() &&
             published_generation_ == applier->store().generation()) {
-          freshness_->fresh_at_ms.store(SteadyNowMs(),
-                                        std::memory_order_release);
-          freshness_->synced.store(true, std::memory_order_release);
+          MarkFresh();
         }
         result.progressed = true;
         if (!send_ack(true, "")) {
@@ -504,9 +557,7 @@ ReplicaDaemon::SessionResult ReplicaDaemon::RunSession() {
           if (at_tail && published_any_ &&
               published_uid_ == applier->store().uid() &&
               published_generation_ == applier->store().generation()) {
-            freshness_->fresh_at_ms.store(SteadyNowMs(),
-                                          std::memory_order_release);
-            freshness_->synced.store(true, std::memory_order_release);
+            MarkFresh();
           }
         }
         result.progressed = true;

@@ -17,10 +17,13 @@
 // applied, so the follower's own crash-and-restart runs the exact recovery
 // code path a primary does: truncate the torn tail, replay, resubscribe
 // from the surviving position. A kReset from the primary (divergence,
-// compaction) wipes the local copy and resubscribes from scratch — the
-// previously published store keeps serving until the staleness bound
-// sheds it, so a resync degrades reads structurally (kUnavailable +
-// retry-after), never silently to a wrong answer.
+// compaction) drops the freshness gate to unsynced *before* wiping the
+// local copy and resubscribing from scratch — reads are shed from that
+// instant until the rebuilt store provably reaches the primary's tail
+// again, so a resync degrades reads structurally (kUnavailable +
+// retry-after), never silently to a wrong answer from the wiped or
+// regressed store. The wipe-and-retry recovery path (an unreadable local
+// copy) drops the gate the same way.
 //
 // Publishing: the live applier store is deep-copied (Snapshot) and
 // hot-swapped into the serving catalog at run boundaries, on catching up
@@ -66,6 +69,13 @@ struct ReplicaOptions {
   Dataset output;
   /// Serving bound: reads staler than this are shed (ReplicaFreshness).
   uint32_t max_staleness_ms = 5000;
+  /// Conservatism subtracted from the freshness clock whenever tail
+  /// equality is proven: the primary sampled its tail up to one
+  /// ship_poll_ms plus one lockstep round-trip before the proof arrived
+  /// here, so the advertised staleness must absorb that slack to stay a
+  /// true upper bound. Set to at least the primary's ship_poll_ms plus a
+  /// round-trip.
+  uint32_t freshness_slack_ms = 50;
   /// The follower's own serving endpoint.
   ServerOptions server;
   /// Replication-session IO budgets and reconnect policy.
@@ -138,6 +148,12 @@ class ReplicaDaemon {
   /// Deep-copies the applier's live store and hot-swaps it into the
   /// catalog (replica.swap failpoint = skip, delaying freshness only).
   Status Publish(WalTailApplier& applier);
+  /// Marks the published store as potentially wrong (not merely stale):
+  /// the gate sheds every read until tail equality is re-proven. Must run
+  /// before any action that regresses the local copy (wipe, reset).
+  void MarkUnsynced();
+  /// Stamps the freshness clock "fresh as of slack ago" and sets synced.
+  void MarkFresh();
 
   const ReplicaOptions options_;
   std::shared_ptr<ReplicaFreshness> freshness_;

@@ -257,8 +257,11 @@ void PebbleServer::AcceptLoop() {
               " connections pending)");
       shed.retry_after_ms = 50;
       // Best effort with a short budget: a peer that cannot take the shed
-      // response promptly is not worth an accept-loop stall.
-      net::WriteFrame(fd.get(), EncodeResponse(shed), /*timeout_ms=*/250)
+      // response promptly is not worth an accept-loop stall. The peer's
+      // version is unknown (no request was read), so answer in the oldest
+      // layout — every version parses it.
+      net::WriteFrame(fd.get(), EncodeResponse(shed, /*version=*/1),
+                      /*timeout_ms=*/250)
           .ok();
     }
   }
@@ -273,6 +276,11 @@ void PebbleServer::HandlerLoop() {
 }
 
 void PebbleServer::ServeConnection(net::UniqueFd fd, uint64_t conn_id) {
+  // The peer's protocol version, learned from its requests: responses are
+  // encoded in this version so an older client can parse them ("answer in
+  // kind"). Until a request decodes, assume the oldest layout — newer
+  // clients tolerate it, older ones require it.
+  uint32_t peer_version = 1;
   // Keep-alive: one connection carries many request/response exchanges.
   while (!stop_io_.load(std::memory_order_relaxed)) {
     std::string payload;
@@ -297,7 +305,7 @@ void PebbleServer::ServeConnection(net::UniqueFd fd, uint64_t conn_id) {
           counters_.bad_request.fetch_add(1, std::memory_order_relaxed);
           QueryResponse bad =
               ErrorResponse(StatusCode::kInvalidArgument, read.message());
-          net::WriteFrame(fd.get(), EncodeResponse(bad),
+          net::WriteFrame(fd.get(), EncodeResponse(bad, peer_version),
                           options_.write_timeout_ms, nullptr, conn_id)
               .ok();
           return;
@@ -326,13 +334,14 @@ void PebbleServer::ServeConnection(net::UniqueFd fd, uint64_t conn_id) {
       response = ErrorResponse(StatusCode::kInvalidArgument,
                                decoded.message());
     } else {
+      peer_version = request.version;  // decode capped it at kWireVersion
       response = Dispatch(std::move(request));
     }
 
     // Responses are never interrupted by drain: an admitted request's
     // answer is delivered even while shutting down.
     Status written =
-        net::WriteFrame(fd.get(), EncodeResponse(response),
+        net::WriteFrame(fd.get(), EncodeResponse(response, peer_version),
                         options_.write_timeout_ms, nullptr, conn_id);
     if (!written.ok()) {
       counters_.responses_write_failed.fetch_add(1,
@@ -945,10 +954,11 @@ QueryResponse PebbleServer::ExecuteQuery(const Job& job,
   if (entry->freshness != nullptr) {
     response.from_replica = true;
     response.staleness_ms = staleness_ms;
-    response.applied_seq =
-        entry->freshness->applied_seq.load(std::memory_order_acquire);
-    response.applied_offset =
-        entry->freshness->applied_offset.load(std::memory_order_acquire);
+    // From the pinned entry, not the shared freshness atomics: a publish
+    // racing this query must not stamp the answer with a position the
+    // pinned store does not reflect.
+    response.applied_seq = entry->dataset.applied_seq;
+    response.applied_offset = entry->dataset.applied_offset;
   }
   return response;
 }

@@ -63,6 +63,13 @@ struct ServedDataset {
   Dataset output;
   std::shared_ptr<const ProvenanceStore> store;
   std::shared_ptr<const BacktraceIndex> index;  // may be null
+  /// WAL position this store reflects, stamped by the replication
+  /// publisher before the swap (0/0 for primary-registered entries).
+  /// Captured per entry — not read from the shared freshness — so an
+  /// answer always names the position of the store that produced it,
+  /// even while the publisher is mid-swap.
+  uint64_t applied_seq = 0;
+  uint64_t applied_offset = 0;
 };
 
 /// Shared freshness state of a replication follower's served entry,
@@ -76,7 +83,9 @@ struct ReplicaFreshness {
   /// False until the served store first reflected the primary's tail.
   std::atomic<bool> synced{false};
   /// Steady-clock ms of the last instant the *published* store was known
-  /// to equal the primary's tail (heartbeat or caught-up publish).
+  /// to equal the primary's tail (heartbeat or caught-up publish),
+  /// conservatively backdated by the follower's freshness_slack_ms to
+  /// absorb the primary's tail-sample age (poll interval + round-trip).
   std::atomic<int64_t> fresh_at_ms{0};
   /// WAL position the published store reflects.
   std::atomic<uint64_t> applied_seq{0};

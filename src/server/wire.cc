@@ -37,6 +37,7 @@ class Reader {
   explicit Reader(std::string_view data) : data_(data) {}
 
   size_t pos() const { return pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
 
   Status GetU8(uint8_t* v) {
     PEBBLE_RETURN_NOT_OK(Need(1, "u8"));
@@ -123,7 +124,8 @@ std::string EncodeRequest(const QueryRequest& request) {
   return out;
 }
 
-std::string EncodeResponse(const QueryResponse& response) {
+std::string EncodeResponse(const QueryResponse& response,
+                           uint32_t version) {
   std::string out;
   PutU8(&out, kMsgResponse);
   PutU8(&out, static_cast<uint8_t>(response.code));
@@ -137,11 +139,13 @@ std::string EncodeResponse(const QueryResponse& response) {
   PutU64(&out, response.match_us);
   PutU64(&out, response.backtrace_us);
   PutU64(&out, response.server_us);
-  PutU64(&out, response.store_generation);
-  PutU8(&out, response.from_replica ? 1 : 0);
-  PutU32(&out, response.staleness_ms);
-  PutU64(&out, response.applied_seq);
-  PutU64(&out, response.applied_offset);
+  if (version >= 2) {
+    PutU64(&out, response.store_generation);
+    PutU8(&out, response.from_replica ? 1 : 0);
+    PutU32(&out, response.staleness_ms);
+    PutU64(&out, response.applied_seq);
+    PutU64(&out, response.applied_offset);
+  }
   return out;
 }
 
@@ -246,6 +250,14 @@ Status DecodeResponse(std::string_view payload, QueryResponse* response) {
   PEBBLE_RETURN_NOT_OK(r.GetU64(&response->match_us));
   PEBBLE_RETURN_NOT_OK(r.GetU64(&response->backtrace_us));
   PEBBLE_RETURN_NOT_OK(r.GetU64(&response->server_us));
+  // A payload ending here is a v1 response (from a server predating the
+  // replication tail); the tail fields keep their defaults.
+  response->store_generation = 0;
+  response->from_replica = false;
+  response->staleness_ms = 0;
+  response->applied_seq = 0;
+  response->applied_offset = 0;
+  if (r.AtEnd()) return Status::OK();
   PEBBLE_RETURN_NOT_OK(r.GetU64(&response->store_generation));
   uint8_t from_replica = 0;
   PEBBLE_RETURN_NOT_OK(r.GetU8(&from_replica));

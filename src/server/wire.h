@@ -19,10 +19,14 @@
 namespace pebble::server {
 
 /// Protocol version spoken by this build. Servers accept any version up to
-/// their own and answer in kind; a newer client version is rejected with a
-/// structured error (not a dropped connection). Version 2 added the
-/// replication message kinds (subscribe/ship/ack, DESIGN.md §14) and the
-/// staleness/generation tail of the response.
+/// their own and answer in kind: EncodeResponse takes the version the
+/// request declared and emits only the fields that version defines, so a
+/// v1 client never sees bytes it cannot parse. A newer client version is
+/// rejected with a structured error (not a dropped connection). Version 2
+/// added the replication message kinds (subscribe/ship/ack, DESIGN.md §14)
+/// and the staleness/generation tail of the response; DecodeResponse
+/// accepts responses with or without that tail, so a v2 client also
+/// interoperates with a v1 server.
 inline constexpr uint32_t kWireVersion = 2;
 
 /// Leading message-kind byte of every payload.
@@ -94,15 +98,19 @@ struct QueryResponse {
   uint64_t match_us = 0;
   uint64_t backtrace_us = 0;
   uint64_t server_us = 0;
+  // --- version >= 2 tail (encoded only for v2 peers; a v1 response
+  // leaves every field below at its default) -------------------------------
   /// Catalog generation of the served entry that answered (0 = the answer
   /// did not come from a catalog entry, e.g. ping/stats). Monotonic across
   /// register/swap, so a client can order answers by store version.
   uint64_t store_generation = 0;
   /// True when a replication follower answered: `staleness_ms` is then the
   /// upper bound on how far behind the primary the served store may be,
-  /// and applied_seq/applied_offset name the exact WAL position it
-  /// reflects. A primary answers with from_replica == false and all three
-  /// fields zero.
+  /// and applied_seq/applied_offset name the WAL position it reflects —
+  /// `applied_offset` bytes of segment `applied_seq`, or, when the store
+  /// came purely from a snapshot (no tail segment yet), the snapshot's
+  /// covered sequence with offset 0. A primary answers with
+  /// from_replica == false and all three fields zero.
   bool from_replica = false;
   uint32_t staleness_ms = 0;
   uint64_t applied_seq = 0;
@@ -193,7 +201,11 @@ struct ReplAck {
 };
 
 std::string EncodeRequest(const QueryRequest& request);
-std::string EncodeResponse(const QueryResponse& response);
+/// `version` is the peer's negotiated protocol version (the one its
+/// request declared): fields newer than it are omitted so the peer can
+/// parse the bytes. Defaults to this build's own version.
+std::string EncodeResponse(const QueryResponse& response,
+                           uint32_t version = kWireVersion);
 std::string EncodeReplSubscribe(const ReplSubscribe& subscribe);
 std::string EncodeReplShip(const ReplShip& ship);
 std::string EncodeReplAck(const ReplAck& ack);
@@ -202,6 +214,8 @@ std::string EncodeReplAck(const ReplAck& ack);
 /// kind bytes, unknown enum values, lengths past the payload end, and
 /// trailing garbage — all as kInvalidArgument with the byte offset.
 Status DecodeRequest(std::string_view payload, QueryRequest* request);
+/// Accepts both response layouts: a payload ending after `server_us` is a
+/// v1 response (the v2 tail fields keep their defaults).
 Status DecodeResponse(std::string_view payload, QueryResponse* response);
 Status DecodeReplSubscribe(std::string_view payload,
                            ReplSubscribe* subscribe);

@@ -169,6 +169,46 @@ TEST(WalTailApplierTest, RejectsGapsAndOverlaps) {
   EXPECT_FALSE(rewind.ok());
 }
 
+TEST(WalTailApplierTest, SeedTailNamesRecoveredPositionAndAcceptsSuffix) {
+  const std::string dir = FreshDir("applier_seed");
+  ASSERT_OK_AND_ASSIGN(MicroBatchRun run, Ingest(dir, 1));
+  (void)run;
+  ASSERT_OK_AND_ASSIGN(auto before, ListWalSegments(dir));
+  ASSERT_FALSE(before.empty());
+  const uint64_t tail_seq = before.rbegin()->first;
+  const uint64_t tail_size = Slurp(before.rbegin()->second).size();
+
+  // A resumed follower seeds its applier at the recovered tail: the
+  // position is visible before any byte is fed (what a heartbeat-only
+  // session reports), and feeding resumes from there, not from zero.
+  ASSERT_OK_AND_ASSIGN(RecoveredStore recovered, RecoverStore(dir));
+  WalTailApplier applier(std::move(recovered));
+  ASSERT_OK(applier.SeedTail(tail_seq, tail_size));
+  EXPECT_EQ(applier.seq(), tail_seq);
+  EXPECT_EQ(applier.position(), tail_size);
+  EXPECT_EQ(applier.applied_position(), tail_size);
+  EXPECT_FALSE(applier.SeedTail(tail_seq, tail_size).ok())
+      << "seeding twice must be rejected";
+
+  // New primary bytes: feed only the suffix past the seeded position and
+  // converge to exactly what batch recovery sees.
+  ASSERT_OK_AND_ASSIGN(MicroBatchRun more, Ingest(dir, 1));
+  (void)more;
+  ASSERT_OK_AND_ASSIGN(auto after, ListWalSegments(dir));
+  for (const auto& [seq, path] : after) {
+    if (seq < tail_seq) continue;
+    const std::string bytes = Slurp(path);
+    const uint64_t from = seq == tail_seq ? tail_size : 0;
+    if (bytes.size() > from) {
+      ASSERT_OK(applier.Feed(seq, from,
+                             std::string_view(bytes).substr(from)));
+    }
+  }
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<ProvenanceStore> snapshot,
+                       applier.Snapshot());
+  EXPECT_EQ(SerializeDurableProvenanceStore(*snapshot), RecoveredBytes(dir));
+}
+
 TEST(WalTailApplierTest, CompleteRecordWithBadCrcIsIOError) {
   const std::string dir = FreshDir("applier_crc");
   ASSERT_OK_AND_ASSIGN(MicroBatchRun run, Ingest(dir, 1));
@@ -233,6 +273,18 @@ TEST(ReplicationTest, FreshFollowerSyncsAndServesBoundedStalenessReads) {
   // answer would make the equivalence check below vacuous.
   EXPECT_GT(response.matched, 0u);
   EXPECT_FALSE(response.answer.empty());
+
+  // A v1 client gets a v1 answer from the same server ("answer in kind"):
+  // identical payload, no replica tail on the wire, defaults after decode.
+  QueryRequest v1request = request;
+  v1request.version = 1;
+  QueryResponse v1response;
+  ASSERT_OK(client.CallWithRetry(v1request, &v1response));
+  ASSERT_EQ(v1response.code, StatusCode::kOk) << v1response.message;
+  EXPECT_EQ(v1response.answer, response.answer);
+  EXPECT_FALSE(v1response.from_replica);
+  EXPECT_EQ(v1response.store_generation, 0u);
+  EXPECT_EQ(v1response.applied_seq, 0u);
 
   // The primary's equivalent answer does not carry replica metadata — and
   // is byte-identical: the replica's recovered store answers exactly like
@@ -301,6 +353,99 @@ TEST(ReplicationTest, FollowerCrashAndResumeContinuesFromLocalPosition) {
     replica.Shutdown();
   }
   primary.Shutdown();
+}
+
+TEST(ReplicationTest, HeartbeatOnlyResumeReportsRecoveredWalPosition) {
+  const std::string primary_dir = FreshDir("repl_hb_primary");
+  const std::string replica_dir = FreshDir("repl_hb_replica");
+  ASSERT_OK_AND_ASSIGN(MicroBatchRun run, Ingest(primary_dir, 2));
+
+  PebbleServer primary(FastPrimaryOptions(primary_dir));
+  ASSERT_OK(primary.Start());
+  {
+    ReplicaDaemon replica(
+        FastReplicaOptions(primary.port(), replica_dir, run.last_output));
+    ASSERT_OK(replica.Start());
+    ASSERT_TRUE(replica.WaitUntilSynced(15000));
+    replica.Shutdown();
+  }
+  // Resume with NOTHING new on the primary: the session only heartbeats,
+  // yet answers must still name the WAL position the recovered store
+  // reflects (the local tail), not a zero placeholder.
+  ReplicaDaemon replica(
+      FastReplicaOptions(primary.port(), replica_dir, run.last_output));
+  ASSERT_OK(replica.Start());
+  ASSERT_TRUE(replica.WaitUntilSynced(15000));
+  EXPECT_EQ(replica.stats().frames_applied, 0u)
+      << "an idle primary must not re-ship anything on resume";
+
+  ClientOptions copts;
+  copts.port = replica.port();
+  PebbleClient client(copts);
+  QueryRequest request;
+  request.op = RequestOp::kQuery;
+  request.target = "stress";
+  request.pattern = StressPatternText();
+  QueryResponse response;
+  ASSERT_OK(client.CallWithRetry(request, &response));
+  ASSERT_EQ(response.code, StatusCode::kOk) << response.message;
+  EXPECT_TRUE(response.from_replica);
+  EXPECT_GT(response.applied_seq, 0u);
+  EXPECT_GT(response.applied_offset, 0u);
+
+  replica.Shutdown();
+  primary.Shutdown();
+}
+
+TEST(ReplicationTest, UnrecoverableLocalCopyDropsTheGateBeforeWiping) {
+  const std::string primary_dir = FreshDir("repl_wipe_primary");
+  const std::string replica_dir = FreshDir("repl_wipe_replica");
+  ASSERT_OK_AND_ASSIGN(MicroBatchRun run, Ingest(primary_dir, 1));
+
+  PebbleServer primary(FastPrimaryOptions(primary_dir));
+  ASSERT_OK(primary.Start());
+  ReplicaOptions options =
+      FastReplicaOptions(primary.port(), replica_dir, run.last_output);
+  // A huge bound so the staleness gate alone would NOT shed: the test
+  // discriminates the synced flag, not the clock.
+  options.max_staleness_ms = 600000;
+  ReplicaDaemon replica(options);
+  ASSERT_OK(replica.Start());
+  ASSERT_TRUE(replica.WaitUntilSynced(15000));
+
+  // Kill the primary (no resync possible), then corrupt the follower's
+  // local manifest: the next session hard-fails recovery, wipes the local
+  // copy, and recovers an EMPTY store. Serving that store as synced would
+  // be a silently wrong answer; the gate must drop to unsynced first.
+  primary.Shutdown();
+  {
+    std::ofstream out(replica_dir + "/MANIFEST",
+                      std::ios::binary | std::ios::trunc);
+    out << "not a manifest";
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(15);
+  while (replica.freshness().synced.load() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_FALSE(replica.freshness().synced.load())
+      << "a wiped local copy must never keep serving as synced";
+
+  ClientOptions copts;
+  copts.port = replica.port();
+  PebbleClient client(copts);
+  QueryRequest request;
+  request.op = RequestOp::kQuery;
+  request.target = "stress";
+  request.pattern = StressPatternText();
+  QueryResponse response;
+  ASSERT_OK(client.Call(request, &response));
+  EXPECT_EQ(response.code, StatusCode::kUnavailable) << response.message;
+  EXPECT_GT(response.retry_after_ms, 0u);
+  EXPECT_GE(replica.server().stats().stale_reads_shed, 1u);
+
+  replica.Shutdown();
 }
 
 TEST(ReplicationTest, CompactedPrimaryBootstrapsFreshFollowerFromSnapshot) {

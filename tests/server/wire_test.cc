@@ -120,6 +120,50 @@ TEST(WireTest, ResponseRoundTripsAllFields) {
   EXPECT_EQ(out.applied_offset, in.applied_offset);
 }
 
+TEST(WireTest, ResponseVersion1OmitsReplicaTailAndStillDecodes) {
+  const QueryResponse in = SampleResponse();
+  const std::string v1 = EncodeResponse(in, /*version=*/1);
+  const std::string v2 = EncodeResponse(in, /*version=*/2);
+  // The v2 layout appends exactly the replica tail: store_generation(8) +
+  // from_replica(1) + staleness_ms(4) + applied_seq(8) + applied_offset(8).
+  EXPECT_EQ(v2.size(), v1.size() + 29);
+  EXPECT_EQ(v2.compare(0, v1.size(), v1), 0);
+
+  // A v2 decoder accepts the v1 layout — the cross-version direction a
+  // rolling upgrade needs — and resets the tail fields to their defaults
+  // even in a reused response struct.
+  QueryResponse out;
+  out.store_generation = 99;
+  out.from_replica = true;
+  out.staleness_ms = 7;
+  out.applied_seq = 5;
+  out.applied_offset = 6;
+  ASSERT_OK(DecodeResponse(v1, &out));
+  EXPECT_EQ(out.code, in.code);
+  EXPECT_EQ(out.message, in.message);
+  EXPECT_EQ(out.answer, in.answer);
+  EXPECT_EQ(out.server_us, in.server_us);
+  EXPECT_EQ(out.store_generation, 0u);
+  EXPECT_FALSE(out.from_replica);
+  EXPECT_EQ(out.staleness_ms, 0u);
+  EXPECT_EQ(out.applied_seq, 0u);
+  EXPECT_EQ(out.applied_offset, 0u);
+}
+
+TEST(WireTest, ResponseVersion2TailRoundTrips) {
+  QueryResponse out;
+  ASSERT_OK(DecodeResponse(EncodeResponse(SampleResponse(), 2), &out));
+  EXPECT_EQ(out.store_generation, SampleResponse().store_generation);
+  EXPECT_TRUE(out.from_replica);
+  // A truncated tail is still rejected: v1-compat accepts only a payload
+  // ending exactly after server_us, not arbitrary prefixes of the tail.
+  const std::string v2 = EncodeResponse(SampleResponse(), 2);
+  EXPECT_EQ(DecodeResponse(std::string_view(v2).substr(0, v2.size() - 3),
+                           &out)
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(WireTest, ReplSubscribeRoundTripsAllFields) {
   const ReplSubscribe in = SampleSubscribe();
   ReplSubscribe out;
