@@ -1,0 +1,235 @@
+// Allocator benchmark for the arena value model (DESIGN.md §15): legacy
+// per-node heap allocation vs the bump-pointer arena, on the allocation
+// profiles of the hot operator kernels (scan-style construction, map-style
+// StructWith, flatten-style explode), plus wholesale-free vs pointer-chase
+// destruction and a fig6-style capture-ratio cell to pin that the arena
+// does not regress the paper's headline overhead shape.
+//
+// Pairing: each cell builds the SAME value stream twice — once through a
+// legacy_heap ValueArena (per-allocation operator new / pointer-chase
+// delete, the pre-arena model) and once through a normal arena — inside a
+// ValueArenaScope, so both sides route through the identical factory code.
+// Speedup = heap_ms / arena_ms (MeasurePaired with base=arena, with=heap:
+// the reported ratio IS the speedup).
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/arena.h"
+#include "common/stopwatch.h"
+#include "workload/scenarios.h"
+#include "workload/twitter_gen.h"
+
+namespace pebble {
+namespace {
+
+constexpr size_t kRows = 20000;
+
+// Minimal stand-in for benchmark::DoNotOptimize (this binary uses the
+// paired harness, not google-benchmark).
+template <typename T>
+inline void benchmark_do_not_optimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+ValueArena::Options LegacyOptions() {
+  ValueArena::Options o;
+  o.legacy_heap = true;
+  return o;
+}
+
+/// Scan profile: construct fresh nested rows (struct + strings + a small
+/// bag), the allocation stream of ingesting/deserializing a partition.
+void BuildScanRows(size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    ValuePtr row = Value::Struct({
+        {"id", Value::Int(static_cast<int64_t>(i))},
+        {"text", Value::String("Hello World, this is tweet payload text")},
+        {"user", Value::Struct({{"id_str", Value::String("u12345678")},
+                                {"name", Value::String("Lisa Paul")}})},
+        {"tags", Value::Bag({Value::String("a"), Value::String("b"),
+                             Value::Int(static_cast<int64_t>(i) % 7)})},
+    });
+    benchmark_do_not_optimize(row);
+  }
+}
+
+/// Map profile: StructWith over prebuilt base rows (append one column).
+void BuildMapRows(const std::vector<ValuePtr>& base) {
+  for (const ValuePtr& row : base) {
+    ValuePtr out = Value::StructWith(*row, "derived", Value::Int(1));
+    benchmark_do_not_optimize(out);
+  }
+}
+
+/// Flatten profile: explode each row's bag into one output row per element.
+void BuildFlattenRows(const std::vector<ValuePtr>& base) {
+  for (const ValuePtr& row : base) {
+    ValuePtr col = row->FindField("tags");
+    for (size_t x = 0; x < col->num_elements(); ++x) {
+      ValuePtr out = Value::StructWith(*row, "tag", col->elements()[x]);
+      benchmark_do_not_optimize(out);
+    }
+  }
+}
+
+/// Builds the shared input rows for the map/flatten cells into `arena`
+/// (kept alive for the whole benchmark; outputs reference these subtrees).
+std::vector<ValuePtr> BuildBaseRows(ValueArena* arena) {
+  ValueArenaScope scope(arena);
+  std::vector<ValuePtr> rows;
+  rows.reserve(kRows);
+  for (size_t i = 0; i < kRows; ++i) {
+    rows.push_back(Value::Struct({
+        {"id", Value::Int(static_cast<int64_t>(i))},
+        {"text", Value::String("Hello World, this is tweet payload text")},
+        {"tags", Value::Bag({Value::String("a"), Value::String("b"),
+                             Value::String("c"), Value::String("d")})},
+    }));
+  }
+  return rows;
+}
+
+void EmitCell(const char* cell, const bench::Paired& p) {
+  std::printf("%-12s %12.2f %12.2f %10.2fx\n", cell, p.with_ms, p.base_ms,
+              p.ratio);
+  std::fflush(stdout);
+  bench::JsonRecord("arena_alloc", cell)
+      .Num("heap_ms", p.with_ms)
+      .Num("arena_ms", p.base_ms)
+      .Num("arena_speedup", p.ratio)
+      .Emit();
+}
+
+int Main() {
+  bench::PrintHeader(
+      "Arena allocator — legacy per-node heap vs bump-pointer arena\n"
+      "(per-task lifecycle: allocate + construct + tear down)");
+  std::printf("%-12s %12s %12s %10s\n", "cell", "heap (ms)", "arena (ms)",
+              "speedup");
+
+  // --- scan / map / flatten construction cells ---------------------------
+  {
+    bench::Paired p = bench::MeasurePaired(
+        [&] {
+          ValueArena arena;
+          ValueArenaScope scope(&arena);
+          BuildScanRows(kRows);
+        },
+        [&] {
+          ValueArena arena(LegacyOptions());
+          ValueArenaScope scope(&arena);
+          BuildScanRows(kRows);
+        });
+    EmitCell("scan", p);
+  }
+
+  ValueArena base_arena;
+  std::vector<ValuePtr> base = BuildBaseRows(&base_arena);
+  {
+    bench::Paired p = bench::MeasurePaired(
+        [&] {
+          ValueArena arena;
+          ValueArenaScope scope(&arena);
+          BuildMapRows(base);
+        },
+        [&] {
+          ValueArena arena(LegacyOptions());
+          ValueArenaScope scope(&arena);
+          BuildMapRows(base);
+        });
+    EmitCell("map", p);
+  }
+  {
+    bench::Paired p = bench::MeasurePaired(
+        [&] {
+          ValueArena arena;
+          ValueArenaScope scope(&arena);
+          BuildFlattenRows(base);
+        },
+        [&] {
+          ValueArena arena(LegacyOptions());
+          ValueArenaScope scope(&arena);
+          BuildFlattenRows(base);
+        });
+    EmitCell("flatten", p);
+  }
+
+  // --- destruction: wholesale block free vs pointer chase ----------------
+  {
+    int trials = bench::TrialsFromEnv();
+    std::vector<double> arena_times, heap_times, speedups;
+    for (int t = 0; t < trials + 1; ++t) {  // first pair is warm-up
+      double a_ms, h_ms;
+      {
+        auto* arena = new ValueArena();
+        {
+          ValueArenaScope scope(arena);
+          BuildScanRows(kRows);
+        }
+        Stopwatch w;
+        delete arena;  // wholesale: O(blocks)
+        a_ms = w.ElapsedMillis();
+      }
+      {
+        auto* arena = new ValueArena(LegacyOptions());
+        {
+          ValueArenaScope scope(arena);
+          BuildScanRows(kRows);
+        }
+        Stopwatch w;
+        delete arena;  // pointer chase: O(allocations)
+        h_ms = w.ElapsedMillis();
+      }
+      if (t == 0) continue;
+      arena_times.push_back(a_ms);
+      heap_times.push_back(h_ms);
+      if (a_ms > 0) speedups.push_back(h_ms / a_ms);
+    }
+    bench::Paired p;
+    p.base_ms = bench::Median(arena_times);
+    p.with_ms = bench::Median(heap_times);
+    p.ratio = bench::Median(speedups);
+    EmitCell("destroy", p);
+  }
+
+  // --- fig6-style capture-ratio guard ------------------------------------
+  // One S1/T1 Twitter cell on the arena build: the structural-capture /
+  // no-capture ratio must keep the paper's shape (the BENCH report's fig6
+  // summary is computed from fig6_twitter_capture; this cell pins the same
+  // quantity inside the allocator report for the regression gate).
+  {
+    TwitterGenOptions gen_options;
+    gen_options.num_tweets = 2000;
+    TwitterGenerator gen(gen_options);
+    auto data = gen.Generate();
+    Result<Scenario> off = MakeTwitterScenario(1, gen, data);
+    Result<Scenario> on = MakeTwitterScenario(1, gen, data);
+    if (!off.ok() || !on.ok()) {
+      std::fprintf(stderr, "scenario setup failed\n");
+      return 1;
+    }
+    Executor plain(bench::BenchOptions(CaptureMode::kOff));
+    Executor capture(bench::BenchOptions(CaptureMode::kStructural));
+    bench::Paired p = bench::MeasurePaired(
+        [&] { bench::RunOrDie(plain, off->pipeline); },
+        [&] { bench::RunOrDie(capture, on->pipeline); });
+    std::printf("%-12s %12.2f %12.2f %10.4f (capture ratio)\n", "fig6/S1T1",
+                p.base_ms, p.with_ms, p.ratio);
+    bench::JsonRecord("arena_alloc", "fig6_guard/S1T1")
+        .Pair("capture", p)
+        .Emit();
+  }
+
+  std::printf(
+      "\nexpected shape: arena >= 1.3x on at least one construction cell\n"
+      "and a large advantage on teardown (wholesale block free vs a\n"
+      "pointer chase over every node); capture ratio unchanged vs fig6.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pebble
+
+int main() { return pebble::Main(); }

@@ -5,17 +5,18 @@
 # ratios, provenance bytes) from the per-cell JSON-lines records.
 #
 # Usage: scripts/bench.sh [output.json]
-#   Default output: BENCH_8.json in the repo root.
+#   Default output: BENCH_10.json in the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_8.json}"
+OUT="${1:-BENCH_10.json}"
 BUILD_DIR=build-bench
 
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "${BUILD_DIR}" -j "$(nproc)" --target \
   micro_operator_overhead fig6_twitter_capture fig7_dblp_capture \
   governance_overhead wal_overhead query_warm_path serving_latency \
+  arena_alloc \
   >/dev/null
 
 LINES="$(mktemp)"
@@ -23,7 +24,7 @@ trap 'rm -f "${LINES}"' EXIT
 
 for bin in micro_operator_overhead fig6_twitter_capture fig7_dblp_capture \
            governance_overhead wal_overhead query_warm_path \
-           serving_latency; do
+           serving_latency arena_alloc; do
   echo "==> ${bin}"
   PEBBLE_BENCH_JSON="${LINES}" "./${BUILD_DIR}/bench/${bin}"
 done
@@ -75,6 +76,18 @@ serving_faulted_shed = (
 serving_all_accounted = all(
     r["answered_or_shed"] == 1 and r["queue_depth_bounded"] == 1
     for r in serving) if serving else None
+
+arena = [r for r in records
+         if r["bench"] == "arena_alloc" and "arena_speedup" in r]
+arena_cons = [r for r in arena if r["cell"] in ("scan", "map", "flatten")]
+arena_max_construction = (
+    max(r["arena_speedup"] for r in arena_cons) if arena_cons else None)
+arena_destroy = next(
+    (r["arena_speedup"] for r in arena if r["cell"] == "destroy"), None)
+arena_guard = next(
+    (r for r in records
+     if r["bench"] == "arena_alloc" and "capture_ratio" in r), None)
+arena_guard_ratio = arena_guard["capture_ratio"] if arena_guard else None
 
 wal = [r for r in records if r["bench"] == "wal_overhead"]
 wal_group = sorted(r["wal_group_overhead_pct"] for r in wal)
@@ -161,6 +174,15 @@ doc = {
         "serving_faulted_max_shed_rate": serving_faulted_shed,
         "serving_answered_or_shed_all_cells": serving_all_accounted,
         "serving_cells": len(serving),
+        # Arena allocator (DESIGN.md §15): bump-pointer arena vs the legacy
+        # per-node heap model on the hot construction profiles and on
+        # teardown (wholesale block free vs pointer chase). Bars: >= 1.3x
+        # on at least one construction cell; the fig6-style guard cell's
+        # capture ratio must keep the paper's overhead shape.
+        "arena_max_construction_speedup": arena_max_construction,
+        "arena_destroy_speedup": arena_destroy,
+        "arena_fig6_guard_capture_ratio": arena_guard_ratio,
+        "arena_cells": len(arena),
     },
     "results": records,
 }
@@ -168,5 +190,6 @@ json.dump(doc, open(out_path, "w"), indent=2)
 print(f"wrote {out_path}: {len(records)} records, "
       f"fig6 mean ratio {mean_ratio}, "
       f"governance median overhead {gov_median}%, "
-      f"wal group-commit median overhead {wal_group_median}%")
+      f"wal group-commit median overhead {wal_group_median}%, "
+      f"arena max construction speedup {arena_max_construction}x")
 EOF

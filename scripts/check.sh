@@ -37,16 +37,21 @@
 #                               # and the kill/fault chaos soak — plain and
 #                               # under TSan (diverged WAL dirs land in
 #                               # build/replica-repros)
+#   scripts/check.sh arena      # value-arena memory gate (DESIGN.md §15):
+#                               # the arena battery + lifetime-sensitive
+#                               # suites (chaos retries, governance
+#                               # accounting) under ASan+LSan, then the
+#                               # arena concurrency contract under TSan
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 STAGE="${1:-all}"
 case "${STAGE}" in
-  all|plain|asan|tsan|corruption|stress|diff|wal|cache|server|replica) ;;
+  all|plain|asan|tsan|corruption|stress|diff|wal|cache|server|replica|arena) ;;
   *) echo "unknown stage '${STAGE}'" \
           "(expected: all, plain, asan, tsan, corruption, stress, diff, wal," \
-          "cache, server, replica)" >&2
+          "cache, server, replica, arena)" >&2
      exit 2 ;;
 esac
 
@@ -90,7 +95,22 @@ if [[ "${STAGE}" == "all" || "${STAGE}" == "tsan" ]]; then
   # including the governance layer (cancel tokens, budget atomics).
   TSAN_OPTIONS="halt_on_error=1" \
     run_stage "tsan" build-tsan "thread" \
-      "Concurrency|ChaosTest|TaskRunner|Failpoint|Interner|Governance|Resource"
+      "Concurrency|ChaosTest|TaskRunner|Failpoint|Interner|Governance|Resource|Arena"
+fi
+
+if [[ "${STAGE}" == "all" || "${STAGE}" == "arena" ]]; then
+  # Value-arena memory gate: the allocator battery (alignment, chaining,
+  # slab reuse, Reset poisoning, exact stats/accounting) plus the suites
+  # whose per-attempt arena lifetimes are most error-prone — task-runner
+  # retries, chaos fault injection, governance budget accounting — under
+  # ASan with leak checking on, then the single-writer/multi-reader
+  # contract under TSan.
+  ARENA_FILTER="Arena|ChaosTest|TaskRunner|Governance|Resource"
+  ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1" \
+    run_stage "arena (asan+lsan)" build-asan "address;undefined" \
+      "${ARENA_FILTER}"
+  TSAN_OPTIONS="halt_on_error=1" \
+    run_stage "arena (tsan)" build-tsan "thread" "Arena"
 fi
 
 if [[ "${STAGE}" == "all" || "${STAGE}" == "diff" ]]; then

@@ -6,7 +6,7 @@ uint64_t CountAnnotatableValues(const Value& value) {
   uint64_t count = 1;  // the value itself
   switch (value.kind()) {
     case ValueKind::kStruct:
-      for (const Field& f : value.fields()) {
+      for (const FieldRef& f : value.fields()) {
         count += CountAnnotatableValues(*f.value);
       }
       break;

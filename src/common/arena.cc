@@ -1,0 +1,268 @@
+#include "common/arena.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <mutex>
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define PEBBLE_ASAN 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define PEBBLE_ASAN 1
+#endif
+
+#ifdef PEBBLE_ASAN
+#include <sanitizer/asan_interface.h>
+#define PEBBLE_POISON(addr, size) ASAN_POISON_MEMORY_REGION(addr, size)
+#define PEBBLE_UNPOISON(addr, size) ASAN_UNPOISON_MEMORY_REGION(addr, size)
+#else
+#define PEBBLE_POISON(addr, size) ((void)(addr), (void)(size))
+#define PEBBLE_UNPOISON(addr, size) ((void)(addr), (void)(size))
+#endif
+
+namespace pebble {
+
+namespace {
+
+constexpr size_t kMaxAlign = alignof(std::max_align_t);
+
+size_t AlignUp(size_t n, size_t align) { return (n + align - 1) & ~(align - 1); }
+
+thread_local ValueArena* tls_scope_arena = nullptr;
+
+}  // namespace
+
+ValueArena::ValueArena(const Options& options) : options_(options) {
+  if (options_.block_bytes < kMaxSlabBytes * 2) {
+    options_.block_bytes = kMaxSlabBytes * 2;
+  }
+}
+
+ValueArena::~ValueArena() {
+  for (void* p : heap_allocs_) {
+    ::operator delete(p);
+  }
+  for (Block& b : blocks_) {
+    PEBBLE_UNPOISON(b.data, b.size);
+    delete[] b.data;
+  }
+  if (options_.budget != nullptr && charged_ > 0) {
+    options_.budget->Release(charged_);
+  }
+}
+
+void ValueArena::DetachBudget() {
+  if (options_.budget != nullptr && charged_ > 0) {
+    options_.budget->Release(charged_);
+  }
+  charged_ = 0;
+  options_.budget = nullptr;
+}
+
+size_t ValueArena::SlabClass(size_t bytes) {
+  size_t cls = 0;
+  while (cls < kNumSlabClasses && SlabClassBytes(cls) < bytes) ++cls;
+  return cls;
+}
+
+void ValueArena::EnsureRoom(size_t bytes) {
+  // A fully aligned block start always satisfies any supported alignment,
+  // so `bytes` of tail room is enough for an aligned allocation of `bytes`.
+  while (cur_ < blocks_.size()) {
+    Block& b = blocks_[cur_];
+    size_t aligned = AlignUp(b.used, kMaxAlign);
+    if (aligned <= b.size && b.size - aligned >= bytes) {
+      stats_.padding_bytes += aligned - b.used;
+      b.used = aligned;
+      return;
+    }
+    ++cur_;
+  }
+  size_t size = bytes > options_.block_bytes ? bytes : options_.block_bytes;
+  Block b;
+  b.data = new char[size];
+  b.size = size;
+  b.used = 0;
+  PEBBLE_POISON(b.data, b.size);
+  blocks_.push_back(b);
+  cur_ = blocks_.size() - 1;
+  stats_.arena_blocks = blocks_.size();
+  stats_.bytes_reserved += size;
+  if (stats_.bytes_reserved > stats_.peak_bytes_reserved) {
+    stats_.peak_bytes_reserved = stats_.bytes_reserved;
+  }
+  if (options_.budget != nullptr) {
+    Status st = options_.budget->TryCharge(size, options_.budget_what);
+    if (st.ok()) {
+      charged_ += size;
+    } else if (exhausted_.ok()) {
+      exhausted_ = std::move(st);
+    }
+  }
+}
+
+void* ValueArena::Alloc(size_t bytes, size_t align) {
+  assert(align != 0 && (align & (align - 1)) == 0 && align <= kMaxAlign);
+  if (options_.legacy_heap) {
+    // Pre-arena behavior: one heap allocation per node/payload, charged
+    // exactly, freed individually in the destructor.
+    size_t size = bytes == 0 ? 1 : bytes;
+    void* p = ::operator new(size);
+    heap_allocs_.push_back(p);
+    stats_.bytes_allocated += bytes;
+    stats_.bytes_reserved += size;
+    stats_.arena_blocks = heap_allocs_.size();
+    if (stats_.bytes_allocated > stats_.peak_bytes_allocated) {
+      stats_.peak_bytes_allocated = stats_.bytes_allocated;
+    }
+    if (stats_.bytes_reserved > stats_.peak_bytes_reserved) {
+      stats_.peak_bytes_reserved = stats_.bytes_reserved;
+    }
+    if (options_.budget != nullptr) {
+      Status st = options_.budget->TryCharge(size, options_.budget_what);
+      if (st.ok()) {
+        charged_ += size;
+      } else if (exhausted_.ok()) {
+        exhausted_ = std::move(st);
+      }
+    }
+    return p;
+  }
+
+  Block* b = cur_ < blocks_.size() ? &blocks_[cur_] : nullptr;
+  size_t aligned = b != nullptr ? AlignUp(b->used, align) : 0;
+  if (b == nullptr || aligned > b->size || b->size - aligned < bytes) {
+    EnsureRoom(bytes == 0 ? 1 : bytes);
+    b = &blocks_[cur_];
+    aligned = AlignUp(b->used, align);  // block starts kMaxAlign-aligned
+  }
+  char* p = b->data + aligned;
+  stats_.padding_bytes += aligned - b->used;
+  b->used = aligned + (bytes == 0 ? 1 : bytes);
+  stats_.bytes_allocated += bytes;
+  if (stats_.bytes_allocated > stats_.peak_bytes_allocated) {
+    stats_.peak_bytes_allocated = stats_.bytes_allocated;
+  }
+  PEBBLE_UNPOISON(p, bytes == 0 ? 1 : bytes);
+  return p;
+}
+
+const char* ValueArena::CopyBytes(const char* data, size_t size) {
+  char* p = AllocArray<char>(size);
+  if (size > 0) std::memcpy(p, data, size);
+  return p;
+}
+
+void* ValueArena::AllocSlab(size_t bytes, size_t align) {
+  size_t cls = SlabClass(bytes);
+  if (options_.legacy_heap || cls >= kNumSlabClasses) {
+    return Alloc(bytes, align);
+  }
+  size_t rounded = SlabClassBytes(cls);
+  if (slab_free_[cls] != nullptr) {
+    void* p = slab_free_[cls];
+    PEBBLE_UNPOISON(p, rounded);
+    std::memcpy(&slab_free_[cls], p, sizeof(void*));
+    stats_.bytes_allocated += bytes;
+    if (stats_.bytes_allocated > stats_.peak_bytes_allocated) {
+      stats_.peak_bytes_allocated = stats_.bytes_allocated;
+    }
+    stats_.slab_reuses += 1;
+    return p;
+  }
+  uint64_t peak_before = stats_.peak_bytes_allocated;
+  void* p = Alloc(rounded, align < alignof(void*) ? alignof(void*) : align);
+  // The class rounding is padding, not demand: rebook the difference, and
+  // undo the transient rounded peak Alloc just recorded — the high-water
+  // mark tracks demand, never rounding.
+  stats_.bytes_allocated -= rounded - bytes;
+  stats_.padding_bytes += rounded - bytes;
+  if (stats_.peak_bytes_allocated > peak_before) {
+    stats_.peak_bytes_allocated =
+        std::max(peak_before, stats_.bytes_allocated);
+  }
+  return p;
+}
+
+void ValueArena::RecycleSlab(void* p, size_t bytes) {
+  size_t cls = SlabClass(bytes);
+  if (options_.legacy_heap || cls >= kNumSlabClasses || p == nullptr) return;
+  size_t rounded = SlabClassBytes(cls);
+  std::memcpy(p, &slab_free_[cls], sizeof(void*));
+  // Keep the freelist word readable; poison the rest of the chunk.
+  PEBBLE_POISON(static_cast<char*>(p) + sizeof(void*),
+                rounded - sizeof(void*));
+  slab_free_[cls] = p;
+  stats_.slab_recycles += 1;
+}
+
+void ValueArena::Reset() {
+  for (void* p : heap_allocs_) {
+    ::operator delete(p);
+  }
+  heap_allocs_.clear();
+  if (options_.legacy_heap) {
+    stats_.bytes_reserved = 0;
+    stats_.arena_blocks = 0;
+  }
+  for (Block& b : blocks_) {
+    if (b.used > 0) {
+      PEBBLE_UNPOISON(b.data, b.used);
+      // Scribble so stale reads are loud even without ASan; under ASan the
+      // poison below turns them into hard faults.
+      std::memset(b.data, 0xA5, b.used);
+    }
+    PEBBLE_POISON(b.data, b.size);
+    b.used = 0;
+  }
+  cur_ = 0;
+  for (size_t c = 0; c < kNumSlabClasses; ++c) {
+    slab_free_[c] = nullptr;
+  }
+  if (options_.budget != nullptr && options_.legacy_heap && charged_ > 0) {
+    options_.budget->Release(charged_);
+    charged_ = 0;
+  }
+  stats_.bytes_allocated = 0;
+  stats_.padding_bytes = 0;
+  stats_.resets += 1;
+}
+
+ValueArena::Stats ValueArena::stats() const { return stats_; }
+
+ValueArena* ValueArena::Current() {
+  ValueArena* a = tls_scope_arena;
+  return a != nullptr ? a : ThreadDefault();
+}
+
+ValueArena* ValueArena::CurrentScope() { return tls_scope_arena; }
+
+ValueArena* ValueArena::ThreadDefault() {
+  thread_local ValueArena* td = nullptr;
+  if (td == nullptr) {
+    td = new ValueArena(Options{});
+    // Register in a process-wide, intentionally never-destroyed registry:
+    // ambient values (test fixtures, scan sources, pattern literals) are
+    // process-lifetime by contract, and the registry keeps the arenas
+    // reachable so LeakSanitizer does not flag them.
+    static std::mutex* mu = new std::mutex;
+    static std::vector<ValueArena*>* registry = new std::vector<ValueArena*>;
+    std::lock_guard<std::mutex> lock(*mu);
+    registry->push_back(td);
+  }
+  return td;
+}
+
+ValueArenaScope::ValueArenaScope(ValueArena* arena)
+    : arena_(arena), prev_(tls_scope_arena) {
+  tls_scope_arena = arena;
+}
+
+ValueArenaScope::~ValueArenaScope() {
+  assert(tls_scope_arena == arena_ && "ValueArenaScope destroyed out of order");
+  tls_scope_arena = prev_;
+}
+
+}  // namespace pebble

@@ -1,0 +1,255 @@
+// Bump-pointer arena for the nested value model (DESIGN.md §15).
+//
+// A ValueArena owns a chain of fixed-size blocks and hands out
+// trivially-destructible allocations by bumping a pointer; the whole arena is
+// freed wholesale on destruction (or recycled with Reset()). This replaces
+// per-node shared_ptr/heap allocation for Value trees: one cache-friendly
+// allocation stream per task, exact byte accounting against the run's
+// MemoryBudget (whole blocks are charged as they are acquired — no
+// estimates), and O(blocks) dataset teardown instead of a pointer chase over
+// millions of nodes.
+//
+// Ownership / lifetime contract (the "ValuePtr migration contract"):
+//  - Every Value node and its payload arrays live in exactly one arena (or
+//    in a registered per-thread default arena for ambient construction).
+//    ValuePtr is a non-owning `const Value*`; a value must not be
+//    dereferenced after its arena is destroyed or Reset().
+//  - Factories allocate from ValueArena::Current(): the innermost active
+//    ValueArenaScope on this thread, else the thread's default arena. The
+//    engine installs a per-task-attempt scope around every partition task
+//    and a driver-side scope around the run; committed task arenas transfer
+//    to the run's output Dataset, so results keep their values alive.
+//  - Values may reference values from *other* live arenas (operators share
+//    subtrees across datasets); the caller is responsible for keeping every
+//    referenced arena alive, which the executor does by pooling all task
+//    arenas of a run and retaining the pool on the produced datasets.
+//
+// Concurrency contract (single-writer / multi-reader):
+//  - Alloc/Reset/stats/governance_status must be called by one thread at a
+//    time (the owner; for task arenas, the worker running the attempt).
+//  - Values allocated from the arena may be read by any number of threads
+//    once publication is synchronized (the executor synchronizes via
+//    ParallelFor's thread join). The arena never mutates published memory.
+//
+// Under AddressSanitizer, Reset() poisons the recycled block payloads (and
+// fresh block tails are poisoned until allocated), so a stale ValuePtr into
+// a reset arena faults immediately instead of reading recycled bytes. All
+// builds additionally scribble 0xA5 over reset payloads.
+
+#ifndef PEBBLE_COMMON_ARENA_H_
+#define PEBBLE_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "common/resource.h"
+#include "common/status.h"
+
+namespace pebble {
+
+class ValueArena {
+ public:
+  struct Options {
+    /// Payload bytes per block. Allocations larger than this get a
+    /// dedicated block of exactly their (aligned) size.
+    size_t block_bytes = 64 * 1024;
+    /// Exact accounting: every acquired block is charged against this
+    /// budget (and released on destruction / Reset). A failed charge does
+    /// NOT fail the allocation — factories stay infallible — it is recorded
+    /// and surfaced through governance_status() so the engine can abort
+    /// cooperatively at the next cancellation point (overshoot is bounded
+    /// by the blocks acquired before that point). May be nullptr.
+    MemoryBudget* budget = nullptr;
+    /// Tag for kResourceExhausted messages from failed block charges.
+    const char* budget_what = "value arena";
+    /// Test-only legacy mode: every allocation is an individual heap
+    /// allocation, freed one by one (pointer-chase destruction), exactly
+    /// like the pre-arena value model. Used by the arena-vs-heap
+    /// differential stage and the allocator benchmarks. Slab classes are
+    /// disabled in this mode.
+    bool legacy_heap = false;
+  };
+
+  /// Exact allocation statistics. All byte counters are maintained
+  /// incrementally; arena_test.cc pins them against a hand-summed oracle.
+  struct Stats {
+    /// Requested bytes handed out since the last Reset() (slab reuse
+    /// counts again — this is the "demand" the arena served this cycle).
+    uint64_t bytes_allocated = 0;
+    /// Block bytes currently acquired from the system. This is exactly
+    /// what has been charged to the budget (minus failed charges).
+    uint64_t bytes_reserved = 0;
+    /// Current number of blocks (legacy mode: live heap allocations).
+    uint64_t arena_blocks = 0;
+    /// High-water marks across Reset() cycles.
+    uint64_t peak_bytes_allocated = 0;
+    uint64_t peak_bytes_reserved = 0;
+    /// Alignment + slab-class rounding overhead since the last Reset().
+    uint64_t padding_bytes = 0;
+    /// Slab-class chunks served from a freelist / returned to one.
+    uint64_t slab_reuses = 0;
+    uint64_t slab_recycles = 0;
+    /// Reset() calls over the arena's lifetime.
+    uint64_t resets = 0;
+
+    /// Reserved-but-unrequested bytes this cycle: block tails, alignment
+    /// padding and recycled slabs. 0 exactly when every reserved byte was
+    /// handed out (slab reuse can push bytes_allocated past reserved, in
+    /// which case waste clamps to 0).
+    uint64_t bytes_wasted() const {
+      return bytes_reserved > bytes_allocated
+                 ? bytes_reserved - bytes_allocated
+                 : 0;
+    }
+
+    void Add(const Stats& o) {
+      bytes_allocated += o.bytes_allocated;
+      bytes_reserved += o.bytes_reserved;
+      arena_blocks += o.arena_blocks;
+      peak_bytes_allocated += o.peak_bytes_allocated;
+      peak_bytes_reserved += o.peak_bytes_reserved;
+      padding_bytes += o.padding_bytes;
+      slab_reuses += o.slab_reuses;
+      slab_recycles += o.slab_recycles;
+      resets += o.resets;
+    }
+  };
+
+  ValueArena() : ValueArena(Options{}) {}
+  explicit ValueArena(const Options& options);
+  ~ValueArena();
+
+  ValueArena(const ValueArena&) = delete;
+  ValueArena& operator=(const ValueArena&) = delete;
+
+  /// Bump-allocates `bytes` aligned to `align` (a power of two <=
+  /// alignof(std::max_align_t)). Never returns nullptr; never throws short
+  /// of a real OOM. Zero-byte requests return a unique valid pointer.
+  void* Alloc(size_t bytes, size_t align);
+
+  /// Typed array allocation. T must be trivially destructible (the arena
+  /// never runs destructors).
+  template <typename T>
+  T* AllocArray(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is freed without running destructors");
+    return static_cast<T*>(Alloc(n * sizeof(T), alignof(T)));
+  }
+
+  /// Copies `size` bytes into the arena; returns the stable copy.
+  const char* CopyBytes(const char* data, size_t size);
+
+  /// Slab-class allocation for small element/field arrays: `bytes` is
+  /// rounded up to a slab class (<= kMaxSlabBytes) and served from that
+  /// class's freelist when one is available. Larger requests fall through
+  /// to Alloc. `align` as for Alloc.
+  void* AllocSlab(size_t bytes, size_t align);
+
+  /// Returns a chunk obtained from AllocSlab(bytes, ...) to its class
+  /// freelist for reuse. Only meaningful for slab-class sizes; larger
+  /// chunks are ignored (bump memory is reclaimed wholesale). The caller
+  /// must not touch the chunk afterwards.
+  void RecycleSlab(void* p, size_t bytes);
+
+  /// Recycles every block: bump pointers rewind, slab freelists clear,
+  /// payloads are scribbled (0xA5) and — under ASan — poisoned, so stale
+  /// reads fault. Block memory and its budget charge are retained for
+  /// reuse; use destruction to give the bytes back.
+  void Reset();
+
+  /// Closes the arena's budget scope: releases every charged byte back to
+  /// the budget and stops charging. The executor calls this when a run's
+  /// arenas transfer to its output datasets — they outlive the run-scoped
+  /// MemoryBudget, whose accounting closes with the run. Owner-thread call,
+  /// like Alloc. No-op without a budget.
+  void DetachBudget();
+
+  /// OK until a block charge against options().budget fails; the first
+  /// kResourceExhausted afterwards. Owner-thread read, like Alloc.
+  const Status& governance_status() const { return exhausted_; }
+
+  /// Bytes successfully charged to the budget and not yet released.
+  uint64_t budget_charged_bytes() const { return charged_; }
+
+  const Options& options() const { return options_; }
+  Stats stats() const;
+
+  // --- thread-local arena scoping -----------------------------------------
+
+  /// The arena Value factories allocate from on this thread: the innermost
+  /// active ValueArenaScope, else the thread's registered default arena.
+  static ValueArena* Current();
+
+  /// The innermost active scope on this thread, or nullptr when ambient
+  /// construction would fall back to the thread default. The engine's
+  /// governance checks poll this.
+  static ValueArena* CurrentScope();
+
+  /// This thread's default arena. Created on first use and registered in a
+  /// process-wide registry (never freed: values built outside any scope —
+  /// test fixtures, scan sources, pattern literals — are process-lifetime,
+  /// and the registry keeps the arenas reachable so leak checkers stay
+  /// quiet). Never budget-charged, never Reset.
+  static ValueArena* ThreadDefault();
+
+  /// Largest slab-class chunk, in bytes.
+  static constexpr size_t kMaxSlabBytes = 512;
+
+  /// Bytes AllocSlab actually carves for a request of `bytes` (the slab
+  /// class size, or `bytes` itself past kMaxSlabBytes).
+  static size_t SlabAllocatedBytes(size_t bytes) {
+    size_t cls = SlabClass(bytes);
+    return cls >= kNumSlabClasses ? bytes : SlabClassBytes(cls);
+  }
+
+ private:
+  struct Block {
+    char* data = nullptr;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  static constexpr size_t kNumSlabClasses = 5;  // 32, 64, 128, 256, 512
+
+  /// Index of the slab class that fits `bytes`, or kNumSlabClasses when
+  /// bytes > kMaxSlabBytes.
+  static size_t SlabClass(size_t bytes);
+  static size_t SlabClassBytes(size_t cls) { return size_t{32} << cls; }
+
+  /// Makes at least `bytes` of tail room available, acquiring (or reusing a
+  /// reset) block and charging the budget for fresh acquisitions.
+  void EnsureRoom(size_t bytes);
+
+  Options options_;
+  std::vector<Block> blocks_;
+  size_t cur_ = 0;  // blocks_[cur_] is the active bump block
+  // Intrusive freelists: a recycled chunk's first word points to the next.
+  void* slab_free_[kNumSlabClasses] = {};
+  std::vector<void*> heap_allocs_;  // legacy mode: individual allocations
+  Stats stats_;
+  uint64_t charged_ = 0;  // successful budget charges not yet released
+  Status exhausted_;      // first failed block charge
+};
+
+/// RAII scope directing Value factories on this thread into `arena`.
+/// Scopes nest; the innermost wins. Must be destroyed on the thread that
+/// created it, in LIFO order (enforced in debug builds).
+class ValueArenaScope {
+ public:
+  explicit ValueArenaScope(ValueArena* arena);
+  ~ValueArenaScope();
+
+  ValueArenaScope(const ValueArenaScope&) = delete;
+  ValueArenaScope& operator=(const ValueArenaScope&) = delete;
+
+ private:
+  ValueArena* arena_;
+  ValueArena* prev_;
+};
+
+}  // namespace pebble
+
+#endif  // PEBBLE_COMMON_ARENA_H_

@@ -74,7 +74,7 @@ uint64_t QueryAnswerCache::DatasetFingerprint(const Dataset& output) {
       // Value addresses pin the physical dataset, not just its ids; a few
       // per partition suffice and keep the fingerprint O(rows).
       if (i < 8) {
-        h = MixFnv(h, reinterpret_cast<uintptr_t>(row.value.get()));
+        h = MixFnv(h, reinterpret_cast<uintptr_t>(row.value));
       }
       ++i;
     }

@@ -157,7 +157,7 @@ void FindDescendants(const std::string& name, const Value& context,
                      const Path& base,
                      std::vector<std::pair<ValuePtr, Path>>* out) {
   if (context.is_struct()) {
-    for (const Field& f : context.fields()) {
+    for (const FieldRef& f : context.fields()) {
       Path p = base.Child(PathStep{f.name, kNoPos});
       if (f.name == name) {
         out->push_back({f.value, p});

@@ -63,7 +63,7 @@ class PatternNode {
   /// The equality-predicate constant, or nullptr if the node has no
   /// predicate or a non-equality one.
   const ValuePtr& equals() const {
-    static const ValuePtr kNone;
+    static const ValuePtr kNone = nullptr;
     return predicate_op_ == CompareOp::kEq ? predicate_value_ : kNone;
   }
   CompareOp predicate_op() const { return predicate_op_; }
@@ -84,7 +84,7 @@ class PatternNode {
   std::string name_;
   bool descendant_;
   CompareOp predicate_op_ = CompareOp::kEq;
-  ValuePtr predicate_value_;  // nullptr <=> no predicate
+  ValuePtr predicate_value_ = nullptr;  // nullptr <=> no predicate
   int min_count_ = 1;
   int max_count_ = std::numeric_limits<int>::max();
   std::vector<PatternNode> children_;

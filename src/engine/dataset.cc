@@ -60,43 +60,14 @@ uint64_t Dataset::ApproxBytes() const {
   return bytes;
 }
 
-uint64_t ApproxShallowValueBytes(const Value& value) {
-  uint64_t bytes = sizeof(Value);
-  switch (value.kind()) {
-    case ValueKind::kString:
-      bytes += value.string_value().size();
-      break;
-    case ValueKind::kStruct:
-      bytes += value.num_fields() * sizeof(Field);
-      break;
-    case ValueKind::kBag:
-    case ValueKind::kSet:
-      bytes += value.num_elements() * sizeof(ValuePtr);
-      break;
-    default:
-      break;
-  }
-  return bytes;
+uint64_t ContainerPartitionBytes(const Partition& partition) {
+  return sizeof(Partition) + partition.capacity() * sizeof(Row);
 }
 
-uint64_t ApproxShallowRowBytes(const Row& row) {
-  uint64_t bytes = sizeof(Row);
-  if (row.value != nullptr) bytes += ApproxShallowValueBytes(*row.value);
-  return bytes;
-}
-
-uint64_t ApproxShallowPartitionBytes(const Partition& partition) {
-  uint64_t bytes = sizeof(Partition);
-  for (const Row& r : partition) {
-    bytes += ApproxShallowRowBytes(r);
-  }
-  return bytes;
-}
-
-uint64_t ApproxShallowDatasetBytes(const Dataset& dataset) {
-  uint64_t bytes = 0;
+uint64_t ContainerDatasetBytes(const Dataset& dataset) {
+  uint64_t bytes = dataset.partitions().capacity() * sizeof(Partition);
   for (const Partition& p : dataset.partitions()) {
-    bytes += ApproxShallowPartitionBytes(p);
+    bytes += p.capacity() * sizeof(Row);
   }
   return bytes;
 }

@@ -7,6 +7,7 @@
 #define PEBBLE_ENGINE_DATASET_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/status.h"
@@ -15,12 +16,14 @@
 
 namespace pebble {
 
+class ValueArena;
+
 /// One top-level data item with its provenance identifier. Ids are unique
 /// within one pipeline execution; id kNoId (-1) means "not annotated"
 /// (capture off).
 struct Row {
   int64_t id = -1;
-  ValuePtr value;
+  ValuePtr value = nullptr;
 };
 
 /// One horizontal partition.
@@ -57,26 +60,33 @@ class Dataset {
   /// Total approximate payload bytes across all rows.
   uint64_t ApproxBytes() const;
 
+  /// Retains the value arenas that own this dataset's nodes (and the nodes
+  /// they reference), keeping every ValuePtr in the rows valid for the
+  /// dataset's lifetime. The executor attaches the whole run pool; arenas
+  /// are shared across the datasets of one run (DESIGN.md §15).
+  void RetainArenas(const std::vector<std::shared_ptr<ValueArena>>& arenas) {
+    arenas_.insert(arenas_.end(), arenas.begin(), arenas.end());
+  }
+  const std::vector<std::shared_ptr<ValueArena>>& retained_arenas() const {
+    return arenas_;
+  }
+
  private:
   TypePtr schema_;
   std::vector<Partition> partitions_;
+  std::vector<std::shared_ptr<ValueArena>> arenas_;
 };
 
-/// O(1) shallow footprint of one value node: the node itself plus its string
-/// payload and immediate child slots, NOT the (possibly shared) deep
-/// substructure. This is the accounting unit of the engine memory budget
-/// (DESIGN.md §9): cheap enough for hot staging loops, and proportional to
-/// the bytes an operator actually adds when it shares subtrees.
-uint64_t ApproxShallowValueBytes(const Value& value);
+/// Exact container footprint of a partition: the row vector's reservation
+/// (capacity, not size — these are the bytes actually held). Value payload
+/// bytes are NOT included here: every node and payload array is charged
+/// exactly, block by block, by the arena that owns it (common/arena.h), so
+/// container bytes + arena charges sum to the run's working set with no
+/// estimation (DESIGN.md §15).
+uint64_t ContainerPartitionBytes(const Partition& partition);
 
-/// Shallow footprint of a row: the Row struct plus its value node.
-uint64_t ApproxShallowRowBytes(const Row& row);
-
-/// Sum of shallow row footprints plus the vector itself.
-uint64_t ApproxShallowPartitionBytes(const Partition& partition);
-
-/// Sum over all partitions.
-uint64_t ApproxShallowDatasetBytes(const Dataset& dataset);
+/// Sum over all partitions, plus the partition vector itself.
+uint64_t ContainerDatasetBytes(const Dataset& dataset);
 
 }  // namespace pebble
 

@@ -36,6 +36,10 @@ void FillTelemetry(RunTelemetry* telemetry, const Status& status,
     telemetry->cancel_latency_ms = ctx->trip_latency_ms();
     telemetry->task_stats = ctx->task_stats();
     telemetry->tasks_shed = telemetry->task_stats.tasks_shed;
+    ExecContext::ArenaAccounting acct = ctx->arena_accounting();
+    telemetry->arena_stats = acct.stats;
+    telemetry->arena_count = acct.arenas;
+    telemetry->arena_bytes_charged = acct.bytes_charged;
   }
 }
 
@@ -68,6 +72,12 @@ Result<ExecutionResult> Executor::Run(const Pipeline& pipeline,
   }
   // The deadline clock of the run starts with the context.
   ExecContext ctx(options_, store.get());
+  // Driver-side value arena for the run: shuffle merges, finalization, and
+  // any serial operator work allocate here; per-task attempt scopes nest
+  // inside it when ParallelFor runs inline. Committed into the run pool at
+  // run end so driver-allocated values survive with the outputs.
+  std::shared_ptr<ValueArena> driver_arena = ctx.MakeTaskArena();
+  ValueArenaScope driver_scope(driver_arena.get());
   auto fail = [&](Status st) -> Status {
     FillTelemetry(telemetry, st, options_, &ctx);
     if (telemetry != nullptr) telemetry->provenance = store;
@@ -122,6 +132,17 @@ Result<ExecutionResult> Executor::Run(const Pipeline& pipeline,
     if (!executed.ok()) {
       return fail(executed.status().WithContext(OperatorContext(*op)));
     }
+    // Exact-accounting governance: an arena block charge that failed inside
+    // a task too small to reach a cancellation point parks in the arena;
+    // poll here so the abort is deterministic and attributed to the
+    // operator that overflowed the budget.
+    {
+      Status ast = ctx.arena_exhausted();
+      if (ast.ok() && !driver_arena->governance_status().ok()) {
+        ast = driver_arena->governance_status();
+      }
+      if (!ast.ok()) return fail(ast.WithContext(OperatorContext(*op)));
+    }
     Dataset out = std::move(executed).value();
     // Serial commit point: the operator's staged provenance is fully in the
     // store. The sink must succeed (durability) before the run continues.
@@ -132,7 +153,9 @@ Result<ExecutionResult> Executor::Run(const Pipeline& pipeline,
       }
     }
     if (ctx.budget_limited()) {
-      uint64_t bytes = ApproxShallowDatasetBytes(out);
+      // Container bytes only: the values themselves were already charged,
+      // exactly, by the arenas that allocated them.
+      uint64_t bytes = ContainerDatasetBytes(out);
       Status st = ctx.ChargeBytes(bytes, "materialized dataset");
       if (!st.ok()) return fail(st.WithContext(OperatorContext(*op)));
       charged[op->oid()] = bytes;
@@ -169,8 +192,27 @@ Result<ExecutionResult> Executor::Run(const Pipeline& pipeline,
   result.elapsed_ms = watch.ElapsedMillis();
   result.peak_memory_bytes = ctx.budget().high_water();
   result.cancel_latency_ms = ctx.trip_latency_ms();
+  // The driver arena joins the run pool, then the pool transfers to the
+  // outputs: every ValuePtr in the result stays valid as long as the
+  // datasets holding it. Budget charges are snapshotted for telemetry and
+  // then released — the run-scoped budget's accounting closes with the run.
+  ctx.CommitTaskArena(driver_arena);
+  {
+    ExecContext::ArenaAccounting acct = ctx.arena_accounting();
+    result.arena_stats = acct.stats;
+    result.arena_count = acct.arenas;
+    result.arena_bytes_charged = acct.bytes_charged;
+  }
   FillTelemetry(telemetry, Status::OK(), options_, &ctx);
   if (telemetry != nullptr) telemetry->provenance = result.provenance;
+  std::vector<std::shared_ptr<ValueArena>> arenas = ctx.run_arenas();
+  for (const std::shared_ptr<ValueArena>& arena : arenas) {
+    arena->DetachBudget();
+  }
+  result.output.RetainArenas(arenas);
+  for (auto& [oid, ds] : result.source_datasets) {
+    ds.RetainArenas(arenas);
+  }
   return result;
 }
 

@@ -31,10 +31,24 @@ struct ExecutionResult {
   TaskStats task_stats;
   /// Wall-clock execution time.
   double elapsed_ms = 0;
-  /// High-water mark of the run's memory budget (materialized datasets plus
-  /// staging/shuffle buffers, shallow accounting — DESIGN.md §9). Tracked
-  /// only when options.memory_budget_bytes > 0; otherwise 0.
+  /// High-water mark of the run's memory budget: value-arena blocks
+  /// (charged exactly as acquired — DESIGN.md §15) plus row-container and
+  /// shuffle-buffer reservations. Tracked only when
+  /// options.memory_budget_bytes > 0; otherwise 0.
   uint64_t peak_memory_bytes = 0;
+  /// Exact aggregate allocation statistics over every value arena the run
+  /// created: the driver arena plus one per committed or discarded task
+  /// attempt. bytes_reserved/arena_blocks cover the arenas retained by the
+  /// output datasets (the bytes the caller now holds); discarded attempt
+  /// arenas contribute their churn counters but no reserved bytes.
+  ValueArena::Stats arena_stats;
+  /// Number of arenas the run created (committed + discarded).
+  uint64_t arena_count = 0;
+  /// Bytes the committed arenas had charged against the run's memory budget
+  /// at run end, released when the run closed its budget scope. With a
+  /// budget configured this equals the committed arenas' reserved bytes
+  /// exactly (0-slack accounting); 0 without one.
+  uint64_t arena_bytes_charged = 0;
   /// Milliseconds between an external trip (Cancel() / deadline expiry) and
   /// the first cancellation point that observed it; 0 when the run never
   /// tripped. A successful run can still report a nonzero value if a trip
@@ -56,6 +70,11 @@ struct RunTelemetry {
   double cancel_latency_ms = 0;
   uint64_t tasks_shed = 0;
   TaskStats task_stats;
+  /// Aggregate value-arena statistics (see ExecutionResult::arena_stats);
+  /// on a failed run, covers the arenas created before the abort.
+  ValueArena::Stats arena_stats;
+  uint64_t arena_count = 0;
+  uint64_t arena_bytes_charged = 0;
   /// The run's provenance store, filled even when the run failed so aborted
   /// runs can be integrity-checked (no torn commits: Validate() must pass).
   /// nullptr when capture was off.

@@ -90,7 +90,7 @@ class Expr {
   explicit Expr(ExprKind kind) : kind_(kind) {}
 
   ExprKind kind_;
-  ValuePtr literal_;
+  ValuePtr literal_ = nullptr;
   Path column_;
   CompareOp compare_op_ = CompareOp::kEq;
   LogicalOp logical_op_ = LogicalOp::kAnd;

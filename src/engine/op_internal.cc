@@ -22,7 +22,9 @@ Status CheckProvenanceCommit(ExecContext* ctx,
 Status ChargeStage(ExecContext* ctx, const Partition& rows,
                    uint64_t extra_bytes, const char* what, uint64_t* charged) {
   if (!ctx->budget_limited()) return Status::OK();
-  uint64_t bytes = ApproxShallowPartitionBytes(rows) + extra_bytes;
+  // Container bytes only: the staged values are charged exactly by the
+  // attempt's arena as it acquires blocks (DESIGN.md §15).
+  uint64_t bytes = ContainerPartitionBytes(rows) + extra_bytes;
   PEBBLE_RETURN_NOT_OK(ctx->ChargeBytes(bytes, what));
   *charged = bytes;
   return Status::OK();

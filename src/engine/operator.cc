@@ -67,7 +67,65 @@ Status ExecContext::CheckInterrupt(const char* where) {
     RecordTrip(deadline_.MillisSinceExpiry());
     return deadline_.Check(where);
   }
+  if (budget_.limited()) {
+    // Exact-accounting abort: arena block charges never fail an allocation
+    // (factories are infallible); a failed charge parks in the arena and
+    // trips here, the next cancellation point on the allocating thread.
+    ValueArena* scope = ValueArena::CurrentScope();
+    if (scope != nullptr && !scope->governance_status().ok()) {
+      return scope->governance_status().WithContext(where);
+    }
+  }
   return Status::OK();
+}
+
+std::shared_ptr<ValueArena> ExecContext::MakeTaskArena() {
+  ValueArena::Options o;
+  o.legacy_heap = options_.legacy_heap_alloc;
+  if (budget_.limited()) {
+    o.budget = &budget_;
+    o.budget_what = "value arena blocks";
+  }
+  return std::make_shared<ValueArena>(o);
+}
+
+void ExecContext::CommitTaskArena(std::shared_ptr<ValueArena> arena) {
+  std::lock_guard<std::mutex> lock(arena_mu_);
+  if (arena_status_.ok() && !arena->governance_status().ok()) {
+    arena_status_ = arena->governance_status();
+  }
+  run_arenas_.push_back(std::move(arena));
+}
+
+void ExecContext::DiscardTaskArena(std::shared_ptr<ValueArena> arena) {
+  std::lock_guard<std::mutex> lock(arena_mu_);
+  discarded_stats_.Add(arena->stats());
+  discarded_arenas_ += 1;
+  // Dropping the last reference frees the attempt's memory wholesale and
+  // releases its budget charges.
+}
+
+std::vector<std::shared_ptr<ValueArena>> ExecContext::run_arenas() const {
+  std::lock_guard<std::mutex> lock(arena_mu_);
+  return run_arenas_;
+}
+
+Status ExecContext::arena_exhausted() const {
+  std::lock_guard<std::mutex> lock(arena_mu_);
+  return arena_status_;
+}
+
+ExecContext::ArenaAccounting ExecContext::arena_accounting() const {
+  std::lock_guard<std::mutex> lock(arena_mu_);
+  ArenaAccounting acct;
+  acct.stats = discarded_stats_;
+  acct.arenas = discarded_arenas_;
+  for (const auto& arena : run_arenas_) {
+    acct.stats.Add(arena->stats());
+    acct.arenas += 1;
+    acct.bytes_charged += arena->budget_charged_bytes();
+  }
+  return acct;
 }
 
 Status ExecContext::ChargeBytes(uint64_t bytes, const char* what) {
@@ -114,7 +172,15 @@ Status ExecContext::RunTaskAttempts(size_t i,
     Stopwatch watch;
     Status st = FailpointRegistry::Global().Evaluate(
         failpoints::kTaskPartition, key);
+    // Every attempt allocates into its own arena: a failed (or timed-out)
+    // attempt's values are freed wholesale with the arena, so retries can
+    // never leak or alias a previous attempt's allocations; a successful
+    // attempt's arena transfers to the run pool, where it lives as long as
+    // the datasets referencing its values.
+    std::shared_ptr<ValueArena> arena;
     if (st.ok()) {
+      arena = MakeTaskArena();
+      ValueArenaScope scope(arena.get());
       st = fn(i);
     }
     if (st.ok() && options_.task_timeout_ms > 0 &&
@@ -125,8 +191,12 @@ Status ExecContext::RunTaskAttempts(size_t i,
           std::to_string(options_.task_timeout_ms) + "ms timeout");
     }
     if (st.ok()) {
+      CommitTaskArena(std::move(arena));
       stats->tasks_succeeded += 1;
       return st;
+    }
+    if (arena != nullptr) {
+      DiscardTaskArena(std::move(arena));
     }
     last = std::move(st);
     if (!retry.IsRetryable(last.code())) break;

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/resource.h"
 #include "common/status.h"
 #include "core/commit_sink.h"
@@ -76,10 +77,11 @@ struct ExecOptions {
   /// Executor::Run entry. 0 = none. Expiry fails the run with
   /// kDeadlineExceeded at the next cancellation point (DESIGN.md §9).
   int64_t deadline_ms = 0;
-  /// Byte budget over the run's working set: materialized datasets plus
-  /// per-task staging and shuffle buffers, with shallow O(1)-per-row
-  /// accounting (DESIGN.md §9). 0 = unlimited. Exceeding it fails the run
-  /// with kResourceExhausted — never std::bad_alloc.
+  /// Byte budget over the run's working set: value-arena blocks (every
+  /// value node and payload, charged exactly as blocks are acquired —
+  /// DESIGN.md §15) plus row-container reservations and shuffle buffers.
+  /// 0 = unlimited. Exceeding it fails the run with kResourceExhausted —
+  /// never std::bad_alloc.
   uint64_t memory_budget_bytes = 0;
   /// Cooperative external cancellation: Cancel() on the owning source stops
   /// the run with kCancelled at the next cancellation point. A
@@ -95,6 +97,12 @@ struct ExecOptions {
   /// makes every committed chunk durable before the run is acknowledged.
   /// Ignored when capture == kOff; a sink error fails the run.
   std::shared_ptr<ProvenanceCommitSink> commit_sink;
+  /// Test-only: run and task arenas allocate each value individually from
+  /// the heap (pointer-chase teardown, per-allocation accounting) instead
+  /// of bump-pointer blocks. The arena-vs-heap differential stage pins that
+  /// results, provenance, and store fingerprints are identical under both
+  /// strategies; the allocator benchmark uses it as its baseline.
+  bool legacy_heap_alloc = false;
 };
 
 /// Validates user-supplied options; kInvalidArgument on nonsense values.
@@ -140,7 +148,7 @@ class ExecContext {
                       : Deadline::Infinite()),
         budget_(options_.memory_budget_bytes),
         governed_(options_.cancel.CanBeCancelled() ||
-                  deadline_.has_deadline()),
+                  deadline_.has_deadline() || budget_.limited()),
         next_id_(options_.first_item_id) {}
 
   ExecContext(const ExecContext&) = delete;
@@ -192,13 +200,15 @@ class ExecContext {
   TaskStats task_stats() const;
 
   /// Governance cancellation point: OK when the run is neither cancelled
-  /// nor past its deadline; kCancelled / kDeadlineExceeded (with `where`
-  /// context) otherwise. O(1) and branch-free when no token or deadline was
-  /// configured. Records the reaction latency of the first trip observed.
+  /// nor past its deadline and the current task arena has not failed a
+  /// budget charge; kCancelled / kDeadlineExceeded / kResourceExhausted
+  /// (with `where` context) otherwise. O(1) and branch-free when no token,
+  /// deadline, or budget was configured. Records the reaction latency of
+  /// the first cancel/deadline trip observed.
   Status CheckInterrupt(const char* where);
 
-  /// True when a cancel token or deadline is active (CheckInterrupt can
-  /// actually trip).
+  /// True when a cancel token, deadline, or memory budget is active
+  /// (CheckInterrupt can actually trip).
   bool governed() const { return governed_; }
   /// True when the run has a memory budget that can reject charges.
   bool budget_limited() const { return budget_.limited(); }
@@ -211,6 +221,48 @@ class ExecContext {
 
   MemoryBudget& budget() { return budget_; }
   const Deadline& deadline() const { return deadline_; }
+
+  /// Creates a value arena for one task attempt (or the driver): budget-
+  /// charged block-by-block when the run has a memory budget, heap-backed
+  /// when options().legacy_heap_alloc is set. The caller installs it via
+  /// ValueArenaScope for the attempt body, then either commits or discards
+  /// it (DESIGN.md §15).
+  std::shared_ptr<ValueArena> MakeTaskArena();
+
+  /// Commits the arena of a successful attempt into the run pool: its
+  /// values are reachable from staged rows, so it must live until the run's
+  /// datasets do. Folds a failed block charge into the sticky run-level
+  /// arena status. Thread-safe.
+  void CommitTaskArena(std::shared_ptr<ValueArena> arena);
+
+  /// Discards the arena of a failed attempt: tallies its stats (so
+  /// telemetry still sees the attempt's churn) and frees its memory
+  /// wholesale. A failed block charge is NOT folded into the run status —
+  /// the attempt already failed and may be retried. Thread-safe.
+  void DiscardTaskArena(std::shared_ptr<ValueArena> arena);
+
+  /// Arenas committed so far (the run pool). The executor attaches these to
+  /// the run's output datasets so ValuePtr rows outlive the context.
+  std::vector<std::shared_ptr<ValueArena>> run_arenas() const;
+
+  /// Sticky first failed arena block charge across committed arenas; OK
+  /// while every charge succeeded. The executor polls this after each
+  /// operator so exhaustion inside small tasks (too short to reach a
+  /// cancellation point) still aborts the run deterministically.
+  Status arena_exhausted() const;
+
+  /// Exact run-wide arena accounting for telemetry.
+  struct ArenaAccounting {
+    /// Sum over every arena the run created, committed and discarded.
+    ValueArena::Stats stats;
+    /// Arena count (committed + discarded).
+    uint64_t arenas = 0;
+    /// Bytes currently charged against the run budget by committed arenas;
+    /// with a budget configured this equals their reserved bytes exactly
+    /// (0-slack accounting), and 0 without one.
+    uint64_t bytes_charged = 0;
+  };
+  ArenaAccounting arena_accounting() const;
 
   /// Milliseconds between the external trip (Cancel() call or deadline
   /// expiry) and the first cancellation point that observed it; 0.0 when
@@ -238,6 +290,14 @@ class ExecContext {
   std::atomic<int64_t> trip_latency_us_{-1};  // -1 = never tripped
   mutable std::mutex stats_mu_;
   TaskStats stats_;
+  // Run arena pool. Declared after budget_ so committed arenas (which may
+  // still hold budget charges on a failed run) are destroyed before the
+  // budget they release into.
+  mutable std::mutex arena_mu_;
+  std::vector<std::shared_ptr<ValueArena>> run_arenas_;
+  ValueArena::Stats discarded_stats_;
+  uint64_t discarded_arenas_ = 0;
+  Status arena_status_;
 };
 
 /// Abstract operator node. Concrete operators live in engine/operators.h.

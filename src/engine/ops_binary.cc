@@ -228,10 +228,8 @@ Result<Dataset> JoinOp::Execute(
                   });
       }
       for (const KeyedRow* rkr : matches) {
-        std::vector<Field> fields = lkr.row.value->fields();
-        const std::vector<Field>& rf = rkr->row.value->fields();
-        fields.insert(fields.end(), rf.begin(), rf.end());
-        ValuePtr combined = Value::Struct(std::move(fields));
+        ValuePtr combined =
+            Value::StructConcat(*lkr.row.value, *rkr->row.value);
         if (theta_ != nullptr) {
           PEBBLE_ASSIGN_OR_RETURN(bool pass, theta_->EvaluateBool(*combined));
           if (!pass) continue;

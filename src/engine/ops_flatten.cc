@@ -76,9 +76,8 @@ Result<Dataset> FlattenOp::Execute(
                                "' is not a collection value");
     }
     for (size_t x = 0; x < col->num_elements(); ++x) {
-      std::vector<Field> fields = row.value->fields();
-      fields.push_back(Field{new_attr_, col->elements()[x]});
-      emit(Value::Struct(std::move(fields)), static_cast<int32_t>(x + 1));
+      emit(Value::StructWith(*row.value, new_attr_, col->elements()[x]),
+           static_cast<int32_t>(x + 1));
     }
     return Status::OK();
   };

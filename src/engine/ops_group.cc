@@ -55,7 +55,7 @@ Result<ValuePtr> ComputeAgg(const AggSpec& spec,
     }
     case AggKind::kMin:
     case AggKind::kMax: {
-      ValuePtr best;
+      ValuePtr best = nullptr;
       for (const ValuePtr& v : values) {
         if (v->is_null()) continue;
         if (best == nullptr) {

@@ -152,7 +152,7 @@ Path Path::WithoutPositions() const {
 }
 
 Result<ValuePtr> Path::Evaluate(const Value& context) const {
-  ValuePtr current;
+  ValuePtr current = nullptr;
   const Value* cur = &context;
   for (const PathStep& step : steps_) {
     if (!cur->is_struct()) {
@@ -180,7 +180,7 @@ Result<ValuePtr> Path::Evaluate(const Value& context) const {
       next = next->elements()[idx - 1];
     }
     current = next;
-    cur = current.get();
+    cur = current;
   }
   if (current == nullptr) current = Value::Null();  // empty path: identity
   return current;

@@ -1,8 +1,13 @@
 #include "nested/value.h"
 
 #include <cstdio>
+#include <cstring>
 #include <functional>
+#include <new>
 #include <unordered_set>
+
+#include "common/arena.h"
+#include "common/interner.h"
 
 namespace pebble {
 
@@ -12,7 +17,7 @@ void HashCombine(size_t* seed, size_t v) {
   *seed ^= v + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
 }
 
-void AppendJsonString(const std::string& s, std::string* out) {
+void AppendJsonString(std::string_view s, std::string* out) {
   out->push_back('"');
   for (char c : s) {
     switch (c) {
@@ -44,75 +49,184 @@ void AppendJsonString(const std::string& s, std::string* out) {
   out->push_back('"');
 }
 
+constexpr char kEmpty[] = "";
+
+/// Stable interner view of an attribute name (stable for the process
+/// lifetime, so frozen FieldRefs never dangle).
+std::string_view InternName(std::string_view name) {
+  Interner& interner = Interner::Global();
+  return interner.ToString(interner.Intern(name));
+}
+
 }  // namespace
 
 ValuePtr Value::Null() {
-  static const ValuePtr v = [] {
-    auto* n = new Value(ValueKind::kNull);
-    n->ComputeHash();
-    return ValuePtr(n);
+  static const Value v = [] {
+    Value n(ValueKind::kNull);
+    n.ComputeHash();
+    return n;
   }();
-  return v;
+  return &v;
 }
 
 ValuePtr Value::Bool(bool b) {
-  auto* v = new Value(ValueKind::kBool);
-  v->bool_ = b;
+  auto* v = new (ValueArena::Current()->Alloc(sizeof(Value), alignof(Value)))
+      Value(ValueKind::kBool);
+  v->u_.b = b;
   v->ComputeHash();
-  return ValuePtr(v);
+  return v;
 }
 
 ValuePtr Value::Int(int64_t i) {
-  auto* v = new Value(ValueKind::kInt);
-  v->int_ = i;
+  auto* v = new (ValueArena::Current()->Alloc(sizeof(Value), alignof(Value)))
+      Value(ValueKind::kInt);
+  v->u_.i = i;
   v->ComputeHash();
-  return ValuePtr(v);
+  return v;
 }
 
 ValuePtr Value::Double(double d) {
-  auto* v = new Value(ValueKind::kDouble);
-  v->double_ = d;
+  auto* v = new (ValueArena::Current()->Alloc(sizeof(Value), alignof(Value)))
+      Value(ValueKind::kDouble);
+  v->u_.d = d;
   v->ComputeHash();
-  return ValuePtr(v);
+  return v;
 }
 
-ValuePtr Value::String(std::string s) {
-  auto* v = new Value(ValueKind::kString);
-  v->string_ = std::move(s);
+ValuePtr Value::String(std::string_view s) {
+  ValueArena* a = ValueArena::Current();
+  auto* v =
+      new (a->Alloc(sizeof(Value), alignof(Value))) Value(ValueKind::kString);
+  v->count_ = static_cast<uint32_t>(s.size());
+  v->u_.s = s.empty() ? kEmpty : a->CopyBytes(s.data(), s.size());
   v->ComputeHash();
-  return ValuePtr(v);
+  return v;
 }
 
-ValuePtr Value::Struct(std::vector<Field> fields) {
-  auto* v = new Value(ValueKind::kStruct);
-  v->fields_ = std::move(fields);
-  v->ComputeHash();
-  return ValuePtr(v);
-}
-
-ValuePtr Value::Bag(std::vector<ValuePtr> elements) {
-  auto* v = new Value(ValueKind::kBag);
-  v->elements_ = std::move(elements);
-  v->ComputeHash();
-  return ValuePtr(v);
-}
-
-ValuePtr Value::Set(std::vector<ValuePtr> elements) {
-  auto* v = new Value(ValueKind::kSet);
-  v->elements_.reserve(elements.size());
-  // Hash-based dedup keeping first occurrences: O(n) expected via the
-  // memoized per-node hashes (previously an O(n^2) deep-equality scan).
-  std::unordered_set<ValuePtr, ValuePtrHash, ValuePtrEq> seen;
-  seen.reserve(elements.size());
-  for (ValuePtr& e : elements) {
-    if (seen.insert(e).second) v->elements_.push_back(std::move(e));
+ValuePtr Value::Struct(const std::vector<Field>& fields) {
+  ValueArena* a = ValueArena::Current();
+  auto* v =
+      new (a->Alloc(sizeof(Value), alignof(Value))) Value(ValueKind::kStruct);
+  size_t n = fields.size();
+  v->count_ = static_cast<uint32_t>(n);
+  if (n > 0) {
+    auto* fr = static_cast<FieldRef*>(
+        a->AllocSlab(n * sizeof(FieldRef), alignof(FieldRef)));
+    for (size_t i = 0; i < n; ++i) {
+      fr[i] = FieldRef{InternName(fields[i].name), fields[i].value};
+    }
+    v->u_.f = fr;
   }
   v->ComputeHash();
-  return ValuePtr(v);
+  return v;
 }
 
-ValuePtr Value::FindField(const std::string& name) const {
-  for (const Field& f : fields_) {
+ValuePtr Value::StructFromRefs(FieldSpan fields) {
+  ValueArena* a = ValueArena::Current();
+  auto* v =
+      new (a->Alloc(sizeof(Value), alignof(Value))) Value(ValueKind::kStruct);
+  size_t n = fields.size();
+  v->count_ = static_cast<uint32_t>(n);
+  if (n > 0) {
+    auto* fr = static_cast<FieldRef*>(
+        a->AllocSlab(n * sizeof(FieldRef), alignof(FieldRef)));
+    std::memcpy(fr, fields.data(), n * sizeof(FieldRef));
+    v->u_.f = fr;
+  }
+  v->ComputeHash();
+  return v;
+}
+
+ValuePtr Value::StructWith(const Value& base, std::string_view name,
+                           ValuePtr value) {
+  ValueArena* a = ValueArena::Current();
+  auto* v =
+      new (a->Alloc(sizeof(Value), alignof(Value))) Value(ValueKind::kStruct);
+  FieldSpan bf = base.fields();
+  size_t n = bf.size() + 1;
+  v->count_ = static_cast<uint32_t>(n);
+  auto* fr = static_cast<FieldRef*>(
+      a->AllocSlab(n * sizeof(FieldRef), alignof(FieldRef)));
+  if (!bf.empty()) std::memcpy(fr, bf.data(), bf.size() * sizeof(FieldRef));
+  fr[n - 1] = FieldRef{InternName(name), value};
+  v->u_.f = fr;
+  v->ComputeHash();
+  return v;
+}
+
+ValuePtr Value::StructConcat(const Value& left, const Value& right) {
+  ValueArena* a = ValueArena::Current();
+  auto* v =
+      new (a->Alloc(sizeof(Value), alignof(Value))) Value(ValueKind::kStruct);
+  FieldSpan lf = left.fields();
+  FieldSpan rf = right.fields();
+  size_t n = lf.size() + rf.size();
+  v->count_ = static_cast<uint32_t>(n);
+  if (n > 0) {
+    auto* fr = static_cast<FieldRef*>(
+        a->AllocSlab(n * sizeof(FieldRef), alignof(FieldRef)));
+    if (!lf.empty()) std::memcpy(fr, lf.data(), lf.size() * sizeof(FieldRef));
+    if (!rf.empty()) {
+      std::memcpy(fr + lf.size(), rf.data(), rf.size() * sizeof(FieldRef));
+    }
+    v->u_.f = fr;
+  }
+  v->ComputeHash();
+  return v;
+}
+
+ValuePtr Value::Bag(const std::vector<ValuePtr>& elements) {
+  ValueArena* a = ValueArena::Current();
+  auto* v =
+      new (a->Alloc(sizeof(Value), alignof(Value))) Value(ValueKind::kBag);
+  size_t n = elements.size();
+  v->count_ = static_cast<uint32_t>(n);
+  if (n > 0) {
+    auto* e = static_cast<ValuePtr*>(
+        a->AllocSlab(n * sizeof(ValuePtr), alignof(ValuePtr)));
+    std::memcpy(e, elements.data(), n * sizeof(ValuePtr));
+    v->u_.e = e;
+  }
+  v->ComputeHash();
+  return v;
+}
+
+ValuePtr Value::Set(const std::vector<ValuePtr>& elements) {
+  ValueArena* a = ValueArena::Current();
+  auto* v =
+      new (a->Alloc(sizeof(Value), alignof(Value))) Value(ValueKind::kSet);
+  size_t n = elements.size();
+  if (n > 0) {
+    // Hash-based dedup keeping first occurrences, O(n) expected via the
+    // memoized per-node hashes. The survivors are packed into a worst-case
+    // slab buffer; if dedup shrank the array into a smaller slab class, it
+    // is re-packed tight and the big chunk is recycled for the next set.
+    auto* buf = static_cast<ValuePtr*>(
+        a->AllocSlab(n * sizeof(ValuePtr), alignof(ValuePtr)));
+    std::unordered_set<ValuePtr, ValuePtrHash, ValuePtrEq> seen;
+    seen.reserve(n);
+    size_t kept = 0;
+    for (const ValuePtr& e : elements) {
+      if (seen.insert(e).second) buf[kept++] = e;
+    }
+    if (kept < n && n * sizeof(ValuePtr) <= ValueArena::kMaxSlabBytes &&
+        ValueArena::SlabAllocatedBytes(kept * sizeof(ValuePtr)) <
+            ValueArena::SlabAllocatedBytes(n * sizeof(ValuePtr))) {
+      auto* tight = static_cast<ValuePtr*>(
+          a->AllocSlab(kept * sizeof(ValuePtr), alignof(ValuePtr)));
+      if (kept > 0) std::memcpy(tight, buf, kept * sizeof(ValuePtr));
+      a->RecycleSlab(buf, n * sizeof(ValuePtr));
+      buf = tight;
+    }
+    v->count_ = static_cast<uint32_t>(kept);
+    v->u_.e = kept > 0 ? buf : nullptr;
+  }
+  v->ComputeHash();
+  return v;
+}
+
+ValuePtr Value::FindField(std::string_view name) const {
+  for (const FieldRef& f : fields()) {
     if (f.name == name) return f.value;
   }
   return nullptr;
@@ -126,26 +240,26 @@ bool Value::Equals(const Value& other) const {
     case ValueKind::kNull:
       return true;
     case ValueKind::kBool:
-      return bool_ == other.bool_;
+      return u_.b == other.u_.b;
     case ValueKind::kInt:
-      return int_ == other.int_;
+      return u_.i == other.u_.i;
     case ValueKind::kDouble:
-      return double_ == other.double_;
+      return u_.d == other.u_.d;
     case ValueKind::kString:
-      return string_ == other.string_;
+      return string_value() == other.string_value();
     case ValueKind::kStruct: {
-      if (fields_.size() != other.fields_.size()) return false;
-      for (size_t i = 0; i < fields_.size(); ++i) {
-        if (fields_[i].name != other.fields_[i].name) return false;
-        if (!fields_[i].value->Equals(*other.fields_[i].value)) return false;
+      if (count_ != other.count_) return false;
+      for (size_t i = 0; i < count_; ++i) {
+        if (u_.f[i].name != other.u_.f[i].name) return false;
+        if (!u_.f[i].value->Equals(*other.u_.f[i].value)) return false;
       }
       return true;
     }
     case ValueKind::kBag:
     case ValueKind::kSet: {
-      if (elements_.size() != other.elements_.size()) return false;
-      for (size_t i = 0; i < elements_.size(); ++i) {
-        if (!elements_[i]->Equals(*other.elements_[i])) return false;
+      if (count_ != other.count_) return false;
+      for (size_t i = 0; i < count_; ++i) {
+        if (!u_.e[i]->Equals(*other.u_.e[i])) return false;
       }
       return true;
     }
@@ -156,33 +270,35 @@ bool Value::Equals(const Value& other) const {
 void Value::ComputeHash() {
   // Children are constructed (and hashed) before their parents, so this is
   // a shallow combine over already-memoized child hashes. The computation
-  // matches the old deep recursion bit-for-bit: downstream hash
-  // partitioning (join/group shuffles) must not change row order.
+  // matches the pre-arena value model bit-for-bit (std::hash over a
+  // string_view of the same bytes equals std::hash over the std::string):
+  // downstream hash partitioning (join/group shuffles) must not change row
+  // order, and the golden fingerprints check exactly that.
   size_t h = static_cast<size_t>(kind_) * 0x9e3779b97f4a7c15ULL;
   switch (kind_) {
     case ValueKind::kNull:
       break;
     case ValueKind::kBool:
-      HashCombine(&h, bool_ ? 1 : 2);
+      HashCombine(&h, u_.b ? 1 : 2);
       break;
     case ValueKind::kInt:
-      HashCombine(&h, std::hash<int64_t>{}(int_));
+      HashCombine(&h, std::hash<int64_t>{}(u_.i));
       break;
     case ValueKind::kDouble:
-      HashCombine(&h, std::hash<double>{}(double_));
+      HashCombine(&h, std::hash<double>{}(u_.d));
       break;
     case ValueKind::kString:
-      HashCombine(&h, std::hash<std::string>{}(string_));
+      HashCombine(&h, std::hash<std::string_view>{}(string_value()));
       break;
     case ValueKind::kStruct:
-      for (const Field& f : fields_) {
-        HashCombine(&h, std::hash<std::string>{}(f.name));
+      for (const FieldRef& f : fields()) {
+        HashCombine(&h, std::hash<std::string_view>{}(f.name));
         HashCombine(&h, f.value->Hash());
       }
       break;
     case ValueKind::kBag:
     case ValueKind::kSet:
-      for (const ValuePtr& e : elements_) {
+      for (const ValuePtr& e : elements()) {
         HashCombine(&h, e->Hash());
       }
       break;
@@ -199,31 +315,31 @@ int Value::Compare(const Value& other) const {
     case ValueKind::kNull:
       return 0;
     case ValueKind::kBool:
-      return cmp3(bool_, other.bool_);
+      return cmp3(u_.b, other.u_.b);
     case ValueKind::kInt:
-      return cmp3(int_, other.int_);
+      return cmp3(u_.i, other.u_.i);
     case ValueKind::kDouble:
-      return cmp3(double_, other.double_);
+      return cmp3(u_.d, other.u_.d);
     case ValueKind::kString:
-      return string_.compare(other.string_);
+      return string_value().compare(other.string_value());
     case ValueKind::kStruct: {
-      size_t n = std::min(fields_.size(), other.fields_.size());
+      size_t n = std::min(num_fields(), other.num_fields());
       for (size_t i = 0; i < n; ++i) {
-        int c = fields_[i].name.compare(other.fields_[i].name);
+        int c = u_.f[i].name.compare(other.u_.f[i].name);
         if (c != 0) return c < 0 ? -1 : 1;
-        c = fields_[i].value->Compare(*other.fields_[i].value);
+        c = u_.f[i].value->Compare(*other.u_.f[i].value);
         if (c != 0) return c;
       }
-      return cmp3(fields_.size(), other.fields_.size());
+      return cmp3(num_fields(), other.num_fields());
     }
     case ValueKind::kBag:
     case ValueKind::kSet: {
-      size_t n = std::min(elements_.size(), other.elements_.size());
+      size_t n = std::min(num_elements(), other.num_elements());
       for (size_t i = 0; i < n; ++i) {
-        int c = elements_[i]->Compare(*other.elements_[i]);
+        int c = u_.e[i]->Compare(*other.u_.e[i]);
         if (c != 0) return c;
       }
-      return cmp3(elements_.size(), other.elements_.size());
+      return cmp3(num_elements(), other.num_elements());
     }
   }
   return 0;
@@ -243,18 +359,18 @@ TypePtr Value::InferType() const {
       return DataType::String();
     case ValueKind::kStruct: {
       std::vector<FieldType> fts;
-      fts.reserve(fields_.size());
-      for (const Field& f : fields_) {
-        fts.push_back({f.name, f.value->InferType()});
+      fts.reserve(num_fields());
+      for (const FieldRef& f : fields()) {
+        fts.push_back({std::string(f.name), f.value->InferType()});
       }
       return DataType::Struct(std::move(fts));
     }
     case ValueKind::kBag:
-      return DataType::Bag(elements_.empty() ? DataType::Null()
-                                             : elements_[0]->InferType());
+      return DataType::Bag(count_ == 0 ? DataType::Null()
+                                       : u_.e[0]->InferType());
     case ValueKind::kSet:
-      return DataType::Set(elements_.empty() ? DataType::Null()
-                                             : elements_[0]->InferType());
+      return DataType::Set(count_ == 0 ? DataType::Null()
+                                       : u_.e[0]->InferType());
   }
   return DataType::Null();
 }
@@ -266,27 +382,27 @@ std::string Value::ToString() const {
       out = "null";
       break;
     case ValueKind::kBool:
-      out = bool_ ? "true" : "false";
+      out = u_.b ? "true" : "false";
       break;
     case ValueKind::kInt:
-      out = std::to_string(int_);
+      out = std::to_string(u_.i);
       break;
     case ValueKind::kDouble: {
       char buf[40];
-      std::snprintf(buf, sizeof(buf), "%.17g", double_);
+      std::snprintf(buf, sizeof(buf), "%.17g", u_.d);
       out = buf;
       break;
     }
     case ValueKind::kString:
-      AppendJsonString(string_, &out);
+      AppendJsonString(string_value(), &out);
       break;
     case ValueKind::kStruct: {
       out = "{";
-      for (size_t i = 0; i < fields_.size(); ++i) {
+      for (size_t i = 0; i < count_; ++i) {
         if (i > 0) out += ",";
-        AppendJsonString(fields_[i].name, &out);
+        AppendJsonString(u_.f[i].name, &out);
         out += ":";
-        out += fields_[i].value->ToString();
+        out += u_.f[i].value->ToString();
       }
       out += "}";
       break;
@@ -294,9 +410,9 @@ std::string Value::ToString() const {
     case ValueKind::kBag:
     case ValueKind::kSet: {
       out = "[";
-      for (size_t i = 0; i < elements_.size(); ++i) {
+      for (size_t i = 0; i < count_; ++i) {
         if (i > 0) out += ",";
-        out += elements_[i]->ToString();
+        out += u_.e[i]->ToString();
       }
       out += "]";
       break;
@@ -309,16 +425,16 @@ uint64_t Value::ApproxBytes() const {
   uint64_t bytes = sizeof(Value);
   switch (kind_) {
     case ValueKind::kString:
-      bytes += string_.size();
+      bytes += count_;
       break;
     case ValueKind::kStruct:
-      for (const Field& f : fields_) {
-        bytes += f.name.size() + sizeof(Field) + f.value->ApproxBytes();
+      for (const FieldRef& f : fields()) {
+        bytes += f.name.size() + sizeof(FieldRef) + f.value->ApproxBytes();
       }
       break;
     case ValueKind::kBag:
     case ValueKind::kSet:
-      for (const ValuePtr& e : elements_) {
+      for (const ValuePtr& e : elements()) {
         bytes += sizeof(ValuePtr) + e->ApproxBytes();
       }
       break;

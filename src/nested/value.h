@@ -3,8 +3,17 @@
 // A value is a constant (bool, int, double, string), a data item (an ordered
 // list of uniquely named attribute:value pairs, i.e. a struct), a bag
 // (ordered, duplicates allowed) or a set (ordered, duplicates removed at
-// construction). Values are shared via std::shared_ptr<const Value>, so
-// operators copy substructure in O(1).
+// construction).
+//
+// Memory model (DESIGN.md §15): every Value node and its payload (string
+// bytes, field array, element array) lives in a ValueArena — the innermost
+// ValueArenaScope of the constructing thread, else the thread's registered
+// default arena. ValuePtr is a non-owning `const Value*`: operators share
+// substructure in O(1) by copying pointers, and whole datasets free in O(1)
+// when their arenas die. A value must not outlive its arena; the executor
+// enforces this by transferring every committed task arena to the run's
+// output dataset. Attribute names are interned process-wide (Interner), so
+// field name views never dangle.
 
 #ifndef PEBBLE_NESTED_VALUE_H_
 #define PEBBLE_NESTED_VALUE_H_
@@ -12,6 +21,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -21,7 +31,8 @@
 namespace pebble {
 
 class Value;
-using ValuePtr = std::shared_ptr<const Value>;
+/// Non-owning handle to an arena-allocated immutable value.
+using ValuePtr = const Value*;
 
 enum class ValueKind {
   kNull,
@@ -34,24 +45,67 @@ enum class ValueKind {
   kSet,
 };
 
-/// One attribute of a data item.
+/// One attribute of a data item, builder-side: used to assemble structs
+/// before they are frozen into an arena. The stored form is FieldRef.
 struct Field {
   std::string name;
-  ValuePtr value;
+  ValuePtr value = nullptr;
 };
 
-/// Immutable nested value. Build through the static factories.
+/// One attribute of a frozen data item. `name` views the process-wide
+/// interner (stable for the process lifetime); `value` follows the arena
+/// lifetime contract above.
+struct FieldRef {
+  std::string_view name;
+  ValuePtr value = nullptr;
+};
+
+/// Minimal read-only array view over arena-stored payloads.
+template <typename T>
+class Span {
+ public:
+  Span() = default;
+  Span(const T* data, size_t size) : data_(data), size_(size) {}
+
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T& front() const { return data_[0]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+using FieldSpan = Span<FieldRef>;
+using ElementSpan = Span<ValuePtr>;
+
+/// Immutable nested value. Build through the static factories; nodes are
+/// trivially destructible and freed wholesale with their arena.
 class Value {
  public:
   static ValuePtr Null();
   static ValuePtr Bool(bool v);
   static ValuePtr Int(int64_t v);
   static ValuePtr Double(double v);
-  static ValuePtr String(std::string v);
-  static ValuePtr Struct(std::vector<Field> fields);
-  static ValuePtr Bag(std::vector<ValuePtr> elements);
+  static ValuePtr String(std::string_view v);
+  static ValuePtr Struct(const std::vector<Field>& fields);
+  /// Struct from already-frozen field refs (names must already be interner
+  /// views, e.g. taken from another value's fields()).
+  static ValuePtr StructFromRefs(FieldSpan fields);
+  /// `base`'s fields plus one appended attribute — the flatten kernel's
+  /// shape, without re-copying any name bytes.
+  static ValuePtr StructWith(const Value& base, std::string_view name,
+                             ValuePtr value);
+  /// `left`'s fields followed by `right`'s — the join kernel's shape.
+  static ValuePtr StructConcat(const Value& left, const Value& right);
+  static ValuePtr Bag(const std::vector<ValuePtr>& elements);
   /// Removes duplicates (by deep equality), keeping first occurrences.
-  static ValuePtr Set(std::vector<ValuePtr> elements);
+  static ValuePtr Set(const std::vector<ValuePtr>& elements);
 
   ValueKind kind() const { return kind_; }
   bool is_null() const { return kind_ == ValueKind::kNull; }
@@ -64,25 +118,27 @@ class Value {
   }
 
   // Constant accessors; only valid for the matching kind.
-  bool bool_value() const { return bool_; }
-  int64_t int_value() const { return int_; }
-  double double_value() const { return double_; }
-  const std::string& string_value() const { return string_; }
+  bool bool_value() const { return u_.b; }
+  int64_t int_value() const { return u_.i; }
+  double double_value() const { return u_.d; }
+  std::string_view string_value() const {
+    return std::string_view(u_.s, count_);
+  }
 
   /// Numeric value as double (int or double kinds).
   double AsDouble() const {
-    return kind_ == ValueKind::kInt ? static_cast<double>(int_) : double_;
+    return kind_ == ValueKind::kInt ? static_cast<double>(u_.i) : u_.d;
   }
 
   // Struct accessors.
-  const std::vector<Field>& fields() const { return fields_; }
-  size_t num_fields() const { return fields_.size(); }
+  FieldSpan fields() const { return FieldSpan(u_.f, count_); }
+  size_t num_fields() const { return count_; }
   /// Field value by name, or nullptr if absent.
-  ValuePtr FindField(const std::string& name) const;
+  ValuePtr FindField(std::string_view name) const;
 
   // Collection accessors.
-  const std::vector<ValuePtr>& elements() const { return elements_; }
-  size_t num_elements() const { return elements_.size(); }
+  ElementSpan elements() const { return ElementSpan(u_.e, count_); }
+  size_t num_elements() const { return count_; }
 
   /// Deep structural equality (NaN != NaN, matching SQL-ish semantics is not
   /// needed here; bitwise double equality is used). Short-circuits on the
@@ -113,17 +169,24 @@ class Value {
   explicit Value(ValueKind kind) : kind_(kind) {}
 
   /// Computes and stores the structural hash; called once per node by the
-  /// factories, after the payload is in place.
+  /// factories, after the payload is in place. The bit pattern is frozen:
+  /// join/group shuffles hash-partition on it, and the golden fingerprints
+  /// pin the resulting row orders.
   void ComputeHash();
 
   ValueKind kind_;
-  bool bool_ = false;
-  int64_t int_ = 0;
-  double double_ = 0;
+  /// String length / field count / element count.
+  uint32_t count_ = 0;
   size_t hash_ = 0;
-  std::string string_;
-  std::vector<Field> fields_;
-  std::vector<ValuePtr> elements_;
+  union Payload {
+    bool b;
+    int64_t i;
+    double d;
+    const char* s;
+    const FieldRef* f;
+    const ValuePtr* e;
+    Payload() : i(0) {}
+  } u_;
 };
 
 bool operator==(const Value& a, const Value& b);

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/failpoint.h"
 #include "core/compactor.h"
 #include "core/provenance_io.h"
@@ -163,6 +164,35 @@ Status RunMetamorphicStages(const DiffCase& c, const DiffOptions& options,
     }
     PEBBLE_RETURN_NOT_OK(CompareOrderedRows(
         "capture-off", off.value().output.CollectValues(), exact_values));
+  }
+
+  // --- Allocation-strategy invariance (arena vs legacy heap) ---------------
+  // The bump-pointer value arena must be a pure allocation strategy:
+  // re-running the case with per-value heap allocation must reproduce the
+  // exact rows, canonical provenance, and serialized store bytes.
+  {
+    ExecOptions heap_options(CaptureMode::kStructural, 1, 1);
+    heap_options.legacy_heap_alloc = true;
+    Executor heap_exec(heap_options);
+    Result<ExecutionResult> heap = heap_exec.Run(built.pipeline);
+    if (!heap.ok()) {
+      return Mismatch("arena-vs-heap", heap.status().message());
+    }
+    PEBBLE_RETURN_NOT_OK(CompareOrderedRows(
+        "arena-vs-heap", heap.value().output.CollectValues(), exact_values));
+    if (SerializeProvenanceStore(*heap.value().provenance) !=
+        SerializeProvenanceStore(*exact.provenance)) {
+      return Mismatch("arena-vs-heap",
+                      "serialized stores differ between arena and legacy "
+                      "heap allocation");
+    }
+    PEBBLE_ASSIGN_OR_RETURN(CanonicalProvenance heap_canonical,
+                            EngineCanonical(heap.value(), built.pattern));
+    if (heap_canonical != canonical) {
+      return Mismatch(
+          "arena-vs-heap",
+          TwoSided(heap_canonical.ToString(), canonical.ToString()));
+    }
   }
 
   // --- Serializer stability ------------------------------------------------
@@ -427,6 +457,12 @@ Status RunWarmPathStages(const DiffOptions& options, const BuiltCase& built,
 }  // namespace
 
 Status RunDiffCase(const DiffCase& c, const DiffOptions& options) {
+  // Per-case arena: generated inputs, oracle values, and any ambient
+  // construction live here and are freed wholesale when the case ends, so
+  // multi-thousand-seed sweeps don't accumulate in the thread-default
+  // arena. Declared first: every local below may reference its values.
+  ValueArena case_arena;
+  ValueArenaScope case_scope(&case_arena);
   PEBBLE_ASSIGN_OR_RETURN(BuiltCase built, BuildCase(c));
 
   // Engine exact leg: one partition, one thread — output order is the

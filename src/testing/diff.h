@@ -19,6 +19,11 @@
 //                         store of the 1- and N-partition runs must be
 //                         byte-identical
 //   capture-off           CaptureMode::kOff changes the query result
+//   arena-vs-heap         legacy per-value heap allocation
+//                         (ExecOptions::legacy_heap_alloc) changes the
+//                         rows, the canonical provenance, or the
+//                         serialized store bytes — the arena must be a
+//                         pure allocation strategy
 //   serialize-roundtrip   serialize -> deserialize -> serialize not stable
 //   snapshot              save/load round-trip changes offline query answer
 //   wal-replay            WAL-captured run does not recover to the exact

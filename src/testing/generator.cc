@@ -265,9 +265,7 @@ Result<MapArtifacts> BuildMapArtifacts(const OpSpec& op,
       if (!item.is_struct()) {
         return Status::TypeError("map tag expects a struct item");
       }
-      std::vector<Field> fields = item.fields();
-      fields.push_back(Field{attr, Value::Int(1)});
-      return Value::Struct(std::move(fields));
+      return Value::StructWith(item, attr, Value::Int(1));
     };
     std::vector<FieldType> fields = in_schema->fields();
     fields.push_back(FieldType{attr, DataType::Int()});
@@ -278,7 +276,7 @@ Result<MapArtifacts> BuildMapArtifacts(const OpSpec& op,
       if (!item.is_struct()) {
         return Status::TypeError("map identity expects a struct item");
       }
-      return Value::Struct(item.fields());
+      return Value::StructFromRefs(item.fields());
     };
     out.declared = in_schema;
     out.label = "map(identity)";

@@ -27,7 +27,7 @@ void RefFindDescendants(const std::string& name, const Value& context,
                         const Path& base,
                         std::vector<std::pair<ValuePtr, Path>>* out) {
   if (context.is_struct()) {
-    for (const Field& f : context.fields()) {
+    for (const FieldRef& f : context.fields()) {
       Path p = base.Child(PathStep{f.name, kNoPos});
       if (f.name == name) {
         out->push_back({f.value, p});
@@ -251,7 +251,7 @@ Result<ValuePtr> RefComputeAgg(const AggSpec& spec,
     }
     case AggKind::kMin:
     case AggKind::kMax: {
-      ValuePtr best;
+      ValuePtr best = nullptr;
       for (const ValuePtr& v : values) {
         if (v->is_null()) continue;
         if (best == nullptr) {
@@ -454,8 +454,12 @@ Status Oracle::RunJoin(const JoinOp& op, OpState* state) {
       std::vector<Field> fields;
       fields.reserve(left.rows[l]->num_fields() +
                      right.rows[r]->num_fields());
-      for (const Field& f : left.rows[l]->fields()) fields.push_back(f);
-      for (const Field& f : right.rows[r]->fields()) fields.push_back(f);
+      for (const FieldRef& f : left.rows[l]->fields()) {
+        fields.push_back(Field{std::string(f.name), f.value});
+      }
+      for (const FieldRef& f : right.rows[r]->fields()) {
+        fields.push_back(Field{std::string(f.name), f.value});
+      }
       ValuePtr combined = Value::Struct(std::move(fields));
       if (op.theta() != nullptr) {
         PEBBLE_ASSIGN_OR_RETURN(bool keep,
@@ -525,7 +529,13 @@ Status Oracle::RunFlatten(const FlattenOp& op, OpState* state) {
       return Status::TypeError("flatten over a non-collection value");
     }
     for (size_t x = 0; x < col->num_elements(); ++x) {
-      std::vector<Field> fields = in.rows[i]->fields();
+      // Deliberately rebuilt field-by-field (not via the engine's fused
+      // StructWith): the oracle stays an independent implementation.
+      std::vector<Field> fields;
+      fields.reserve(in.rows[i]->num_fields() + 1);
+      for (const FieldRef& f : in.rows[i]->fields()) {
+        fields.push_back(Field{std::string(f.name), f.value});
+      }
       fields.push_back(Field{op.new_attr(), col->elements()[x]});
       state->rows.push_back(Value::Struct(std::move(fields)));
       OracleLink link;

@@ -108,7 +108,7 @@ std::shared_ptr<const std::vector<ValuePtr>> DblpGenerator::Generate() const {
     std::string crossref;
     std::string journal;
     std::string booktitle;
-    ValuePtr authors;
+    ValuePtr authors = nullptr;
 
     if (std::string(type) == "proceedings") {
       key = ProceedingsKey(proc_counter);

@@ -1,0 +1,156 @@
+// Exact memory accounting through the value arenas (DESIGN.md §15): every
+// byte the engine charges for values is a byte an arena actually reserved —
+// no estimates, no slack. The budget watermark is therefore *real*: a run
+// succeeds with a budget equal to its measured peak and fails with
+// kResourceExhausted one byte below it, and an aborted store still passes
+// Validate().
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/arena.h"
+#include "engine/executor.h"
+#include "test_util.h"
+#include "workload/scenarios.h"
+
+namespace pebble {
+namespace {
+
+/// Deterministic governed options: 1 worker thread runs every partition
+/// task inline, so the charge sequence (and hence the budget watermark) is
+/// identical from run to run.
+ExecOptions DeterministicOptions() {
+  return ExecOptions(CaptureMode::kStructural, /*num_partitions=*/4,
+                     /*num_threads=*/1);
+}
+
+/// Sum of reserved block bytes over the arenas a dataset retains — the
+/// ground truth the run's budget charges must match exactly.
+uint64_t RetainedReservedBytes(const Dataset& dataset) {
+  uint64_t bytes = 0;
+  for (const std::shared_ptr<ValueArena>& arena : dataset.retained_arenas()) {
+    bytes += arena->stats().bytes_reserved;
+  }
+  return bytes;
+}
+
+TEST(GovernanceArenaAccountingTest, ChargedBytesEqualReservedBytesExactly) {
+  ASSERT_OK_AND_ASSIGN(Scenario s, MakeStressScenario(500));
+  ExecOptions options = DeterministicOptions();
+  options.memory_budget_bytes = 8ull << 30;  // generous: never trips
+  ASSERT_OK_AND_ASSIGN(ExecutionResult result,
+                       Executor(options).Run(s.pipeline));
+
+  // The run pooled its arenas onto the output.
+  ASSERT_FALSE(result.output.retained_arenas().empty());
+  EXPECT_EQ(result.arena_count, result.output.retained_arenas().size());
+  EXPECT_GT(result.arena_stats.bytes_allocated, 0u);
+  EXPECT_GT(result.arena_stats.arena_blocks, 0u);
+
+  // Zero slack: what the run charged against the budget for values is
+  // byte-for-byte what the committed arenas reserved. (The budget scope
+  // closed with the run, so the arenas themselves are detached by now.)
+  EXPECT_EQ(result.arena_bytes_charged,
+            RetainedReservedBytes(result.output));
+  EXPECT_GT(result.arena_bytes_charged, 0u);
+  // And the watermark covered it: arena charges are a component of (and
+  // bounded by) the budget's high-water mark.
+  EXPECT_LE(result.arena_bytes_charged, result.peak_memory_bytes);
+}
+
+TEST(GovernanceArenaAccountingTest, NoBudgetMeansNoChargesButRealStats) {
+  ASSERT_OK_AND_ASSIGN(Scenario s, MakeStressScenario(200));
+  ASSERT_OK_AND_ASSIGN(ExecutionResult result,
+                       Executor(DeterministicOptions()).Run(s.pipeline));
+  // Unbudgeted runs must report no budget activity at all...
+  EXPECT_EQ(result.peak_memory_bytes, 0u);
+  EXPECT_EQ(result.arena_bytes_charged, 0u);
+  // ...while the arena statistics are still exact and observable.
+  EXPECT_GT(result.arena_count, 0u);
+  EXPECT_GT(result.arena_stats.bytes_allocated, 0u);
+  EXPECT_EQ(result.arena_stats.bytes_reserved,
+            RetainedReservedBytes(result.output));
+}
+
+TEST(GovernanceArenaAccountingTest, LegacyHeapChargesAreExactToo) {
+  ASSERT_OK_AND_ASSIGN(Scenario s, MakeStressScenario(200));
+  ExecOptions options = DeterministicOptions();
+  options.memory_budget_bytes = 8ull << 30;
+  options.legacy_heap_alloc = true;
+  ASSERT_OK_AND_ASSIGN(ExecutionResult result,
+                       Executor(options).Run(s.pipeline));
+  EXPECT_EQ(result.arena_bytes_charged,
+            RetainedReservedBytes(result.output));
+  EXPECT_GT(result.arena_bytes_charged, 0u);
+}
+
+TEST(GovernanceArenaAccountingTest, BudgetTripsAtTheRealWatermark) {
+  ASSERT_OK_AND_ASSIGN(Scenario s, MakeStressScenario(500));
+
+  // Measure the exact watermark with a generous budget.
+  ExecOptions generous = DeterministicOptions();
+  generous.memory_budget_bytes = 8ull << 30;
+  ASSERT_OK_AND_ASSIGN(ExecutionResult unconstrained,
+                       Executor(generous).Run(s.pipeline));
+  const uint64_t peak = unconstrained.peak_memory_bytes;
+  ASSERT_GT(peak, 0u);
+
+  // A budget of exactly the watermark succeeds: the accounting is exact, so
+  // the measured peak is sufficient — there is no hidden estimate on top.
+  {
+    ExecOptions at_peak = DeterministicOptions();
+    at_peak.memory_budget_bytes = peak;
+    ASSERT_OK_AND_ASSIGN(ExecutionResult rerun,
+                         Executor(at_peak).Run(s.pipeline));
+    EXPECT_EQ(rerun.peak_memory_bytes, peak);
+  }
+
+  // One byte below, the run must fail with a structured kResourceExhausted
+  // attributed to an operator, and the aborted store must be commit-clean.
+  {
+    ExecOptions below = DeterministicOptions();
+    below.memory_budget_bytes = peak - 1;
+    RunTelemetry telemetry;
+    Result<ExecutionResult> run =
+        Executor(below).Run(s.pipeline, &telemetry);
+    ASSERT_FALSE(run.ok());
+    EXPECT_EQ(run.status().code(), StatusCode::kResourceExhausted);
+    EXPECT_NE(run.status().message().find("operator "), std::string::npos)
+        << run.status().ToString();
+    EXPECT_GT(telemetry.peak_memory_bytes, 0u);
+    EXPECT_LE(telemetry.peak_memory_bytes, telemetry.memory_limit_bytes);
+    ASSERT_NE(telemetry.provenance, nullptr);
+    ASSERT_OK(telemetry.provenance->Validate());
+  }
+}
+
+TEST(GovernanceArenaAccountingTest, FailedRunReleasesEveryCharge) {
+  ASSERT_OK_AND_ASSIGN(Scenario s, MakeStressScenario(500));
+  ExecOptions generous = DeterministicOptions();
+  generous.memory_budget_bytes = 8ull << 30;
+  ASSERT_OK_AND_ASSIGN(ExecutionResult unconstrained,
+                       Executor(generous).Run(s.pipeline));
+
+  // Abort mid-run, then rerun the same pipeline with the same (fresh)
+  // budget: if aborted arenas leaked charges into some shared state, the
+  // repeat run would trip earlier or report a different peak. Telemetry on
+  // the failed run still carries the arena churn that happened.
+  ExecOptions below = DeterministicOptions();
+  below.memory_budget_bytes = unconstrained.peak_memory_bytes / 2;
+  RunTelemetry telemetry;
+  Result<ExecutionResult> aborted =
+      Executor(below).Run(s.pipeline, &telemetry);
+  ASSERT_FALSE(aborted.ok());
+  EXPECT_GT(telemetry.arena_count, 0u);
+  EXPECT_GT(telemetry.arena_stats.bytes_allocated, 0u);
+
+  ASSERT_OK_AND_ASSIGN(ExecutionResult rerun,
+                       Executor(generous).Run(s.pipeline));
+  EXPECT_EQ(rerun.peak_memory_bytes, unconstrained.peak_memory_bytes);
+  EXPECT_EQ(rerun.arena_bytes_charged, unconstrained.arena_bytes_charged);
+}
+
+}  // namespace
+}  // namespace pebble

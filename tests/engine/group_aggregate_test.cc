@@ -16,7 +16,7 @@ using testing::RunWith;
 std::map<std::string, ValuePtr> ByTag(const ExecutionResult& run) {
   std::map<std::string, ValuePtr> out;
   for (const ValuePtr& v : run.output.CollectValues()) {
-    out[v->FindField("tag")->string_value()] = v;
+    out[std::string(v->FindField("tag")->string_value())] = v;
   }
   return out;
 }

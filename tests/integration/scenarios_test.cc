@@ -218,12 +218,12 @@ TEST_P(ScenarioPropertyTest, LineageReplayReproducesMatchedItems) {
     for (int64_t id : sl.ids) {
       ValuePtr item = FindItemById(source, id);
       ASSERT_NE(item, nullptr);
-      keep.insert(item.get());
+      keep.insert(item);
     }
   }
   std::vector<ValuePtr> subset_values;
   for (const ValuePtr& item : *data_) {
-    if (keep.count(item.get()) > 0) {
+    if (keep.count(item) > 0) {
       subset_values.push_back(item);
     }
   }

@@ -14,7 +14,7 @@ using testing::S;
 
 TEST(ValueTest, NullSingleton) {
   EXPECT_TRUE(Value::Null()->is_null());
-  EXPECT_EQ(Value::Null().get(), Value::Null().get());
+  EXPECT_EQ(Value::Null(), Value::Null());
 }
 
 TEST(ValueTest, Constants) {

@@ -95,7 +95,7 @@ TEST(TwitterGenTest, HelloWorldTweetsOccur) {
   int hello_world = 0;
   auto gen_items = gen.Generate();
   for (const ValuePtr& tweet : *gen_items) {
-    const std::string& text = tweet->FindField("text")->string_value();
+    std::string_view text = tweet->FindField("text")->string_value();
     if (text.rfind("Hello World", 0) == 0) ++hello_world;
   }
   EXPECT_GT(hello_world, 10);
@@ -144,7 +144,7 @@ TEST(DblpGenTest, KeysAreUnique) {
   std::set<std::string> keys;
   auto gen_items = gen.Generate();
   for (const ValuePtr& rec : *gen_items) {
-    EXPECT_TRUE(keys.insert(rec->FindField("key")->string_value()).second);
+    EXPECT_TRUE(keys.insert(std::string(rec->FindField("key")->string_value())).second);
   }
 }
 
@@ -157,7 +157,7 @@ TEST(DblpGenTest, InproceedingsPerProceedingsRatioPreserved) {
   int procs = 0;
   auto gen_items = gen.Generate();
   for (const ValuePtr& rec : *gen_items) {
-    const std::string& type = rec->FindField("type")->string_value();
+    std::string_view type = rec->FindField("type")->string_value();
     if (type == "inproceedings") ++inprocs;
     if (type == "proceedings") ++procs;
   }
@@ -175,7 +175,7 @@ TEST(DblpGenTest, CrossrefsResolveToProceedings) {
   std::set<std::string> proc_keys;
   for (const ValuePtr& rec : *records) {
     if (rec->FindField("type")->string_value() == "proceedings") {
-      proc_keys.insert(rec->FindField("key")->string_value());
+      proc_keys.insert(std::string(rec->FindField("key")->string_value()));
     }
   }
   int dangling = 0;
@@ -183,7 +183,7 @@ TEST(DblpGenTest, CrossrefsResolveToProceedings) {
   for (const ValuePtr& rec : *records) {
     if (rec->FindField("type")->string_value() != "inproceedings") continue;
     ++total;
-    if (proc_keys.count(rec->FindField("crossref")->string_value()) == 0) {
+    if (proc_keys.count(std::string(rec->FindField("crossref")->string_value())) == 0) {
       ++dangling;
     }
   }
@@ -212,7 +212,7 @@ TEST(DblpGenTest, AllTenTypesAppearAtScale) {
   std::set<std::string> types;
   auto gen_items = gen.Generate();
   for (const ValuePtr& rec : *gen_items) {
-    types.insert(rec->FindField("type")->string_value());
+    types.insert(std::string(rec->FindField("type")->string_value()));
   }
   EXPECT_GE(types.size(), 8u);
 }
